@@ -1,0 +1,156 @@
+// ABL-ADAPT — paper Section 7.2: adaptive per-term synopsis lengths
+// under a peer-wide posting budget B.
+//
+// Each peer invests a total budget of B bits across all of its M terms
+// (sum over terms of len_j = B). Compared at the SAME budget:
+//  * uniform: every term gets B/M bits;
+//  * benefit-proportional (the paper's heuristic) under the three benefit
+//    notions Sec. 7.2 proposes: index list length, entries above a score
+//    threshold, and the 90 %-score-mass count.
+// Reported: directory bytes actually sent while posting, and the IQN
+// routing recall achieved with the resulting synopses. Proportional
+// allocation spends its bits on the long (hard-to-estimate) lists, which
+// is where routing accuracy comes from.
+//
+// Usage: ablation_adaptive [--docs=3000] [--queries=6] [--peers=4]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/flags.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+struct Variant {
+  std::string label;
+  bool uniform = false;
+  BenefitPolicy policy = BenefitPolicy::kListLength;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("docs", 3000, "corpus size");
+  flags.DefineInt("queries", 6, "number of queries");
+  flags.DefineInt("peers", 4, "routed peers per query");
+  flags.DefineInt("seed", 42, "workload seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  size_t docs = static_cast<size_t>(flags.GetInt("docs"));
+  size_t num_queries = static_cast<size_t>(flags.GetInt("queries"));
+  size_t max_peers = static_cast<size_t>(flags.GetInt("peers"));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = docs;
+  corpus_opts.vocabulary_size = docs / 4;
+  corpus_opts.seed = seed;
+  auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+  if (!gen.ok()) return 1;
+  Corpus corpus = gen.value().Generate();
+
+  QueryWorkloadOptions q_opts;
+  q_opts.num_queries = num_queries;
+  q_opts.band_low = 0.005;
+  q_opts.band_high = 0.08;
+  q_opts.seed = seed + 1;
+  auto queries = GenerateQueries(gen.value().vocabulary(), q_opts);
+  if (!queries.ok()) return 1;
+
+  std::printf(
+      "\n=== Ablation (Sec. 7.2): adaptive per-term synopsis lengths under "
+      "a peer budget ===\n");
+  std::printf("(%zu docs, 20 peers sliding-window, %zu queries, %zu routed "
+              "peers, MIPs; same total budget per row group)\n\n",
+              docs, num_queries, max_peers);
+  std::printf("%-13s %-26s %14s %10s\n", "budget/peer", "allocation",
+              "posted bytes", "recall");
+
+  const Variant variants[] = {
+      {"uniform B/M bits per term", true, BenefitPolicy::kListLength},
+      {"benefit: list length", false, BenefitPolicy::kListLength},
+      {"benefit: entries > 0.5", false, BenefitPolicy::kEntriesAboveThreshold},
+      {"benefit: 90% score mass", false, BenefitPolicy::kScoreMassQuantile},
+  };
+
+  for (uint64_t budget_kbits : {16u, 48u, 128u}) {
+    uint64_t budget_bits = budget_kbits * 1024;
+    for (const Variant& variant : variants) {
+      auto frags = SplitIntoFragments(corpus, 40);
+      if (!frags.ok()) return 1;
+      auto collections = SlidingWindowCollections(frags.value(), 6, 2, 20);
+      if (!collections.ok()) return 1;
+
+      EngineOptions options;  // MIPs (the only heterogeneous-length type)
+      auto engine =
+          MinervaEngine::Create(options, std::move(collections).value());
+      if (!engine.ok()) return 1;
+
+      uint64_t bytes_before = engine.value()->TotalBytesSent();
+      for (size_t p = 0; p < engine.value()->num_peers(); ++p) {
+        AdaptiveAllocationOptions a;
+        a.policy = variant.policy;
+        a.granularity_bits = 32;
+        if (variant.uniform) {
+          // Equal share for every term under the same total budget.
+          size_t num_terms =
+              std::max<size_t>(1, engine.value()->peer(p).index().NumTerms());
+          uint64_t share = budget_bits / num_terms / 32 * 32;
+          if (share < 32) share = 32;
+          a.min_bits = share;
+          a.max_bits = share;
+          a.granularity_bits = 32;
+        } else {
+          a.min_bits = 32;
+          a.max_bits = 4096;
+        }
+        Status published =
+            engine.value()->peer(p).PublishPostsAdaptive(budget_bits, a);
+        if (!published.ok()) {
+          std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
+          return 1;
+        }
+      }
+      uint64_t posted_bytes = engine.value()->TotalBytesSent() - bytes_before;
+
+      IqnRouter router;
+      double recall = 0.0;
+      size_t counted = 0;
+      for (size_t qi = 0; qi < queries.value().size(); ++qi) {
+        auto outcome = engine.value()->RunQuery(
+            qi % engine.value()->num_peers(), queries.value()[qi], router,
+            max_peers);
+        if (!outcome.ok()) continue;
+        recall += outcome.value().recall_remote_only;
+        ++counted;
+      }
+      if (counted > 0) recall /= static_cast<double>(counted);
+      std::printf("%5lu kbit    %-26s %14lu %9.1f%%\n",
+                  static_cast<unsigned long>(budget_kbits),
+                  variant.label.c_str(),
+                  static_cast<unsigned long>(posted_bytes), recall * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(benefit-proportional allocation spends long synopses on long index "
+      "lists — where estimation error actually costs recall — and shortens "
+      "or drops negligible terms)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

@@ -1,0 +1,160 @@
+// ABL-DIR — directory cost engineering (paper Sec. 4 + Sec. 7.2):
+//
+//  1. Posting: "peers should batch multiple posts that are directed to
+//     the same recipient" — measures the publishing traffic of per-term
+//     posting vs per-directory-node batching.
+//  2. Routing: "the query initiator can decide to not retrieve the
+//     complete PeerLists, but only a subset, say the top-k peers from
+//     each list" — sweeps the PeerList truncation limit and reports the
+//     routing bandwidth saved vs the recall given up.
+//
+// Usage: ablation_directory [--docs=4000] [--queries=8] [--peers=4]
+
+#include <cstdio>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/flags.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+std::vector<Corpus> MakeCollections(const Corpus& corpus) {
+  auto frags = SplitIntoFragments(corpus, 60);
+  auto collections = SlidingWindowCollections(frags.value(), 6, 2, 30);
+  return std::move(collections).value();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("docs", 4000, "corpus size");
+  flags.DefineInt("queries", 8, "number of queries");
+  flags.DefineInt("peers", 4, "routed peers per query");
+  flags.DefineInt("seed", 42, "workload seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  size_t docs = static_cast<size_t>(flags.GetInt("docs"));
+  size_t num_queries = static_cast<size_t>(flags.GetInt("queries"));
+  size_t max_peers = static_cast<size_t>(flags.GetInt("peers"));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = docs;
+  corpus_opts.vocabulary_size = docs / 8;
+  corpus_opts.seed = seed;
+  auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+  if (!gen.ok()) return 1;
+  Corpus corpus = gen.value().Generate();
+
+  QueryWorkloadOptions q_opts;
+  q_opts.num_queries = num_queries;
+  q_opts.band_low = 0.005;
+  q_opts.band_high = 0.08;
+  q_opts.seed = seed + 1;
+  auto queries = GenerateQueries(gen.value().vocabulary(), q_opts);
+  if (!queries.ok()) return 1;
+
+  // ---------------- Part 1: batched posting -------------------------
+  std::printf("\n=== Directory cost (Sec. 7.2): per-term posts vs batched "
+              "posts ===\n");
+  std::printf("(%zu docs, 30 peers, MIPs-64 posts)\n\n", docs);
+  std::printf("%-26s %14s %14s\n", "publishing", "messages", "bytes");
+  struct PublishVariant {
+    const char* label;
+    bool batched;
+    SynopsisType type;
+    bool compress;
+  };
+  const PublishVariant publish_variants[] = {
+      {"MIPs, one post per term", false, SynopsisType::kMinWise, false},
+      {"MIPs, batched by node", true, SynopsisType::kMinWise, false},
+      {"BF, raw wire image", true, SynopsisType::kBloomFilter, false},
+      {"BF, Golomb-Rice [26]", true, SynopsisType::kBloomFilter, true},
+  };
+  for (const PublishVariant& variant : publish_variants) {
+    EngineOptions options;
+    options.batch_posting = variant.batched;
+    options.synopsis.type = variant.type;
+    options.synopsis.compress_bloom = variant.compress;
+    auto engine = MinervaEngine::Create(options, MakeCollections(corpus));
+    if (!engine.ok()) return 1;
+    if (!engine.value()->PublishAll().ok()) return 1;
+    const NetworkStats& stats = engine.value()->network().stats();
+    std::printf("%-26s %14llu %14llu\n", variant.label,
+                static_cast<unsigned long long>(stats.messages),
+                static_cast<unsigned long long>(stats.bytes));
+  }
+
+  // ---------------- Part 2: truncated PeerLists ---------------------
+  std::printf("\n=== Directory cost (Sec. 4): truncated PeerList retrieval "
+              "===\n");
+  std::printf("(%zu queries, IQN with %zu routed peers; bytes are the "
+              "routing phase only)\n\n",
+              num_queries, max_peers);
+  std::printf("%-20s %14s %10s\n", "candidate fetch", "routing bytes",
+              "recall");
+
+  struct FetchStrategy {
+    std::string label;
+    size_t peerlist_limit = 0;
+    size_t topk_candidates = 0;
+  };
+  const FetchStrategy strategies[] = {
+      {"full PeerLists", 0, 0},
+      {"top-20 per list", 20, 0},
+      {"top-10 per list", 10, 0},
+      {"top-5 per list", 5, 0},
+      {"TPUT top-10 overall", 0, 10},  // Sec. 4's "top-k peers over all
+                                       // lists" via the distributed
+                                       // threshold algorithm
+  };
+  for (const FetchStrategy& strategy : strategies) {
+    EngineOptions options;
+    options.peerlist_limit = strategy.peerlist_limit;
+    options.distributed_topk_candidates = strategy.topk_candidates;
+    auto engine = MinervaEngine::Create(options, MakeCollections(corpus));
+    if (!engine.ok()) return 1;
+    if (!engine.value()->PublishAll().ok()) return 1;
+
+    IqnRouter router;
+    double recall = 0.0;
+    uint64_t routing_bytes = 0;
+    size_t counted = 0;
+    for (size_t qi = 0; qi < queries.value().size(); ++qi) {
+      auto outcome = engine.value()->RunQuery(
+          qi % engine.value()->num_peers(), queries.value()[qi], router,
+          max_peers);
+      if (!outcome.ok()) continue;
+      recall += outcome.value().recall_remote_only;
+      routing_bytes += outcome.value().routing_bytes;
+      ++counted;
+    }
+    if (counted > 0) {
+      recall /= static_cast<double>(counted);
+      routing_bytes /= counted;
+    }
+    std::printf("%-20s %14llu %9.1f%%\n", strategy.label.c_str(),
+                static_cast<unsigned long long>(routing_bytes),
+                recall * 100.0);
+  }
+  std::printf(
+      "\n(truncation cuts routing bandwidth several-fold; because the "
+      "directory ranks by index list length, a moderate limit also acts "
+      "as a quality prefilter and costs little or no recall — only "
+      "overly aggressive limits would remove the complementary small "
+      "peers IQN needs)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

@@ -1,0 +1,156 @@
+// ABL-HIST — paper Section 7.1: score-conscious novelty via histograms.
+//
+// Flat set synopses treat a peer's whole index list as one set, so a peer
+// offering many novel *low-scoring* documents looks more attractive than
+// one offering fewer novel *top-scoring* documents. Histogram synopses
+// weight per-score-cell novelty to prefer the latter.
+//
+// Constructed workload (explicit term-frequency control):
+//  * 200 shared "head" documents (tf = 3 for the query terms), replicated
+//    at every peer — the overlap everyone shares;
+//  * 10 GOOD peers: head + 200 unique documents with HIGH tf (5..8) —
+//    these dominate the centralized top-k;
+//  * 10 DECOY peers: head + 600 unique junk documents with tf = 1 —
+//    lots of raw novelty, none of it in the top-k.
+// Flat novelty (and histogram weighting that is too soft) routes to the
+// decoys; sufficiently sharp score weighting routes to the good peers.
+//
+// Usage: ablation_histogram [--peers=4] [--cells=8] [--k=100]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/flags.h"
+#include "util/hash.h"
+
+namespace iqn {
+namespace {
+
+constexpr const char* kQueryTerms[] = {"alpha", "beta", "gamma"};
+
+std::vector<std::string> MakeDocTerms(size_t query_tf, DocId id,
+                                      size_t fillers) {
+  std::vector<std::string> terms;
+  for (const char* q : kQueryTerms) {
+    for (size_t i = 0; i < query_tf; ++i) terms.push_back(q);
+  }
+  for (size_t f = 0; f < fillers; ++f) {
+    terms.push_back("filler" + std::to_string(Hash64(id, f) % 5000));
+  }
+  return terms;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("peers", 4, "routed peers per query");
+  flags.DefineInt("cells", 8, "histogram cells");
+  flags.DefineInt("k", 100, "reference top-k");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  size_t max_peers = static_cast<size_t>(flags.GetInt("peers"));
+
+  // Shared head documents.
+  Corpus head;
+  for (DocId id = 1; id <= 200; ++id) {
+    (void)head.AddDocumentTerms(id, MakeDocTerms(3, id, 20));
+  }
+
+  std::vector<Corpus> collections;
+  // 10 good peers: head + high-tf uniques, round-robin id assignment so
+  // the reference top-k spreads over all good peers.
+  for (size_t p = 0; p < 10; ++p) collections.push_back(head);
+  for (DocId id = 1000; id < 3000; ++id) {
+    size_t peer = id % 10;
+    size_t tf = 5 + Hash64(id, 1) % 4;  // 5..8
+    (void)collections[peer].AddDocumentTerms(id, MakeDocTerms(tf, id, 20));
+  }
+  // 10 decoy peers: head + masses of tf=1 junk.
+  for (size_t p = 0; p < 10; ++p) {
+    Corpus decoy = head;
+    for (DocId id = 100000 + p * 1000; id < 100000 + p * 1000 + 600; ++id) {
+      (void)decoy.AddDocumentTerms(id, MakeDocTerms(1, id, 20));
+    }
+    collections.push_back(std::move(decoy));
+  }
+
+  Query query;
+  for (const char* q : kQueryTerms) query.terms.push_back(q);
+  query.k = static_cast<size_t>(flags.GetInt("k"));
+
+  EngineOptions options;
+  options.synopsis.histogram_cells =
+      static_cast<size_t>(flags.GetInt("cells"));
+  auto engine = MinervaEngine::Create(options, std::move(collections));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (!engine.value()->PublishAll().ok()) return 1;
+
+  std::printf(
+      "\n=== Ablation (Sec. 7.1): score-conscious novelty via histograms "
+      "===\n");
+  std::printf(
+      "(10 good peers with novel TOP-k documents vs 10 decoy peers with 3x "
+      "more novel but low-scoring documents; %zu routed peers, top-%zu)\n\n",
+      max_peers, query.k);
+  std::printf("%-36s %10s %14s\n", "novelty estimator", "recall",
+              "decoys picked");
+
+  struct Variant {
+    std::string label;
+    bool use_histograms;
+    double exponent;
+  };
+  const Variant variants[] = {
+      {"flat sets (no histograms)", false, 0.0},
+      {"histograms, weight exponent 0", true, 0.0},
+      {"histograms, weight exponent 1", true, 1.0},
+      {"histograms, weight exponent 2", true, 2.0},
+      {"histograms, weight exponent 4", true, 4.0},
+  };
+  for (const Variant& v : variants) {
+    IqnOptions iqn_options;
+    iqn_options.use_histograms = v.use_histograms;
+    iqn_options.histogram_weight_exponent = v.exponent;
+    IqnRouter router(iqn_options);
+    // Initiate once from each good peer, average.
+    double recall = 0.0;
+    size_t decoys_picked = 0;
+    size_t runs = 0;
+    for (size_t initiator = 0; initiator < 10; initiator += 3) {
+      auto outcome =
+          engine.value()->RunQuery(initiator, query, router, max_peers);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     outcome.status().ToString().c_str());
+        continue;
+      }
+      recall += outcome.value().recall_remote_only;
+      for (const auto& p : outcome.value().decision.peers) {
+        if (p.peer_id >= 10) ++decoys_picked;
+      }
+      ++runs;
+    }
+    if (runs > 0) recall /= static_cast<double>(runs);
+    std::printf("%-36s %9.1f%% %10zu/%zu\n", v.label.c_str(), recall * 100.0,
+                decoys_picked, runs * max_peers);
+  }
+  std::printf(
+      "\n(flat novelty chases the decoys' bulk; score-weighted novelty "
+      "with a sharp enough exponent routes to the peers holding the "
+      "actually-relevant documents)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

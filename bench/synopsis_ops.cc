@@ -1,0 +1,147 @@
+// TAB-SYN — microbenchmarks of the synopsis operations (google-benchmark),
+// quantifying the qualitative comparison of paper Section 3.4: build
+// cost, union/intersection cost, resemblance estimation cost, and
+// serialized size for each synopsis type at the paper's 2048-bit budget.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/estimators.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/loglog.h"
+#include "synopses/min_wise.h"
+#include "synopses/serialization.h"
+#include "util/random.h"
+
+namespace iqn {
+namespace {
+
+constexpr uint64_t kSeed = 99;
+
+std::unique_ptr<SetSynopsis> Make(SynopsisType type) {
+  switch (type) {
+    case SynopsisType::kMinWise: {
+      auto r = MinWiseSynopsis::Create(64, UniversalHashFamily(kSeed));
+      return std::make_unique<MinWiseSynopsis>(std::move(r).value());
+    }
+    case SynopsisType::kBloomFilter: {
+      auto r = BloomFilter::Create(2048, 4, kSeed);
+      return std::make_unique<BloomFilter>(std::move(r).value());
+    }
+    case SynopsisType::kHashSketch: {
+      auto r = HashSketch::Create(32, 64, kSeed);
+      return std::make_unique<HashSketch>(std::move(r).value());
+    }
+    case SynopsisType::kLogLog: {
+      auto r = LogLogCounter::Create(256, kSeed);
+      return std::make_unique<LogLogCounter>(std::move(r).value());
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SetSynopsis> MakeFilled(SynopsisType type, size_t n,
+                                        uint64_t salt) {
+  auto syn = Make(type);
+  Rng rng(salt);
+  for (size_t i = 0; i < n; ++i) syn->Add(rng.Next());
+  return syn;
+}
+
+void BM_Build(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  size_t n = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto syn = MakeFilled(type, n, 7);
+    benchmark::DoNotOptimize(syn);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_Union(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  auto a = MakeFilled(type, 5000, 1);
+  auto b = MakeFilled(type, 5000, 2);
+  for (auto _ : state) {
+    auto merged = a->Clone();
+    benchmark::DoNotOptimize(merged->MergeUnion(*b));
+  }
+}
+
+void BM_Resemblance(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  auto a = MakeFilled(type, 5000, 1);
+  auto b = MakeFilled(type, 5000, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->EstimateResemblance(*b));
+  }
+}
+
+void BM_EstimateCardinality(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  auto a = MakeFilled(type, 5000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->EstimateCardinality());
+  }
+}
+
+void BM_NoveltyEstimation(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  auto ref = MakeFilled(type, 5000, 1);
+  auto cand = MakeFilled(type, 5000, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateNovelty(*ref, 5000, *cand, 5000));
+  }
+}
+
+void BM_Serialize(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  auto a = MakeFilled(type, 5000, 1);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes wire = SerializeSynopsisToBytes(*a);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_Deserialize(benchmark::State& state) {
+  auto type = static_cast<SynopsisType>(state.range(0));
+  Bytes wire = SerializeSynopsisToBytes(*MakeFilled(type, 5000, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeserializeSynopsisFromBytes(wire));
+  }
+}
+
+void TypeArgs(benchmark::internal::Benchmark* bench) {
+  for (SynopsisType type :
+       {SynopsisType::kMinWise, SynopsisType::kBloomFilter,
+        SynopsisType::kHashSketch, SynopsisType::kLogLog}) {
+    bench->Arg(static_cast<int>(type));
+  }
+}
+
+void BuildArgs(benchmark::internal::Benchmark* bench) {
+  for (SynopsisType type :
+       {SynopsisType::kMinWise, SynopsisType::kBloomFilter,
+        SynopsisType::kHashSketch, SynopsisType::kLogLog}) {
+    for (int n : {1000, 10000}) {
+      bench->Args({static_cast<int>(type), n});
+    }
+  }
+}
+
+BENCHMARK(BM_Build)->Apply(BuildArgs);
+BENCHMARK(BM_Union)->Apply(TypeArgs);
+BENCHMARK(BM_Resemblance)->Apply(TypeArgs);
+BENCHMARK(BM_EstimateCardinality)->Apply(TypeArgs);
+BENCHMARK(BM_NoveltyEstimation)->Apply(TypeArgs);
+BENCHMARK(BM_Serialize)->Apply(TypeArgs);
+BENCHMARK(BM_Deserialize)->Apply(TypeArgs);
+
+}  // namespace
+}  // namespace iqn

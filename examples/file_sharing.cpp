@@ -1,0 +1,126 @@
+// File sharing (the paper's introduction example, Sec. 1.1):
+//
+//   "Consider a single-attribute query for all songs by Mikis
+//    Theodorakis. If every selected peer contributes its best matches
+//    only, the query result will most likely contain many duplicates of
+//    popular songs, when instead users would have preferred a much
+//    larger variety of songs from the same number of peers."
+//
+// Files are documents whose "terms" are attribute values
+// (composer:theodorakis, genre:opera, format:mp3). The network has two
+// kinds of peers:
+//  * 6 mainstream peers: everyone's chart hits (heavily replicated) and
+//    hardly anything else — the biggest collections, so quality-driven
+//    selection loves them;
+//  * 6 archive peers: fewer files overall, but each holds a unique trove
+//    of rare recordings.
+// In the DB-style structured-query setting every match is equally good,
+// so IQN runs in novelty-only mode (use_quality = false) and is compared
+// against CORI.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/hash.h"
+
+int main() {
+  using namespace iqn;
+
+  constexpr DocId kHits = 90;        // replicated everywhere
+  constexpr DocId kRarePerPeer = 40; // unique per archive peer
+
+  auto song_attributes = [](DocId id) {
+    std::vector<std::string> attrs = {"format:mp3"};
+    attrs.push_back(Hash64(id, 1) % 3 == 0 ? "composer:theodorakis"
+                                           : "composer:hadjidakis");
+    attrs.push_back(Hash64(id, 2) % 2 == 0 ? "genre:opera"
+                                           : "genre:rebetiko");
+    return attrs;
+  };
+
+  std::vector<Corpus> collections(12);
+  // Mainstream peers 0..5: all hits + a handful of shared extras.
+  for (size_t p = 0; p < 6; ++p) {
+    for (DocId song = 1; song <= kHits; ++song) {
+      (void)collections[p].AddDocumentTerms(song, song_attributes(song));
+    }
+    for (DocId song = 100 + p * 3; song < 100 + p * 3 + 6; ++song) {
+      (void)collections[p].AddDocumentTerms(song, song_attributes(song));
+    }
+  }
+  // Archive peers 6..11: a third of the hits + a unique trove each.
+  for (size_t p = 6; p < 12; ++p) {
+    for (DocId song = 1; song <= kHits / 3; ++song) {
+      (void)collections[p].AddDocumentTerms(song, song_attributes(song));
+    }
+    DocId base = 1000 + static_cast<DocId>(p) * 1000;
+    for (DocId song = base; song < base + kRarePerPeer; ++song) {
+      (void)collections[p].AddDocumentTerms(song, song_attributes(song));
+    }
+  }
+
+  auto engine = MinervaEngine::Create(EngineOptions{}, std::move(collections));
+  if (!engine.ok()) return 1;
+  if (!engine.value()->PublishAll().ok()) return 1;
+
+  // Conjunctive attribute query: all Theodorakis operas ("top-k" with a
+  // large k = give me everything you have).
+  Query query;
+  query.terms = {"composer:theodorakis", "genre:opera"};
+  query.mode = QueryMode::kConjunctive;
+  query.k = 500;
+
+  std::printf(
+      "FILE SHARING: 6 mainstream peers (hit collections, replicated\n"
+      "everywhere) + 6 archive peers (small but unique troves)\n");
+  std::printf("query: every song with composer:theodorakis AND "
+              "genre:opera\n\n");
+
+  auto reference = engine.value()->ReferenceResults(query);
+  std::printf("the whole network holds %zu distinct matching songs\n\n",
+              reference.size());
+
+  CoriRouter cori;
+  IqnOptions novelty_only;
+  novelty_only.use_quality = false;  // all matches equally good: DB-style
+  IqnRouter iqn(novelty_only);
+
+  auto archives_in = [](const RoutingDecision& decision) {
+    size_t archives = 0;
+    for (const auto& peer : decision.peers) {
+      if (peer.peer_id >= 6) ++archives;
+    }
+    return archives;
+  };
+
+  for (size_t budget : {2u, 4u, 6u}) {
+    auto cori_outcome = engine.value()->RunQuery(0, query, cori, budget);
+    auto iqn_outcome = engine.value()->RunQuery(0, query, iqn, budget);
+    if (!cori_outcome.ok() || !iqn_outcome.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    std::printf(
+        "budget %zu peers:  CORI -> %3zu distinct songs (%zu archives "
+        "visited, %4.1f%% dupes)\n",
+        budget, cori_outcome.value().distinct_results,
+        archives_in(cori_outcome.value().decision),
+        cori_outcome.value().duplicate_fraction * 100.0);
+    std::printf(
+        "                   IQN  -> %3zu distinct songs (%zu archives "
+        "visited, %4.1f%% dupes)\n",
+        iqn_outcome.value().distinct_results,
+        archives_in(iqn_outcome.value().decision),
+        iqn_outcome.value().duplicate_fraction * 100.0);
+  }
+
+  std::printf(
+      "\nCORI keeps picking the big mainstream peers that all share the\n"
+      "same hits; novelty-only IQN hops to the archives that still hold\n"
+      "unseen recordings — the 'much larger variety of songs from the\n"
+      "same number of peers' the paper promises.\n");
+  return 0;
+}

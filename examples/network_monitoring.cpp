@@ -1,0 +1,107 @@
+// Network monitoring (mentioned in Sec. 1.1 alongside P2P sensor
+// networks): distributed monitors each observe a stream of events —
+// alerts, flows, incidents — with heavy duplication, because the same
+// incident is seen from many vantage points.
+//
+// An analyst asks "give me incidents matching <filter>" and can afford to
+// pull from only a few monitors. Quality-driven selection polls the big
+// monitors, which all saw the same backbone incidents; novelty-aware IQN
+// spends the same budget collecting *distinct* incidents, including the
+// ones only an edge monitor recorded.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+int main() {
+  using namespace iqn;
+
+  constexpr size_t kCoreMonitors = 5;   // see everything on the backbone
+  constexpr size_t kEdgeMonitors = 10;  // each sees its own site
+  constexpr DocId kBackboneIncidents = 300;
+  constexpr DocId kSitePerEdge = 60;
+
+  auto incident_attributes = [](DocId id) {
+    std::vector<std::string> attrs;
+    attrs.push_back(Hash64(id, 1) % 4 == 0 ? "severity:critical"
+                                           : "severity:warning");
+    attrs.push_back(Hash64(id, 2) % 3 == 0 ? "proto:dns" : "proto:tcp");
+    attrs.push_back("type:portscan");
+    return attrs;
+  };
+
+  std::vector<Corpus> collections(kCoreMonitors + kEdgeMonitors);
+  Rng rng(5);
+  // Backbone incidents: every core monitor logs ~90 % of them.
+  for (DocId id = 1; id <= kBackboneIncidents; ++id) {
+    for (size_t m = 0; m < kCoreMonitors; ++m) {
+      if (rng.Bernoulli(0.9)) {
+        (void)collections[m].AddDocumentTerms(id, incident_attributes(id));
+      }
+    }
+  }
+  // Site-local incidents: seen by exactly one edge monitor (plus, for a
+  // third of them, one core monitor that happened to route the flow).
+  for (size_t e = 0; e < kEdgeMonitors; ++e) {
+    DocId base = 10000 + static_cast<DocId>(e) * 1000;
+    for (DocId id = base; id < base + kSitePerEdge; ++id) {
+      (void)collections[kCoreMonitors + e].AddDocumentTerms(
+          id, incident_attributes(id));
+      if (rng.Bernoulli(0.33)) {
+        size_t core = rng.Uniform(kCoreMonitors);
+        (void)collections[core].AddDocumentTerms(id,
+                                                 incident_attributes(id));
+      }
+    }
+  }
+
+  auto engine = MinervaEngine::Create(EngineOptions{}, std::move(collections));
+  if (!engine.ok()) return 1;
+  if (!engine.value()->PublishAll().ok()) return 1;
+
+  Query query;
+  query.terms = {"severity:critical", "type:portscan"};
+  query.mode = QueryMode::kConjunctive;
+  query.k = 1000;  // the analyst wants every matching incident
+
+  auto reference = engine.value()->ReferenceResults(query);
+  std::printf(
+      "NETWORK MONITORING: %zu core + %zu edge monitors\n"
+      "query: critical portscan incidents — %zu distinct across the "
+      "network\n\n",
+      kCoreMonitors, kEdgeMonitors, reference.size());
+
+  CoriRouter cori;
+  IqnOptions novelty_only;
+  novelty_only.use_quality = false;
+  IqnRouter iqn(novelty_only);
+
+  std::printf("%-8s %28s %28s\n", "budget", "CORI (quality-driven)",
+              "IQN (novelty-aware)");
+  for (size_t budget : {2u, 4u, 8u}) {
+    auto cori_outcome = engine.value()->RunQuery(0, query, cori, budget);
+    auto iqn_outcome = engine.value()->RunQuery(0, query, iqn, budget);
+    if (!cori_outcome.ok() || !iqn_outcome.ok()) return 1;
+    auto fmt = [&](const QueryOutcome& outcome) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%3zu incidents (%4.1f%% cover)",
+                    outcome.distinct_results,
+                    reference.empty()
+                        ? 0.0
+                        : 100.0 * outcome.recall /* union incl. initiator */);
+      return std::string(buf);
+    };
+    std::printf("%-8zu %28s %28s\n", budget,
+                fmt(cori_outcome.value()).c_str(),
+                fmt(iqn_outcome.value()).c_str());
+  }
+  std::printf(
+      "\nwith the same polling budget, the novelty-aware plan surfaces the\n"
+      "site-local incidents the big backbone monitors never saw.\n");
+  return 0;
+}

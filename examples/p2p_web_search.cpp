@@ -1,0 +1,108 @@
+// P2P Web search (the paper's primary scenario, Sec. 1.1).
+//
+// 20 peers autonomously "crawl" an overlapping portion of the web — the
+// (6 choose 3) setup, where every document is replicated at 10 of the 20
+// peers. The example runs the same multi-keyword queries through the
+// quality-only CORI router and through IQN, showing selection-by-
+// selection why CORI wastes its peer budget on redundant collections and
+// IQN does not.
+
+#include <cstdio>
+#include <set>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace {
+
+void Report(const char* label, const iqn::QueryOutcome& outcome) {
+  std::printf("  %s selected:", label);
+  for (const auto& peer : outcome.decision.peers) {
+    std::printf(" p%llu", static_cast<unsigned long long>(peer.peer_id));
+  }
+  std::printf("\n");
+  for (const auto& peer : outcome.decision.peers) {
+    std::printf("      p%-3llu quality=%.3f novelty=%6.0f\n",
+                static_cast<unsigned long long>(peer.peer_id), peer.quality,
+                peer.novelty);
+  }
+  std::printf(
+      "      recall=%5.1f%%  duplicates among returned results=%4.1f%%  "
+      "distinct docs=%zu\n",
+      outcome.recall_remote_only * 100.0, outcome.duplicate_fraction * 100.0,
+      outcome.distinct_results);
+}
+
+}  // namespace
+
+int main() {
+  using namespace iqn;
+
+  // Corpus and the paper's (6 choose 3) overlapping partitioning.
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_documents = 3000;
+  corpus_options.vocabulary_size = 500;
+  corpus_options.seed = 11;
+  auto generator = SyntheticCorpusGenerator::Create(corpus_options);
+  if (!generator.ok()) return 1;
+  Corpus corpus = generator.value().Generate();
+  auto fragments = SplitIntoFragments(corpus, 6);
+  auto collections = ChooseCombinationCollections(fragments.value(), 3);
+  if (!collections.ok()) return 1;
+
+  std::printf(
+      "P2P WEB SEARCH: 20 peers, each holding 3 of 6 crawl fragments\n"
+      "(every document lives at exactly 10 peers -> heavy overlap)\n\n");
+
+  auto engine = MinervaEngine::Create(EngineOptions{},
+                                      std::move(collections).value());
+  if (!engine.ok()) return 1;
+  if (!engine.value()->PublishAll().ok()) return 1;
+
+  QueryWorkloadOptions query_options;
+  query_options.num_queries = 3;
+  query_options.band_low = 0.01;
+  query_options.band_high = 0.2;
+  query_options.k = 40;
+  query_options.seed = 3;
+  auto queries =
+      GenerateQueries(generator.value().vocabulary(), query_options);
+  if (!queries.ok()) return 1;
+
+  CoriRouter cori;
+  IqnRouter iqn;
+  constexpr size_t kPeerBudget = 3;
+
+  for (const Query& query : queries.value()) {
+    std::printf("query %s, budget %zu peers\n", query.ToString().c_str(),
+                kPeerBudget);
+    auto cori_outcome = engine.value()->RunQuery(0, query, cori, kPeerBudget);
+    auto iqn_outcome = engine.value()->RunQuery(0, query, iqn, kPeerBudget);
+    if (!cori_outcome.ok() || !iqn_outcome.ok()) return 1;
+    Report("CORI", cori_outcome.value());
+    Report("IQN ", iqn_outcome.value());
+
+    // How complementary were the selections? Count distinct fragments
+    // covered (peer p holds the p-th 3-subset of {0..5}).
+    auto fragment_cover = [](const RoutingDecision& decision) {
+      auto subsets = Combinations(6, 3);
+      std::set<size_t> covered;
+      for (const auto& peer : decision.peers) {
+        for (size_t f : subsets[peer.peer_id]) covered.insert(f);
+      }
+      return covered.size();
+    };
+    std::printf("      crawl fragments covered: CORI %zu/6, IQN %zu/6\n\n",
+                fragment_cover(cori_outcome.value().decision),
+                fragment_cover(iqn_outcome.value().decision));
+  }
+
+  std::printf(
+      "IQN covers more distinct crawl fragments with the same number of\n"
+      "peers because each Select-Best-Peer step discounts documents the\n"
+      "previously chosen peers already contribute (Aggregate-Synopses).\n");
+  return 0;
+}

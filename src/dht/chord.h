@@ -1,0 +1,178 @@
+// Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+//
+// The MINERVA directory (paper Sec. 4) is layered on Chord: the term
+// space is partitioned by hashing each term onto the ring, and the node
+// owning a term's id maintains the PeerList of all Posts for that term.
+//
+// This is a full protocol implementation over the simulated network:
+//  * iterative find_successor with finger-table routing (O(log n) hops),
+//  * join via lookup + stabilization (stabilize / notify / fix_fingers),
+//  * successor lists for failure resilience,
+//  * graceful leave with key handoff, abrupt failure recovery via
+//    successor-list repair,
+//  * a verb registry so higher layers (the KV store, the MINERVA
+//    directory) can install their own message handlers on the same node.
+
+#ifndef IQN_DHT_CHORD_H_
+#define IQN_DHT_CHORD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dht/node_id.h"
+#include "net/network.h"
+#include "util/status.h"
+
+namespace iqn {
+
+/// Result of a lookup, with the routing cost actually incurred.
+struct LookupResult {
+  ChordPeer owner;
+  int hops = 0;
+};
+
+class ChordNode {
+ public:
+  /// Number of entries kept in the successor list (tolerates up to
+  /// kSuccessorListSize - 1 consecutive node failures).
+  static constexpr size_t kSuccessorListSize = 8;
+  static constexpr size_t kNumFingers = 64;
+
+  /// Registers the node on the network. The node starts outside any ring;
+  /// call CreateRing() or Join() next.
+  explicit ChordNode(SimulatedNetwork* network);
+
+  ChordNode(const ChordNode&) = delete;
+  ChordNode& operator=(const ChordNode&) = delete;
+
+  NodeAddress address() const { return self_.address; }
+  RingId id() const { return self_.id; }
+  const ChordPeer& self() const { return self_; }
+  bool in_ring() const { return in_ring_; }
+
+  /// Bootstraps a new ring containing only this node.
+  Status CreateRing();
+
+  /// Joins the ring that `bootstrap` belongs to. The ring is consistent
+  /// after the next stabilization round(s).
+  Status Join(NodeAddress bootstrap);
+
+  /// One round of the periodic protocol: verify successor via its
+  /// predecessor pointer, adopt a closer successor if one appeared,
+  /// notify the successor, refresh the successor list. Call repeatedly
+  /// (on every node) until the ring converges.
+  Status Stabilize();
+
+  /// Refreshes one finger per call (cycling), as in the Chord paper.
+  Status FixNextFinger();
+
+  /// Rebuilds the entire finger table (used to settle a freshly built
+  /// ring quickly in tests and benches).
+  Status FixAllFingers();
+
+  /// Gracefully leaves the ring: hands keys to the successor (via the
+  /// on_leave hook) and splices neighbors together.
+  Status Leave();
+
+  /// Iterative lookup of the node owning `key`. May be called whether or
+  /// not this node is in the ring (it must know a ring member then —
+  /// itself if in_ring).
+  Result<LookupResult> FindSuccessor(RingId key) const;
+
+  const ChordPeer& successor() const { return successor_list_.front(); }
+  const std::optional<ChordPeer>& predecessor() const { return predecessor_; }
+  const std::vector<ChordPeer>& successor_list() const {
+    return successor_list_;
+  }
+  const ChordPeer& finger(size_t i) const { return fingers_[i]; }
+
+  /// Installs a handler for an application verb (e.g. "kv.put"). The verb
+  /// must not collide with the built-in "chord.*" verbs.
+  using VerbHandler = std::function<Result<Bytes>(const Message&)>;
+  Status RegisterVerb(const std::string& verb, VerbHandler handler);
+
+  /// Invoked with the successor when this node leaves gracefully, so the
+  /// storage layer can hand its keys over.
+  using LeaveHook = std::function<void(const ChordPeer& successor)>;
+  void set_on_leave(LeaveHook hook) { on_leave_ = std::move(hook); }
+
+  SimulatedNetwork* network() const { return network_; }
+
+ private:
+  /// Built-in protocol handler (dispatches chord.* and registered verbs).
+  Result<Bytes> HandleMessage(const Message& msg);
+
+  // Remote accessors (issue RPCs).
+  Result<ChordPeer> RemoteGetSuccessor(const ChordPeer& peer) const;
+  Result<std::optional<ChordPeer>> RemoteGetPredecessor(
+      const ChordPeer& peer) const;
+  Result<ChordPeer> RemoteClosestPreceding(const ChordPeer& peer,
+                                           RingId key) const;
+  Status RemoteNotify(const ChordPeer& peer, const ChordPeer& candidate) const;
+  Result<std::vector<ChordPeer>> RemoteGetSuccessorList(
+      const ChordPeer& peer) const;
+  bool RemoteIsAlive(const ChordPeer& peer) const;
+
+  /// Best local guess for a node preceding `key` (fingers + successors).
+  ChordPeer ClosestPrecedingLocal(RingId key) const;
+
+  /// Drops dead entries from the front of the successor list; returns the
+  /// first live successor (self if the list drained).
+  ChordPeer FirstLiveSuccessor();
+
+  SimulatedNetwork* network_;
+  ChordPeer self_;
+  bool in_ring_ = false;
+
+  std::vector<ChordPeer> successor_list_;  // [0] is THE successor
+  std::optional<ChordPeer> predecessor_;
+  std::vector<ChordPeer> fingers_;
+  size_t next_finger_to_fix_ = 0;
+
+  std::map<std::string, VerbHandler> verbs_;
+  LeaveHook on_leave_;
+
+  /// Core of FindSuccessor/Join: iterative routing from an arbitrary
+  /// start peer.
+  Result<LookupResult> IterativeLookup(const ChordPeer& start,
+                                       RingId key) const;
+
+  friend class ChordRing;  // offline bootstrap installs state directly
+};
+
+/// Convenience owner of a whole ring for tests, benches, and the engine:
+/// constructs n nodes, joins them, and runs maintenance to convergence.
+class ChordRing {
+ public:
+  /// Builds a converged ring of `num_nodes` nodes on `network`.
+  static Result<std::unique_ptr<ChordRing>> Build(SimulatedNetwork* network,
+                                                  size_t num_nodes);
+
+  size_t size() const { return nodes_.size(); }
+  ChordNode& node(size_t i) { return *nodes_[i]; }
+  const ChordNode& node(size_t i) const { return *nodes_[i]; }
+
+  /// Runs `rounds` rounds of stabilize + one finger fix on every node.
+  Status RunMaintenance(int rounds);
+
+  /// Rebuilds every node's full finger table.
+  Status SettleFingers();
+
+  /// Looks up `key` starting from node `origin_index`.
+  Result<LookupResult> Lookup(size_t origin_index, RingId key) const;
+
+ private:
+  explicit ChordRing(SimulatedNetwork* network) : network_(network) {}
+
+  SimulatedNetwork* network_;
+  std::vector<std::unique_ptr<ChordNode>> nodes_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_DHT_CHORD_H_

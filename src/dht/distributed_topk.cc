@@ -1,0 +1,127 @@
+#include "dht/distributed_topk.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace iqn {
+
+namespace {
+
+/// k-th largest partial sum (0.0 when fewer than k candidates).
+double KthBest(const std::map<std::string, double>& partial_sums, size_t k) {
+  if (partial_sums.size() < k) return 0.0;
+  std::vector<double> sums;
+  sums.reserve(partial_sums.size());
+  for (const auto& [subkey, sum] : partial_sums) sums.push_back(sum);
+  std::nth_element(sums.begin(), sums.begin() + (k - 1), sums.end(),
+                   std::greater<double>());
+  return sums[k - 1];
+}
+
+}  // namespace
+
+Result<TopKResult> DistributedTopK(DhtStore* store,
+                                   const std::vector<std::string>& keys,
+                                   size_t k) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (keys.empty()) return Status::InvalidArgument("no keys");
+
+  const size_t m = keys.size();
+  TopKResult result;
+
+  // seen[subkey][key index] = exact score (only for fetched entries).
+  std::map<std::string, std::vector<double>> seen;
+  std::map<std::string, std::vector<bool>> covered;
+  auto record = [&](size_t key_index, const DhtStore::ScoredSubkey& entry) {
+    auto [it, inserted] = seen.emplace(entry.subkey, std::vector<double>(m, 0.0));
+    auto [cov_it, cov_inserted] =
+        covered.emplace(entry.subkey, std::vector<bool>(m, false));
+    it->second[key_index] = entry.score;
+    cov_it->second[key_index] = true;
+  };
+
+  // ---- Phase 1: local top-k of every list.
+  for (size_t j = 0; j < m; ++j) {
+    IQN_ASSIGN_OR_RETURN(std::vector<DhtStore::ScoredSubkey> head,
+                         store->ScoresTopK(keys[j], k));
+    result.phase1_entries += head.size();
+    for (const auto& entry : head) record(j, entry);
+  }
+  std::map<std::string, double> partial_sums;
+  for (const auto& [subkey, scores] : seen) {
+    double sum = 0.0;
+    for (double s : scores) sum += s;
+    partial_sums[subkey] = sum;
+  }
+  double tau1 = KthBest(partial_sums, k);
+
+  // ---- Phase 2: every entry scoring >= tau1 / m from every list.
+  // A subkey whose total reaches tau1 must score >= tau1/m in at least
+  // one list, so after this phase every potential winner is visible.
+  double per_list_threshold = tau1 / static_cast<double>(m);
+  if (tau1 > 0.0) {
+    for (size_t j = 0; j < m; ++j) {
+      IQN_ASSIGN_OR_RETURN(std::vector<DhtStore::ScoredSubkey> entries,
+                           store->ScoresAbove(keys[j], per_list_threshold));
+      result.phase2_entries += entries.size();
+      for (const auto& entry : entries) record(j, entry);
+    }
+    partial_sums.clear();
+    for (const auto& [subkey, scores] : seen) {
+      double sum = 0.0;
+      for (double s : scores) sum += s;
+      partial_sums[subkey] = sum;
+    }
+  }
+  double tau2 = std::max(tau1, KthBest(partial_sums, k));
+
+  // Candidate pruning: a subkey's unseen lists can contribute at most
+  // per_list_threshold each (anything larger would have been returned
+  // in phase 2).
+  std::set<std::string> candidates;
+  for (const auto& [subkey, scores] : seen) {
+    size_t unseen = 0;
+    const auto& cov = covered[subkey];
+    for (size_t j = 0; j < m; ++j) {
+      if (!cov[j]) ++unseen;
+    }
+    double upper = partial_sums[subkey] +
+                   per_list_threshold * static_cast<double>(unseen);
+    if (upper >= tau2) candidates.insert(subkey);
+  }
+  result.phase3_candidates = candidates.size();
+
+  // ---- Phase 3: exact missing scores of the candidates.
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<std::string> missing;
+    for (const auto& subkey : candidates) {
+      if (!covered[subkey][j]) missing.push_back(subkey);
+    }
+    if (missing.empty()) continue;
+    IQN_ASSIGN_OR_RETURN(std::vector<DhtStore::ScoredSubkey> exact,
+                         store->FetchScores(keys[j], missing));
+    for (const auto& entry : exact) record(j, entry);
+  }
+
+  // Final ranking over the candidates.
+  std::vector<DhtStore::ScoredSubkey> ranked;
+  ranked.reserve(candidates.size());
+  for (const auto& subkey : candidates) {
+    double sum = 0.0;
+    for (double s : seen[subkey]) sum += s;
+    ranked.push_back(DhtStore::ScoredSubkey{subkey, sum});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DhtStore::ScoredSubkey& a,
+               const DhtStore::ScoredSubkey& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.subkey < b.subkey;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  result.best = std::move(ranked);
+  return result;
+}
+
+}  // namespace iqn

@@ -1,0 +1,51 @@
+// Distributed top-k aggregation over DHT-partitioned scored lists —
+// the "top-k peers over ALL lists, calculated by a distributed top-k
+// algorithm like [KLEE]" that paper Sec. 4 prescribes for PeerList
+// retrieval.
+//
+// The lists for different keys (query terms) live on different Chord
+// owners; the goal is the k subkeys (peers) with the highest TOTAL score
+// across all keys, without shipping any complete list. This implements
+// the classic three-phase threshold algorithm (TPUT, Cao & Wang,
+// PODC 2004 — the paper's ref. [14], which KLEE refines):
+//
+//   Phase 1  fetch each list's local top-k; tau1 = k-th best partial sum.
+//   Phase 2  fetch from each list every entry scoring >= tau1 / m
+//            (m = number of lists). Any subkey whose total could reach
+//            the new threshold tau2 must now be partially visible.
+//   Phase 3  fetch the exact missing scores of the surviving candidates
+//            and return the true top-k.
+//
+// The result is exact (equal to the brute-force union ranking) while
+// transferring only list heads — the property the tests verify.
+
+#ifndef IQN_DHT_DISTRIBUTED_TOPK_H_
+#define IQN_DHT_DISTRIBUTED_TOPK_H_
+
+#include <string>
+#include <vector>
+
+#include "dht/kv_store.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct TopKResult {
+  /// The k best subkeys with their exact total scores, best first.
+  std::vector<DhtStore::ScoredSubkey> best;
+  /// Diagnostics: entries shipped in each phase (the bandwidth story).
+  size_t phase1_entries = 0;
+  size_t phase2_entries = 0;
+  size_t phase3_candidates = 0;
+};
+
+/// Runs TPUT from `store`'s node over `keys`. Requires the deployment's
+/// value scorer to be installed on the owners (the Directory installs
+/// one on every node). Keys may be empty lists; `k` >= 1.
+Result<TopKResult> DistributedTopK(DhtStore* store,
+                                   const std::vector<std::string>& keys,
+                                   size_t k);
+
+}  // namespace iqn
+
+#endif  // IQN_DHT_DISTRIBUTED_TOPK_H_

@@ -1,0 +1,572 @@
+#include "dht/kv_store.h"
+
+#include <algorithm>
+
+namespace iqn {
+
+namespace {
+
+// Upsert payload: key, subkey, value, replicas_left.
+Bytes EncodeUpsert(const std::string& key, const std::string& subkey,
+                   const Bytes& value, uint64_t replicas_left) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutString(subkey);
+  writer.PutBytes(value);
+  writer.PutVarint(replicas_left);
+  return writer.Take();
+}
+
+// Remove payload: key, subkey (empty = whole key), replicas_left.
+Bytes EncodeRemove(const std::string& key, const std::string& subkey,
+                   uint64_t replicas_left) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutString(subkey);
+  writer.PutVarint(replicas_left);
+  return writer.Take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DhtStore>> DhtStore::Attach(ChordNode* node,
+                                                   size_t replication) {
+  if (node == nullptr) return Status::InvalidArgument("null node");
+  if (replication < 1 || replication > ChordNode::kSuccessorListSize) {
+    return Status::InvalidArgument("replication must be in [1, succ list]");
+  }
+  auto store = std::unique_ptr<DhtStore>(new DhtStore(node, replication));
+  IQN_RETURN_IF_ERROR(store->InstallVerbs());
+  DhtStore* raw = store.get();
+  node->set_on_leave(
+      [raw](const ChordPeer& successor) { raw->HandoffAll(successor); });
+  return store;
+}
+
+Status DhtStore::InstallVerbs() {
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.upsert", [this](const Message& m) { return HandleUpsert(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.upsert_batch",
+      [this](const Message& m) { return HandleUpsertBatch(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.get", [this](const Message& m) { return HandleGet(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.get_top", [this](const Message& m) { return HandleGetTop(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.remove", [this](const Message& m) { return HandleRemove(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.handoff", [this](const Message& m) { return HandleHandoff(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.scores_topk",
+      [this](const Message& m) { return HandleScoresTopK(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.scores_above",
+      [this](const Message& m) { return HandleScoresAbove(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.fetch_scores",
+      [this](const Message& m) { return HandleFetchScores(m); }));
+  IQN_RETURN_IF_ERROR(node_->RegisterVerb(
+      "kv.fetch_entries",
+      [this](const Message& m) { return HandleFetchEntries(m); }));
+  return Status::OK();
+}
+
+Result<Bytes> DhtStore::OwnerRpc(const std::string& key,
+                                 const std::string& verb, Bytes payload) {
+  Result<Bytes> resp = Status::Internal("unreached");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    IQN_ASSIGN_OR_RETURN(LookupResult found,
+                         node_->FindSuccessor(RingIdForKey(key)));
+    if (found.owner == node_->self()) {
+      Message self_msg{node_->address(), node_->address(), verb, payload};
+      if (verb == "kv.get") return HandleGet(self_msg);
+      if (verb == "kv.get_top") return HandleGetTop(self_msg);
+      if (verb == "kv.scores_topk") return HandleScoresTopK(self_msg);
+      if (verb == "kv.scores_above") return HandleScoresAbove(self_msg);
+      if (verb == "kv.fetch_scores") return HandleFetchScores(self_msg);
+      if (verb == "kv.fetch_entries") return HandleFetchEntries(self_msg);
+      return Status::Internal("OwnerRpc: no local dispatch for " + verb);
+    }
+    resp = node_->network()->Rpc(node_->address(), found.owner.address, verb,
+                                 payload);
+    if (resp.ok()) break;
+  }
+  return resp;
+}
+
+void DhtStore::ForwardToSuccessor(const std::string& verb, Bytes payload) {
+  const ChordPeer& succ = node_->successor();
+  if (!succ.valid() || succ == node_->self()) return;
+  // Best effort: a dead replica target is repaired by the next re-post.
+  (void)node_->network()->Rpc(node_->address(), succ.address, verb,
+                              std::move(payload));
+}
+
+Result<Bytes> DhtStore::HandleUpsert(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key, subkey;
+  Bytes value;
+  uint64_t replicas_left;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
+  IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&replicas_left));
+
+  data_[key][subkey] = value;
+  if (replicas_left > 1) {
+    ForwardToSuccessor("kv.upsert",
+                       EncodeUpsert(key, subkey, value, replicas_left - 1));
+  }
+  return Bytes{};
+}
+
+Result<Bytes> DhtStore::HandleUpsertBatch(const Message& msg) {
+  ByteReader reader(msg.payload);
+  uint64_t count, replicas_left;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&count));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&replicas_left));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key, subkey;
+    Bytes value;
+    IQN_RETURN_IF_ERROR(reader.GetString(&key));
+    IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
+    IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
+    data_[key][subkey] = std::move(value);
+  }
+  if (replicas_left > 1) {
+    // Re-encode with a decremented replica count for the chain.
+    ByteWriter writer;
+    writer.PutVarint(count);
+    writer.PutVarint(replicas_left - 1);
+    ByteReader replay(msg.payload);
+    uint64_t c2, r2;
+    (void)replay.GetVarint(&c2);
+    (void)replay.GetVarint(&r2);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string key, subkey;
+      Bytes value;
+      IQN_RETURN_IF_ERROR(replay.GetString(&key));
+      IQN_RETURN_IF_ERROR(replay.GetString(&subkey));
+      IQN_RETURN_IF_ERROR(replay.GetBytes(&value));
+      writer.PutString(key);
+      writer.PutString(subkey);
+      writer.PutBytes(value);
+    }
+    ForwardToSuccessor("kv.upsert_batch", writer.Take());
+  }
+  return Bytes{};
+}
+
+Result<Bytes> DhtStore::HandleGet(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  ByteWriter writer;
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    writer.PutVarint(0);
+  } else {
+    writer.PutVarint(it->second.size());
+    for (const auto& [subkey, value] : it->second) {
+      writer.PutBytes(value);
+    }
+  }
+  return writer.Take();
+}
+
+Result<Bytes> DhtStore::HandleGetTop(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key;
+  uint64_t limit;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&limit));
+
+  ByteWriter writer;
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    writer.PutVarint(0);
+    return writer.Take();
+  }
+  if (limit == 0 || !value_scorer_ || it->second.size() <= limit) {
+    writer.PutVarint(it->second.size());
+    for (const auto& [subkey, value] : it->second) writer.PutBytes(value);
+    return writer.Take();
+  }
+  // Rank server-side and ship only the best `limit` values.
+  std::vector<std::pair<double, const Bytes*>> ranked;
+  ranked.reserve(it->second.size());
+  for (const auto& [subkey, value] : it->second) {
+    ranked.emplace_back(value_scorer_(value), &value);
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + limit, ranked.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  writer.PutVarint(limit);
+  for (size_t i = 0; i < limit; ++i) writer.PutBytes(*ranked[i].second);
+  return writer.Take();
+}
+
+Result<Bytes> DhtStore::HandleRemove(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key, subkey;
+  uint64_t replicas_left;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&replicas_left));
+
+  auto it = data_.find(key);
+  if (it != data_.end()) {
+    if (subkey.empty()) {
+      data_.erase(it);
+    } else {
+      it->second.erase(subkey);
+      if (it->second.empty()) data_.erase(it);
+    }
+  }
+  if (replicas_left > 1) {
+    ForwardToSuccessor("kv.remove", EncodeRemove(key, subkey, replicas_left - 1));
+  }
+  return Bytes{};
+}
+
+Result<Bytes> DhtStore::HandleHandoff(const Message& msg) {
+  ByteReader reader(msg.payload);
+  uint64_t num_keys;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&num_keys));
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    std::string key;
+    uint64_t num_subs;
+    IQN_RETURN_IF_ERROR(reader.GetString(&key));
+    IQN_RETURN_IF_ERROR(reader.GetVarint(&num_subs));
+    for (uint64_t j = 0; j < num_subs; ++j) {
+      std::string subkey;
+      Bytes value;
+      IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
+      IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
+      data_[key][subkey] = std::move(value);
+    }
+  }
+  return Bytes{};
+}
+
+// ------------------------ scored-entry operations ----------------------
+
+namespace {
+
+Bytes EncodeScoredSubkeys(const std::vector<DhtStore::ScoredSubkey>& list) {
+  ByteWriter writer;
+  writer.PutVarint(list.size());
+  for (const auto& entry : list) {
+    writer.PutString(entry.subkey);
+    writer.PutDouble(entry.score);
+  }
+  return writer.Take();
+}
+
+Result<std::vector<DhtStore::ScoredSubkey>> DecodeScoredSubkeys(
+    const Bytes& bytes) {
+  ByteReader reader(bytes);
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  std::vector<DhtStore::ScoredSubkey> list(n);
+  for (auto& entry : list) {
+    IQN_RETURN_IF_ERROR(reader.GetString(&entry.subkey));
+    IQN_RETURN_IF_ERROR(reader.GetDouble(&entry.score));
+  }
+  return list;
+}
+
+void SortByScoreDesc(std::vector<DhtStore::ScoredSubkey>* list) {
+  std::sort(list->begin(), list->end(),
+            [](const DhtStore::ScoredSubkey& a,
+               const DhtStore::ScoredSubkey& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.subkey < b.subkey;
+            });
+}
+
+}  // namespace
+
+std::vector<DhtStore::ScoredSubkey> DhtStore::ScoreAllLocal(
+    const std::string& key) const {
+  std::vector<ScoredSubkey> scored;
+  auto it = data_.find(key);
+  if (it == data_.end() || !value_scorer_) return scored;
+  scored.reserve(it->second.size());
+  for (const auto& [subkey, value] : it->second) {
+    // Threshold-algorithm correctness (distributed_topk) requires
+    // non-negative scores; scorers flag malformed values with negatives.
+    scored.push_back(ScoredSubkey{subkey, std::max(0.0, value_scorer_(value))});
+  }
+  return scored;
+}
+
+Result<Bytes> DhtStore::HandleScoresTopK(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key;
+  uint64_t k;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&k));
+  std::vector<ScoredSubkey> scored = ScoreAllLocal(key);
+  SortByScoreDesc(&scored);
+  if (scored.size() > k) scored.resize(k);
+  return EncodeScoredSubkeys(scored);
+}
+
+Result<Bytes> DhtStore::HandleScoresAbove(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key;
+  double threshold;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetDouble(&threshold));
+  std::vector<ScoredSubkey> scored = ScoreAllLocal(key);
+  std::vector<ScoredSubkey> kept;
+  for (auto& entry : scored) {
+    if (entry.score >= threshold) kept.push_back(std::move(entry));
+  }
+  SortByScoreDesc(&kept);
+  return EncodeScoredSubkeys(kept);
+}
+
+Result<Bytes> DhtStore::HandleFetchScores(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key;
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  auto it = data_.find(key);
+  std::vector<ScoredSubkey> scored;
+  scored.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string subkey;
+    IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
+    double score = 0.0;
+    if (it != data_.end() && value_scorer_) {
+      auto sub_it = it->second.find(subkey);
+      if (sub_it != it->second.end()) {
+        score = std::max(0.0, value_scorer_(sub_it->second));
+      }
+    }
+    scored.push_back(ScoredSubkey{std::move(subkey), score});
+  }
+  return EncodeScoredSubkeys(scored);
+}
+
+Result<Bytes> DhtStore::HandleFetchEntries(const Message& msg) {
+  ByteReader reader(msg.payload);
+  std::string key;
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetString(&key));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  auto it = data_.find(key);
+  ByteWriter writer;
+  std::vector<const Bytes*> found;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string subkey;
+    IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
+    if (it == data_.end()) continue;
+    auto sub_it = it->second.find(subkey);
+    if (sub_it != it->second.end()) found.push_back(&sub_it->second);
+  }
+  writer.PutVarint(found.size());
+  for (const Bytes* value : found) writer.PutBytes(*value);
+  return writer.Take();
+}
+
+Result<std::vector<DhtStore::ScoredSubkey>> DhtStore::ScoresTopK(
+    const std::string& key, size_t k) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutVarint(k);
+  IQN_ASSIGN_OR_RETURN(Bytes resp,
+                       OwnerRpc(key, "kv.scores_topk", writer.Take()));
+  return DecodeScoredSubkeys(resp);
+}
+
+Result<std::vector<DhtStore::ScoredSubkey>> DhtStore::ScoresAbove(
+    const std::string& key, double threshold) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutDouble(threshold);
+  IQN_ASSIGN_OR_RETURN(Bytes resp,
+                       OwnerRpc(key, "kv.scores_above", writer.Take()));
+  return DecodeScoredSubkeys(resp);
+}
+
+Result<std::vector<DhtStore::ScoredSubkey>> DhtStore::FetchScores(
+    const std::string& key, const std::vector<std::string>& subkeys) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutVarint(subkeys.size());
+  for (const auto& subkey : subkeys) writer.PutString(subkey);
+  IQN_ASSIGN_OR_RETURN(Bytes resp,
+                       OwnerRpc(key, "kv.fetch_scores", writer.Take()));
+  return DecodeScoredSubkeys(resp);
+}
+
+Result<std::vector<Bytes>> DhtStore::FetchEntries(
+    const std::string& key, const std::vector<std::string>& subkeys) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutVarint(subkeys.size());
+  for (const auto& subkey : subkeys) writer.PutString(subkey);
+  IQN_ASSIGN_OR_RETURN(Bytes resp,
+                       OwnerRpc(key, "kv.fetch_entries", writer.Take()));
+  ByteReader reader(resp);
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  std::vector<Bytes> values(n);
+  for (auto& v : values) IQN_RETURN_IF_ERROR(reader.GetBytes(&v));
+  return values;
+}
+
+void DhtStore::HandoffAll(const ChordPeer& successor) {
+  if (data_.empty() || !successor.valid()) return;
+  ByteWriter writer;
+  writer.PutVarint(data_.size());
+  for (const auto& [key, subs] : data_) {
+    writer.PutString(key);
+    writer.PutVarint(subs.size());
+    for (const auto& [subkey, value] : subs) {
+      writer.PutString(subkey);
+      writer.PutBytes(value);
+    }
+  }
+  (void)node_->network()->Rpc(node_->address(), successor.address,
+                              "kv.handoff", writer.Take());
+  data_.clear();
+}
+
+Status DhtStore::Upsert(const std::string& key, const std::string& subkey,
+                        Bytes value) {
+  IQN_ASSIGN_OR_RETURN(LookupResult found,
+                       node_->FindSuccessor(RingIdForKey(key)));
+  Bytes payload = EncodeUpsert(key, subkey, value, replication_);
+  if (found.owner == node_->self()) {
+    Message self_msg{node_->address(), node_->address(), "kv.upsert",
+                     std::move(payload)};
+    return HandleUpsert(self_msg).ok() ? Status::OK()
+                                       : Status::Internal("local upsert");
+  }
+  Result<Bytes> r = node_->network()->Rpc(node_->address(),
+                                          found.owner.address, "kv.upsert",
+                                          std::move(payload));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status DhtStore::UpsertBatch(const std::vector<Entry>& entries) {
+  if (entries.empty()) return Status::OK();
+  // Group entries by the address of their Chord owner (one lookup per
+  // distinct key, one data message per distinct owner).
+  std::map<NodeAddress, std::vector<const Entry*>> by_owner;
+  for (const Entry& entry : entries) {
+    IQN_ASSIGN_OR_RETURN(LookupResult found,
+                         node_->FindSuccessor(RingIdForKey(entry.key)));
+    by_owner[found.owner.address].push_back(&entry);
+  }
+  for (const auto& [owner, group] : by_owner) {
+    ByteWriter writer;
+    writer.PutVarint(group.size());
+    writer.PutVarint(replication_);
+    for (const Entry* entry : group) {
+      writer.PutString(entry->key);
+      writer.PutString(entry->subkey);
+      writer.PutBytes(entry->value);
+    }
+    if (owner == node_->address()) {
+      Message self_msg{node_->address(), node_->address(), "kv.upsert_batch",
+                       writer.Take()};
+      Result<Bytes> r = HandleUpsertBatch(self_msg);
+      if (!r.ok()) return r.status();
+    } else {
+      Result<Bytes> r = node_->network()->Rpc(node_->address(), owner,
+                                              "kv.upsert_batch", writer.Take());
+      if (!r.ok()) return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Bytes>> DhtStore::GetTop(const std::string& key,
+                                            size_t limit) {
+  ByteWriter writer;
+  writer.PutString(key);
+  writer.PutVarint(limit);
+  Bytes payload = writer.Take();
+
+  Result<Bytes> resp = Status::Internal("unreached");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    IQN_ASSIGN_OR_RETURN(LookupResult found,
+                         node_->FindSuccessor(RingIdForKey(key)));
+    if (found.owner == node_->self()) {
+      Message self_msg{node_->address(), node_->address(), "kv.get_top",
+                       payload};
+      resp = HandleGetTop(self_msg);
+    } else {
+      resp = node_->network()->Rpc(node_->address(), found.owner.address,
+                                   "kv.get_top", payload);
+    }
+    if (resp.ok()) break;
+  }
+  if (!resp.ok()) return resp.status();
+
+  ByteReader reader(resp.value());
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  std::vector<Bytes> values(n);
+  for (auto& v : values) IQN_RETURN_IF_ERROR(reader.GetBytes(&v));
+  return values;
+}
+
+Result<std::vector<Bytes>> DhtStore::GetAll(const std::string& key) {
+  ByteWriter writer;
+  writer.PutString(key);
+  Bytes payload = writer.Take();
+
+  // Two attempts: a lookup that routed to a node that just died is
+  // retried once (after which routing state may already have skipped it).
+  Result<Bytes> resp = Status::Internal("unreached");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    IQN_ASSIGN_OR_RETURN(LookupResult found,
+                         node_->FindSuccessor(RingIdForKey(key)));
+    if (found.owner == node_->self()) {
+      Message self_msg{node_->address(), node_->address(), "kv.get", payload};
+      resp = HandleGet(self_msg);
+    } else {
+      resp = node_->network()->Rpc(node_->address(), found.owner.address,
+                                   "kv.get", payload);
+    }
+    if (resp.ok()) break;
+  }
+  if (!resp.ok()) return resp.status();
+
+  ByteReader reader(resp.value());
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  std::vector<Bytes> values(n);
+  for (auto& v : values) IQN_RETURN_IF_ERROR(reader.GetBytes(&v));
+  return values;
+}
+
+Status DhtStore::Remove(const std::string& key, const std::string& subkey) {
+  IQN_ASSIGN_OR_RETURN(LookupResult found,
+                       node_->FindSuccessor(RingIdForKey(key)));
+  Bytes payload = EncodeRemove(key, subkey, replication_);
+  if (found.owner == node_->self()) {
+    Message self_msg{node_->address(), node_->address(), "kv.remove",
+                     std::move(payload)};
+    return HandleRemove(self_msg).ok() ? Status::OK()
+                                       : Status::Internal("local remove");
+  }
+  Result<Bytes> r = node_->network()->Rpc(node_->address(),
+                                          found.owner.address, "kv.remove",
+                                          std::move(payload));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+size_t DhtStore::LocalEntryCount(const std::string& key) const {
+  auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second.size();
+}
+
+}  // namespace iqn

@@ -1,0 +1,151 @@
+// Replicated key-value storage layered on Chord lookups.
+//
+// This is the storage substrate of the MINERVA directory (paper Sec. 4):
+// values are keyed by a string (a term); each key maps to a *collection*
+// of sub-keyed entries (one Post per posting peer), so a peer re-posting
+// statistics for a term replaces its previous Post instead of
+// accumulating duplicates.
+//
+// A write is routed to the key's Chord owner and chained to the next
+// `replication - 1` successors ("for failure resilience and availability,
+// the responsibility for a term can be replicated across multiple
+// peers"). Reads go to the owner and fail over to replicas after churn
+// once stabilization has repaired the ring. Graceful leave hands all
+// locally stored keys to the successor.
+
+#ifndef IQN_DHT_KV_STORE_H_
+#define IQN_DHT_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dht/chord.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class DhtStore {
+ public:
+  /// Attaches storage verbs to `node`. `replication` >= 1 counts the
+  /// owner itself. The node must outlive the store.
+  static Result<std::unique_ptr<DhtStore>> Attach(ChordNode* node,
+                                                  size_t replication = 3);
+
+  DhtStore(const DhtStore&) = delete;
+  DhtStore& operator=(const DhtStore&) = delete;
+
+  /// Inserts or replaces the entry `subkey` under `key`, on the key's
+  /// owner and its replicas.
+  Status Upsert(const std::string& key, const std::string& subkey,
+                Bytes value);
+
+  struct Entry {
+    std::string key;
+    std::string subkey;
+    Bytes value;
+  };
+
+  /// Batched upsert (paper Sec. 7.2: "peers should batch multiple posts
+  /// that are directed to the same recipient so that message sizes do
+  /// indeed matter"): entries are grouped by their Chord owner and each
+  /// owner receives ONE message carrying all of its entries, amortizing
+  /// per-message framing and response legs.
+  Status UpsertBatch(const std::vector<Entry>& entries);
+
+  /// Ranks stored values server-side; larger is better. Installed by the
+  /// application layer (every node runs the same code, so the scorer is
+  /// a deployment-wide agreement, like the synopsis configuration).
+  using ValueScorer = std::function<double(const Bytes& value)>;
+  void set_value_scorer(ValueScorer scorer) { value_scorer_ = std::move(scorer); }
+
+  /// Like GetAll but the owner returns only its `limit` best entries
+  /// under the installed scorer (paper Sec. 4: "the query initiator can
+  /// decide to not retrieve the complete PeerLists, but only a subset,
+  /// say the top-k peers from each list"). Falls back to GetAll semantics
+  /// when limit == 0 or no scorer is installed at the owner.
+  Result<std::vector<Bytes>> GetTop(const std::string& key, size_t limit);
+
+  /// All entries stored under `key` (one per subkey), fetched from the
+  /// owner (or a replica after failover). Missing keys yield an empty
+  /// vector, not an error: an unknown term simply has no PeerList.
+  Result<std::vector<Bytes>> GetAll(const std::string& key);
+
+  /// Removes one subkey entry (or the whole key when subkey is empty).
+  Status Remove(const std::string& key, const std::string& subkey = "");
+
+  // ---- Scored-entry operations (substrate of the distributed top-k
+  //      algorithm, dht/distributed_topk.h). All require a value scorer.
+
+  struct ScoredSubkey {
+    std::string subkey;
+    double score = 0.0;
+  };
+
+  /// The owner's `k` best (subkey, score) pairs under `key`, best first.
+  Result<std::vector<ScoredSubkey>> ScoresTopK(const std::string& key,
+                                               size_t k);
+
+  /// Every (subkey, score) pair with score >= threshold, best first.
+  Result<std::vector<ScoredSubkey>> ScoresAbove(const std::string& key,
+                                                double threshold);
+
+  /// Exact scores for specific subkeys (missing subkeys score 0).
+  Result<std::vector<ScoredSubkey>> FetchScores(
+      const std::string& key, const std::vector<std::string>& subkeys);
+
+  /// The stored values for specific subkeys (missing ones are skipped).
+  Result<std::vector<Bytes>> FetchEntries(
+      const std::string& key, const std::vector<std::string>& subkeys);
+
+  /// Local inspection (tests, replication checks).
+  size_t LocalKeyCount() const { return data_.size(); }
+  bool LocalHasKey(const std::string& key) const { return data_.count(key) > 0; }
+  size_t LocalEntryCount(const std::string& key) const;
+
+  ChordNode* node() const { return node_; }
+  size_t replication() const { return replication_; }
+
+ private:
+  DhtStore(ChordNode* node, size_t replication)
+      : node_(node), replication_(replication) {}
+
+  Status InstallVerbs();
+
+  // Verb handlers (run on the storage node).
+  Result<Bytes> HandleUpsert(const Message& msg);
+  Result<Bytes> HandleUpsertBatch(const Message& msg);
+  Result<Bytes> HandleGet(const Message& msg);
+  Result<Bytes> HandleGetTop(const Message& msg);
+  Result<Bytes> HandleRemove(const Message& msg);
+  Result<Bytes> HandleHandoff(const Message& msg);
+  Result<Bytes> HandleScoresTopK(const Message& msg);
+  Result<Bytes> HandleScoresAbove(const Message& msg);
+  Result<Bytes> HandleFetchScores(const Message& msg);
+  Result<Bytes> HandleFetchEntries(const Message& msg);
+
+  /// Routes a request to the key's owner (with one failover retry),
+  /// invoking the local handler directly when this node owns the key.
+  Result<Bytes> OwnerRpc(const std::string& key, const std::string& verb,
+                         Bytes payload);
+
+  /// All (subkey, score) pairs under `key`, unsorted.
+  std::vector<ScoredSubkey> ScoreAllLocal(const std::string& key) const;
+
+  /// Forwards a replicated op down the successor chain.
+  void ForwardToSuccessor(const std::string& verb, Bytes payload);
+
+  /// Transfers all local data to the successor on graceful leave.
+  void HandoffAll(const ChordPeer& successor);
+
+  ChordNode* node_;
+  size_t replication_;
+  ValueScorer value_scorer_;
+  std::map<std::string, std::map<std::string, Bytes>> data_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_DHT_KV_STORE_H_

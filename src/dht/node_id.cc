@@ -1,0 +1,38 @@
+#include "dht/node_id.h"
+
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace iqn {
+
+RingId RingIdForNode(NodeAddress addr) {
+  return Hash64(addr, /*seed=*/0x43686f7264526e67ULL);  // "ChordRng"
+}
+
+RingId RingIdForKey(std::string_view key) {
+  return HashString(key, /*seed=*/0x4b65794964486173ULL);  // "KeyIdHas"
+}
+
+uint64_t RingDistance(RingId from, RingId to) {
+  return to - from;  // unsigned wraparound is exactly ring arithmetic
+}
+
+bool InOpenInterval(RingId a, RingId x, RingId b) {
+  if (a == b) return x != a;  // full ring minus the endpoint
+  return RingDistance(a, x) < RingDistance(a, b) && x != a && x != b;
+}
+
+bool InOpenClosedInterval(RingId a, RingId x, RingId b) {
+  if (a == b) return true;  // single-node ring owns everything
+  return x == b || (RingDistance(a, x) < RingDistance(a, b) && x != a);
+}
+
+std::string ChordPeer::ToString() const {
+  std::ostringstream os;
+  os << "peer(addr=" << address << ", id=" << std::hex << id << std::dec
+     << ")";
+  return os.str();
+}
+
+}  // namespace iqn

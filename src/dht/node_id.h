@@ -1,0 +1,53 @@
+// Identifier-ring arithmetic for the Chord DHT (Stoica et al., the
+// substrate of the MINERVA directory — paper Sec. 4).
+//
+// Identifiers live on a 2^64 ring. Both nodes and keys (terms) are hashed
+// onto the ring; a key is owned by its *successor*, the first node whose
+// id is >= the key id in clockwise ring order.
+
+#ifndef IQN_DHT_NODE_ID_H_
+#define IQN_DHT_NODE_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/message.h"
+
+namespace iqn {
+
+/// Position on the 2^64 identifier ring.
+using RingId = uint64_t;
+
+/// Hashes a node's network address onto the ring.
+RingId RingIdForNode(NodeAddress addr);
+
+/// Hashes a directory key (term) onto the ring.
+RingId RingIdForKey(std::string_view key);
+
+/// Clockwise distance from `from` to `to` (wraps modulo 2^64).
+uint64_t RingDistance(RingId from, RingId to);
+
+/// x in (a, b) in clockwise ring order. An empty interval (a == b)
+/// denotes the full ring minus {a}, matching Chord's conventions for
+/// single-node rings.
+bool InOpenInterval(RingId a, RingId x, RingId b);
+
+/// x in (a, b]; (a, a] is the full ring, so a single node owns all keys.
+bool InOpenClosedInterval(RingId a, RingId x, RingId b);
+
+/// A node as seen by the Chord protocol: ring position + how to reach it.
+struct ChordPeer {
+  RingId id = 0;
+  NodeAddress address = kInvalidAddress;
+
+  bool valid() const { return address != kInvalidAddress; }
+  bool operator==(const ChordPeer& other) const {
+    return id == other.id && address == other.address;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_DHT_NODE_ID_H_

@@ -1,0 +1,33 @@
+#include "ir/corpus.h"
+
+namespace iqn {
+
+Status Corpus::AddDocumentText(DocId id, std::string_view text,
+                               const Tokenizer& tokenizer) {
+  return AddDocumentTerms(id, tokenizer.Tokenize(text));
+}
+
+Status Corpus::AddDocumentTerms(DocId id, std::vector<std::string> terms) {
+  if (!ids_.insert(id).second) {
+    return Status::InvalidArgument("duplicate docId " + std::to_string(id));
+  }
+  docs_.push_back(DocTerms{id, std::move(terms)});
+  return Status::OK();
+}
+
+double Corpus::AverageDocumentLength() const {
+  if (docs_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& d : docs_) total += d.terms.size();
+  return static_cast<double>(total) / static_cast<double>(docs_.size());
+}
+
+void Corpus::Merge(const Corpus& other) {
+  for (const auto& d : other.docs_) {
+    if (ids_.insert(d.id).second) {
+      docs_.push_back(d);
+    }
+  }
+}
+
+}  // namespace iqn

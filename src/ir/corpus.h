@@ -1,0 +1,61 @@
+// Document collections.
+//
+// A Corpus is the bag-of-terms view of a peer's crawl (or of the global
+// reference collection). Documents carry *global* DocIds — in a P2P crawl
+// the same popular page is fetched by many peers and must be recognized
+// as the same document everywhere, which is exactly what the synopses
+// estimate overlap over.
+
+#ifndef IQN_IR_CORPUS_H_
+#define IQN_IR_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/tokenizer.h"
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct DocTerms {
+  DocId id = 0;
+  std::vector<std::string> terms;  // analysis-chain output, duplicates kept
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Runs `text` through the tokenizer and appends the document.
+  /// Rejects duplicate DocIds.
+  Status AddDocumentText(DocId id, std::string_view text,
+                         const Tokenizer& tokenizer);
+
+  /// Appends a pre-analyzed document (the synthetic generator's path).
+  Status AddDocumentTerms(DocId id, std::vector<std::string> terms);
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+  const DocTerms& doc(size_t i) const { return docs_[i]; }
+  const std::vector<DocTerms>& docs() const { return docs_; }
+
+  bool ContainsDoc(DocId id) const { return ids_.count(id) > 0; }
+
+  /// Average number of terms per document (0 for an empty corpus).
+  double AverageDocumentLength() const;
+
+  /// Folds another corpus in; documents already present are kept once
+  /// (peer collections are unions of crawled fragments).
+  void Merge(const Corpus& other);
+
+ private:
+  std::vector<DocTerms> docs_;
+  std::unordered_set<DocId> ids_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_IR_CORPUS_H_

@@ -1,0 +1,94 @@
+#include "ir/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace iqn {
+
+InvertedIndex InvertedIndex::Build(const Corpus& corpus,
+                                   const ScoringModel& model) {
+  InvertedIndex index;
+  index.num_documents_ = corpus.size();
+  index.avg_doc_length_ = corpus.AverageDocumentLength();
+
+  // Pass 1: term frequencies per document and document frequencies.
+  struct TermDoc {
+    DocId doc;
+    uint64_t tf;
+    size_t doc_length;
+  };
+  std::unordered_map<std::string, std::vector<TermDoc>> raw;
+  for (const auto& doc : corpus.docs()) {
+    std::unordered_map<std::string, uint64_t> tf;
+    for (const auto& term : doc.terms) ++tf[term];
+    for (const auto& [term, freq] : tf) {
+      raw[term].push_back(TermDoc{doc.id, freq, doc.terms.size()});
+    }
+  }
+
+  // Pass 2: score and sort each list.
+  for (auto& [term, entries] : raw) {
+    uint64_t df = entries.size();
+    std::vector<Posting> list;
+    list.reserve(entries.size());
+    for (const TermDoc& e : entries) {
+      double score = Score(model, e.tf, df, index.num_documents_,
+                           e.doc_length, index.avg_doc_length_);
+      list.push_back(Posting{e.doc, score});
+    }
+    std::sort(list.begin(), list.end(), [](const Posting& a, const Posting& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc < b.doc;
+    });
+    index.lists_.emplace(term, std::move(list));
+  }
+  return index;
+}
+
+const std::vector<Posting>* InvertedIndex::postings(
+    const std::string& term) const {
+  auto it = lists_.find(term);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+uint64_t InvertedIndex::DocumentFrequency(const std::string& term) const {
+  const auto* list = postings(term);
+  return list == nullptr ? 0 : list->size();
+}
+
+double InvertedIndex::MaxScore(const std::string& term) const {
+  const auto* list = postings(term);
+  return (list == nullptr || list->empty()) ? 0.0 : list->front().score;
+}
+
+double InvertedIndex::AvgScore(const std::string& term) const {
+  const auto* list = postings(term);
+  if (list == nullptr || list->empty()) return 0.0;
+  double sum = 0.0;
+  for (const Posting& p : *list) sum += p.score;
+  return sum / static_cast<double>(list->size());
+}
+
+std::vector<DocId> InvertedIndex::DocIdsFor(const std::string& term) const {
+  std::vector<DocId> ids;
+  const auto* list = postings(term);
+  if (list == nullptr) return ids;
+  ids.reserve(list->size());
+  for (const Posting& p : *list) ids.push_back(p.doc);
+  return ids;
+}
+
+std::vector<double> InvertedIndex::NormalizedScoresFor(
+    const std::string& term) const {
+  std::vector<double> scores;
+  const auto* list = postings(term);
+  if (list == nullptr || list->empty()) return scores;
+  double max = list->front().score;
+  scores.reserve(list->size());
+  for (const Posting& p : *list) {
+    scores.push_back(max > 0.0 ? p.score / max : 0.0);
+  }
+  return scores;
+}
+
+}  // namespace iqn

@@ -1,0 +1,73 @@
+// Local inverted index: the per-peer <term, docId, score> lists the paper
+// assumes every peer maintains (Sec. 1.2), plus the collection statistics
+// CORI and the directory Posts are computed from.
+
+#ifndef IQN_IR_INVERTED_INDEX_H_
+#define IQN_IR_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/corpus.h"
+#include "ir/scoring.h"
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct Posting {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+class InvertedIndex {
+ public:
+  /// An empty index (no documents); assign from Build() to populate.
+  InvertedIndex() = default;
+
+  /// Indexes the corpus: one posting per distinct (term, doc) pair,
+  /// scored by `model`, each list sorted by descending score (ties by
+  /// ascending docId for determinism).
+  static InvertedIndex Build(const Corpus& corpus,
+                             const ScoringModel& model = {});
+
+  /// Postings for a term, or nullptr if the term is not in the index.
+  const std::vector<Posting>* postings(const std::string& term) const;
+
+  /// Document frequency of a term (its index list length); 0 if absent.
+  uint64_t DocumentFrequency(const std::string& term) const;
+
+  /// Highest / mean score within a term's list (0 if absent). These are
+  /// the per-term statistics included in directory Posts.
+  double MaxScore(const std::string& term) const;
+  double AvgScore(const std::string& term) const;
+
+  /// DocIds of a term's list (the set a synopsis summarizes).
+  std::vector<DocId> DocIdsFor(const std::string& term) const;
+
+  /// Scores of a term's list normalized into (0, 1] by the list maximum
+  /// (input to the histogram synopses of Sec. 7.1), aligned with
+  /// DocIdsFor order.
+  std::vector<double> NormalizedScoresFor(const std::string& term) const;
+
+  /// Number of distinct terms (|V_i| in CORI's T component).
+  size_t NumTerms() const { return lists_.size(); }
+  uint64_t NumDocuments() const { return num_documents_; }
+  double AverageDocumentLength() const { return avg_doc_length_; }
+
+  /// Iteration over the vocabulary, in lexicographic order.
+  const std::map<std::string, std::vector<Posting>>& lists() const {
+    return lists_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Posting>> lists_;
+  uint64_t num_documents_ = 0;
+  double avg_doc_length_ = 0.0;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_IR_INVERTED_INDEX_H_

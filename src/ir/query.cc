@@ -1,0 +1,33 @@
+#include "ir/query.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace iqn {
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << (mode == QueryMode::kConjunctive ? "AND(" : "OR(");
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << terms[i];
+  }
+  os << ") top-" << k;
+  return os.str();
+}
+
+Query ParseQuery(const std::string& text, const Tokenizer& tokenizer,
+                 QueryMode mode, size_t k) {
+  Query query;
+  query.mode = mode;
+  query.k = k;
+  std::unordered_set<std::string> seen;
+  for (auto& term : tokenizer.Tokenize(text)) {
+    if (seen.insert(term).second) {
+      query.terms.push_back(std::move(term));
+    }
+  }
+  return query;
+}
+
+}  // namespace iqn

@@ -1,0 +1,38 @@
+// Query model: multi-keyword queries with conjunctive or disjunctive
+// semantics (paper Sec. 6.1), requesting the top-k results.
+
+#ifndef IQN_IR_QUERY_H_
+#define IQN_IR_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/tokenizer.h"
+
+namespace iqn {
+
+enum class QueryMode {
+  /// Documents must contain every term (Web-search default).
+  kConjunctive,
+  /// Documents containing any term qualify; more matching terms score
+  /// higher (query-expansion / analytics workloads).
+  kDisjunctive,
+};
+
+struct Query {
+  std::vector<std::string> terms;
+  QueryMode mode = QueryMode::kDisjunctive;
+  size_t k = 10;
+
+  std::string ToString() const;
+};
+
+/// Builds a query by running `text` through the same analysis chain as
+/// indexing (so query terms match index terms), de-duplicating terms.
+Query ParseQuery(const std::string& text, const Tokenizer& tokenizer,
+                 QueryMode mode = QueryMode::kDisjunctive, size_t k = 10);
+
+}  // namespace iqn
+
+#endif  // IQN_IR_QUERY_H_

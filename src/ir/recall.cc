@@ -1,0 +1,42 @@
+#include "ir/recall.h"
+
+#include <unordered_set>
+
+namespace iqn {
+
+double RelativeRecall(const std::vector<ScoredDoc>& results,
+                      const std::vector<ScoredDoc>& reference) {
+  if (reference.empty()) return 1.0;
+  std::unordered_set<DocId> got;
+  got.reserve(results.size());
+  for (const ScoredDoc& sd : results) got.insert(sd.doc);
+  size_t hit = 0;
+  for (const ScoredDoc& ref : reference) {
+    if (got.count(ref.doc)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(reference.size());
+}
+
+double DuplicateFraction(
+    const std::vector<std::vector<ScoredDoc>>& per_peer_results) {
+  size_t total = 0;
+  std::unordered_set<DocId> distinct;
+  for (const auto& peer : per_peer_results) {
+    total += peer.size();
+    for (const ScoredDoc& sd : peer) distinct.insert(sd.doc);
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(total - distinct.size()) /
+         static_cast<double>(total);
+}
+
+size_t DistinctResultCount(
+    const std::vector<std::vector<ScoredDoc>>& per_peer_results) {
+  std::unordered_set<DocId> distinct;
+  for (const auto& peer : per_peer_results) {
+    for (const ScoredDoc& sd : peer) distinct.insert(sd.doc);
+  }
+  return distinct.size();
+}
+
+}  // namespace iqn

@@ -1,0 +1,32 @@
+// Evaluation measures for the paper's experiments (Sec. 8.1): relative
+// recall against a centralized reference engine, plus duplicate-waste
+// statistics that motivate novelty-aware routing in the first place.
+
+#ifndef IQN_IR_RECALL_H_
+#define IQN_IR_RECALL_H_
+
+#include <vector>
+
+#include "ir/top_k.h"
+
+namespace iqn {
+
+/// Fraction of `reference` docIds present in `results` ("a recall of x %
+/// means the P2P system found x % of what the centralized engine found").
+/// 1.0 when the reference is empty.
+double RelativeRecall(const std::vector<ScoredDoc>& results,
+                      const std::vector<ScoredDoc>& reference);
+
+/// Fraction of retrieved documents (over all peers' raw result lists,
+/// before merging) that are duplicates of a document some other peer
+/// already returned — the redundancy IQN exists to avoid.
+double DuplicateFraction(
+    const std::vector<std::vector<ScoredDoc>>& per_peer_results);
+
+/// Number of distinct documents across all per-peer result lists.
+size_t DistinctResultCount(
+    const std::vector<std::vector<ScoredDoc>>& per_peer_results);
+
+}  // namespace iqn
+
+#endif  // IQN_IR_RECALL_H_

@@ -1,0 +1,48 @@
+#include "ir/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iqn {
+
+double TfIdfScore(uint64_t term_frequency, uint64_t document_frequency,
+                  uint64_t num_documents) {
+  if (term_frequency == 0 || document_frequency == 0) return 0.0;
+  double tf = 1.0 + std::log(static_cast<double>(term_frequency));
+  double idf = std::log(1.0 + static_cast<double>(num_documents) /
+                                  static_cast<double>(document_frequency));
+  return tf * idf;
+}
+
+double Bm25Score(uint64_t term_frequency, uint64_t document_frequency,
+                 uint64_t num_documents, size_t document_length,
+                 double average_document_length, double k1, double b) {
+  if (term_frequency == 0 || document_frequency == 0) return 0.0;
+  double idf = std::log(
+      1.0 + (static_cast<double>(num_documents) -
+             static_cast<double>(document_frequency) + 0.5) /
+                (static_cast<double>(document_frequency) + 0.5));
+  double dl_norm =
+      average_document_length > 0.0
+          ? static_cast<double>(document_length) / average_document_length
+          : 1.0;
+  double tf = static_cast<double>(term_frequency);
+  double denom = tf + k1 * (1.0 - b + b * dl_norm);
+  return idf * tf * (k1 + 1.0) / denom;
+}
+
+double Score(const ScoringModel& model, uint64_t term_frequency,
+             uint64_t document_frequency, uint64_t num_documents,
+             size_t document_length, double average_document_length) {
+  switch (model.function) {
+    case ScoringFunction::kTfIdf:
+      return TfIdfScore(term_frequency, document_frequency, num_documents);
+    case ScoringFunction::kBm25:
+      return Bm25Score(term_frequency, document_frequency, num_documents,
+                       document_length, average_document_length,
+                       model.bm25_k1, model.bm25_b);
+  }
+  return 0.0;
+}
+
+}  // namespace iqn

@@ -1,0 +1,45 @@
+// Relevance scoring models for local index lists.
+//
+// Each peer scores <term, docId> entries with a local IR measure (paper
+// Sec. 5.1 mentions tf*idf and language-model scores); the scores feed the
+// local top-k execution, the CORI statistics posted to the directory, and
+// the score histograms of Sec. 7.1.
+
+#ifndef IQN_IR_SCORING_H_
+#define IQN_IR_SCORING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iqn {
+
+enum class ScoringFunction {
+  kTfIdf,
+  kBm25,
+};
+
+struct ScoringModel {
+  ScoringFunction function = ScoringFunction::kTfIdf;
+  // BM25 parameters (ignored by tf-idf).
+  double bm25_k1 = 1.2;
+  double bm25_b = 0.75;
+};
+
+/// Classic log-scaled tf*idf:
+///   (1 + ln(tf)) * ln(1 + N/df).
+double TfIdfScore(uint64_t term_frequency, uint64_t document_frequency,
+                  uint64_t num_documents);
+
+/// Okapi BM25 with the standard plus-0.5 idf smoothing.
+double Bm25Score(uint64_t term_frequency, uint64_t document_frequency,
+                 uint64_t num_documents, size_t document_length,
+                 double average_document_length, double k1, double b);
+
+/// Applies the configured model.
+double Score(const ScoringModel& model, uint64_t term_frequency,
+             uint64_t document_frequency, uint64_t num_documents,
+             size_t document_length, double average_document_length);
+
+}  // namespace iqn
+
+#endif  // IQN_IR_SCORING_H_

@@ -1,0 +1,332 @@
+#include "ir/stemmer.h"
+
+#include <cctype>
+
+namespace iqn {
+
+namespace {
+
+// Working buffer for one stemming run. Implements the five steps of the
+// original Porter algorithm; `b` is the word, `k` the index of its last
+// character, `j` a general offset set by the condition helpers. Indices
+// are signed, as in Porter's reference implementation: several rules
+// legitimately drive them to -1.
+class Run {
+ public:
+  explicit Run(std::string_view word)
+      : b_(word), k_(static_cast<long>(word.size()) - 1) {}
+
+  std::string Finish() { return b_.substr(0, static_cast<size_t>(k_ + 1)); }
+
+  void Step1a();
+  void Step1b();
+  void Step1c();
+  void Step2();
+  void Step3();
+  void Step4();
+  void Step5();
+
+ private:
+  bool IsConsonant(long i) const {
+    char c = b_[static_cast<size_t>(i)];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// m() measures the number of consonant-vowel sequences in b[0..j].
+  int Measure() const {
+    int n = 0;
+    long i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  /// True if b[0..j] contains a vowel.
+  bool VowelInStem() const {
+    for (long i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True if b[i-1..i] is a double consonant.
+  bool DoubleConsonant(long i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  /// cvc(i): b[i-2..i] is consonant-vowel-consonant and the final
+  /// consonant is not w, x, or y (triggers the "-e restore" rules).
+  bool Cvc(long i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  /// True if the word ends with `s` (within b[0..k]); sets j_ to the
+  /// offset just before the suffix.
+  bool Ends(std::string_view s) {
+    long len = static_cast<long>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  /// Replaces the suffix matched by Ends with `s`.
+  void SetTo(std::string_view s) {
+    b_ = b_.substr(0, static_cast<size_t>(j_ + 1)) + std::string(s);
+    k_ = static_cast<long>(b_.size()) - 1;
+  }
+
+  /// SetTo if m() > 0.
+  void ReplaceIfMeasure(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  char At(long i) const { return b_[static_cast<size_t>(i)]; }
+
+  std::string b_;
+  long k_;
+  long j_ = 0;
+};
+
+// Step 1a: plurals. SSES -> SS, IES -> I, SS -> SS, S -> "".
+void Run::Step1a() {
+  if (At(k_) != 's') return;
+  if (Ends("sses")) {
+    k_ -= 2;
+  } else if (Ends("ies")) {
+    SetTo("i");
+  } else if (k_ >= 1 && At(k_ - 1) != 's') {
+    --k_;
+  }
+}
+
+// Step 1b: -eed, -ed, -ing.
+void Run::Step1b() {
+  bool restore = false;
+  if (Ends("eed")) {
+    if (Measure() > 0) --k_;
+  } else if (Ends("ed")) {
+    if (VowelInStem()) {
+      k_ = j_;
+      restore = true;
+    }
+  } else if (Ends("ing")) {
+    if (VowelInStem()) {
+      k_ = j_;
+      restore = true;
+    }
+  }
+  if (restore && k_ >= 0) {
+    if (Ends("at")) {
+      SetTo("ate");
+    } else if (Ends("bl")) {
+      SetTo("ble");
+    } else if (Ends("iz")) {
+      SetTo("ize");
+    } else if (DoubleConsonant(k_)) {
+      char c = At(k_);
+      if (c != 'l' && c != 's' && c != 'z') --k_;
+    } else {
+      j_ = k_;
+      if (Measure() == 1 && Cvc(k_)) {
+        b_ = b_.substr(0, static_cast<size_t>(k_ + 1)) + "e";
+        k_ = static_cast<long>(b_.size()) - 1;
+      }
+    }
+  }
+}
+
+// Step 1c: terminal y -> i when there is a vowel in the stem.
+void Run::Step1c() {
+  if (Ends("y") && VowelInStem()) b_[static_cast<size_t>(k_)] = 'i';
+}
+
+// Step 2: double suffixes, e.g. -ational -> -ate (when m > 0).
+void Run::Step2() {
+  if (k_ < 2) return;
+  switch (At(k_ - 1)) {
+    case 'a':
+      if (Ends("ational")) { ReplaceIfMeasure("ate"); return; }
+      if (Ends("tional")) { ReplaceIfMeasure("tion"); return; }
+      return;
+    case 'c':
+      if (Ends("enci")) { ReplaceIfMeasure("ence"); return; }
+      if (Ends("anci")) { ReplaceIfMeasure("ance"); return; }
+      return;
+    case 'e':
+      if (Ends("izer")) { ReplaceIfMeasure("ize"); return; }
+      return;
+    case 'l':
+      if (Ends("abli")) { ReplaceIfMeasure("able"); return; }
+      if (Ends("alli")) { ReplaceIfMeasure("al"); return; }
+      if (Ends("entli")) { ReplaceIfMeasure("ent"); return; }
+      if (Ends("eli")) { ReplaceIfMeasure("e"); return; }
+      if (Ends("ousli")) { ReplaceIfMeasure("ous"); return; }
+      return;
+    case 'o':
+      if (Ends("ization")) { ReplaceIfMeasure("ize"); return; }
+      if (Ends("ation")) { ReplaceIfMeasure("ate"); return; }
+      if (Ends("ator")) { ReplaceIfMeasure("ate"); return; }
+      return;
+    case 's':
+      if (Ends("alism")) { ReplaceIfMeasure("al"); return; }
+      if (Ends("iveness")) { ReplaceIfMeasure("ive"); return; }
+      if (Ends("fulness")) { ReplaceIfMeasure("ful"); return; }
+      if (Ends("ousness")) { ReplaceIfMeasure("ous"); return; }
+      return;
+    case 't':
+      if (Ends("aliti")) { ReplaceIfMeasure("al"); return; }
+      if (Ends("iviti")) { ReplaceIfMeasure("ive"); return; }
+      if (Ends("biliti")) { ReplaceIfMeasure("ble"); return; }
+      return;
+    default:
+      return;
+  }
+}
+
+// Step 3: -icate, -ative, -alize, etc.
+void Run::Step3() {
+  switch (At(k_)) {
+    case 'e':
+      if (Ends("icate")) { ReplaceIfMeasure("ic"); return; }
+      if (Ends("ative")) { ReplaceIfMeasure(""); return; }
+      if (Ends("alize")) { ReplaceIfMeasure("al"); return; }
+      return;
+    case 'i':
+      if (Ends("iciti")) { ReplaceIfMeasure("ic"); return; }
+      return;
+    case 'l':
+      if (Ends("ical")) { ReplaceIfMeasure("ic"); return; }
+      if (Ends("ful")) { ReplaceIfMeasure(""); return; }
+      return;
+    case 's':
+      if (Ends("ness")) { ReplaceIfMeasure(""); return; }
+      return;
+    default:
+      return;
+  }
+}
+
+// Step 4: strip -ant, -ence, ... when m > 1.
+void Run::Step4() {
+  if (k_ < 1) return;
+  switch (At(k_ - 1)) {
+    case 'a':
+      if (Ends("al")) break;
+      return;
+    case 'c':
+      if (Ends("ance")) break;
+      if (Ends("ence")) break;
+      return;
+    case 'e':
+      if (Ends("er")) break;
+      return;
+    case 'i':
+      if (Ends("ic")) break;
+      return;
+    case 'l':
+      if (Ends("able")) break;
+      if (Ends("ible")) break;
+      return;
+    case 'n':
+      if (Ends("ant")) break;
+      if (Ends("ement")) break;
+      if (Ends("ment")) break;
+      if (Ends("ent")) break;
+      return;
+    case 'o':
+      if (Ends("ion") && j_ >= 0 && (At(j_) == 's' || At(j_) == 't')) break;
+      if (Ends("ou")) break;
+      return;
+    case 's':
+      if (Ends("ism")) break;
+      return;
+    case 't':
+      if (Ends("ate")) break;
+      if (Ends("iti")) break;
+      return;
+    case 'u':
+      if (Ends("ous")) break;
+      return;
+    case 'v':
+      if (Ends("ive")) break;
+      return;
+    case 'z':
+      if (Ends("ize")) break;
+      return;
+    default:
+      return;
+  }
+  if (Measure() > 1) k_ = j_;
+}
+
+// Step 5: remove final -e (m > 1, or m == 1 and not cvc) and collapse -ll.
+void Run::Step5() {
+  j_ = k_;
+  if (At(k_) == 'e') {
+    int m = Measure();
+    if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+  }
+  if (At(k_) == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) {
+      return std::string(word);  // only lowercase ASCII is stemmable
+    }
+  }
+  Run run(word);
+  run.Step1a();
+  run.Step1b();
+  run.Step1c();
+  run.Step2();
+  run.Step3();
+  run.Step4();
+  run.Step5();
+  return run.Finish();
+}
+
+}  // namespace iqn

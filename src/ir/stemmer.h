@@ -1,0 +1,25 @@
+// Porter stemming algorithm (M.F. Porter, 1980), the classic suffix
+// stripper used throughout the distributed-IR literature the paper builds
+// on (CORI, GlOSS). Reduces inflected English words to a common stem so
+// "connections", "connected", and "connecting" all index as "connect".
+
+#ifndef IQN_IR_STEMMER_H_
+#define IQN_IR_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace iqn {
+
+/// Stateless; all methods are const and thread-compatible.
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`. The input must be lowercase ASCII;
+  /// non-alphabetic input is returned unchanged. Words of length <= 2 are
+  /// never stemmed (per the original algorithm).
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_IR_STEMMER_H_

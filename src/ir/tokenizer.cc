@@ -1,0 +1,81 @@
+#include "ir/tokenizer.h"
+
+#include <cctype>
+
+#include "ir/stemmer.h"
+
+namespace iqn {
+
+namespace {
+
+// A compact English stopword list (the usual suspects from the SMART
+// list); enough to keep function words out of the synthetic index.
+const char* const kStopwords[] = {
+    "a",     "about", "above", "after", "again", "all",   "also",  "an",
+    "and",   "any",   "are",   "as",    "at",    "be",    "been",  "before",
+    "being", "below", "between", "both", "but",  "by",    "can",   "could",
+    "did",   "do",    "does",  "doing", "down",  "during", "each", "few",
+    "for",   "from",  "further", "had", "has",   "have",  "having", "he",
+    "her",   "here",  "hers",  "him",   "his",   "how",   "i",     "if",
+    "in",    "into",  "is",    "it",    "its",   "just",  "me",    "more",
+    "most",  "my",    "no",    "nor",   "not",   "now",   "of",    "off",
+    "on",    "once",  "only",  "or",    "other", "our",   "ours",  "out",
+    "over",  "own",   "same",  "she",   "should", "so",   "some",  "such",
+    "than",  "that",  "the",   "their", "theirs", "them", "then",  "there",
+    "these", "they",  "this",  "those", "through", "to",  "too",   "under",
+    "until", "up",    "very",  "was",   "we",    "were",  "what",  "when",
+    "where", "which", "while", "who",   "whom",  "why",   "will",  "with",
+    "would", "you",   "your",  "yours",
+};
+
+const PorterStemmer& SharedStemmer() {
+  static const PorterStemmer stemmer;
+  return stemmer;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  if (options_.remove_stopwords) {
+    for (const char* w : kStopwords) stopwords_.insert(w);
+  }
+}
+
+bool Tokenizer::IsStopword(const std::string& word) const {
+  return stopwords_.count(word) > 0;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> terms;
+  std::string current;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (current.size() > options_.max_token_length) {
+      current.resize(options_.max_token_length);
+    }
+    if (options_.remove_stopwords && IsStopword(current)) {
+      current.clear();
+      return;
+    }
+    std::string term =
+        options_.stem ? SharedStemmer().Stem(current) : current;
+    if (term.size() >= options_.min_token_length) {
+      terms.push_back(std::move(term));
+    }
+    current.clear();
+  };
+
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(
+          options_.lowercase ? static_cast<char>(std::tolower(c)) : raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return terms;
+}
+
+}  // namespace iqn

@@ -1,0 +1,45 @@
+// Text tokenization for the IR substrate: lowercasing, splitting on
+// non-alphanumeric characters, stopword removal, and optional Porter
+// stemming. This is the analysis chain each MINERVA peer runs over its
+// crawled documents before indexing.
+
+#ifndef IQN_IR_TOKENIZER_H_
+#define IQN_IR_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace iqn {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Tokens shorter than this are dropped (after stemming).
+  size_t min_token_length = 2;
+  /// Tokens longer than this are truncated (guards against binary junk).
+  size_t max_token_length = 40;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Splits `text` into index terms under the configured chain.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// True if `word` (already lowercase) is a stopword.
+  bool IsStopword(const std::string& word) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_IR_TOKENIZER_H_

@@ -1,0 +1,80 @@
+#include "ir/top_k.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+void SortAndTruncate(std::vector<ScoredDoc>* results, size_t k) {
+  // Ties are broken by a fixed hash of the docId, not by the id itself:
+  // tf-idf scores are highly discrete, and id-ordered ties would
+  // systematically privilege old (low-id) documents — newly crawled
+  // documents could then never enter a top-k. Hashing keeps the order
+  // deterministic but id-neutral.
+  std::sort(results->begin(), results->end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              uint64_t ha = Hash64(a.doc, /*seed=*/0x7469656272656b31ULL);
+              uint64_t hb = Hash64(b.doc, /*seed=*/0x7469656272656b31ULL);
+              if (ha != hb) return ha < hb;
+              return a.doc < b.doc;
+            });
+  if (results->size() > k) results->resize(k);
+}
+
+}  // namespace
+
+std::vector<ScoredDoc> ExecuteQuery(const InvertedIndex& index,
+                                    const Query& query) {
+  std::vector<ScoredDoc> results;
+  if (query.terms.empty()) return results;
+
+  // Accumulate score and matched-term count per document.
+  std::unordered_map<DocId, std::pair<double, size_t>> acc;
+  for (const auto& term : query.terms) {
+    const std::vector<Posting>* list = index.postings(term);
+    if (list == nullptr) {
+      if (query.mode == QueryMode::kConjunctive) return results;  // no hit
+      continue;
+    }
+    for (const Posting& p : *list) {
+      auto& entry = acc[p.doc];
+      entry.first += p.score;
+      entry.second += 1;
+    }
+  }
+
+  for (const auto& [doc, entry] : acc) {
+    if (query.mode == QueryMode::kConjunctive &&
+        entry.second != query.terms.size()) {
+      continue;
+    }
+    results.push_back(ScoredDoc{doc, entry.first});
+  }
+  SortAndTruncate(&results, query.k);
+  return results;
+}
+
+std::vector<ScoredDoc> MergeResults(
+    const std::vector<std::vector<ScoredDoc>>& per_peer_results, size_t k) {
+  std::unordered_map<DocId, double> best;
+  for (const auto& peer_results : per_peer_results) {
+    for (const ScoredDoc& sd : peer_results) {
+      auto it = best.find(sd.doc);
+      if (it == best.end() || sd.score > it->second) {
+        best[sd.doc] = sd.score;
+      }
+    }
+  }
+  std::vector<ScoredDoc> merged;
+  merged.reserve(best.size());
+  for (const auto& [doc, score] : best) merged.push_back(ScoredDoc{doc, score});
+  SortAndTruncate(&merged, k);
+  return merged;
+}
+
+}  // namespace iqn

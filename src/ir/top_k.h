@@ -1,0 +1,41 @@
+// Local query execution: evaluates a Query against an InvertedIndex and
+// returns the top-k scored documents. This is both what each contacted
+// peer runs on its own collection and (over the full corpus) the
+// centralized reference engine that relative recall is measured against
+// (paper Sec. 8.1).
+
+#ifndef IQN_IR_TOP_K_H_
+#define IQN_IR_TOP_K_H_
+
+#include <vector>
+
+#include "ir/inverted_index.h"
+#include "ir/query.h"
+
+namespace iqn {
+
+struct ScoredDoc {
+  DocId doc = 0;
+  double score = 0.0;
+
+  bool operator==(const ScoredDoc& other) const {
+    return doc == other.doc && score == other.score;
+  }
+};
+
+/// Top-k execution. Disjunctive: score = sum of per-term scores over the
+/// terms the document matches. Conjunctive: documents must appear in
+/// every term's list; score = sum over all terms. Results are sorted by
+/// descending score, ties broken by ascending docId.
+std::vector<ScoredDoc> ExecuteQuery(const InvertedIndex& index,
+                                    const Query& query);
+
+/// Merges per-peer result lists into one global top-k (by score, dedup by
+/// docId keeping the best score) — the result-merging step of the P2P
+/// query processor.
+std::vector<ScoredDoc> MergeResults(
+    const std::vector<std::vector<ScoredDoc>>& per_peer_results, size_t k);
+
+}  // namespace iqn
+
+#endif  // IQN_IR_TOP_K_H_

@@ -1,0 +1,55 @@
+#include "minerva/aggregation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iqn {
+
+const char* AggregationStrategyName(AggregationStrategy strategy) {
+  switch (strategy) {
+    case AggregationStrategy::kPerPeer:
+      return "per-peer";
+    case AggregationStrategy::kPerTerm:
+      return "per-term";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<SetSynopsis>> CombinePerTermSynopses(
+    const std::vector<const SetSynopsis*>& per_term, QueryMode mode) {
+  if (per_term.empty()) {
+    return Status::InvalidArgument("no synopses to combine");
+  }
+  for (const SetSynopsis* s : per_term) {
+    if (s == nullptr) return Status::InvalidArgument("null synopsis");
+  }
+  std::unique_ptr<SetSynopsis> combined = per_term.front()->Clone();
+  for (size_t i = 1; i < per_term.size(); ++i) {
+    if (mode == QueryMode::kDisjunctive) {
+      IQN_RETURN_IF_ERROR(combined->MergeUnion(*per_term[i]));
+    } else {
+      IQN_RETURN_IF_ERROR(combined->MergeIntersect(*per_term[i]));
+    }
+  }
+  return combined;
+}
+
+double CombinedCardinality(const SetSynopsis& combined,
+                           const std::vector<uint64_t>& list_lengths,
+                           QueryMode mode) {
+  double est = combined.EstimateCardinality();
+  if (list_lengths.empty()) return est;
+  uint64_t max_len = *std::max_element(list_lengths.begin(), list_lengths.end());
+  uint64_t min_len = *std::min_element(list_lengths.begin(), list_lengths.end());
+  uint64_t sum_len =
+      std::accumulate(list_lengths.begin(), list_lengths.end(), uint64_t{0});
+  if (mode == QueryMode::kDisjunctive) {
+    double lo = static_cast<double>(max_len);
+    double hi = static_cast<double>(sum_len);
+    return std::clamp(est, lo, hi);
+  }
+  // Conjunctive: the intersection can hold at most the smallest list.
+  return std::clamp(est, 0.0, static_cast<double>(min_len));
+}
+
+}  // namespace iqn

@@ -1,0 +1,49 @@
+// Multi-dimensional synopsis aggregation (paper Sec. 6).
+//
+// Posts are per term; a multi-keyword query needs a per-peer view. Two
+// strategies:
+//  * per-peer (Sec. 6.2): combine a peer's term synopses into ONE
+//    query-specific synopsis first (union for disjunctive queries,
+//    intersection for conjunctive ones), then estimate novelty against a
+//    single reference synopsis;
+//  * per-term (Sec. 6.3): keep one reference synopsis per query term,
+//    estimate term-wise novelty, and sum — cruder, but never needs a
+//    synopsis intersection, which hash sketches cannot do at all.
+
+#ifndef IQN_MINERVA_AGGREGATION_H_
+#define IQN_MINERVA_AGGREGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "ir/query.h"
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+enum class AggregationStrategy {
+  kPerPeer,
+  kPerTerm,
+};
+
+const char* AggregationStrategyName(AggregationStrategy strategy);
+
+/// Combines one peer's per-term synopses into a single query-specific
+/// synopsis: union of the term sets for disjunctive queries, (possibly
+/// heuristic) intersection for conjunctive ones. At least one synopsis is
+/// required; all must be mutually combinable.
+Result<std::unique_ptr<SetSynopsis>> CombinePerTermSynopses(
+    const std::vector<const SetSynopsis*>& per_term, QueryMode mode);
+
+/// Cardinality to attribute to the combined synopsis, given the posted
+/// per-term index list lengths. The synopsis's own estimate is clamped to
+/// the bounds the list lengths imply: a union has at least max(len) and
+/// at most sum(len) elements; an intersection at most min(len).
+double CombinedCardinality(const SetSynopsis& combined,
+                           const std::vector<uint64_t>& list_lengths,
+                           QueryMode mode);
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_AGGREGATION_H_

@@ -1,0 +1,60 @@
+#include "minerva/cori.h"
+
+#include <cmath>
+
+namespace iqn {
+
+CoriTermStats ComputeCoriTermStats(const std::vector<Post>& peer_list) {
+  CoriTermStats stats;
+  stats.collection_frequency = peer_list.size();
+  if (!peer_list.empty()) {
+    double sum = 0.0;
+    for (const Post& p : peer_list) {
+      sum += static_cast<double>(p.term_space_size);
+    }
+    stats.avg_term_space = sum / static_cast<double>(peer_list.size());
+  }
+  return stats;
+}
+
+double CoriTermScore(const Post* post, const CoriTermStats& stats,
+                     size_t num_peers, const CoriParams& params) {
+  if (post == nullptr || post->list_length == 0 ||
+      stats.collection_frequency == 0) {
+    // cdf = 0 gives T = 0, so the belief degenerates to the baseline.
+    return params.alpha;
+  }
+  double np = static_cast<double>(num_peers);
+  double cdf = static_cast<double>(post->list_length);
+  double vocab_ratio =
+      stats.avg_term_space > 0.0
+          ? static_cast<double>(post->term_space_size) / stats.avg_term_space
+          : 1.0;
+  double t = cdf / (cdf + params.df_constant + params.vocab_scale * vocab_ratio);
+  double i =
+      std::log((np + 0.5) / static_cast<double>(stats.collection_frequency)) /
+      std::log(np + 1.0);
+  if (i < 0.0) i = 0.0;  // cf_t can exceed np transiently under churn
+  return params.alpha + (1.0 - params.alpha) * t * i;
+}
+
+double CoriCollectionScore(
+    const std::vector<std::string>& query_terms,
+    const std::map<std::string, Post>& posts_by_term,
+    const std::map<std::string, CoriTermStats>& stats_by_term,
+    size_t num_peers, const CoriParams& params) {
+  if (query_terms.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::string& term : query_terms) {
+    const Post* post = nullptr;
+    auto post_it = posts_by_term.find(term);
+    if (post_it != posts_by_term.end()) post = &post_it->second;
+    CoriTermStats stats;
+    auto stats_it = stats_by_term.find(term);
+    if (stats_it != stats_by_term.end()) stats = stats_it->second;
+    sum += CoriTermScore(post, stats, num_peers, params);
+  }
+  return sum / static_cast<double>(query_terms.size());
+}
+
+}  // namespace iqn

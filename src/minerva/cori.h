@@ -1,0 +1,58 @@
+// CORI collection selection (Callan et al., SIGIR 1995) — the quality
+// component of IQN and the paper's main baseline (Sec. 5.1, Sec. 8).
+//
+//   s_{i,t} = alpha + (1 - alpha) * T_{i,t} * I_{i,t}
+//   T_{i,t} = cdf_{i,t} / (cdf_{i,t} + 50 + 150 * |V_i| / |V_avg|)
+//   I_{i,t} = log((np + 0.5) / cf_t) / log(np + 1)
+//   s_i    = sum_{t in Q} s_{i,t} / |Q|
+//
+// with cdf the term's document frequency in collection i, |V_i| the
+// peer's term-space size, cf_t the number of peers holding t, np the
+// number of peers, and alpha = 0.4. |V_avg| is approximated by the
+// average over the collections found in the PeerLists (Sec. 5.1), since
+// the true all-peers average is not obtainable in a P2P system.
+
+#ifndef IQN_MINERVA_CORI_H_
+#define IQN_MINERVA_CORI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minerva/post.h"
+
+namespace iqn {
+
+struct CoriParams {
+  double alpha = 0.4;
+  double df_constant = 50.0;
+  double vocab_scale = 150.0;
+};
+
+/// Per-term statistics derived from a term's PeerList.
+struct CoriTermStats {
+  /// cf_t: number of peers whose PeerList entry exists for the term.
+  uint64_t collection_frequency = 0;
+  /// |V_avg| approximation: mean term-space size over the PeerList.
+  double avg_term_space = 0.0;
+};
+
+CoriTermStats ComputeCoriTermStats(const std::vector<Post>& peer_list);
+
+/// s_{i,t} for one peer-term pair. `post` may be nullptr when the peer
+/// holds no documents for the term (cdf = 0 -> T = 0 -> score = alpha).
+double CoriTermScore(const Post* post, const CoriTermStats& stats,
+                     size_t num_peers, const CoriParams& params = {});
+
+/// s_i for a multi-term query: the mean of the per-term scores over all
+/// query terms. `posts_by_term` holds this peer's post for each query
+/// term it covers; `stats_by_term` must cover every query term.
+double CoriCollectionScore(const std::vector<std::string>& query_terms,
+                           const std::map<std::string, Post>& posts_by_term,
+                           const std::map<std::string, CoriTermStats>& stats_by_term,
+                           size_t num_peers, const CoriParams& params = {});
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_CORI_H_

@@ -1,0 +1,116 @@
+#include "minerva/directory.h"
+
+#include <cstdlib>
+
+#include "dht/distributed_topk.h"
+
+namespace iqn {
+
+namespace {
+
+/// Server-side PeerList ranking: posts with longer index lists first
+/// (the simplest of the "IR relevance measures" Sec. 4 suggests for
+/// truncated PeerList retrieval). Malformed posts rank last.
+double ScorePostBytes(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  Result<Post> post = Post::Deserialize(&reader);
+  if (!post.ok()) return -1.0;
+  return static_cast<double>(post.value().list_length);
+}
+
+std::vector<Post> DecodePeerList(const std::vector<Bytes>& raw) {
+  std::vector<Post> posts;
+  posts.reserve(raw.size());
+  for (const Bytes& bytes : raw) {
+    ByteReader reader(bytes);
+    Result<Post> post = Post::Deserialize(&reader);
+    if (post.ok()) {
+      posts.push_back(std::move(post).value());
+    }
+    // else: a malformed post from a buggy peer — drop it, the rest of
+    // the PeerList is still usable.
+  }
+  return posts;
+}
+
+}  // namespace
+
+Directory::Directory(DhtStore* store) : store_(store) {
+  store_->set_value_scorer(ScorePostBytes);
+}
+
+std::string Directory::KeyForTerm(const std::string& term) {
+  return "term:" + term;
+}
+
+Status Directory::Publish(const Post& post) {
+  if (post.term.empty()) {
+    return Status::InvalidArgument("post without a term");
+  }
+  ByteWriter writer;
+  post.Serialize(&writer);
+  return store_->Upsert(KeyForTerm(post.term), std::to_string(post.peer_id),
+                        writer.Take());
+}
+
+Status Directory::PublishBatch(const std::vector<Post>& posts) {
+  std::vector<DhtStore::Entry> entries;
+  entries.reserve(posts.size());
+  for (const Post& post : posts) {
+    if (post.term.empty()) {
+      return Status::InvalidArgument("post without a term");
+    }
+    ByteWriter writer;
+    post.Serialize(&writer);
+    entries.push_back(DhtStore::Entry{KeyForTerm(post.term),
+                                      std::to_string(post.peer_id),
+                                      writer.Take()});
+  }
+  return store_->UpsertBatch(entries);
+}
+
+Result<std::vector<Post>> Directory::FetchPeerList(
+    const std::string& term) const {
+  IQN_ASSIGN_OR_RETURN(std::vector<Bytes> raw,
+                       store_->GetAll(KeyForTerm(term)));
+  return DecodePeerList(raw);
+}
+
+Result<std::vector<Post>> Directory::FetchTopPeerList(const std::string& term,
+                                                      size_t limit) const {
+  IQN_ASSIGN_OR_RETURN(std::vector<Bytes> raw,
+                       store_->GetTop(KeyForTerm(term), limit));
+  return DecodePeerList(raw);
+}
+
+Result<std::vector<uint64_t>> Directory::TopPeersAcrossTerms(
+    const std::vector<std::string>& terms, size_t k) const {
+  std::vector<std::string> keys;
+  keys.reserve(terms.size());
+  for (const auto& term : terms) keys.push_back(KeyForTerm(term));
+  IQN_ASSIGN_OR_RETURN(TopKResult result, DistributedTopK(store_, keys, k));
+  std::vector<uint64_t> peer_ids;
+  peer_ids.reserve(result.best.size());
+  for (const auto& entry : result.best) {
+    char* end = nullptr;
+    uint64_t id = std::strtoull(entry.subkey.c_str(), &end, 10);
+    if (end != entry.subkey.c_str() && *end == '\0') peer_ids.push_back(id);
+  }
+  return peer_ids;
+}
+
+Result<std::vector<Post>> Directory::FetchPostsForPeers(
+    const std::string& term, const std::vector<uint64_t>& peer_ids) const {
+  std::vector<std::string> subkeys;
+  subkeys.reserve(peer_ids.size());
+  for (uint64_t id : peer_ids) subkeys.push_back(std::to_string(id));
+  IQN_ASSIGN_OR_RETURN(std::vector<Bytes> raw,
+                       store_->FetchEntries(KeyForTerm(term), subkeys));
+  return DecodePeerList(raw);
+}
+
+Status Directory::Withdraw(const std::string& term, uint64_t peer_id) {
+  return store_->Remove(KeyForTerm(term), std::to_string(peer_id));
+}
+
+}  // namespace iqn

@@ -1,0 +1,71 @@
+// The conceptually global, physically distributed directory (paper
+// Sec. 4): Chord partitions the term space, and the node a term hashes to
+// maintains the PeerList of all Posts for that term.
+//
+// This class is each peer's *client view* of the directory — publish and
+// fetch operations route through the peer's own DHT node, so every
+// directory interaction is real (and metered) network traffic.
+
+#ifndef IQN_MINERVA_DIRECTORY_H_
+#define IQN_MINERVA_DIRECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "dht/kv_store.h"
+#include "minerva/post.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class Directory {
+ public:
+  /// `store` must outlive the directory. Installs the directory's
+  /// PeerList ranking (by index list length) as the store's server-side
+  /// value scorer, enabling truncated PeerList fetches.
+  explicit Directory(DhtStore* store);
+
+  /// Publishes (or refreshes) one Post; a re-post by the same peer for
+  /// the same term replaces the previous one.
+  Status Publish(const Post& post);
+
+  /// Publishes many Posts with per-directory-node batching (Sec. 7.2:
+  /// posts directed to the same recipient share one message).
+  Status PublishBatch(const std::vector<Post>& posts);
+
+  /// The full PeerList for a term (possibly empty). Malformed posts from
+  /// misbehaving peers are skipped, not fatal.
+  Result<std::vector<Post>> FetchPeerList(const std::string& term) const;
+
+  /// PeerList truncated server-side to the `limit` posts with the
+  /// longest index lists (Sec. 4: fetch "only a subset, say the top-k
+  /// peers from each list"). limit == 0 fetches everything.
+  Result<std::vector<Post>> FetchTopPeerList(const std::string& term,
+                                             size_t limit) const;
+
+  /// The `k` peers with the largest aggregate index-list mass summed
+  /// over `terms`, computed by the TPUT distributed top-k algorithm
+  /// (Sec. 4: "the top-k peers over all lists, calculated by a
+  /// distributed top-k algorithm") — no full PeerList ever crosses the
+  /// wire. Exact with respect to the ranking criterion.
+  Result<std::vector<uint64_t>> TopPeersAcrossTerms(
+      const std::vector<std::string>& terms, size_t k) const;
+
+  /// The Posts of specific peers for one term (peers without a post for
+  /// the term are skipped).
+  Result<std::vector<Post>> FetchPostsForPeers(
+      const std::string& term, const std::vector<uint64_t>& peer_ids) const;
+
+  /// Removes this peer's post for a term (e.g. on graceful shutdown).
+  Status Withdraw(const std::string& term, uint64_t peer_id);
+
+  /// The DHT key a term's PeerList lives under.
+  static std::string KeyForTerm(const std::string& term);
+
+ private:
+  DhtStore* store_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_DIRECTORY_H_

@@ -1,0 +1,135 @@
+#include "minerva/engine.h"
+
+#include <limits>
+
+namespace iqn {
+
+Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
+    EngineOptions options, std::vector<Corpus> collections) {
+  if (collections.empty()) {
+    return Status::InvalidArgument("engine needs at least one collection");
+  }
+  auto engine = std::unique_ptr<MinervaEngine>(new MinervaEngine(options));
+  engine->network_ = std::make_unique<SimulatedNetwork>(options.latency);
+
+  IQN_ASSIGN_OR_RETURN(
+      engine->ring_,
+      ChordRing::Build(engine->network_.get(), collections.size()));
+
+  // The centralized reference collection is the union of all peers'
+  // collections (recall is measured relative to it).
+  Corpus reference;
+  for (const Corpus& c : collections) reference.Merge(c);
+  engine->reference_index_ = InvertedIndex::Build(reference, options.scoring);
+
+  for (size_t i = 0; i < collections.size(); ++i) {
+    ChordNode* node = &engine->ring_->node(i);
+    IQN_ASSIGN_OR_RETURN(
+        std::unique_ptr<DhtStore> store,
+        DhtStore::Attach(node, options.directory_replication));
+    engine->stores_.push_back(std::move(store));
+    IQN_ASSIGN_OR_RETURN(
+        std::unique_ptr<Peer> peer,
+        Peer::Create(i, node, engine->stores_.back().get(), options.synopsis,
+                     options.scoring));
+    IQN_RETURN_IF_ERROR(peer->SetCollection(std::move(collections[i])));
+    engine->peers_.push_back(std::move(peer));
+  }
+  return engine;
+}
+
+Status MinervaEngine::PublishAll() {
+  for (auto& peer : peers_) {
+    IQN_RETURN_IF_ERROR(options_.batch_posting ? peer->PublishPostsBatched()
+                                               : peer->PublishPosts());
+  }
+  return Status::OK();
+}
+
+void MinervaEngine::RebuildReferenceIndex() {
+  Corpus reference;
+  for (const auto& peer : peers_) reference.Merge(peer->collection());
+  reference_index_ = InvertedIndex::Build(reference, options_.scoring);
+}
+
+std::vector<ScoredDoc> MinervaEngine::ReferenceResults(
+    const Query& query) const {
+  return ExecuteQuery(reference_index_, query);
+}
+
+Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
+                                             const Query& query,
+                                             const Router& router,
+                                             size_t max_peers) {
+  if (initiator_index >= peers_.size()) {
+    return Status::InvalidArgument("initiator index out of range");
+  }
+  Peer& initiator = *peers_[initiator_index];
+  QueryOutcome outcome;
+
+  const NetworkStats before_routing = network_->stats();
+
+  // Routing phase: local execution (free), directory lookups (metered),
+  // then the routing decision itself (pure computation on fetched data).
+  std::vector<ScoredDoc> local = initiator.ExecuteLocal(query);
+  std::vector<DocId> local_docs;
+  local_docs.reserve(local.size());
+  for (const ScoredDoc& sd : local) local_docs.push_back(sd.doc);
+
+  std::vector<CandidatePeer> candidates;
+  if (options_.distributed_topk_candidates > 0) {
+    IQN_ASSIGN_OR_RETURN(candidates,
+                         initiator.FetchCandidatesTopK(
+                             query, options_.distributed_topk_candidates));
+  } else {
+    IQN_ASSIGN_OR_RETURN(
+        candidates,
+        initiator.FetchCandidates(query, options_.peerlist_limit));
+  }
+
+  RoutingInput input;
+  input.query = &query;
+  input.candidates = &candidates;
+  input.max_peers = max_peers;
+  input.total_peers = peers_.size();
+  input.local_result_docs = &local_docs;
+  input.synopsis_config = &options_.synopsis;
+  Peer::QueryReference seed;  // must outlive Route()
+  if (options_.seed_reference_from_synopses) {
+    IQN_ASSIGN_OR_RETURN(seed, initiator.BuildQueryReference(query));
+    input.seed_synopsis = seed.synopsis.get();
+    input.seed_cardinality = seed.cardinality;
+  }
+  IQN_ASSIGN_OR_RETURN(outcome.decision, router.Route(input));
+
+  const NetworkStats after_routing = network_->stats();
+  outcome.routing_messages = after_routing.messages - before_routing.messages;
+  outcome.routing_bytes = after_routing.bytes - before_routing.bytes;
+  outcome.routing_latency_ms =
+      after_routing.latency_ms - before_routing.latency_ms;
+
+  // Execution phase: forward to the selected peers and merge.
+  QueryProcessor processor(&initiator, options_.merge);
+  IQN_ASSIGN_OR_RETURN(outcome.execution,
+                       processor.Execute(query, outcome.decision));
+
+  const NetworkStats after_execution = network_->stats();
+  outcome.execution_messages =
+      after_execution.messages - after_routing.messages;
+  outcome.execution_bytes = after_execution.bytes - after_routing.bytes;
+  outcome.execution_latency_ms =
+      after_execution.latency_ms - after_routing.latency_ms;
+
+  // Evaluation against the centralized reference.
+  std::vector<ScoredDoc> reference = ReferenceResults(query);
+  outcome.recall = RelativeRecall(outcome.execution.all_distinct, reference);
+  std::vector<ScoredDoc> remote_only = MergeResults(
+      outcome.execution.per_peer_results, std::numeric_limits<size_t>::max());
+  outcome.recall_remote_only = RelativeRecall(remote_only, reference);
+  outcome.duplicate_fraction =
+      DuplicateFraction(outcome.execution.per_peer_results);
+  outcome.distinct_results = outcome.execution.all_distinct.size();
+  return outcome;
+}
+
+}  // namespace iqn

@@ -1,0 +1,124 @@
+// MinervaEngine: assembles the whole system — simulated network, Chord
+// ring, replicated directory, peers with their collections — and runs the
+// full query pipeline (local execution -> directory lookups -> routing ->
+// forwarding -> merging -> evaluation). This is the top-level entry point
+// used by the examples and by every Fig. 3 bench.
+
+#ifndef IQN_MINERVA_ENGINE_H_
+#define IQN_MINERVA_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "dht/chord.h"
+#include "dht/kv_store.h"
+#include "ir/recall.h"
+#include "minerva/peer.h"
+#include "minerva/query_processor.h"
+#include "minerva/router.h"
+#include "net/network.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct EngineOptions {
+  SynopsisConfig synopsis;
+  ScoringModel scoring;
+  /// Copies of each directory entry (owner + replicas).
+  size_t directory_replication = 1;
+  /// Batch posts by directory node when publishing (Sec. 7.2).
+  bool batch_posting = false;
+  /// Fetch only the top-so-many posts per term during routing (Sec. 4);
+  /// 0 fetches complete PeerLists.
+  size_t peerlist_limit = 0;
+  /// When > 0, determine the candidate set with the distributed top-k
+  /// algorithm over ALL query terms (Sec. 4) instead of fetching
+  /// PeerLists; the value is the number of candidate peers to surface.
+  /// Takes precedence over peerlist_limit.
+  size_t distributed_topk_candidates = 0;
+  /// How per-peer result lists are merged into the global ranking.
+  MergeStrategy merge = MergeStrategy::kRawScores;
+  /// Seed the IQN reference from the initiator's per-term synopses
+  /// (Sec. 5.1's alternative: the reference then covers everything the
+  /// initiator holds for the query, not just its top-k result).
+  bool seed_reference_from_synopses = false;
+  LatencyModel latency;
+};
+
+/// Everything measured about one routed query.
+struct QueryOutcome {
+  RoutingDecision decision;
+  QueryExecution execution;
+  /// Relative recall of the distinct retrieved documents against the
+  /// centralized reference engine's top-k (paper Sec. 8.1), counting the
+  /// initiator's local results.
+  double recall = 0.0;
+  /// Same measure counting only the documents delivered by the *queried*
+  /// peers — the paper's Fig. 3 view, where the x-axis is the number of
+  /// remote peers a query is forwarded to.
+  double recall_remote_only = 0.0;
+  /// Redundancy across the contacted peers' raw lists.
+  double duplicate_fraction = 0.0;
+  size_t distinct_results = 0;
+  /// Network cost split by phase.
+  uint64_t routing_messages = 0;
+  uint64_t routing_bytes = 0;
+  uint64_t execution_messages = 0;
+  uint64_t execution_bytes = 0;
+  /// Simulated transfer latency per phase (the network's LatencyModel
+  /// applied to every message of the phase).
+  double routing_latency_ms = 0.0;
+  double execution_latency_ms = 0.0;
+};
+
+class MinervaEngine {
+ public:
+  /// Builds a network of `collections.size()` peers, one collection each.
+  /// Call PublishAll() before routing queries.
+  static Result<std::unique_ptr<MinervaEngine>> Create(
+      EngineOptions options, std::vector<Corpus> collections);
+
+  size_t num_peers() const { return peers_.size(); }
+  Peer& peer(size_t i) { return *peers_[i]; }
+  const Peer& peer(size_t i) const { return *peers_[i]; }
+  SimulatedNetwork& network() { return *network_; }
+  ChordRing& ring() { return *ring_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Every peer posts synopses + statistics for every term it holds.
+  Status PublishAll();
+
+  /// Total directory traffic incurred so far (the synopsis posting cost
+  /// the paper's Sec. 7.2 worries about).
+  uint64_t TotalBytesSent() const { return network_->stats().bytes; }
+
+  /// Full pipeline for one query from peer `initiator_index`, routed by
+  /// `router`, contacting at most `max_peers` remote peers.
+  Result<QueryOutcome> RunQuery(size_t initiator_index, const Query& query,
+                                const Router& router, size_t max_peers);
+
+  /// The centralized reference engine's top-k for a query (over the union
+  /// of all collections, same scoring model).
+  std::vector<ScoredDoc> ReferenceResults(const Query& query) const;
+
+  const InvertedIndex& reference_index() const { return reference_index_; }
+
+  /// Rebuilds the centralized reference from the peers' CURRENT
+  /// collections. Call after peers crawl new documents (AddDocuments) so
+  /// recall is measured against the evolved corpus.
+  void RebuildReferenceIndex();
+
+ private:
+  MinervaEngine(EngineOptions options) : options_(std::move(options)) {}
+
+  EngineOptions options_;
+  std::unique_ptr<SimulatedNetwork> network_;
+  std::unique_ptr<ChordRing> ring_;
+  std::vector<std::unique_ptr<DhtStore>> stores_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  InvertedIndex reference_index_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_ENGINE_H_

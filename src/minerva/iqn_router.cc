@@ -1,0 +1,355 @@
+#include "minerva/iqn_router.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+#include "synopses/estimators.h"
+#include "synopses/reference_synopsis.h"
+
+namespace iqn {
+
+namespace {
+
+/// Greedy selection loop shared by all three IQN variants. `novelty_of`
+/// estimates a candidate's novelty against the current reference state;
+/// `absorb` folds the chosen candidate in; `covered` reports the current
+/// estimated result cardinality.
+struct LoopCallbacks {
+  std::function<Result<double>(size_t candidate_index)> novelty_of;
+  std::function<Status(size_t candidate_index)> absorb;
+  std::function<double()> covered;
+};
+
+Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
+                                   const IqnOptions& options,
+                                   const std::map<uint64_t, double>& qualities,
+                                   const LoopCallbacks& callbacks) {
+  const auto& candidates = *input.candidates;
+  std::vector<bool> taken(candidates.size(), false);
+  RoutingDecision decision;
+
+  while (decision.peers.size() < input.max_peers) {
+    if (options.min_estimated_results > 0.0 &&
+        callbacks.covered() >= options.min_estimated_results) {
+      break;  // enough (estimated) results already covered
+    }
+
+    // Select-Best-Peer: argmax of quality * novelty over the remaining
+    // candidates, with novelty re-estimated against the current
+    // reference every iteration.
+    int best = -1;
+    double best_combined = -1.0;
+    double best_quality = 0.0;
+    double best_novelty = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      IQN_ASSIGN_OR_RETURN(double novelty, callbacks.novelty_of(i));
+      double effective = std::max(novelty, options.novelty_floor);
+      double quality = 1.0;
+      if (options.use_quality) {
+        auto it = qualities.find(candidates[i].peer_id);
+        quality = it == qualities.end() ? 0.0 : it->second;
+      }
+      double combined = quality * effective;
+      if (combined > best_combined ||
+          (combined == best_combined && best >= 0 &&
+           candidates[i].peer_id < candidates[static_cast<size_t>(best)].peer_id)) {
+        best = static_cast<int>(i);
+        best_combined = combined;
+        best_quality = quality;
+        best_novelty = novelty;
+      }
+    }
+    if (best < 0) break;  // candidates exhausted
+
+    // Aggregate-Synopses: fold the chosen peer into the reference.
+    size_t idx = static_cast<size_t>(best);
+    IQN_RETURN_IF_ERROR(callbacks.absorb(idx));
+    taken[idx] = true;
+    decision.peers.push_back(SelectedPeer{candidates[idx].peer_id,
+                                          candidates[idx].address,
+                                          best_quality, best_novelty,
+                                          best_combined});
+  }
+  decision.estimated_result_cardinality = callbacks.covered();
+  return decision;
+}
+
+}  // namespace
+
+std::string IqnRouter::name() const {
+  std::ostringstream os;
+  os << "IQN(" << AggregationStrategyName(options_.aggregation);
+  if (!options_.use_quality) os << ", novelty-only";
+  if (options_.use_histograms) os << ", histograms";
+  if (options_.correlation_aware) os << ", correlation-aware";
+  os << ")";
+  return os.str();
+}
+
+Result<RoutingDecision> IqnRouter::Route(const RoutingInput& input) const {
+  IQN_RETURN_IF_ERROR(ValidateInput(input));
+  if (input.synopsis_config == nullptr) {
+    return Status::InvalidArgument("IQN needs a synopsis config");
+  }
+  if (options_.use_histograms) return RouteHistogram(input);
+  if (options_.aggregation == AggregationStrategy::kPerTerm) {
+    return RoutePerTerm(input);
+  }
+  return RoutePerPeer(input);
+}
+
+// ------------------------------------------------------ per-peer strategy
+
+Result<RoutingDecision> IqnRouter::RoutePerPeer(
+    const RoutingInput& input) const {
+  const auto& candidates = *input.candidates;
+  std::map<uint64_t, double> qualities =
+      options_.use_quality ? ComputeCandidateQualities(input, options_.cori)
+                           : std::map<uint64_t, double>{};
+
+  // Decode and combine each candidate's per-term synopses once, up front
+  // (Sec. 6.2: one query-specific synopsis per peer).
+  std::vector<std::unique_ptr<SetSynopsis>> combined(candidates.size());
+  std::vector<double> cardinality(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<std::unique_ptr<SetSynopsis>> decoded;
+    std::vector<const SetSynopsis*> views;
+    std::vector<uint64_t> lens;
+    bool missing_term = false;
+    for (const std::string& term : input.query->terms) {
+      auto it = candidates[i].posts.find(term);
+      if (it == candidates[i].posts.end()) {
+        missing_term = true;
+        continue;
+      }
+      IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> syn,
+                           it->second.DecodeSynopsis());
+      decoded.push_back(std::move(syn));
+      views.push_back(decoded.back().get());
+      lens.push_back(it->second.list_length);
+    }
+    if (views.empty() ||
+        (input.query->mode == QueryMode::kConjunctive && missing_term)) {
+      // Cannot contribute (conjunctive queries need every term); keep a
+      // null combined synopsis = zero novelty.
+      continue;
+    }
+    IQN_ASSIGN_OR_RETURN(combined[i],
+                         CombinePerTermSynopses(views, input.query->mode));
+    cardinality[i] =
+        CombinedCardinality(*combined[i], lens, input.query->mode);
+  }
+
+  // Seed the reference: either with the initiator's pre-built coverage
+  // synopsis (Sec. 5.1's alternative) or with its local result docs.
+  std::unique_ptr<SetSynopsis> seed;
+  double seed_card = 0.0;
+  if (input.seed_synopsis != nullptr) {
+    seed = input.seed_synopsis->Clone();
+    seed_card = input.seed_cardinality;
+  } else {
+    IQN_ASSIGN_OR_RETURN(seed, input.synopsis_config->MakeEmpty());
+    if (input.local_result_docs != nullptr) {
+      for (DocId id : *input.local_result_docs) seed->Add(id);
+      seed_card = static_cast<double>(input.local_result_docs->size());
+    }
+  }
+  IQN_ASSIGN_OR_RETURN(ReferenceSynopsis reference,
+                       ReferenceSynopsis::Create(std::move(seed), seed_card));
+
+  LoopCallbacks callbacks;
+  callbacks.novelty_of = [&](size_t i) -> Result<double> {
+    if (combined[i] == nullptr) return 0.0;
+    return reference.NoveltyOf(*combined[i], cardinality[i]);
+  };
+  callbacks.absorb = [&](size_t i) -> Status {
+    if (combined[i] == nullptr) return Status::OK();
+    Result<double> credited = reference.Absorb(*combined[i], cardinality[i]);
+    return credited.ok() ? Status::OK() : credited.status();
+  };
+  callbacks.covered = [&]() { return reference.estimated_cardinality(); };
+  return RunIqnLoop(input, options_, qualities, callbacks);
+}
+
+// ------------------------------------------------------ per-term strategy
+
+Result<RoutingDecision> IqnRouter::RoutePerTerm(
+    const RoutingInput& input) const {
+  const auto& candidates = *input.candidates;
+  std::map<uint64_t, double> qualities =
+      options_.use_quality ? ComputeCandidateQualities(input, options_.cori)
+                           : std::map<uint64_t, double>{};
+
+  const auto& terms = input.query->terms;
+
+  // Decode per-candidate, per-term synopses.
+  std::vector<std::vector<std::unique_ptr<SetSynopsis>>> syn(candidates.size());
+  std::vector<std::vector<uint64_t>> lens(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    syn[i].resize(terms.size());
+    lens[i].assign(terms.size(), 0);
+    for (size_t t = 0; t < terms.size(); ++t) {
+      auto it = candidates[i].posts.find(terms[t]);
+      if (it == candidates[i].posts.end()) continue;
+      IQN_ASSIGN_OR_RETURN(syn[i][t], it->second.DecodeSynopsis());
+      lens[i][t] = it->second.list_length;
+    }
+  }
+
+  // Correlation deflation factors (Sec. 6.3 extension): how many distinct
+  // documents candidate i's query-term lists really cover, relative to
+  // the sum of their lengths. 1.0 = uncorrelated (disjoint lists); 1/T =
+  // all T lists identical. Estimated once per candidate from its own
+  // posted synopses.
+  std::vector<double> dedup_factor(candidates.size(), 1.0);
+  if (options_.correlation_aware && terms.size() > 1) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      std::vector<const SetSynopsis*> views;
+      std::vector<uint64_t> present_lens;
+      uint64_t len_sum = 0;
+      for (size_t t = 0; t < terms.size(); ++t) {
+        if (syn[i][t] == nullptr) continue;
+        views.push_back(syn[i][t].get());
+        present_lens.push_back(lens[i][t]);
+        len_sum += lens[i][t];
+      }
+      if (views.size() < 2 || len_sum == 0) continue;
+      Result<std::unique_ptr<SetSynopsis>> combined =
+          CombinePerTermSynopses(views, QueryMode::kDisjunctive);
+      if (!combined.ok()) continue;  // fall back to the plain sum
+      double distinct = CombinedCardinality(*combined.value(), present_lens,
+                                            QueryMode::kDisjunctive);
+      dedup_factor[i] = std::clamp(distinct / static_cast<double>(len_sum),
+                                   1.0 / static_cast<double>(views.size()),
+                                   1.0);
+    }
+  }
+
+  // One reference synopsis per query term (Sec. 6.3), each seeded with
+  // the initiator's local result.
+  std::vector<ReferenceSynopsis> references;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> seed,
+                         input.synopsis_config->MakeEmpty());
+    double seed_card = 0.0;
+    if (input.local_result_docs != nullptr) {
+      for (DocId id : *input.local_result_docs) seed->Add(id);
+      seed_card = static_cast<double>(input.local_result_docs->size());
+    }
+    IQN_ASSIGN_OR_RETURN(ReferenceSynopsis ref,
+                         ReferenceSynopsis::Create(std::move(seed), seed_card));
+    references.push_back(std::move(ref));
+  }
+
+  LoopCallbacks callbacks;
+  callbacks.novelty_of = [&](size_t i) -> Result<double> {
+    // Sum of term-wise novelties — a crude but order-preserving estimate
+    // of the peer's whole-query contribution (Sec. 6.3), optionally
+    // deflated by the candidate's own term-list correlation.
+    double total = 0.0;
+    for (size_t t = 0; t < terms.size(); ++t) {
+      if (syn[i][t] == nullptr) continue;
+      IQN_ASSIGN_OR_RETURN(
+          double nov,
+          references[t].NoveltyOf(*syn[i][t],
+                                  static_cast<double>(lens[i][t])));
+      total += nov;
+    }
+    return total * dedup_factor[i];
+  };
+  callbacks.absorb = [&](size_t i) -> Status {
+    for (size_t t = 0; t < terms.size(); ++t) {
+      if (syn[i][t] == nullptr) continue;
+      Result<double> r = references[t].Absorb(
+          *syn[i][t], static_cast<double>(lens[i][t]));
+      if (!r.ok()) return r.status();
+    }
+    return Status::OK();
+  };
+  callbacks.covered = [&]() {
+    // Upper-bound style aggregate: the per-term covered spaces overlap,
+    // so take the max as the conservative "documents covered" signal.
+    double best = 0.0;
+    for (const auto& ref : references) {
+      best = std::max(best, ref.estimated_cardinality());
+    }
+    return best;
+  };
+  return RunIqnLoop(input, options_, qualities, callbacks);
+}
+
+// ----------------------------------------------- histogram-based strategy
+
+Result<RoutingDecision> IqnRouter::RouteHistogram(
+    const RoutingInput& input) const {
+  const auto& candidates = *input.candidates;
+  std::map<uint64_t, double> qualities =
+      options_.use_quality ? ComputeCandidateQualities(input, options_.cori)
+                           : std::map<uint64_t, double>{};
+
+  const auto& terms = input.query->terms;
+
+  // Decode per-candidate, per-term histograms.
+  std::vector<std::vector<std::optional<ScoreHistogramSynopsis>>> hist(
+      candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    hist[i].resize(terms.size());
+    for (size_t t = 0; t < terms.size(); ++t) {
+      auto it = candidates[i].posts.find(terms[t]);
+      if (it == candidates[i].posts.end()) continue;
+      Result<ScoreHistogramSynopsis> h = it->second.DecodeHistogram();
+      if (!h.ok()) {
+        return Status::FailedPrecondition(
+            "IQN histogram mode but post has no histogram (peer " +
+            std::to_string(candidates[i].peer_id) + "): " +
+            h.status().ToString());
+      }
+      hist[i][t].emplace(std::move(h).value());
+    }
+  }
+
+  // Per-term histogram references. The initiator's local result enters
+  // the top score cell: its documents are certainly covered, and crediting
+  // them at full weight penalizes candidates that would re-deliver them.
+  std::vector<ScoreHistogramSynopsis> references;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    IQN_ASSIGN_OR_RETURN(ScoreHistogramSynopsis ref,
+                         input.synopsis_config->MakeEmptyHistogram());
+    if (input.local_result_docs != nullptr) {
+      for (DocId id : *input.local_result_docs) ref.Add(id, 1.0);
+    }
+    references.push_back(std::move(ref));
+  }
+
+  LoopCallbacks callbacks;
+  callbacks.novelty_of = [&](size_t i) -> Result<double> {
+    double total = 0.0;
+    for (size_t t = 0; t < terms.size(); ++t) {
+      if (!hist[i][t].has_value()) continue;
+      IQN_ASSIGN_OR_RETURN(
+          double nov,
+          references[t].WeightedNoveltyOf(*hist[i][t],
+                                          options_.histogram_weight_exponent));
+      total += nov;
+    }
+    return total;
+  };
+  callbacks.absorb = [&](size_t i) -> Status {
+    for (size_t t = 0; t < terms.size(); ++t) {
+      if (!hist[i][t].has_value()) continue;
+      IQN_RETURN_IF_ERROR(references[t].Absorb(*hist[i][t]));
+    }
+    return Status::OK();
+  };
+  callbacks.covered = [&]() {
+    size_t best = 0;
+    for (const auto& ref : references) best = std::max(best, ref.TotalCount());
+    return static_cast<double>(best);
+  };
+  return RunIqnLoop(input, options_, qualities, callbacks);
+}
+
+}  // namespace iqn

@@ -1,0 +1,78 @@
+// The IQN (Integrated Quality Novelty) routing method — the paper's core
+// contribution (Sec. 5, Sec. 6, Sec. 7.1).
+//
+// IQN builds the query execution plan iteratively. Starting from a
+// reference synopsis seeded with the initiator's local query result, each
+// iteration performs:
+//   Select-Best-Peer:   rank the remaining candidates by
+//                       quality(CORI) x novelty(synopsis vs reference)
+//                       and pick the best;
+//   Aggregate-Synopses: union the chosen peer's synopsis into the
+//                       reference, so the next iteration measures novelty
+//                       against everything already covered.
+// The loop stops at max_peers, or earlier when the estimated size of the
+// covered result space reaches min_estimated_results (Sec. 5.1's
+// "estimated number of (good) documents" criterion).
+//
+// Multi-keyword queries use either per-peer or per-term aggregation
+// (Sec. 6); with use_histograms the novelty estimate becomes the
+// score-weighted histogram novelty of Sec. 7.1.
+
+#ifndef IQN_MINERVA_IQN_ROUTER_H_
+#define IQN_MINERVA_IQN_ROUTER_H_
+
+#include "minerva/aggregation.h"
+#include "minerva/router.h"
+
+namespace iqn {
+
+struct IqnOptions {
+  AggregationStrategy aggregation = AggregationStrategy::kPerPeer;
+  /// false = rank by novelty alone (the DB-style structured-query setting
+  /// where all matches are equally "good").
+  bool use_quality = true;
+  /// Score-conscious novelty via histogram synopses (requires Posts that
+  /// carry histograms, i.e. SynopsisConfig::histogram_cells > 0). Forces
+  /// per-term aggregation.
+  bool use_histograms = false;
+  /// Weight exponent for histogram cells (Sec. 7.1): 0 = flat, 1 = linear
+  /// in the cell's score midpoint.
+  double histogram_weight_exponent = 1.0;
+  /// Correlation-aware per-term aggregation (the extension Sec. 6.3
+  /// suggests): the summed per-term novelty double-counts documents that
+  /// appear in several of the candidate's query-term lists. When enabled,
+  /// the sum is deflated by the candidate's own term-list correlation,
+  /// estimated from its posted synopses as
+  ///   |union of term lists| / sum of term list lengths.
+  /// Only affects the per-term strategy on multi-term queries.
+  bool correlation_aware = false;
+  /// Optional early-stop: end the loop once the reference synopsis
+  /// estimates at least this many covered documents (0 = disabled).
+  double min_estimated_results = 0.0;
+  /// A candidate whose estimated novelty is <= 0 still gets this floor,
+  /// so peer selection degrades to quality ranking (instead of an
+  /// arbitrary choice) once the result space looks exhausted.
+  double novelty_floor = 1e-3;
+  CoriParams cori;
+};
+
+class IqnRouter final : public Router {
+ public:
+  explicit IqnRouter(IqnOptions options = {}) : options_(options) {}
+
+  std::string name() const override;
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+  const IqnOptions& options() const { return options_; }
+
+ private:
+  Result<RoutingDecision> RoutePerPeer(const RoutingInput& input) const;
+  Result<RoutingDecision> RoutePerTerm(const RoutingInput& input) const;
+  Result<RoutingDecision> RouteHistogram(const RoutingInput& input) const;
+
+  IqnOptions options_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_IQN_ROUTER_H_

@@ -1,0 +1,274 @@
+#include "minerva/peer.h"
+
+#include <map>
+#include <set>
+
+#include "synopses/serialization.h"
+
+namespace iqn {
+
+Bytes EncodeQuery(const Query& query) {
+  ByteWriter writer;
+  writer.PutVarint(query.terms.size());
+  for (const auto& term : query.terms) writer.PutString(term);
+  writer.PutU8(query.mode == QueryMode::kConjunctive ? 1 : 0);
+  writer.PutVarint(query.k);
+  return writer.Take();
+}
+
+Result<Query> DecodeQuery(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  Query query;
+  uint64_t num_terms;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&num_terms));
+  if (num_terms > 256) return Status::Corruption("query with >256 terms");
+  query.terms.resize(num_terms);
+  for (auto& term : query.terms) IQN_RETURN_IF_ERROR(reader.GetString(&term));
+  uint8_t mode;
+  IQN_RETURN_IF_ERROR(reader.GetU8(&mode));
+  query.mode = mode ? QueryMode::kConjunctive : QueryMode::kDisjunctive;
+  uint64_t k;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&k));
+  query.k = k;
+  return query;
+}
+
+Bytes EncodeResults(const std::vector<ScoredDoc>& results) {
+  ByteWriter writer;
+  writer.PutVarint(results.size());
+  for (const ScoredDoc& sd : results) {
+    writer.PutU64(sd.doc);
+    writer.PutDouble(sd.score);
+  }
+  return writer.Take();
+}
+
+Result<std::vector<ScoredDoc>> DecodeResults(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  std::vector<ScoredDoc> results(n);
+  for (auto& sd : results) {
+    IQN_RETURN_IF_ERROR(reader.GetU64(&sd.doc));
+    IQN_RETURN_IF_ERROR(reader.GetDouble(&sd.score));
+  }
+  return results;
+}
+
+Peer::Peer(uint64_t peer_id, ChordNode* node, DhtStore* store,
+           SynopsisConfig synopsis_config, ScoringModel scoring)
+    : peer_id_(peer_id),
+      node_(node),
+      directory_(store),
+      synopsis_config_(synopsis_config),
+      scoring_(scoring) {}
+
+Result<std::unique_ptr<Peer>> Peer::Create(uint64_t peer_id, ChordNode* node,
+                                           DhtStore* store,
+                                           SynopsisConfig synopsis_config,
+                                           ScoringModel scoring) {
+  if (node == nullptr || store == nullptr) {
+    return Status::InvalidArgument("peer needs a node and a store");
+  }
+  // Validate the synopsis configuration early.
+  IQN_RETURN_IF_ERROR(synopsis_config.MakeEmpty().status());
+  auto peer = std::unique_ptr<Peer>(
+      new Peer(peer_id, node, store, synopsis_config, scoring));
+  Peer* raw = peer.get();
+  IQN_RETURN_IF_ERROR(node->RegisterVerb(
+      "peer.query", [raw](const Message& m) { return raw->HandleQuery(m); }));
+  return peer;
+}
+
+Status Peer::SetCollection(Corpus collection) {
+  collection_ = std::move(collection);
+  index_ = InvertedIndex::Build(collection_, scoring_);
+  return Status::OK();
+}
+
+Status Peer::AddDocuments(const Corpus& delta, bool republish) {
+  // Collect the terms whose lists will change before merging.
+  std::set<std::string> touched;
+  for (const auto& doc : delta.docs()) {
+    if (collection_.ContainsDoc(doc.id)) continue;  // duplicate crawl
+    for (const auto& term : doc.terms) touched.insert(term);
+  }
+  collection_.Merge(delta);
+  index_ = InvertedIndex::Build(collection_, scoring_);
+  if (!republish || touched.empty()) return Status::OK();
+
+  std::vector<Post> refreshed;
+  refreshed.reserve(touched.size());
+  for (const std::string& term : touched) {
+    IQN_ASSIGN_OR_RETURN(Post post, BuildPost(term));
+    refreshed.push_back(std::move(post));
+  }
+  return directory_.PublishBatch(refreshed);
+}
+
+Result<Post> Peer::BuildPost(const std::string& term,
+                             size_t bits_override) const {
+  const std::vector<Posting>* list = index_.postings(term);
+  if (list == nullptr) {
+    return Status::NotFound("term not in local index: " + term);
+  }
+
+  Post post;
+  post.peer_id = peer_id_;
+  post.address = node_->address();
+  post.term = term;
+  post.list_length = list->size();
+  post.max_score = index_.MaxScore(term);
+  post.avg_score = index_.AvgScore(term);
+  post.term_space_size = index_.NumTerms();
+
+  IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> synopsis,
+                       synopsis_config_.MakeEmpty(bits_override));
+  for (const Posting& p : *list) synopsis->Add(p.doc);
+  if (synopsis_config_.compress_bloom &&
+      synopsis->type() == SynopsisType::kBloomFilter) {
+    post.synopsis = SerializeBloomFilterCompressed(
+        static_cast<const BloomFilter&>(*synopsis));
+  } else {
+    post.synopsis = SerializeSynopsisToBytes(*synopsis);
+  }
+
+  if (synopsis_config_.histogram_cells > 0) {
+    IQN_ASSIGN_OR_RETURN(ScoreHistogramSynopsis histogram,
+                         synopsis_config_.MakeEmptyHistogram());
+    std::vector<double> normalized = index_.NormalizedScoresFor(term);
+    for (size_t i = 0; i < list->size(); ++i) {
+      histogram.Add((*list)[i].doc, normalized[i]);
+    }
+    ByteWriter writer;
+    SerializeHistogram(histogram, &writer);
+    post.histogram = writer.Take();
+  }
+  return post;
+}
+
+Status Peer::PublishPosts() {
+  for (const auto& [term, list] : index_.lists()) {
+    IQN_ASSIGN_OR_RETURN(Post post, BuildPost(term));
+    IQN_RETURN_IF_ERROR(directory_.Publish(post));
+  }
+  return Status::OK();
+}
+
+Status Peer::PublishPostsBatched() {
+  std::vector<Post> posts;
+  posts.reserve(index_.lists().size());
+  for (const auto& [term, list] : index_.lists()) {
+    IQN_ASSIGN_OR_RETURN(Post post, BuildPost(term));
+    posts.push_back(std::move(post));
+  }
+  return directory_.PublishBatch(posts);
+}
+
+Status Peer::PublishPostsAdaptive(uint64_t total_budget_bits,
+                                  const AdaptiveAllocationOptions& options) {
+  if (synopsis_config_.type != SynopsisType::kMinWise) {
+    return Status::FailedPrecondition(
+        "adaptive synopsis lengths require MIPs (the only synopsis type "
+        "supporting heterogeneous lengths, paper Sec. 7.2)");
+  }
+  std::vector<std::string> terms;
+  std::vector<TermSynopsisDemand> demands;
+  for (const auto& [term, list] : index_.lists()) {
+    terms.push_back(term);
+    TermSynopsisDemand demand;
+    demand.list_length = list.size();
+    if (options.policy != BenefitPolicy::kListLength) {
+      demand.scores = index_.NormalizedScoresFor(term);
+    }
+    demands.push_back(std::move(demand));
+  }
+  if (terms.empty()) return Status::OK();
+  IQN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> lengths,
+      AllocateSynopsisBudget(demands, total_budget_bits, options));
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (lengths[i] == 0) continue;  // dropped term: not worth posting
+    IQN_ASSIGN_OR_RETURN(Post post, BuildPost(terms[i], lengths[i]));
+    IQN_RETURN_IF_ERROR(directory_.Publish(post));
+  }
+  return Status::OK();
+}
+
+std::vector<ScoredDoc> Peer::ExecuteLocal(const Query& query) const {
+  return ExecuteQuery(index_, query);
+}
+
+Result<Peer::QueryReference> Peer::BuildQueryReference(
+    const Query& query) const {
+  QueryReference reference;
+  IQN_ASSIGN_OR_RETURN(reference.synopsis, synopsis_config_.MakeEmpty());
+  std::set<DocId> distinct;
+  for (const std::string& term : query.terms) {
+    for (DocId id : index_.DocIdsFor(term)) {
+      reference.synopsis->Add(id);
+      distinct.insert(id);
+    }
+  }
+  reference.cardinality = static_cast<double>(distinct.size());
+  return reference;
+}
+
+Result<std::vector<CandidatePeer>> Peer::FetchCandidates(
+    const Query& query, size_t peerlist_limit) const {
+  std::map<uint64_t, CandidatePeer> by_peer;
+  for (const std::string& term : query.terms) {
+    IQN_ASSIGN_OR_RETURN(std::vector<Post> peer_list,
+                         peerlist_limit == 0
+                             ? directory_.FetchPeerList(term)
+                             : directory_.FetchTopPeerList(term,
+                                                           peerlist_limit));
+    for (Post& post : peer_list) {
+      if (post.peer_id == peer_id_) continue;  // own contribution is local
+      CandidatePeer& cand = by_peer[post.peer_id];
+      cand.peer_id = post.peer_id;
+      cand.address = post.address;
+      cand.posts.emplace(term, std::move(post));
+    }
+  }
+  std::vector<CandidatePeer> candidates;
+  candidates.reserve(by_peer.size());
+  for (auto& [id, cand] : by_peer) candidates.push_back(std::move(cand));
+  return candidates;
+}
+
+Result<std::vector<CandidatePeer>> Peer::FetchCandidatesTopK(
+    const Query& query, size_t top_peers) const {
+  // +1 slot because the initiator itself may rank among the winners and
+  // is excluded from the candidate set.
+  IQN_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> winners,
+      directory_.TopPeersAcrossTerms(query.terms, top_peers + 1));
+  std::vector<uint64_t> others;
+  for (uint64_t id : winners) {
+    if (id != peer_id_ && others.size() < top_peers) others.push_back(id);
+  }
+
+  std::map<uint64_t, CandidatePeer> by_peer;
+  for (const std::string& term : query.terms) {
+    IQN_ASSIGN_OR_RETURN(std::vector<Post> posts,
+                         directory_.FetchPostsForPeers(term, others));
+    for (Post& post : posts) {
+      CandidatePeer& cand = by_peer[post.peer_id];
+      cand.peer_id = post.peer_id;
+      cand.address = post.address;
+      cand.posts.emplace(term, std::move(post));
+    }
+  }
+  std::vector<CandidatePeer> candidates;
+  candidates.reserve(by_peer.size());
+  for (auto& [id, cand] : by_peer) candidates.push_back(std::move(cand));
+  return candidates;
+}
+
+Result<Bytes> Peer::HandleQuery(const Message& msg) const {
+  IQN_ASSIGN_OR_RETURN(Query query, DecodeQuery(msg.payload));
+  return EncodeResults(ExecuteLocal(query));
+}
+
+}  // namespace iqn

@@ -1,0 +1,131 @@
+// A MINERVA peer: local crawl + inverted index + synopsis builder +
+// directory client + remote query execution endpoint (paper Sec. 4).
+
+#ifndef IQN_MINERVA_PEER_H_
+#define IQN_MINERVA_PEER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/kv_store.h"
+#include "ir/corpus.h"
+#include "ir/inverted_index.h"
+#include "ir/query.h"
+#include "ir/top_k.h"
+#include "minerva/directory.h"
+#include "minerva/post.h"
+#include "minerva/router.h"
+#include "synopses/adaptive.h"
+#include "util/status.h"
+
+namespace iqn {
+
+// Wire helpers for the "peer.query" verb.
+Bytes EncodeQuery(const Query& query);
+Result<Query> DecodeQuery(const Bytes& bytes);
+Bytes EncodeResults(const std::vector<ScoredDoc>& results);
+Result<std::vector<ScoredDoc>> DecodeResults(const Bytes& bytes);
+
+class Peer {
+ public:
+  /// `node` and `store` must outlive the peer. Registers the
+  /// "peer.query" execution verb on the node.
+  static Result<std::unique_ptr<Peer>> Create(uint64_t peer_id,
+                                              ChordNode* node, DhtStore* store,
+                                              SynopsisConfig synopsis_config,
+                                              ScoringModel scoring = {});
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  uint64_t peer_id() const { return peer_id_; }
+  NodeAddress address() const { return node_->address(); }
+  ChordNode* node() const { return node_; }
+  Directory& directory() { return directory_; }
+  const InvertedIndex& index() const { return index_; }
+  const Corpus& collection() const { return collection_; }
+  const SynopsisConfig& synopsis_config() const { return synopsis_config_; }
+
+  /// Installs the peer's crawled collection and (re)builds the local
+  /// index. Call PublishPosts afterwards to refresh the directory.
+  Status SetCollection(Corpus collection);
+
+  /// Continues the crawl: merges newly fetched documents into the
+  /// collection, rebuilds the index, and (when `republish` is set)
+  /// refreshes the directory posts of exactly the terms those documents
+  /// touch. Posts of untouched terms keep slightly stale statistics
+  /// (|V_i| drift) until their next periodic refresh — the freshness
+  /// model the paper assumes for a dynamic P2P system.
+  Status AddDocuments(const Corpus& delta, bool republish = true);
+
+  /// Builds the Post for one term of the local index: list statistics +
+  /// flat synopsis (+ histogram when configured). `bits_override`
+  /// shortens the synopsis below the system default (MIPs only usefully).
+  Result<Post> BuildPost(const std::string& term,
+                         size_t bits_override = 0) const;
+
+  /// Publishes a Post for every term in the local index, one directory
+  /// write per term.
+  Status PublishPosts();
+
+  /// Same, but batched by directory node (Sec. 7.2): all posts owned by
+  /// the same directory node travel in one message, cutting the
+  /// per-message overhead that dominates posting cost.
+  Status PublishPostsBatched();
+
+  /// Sec. 7.2: distributes `total_budget_bits` across the local terms in
+  /// proportion to their benefit, then publishes with per-term synopsis
+  /// lengths. Requires MIPs (the only synopsis type that supports
+  /// heterogeneous lengths); terms allocated 0 bits are not posted.
+  Status PublishPostsAdaptive(uint64_t total_budget_bits,
+                              const AdaptiveAllocationOptions& options);
+
+  /// Local top-k execution over the peer's own collection.
+  std::vector<ScoredDoc> ExecuteLocal(const Query& query) const;
+
+  /// The initiator-side coverage synopsis of Sec. 5.1's alternative
+  /// seeding: the union of this peer's per-term synopses for the query
+  /// terms, plus the EXACT number of distinct local documents matching
+  /// any query term (the peer can count its own documents precisely).
+  struct QueryReference {
+    std::unique_ptr<SetSynopsis> synopsis;
+    double cardinality = 0.0;
+  };
+  Result<QueryReference> BuildQueryReference(const Query& query) const;
+
+  /// Directory phase of query initiation: fetches the PeerList of every
+  /// query term and groups the Posts by peer. The initiator itself is
+  /// excluded (its contribution is the local result).
+  /// `peerlist_limit` > 0 fetches only the top-so-many posts per term
+  /// (server-side truncation, Sec. 4), trading candidate coverage for
+  /// directory bandwidth.
+  Result<std::vector<CandidatePeer>> FetchCandidates(
+      const Query& query, size_t peerlist_limit = 0) const;
+
+  /// Directory phase via the distributed top-k algorithm (Sec. 4):
+  /// first determines the `top_peers` peers with the highest aggregate
+  /// index-list mass across ALL query terms (TPUT over the directory
+  /// nodes, exact), then fetches only those peers' Posts. Cheaper than
+  /// full PeerLists when the query terms are popular.
+  Result<std::vector<CandidatePeer>> FetchCandidatesTopK(
+      const Query& query, size_t top_peers) const;
+
+ private:
+  Peer(uint64_t peer_id, ChordNode* node, DhtStore* store,
+       SynopsisConfig synopsis_config, ScoringModel scoring);
+
+  Result<Bytes> HandleQuery(const Message& msg) const;
+
+  uint64_t peer_id_;
+  ChordNode* node_;
+  Directory directory_;
+  SynopsisConfig synopsis_config_;
+  ScoringModel scoring_;
+  Corpus collection_;
+  InvertedIndex index_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_PEER_H_

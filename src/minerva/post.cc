@@ -1,0 +1,116 @@
+#include "minerva/post.h"
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/loglog.h"
+#include "synopses/min_wise.h"
+#include "synopses/serialization.h"
+#include "util/bits.h"
+
+namespace iqn {
+
+Result<std::unique_ptr<SetSynopsis>> SynopsisConfig::MakeEmpty(
+    size_t bits_override) const {
+  size_t budget = bits_override == 0 ? bits : bits_override;
+  if (budget < 32) {
+    return Status::InvalidArgument("synopsis budget below 32 bits");
+  }
+  switch (type) {
+    case SynopsisType::kMinWise: {
+      // Paper accounting: 32 bits per stored permutation minimum.
+      size_t n = budget / 32;
+      IQN_ASSIGN_OR_RETURN(
+          MinWiseSynopsis mw,
+          MinWiseSynopsis::Create(n, UniversalHashFamily(seed)));
+      return std::unique_ptr<SetSynopsis>(new MinWiseSynopsis(std::move(mw)));
+    }
+    case SynopsisType::kBloomFilter: {
+      IQN_ASSIGN_OR_RETURN(BloomFilter bf,
+                           BloomFilter::Create(budget, bloom_hashes, seed));
+      return std::unique_ptr<SetSynopsis>(new BloomFilter(std::move(bf)));
+    }
+    case SynopsisType::kHashSketch: {
+      size_t width = hash_sketch_bitmap_bits;
+      size_t bitmaps = budget / width;
+      if (bitmaps == 0) bitmaps = 1;
+      IQN_ASSIGN_OR_RETURN(HashSketch hs,
+                           HashSketch::Create(bitmaps, width, seed));
+      return std::unique_ptr<SetSynopsis>(new HashSketch(std::move(hs)));
+    }
+    case SynopsisType::kLogLog: {
+      size_t buckets = budget / LogLogCounter::kRegisterBits;
+      if (buckets < 16) buckets = 16;
+      if (!IsPowerOfTwo(buckets)) {
+        buckets = NextPowerOfTwo(buckets) / 2;  // stay within the budget
+      }
+      IQN_ASSIGN_OR_RETURN(LogLogCounter ll, LogLogCounter::Create(buckets, seed));
+      return std::unique_ptr<SetSynopsis>(new LogLogCounter(std::move(ll)));
+    }
+  }
+  return Status::InvalidArgument("unknown synopsis type");
+}
+
+Result<ScoreHistogramSynopsis> SynopsisConfig::MakeEmptyHistogram() const {
+  if (histogram_cells == 0) {
+    return Status::FailedPrecondition("histograms disabled (0 cells)");
+  }
+  size_t per_cell = bits / histogram_cells;
+  // The factory is called once per cell inside Create; capture by value.
+  SynopsisConfig cell_config = *this;
+  Status first_error = Status::OK();
+  auto factory = [cell_config, per_cell,
+                  &first_error]() -> std::unique_ptr<SetSynopsis> {
+    Result<std::unique_ptr<SetSynopsis>> r = cell_config.MakeEmpty(per_cell);
+    if (!r.ok()) {
+      if (first_error.ok()) first_error = r.status();
+      return nullptr;
+    }
+    return std::move(r).value();
+  };
+  Result<ScoreHistogramSynopsis> hist =
+      ScoreHistogramSynopsis::Create(histogram_cells, factory);
+  if (!hist.ok()) {
+    return first_error.ok() ? hist.status() : first_error;
+  }
+  return hist;
+}
+
+void Post::Serialize(ByteWriter* writer) const {
+  writer->PutVarint(peer_id);
+  writer->PutU64(address);
+  writer->PutString(term);
+  writer->PutVarint(list_length);
+  writer->PutDouble(max_score);
+  writer->PutDouble(avg_score);
+  writer->PutVarint(term_space_size);
+  writer->PutBytes(synopsis);
+  writer->PutBytes(histogram);
+}
+
+Result<Post> Post::Deserialize(ByteReader* reader) {
+  Post post;
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&post.peer_id));
+  IQN_RETURN_IF_ERROR(reader->GetU64(&post.address));
+  IQN_RETURN_IF_ERROR(reader->GetString(&post.term));
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&post.list_length));
+  IQN_RETURN_IF_ERROR(reader->GetDouble(&post.max_score));
+  IQN_RETURN_IF_ERROR(reader->GetDouble(&post.avg_score));
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&post.term_space_size));
+  IQN_RETURN_IF_ERROR(reader->GetBytes(&post.synopsis));
+  IQN_RETURN_IF_ERROR(reader->GetBytes(&post.histogram));
+  return post;
+}
+
+Result<std::unique_ptr<SetSynopsis>> Post::DecodeSynopsis() const {
+  return DeserializeSynopsisFromBytes(synopsis);
+}
+
+Result<ScoreHistogramSynopsis> Post::DecodeHistogram() const {
+  if (histogram.empty()) {
+    return Status::NotFound("post carries no histogram synopsis");
+  }
+  ByteReader reader(histogram);
+  return DeserializeHistogram(&reader);
+}
+
+}  // namespace iqn

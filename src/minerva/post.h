@@ -1,0 +1,82 @@
+// Directory Posts (paper Sec. 4): the per-(peer, term) statistics record
+// every peer publishes to the distributed directory, and the system-wide
+// synopsis configuration all peers agree on.
+
+#ifndef IQN_MINERVA_POST_H_
+#define IQN_MINERVA_POST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/message.h"
+#include "synopses/histogram_synopsis.h"
+#include "synopses/synopsis.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace iqn {
+
+/// System-wide synopsis agreement. Everything here is a *global* system
+/// parameter: Bloom filters and hash sketches only combine at identical
+/// geometry (Sec. 3.4), and MIPs require the shared hash-family seed
+/// (Sec. 5.3). Individual peers may still shorten their MIPs vectors
+/// (heterogeneous lengths, Sec. 7.2) — `bits` is the default budget.
+struct SynopsisConfig {
+  SynopsisType type = SynopsisType::kMinWise;
+  /// Per-term synopsis budget in bits (paper accounting: one MIPs
+  /// permutation = 32 bits, so 2048 bits = 64 permutations).
+  size_t bits = 2048;
+  /// Bloom probe count (global parameter, like the filter size).
+  size_t bloom_hashes = 4;
+  /// Hash-sketch bitmap width; #bitmaps = bits / this.
+  size_t hash_sketch_bitmap_bits = 64;
+  /// Score-histogram cells per synopsis; 0 disables histograms (Sec. 7.1).
+  /// When enabled, each cell gets bits/histogram_cells bits.
+  size_t histogram_cells = 0;
+  /// Ship Bloom filters Golomb-Rice compressed (paper ref. [26]); only
+  /// affects the wire image, storage and semantics are unchanged.
+  bool compress_bloom = false;
+  /// The one out-of-band agreement among all peers.
+  uint64_t seed = 0x4d494e4552564131ULL;
+
+  /// Creates an empty synopsis of the configured type and budget.
+  /// `bits_override` (0 = use `bits`) supports adaptive lengths.
+  Result<std::unique_ptr<SetSynopsis>> MakeEmpty(size_t bits_override = 0) const;
+
+  /// Creates an empty score histogram whose cells follow this config.
+  Result<ScoreHistogramSynopsis> MakeEmptyHistogram() const;
+};
+
+/// One directory posting: "peer `peer_id` (reachable at `address`) holds
+/// `list_length` documents for `term`, with these score statistics and
+/// this docId-set synopsis."
+struct Post {
+  uint64_t peer_id = 0;
+  NodeAddress address = kInvalidAddress;
+  std::string term;
+  /// Index list length = document frequency of the term at this peer
+  /// (cdf_{i,t} in CORI).
+  uint64_t list_length = 0;
+  double max_score = 0.0;
+  double avg_score = 0.0;
+  /// Distinct terms at this peer (|V_i| in CORI's T component).
+  uint64_t term_space_size = 0;
+  /// Serialized flat docId-set synopsis (always present).
+  Bytes synopsis;
+  /// Serialized score-histogram synopsis (empty unless the system runs
+  /// with histogram_cells > 0).
+  Bytes histogram;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<Post> Deserialize(ByteReader* reader);
+
+  /// Deserializes the flat synopsis payload.
+  Result<std::unique_ptr<SetSynopsis>> DecodeSynopsis() const;
+  /// Deserializes the histogram payload (error if absent).
+  Result<ScoreHistogramSynopsis> DecodeHistogram() const;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_POST_H_

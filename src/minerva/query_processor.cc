@@ -1,0 +1,75 @@
+#include "minerva/query_processor.h"
+
+#include <limits>
+
+namespace iqn {
+
+namespace {
+
+// Callan's merge constant.
+constexpr double kBeta = 0.4;
+
+}  // namespace
+
+double QueryProcessor::CoriMergeWeight(double collection_score,
+                                       double mean_score) {
+  if (mean_score <= 0.0) return 1.0;
+  // Callan's heuristic up to a uniform 1/(1+beta) factor, which cannot
+  // change any ranking; omitting it makes the mean collection neutral
+  // (weight exactly 1).
+  double weight = 1.0 + kBeta * (collection_score - mean_score) / mean_score;
+  // A floor keeps a very low-quality (but novelty-selected) peer's
+  // results mergeable instead of zeroing them out.
+  return weight < 0.1 ? 0.1 : weight;
+}
+
+Result<QueryExecution> QueryProcessor::Execute(
+    const Query& query, const RoutingDecision& decision) const {
+  QueryExecution execution;
+  execution.local_results = initiator_->ExecuteLocal(query);
+
+  // CORI merge weights from the collection scores the router recorded.
+  std::vector<double> weights(decision.peers.size(), 1.0);
+  if (merge_ == MergeStrategy::kCoriNormalized && !decision.peers.empty()) {
+    double mean = 0.0;
+    for (const SelectedPeer& peer : decision.peers) mean += peer.quality;
+    mean /= static_cast<double>(decision.peers.size());
+    for (size_t i = 0; i < decision.peers.size(); ++i) {
+      weights[i] = CoriMergeWeight(decision.peers[i].quality, mean);
+    }
+  }
+
+  Bytes encoded = EncodeQuery(query);
+  SimulatedNetwork* network = initiator_->node()->network();
+  for (size_t i = 0; i < decision.peers.size(); ++i) {
+    const SelectedPeer& peer = decision.peers[i];
+    Result<Bytes> response = network->Rpc(initiator_->address(), peer.address,
+                                          "peer.query", encoded);
+    if (!response.ok()) {
+      ++execution.failed_peers;
+      execution.per_peer_results.emplace_back();
+      continue;
+    }
+    Result<std::vector<ScoredDoc>> results = DecodeResults(response.value());
+    if (!results.ok()) {
+      ++execution.failed_peers;
+      execution.per_peer_results.emplace_back();
+      continue;
+    }
+    std::vector<ScoredDoc> scored = std::move(results).value();
+    if (weights[i] != 1.0) {
+      for (ScoredDoc& sd : scored) sd.score *= weights[i];
+    }
+    execution.per_peer_results.push_back(std::move(scored));
+  }
+
+  std::vector<std::vector<ScoredDoc>> all_lists = execution.per_peer_results;
+  all_lists.push_back(execution.local_results);
+  execution.merged = MergeResults(all_lists, query.k);
+  // The untruncated distinct-result list, for recall measurement.
+  execution.all_distinct =
+      MergeResults(all_lists, std::numeric_limits<size_t>::max());
+  return execution;
+}
+
+}  // namespace iqn

@@ -1,0 +1,70 @@
+// Query execution phase: after routing has chosen the peers, forward the
+// query to each of them, collect their top-k lists, and merge.
+//
+// Merging has a classic distributed-IR subtlety: peers score with LOCAL
+// statistics (their own idf), so raw scores from different peers are not
+// directly comparable. The CORI-normalized strategy applies Callan's
+// standard merge heuristic, weighting each peer's scores by how its
+// collection score deviates from the mean of the selected collections:
+//   weight_i = 1 + kBeta * (C_i - C_mean) / C_mean
+// (Callan's formula up to a uniform scale factor that cannot affect any
+// ranking; this normalization keeps the mean collection neutral).
+
+#ifndef IQN_MINERVA_QUERY_PROCESSOR_H_
+#define IQN_MINERVA_QUERY_PROCESSOR_H_
+
+#include <vector>
+
+#include "minerva/peer.h"
+#include "minerva/router.h"
+#include "util/status.h"
+
+namespace iqn {
+
+enum class MergeStrategy {
+  /// Trust raw peer scores (comparable when peers share statistics).
+  kRawScores,
+  /// Callan's CORI merge normalization (uses the collection scores the
+  /// router recorded per selected peer).
+  kCoriNormalized,
+};
+
+struct QueryExecution {
+  /// The initiator's own result list.
+  std::vector<ScoredDoc> local_results;
+  /// One result list per selected peer (selection order; empty lists for
+  /// peers that were down).
+  std::vector<std::vector<ScoredDoc>> per_peer_results;
+  /// Global top-k after merging all lists (local included).
+  std::vector<ScoredDoc> merged;
+  /// Every distinct retrieved document, best score first (recall basis —
+  /// "the results that the P2P search system found").
+  std::vector<ScoredDoc> all_distinct;
+  /// Selected peers that did not answer (down / unreachable).
+  size_t failed_peers = 0;
+};
+
+class QueryProcessor {
+ public:
+  /// `initiator` must outlive the processor.
+  explicit QueryProcessor(Peer* initiator,
+                          MergeStrategy merge = MergeStrategy::kRawScores)
+      : initiator_(initiator), merge_(merge) {}
+
+  /// Runs the query at the initiator and at every routed peer. Peer
+  /// failures are tolerated (counted, not fatal).
+  Result<QueryExecution> Execute(const Query& query,
+                                 const RoutingDecision& decision) const;
+
+  /// Callan's merge weight for a collection score C_i given the mean
+  /// collection score of the selected peers (exposed for tests).
+  static double CoriMergeWeight(double collection_score, double mean_score);
+
+ private:
+  Peer* initiator_;
+  MergeStrategy merge_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_QUERY_PROCESSOR_H_

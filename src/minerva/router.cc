@@ -1,0 +1,182 @@
+#include "minerva/router.h"
+
+#include <algorithm>
+
+#include "minerva/aggregation.h"
+#include "synopses/estimators.h"
+#include "synopses/reference_synopsis.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace iqn {
+
+Status Router::ValidateInput(const RoutingInput& input) {
+  if (input.query == nullptr || input.candidates == nullptr) {
+    return Status::InvalidArgument("routing input missing query/candidates");
+  }
+  if (input.query->terms.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (input.max_peers == 0) {
+    return Status::InvalidArgument("max_peers must be positive");
+  }
+  return Status::OK();
+}
+
+std::map<std::string, CoriTermStats> ComputeQueryTermStats(
+    const RoutingInput& input) {
+  // Reassemble each term's PeerList from the candidates' posts; the
+  // directory delivered exactly these entries.
+  std::map<std::string, std::vector<Post>> peer_lists;
+  for (const CandidatePeer& cand : *input.candidates) {
+    for (const auto& [term, post] : cand.posts) {
+      peer_lists[term].push_back(post);
+    }
+  }
+  std::map<std::string, CoriTermStats> stats;
+  for (const std::string& term : input.query->terms) {
+    auto it = peer_lists.find(term);
+    stats[term] = it == peer_lists.end() ? CoriTermStats{}
+                                         : ComputeCoriTermStats(it->second);
+  }
+  return stats;
+}
+
+std::map<uint64_t, double> ComputeCandidateQualities(
+    const RoutingInput& input, const CoriParams& params) {
+  std::map<std::string, CoriTermStats> stats = ComputeQueryTermStats(input);
+  std::map<uint64_t, double> qualities;
+  for (const CandidatePeer& cand : *input.candidates) {
+    qualities[cand.peer_id] =
+        CoriCollectionScore(input.query->terms, cand.posts, stats,
+                            input.total_peers, params);
+  }
+  return qualities;
+}
+
+// ------------------------------------------------------------ RandomRouter
+
+Result<RoutingDecision> RandomRouter::Route(const RoutingInput& input) const {
+  IQN_RETURN_IF_ERROR(ValidateInput(input));
+  // Deterministic per query: seed the shuffle with the query content.
+  uint64_t h = seed_;
+  for (const auto& term : input.query->terms) h = HashString(term, h);
+  Rng rng(h);
+
+  const auto& candidates = *input.candidates;
+  size_t take = std::min(input.max_peers, candidates.size());
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(candidates.size(), take);
+
+  RoutingDecision decision;
+  for (size_t idx : picks) {
+    const CandidatePeer& cand = candidates[idx];
+    decision.peers.push_back(SelectedPeer{cand.peer_id, cand.address,
+                                          /*quality=*/0.0, /*novelty=*/0.0,
+                                          /*combined=*/0.0});
+  }
+  return decision;
+}
+
+// -------------------------------------------------------------- CoriRouter
+
+Result<RoutingDecision> CoriRouter::Route(const RoutingInput& input) const {
+  IQN_RETURN_IF_ERROR(ValidateInput(input));
+  std::map<uint64_t, double> qualities =
+      ComputeCandidateQualities(input, params_);
+
+  std::vector<const CandidatePeer*> order;
+  for (const CandidatePeer& cand : *input.candidates) order.push_back(&cand);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const CandidatePeer* a, const CandidatePeer* b) {
+                     double qa = qualities[a->peer_id];
+                     double qb = qualities[b->peer_id];
+                     if (qa != qb) return qa > qb;
+                     return a->peer_id < b->peer_id;
+                   });
+
+  RoutingDecision decision;
+  for (const CandidatePeer* cand : order) {
+    if (decision.peers.size() >= input.max_peers) break;
+    double q = qualities[cand->peer_id];
+    decision.peers.push_back(
+        SelectedPeer{cand->peer_id, cand->address, q, 0.0, q});
+  }
+  return decision;
+}
+
+// ----------------------------------------------------- SimpleOverlapRouter
+
+Result<RoutingDecision> SimpleOverlapRouter::Route(
+    const RoutingInput& input) const {
+  IQN_RETURN_IF_ERROR(ValidateInput(input));
+  if (input.synopsis_config == nullptr) {
+    return Status::InvalidArgument("SimpleOverlap needs a synopsis config");
+  }
+  std::map<uint64_t, double> qualities =
+      ComputeCandidateQualities(input, params_);
+
+  // Build the initiator-collection synopsis once; novelty of every
+  // candidate is measured against it, never against other candidates.
+  IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> own,
+                       input.synopsis_config->MakeEmpty());
+  double own_cardinality = 0.0;
+  if (input.local_result_docs != nullptr) {
+    for (DocId id : *input.local_result_docs) own->Add(id);
+    own_cardinality = static_cast<double>(input.local_result_docs->size());
+  }
+
+  struct Ranked {
+    const CandidatePeer* cand;
+    double quality;
+    double novelty;
+  };
+  std::vector<Ranked> ranked;
+  for (const CandidatePeer& cand : *input.candidates) {
+    // Combine the candidate's per-term synopses for the query.
+    std::vector<std::unique_ptr<SetSynopsis>> decoded;
+    std::vector<const SetSynopsis*> views;
+    std::vector<uint64_t> lens;
+    for (const std::string& term : input.query->terms) {
+      auto it = cand.posts.find(term);
+      if (it == cand.posts.end()) continue;
+      Result<std::unique_ptr<SetSynopsis>> syn = it->second.DecodeSynopsis();
+      if (!syn.ok()) continue;
+      decoded.push_back(std::move(syn).value());
+      views.push_back(decoded.back().get());
+      lens.push_back(it->second.list_length);
+    }
+    double novelty = 0.0;
+    if (!views.empty()) {
+      Result<std::unique_ptr<SetSynopsis>> combined =
+          CombinePerTermSynopses(views, input.query->mode);
+      if (combined.ok()) {
+        double card =
+            CombinedCardinality(*combined.value(), lens, input.query->mode);
+        Result<double> nov =
+            EstimateNovelty(*own, own_cardinality, *combined.value(), card);
+        if (nov.ok()) novelty = nov.value();
+      }
+    }
+    ranked.push_back(Ranked{&cand, qualities[cand.peer_id], novelty});
+  }
+
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     double ca = a.quality * a.novelty;
+                     double cb = b.quality * b.novelty;
+                     if (ca != cb) return ca > cb;
+                     return a.cand->peer_id < b.cand->peer_id;
+                   });
+
+  RoutingDecision decision;
+  for (const Ranked& r : ranked) {
+    if (decision.peers.size() >= input.max_peers) break;
+    decision.peers.push_back(SelectedPeer{r.cand->peer_id, r.cand->address,
+                                          r.quality, r.novelty,
+                                          r.quality * r.novelty});
+  }
+  return decision;
+}
+
+}  // namespace iqn

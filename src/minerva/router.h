@@ -1,0 +1,133 @@
+// Query routing: choosing which peers to forward a query to.
+//
+// All routers consume the same RoutingInput — the PeerLists fetched from
+// the directory plus the initiator's local context — and produce a ranked
+// RoutingDecision. Implemented here:
+//  * RandomRouter        — the sanity floor;
+//  * CoriRouter          — quality-only CORI ranking, the paper's main
+//                          baseline (Sec. 8);
+//  * SimpleOverlapRouter — the authors' prior SIGIR'05 method: one-shot
+//                          quality x novelty-against-the-initiator, no
+//                          iterative synopsis aggregation;
+// IqnRouter (iqn_router.h) is the paper's contribution.
+
+#ifndef IQN_MINERVA_ROUTER_H_
+#define IQN_MINERVA_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+#include "minerva/cori.h"
+#include "minerva/post.h"
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+/// One prospective peer, assembled from the PeerLists of all query terms.
+struct CandidatePeer {
+  uint64_t peer_id = 0;
+  NodeAddress address = kInvalidAddress;
+  /// This peer's post per query term (terms it holds no documents for are
+  /// absent).
+  std::map<std::string, Post> posts;
+};
+
+struct RoutingInput {
+  const Query* query = nullptr;
+  const std::vector<CandidatePeer>* candidates = nullptr;
+  /// Stop after selecting this many peers.
+  size_t max_peers = 5;
+  /// np for CORI's I component.
+  size_t total_peers = 0;
+  /// The query initiator's local result (seed of the reference synopsis).
+  const std::vector<DocId>* local_result_docs = nullptr;
+  /// Sec. 5.1's alternative seeding: a pre-built synopsis of the
+  /// initiator's own coverage of the query (the union of its per-term
+  /// synopses) plus its exact cardinality. When set, IQN seeds its
+  /// reference from this instead of local_result_docs — the reference
+  /// then represents everything the initiator holds for the query terms,
+  /// not just its top-k result.
+  const SetSynopsis* seed_synopsis = nullptr;
+  double seed_cardinality = 0.0;
+  /// System synopsis agreement (for building reference synopses).
+  const SynopsisConfig* synopsis_config = nullptr;
+};
+
+struct SelectedPeer {
+  uint64_t peer_id = 0;
+  NodeAddress address = kInvalidAddress;
+  /// Diagnostics recorded at selection time.
+  double quality = 0.0;
+  double novelty = 0.0;
+  double combined = 0.0;
+};
+
+struct RoutingDecision {
+  std::vector<SelectedPeer> peers;  // in selection order
+  /// Estimated size of the combined result space after all selected
+  /// peers contribute (IQN only; 0 otherwise).
+  double estimated_result_cardinality = 0.0;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::string name() const = 0;
+  virtual Result<RoutingDecision> Route(const RoutingInput& input) const = 0;
+
+ protected:
+  static Status ValidateInput(const RoutingInput& input);
+};
+
+/// Uniformly random peer choice (deterministic per query content).
+class RandomRouter final : public Router {
+ public:
+  explicit RandomRouter(uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "Random"; }
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Quality-only CORI ranking.
+class CoriRouter final : public Router {
+ public:
+  explicit CoriRouter(CoriParams params = {}) : params_(params) {}
+  std::string name() const override { return "CORI"; }
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+ private:
+  CoriParams params_;
+};
+
+/// The prior overlap-aware method: rank once by quality x novelty where
+/// novelty is measured against the initiator's own collection only — no
+/// Aggregate-Synopses step, so two mutually redundant peers can both be
+/// selected (the failure mode IQN fixes).
+class SimpleOverlapRouter final : public Router {
+ public:
+  explicit SimpleOverlapRouter(CoriParams params = {}) : params_(params) {}
+  std::string name() const override { return "SimpleOverlap"; }
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+ private:
+  CoriParams params_;
+};
+
+/// Shared helper: CORI quality per candidate, from the candidates' posts.
+std::map<uint64_t, double> ComputeCandidateQualities(
+    const RoutingInput& input, const CoriParams& params);
+
+/// Shared helper: per-term CoriTermStats assembled from the candidates.
+std::map<std::string, CoriTermStats> ComputeQueryTermStats(
+    const RoutingInput& input);
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_ROUTER_H_

@@ -1,0 +1,10 @@
+#include "net/message.h"
+
+namespace iqn {
+
+size_t Message::WireSize() const {
+  // 2 x 8-byte address + 4-byte length framing + type string + payload.
+  return 20 + type.size() + payload.size();
+}
+
+}  // namespace iqn

@@ -1,0 +1,37 @@
+// Messages on the simulated network.
+//
+// A message is a typed, addressed byte payload. The type string selects
+// the handler logic at the destination (Chord protocol verbs, KV store
+// operations, MINERVA query execution); payloads are encoded with
+// util/bytes.h.
+
+#ifndef IQN_NET_MESSAGE_H_
+#define IQN_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace iqn {
+
+/// Network address of a registered node (assigned by SimulatedNetwork).
+using NodeAddress = uint64_t;
+
+/// Address value never assigned to a real node.
+inline constexpr NodeAddress kInvalidAddress = ~uint64_t{0};
+
+struct Message {
+  NodeAddress src = kInvalidAddress;
+  NodeAddress dst = kInvalidAddress;
+  std::string type;
+  Bytes payload;
+
+  /// Bytes charged on the wire: payload plus a fixed header estimate
+  /// (addresses, type, framing).
+  size_t WireSize() const;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_NET_MESSAGE_H_

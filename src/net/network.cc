@@ -1,0 +1,57 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace iqn {
+
+NodeAddress SimulatedNetwork::Register(Handler handler) {
+  nodes_.push_back(Node{std::move(handler), true});
+  return static_cast<NodeAddress>(nodes_.size() - 1);
+}
+
+Status SimulatedNetwork::SetNodeUp(NodeAddress addr, bool up) {
+  if (addr >= nodes_.size()) return Status::NotFound("no such node");
+  nodes_[addr].up = up;
+  return Status::OK();
+}
+
+bool SimulatedNetwork::IsNodeUp(NodeAddress addr) const {
+  return addr < nodes_.size() && nodes_[addr].up;
+}
+
+void SimulatedNetwork::Charge(const std::string& type, size_t wire_bytes) {
+  ++stats_.messages;
+  stats_.bytes += wire_bytes;
+  stats_.latency_ms += latency_.per_message_ms +
+                       latency_.per_byte_ms * static_cast<double>(wire_bytes);
+  ++stats_.messages_by_type[type];
+  stats_.bytes_by_type[type] += wire_bytes;
+}
+
+Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
+                                    const std::string& type, Bytes payload) {
+  if (dst >= nodes_.size()) {
+    return Status::NotFound("RPC to unregistered node");
+  }
+  if (!nodes_[dst].up) {
+    return Status::Unavailable("node " + std::to_string(dst) + " is down");
+  }
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  Charge(type, msg.WireSize());
+
+  // Copy the handler: the handler body may Register() new nodes and
+  // invalidate references into nodes_.
+  Handler handler = nodes_[dst].handler;
+  Result<Bytes> response = handler(msg);
+  if (response.ok()) {
+    // Charge the response leg as the same message type.
+    Charge(type, 20 + response.value().size());
+  }
+  return response;
+}
+
+}  // namespace iqn

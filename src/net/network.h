@@ -1,0 +1,91 @@
+// Simulated message-passing network.
+//
+// Substitution for the paper's PC-cluster deployment (DESIGN.md): nodes
+// register a handler, and Rpc() delivers a message synchronously to the
+// destination handler, accounting every message and byte. The paper's
+// cost metrics (number of peers contacted, synopsis posting bandwidth,
+// directory lookup traffic) are counting metrics, so a deterministic
+// synchronous simulator measures them exactly.
+//
+// Handlers may issue nested Rpcs (e.g., a directory node forwarding a
+// replica write); accounting covers the whole cascade. A latency model
+// (per-message plus per-byte) accumulates a simulated-time cost for
+// reporting; it does not reorder delivery.
+
+#ifndef IQN_NET_NETWORK_H_
+#define IQN_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  /// Simulated transfer cost in milliseconds under the latency model.
+  double latency_ms = 0.0;
+  /// Message and byte counts per message type (e.g. "chord.find_succ").
+  std::map<std::string, uint64_t> messages_by_type;
+  std::map<std::string, uint64_t> bytes_by_type;
+};
+
+struct LatencyModel {
+  /// Fixed per-message cost (network round trip).
+  double per_message_ms = 1.0;
+  /// Transfer cost per payload byte (e.g. ~0.001 ms/byte ~ 8 Mbit/s).
+  double per_byte_ms = 0.001;
+};
+
+class SimulatedNetwork {
+ public:
+  /// Request handler: receives the message, returns the response payload.
+  using Handler = std::function<Result<Bytes>(const Message&)>;
+
+  SimulatedNetwork() = default;
+  explicit SimulatedNetwork(LatencyModel latency) : latency_(latency) {}
+
+  SimulatedNetwork(const SimulatedNetwork&) = delete;
+  SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
+
+  /// Registers a node; the returned address is stable for the lifetime of
+  /// the network.
+  NodeAddress Register(Handler handler);
+
+  /// Marks a node down (messages to it fail with Unavailable) or back up.
+  Status SetNodeUp(NodeAddress addr, bool up);
+  bool IsNodeUp(NodeAddress addr) const;
+
+  /// Synchronous request/response. Charges the request and the response
+  /// against the stats. Fails with Unavailable if dst is down, NotFound if
+  /// dst was never registered.
+  Result<Bytes> Rpc(NodeAddress src, NodeAddress dst, const std::string& type,
+                    Bytes payload);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats(); }
+
+ private:
+  struct Node {
+    Handler handler;
+    bool up = true;
+  };
+
+  void Charge(const std::string& type, size_t wire_bytes);
+
+  LatencyModel latency_;
+  std::vector<Node> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_NET_NETWORK_H_

@@ -1,0 +1,137 @@
+#include "synopses/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace iqn {
+
+double TermBenefit(const TermSynopsisDemand& demand,
+                   const AdaptiveAllocationOptions& options) {
+  switch (options.policy) {
+    case BenefitPolicy::kListLength:
+      return static_cast<double>(demand.list_length);
+    case BenefitPolicy::kEntriesAboveThreshold: {
+      size_t n = 0;
+      for (double s : demand.scores) {
+        if (s >= options.score_threshold) ++n;
+      }
+      return static_cast<double>(n);
+    }
+    case BenefitPolicy::kScoreMassQuantile: {
+      if (demand.scores.empty()) return 0.0;
+      std::vector<double> sorted(demand.scores);
+      std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+      double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+      if (total <= 0.0) return 0.0;
+      double target = options.mass_quantile * total;
+      double acc = 0.0;
+      size_t n = 0;
+      for (double s : sorted) {
+        acc += s;
+        ++n;
+        if (acc >= target) break;
+      }
+      return static_cast<double>(n);
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+uint64_t RoundDown(uint64_t bits, uint64_t granularity) {
+  return (bits / granularity) * granularity;
+}
+
+}  // namespace
+
+Result<std::vector<uint64_t>> AllocateSynopsisBudget(
+    const std::vector<TermSynopsisDemand>& demands, uint64_t budget_bits,
+    const AdaptiveAllocationOptions& options) {
+  if (demands.empty()) {
+    return Status::InvalidArgument("no terms to allocate for");
+  }
+  if (options.granularity_bits == 0 ||
+      options.min_bits % options.granularity_bits != 0) {
+    return Status::InvalidArgument(
+        "granularity_bits must be > 0 and divide min_bits");
+  }
+  if (options.min_bits == 0 || options.min_bits > options.max_bits) {
+    return Status::InvalidArgument("need 0 < min_bits <= max_bits");
+  }
+
+  const size_t m = demands.size();
+  std::vector<double> benefit(m);
+  for (size_t j = 0; j < m; ++j) benefit[j] = TermBenefit(demands[j], options);
+
+  // Terms ranked by benefit; when the budget cannot give everyone
+  // min_bits, the lowest-benefit terms are dropped (length 0).
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return benefit[a] > benefit[b];
+  });
+
+  size_t posted = std::min(m, static_cast<size_t>(budget_bits / options.min_bits));
+  std::vector<uint64_t> lengths(m, 0);
+  if (posted == 0) return lengths;  // budget too small for anything
+
+  // Iterative proportional fill with caps: terms that hit max_bits are
+  // frozen and the remaining budget re-distributed over the others.
+  std::vector<size_t> active(order.begin(), order.begin() + posted);
+  for (size_t j : active) lengths[j] = options.min_bits;
+  uint64_t budget_left = budget_bits - posted * options.min_bits;
+
+  for (int round = 0; round < 64 && budget_left >= options.granularity_bits;
+       ++round) {
+    double active_benefit = 0.0;
+    for (size_t j : active) {
+      if (lengths[j] < options.max_bits) active_benefit += benefit[j];
+    }
+    if (active_benefit <= 0.0) {
+      // All-zero benefits: spread the remainder evenly across active terms.
+      uint64_t share =
+          RoundDown(budget_left / active.size(), options.granularity_bits);
+      if (share == 0) break;
+      for (size_t j : active) {
+        uint64_t add = std::min(share, options.max_bits - lengths[j]);
+        add = RoundDown(add, options.granularity_bits);
+        lengths[j] += add;
+        budget_left -= add;
+      }
+      break;
+    }
+    bool progressed = false;
+    uint64_t budget_this_round = budget_left;
+    for (size_t j : active) {
+      if (lengths[j] >= options.max_bits) continue;
+      double share = benefit[j] / active_benefit *
+                     static_cast<double>(budget_this_round);
+      uint64_t add = RoundDown(static_cast<uint64_t>(share),
+                               options.granularity_bits);
+      add = std::min(add, options.max_bits - lengths[j]);
+      add = std::min(add, budget_left);
+      add = RoundDown(add, options.granularity_bits);
+      if (add > 0) {
+        lengths[j] += add;
+        budget_left -= add;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+
+  // Final sweep: hand out leftover granules to the highest-benefit
+  // uncapped terms so rounding does not strand budget.
+  for (size_t j : active) {
+    while (budget_left >= options.granularity_bits &&
+           lengths[j] + options.granularity_bits <= options.max_bits) {
+      lengths[j] += options.granularity_bits;
+      budget_left -= options.granularity_bits;
+    }
+  }
+  return lengths;
+}
+
+}  // namespace iqn

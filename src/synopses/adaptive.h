@@ -1,0 +1,70 @@
+// Adaptive per-term synopsis lengths under a peer-wide space budget
+// (paper Sec. 7.2).
+//
+// A peer posting synopses for M terms under a total budget of B bits
+// chooses a per-term length len_j with sum(len_j) = B. The paper frames
+// this as a knapsack-like problem and proposes a heuristic: allocate in
+// proportion to a per-term *benefit*, for which it names three natural
+// candidates — all three are implemented here.
+
+#ifndef IQN_SYNOPSES_ADAPTIVE_H_
+#define IQN_SYNOPSES_ADAPTIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+/// Which per-term benefit drives the proportional allocation.
+enum class BenefitPolicy {
+  /// Benefit = index list length (more documents -> longer synopsis).
+  kListLength,
+  /// Benefit = number of entries with score above a threshold.
+  kEntriesAboveThreshold,
+  /// Benefit = number of top entries whose accumulated score mass reaches
+  /// the given quantile (default 90 %) of the list's total score mass.
+  kScoreMassQuantile,
+};
+
+/// Per-term inputs to the allocator. `scores` may be empty for
+/// kListLength; it need not be sorted.
+struct TermSynopsisDemand {
+  uint64_t list_length = 0;
+  std::vector<double> scores;
+};
+
+struct AdaptiveAllocationOptions {
+  BenefitPolicy policy = BenefitPolicy::kListLength;
+  /// Score threshold for kEntriesAboveThreshold.
+  double score_threshold = 0.5;
+  /// Mass quantile for kScoreMassQuantile.
+  double mass_quantile = 0.9;
+  /// Hard bounds on each len_j (bits). A synopsis below min_bits is not
+  /// worth posting; max_bits caps diminishing returns.
+  uint64_t min_bits = 64;
+  uint64_t max_bits = 1 << 16;
+  /// Round each length down to a multiple of this granularity (e.g. 32 for
+  /// MIPs where one permutation costs 32 bits). Must divide min_bits.
+  uint64_t granularity_bits = 32;
+};
+
+/// Computes the benefit of one term under a policy.
+double TermBenefit(const TermSynopsisDemand& demand,
+                   const AdaptiveAllocationOptions& options);
+
+/// Proportional-benefit allocation of `budget_bits` over the terms:
+/// len_j ~ benefit_j / sum(benefit), subject to [min_bits, max_bits] and
+/// granularity. Surplus freed by the max cap is redistributed to uncapped
+/// terms; if even min_bits for every term exceeds the budget, the terms
+/// with the *lowest* benefit get length 0 (not posted) until the rest fit.
+/// Returns one length per input term; sum(len_j) <= budget_bits.
+Result<std::vector<uint64_t>> AllocateSynopsisBudget(
+    const std::vector<TermSynopsisDemand>& demands, uint64_t budget_bits,
+    const AdaptiveAllocationOptions& options = {});
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_ADAPTIVE_H_

@@ -1,0 +1,165 @@
+#include "synopses/bloom_filter.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace iqn {
+
+BloomFilter::BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed)
+    : num_bits_(num_bits),
+      num_hashes_(num_hashes),
+      seed_(seed),
+      words_((num_bits + 63) / 64, 0) {}
+
+Result<BloomFilter> BloomFilter::Create(size_t num_bits, size_t num_hashes,
+                                        uint64_t seed) {
+  if (num_bits < 8) {
+    return Status::InvalidArgument("Bloom filter needs at least 8 bits");
+  }
+  if (num_hashes < 1 || num_hashes > 32) {
+    return Status::InvalidArgument("Bloom filter num_hashes must be in [1,32]");
+  }
+  return BloomFilter(num_bits, num_hashes, seed);
+}
+
+Result<BloomFilter> BloomFilter::FromWords(size_t num_bits, size_t num_hashes,
+                                           uint64_t seed,
+                                           std::vector<uint64_t> words) {
+  IQN_ASSIGN_OR_RETURN(BloomFilter bf, Create(num_bits, num_hashes, seed));
+  if (words.size() != (num_bits + 63) / 64) {
+    return Status::Corruption("Bloom filter word count mismatch");
+  }
+  // Bits beyond num_bits must be zero or set-bit counting is skewed.
+  size_t tail = num_bits % 64;
+  if (tail != 0 && (words.back() >> tail) != 0) {
+    return Status::Corruption("Bloom filter has bits beyond num_bits");
+  }
+  bf.words_ = std::move(words);
+  return bf;
+}
+
+size_t BloomFilter::OptimalNumHashes(size_t num_bits, size_t expected_items) {
+  if (expected_items == 0) return 1;
+  double k = std::round(static_cast<double>(num_bits) / expected_items *
+                        std::log(2.0));
+  if (k < 1.0) return 1;
+  if (k > 32.0) return 32;
+  return static_cast<size_t>(k);
+}
+
+void BloomFilter::Add(DocId id) {
+  DoubleHasher hasher(id, seed_);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t pos = hasher.Probe(i, num_bits_);
+    words_[pos / 64] |= uint64_t{1} << (pos % 64);
+  }
+}
+
+bool BloomFilter::MayContain(DocId id) const {
+  DoubleHasher hasher(id, seed_);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t pos = hasher.Probe(i, num_bits_);
+    if ((words_[pos / 64] & (uint64_t{1} << (pos % 64))) == 0) return false;
+  }
+  return true;
+}
+
+size_t BloomFilter::CountSetBits() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += PopCount(w);
+  return count;
+}
+
+double BloomFilter::CardinalityFromSetBits(size_t set_bits) const {
+  if (set_bits == 0) return 0.0;
+  double m = static_cast<double>(num_bits_);
+  double k = static_cast<double>(num_hashes_);
+  if (set_bits >= num_bits_) {
+    // Saturated filter: the estimator diverges. Return the capacity at
+    // which saturation is expected (m-1 set bits); this is the honest
+    // "at least this many" answer and is what makes overloaded BFs err
+    // wildly in Fig. 2.
+    set_bits = num_bits_ - 1;
+  }
+  double fill = static_cast<double>(set_bits) / m;
+  return -(m / k) * std::log(1.0 - fill);
+}
+
+double BloomFilter::EstimateCardinality() const {
+  return CardinalityFromSetBits(CountSetBits());
+}
+
+std::unique_ptr<SetSynopsis> BloomFilter::Clone() const {
+  return std::unique_ptr<SetSynopsis>(new BloomFilter(*this));
+}
+
+Result<const BloomFilter*> BloomFilter::CheckCompatible(
+    const SetSynopsis& other) const {
+  if (other.type() != SynopsisType::kBloomFilter) {
+    return Status::InvalidArgument("expected a Bloom filter, got " +
+                                   std::string(SynopsisTypeName(other.type())));
+  }
+  const auto* bf = static_cast<const BloomFilter*>(&other);
+  if (bf->num_bits_ != num_bits_ || bf->num_hashes_ != num_hashes_ ||
+      bf->seed_ != seed_) {
+    // The paper's Sec. 3.4 drawback: BF size is a global system parameter;
+    // filters of different geometry simply cannot be combined.
+    return Status::InvalidArgument(
+        "incompatible Bloom filters (size/hashes/seed differ)");
+  }
+  return bf;
+}
+
+Status BloomFilter::MergeUnion(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= bf->words_[i];
+  return Status::OK();
+}
+
+Status BloomFilter::MergeIntersect(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= bf->words_[i];
+  return Status::OK();
+}
+
+Status BloomFilter::MergeDifference(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~bf->words_[i];
+  return Status::OK();
+}
+
+Result<double> BloomFilter::EstimateResemblance(
+    const SetSynopsis& other) const {
+  IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
+  // Estimate |A∩B| and |A∪B| from the AND and OR of the bit vectors,
+  // then R = |A∩B| / |A∪B|.
+  size_t and_bits = 0, or_bits = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    and_bits += PopCount(words_[i] & bf->words_[i]);
+    or_bits += PopCount(words_[i] | bf->words_[i]);
+  }
+  if (or_bits == 0) return 0.0;  // both empty: resemblance defined as 0
+  double union_card = CardinalityFromSetBits(or_bits);
+  double inter_card = CardinalityFromSetBits(and_bits);
+  if (union_card <= 0.0) return 0.0;
+  double r = inter_card / union_card;
+  return r < 0.0 ? 0.0 : (r > 1.0 ? 1.0 : r);
+}
+
+double BloomFilter::FalsePositiveRate(size_t n) const {
+  double m = static_cast<double>(num_bits_);
+  double k = static_cast<double>(num_hashes_);
+  return std::pow(1.0 - std::exp(-k * static_cast<double>(n) / m), k);
+}
+
+std::string BloomFilter::ToString() const {
+  std::ostringstream os;
+  os << "BloomFilter{m=" << num_bits_ << ", k=" << num_hashes_
+     << ", set=" << CountSetBits() << "}";
+  return os.str();
+}
+
+}  // namespace iqn

@@ -1,0 +1,91 @@
+// Bloom filter synopsis (paper Sec. 3.2).
+//
+// An m-bit vector with k hash probes per element. Supports membership
+// tests, bitwise union (OR), intersection (AND), and set difference
+// (ANDNOT, used for novelty estimation in Sec. 5.2), plus cardinality
+// estimation from the fill ratio:
+//
+//   E[set bits] = m * (1 - (1 - 1/m)^(k*n))   =>   n ≈ -m/k * ln(1 - X/m)
+//
+// The paper's headline observation (Fig. 2) is that at a fixed small bit
+// budget Bloom filters overload: once X/m approaches 1 the estimator's
+// error explodes. This implementation reproduces that behaviour faithfully
+// rather than hiding it.
+
+#ifndef IQN_SYNOPSES_BLOOM_FILTER_H_
+#define IQN_SYNOPSES_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class BloomFilter final : public SetSynopsis {
+ public:
+  /// num_bits >= 8, num_hashes in [1, 32]. `seed` must agree across peers
+  /// whose filters are to be combined (a global system parameter, like the
+  /// filter size itself — the paper calls this Bloom filters' main
+  /// drawback).
+  static Result<BloomFilter> Create(size_t num_bits, size_t num_hashes,
+                                    uint64_t seed = 0);
+
+  // SetSynopsis interface.
+  SynopsisType type() const override { return SynopsisType::kBloomFilter; }
+  size_t SizeBits() const override { return num_bits_; }
+  void Add(DocId id) override;
+  double EstimateCardinality() const override;
+  std::unique_ptr<SetSynopsis> Clone() const override;
+  Status MergeUnion(const SetSynopsis& other) override;
+  Status MergeIntersect(const SetSynopsis& other) override;
+  Result<double> EstimateResemblance(const SetSynopsis& other) const override;
+  std::string ToString() const override;
+
+  /// Membership test; false positives possible, false negatives not.
+  bool MayContain(DocId id) const;
+
+  /// In-place A \ B approximation: clears every bit set in `other`
+  /// (Sec. 5.2 "bit-wise difference"). Same compatibility rules as union.
+  Status MergeDifference(const SetSynopsis& other);
+
+  /// Expected false-positive probability after n insertions:
+  /// (1 - e^{-kn/m})^k.
+  double FalsePositiveRate(size_t n) const;
+
+  /// Number of set bits.
+  size_t CountSetBits() const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_hashes() const { return num_hashes_; }
+  uint64_t seed() const { return seed_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Reconstructs a filter from its parameters and raw words (used by
+  /// deserialization). Word vector length must match num_bits.
+  static Result<BloomFilter> FromWords(size_t num_bits, size_t num_hashes,
+                                       uint64_t seed,
+                                       std::vector<uint64_t> words);
+
+  /// Optimal k for a target capacity: round(m/n * ln 2), clamped to >= 1.
+  static size_t OptimalNumHashes(size_t num_bits, size_t expected_items);
+
+ private:
+  BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed);
+
+  /// nullptr + error message when `other` cannot combine with this filter.
+  Result<const BloomFilter*> CheckCompatible(const SetSynopsis& other) const;
+
+  /// Cardinality implied by a given set-bit count under this geometry.
+  double CardinalityFromSetBits(size_t set_bits) const;
+
+  size_t num_bits_;
+  size_t num_hashes_;
+  uint64_t seed_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_BLOOM_FILTER_H_

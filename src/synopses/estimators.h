@@ -1,0 +1,75 @@
+// Set-correlation measures (paper Sec. 3.1) and synopsis-based novelty
+// estimation (paper Sec. 5.2).
+//
+// Exact* functions compute ground truth on explicit docId sets (used by
+// tests, Fig. 2 error measurement, and the paper's definitions);
+// Estimate* functions work purely on synopses plus the posted
+// cardinalities, which is all the query initiator ever sees.
+
+#ifndef IQN_SYNOPSES_ESTIMATORS_H_
+#define IQN_SYNOPSES_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+// -------- Exact measures on explicit sets (ground truth) ---------------
+
+/// |A ∩ B|. Inputs need not be sorted; duplicates are ignored.
+size_t ExactOverlap(const std::vector<DocId>& a, const std::vector<DocId>& b);
+
+/// Resemblance(A, B) = |A∩B| / |A∪B|; 0 when both sets are empty.
+double ExactResemblance(const std::vector<DocId>& a,
+                        const std::vector<DocId>& b);
+
+/// Containment(A, B) = |A∩B| / |B| — the fraction of B already known to A;
+/// 0 when B is empty. Note the asymmetry (Sec. 3.1).
+double ExactContainment(const std::vector<DocId>& a,
+                        const std::vector<DocId>& b);
+
+/// Novelty(B | A) = |B - (A∩B)| — the number of elements B adds beyond A.
+size_t ExactNovelty(const std::vector<DocId>& b, const std::vector<DocId>& a);
+
+// -------- Conversions between measures (Sec. 3.1 / 5.2 algebra) --------
+
+/// |A∩B| = R * (|A| + |B|) / (R + 1), from resemblance and cardinalities.
+double OverlapFromResemblance(double resemblance, double card_a,
+                              double card_b);
+
+/// Containment(A,B) from resemblance and cardinalities (Sec. 3.1: either
+/// measure derives the other given the set sizes).
+double ContainmentFromResemblance(double resemblance, double card_a,
+                                  double card_b);
+
+/// Resemblance from containment and cardinalities (the inverse mapping).
+double ResemblanceFromContainment(double containment, double card_a,
+                                  double card_b);
+
+// -------- Synopsis-based estimation (Sec. 5.2) --------------------------
+
+/// Estimated Novelty(cand | ref): how many documents the candidate
+/// collection adds beyond the reference set. `card_ref` / `card_cand` are
+/// the true cardinalities known from the directory Posts (index list
+/// lengths) and the IQN bookkeeping.
+///
+/// Dispatch (each path is the one the paper describes for that synopsis):
+///  * MIPs:         resemblance -> overlap -> |B| - overlap;
+///  * hash sketch / LogLog: |A∪B| from the OR/max-merged sketch, novelty
+///                  = |A∪B| - |A| (inclusion-exclusion);
+///  * Bloom filter: bitwise difference cand AND NOT ref, novelty = its
+///                  cardinality estimate.
+/// The result is clamped to [0, card_cand].
+Result<double> EstimateNovelty(const SetSynopsis& ref, double card_ref,
+                               const SetSynopsis& cand, double card_cand);
+
+/// Estimated |A∩B| using the same per-type machinery as EstimateNovelty.
+Result<double> EstimateOverlap(const SetSynopsis& a, double card_a,
+                               const SetSynopsis& b, double card_b);
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_ESTIMATORS_H_

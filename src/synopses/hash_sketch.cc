@@ -1,0 +1,154 @@
+#include "synopses/hash_sketch.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+// Flajolet-Martin bias correction factor.
+constexpr double kPhi = 0.77351;
+
+}  // namespace
+
+HashSketch::HashSketch(size_t num_bitmaps, size_t bits_per_bitmap,
+                       uint64_t seed)
+    : bits_per_bitmap_(bits_per_bitmap),
+      seed_(seed),
+      bitmaps_(num_bitmaps, 0) {}
+
+Result<HashSketch> HashSketch::Create(size_t num_bitmaps,
+                                      size_t bits_per_bitmap, uint64_t seed) {
+  if (num_bitmaps < 1) {
+    return Status::InvalidArgument("hash sketch needs at least one bitmap");
+  }
+  if (bits_per_bitmap < 4 || bits_per_bitmap > 64) {
+    return Status::InvalidArgument(
+        "hash sketch bits_per_bitmap must be in [4,64]");
+  }
+  return HashSketch(num_bitmaps, bits_per_bitmap, seed);
+}
+
+Result<HashSketch> HashSketch::FromBitmaps(size_t bits_per_bitmap,
+                                           uint64_t seed,
+                                           std::vector<uint64_t> bitmaps) {
+  IQN_ASSIGN_OR_RETURN(HashSketch hs,
+                       Create(bitmaps.empty() ? 1 : bitmaps.size(),
+                              bits_per_bitmap, seed));
+  if (bitmaps.empty()) return Status::Corruption("hash sketch with no bitmaps");
+  if (bits_per_bitmap < 64) {
+    for (uint64_t b : bitmaps) {
+      if ((b >> bits_per_bitmap) != 0) {
+        return Status::Corruption("hash sketch bitmap exceeds declared width");
+      }
+    }
+  }
+  hs.bitmaps_ = std::move(bitmaps);
+  return hs;
+}
+
+void HashSketch::Add(DocId id) {
+  uint64_t h = Hash64(id, seed_);
+  size_t j = h % bitmaps_.size();
+  // Use independent bits for rho so bitmap choice and bit position are
+  // uncorrelated.
+  uint64_t r = Hash64(id, seed_ ^ 0x9e3779b97f4a7c15ULL);
+  int rho = LeastSignificantSetBit(r);
+  if (rho >= static_cast<int>(bits_per_bitmap_)) {
+    rho = static_cast<int>(bits_per_bitmap_) - 1;
+  }
+  bitmaps_[j] |= uint64_t{1} << rho;
+}
+
+int HashSketch::RunLength(size_t j) const {
+  // Position of the lowest *unset* bit = length of the initial 1-run.
+  uint64_t inverted = ~bitmaps_[j];
+  int r = LeastSignificantSetBit(inverted);
+  if (r > static_cast<int>(bits_per_bitmap_)) {
+    r = static_cast<int>(bits_per_bitmap_);
+  }
+  return r;
+}
+
+double HashSketch::EstimateCardinality() const {
+  double sum_r = 0.0;
+  for (size_t j = 0; j < bitmaps_.size(); ++j) {
+    sum_r += RunLength(j);
+  }
+  double mean_r = sum_r / static_cast<double>(bitmaps_.size());
+  double est = static_cast<double>(bitmaps_.size()) / kPhi *
+               std::pow(2.0, mean_r);
+  // An entirely empty sketch must report zero, not m/phi.
+  bool any = false;
+  for (uint64_t b : bitmaps_) any |= (b != 0);
+  return any ? est : 0.0;
+}
+
+std::unique_ptr<SetSynopsis> HashSketch::Clone() const {
+  return std::unique_ptr<SetSynopsis>(new HashSketch(*this));
+}
+
+Result<const HashSketch*> HashSketch::CheckCompatible(
+    const SetSynopsis& other) const {
+  if (other.type() != SynopsisType::kHashSketch) {
+    return Status::InvalidArgument("expected a hash sketch, got " +
+                                   std::string(SynopsisTypeName(other.type())));
+  }
+  const auto* hs = static_cast<const HashSketch*>(&other);
+  if (hs->bitmaps_.size() != bitmaps_.size() ||
+      hs->bits_per_bitmap_ != bits_per_bitmap_ || hs->seed_ != seed_) {
+    // Like Bloom filters, hash sketches only combine at identical geometry
+    // (Sec. 3.4: "they share with Bloom filters the disadvantage that all
+    // hash sketches need to have the same bit lengths").
+    return Status::InvalidArgument(
+        "incompatible hash sketches (bitmaps/width/seed differ)");
+  }
+  return hs;
+}
+
+Status HashSketch::MergeUnion(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const HashSketch* hs, CheckCompatible(other));
+  for (size_t j = 0; j < bitmaps_.size(); ++j) bitmaps_[j] |= hs->bitmaps_[j];
+  return Status::OK();
+}
+
+Status HashSketch::MergeIntersect(const SetSynopsis& other) {
+  // ANDing bitmaps does NOT approximate the sketch of the intersection
+  // (an element in A∩B sets the same bit in both sketches, but so do
+  // colliding elements unique to each side); the paper treats HS
+  // intersection as an open problem. Refuse instead of being subtly wrong.
+  (void)other;
+  return Status::Unimplemented(
+      "hash sketches do not support intersection (paper Sec. 3.4)");
+}
+
+Result<double> HashSketch::EstimateResemblance(
+    const SetSynopsis& other) const {
+  IQN_ASSIGN_OR_RETURN(const HashSketch* hs, CheckCompatible(other));
+  double a = EstimateCardinality();
+  double b = hs->EstimateCardinality();
+  if (a == 0.0 && b == 0.0) return 0.0;
+
+  HashSketch merged = *this;
+  IQN_RETURN_IF_ERROR(merged.MergeUnion(*hs));
+  double u = merged.EstimateCardinality();
+  if (u <= 0.0) return 0.0;
+  double inter = a + b - u;  // inclusion-exclusion on the estimates
+  if (inter < 0.0) inter = 0.0;
+  double r = inter / u;
+  return r > 1.0 ? 1.0 : r;
+}
+
+std::string HashSketch::ToString() const {
+  std::ostringstream os;
+  os << "HashSketch{bitmaps=" << bitmaps_.size()
+     << ", width=" << bits_per_bitmap_ << ", est=" << EstimateCardinality()
+     << "}";
+  return os.str();
+}
+
+}  // namespace iqn

@@ -1,0 +1,77 @@
+// Flajolet-Martin hash sketches (PCSA) — paper Sec. 3.2.
+//
+// The sketch keeps `num_bitmaps` bitmaps of `bits_per_bitmap` bits each.
+// An element d is hashed; the low bits select a bitmap, the remaining bits
+// feed rho() (position of the least significant 1-bit), and that bit of
+// the selected bitmap is set. Since P(rho = k) = 2^-(k-+1), the highest
+// contiguous run of set bits R_j in bitmap j estimates log2 of the
+// per-bitmap cardinality; averaging over bitmaps and dividing by the
+// Flajolet-Martin correction factor phi = 0.77351 gives
+//
+//   n_hat = num_bitmaps / phi * 2^{mean_j R_j}.
+//
+// Unions are exact under OR (Sec. 5.3); there is no known intersection
+// (Sec. 3.4) — MergeIntersect returns Unimplemented, and overlap must go
+// through the inclusion-exclusion path |A∩B| = |A|+|B|-|A∪B| (Sec. 5.2).
+//
+// The paper notes hash sketches "produce some unreliable estimates for
+// very small collections"; that is the well-known PCSA small-range bias
+// and this implementation intentionally keeps it (no linear-counting
+// patch) so Fig. 2 reproduces.
+
+#ifndef IQN_SYNOPSES_HASH_SKETCH_H_
+#define IQN_SYNOPSES_HASH_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class HashSketch final : public SetSynopsis {
+ public:
+  /// num_bitmaps >= 1, bits_per_bitmap in [4, 64]. The seed plays the role
+  /// of the globally agreed hash function h().
+  static Result<HashSketch> Create(size_t num_bitmaps, size_t bits_per_bitmap,
+                                   uint64_t seed = 0);
+
+  // SetSynopsis interface.
+  SynopsisType type() const override { return SynopsisType::kHashSketch; }
+  size_t SizeBits() const override { return bitmaps_.size() * bits_per_bitmap_; }
+  void Add(DocId id) override;
+  double EstimateCardinality() const override;
+  std::unique_ptr<SetSynopsis> Clone() const override;
+  Status MergeUnion(const SetSynopsis& other) override;
+  /// Always Unimplemented (Sec. 3.4: no known HS intersection).
+  Status MergeIntersect(const SetSynopsis& other) override;
+  /// Via inclusion-exclusion on |A|, |B|, |A∪B| estimates.
+  Result<double> EstimateResemblance(const SetSynopsis& other) const override;
+  std::string ToString() const override;
+
+  size_t num_bitmaps() const { return bitmaps_.size(); }
+  size_t bits_per_bitmap() const { return bits_per_bitmap_; }
+  uint64_t seed() const { return seed_; }
+  const std::vector<uint64_t>& bitmaps() const { return bitmaps_; }
+
+  /// Length of the initial run of set bits in bitmap j (the R statistic).
+  int RunLength(size_t j) const;
+
+  static Result<HashSketch> FromBitmaps(size_t bits_per_bitmap, uint64_t seed,
+                                        std::vector<uint64_t> bitmaps);
+
+ private:
+  HashSketch(size_t num_bitmaps, size_t bits_per_bitmap, uint64_t seed);
+
+  Result<const HashSketch*> CheckCompatible(const SetSynopsis& other) const;
+
+  size_t bits_per_bitmap_;
+  uint64_t seed_;
+  std::vector<uint64_t> bitmaps_;  // one word per bitmap; bits above
+                                   // bits_per_bitmap_ stay zero
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_HASH_SKETCH_H_

@@ -1,0 +1,130 @@
+#include "synopses/histogram_synopsis.h"
+
+#include <cmath>
+
+#include "synopses/estimators.h"
+
+namespace iqn {
+
+Result<ScoreHistogramSynopsis> ScoreHistogramSynopsis::Create(
+    size_t num_cells, const SynopsisFactory& factory) {
+  if (num_cells < 1 || num_cells > 64) {
+    return Status::InvalidArgument("histogram num_cells must be in [1, 64]");
+  }
+  if (!factory) {
+    return Status::InvalidArgument("histogram needs a synopsis factory");
+  }
+  std::vector<Cell> cells(num_cells);
+  for (auto& c : cells) {
+    c.synopsis = factory();
+    if (c.synopsis == nullptr) {
+      return Status::InvalidArgument("synopsis factory returned null");
+    }
+  }
+  return ScoreHistogramSynopsis(std::move(cells));
+}
+
+Result<ScoreHistogramSynopsis> ScoreHistogramSynopsis::FromCells(
+    std::vector<Cell> cells) {
+  if (cells.empty() || cells.size() > 64) {
+    return Status::Corruption("histogram cell count out of range");
+  }
+  for (const auto& c : cells) {
+    if (c.synopsis == nullptr) return Status::Corruption("null histogram cell");
+  }
+  return ScoreHistogramSynopsis(std::move(cells));
+}
+
+ScoreHistogramSynopsis ScoreHistogramSynopsis::CloneHist() const {
+  std::vector<Cell> cells(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells[i].synopsis = cells_[i].synopsis->Clone();
+    cells[i].count = cells_[i].count;
+  }
+  return ScoreHistogramSynopsis(std::move(cells));
+}
+
+size_t ScoreHistogramSynopsis::CellFor(double score) const {
+  if (score < 0.0) score = 0.0;
+  if (score >= 1.0) return cells_.size() - 1;
+  return static_cast<size_t>(score * static_cast<double>(cells_.size()));
+}
+
+void ScoreHistogramSynopsis::Add(DocId id, double score) {
+  Cell& c = cells_[CellFor(score)];
+  c.synopsis->Add(id);
+  ++c.count;
+}
+
+double ScoreHistogramSynopsis::CellLowerBound(size_t i) const {
+  return static_cast<double>(i) / static_cast<double>(cells_.size());
+}
+
+double ScoreHistogramSynopsis::CellUpperBound(size_t i) const {
+  return static_cast<double>(i + 1) / static_cast<double>(cells_.size());
+}
+
+size_t ScoreHistogramSynopsis::TotalCount() const {
+  size_t total = 0;
+  for (const auto& c : cells_) total += c.count;
+  return total;
+}
+
+size_t ScoreHistogramSynopsis::SizeBits() const {
+  size_t bits = 0;
+  for (const auto& c : cells_) bits += c.synopsis->SizeBits();
+  return bits;
+}
+
+Result<double> ScoreHistogramSynopsis::WeightedNoveltyOf(
+    const ScoreHistogramSynopsis& candidate, double weight_exponent) const {
+  if (candidate.cells_.size() != cells_.size()) {
+    return Status::InvalidArgument(
+        "histogram synopses have different cell counts");
+  }
+  double weighted = 0.0;
+  for (size_t j = 0; j < cells_.size(); ++j) {
+    const Cell& cand = candidate.cells_[j];
+    if (cand.count == 0) continue;
+    // A document held by two peers may fall into different score cells
+    // (scores are peer-local), so overlap must be summed over all
+    // reference cells, not just the matching one.
+    double overlap_sum = 0.0;
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      const Cell& ref = cells_[i];
+      if (ref.count == 0) continue;
+      IQN_ASSIGN_OR_RETURN(
+          double ov,
+          EstimateOverlap(*ref.synopsis, static_cast<double>(ref.count),
+                          *cand.synopsis, static_cast<double>(cand.count)));
+      overlap_sum += ov;
+    }
+    double novelty = static_cast<double>(cand.count) - overlap_sum;
+    if (novelty < 0.0) novelty = 0.0;
+    double midpoint = (CellLowerBound(j) + CellUpperBound(j)) / 2.0;
+    double w = weight_exponent == 0.0 ? 1.0 : std::pow(midpoint, weight_exponent);
+    weighted += w * novelty;
+  }
+  return weighted;
+}
+
+Status ScoreHistogramSynopsis::Absorb(const ScoreHistogramSynopsis& candidate) {
+  if (candidate.cells_.size() != cells_.size()) {
+    return Status::InvalidArgument(
+        "histogram synopses have different cell counts");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    Cell& ref = cells_[i];
+    const Cell& cand = candidate.cells_[i];
+    if (cand.count == 0) continue;
+    IQN_ASSIGN_OR_RETURN(
+        double novelty,
+        EstimateNovelty(*ref.synopsis, static_cast<double>(ref.count),
+                        *cand.synopsis, static_cast<double>(cand.count)));
+    IQN_RETURN_IF_ERROR(ref.synopsis->MergeUnion(*cand.synopsis));
+    ref.count += static_cast<size_t>(novelty + 0.5);
+  }
+  return Status::OK();
+}
+
+}  // namespace iqn

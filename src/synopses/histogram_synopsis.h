@@ -1,0 +1,87 @@
+// Score-conscious novelty estimation via histograms (paper Sec. 7.1).
+//
+// In ranked retrieval, overlap among the *high-scoring* portions of index
+// lists matters more than overlap in the tail. A ScoreHistogramSynopsis
+// partitions a peer's index list into `num_cells` equal-width score cells
+// over [0, 1] and keeps one set synopsis (plus the exact element count)
+// per cell. Novelty between two histogram synopses is a weighted sum of
+// pairwise per-cell novelty estimates, with weights growing with the score
+// range of the candidate cell, so redundancy among top-scoring documents
+// is penalized harder than redundancy in the tail.
+
+#ifndef IQN_SYNOPSES_HISTOGRAM_SYNOPSIS_H_
+#define IQN_SYNOPSES_HISTOGRAM_SYNOPSIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class ScoreHistogramSynopsis {
+ public:
+  /// Creates one empty per-cell synopsis; must return equal-geometry
+  /// synopses on every call so cells from different peers combine.
+  using SynopsisFactory = std::function<std::unique_ptr<SetSynopsis>()>;
+
+  /// num_cells in [1, 64].
+  static Result<ScoreHistogramSynopsis> Create(size_t num_cells,
+                                               const SynopsisFactory& factory);
+
+  ScoreHistogramSynopsis(ScoreHistogramSynopsis&&) = default;
+  ScoreHistogramSynopsis& operator=(ScoreHistogramSynopsis&&) = default;
+
+  ScoreHistogramSynopsis CloneHist() const;
+
+  /// Inserts a document with its (peer-local, normalized) relevance score.
+  /// Scores outside [0, 1] are clamped into range.
+  void Add(DocId id, double score);
+
+  size_t num_cells() const { return cells_.size(); }
+  const SetSynopsis& cell(size_t i) const { return *cells_[i].synopsis; }
+  /// Exact number of documents inserted into cell i (peers know and post
+  /// their own per-cell counts, like they post index list lengths).
+  size_t cell_count(size_t i) const { return cells_[i].count; }
+  /// Score interval [lo, hi) covered by cell i.
+  double CellLowerBound(size_t i) const;
+  double CellUpperBound(size_t i) const;
+
+  size_t TotalCount() const;
+  size_t SizeBits() const;
+
+  /// Weighted novelty of `candidate` with respect to this reference:
+  ///   sum_j w_j * max(0, count_j - sum_i overlap(ref_i, cand_j))
+  /// where w_j = (midpoint of cell j)^weight_exponent. Exponent 0 gives
+  /// flat (score-oblivious) novelty — the ablation baseline; 1 is linear
+  /// score weighting (default); larger exponents emphasize the top cells.
+  Result<double> WeightedNoveltyOf(const ScoreHistogramSynopsis& candidate,
+                                   double weight_exponent = 1.0) const;
+
+  /// Aggregate-Synopses step for histograms: cell-wise union with
+  /// cell-wise novelty-credited count tracking.
+  Status Absorb(const ScoreHistogramSynopsis& candidate);
+
+  /// Mutable access for deserialization.
+  struct Cell {
+    std::unique_ptr<SetSynopsis> synopsis;
+    size_t count = 0;
+  };
+  static Result<ScoreHistogramSynopsis> FromCells(std::vector<Cell> cells);
+
+ private:
+  explicit ScoreHistogramSynopsis(std::vector<Cell> cells)
+      : cells_(std::move(cells)) {}
+
+  /// Cell index for a score (clamped).
+  size_t CellFor(double score) const;
+
+  std::vector<Cell> cells_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_HISTOGRAM_SYNOPSIS_H_

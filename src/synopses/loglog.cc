@@ -1,0 +1,139 @@
+#include "synopses/loglog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+// Asymptotic LogLog constant alpha_infinity (Durand-Flajolet Thm. 1).
+constexpr double kAlpha = 0.39701;
+// Constant for the super-LogLog 70 % truncation rule. Durand-Flajolet
+// derive their constant for a slightly different register/estimate
+// normalization; for this implementation (estimate = alpha * keep *
+// 2^mean over the kept registers) the constant was calibrated empirically
+// across m in [64, 1024] and n in [1e4, 1e6] (see tests).
+constexpr double kAlphaTruncated = 1.18;
+constexpr double kTruncationRatio = 0.7;
+
+}  // namespace
+
+LogLogCounter::LogLogCounter(size_t num_buckets, uint64_t seed,
+                             bool use_truncation)
+    : seed_(seed), use_truncation_(use_truncation), registers_(num_buckets, 0) {}
+
+Result<LogLogCounter> LogLogCounter::Create(size_t num_buckets, uint64_t seed,
+                                            bool use_truncation) {
+  if (!IsPowerOfTwo(num_buckets) || num_buckets < 16 || num_buckets > 65536) {
+    return Status::InvalidArgument(
+        "LogLog num_buckets must be a power of two in [16, 65536]");
+  }
+  return LogLogCounter(num_buckets, seed, use_truncation);
+}
+
+Result<LogLogCounter> LogLogCounter::FromRegisters(
+    uint64_t seed, bool use_truncation, std::vector<uint8_t> registers) {
+  IQN_ASSIGN_OR_RETURN(
+      LogLogCounter ll,
+      Create(registers.empty() ? 16 : registers.size(), seed, use_truncation));
+  ll.registers_ = std::move(registers);
+  return ll;
+}
+
+void LogLogCounter::Add(DocId id) {
+  uint64_t h = Hash64(id, seed_);
+  int bucket_bits = FloorLog2(registers_.size());
+  size_t j = h & (registers_.size() - 1);
+  uint64_t rest = h >> bucket_bits;
+  // rho over the remaining bits; +1 so the register counts "position of
+  // first 1-bit, 1-based" as in the original algorithm.
+  int rho = LeastSignificantSetBit(rest) + 1;
+  if (rho > 31) rho = 31;  // fits a 5-bit register
+  if (registers_[j] < rho) registers_[j] = static_cast<uint8_t>(rho);
+}
+
+double LogLogCounter::EstimateCardinality() const {
+  const size_t m = registers_.size();
+  bool any = false;
+  for (uint8_t r : registers_) any |= (r != 0);
+  if (!any) return 0.0;
+
+  if (!use_truncation_) {
+    double sum = 0.0;
+    for (uint8_t r : registers_) sum += r;
+    return kAlpha * static_cast<double>(m) *
+           std::pow(2.0, sum / static_cast<double>(m));
+  }
+
+  // Super-LogLog: average only the smallest theta_0 * m registers.
+  std::vector<uint8_t> sorted(registers_);
+  std::sort(sorted.begin(), sorted.end());
+  size_t keep = static_cast<size_t>(kTruncationRatio * static_cast<double>(m));
+  if (keep == 0) keep = 1;
+  double sum = 0.0;
+  for (size_t j = 0; j < keep; ++j) sum += sorted[j];
+  return kAlphaTruncated * static_cast<double>(keep) *
+         std::pow(2.0, sum / static_cast<double>(keep));
+}
+
+std::unique_ptr<SetSynopsis> LogLogCounter::Clone() const {
+  return std::unique_ptr<SetSynopsis>(new LogLogCounter(*this));
+}
+
+Result<const LogLogCounter*> LogLogCounter::CheckCompatible(
+    const SetSynopsis& other) const {
+  if (other.type() != SynopsisType::kLogLog) {
+    return Status::InvalidArgument("expected a LogLog counter, got " +
+                                   std::string(SynopsisTypeName(other.type())));
+  }
+  const auto* ll = static_cast<const LogLogCounter*>(&other);
+  if (ll->registers_.size() != registers_.size() || ll->seed_ != seed_) {
+    return Status::InvalidArgument(
+        "incompatible LogLog counters (buckets/seed differ)");
+  }
+  return ll;
+}
+
+Status LogLogCounter::MergeUnion(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const LogLogCounter* ll, CheckCompatible(other));
+  for (size_t j = 0; j < registers_.size(); ++j) {
+    registers_[j] = std::max(registers_[j], ll->registers_[j]);
+  }
+  return Status::OK();
+}
+
+Status LogLogCounter::MergeIntersect(const SetSynopsis& other) {
+  (void)other;
+  return Status::Unimplemented("LogLog counters do not support intersection");
+}
+
+Result<double> LogLogCounter::EstimateResemblance(
+    const SetSynopsis& other) const {
+  IQN_ASSIGN_OR_RETURN(const LogLogCounter* ll, CheckCompatible(other));
+  double a = EstimateCardinality();
+  double b = ll->EstimateCardinality();
+  if (a == 0.0 && b == 0.0) return 0.0;
+  LogLogCounter merged = *this;
+  IQN_RETURN_IF_ERROR(merged.MergeUnion(*ll));
+  double u = merged.EstimateCardinality();
+  if (u <= 0.0) return 0.0;
+  double inter = a + b - u;
+  if (inter < 0.0) inter = 0.0;
+  double r = inter / u;
+  return r > 1.0 ? 1.0 : r;
+}
+
+std::string LogLogCounter::ToString() const {
+  std::ostringstream os;
+  os << "LogLog{m=" << registers_.size()
+     << ", truncated=" << (use_truncation_ ? "yes" : "no")
+     << ", est=" << EstimateCardinality() << "}";
+  return os.str();
+}
+
+}  // namespace iqn

@@ -1,0 +1,70 @@
+// (super-)LogLog counting — Durand & Flajolet, ESA 2003 (paper ref. [16]).
+//
+// Cited by the paper as the space-reduced successor of Flajolet-Martin
+// hash sketches: instead of a full bitmap per bucket, each of the m
+// buckets keeps only the maximum rho value observed (a ~5-bit register).
+// Cardinality is estimated as
+//
+//   n_hat = alpha_m * m * 2^{(1/m) * sum_j M_j}
+//
+// and the "super" variant additionally discards the largest registers
+// (truncation rule, theta_0 = 70%) to cut the variance caused by outliers.
+//
+// Like hash sketches, registers combine under position-wise max for
+// unions; there is no intersection.
+
+#ifndef IQN_SYNOPSES_LOGLOG_H_
+#define IQN_SYNOPSES_LOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class LogLogCounter final : public SetSynopsis {
+ public:
+  /// num_buckets must be a power of two in [16, 65536].
+  /// `use_truncation` enables the super-LogLog rule: estimate from the
+  /// smallest 70 % of registers with the adjusted constant.
+  static Result<LogLogCounter> Create(size_t num_buckets, uint64_t seed = 0,
+                                      bool use_truncation = true);
+
+  // SetSynopsis interface.
+  SynopsisType type() const override { return SynopsisType::kLogLog; }
+  size_t SizeBits() const override { return registers_.size() * kRegisterBits; }
+  void Add(DocId id) override;
+  double EstimateCardinality() const override;
+  std::unique_ptr<SetSynopsis> Clone() const override;
+  Status MergeUnion(const SetSynopsis& other) override;
+  Status MergeIntersect(const SetSynopsis& other) override;
+  Result<double> EstimateResemblance(const SetSynopsis& other) const override;
+  std::string ToString() const override;
+
+  size_t num_buckets() const { return registers_.size(); }
+  uint64_t seed() const { return seed_; }
+  bool use_truncation() const { return use_truncation_; }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  static Result<LogLogCounter> FromRegisters(uint64_t seed,
+                                             bool use_truncation,
+                                             std::vector<uint8_t> registers);
+
+  /// Bits charged per register when accounting space.
+  static constexpr size_t kRegisterBits = 5;
+
+ private:
+  LogLogCounter(size_t num_buckets, uint64_t seed, bool use_truncation);
+
+  Result<const LogLogCounter*> CheckCompatible(const SetSynopsis& other) const;
+
+  uint64_t seed_;
+  bool use_truncation_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_LOGLOG_H_

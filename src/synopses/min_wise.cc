@@ -1,0 +1,129 @@
+#include "synopses/min_wise.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace iqn {
+
+MinWiseSynopsis::MinWiseSynopsis(size_t num_permutations,
+                                 const UniversalHashFamily& family)
+    : family_(family), mins_(num_permutations, kEmptyMin) {}
+
+Result<MinWiseSynopsis> MinWiseSynopsis::Create(
+    size_t num_permutations, const UniversalHashFamily& family) {
+  if (num_permutations < 1 || num_permutations > 4096) {
+    return Status::InvalidArgument(
+        "MIPs num_permutations must be in [1, 4096]");
+  }
+  return MinWiseSynopsis(num_permutations, family);
+}
+
+Result<MinWiseSynopsis> MinWiseSynopsis::FromMins(
+    const UniversalHashFamily& family, std::vector<uint64_t> mins) {
+  IQN_ASSIGN_OR_RETURN(MinWiseSynopsis mw,
+                       Create(mins.empty() ? 1 : mins.size(), family));
+  if (mins.empty()) return Status::Corruption("MIPs vector is empty");
+  for (uint64_t m : mins) {
+    if (m > kEmptyMin) return Status::Corruption("MIPs value exceeds modulus");
+  }
+  mw.mins_ = std::move(mins);
+  return mw;
+}
+
+void MinWiseSynopsis::Add(DocId id) {
+  for (size_t i = 0; i < mins_.size(); ++i) {
+    uint64_t v = family_.Apply(i, id);
+    if (v < mins_[i]) mins_[i] = v;
+  }
+}
+
+bool MinWiseSynopsis::Empty() const {
+  // Adding any element lowers every position below the sentinel.
+  return mins_[0] == kEmptyMin;
+}
+
+double MinWiseSynopsis::EstimateCardinality() const {
+  if (Empty()) return 0.0;
+  // The minimum of n uniform draws from [0, U) scaled to [0, 1) is
+  // approximately Exp(n)-distributed, so the sum over N independent
+  // permutations is Gamma(N, rate n) and (N-1)/sum is an (almost)
+  // unbiased estimator of n for N >= 2.
+  const size_t n_perm = mins_.size();
+  double sum = 0.0;
+  for (uint64_t m : mins_) {
+    sum += static_cast<double>(m) / static_cast<double>(kMersenne61);
+  }
+  if (sum <= 0.0) return static_cast<double>(kMersenne61);  // degenerate
+  if (n_perm == 1) return 1.0 / sum - 1.0 < 0.0 ? 0.0 : 1.0 / sum - 1.0;
+  double est = static_cast<double>(n_perm - 1) / sum;
+  return est < 0.0 ? 0.0 : est;
+}
+
+std::unique_ptr<SetSynopsis> MinWiseSynopsis::Clone() const {
+  return std::unique_ptr<SetSynopsis>(new MinWiseSynopsis(*this));
+}
+
+Result<const MinWiseSynopsis*> MinWiseSynopsis::CheckComparable(
+    const SetSynopsis& other) const {
+  if (other.type() != SynopsisType::kMinWise) {
+    return Status::InvalidArgument("expected a MIPs synopsis, got " +
+                                   std::string(SynopsisTypeName(other.type())));
+  }
+  const auto* mw = static_cast<const MinWiseSynopsis*>(&other);
+  if (!(mw->family_ == family_)) {
+    // Different permutation families produce incomparable minima; the
+    // family seed is the one global agreement MIPs require (Sec. 5.3).
+    return Status::InvalidArgument("MIPs built from different hash families");
+  }
+  return mw;
+}
+
+Status MinWiseSynopsis::MergeUnion(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const MinWiseSynopsis* mw, CheckComparable(other));
+  size_t common = std::min(mins_.size(), mw->mins_.size());
+  for (size_t i = 0; i < common; ++i) {
+    mins_[i] = std::min(mins_[i], mw->mins_[i]);
+  }
+  mins_.resize(common);
+  return Status::OK();
+}
+
+Status MinWiseSynopsis::MergeIntersect(const SetSynopsis& other) {
+  IQN_ASSIGN_OR_RETURN(const MinWiseSynopsis* mw, CheckComparable(other));
+  size_t common = std::min(mins_.size(), mw->mins_.size());
+  for (size_t i = 0; i < common; ++i) {
+    // The true minimum over A∩B can be no lower than max of the two
+    // per-set minima, hence max is the conservative approximation.
+    mins_[i] = std::max(mins_[i], mw->mins_[i]);
+  }
+  mins_.resize(common);
+  return Status::OK();
+}
+
+Result<double> MinWiseSynopsis::EstimateResemblance(
+    const SetSynopsis& other) const {
+  IQN_ASSIGN_OR_RETURN(const MinWiseSynopsis* mw, CheckComparable(other));
+  size_t common = std::min(mins_.size(), mw->mins_.size());
+  if (Empty() && mw->Empty()) return 0.0;
+  size_t matches = 0;
+  for (size_t i = 0; i < common; ++i) {
+    if (mins_[i] == mw->mins_[i] && mins_[i] != kEmptyMin) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(common);
+}
+
+size_t MinWiseSynopsis::CountDistinctValues() const {
+  std::unordered_set<uint64_t> distinct(mins_.begin(), mins_.end());
+  distinct.erase(kEmptyMin);
+  return distinct.size();
+}
+
+std::string MinWiseSynopsis::ToString() const {
+  std::ostringstream os;
+  os << "MIPs{N=" << mins_.size() << ", family=" << family_.seed()
+     << (Empty() ? ", empty" : "") << "}";
+  return os.str();
+}
+
+}  // namespace iqn

@@ -1,0 +1,92 @@
+// Min-wise independent permutations (MIPs) — paper Sec. 3.2, Fig. 1.
+//
+// N random linear permutations h_i(x) = (a_i*x + b_i) mod U over the
+// Mersenne prime U = 2^61 - 1 are applied to every docId; the synopsis
+// stores the minimum image under each permutation. Because every element
+// of a set is equally likely to be the minimum under a random permutation,
+//
+//   P(min_i(A) == min_i(B)) = |A∩B| / |A∪B|  (the resemblance),
+//
+// so the fraction of matching vector positions is an unbiased resemblance
+// estimator (Broder et al.).
+//
+// Properties the paper builds IQN on:
+//  * union  = position-wise min (exact in distribution, Sec. 5.3);
+//  * intersection ≈ position-wise max (conservative heuristic, Sec. 6.1);
+//  * heterogeneous lengths: two MIPs vectors with N1 != N2 permutations
+//    still compare/combine over the common prefix min(N1, N2) — the
+//    decisive advantage over Bloom filters and hash sketches (Sec. 3.4) —
+//    provided they were built from the same globally agreed hash family.
+//
+// All peers must share the UniversalHashFamily seed; serialized MIPs carry
+// the seed as a family fingerprint and deserialization re-binds to it.
+
+#ifndef IQN_SYNOPSES_MIN_WISE_H_
+#define IQN_SYNOPSES_MIN_WISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class MinWiseSynopsis final : public SetSynopsis {
+ public:
+  /// Sentinel stored at a position before any element was added ("min of
+  /// the empty set"); strictly larger than any permutation image.
+  static constexpr uint64_t kEmptyMin = kMersenne61;
+
+  /// num_permutations in [1, 4096].
+  static Result<MinWiseSynopsis> Create(size_t num_permutations,
+                                        const UniversalHashFamily& family);
+
+  // SetSynopsis interface.
+  SynopsisType type() const override { return SynopsisType::kMinWise; }
+  /// Each stored minimum is charged at 32 bits, the paper's accounting
+  /// (64 permutations == 2048 bits in Fig. 2/3).
+  size_t SizeBits() const override { return mins_.size() * 32; }
+  void Add(DocId id) override;
+  double EstimateCardinality() const override;
+  std::unique_ptr<SetSynopsis> Clone() const override;
+  /// Position-wise min over the common prefix; this synopsis is truncated
+  /// to min(N1, N2) permutations (Sec. 5.3 heterogeneous-length rule).
+  Status MergeUnion(const SetSynopsis& other) override;
+  /// Position-wise max over the common prefix (conservative, Sec. 6.1).
+  Status MergeIntersect(const SetSynopsis& other) override;
+  /// Matching positions / common prefix length.
+  Result<double> EstimateResemblance(const SetSynopsis& other) const override;
+  std::string ToString() const override;
+
+  size_t num_permutations() const { return mins_.size(); }
+  uint64_t family_seed() const { return family_.seed(); }
+  const UniversalHashFamily& family() const { return family_; }
+  const std::vector<uint64_t>& mins() const { return mins_; }
+
+  /// True iff no element has been added.
+  bool Empty() const;
+
+  /// Number of distinct values in the vector; the paper mentions
+  /// distinct-count over an aggregated vector as a (biased) heuristic
+  /// cardinality signal for union/intersection results.
+  size_t CountDistinctValues() const;
+
+  static Result<MinWiseSynopsis> FromMins(const UniversalHashFamily& family,
+                                          std::vector<uint64_t> mins);
+
+ private:
+  MinWiseSynopsis(size_t num_permutations, const UniversalHashFamily& family);
+
+  /// Checks type and family; heterogeneous lengths are allowed.
+  Result<const MinWiseSynopsis*> CheckComparable(
+      const SetSynopsis& other) const;
+
+  UniversalHashFamily family_;
+  std::vector<uint64_t> mins_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_MIN_WISE_H_

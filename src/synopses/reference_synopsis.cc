@@ -1,0 +1,35 @@
+#include "synopses/reference_synopsis.h"
+
+namespace iqn {
+
+Result<ReferenceSynopsis> ReferenceSynopsis::Create(
+    std::unique_ptr<SetSynopsis> seed, double cardinality) {
+  if (seed == nullptr) {
+    return Status::InvalidArgument("reference synopsis needs a seed");
+  }
+  if (cardinality < 0.0) {
+    return Status::InvalidArgument("negative seed cardinality");
+  }
+  return ReferenceSynopsis(std::move(seed), cardinality);
+}
+
+ReferenceSynopsis ReferenceSynopsis::CloneRef() const {
+  return ReferenceSynopsis(synopsis_->Clone(), cardinality_);
+}
+
+Result<double> ReferenceSynopsis::NoveltyOf(
+    const SetSynopsis& candidate, double candidate_cardinality) const {
+  return EstimateNovelty(*synopsis_, cardinality_, candidate,
+                         candidate_cardinality);
+}
+
+Result<double> ReferenceSynopsis::Absorb(const SetSynopsis& candidate,
+                                         double candidate_cardinality) {
+  IQN_ASSIGN_OR_RETURN(double novelty,
+                       NoveltyOf(candidate, candidate_cardinality));
+  IQN_RETURN_IF_ERROR(synopsis_->MergeUnion(candidate));
+  cardinality_ += novelty;
+  return novelty;
+}
+
+}  // namespace iqn

@@ -1,0 +1,62 @@
+// The running "result space already covered" synopsis of the IQN loop
+// (paper Sec. 5.1).
+//
+// IQN seeds the reference with the query initiator's local result (whose
+// cardinality is exactly known), then alternates:
+//   novelty  = NoveltyOf(candidate)          (Select-Best-Peer input)
+//   Absorb(candidate)                        (Aggregate-Synopses step)
+// Absorb unions the candidate synopsis into the reference and advances the
+// tracked cardinality by the estimated novelty, so the loop only ever
+// needs pair-wise estimation — exactly the property the paper designs for.
+
+#ifndef IQN_SYNOPSES_REFERENCE_SYNOPSIS_H_
+#define IQN_SYNOPSES_REFERENCE_SYNOPSIS_H_
+
+#include <memory>
+
+#include "synopses/estimators.h"
+#include "synopses/synopsis.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class ReferenceSynopsis {
+ public:
+  /// Takes ownership of the seed synopsis. `cardinality` is the exact size
+  /// of the seed set (the initiator's local result).
+  static Result<ReferenceSynopsis> Create(std::unique_ptr<SetSynopsis> seed,
+                                          double cardinality);
+
+  ReferenceSynopsis(ReferenceSynopsis&&) = default;
+  ReferenceSynopsis& operator=(ReferenceSynopsis&&) = default;
+
+  /// Deep copy (clones the underlying synopsis).
+  ReferenceSynopsis CloneRef() const;
+
+  /// Estimated Novelty(candidate | covered-so-far).
+  Result<double> NoveltyOf(const SetSynopsis& candidate,
+                           double candidate_cardinality) const;
+
+  /// Folds the candidate into the covered result space; returns the
+  /// novelty that was credited.
+  Result<double> Absorb(const SetSynopsis& candidate,
+                        double candidate_cardinality);
+
+  /// Current estimate of |covered result space| — usable as an IQN
+  /// stopping criterion ("estimated result has at least k documents").
+  double estimated_cardinality() const { return cardinality_; }
+
+  const SetSynopsis& synopsis() const { return *synopsis_; }
+  SynopsisType type() const { return synopsis_->type(); }
+
+ private:
+  ReferenceSynopsis(std::unique_ptr<SetSynopsis> seed, double cardinality)
+      : synopsis_(std::move(seed)), cardinality_(cardinality) {}
+
+  std::unique_ptr<SetSynopsis> synopsis_;
+  double cardinality_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_REFERENCE_SYNOPSIS_H_

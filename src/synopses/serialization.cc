@@ -1,0 +1,260 @@
+#include "synopses/serialization.h"
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/loglog.h"
+#include "synopses/min_wise.h"
+#include "util/bits.h"
+
+namespace iqn {
+
+namespace {
+
+// Sanity caps so corrupt or hostile input cannot trigger huge allocations.
+constexpr uint64_t kMaxBloomBits = uint64_t{1} << 26;   // 8 MiB filter
+constexpr uint64_t kMaxBitmaps = 1 << 16;
+constexpr uint64_t kMaxPermutations = 4096;
+constexpr uint64_t kMaxRegisters = 65536;
+
+// Wire-only tag for Golomb-Rice compressed Bloom filters (distinct from
+// the SynopsisType values, which top out at 4).
+constexpr uint8_t kCompressedBloomTag = 5;
+
+/// Rice parameter fitted to the mean gap between set bits.
+int RiceParameter(uint64_t num_bits, uint64_t set_bits) {
+  if (set_bits == 0) return 0;
+  uint64_t mean_gap = num_bits / set_bits;
+  return mean_gap <= 1 ? 0 : FloorLog2(mean_gap);
+}
+
+Result<std::unique_ptr<SetSynopsis>> DecodeCompressedBloom(
+    ByteReader* reader) {
+  uint64_t num_bits, num_hashes, seed64, set_bits;
+  uint8_t rice_b;
+  Bytes stream;
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&num_bits));
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&num_hashes));
+  IQN_RETURN_IF_ERROR(reader->GetU64(&seed64));
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&set_bits));
+  IQN_RETURN_IF_ERROR(reader->GetU8(&rice_b));
+  IQN_RETURN_IF_ERROR(reader->GetBytes(&stream));
+  if (num_bits > kMaxBloomBits) {
+    return Status::Corruption("compressed Bloom filter too large");
+  }
+  if (set_bits > num_bits || rice_b > 63) {
+    return Status::Corruption("compressed Bloom filter header inconsistent");
+  }
+  std::vector<uint64_t> words((num_bits + 63) / 64, 0);
+  BitReader bits(stream);
+  uint64_t position = 0;
+  bool first = true;
+  for (uint64_t i = 0; i < set_bits; ++i) {
+    uint64_t quotient, remainder = 0;
+    IQN_RETURN_IF_ERROR(bits.GetUnary(num_bits, &quotient));
+    if (rice_b > 0) IQN_RETURN_IF_ERROR(bits.GetBits(rice_b, &remainder));
+    uint64_t gap = ((quotient << rice_b) | remainder) + 1;
+    position = first ? gap - 1 : position + gap;
+    first = false;
+    if (position >= num_bits) {
+      return Status::Corruption("compressed Bloom bit position out of range");
+    }
+    words[position / 64] |= uint64_t{1} << (position % 64);
+  }
+  IQN_ASSIGN_OR_RETURN(BloomFilter bf,
+                       BloomFilter::FromWords(num_bits, num_hashes, seed64,
+                                              std::move(words)));
+  return std::unique_ptr<SetSynopsis>(new BloomFilter(std::move(bf)));
+}
+
+}  // namespace
+
+Bytes SerializeBloomFilterCompressed(const BloomFilter& filter) {
+  // Gather set-bit positions.
+  std::vector<uint64_t> positions;
+  const std::vector<uint64_t>& words = filter.words();
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      int bit = LeastSignificantSetBit(word);
+      positions.push_back(w * 64 + static_cast<uint64_t>(bit));
+      word &= word - 1;
+    }
+  }
+
+  int b = RiceParameter(filter.num_bits(), positions.size());
+  BitWriter bits;
+  uint64_t previous = 0;
+  bool first = true;
+  for (uint64_t position : positions) {
+    uint64_t gap = first ? position + 1 : position - previous;
+    first = false;
+    previous = position;
+    uint64_t encoded = gap - 1;
+    bits.PutUnary(encoded >> b);
+    if (b > 0) bits.PutBits(encoded & ((uint64_t{1} << b) - 1), b);
+  }
+
+  ByteWriter writer;
+  writer.PutU8(kCompressedBloomTag);
+  writer.PutVarint(filter.num_bits());
+  writer.PutVarint(filter.num_hashes());
+  writer.PutU64(filter.seed());
+  writer.PutVarint(positions.size());
+  writer.PutU8(static_cast<uint8_t>(b));
+  writer.PutBytes(bits.Finish());
+  Bytes compressed = writer.Take();
+
+  // Dense filters compress badly; ship whichever image is smaller.
+  Bytes raw = SerializeSynopsisToBytes(filter);
+  return compressed.size() < raw.size() ? compressed : raw;
+}
+
+void SerializeSynopsis(const SetSynopsis& synopsis, ByteWriter* writer) {
+  writer->PutU8(static_cast<uint8_t>(synopsis.type()));
+  switch (synopsis.type()) {
+    case SynopsisType::kBloomFilter: {
+      const auto& bf = static_cast<const BloomFilter&>(synopsis);
+      writer->PutVarint(bf.num_bits());
+      writer->PutVarint(bf.num_hashes());
+      writer->PutU64(bf.seed());
+      for (uint64_t w : bf.words()) writer->PutU64(w);
+      return;
+    }
+    case SynopsisType::kHashSketch: {
+      const auto& hs = static_cast<const HashSketch&>(synopsis);
+      writer->PutVarint(hs.num_bitmaps());
+      writer->PutVarint(hs.bits_per_bitmap());
+      writer->PutU64(hs.seed());
+      for (uint64_t b : hs.bitmaps()) writer->PutU64(b);
+      return;
+    }
+    case SynopsisType::kMinWise: {
+      const auto& mw = static_cast<const MinWiseSynopsis&>(synopsis);
+      writer->PutVarint(mw.num_permutations());
+      writer->PutU64(mw.family_seed());
+      for (uint64_t m : mw.mins()) writer->PutU64(m);
+      return;
+    }
+    case SynopsisType::kLogLog: {
+      const auto& ll = static_cast<const LogLogCounter&>(synopsis);
+      writer->PutVarint(ll.num_buckets());
+      writer->PutU64(ll.seed());
+      writer->PutU8(ll.use_truncation() ? 1 : 0);
+      for (uint8_t r : ll.registers()) writer->PutU8(r);
+      return;
+    }
+  }
+}
+
+Bytes SerializeSynopsisToBytes(const SetSynopsis& synopsis) {
+  ByteWriter writer;
+  SerializeSynopsis(synopsis, &writer);
+  return writer.Take();
+}
+
+Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsis(ByteReader* reader) {
+  uint8_t type_tag;
+  IQN_RETURN_IF_ERROR(reader->GetU8(&type_tag));
+  if (type_tag == kCompressedBloomTag) return DecodeCompressedBloom(reader);
+  switch (static_cast<SynopsisType>(type_tag)) {
+    case SynopsisType::kBloomFilter: {
+      uint64_t num_bits, num_hashes, seed;
+      IQN_RETURN_IF_ERROR(reader->GetVarint(&num_bits));
+      IQN_RETURN_IF_ERROR(reader->GetVarint(&num_hashes));
+      IQN_RETURN_IF_ERROR(reader->GetU64(&seed));
+      if (num_bits > kMaxBloomBits) {
+        return Status::Corruption("Bloom filter too large");
+      }
+      std::vector<uint64_t> words((num_bits + 63) / 64);
+      for (auto& w : words) IQN_RETURN_IF_ERROR(reader->GetU64(&w));
+      IQN_ASSIGN_OR_RETURN(
+          BloomFilter bf,
+          BloomFilter::FromWords(num_bits, num_hashes, seed, std::move(words)));
+      return std::unique_ptr<SetSynopsis>(new BloomFilter(std::move(bf)));
+    }
+    case SynopsisType::kHashSketch: {
+      uint64_t num_bitmaps, width, seed;
+      IQN_RETURN_IF_ERROR(reader->GetVarint(&num_bitmaps));
+      IQN_RETURN_IF_ERROR(reader->GetVarint(&width));
+      IQN_RETURN_IF_ERROR(reader->GetU64(&seed));
+      if (num_bitmaps == 0 || num_bitmaps > kMaxBitmaps) {
+        return Status::Corruption("hash sketch bitmap count out of range");
+      }
+      std::vector<uint64_t> bitmaps(num_bitmaps);
+      for (auto& b : bitmaps) IQN_RETURN_IF_ERROR(reader->GetU64(&b));
+      IQN_ASSIGN_OR_RETURN(
+          HashSketch hs, HashSketch::FromBitmaps(width, seed, std::move(bitmaps)));
+      return std::unique_ptr<SetSynopsis>(new HashSketch(std::move(hs)));
+    }
+    case SynopsisType::kMinWise: {
+      uint64_t n, family_seed;
+      IQN_RETURN_IF_ERROR(reader->GetVarint(&n));
+      IQN_RETURN_IF_ERROR(reader->GetU64(&family_seed));
+      if (n == 0 || n > kMaxPermutations) {
+        return Status::Corruption("MIPs permutation count out of range");
+      }
+      std::vector<uint64_t> mins(n);
+      for (auto& m : mins) IQN_RETURN_IF_ERROR(reader->GetU64(&m));
+      IQN_ASSIGN_OR_RETURN(MinWiseSynopsis mw,
+                           MinWiseSynopsis::FromMins(
+                               UniversalHashFamily(family_seed), std::move(mins)));
+      return std::unique_ptr<SetSynopsis>(new MinWiseSynopsis(std::move(mw)));
+    }
+    case SynopsisType::kLogLog: {
+      uint64_t num_buckets, seed64;
+      uint8_t truncation;
+      IQN_RETURN_IF_ERROR(reader->GetVarint(&num_buckets));
+      IQN_RETURN_IF_ERROR(reader->GetU64(&seed64));
+      IQN_RETURN_IF_ERROR(reader->GetU8(&truncation));
+      if (num_buckets == 0 || num_buckets > kMaxRegisters) {
+        return Status::Corruption("LogLog bucket count out of range");
+      }
+      std::vector<uint8_t> registers(num_buckets);
+      for (auto& r : registers) IQN_RETURN_IF_ERROR(reader->GetU8(&r));
+      IQN_ASSIGN_OR_RETURN(
+          LogLogCounter ll,
+          LogLogCounter::FromRegisters(seed64, truncation != 0,
+                                       std::move(registers)));
+      return std::unique_ptr<SetSynopsis>(new LogLogCounter(std::move(ll)));
+    }
+  }
+  return Status::Corruption("unknown synopsis type tag");
+}
+
+Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsisFromBytes(
+    const Bytes& bytes) {
+  ByteReader reader(bytes);
+  IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> syn,
+                       DeserializeSynopsis(&reader));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after synopsis");
+  }
+  return syn;
+}
+
+void SerializeHistogram(const ScoreHistogramSynopsis& histogram,
+                        ByteWriter* writer) {
+  writer->PutVarint(histogram.num_cells());
+  for (size_t i = 0; i < histogram.num_cells(); ++i) {
+    writer->PutVarint(histogram.cell_count(i));
+    SerializeSynopsis(histogram.cell(i), writer);
+  }
+}
+
+Result<ScoreHistogramSynopsis> DeserializeHistogram(ByteReader* reader) {
+  uint64_t num_cells;
+  IQN_RETURN_IF_ERROR(reader->GetVarint(&num_cells));
+  if (num_cells == 0 || num_cells > 64) {
+    return Status::Corruption("histogram cell count out of range");
+  }
+  std::vector<ScoreHistogramSynopsis::Cell> cells(num_cells);
+  for (auto& cell : cells) {
+    uint64_t count;
+    IQN_RETURN_IF_ERROR(reader->GetVarint(&count));
+    IQN_ASSIGN_OR_RETURN(cell.synopsis, DeserializeSynopsis(reader));
+    cell.count = count;
+  }
+  return ScoreHistogramSynopsis::FromCells(std::move(cells));
+}
+
+}  // namespace iqn

@@ -1,0 +1,57 @@
+// Wire format of synopses — what peers actually post to the DHT directory
+// and what the query initiator fetches back.
+//
+// Every serialized synopsis is self-describing: a type tag followed by the
+// parameters (including the hash-family seed / filter seed, which acts as
+// the compatibility fingerprint) and the payload. Deserialization
+// validates everything and returns Corruption on malformed input.
+//
+// Note on MIPs sizes: minima are 61-bit values and are stored as 8 wire
+// bytes each; the bit-budget *accounting* (SizeBits) follows the paper's
+// convention of 32 bits per permutation (64 permutations == 2048 bits in
+// Figs. 2/3). EXPERIMENTS.md discusses this bookkeeping difference.
+
+#ifndef IQN_SYNOPSES_SERIALIZATION_H_
+#define IQN_SYNOPSES_SERIALIZATION_H_
+
+#include <memory>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/histogram_synopsis.h"
+#include "synopses/synopsis.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace iqn {
+
+/// Appends the synopsis to `writer`.
+void SerializeSynopsis(const SetSynopsis& synopsis, ByteWriter* writer);
+
+/// Convenience: one synopsis as a standalone byte string.
+Bytes SerializeSynopsisToBytes(const SetSynopsis& synopsis);
+
+/// Compressed Bloom-filter wire image (the paper's ref. [26],
+/// Mitzenmacher: ship the filter compressed, store it uncompressed):
+/// set-bit positions are gap-encoded with a Golomb-Rice code whose
+/// parameter is fitted to the fill ratio. Falls back to the raw image
+/// when the filter is too dense for compression to help. Both forms
+/// decode through DeserializeSynopsis.
+Bytes SerializeBloomFilterCompressed(const BloomFilter& filter);
+
+/// Reads one synopsis from `reader`.
+Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsis(ByteReader* reader);
+
+/// Convenience for a standalone byte string; fails if trailing bytes
+/// remain.
+Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsisFromBytes(
+    const Bytes& bytes);
+
+/// Histogram synopses: cell count, then per cell the exact element count
+/// and the nested cell synopsis.
+void SerializeHistogram(const ScoreHistogramSynopsis& histogram,
+                        ByteWriter* writer);
+Result<ScoreHistogramSynopsis> DeserializeHistogram(ByteReader* reader);
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_SERIALIZATION_H_

@@ -1,0 +1,80 @@
+// Common interface of the compact set synopses studied in the paper
+// (Section 3): Bloom filters, hash sketches, and min-wise permutations,
+// plus the super-LogLog variant cited from Durand-Flajolet.
+//
+// A synopsis represents the set of docIds a peer holds for one term.
+// Peers post serialized synopses to the distributed directory; the query
+// initiator fetches them and runs novelty estimation (Section 5.2) and
+// union/intersection aggregation (Sections 5.3, 6) purely on the synopses,
+// never on the underlying sets.
+
+#ifndef IQN_SYNOPSES_SYNOPSIS_H_
+#define IQN_SYNOPSES_SYNOPSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace iqn {
+
+/// Global document identifier (e.g., a hash of the URL or file name).
+using DocId = uint64_t;
+
+enum class SynopsisType : uint8_t {
+  kBloomFilter = 1,
+  kHashSketch = 2,
+  kMinWise = 3,
+  kLogLog = 4,
+};
+
+/// Name for logs and bench output ("BF", "HS", "MIPs", "LL").
+const char* SynopsisTypeName(SynopsisType type);
+
+/// Abstract compact representation of a docId set.
+///
+/// Implementations are value-like (copyable via Clone) and cheap to merge.
+/// Operations that a particular synopsis type cannot support (e.g.,
+/// intersection of hash sketches, paper Sec. 3.4) return Unimplemented
+/// rather than silently degrading.
+class SetSynopsis {
+ public:
+  virtual ~SetSynopsis() = default;
+
+  virtual SynopsisType type() const = 0;
+
+  /// Space the serialized synopsis occupies, in bits. This is the budget
+  /// axis of Figure 2 (all techniques compared at equal bit budgets).
+  virtual size_t SizeBits() const = 0;
+
+  /// Inserts one element.
+  virtual void Add(DocId id) = 0;
+
+  /// Estimated number of distinct elements inserted.
+  virtual double EstimateCardinality() const = 0;
+
+  virtual std::unique_ptr<SetSynopsis> Clone() const = 0;
+
+  /// In-place union with `other` (both synopses afterwards represent
+  /// A ∪ B). Fails with InvalidArgument when the synopses are structurally
+  /// incompatible (different type, incompatible parameters).
+  virtual Status MergeUnion(const SetSynopsis& other) = 0;
+
+  /// In-place (possibly heuristic) intersection. Bloom filters AND their
+  /// bit vectors; MIPs take the position-wise max (a conservative
+  /// approximation, Sec. 6.1); hash sketches return Unimplemented.
+  virtual Status MergeIntersect(const SetSynopsis& other) = 0;
+
+  /// Estimated resemblance |A∩B| / |A∪B| between this synopsis and
+  /// `other`. InvalidArgument on incompatible synopses.
+  virtual Result<double> EstimateResemblance(const SetSynopsis& other) const = 0;
+
+  /// Debug string: type, parameters, fill state.
+  virtual std::string ToString() const = 0;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_SYNOPSIS_H_

@@ -1,0 +1,30 @@
+// Bit-level utilities shared by the synopsis implementations.
+
+#ifndef IQN_UTIL_BITS_H_
+#define IQN_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace iqn {
+
+/// Position of the least significant set bit, or 64 if x == 0.
+/// This is the rho() function of Flajolet-Martin hash sketches.
+inline int LeastSignificantSetBit(uint64_t x) {
+  return x == 0 ? 64 : std::countr_zero(x);
+}
+
+/// Number of set bits.
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// Smallest power of two >= x (x >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t x) { return std::bit_ceil(x); }
+
+inline bool IsPowerOfTwo(uint64_t x) { return std::has_single_bit(x); }
+
+/// floor(log2(x)) for x >= 1.
+inline int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_BITS_H_

@@ -1,0 +1,160 @@
+#include "util/bytes.h"
+
+#include <cstring>
+
+namespace iqn {
+
+void ByteWriter::PutU8(uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutBytes(const Bytes& b) {
+  PutVarint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::PutRaw(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+Status ByteReader::GetU8(uint8_t* out) {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::GetU32(uint32_t* out) {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::GetU64(uint64_t* out) {
+  if (remaining() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= len_) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::GetDouble(double* out) {
+  uint64_t bits;
+  IQN_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status ByteReader::GetBytes(Bytes* out) {
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(GetVarint(&n));
+  if (remaining() < n) return Status::Corruption("truncated byte string");
+  out->assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* out) {
+  uint64_t n;
+  IQN_RETURN_IF_ERROR(GetVarint(&n));
+  if (remaining() < n) return Status::Corruption("truncated string");
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return Status::OK();
+}
+
+void BitWriter::PutBit(bool bit) {
+  if (bit_count_ % 8 == 0) buf_.push_back(0);
+  if (bit) {
+    buf_.back() |= static_cast<uint8_t>(1u << (7 - bit_count_ % 8));
+  }
+  ++bit_count_;
+}
+
+void BitWriter::PutBits(uint64_t value, size_t count) {
+  for (size_t i = count; i-- > 0;) {
+    PutBit((value >> i) & 1);
+  }
+}
+
+void BitWriter::PutUnary(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) PutBit(true);
+  PutBit(false);
+}
+
+Bytes BitWriter::Finish() { return std::move(buf_); }
+
+Status BitReader::GetBit(bool* out) {
+  if (pos_ >= data_->size() * 8) return Status::Corruption("bitstream end");
+  uint8_t byte = (*data_)[pos_ / 8];
+  *out = (byte >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return Status::OK();
+}
+
+Status BitReader::GetBits(size_t count, uint64_t* out) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < count; ++i) {
+    bool bit;
+    IQN_RETURN_IF_ERROR(GetBit(&bit));
+    value = (value << 1) | (bit ? 1 : 0);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status BitReader::GetUnary(uint64_t limit, uint64_t* out) {
+  uint64_t count = 0;
+  while (true) {
+    bool bit;
+    IQN_RETURN_IF_ERROR(GetBit(&bit));
+    if (!bit) break;
+    if (++count > limit) return Status::Corruption("unary run too long");
+  }
+  *out = count;
+  return Status::OK();
+}
+
+}  // namespace iqn

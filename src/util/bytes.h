@@ -1,0 +1,105 @@
+// Byte-buffer encoding primitives used for everything that travels over
+// the simulated network: synopses, directory Posts, DHT messages.
+//
+// Encoding is little-endian fixed-width plus LEB128 varints; readers
+// validate bounds and return Corruption on malformed input so a bad peer
+// cannot crash the engine.
+
+#ifndef IQN_UTIL_BYTES_H_
+#define IQN_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Append-only encoder.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutDouble(double v);
+  /// Length-prefixed (varint) byte string.
+  void PutBytes(const Bytes& b);
+  void PutString(const std::string& s);
+  /// Raw append with no length prefix.
+  void PutRaw(const void* data, size_t len);
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const Bytes& b) : data_(b.data()), len_(b.size()) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetDouble(double* out);
+  Status GetBytes(Bytes* out);
+  Status GetString(std::string* out);
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Bit-granular appender (MSB-first within each byte), used by the
+/// Golomb-Rice coder for compressed Bloom filters.
+class BitWriter {
+ public:
+  void PutBit(bool bit);
+  /// Lowest `count` bits of `value`, most significant first. count <= 64.
+  void PutBits(uint64_t value, size_t count);
+  /// `count` one-bits followed by a zero (unary coding).
+  void PutUnary(uint64_t count);
+
+  /// Pads the final partial byte with zeros and returns the buffer.
+  Bytes Finish();
+
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  Bytes buf_;
+  size_t bit_count_ = 0;
+};
+
+/// Bounds-checked bit reader matching BitWriter's layout.
+class BitReader {
+ public:
+  explicit BitReader(const Bytes& bytes) : data_(&bytes) {}
+
+  Status GetBit(bool* out);
+  Status GetBits(size_t count, uint64_t* out);
+  /// Reads ones until the terminating zero; fails after `limit` ones
+  /// (corruption guard).
+  Status GetUnary(uint64_t limit, uint64_t* out);
+
+ private:
+  const Bytes* data_;
+  size_t pos_ = 0;  // in bits
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_BYTES_H_

@@ -1,0 +1,139 @@
+#include "util/flags.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace iqn {
+
+void Flags::DefineString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  defs_[name] = FlagDef{Type::kString, default_value, help};
+}
+
+void Flags::DefineInt(const std::string& name, int64_t default_value,
+                      const std::string& help) {
+  defs_[name] = FlagDef{Type::kInt, std::to_string(default_value), help};
+}
+
+void Flags::DefineDouble(const std::string& name, double default_value,
+                         const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  defs_[name] = FlagDef{Type::kDouble, os.str(), help};
+}
+
+void Flags::DefineBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  defs_[name] = FlagDef{Type::kBool, default_value ? "true" : "false", help};
+}
+
+Status Flags::Set(const std::string& name, const std::string& value) {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  FlagDef& def = it->second;
+  switch (def.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      errno = 0;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      (void)std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kBool:
+      if (value != "true" && value != "false" && value != "1" &&
+          value != "0") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  def.value = value;
+  return Status::OK();
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = defs_.find(name);
+      if (it != defs_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag form for booleans
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " missing value");
+      }
+    }
+    IQN_RETURN_IF_ERROR(Set(name, value));
+  }
+  return Status::OK();
+}
+
+std::string Flags::GetString(const std::string& name) const {
+  auto it = defs_.find(name);
+  assert(it != defs_.end() && "GetString on undefined flag");
+  return it->second.value;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  auto it = defs_.find(name);
+  assert(it != defs_.end() && "GetInt on undefined flag");
+  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  auto it = defs_.find(name);
+  assert(it != defs_.end() && "GetDouble on undefined flag");
+  return std::strtod(it->second.value.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  auto it = defs_.find(name);
+  assert(it != defs_.end() && "GetBool on undefined flag");
+  return it->second.value == "true" || it->second.value == "1";
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, def] : defs_) {
+    os << "  --" << name << " (default: " << def.value << ")  " << def.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iqn

@@ -1,0 +1,60 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Unrecognized flags are an error so bench sweeps fail loudly on typos.
+
+#ifndef IQN_UTIL_FLAGS_H_
+#define IQN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+class Flags {
+ public:
+  /// Declare flags before Parse(). `help` is shown by Usage().
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  Status Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable flag summary.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct FlagDef {
+    Type type;
+    std::string value;  // current textual value
+    std::string help;
+  };
+
+  Status Set(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagDef> defs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_FLAGS_H_

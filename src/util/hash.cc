@@ -1,0 +1,77 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace iqn {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Hash64(uint64_t key, uint64_t seed) {
+  return Mix64(key ^ Mix64(seed));
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a over the bytes, then a strong final mix. Good enough for
+  // directory keys and ids; not meant to be cryptographic.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL ^ Mix64(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+uint64_t HashString(std::string_view s, uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b) {
+  // 128-bit product, then fold hi/lo parts modulo the Mersenne prime:
+  // 2^61 ≡ 1 (mod 2^61-1), so value = lo61 + (bits above 61).
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * x + b;
+  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+uint64_t UniversalHashFamily::MultiplierFor(size_t i) const {
+  // a_i must be non-zero mod U for h_i to be a permutation of Z_U.
+  uint64_t a = Mix64(seed_ ^ (0xa5a5a5a5a5a5a5a5ULL + 2 * i)) % kMersenne61;
+  if (a == 0) a = 1;
+  return a;
+}
+
+uint64_t UniversalHashFamily::OffsetFor(size_t i) const {
+  return Mix64(seed_ ^ (0x5a5a5a5a5a5a5a5aULL + 2 * i + 1)) % kMersenne61;
+}
+
+uint64_t UniversalHashFamily::Apply(size_t i, uint64_t x) const {
+  // Pre-mix the key: linear maps are min-wise biased on structured inputs
+  // (consecutive docIds form a lattice under a*x+b), and real systems
+  // cannot rely on ids being random. Mix64 is a fixed bijection of the
+  // key universe shared by all peers, so cross-peer comparability is
+  // unaffected.
+  return MulAddMod61(MultiplierFor(i), Mix64(x) % kMersenne61, OffsetFor(i));
+}
+
+DoubleHasher::DoubleHasher(uint64_t key, uint64_t seed) {
+  h1_ = Hash64(key, seed);
+  h2_ = Hash64(key, seed ^ 0xdeadbeefcafef00dULL);
+  // h2 must be odd so successive probes cycle through all residues for
+  // power-of-two m; harmless otherwise.
+  h2_ |= 1;
+}
+
+uint64_t DoubleHasher::Probe(size_t i, uint64_t m) const {
+  return (h1_ + i * h2_) % m;
+}
+
+}  // namespace iqn

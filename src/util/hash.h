@@ -1,0 +1,85 @@
+// Hash functions used throughout the library.
+//
+// Three distinct needs, three tools:
+//  * HashBytes / Hash64 (splitmix64-based): fast general-purpose hashing of
+//    keys, strings, and docIds for Bloom filters, DHT ids, etc.
+//  * UniversalHashFamily: the linear hash family h_i(x) = (a_i*x + b_i) mod U
+//    over a Mersenne prime, used by min-wise permutations (paper Sec. 3.2);
+//    all peers derive the same family from one shared seed.
+//  * DoubleHasher: Kirsch-Mitzenmacher double hashing to derive k Bloom
+//    probe positions from two base hashes.
+
+#ifndef IQN_UTIL_HASH_H_
+#define IQN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace iqn {
+
+/// Mersenne prime 2^61 - 1, the modulus of the universal hash family.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// splitmix64 finalizer: a strong 64-bit mixer (Steele et al.).
+uint64_t Mix64(uint64_t x);
+
+/// Hash an integer key with a seed.
+uint64_t Hash64(uint64_t key, uint64_t seed = 0);
+
+/// FNV-1a-then-mix hash of arbitrary bytes.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// Convenience overload for strings (term names, peer addresses).
+uint64_t HashString(std::string_view s, uint64_t seed = 0);
+
+/// Multiply-add modulo 2^61-1 without overflow, using 128-bit arithmetic.
+/// Returns (a * x + b) mod (2^61 - 1).
+uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b);
+
+/// The shared family of linear permutations h_i(x) = (a_i*x + b_i) mod U.
+///
+/// Min-wise synopses from different peers are only comparable when built
+/// from the same family; peers agree on `seed` out of band (a global system
+/// parameter, paper Sec. 5.3). Parameters for permutation i are derived
+/// lazily and deterministically from the seed, so two families with equal
+/// seeds agree on every prefix regardless of the lengths requested.
+class UniversalHashFamily {
+ public:
+  explicit UniversalHashFamily(uint64_t seed) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// h_i(x); any i >= 0 is valid.
+  uint64_t Apply(size_t i, uint64_t x) const;
+
+  /// Multiplier a_i (in [1, U-1]) and offset b_i (in [0, U-1]).
+  uint64_t MultiplierFor(size_t i) const;
+  uint64_t OffsetFor(size_t i) const;
+
+  bool operator==(const UniversalHashFamily& other) const {
+    return seed_ == other.seed_;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Derives k probe positions in [0, m) from one key (Kirsch-Mitzenmacher:
+/// g_i(x) = h1(x) + i*h2(x) mod m behaves like k independent hashes).
+class DoubleHasher {
+ public:
+  DoubleHasher(uint64_t key, uint64_t seed);
+
+  /// Probe position i in [0, m). m must be > 0.
+  uint64_t Probe(size_t i, uint64_t m) const;
+
+ private:
+  uint64_t h1_;
+  uint64_t h2_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_HASH_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logger for examples and benches.
+//
+// Library code itself never logs on hot paths; logging exists so the
+// runnable binaries can narrate what the engine is doing.
+
+#ifndef IQN_UTIL_LOGGING_H_
+#define IQN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace iqn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Sink for one formatted message (implementation writes to stderr).
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) LogMessage(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define IQN_LOG_DEBUG ::iqn::internal::LogLine(::iqn::LogLevel::kDebug)
+#define IQN_LOG_INFO ::iqn::internal::LogLine(::iqn::LogLevel::kInfo)
+#define IQN_LOG_WARN ::iqn::internal::LogLine(::iqn::LogLevel::kWarn)
+#define IQN_LOG_ERROR ::iqn::internal::LogLine(::iqn::LogLevel::kError)
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_LOGGING_H_

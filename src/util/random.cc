@@ -1,0 +1,107 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // splitmix64 stream to fill the state; guarantees a non-zero state.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = Mix64(x);
+  }
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (-bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(Next()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) space, O(n + k) time.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Uniform(n - i));
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+Rng Rng::Fork() {
+  return Rng(Next() ^ 0x632be59bd9b4e019ULL);
+}
+
+}  // namespace iqn

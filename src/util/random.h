@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// Every randomized component in the library takes an explicit seed and owns
+// its own Rng; there is no global RNG state, so experiments are reproducible
+// bit-for-bit across runs and platforms.
+
+#ifndef IQN_UTIL_RANDOM_H_
+#define IQN_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iqn {
+
+/// xoshiro256** generator (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling
+  /// (Lemire) to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. lo <= hi required.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derive an independent child generator (for per-component seeding).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_RANDOM_H_

@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iqn {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (keep_samples_) samples_.push_back(x);
+}
+
+double RunningStats::Mean() const { return count_ ? mean_ : 0.0; }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Percentile(double p) const {
+  if (!keep_samples_ || samples_.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace iqn

@@ -1,0 +1,50 @@
+// Streaming summary statistics for the bench harnesses.
+//
+// Welford's online algorithm: numerically stable single-pass mean and
+// variance, plus optional sample retention for percentiles. The paper's
+// Figure 2 claims are about both the mean relative error AND its
+// variance ("MIPs offer accurate estimates with little variance"), so
+// the benches report both.
+
+#ifndef IQN_UTIL_STATS_H_
+#define IQN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace iqn {
+
+class RunningStats {
+ public:
+  /// keep_samples enables Percentile() at O(n) memory.
+  explicit RunningStats(bool keep_samples = false)
+      : keep_samples_(keep_samples) {}
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  /// 0 when empty.
+  double Mean() const;
+  /// Sample variance (n-1 denominator); 0 with fewer than 2 samples.
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return count_ ? min_ : 0.0; }
+  double Max() const { return count_ ? max_ : 0.0; }
+
+  /// p in [0, 1]; linear interpolation between order statistics.
+  /// Requires keep_samples; returns 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  bool keep_samples_;
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_STATS_H_

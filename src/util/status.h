@@ -1,0 +1,135 @@
+// Status / Result error handling for the iqn library.
+//
+// Library code does not throw exceptions (RocksDB idiom): fallible
+// operations return Status, and fallible constructors are replaced by
+// static Create() factories returning Result<T>.
+
+#ifndef IQN_UTIL_STATUS_H_
+#define IQN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace iqn {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,       // malformed serialized bytes
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,      // peer/node down or unreachable
+};
+
+/// Lightweight status object carrying a code and, on error, a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Accessing value() on an error Result aborts in debug
+/// builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define IQN_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::iqn::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+// Evaluates a Result expression, propagating an error status, otherwise
+// binding the value to `lhs`.
+#define IQN_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto IQN_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!IQN_CONCAT_(_res_, __LINE__).ok())                \
+    return IQN_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(IQN_CONCAT_(_res_, __LINE__)).value()
+
+#define IQN_CONCAT_INNER_(a, b) a##b
+#define IQN_CONCAT_(a, b) IQN_CONCAT_INNER_(a, b)
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_STATUS_H_

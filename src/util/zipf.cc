@@ -1,0 +1,83 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iqn {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : theta_(theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  assert(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  // Scaled probabilities; split into under- and over-full buckets.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (size_t i : small) {
+    prob_[i] = 1.0;  // numerical leftovers
+    alias_[i] = i;
+  }
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  size_t i = static_cast<size_t>(rng->Uniform(prob_.size()));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace iqn

@@ -1,0 +1,57 @@
+// Zipfian and related skewed samplers for the synthetic workload.
+//
+// Web text term frequencies are approximately Zipf-distributed; the
+// synthetic GOV-like corpus (DESIGN.md substitution table) draws terms from
+// ZipfSampler so popular terms are crawled/indexed by many peers, which is
+// the overlap structure the paper's evaluation depends on.
+
+#ifndef IQN_UTIL_ZIPF_H_
+#define IQN_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iqn {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^theta.
+/// Precomputes the CDF once (O(n) memory) and samples by binary search
+/// (O(log n) per draw); exact, not an approximation.
+class ZipfSampler {
+ public:
+  /// n > 0; theta >= 0 (theta = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double theta);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+  /// Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+/// Samples from an arbitrary discrete distribution given unnormalized
+/// weights, using Walker's alias method: O(n) build, O(1) per draw.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_ZIPF_H_

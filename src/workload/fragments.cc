@@ -1,0 +1,93 @@
+#include "workload/fragments.h"
+
+namespace iqn {
+
+Result<std::vector<Corpus>> SplitIntoFragments(const Corpus& corpus,
+                                               size_t f) {
+  if (f == 0 || f > corpus.size()) {
+    return Status::InvalidArgument(
+        "fragment count must be in [1, corpus size]");
+  }
+  std::vector<Corpus> fragments(f);
+  const size_t n = corpus.size();
+  // Contiguous blocks; the first n % f fragments get one extra document.
+  size_t base = n / f;
+  size_t extra = n % f;
+  size_t pos = 0;
+  for (size_t i = 0; i < f; ++i) {
+    size_t count = base + (i < extra ? 1 : 0);
+    for (size_t j = 0; j < count; ++j) {
+      const DocTerms& d = corpus.doc(pos++);
+      (void)fragments[i].AddDocumentTerms(d.id, d.terms);
+    }
+  }
+  return fragments;
+}
+
+std::vector<std::vector<size_t>> Combinations(size_t f, size_t s) {
+  std::vector<std::vector<size_t>> result;
+  if (s > f) return result;
+  std::vector<size_t> current(s);
+  for (size_t i = 0; i < s; ++i) current[i] = i;
+  while (true) {
+    result.push_back(current);
+    // Advance: find the rightmost index that can still move right.
+    size_t i = s;
+    while (i > 0) {
+      --i;
+      if (current[i] != i + f - s) break;
+      if (i == 0) return result;
+    }
+    if (current[i] == i + f - s) return result;
+    ++current[i];
+    for (size_t j = i + 1; j < s; ++j) current[j] = current[j - 1] + 1;
+  }
+}
+
+Result<std::vector<Corpus>> ChooseCombinationCollections(
+    const std::vector<Corpus>& fragments, size_t s) {
+  if (s == 0 || s > fragments.size()) {
+    return Status::InvalidArgument("subset size must be in [1, #fragments]");
+  }
+  std::vector<Corpus> collections;
+  for (const auto& subset : Combinations(fragments.size(), s)) {
+    Corpus c;
+    for (size_t idx : subset) c.Merge(fragments[idx]);
+    collections.push_back(std::move(c));
+  }
+  return collections;
+}
+
+Result<std::vector<Corpus>> SlidingWindowCollections(
+    const std::vector<Corpus>& fragments, size_t window, size_t offset,
+    size_t num_peers) {
+  if (window == 0 || window > fragments.size()) {
+    return Status::InvalidArgument("window must be in [1, #fragments]");
+  }
+  if (offset == 0) {
+    return Status::InvalidArgument("offset must be positive");
+  }
+  if (num_peers == 0) {
+    return Status::InvalidArgument("need at least one peer");
+  }
+  std::vector<Corpus> collections;
+  collections.reserve(num_peers);
+  for (size_t p = 0; p < num_peers; ++p) {
+    Corpus c;
+    for (size_t w = 0; w < window; ++w) {
+      c.Merge(fragments[(p * offset + w) % fragments.size()]);
+    }
+    collections.push_back(std::move(c));
+  }
+  return collections;
+}
+
+size_t CollectionOverlap(const Corpus& a, const Corpus& b) {
+  size_t overlap = 0;
+  for (const auto& d : a.docs()) {
+    if (b.ContainsDoc(d.id)) ++overlap;
+  }
+  return overlap;
+}
+
+}  // namespace iqn

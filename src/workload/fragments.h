@@ -1,0 +1,44 @@
+// Corpus partitioning strategies from the paper's experimental setup
+// (Sec. 8.1): the corpus is split into disjoint fragments, and peer
+// collections are formed as overlapping fragment combinations —
+// "systematically controlling the overlap of peers".
+
+#ifndef IQN_WORKLOAD_FRAGMENTS_H_
+#define IQN_WORKLOAD_FRAGMENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/corpus.h"
+#include "util/status.h"
+
+namespace iqn {
+
+/// Splits the corpus into `f` disjoint contiguous fragments of (near-)
+/// equal document count. f must be in [1, corpus.size()].
+Result<std::vector<Corpus>> SplitIntoFragments(const Corpus& corpus, size_t f);
+
+/// All (f choose s) subsets of {0..f-1} of size s, in lexicographic order.
+std::vector<std::vector<size_t>> Combinations(size_t f, size_t s);
+
+/// Strategy 1 — (f choose s): one peer collection per s-subset of the
+/// fragments (f=6, s=3 gives the paper's 20 peers).
+Result<std::vector<Corpus>> ChooseCombinationCollections(
+    const std::vector<Corpus>& fragments, size_t s);
+
+/// Strategy 2 — sliding window: peer p receives fragments
+/// f_{p*offset} .. f_{p*offset + window - 1} (indices modulo the fragment
+/// count), giving adjacent peers exactly (window - offset) shared
+/// fragments. The paper's setup: 100 fragments, window 10, offset 2,
+/// 50 peers.
+Result<std::vector<Corpus>> SlidingWindowCollections(
+    const std::vector<Corpus>& fragments, size_t window, size_t offset,
+    size_t num_peers);
+
+/// Exact document overlap |collection_a ∩ collection_b| (ground truth for
+/// tests).
+size_t CollectionOverlap(const Corpus& a, const Corpus& b);
+
+}  // namespace iqn
+
+#endif  // IQN_WORKLOAD_FRAGMENTS_H_

@@ -1,0 +1,60 @@
+#include "workload/overlap_sets.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace iqn {
+
+namespace {
+
+/// Draws `count` ids not yet in `used`, inserting them into both.
+void DrawDistinct(size_t count, Rng* rng, std::unordered_set<DocId>* used,
+                  std::vector<DocId>* out) {
+  while (count > 0) {
+    DocId id = rng->Next();
+    if (used->insert(id).second) {
+      out->push_back(id);
+      --count;
+    }
+  }
+}
+
+}  // namespace
+
+Result<OverlapPair> MakeSetsWithOverlap(size_t size_a, size_t size_b,
+                                        size_t shared, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (shared > size_a || shared > size_b) {
+    return Status::InvalidArgument("shared exceeds a set size");
+  }
+  OverlapPair pair;
+  pair.shared = shared;
+  std::unordered_set<DocId> used;
+  std::vector<DocId> common;
+  DrawDistinct(shared, rng, &used, &common);
+  pair.a = common;
+  pair.b = common;
+  DrawDistinct(size_a - shared, rng, &used, &pair.a);
+  DrawDistinct(size_b - shared, rng, &used, &pair.b);
+  return pair;
+}
+
+size_t SharedCountForResemblance(size_t size, double resemblance) {
+  if (resemblance <= 0.0) return 0;
+  if (resemblance >= 1.0) return size;
+  // r = m / (2n - m)  =>  m = 2 n r / (1 + r).
+  double m = 2.0 * static_cast<double>(size) * resemblance / (1.0 + resemblance);
+  size_t shared = static_cast<size_t>(std::llround(m));
+  return shared > size ? size : shared;
+}
+
+Result<OverlapPair> MakeSetsWithResemblance(size_t size, double resemblance,
+                                            Rng* rng) {
+  if (resemblance < 0.0 || resemblance > 1.0) {
+    return Status::InvalidArgument("resemblance must be in [0, 1]");
+  }
+  return MakeSetsWithOverlap(size, size,
+                             SharedCountForResemblance(size, resemblance), rng);
+}
+
+}  // namespace iqn

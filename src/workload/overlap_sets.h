@@ -1,0 +1,41 @@
+// Synthetic docId-set pairs with controlled overlap, the workload of the
+// paper's stand-alone synopsis evaluation (Sec. 3.3, Fig. 2).
+
+#ifndef IQN_WORKLOAD_OVERLAP_SETS_H_
+#define IQN_WORKLOAD_OVERLAP_SETS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "synopses/synopsis.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct OverlapPair {
+  std::vector<DocId> a;
+  std::vector<DocId> b;
+  /// The exact overlap the pair was constructed with.
+  size_t shared = 0;
+};
+
+/// Two random sets of sizes `size_a` / `size_b` sharing exactly `shared`
+/// elements (shared <= min(size_a, size_b)); all elements are distinct
+/// random 64-bit ids.
+Result<OverlapPair> MakeSetsWithOverlap(size_t size_a, size_t size_b,
+                                        size_t shared, Rng* rng);
+
+/// Two equal-size sets whose *resemblance* |A∩B|/|A∪B| is as close as an
+/// integer overlap allows to `resemblance` — the Fig. 2 right-hand sweep
+/// (50 %, 33 %, 25 %, ... mutual overlap).
+Result<OverlapPair> MakeSetsWithResemblance(size_t size, double resemblance,
+                                            Rng* rng);
+
+/// Exact shared-element count needed for two size-n sets to resemble r:
+/// m = round(2 n r / (1 + r)).
+size_t SharedCountForResemblance(size_t size, double resemblance);
+
+}  // namespace iqn
+
+#endif  // IQN_WORKLOAD_OVERLAP_SETS_H_

@@ -1,0 +1,55 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace iqn {
+
+Result<std::vector<Query>> GenerateQueries(
+    const std::vector<std::string>& vocabulary,
+    const QueryWorkloadOptions& options) {
+  if (vocabulary.empty()) {
+    return Status::InvalidArgument("empty vocabulary");
+  }
+  if (options.min_terms == 0 || options.min_terms > options.max_terms) {
+    return Status::InvalidArgument("need 0 < min_terms <= max_terms");
+  }
+  if (!(options.band_low >= 0.0 && options.band_low < options.band_high &&
+        options.band_high <= 1.0)) {
+    return Status::InvalidArgument("need 0 <= band_low < band_high <= 1");
+  }
+
+  size_t lo = static_cast<size_t>(options.band_low *
+                                  static_cast<double>(vocabulary.size()));
+  size_t hi = static_cast<size_t>(options.band_high *
+                                  static_cast<double>(vocabulary.size()));
+  if (hi <= lo) hi = lo + 1;
+  if (hi > vocabulary.size()) hi = vocabulary.size();
+  size_t band = hi - lo;
+  if (band < options.max_terms) {
+    return Status::InvalidArgument("frequency band narrower than a query");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Query> queries;
+  queries.reserve(options.num_queries);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    size_t num_terms = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(options.min_terms),
+                         static_cast<int64_t>(options.max_terms)));
+    Query query;
+    query.mode = options.mode;
+    query.k = options.k;
+    std::unordered_set<size_t> used;
+    while (query.terms.size() < num_terms) {
+      size_t rank = lo + static_cast<size_t>(rng.Uniform(band));
+      if (used.insert(rank).second) {
+        query.terms.push_back(vocabulary[rank]);
+      }
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace iqn

@@ -1,0 +1,44 @@
+// Query workload generator.
+//
+// Substitution for the TREC 2003 topic-distillation queries (DESIGN.md):
+// short multi-keyword queries ("forest fire", "pest safety control")
+// whose terms come from the mid-frequency band of the vocabulary — rare
+// enough to be discriminative, frequent enough to be held by many peers.
+
+#ifndef IQN_WORKLOAD_QUERIES_H_
+#define IQN_WORKLOAD_QUERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct QueryWorkloadOptions {
+  size_t num_queries = 10;
+  size_t min_terms = 2;
+  size_t max_terms = 3;
+  /// Vocabulary rank band the query terms are drawn from, as fractions of
+  /// the vocabulary size (e.g. [0.002, 0.10] skips the few ubiquitous
+  /// quasi-stopword ranks and the long tail).
+  double band_low = 0.002;
+  double band_high = 0.10;
+  QueryMode mode = QueryMode::kDisjunctive;
+  /// Top-k requested by each query.
+  size_t k = 50;
+  uint64_t seed = 7;
+};
+
+/// Draws `num_queries` distinct-term queries from `vocabulary` (ordered
+/// by popularity rank, as produced by SyntheticCorpusGenerator).
+Result<std::vector<Query>> GenerateQueries(
+    const std::vector<std::string>& vocabulary,
+    const QueryWorkloadOptions& options = {});
+
+}  // namespace iqn
+
+#endif  // IQN_WORKLOAD_QUERIES_H_

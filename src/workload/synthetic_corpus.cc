@@ -1,0 +1,74 @@
+#include "workload/synthetic_corpus.h"
+
+#include "util/hash.h"
+
+namespace iqn {
+
+std::string SyntheticWord(size_t rank, uint64_t seed) {
+  static const char* kConsonants = "bcdfghklmnprstvz";  // 16
+  static const char* kVowels = "aeiou";                 // 5
+  // 2-4 consonant-vowel syllables derived from a per-rank hash, plus a
+  // base-26 suffix of the rank itself to guarantee uniqueness.
+  uint64_t h = Hash64(rank, seed ^ 0x776f7264U);  // "word"
+  std::string word;
+  size_t syllables = 2 + (h & 1);
+  for (size_t s = 0; s < syllables; ++s) {
+    word.push_back(kConsonants[(h >> (4 + 8 * s)) & 15]);
+    word.push_back(kVowels[(h >> (8 + 8 * s)) % 5]);
+  }
+  size_t r = rank;
+  do {
+    word.push_back(static_cast<char>('a' + r % 26));
+    r /= 26;
+  } while (r > 0);
+  return word;
+}
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(
+    SyntheticCorpusOptions options)
+    : options_(options),
+      term_sampler_(options.vocabulary_size, options.zipf_theta) {
+  uint64_t vocab_seed =
+      options_.vocabulary_seed != 0 ? options_.vocabulary_seed : options_.seed;
+  vocabulary_.reserve(options_.vocabulary_size);
+  for (size_t rank = 0; rank < options_.vocabulary_size; ++rank) {
+    vocabulary_.push_back(SyntheticWord(rank, vocab_seed));
+  }
+}
+
+Result<SyntheticCorpusGenerator> SyntheticCorpusGenerator::Create(
+    SyntheticCorpusOptions options) {
+  if (options.num_documents == 0) {
+    return Status::InvalidArgument("corpus needs at least one document");
+  }
+  if (options.vocabulary_size == 0) {
+    return Status::InvalidArgument("vocabulary must be non-empty");
+  }
+  if (options.min_document_length == 0 ||
+      options.min_document_length > options.max_document_length) {
+    return Status::InvalidArgument(
+        "need 0 < min_document_length <= max_document_length");
+  }
+  return SyntheticCorpusGenerator(options);
+}
+
+Corpus SyntheticCorpusGenerator::Generate() const {
+  Corpus corpus;
+  Rng rng(options_.seed);
+  for (size_t d = 0; d < options_.num_documents; ++d) {
+    size_t length = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(options_.min_document_length),
+                         static_cast<int64_t>(options_.max_document_length)));
+    std::vector<std::string> terms;
+    terms.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      terms.push_back(vocabulary_[term_sampler_.Sample(&rng)]);
+    }
+    // AddDocumentTerms only fails on duplicate ids, which consecutive
+    // assignment rules out.
+    (void)corpus.AddDocumentTerms(options_.first_doc_id + d, std::move(terms));
+  }
+  return corpus;
+}
+
+}  // namespace iqn

@@ -1,0 +1,210 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace iqn {
+namespace {
+
+// Ground-truth owner: first live in-ring node clockwise from the key.
+const ChordNode* TrueOwner(const std::vector<const ChordNode*>& nodes,
+                           RingId key) {
+  const ChordNode* best = nullptr;
+  uint64_t best_distance = ~uint64_t{0};
+  for (const ChordNode* n : nodes) {
+    uint64_t d = RingDistance(key, n->id());
+    if (d <= best_distance) {
+      best_distance = d;
+      best = n;
+    }
+  }
+  return best;
+}
+
+TEST(ChordNodeTest, SingleNodeRingOwnsAllKeys) {
+  SimulatedNetwork net;
+  ChordNode node(&net);
+  ASSERT_TRUE(node.CreateRing().ok());
+  for (RingId key : {RingId{0}, RingId{12345}, ~RingId{0}}) {
+    auto r = node.FindSuccessor(key);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().owner, node.self());
+  }
+}
+
+TEST(ChordNodeTest, LookupBeforeJoiningFails) {
+  SimulatedNetwork net;
+  ChordNode node(&net);
+  EXPECT_EQ(node.FindSuccessor(1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChordNodeTest, JoinThenStabilizeFormsTwoNodeRing) {
+  SimulatedNetwork net;
+  ChordNode a(&net), b(&net);
+  ASSERT_TRUE(a.CreateRing().ok());
+  ASSERT_TRUE(b.Join(a.address()).ok());
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(a.Stabilize().ok());
+    ASSERT_TRUE(b.Stabilize().ok());
+  }
+  EXPECT_EQ(a.successor(), b.self());
+  EXPECT_EQ(b.successor(), a.self());
+  ASSERT_TRUE(a.predecessor().has_value());
+  ASSERT_TRUE(b.predecessor().has_value());
+  EXPECT_EQ(*a.predecessor(), b.self());
+  EXPECT_EQ(*b.predecessor(), a.self());
+}
+
+TEST(ChordNodeTest, ProtocolJoinConvergesToCorrectOwnership) {
+  SimulatedNetwork net;
+  std::vector<std::unique_ptr<ChordNode>> nodes;
+  nodes.push_back(std::make_unique<ChordNode>(&net));
+  ASSERT_TRUE(nodes[0]->CreateRing().ok());
+  for (int i = 1; i < 8; ++i) {
+    nodes.push_back(std::make_unique<ChordNode>(&net));
+    ASSERT_TRUE(nodes[i]->Join(nodes[0]->address()).ok());
+    // A few stabilization rounds after each join.
+    for (int round = 0; round < 3; ++round) {
+      for (auto& n : nodes) {
+        if (n->in_ring()) (void)n->Stabilize();
+      }
+    }
+  }
+  for (int round = 0; round < 8; ++round) {
+    for (auto& n : nodes) {
+      (void)n->Stabilize();
+      (void)n->FixNextFinger();
+    }
+  }
+  for (auto& n : nodes) ASSERT_TRUE(n->FixAllFingers().ok());
+
+  std::vector<const ChordNode*> raw;
+  for (auto& n : nodes) raw.push_back(n.get());
+  for (RingId key = 0; key < 60; ++key) {
+    RingId probe = RingIdForKey("key" + std::to_string(key));
+    auto found = nodes[key % nodes.size()]->FindSuccessor(probe);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value().owner.address, TrueOwner(raw, probe)->address());
+  }
+}
+
+TEST(ChordRingTest, BuildProducesConsistentRing) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 32);
+  ASSERT_TRUE(ring.ok());
+  // Successor/predecessor pointers form one cycle covering all nodes.
+  std::vector<const ChordNode*> raw;
+  for (size_t i = 0; i < ring.value()->size(); ++i) {
+    raw.push_back(&ring.value()->node(i));
+  }
+  const ChordNode* start = raw[0];
+  ChordPeer current = start->successor();
+  size_t steps = 1;
+  while (!(current == start->self()) && steps <= raw.size()) {
+    auto it = std::find_if(raw.begin(), raw.end(), [&](const ChordNode* n) {
+      return n->self() == current;
+    });
+    ASSERT_NE(it, raw.end());
+    current = (*it)->successor();
+    ++steps;
+  }
+  EXPECT_EQ(steps, raw.size());
+}
+
+TEST(ChordRingTest, LookupsFindTrueOwnerFromEveryOrigin) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 50);
+  ASSERT_TRUE(ring.ok());
+  std::vector<const ChordNode*> raw;
+  for (size_t i = 0; i < 50; ++i) raw.push_back(&ring.value()->node(i));
+  for (int k = 0; k < 100; ++k) {
+    RingId key = RingIdForKey("term" + std::to_string(k));
+    auto found = ring.value()->Lookup(k % 50, key);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value().owner.address, TrueOwner(raw, key)->address());
+  }
+}
+
+TEST(ChordRingTest, LookupHopsAreLogarithmic) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 256);
+  ASSERT_TRUE(ring.ok());
+  double total_hops = 0;
+  constexpr int kLookups = 200;
+  for (int k = 0; k < kLookups; ++k) {
+    auto found =
+        ring.value()->Lookup(k % 256, RingIdForKey("k" + std::to_string(k)));
+    ASSERT_TRUE(found.ok());
+    total_hops += found.value().hops;
+  }
+  // log2(256) = 8; expect average halved (~4) and certainly far below
+  // linear scanning.
+  double avg = total_hops / kLookups;
+  EXPECT_LT(avg, 12.0);
+  EXPECT_GT(avg, 1.0);
+}
+
+TEST(ChordRingTest, GracefulLeaveSplicesRing) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 8);
+  ASSERT_TRUE(ring.ok());
+  ChordNode& leaver = ring.value()->node(3);
+  ChordPeer leaver_self = leaver.self();
+  ASSERT_TRUE(leaver.Leave().ok());
+  ASSERT_TRUE(ring.value()->RunMaintenance(6).ok());
+  // No remaining node routes to the departed one.
+  for (int k = 0; k < 40; ++k) {
+    size_t origin = k % 8;
+    if (origin == 3) continue;
+    auto found = ring.value()->Lookup(origin, RingIdForKey(std::to_string(k)));
+    ASSERT_TRUE(found.ok());
+    EXPECT_FALSE(found.value().owner == leaver_self);
+  }
+}
+
+TEST(ChordRingTest, AbruptFailureRepairedByStabilization) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 16);
+  ASSERT_TRUE(ring.ok());
+  NodeAddress dead = ring.value()->node(5).address();
+  ASSERT_TRUE(net.SetNodeUp(dead, false).ok());
+  ASSERT_TRUE(ring.value()->RunMaintenance(10).ok());
+  for (int k = 0; k < 40; ++k) {
+    size_t origin = k % 16;
+    if (origin == 5) continue;
+    auto found = ring.value()->Lookup(origin, RingIdForKey(std::to_string(k)));
+    ASSERT_TRUE(found.ok()) << found.status().ToString();
+    EXPECT_NE(found.value().owner.address, dead);
+  }
+}
+
+TEST(ChordRingTest, VerbRegistrationAndDispatch) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 4);
+  ASSERT_TRUE(ring.ok());
+  ChordNode& node = ring.value()->node(0);
+  ASSERT_TRUE(node.RegisterVerb("app.hello",
+                                [](const Message&) -> Result<Bytes> {
+                                  return Bytes{42};
+                                })
+                  .ok());
+  // chord.* names and duplicates are rejected.
+  EXPECT_FALSE(node.RegisterVerb("chord.evil", nullptr).ok());
+  EXPECT_FALSE(node.RegisterVerb("app.hello",
+                                 [](const Message&) -> Result<Bytes> {
+                                   return Bytes{};
+                                 })
+                   .ok());
+  auto r = net.Rpc(1, node.address(), "app.hello", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Bytes{42});
+  // Unknown verbs 404.
+  EXPECT_EQ(net.Rpc(1, node.address(), "app.nope", {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,252 @@
+#include "dht/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+Bytes Val(std::initializer_list<uint8_t> bytes) { return Bytes(bytes); }
+
+struct Fixture {
+  SimulatedNetwork net;
+  std::unique_ptr<ChordRing> ring;
+  std::vector<std::unique_ptr<DhtStore>> stores;
+
+  explicit Fixture(size_t nodes, size_t replication = 1) {
+    auto r = ChordRing::Build(&net, nodes);
+    EXPECT_TRUE(r.ok());
+    ring = std::move(r).value();
+    for (size_t i = 0; i < nodes; ++i) {
+      auto s = DhtStore::Attach(&ring->node(i), replication);
+      EXPECT_TRUE(s.ok());
+      stores.push_back(std::move(s).value());
+    }
+  }
+};
+
+TEST(DhtStoreTest, AttachValidates) {
+  SimulatedNetwork net;
+  ChordNode node(&net);
+  EXPECT_FALSE(DhtStore::Attach(nullptr, 1).ok());
+  EXPECT_FALSE(DhtStore::Attach(&node, 0).ok());
+  EXPECT_FALSE(
+      DhtStore::Attach(&node, ChordNode::kSuccessorListSize + 1).ok());
+}
+
+TEST(DhtStoreTest, UpsertThenGetAllFromAnyNode) {
+  Fixture fx(8);
+  ASSERT_TRUE(fx.stores[0]->Upsert("apple", "p1", Val({1})).ok());
+  ASSERT_TRUE(fx.stores[3]->Upsert("apple", "p2", Val({2})).ok());
+  for (size_t origin = 0; origin < 8; ++origin) {
+    auto r = fx.stores[origin]->GetAll("apple");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().size(), 2u) << "origin=" << origin;
+  }
+}
+
+TEST(DhtStoreTest, UpsertReplacesSameSubkey) {
+  Fixture fx(4);
+  ASSERT_TRUE(fx.stores[0]->Upsert("k", "peer7", Val({1})).ok());
+  ASSERT_TRUE(fx.stores[1]->Upsert("k", "peer7", Val({9})).ok());
+  auto r = fx.stores[2]->GetAll("k");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0], Val({9}));
+}
+
+TEST(DhtStoreTest, MissingKeyYieldsEmptyList) {
+  Fixture fx(4);
+  auto r = fx.stores[0]->GetAll("nothing");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(DhtStoreTest, KeyIsStoredAtItsChordOwner) {
+  Fixture fx(16);
+  ASSERT_TRUE(fx.stores[0]->Upsert("banana", "p", Val({5})).ok());
+  auto owner = fx.ring->Lookup(0, RingIdForKey("banana"));
+  ASSERT_TRUE(owner.ok());
+  size_t holders = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    if (fx.stores[i]->LocalHasKey("banana")) {
+      ++holders;
+      EXPECT_EQ(fx.ring->node(i).address(), owner.value().owner.address);
+    }
+  }
+  EXPECT_EQ(holders, 1u);  // replication = 1
+}
+
+TEST(DhtStoreTest, ReplicationPlacesCopiesOnSuccessors) {
+  Fixture fx(16, /*replication=*/3);
+  ASSERT_TRUE(fx.stores[0]->Upsert("cherry", "p", Val({6})).ok());
+  size_t holders = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    if (fx.stores[i]->LocalHasKey("cherry")) ++holders;
+  }
+  EXPECT_EQ(holders, 3u);
+}
+
+TEST(DhtStoreTest, RemoveSubkeyAndWholeKey) {
+  Fixture fx(8);
+  ASSERT_TRUE(fx.stores[0]->Upsert("d", "a", Val({1})).ok());
+  ASSERT_TRUE(fx.stores[0]->Upsert("d", "b", Val({2})).ok());
+  ASSERT_TRUE(fx.stores[1]->Remove("d", "a").ok());
+  auto r = fx.stores[2]->GetAll("d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+  ASSERT_TRUE(fx.stores[1]->Remove("d").ok());
+  r = fx.stores[2]->GetAll("d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(DhtStoreTest, OwnerFailureServedByReplicaAfterRepair) {
+  Fixture fx(12, /*replication=*/3);
+  ASSERT_TRUE(fx.stores[0]->Upsert("kiwi", "p", Val({7})).ok());
+  // Find and kill the owner.
+  auto owner = fx.ring->Lookup(0, RingIdForKey("kiwi"));
+  ASSERT_TRUE(owner.ok());
+  size_t owner_index = 0;
+  for (size_t i = 0; i < 12; ++i) {
+    if (fx.ring->node(i).address() == owner.value().owner.address) {
+      owner_index = i;
+    }
+  }
+  ASSERT_TRUE(fx.net.SetNodeUp(owner.value().owner.address, false).ok());
+  ASSERT_TRUE(fx.ring->RunMaintenance(10).ok());
+  // Any live node can still read the key (replica took over ownership).
+  size_t origin = (owner_index + 1) % 12;
+  auto r = fx.stores[origin]->GetAll("kiwi");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0], Val({7}));
+}
+
+TEST(DhtStoreTest, GracefulLeaveHandsKeysToSuccessor) {
+  Fixture fx(10);
+  ASSERT_TRUE(fx.stores[0]->Upsert("mango", "p", Val({8})).ok());
+  size_t owner_index = 99;
+  for (size_t i = 0; i < 10; ++i) {
+    if (fx.stores[i]->LocalHasKey("mango")) owner_index = i;
+  }
+  ASSERT_NE(owner_index, 99u);
+  ASSERT_TRUE(fx.ring->node(owner_index).Leave().ok());
+  ASSERT_TRUE(fx.ring->RunMaintenance(8).ok());
+  size_t origin = (owner_index + 1) % 10;
+  auto r = fx.stores[origin]->GetAll("mango");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0], Val({8}));
+}
+
+TEST(DhtStoreTest, UpsertBatchStoresEverythingWithFewerMessages) {
+  Fixture unbatched_fx(8);
+  Fixture batched_fx(8);
+  std::vector<DhtStore::Entry> entries;
+  for (int i = 0; i < 60; ++i) {
+    entries.push_back(
+        DhtStore::Entry{"key" + std::to_string(i), "p", Val({1})});
+  }
+
+  unbatched_fx.net.ResetStats();
+  for (const auto& e : entries) {
+    ASSERT_TRUE(unbatched_fx.stores[0]->Upsert(e.key, e.subkey, e.value).ok());
+  }
+  uint64_t unbatched_messages = unbatched_fx.net.stats().messages;
+
+  batched_fx.net.ResetStats();
+  ASSERT_TRUE(batched_fx.stores[0]->UpsertBatch(entries).ok());
+  uint64_t batched_messages = batched_fx.net.stats().messages;
+
+  // Identical stored state...
+  for (const auto& e : entries) {
+    auto r = batched_fx.stores[3]->GetAll(e.key);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().size(), 1u) << e.key;
+  }
+  // ...at a lower message cost (at most one data message per owner plus
+  // the lookups, vs one per key).
+  EXPECT_LT(batched_messages, unbatched_messages);
+}
+
+TEST(DhtStoreTest, UpsertBatchReplicatesLikeSingleUpserts) {
+  Fixture fx(12, /*replication=*/3);
+  std::vector<DhtStore::Entry> entries = {
+      {"alpha", "p", Val({1})}, {"beta", "p", Val({2})}};
+  ASSERT_TRUE(fx.stores[0]->UpsertBatch(entries).ok());
+  for (const auto& e : entries) {
+    size_t holders = 0;
+    for (size_t i = 0; i < 12; ++i) {
+      if (fx.stores[i]->LocalHasKey(e.key)) ++holders;
+    }
+    EXPECT_EQ(holders, 3u) << e.key;
+  }
+}
+
+TEST(DhtStoreTest, EmptyBatchIsNoop) {
+  Fixture fx(4);
+  EXPECT_TRUE(fx.stores[0]->UpsertBatch({}).ok());
+}
+
+TEST(DhtStoreTest, GetTopReturnsHighestScoredValues) {
+  Fixture fx(8);
+  // Scorer: first payload byte is the score.
+  for (auto& store : fx.stores) {
+    store->set_value_scorer([](const Bytes& v) {
+      return v.empty() ? 0.0 : static_cast<double>(v[0]);
+    });
+  }
+  for (uint8_t score : {3, 9, 1, 7, 5}) {
+    ASSERT_TRUE(
+        fx.stores[0]->Upsert("ranked", "sub" + std::to_string(score),
+                             Val({score}))
+            .ok());
+  }
+  auto top = fx.stores[2]->GetTop("ranked", 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0][0], 9);
+  EXPECT_EQ(top.value()[1][0], 7);
+}
+
+TEST(DhtStoreTest, GetTopWithZeroLimitOrNoScorerReturnsAll) {
+  Fixture fx(4);  // no scorer installed
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        fx.stores[0]->Upsert("k", "s" + std::to_string(i), Val({1})).ok());
+  }
+  auto all = fx.stores[1]->GetTop("k", 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 5u);
+  auto unranked = fx.stores[1]->GetTop("k", 2);
+  ASSERT_TRUE(unranked.ok());
+  EXPECT_EQ(unranked.value().size(), 5u);  // no scorer -> everything
+}
+
+TEST(DhtStoreTest, GetTopOnMissingKeyIsEmpty) {
+  Fixture fx(4);
+  auto r = fx.stores[0]->GetTop("missing", 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(DhtStoreTest, ManyKeysDistributeAcrossNodes) {
+  Fixture fx(16);
+  for (int k = 0; k < 200; ++k) {
+    ASSERT_TRUE(
+        fx.stores[k % 16]->Upsert("key" + std::to_string(k), "p", Val({1}))
+            .ok());
+  }
+  size_t nodes_with_data = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    size_t local = fx.stores[i]->LocalKeyCount();
+    total += local;
+    if (local > 0) ++nodes_with_data;
+  }
+  EXPECT_EQ(total, 200u);
+  EXPECT_GE(nodes_with_data, 12u);  // roughly uniform partitioning
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,78 @@
+#include "dht/node_id.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace iqn {
+namespace {
+
+TEST(RingIdTest, NodeAndKeyHashingDeterministic) {
+  EXPECT_EQ(RingIdForNode(5), RingIdForNode(5));
+  EXPECT_NE(RingIdForNode(5), RingIdForNode(6));
+  EXPECT_EQ(RingIdForKey("apple"), RingIdForKey("apple"));
+  EXPECT_NE(RingIdForKey("apple"), RingIdForKey("apples"));
+}
+
+TEST(RingIdTest, NodeIdsWellDispersed) {
+  std::unordered_set<RingId> ids;
+  for (NodeAddress a = 0; a < 10000; ++a) ids.insert(RingIdForNode(a));
+  EXPECT_EQ(ids.size(), 10000u);
+}
+
+TEST(RingDistanceTest, WrapsAroundCorrectly) {
+  EXPECT_EQ(RingDistance(10, 15), 5u);
+  EXPECT_EQ(RingDistance(15, 10), ~uint64_t{0} - 4);  // the long way round
+  EXPECT_EQ(RingDistance(7, 7), 0u);
+}
+
+TEST(IntervalTest, OpenIntervalBasicCases) {
+  EXPECT_TRUE(InOpenInterval(10, 15, 20));
+  EXPECT_FALSE(InOpenInterval(10, 10, 20));  // endpoints excluded
+  EXPECT_FALSE(InOpenInterval(10, 20, 20));
+  EXPECT_FALSE(InOpenInterval(10, 25, 20));
+}
+
+TEST(IntervalTest, OpenIntervalWrapsZero) {
+  RingId high = ~uint64_t{0} - 10;
+  EXPECT_TRUE(InOpenInterval(high, 5, 10));       // crosses zero
+  EXPECT_TRUE(InOpenInterval(high, high + 3, 10));
+  EXPECT_FALSE(InOpenInterval(high, 15, 10));
+}
+
+TEST(IntervalTest, DegenerateOpenIntervalIsFullRingMinusPoint) {
+  EXPECT_TRUE(InOpenInterval(7, 8, 7));
+  EXPECT_TRUE(InOpenInterval(7, 0, 7));
+  EXPECT_FALSE(InOpenInterval(7, 7, 7));
+}
+
+TEST(IntervalTest, OpenClosedIncludesUpperBound) {
+  EXPECT_TRUE(InOpenClosedInterval(10, 20, 20));
+  EXPECT_FALSE(InOpenClosedInterval(10, 10, 20));
+  EXPECT_TRUE(InOpenClosedInterval(10, 15, 20));
+}
+
+TEST(IntervalTest, OpenClosedSingleNodeOwnsEverything) {
+  EXPECT_TRUE(InOpenClosedInterval(7, 7, 7));
+  EXPECT_TRUE(InOpenClosedInterval(7, 123456, 7));
+}
+
+TEST(IntervalTest, OpenClosedWrapsZero) {
+  RingId high = ~uint64_t{0} - 2;
+  EXPECT_TRUE(InOpenClosedInterval(high, 1, 3));
+  EXPECT_TRUE(InOpenClosedInterval(high, 3, 3));
+  EXPECT_FALSE(InOpenClosedInterval(high, 4, 3));
+}
+
+TEST(ChordPeerTest, ValidityAndEquality) {
+  ChordPeer invalid;
+  EXPECT_FALSE(invalid.valid());
+  ChordPeer a{1, 2}, b{1, 2}, c{1, 3};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,206 @@
+// Churn scenarios: peers failing abruptly, leaving gracefully, and
+// joining — the "high dynamics" P2P setting the paper designs for.
+
+#include <gtest/gtest.h>
+
+#include "minerva/engine.h"
+#include "util/random.h"
+#include "minerva/iqn_router.h"
+#include "workload/fragments.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+std::vector<Corpus> Collections(size_t peers, uint64_t seed = 44) {
+  SyntheticCorpusOptions opts;
+  opts.num_documents = 400;
+  opts.vocabulary_size = 600;
+  opts.min_document_length = 15;
+  opts.max_document_length = 40;
+  opts.seed = seed;
+  auto gen = SyntheticCorpusGenerator::Create(opts);
+  EXPECT_TRUE(gen.ok());
+  auto frags = SplitIntoFragments(gen.value().Generate(), peers * 2);
+  EXPECT_TRUE(frags.ok());
+  auto collections =
+      SlidingWindowCollections(frags.value(), 4, 2, peers);
+  EXPECT_TRUE(collections.ok());
+  return std::move(collections).value();
+}
+
+Query FrequentTermQuery(const MinervaEngine& engine) {
+  Query q;
+  size_t best = 0;
+  for (const auto& [term, list] : engine.reference_index().lists()) {
+    if (list.size() > best) {
+      best = list.size();
+      q.terms = {term};
+    }
+  }
+  q.k = 20;
+  return q;
+}
+
+TEST(ChurnTest, QueriesSurviveSingleDirectoryNodeFailure) {
+  EngineOptions options;
+  options.directory_replication = 3;
+  auto engine = MinervaEngine::Create(options, Collections(10));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = FrequentTermQuery(*engine.value());
+
+  // Kill one peer (it is simultaneously a directory node) and repair.
+  ASSERT_TRUE(
+      engine.value()->network().SetNodeUp(engine.value()->peer(7).address(),
+                                          false)
+          .ok());
+  ASSERT_TRUE(engine.value()->ring().RunMaintenance(12).ok());
+
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+}
+
+TEST(ChurnTest, SelectedPeerFailingMidQueryIsTolerated) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, Collections(8));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = FrequentTermQuery(*engine.value());
+
+  // Route first (peer lists intact), then kill every selected peer before
+  // execution by running the query again after the failure: the outcome
+  // must degrade gracefully, not error.
+  IqnRouter router;
+  auto first = engine.value()->RunQuery(0, q, router, 3);
+  ASSERT_TRUE(first.ok());
+  for (const auto& p : first.value().decision.peers) {
+    ASSERT_TRUE(engine.value()->network().SetNodeUp(p.address, false).ok());
+  }
+  ASSERT_TRUE(engine.value()->ring().RunMaintenance(12).ok());
+  auto second = engine.value()->RunQuery(0, q, router, 3);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Peer lists may still contain the dead peers (no re-publish);
+  // execution tolerates every failure.
+  EXPECT_LE(second.value().execution.failed_peers, 3u);
+}
+
+TEST(ChurnTest, GracefulLeaveKeepsDirectoryServable) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, Collections(8));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = FrequentTermQuery(*engine.value());
+
+  // Peer 5 leaves gracefully: its directory keys are handed to the
+  // successor before it disconnects.
+  ASSERT_TRUE(engine.value()->ring().node(5).Leave().ok());
+  ASSERT_TRUE(engine.value()->ring().RunMaintenance(10).ok());
+
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // The directory entries survived the departure via handoff.
+  auto candidates = engine.value()->peer(0).FetchCandidates(q);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_GE(candidates.value().size(), 5u);
+}
+
+TEST(ChurnTest, RepublishAfterChurnRestoresFreshness) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, Collections(6));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = FrequentTermQuery(*engine.value());
+
+  ASSERT_TRUE(
+      engine.value()->network().SetNodeUp(engine.value()->peer(3).address(),
+                                          false)
+          .ok());
+  ASSERT_TRUE(engine.value()->ring().RunMaintenance(10).ok());
+  // Remaining peers re-publish (periodic refresh in a real deployment).
+  for (size_t i = 0; i < 6; ++i) {
+    if (i == 3) continue;
+    ASSERT_TRUE(engine.value()->peer(i).PublishPosts().ok());
+  }
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 4);
+  ASSERT_TRUE(outcome.ok());
+  // The dead peer may still be listed (stale post) but live peers answer.
+  EXPECT_GE(outcome.value().decision.peers.size(), 1u);
+}
+
+// Property test: a random mix of abrupt failures, graceful leaves, and
+// joins, interleaved with maintenance, must always converge back to a
+// ring where every live node agrees with ground-truth key ownership.
+TEST(ChurnTest, RandomChurnSequencePreservesLookupCorrectness) {
+  SimulatedNetwork net;
+  auto ring = ChordRing::Build(&net, 24);
+  ASSERT_TRUE(ring.ok());
+  Rng rng(2026);
+
+  auto live_nodes = [&]() {
+    std::vector<size_t> live;
+    for (size_t i = 0; i < ring.value()->size(); ++i) {
+      const ChordNode& node = ring.value()->node(i);
+      if (node.in_ring() && net.IsNodeUp(node.address())) live.push_back(i);
+    }
+    return live;
+  };
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<size_t> live = live_nodes();
+    ASSERT_GT(live.size(), 4u);  // keep the ring meaningfully populated
+    size_t victim = live[rng.Uniform(live.size())];
+    switch (rng.Uniform(3)) {
+      case 0:  // abrupt failure
+        ASSERT_TRUE(net.SetNodeUp(ring.value()->node(victim).address(), false)
+                        .ok());
+        break;
+      case 1:  // graceful leave
+        ASSERT_TRUE(ring.value()->node(victim).Leave().ok());
+        break;
+      case 2: {  // a previously departed node rejoins
+        for (size_t i = 0; i < ring.value()->size(); ++i) {
+          ChordNode& node = ring.value()->node(i);
+          if (!node.in_ring()) {
+            std::vector<size_t> candidates = live_nodes();
+            size_t bootstrap = candidates[rng.Uniform(candidates.size())];
+            ASSERT_TRUE(
+                node.Join(ring.value()->node(bootstrap).address()).ok());
+            break;
+          }
+        }
+        break;
+      }
+    }
+    ASSERT_TRUE(ring.value()->RunMaintenance(12).ok());
+  }
+  // Settle fingers fully, then verify ownership agreement.
+  ASSERT_TRUE(ring.value()->RunMaintenance(30).ok());
+  ASSERT_TRUE(ring.value()->SettleFingers().ok());
+
+  std::vector<size_t> live = live_nodes();
+  auto true_owner = [&](RingId key) {
+    NodeAddress best = kInvalidAddress;
+    uint64_t best_distance = ~uint64_t{0};
+    for (size_t i : live) {
+      const ChordNode& node = ring.value()->node(i);
+      uint64_t d = RingDistance(key, node.id());
+      if (d <= best_distance) {
+        best_distance = d;
+        best = node.address();
+      }
+    }
+    return best;
+  };
+  for (int k = 0; k < 50; ++k) {
+    RingId key = RingIdForKey("churnkey" + std::to_string(k));
+    size_t origin = live[static_cast<size_t>(k) % live.size()];
+    auto found = ring.value()->node(origin).FindSuccessor(key);
+    ASSERT_TRUE(found.ok()) << found.status().ToString();
+    EXPECT_EQ(found.value().owner.address, true_owner(key)) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,210 @@
+// End-to-end pipeline tests over the whole system: synthetic corpus ->
+// fragment partitioning -> engine construction -> directory publishing
+// through the Chord DHT -> routing -> remote execution -> merging ->
+// recall evaluation, with every message crossing the simulated network.
+
+#include <gtest/gtest.h>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+struct World {
+  std::unique_ptr<MinervaEngine> engine;
+  std::vector<Query> queries;
+
+  explicit World(EngineOptions options = {}, size_t num_peers = 10,
+                 uint64_t seed = 21) {
+    SyntheticCorpusOptions corpus_opts;
+    corpus_opts.num_documents = 600;
+    corpus_opts.vocabulary_size = 900;
+    corpus_opts.min_document_length = 20;
+    corpus_opts.max_document_length = 60;
+    corpus_opts.seed = seed;
+    auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+    EXPECT_TRUE(gen.ok());
+    Corpus corpus = gen.value().Generate();
+
+    auto frags = SplitIntoFragments(corpus, 20);
+    EXPECT_TRUE(frags.ok());
+    auto collections =
+        SlidingWindowCollections(frags.value(), /*window=*/6, /*offset=*/2,
+                                 num_peers);
+    EXPECT_TRUE(collections.ok());
+
+    auto e = MinervaEngine::Create(options, std::move(collections).value());
+    EXPECT_TRUE(e.ok());
+    engine = std::move(e).value();
+    EXPECT_TRUE(engine->PublishAll().ok());
+
+    QueryWorkloadOptions q_opts;
+    q_opts.num_queries = 5;
+    q_opts.band_low = 0.01;
+    q_opts.band_high = 0.2;
+    q_opts.k = 30;
+    q_opts.seed = seed;
+    auto qs = GenerateQueries(gen.value().vocabulary(), q_opts);
+    EXPECT_TRUE(qs.ok());
+    queries = std::move(qs).value();
+  }
+};
+
+TEST(EndToEndTest, EveryQuerySucceedsWithEveryRouter) {
+  World world;
+  RandomRouter random_router(3);
+  CoriRouter cori_router;
+  SimpleOverlapRouter overlap_router;
+  IqnRouter iqn_router;
+  const Router* routers[] = {&random_router, &cori_router, &overlap_router,
+                             &iqn_router};
+  for (const Router* router : routers) {
+    for (const Query& q : world.queries) {
+      auto outcome = world.engine->RunQuery(0, q, *router, 3);
+      ASSERT_TRUE(outcome.ok())
+          << router->name() << ": " << outcome.status().ToString();
+      EXPECT_LE(outcome.value().recall, 1.0);
+      EXPECT_LE(outcome.value().decision.peers.size(), 3u);
+    }
+  }
+}
+
+TEST(EndToEndTest, QueryCostsArePhaseSeparatedAndPositive) {
+  World world;
+  IqnRouter router;
+  auto outcome = world.engine->RunQuery(2, world.queries[0], router, 3);
+  ASSERT_TRUE(outcome.ok());
+  // Routing phase: directory lookups over the DHT cost messages.
+  EXPECT_GT(outcome.value().routing_messages, 0u);
+  EXPECT_GT(outcome.value().routing_bytes, 0u);
+  // Execution phase: one RPC round trip per selected peer.
+  EXPECT_EQ(outcome.value().execution_messages,
+            2 * outcome.value().decision.peers.size());
+}
+
+TEST(EndToEndTest, ResultsComeFromSelectedPeersPlusInitiator) {
+  World world;
+  IqnRouter router;
+  const Query& q = world.queries[1];
+  auto outcome = world.engine->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok());
+  const auto& exec = outcome.value().execution;
+  ASSERT_EQ(exec.per_peer_results.size(), outcome.value().decision.peers.size());
+  // Every returned document is genuinely in the responding peer's
+  // collection.
+  for (size_t i = 0; i < exec.per_peer_results.size(); ++i) {
+    const Peer& responder =
+        world.engine->peer(outcome.value().decision.peers[i].peer_id);
+    for (const ScoredDoc& sd : exec.per_peer_results[i]) {
+      EXPECT_TRUE(responder.collection().ContainsDoc(sd.doc));
+    }
+  }
+}
+
+TEST(EndToEndTest, MergedResultsAreDedupedAndSorted) {
+  World world;
+  IqnRouter router;
+  auto outcome = world.engine->RunQuery(0, world.queries[2], router, 4);
+  ASSERT_TRUE(outcome.ok());
+  const auto& merged = outcome.value().execution.merged;
+  std::unordered_set<DocId> seen;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_TRUE(seen.insert(merged[i].doc).second);
+    if (i > 0) EXPECT_GE(merged[i - 1].score, merged[i].score);
+  }
+  EXPECT_LE(merged.size(), world.queries[2].k);
+}
+
+TEST(EndToEndTest, BloomFilterSystemWorksEndToEnd) {
+  EngineOptions options;
+  options.synopsis.type = SynopsisType::kBloomFilter;
+  options.synopsis.bits = 2048;
+  World world(options);
+  IqnRouter router;
+  auto outcome = world.engine->RunQuery(0, world.queries[0], router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+}
+
+TEST(EndToEndTest, HashSketchSystemWorksEndToEnd) {
+  EngineOptions options;
+  options.synopsis.type = SynopsisType::kHashSketch;
+  World world(options);
+  IqnRouter router;
+  auto outcome = world.engine->RunQuery(0, world.queries[0], router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+}
+
+TEST(EndToEndTest, ConjunctiveMultiTermQueryEndToEnd) {
+  World world;
+  // Build a conjunctive query from two terms that co-occur in the
+  // reference index.
+  const auto& lists = world.engine->reference_index().lists();
+  Query q;
+  q.mode = QueryMode::kConjunctive;
+  q.k = 20;
+  for (const auto& [term, list] : lists) {
+    if (list.size() > 40) {
+      q.terms.push_back(term);
+      if (q.terms.size() == 2) break;
+    }
+  }
+  ASSERT_EQ(q.terms.size(), 2u);
+
+  IqnRouter router;
+  auto outcome = world.engine->RunQuery(0, q, router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // Every retrieved document genuinely matches the conjunction in the
+  // responding peer's collection.
+  std::vector<ScoredDoc> reference = world.engine->ReferenceResults(q);
+  if (!reference.empty()) {
+    EXPECT_GT(outcome.value().recall, 0.0);
+  }
+}
+
+TEST(EndToEndTest, LogLogSystemWorksEndToEnd) {
+  EngineOptions options;
+  options.synopsis.type = SynopsisType::kLogLog;
+  World world(options);
+  IqnRouter router;
+  auto outcome = world.engine->RunQuery(0, world.queries[0], router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+}
+
+TEST(EndToEndTest, DirectoryReplicationCostsMoreBandwidth) {
+  uint64_t bytes_r1 = 0, bytes_r3 = 0;
+  {
+    World world;
+    bytes_r1 = world.engine->TotalBytesSent();
+  }
+  {
+    EngineOptions options;
+    options.directory_replication = 3;
+    World world(options);
+    bytes_r3 = world.engine->TotalBytesSent();
+  }
+  EXPECT_GT(bytes_r3, bytes_r1);
+}
+
+TEST(EndToEndTest, DeterministicAcrossRuns) {
+  World w1(EngineOptions{}, 10, 33), w2(EngineOptions{}, 10, 33);
+  IqnRouter router;
+  auto o1 = w1.engine->RunQuery(0, w1.queries[0], router, 3);
+  auto o2 = w2.engine->RunQuery(0, w2.queries[0], router, 3);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_DOUBLE_EQ(o1.value().recall, o2.value().recall);
+  ASSERT_EQ(o1.value().decision.peers.size(), o2.value().decision.peers.size());
+  for (size_t i = 0; i < o1.value().decision.peers.size(); ++i) {
+    EXPECT_EQ(o1.value().decision.peers[i].peer_id,
+              o2.value().decision.peers[i].peer_id);
+  }
+}
+
+}  // namespace
+}  // namespace iqn

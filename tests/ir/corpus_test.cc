@@ -1,0 +1,68 @@
+#include "ir/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+TEST(CorpusTest, AddDocumentTermsAndLookup) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddDocumentTerms(1, {"alpha", "beta"}).ok());
+  ASSERT_TRUE(corpus.AddDocumentTerms(2, {"beta"}).ok());
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_TRUE(corpus.ContainsDoc(1));
+  EXPECT_TRUE(corpus.ContainsDoc(2));
+  EXPECT_FALSE(corpus.ContainsDoc(3));
+  EXPECT_EQ(corpus.doc(0).terms.size(), 2u);
+}
+
+TEST(CorpusTest, DuplicateDocIdRejected) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddDocumentTerms(1, {"a1"}).ok());
+  EXPECT_EQ(corpus.AddDocumentTerms(1, {"b2"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(corpus.size(), 1u);
+}
+
+TEST(CorpusTest, AddDocumentTextRunsAnalysisChain) {
+  Corpus corpus;
+  Tokenizer tok;
+  ASSERT_TRUE(corpus.AddDocumentText(7, "The Forest FIRES!", tok).ok());
+  ASSERT_EQ(corpus.size(), 1u);
+  // "the" removed, lowercased, stemmed.
+  ASSERT_EQ(corpus.doc(0).terms.size(), 2u);
+  EXPECT_EQ(corpus.doc(0).terms[0], "forest");
+  EXPECT_EQ(corpus.doc(0).terms[1], "fire");
+}
+
+TEST(CorpusTest, AverageDocumentLength) {
+  Corpus corpus;
+  EXPECT_DOUBLE_EQ(corpus.AverageDocumentLength(), 0.0);
+  ASSERT_TRUE(corpus.AddDocumentTerms(1, {"aa", "bb"}).ok());
+  ASSERT_TRUE(corpus.AddDocumentTerms(2, {"aa", "bb", "cc", "dd"}).ok());
+  EXPECT_DOUBLE_EQ(corpus.AverageDocumentLength(), 3.0);
+}
+
+TEST(CorpusTest, MergeDeduplicatesByDocId) {
+  Corpus a, b;
+  ASSERT_TRUE(a.AddDocumentTerms(1, {"x1"}).ok());
+  ASSERT_TRUE(a.AddDocumentTerms(2, {"x2"}).ok());
+  ASSERT_TRUE(b.AddDocumentTerms(2, {"x2"}).ok());
+  ASSERT_TRUE(b.AddDocumentTerms(3, {"x3"}).ok());
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.ContainsDoc(3));
+  // Merging again changes nothing.
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(CorpusTest, MergeIntoEmpty) {
+  Corpus a, b;
+  ASSERT_TRUE(b.AddDocumentTerms(5, {"zz"}).ok());
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace iqn

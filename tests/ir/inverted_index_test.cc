@@ -1,0 +1,109 @@
+#include "ir/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+Corpus SmallCorpus() {
+  Corpus corpus;
+  // doc 1: apple apple banana; doc 2: apple cherry; doc 3: banana.
+  EXPECT_TRUE(corpus.AddDocumentTerms(1, {"apple", "apple", "banana"}).ok());
+  EXPECT_TRUE(corpus.AddDocumentTerms(2, {"apple", "cherry"}).ok());
+  EXPECT_TRUE(corpus.AddDocumentTerms(3, {"banana"}).ok());
+  return corpus;
+}
+
+TEST(InvertedIndexTest, BuildsCorrectPostings) {
+  InvertedIndex index = InvertedIndex::Build(SmallCorpus());
+  EXPECT_EQ(index.NumTerms(), 3u);
+  EXPECT_EQ(index.NumDocuments(), 3u);
+  EXPECT_EQ(index.DocumentFrequency("apple"), 2u);
+  EXPECT_EQ(index.DocumentFrequency("banana"), 2u);
+  EXPECT_EQ(index.DocumentFrequency("cherry"), 1u);
+  EXPECT_EQ(index.DocumentFrequency("durian"), 0u);
+  EXPECT_EQ(index.postings("durian"), nullptr);
+}
+
+TEST(InvertedIndexTest, PostingsSortedByScoreDescending) {
+  InvertedIndex index = InvertedIndex::Build(SmallCorpus());
+  const auto* apple = index.postings("apple");
+  ASSERT_NE(apple, nullptr);
+  ASSERT_EQ(apple->size(), 2u);
+  // Doc 1 has tf=2 for apple, doc 2 tf=1 -> doc 1 scores higher.
+  EXPECT_EQ((*apple)[0].doc, 1u);
+  EXPECT_GT((*apple)[0].score, (*apple)[1].score);
+}
+
+TEST(InvertedIndexTest, TiesBrokenByDocId) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddDocumentTerms(9, {"same"}).ok());
+  ASSERT_TRUE(corpus.AddDocumentTerms(4, {"same"}).ok());
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  const auto* list = index.postings("same");
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].doc, 4u);
+  EXPECT_EQ((*list)[1].doc, 9u);
+}
+
+TEST(InvertedIndexTest, MaxAndAvgScore) {
+  InvertedIndex index = InvertedIndex::Build(SmallCorpus());
+  const auto* apple = index.postings("apple");
+  double max = index.MaxScore("apple");
+  double avg = index.AvgScore("apple");
+  EXPECT_DOUBLE_EQ(max, (*apple)[0].score);
+  EXPECT_DOUBLE_EQ(avg, ((*apple)[0].score + (*apple)[1].score) / 2);
+  EXPECT_GE(max, avg);
+  EXPECT_DOUBLE_EQ(index.MaxScore("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(index.AvgScore("missing"), 0.0);
+}
+
+TEST(InvertedIndexTest, DocIdsForMatchesPostings) {
+  InvertedIndex index = InvertedIndex::Build(SmallCorpus());
+  auto ids = index.DocIdsFor("banana");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE((ids[0] == 1 && ids[1] == 3) || (ids[0] == 3 && ids[1] == 1));
+  EXPECT_TRUE(index.DocIdsFor("missing").empty());
+}
+
+TEST(InvertedIndexTest, NormalizedScoresInUnitInterval) {
+  InvertedIndex index = InvertedIndex::Build(SmallCorpus());
+  auto scores = index.NormalizedScoresFor("apple");
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);  // top of list
+  EXPECT_GT(scores[1], 0.0);
+  EXPECT_LE(scores[1], 1.0);
+}
+
+TEST(InvertedIndexTest, Bm25ModelProducesScores) {
+  ScoringModel model;
+  model.function = ScoringFunction::kBm25;
+  InvertedIndex index = InvertedIndex::Build(SmallCorpus(), model);
+  EXPECT_GT(index.MaxScore("apple"), 0.0);
+  // tf=2 in a longer doc still beats tf=1.
+  const auto* apple = index.postings("apple");
+  EXPECT_EQ((*apple)[0].doc, 1u);
+}
+
+TEST(InvertedIndexTest, EmptyIndex) {
+  InvertedIndex index;
+  EXPECT_EQ(index.NumTerms(), 0u);
+  EXPECT_EQ(index.NumDocuments(), 0u);
+  EXPECT_EQ(index.postings("x"), nullptr);
+}
+
+TEST(InvertedIndexTest, RareTermScoresAboveCommonTerm) {
+  // idf: a term in 1 of 100 docs must outscore (per occurrence) a term in
+  // all 100 docs.
+  Corpus corpus;
+  for (DocId d = 0; d < 100; ++d) {
+    std::vector<std::string> terms = {"common"};
+    if (d == 0) terms.push_back("rare");
+    ASSERT_TRUE(corpus.AddDocumentTerms(d + 1, terms).ok());
+  }
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  EXPECT_GT(index.MaxScore("rare"), index.MaxScore("common"));
+}
+
+}  // namespace
+}  // namespace iqn

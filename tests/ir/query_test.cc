@@ -1,0 +1,46 @@
+#include "ir/query.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+TEST(ParseQueryTest, RunsAnalysisChainAndDeduplicates) {
+  Tokenizer tok;
+  Query q = ParseQuery("The Forest Fires, forest fire!", tok);
+  // "the" is a stopword; "fires"/"fire" and "forest"/"forest" stem to the
+  // same terms and are deduplicated.
+  ASSERT_EQ(q.terms.size(), 2u);
+  EXPECT_EQ(q.terms[0], "forest");
+  EXPECT_EQ(q.terms[1], "fire");
+  EXPECT_EQ(q.mode, QueryMode::kDisjunctive);
+  EXPECT_EQ(q.k, 10u);
+}
+
+TEST(ParseQueryTest, ModeAndKPropagate) {
+  Tokenizer tok;
+  Query q = ParseQuery("pest safety control", tok, QueryMode::kConjunctive,
+                       25);
+  EXPECT_EQ(q.mode, QueryMode::kConjunctive);
+  EXPECT_EQ(q.k, 25u);
+  EXPECT_EQ(q.terms.size(), 3u);
+}
+
+TEST(ParseQueryTest, EmptyAndStopwordOnlyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(ParseQuery("", tok).terms.empty());
+  EXPECT_TRUE(ParseQuery("the of and", tok).terms.empty());
+}
+
+TEST(QueryToStringTest, ShowsModeTermsAndK) {
+  Query q;
+  q.terms = {"forest", "fire"};
+  q.mode = QueryMode::kConjunctive;
+  q.k = 7;
+  EXPECT_EQ(q.ToString(), "AND(forest, fire) top-7");
+  q.mode = QueryMode::kDisjunctive;
+  EXPECT_EQ(q.ToString(), "OR(forest, fire) top-7");
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,52 @@
+#include "ir/recall.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+std::vector<ScoredDoc> Docs(std::initializer_list<DocId> ids) {
+  std::vector<ScoredDoc> v;
+  for (DocId id : ids) v.push_back(ScoredDoc{id, 1.0});
+  return v;
+}
+
+TEST(RelativeRecallTest, FullAndPartialAndZero) {
+  auto reference = Docs({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(RelativeRecall(Docs({1, 2, 3, 4}), reference), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeRecall(Docs({1, 2}), reference), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeRecall(Docs({9}), reference), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeRecall({}, reference), 0.0);
+}
+
+TEST(RelativeRecallTest, ExtraResultsDoNotHurt) {
+  auto reference = Docs({1, 2});
+  EXPECT_DOUBLE_EQ(RelativeRecall(Docs({1, 2, 99, 100}), reference), 1.0);
+}
+
+TEST(RelativeRecallTest, EmptyReferenceIsPerfect) {
+  EXPECT_DOUBLE_EQ(RelativeRecall(Docs({1}), {}), 1.0);
+}
+
+TEST(DuplicateFractionTest, AllDistinct) {
+  EXPECT_DOUBLE_EQ(DuplicateFraction({Docs({1, 2}), Docs({3, 4})}), 0.0);
+}
+
+TEST(DuplicateFractionTest, FullyRedundantPeers) {
+  // Two peers returning the same 3 docs: 3 of 6 retrieved are duplicates.
+  EXPECT_DOUBLE_EQ(DuplicateFraction({Docs({1, 2, 3}), Docs({1, 2, 3})}),
+                   0.5);
+}
+
+TEST(DuplicateFractionTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(DuplicateFraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(DuplicateFraction({{}, {}}), 0.0);
+}
+
+TEST(DistinctResultCountTest, CountsAcrossPeers) {
+  EXPECT_EQ(DistinctResultCount({Docs({1, 2}), Docs({2, 3})}), 3u);
+  EXPECT_EQ(DistinctResultCount({}), 0u);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,64 @@
+#include "ir/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iqn {
+namespace {
+
+TEST(TfIdfTest, ZeroForMissing) {
+  EXPECT_DOUBLE_EQ(TfIdfScore(0, 5, 100), 0.0);
+  EXPECT_DOUBLE_EQ(TfIdfScore(3, 0, 100), 0.0);
+}
+
+TEST(TfIdfTest, MatchesFormula) {
+  double expected = (1.0 + std::log(3.0)) * std::log(1.0 + 100.0 / 5.0);
+  EXPECT_DOUBLE_EQ(TfIdfScore(3, 5, 100), expected);
+}
+
+TEST(TfIdfTest, MonotoneInTfAntitoneInDf) {
+  EXPECT_GT(TfIdfScore(5, 10, 1000), TfIdfScore(2, 10, 1000));
+  EXPECT_GT(TfIdfScore(2, 5, 1000), TfIdfScore(2, 50, 1000));
+}
+
+TEST(Bm25Test, ZeroForMissing) {
+  EXPECT_DOUBLE_EQ(Bm25Score(0, 5, 100, 50, 50, 1.2, 0.75), 0.0);
+}
+
+TEST(Bm25Test, TfSaturates) {
+  double s1 = Bm25Score(1, 10, 1000, 100, 100, 1.2, 0.75);
+  double s5 = Bm25Score(5, 10, 1000, 100, 100, 1.2, 0.75);
+  double s50 = Bm25Score(50, 10, 1000, 100, 100, 1.2, 0.75);
+  EXPECT_GT(s5, s1);
+  EXPECT_GT(s50, s5);
+  // Diminishing returns: the 5->50 jump adds less than 10x the 1->5 jump.
+  EXPECT_LT(s50 - s5, 10 * (s5 - s1));
+  // Hard ceiling: idf * (k1 + 1).
+  double idf = std::log(1.0 + (1000.0 - 10 + 0.5) / (10 + 0.5));
+  EXPECT_LT(s50, idf * 2.2);
+}
+
+TEST(Bm25Test, LongerDocumentsPenalized) {
+  double short_doc = Bm25Score(2, 10, 1000, 50, 100, 1.2, 0.75);
+  double long_doc = Bm25Score(2, 10, 1000, 400, 100, 1.2, 0.75);
+  EXPECT_GT(short_doc, long_doc);
+}
+
+TEST(Bm25Test, BZeroDisablesLengthNormalization) {
+  double a = Bm25Score(2, 10, 1000, 50, 100, 1.2, 0.0);
+  double b = Bm25Score(2, 10, 1000, 400, 100, 1.2, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ScoreDispatchTest, SelectsConfiguredFunction) {
+  ScoringModel tfidf;
+  EXPECT_DOUBLE_EQ(Score(tfidf, 3, 5, 100, 50, 60), TfIdfScore(3, 5, 100));
+  ScoringModel bm25;
+  bm25.function = ScoringFunction::kBm25;
+  EXPECT_DOUBLE_EQ(Score(bm25, 3, 5, 100, 50, 60),
+                   Bm25Score(3, 5, 100, 50, 60, 1.2, 0.75));
+}
+
+}  // namespace
+}  // namespace iqn

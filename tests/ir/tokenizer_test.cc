@@ -1,0 +1,100 @@
+#include "ir/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlphanumerics) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  opts.remove_stopwords = false;
+  Tokenizer tok(opts);
+  auto terms = tok.Tokenize("forest-fire, pest/safety control!");
+  ASSERT_EQ(terms.size(), 5u);
+  EXPECT_EQ(terms[0], "forest");
+  EXPECT_EQ(terms[1], "fire");
+  EXPECT_EQ(terms[2], "pest");
+  EXPECT_EQ(terms[3], "safety");
+  EXPECT_EQ(terms[4], "control");
+}
+
+TEST(TokenizerTest, Lowercases) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer tok(opts);
+  auto terms = tok.Tokenize("Forest FIRE");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "forest");
+  EXPECT_EQ(terms[1], "fire");
+}
+
+TEST(TokenizerTest, RemovesStopwords) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer tok(opts);
+  auto terms = tok.Tokenize("the fire in the forest");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "fire");
+  EXPECT_EQ(terms[1], "forest");
+}
+
+TEST(TokenizerTest, StopwordsCanBeKept) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  opts.remove_stopwords = false;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("the fire").size(), 2u);  // "the" kept
+}
+
+TEST(TokenizerTest, StemsWhenEnabled) {
+  Tokenizer tok;  // defaults: stem = true
+  auto terms = tok.Tokenize("connected connections");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], terms[1]);  // both reduce to the same stem
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  opts.remove_stopwords = false;
+  Tokenizer tok(opts);
+  auto terms = tok.Tokenize("x yy zzz");
+  ASSERT_EQ(terms.size(), 2u);  // "x" dropped (min length 2)
+  EXPECT_EQ(terms[0], "yy");
+}
+
+TEST(TokenizerTest, TruncatesAbsurdlyLongTokens) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer tok(opts);
+  std::string monster(500, 'a');
+  auto terms = tok.Tokenize(monster);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0].size(), opts.max_token_length);
+}
+
+TEST(TokenizerTest, DigitsAreTokenCharacters) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer tok(opts);
+  auto terms = tok.Tokenize("trec2003 web track");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "trec2003");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnlyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, IsStopwordQueriesList) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.IsStopword("the"));
+  EXPECT_TRUE(tok.IsStopword("and"));
+  EXPECT_FALSE(tok.IsStopword("fire"));
+}
+
+}  // namespace
+}  // namespace iqn

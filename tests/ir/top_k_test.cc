@@ -1,0 +1,109 @@
+#include "ir/top_k.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+Corpus FruitCorpus() {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.AddDocumentTerms(1, {"apple", "banana"}).ok());
+  EXPECT_TRUE(corpus.AddDocumentTerms(2, {"apple", "apple"}).ok());
+  EXPECT_TRUE(corpus.AddDocumentTerms(3, {"banana", "cherry"}).ok());
+  EXPECT_TRUE(corpus.AddDocumentTerms(4, {"cherry"}).ok());
+  return corpus;
+}
+
+Query Q(std::vector<std::string> terms, QueryMode mode, size_t k = 10) {
+  Query q;
+  q.terms = std::move(terms);
+  q.mode = mode;
+  q.k = k;
+  return q;
+}
+
+TEST(ExecuteQueryTest, DisjunctiveFindsAnyTermMatch) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  auto results = ExecuteQuery(index, Q({"apple", "cherry"},
+                                       QueryMode::kDisjunctive));
+  ASSERT_EQ(results.size(), 4u);  // docs 1,2,3,4 all match something
+}
+
+TEST(ExecuteQueryTest, ConjunctiveRequiresAllTerms) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  auto results = ExecuteQuery(index, Q({"apple", "banana"},
+                                       QueryMode::kConjunctive));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST(ExecuteQueryTest, ConjunctiveWithMissingTermIsEmpty) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  EXPECT_TRUE(ExecuteQuery(index, Q({"apple", "durian"},
+                                    QueryMode::kConjunctive))
+                  .empty());
+}
+
+TEST(ExecuteQueryTest, DisjunctiveIgnoresMissingTerm) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  auto results =
+      ExecuteQuery(index, Q({"apple", "durian"}, QueryMode::kDisjunctive));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(ExecuteQueryTest, MultiTermMatchScoresHigher) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  auto results = ExecuteQuery(index, Q({"banana", "cherry"},
+                                       QueryMode::kDisjunctive));
+  // Doc 3 matches both terms and must rank first.
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc, 3u);
+}
+
+TEST(ExecuteQueryTest, RespectsK) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  auto results = ExecuteQuery(index, Q({"apple", "banana", "cherry"},
+                                       QueryMode::kDisjunctive, 2));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(ExecuteQueryTest, EmptyQueryYieldsNothing) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  EXPECT_TRUE(ExecuteQuery(index, Q({}, QueryMode::kDisjunctive)).empty());
+}
+
+TEST(ExecuteQueryTest, DeterministicOrdering) {
+  InvertedIndex index = InvertedIndex::Build(FruitCorpus());
+  auto a = ExecuteQuery(index, Q({"apple", "banana"}, QueryMode::kDisjunctive));
+  auto b = ExecuteQuery(index, Q({"apple", "banana"}, QueryMode::kDisjunctive));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MergeResultsTest, DeduplicatesKeepingBestScore) {
+  std::vector<std::vector<ScoredDoc>> lists = {
+      {{1, 3.0}, {2, 2.0}},
+      {{1, 5.0}, {3, 1.0}},
+  };
+  auto merged = MergeResults(lists, 10);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].doc, 1u);
+  EXPECT_DOUBLE_EQ(merged[0].score, 5.0);
+}
+
+TEST(MergeResultsTest, TruncatesToK) {
+  std::vector<std::vector<ScoredDoc>> lists = {
+      {{1, 5.0}, {2, 4.0}, {3, 3.0}, {4, 2.0}},
+  };
+  auto merged = MergeResults(lists, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].doc, 1u);
+  EXPECT_EQ(merged[1].doc, 2u);
+}
+
+TEST(MergeResultsTest, EmptyInputs) {
+  EXPECT_TRUE(MergeResults({}, 5).empty());
+  EXPECT_TRUE(MergeResults({{}, {}}, 5).empty());
+}
+
+}  // namespace
+}  // namespace iqn

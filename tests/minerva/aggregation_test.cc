@@ -1,0 +1,106 @@
+#include "minerva/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "minerva/post.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/min_wise.h"
+
+namespace iqn {
+namespace {
+
+SynopsisConfig MipsConfig() { return SynopsisConfig{}; }
+
+std::unique_ptr<SetSynopsis> MipsOf(DocId lo, DocId hi) {
+  auto syn = MipsConfig().MakeEmpty();
+  EXPECT_TRUE(syn.ok());
+  for (DocId id = lo; id < hi; ++id) syn.value()->Add(id);
+  return std::move(syn).value();
+}
+
+TEST(CombineTest, DisjunctiveUnionCoversBothTerms) {
+  auto term1 = MipsOf(0, 500);
+  auto term2 = MipsOf(400, 900);
+  auto combined =
+      CombinePerTermSynopses({term1.get(), term2.get()}, QueryMode::kDisjunctive);
+  ASSERT_TRUE(combined.ok());
+  // Union of 0..899 = 900 docs. A 64-permutation MIPs cardinality
+  // estimate has std ~ n/sqrt(N) ~ 112, so only order-of-magnitude is
+  // checked here; exactness of the union itself is checked below.
+  EXPECT_GT(combined.value()->EstimateCardinality(), 450.0);
+  EXPECT_LT(combined.value()->EstimateCardinality(), 1500.0);
+  // And it matches a directly built union synopsis exactly (MIPs property).
+  auto direct = MipsOf(0, 900);
+  auto r = combined.value()->EstimateResemblance(*direct);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(CombineTest, ConjunctiveIntersectionIsConservative) {
+  auto term1 = MipsOf(0, 600);
+  auto term2 = MipsOf(400, 1000);
+  auto combined = CombinePerTermSynopses({term1.get(), term2.get()},
+                                         QueryMode::kConjunctive);
+  ASSERT_TRUE(combined.ok());
+  // True intersection = 200; the max-heuristic approximates a superset.
+  EXPECT_GT(combined.value()->EstimateCardinality(), 0.0);
+}
+
+TEST(CombineTest, SingleSynopsisPassesThrough) {
+  auto term1 = MipsOf(0, 100);
+  auto combined = CombinePerTermSynopses({term1.get()}, QueryMode::kDisjunctive);
+  ASSERT_TRUE(combined.ok());
+  auto r = combined.value()->EstimateResemblance(*term1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(CombineTest, Validates) {
+  EXPECT_FALSE(CombinePerTermSynopses({}, QueryMode::kDisjunctive).ok());
+  EXPECT_FALSE(
+      CombinePerTermSynopses({nullptr}, QueryMode::kDisjunctive).ok());
+}
+
+TEST(CombineTest, HashSketchConjunctiveRefuses) {
+  auto a = HashSketch::Create(16, 64);
+  auto b = HashSketch::Create(16, 64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto combined = CombinePerTermSynopses({&a.value(), &b.value()},
+                                         QueryMode::kConjunctive);
+  EXPECT_EQ(combined.status().code(), StatusCode::kUnimplemented);
+  // ... but disjunctive union works.
+  EXPECT_TRUE(CombinePerTermSynopses({&a.value(), &b.value()},
+                                     QueryMode::kDisjunctive)
+                  .ok());
+}
+
+TEST(CombinedCardinalityTest, DisjunctiveClampsToUnionBounds) {
+  auto syn = MipsOf(0, 100);
+  // Bounds from list lengths {400, 300}: union in [400, 700]; the raw
+  // estimate (~100) is below the lower bound and must be lifted.
+  double card = CombinedCardinality(*syn, {400, 300}, QueryMode::kDisjunctive);
+  EXPECT_GE(card, 400.0);
+  EXPECT_LE(card, 700.0);
+}
+
+TEST(CombinedCardinalityTest, ConjunctiveClampsToSmallestList) {
+  auto syn = MipsOf(0, 5000);
+  double card = CombinedCardinality(*syn, {400, 300}, QueryMode::kConjunctive);
+  EXPECT_LE(card, 300.0);
+}
+
+TEST(CombinedCardinalityTest, NoListsPassesEstimateThrough) {
+  auto syn = MipsOf(0, 1000);
+  double card = CombinedCardinality(*syn, {}, QueryMode::kDisjunctive);
+  EXPECT_NEAR(card, syn->EstimateCardinality(), 1e-9);
+}
+
+TEST(StrategyNameTest, Names) {
+  EXPECT_STREQ(AggregationStrategyName(AggregationStrategy::kPerPeer),
+               "per-peer");
+  EXPECT_STREQ(AggregationStrategyName(AggregationStrategy::kPerTerm),
+               "per-term");
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,114 @@
+#include "minerva/cori.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iqn {
+namespace {
+
+Post MakePost(uint64_t peer_id, const std::string& term, uint64_t cdf,
+              uint64_t vocab) {
+  Post post;
+  post.peer_id = peer_id;
+  post.term = term;
+  post.list_length = cdf;
+  post.term_space_size = vocab;
+  return post;
+}
+
+TEST(CoriTermStatsTest, ComputedFromPeerList) {
+  std::vector<Post> peer_list = {MakePost(1, "t", 10, 1000),
+                                 MakePost(2, "t", 20, 3000)};
+  CoriTermStats stats = ComputeCoriTermStats(peer_list);
+  EXPECT_EQ(stats.collection_frequency, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_term_space, 2000.0);
+}
+
+TEST(CoriTermStatsTest, EmptyPeerList) {
+  CoriTermStats stats = ComputeCoriTermStats({});
+  EXPECT_EQ(stats.collection_frequency, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_term_space, 0.0);
+}
+
+TEST(CoriTermScoreTest, MissingTermScoresAlpha) {
+  CoriTermStats stats{5, 1000.0};
+  CoriParams params;
+  EXPECT_DOUBLE_EQ(CoriTermScore(nullptr, stats, 100, params), params.alpha);
+  Post empty = MakePost(1, "t", 0, 1000);
+  EXPECT_DOUBLE_EQ(CoriTermScore(&empty, stats, 100, params), params.alpha);
+}
+
+TEST(CoriTermScoreTest, MatchesPaperFormula) {
+  Post post = MakePost(1, "t", 40, 1000);
+  CoriTermStats stats{5, 2000.0};
+  size_t np = 100;
+  CoriParams params;
+  double t = 40.0 / (40.0 + 50.0 + 150.0 * (1000.0 / 2000.0));
+  double i = std::log((100.0 + 0.5) / 5.0) / std::log(100.0 + 1.0);
+  double expected = 0.4 + 0.6 * t * i;
+  EXPECT_NEAR(CoriTermScore(&post, stats, np, params), expected, 1e-12);
+}
+
+TEST(CoriTermScoreTest, MoreDocumentsScoreHigher) {
+  CoriTermStats stats{5, 1000.0};
+  Post small = MakePost(1, "t", 5, 1000);
+  Post large = MakePost(2, "t", 500, 1000);
+  EXPECT_GT(CoriTermScore(&large, stats, 100), CoriTermScore(&small, stats, 100));
+}
+
+TEST(CoriTermScoreTest, RarerTermsWeighMore) {
+  // Same peer statistics; the term held by fewer peers has higher I.
+  Post post = MakePost(1, "t", 50, 1000);
+  CoriTermStats rare{2, 1000.0};
+  CoriTermStats common{80, 1000.0};
+  EXPECT_GT(CoriTermScore(&post, rare, 100), CoriTermScore(&post, common, 100));
+}
+
+TEST(CoriTermScoreTest, LargeVocabularyDampensScore) {
+  // A peer with a huge term space relative to average gets a smaller T
+  // (its cdf is less significant).
+  CoriTermStats stats{5, 1000.0};
+  Post focused = MakePost(1, "t", 50, 500);
+  Post sprawling = MakePost(2, "t", 50, 20000);
+  EXPECT_GT(CoriTermScore(&focused, stats, 100),
+            CoriTermScore(&sprawling, stats, 100));
+}
+
+TEST(CoriCollectionScoreTest, AveragesOverQueryTerms) {
+  std::vector<std::string> terms = {"a", "b"};
+  std::map<std::string, Post> posts;
+  posts["a"] = MakePost(1, "a", 40, 1000);
+  // term "b" missing at this peer.
+  std::map<std::string, CoriTermStats> stats;
+  stats["a"] = CoriTermStats{5, 1000.0};
+  stats["b"] = CoriTermStats{9, 1000.0};
+  CoriParams params;
+  double s_a = CoriTermScore(&posts["a"], stats["a"], 100, params);
+  double expected = (s_a + params.alpha) / 2.0;
+  EXPECT_NEAR(CoriCollectionScore(terms, posts, stats, 100, params), expected,
+              1e-12);
+}
+
+TEST(CoriCollectionScoreTest, EmptyQueryScoresZero) {
+  EXPECT_DOUBLE_EQ(CoriCollectionScore({}, {}, {}, 100), 0.0);
+}
+
+TEST(CoriCollectionScoreTest, BetterCoverageWins) {
+  std::vector<std::string> terms = {"a", "b"};
+  std::map<std::string, CoriTermStats> stats;
+  stats["a"] = CoriTermStats{5, 1000.0};
+  stats["b"] = CoriTermStats{5, 1000.0};
+
+  std::map<std::string, Post> both;
+  both["a"] = MakePost(1, "a", 50, 1000);
+  both["b"] = MakePost(1, "b", 50, 1000);
+  std::map<std::string, Post> one;
+  one["a"] = MakePost(2, "a", 50, 1000);
+
+  EXPECT_GT(CoriCollectionScore(terms, both, stats, 100),
+            CoriCollectionScore(terms, one, stats, 100));
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,205 @@
+#include "minerva/directory.h"
+
+#include <gtest/gtest.h>
+
+#include "minerva/post.h"
+#include "synopses/serialization.h"
+
+namespace iqn {
+namespace {
+
+struct Fixture {
+  SimulatedNetwork net;
+  std::unique_ptr<ChordRing> ring;
+  std::vector<std::unique_ptr<DhtStore>> stores;
+  std::vector<std::unique_ptr<Directory>> dirs;
+
+  explicit Fixture(size_t nodes, size_t replication = 1) {
+    auto r = ChordRing::Build(&net, nodes);
+    EXPECT_TRUE(r.ok());
+    ring = std::move(r).value();
+    for (size_t i = 0; i < nodes; ++i) {
+      auto s = DhtStore::Attach(&ring->node(i), replication);
+      EXPECT_TRUE(s.ok());
+      stores.push_back(std::move(s).value());
+      dirs.push_back(std::make_unique<Directory>(stores.back().get()));
+    }
+  }
+};
+
+Post MakePost(uint64_t peer_id, const std::string& term, uint64_t len) {
+  SynopsisConfig config;
+  auto syn = config.MakeEmpty();
+  EXPECT_TRUE(syn.ok());
+  for (DocId id = 0; id < len; ++id) syn.value()->Add(id + peer_id * 100000);
+  Post post;
+  post.peer_id = peer_id;
+  post.address = peer_id;
+  post.term = term;
+  post.list_length = len;
+  post.term_space_size = 1000;
+  post.synopsis = SerializeSynopsisToBytes(*syn.value());
+  return post;
+}
+
+TEST(DirectoryTest, PublishAndFetchFromAnyPeer) {
+  Fixture fx(8);
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 50)).ok());
+  ASSERT_TRUE(fx.dirs[3]->Publish(MakePost(2, "forest", 80)).ok());
+  ASSERT_TRUE(fx.dirs[5]->Publish(MakePost(3, "fire", 10)).ok());
+
+  for (size_t origin = 0; origin < 8; ++origin) {
+    auto forest = fx.dirs[origin]->FetchPeerList("forest");
+    ASSERT_TRUE(forest.ok());
+    EXPECT_EQ(forest.value().size(), 2u);
+    auto fire = fx.dirs[origin]->FetchPeerList("fire");
+    ASSERT_TRUE(fire.ok());
+    EXPECT_EQ(fire.value().size(), 1u);
+    EXPECT_EQ(fire.value()[0].peer_id, 3u);
+  }
+}
+
+TEST(DirectoryTest, RepublishReplacesOwnPost) {
+  Fixture fx(4);
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 50)).ok());
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 75)).ok());
+  auto posts = fx.dirs[1]->FetchPeerList("forest");
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts.value().size(), 1u);
+  EXPECT_EQ(posts.value()[0].list_length, 75u);
+}
+
+TEST(DirectoryTest, UnknownTermHasEmptyPeerList) {
+  Fixture fx(4);
+  auto posts = fx.dirs[0]->FetchPeerList("nothing");
+  ASSERT_TRUE(posts.ok());
+  EXPECT_TRUE(posts.value().empty());
+}
+
+TEST(DirectoryTest, WithdrawRemovesOnlyOwnPost) {
+  Fixture fx(4);
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 50)).ok());
+  ASSERT_TRUE(fx.dirs[1]->Publish(MakePost(2, "forest", 60)).ok());
+  ASSERT_TRUE(fx.dirs[2]->Withdraw("forest", 1).ok());
+  auto posts = fx.dirs[3]->FetchPeerList("forest");
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts.value().size(), 1u);
+  EXPECT_EQ(posts.value()[0].peer_id, 2u);
+}
+
+TEST(DirectoryTest, PublishValidates) {
+  Fixture fx(2);
+  Post post = MakePost(1, "", 10);
+  EXPECT_EQ(fx.dirs[0]->Publish(post).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryTest, MalformedPostsAreSkippedNotFatal) {
+  Fixture fx(4);
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 50)).ok());
+  // Inject garbage bytes directly under the same directory key.
+  ASSERT_TRUE(fx.stores[0]
+                  ->Upsert(Directory::KeyForTerm("forest"), "evil",
+                           Bytes{1, 2, 3})
+                  .ok());
+  auto posts = fx.dirs[1]->FetchPeerList("forest");
+  ASSERT_TRUE(posts.ok());
+  EXPECT_EQ(posts.value().size(), 1u);  // the valid one survives
+}
+
+TEST(DirectoryTest, PostingCostsNetworkTraffic) {
+  Fixture fx(8);
+  fx.net.ResetStats();
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 50)).ok());
+  EXPECT_GT(fx.net.stats().messages, 0u);
+  // A 2048-bit MIPs synopsis serializes to 64 x 8 bytes + framing.
+  EXPECT_GT(fx.net.stats().bytes, 512u);
+}
+
+TEST(DirectoryTest, PublishBatchEquivalentButCheaper) {
+  Fixture single_fx(8);
+  Fixture batch_fx(8);
+  std::vector<Post> posts;
+  for (uint64_t t = 0; t < 40; ++t) {
+    posts.push_back(MakePost(1, "term" + std::to_string(t), 10 + t));
+  }
+
+  single_fx.net.ResetStats();
+  for (const Post& p : posts) ASSERT_TRUE(single_fx.dirs[0]->Publish(p).ok());
+  uint64_t single_bytes = single_fx.net.stats().bytes;
+
+  batch_fx.net.ResetStats();
+  ASSERT_TRUE(batch_fx.dirs[0]->PublishBatch(posts).ok());
+  uint64_t batch_bytes = batch_fx.net.stats().bytes;
+
+  for (const Post& p : posts) {
+    auto fetched = batch_fx.dirs[3]->FetchPeerList(p.term);
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_EQ(fetched.value().size(), 1u) << p.term;
+    EXPECT_EQ(fetched.value()[0].list_length, p.list_length);
+  }
+  EXPECT_LT(batch_bytes, single_bytes);
+}
+
+TEST(DirectoryTest, FetchTopPeerListRanksByListLength) {
+  Fixture fx(6);
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 10)).ok());
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(2, "forest", 90)).ok());
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(3, "forest", 50)).ok());
+  auto top = fx.dirs[4]->FetchTopPeerList("forest", 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].list_length, 90u);
+  EXPECT_EQ(top.value()[1].list_length, 50u);
+  // limit larger than the list: everything.
+  auto all = fx.dirs[4]->FetchTopPeerList("forest", 10);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 3u);
+}
+
+TEST(DirectoryTest, FetchTopCostsLessBandwidthThanFetchAll) {
+  Fixture fx(6);
+  for (uint64_t p = 1; p <= 20; ++p) {
+    ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(p, "busy", p * 5)).ok());
+  }
+  // Fetch from a node that is NOT the key's owner, so the PeerList
+  // actually crosses the wire.
+  auto owner =
+      fx.ring->Lookup(0, RingIdForKey(Directory::KeyForTerm("busy")));
+  ASSERT_TRUE(owner.ok());
+  size_t origin = 0;
+  while (fx.ring->node(origin).address() == owner.value().owner.address) {
+    ++origin;
+  }
+  fx.net.ResetStats();
+  auto all = fx.dirs[origin]->FetchPeerList("busy");
+  ASSERT_TRUE(all.ok());
+  uint64_t all_bytes = fx.net.stats().bytes;
+  fx.net.ResetStats();
+  auto top = fx.dirs[origin]->FetchTopPeerList("busy", 3);
+  ASSERT_TRUE(top.ok());
+  uint64_t top_bytes = fx.net.stats().bytes;
+  EXPECT_EQ(top.value().size(), 3u);
+  EXPECT_LT(top_bytes, all_bytes / 2);
+}
+
+TEST(DirectoryTest, SurvivesOwnerFailureWithReplication) {
+  Fixture fx(10, /*replication=*/3);
+  ASSERT_TRUE(fx.dirs[0]->Publish(MakePost(1, "forest", 50)).ok());
+  auto owner = fx.ring->Lookup(0, RingIdForKey(Directory::KeyForTerm("forest")));
+  ASSERT_TRUE(owner.ok());
+  ASSERT_TRUE(fx.net.SetNodeUp(owner.value().owner.address, false).ok());
+  ASSERT_TRUE(fx.ring->RunMaintenance(10).ok());
+  // Any live peer can still fetch the PeerList.
+  for (size_t origin = 0; origin < 10; ++origin) {
+    if (fx.ring->node(origin).address() == owner.value().owner.address) {
+      continue;
+    }
+    auto posts = fx.dirs[origin]->FetchPeerList("forest");
+    ASSERT_TRUE(posts.ok()) << posts.status().ToString();
+    EXPECT_EQ(posts.value().size(), 1u);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace iqn

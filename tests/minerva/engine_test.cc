@@ -1,0 +1,366 @@
+#include "minerva/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "minerva/iqn_router.h"
+#include "workload/fragments.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+std::vector<Corpus> SmallCollections(size_t peers = 4, uint64_t seed = 5) {
+  SyntheticCorpusOptions opts;
+  opts.num_documents = 240;
+  opts.vocabulary_size = 400;
+  opts.min_document_length = 15;
+  opts.max_document_length = 40;
+  opts.seed = seed;
+  auto gen = SyntheticCorpusGenerator::Create(opts);
+  EXPECT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, peers * 2);
+  EXPECT_TRUE(frags.ok());
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, peers);
+  EXPECT_TRUE(collections.ok());
+  return std::move(collections).value();
+}
+
+Query SimpleQuery(const MinervaEngine& engine) {
+  // Use a frequent term from the reference index so every peer has it.
+  Query q;
+  size_t best_df = 0;
+  for (const auto& [term, list] : engine.reference_index().lists()) {
+    if (list.size() > best_df) {
+      best_df = list.size();
+      q.terms = {term};
+    }
+  }
+  q.k = 20;
+  return q;
+}
+
+TEST(EngineTest, CreateValidates) {
+  EXPECT_FALSE(MinervaEngine::Create(EngineOptions{}, {}).ok());
+}
+
+TEST(EngineTest, BuildsPeersAndReferenceIndex) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine.value()->num_peers(), 4u);
+  EXPECT_GT(engine.value()->reference_index().NumDocuments(), 0u);
+  // Reference covers the union of all collections.
+  size_t union_size = 0;
+  Corpus all;
+  for (size_t i = 0; i < 4; ++i) all.Merge(engine.value()->peer(i).collection());
+  union_size = all.size();
+  EXPECT_EQ(engine.value()->reference_index().NumDocuments(), union_size);
+}
+
+TEST(EngineTest, PublishAllPopulatesDirectory) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  EXPECT_GT(engine.value()->TotalBytesSent(), 0u);
+
+  Query q = SimpleQuery(*engine.value());
+  auto candidates = engine.value()->peer(0).FetchCandidates(q);
+  ASSERT_TRUE(candidates.ok());
+  // Every other peer holding the term appears as a candidate.
+  EXPECT_GE(candidates.value().size(), 1u);
+  for (const auto& cand : candidates.value()) {
+    EXPECT_NE(cand.peer_id, 0u);  // initiator excluded
+    EXPECT_TRUE(cand.posts.count(q.terms[0]));
+  }
+}
+
+TEST(EngineTest, RunQueryProducesOutcome) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_LE(outcome.value().decision.peers.size(), 2u);
+  EXPECT_FALSE(outcome.value().execution.merged.empty());
+  EXPECT_GT(outcome.value().recall, 0.0);
+  EXPECT_LE(outcome.value().recall, 1.0);
+  EXPECT_GT(outcome.value().routing_messages, 0u);
+  EXPECT_GT(outcome.value().execution_messages, 0u);
+}
+
+TEST(EngineTest, RecallGrowsWithMorePeers) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections(6));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  IqnRouter router;
+  double recall1 = 0, recall5 = 0;
+  {
+    auto outcome = engine.value()->RunQuery(0, q, router, 1);
+    ASSERT_TRUE(outcome.ok());
+    recall1 = outcome.value().recall;
+  }
+  {
+    auto outcome = engine.value()->RunQuery(0, q, router, 5);
+    ASSERT_TRUE(outcome.ok());
+    recall5 = outcome.value().recall;
+  }
+  EXPECT_GE(recall5, recall1);
+  EXPECT_GT(recall5, 0.5);  // 5 of 6 peers: most of the space covered
+}
+
+TEST(EngineTest, FullRecallWhenAllPeersQueried) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  CoriRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 4);
+  ASSERT_TRUE(outcome.ok());
+  // All peers contacted -> the union holds every reference result.
+  EXPECT_DOUBLE_EQ(outcome.value().recall, 1.0);
+}
+
+TEST(EngineTest, InitiatorIndexOutOfRange) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  IqnRouter router;
+  Query q;
+  q.terms = {"whatever"};
+  EXPECT_FALSE(engine.value()->RunQuery(99, q, router, 2).ok());
+}
+
+TEST(EngineTest, DownPeerCountsAsFailedNotFatal) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  // Kill peer 2's node after publishing.
+  ASSERT_TRUE(
+      engine.value()->network().SetNodeUp(engine.value()->peer(2).address(),
+                                          false)
+          .ok());
+  CoriRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 3);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // Either peer 2 was selected (then it failed) or not (0 failures).
+  EXPECT_LE(outcome.value().execution.failed_peers, 1u);
+}
+
+TEST(EngineTest, HistogramConfiguredEngineSupportsHistogramRouting) {
+  EngineOptions options;
+  options.synopsis.histogram_cells = 4;
+  auto engine = MinervaEngine::Create(options, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  IqnOptions iqn_options;
+  iqn_options.use_histograms = true;
+  IqnRouter router(iqn_options);
+  auto outcome = engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+}
+
+TEST(EngineTest, BatchPostingIsCheaperAndEquivalent) {
+  EngineOptions plain;
+  auto e1 = MinervaEngine::Create(plain, SmallCollections());
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e1.value()->PublishAll().ok());
+  uint64_t plain_bytes = e1.value()->TotalBytesSent();
+
+  EngineOptions batched;
+  batched.batch_posting = true;
+  auto e2 = MinervaEngine::Create(batched, SmallCollections());
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e2.value()->PublishAll().ok());
+  uint64_t batched_bytes = e2.value()->TotalBytesSent();
+
+  EXPECT_LT(batched_bytes, plain_bytes);
+
+  // Routing decisions are identical: the directory contents match.
+  Query q = SimpleQuery(*e1.value());
+  IqnRouter router;
+  auto o1 = e1.value()->RunQuery(0, q, router, 2);
+  auto o2 = e2.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  ASSERT_EQ(o1.value().decision.peers.size(), o2.value().decision.peers.size());
+  for (size_t i = 0; i < o1.value().decision.peers.size(); ++i) {
+    EXPECT_EQ(o1.value().decision.peers[i].peer_id,
+              o2.value().decision.peers[i].peer_id);
+  }
+}
+
+TEST(EngineTest, PeerlistLimitReducesRoutingBytes) {
+  auto collections = SmallCollections(8);
+  EngineOptions full;
+  auto e1 = MinervaEngine::Create(full, SmallCollections(8));
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e1.value()->PublishAll().ok());
+
+  EngineOptions limited;
+  limited.peerlist_limit = 2;
+  auto e2 = MinervaEngine::Create(limited, SmallCollections(8));
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e2.value()->PublishAll().ok());
+
+  Query q = SimpleQuery(*e1.value());
+  IqnRouter router;
+  auto o1 = e1.value()->RunQuery(0, q, router, 2);
+  auto o2 = e2.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_LT(o2.value().routing_bytes, o1.value().routing_bytes);
+  // The limited run can only select among the fetched candidates.
+  EXPECT_LE(o2.value().decision.peers.size(), 2u);
+}
+
+TEST(EngineTest, SynopsisSeededReferenceWorksEndToEnd) {
+  EngineOptions options;
+  options.seed_reference_from_synopses = true;
+  auto engine = MinervaEngine::Create(options, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+  // The covered-space estimate starts from the initiator's full coverage
+  // of the term, which exceeds its top-k result size.
+  EXPECT_GE(outcome.value().decision.estimated_result_cardinality,
+            static_cast<double>(q.k));
+}
+
+TEST(EngineTest, LatencyAccountedPerPhase) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome.value().routing_latency_ms, 0.0);
+  EXPECT_GT(outcome.value().execution_latency_ms, 0.0);
+}
+
+TEST(EngineTest, CompressedBloomPostingSavesBytesAndStillRoutes) {
+  EngineOptions raw_options;
+  raw_options.synopsis.type = SynopsisType::kBloomFilter;
+  raw_options.synopsis.bits = 4096;
+  auto raw_engine = MinervaEngine::Create(raw_options, SmallCollections());
+  ASSERT_TRUE(raw_engine.ok());
+  ASSERT_TRUE(raw_engine.value()->PublishAll().ok());
+
+  EngineOptions compressed_options = raw_options;
+  compressed_options.synopsis.compress_bloom = true;
+  auto compressed_engine =
+      MinervaEngine::Create(compressed_options, SmallCollections());
+  ASSERT_TRUE(compressed_engine.ok());
+  ASSERT_TRUE(compressed_engine.value()->PublishAll().ok());
+
+  // Sparse per-term filters compress well.
+  EXPECT_LT(compressed_engine.value()->TotalBytesSent(),
+            raw_engine.value()->TotalBytesSent() * 3 / 4);
+
+  // Routing over compressed posts behaves identically.
+  Query q = SimpleQuery(*raw_engine.value());
+  IqnRouter router;
+  auto raw_outcome = raw_engine.value()->RunQuery(0, q, router, 2);
+  auto compressed_outcome =
+      compressed_engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(raw_outcome.ok() && compressed_outcome.ok());
+  ASSERT_EQ(raw_outcome.value().decision.peers.size(),
+            compressed_outcome.value().decision.peers.size());
+  for (size_t i = 0; i < raw_outcome.value().decision.peers.size(); ++i) {
+    EXPECT_EQ(raw_outcome.value().decision.peers[i].peer_id,
+              compressed_outcome.value().decision.peers[i].peer_id);
+  }
+}
+
+TEST(EngineTest, DistributedTopKCandidateFetchWorks) {
+  EngineOptions options;
+  options.distributed_topk_candidates = 3;
+  auto engine = MinervaEngine::Create(options, SmallCollections(6));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+
+  // The candidate set surfaced by TPUT matches the 3 largest index
+  // lists among the other peers (the ranking criterion).
+  auto candidates = engine.value()->peer(0).FetchCandidatesTopK(q, 3);
+  ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+  EXPECT_LE(candidates.value().size(), 3u);
+  EXPECT_GE(candidates.value().size(), 1u);
+  for (const auto& cand : candidates.value()) {
+    EXPECT_NE(cand.peer_id, 0u);
+    EXPECT_TRUE(cand.posts.count(q.terms[0]));
+  }
+
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().recall, 0.0);
+  EXPECT_LE(outcome.value().decision.peers.size(), 2u);
+}
+
+TEST(EngineTest, IncrementalCrawlRefreshesDirectoryAndRouting) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = SimpleQuery(*engine.value());
+  const std::string& term = q.terms[0];
+
+  uint64_t before = engine.value()->peer(1).index().DocumentFrequency(term);
+
+  // Peer 1 crawls 30 new documents that all contain the query term.
+  Corpus delta;
+  for (DocId id = 900000; id < 900030; ++id) {
+    ASSERT_TRUE(delta.AddDocumentTerms(id, {term, "fresh"}).ok());
+  }
+  ASSERT_TRUE(engine.value()->peer(1).AddDocuments(delta).ok());
+  EXPECT_EQ(engine.value()->peer(1).index().DocumentFrequency(term),
+            before + 30);
+
+  // The directory post refreshed: another peer sees the new list length.
+  auto candidates = engine.value()->peer(0).FetchCandidates(q);
+  ASSERT_TRUE(candidates.ok());
+  bool found = false;
+  for (const auto& cand : candidates.value()) {
+    if (cand.peer_id != 1) continue;
+    found = true;
+    EXPECT_EQ(cand.posts.at(term).list_length, before + 30);
+  }
+  EXPECT_TRUE(found);
+
+  // Re-adding the same documents is a no-op for the index.
+  ASSERT_TRUE(engine.value()->peer(1).AddDocuments(delta).ok());
+  EXPECT_EQ(engine.value()->peer(1).index().DocumentFrequency(term),
+            before + 30);
+}
+
+TEST(EngineTest, AdaptivePublishingWorksEndToEnd) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  // Peer 0 publishes adaptively under a budget; others publish normally.
+  AdaptiveAllocationOptions alloc;
+  alloc.min_bits = 64;
+  alloc.max_bits = 2048;
+  ASSERT_TRUE(engine.value()->peer(0)
+                  .PublishPostsAdaptive(/*total_budget_bits=*/64 * 1024, alloc)
+                  .ok());
+  for (size_t i = 1; i < 4; ++i) {
+    ASSERT_TRUE(engine.value()->peer(i).PublishPosts().ok());
+  }
+  Query q = SimpleQuery(*engine.value());
+  IqnRouter router;
+  // Initiate from peer 1 so peer 0's shorter synopses are consumed by the
+  // router (heterogeneous-length MIPs interop).
+  auto outcome = engine.value()->RunQuery(1, q, router, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+}
+
+}  // namespace
+}  // namespace iqn

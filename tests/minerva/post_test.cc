@@ -1,0 +1,144 @@
+#include "minerva/post.h"
+
+#include <gtest/gtest.h>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/min_wise.h"
+#include "synopses/serialization.h"
+
+namespace iqn {
+namespace {
+
+TEST(SynopsisConfigTest, MakeEmptyMipsDerivesPermutationsFromBits) {
+  SynopsisConfig config;  // defaults: MIPs, 2048 bits
+  auto syn = config.MakeEmpty();
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(syn.value()->type(), SynopsisType::kMinWise);
+  EXPECT_EQ(static_cast<MinWiseSynopsis*>(syn.value().get())
+                ->num_permutations(),
+            64u);  // 2048 / 32
+  EXPECT_EQ(syn.value()->SizeBits(), 2048u);
+}
+
+TEST(SynopsisConfigTest, MakeEmptyBloomUsesBitsDirectly) {
+  SynopsisConfig config;
+  config.type = SynopsisType::kBloomFilter;
+  config.bits = 1024;
+  auto syn = config.MakeEmpty();
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(syn.value()->SizeBits(), 1024u);
+  EXPECT_EQ(static_cast<BloomFilter*>(syn.value().get())->num_hashes(),
+            config.bloom_hashes);
+}
+
+TEST(SynopsisConfigTest, MakeEmptyHashSketchDividesBudget) {
+  SynopsisConfig config;
+  config.type = SynopsisType::kHashSketch;
+  config.bits = 2048;
+  config.hash_sketch_bitmap_bits = 64;
+  auto syn = config.MakeEmpty();
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(static_cast<HashSketch*>(syn.value().get())->num_bitmaps(), 32u);
+}
+
+TEST(SynopsisConfigTest, BitsOverrideShortensSynopsis) {
+  SynopsisConfig config;
+  auto syn = config.MakeEmpty(1024);
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(static_cast<MinWiseSynopsis*>(syn.value().get())
+                ->num_permutations(),
+            32u);
+}
+
+TEST(SynopsisConfigTest, SameSeedSynopsesInteroperate) {
+  SynopsisConfig config;
+  auto a = config.MakeEmpty();
+  auto b = config.MakeEmpty();
+  ASSERT_TRUE(a.ok() && b.ok());
+  a.value()->Add(1);
+  b.value()->Add(1);
+  auto r = a.value()->EstimateResemblance(*b.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(SynopsisConfigTest, TinyBudgetRejected) {
+  SynopsisConfig config;
+  EXPECT_FALSE(config.MakeEmpty(16).ok());
+}
+
+TEST(SynopsisConfigTest, HistogramRequiresCells) {
+  SynopsisConfig config;
+  EXPECT_EQ(config.MakeEmptyHistogram().status().code(),
+            StatusCode::kFailedPrecondition);
+  config.histogram_cells = 4;
+  auto hist = config.MakeEmptyHistogram();
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist.value().num_cells(), 4u);
+  // Each cell gets bits / cells = 512 bits = 16 permutations.
+  EXPECT_EQ(hist.value().SizeBits(), 4u * 16 * 32);
+}
+
+Post MakePost() {
+  SynopsisConfig config;
+  auto syn = config.MakeEmpty();
+  EXPECT_TRUE(syn.ok());
+  for (DocId id = 0; id < 100; ++id) syn.value()->Add(id);
+
+  Post post;
+  post.peer_id = 17;
+  post.address = 3;
+  post.term = "forest";
+  post.list_length = 100;
+  post.max_score = 4.5;
+  post.avg_score = 1.25;
+  post.term_space_size = 4200;
+  post.synopsis = SerializeSynopsisToBytes(*syn.value());
+  return post;
+}
+
+TEST(PostTest, SerializeRoundTrip) {
+  Post post = MakePost();
+  ByteWriter writer;
+  post.Serialize(&writer);
+  Bytes bytes = writer.Take();
+  ByteReader reader(bytes);
+  auto rt = Post::Deserialize(&reader);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value().peer_id, 17u);
+  EXPECT_EQ(rt.value().address, 3u);
+  EXPECT_EQ(rt.value().term, "forest");
+  EXPECT_EQ(rt.value().list_length, 100u);
+  EXPECT_DOUBLE_EQ(rt.value().max_score, 4.5);
+  EXPECT_DOUBLE_EQ(rt.value().avg_score, 1.25);
+  EXPECT_EQ(rt.value().term_space_size, 4200u);
+  EXPECT_EQ(rt.value().synopsis, post.synopsis);
+  EXPECT_TRUE(rt.value().histogram.empty());
+}
+
+TEST(PostTest, DecodeSynopsisRecoversWorkingSynopsis) {
+  Post post = MakePost();
+  auto syn = post.DecodeSynopsis();
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(syn.value()->type(), SynopsisType::kMinWise);
+  EXPECT_NEAR(syn.value()->EstimateCardinality(), 100.0, 40.0);
+}
+
+TEST(PostTest, DecodeHistogramAbsentIsNotFound) {
+  Post post = MakePost();
+  EXPECT_EQ(post.DecodeHistogram().status().code(), StatusCode::kNotFound);
+}
+
+TEST(PostTest, TruncatedDeserializeFails) {
+  Post post = MakePost();
+  ByteWriter writer;
+  post.Serialize(&writer);
+  Bytes bytes = writer.Take();
+  bytes.resize(bytes.size() / 3);
+  ByteReader reader(bytes);
+  EXPECT_FALSE(Post::Deserialize(&reader).ok());
+}
+
+}  // namespace
+}  // namespace iqn

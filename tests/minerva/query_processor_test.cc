@@ -1,0 +1,126 @@
+#include "minerva/query_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "workload/fragments.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+TEST(CoriMergeWeightTest, AverageCollectionIsNeutral) {
+  // C_i == C_mean -> weight exactly 1.
+  EXPECT_DOUBLE_EQ(QueryProcessor::CoriMergeWeight(0.5, 0.5), 1.0);
+}
+
+TEST(CoriMergeWeightTest, BetterCollectionsBoosted) {
+  double above = QueryProcessor::CoriMergeWeight(0.6, 0.5);
+  double below = QueryProcessor::CoriMergeWeight(0.4, 0.5);
+  EXPECT_GT(above, 1.0);
+  EXPECT_LT(below, 1.0);
+  // Symmetric around the mean at Callan's beta = 0.4:
+  // 1 +- 0.4 * 0.1/0.5.
+  EXPECT_NEAR(above, 1.08, 1e-12);
+  EXPECT_NEAR(below, 0.92, 1e-12);
+}
+
+TEST(CoriMergeWeightTest, FloorAndDegenerateMean) {
+  // C = 0 gives 1 - 0.4 = 0.6 (above the floor)...
+  EXPECT_DOUBLE_EQ(QueryProcessor::CoriMergeWeight(0.0, 0.5), 0.6);
+  // ...while a hugely negative score hits the 0.1 floor.
+  EXPECT_GE(QueryProcessor::CoriMergeWeight(-5.0, 0.5), 0.1);
+  EXPECT_DOUBLE_EQ(QueryProcessor::CoriMergeWeight(0.7, 0.0), 1.0);
+}
+
+std::vector<Corpus> Collections() {
+  SyntheticCorpusOptions opts;
+  opts.num_documents = 240;
+  opts.vocabulary_size = 300;
+  opts.seed = 17;
+  auto gen = SyntheticCorpusGenerator::Create(opts);
+  EXPECT_TRUE(gen.ok());
+  auto frags = SplitIntoFragments(gen.value().Generate(), 8);
+  EXPECT_TRUE(frags.ok());
+  auto collections = SlidingWindowCollections(frags.value(), 3, 2, 4);
+  EXPECT_TRUE(collections.ok());
+  // Asymmetric peers: peer 0 holds twice the data, so CORI collection
+  // scores (and hence merge weights) genuinely differ.
+  collections.value()[0].Merge(frags.value()[6]);
+  collections.value()[0].Merge(frags.value()[7]);
+  return std::move(collections).value();
+}
+
+Query AnyQuery(const MinervaEngine& engine) {
+  Query q;
+  size_t best = 0;
+  for (const auto& [term, list] : engine.reference_index().lists()) {
+    if (list.size() > best) {
+      best = list.size();
+      q.terms = {term};
+    }
+  }
+  q.k = 15;
+  return q;
+}
+
+TEST(QueryProcessorTest, CoriNormalizedMergeReordersButKeepsDocSet) {
+  EngineOptions raw_options;
+  auto raw_engine = MinervaEngine::Create(raw_options, Collections());
+  ASSERT_TRUE(raw_engine.ok());
+  ASSERT_TRUE(raw_engine.value()->PublishAll().ok());
+
+  EngineOptions cori_options;
+  cori_options.merge = MergeStrategy::kCoriNormalized;
+  auto cori_engine = MinervaEngine::Create(cori_options, Collections());
+  ASSERT_TRUE(cori_engine.ok());
+  ASSERT_TRUE(cori_engine.value()->PublishAll().ok());
+
+  Query q = AnyQuery(*raw_engine.value());
+  CoriRouter router;  // records collection qualities per selected peer
+  auto raw = raw_engine.value()->RunQuery(1, q, router, 3);
+  auto cori = cori_engine.value()->RunQuery(1, q, router, 3);
+  ASSERT_TRUE(raw.ok() && cori.ok());
+
+  // Same document SET retrieved (merging only rescales scores)...
+  EXPECT_EQ(raw.value().execution.all_distinct.size(),
+            cori.value().execution.all_distinct.size());
+  // ...and the remote peers' scores were actually rescaled.
+  bool any_difference = false;
+  for (size_t p = 0; p < raw.value().execution.per_peer_results.size(); ++p) {
+    const auto& raw_list = raw.value().execution.per_peer_results[p];
+    const auto& cori_list = cori.value().execution.per_peer_results[p];
+    if (raw_list.size() != cori_list.size()) continue;
+    for (size_t i = 0; i < raw_list.size(); ++i) {
+      if (raw_list[i].score != cori_list[i].score) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(QueryProcessorTest, RawMergeLeavesScoresUntouched) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, Collections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  Query q = AnyQuery(*engine.value());
+  CoriRouter router;
+  auto outcome = engine.value()->RunQuery(0, q, router, 2);
+  ASSERT_TRUE(outcome.ok());
+  // Every merged score equals some peer's (or the initiator's) raw score.
+  for (const ScoredDoc& merged : outcome.value().execution.merged) {
+    bool found = merged.score == 0.0;
+    for (const auto& list : outcome.value().execution.per_peer_results) {
+      for (const ScoredDoc& sd : list) {
+        if (sd.doc == merged.doc && sd.score == merged.score) found = true;
+      }
+    }
+    for (const ScoredDoc& sd : outcome.value().execution.local_results) {
+      if (sd.doc == merged.doc && sd.score == merged.score) found = true;
+    }
+    EXPECT_TRUE(found) << "doc " << merged.doc;
+  }
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,128 @@
+// Parameterized invariants across the full configuration matrix the
+// routing layer supports: every synopsis type x aggregation strategy
+// combination must (a) prefer complementary peers over mutually
+// redundant ones, and (b) respect the initiator's local coverage — the
+// behavioural core of IQN, independent of representation choices.
+
+#include <gtest/gtest.h>
+
+#include "minerva/iqn_router.h"
+#include "tests/minerva/test_helpers.h"
+
+namespace iqn {
+namespace {
+
+using test::MakeCandidate;
+using test::Range;
+using test::RoutingFixture;
+
+struct MatrixParam {
+  SynopsisType type;
+  AggregationStrategy aggregation;
+  bool correlation_aware;
+};
+
+std::string ParamName(const testing::TestParamInfo<MatrixParam>& info) {
+  std::string name = SynopsisTypeName(info.param.type);
+  name += info.param.aggregation == AggregationStrategy::kPerPeer
+              ? "_PerPeer"
+              : "_PerTerm";
+  if (info.param.correlation_aware) name += "_Corr";
+  return name;
+}
+
+std::vector<MatrixParam> AllConfigurations() {
+  std::vector<MatrixParam> params;
+  for (SynopsisType type :
+       {SynopsisType::kMinWise, SynopsisType::kBloomFilter,
+        SynopsisType::kHashSketch, SynopsisType::kLogLog}) {
+    params.push_back({type, AggregationStrategy::kPerPeer, false});
+    params.push_back({type, AggregationStrategy::kPerTerm, false});
+    params.push_back({type, AggregationStrategy::kPerTerm, true});
+  }
+  return params;
+}
+
+class RouterMatrix : public testing::TestWithParam<MatrixParam> {
+ protected:
+  IqnRouter MakeRouter() const {
+    IqnOptions options;
+    options.aggregation = GetParam().aggregation;
+    options.correlation_aware = GetParam().correlation_aware;
+    return IqnRouter(options);
+  }
+};
+
+TEST_P(RouterMatrix, PrefersComplementOverMutualRedundancy) {
+  RoutingFixture fx;
+  fx.config.type = GetParam().type;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));  // twin of 0
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(5000, 5300)}}));
+  IqnRouter router = MakeRouter();
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  ASSERT_EQ(decision.value().peers.size(), 2u);
+  EXPECT_TRUE(decision.value().peers[0].peer_id == 0 ||
+              decision.value().peers[0].peer_id == 1);
+  EXPECT_EQ(decision.value().peers[1].peer_id, 2u);
+}
+
+TEST_P(RouterMatrix, RespectsInitiatorLocalCoverage) {
+  RoutingFixture fx;
+  fx.config.type = GetParam().type;
+  fx.local_docs = Range(0, 400);
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));  // = local
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(1000, 1300)}}));
+  IqnRouter router = MakeRouter();
+  auto decision = router.Route(fx.Input(1));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  ASSERT_EQ(decision.value().peers.size(), 1u);
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+}
+
+TEST_P(RouterMatrix, MultiTermDisjunctiveCoversBothTerms) {
+  RoutingFixture fx;
+  fx.config.type = GetParam().type;
+  fx.query.terms = {"a", "b"};
+  // Peer 0 covers both terms with distinct docs; peer 1 duplicates
+  // peer 0's "a" list only.
+  fx.candidates.push_back(MakeCandidate(
+      0, fx.config, {{"a", Range(0, 200)}, {"b", Range(300, 500)}}));
+  fx.candidates.push_back(MakeCandidate(1, fx.config, {{"a", Range(0, 200)}}));
+  IqnRouter router = MakeRouter();
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  ASSERT_GE(decision.value().peers.size(), 1u);
+  EXPECT_EQ(decision.value().peers[0].peer_id, 0u);
+}
+
+TEST_P(RouterMatrix, DeterministicAcrossCalls) {
+  RoutingFixture fx;
+  fx.config.type = GetParam().type;
+  for (uint64_t p = 0; p < 6; ++p) {
+    fx.candidates.push_back(MakeCandidate(
+        p, fx.config, {{"term", Range(p * 120, p * 120 + 250)}}));
+  }
+  IqnRouter router = MakeRouter();
+  auto d1 = router.Route(fx.Input(4));
+  auto d2 = router.Route(fx.Input(4));
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  ASSERT_EQ(d1.value().peers.size(), d2.value().peers.size());
+  for (size_t i = 0; i < d1.value().peers.size(); ++i) {
+    EXPECT_EQ(d1.value().peers[i].peer_id, d2.value().peers[i].peer_id);
+    EXPECT_DOUBLE_EQ(d1.value().peers[i].novelty,
+                     d2.value().peers[i].novelty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSynopsesAllStrategies, RouterMatrix,
+                         testing::ValuesIn(AllConfigurations()), ParamName);
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,177 @@
+#include "minerva/router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/minerva/test_helpers.h"
+
+namespace iqn {
+namespace {
+
+using test::MakeCandidate;
+using test::Range;
+using test::RoutingFixture;
+
+TEST(RouterValidationTest, AllRoutersRejectBadInput) {
+  RandomRouter random_router;
+  CoriRouter cori_router;
+  SimpleOverlapRouter overlap_router;
+  RoutingInput empty;
+  EXPECT_FALSE(random_router.Route(empty).ok());
+  EXPECT_FALSE(cori_router.Route(empty).ok());
+  EXPECT_FALSE(overlap_router.Route(empty).ok());
+
+  RoutingFixture fx;
+  RoutingInput no_peers = fx.Input(0);
+  EXPECT_FALSE(cori_router.Route(no_peers).ok());
+
+  Query empty_query;
+  RoutingInput input = fx.Input(3);
+  input.query = &empty_query;
+  EXPECT_FALSE(cori_router.Route(input).ok());
+}
+
+TEST(RandomRouterTest, SelectsRequestedCountWithoutDuplicates) {
+  RoutingFixture fx;
+  for (uint64_t p = 0; p < 10; ++p) {
+    fx.candidates.push_back(
+        MakeCandidate(p, fx.config, {{"term", Range(p * 10, p * 10 + 10)}}));
+  }
+  RandomRouter router(7);
+  auto decision = router.Route(fx.Input(4));
+  ASSERT_TRUE(decision.ok());
+  ASSERT_EQ(decision.value().peers.size(), 4u);
+  std::set<uint64_t> distinct;
+  for (const auto& p : decision.value().peers) distinct.insert(p.peer_id);
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(RandomRouterTest, DeterministicPerQueryContent) {
+  RoutingFixture fx;
+  for (uint64_t p = 0; p < 10; ++p) {
+    fx.candidates.push_back(
+        MakeCandidate(p, fx.config, {{"term", Range(p * 10, p * 10 + 10)}}));
+  }
+  RandomRouter router(7);
+  auto d1 = router.Route(fx.Input(4));
+  auto d2 = router.Route(fx.Input(4));
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(d1.value().peers[i].peer_id, d2.value().peers[i].peer_id);
+  }
+}
+
+TEST(RandomRouterTest, TakesAllWhenFewerCandidatesThanBudget) {
+  RoutingFixture fx;
+  fx.candidates.push_back(MakeCandidate(0, fx.config, {{"term", Range(0, 5)}}));
+  RandomRouter router;
+  auto decision = router.Route(fx.Input(10));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision.value().peers.size(), 1u);
+}
+
+TEST(CoriRouterTest, RanksLargerCollectionsFirst) {
+  RoutingFixture fx;
+  // Peer 0: 10 docs; peer 1: 500 docs; peer 2: 100 docs. Same vocab size.
+  fx.candidates.push_back(MakeCandidate(0, fx.config, {{"term", Range(0, 10)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(1000, 1500)}}));
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(2000, 2100)}}));
+  CoriRouter router;
+  auto decision = router.Route(fx.Input(3));
+  ASSERT_TRUE(decision.ok());
+  ASSERT_EQ(decision.value().peers.size(), 3u);
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+  EXPECT_EQ(decision.value().peers[1].peer_id, 2u);
+  EXPECT_EQ(decision.value().peers[2].peer_id, 0u);
+  // Qualities are recorded and ordered.
+  EXPECT_GE(decision.value().peers[0].quality,
+            decision.value().peers[1].quality);
+}
+
+TEST(CoriRouterTest, IsBlindToOverlap) {
+  // Two identical large collections and one smaller complementary one:
+  // CORI picks the two redundant big ones first — the failure mode that
+  // motivates IQN.
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));  // duplicate
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(5000, 5200)}}));
+  CoriRouter router;
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  std::set<uint64_t> picked;
+  for (const auto& p : decision.value().peers) picked.insert(p.peer_id);
+  EXPECT_TRUE(picked.count(0));
+  EXPECT_TRUE(picked.count(1));
+  EXPECT_FALSE(picked.count(2));
+}
+
+TEST(SimpleOverlapRouterTest, AvoidsPeersRedundantWithInitiator) {
+  RoutingFixture fx;
+  fx.local_docs = Range(0, 400);  // the initiator already has 0..399
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));  // redundant
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(1000, 1400)}}));  // novel
+  SimpleOverlapRouter router;
+  auto decision = router.Route(fx.Input(1));
+  ASSERT_TRUE(decision.ok());
+  ASSERT_EQ(decision.value().peers.size(), 1u);
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+  EXPECT_GT(decision.value().peers[0].novelty, 0.0);
+}
+
+TEST(SimpleOverlapRouterTest, BlindToMutualRedundancyAmongCandidates) {
+  // The documented weakness vs IQN: two candidates identical to EACH
+  // OTHER (but novel vs the initiator) both rank at the top.
+  RoutingFixture fx;
+  fx.local_docs = Range(9000, 9100);
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 400)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(0, 400)}}));  // same docs
+  fx.candidates.push_back(
+      MakeCandidate(2, fx.config, {{"term", Range(1000, 1300)}}));
+  SimpleOverlapRouter router;
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok());
+  std::set<uint64_t> picked;
+  for (const auto& p : decision.value().peers) picked.insert(p.peer_id);
+  // The two mutually-redundant 400-doc peers beat the 300-doc one.
+  EXPECT_TRUE(picked.count(0));
+  EXPECT_TRUE(picked.count(1));
+}
+
+TEST(SimpleOverlapRouterTest, RequiresSynopsisConfig) {
+  RoutingFixture fx;
+  fx.candidates.push_back(MakeCandidate(0, fx.config, {{"term", Range(0, 5)}}));
+  RoutingInput input = fx.Input(1);
+  input.synopsis_config = nullptr;
+  SimpleOverlapRouter router;
+  EXPECT_FALSE(router.Route(input).ok());
+}
+
+TEST(ComputeQueryTermStatsTest, AssemblesPerTermPeerLists) {
+  RoutingFixture fx;
+  fx.query.terms = {"a", "b"};
+  fx.candidates.push_back(MakeCandidate(0, fx.config,
+                                        {{"a", Range(0, 10)},
+                                         {"b", Range(10, 20)}},
+                                        /*term_space_size=*/100));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"a", Range(0, 10)}}, 300));
+  auto stats = ComputeQueryTermStats(fx.Input(2));
+  EXPECT_EQ(stats["a"].collection_frequency, 2u);
+  EXPECT_EQ(stats["b"].collection_frequency, 1u);
+  EXPECT_DOUBLE_EQ(stats["a"].avg_term_space, 200.0);
+  EXPECT_DOUBLE_EQ(stats["b"].avg_term_space, 100.0);
+}
+
+}  // namespace
+}  // namespace iqn

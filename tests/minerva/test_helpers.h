@@ -1,0 +1,86 @@
+// Shared builders for router tests: construct CandidatePeers whose posts
+// carry real serialized synopses over explicit docId ranges.
+
+#ifndef IQN_TESTS_MINERVA_TEST_HELPERS_H_
+#define IQN_TESTS_MINERVA_TEST_HELPERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minerva/post.h"
+#include "minerva/router.h"
+#include "synopses/serialization.h"
+
+namespace iqn {
+namespace test {
+
+/// Document ranges per term for one synthetic candidate peer.
+using TermDocs = std::map<std::string, std::vector<DocId>>;
+
+inline std::vector<DocId> Range(DocId lo, DocId hi) {
+  std::vector<DocId> ids;
+  for (DocId id = lo; id < hi; ++id) ids.push_back(id);
+  return ids;
+}
+
+inline CandidatePeer MakeCandidate(uint64_t peer_id,
+                                   const SynopsisConfig& config,
+                                   const TermDocs& term_docs,
+                                   uint64_t term_space_size = 1000) {
+  CandidatePeer cand;
+  cand.peer_id = peer_id;
+  cand.address = peer_id;
+  for (const auto& [term, docs] : term_docs) {
+    auto syn = config.MakeEmpty();
+    EXPECT_TRUE(syn.ok());
+    Post post;
+    post.peer_id = peer_id;
+    post.address = peer_id;
+    post.term = term;
+    post.list_length = docs.size();
+    post.term_space_size = term_space_size;
+    for (DocId id : docs) syn.value()->Add(id);
+    post.synopsis = SerializeSynopsisToBytes(*syn.value());
+    if (config.histogram_cells > 0) {
+      auto hist = config.MakeEmptyHistogram();
+      EXPECT_TRUE(hist.ok());
+      // Synthetic score: position-independent 0.75 (mid-high cell).
+      for (DocId id : docs) hist.value().Add(id, 0.75);
+      ByteWriter writer;
+      SerializeHistogram(hist.value(), &writer);
+      post.histogram = writer.Take();
+    }
+    cand.posts.emplace(term, std::move(post));
+  }
+  return cand;
+}
+
+struct RoutingFixture {
+  Query query;
+  std::vector<CandidatePeer> candidates;
+  std::vector<DocId> local_docs;
+  SynopsisConfig config;
+
+  RoutingFixture() {
+    query.terms = {"term"};
+    query.mode = QueryMode::kDisjunctive;
+    query.k = 10;
+  }
+
+  RoutingInput Input(size_t max_peers) const {
+    RoutingInput input;
+    input.query = &query;
+    input.candidates = &candidates;
+    input.max_peers = max_peers;
+    input.total_peers = candidates.size() + 1;
+    input.local_result_docs = &local_docs;
+    input.synopsis_config = &config;
+    return input;
+  }
+};
+
+}  // namespace test
+}  // namespace iqn
+
+#endif  // IQN_TESTS_MINERVA_TEST_HELPERS_H_

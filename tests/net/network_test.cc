@@ -1,0 +1,130 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+Bytes Payload(std::initializer_list<uint8_t> bytes) { return Bytes(bytes); }
+
+TEST(NetworkTest, RpcReachesHandlerAndReturnsResponse) {
+  SimulatedNetwork net;
+  NodeAddress echo = net.Register([](const Message& msg) -> Result<Bytes> {
+    Bytes reply = msg.payload;
+    reply.push_back(0xff);
+    return reply;
+  });
+  auto r = net.Rpc(kInvalidAddress, echo, "echo", Payload({1, 2}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Payload({1, 2, 0xff}));
+}
+
+TEST(NetworkTest, HandlerSeesAddressesAndType) {
+  SimulatedNetwork net;
+  NodeAddress target = net.Register([](const Message& msg) -> Result<Bytes> {
+    EXPECT_EQ(msg.type, "probe");
+    EXPECT_EQ(msg.src, 42u);
+    Bytes reply;
+    reply.push_back(static_cast<uint8_t>(msg.dst));
+    return reply;
+  });
+  auto r = net.Rpc(42, target, "probe", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], static_cast<uint8_t>(target));
+}
+
+TEST(NetworkTest, UnregisteredDestinationFails) {
+  SimulatedNetwork net;
+  auto r = net.Rpc(0, 99, "x", {});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, DownNodeIsUnavailable) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register([](const Message&) -> Result<Bytes> {
+    return Bytes{};
+  });
+  ASSERT_TRUE(net.SetNodeUp(node, false).ok());
+  EXPECT_FALSE(net.IsNodeUp(node));
+  EXPECT_EQ(net.Rpc(0, node, "x", {}).status().code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(net.SetNodeUp(node, true).ok());
+  EXPECT_TRUE(net.Rpc(0, node, "x", {}).ok());
+}
+
+TEST(NetworkTest, SetNodeUpOnUnknownNodeFails) {
+  SimulatedNetwork net;
+  EXPECT_FALSE(net.SetNodeUp(7, false).ok());
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register([](const Message&) -> Result<Bytes> {
+    return Bytes(10, 0);
+  });
+  net.ResetStats();
+  ASSERT_TRUE(net.Rpc(0, node, "op", Bytes(100, 0)).ok());
+  const NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.messages, 2u);  // request + response
+  // Request: 20 + 2 + 100; response: 20 + 10.
+  EXPECT_EQ(stats.bytes, 122u + 30u);
+  EXPECT_EQ(stats.messages_by_type.at("op"), 2u);
+}
+
+TEST(NetworkTest, FailedRpcChargesOnlyRequest) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register([](const Message&) -> Result<Bytes> {
+    return Status::Internal("boom");
+  });
+  net.ResetStats();
+  EXPECT_FALSE(net.Rpc(0, node, "op", {}).ok());
+  EXPECT_EQ(net.stats().messages, 1u);
+}
+
+TEST(NetworkTest, LatencyModelAccumulates) {
+  LatencyModel latency;
+  latency.per_message_ms = 2.0;
+  latency.per_byte_ms = 0.01;
+  SimulatedNetwork net(latency);
+  NodeAddress node = net.Register([](const Message&) -> Result<Bytes> {
+    return Bytes{};
+  });
+  ASSERT_TRUE(net.Rpc(0, node, "ab", {}).ok());
+  // Request wire = 20 + 2 type bytes; response wire = 20 + 0 payload.
+  EXPECT_NEAR(net.stats().latency_ms, 2 * 2.0 + 0.01 * (22 + 20), 1e-9);
+}
+
+TEST(NetworkTest, NestedRpcFromHandler) {
+  SimulatedNetwork net;
+  NodeAddress leaf = net.Register([](const Message&) -> Result<Bytes> {
+    return Payload({7});
+  });
+  NodeAddress relay =
+      net.Register([&net, leaf](const Message& msg) -> Result<Bytes> {
+        return net.Rpc(msg.dst, leaf, "leaf", {});
+      });
+  auto r = net.Rpc(0, relay, "relay", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Payload({7}));
+  EXPECT_EQ(net.stats().messages, 4u);  // two request/response pairs
+}
+
+TEST(NetworkTest, HandlerMayRegisterNewNodes) {
+  SimulatedNetwork net;
+  NodeAddress spawner = net.Register([&net](const Message&) -> Result<Bytes> {
+    net.Register([](const Message&) -> Result<Bytes> { return Bytes{}; });
+    return Bytes{};
+  });
+  EXPECT_TRUE(net.Rpc(0, spawner, "spawn", {}).ok());
+  EXPECT_EQ(net.num_nodes(), 2u);
+}
+
+TEST(MessageTest, WireSizeAccountsHeaderTypePayload) {
+  Message msg;
+  msg.type = "abcd";
+  msg.payload = Bytes(16, 0);
+  EXPECT_EQ(msg.WireSize(), 20u + 4 + 16);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,224 @@
+// Property-style sweeps over the synopsis estimators (parameterized over
+// set size and overlap), asserting the invariants the IQN method relies
+// on rather than point values:
+//  * estimates are within a type-specific error envelope,
+//  * MIPs resemblance is unbiased enough to order candidates correctly,
+//  * novelty estimation never leaves [0, |B|],
+//  * unions never *reduce* estimated coverage.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/estimators.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/min_wise.h"
+#include "util/random.h"
+#include "workload/overlap_sets.h"
+
+namespace iqn {
+namespace {
+
+const UniversalHashFamily& Family() {
+  static const UniversalHashFamily family(2024);
+  return family;
+}
+
+std::unique_ptr<SetSynopsis> MakeSynopsis(SynopsisType type) {
+  switch (type) {
+    case SynopsisType::kMinWise: {
+      auto r = MinWiseSynopsis::Create(64, Family());
+      return std::make_unique<MinWiseSynopsis>(std::move(r).value());
+    }
+    case SynopsisType::kBloomFilter: {
+      auto r = BloomFilter::Create(2048, 4, 1);
+      return std::make_unique<BloomFilter>(std::move(r).value());
+    }
+    case SynopsisType::kHashSketch: {
+      auto r = HashSketch::Create(32, 64, 1);
+      return std::make_unique<HashSketch>(std::move(r).value());
+    }
+    default:
+      return nullptr;
+  }
+}
+
+struct SweepParam {
+  SynopsisType type;
+  size_t set_size;
+  double resemblance;
+};
+
+std::string ParamName(const testing::TestParamInfo<SweepParam>& info) {
+  std::string name = SynopsisTypeName(info.param.type);
+  name += "_n" + std::to_string(info.param.set_size);
+  name += "_r" + std::to_string(static_cast<int>(100 * info.param.resemblance));
+  return name;
+}
+
+class ResemblanceSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(ResemblanceSweep, EstimateWithinEnvelope) {
+  const SweepParam& p = GetParam();
+  Rng rng(p.set_size * 131 + static_cast<uint64_t>(p.resemblance * 100));
+
+  // Average over a few trials (the paper averages over 50 runs; a handful
+  // keeps the suite fast while still smoothing the estimator noise).
+  constexpr int kTrials = 5;
+  double total_estimate = 0.0, total_truth = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto pair = MakeSetsWithResemblance(p.set_size, p.resemblance, &rng);
+    ASSERT_TRUE(pair.ok());
+    auto syn_a = MakeSynopsis(p.type);
+    auto syn_b = MakeSynopsis(p.type);
+    for (DocId id : pair.value().a) syn_a->Add(id);
+    for (DocId id : pair.value().b) syn_b->Add(id);
+    auto est = syn_a->EstimateResemblance(*syn_b);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GE(est.value(), 0.0);
+    EXPECT_LE(est.value(), 1.0);
+    total_estimate += est.value();
+    total_truth += ExactResemblance(pair.value().a, pair.value().b);
+  }
+  double mean_estimate = total_estimate / kTrials;
+  double mean_truth = total_truth / kTrials;
+
+  // Type-specific envelopes: MIPs are tight; hash sketches noisier; a
+  // 2048-bit Bloom filter is overloaded beyond ~2000 elements (exactly
+  // the paper's Fig. 2 observation), so only small sets are constrained.
+  double tolerance;
+  switch (p.type) {
+    case SynopsisType::kMinWise:
+      tolerance = 0.15;
+      break;
+    case SynopsisType::kHashSketch:
+      tolerance = 0.35;
+      break;
+    case SynopsisType::kBloomFilter:
+      tolerance = p.set_size <= 1000 ? 0.3 : 1.0;
+      break;
+    default:
+      tolerance = 1.0;
+  }
+  EXPECT_NEAR(mean_estimate, mean_truth, tolerance)
+      << "type=" << SynopsisTypeName(p.type) << " n=" << p.set_size
+      << " r=" << p.resemblance;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesSizesOverlaps, ResemblanceSweep,
+    testing::ValuesIn([] {
+      std::vector<SweepParam> params;
+      for (SynopsisType type :
+           {SynopsisType::kMinWise, SynopsisType::kBloomFilter,
+            SynopsisType::kHashSketch}) {
+        for (size_t n : {500u, 2000u, 10000u}) {
+          for (double r : {0.5, 1.0 / 3.0, 0.2, 0.125}) {
+            params.push_back(SweepParam{type, n, r});
+          }
+        }
+      }
+      return params;
+    }()),
+    ParamName);
+
+class NoveltySweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(NoveltySweep, NoveltyStaysInRangeAndTracksTruth) {
+  const SweepParam& p = GetParam();
+  Rng rng(p.set_size * 733 + static_cast<uint64_t>(p.resemblance * 1000));
+  auto pair = MakeSetsWithResemblance(p.set_size, p.resemblance, &rng);
+  ASSERT_TRUE(pair.ok());
+
+  auto ref = MakeSynopsis(p.type);
+  auto cand = MakeSynopsis(p.type);
+  for (DocId id : pair.value().a) ref->Add(id);
+  for (DocId id : pair.value().b) cand->Add(id);
+
+  auto novelty = EstimateNovelty(*ref, static_cast<double>(p.set_size), *cand,
+                                 static_cast<double>(p.set_size));
+  ASSERT_TRUE(novelty.ok());
+  double truth =
+      static_cast<double>(ExactNovelty(pair.value().b, pair.value().a));
+  EXPECT_GE(novelty.value(), 0.0);
+  EXPECT_LE(novelty.value(), static_cast<double>(p.set_size));
+  if (p.type == SynopsisType::kMinWise) {
+    EXPECT_NEAR(novelty.value(), truth, 0.35 * p.set_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, NoveltySweep,
+    testing::ValuesIn([] {
+      std::vector<SweepParam> params;
+      for (SynopsisType type :
+           {SynopsisType::kMinWise, SynopsisType::kBloomFilter,
+            SynopsisType::kHashSketch}) {
+        for (double r : {0.5, 0.2}) {
+          params.push_back(SweepParam{type, 3000, r});
+        }
+      }
+      return params;
+    }()),
+    ParamName);
+
+class UnionMonotonicity : public testing::TestWithParam<SynopsisType> {};
+
+TEST_P(UnionMonotonicity, UnionNeverShrinksEstimatedCoverage) {
+  SynopsisType type = GetParam();
+  Rng rng(99);
+  auto acc = MakeSynopsis(type);
+  double last = 0.0;
+  DocId next = 0;
+  for (int step = 0; step < 6; ++step) {
+    auto part = MakeSynopsis(type);
+    for (int i = 0; i < 800; ++i) part->Add(next++);
+    ASSERT_TRUE(acc->MergeUnion(*part).ok());
+    double est = acc->EstimateCardinality();
+    EXPECT_GE(est, last * 0.9)  // allow estimator noise, forbid collapse
+        << "step=" << step;
+    last = est;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, UnionMonotonicity,
+                         testing::Values(SynopsisType::kMinWise,
+                                         SynopsisType::kBloomFilter,
+                                         SynopsisType::kHashSketch),
+                         [](const testing::TestParamInfo<SynopsisType>& info) {
+                           return std::string(SynopsisTypeName(info.param));
+                         });
+
+// The ranking property IQN actually depends on: when candidate X has more
+// true novelty than candidate Y (vs the same reference), the estimated
+// novelty should rank X above Y — for every synopsis type.
+class RankingProperty : public testing::TestWithParam<SynopsisType> {};
+
+TEST_P(RankingProperty, MoreNovelCandidateRanksHigher) {
+  SynopsisType type = GetParam();
+  auto ref = MakeSynopsis(type);
+  for (DocId id = 0; id < 2000; ++id) ref->Add(id);
+
+  // X: 75 % novel; Y: 10 % novel. Both size 1000.
+  auto x = MakeSynopsis(type);
+  for (DocId id = 1750; id < 2750; ++id) x->Add(id);
+  auto y = MakeSynopsis(type);
+  for (DocId id = 900; id < 1900; ++id) y->Add(id);
+
+  auto nov_x = EstimateNovelty(*ref, 2000, *x, 1000);
+  auto nov_y = EstimateNovelty(*ref, 2000, *y, 1000);
+  ASSERT_TRUE(nov_x.ok() && nov_y.ok());
+  EXPECT_GT(nov_x.value(), nov_y.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, RankingProperty,
+                         testing::Values(SynopsisType::kMinWise,
+                                         SynopsisType::kBloomFilter,
+                                         SynopsisType::kHashSketch),
+                         [](const testing::TestParamInfo<SynopsisType>& info) {
+                           return std::string(SynopsisTypeName(info.param));
+                         });
+
+}  // namespace
+}  // namespace iqn

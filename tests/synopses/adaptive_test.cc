@@ -1,0 +1,154 @@
+#include "synopses/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace iqn {
+namespace {
+
+TermSynopsisDemand Demand(uint64_t len, std::vector<double> scores = {}) {
+  TermSynopsisDemand d;
+  d.list_length = len;
+  d.scores = std::move(scores);
+  return d;
+}
+
+uint64_t Sum(const std::vector<uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), uint64_t{0});
+}
+
+TEST(TermBenefitTest, ListLengthPolicy) {
+  AdaptiveAllocationOptions opts;
+  opts.policy = BenefitPolicy::kListLength;
+  EXPECT_DOUBLE_EQ(TermBenefit(Demand(42), opts), 42.0);
+  EXPECT_DOUBLE_EQ(TermBenefit(Demand(0), opts), 0.0);
+}
+
+TEST(TermBenefitTest, ThresholdPolicy) {
+  AdaptiveAllocationOptions opts;
+  opts.policy = BenefitPolicy::kEntriesAboveThreshold;
+  opts.score_threshold = 0.5;
+  EXPECT_DOUBLE_EQ(TermBenefit(Demand(4, {0.9, 0.5, 0.4, 0.1}), opts), 2.0);
+  EXPECT_DOUBLE_EQ(TermBenefit(Demand(4, {}), opts), 0.0);
+}
+
+TEST(TermBenefitTest, MassQuantilePolicy) {
+  AdaptiveAllocationOptions opts;
+  opts.policy = BenefitPolicy::kScoreMassQuantile;
+  opts.mass_quantile = 0.9;
+  // Scores 4,3,2,1 (total 10): top entries reaching 9.0 of mass = 4+3+2 = 9
+  // -> 3 entries.
+  EXPECT_DOUBLE_EQ(TermBenefit(Demand(4, {1, 2, 3, 4}), opts), 3.0);
+  // Uniform scores: 90 % of mass needs 90 % of entries.
+  EXPECT_DOUBLE_EQ(TermBenefit(Demand(10, std::vector<double>(10, 1.0)), opts),
+                   9.0);
+}
+
+TEST(AllocateTest, ProportionalToListLength) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.max_bits = 1 << 20;
+  opts.granularity_bits = 32;
+  std::vector<TermSynopsisDemand> demands = {Demand(100), Demand(300)};
+  auto r = AllocateSynopsisBudget(demands, 4096, opts);
+  ASSERT_TRUE(r.ok());
+  const auto& lengths = r.value();
+  EXPECT_LE(Sum(lengths), 4096u);
+  EXPECT_GT(Sum(lengths), 4096u - 128u);  // little stranded budget
+  // Roughly 1:3 split.
+  EXPECT_NEAR(static_cast<double>(lengths[1]) / lengths[0], 3.0, 0.8);
+}
+
+TEST(AllocateTest, RespectsGranularityAndMin) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.granularity_bits = 32;
+  std::vector<TermSynopsisDemand> demands = {Demand(10), Demand(20),
+                                             Demand(30)};
+  auto r = AllocateSynopsisBudget(demands, 2048, opts);
+  ASSERT_TRUE(r.ok());
+  for (uint64_t len : r.value()) {
+    if (len == 0) continue;
+    EXPECT_GE(len, 64u);
+    EXPECT_EQ(len % 32, 0u);
+  }
+}
+
+TEST(AllocateTest, MaxCapRedistributes) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.max_bits = 256;
+  opts.granularity_bits = 32;
+  // One dominant term would take everything without the cap.
+  std::vector<TermSynopsisDemand> demands = {Demand(1000000), Demand(10),
+                                             Demand(10)};
+  auto r = AllocateSynopsisBudget(demands, 1024, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value()[0], 256u);
+  // The freed budget flows to the small terms.
+  EXPECT_GT(r.value()[1] + r.value()[2], 128u);
+}
+
+TEST(AllocateTest, TightBudgetDropsLowBenefitTerms) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.granularity_bits = 32;
+  std::vector<TermSynopsisDemand> demands = {Demand(100), Demand(1),
+                                             Demand(50)};
+  // Budget for exactly two min-size synopses.
+  auto r = AllocateSynopsisBudget(demands, 128, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1], 0u);  // lowest benefit dropped
+  EXPECT_GT(r.value()[0], 0u);
+  EXPECT_GT(r.value()[2], 0u);
+}
+
+TEST(AllocateTest, BudgetTooSmallForAnything) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.granularity_bits = 32;
+  auto r = AllocateSynopsisBudget({Demand(5)}, 32, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], 0u);
+}
+
+TEST(AllocateTest, ZeroBenefitsSplitEvenly) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.granularity_bits = 32;
+  std::vector<TermSynopsisDemand> demands = {Demand(0), Demand(0)};
+  auto r = AllocateSynopsisBudget(demands, 1024, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], r.value()[1]);
+  EXPECT_GT(r.value()[0], 64u);
+}
+
+TEST(AllocateTest, ValidatesArguments) {
+  AdaptiveAllocationOptions opts;
+  EXPECT_FALSE(AllocateSynopsisBudget({}, 1024, opts).ok());
+  opts.granularity_bits = 0;
+  EXPECT_FALSE(AllocateSynopsisBudget({Demand(1)}, 1024, opts).ok());
+  opts.granularity_bits = 48;  // does not divide min_bits = 64
+  EXPECT_FALSE(AllocateSynopsisBudget({Demand(1)}, 1024, opts).ok());
+  opts = {};
+  opts.min_bits = 128;
+  opts.max_bits = 64;
+  EXPECT_FALSE(AllocateSynopsisBudget({Demand(1)}, 1024, opts).ok());
+}
+
+TEST(AllocateTest, NeverExceedsBudget) {
+  AdaptiveAllocationOptions opts;
+  opts.min_bits = 64;
+  opts.granularity_bits = 32;
+  for (uint64_t budget : {100u, 1000u, 10000u, 100000u}) {
+    std::vector<TermSynopsisDemand> demands;
+    for (uint64_t i = 1; i <= 20; ++i) demands.push_back(Demand(i * i));
+    auto r = AllocateSynopsisBudget(demands, budget, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(Sum(r.value()), budget) << "budget=" << budget;
+  }
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,173 @@
+#include "synopses/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iqn {
+namespace {
+
+BloomFilter Make(size_t bits = 2048, size_t hashes = 4, uint64_t seed = 0) {
+  auto r = BloomFilter::Create(bits, hashes, seed);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(BloomFilterTest, CreateValidatesParameters) {
+  EXPECT_FALSE(BloomFilter::Create(4, 2).ok());
+  EXPECT_FALSE(BloomFilter::Create(64, 0).ok());
+  EXPECT_FALSE(BloomFilter::Create(64, 33).ok());
+  EXPECT_TRUE(BloomFilter::Create(8, 1).ok());
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf = Make();
+  for (DocId id = 100; id < 200; ++id) bf.Add(id);
+  for (DocId id = 100; id < 200; ++id) EXPECT_TRUE(bf.MayContain(id));
+}
+
+TEST(BloomFilterTest, MostlyRejectsAbsentElements) {
+  BloomFilter bf = Make(4096, 4);
+  for (DocId id = 0; id < 100; ++id) bf.Add(id);
+  size_t false_positives = 0;
+  for (DocId id = 10000; id < 11000; ++id) {
+    if (bf.MayContain(id)) ++false_positives;
+  }
+  // Theoretical fp rate here is well under 1 %.
+  EXPECT_LT(false_positives, 20u);
+}
+
+TEST(BloomFilterTest, EmptyFilterEstimatesZero) {
+  BloomFilter bf = Make();
+  EXPECT_EQ(bf.CountSetBits(), 0u);
+  EXPECT_DOUBLE_EQ(bf.EstimateCardinality(), 0.0);
+}
+
+TEST(BloomFilterTest, CardinalityEstimateReasonable) {
+  BloomFilter bf = Make(8192, 4);
+  constexpr size_t kN = 500;
+  for (DocId id = 0; id < kN; ++id) bf.Add(id * 977 + 13);
+  double est = bf.EstimateCardinality();
+  EXPECT_NEAR(est, kN, kN * 0.15);
+}
+
+TEST(BloomFilterTest, OverloadedFilterStaysFinite) {
+  // The Fig. 2 failure mode: far more elements than bits.
+  BloomFilter bf = Make(256, 4);
+  for (DocId id = 0; id < 10000; ++id) bf.Add(id);
+  EXPECT_GE(bf.CountSetBits(), 255u);  // saturated
+  EXPECT_TRUE(std::isfinite(bf.EstimateCardinality()));
+}
+
+TEST(BloomFilterTest, UnionMatchesElementwiseInsertion) {
+  BloomFilter a = Make(), b = Make(), both = Make();
+  for (DocId id = 0; id < 50; ++id) {
+    a.Add(id);
+    both.Add(id);
+  }
+  for (DocId id = 50; id < 100; ++id) {
+    b.Add(id);
+    both.Add(id);
+  }
+  ASSERT_TRUE(a.MergeUnion(b).ok());
+  EXPECT_EQ(a.words(), both.words());
+}
+
+TEST(BloomFilterTest, IntersectKeepsSharedElements) {
+  BloomFilter a = Make(4096, 4), b = Make(4096, 4);
+  for (DocId id = 0; id < 100; ++id) a.Add(id);
+  for (DocId id = 50; id < 150; ++id) b.Add(id);
+  ASSERT_TRUE(a.MergeIntersect(b).ok());
+  for (DocId id = 50; id < 100; ++id) EXPECT_TRUE(a.MayContain(id));
+  EXPECT_NEAR(a.EstimateCardinality(), 50.0, 20.0);
+}
+
+TEST(BloomFilterTest, DifferenceForNovelty) {
+  BloomFilter ref = Make(8192, 4), cand = Make(8192, 4);
+  for (DocId id = 0; id < 200; ++id) ref.Add(id);
+  for (DocId id = 100; id < 400; ++id) cand.Add(id);
+  ASSERT_TRUE(cand.MergeDifference(ref).ok());
+  // True novelty is 200 (ids 200..399); bit-difference is approximate.
+  EXPECT_NEAR(cand.EstimateCardinality(), 200.0, 60.0);
+}
+
+TEST(BloomFilterTest, IncompatibleGeometriesRefuse) {
+  BloomFilter a = Make(2048, 4), b = Make(1024, 4), c = Make(2048, 5),
+              d = Make(2048, 4, /*seed=*/9);
+  EXPECT_EQ(a.MergeUnion(b).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.MergeUnion(c).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.MergeUnion(d).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BloomFilterTest, ResemblanceOfIdenticalSetsIsHigh) {
+  BloomFilter a = Make(8192, 4), b = Make(8192, 4);
+  for (DocId id = 0; id < 300; ++id) {
+    a.Add(id);
+    b.Add(id);
+  }
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), 0.95);
+}
+
+TEST(BloomFilterTest, ResemblanceOfDisjointSetsIsLow) {
+  BloomFilter a = Make(8192, 4), b = Make(8192, 4);
+  for (DocId id = 0; id < 300; ++id) a.Add(id);
+  for (DocId id = 1000; id < 1300; ++id) b.Add(id);
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value(), 0.1);
+}
+
+TEST(BloomFilterTest, ResemblanceBothEmptyIsZero) {
+  BloomFilter a = Make(), b = Make();
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(BloomFilterTest, FalsePositiveRateFormula) {
+  BloomFilter bf = Make(1000, 3);
+  double fp = bf.FalsePositiveRate(100);
+  double expected = std::pow(1.0 - std::exp(-3.0 * 100.0 / 1000.0), 3.0);
+  EXPECT_DOUBLE_EQ(fp, expected);
+  EXPECT_GT(bf.FalsePositiveRate(10000), bf.FalsePositiveRate(10));
+}
+
+TEST(BloomFilterTest, OptimalNumHashes) {
+  // m/n * ln2 with m=9585, n=1000 -> ~6.64 -> 7.
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(9585, 1000), 7u);
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(100, 1000000), 1u);  // clamped low
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(1 << 20, 1), 32u);   // clamped high
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(1024, 0), 1u);
+}
+
+TEST(BloomFilterTest, FromWordsValidates) {
+  BloomFilter bf = Make(128, 2);
+  bf.Add(1);
+  auto rt = BloomFilter::FromWords(128, 2, 0, bf.words());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_TRUE(rt.value().MayContain(1));
+  // Wrong word count.
+  EXPECT_FALSE(BloomFilter::FromWords(128, 2, 0, {1, 2, 3}).ok());
+  // Bits beyond num_bits.
+  std::vector<uint64_t> bad = {0, ~uint64_t{0}};
+  EXPECT_FALSE(BloomFilter::FromWords(100, 2, 0, bad).ok());
+}
+
+TEST(BloomFilterTest, CloneIsIndependent) {
+  BloomFilter bf = Make();
+  bf.Add(5);
+  auto clone = bf.Clone();
+  clone->Add(99999);
+  EXPECT_TRUE(static_cast<BloomFilter*>(clone.get())->MayContain(5));
+  EXPECT_FALSE(bf.MayContain(99999));
+}
+
+TEST(BloomFilterTest, SizeBitsReportsGeometry) {
+  EXPECT_EQ(Make(2048, 4).SizeBits(), 2048u);
+  EXPECT_EQ(Make(100, 2).SizeBits(), 100u);
+}
+
+}  // namespace
+}  // namespace iqn

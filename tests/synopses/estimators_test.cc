@@ -1,0 +1,162 @@
+#include "synopses/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/min_wise.h"
+
+namespace iqn {
+namespace {
+
+std::vector<DocId> Range(DocId lo, DocId hi) {
+  std::vector<DocId> ids;
+  for (DocId id = lo; id < hi; ++id) ids.push_back(id);
+  return ids;
+}
+
+TEST(ExactMeasuresTest, Overlap) {
+  EXPECT_EQ(ExactOverlap(Range(0, 10), Range(5, 15)), 5u);
+  EXPECT_EQ(ExactOverlap(Range(0, 10), Range(10, 20)), 0u);
+  EXPECT_EQ(ExactOverlap({}, Range(0, 5)), 0u);
+  // Duplicates counted once.
+  EXPECT_EQ(ExactOverlap({1, 1, 2}, {1, 2, 2}), 2u);
+}
+
+TEST(ExactMeasuresTest, Resemblance) {
+  // |∩| = 5, |∪| = 15.
+  EXPECT_DOUBLE_EQ(ExactResemblance(Range(0, 10), Range(5, 15)), 5.0 / 15.0);
+  EXPECT_DOUBLE_EQ(ExactResemblance(Range(0, 10), Range(0, 10)), 1.0);
+  EXPECT_DOUBLE_EQ(ExactResemblance({}, {}), 0.0);
+}
+
+TEST(ExactMeasuresTest, ContainmentIsAsymmetric) {
+  // Containment(A, B) = |A∩B| / |B|.
+  std::vector<DocId> a = Range(0, 100), b = Range(90, 110);
+  EXPECT_DOUBLE_EQ(ExactContainment(a, b), 10.0 / 20.0);
+  EXPECT_DOUBLE_EQ(ExactContainment(b, a), 10.0 / 100.0);
+  EXPECT_DOUBLE_EQ(ExactContainment(a, {}), 0.0);
+}
+
+TEST(ExactMeasuresTest, NoveltyDefinition) {
+  // Novelty(B|A) = |B - (A∩B)|.
+  EXPECT_EQ(ExactNovelty(Range(5, 15), Range(0, 10)), 5u);
+  EXPECT_EQ(ExactNovelty(Range(0, 10), Range(0, 10)), 0u);
+  EXPECT_EQ(ExactNovelty(Range(0, 10), {}), 10u);
+}
+
+TEST(ExactMeasuresTest, SubsetProblemFromSection31) {
+  // The paper's motivating example: S_A ⊂ S_C with |S_A| << |S_C| has LOW
+  // containment/resemblance yet adds NOTHING — novelty captures this.
+  std::vector<DocId> small = Range(0, 10);    // S_A
+  std::vector<DocId> big = Range(0, 1000);    // S_C (superset)
+  EXPECT_LT(ExactResemblance(big, small), 0.02);
+  EXPECT_EQ(ExactNovelty(small, big), 0u);  // nothing new despite low R
+}
+
+TEST(ConversionTest, OverlapFromResemblanceInvertsDefinition) {
+  // |A| = 100, |B| = 50, I = 25 -> R = 25/125.
+  double r = 25.0 / 125.0;
+  EXPECT_NEAR(OverlapFromResemblance(r, 100, 50), 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(OverlapFromResemblance(0.0, 100, 50), 0.0);
+  // R = 1 with equal sizes -> full overlap.
+  EXPECT_NEAR(OverlapFromResemblance(1.0, 80, 80), 80.0, 1e-9);
+}
+
+TEST(ConversionTest, OverlapClampedToSmallerSet) {
+  EXPECT_LE(OverlapFromResemblance(0.9, 1000, 10), 10.0);
+}
+
+TEST(ConversionTest, ContainmentResemblanceRoundTrip) {
+  double card_a = 200, card_b = 50;
+  for (double c : {0.0, 0.2, 0.5, 1.0}) {
+    double r = ResemblanceFromContainment(c, card_a, card_b);
+    EXPECT_NEAR(ContainmentFromResemblance(r, card_a, card_b), c, 1e-9);
+  }
+}
+
+template <typename Synopsis>
+void FillSynopsis(Synopsis* syn, const std::vector<DocId>& ids) {
+  for (DocId id : ids) syn->Add(id);
+}
+
+TEST(EstimateNoveltyTest, MipsPath) {
+  UniversalHashFamily family(7);
+  auto ref = MinWiseSynopsis::Create(256, family);
+  auto cand = MinWiseSynopsis::Create(256, family);
+  ASSERT_TRUE(ref.ok() && cand.ok());
+  FillSynopsis(&ref.value(), Range(0, 2000));
+  FillSynopsis(&cand.value(), Range(1000, 3000));  // true novelty = 1000
+  auto novelty = EstimateNovelty(ref.value(), 2000, cand.value(), 2000);
+  ASSERT_TRUE(novelty.ok());
+  EXPECT_NEAR(novelty.value(), 1000.0, 350.0);
+}
+
+TEST(EstimateNoveltyTest, HashSketchPath) {
+  auto ref = HashSketch::Create(64, 64);
+  auto cand = HashSketch::Create(64, 64);
+  ASSERT_TRUE(ref.ok() && cand.ok());
+  FillSynopsis(&ref.value(), Range(0, 10000));
+  FillSynopsis(&cand.value(), Range(5000, 15000));  // true novelty = 5000
+  auto novelty = EstimateNovelty(ref.value(), 10000, cand.value(), 10000);
+  ASSERT_TRUE(novelty.ok());
+  // Hash sketches are coarse; demand the right order of magnitude and
+  // the hard clamp to [0, |B|].
+  EXPECT_GE(novelty.value(), 0.0);
+  EXPECT_LE(novelty.value(), 10000.0);
+}
+
+TEST(EstimateNoveltyTest, BloomFilterPath) {
+  auto ref = BloomFilter::Create(1 << 15, 4);
+  auto cand = BloomFilter::Create(1 << 15, 4);
+  ASSERT_TRUE(ref.ok() && cand.ok());
+  FillSynopsis(&ref.value(), Range(0, 1000));
+  FillSynopsis(&cand.value(), Range(500, 1500));  // true novelty = 500
+  auto novelty = EstimateNovelty(ref.value(), 1000, cand.value(), 1000);
+  ASSERT_TRUE(novelty.ok());
+  EXPECT_NEAR(novelty.value(), 500.0, 200.0);
+}
+
+TEST(EstimateNoveltyTest, SubsetCandidateHasNearZeroNovelty) {
+  UniversalHashFamily family(7);
+  auto ref = MinWiseSynopsis::Create(256, family);
+  auto cand = MinWiseSynopsis::Create(256, family);
+  ASSERT_TRUE(ref.ok() && cand.ok());
+  FillSynopsis(&ref.value(), Range(0, 5000));
+  FillSynopsis(&cand.value(), Range(0, 500));  // strict subset
+  auto novelty = EstimateNovelty(ref.value(), 5000, cand.value(), 500);
+  ASSERT_TRUE(novelty.ok());
+  EXPECT_LT(novelty.value(), 120.0);
+}
+
+TEST(EstimateNoveltyTest, MixedTypesRefuse) {
+  UniversalHashFamily family(7);
+  auto mips = MinWiseSynopsis::Create(64, family);
+  auto bf = BloomFilter::Create(2048, 4);
+  ASSERT_TRUE(mips.ok() && bf.ok());
+  EXPECT_EQ(
+      EstimateNovelty(mips.value(), 10, bf.value(), 10).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(EstimateOverlapTest, MipsMatchesGroundTruth) {
+  UniversalHashFamily family(11);
+  auto a = MinWiseSynopsis::Create(256, family);
+  auto b = MinWiseSynopsis::Create(256, family);
+  ASSERT_TRUE(a.ok() && b.ok());
+  FillSynopsis(&a.value(), Range(0, 3000));
+  FillSynopsis(&b.value(), Range(2000, 5000));  // true overlap = 1000
+  auto overlap = EstimateOverlap(a.value(), 3000, b.value(), 3000);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_NEAR(overlap.value(), 1000.0, 400.0);
+}
+
+TEST(SynopsisTypeNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(SynopsisTypeName(SynopsisType::kBloomFilter), "BF");
+  EXPECT_STREQ(SynopsisTypeName(SynopsisType::kHashSketch), "HS");
+  EXPECT_STREQ(SynopsisTypeName(SynopsisType::kMinWise), "MIPs");
+  EXPECT_STREQ(SynopsisTypeName(SynopsisType::kLogLog), "LL");
+}
+
+}  // namespace
+}  // namespace iqn

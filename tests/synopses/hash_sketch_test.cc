@@ -1,0 +1,130 @@
+#include "synopses/hash_sketch.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+HashSketch Make(size_t bitmaps = 32, size_t width = 64, uint64_t seed = 0) {
+  auto r = HashSketch::Create(bitmaps, width, seed);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(HashSketchTest, CreateValidatesParameters) {
+  EXPECT_FALSE(HashSketch::Create(0, 32).ok());
+  EXPECT_FALSE(HashSketch::Create(8, 3).ok());
+  EXPECT_FALSE(HashSketch::Create(8, 65).ok());
+  EXPECT_TRUE(HashSketch::Create(1, 4).ok());
+}
+
+TEST(HashSketchTest, EmptySketchEstimatesZero) {
+  HashSketch hs = Make();
+  EXPECT_DOUBLE_EQ(hs.EstimateCardinality(), 0.0);
+}
+
+TEST(HashSketchTest, EstimateGrowsWithCardinality) {
+  HashSketch hs = Make();
+  double last = 0.0;
+  DocId next = 0;
+  for (size_t target : {1000u, 10000u, 100000u}) {
+    while (next < target) hs.Add(next++);
+    double est = hs.EstimateCardinality();
+    EXPECT_GT(est, last);
+    last = est;
+  }
+}
+
+TEST(HashSketchTest, EstimateWithinFactorTwoAtScale) {
+  HashSketch hs = Make(64, 64);
+  constexpr size_t kN = 50000;
+  for (DocId id = 0; id < kN; ++id) hs.Add(id * 31 + 7);
+  double est = hs.EstimateCardinality();
+  EXPECT_GT(est, kN / 2.0);
+  EXPECT_LT(est, kN * 2.0);
+}
+
+TEST(HashSketchTest, DuplicatesDoNotInflate) {
+  HashSketch a = Make(), b = Make();
+  for (DocId id = 0; id < 1000; ++id) a.Add(id);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (DocId id = 0; id < 1000; ++id) b.Add(id);
+  }
+  EXPECT_EQ(a.bitmaps(), b.bitmaps());  // multiset-insensitive
+}
+
+TEST(HashSketchTest, UnionIsExactUnderOr) {
+  HashSketch a = Make(), b = Make(), both = Make();
+  for (DocId id = 0; id < 500; ++id) {
+    a.Add(id);
+    both.Add(id);
+  }
+  for (DocId id = 500; id < 1000; ++id) {
+    b.Add(id);
+    both.Add(id);
+  }
+  ASSERT_TRUE(a.MergeUnion(b).ok());
+  EXPECT_EQ(a.bitmaps(), both.bitmaps());
+}
+
+TEST(HashSketchTest, IntersectionIsUnimplemented) {
+  HashSketch a = Make(), b = Make();
+  EXPECT_EQ(a.MergeIntersect(b).code(), StatusCode::kUnimplemented);
+}
+
+TEST(HashSketchTest, IncompatibleGeometriesRefuse) {
+  HashSketch a = Make(32, 64), b = Make(16, 64), c = Make(32, 32),
+             d = Make(32, 64, /*seed=*/1);
+  EXPECT_FALSE(a.MergeUnion(b).ok());
+  EXPECT_FALSE(a.MergeUnion(c).ok());
+  EXPECT_FALSE(a.MergeUnion(d).ok());
+}
+
+TEST(HashSketchTest, ResemblanceViaInclusionExclusion) {
+  HashSketch a = Make(64, 64), b = Make(64, 64);
+  // 50 % overlap: ids 0..9999 and 5000..14999.
+  for (DocId id = 0; id < 10000; ++id) a.Add(id);
+  for (DocId id = 5000; id < 15000; ++id) b.Add(id);
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  // True resemblance = 5000/15000 = 1/3; sketches are noisy.
+  EXPECT_GT(r.value(), 0.05);
+  EXPECT_LT(r.value(), 0.7);
+}
+
+TEST(HashSketchTest, ResemblanceBothEmptyIsZero) {
+  HashSketch a = Make(), b = Make();
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(HashSketchTest, RunLengthMatchesBitmapPrefix) {
+  auto r = HashSketch::FromBitmaps(8, 0, {0b0111, 0b0000, 0b1011});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().RunLength(0), 3);
+  EXPECT_EQ(r.value().RunLength(1), 0);
+  EXPECT_EQ(r.value().RunLength(2), 2);
+}
+
+TEST(HashSketchTest, FromBitmapsValidatesWidth) {
+  // Bit above the declared 8-bit width.
+  EXPECT_FALSE(HashSketch::FromBitmaps(8, 0, {uint64_t{1} << 9}).ok());
+  EXPECT_FALSE(HashSketch::FromBitmaps(8, 0, {}).ok());
+}
+
+TEST(HashSketchTest, SizeBitsCountsBitmaps) {
+  EXPECT_EQ(Make(32, 64).SizeBits(), 2048u);
+  EXPECT_EQ(Make(4, 16).SizeBits(), 64u);
+}
+
+TEST(HashSketchTest, CloneIsIndependent) {
+  HashSketch hs = Make();
+  hs.Add(1);
+  auto clone = hs.Clone();
+  clone->Add(123456);
+  EXPECT_NE(static_cast<HashSketch*>(clone.get())->bitmaps(), hs.bitmaps());
+}
+
+}  // namespace
+}  // namespace iqn

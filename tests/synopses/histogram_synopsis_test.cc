@@ -1,0 +1,161 @@
+#include "synopses/histogram_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/min_wise.h"
+
+namespace iqn {
+namespace {
+
+const UniversalHashFamily& Family() {
+  static const UniversalHashFamily family(555);
+  return family;
+}
+
+ScoreHistogramSynopsis::SynopsisFactory MipsFactory(size_t n = 64) {
+  return [n]() -> std::unique_ptr<SetSynopsis> {
+    auto r = MinWiseSynopsis::Create(n, Family());
+    if (!r.ok()) return nullptr;
+    return std::make_unique<MinWiseSynopsis>(std::move(r).value());
+  };
+}
+
+ScoreHistogramSynopsis Make(size_t cells = 4) {
+  auto r = ScoreHistogramSynopsis::Create(cells, MipsFactory());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(HistogramSynopsisTest, CreateValidates) {
+  EXPECT_FALSE(ScoreHistogramSynopsis::Create(0, MipsFactory()).ok());
+  EXPECT_FALSE(ScoreHistogramSynopsis::Create(65, MipsFactory()).ok());
+  EXPECT_FALSE(ScoreHistogramSynopsis::Create(4, nullptr).ok());
+}
+
+TEST(HistogramSynopsisTest, CellBoundsPartitionUnitInterval) {
+  ScoreHistogramSynopsis hist = Make(4);
+  EXPECT_DOUBLE_EQ(hist.CellLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.CellUpperBound(3), 1.0);
+  for (size_t i = 0; i + 1 < hist.num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ(hist.CellUpperBound(i), hist.CellLowerBound(i + 1));
+  }
+}
+
+TEST(HistogramSynopsisTest, AddRoutesToCorrectCell) {
+  ScoreHistogramSynopsis hist = Make(4);
+  hist.Add(1, 0.1);   // cell 0
+  hist.Add(2, 0.3);   // cell 1
+  hist.Add(3, 0.55);  // cell 2
+  hist.Add(4, 0.9);   // cell 3
+  hist.Add(5, 1.0);   // clamped into the top cell
+  hist.Add(6, -0.5);  // clamped into the bottom cell
+  EXPECT_EQ(hist.cell_count(0), 2u);
+  EXPECT_EQ(hist.cell_count(1), 1u);
+  EXPECT_EQ(hist.cell_count(2), 1u);
+  EXPECT_EQ(hist.cell_count(3), 2u);
+  EXPECT_EQ(hist.TotalCount(), 6u);
+}
+
+TEST(HistogramSynopsisTest, WeightedNoveltyPrefersHighScoreNovelty) {
+  // Reference holds docs 0..99 in the TOP cell. Candidate X offers new
+  // docs in the top cell; candidate Y offers the same number of new docs
+  // in the bottom cell. Weighted novelty must rank X above Y.
+  ScoreHistogramSynopsis ref = Make(4);
+  for (DocId id = 0; id < 100; ++id) ref.Add(id, 0.95);
+
+  ScoreHistogramSynopsis top_novel = Make(4);
+  for (DocId id = 1000; id < 1100; ++id) top_novel.Add(id, 0.95);
+  ScoreHistogramSynopsis tail_novel = Make(4);
+  for (DocId id = 2000; id < 2100; ++id) tail_novel.Add(id, 0.05);
+
+  auto nov_top = ref.WeightedNoveltyOf(top_novel, 1.0);
+  auto nov_tail = ref.WeightedNoveltyOf(tail_novel, 1.0);
+  ASSERT_TRUE(nov_top.ok() && nov_tail.ok());
+  EXPECT_GT(nov_top.value(), nov_tail.value() * 3);
+}
+
+TEST(HistogramSynopsisTest, ExponentZeroIsScoreOblivious) {
+  ScoreHistogramSynopsis ref = Make(4);
+  ScoreHistogramSynopsis top = Make(4), tail = Make(4);
+  for (DocId id = 0; id < 50; ++id) top.Add(id, 0.9);
+  for (DocId id = 100; id < 150; ++id) tail.Add(id, 0.1);
+  auto nov_top = ref.WeightedNoveltyOf(top, 0.0);
+  auto nov_tail = ref.WeightedNoveltyOf(tail, 0.0);
+  ASSERT_TRUE(nov_top.ok() && nov_tail.ok());
+  EXPECT_NEAR(nov_top.value(), nov_tail.value(), 1.0);
+}
+
+TEST(HistogramSynopsisTest, OverlapInDifferentCellsIsDetected) {
+  // The same docs live in the ref's top cell and the candidate's bottom
+  // cell (peer-local scores differ) — cross-cell pairwise estimation must
+  // still see the overlap.
+  ScoreHistogramSynopsis ref = Make(4);
+  for (DocId id = 0; id < 200; ++id) ref.Add(id, 0.9);
+  ScoreHistogramSynopsis cand = Make(4);
+  for (DocId id = 0; id < 200; ++id) cand.Add(id, 0.1);
+  auto novelty = ref.WeightedNoveltyOf(cand, 1.0);
+  ASSERT_TRUE(novelty.ok());
+  // Fully redundant: weighted novelty should be near zero (well under
+  // the ~25 the candidate would get if treated as fully novel: 200*0.125).
+  EXPECT_LT(novelty.value(), 8.0);
+}
+
+TEST(HistogramSynopsisTest, AbsorbReducesSubsequentNovelty) {
+  ScoreHistogramSynopsis ref = Make(4);
+  ScoreHistogramSynopsis cand = Make(4);
+  for (DocId id = 0; id < 300; ++id) cand.Add(id, 0.7);
+  auto before = ref.WeightedNoveltyOf(cand, 1.0);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(ref.Absorb(cand).ok());
+  auto after = ref.WeightedNoveltyOf(cand, 1.0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after.value(), before.value() * 0.3);
+}
+
+TEST(HistogramSynopsisTest, MismatchedCellCountsRefuse) {
+  ScoreHistogramSynopsis a = Make(4), b = Make(8);
+  EXPECT_FALSE(a.WeightedNoveltyOf(b).ok());
+  EXPECT_FALSE(a.Absorb(b).ok());
+}
+
+TEST(HistogramSynopsisTest, CloneIsIndependent) {
+  ScoreHistogramSynopsis hist = Make(4);
+  hist.Add(1, 0.5);
+  ScoreHistogramSynopsis copy = hist.CloneHist();
+  copy.Add(2, 0.5);
+  EXPECT_EQ(hist.TotalCount(), 1u);
+  EXPECT_EQ(copy.TotalCount(), 2u);
+}
+
+TEST(HistogramSynopsisTest, WorksWithBloomFilterCells) {
+  auto bf_factory = []() -> std::unique_ptr<SetSynopsis> {
+    auto r = BloomFilter::Create(1024, 4, 3);
+    if (!r.ok()) return nullptr;
+    return std::make_unique<BloomFilter>(std::move(r).value());
+  };
+  auto ref = ScoreHistogramSynopsis::Create(4, bf_factory);
+  auto cand = ScoreHistogramSynopsis::Create(4, bf_factory);
+  ASSERT_TRUE(ref.ok() && cand.ok());
+  for (DocId id = 0; id < 100; ++id) ref.value().Add(id, 0.9);
+  for (DocId id = 0; id < 100; ++id) cand.value().Add(id, 0.9);  // redundant
+  auto redundant = ref.value().WeightedNoveltyOf(cand.value(), 1.0);
+  ASSERT_TRUE(redundant.ok());
+  EXPECT_LT(redundant.value(), 15.0);
+
+  auto fresh = ScoreHistogramSynopsis::Create(4, bf_factory);
+  ASSERT_TRUE(fresh.ok());
+  for (DocId id = 5000; id < 5100; ++id) fresh.value().Add(id, 0.9);
+  auto novel = ref.value().WeightedNoveltyOf(fresh.value(), 1.0);
+  ASSERT_TRUE(novel.ok());
+  EXPECT_GT(novel.value(), redundant.value() * 3);
+}
+
+TEST(HistogramSynopsisTest, SizeBitsSumsCells) {
+  ScoreHistogramSynopsis hist = Make(4);
+  // 4 cells x 64 permutations x 32 bits.
+  EXPECT_EQ(hist.SizeBits(), 4u * 64 * 32);
+}
+
+}  // namespace
+}  // namespace iqn

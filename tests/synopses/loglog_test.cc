@@ -1,0 +1,111 @@
+#include "synopses/loglog.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+LogLogCounter Make(size_t buckets = 256, uint64_t seed = 0,
+                   bool truncation = true) {
+  auto r = LogLogCounter::Create(buckets, seed, truncation);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(LogLogTest, CreateValidatesParameters) {
+  EXPECT_FALSE(LogLogCounter::Create(15).ok());   // not a power of two
+  EXPECT_FALSE(LogLogCounter::Create(8).ok());    // too small
+  EXPECT_FALSE(LogLogCounter::Create(1 << 17).ok());
+  EXPECT_TRUE(LogLogCounter::Create(16).ok());
+  EXPECT_TRUE(LogLogCounter::Create(65536).ok());
+}
+
+TEST(LogLogTest, EmptyEstimatesZero) {
+  EXPECT_DOUBLE_EQ(Make().EstimateCardinality(), 0.0);
+}
+
+TEST(LogLogTest, EstimateWithinThirtyPercentAtScale) {
+  for (bool truncation : {false, true}) {
+    LogLogCounter ll = Make(1024, 0, truncation);
+    constexpr size_t kN = 200000;
+    for (DocId id = 0; id < kN; ++id) ll.Add(id * 13 + 5);
+    double est = ll.EstimateCardinality();
+    EXPECT_NEAR(est, kN, kN * 0.3) << "truncation=" << truncation;
+  }
+}
+
+TEST(LogLogTest, EstimateMonotonicInScale) {
+  LogLogCounter ll = Make(512);
+  DocId next = 0;
+  double last = 0.0;
+  for (size_t target : {5000u, 50000u, 500000u}) {
+    while (next < target) ll.Add(next++);
+    double est = ll.EstimateCardinality();
+    EXPECT_GT(est, last);
+    last = est;
+  }
+}
+
+TEST(LogLogTest, UnionIsPositionwiseMax) {
+  LogLogCounter a = Make(), b = Make(), both = Make();
+  for (DocId id = 0; id < 3000; ++id) {
+    a.Add(id);
+    both.Add(id);
+  }
+  for (DocId id = 3000; id < 6000; ++id) {
+    b.Add(id);
+    both.Add(id);
+  }
+  ASSERT_TRUE(a.MergeUnion(b).ok());
+  EXPECT_EQ(a.registers(), both.registers());
+}
+
+TEST(LogLogTest, IntersectionUnimplemented) {
+  LogLogCounter a = Make(), b = Make();
+  EXPECT_EQ(a.MergeIntersect(b).code(), StatusCode::kUnimplemented);
+}
+
+TEST(LogLogTest, IncompatibleRefuse) {
+  LogLogCounter a = Make(256), b = Make(128), c = Make(256, /*seed=*/1);
+  EXPECT_FALSE(a.MergeUnion(b).ok());
+  EXPECT_FALSE(a.MergeUnion(c).ok());
+}
+
+TEST(LogLogTest, SizeBitsChargesFiveBitsPerRegister) {
+  EXPECT_EQ(Make(256).SizeBits(), 256u * 5);
+}
+
+TEST(LogLogTest, TruncationReducesOutlierSensitivity) {
+  // Plant one absurdly high register and compare each estimator against
+  // its own outlier-free baseline: the truncated estimate must be
+  // (nearly) unaffected, the plain one visibly inflated.
+  std::vector<uint8_t> clean(64, 4);
+  std::vector<uint8_t> outlier = clean;
+  outlier[0] = 30;
+  auto plain_clean = LogLogCounter::FromRegisters(0, false, clean);
+  auto plain_outlier = LogLogCounter::FromRegisters(0, false, outlier);
+  auto trunc_clean = LogLogCounter::FromRegisters(0, true, clean);
+  auto trunc_outlier = LogLogCounter::FromRegisters(0, true, outlier);
+  ASSERT_TRUE(plain_clean.ok() && plain_outlier.ok() && trunc_clean.ok() &&
+              trunc_outlier.ok());
+  double plain_inflation = plain_outlier.value().EstimateCardinality() /
+                           plain_clean.value().EstimateCardinality();
+  double trunc_inflation = trunc_outlier.value().EstimateCardinality() /
+                           trunc_clean.value().EstimateCardinality();
+  EXPECT_GT(plain_inflation, 1.2);
+  EXPECT_NEAR(trunc_inflation, 1.0, 0.05);
+}
+
+TEST(LogLogTest, ResemblanceOfIdenticalSetsNearOne) {
+  LogLogCounter a = Make(1024), b = Make(1024);
+  for (DocId id = 0; id < 20000; ++id) {
+    a.Add(id);
+    b.Add(id);
+  }
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), 0.9);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,184 @@
+#include "synopses/min_wise.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace iqn {
+namespace {
+
+const UniversalHashFamily& Family() {
+  static const UniversalHashFamily family(12345);
+  return family;
+}
+
+MinWiseSynopsis Make(size_t n = 64) {
+  auto r = MinWiseSynopsis::Create(n, Family());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+MinWiseSynopsis FromSet(const std::vector<DocId>& ids, size_t n = 64) {
+  MinWiseSynopsis mw = Make(n);
+  for (DocId id : ids) mw.Add(id);
+  return mw;
+}
+
+std::vector<DocId> Range(DocId lo, DocId hi) {
+  std::vector<DocId> ids;
+  for (DocId id = lo; id < hi; ++id) ids.push_back(id);
+  return ids;
+}
+
+TEST(MinWiseTest, CreateValidatesParameters) {
+  EXPECT_FALSE(MinWiseSynopsis::Create(0, Family()).ok());
+  EXPECT_FALSE(MinWiseSynopsis::Create(4097, Family()).ok());
+  EXPECT_TRUE(MinWiseSynopsis::Create(1, Family()).ok());
+}
+
+TEST(MinWiseTest, EmptyState) {
+  MinWiseSynopsis mw = Make();
+  EXPECT_TRUE(mw.Empty());
+  EXPECT_DOUBLE_EQ(mw.EstimateCardinality(), 0.0);
+  for (uint64_t m : mw.mins()) EXPECT_EQ(m, MinWiseSynopsis::kEmptyMin);
+}
+
+TEST(MinWiseTest, AddLowersMinima) {
+  MinWiseSynopsis mw = Make();
+  mw.Add(42);
+  EXPECT_FALSE(mw.Empty());
+  for (uint64_t m : mw.mins()) EXPECT_LT(m, MinWiseSynopsis::kEmptyMin);
+}
+
+TEST(MinWiseTest, OrderInsensitiveAndDuplicateInsensitive) {
+  MinWiseSynopsis a = FromSet({1, 2, 3, 4, 5});
+  MinWiseSynopsis b = FromSet({5, 4, 3, 2, 1, 1, 3, 5});
+  EXPECT_EQ(a.mins(), b.mins());
+}
+
+TEST(MinWiseTest, IdenticalSetsResembleFully) {
+  MinWiseSynopsis a = FromSet(Range(0, 1000));
+  MinWiseSynopsis b = FromSet(Range(0, 1000));
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(MinWiseTest, DisjointSetsResembleZero) {
+  MinWiseSynopsis a = FromSet(Range(0, 1000));
+  MinWiseSynopsis b = FromSet(Range(10000, 11000));
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value(), 0.05);
+}
+
+TEST(MinWiseTest, HalfOverlapResemblesOneThird) {
+  // |A∩B| = 1000, |A∪B| = 3000 -> R = 1/3.
+  MinWiseSynopsis a = FromSet(Range(0, 2000), 256);
+  MinWiseSynopsis b = FromSet(Range(1000, 3000), 256);
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0 / 3.0, 0.1);
+}
+
+TEST(MinWiseTest, BothEmptyResembleZero) {
+  MinWiseSynopsis a = Make(), b = Make();
+  auto r = a.EstimateResemblance(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(MinWiseTest, UnionEqualsSynopsisOfUnion) {
+  // Position-wise min is exact: merging synopses of A and B gives the
+  // synopsis of A ∪ B, not an approximation of it.
+  MinWiseSynopsis a = FromSet(Range(0, 500));
+  MinWiseSynopsis b = FromSet(Range(300, 900));
+  MinWiseSynopsis u = FromSet(Range(0, 900));
+  ASSERT_TRUE(a.MergeUnion(b).ok());
+  EXPECT_EQ(a.mins(), u.mins());
+}
+
+TEST(MinWiseTest, HeterogeneousLengthsTruncateToCommonPrefix) {
+  MinWiseSynopsis long_syn = FromSet(Range(0, 100), 128);
+  MinWiseSynopsis short_syn = FromSet(Range(50, 150), 32);
+  // Resemblance works across lengths (Sec. 5.3).
+  auto r = long_syn.EstimateResemblance(short_syn);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), 0.05);
+  // Union truncates to min(N1, N2).
+  ASSERT_TRUE(long_syn.MergeUnion(short_syn).ok());
+  EXPECT_EQ(long_syn.num_permutations(), 32u);
+  // And matches the direct 32-permutation synopsis of the union.
+  MinWiseSynopsis direct = FromSet(Range(0, 150), 32);
+  EXPECT_EQ(long_syn.mins(), direct.mins());
+}
+
+TEST(MinWiseTest, IntersectionIsConservative) {
+  MinWiseSynopsis a = FromSet(Range(0, 1000));
+  MinWiseSynopsis b = FromSet(Range(500, 1500));
+  MinWiseSynopsis true_inter = FromSet(Range(500, 1000));
+  ASSERT_TRUE(a.MergeIntersect(b).ok());
+  // Conservative (paper Sec. 6.1): the TRUE minimum over A∩B can be no
+  // lower than the max of the per-set minima, so the heuristic value is a
+  // lower bound on the true intersection's minimum — it approximates a
+  // superset of the intersection.
+  for (size_t i = 0; i < a.num_permutations(); ++i) {
+    EXPECT_LE(a.mins()[i], true_inter.mins()[i]);
+  }
+}
+
+TEST(MinWiseTest, DifferentFamiliesRefuse) {
+  UniversalHashFamily other(999);
+  auto b = MinWiseSynopsis::Create(64, other);
+  ASSERT_TRUE(b.ok());
+  MinWiseSynopsis a = Make();
+  EXPECT_EQ(a.EstimateResemblance(b.value()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.MergeUnion(b.value()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinWiseTest, CardinalityEstimateAccuracy) {
+  for (size_t n : {100u, 1000u, 10000u}) {
+    MinWiseSynopsis mw = Make(256);
+    Rng rng(n);
+    std::unordered_set<DocId> seen;
+    while (seen.size() < n) {
+      DocId id = rng.Next();
+      if (seen.insert(id).second) mw.Add(id);
+    }
+    double est = mw.EstimateCardinality();
+    EXPECT_NEAR(est, n, n * 0.25) << "n=" << n;
+  }
+}
+
+TEST(MinWiseTest, SizeBitsIs32PerPermutation) {
+  EXPECT_EQ(Make(64).SizeBits(), 2048u);
+  EXPECT_EQ(Make(32).SizeBits(), 1024u);
+}
+
+TEST(MinWiseTest, CountDistinctValues) {
+  MinWiseSynopsis mw = Make(16);
+  EXPECT_EQ(mw.CountDistinctValues(), 0u);  // sentinel not counted
+  mw.Add(7);
+  EXPECT_GT(mw.CountDistinctValues(), 0u);
+}
+
+TEST(MinWiseTest, FromMinsValidates) {
+  std::vector<uint64_t> ok_mins(8, 123);
+  EXPECT_TRUE(MinWiseSynopsis::FromMins(Family(), ok_mins).ok());
+  std::vector<uint64_t> bad_mins(8, MinWiseSynopsis::kEmptyMin + 1);
+  EXPECT_FALSE(MinWiseSynopsis::FromMins(Family(), bad_mins).ok());
+  EXPECT_FALSE(MinWiseSynopsis::FromMins(Family(), {}).ok());
+}
+
+TEST(MinWiseTest, CloneIsIndependent) {
+  MinWiseSynopsis mw = FromSet({1, 2, 3});
+  auto clone = mw.Clone();
+  clone->Add(4);
+  EXPECT_NE(static_cast<MinWiseSynopsis*>(clone.get())->mins(), mw.mins());
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,90 @@
+#include "synopses/reference_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include "synopses/min_wise.h"
+
+namespace iqn {
+namespace {
+
+const UniversalHashFamily& Family() {
+  static const UniversalHashFamily family(321);
+  return family;
+}
+
+std::unique_ptr<SetSynopsis> MipsOf(DocId lo, DocId hi, size_t n = 256) {
+  auto r = MinWiseSynopsis::Create(n, Family());
+  EXPECT_TRUE(r.ok());
+  auto syn = std::make_unique<MinWiseSynopsis>(std::move(r).value());
+  for (DocId id = lo; id < hi; ++id) syn->Add(id);
+  return syn;
+}
+
+TEST(ReferenceSynopsisTest, CreateValidates) {
+  EXPECT_FALSE(ReferenceSynopsis::Create(nullptr, 0).ok());
+  EXPECT_FALSE(ReferenceSynopsis::Create(MipsOf(0, 0), -1.0).ok());
+  EXPECT_TRUE(ReferenceSynopsis::Create(MipsOf(0, 0), 0.0).ok());
+}
+
+TEST(ReferenceSynopsisTest, SeedCardinalityIsTracked) {
+  auto ref = ReferenceSynopsis::Create(MipsOf(0, 100), 100);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_DOUBLE_EQ(ref.value().estimated_cardinality(), 100.0);
+}
+
+TEST(ReferenceSynopsisTest, AbsorbCreditsNovelty) {
+  auto ref = ReferenceSynopsis::Create(MipsOf(0, 1000), 1000);
+  ASSERT_TRUE(ref.ok());
+  auto cand = MipsOf(500, 1500);  // true novelty = 500
+  auto credited = ref.value().Absorb(*cand, 1000);
+  ASSERT_TRUE(credited.ok());
+  EXPECT_NEAR(credited.value(), 500.0, 200.0);
+  EXPECT_NEAR(ref.value().estimated_cardinality(), 1500.0, 200.0);
+}
+
+TEST(ReferenceSynopsisTest, SecondAbsorbOfSamePeerAddsNothing) {
+  // The IQN property: once a collection is absorbed, re-offering the same
+  // collection has (near-)zero novelty.
+  auto ref = ReferenceSynopsis::Create(MipsOf(0, 1000), 1000);
+  ASSERT_TRUE(ref.ok());
+  auto cand = MipsOf(500, 1500);
+  ASSERT_TRUE(ref.value().Absorb(*cand, 1000).ok());
+  auto again = ref.value().NoveltyOf(*cand, 1000);
+  ASSERT_TRUE(again.ok());
+  EXPECT_LT(again.value(), 150.0);
+}
+
+TEST(ReferenceSynopsisTest, IterativeAbsorptionPrefersComplement) {
+  // Reference covers 0..1000. A redundant candidate (0..1000) must score
+  // far below a complementary one (1000..2000).
+  auto ref = ReferenceSynopsis::Create(MipsOf(0, 1000), 1000);
+  ASSERT_TRUE(ref.ok());
+  auto redundant = MipsOf(0, 1000);
+  auto complement = MipsOf(1000, 2000);
+  auto nov_red = ref.value().NoveltyOf(*redundant, 1000);
+  auto nov_com = ref.value().NoveltyOf(*complement, 1000);
+  ASSERT_TRUE(nov_red.ok() && nov_com.ok());
+  EXPECT_GT(nov_com.value(), nov_red.value() * 3);
+}
+
+TEST(ReferenceSynopsisTest, CloneRefIsIndependent) {
+  auto ref = ReferenceSynopsis::Create(MipsOf(0, 100), 100);
+  ASSERT_TRUE(ref.ok());
+  ReferenceSynopsis copy = ref.value().CloneRef();
+  auto cand = MipsOf(100, 300);
+  ASSERT_TRUE(copy.Absorb(*cand, 200).ok());
+  EXPECT_DOUBLE_EQ(ref.value().estimated_cardinality(), 100.0);
+  EXPECT_GT(copy.estimated_cardinality(), 100.0);
+}
+
+TEST(ReferenceSynopsisTest, EmptySeedWorks) {
+  auto ref = ReferenceSynopsis::Create(MipsOf(0, 0), 0.0);
+  ASSERT_TRUE(ref.ok());
+  auto cand = MipsOf(0, 800);
+  auto credited = ref.value().Absorb(*cand, 800);
+  ASSERT_TRUE(credited.ok());
+  EXPECT_NEAR(credited.value(), 800.0, 1.0);  // everything is novel
+}
+
+}  // namespace
+}  // namespace iqn

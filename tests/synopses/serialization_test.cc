@@ -1,0 +1,312 @@
+#include "synopses/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/loglog.h"
+#include "synopses/min_wise.h"
+#include "util/random.h"
+
+namespace iqn {
+namespace {
+
+const UniversalHashFamily& Family() {
+  static const UniversalHashFamily family(777);
+  return family;
+}
+
+TEST(SerializationTest, BloomFilterRoundTrip) {
+  auto bf = BloomFilter::Create(512, 3, 42);
+  ASSERT_TRUE(bf.ok());
+  for (DocId id = 0; id < 40; ++id) bf.value().Add(id);
+  Bytes bytes = SerializeSynopsisToBytes(bf.value());
+  auto rt = DeserializeSynopsisFromBytes(bytes);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt.value()->type(), SynopsisType::kBloomFilter);
+  auto* rt_bf = static_cast<BloomFilter*>(rt.value().get());
+  EXPECT_EQ(rt_bf->words(), bf.value().words());
+  EXPECT_EQ(rt_bf->num_hashes(), 3u);
+  EXPECT_EQ(rt_bf->seed(), 42u);
+  for (DocId id = 0; id < 40; ++id) EXPECT_TRUE(rt_bf->MayContain(id));
+}
+
+TEST(SerializationTest, HashSketchRoundTrip) {
+  auto hs = HashSketch::Create(16, 32, 9);
+  ASSERT_TRUE(hs.ok());
+  for (DocId id = 0; id < 500; ++id) hs.value().Add(id);
+  Bytes bytes = SerializeSynopsisToBytes(hs.value());
+  auto rt = DeserializeSynopsisFromBytes(bytes);
+  ASSERT_TRUE(rt.ok());
+  auto* rt_hs = static_cast<HashSketch*>(rt.value().get());
+  EXPECT_EQ(rt_hs->bitmaps(), hs.value().bitmaps());
+  EXPECT_DOUBLE_EQ(rt_hs->EstimateCardinality(),
+                   hs.value().EstimateCardinality());
+}
+
+TEST(SerializationTest, MinWiseRoundTripPreservesFamily) {
+  auto mw = MinWiseSynopsis::Create(48, Family());
+  ASSERT_TRUE(mw.ok());
+  for (DocId id = 0; id < 200; ++id) mw.value().Add(id);
+  Bytes bytes = SerializeSynopsisToBytes(mw.value());
+  auto rt = DeserializeSynopsisFromBytes(bytes);
+  ASSERT_TRUE(rt.ok());
+  auto* rt_mw = static_cast<MinWiseSynopsis*>(rt.value().get());
+  EXPECT_EQ(rt_mw->family_seed(), Family().seed());
+  EXPECT_EQ(rt_mw->mins(), mw.value().mins());
+  // A deserialized synopsis must interoperate with a locally built one.
+  auto r = rt_mw->EstimateResemblance(mw.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(SerializationTest, LogLogRoundTrip) {
+  auto ll = LogLogCounter::Create(64, 3, true);
+  ASSERT_TRUE(ll.ok());
+  for (DocId id = 0; id < 10000; ++id) ll.value().Add(id);
+  Bytes bytes = SerializeSynopsisToBytes(ll.value());
+  auto rt = DeserializeSynopsisFromBytes(bytes);
+  ASSERT_TRUE(rt.ok());
+  auto* rt_ll = static_cast<LogLogCounter*>(rt.value().get());
+  EXPECT_EQ(rt_ll->registers(), ll.value().registers());
+  EXPECT_TRUE(rt_ll->use_truncation());
+}
+
+TEST(SerializationTest, UnknownTypeTagFails) {
+  Bytes bytes = {99};
+  EXPECT_EQ(DeserializeSynopsisFromBytes(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, TruncatedPayloadFails) {
+  auto mw = MinWiseSynopsis::Create(16, Family());
+  ASSERT_TRUE(mw.ok());
+  Bytes bytes = SerializeSynopsisToBytes(mw.value());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeSynopsisFromBytes(bytes).ok());
+}
+
+TEST(SerializationTest, TrailingBytesFail) {
+  auto mw = MinWiseSynopsis::Create(8, Family());
+  ASSERT_TRUE(mw.ok());
+  Bytes bytes = SerializeSynopsisToBytes(mw.value());
+  bytes.push_back(0);
+  EXPECT_EQ(DeserializeSynopsisFromBytes(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, HugeDeclaredSizesRejected) {
+  // A hostile MIPs post declaring 2^40 permutations must not allocate.
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(SynopsisType::kMinWise));
+  writer.PutVarint(uint64_t{1} << 40);
+  writer.PutU64(0);
+  EXPECT_EQ(DeserializeSynopsisFromBytes(writer.Take()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SerializationTest, HistogramRoundTrip) {
+  auto factory = []() -> std::unique_ptr<SetSynopsis> {
+    auto r = MinWiseSynopsis::Create(16, Family());
+    if (!r.ok()) return nullptr;
+    return std::make_unique<MinWiseSynopsis>(std::move(r).value());
+  };
+  auto hist = ScoreHistogramSynopsis::Create(4, factory);
+  ASSERT_TRUE(hist.ok());
+  for (DocId id = 0; id < 100; ++id) {
+    hist.value().Add(id, static_cast<double>(id % 10) / 10.0);
+  }
+  ByteWriter writer;
+  SerializeHistogram(hist.value(), &writer);
+  Bytes bytes = writer.Take();
+  ByteReader reader(bytes);
+  auto rt = DeserializeHistogram(&reader);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  ASSERT_EQ(rt.value().num_cells(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt.value().cell_count(i), hist.value().cell_count(i));
+  }
+  // Cross-estimation between original and round-tripped must see full
+  // redundancy.
+  auto novelty = hist.value().WeightedNoveltyOf(rt.value(), 1.0);
+  ASSERT_TRUE(novelty.ok());
+  EXPECT_LT(novelty.value(), 2.0);
+}
+
+TEST(SerializationTest, HistogramCellCountOutOfRangeFails) {
+  ByteWriter writer;
+  writer.PutVarint(1000);
+  Bytes bytes = writer.Take();
+  ByteReader reader(bytes);
+  EXPECT_EQ(DeserializeHistogram(&reader).status().code(),
+            StatusCode::kCorruption);
+}
+
+// Fuzz-style robustness: random truncations and byte corruptions of valid
+// wire images must never crash or allocate absurdly — they either decode
+// to a structurally valid synopsis or fail with a clean Status.
+TEST(SerializationTest, RandomCorruptionNeverCrashes) {
+  Rng rng(31337);
+  std::vector<Bytes> images;
+  {
+    auto mw = MinWiseSynopsis::Create(32, Family());
+    auto bf = BloomFilter::Create(512, 4, 1);
+    auto hs = HashSketch::Create(16, 32, 1);
+    auto ll = LogLogCounter::Create(64, 1);
+    ASSERT_TRUE(mw.ok() && bf.ok() && hs.ok() && ll.ok());
+    for (DocId id = 0; id < 100; ++id) {
+      mw.value().Add(id);
+      bf.value().Add(id);
+      hs.value().Add(id);
+      ll.value().Add(id);
+    }
+    images.push_back(SerializeSynopsisToBytes(mw.value()));
+    images.push_back(SerializeSynopsisToBytes(bf.value()));
+    images.push_back(SerializeSynopsisToBytes(hs.value()));
+    images.push_back(SerializeSynopsisToBytes(ll.value()));
+  }
+  for (const Bytes& image : images) {
+    for (int trial = 0; trial < 200; ++trial) {
+      Bytes mutated = image;
+      switch (rng.Uniform(3)) {
+        case 0:  // truncate
+          mutated.resize(rng.Uniform(mutated.size() + 1));
+          break;
+        case 1: {  // flip random bytes
+          for (int flips = 0; flips < 3; ++flips) {
+            size_t pos = static_cast<size_t>(rng.Uniform(mutated.size()));
+            mutated[pos] = static_cast<uint8_t>(rng.Next());
+          }
+          break;
+        }
+        case 2:  // append garbage
+          for (int extra = 0; extra < 5; ++extra) {
+            mutated.push_back(static_cast<uint8_t>(rng.Next()));
+          }
+          break;
+      }
+      auto decoded = DeserializeSynopsisFromBytes(mutated);
+      if (decoded.ok()) {
+        // Whatever decoded must be usable without UB.
+        (void)decoded.value()->EstimateCardinality();
+        (void)decoded.value()->SizeBits();
+      }
+    }
+  }
+}
+
+TEST(CompressedBloomTest, SparseFilterRoundTripsSmaller) {
+  auto bf = BloomFilter::Create(1 << 14, 4, 5);  // 16384 bits
+  ASSERT_TRUE(bf.ok());
+  for (DocId id = 0; id < 50; ++id) bf.value().Add(id);  // ~200 set bits
+
+  Bytes raw = SerializeSynopsisToBytes(bf.value());
+  Bytes compressed = SerializeBloomFilterCompressed(bf.value());
+  EXPECT_LT(compressed.size(), raw.size() / 2);
+
+  auto rt = DeserializeSynopsisFromBytes(compressed);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  auto* rt_bf = static_cast<BloomFilter*>(rt.value().get());
+  EXPECT_EQ(rt_bf->words(), bf.value().words());  // bit-exact
+  EXPECT_EQ(rt_bf->num_hashes(), 4u);
+  EXPECT_EQ(rt_bf->seed(), 5u);
+}
+
+TEST(CompressedBloomTest, EmptyFilterCompresses) {
+  auto bf = BloomFilter::Create(2048, 4, 0);
+  ASSERT_TRUE(bf.ok());
+  Bytes compressed = SerializeBloomFilterCompressed(bf.value());
+  EXPECT_LT(compressed.size(), 32u);
+  auto rt = DeserializeSynopsisFromBytes(compressed);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value()->EstimateCardinality(), 0.0);
+}
+
+TEST(CompressedBloomTest, DenseFilterFallsBackToRaw) {
+  auto bf = BloomFilter::Create(1024, 4, 0);
+  ASSERT_TRUE(bf.ok());
+  for (DocId id = 0; id < 5000; ++id) bf.value().Add(id);  // saturated
+  Bytes raw = SerializeSynopsisToBytes(bf.value());
+  Bytes adaptive = SerializeBloomFilterCompressed(bf.value());
+  EXPECT_LE(adaptive.size(), raw.size());
+  auto rt = DeserializeSynopsisFromBytes(adaptive);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(static_cast<BloomFilter*>(rt.value().get())->words(),
+            bf.value().words());
+}
+
+TEST(CompressedBloomTest, RoundTripAcrossFillLevels) {
+  for (size_t items : {1u, 10u, 100u, 400u, 1500u}) {
+    auto bf = BloomFilter::Create(4096, 4, 9);
+    ASSERT_TRUE(bf.ok());
+    for (DocId id = 0; id < items; ++id) bf.value().Add(id * 17);
+    Bytes wire = SerializeBloomFilterCompressed(bf.value());
+    auto rt = DeserializeSynopsisFromBytes(wire);
+    ASSERT_TRUE(rt.ok()) << "items=" << items;
+    EXPECT_EQ(static_cast<BloomFilter*>(rt.value().get())->words(),
+              bf.value().words())
+        << "items=" << items;
+  }
+}
+
+TEST(CompressedBloomTest, CorruptedHeaderRejected) {
+  auto bf = BloomFilter::Create(4096, 4, 9);
+  ASSERT_TRUE(bf.ok());
+  bf.value().Add(1);
+  Bytes wire = SerializeBloomFilterCompressed(bf.value());
+  ASSERT_EQ(wire[0], 5);  // compressed tag
+  Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(DeserializeSynopsisFromBytes(truncated).ok());
+}
+
+TEST(BitIoTest, RoundTripBitsAndUnary) {
+  BitWriter writer;
+  writer.PutBits(0b10110, 5);
+  writer.PutUnary(7);
+  writer.PutBit(true);
+  writer.PutBits(0xabcdef, 24);
+  Bytes bytes = writer.Finish();
+
+  BitReader reader(bytes);
+  uint64_t v;
+  ASSERT_TRUE(reader.GetBits(5, &v).ok());
+  EXPECT_EQ(v, 0b10110u);
+  ASSERT_TRUE(reader.GetUnary(100, &v).ok());
+  EXPECT_EQ(v, 7u);
+  bool bit;
+  ASSERT_TRUE(reader.GetBit(&bit).ok());
+  EXPECT_TRUE(bit);
+  ASSERT_TRUE(reader.GetBits(24, &v).ok());
+  EXPECT_EQ(v, 0xabcdefu);
+}
+
+TEST(BitIoTest, ReadPastEndFails) {
+  BitWriter writer;
+  writer.PutBits(0x3, 2);
+  Bytes bytes = writer.Finish();
+  BitReader reader(bytes);
+  uint64_t v;
+  // The byte was padded to 8 bits; reading 9 must fail.
+  EXPECT_FALSE(reader.GetBits(9, &v).ok());
+}
+
+TEST(BitIoTest, UnaryRunLimitGuardsCorruption) {
+  BitWriter writer;
+  writer.PutUnary(50);
+  Bytes bytes = writer.Finish();
+  BitReader reader(bytes);
+  uint64_t v;
+  EXPECT_FALSE(reader.GetUnary(10, &v).ok());
+}
+
+TEST(SerializationTest, WireSizeTracksConfiguredBits) {
+  // A 2048-bit Bloom filter serializes to ~2048/8 bytes + header.
+  auto bf = BloomFilter::Create(2048, 4, 0);
+  ASSERT_TRUE(bf.ok());
+  Bytes bytes = SerializeSynopsisToBytes(bf.value());
+  EXPECT_GE(bytes.size(), 2048u / 8);
+  EXPECT_LE(bytes.size(), 2048u / 8 + 32);
+}
+
+}  // namespace
+}  // namespace iqn

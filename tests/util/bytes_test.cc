@@ -1,0 +1,140 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace iqn {
+namespace {
+
+TEST(BytesTest, RoundTripAllTypes) {
+  ByteWriter writer;
+  writer.PutU8(0xab);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x1122334455667788ULL);
+  writer.PutVarint(300);
+  writer.PutDouble(3.14159);
+  writer.PutBytes({1, 2, 3});
+  writer.PutString("hello");
+
+  ByteReader reader(writer.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64, varint;
+  double d;
+  Bytes bytes;
+  std::string s;
+  ASSERT_TRUE(reader.GetU8(&u8).ok());
+  ASSERT_TRUE(reader.GetU32(&u32).ok());
+  ASSERT_TRUE(reader.GetU64(&u64).ok());
+  ASSERT_TRUE(reader.GetVarint(&varint).ok());
+  ASSERT_TRUE(reader.GetDouble(&d).ok());
+  ASSERT_TRUE(reader.GetBytes(&bytes).ok());
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x1122334455667788ULL);
+  EXPECT_EQ(varint, 300u);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(bytes, (Bytes{1, 2, 3}));
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{16383}, uint64_t{16384},
+                     std::numeric_limits<uint64_t>::max()}) {
+    ByteWriter writer;
+    writer.PutVarint(v);
+    ByteReader reader(writer.data());
+    uint64_t out;
+    ASSERT_TRUE(reader.GetVarint(&out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(BytesTest, VarintEncodingIsCompact) {
+  ByteWriter writer;
+  writer.PutVarint(127);
+  EXPECT_EQ(writer.size(), 1u);
+  ByteWriter writer2;
+  writer2.PutVarint(128);
+  EXPECT_EQ(writer2.size(), 2u);
+}
+
+TEST(BytesTest, TruncatedReadsFailWithCorruption) {
+  ByteWriter writer;
+  writer.PutU32(7);
+  ByteReader reader(writer.data());
+  uint64_t u64;
+  EXPECT_EQ(reader.GetU64(&u64).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedVarintFails) {
+  Bytes bytes = {0x80, 0x80};  // continuation bits with no terminator
+  ByteReader reader(bytes);
+  uint64_t v;
+  EXPECT_EQ(reader.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, OverlongVarintFails) {
+  Bytes bytes(11, 0x80);  // 11 continuation bytes > max 10
+  bytes.push_back(0x01);
+  ByteReader reader(bytes);
+  uint64_t v;
+  EXPECT_EQ(reader.GetVarint(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.PutVarint(100);  // claims 100 bytes follow
+  writer.PutU8('x');
+  ByteReader reader(writer.data());
+  std::string s;
+  EXPECT_EQ(reader.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, SpecialDoubles) {
+  for (double v : {0.0, -0.0, 1e308, -1e-308,
+                   std::numeric_limits<double>::infinity()}) {
+    ByteWriter writer;
+    writer.PutDouble(v);
+    ByteReader reader(writer.data());
+    double out;
+    ASSERT_TRUE(reader.GetDouble(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(BytesTest, EmptyByteStringAndString) {
+  ByteWriter writer;
+  writer.PutBytes({});
+  writer.PutString("");
+  ByteReader reader(writer.data());
+  Bytes b;
+  std::string s;
+  ASSERT_TRUE(reader.GetBytes(&b).ok());
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BytesTest, PutRawAppendsWithoutFraming) {
+  ByteWriter writer;
+  const char data[3] = {'a', 'b', 'c'};
+  writer.PutRaw(data, 3);
+  EXPECT_EQ(writer.size(), 3u);
+  EXPECT_EQ(writer.data()[0], 'a');
+}
+
+TEST(BytesTest, TakeMovesBuffer) {
+  ByteWriter writer;
+  writer.PutU8(9);
+  Bytes taken = writer.Take();
+  EXPECT_EQ(taken.size(), 1u);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,120 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iqn {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  Flags flags;
+  flags.DefineInt("n", 7, "count");
+  flags.DefineString("name", "abc", "label");
+  flags.DefineDouble("rate", 0.5, "rate");
+  flags.DefineBool("verbose", false, "talky");
+  Argv args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("n"), 7);
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsAndSpaceForms) {
+  Flags flags;
+  flags.DefineInt("n", 0, "");
+  flags.DefineString("s", "", "");
+  Argv args({"--n=42", "--s", "hello"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("n"), 42);
+  EXPECT_EQ(flags.GetString("s"), "hello");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Flags flags;
+  flags.DefineBool("fast", false, "");
+  Argv args({"--fast"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("fast"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Flags flags;
+  flags.DefineInt("n", 0, "");
+  Argv args({"--bogus=1"});
+  Status st = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntegerFails) {
+  Flags flags;
+  flags.DefineInt("n", 0, "");
+  Argv args({"--n=abc"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadDoubleFails) {
+  Flags flags;
+  flags.DefineDouble("x", 0.0, "");
+  Argv args({"--x=12.5zz"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadBoolFails) {
+  Flags flags;
+  flags.DefineBool("b", false, "");
+  Argv args({"--b=maybe"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, NegativeAndLargeIntegers) {
+  Flags flags;
+  flags.DefineInt("n", 0, "");
+  Argv args({"--n=-123456789012"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("n"), -123456789012LL);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  Flags flags;
+  flags.DefineInt("n", 0, "");
+  Argv args({"pos1", "--n=1", "pos2"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  EXPECT_EQ(flags.positional()[1], "pos2");
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Flags flags;
+  flags.DefineInt("n", 0, "");
+  Argv args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  Flags flags;
+  flags.DefineInt("count", 3, "how many");
+  std::string usage = flags.Usage("tool");
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,107 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace iqn {
+namespace {
+
+TEST(Mix64Test, DeterministicAndDispersed) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions on consecutive inputs
+}
+
+TEST(Hash64Test, SeedChangesOutput) {
+  EXPECT_NE(Hash64(123, 0), Hash64(123, 1));
+  EXPECT_EQ(Hash64(123, 7), Hash64(123, 7));
+}
+
+TEST(HashBytesTest, MatchesForEqualInput) {
+  const char a[] = "hello world";
+  EXPECT_EQ(HashBytes(a, sizeof(a)), HashBytes(a, sizeof(a)));
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString("abc", 1), HashString("abc", 2));
+}
+
+TEST(HashBytesTest, EmptyInputIsValid) {
+  EXPECT_EQ(HashString(""), HashString(""));
+  EXPECT_NE(HashString("", 1), HashString("", 2));
+}
+
+TEST(MulAddMod61Test, MatchesNaiveForSmallValues) {
+  for (uint64_t a = 1; a < 50; a += 7) {
+    for (uint64_t x = 0; x < 50; x += 11) {
+      for (uint64_t b = 0; b < 50; b += 13) {
+        EXPECT_EQ(MulAddMod61(a, x, b), (a * x + b) % kMersenne61);
+      }
+    }
+  }
+}
+
+TEST(MulAddMod61Test, LargeOperandsStayBelowModulus) {
+  uint64_t big = kMersenne61 - 1;
+  EXPECT_LT(MulAddMod61(big, big, big), kMersenne61);
+  // (U-1)*(U-1) + (U-1) = U^2 - U ≡ 1 - 1 = 0 (mod U)
+  EXPECT_EQ(MulAddMod61(big, big, big), 0u);
+}
+
+TEST(UniversalHashFamilyTest, SameSeedSameParameters) {
+  UniversalHashFamily f1(42), f2(42), f3(43);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(f1.MultiplierFor(i), f2.MultiplierFor(i));
+    EXPECT_EQ(f1.OffsetFor(i), f2.OffsetFor(i));
+    EXPECT_EQ(f1.Apply(i, 12345), f2.Apply(i, 12345));
+  }
+  // Different seeds should disagree somewhere early.
+  bool differs = false;
+  for (size_t i = 0; i < 4 && !differs; ++i) {
+    differs = f1.Apply(i, 12345) != f3.Apply(i, 12345);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UniversalHashFamilyTest, IsPermutationOnSample) {
+  // A linear map with a != 0 over Z_p is injective; check no collisions
+  // on a sample.
+  UniversalHashFamily family(7);
+  std::set<uint64_t> images;
+  for (uint64_t x = 0; x < 5000; ++x) images.insert(family.Apply(3, x));
+  EXPECT_EQ(images.size(), 5000u);
+}
+
+TEST(UniversalHashFamilyTest, MultiplierNeverZero) {
+  UniversalHashFamily family(0);
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_NE(family.MultiplierFor(i), 0u);
+    EXPECT_LT(family.MultiplierFor(i), kMersenne61);
+    EXPECT_LT(family.OffsetFor(i), kMersenne61);
+  }
+}
+
+TEST(DoubleHasherTest, ProbesWithinRangeAndSpread) {
+  DoubleHasher hasher(999, 5);
+  std::set<uint64_t> positions;
+  for (size_t i = 0; i < 16; ++i) {
+    uint64_t p = hasher.Probe(i, 1024);
+    EXPECT_LT(p, 1024u);
+    positions.insert(p);
+  }
+  EXPECT_GE(positions.size(), 12u);  // k probes should mostly be distinct
+}
+
+TEST(DoubleHasherTest, DifferentKeysDifferentProbes) {
+  DoubleHasher h1(1, 0), h2(2, 0);
+  size_t same = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    if (h1.Probe(i, 4096) == h2.Probe(i, 4096)) ++same;
+  }
+  EXPECT_LE(same, 1u);
+}
+
+}  // namespace
+}  // namespace iqn

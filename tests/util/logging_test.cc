@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacrosCompileAndStreamMixedTypes) {
+  LogLevel original = GetLogLevel();
+  // Suppress actual output while exercising the stream path.
+  SetLogLevel(LogLevel::kError);
+  IQN_LOG_DEBUG << "value " << 42 << " ratio " << 0.5 << " flag " << true;
+  IQN_LOG_INFO << "info line";
+  IQN_LOG_WARN << "warn line";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LevelOrderingIsMonotone) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace iqn

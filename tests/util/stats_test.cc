@@ -1,0 +1,67 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iqn {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsAllZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.Max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose precision at this offset.
+  RunningStats stats;
+  constexpr double kOffset = 1e9;
+  for (double x : {kOffset + 1, kOffset + 2, kOffset + 3}) stats.Add(x);
+  EXPECT_NEAR(stats.Mean(), kOffset + 2, 1e-6);
+  EXPECT_NEAR(stats.Variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStatsTest, PercentileInterpolates) {
+  RunningStats stats(/*keep_samples=*/true);
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.25), 20.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(stats.Percentile(2.0), 50.0);
+}
+
+TEST(RunningStatsTest, PercentileRequiresRetention) {
+  RunningStats stats;  // keep_samples = false
+  stats.Add(1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace iqn

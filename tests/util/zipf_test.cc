@@ -1,0 +1,73 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iqn {
+namespace {
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0.0;
+  for (size_t k = 0; k < zipf.n(); ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostProbable) {
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(10));
+  EXPECT_GT(zipf.Pmf(10), zipf.Pmf(999));
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(50, 0.0);
+  for (size_t k = 0; k < 50; ++k) EXPECT_NEAR(zipf.Pmf(k), 1.0 / 50, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler zipf(20, 1.2);
+  Rng rng(42);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < 5; ++k) {
+    double expected = zipf.Pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05 + 30);
+  }
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  ZipfSampler zipf(7, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler alias(weights);
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[alias.Sample(&rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    double expected = weights[k] / 10.0 * kDraws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler alias({0.0, 1.0});
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(alias.Sample(&rng), 1u);
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  AliasSampler alias({3.0});
+  Rng rng(7);
+  EXPECT_EQ(alias.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,136 @@
+#include "workload/fragments.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+Corpus MakeCorpus(size_t n) {
+  Corpus corpus;
+  for (DocId id = 1; id <= n; ++id) {
+    EXPECT_TRUE(corpus.AddDocumentTerms(id, {"t" + std::to_string(id % 7)}).ok());
+  }
+  return corpus;
+}
+
+TEST(SplitTest, FragmentsAreDisjointAndCoverCorpus) {
+  Corpus corpus = MakeCorpus(103);
+  auto frags = SplitIntoFragments(corpus, 10);
+  ASSERT_TRUE(frags.ok());
+  ASSERT_EQ(frags.value().size(), 10u);
+  size_t total = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    total += frags.value()[i].size();
+    for (size_t j = i + 1; j < 10; ++j) {
+      EXPECT_EQ(CollectionOverlap(frags.value()[i], frags.value()[j]), 0u);
+    }
+  }
+  EXPECT_EQ(total, 103u);
+  // Near-equal sizes: 103 = 10*10 + 3.
+  for (const auto& f : frags.value()) {
+    EXPECT_GE(f.size(), 10u);
+    EXPECT_LE(f.size(), 11u);
+  }
+}
+
+TEST(SplitTest, Validates) {
+  Corpus corpus = MakeCorpus(5);
+  EXPECT_FALSE(SplitIntoFragments(corpus, 0).ok());
+  EXPECT_FALSE(SplitIntoFragments(corpus, 6).ok());
+  EXPECT_TRUE(SplitIntoFragments(corpus, 5).ok());
+}
+
+TEST(CombinationsTest, CountAndOrder) {
+  auto combos = Combinations(6, 3);
+  EXPECT_EQ(combos.size(), 20u);  // (6 choose 3) — the paper's 20 peers
+  EXPECT_EQ(combos.front(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(combos.back(), (std::vector<size_t>{3, 4, 5}));
+  // All distinct.
+  for (size_t i = 0; i < combos.size(); ++i) {
+    for (size_t j = i + 1; j < combos.size(); ++j) {
+      EXPECT_NE(combos[i], combos[j]);
+    }
+  }
+}
+
+TEST(CombinationsTest, EdgeCases) {
+  EXPECT_EQ(Combinations(4, 4).size(), 1u);
+  EXPECT_EQ(Combinations(4, 1).size(), 4u);
+  EXPECT_TRUE(Combinations(3, 5).empty());
+}
+
+TEST(ChooseCombinationTest, PaperSetupProduces20Collections) {
+  Corpus corpus = MakeCorpus(60);
+  auto frags = SplitIntoFragments(corpus, 6);
+  ASSERT_TRUE(frags.ok());
+  auto collections = ChooseCombinationCollections(frags.value(), 3);
+  ASSERT_TRUE(collections.ok());
+  EXPECT_EQ(collections.value().size(), 20u);
+  // Every collection holds 3 fragments x 10 docs.
+  for (const auto& c : collections.value()) EXPECT_EQ(c.size(), 30u);
+  // Two collections sharing 2 of 3 fragments overlap in 20 docs.
+  // Collections 0 = {0,1,2} and 1 = {0,1,3}.
+  EXPECT_EQ(CollectionOverlap(collections.value()[0], collections.value()[1]),
+            20u);
+  // {0,1,2} vs {3,4,5} (the last) are disjoint.
+  EXPECT_EQ(CollectionOverlap(collections.value()[0],
+                              collections.value()[19]),
+            0u);
+}
+
+TEST(ChooseCombinationTest, UnionCoversEverything) {
+  Corpus corpus = MakeCorpus(60);
+  auto frags = SplitIntoFragments(corpus, 6);
+  ASSERT_TRUE(frags.ok());
+  auto collections = ChooseCombinationCollections(frags.value(), 3);
+  ASSERT_TRUE(collections.ok());
+  Corpus all;
+  for (const auto& c : collections.value()) all.Merge(c);
+  EXPECT_EQ(all.size(), 60u);
+}
+
+TEST(SlidingWindowTest, PaperSetupOverlapStructure) {
+  Corpus corpus = MakeCorpus(200);
+  auto frags = SplitIntoFragments(corpus, 100);
+  ASSERT_TRUE(frags.ok());
+  auto collections =
+      SlidingWindowCollections(frags.value(), /*window=*/10, /*offset=*/2,
+                               /*num_peers=*/50);
+  ASSERT_TRUE(collections.ok());
+  ASSERT_EQ(collections.value().size(), 50u);
+  // Each peer holds 10 fragments x 2 docs = 20 docs.
+  for (const auto& c : collections.value()) EXPECT_EQ(c.size(), 20u);
+  // Adjacent peers share window - offset = 8 fragments = 16 docs.
+  EXPECT_EQ(CollectionOverlap(collections.value()[0], collections.value()[1]),
+            16u);
+  // Peers 5 windows apart share nothing (offset 2 * 5 = 10 >= window).
+  EXPECT_EQ(CollectionOverlap(collections.value()[0], collections.value()[5]),
+            0u);
+  // Wrap-around: the last peer (offset 98) shares fragments 98, 99 + wraps
+  // into 0..7, overlapping peer 0 in 8 fragments.
+  EXPECT_EQ(CollectionOverlap(collections.value()[49], collections.value()[0]),
+            16u);
+}
+
+TEST(SlidingWindowTest, Validates) {
+  Corpus corpus = MakeCorpus(20);
+  auto frags = SplitIntoFragments(corpus, 10);
+  ASSERT_TRUE(frags.ok());
+  EXPECT_FALSE(SlidingWindowCollections(frags.value(), 0, 1, 5).ok());
+  EXPECT_FALSE(SlidingWindowCollections(frags.value(), 11, 1, 5).ok());
+  EXPECT_FALSE(SlidingWindowCollections(frags.value(), 5, 0, 5).ok());
+  EXPECT_FALSE(SlidingWindowCollections(frags.value(), 5, 1, 0).ok());
+}
+
+TEST(CollectionOverlapTest, CountsSharedDocIds) {
+  Corpus a, b;
+  ASSERT_TRUE(a.AddDocumentTerms(1, {"x1"}).ok());
+  ASSERT_TRUE(a.AddDocumentTerms(2, {"x2"}).ok());
+  ASSERT_TRUE(b.AddDocumentTerms(2, {"x2"}).ok());
+  ASSERT_TRUE(b.AddDocumentTerms(3, {"x3"}).ok());
+  EXPECT_EQ(CollectionOverlap(a, b), 1u);
+  EXPECT_EQ(CollectionOverlap(b, a), 1u);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,75 @@
+#include "workload/overlap_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "synopses/estimators.h"
+
+namespace iqn {
+namespace {
+
+TEST(OverlapSetsTest, ExactSharedCount) {
+  Rng rng(1);
+  auto pair = MakeSetsWithOverlap(1000, 800, 300, &rng);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair.value().a.size(), 1000u);
+  EXPECT_EQ(pair.value().b.size(), 800u);
+  EXPECT_EQ(ExactOverlap(pair.value().a, pair.value().b), 300u);
+}
+
+TEST(OverlapSetsTest, ZeroAndFullOverlap) {
+  Rng rng(2);
+  auto disjoint = MakeSetsWithOverlap(100, 100, 0, &rng);
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_EQ(ExactOverlap(disjoint.value().a, disjoint.value().b), 0u);
+
+  auto nested = MakeSetsWithOverlap(100, 100, 100, &rng);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(ExactOverlap(nested.value().a, nested.value().b), 100u);
+}
+
+TEST(OverlapSetsTest, Validates) {
+  Rng rng(3);
+  EXPECT_FALSE(MakeSetsWithOverlap(10, 10, 11, &rng).ok());
+  EXPECT_FALSE(MakeSetsWithOverlap(10, 10, 5, nullptr).ok());
+}
+
+TEST(SharedCountTest, MatchesResemblanceAlgebra) {
+  // m = 2 n r / (1 + r): r = 1/3, n = 5000 -> m = 2500.
+  EXPECT_EQ(SharedCountForResemblance(5000, 1.0 / 3.0), 2500u);
+  EXPECT_EQ(SharedCountForResemblance(5000, 1.0), 5000u);
+  EXPECT_EQ(SharedCountForResemblance(5000, 0.0), 0u);
+  // r = 1/2 -> m = 2n/3.
+  EXPECT_EQ(SharedCountForResemblance(300, 0.5), 200u);
+}
+
+TEST(OverlapSetsTest, ResemblanceTargetsAreHit) {
+  Rng rng(4);
+  for (double r : {0.5, 1.0 / 3.0, 0.25, 0.2, 1.0 / 9.0}) {
+    auto pair = MakeSetsWithResemblance(3000, r, &rng);
+    ASSERT_TRUE(pair.ok());
+    double actual = ExactResemblance(pair.value().a, pair.value().b);
+    EXPECT_NEAR(actual, r, 0.002) << "target r=" << r;
+  }
+}
+
+TEST(OverlapSetsTest, ResemblanceValidatesRange) {
+  Rng rng(5);
+  EXPECT_FALSE(MakeSetsWithResemblance(100, -0.1, &rng).ok());
+  EXPECT_FALSE(MakeSetsWithResemblance(100, 1.1, &rng).ok());
+}
+
+TEST(OverlapSetsTest, AllElementsDistinct64BitIds) {
+  Rng rng(6);
+  auto pair = MakeSetsWithOverlap(500, 500, 100, &rng);
+  ASSERT_TRUE(pair.ok());
+  // Union size = 500 + 500 - 100.
+  std::vector<DocId> all = pair.value().a;
+  all.insert(all.end(), pair.value().b.begin(), pair.value().b.end());
+  std::unordered_set<DocId> distinct(all.begin(), all.end());
+  EXPECT_EQ(distinct.size(), 900u);
+}
+
+}  // namespace
+}  // namespace iqn

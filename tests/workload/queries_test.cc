@@ -1,0 +1,100 @@
+#include "workload/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+std::vector<std::string> Vocab(size_t n) {
+  std::vector<std::string> v;
+  for (size_t rank = 0; rank < n; ++rank) v.push_back(SyntheticWord(rank, 3));
+  return v;
+}
+
+TEST(QueryWorkloadTest, GeneratesRequestedQueries) {
+  QueryWorkloadOptions opts;
+  opts.num_queries = 10;
+  opts.min_terms = 2;
+  opts.max_terms = 3;
+  auto queries = GenerateQueries(Vocab(5000), opts);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries.value().size(), 10u);
+  for (const Query& q : queries.value()) {
+    EXPECT_GE(q.terms.size(), 2u);
+    EXPECT_LE(q.terms.size(), 3u);
+    EXPECT_EQ(q.k, opts.k);
+    EXPECT_EQ(q.mode, QueryMode::kDisjunctive);
+    std::unordered_set<std::string> distinct(q.terms.begin(), q.terms.end());
+    EXPECT_EQ(distinct.size(), q.terms.size());  // no repeated terms
+  }
+}
+
+TEST(QueryWorkloadTest, TermsComeFromConfiguredBand) {
+  auto vocab = Vocab(1000);
+  QueryWorkloadOptions opts;
+  opts.num_queries = 20;
+  opts.band_low = 0.1;
+  opts.band_high = 0.2;
+  auto queries = GenerateQueries(vocab, opts);
+  ASSERT_TRUE(queries.ok());
+  std::unordered_set<std::string> band(vocab.begin() + 100,
+                                       vocab.begin() + 200);
+  for (const Query& q : queries.value()) {
+    for (const auto& t : q.terms) EXPECT_TRUE(band.count(t)) << t;
+  }
+}
+
+TEST(QueryWorkloadTest, DeterministicForSeed) {
+  auto vocab = Vocab(2000);
+  QueryWorkloadOptions opts;
+  auto q1 = GenerateQueries(vocab, opts);
+  auto q2 = GenerateQueries(vocab, opts);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  for (size_t i = 0; i < q1.value().size(); ++i) {
+    EXPECT_EQ(q1.value()[i].terms, q2.value()[i].terms);
+  }
+  opts.seed = 99;
+  auto q3 = GenerateQueries(vocab, opts);
+  ASSERT_TRUE(q3.ok());
+  EXPECT_NE(q1.value()[0].terms, q3.value()[0].terms);
+}
+
+TEST(QueryWorkloadTest, ConjunctiveModePropagates) {
+  QueryWorkloadOptions opts;
+  opts.mode = QueryMode::kConjunctive;
+  auto queries = GenerateQueries(Vocab(1000), opts);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries.value()[0].mode, QueryMode::kConjunctive);
+}
+
+TEST(QueryWorkloadTest, Validates) {
+  auto vocab = Vocab(100);
+  QueryWorkloadOptions opts;
+  opts.min_terms = 0;
+  EXPECT_FALSE(GenerateQueries(vocab, opts).ok());
+  opts = {};
+  opts.min_terms = 5;
+  opts.max_terms = 2;
+  EXPECT_FALSE(GenerateQueries(vocab, opts).ok());
+  opts = {};
+  opts.band_low = 0.5;
+  opts.band_high = 0.5;
+  EXPECT_FALSE(GenerateQueries(vocab, opts).ok());
+  EXPECT_FALSE(GenerateQueries({}, QueryWorkloadOptions{}).ok());
+}
+
+TEST(QueryWorkloadTest, NarrowBandStillWorksIfItFitsAQuery) {
+  auto vocab = Vocab(1000);
+  QueryWorkloadOptions opts;
+  opts.band_low = 0.010;
+  opts.band_high = 0.015;  // 5 ranks; queries need <= 3 terms
+  auto queries = GenerateQueries(vocab, opts);
+  EXPECT_TRUE(queries.ok());
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,121 @@
+#include "workload/synthetic_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+namespace iqn {
+namespace {
+
+SyntheticCorpusOptions SmallOptions() {
+  SyntheticCorpusOptions opts;
+  opts.num_documents = 500;
+  opts.vocabulary_size = 1000;
+  opts.min_document_length = 20;
+  opts.max_document_length = 60;
+  opts.seed = 11;
+  return opts;
+}
+
+TEST(SyntheticWordTest, DistinctAndLowercase) {
+  std::unordered_set<std::string> words;
+  for (size_t rank = 0; rank < 5000; ++rank) {
+    std::string w = SyntheticWord(rank, 1);
+    EXPECT_FALSE(w.empty());
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z');
+    EXPECT_TRUE(words.insert(w).second) << "duplicate at rank " << rank;
+  }
+}
+
+TEST(SyntheticCorpusTest, CreateValidates) {
+  SyntheticCorpusOptions bad = SmallOptions();
+  bad.num_documents = 0;
+  EXPECT_FALSE(SyntheticCorpusGenerator::Create(bad).ok());
+  bad = SmallOptions();
+  bad.vocabulary_size = 0;
+  EXPECT_FALSE(SyntheticCorpusGenerator::Create(bad).ok());
+  bad = SmallOptions();
+  bad.min_document_length = 50;
+  bad.max_document_length = 20;
+  EXPECT_FALSE(SyntheticCorpusGenerator::Create(bad).ok());
+}
+
+TEST(SyntheticCorpusTest, GeneratesRequestedShape) {
+  auto gen = SyntheticCorpusGenerator::Create(SmallOptions());
+  ASSERT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  EXPECT_EQ(corpus.size(), 500u);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_GE(corpus.doc(i).terms.size(), 20u);
+    EXPECT_LE(corpus.doc(i).terms.size(), 60u);
+    EXPECT_EQ(corpus.doc(i).id, 1u + i);  // consecutive from first_doc_id
+  }
+}
+
+TEST(SyntheticCorpusTest, DeterministicForSeed) {
+  auto g1 = SyntheticCorpusGenerator::Create(SmallOptions());
+  auto g2 = SyntheticCorpusGenerator::Create(SmallOptions());
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  Corpus c1 = g1.value().Generate();
+  Corpus c2 = g2.value().Generate();
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1.doc(i).terms, c2.doc(i).terms);
+  }
+}
+
+TEST(SyntheticCorpusTest, DifferentSeedsDiffer) {
+  auto opts2 = SmallOptions();
+  opts2.seed = 12;
+  auto g1 = SyntheticCorpusGenerator::Create(SmallOptions());
+  auto g2 = SyntheticCorpusGenerator::Create(opts2);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_NE(g1.value().Generate().doc(0).terms,
+            g2.value().Generate().doc(0).terms);
+}
+
+TEST(SyntheticCorpusTest, TermFrequenciesAreZipfSkewed) {
+  auto gen = SyntheticCorpusGenerator::Create(SmallOptions());
+  ASSERT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  std::map<std::string, size_t> freq;
+  for (const auto& d : corpus.docs()) {
+    for (const auto& t : d.terms) ++freq[t];
+  }
+  const auto& vocab = gen.value().vocabulary();
+  // Rank-0 term should be far more frequent than a mid-tail term.
+  size_t top = freq[vocab[0]];
+  size_t mid = freq.count(vocab[500]) ? freq[vocab[500]] : 0;
+  EXPECT_GT(top, 20 * (mid + 1));
+}
+
+TEST(SyntheticCorpusTest, VocabularySeedDecouplesWordsFromSampling) {
+  // Same vocabulary_seed + different sampling seed = same words,
+  // different documents — the incremental-crawl configuration.
+  auto base = SmallOptions();
+  auto delta = SmallOptions();
+  delta.seed = base.seed + 99;
+  delta.vocabulary_seed = base.seed;
+  delta.first_doc_id = 10000;
+  auto g1 = SyntheticCorpusGenerator::Create(base);
+  auto g2 = SyntheticCorpusGenerator::Create(delta);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1.value().vocabulary(), g2.value().vocabulary());
+  EXPECT_NE(g1.value().Generate().doc(0).terms,
+            g2.value().Generate().doc(0).terms);
+}
+
+TEST(SyntheticCorpusTest, FirstDocIdOffsetRespected) {
+  auto opts = SmallOptions();
+  opts.first_doc_id = 1000;
+  opts.num_documents = 10;
+  auto gen = SyntheticCorpusGenerator::Create(opts);
+  ASSERT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  EXPECT_EQ(corpus.doc(0).id, 1000u);
+  EXPECT_EQ(corpus.doc(9).id, 1009u);
+}
+
+}  // namespace
+}  // namespace iqn
