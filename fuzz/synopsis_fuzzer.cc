@@ -1,0 +1,147 @@
+// Fuzz target for the synopsis wire format (-DIQN_FUZZ=ON).
+//
+// One input exercises both untrusted-byte entry points the DHT exposes:
+// DeserializeSynopsisFromBytes and DeserializeHistogram. Accepted inputs
+// must additionally survive a serialize/deserialize round trip; anything
+// else is a bug, reported by trapping so the fuzzer minimizes it.
+//
+// Under Clang this links against libFuzzer via -fsanitize=fuzzer. The
+// container toolchain here is gcc-only, so fuzz/CMakeLists.txt falls back
+// to a standalone driver (IQN_FUZZ_STANDALONE) that replays corpus files
+// through the identical TestOneInput — CI and developers without Clang
+// still get crash-replay and regression coverage under ASan/UBSan.
+//
+// Usage (standalone):
+//   synopsis_fuzzer --make-corpus <dir>   write seed corpus files
+//   synopsis_fuzzer <file>...             replay inputs (crashes on bug)
+
+#include <cstddef>
+#include <cstdint>
+
+#include "synopses/serialization.h"
+#include "util/bytes.h"
+
+namespace {
+
+void TestOneInput(const uint8_t* data, size_t size) {
+  iqn::Bytes bytes(data, data + size);
+
+  auto synopsis = iqn::DeserializeSynopsisFromBytes(bytes);
+  if (synopsis.ok()) {
+    iqn::Bytes again = iqn::SerializeSynopsisToBytes(*synopsis.value());
+    if (!iqn::DeserializeSynopsisFromBytes(again).ok()) __builtin_trap();
+  }
+
+  iqn::ByteReader reader(bytes);
+  auto histogram = iqn::DeserializeHistogram(&reader);
+  (void)histogram;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  TestOneInput(data, size);
+  return 0;
+}
+
+#ifdef IQN_FUZZ_STANDALONE
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/histogram_synopsis.h"
+#include "synopses/loglog.h"
+#include "synopses/min_wise.h"
+#include "util/random.h"
+
+namespace {
+
+int WriteCorpus(const std::string& dir) {
+  using iqn::Bytes;
+  std::vector<Bytes> seeds;
+
+  auto bloom = iqn::BloomFilter::Create(512, 3, 42);
+  if (!bloom.ok()) return 1;
+  for (iqn::DocId id = 0; id < 64; ++id) bloom.value().Add(id);
+  seeds.push_back(iqn::SerializeSynopsisToBytes(bloom.value()));
+  seeds.push_back(iqn::SerializeBloomFilterCompressed(bloom.value()));
+
+  auto sketch = iqn::HashSketch::Create(16, 32, 9);
+  if (!sketch.ok()) return 1;
+  for (iqn::DocId id = 0; id < 300; ++id) sketch.value().Add(id);
+  seeds.push_back(iqn::SerializeSynopsisToBytes(sketch.value()));
+
+  iqn::UniversalHashFamily family(4242);
+  auto mips = iqn::MinWiseSynopsis::Create(48, family);
+  if (!mips.ok()) return 1;
+  for (iqn::DocId id = 0; id < 200; ++id) mips.value().Add(id);
+  seeds.push_back(iqn::SerializeSynopsisToBytes(mips.value()));
+
+  auto loglog = iqn::LogLogCounter::Create(64, 3, true);
+  if (!loglog.ok()) return 1;
+  for (iqn::DocId id = 0; id < 5000; ++id) loglog.value().Add(id);
+  seeds.push_back(iqn::SerializeSynopsisToBytes(loglog.value()));
+
+  auto factory = [] {
+    auto bf = iqn::BloomFilter::Create(256, 2, 11);
+    return std::unique_ptr<iqn::SetSynopsis>(
+        new iqn::BloomFilter(std::move(bf.value())));
+  };
+  auto hist = iqn::ScoreHistogramSynopsis::Create(8, factory);
+  if (!hist.ok()) return 1;
+  iqn::Rng rng(31337);
+  for (iqn::DocId id = 0; id < 120; ++id) {
+    hist.value().Add(id, rng.NextDouble());
+  }
+  iqn::ByteWriter writer;
+  iqn::SerializeHistogram(hist.value(), &writer);
+  seeds.push_back(writer.Take());
+
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    std::string path = dir + "/seed-" + std::to_string(i) + ".bin";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(seeds[i].data()),
+              static_cast<std::streamsize>(seeds[i].size()));
+  }
+  std::fprintf(stderr, "wrote %zu seed files to %s\n", seeds.size(),
+               dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--make-corpus") {
+    return WriteCorpus(argv[2]);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s --make-corpus <dir> | %s <input-file>...\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    TestOneInput(data.data(), data.size());
+    std::fprintf(stderr, "ok: %s (%zu bytes)\n", argv[i], data.size());
+  }
+  return 0;
+}
+
+#endif  // IQN_FUZZ_STANDALONE

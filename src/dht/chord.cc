@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace iqn {
 
 namespace {
@@ -50,6 +52,12 @@ Status ChordNode::RegisterVerb(const std::string& verb, VerbHandler handler) {
 }
 
 Result<Bytes> ChordNode::HandleMessage(const Message& msg) {
+  // Ring invariants every handler relies on: the successor list is never
+  // empty (it always at least names this node) and the finger table keeps
+  // its fixed size. These hold across Join/Leave/Stabilize by
+  // construction; a violation means routing state is corrupted.
+  IQN_CHECK(!successor_list_.empty());
+  IQN_DCHECK_EQ(fingers_.size(), kNumFingers);
   ByteReader reader(msg.payload);
   if (msg.type == "chord.ping") {
     return Bytes{};
@@ -251,6 +259,7 @@ ChordPeer ChordNode::FirstLiveSuccessor() {
     successor_list_.erase(successor_list_.begin());
   }
   successor_list_.push_back(self_);
+  IQN_CHECK(!successor_list_.empty());
   return self_;
 }
 
@@ -290,6 +299,8 @@ Status ChordNode::Stabilize() {
       fresh.push_back(p);
     }
   }
+  IQN_CHECK(!fresh.empty());
+  IQN_CHECK_LE(fresh.size(), kSuccessorListSize);
   successor_list_ = std::move(fresh);
   return Status::OK();
 }
@@ -297,6 +308,7 @@ Status ChordNode::Stabilize() {
 Status ChordNode::FixNextFinger() {
   if (!in_ring_) return Status::FailedPrecondition("node is not in a ring");
   size_t i = next_finger_to_fix_;
+  IQN_DCHECK_LT(i, kNumFingers);
   next_finger_to_fix_ = (next_finger_to_fix_ + 1) % kNumFingers;
   RingId target = self_.id + (i == 63 ? (uint64_t{1} << 63) : (uint64_t{1} << i));
   IQN_ASSIGN_OR_RETURN(LookupResult found, FindSuccessor(target));
@@ -383,6 +395,7 @@ Result<std::unique_ptr<ChordRing>> ChordRing::Build(SimulatedNetwork* network,
       if (it == sorted.end()) it = sorted.begin();
       node->fingers_[j] = (*it)->self();
     }
+    IQN_DCHECK_EQ(node->successor_list_.size(), ChordNode::kSuccessorListSize);
   }
   return ring;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace iqn {
 
 namespace {
@@ -112,6 +114,12 @@ Result<Bytes> DhtStore::HandleUpsert(const Message& msg) {
   IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
   IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
   IQN_RETURN_IF_ERROR(reader.GetVarint(&replicas_left));
+  if (replicas_left > ChordNode::kSuccessorListSize) {
+    // A forged replica count would forward the value all the way around
+    // the ring; the protocol never sends more than the successor-list
+    // replication factor.
+    return Status::Corruption("upsert replica count out of range");
+  }
 
   data_[key][subkey] = value;
   if (replicas_left > 1) {
@@ -126,6 +134,10 @@ Result<Bytes> DhtStore::HandleUpsertBatch(const Message& msg) {
   uint64_t count, replicas_left;
   IQN_RETURN_IF_ERROR(reader.GetVarint(&count));
   IQN_RETURN_IF_ERROR(reader.GetVarint(&replicas_left));
+  if (replicas_left > ChordNode::kSuccessorListSize) {
+    return Status::Corruption("batch upsert replica count out of range");
+  }
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(count, 3, "batch upsert entry"));
   for (uint64_t i = 0; i < count; ++i) {
     std::string key, subkey;
     Bytes value;
@@ -213,6 +225,9 @@ Result<Bytes> DhtStore::HandleRemove(const Message& msg) {
   IQN_RETURN_IF_ERROR(reader.GetString(&key));
   IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
   IQN_RETURN_IF_ERROR(reader.GetVarint(&replicas_left));
+  if (replicas_left > ChordNode::kSuccessorListSize) {
+    return Status::Corruption("remove replica count out of range");
+  }
 
   auto it = data_.find(key);
   if (it != data_.end()) {
@@ -233,11 +248,13 @@ Result<Bytes> DhtStore::HandleHandoff(const Message& msg) {
   ByteReader reader(msg.payload);
   uint64_t num_keys;
   IQN_RETURN_IF_ERROR(reader.GetVarint(&num_keys));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(num_keys, 2, "handoff key"));
   for (uint64_t i = 0; i < num_keys; ++i) {
     std::string key;
     uint64_t num_subs;
     IQN_RETURN_IF_ERROR(reader.GetString(&key));
     IQN_RETURN_IF_ERROR(reader.GetVarint(&num_subs));
+    IQN_RETURN_IF_ERROR(reader.CheckCountFits(num_subs, 2, "handoff subkey"));
     for (uint64_t j = 0; j < num_subs; ++j) {
       std::string subkey;
       Bytes value;
@@ -268,6 +285,9 @@ Result<std::vector<DhtStore::ScoredSubkey>> DecodeScoredSubkeys(
   ByteReader reader(bytes);
   uint64_t n;
   IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  // Each entry is a length-prefixed subkey (>= 1 byte) plus an 8-byte
+  // score; reject counts the buffer cannot hold before allocating.
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(n, 9, "scored subkey"));
   std::vector<DhtStore::ScoredSubkey> list(n);
   for (auto& entry : list) {
     IQN_RETURN_IF_ERROR(reader.GetString(&entry.subkey));
@@ -334,6 +354,7 @@ Result<Bytes> DhtStore::HandleFetchScores(const Message& msg) {
   uint64_t n;
   IQN_RETURN_IF_ERROR(reader.GetString(&key));
   IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(n, 1, "fetch-scores subkey"));
   auto it = data_.find(key);
   std::vector<ScoredSubkey> scored;
   scored.reserve(n);
@@ -358,6 +379,7 @@ Result<Bytes> DhtStore::HandleFetchEntries(const Message& msg) {
   uint64_t n;
   IQN_RETURN_IF_ERROR(reader.GetString(&key));
   IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(n, 1, "fetch-entries subkey"));
   auto it = data_.find(key);
   ByteWriter writer;
   std::vector<const Bytes*> found;
@@ -415,6 +437,7 @@ Result<std::vector<Bytes>> DhtStore::FetchEntries(
   ByteReader reader(resp);
   uint64_t n;
   IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(n, 1, "fetched entry"));
   std::vector<Bytes> values(n);
   for (auto& v : values) IQN_RETURN_IF_ERROR(reader.GetBytes(&v));
   return values;
@@ -439,6 +462,10 @@ void DhtStore::HandoffAll(const ChordPeer& successor) {
 
 Status DhtStore::Upsert(const std::string& key, const std::string& subkey,
                         Bytes value) {
+  // Attach() validated the replication factor; the forwarding chain and
+  // the wire-side replica checks both depend on it staying in range.
+  IQN_DCHECK_GE(replication_, size_t{1});
+  IQN_DCHECK_LE(replication_, ChordNode::kSuccessorListSize);
   IQN_ASSIGN_OR_RETURN(LookupResult found,
                        node_->FindSuccessor(RingIdForKey(key)));
   Bytes payload = EncodeUpsert(key, subkey, value, replication_);
@@ -513,6 +540,7 @@ Result<std::vector<Bytes>> DhtStore::GetTop(const std::string& key,
   ByteReader reader(resp.value());
   uint64_t n;
   IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(n, 1, "get-top value"));
   std::vector<Bytes> values(n);
   for (auto& v : values) IQN_RETURN_IF_ERROR(reader.GetBytes(&v));
   return values;
@@ -543,6 +571,7 @@ Result<std::vector<Bytes>> DhtStore::GetAll(const std::string& key) {
   ByteReader reader(resp.value());
   uint64_t n;
   IQN_RETURN_IF_ERROR(reader.GetVarint(&n));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(n, 1, "get-all value"));
   std::vector<Bytes> values(n);
   for (auto& v : values) IQN_RETURN_IF_ERROR(reader.GetBytes(&v));
   return values;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace iqn {
 
 CoriTermStats ComputeCoriTermStats(const std::vector<Post>& peer_list) {
@@ -35,7 +37,15 @@ double CoriTermScore(const Post* post, const CoriTermStats& stats,
       std::log((np + 0.5) / static_cast<double>(stats.collection_frequency)) /
       std::log(np + 1.0);
   if (i < 0.0) i = 0.0;  // cf_t can exceed np transiently under churn
-  return params.alpha + (1.0 - params.alpha) * t * i;
+  double score = params.alpha + (1.0 - params.alpha) * t * i;
+  // With alpha in [0, 1], T in [0, 1) and I in [0, 1], the belief stays a
+  // probability; the IQN loop multiplies it with novelty counts, so an
+  // out-of-range belief skews peer selection silently.
+  IQN_DCHECK_GE(params.alpha, 0.0);
+  IQN_DCHECK_LE(params.alpha, 1.0);
+  IQN_DCHECK_GE(score, 0.0);
+  IQN_DCHECK_LE(score, 1.0);
+  return score;
 }
 
 double CoriCollectionScore(

@@ -7,6 +7,7 @@
 
 #include "synopses/estimators.h"
 #include "synopses/reference_synopsis.h"
+#include "util/check.h"
 
 namespace iqn {
 
@@ -46,11 +47,17 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (taken[i]) continue;
       IQN_ASSIGN_OR_RETURN(double novelty, callbacks.novelty_of(i));
+      // Every novelty estimator clamps at zero; a negative value here
+      // would make argmax prefer peers that shrink coverage.
+      IQN_DCHECK_GE(novelty, 0.0);
       double effective = std::max(novelty, options.novelty_floor);
       double quality = 1.0;
       if (options.use_quality) {
         auto it = qualities.find(candidates[i].peer_id);
         quality = it == qualities.end() ? 0.0 : it->second;
+        // CORI beliefs are probabilities (see CoriTermScore).
+        IQN_DCHECK_GE(quality, 0.0);
+        IQN_DCHECK_LE(quality, 1.0);
       }
       double combined = quality * effective;
       if (combined > best_combined ||
@@ -66,6 +73,7 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
 
     // Aggregate-Synopses: fold the chosen peer into the reference.
     size_t idx = static_cast<size_t>(best);
+    IQN_DCHECK(!taken[idx]);
     IQN_RETURN_IF_ERROR(callbacks.absorb(idx));
     taken[idx] = true;
     decision.peers.push_back(SelectedPeer{candidates[idx].peer_id,
@@ -73,6 +81,10 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
                                           best_quality, best_novelty,
                                           best_combined});
   }
+  // Candidate-set invariants: never select more peers than asked for or
+  // than exist, and never the same peer twice (enforced via `taken`).
+  IQN_CHECK_LE(decision.peers.size(), input.max_peers);
+  IQN_CHECK_LE(decision.peers.size(), candidates.size());
   decision.estimated_result_cardinality = callbacks.covered();
   return decision;
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/bits.h"
+#include "util/check.h"
 #include "util/hash.h"
 
 namespace iqn {
@@ -43,8 +44,8 @@ Result<BloomFilter> BloomFilter::FromWords(size_t num_bits, size_t num_hashes,
 
 size_t BloomFilter::OptimalNumHashes(size_t num_bits, size_t expected_items) {
   if (expected_items == 0) return 1;
-  double k = std::round(static_cast<double>(num_bits) / expected_items *
-                        std::log(2.0));
+  double k = std::round(static_cast<double>(num_bits) /
+                        static_cast<double>(expected_items) * std::log(2.0));
   if (k < 1.0) return 1;
   if (k > 32.0) return 32;
   return static_cast<size_t>(k);
@@ -54,6 +55,7 @@ void BloomFilter::Add(DocId id) {
   DoubleHasher hasher(id, seed_);
   for (size_t i = 0; i < num_hashes_; ++i) {
     uint64_t pos = hasher.Probe(i, num_bits_);
+    IQN_DCHECK_LT(pos, num_bits_);
     words_[pos / 64] |= uint64_t{1} << (pos % 64);
   }
 }
@@ -74,6 +76,7 @@ size_t BloomFilter::CountSetBits() const {
 }
 
 double BloomFilter::CardinalityFromSetBits(size_t set_bits) const {
+  IQN_DCHECK_LE(set_bits, num_bits_);
   if (set_bits == 0) return 0.0;
   double m = static_cast<double>(num_bits_);
   double k = static_cast<double>(num_hashes_);
@@ -115,6 +118,8 @@ Result<const BloomFilter*> BloomFilter::CheckCompatible(
 
 Status BloomFilter::MergeUnion(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
+  // CheckCompatible guarantees identical geometry, hence equal word counts.
+  IQN_DCHECK_EQ(bf->words_.size(), words_.size());
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= bf->words_[i];
   return Status::OK();
 }

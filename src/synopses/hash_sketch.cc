@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/bits.h"
+#include "util/check.h"
 #include "util/hash.h"
 
 namespace iqn {
@@ -52,6 +53,7 @@ Result<HashSketch> HashSketch::FromBitmaps(size_t bits_per_bitmap,
 }
 
 void HashSketch::Add(DocId id) {
+  IQN_DCHECK(!bitmaps_.empty());
   uint64_t h = Hash64(id, seed_);
   size_t j = h % bitmaps_.size();
   // Use independent bits for rho so bitmap choice and bit position are
@@ -61,6 +63,10 @@ void HashSketch::Add(DocId id) {
   if (rho >= static_cast<int>(bits_per_bitmap_)) {
     rho = static_cast<int>(bits_per_bitmap_) - 1;
   }
+  // bits_per_bitmap_ is in [4, 64] (enforced at construction), so the
+  // shift below is always defined.
+  IQN_DCHECK_GE(rho, 0);
+  IQN_DCHECK_LT(rho, 64);
   bitmaps_[j] |= uint64_t{1} << rho;
 }
 
@@ -112,6 +118,7 @@ Result<const HashSketch*> HashSketch::CheckCompatible(
 
 Status HashSketch::MergeUnion(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const HashSketch* hs, CheckCompatible(other));
+  IQN_DCHECK_EQ(hs->bitmaps_.size(), bitmaps_.size());
   for (size_t j = 0; j < bitmaps_.size(); ++j) bitmaps_[j] |= hs->bitmaps_[j];
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "synopses/estimators.h"
+#include "util/check.h"
 
 namespace iqn {
 
@@ -47,11 +48,16 @@ ScoreHistogramSynopsis ScoreHistogramSynopsis::CloneHist() const {
 size_t ScoreHistogramSynopsis::CellFor(double score) const {
   if (score < 0.0) score = 0.0;
   if (score >= 1.0) return cells_.size() - 1;
-  return static_cast<size_t>(score * static_cast<double>(cells_.size()));
+  size_t cell = static_cast<size_t>(score * static_cast<double>(cells_.size()));
+  IQN_DCHECK_LT(cell, cells_.size());
+  return cell;
 }
 
 void ScoreHistogramSynopsis::Add(DocId id, double score) {
   Cell& c = cells_[CellFor(score)];
+  // Construction guarantees every cell carries a synopsis; a null here
+  // means a moved-from histogram is still being mutated.
+  IQN_CHECK(c.synopsis != nullptr);
   c.synopsis->Add(id);
   ++c.count;
 }
@@ -121,6 +127,10 @@ Status ScoreHistogramSynopsis::Absorb(const ScoreHistogramSynopsis& candidate) {
         double novelty,
         EstimateNovelty(*ref.synopsis, static_cast<double>(ref.count),
                         *cand.synopsis, static_cast<double>(cand.count)));
+    // EstimateNovelty clamps to [0, candidate count]; absorbing must never
+    // shrink a cell.
+    IQN_DCHECK_GE(novelty, 0.0);
+    IQN_DCHECK_LE(novelty, static_cast<double>(cand.count));
     IQN_RETURN_IF_ERROR(ref.synopsis->MergeUnion(*cand.synopsis));
     ref.count += static_cast<size_t>(novelty + 0.5);
   }

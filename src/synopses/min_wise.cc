@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "util/check.h"
+
 namespace iqn {
 
 MinWiseSynopsis::MinWiseSynopsis(size_t num_permutations,
@@ -34,11 +36,16 @@ Result<MinWiseSynopsis> MinWiseSynopsis::FromMins(
 void MinWiseSynopsis::Add(DocId id) {
   for (size_t i = 0; i < mins_.size(); ++i) {
     uint64_t v = family_.Apply(i, id);
+    // The family maps into Z_{2^61-1}, so every hash stays strictly below
+    // the empty-position sentinel; a violation means the hash family and
+    // the sentinel disagree and every resemblance estimate is suspect.
+    IQN_DCHECK_LT(v, kEmptyMin);
     if (v < mins_[i]) mins_[i] = v;
   }
 }
 
 bool MinWiseSynopsis::Empty() const {
+  IQN_DCHECK(!mins_.empty());
   // Adding any element lowers every position below the sentinel.
   return mins_[0] == kEmptyMin;
 }
@@ -105,6 +112,9 @@ Result<double> MinWiseSynopsis::EstimateResemblance(
     const SetSynopsis& other) const {
   IQN_ASSIGN_OR_RETURN(const MinWiseSynopsis* mw, CheckComparable(other));
   size_t common = std::min(mins_.size(), mw->mins_.size());
+  // Both synopses carry >= 1 permutation (enforced at construction), so
+  // the match ratio below never divides by zero.
+  IQN_DCHECK_GT(common, size_t{0});
   if (Empty() && mw->Empty()) return 0.0;
   size_t matches = 0;
   for (size_t i = 0; i < common; ++i) {

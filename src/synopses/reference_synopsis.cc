@@ -1,5 +1,7 @@
 #include "synopses/reference_synopsis.h"
 
+#include "util/check.h"
+
 namespace iqn {
 
 Result<ReferenceSynopsis> ReferenceSynopsis::Create(
@@ -27,8 +29,15 @@ Result<double> ReferenceSynopsis::Absorb(const SetSynopsis& candidate,
                                          double candidate_cardinality) {
   IQN_ASSIGN_OR_RETURN(double novelty,
                        NoveltyOf(candidate, candidate_cardinality));
+  // The novelty estimators clamp to [0, candidate cardinality], so the
+  // reference cardinality is non-decreasing across Aggregate-Synopses
+  // iterations (paper Sec. 5.1); a violation would let the routing loop
+  // double-count already-covered documents.
+  IQN_DCHECK_GE(novelty, 0.0);
+  IQN_DCHECK_LE(novelty, candidate_cardinality);
   IQN_RETURN_IF_ERROR(synopsis_->MergeUnion(candidate));
   cardinality_ += novelty;
+  IQN_DCHECK_GE(cardinality_, 0.0);
   return novelty;
 }
 

@@ -44,6 +44,15 @@ Result<std::unique_ptr<SetSynopsis>> DecodeCompressedBloom(
   if (set_bits > num_bits || rice_b > 63) {
     return Status::Corruption("compressed Bloom filter header inconsistent");
   }
+  // Each set bit costs at least rice_b + 1 stream bits (unary terminator
+  // plus remainder), so a short stream cannot legitimately claim many
+  // set bits. Rejecting here keeps the decode loop proportional to the
+  // input size.
+  if (set_bits > 0 &&
+      set_bits > (uint64_t{8} * stream.size()) / (uint64_t{rice_b} + 1)) {
+    return Status::Corruption(
+        "compressed Bloom filter set-bit count exceeds stream length");
+  }
   std::vector<uint64_t> words((num_bits + 63) / 64, 0);
   BitReader bits(stream);
   uint64_t position = 0;
@@ -165,6 +174,8 @@ Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsis(ByteReader* reader) {
       if (num_bits > kMaxBloomBits) {
         return Status::Corruption("Bloom filter too large");
       }
+      IQN_RETURN_IF_ERROR(
+          reader->CheckCountFits((num_bits + 63) / 64, 8, "Bloom filter word"));
       std::vector<uint64_t> words((num_bits + 63) / 64);
       for (auto& w : words) IQN_RETURN_IF_ERROR(reader->GetU64(&w));
       IQN_ASSIGN_OR_RETURN(
@@ -180,6 +191,8 @@ Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsis(ByteReader* reader) {
       if (num_bitmaps == 0 || num_bitmaps > kMaxBitmaps) {
         return Status::Corruption("hash sketch bitmap count out of range");
       }
+      IQN_RETURN_IF_ERROR(
+          reader->CheckCountFits(num_bitmaps, 8, "hash sketch bitmap"));
       std::vector<uint64_t> bitmaps(num_bitmaps);
       for (auto& b : bitmaps) IQN_RETURN_IF_ERROR(reader->GetU64(&b));
       IQN_ASSIGN_OR_RETURN(
@@ -193,6 +206,7 @@ Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsis(ByteReader* reader) {
       if (n == 0 || n > kMaxPermutations) {
         return Status::Corruption("MIPs permutation count out of range");
       }
+      IQN_RETURN_IF_ERROR(reader->CheckCountFits(n, 8, "MIPs minimum"));
       std::vector<uint64_t> mins(n);
       for (auto& m : mins) IQN_RETURN_IF_ERROR(reader->GetU64(&m));
       IQN_ASSIGN_OR_RETURN(MinWiseSynopsis mw,
@@ -209,6 +223,8 @@ Result<std::unique_ptr<SetSynopsis>> DeserializeSynopsis(ByteReader* reader) {
       if (num_buckets == 0 || num_buckets > kMaxRegisters) {
         return Status::Corruption("LogLog bucket count out of range");
       }
+      IQN_RETURN_IF_ERROR(
+          reader->CheckCountFits(num_buckets, 1, "LogLog register"));
       std::vector<uint8_t> registers(num_buckets);
       for (auto& r : registers) IQN_RETURN_IF_ERROR(reader->GetU8(&r));
       IQN_ASSIGN_OR_RETURN(
@@ -247,6 +263,8 @@ Result<ScoreHistogramSynopsis> DeserializeHistogram(ByteReader* reader) {
   if (num_cells == 0 || num_cells > 64) {
     return Status::Corruption("histogram cell count out of range");
   }
+  // Every cell carries at least a count varint and a synopsis type tag.
+  IQN_RETURN_IF_ERROR(reader->CheckCountFits(num_cells, 2, "histogram cell"));
   std::vector<ScoreHistogramSynopsis::Cell> cells(num_cells);
   for (auto& cell : cells) {
     uint64_t count;

@@ -96,6 +96,19 @@ Status ByteReader::GetBytes(Bytes* out) {
   return Status::OK();
 }
 
+Status ByteReader::CheckCountFits(uint64_t count, size_t min_bytes_each,
+                                  const char* what) const {
+  // Divide instead of multiplying so count * min_bytes_each cannot wrap.
+  uint64_t max_count = min_bytes_each == 0
+                           ? remaining()
+                           : remaining() / min_bytes_each;
+  if (count > max_count) {
+    return Status::Corruption(std::string(what) +
+                              " count exceeds remaining buffer");
+  }
+  return Status::OK();
+}
+
 Status ByteReader::GetString(std::string* out) {
   uint64_t n;
   IQN_RETURN_IF_ERROR(GetVarint(&n));

@@ -55,6 +55,15 @@ class ByteReader {
   Status GetBytes(Bytes* out);
   Status GetString(std::string* out);
 
+  /// Fail-fast guard for decoders that allocate `count` elements before
+  /// reading them: returns Corruption unless the remaining buffer could
+  /// possibly hold `count` items of at least `min_bytes_each` wire bytes.
+  /// Call this before sizing any container from an untrusted count, so a
+  /// tiny message claiming 2^31 elements is rejected without attempting
+  /// the allocation. Overflow-safe for any count.
+  Status CheckCountFits(uint64_t count, size_t min_bytes_each,
+                        const char* what) const;
+
   size_t remaining() const { return len_ - pos_; }
   bool AtEnd() const { return pos_ == len_; }
 

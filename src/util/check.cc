@@ -1,0 +1,32 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iqn {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const std::string& detail) {
+  // One formatted write so the message stays intact even if several
+  // threads fail checks at once.
+  std::string msg = "CHECK failed: ";
+  msg += condition;
+  if (!detail.empty()) {
+    msg += " (";
+    msg += detail;
+    msg += ")";
+  }
+  msg += " at ";
+  msg += file;
+  msg += ":";
+  msg += std::to_string(line);
+  msg += "\n";
+  std::fwrite(msg.data(), 1, msg.size(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace iqn

@@ -1,0 +1,110 @@
+// Invariant-check macros for conditions that indicate a bug in this
+// process, as opposed to bad input from the outside world.
+//
+// Policy (see DESIGN.md "Correctness tooling"):
+//  * Untrusted bytes (wire decoding, peer messages) -> return Status,
+//    never CHECK. A remote peer must not be able to crash this node.
+//  * Internal invariants whose violation means the program logic is
+//    broken -> IQN_CHECK. These stay on in release builds because a
+//    corrupted synopsis silently poisons every routing decision
+//    downstream, which is far worse than a crash.
+//  * Hot-loop invariants too expensive for release -> IQN_DCHECK
+//    (compiled out unless NDEBUG is undefined, i.e. in Debug builds).
+//
+// All forms print the failed condition, the operand values (for the
+// binary comparisons), and the source location, then abort(). They are
+// deliberately independent of Status/logging so every layer, including
+// util itself, can use them.
+
+#ifndef IQN_UTIL_CHECK_H_
+#define IQN_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace iqn {
+namespace internal {
+
+/// Prints "CHECK failed: <msg> at <file>:<line>" to stderr and aborts.
+/// Out of line so the macro expansion stays small at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition,
+                              const std::string& detail);
+
+/// Stringifies a checked operand. Falls back to "<unprintable>" for types
+/// without operator<<; specialized so CHECK_EQ works on anything.
+template <typename T>
+std::string CheckOperandToString(const T& v) {
+  if constexpr (requires(std::ostringstream& os, const T& x) { os << x; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+/// Builds the "lhs vs rhs" detail string for a failed binary comparison.
+template <typename A, typename B>
+std::string CheckOpDetail(const char* op, const A& a, const B& b) {
+  std::string out = CheckOperandToString(a);
+  out += " ";
+  out += op;
+  out += " ";
+  out += CheckOperandToString(b);
+  return out;
+}
+
+}  // namespace internal
+}  // namespace iqn
+
+#define IQN_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::iqn::internal::CheckFailed(__FILE__, __LINE__, #condition, "");   \
+    }                                                                     \
+  } while (0)
+
+// The operands of binary checks are evaluated exactly once.
+#define IQN_CHECK_OP_(name, op, a, b)                                     \
+  do {                                                                    \
+    auto&& iqn_check_a_ = (a);                                            \
+    auto&& iqn_check_b_ = (b);                                            \
+    if (!(iqn_check_a_ op iqn_check_b_)) {                                \
+      ::iqn::internal::CheckFailed(                                       \
+          __FILE__, __LINE__, #a " " #op " " #b,                          \
+          ::iqn::internal::CheckOpDetail(#op, iqn_check_a_,               \
+                                         iqn_check_b_));                  \
+    }                                                                     \
+  } while (0)
+
+#define IQN_CHECK_EQ(a, b) IQN_CHECK_OP_(EQ, ==, a, b)
+#define IQN_CHECK_NE(a, b) IQN_CHECK_OP_(NE, !=, a, b)
+#define IQN_CHECK_LT(a, b) IQN_CHECK_OP_(LT, <, a, b)
+#define IQN_CHECK_LE(a, b) IQN_CHECK_OP_(LE, <=, a, b)
+#define IQN_CHECK_GT(a, b) IQN_CHECK_OP_(GT, >, a, b)
+#define IQN_CHECK_GE(a, b) IQN_CHECK_OP_(GE, >=, a, b)
+
+// Debug-only variants: full checks in Debug builds, no code and no operand
+// evaluation in release builds (operands must be side-effect free).
+#ifdef NDEBUG
+#define IQN_DCHECK_ACTIVE_ 0
+#define IQN_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#define IQN_DCHECK_OP_(op, a, b) \
+  do {                           \
+  } while (0)
+#else
+#define IQN_DCHECK_ACTIVE_ 1
+#define IQN_DCHECK(condition) IQN_CHECK(condition)
+#define IQN_DCHECK_OP_(op, a, b) IQN_CHECK_OP_(D, op, a, b)
+#endif
+
+#define IQN_DCHECK_EQ(a, b) IQN_DCHECK_OP_(==, a, b)
+#define IQN_DCHECK_NE(a, b) IQN_DCHECK_OP_(!=, a, b)
+#define IQN_DCHECK_LT(a, b) IQN_DCHECK_OP_(<, a, b)
+#define IQN_DCHECK_LE(a, b) IQN_DCHECK_OP_(<=, a, b)
+#define IQN_DCHECK_GT(a, b) IQN_DCHECK_OP_(>, a, b)
+#define IQN_DCHECK_GE(a, b) IQN_DCHECK_OP_(>=, a, b)
+
+#endif  // IQN_UTIL_CHECK_H_

@@ -1,8 +1,9 @@
 #include "util/flags.h"
 
-#include <cassert>
 #include <cstdlib>
 #include <sstream>
+
+#include "util/check.h"
 
 namespace iqn {
 
@@ -104,25 +105,25 @@ Status Flags::Parse(int argc, char** argv) {
 
 std::string Flags::GetString(const std::string& name) const {
   auto it = defs_.find(name);
-  assert(it != defs_.end() && "GetString on undefined flag");
+  IQN_CHECK(it != defs_.end());  // GetString on undefined flag
   return it->second.value;
 }
 
 int64_t Flags::GetInt(const std::string& name) const {
   auto it = defs_.find(name);
-  assert(it != defs_.end() && "GetInt on undefined flag");
+  IQN_CHECK(it != defs_.end());  // GetInt on undefined flag
   return std::strtoll(it->second.value.c_str(), nullptr, 10);
 }
 
 double Flags::GetDouble(const std::string& name) const {
   auto it = defs_.find(name);
-  assert(it != defs_.end() && "GetDouble on undefined flag");
+  IQN_CHECK(it != defs_.end());  // GetDouble on undefined flag
   return std::strtod(it->second.value.c_str(), nullptr);
 }
 
 bool Flags::GetBool(const std::string& name) const {
   auto it = defs_.find(name);
-  assert(it != defs_.end() && "GetBool on undefined flag");
+  IQN_CHECK(it != defs_.end());  // GetBool on undefined flag
   return it->second.value == "true" || it->second.value == "1";
 }
 

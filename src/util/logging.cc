@@ -7,6 +7,9 @@ namespace iqn {
 
 namespace {
 
+// Relaxed ordering everywhere: the level is an independent knob with no
+// data published under it, so threads only need atomicity, not ordering.
+// This keeps the logger TSan-clean once parallel engines land.
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
@@ -25,12 +28,24 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level.load(); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  // Format the whole line first and emit it with a single write: stderr is
+  // unbuffered, so a multi-part fprintf could interleave with another
+  // thread's message mid-line.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[";
+  line += LevelName(level);
+  line += "] ";
+  line += msg;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace iqn

@@ -2,6 +2,10 @@
 //
 // Library code itself never logs on hot paths; logging exists so the
 // runnable binaries can narrate what the engine is doing.
+//
+// Thread safety: the minimum level is an atomic, each LogLine buffers its
+// own message, and LogMessage emits one pre-formatted write per line, so
+// concurrent loggers cannot interleave characters and TSan sees no races.
 
 #ifndef IQN_UTIL_LOGGING_H_
 #define IQN_UTIL_LOGGING_H_

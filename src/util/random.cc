@@ -1,7 +1,8 @@
 #include "util/random.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 #include "util/hash.h"
 
@@ -38,7 +39,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::Uniform(uint64_t bound) {
-  assert(bound > 0);
+  IQN_DCHECK_GT(bound, uint64_t{0});
   // Lemire's nearly-divisionless method.
   unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
   uint64_t lo = static_cast<uint64_t>(m);
@@ -53,7 +54,7 @@ uint64_t Rng::Uniform(uint64_t bound) {
 }
 
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  IQN_DCHECK_LE(lo, hi);
   return lo + static_cast<int64_t>(
                   Uniform(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -86,7 +87,7 @@ double Rng::NextGaussian() {
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
-  assert(k <= n);
+  IQN_DCHECK_LE(k, n);
   // Partial Fisher-Yates over an index vector; O(n) space, O(n + k) time.
   std::vector<size_t> idx(n);
   for (size_t i = 0; i < n; ++i) idx[i] = i;

@@ -7,10 +7,11 @@
 #ifndef IQN_UTIL_STATUS_H_
 #define IQN_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace iqn {
 
@@ -83,22 +84,22 @@ class Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    IQN_DCHECK(!status_.ok());  // OK status requires a value
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    IQN_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    IQN_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    IQN_DCHECK(ok());
     return std::move(*value_);
   }
 

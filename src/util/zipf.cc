@@ -1,13 +1,14 @@
 #include "util/zipf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace iqn {
 
 ZipfSampler::ZipfSampler(size_t n, double theta) : theta_(theta) {
-  assert(n > 0);
+  IQN_CHECK_GT(n, size_t{0});
   cdf_.resize(n);
   double acc = 0.0;
   for (size_t k = 0; k < n; ++k) {
@@ -26,27 +27,29 @@ size_t ZipfSampler::Sample(Rng* rng) const {
 }
 
 double ZipfSampler::Pmf(size_t rank) const {
-  assert(rank < cdf_.size());
+  IQN_DCHECK_LT(rank, cdf_.size());
   if (rank == 0) return cdf_[0];
   return cdf_[rank] - cdf_[rank - 1];
 }
 
 AliasSampler::AliasSampler(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  IQN_CHECK(!weights.empty());
   const size_t n = weights.size();
   prob_.resize(n);
   alias_.resize(n);
 
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    IQN_CHECK_GE(w, 0.0);
     total += w;
   }
-  assert(total > 0.0);
+  IQN_CHECK_GT(total, 0.0);
 
   // Scaled probabilities; split into under- and over-full buckets.
   std::vector<double> scaled(n);
-  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
 
   std::vector<size_t> small, large;
   small.reserve(n);

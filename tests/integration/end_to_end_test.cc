@@ -114,7 +114,9 @@ TEST(EndToEndTest, MergedResultsAreDedupedAndSorted) {
   std::unordered_set<DocId> seen;
   for (size_t i = 0; i < merged.size(); ++i) {
     EXPECT_TRUE(seen.insert(merged[i].doc).second);
-    if (i > 0) EXPECT_GE(merged[i - 1].score, merged[i].score);
+    if (i > 0) {
+      EXPECT_GE(merged[i - 1].score, merged[i].score);
+    }
   }
   EXPECT_LE(merged.size(), world.queries[2].k);
 }

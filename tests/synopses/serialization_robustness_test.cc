@@ -1,0 +1,406 @@
+// Wire-robustness harness for the synopsis deserializers.
+//
+// The DHT directory hands DeserializeSynopsisFromBytes whatever bytes a
+// remote peer posted, so the decoder must treat its input as hostile:
+// every outcome on mutated, truncated, or bit-flipped input has to be a
+// clean Ok/Corruption/InvalidArgument status — never an abort, OOB read,
+// or unbounded allocation. This file replays >1000 deterministic
+// mutations of valid encodings of every synopsis type (plus histograms
+// and the compressed Bloom image) and also pins down the two satellite
+// guarantees: huge declared counts fail before allocating, and the
+// compressed Bloom path round-trips at extreme fill ratios.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/histogram_synopsis.h"
+#include "synopses/loglog.h"
+#include "synopses/min_wise.h"
+#include "synopses/serialization.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace iqn {
+namespace {
+
+const UniversalHashFamily& Family() {
+  static const UniversalHashFamily family(4242);
+  return family;
+}
+
+std::string Hex(const Bytes& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+bool IsCleanFailure(const Status& status) {
+  return status.code() == StatusCode::kCorruption ||
+         status.code() == StatusCode::kInvalidArgument;
+}
+
+/// The contract under mutation: either the decoder rejects the bytes with
+/// a clean status, or it accepts them — in which case the accepted value
+/// must itself survive a serialize/deserialize round trip (a mutation can
+/// legitimately land on another valid encoding).
+void ExpectCleanSynopsisOutcome(const Bytes& bytes) {
+  auto result = DeserializeSynopsisFromBytes(bytes);
+  if (result.ok()) {
+    Bytes again = SerializeSynopsisToBytes(*result.value());
+    auto second = DeserializeSynopsisFromBytes(again);
+    EXPECT_TRUE(second.ok()) << "accepted input failed to round-trip: "
+                             << second.status().ToString()
+                             << " input=" << Hex(bytes);
+  } else {
+    EXPECT_TRUE(IsCleanFailure(result.status()))
+        << result.status().ToString() << " input=" << Hex(bytes);
+  }
+}
+
+void ExpectCleanHistogramOutcome(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  auto result = DeserializeHistogram(&reader);
+  if (!result.ok()) {
+    EXPECT_TRUE(IsCleanFailure(result.status()))
+        << result.status().ToString() << " input=" << Hex(bytes);
+  }
+}
+
+/// Valid encodings of every synopsis shape the directory ships.
+std::vector<Bytes> SynopsisSeedCorpus() {
+  std::vector<Bytes> corpus;
+
+  auto bloom = BloomFilter::Create(512, 3, 42);
+  EXPECT_TRUE(bloom.ok());
+  for (DocId id = 0; id < 64; ++id) bloom.value().Add(id);
+  corpus.push_back(SerializeSynopsisToBytes(bloom.value()));
+  corpus.push_back(SerializeBloomFilterCompressed(bloom.value()));
+
+  auto sparse = BloomFilter::Create(2048, 2, 7);
+  EXPECT_TRUE(sparse.ok());
+  sparse.value().Add(1);
+  sparse.value().Add(99);
+  corpus.push_back(SerializeBloomFilterCompressed(sparse.value()));
+
+  auto sketch = HashSketch::Create(16, 32, 9);
+  EXPECT_TRUE(sketch.ok());
+  for (DocId id = 0; id < 300; ++id) sketch.value().Add(id);
+  corpus.push_back(SerializeSynopsisToBytes(sketch.value()));
+
+  auto mips = MinWiseSynopsis::Create(48, Family());
+  EXPECT_TRUE(mips.ok());
+  for (DocId id = 0; id < 200; ++id) mips.value().Add(id);
+  corpus.push_back(SerializeSynopsisToBytes(mips.value()));
+
+  auto loglog = LogLogCounter::Create(64, 3, true);
+  EXPECT_TRUE(loglog.ok());
+  for (DocId id = 0; id < 5000; ++id) loglog.value().Add(id);
+  corpus.push_back(SerializeSynopsisToBytes(loglog.value()));
+
+  return corpus;
+}
+
+Bytes HistogramSeed() {
+  auto factory = [] {
+    auto bf = BloomFilter::Create(256, 2, 11);
+    EXPECT_TRUE(bf.ok());
+    return std::unique_ptr<SetSynopsis>(
+        new BloomFilter(std::move(bf.value())));
+  };
+  auto hist = ScoreHistogramSynopsis::Create(8, factory);
+  EXPECT_TRUE(hist.ok());
+  Rng rng(31337);
+  for (DocId id = 0; id < 120; ++id) hist.value().Add(id, rng.NextDouble());
+  ByteWriter writer;
+  SerializeHistogram(hist.value(), &writer);
+  return writer.Take();
+}
+
+/// One deterministic mutation of `seed`: truncate, flip bits, splice
+/// random bytes, extend with garbage, or a truncate+flip combination.
+Bytes Mutate(const Bytes& seed, Rng* rng) {
+  Bytes bytes = seed;
+  switch (rng->Uniform(5)) {
+    case 0:  // truncate to a random prefix
+      bytes.resize(static_cast<size_t>(rng->Uniform(bytes.size() + 1)));
+      break;
+    case 1: {  // flip 1..8 random bits
+      uint64_t flips = 1 + rng->Uniform(8);
+      for (uint64_t i = 0; i < flips && !bytes.empty(); ++i) {
+        uint64_t bit = rng->Uniform(bytes.size() * 8);
+        bytes[static_cast<size_t>(bit / 8)] ^=
+            static_cast<uint8_t>(uint64_t{1} << (bit % 8));
+      }
+      break;
+    }
+    case 2: {  // overwrite 1..4 random bytes
+      uint64_t edits = 1 + rng->Uniform(4);
+      for (uint64_t i = 0; i < edits && !bytes.empty(); ++i) {
+        bytes[static_cast<size_t>(rng->Uniform(bytes.size()))] =
+            static_cast<uint8_t>(rng->Uniform(256));
+      }
+      break;
+    }
+    case 3: {  // append 1..16 garbage bytes
+      uint64_t extra = 1 + rng->Uniform(16);
+      for (uint64_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<uint8_t>(rng->Uniform(256)));
+      }
+      break;
+    }
+    default: {  // truncate, then flip a bit in what remains
+      bytes.resize(static_cast<size_t>(rng->Uniform(bytes.size() + 1)));
+      if (!bytes.empty()) {
+        uint64_t bit = rng->Uniform(bytes.size() * 8);
+        bytes[static_cast<size_t>(bit / 8)] ^=
+            static_cast<uint8_t>(uint64_t{1} << (bit % 8));
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+TEST(SerializationRobustnessTest, MutatedSynopsisEncodingsNeverCrash) {
+  std::vector<Bytes> corpus = SynopsisSeedCorpus();
+  ASSERT_EQ(corpus.size(), 6u);
+  Rng rng(0xC0FFEE);
+  constexpr int kMutationsPerSeed = 200;  // 6 * 200 = 1200 hostile inputs
+  for (const Bytes& seed : corpus) {
+    ExpectCleanSynopsisOutcome(seed);  // the seed itself must decode
+    for (int i = 0; i < kMutationsPerSeed; ++i) {
+      ExpectCleanSynopsisOutcome(Mutate(seed, &rng));
+    }
+  }
+}
+
+TEST(SerializationRobustnessTest, MutatedHistogramEncodingsNeverCrash) {
+  Bytes seed = HistogramSeed();
+  {
+    ByteReader reader(seed);
+    auto hist = DeserializeHistogram(&reader);
+    ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+    EXPECT_TRUE(reader.AtEnd());
+  }
+  Rng rng(0xFACADE);
+  for (int i = 0; i < 300; ++i) {
+    ExpectCleanHistogramOutcome(Mutate(seed, &rng));
+  }
+}
+
+// A strict prefix of a valid encoding can never be a complete message:
+// every field's length is determined by bytes that truncation does not
+// alter, so the decoder must run out of input and say so cleanly.
+TEST(SerializationRobustnessTest, EveryTruncationPointFailsCleanly) {
+  for (const Bytes& seed : SynopsisSeedCorpus()) {
+    for (size_t len = 0; len < seed.size(); ++len) {
+      Bytes prefix(seed.begin(), seed.begin() + static_cast<long>(len));
+      auto result = DeserializeSynopsisFromBytes(prefix);
+      ASSERT_FALSE(result.ok()) << "truncated to " << len << " of "
+                                << seed.size() << " bytes";
+      EXPECT_TRUE(IsCleanFailure(result.status()))
+          << result.status().ToString();
+    }
+  }
+  Bytes hist_seed = HistogramSeed();
+  for (size_t len = 0; len < hist_seed.size(); ++len) {
+    Bytes prefix(hist_seed.begin(),
+                 hist_seed.begin() + static_cast<long>(len));
+    ByteReader reader(prefix);
+    auto result = DeserializeHistogram(&reader);
+    ASSERT_FALSE(result.ok()) << "truncated to " << len << " bytes";
+    EXPECT_TRUE(IsCleanFailure(result.status())) << result.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resource-exhaustion regressions: a tiny message whose header claims a
+// huge element count must be rejected by the count-vs-remaining check
+// before any allocation proportional to the claim happens.
+
+TEST(SerializationRobustnessTest, BloomHeaderClaimingMaxBitsFailsFast) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(SynopsisType::kBloomFilter));
+  writer.PutVarint(uint64_t{1} << 26);  // kMaxBloomBits: an 8 MiB claim
+  writer.PutVarint(3);
+  writer.PutU64(42);
+  // No payload words at all.
+  auto result = DeserializeSynopsisFromBytes(writer.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest, BloomHeaderOverMaxBitsIsRejected) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(SynopsisType::kBloomFilter));
+  writer.PutVarint(uint64_t{1} << 40);
+  writer.PutVarint(3);
+  writer.PutU64(42);
+  auto result = DeserializeSynopsisFromBytes(writer.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest, SketchHeaderClaimingManyBitmapsFailsFast) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(SynopsisType::kHashSketch));
+  writer.PutVarint(60000);  // bitmaps (within kMaxBitmaps, 480 KB claim)
+  writer.PutVarint(32);
+  writer.PutU64(9);
+  writer.PutU64(0);  // one lonely bitmap instead of 60000
+  auto result = DeserializeSynopsisFromBytes(writer.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest, MinWiseHeaderClaimingManyMinsFailsFast) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(SynopsisType::kMinWise));
+  writer.PutVarint(4096);  // kMaxPermutations
+  writer.PutU64(Family().seed());
+  auto result = DeserializeSynopsisFromBytes(writer.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest, LogLogHeaderClaimingManyRegistersFailsFast) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(SynopsisType::kLogLog));
+  writer.PutVarint(65536);  // kMaxRegisters
+  writer.PutU64(3);
+  writer.PutU8(1);
+  auto result = DeserializeSynopsisFromBytes(writer.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest, HistogramHeaderClaimingManyCellsFailsFast) {
+  ByteWriter writer;
+  writer.PutVarint(64);  // max cells, but only one byte of payload follows
+  writer.PutU8(0);
+  Bytes bytes = writer.Take();
+  ByteReader reader(bytes);
+  auto result = DeserializeHistogram(&reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest, HistogramHeaderOverMaxCellsIsRejected) {
+  ByteWriter writer;
+  writer.PutVarint(uint64_t{1} << 31);
+  Bytes bytes = writer.Take();
+  ByteReader reader(bytes);
+  auto result = DeserializeHistogram(&reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializationRobustnessTest,
+     CompressedBloomSetBitsBeyondStreamIsRejected) {
+  ByteWriter writer;
+  writer.PutU8(5);  // kCompressedBloomTag
+  writer.PutVarint(1 << 20);
+  writer.PutVarint(4);
+  writer.PutU64(42);
+  writer.PutVarint(100000);  // set bits: impossible for a 2-byte stream
+  writer.PutU8(4);           // rice parameter
+  writer.PutBytes({0xFF, 0xFF});
+  auto result = DeserializeSynopsisFromBytes(writer.Take());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Compressed Bloom round trips at extreme fill ratios. FromWords gives
+// exact control over the bit pattern, so each case pins a precise fill.
+
+/// Builds a 1024-bit filter whose bits follow `pattern(bit_index)`.
+BloomFilter PatternedFilter(bool (*pattern)(uint64_t)) {
+  constexpr uint64_t kBits = 1024;
+  std::vector<uint64_t> words(kBits / 64, 0);
+  for (uint64_t bit = 0; bit < kBits; ++bit) {
+    if (pattern(bit)) words[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+  auto bf = BloomFilter::FromWords(kBits, 3, 42, std::move(words));
+  EXPECT_TRUE(bf.ok()) << bf.status().ToString();
+  return std::move(bf.value());
+}
+
+void ExpectCompressedRoundTrip(const BloomFilter& filter) {
+  Bytes wire = SerializeBloomFilterCompressed(filter);
+  // The shipped image never exceeds the raw one: dense filters fall back.
+  EXPECT_LE(wire.size(), SerializeSynopsisToBytes(filter).size());
+  auto rt = DeserializeSynopsisFromBytes(wire);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  ASSERT_EQ(rt.value()->type(), SynopsisType::kBloomFilter);
+  auto* decoded = static_cast<BloomFilter*>(rt.value().get());
+  EXPECT_EQ(decoded->words(), filter.words());
+  EXPECT_EQ(decoded->num_bits(), filter.num_bits());
+  EXPECT_EQ(decoded->num_hashes(), filter.num_hashes());
+  EXPECT_EQ(decoded->seed(), filter.seed());
+}
+
+TEST(CompressedBloomExtremesTest, EmptyFilterRoundTripsAndShrinks) {
+  BloomFilter empty = PatternedFilter([](uint64_t) { return false; });
+  Bytes wire = SerializeBloomFilterCompressed(empty);
+  EXPECT_LT(wire.size(), SerializeSynopsisToBytes(empty).size());
+  ExpectCompressedRoundTrip(empty);
+}
+
+TEST(CompressedBloomExtremesTest, SingleBitExtremePositionsRoundTrip) {
+  ExpectCompressedRoundTrip(
+      PatternedFilter([](uint64_t bit) { return bit == 0; }));
+  ExpectCompressedRoundTrip(
+      PatternedFilter([](uint64_t bit) { return bit == 1023; }));
+}
+
+TEST(CompressedBloomExtremesTest, FullFilterFallsBackToRawImage) {
+  BloomFilter full = PatternedFilter([](uint64_t) { return true; });
+  Bytes wire = SerializeBloomFilterCompressed(full);
+  // A saturated filter cannot compress; the fallback ships the raw image,
+  // which starts with the plain kBloomFilter tag.
+  EXPECT_EQ(wire, SerializeSynopsisToBytes(full));
+  ExpectCompressedRoundTrip(full);
+}
+
+TEST(CompressedBloomExtremesTest, DenseFallbackBoundarySweepRoundTrips) {
+  // Sweep fill ratios across the sparse-to-dense range so the sweep
+  // crosses the point where SerializeBloomFilterCompressed switches from
+  // the Golomb-Rice image to the raw fallback. Every step must decode to
+  // the identical filter regardless of which form was shipped.
+  constexpr uint64_t kBits = 1024;
+  bool saw_compressed = false;
+  bool saw_fallback = false;
+  for (uint64_t stride = 1; stride <= 64; stride *= 2) {
+    std::vector<uint64_t> words(kBits / 64, 0);
+    for (uint64_t bit = 0; bit < kBits; bit += stride) {
+      words[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+    auto bf = BloomFilter::FromWords(kBits, 3, 42, std::move(words));
+    ASSERT_TRUE(bf.ok());
+    Bytes wire = SerializeBloomFilterCompressed(bf.value());
+    if (wire.size() < SerializeSynopsisToBytes(bf.value()).size()) {
+      saw_compressed = true;
+    } else {
+      saw_fallback = true;
+    }
+    ExpectCompressedRoundTrip(bf.value());
+  }
+  // The sweep must actually exercise both sides of the boundary.
+  EXPECT_TRUE(saw_compressed);
+  EXPECT_TRUE(saw_fallback);
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,70 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iqn {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  IQN_CHECK(true);
+  IQN_CHECK_EQ(1, 1);
+  IQN_CHECK_NE(1, 2);
+  IQN_CHECK_LT(1, 2);
+  IQN_CHECK_LE(2, 2);
+  IQN_CHECK_GT(3, 2);
+  IQN_CHECK_GE(3, 3);
+  IQN_DCHECK(true);
+  IQN_DCHECK_EQ(std::string("a"), std::string("a"));
+}
+
+TEST(CheckTest, OperandsEvaluatedOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  IQN_CHECK_EQ(next(), 1);
+  EXPECT_EQ(calls, 1);
+  IQN_CHECK_LE(next(), 2);
+  EXPECT_EQ(calls, 2);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(IQN_CHECK(1 == 2), "CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, FailedCheckEqPrintsOperands) {
+  int lhs = 3, rhs = 7;
+  EXPECT_DEATH(IQN_CHECK_EQ(lhs, rhs), "3 == 7");
+}
+
+TEST(CheckDeathTest, FailedCheckPrintsSourceLocation) {
+  EXPECT_DEATH(IQN_CHECK_LT(5, 4), "check_test.cc");
+}
+
+TEST(CheckDeathTest, StringOperandsArePrinted) {
+  std::string a = "alpha", b = "beta";
+  EXPECT_DEATH(IQN_CHECK_EQ(a, b), "alpha == beta");
+}
+
+TEST(CheckDeathTest, DcheckMatchesBuildMode) {
+#if IQN_DCHECK_ACTIVE_
+  EXPECT_DEATH(IQN_DCHECK_GE(1, 2), "CHECK failed");
+#else
+  IQN_DCHECK_GE(1, 2);  // compiled out: must not abort or evaluate
+#endif
+}
+
+struct Unprintable {
+  int v;
+  bool operator==(const Unprintable&) const { return false; }
+};
+
+TEST(CheckDeathTest, UnprintableOperandsFallBack) {
+  Unprintable a{1}, b{2};
+  EXPECT_DEATH(IQN_CHECK_EQ(a, b), "<unprintable>");
+}
+
+}  // namespace
+}  // namespace iqn

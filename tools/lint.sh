@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Repo lint pass: fast grep-based rules that encode IQN conventions, plus
+# a clang-tidy sweep when clang-tidy is installed (skipped otherwise so
+# the script works in gcc-only containers).
+#
+# Usage: tools/lint.sh            run all rules; nonzero exit on violation
+#
+# Suppressing a finding: append "// NOLINT" (optionally with a check name
+# and a reason) to the offending line. Every grep rule skips NOLINT lines.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+report() {  # report <rule> <file:line:text>
+  echo "lint: [$1] $2"
+  fail=1
+}
+
+src_files() { find src fuzz -name '*.cc' -o -name '*.h'; }
+
+# --- Rule: no libc rand()/srand(); use util/random.h (seeded, portable). ---
+while IFS= read -r hit; do
+  report no-rand "$hit"
+done < <(grep -rnE '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' \
+           src tests fuzz --include='*.cc' --include='*.h' \
+         | grep -v NOLINT || true)
+
+# --- Rule: no assert(); untrusted input gets a Status, broken invariants
+# --- get IQN_CHECK/IQN_DCHECK (util/check.h). static_assert is fine.
+while IFS= read -r hit; do
+  report no-assert "$hit"
+done < <(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
+           src fuzz --include='*.cc' --include='*.h' \
+         | grep -v NOLINT || true)
+
+# --- Rule: no naked new outside factory wrappers. A `new T(...)` must sit
+# --- on, or directly under, a line that hands ownership to a smart
+# --- pointer; anything else leaks on the error path.
+naked="$(while IFS= read -r f; do
+  awk -v file="$f" '
+    /NOLINT/ { prev = $0; next }
+    /(^|[^_[:alnum:]])new [A-Za-z_][A-Za-z0-9_:<>]*[({]/ {
+      if ($0 !~ /unique_ptr|shared_ptr|make_unique|make_shared/ &&
+          prev !~ /unique_ptr|shared_ptr|make_unique|make_shared/ &&
+          $0 !~ /^[[:space:]]*(\/\/|\*)/) {
+        printf "%s:%d:%s\n", file, NR, $0
+      }
+    }
+    { prev = $0 }
+  ' "$f"
+done < <(src_files))"
+if [ -n "$naked" ]; then
+  while IFS= read -r hit; do
+    report no-naked-new "$hit"
+  done <<< "$naked"
+fi
+
+# --- Rule: include guards must be IQN_<PATH>_H_ derived from the path
+# --- relative to src/ (or the repo root outside src/).
+while IFS= read -r f; do
+  rel="${f#src/}"
+  want="IQN_$(echo "$rel" | tr '[:lower:]/.' '[:upper:]__')_"
+  got="$(grep -m1 '^#ifndef' "$f" | awk '{print $2}')"
+  if [ "$got" != "$want" ]; then
+    report include-guard "$f: guard is '${got:-<missing>}', want '$want'"
+  fi
+done < <(find src fuzz -name '*.h')
+
+# --- clang-tidy sweep (optional: needs clang-tidy + compile_commands). ---
+if command -v clang-tidy >/dev/null 2>&1; then
+  cc_db=""
+  for d in build/dev build; do
+    [ -f "$d/compile_commands.json" ] && cc_db="$d" && break
+  done
+  if [ -z "$cc_db" ]; then
+    echo "lint: clang-tidy found but no compile_commands.json;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (dev preset)"
+  else
+    echo "lint: running clang-tidy against $cc_db ..."
+    if ! find src -name '*.cc' -print0 \
+         | xargs -0 clang-tidy -p "$cc_db" --quiet; then
+      fail=1
+    fi
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping static-analysis sweep" \
+       "(grep rules still enforced)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"
