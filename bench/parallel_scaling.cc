@@ -1,0 +1,343 @@
+// BENCH-PAR: batch query throughput vs worker threads.
+//
+// Runs a Fig. 3-style workload (sliding-window collections, banded
+// multi-term queries, rotating initiators) through RunQueryBatch at
+// 1/2/4/8 threads and writes BENCH_parallel.json.
+//
+// Two views are reported per thread count, and the distinction matters:
+//
+//  * wall_*  — measured wall-clock time of the batch on THIS host. This
+//    is the honest hardware number; on a single-core container it cannot
+//    exceed 1x no matter how good the parallelization is.
+//  * sim_*   — deterministic latency-overlap model: each query's service
+//    time is its simulated network latency (routing_latency_ms +
+//    execution_latency_ms, identical for every thread count because batch
+//    outcomes are bit-identical to serial), and queries are greedily
+//    list-scheduled in batch order onto T workers; sim_makespan_ms is the
+//    resulting makespan. This measures how much of the workload's latency
+//    the batch engine can overlap, independent of host core count.
+//
+// The headline "qps"/"speedup" fields are the simulated-overlap view;
+// wall_* sits alongside for the hardware truth. p50/p99 are per-query
+// service-time percentiles (thread-count independent by determinism).
+//
+// The bench also cross-checks determinism: outcomes at every thread count
+// must equal the 1-thread outcomes, else it aborts.
+//
+// Usage: parallel_scaling [--docs=3000] [--peers=20] [--queries=48]
+//                         [--k=50] [--max_peers=3] [--repeats=3]
+//                         [--threads=1,2,4,8] [--seed=42]
+//                         [--out=BENCH_parallel.json]
+//
+// --threads takes a comma-separated sweep; 1 is always prepended if
+// missing so speedups have their serial baseline.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+using BatchQuery = MinervaEngine::BatchQuery;
+
+struct BenchConfig {
+  size_t docs = 3000;
+  size_t peers = 20;
+  size_t queries = 48;
+  size_t k = 50;
+  size_t max_peers = 3;
+  size_t repeats = 3;
+  uint64_t seed = 42;
+  std::vector<size_t> threads = {1, 2, 4, 8};
+  std::string out = "BENCH_parallel.json";
+};
+
+/// "1,2,4,8" -> {1,2,4,8}; a missing leading 1 is prepended so the
+/// serial baseline always exists.
+std::vector<size_t> ParseThreadSweep(const std::string& spec) {
+  std::vector<size_t> sweep;
+  size_t value = 0;
+  bool have_digit = false;
+  for (char c : spec) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<size_t>(c - '0');
+      have_digit = true;
+    } else if (c == ',') {
+      if (have_digit && value > 0) sweep.push_back(value);
+      value = 0;
+      have_digit = false;
+    } else {
+      std::fprintf(stderr, "bad --threads spec: %s\n", spec.c_str());
+      std::exit(1);
+    }
+  }
+  if (have_digit && value > 0) sweep.push_back(value);
+  if (sweep.empty() || sweep.front() != 1) {
+    sweep.insert(sweep.begin(), 1);
+  }
+  return sweep;
+}
+
+std::vector<Corpus> BuildCollections(const BenchConfig& config,
+                                     std::vector<Query>* queries) {
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = config.docs;
+  corpus_opts.vocabulary_size = config.docs / 8;
+  corpus_opts.min_document_length = 30;
+  corpus_opts.max_document_length = 100;
+  corpus_opts.seed = config.seed;
+  auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", gen.status().ToString().c_str());
+    std::exit(1);
+  }
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, config.peers * 2);
+  if (!frags.ok()) {
+    std::fprintf(stderr, "fragments: %s\n",
+                 frags.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, config.peers);
+  if (!collections.ok()) {
+    std::fprintf(stderr, "collections: %s\n",
+                 collections.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  QueryWorkloadOptions q_opts;
+  q_opts.num_queries = config.queries;
+  q_opts.min_terms = 2;
+  q_opts.max_terms = 3;
+  q_opts.band_low = 0.005;
+  q_opts.band_high = 0.10;
+  q_opts.k = config.k;
+  q_opts.seed = config.seed + 1;
+  auto generated = GenerateQueries(gen.value().vocabulary(), q_opts);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "queries: %s\n",
+                 generated.status().ToString().c_str());
+    std::exit(1);
+  }
+  *queries = std::move(generated).value();
+  return std::move(collections).value();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Greedy list-scheduling of the per-query service times, in batch order,
+/// onto `threads` workers (each query goes to the least-loaded worker —
+/// exactly what a work-stealing batch over grain-1 chunks converges to).
+/// Returns the makespan in milliseconds.
+double SimulatedMakespanMs(const std::vector<double>& service_ms,
+                           size_t threads) {
+  std::vector<double> worker_ms(threads, 0.0);
+  for (double s : service_ms) {
+    size_t argmin = 0;
+    for (size_t w = 1; w < threads; ++w) {
+      if (worker_ms[w] < worker_ms[argmin]) argmin = w;
+    }
+    worker_ms[argmin] += s;
+  }
+  double makespan = 0.0;
+  for (double w : worker_ms) makespan = std::max(makespan, w);
+  return makespan;
+}
+
+bool SameOutcomes(const std::vector<QueryOutcome>& a,
+                  const std::vector<QueryOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].decision.peers.size() != b[i].decision.peers.size()) return false;
+    for (size_t p = 0; p < a[i].decision.peers.size(); ++p) {
+      if (a[i].decision.peers[p].peer_id != b[i].decision.peers[p].peer_id ||
+          a[i].decision.peers[p].combined != b[i].decision.peers[p].combined) {
+        return false;
+      }
+    }
+    if (a[i].recall != b[i].recall ||
+        a[i].routing_latency_ms != b[i].routing_latency_ms ||
+        a[i].execution_latency_ms != b[i].execution_latency_ms ||
+        !(a[i].execution.merged == b[i].execution.merged)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ThreadResult {
+  size_t threads = 0;
+  double wall_ms = 0.0;
+  double sim_makespan_ms = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("docs", 3000, "corpus size in documents");
+  flags.DefineInt("peers", 20, "number of peers (sliding-window split)");
+  flags.DefineInt("queries", 48, "batch size (number of queries)");
+  flags.DefineInt("k", 50, "top-k per query");
+  flags.DefineInt("max_peers", 3, "remote peers contacted per query");
+  flags.DefineInt("repeats", 3, "timed repetitions (best run kept)");
+  flags.DefineString("threads", "1,2,4,8",
+                     "comma-separated worker-thread sweep; 1 is prepended "
+                     "if absent (serial baseline)");
+  flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineString("out", "BENCH_parallel.json", "output JSON path");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  BenchConfig config;
+  config.docs = static_cast<size_t>(flags.GetInt("docs"));
+  config.peers = static_cast<size_t>(flags.GetInt("peers"));
+  config.queries = static_cast<size_t>(flags.GetInt("queries"));
+  config.k = static_cast<size_t>(flags.GetInt("k"));
+  config.max_peers = static_cast<size_t>(flags.GetInt("max_peers"));
+  config.repeats = static_cast<size_t>(flags.GetInt("repeats"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.threads = ParseThreadSweep(flags.GetString("threads"));
+  config.out = flags.GetString("out");
+
+  std::vector<Query> queries;
+  std::vector<Corpus> collections = BuildCollections(config, &queries);
+  EngineOptions options;
+  auto engine = MinervaEngine::Create(options, std::move(collections));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  MinervaEngine& e = *engine.value();
+  if (Status published = e.PublishAll(); !published.ok()) {
+    std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<BatchQuery> batch(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    batch[i].initiator_index = i % e.num_peers();
+    batch[i].query = queries[i];
+  }
+  IqnRouter router;
+
+  std::printf("parallel_scaling: %zu queries x %zu peers, max_peers=%zu, "
+              "host hardware threads=%zu\n",
+              batch.size(), e.num_peers(), config.max_peers,
+              ThreadPool::DefaultConcurrency());
+
+  std::vector<ThreadResult> results;
+  std::vector<QueryOutcome> baseline;
+  std::vector<double> service_ms;
+  for (size_t threads : config.threads) {
+    double best_ms = 0.0;
+    std::vector<QueryOutcome> outcomes;
+    for (size_t rep = 0; rep < config.repeats; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      auto run = e.RunQueryBatch(batch, router, config.max_peers, threads);
+      auto stop = std::chrono::steady_clock::now();
+      if (!run.ok()) {
+        std::fprintf(stderr, "batch(%zu threads): %s\n", threads,
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      double ms = std::chrono::duration<double, std::milli>(stop - start)
+                      .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      outcomes = std::move(run).value();
+    }
+    if (threads == 1) {
+      baseline = outcomes;
+      service_ms.reserve(baseline.size());
+      for (const QueryOutcome& o : baseline) {
+        service_ms.push_back(o.routing_latency_ms + o.execution_latency_ms);
+      }
+    } else if (!SameOutcomes(baseline, outcomes)) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %zu-thread outcomes differ from "
+                   "serial\n",
+                   threads);
+      return 1;
+    }
+    ThreadResult r;
+    r.threads = threads;
+    r.wall_ms = best_ms;
+    r.sim_makespan_ms = SimulatedMakespanMs(service_ms, threads);
+    results.push_back(r);
+    std::printf("  threads=%zu  wall=%8.1f ms  sim_makespan=%9.1f ms\n",
+                threads, r.wall_ms, r.sim_makespan_ms);
+  }
+
+  std::vector<double> sorted_service = service_ms;
+  std::sort(sorted_service.begin(), sorted_service.end());
+  double p50 = Percentile(sorted_service, 0.50);
+  double p99 = Percentile(sorted_service, 0.99);
+  double n = static_cast<double>(batch.size());
+
+  FILE* out = std::fopen(config.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.out.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"docs\": %zu, \"peers\": %zu, "
+               "\"queries\": %zu, \"k\": %zu, \"max_peers\": %zu, "
+               "\"seed\": %llu},\n",
+               config.docs, config.peers, config.queries, config.k,
+               config.max_peers,
+               static_cast<unsigned long long>(config.seed));
+  std::fprintf(out, "  \"host_hardware_threads\": %zu,\n",
+               ThreadPool::DefaultConcurrency());
+  std::fprintf(out,
+               "  \"metric_note\": \"qps/speedup use the deterministic "
+               "latency-overlap model (greedy list-scheduling of per-query "
+               "simulated service times onto T workers); wall_* are "
+               "measured on this host and are bounded by its core "
+               "count\",\n");
+  std::fprintf(out, "  \"latency_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n",
+               p50, p99);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThreadResult& r = results[i];
+    double sim_qps = n * 1000.0 / r.sim_makespan_ms;
+    double sim_speedup = results[0].sim_makespan_ms / r.sim_makespan_ms;
+    double wall_qps = n * 1000.0 / r.wall_ms;
+    double wall_speedup = results[0].wall_ms / r.wall_ms;
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"qps\": %.2f, \"speedup\": %.3f, "
+                 "\"sim_makespan_ms\": %.3f, \"wall_ms\": %.3f, "
+                 "\"wall_qps\": %.2f, \"wall_speedup\": %.3f}%s\n",
+                 r.threads, sim_qps, sim_speedup, r.sim_makespan_ms,
+                 r.wall_ms, wall_qps, wall_speedup,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (p50=%.1f ms, p99=%.1f ms per query)\n",
+              config.out.c_str(), p50, p99);
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

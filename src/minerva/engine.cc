@@ -57,17 +57,54 @@ std::vector<ScoredDoc> MinervaEngine::ReferenceResults(
   return ExecuteQuery(reference_index_, query);
 }
 
+MinervaEngine::~MinervaEngine() {
+  if (pool_ != nullptr) pool_->Shutdown();
+}
+
+Status MinervaEngine::SetNumThreads(size_t num_threads) {
+  if (num_threads <= 1) {
+    if (pool_ != nullptr) {
+      pool_->Shutdown();
+      pool_.reset();
+    }
+    return Status::OK();
+  }
+  if (pool_ != nullptr && pool_->num_threads() == num_threads) {
+    return Status::OK();
+  }
+  if (pool_ != nullptr) pool_->Shutdown();
+  pool_.reset();
+  IQN_ASSIGN_OR_RETURN(pool_, ThreadPool::Create(num_threads));
+  return Status::OK();
+}
+
 Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
                                              const Query& query,
                                              const Router& router,
                                              size_t max_peers) {
+  NetworkStats delta;
+  IQN_ASSIGN_OR_RETURN(
+      QueryOutcome outcome,
+      RunQueryMetered(initiator_index, query, router, max_peers, &delta));
+  network_->MergeStats(delta);
+  return outcome;
+}
+
+Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
+                                                    const Query& query,
+                                                    const Router& router,
+                                                    size_t max_peers,
+                                                    NetworkStats* delta) {
   if (initiator_index >= peers_.size()) {
     return Status::InvalidArgument("initiator index out of range");
   }
   Peer& initiator = *peers_[initiator_index];
   QueryOutcome outcome;
 
-  const NetworkStats before_routing = network_->stats();
+  // All traffic this thread generates below — including nested directory
+  // and forwarding RPCs — lands in `delta`, so per-phase metering is just
+  // snapshots of the (initially zero) delta.
+  SimulatedNetwork::StatsCapture capture(network_.get(), delta);
 
   // Routing phase: local execution (free), directory lookups (metered),
   // then the routing decision itself (pure computation on fetched data).
@@ -94,6 +131,10 @@ Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
   input.total_peers = peers_.size();
   input.local_result_docs = &local_docs;
   input.synopsis_config = &options_.synopsis;
+  // Routers may parallelize candidate scoring over the engine pool. When
+  // this query itself runs on a pool worker (RunQueryBatch), the nested
+  // ParallelFor falls back to serial automatically.
+  input.pool = pool_.get();
   Peer::QueryReference seed;  // must outlive Route()
   if (options_.seed_reference_from_synopses) {
     IQN_ASSIGN_OR_RETURN(seed, initiator.BuildQueryReference(query));
@@ -102,23 +143,19 @@ Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
   }
   IQN_ASSIGN_OR_RETURN(outcome.decision, router.Route(input));
 
-  const NetworkStats after_routing = network_->stats();
-  outcome.routing_messages = after_routing.messages - before_routing.messages;
-  outcome.routing_bytes = after_routing.bytes - before_routing.bytes;
-  outcome.routing_latency_ms =
-      after_routing.latency_ms - before_routing.latency_ms;
+  outcome.routing_messages = delta->messages;
+  outcome.routing_bytes = delta->bytes;
+  outcome.routing_latency_ms = delta->latency_ms;
 
   // Execution phase: forward to the selected peers and merge.
   QueryProcessor processor(&initiator, options_.merge);
   IQN_ASSIGN_OR_RETURN(outcome.execution,
                        processor.Execute(query, outcome.decision));
 
-  const NetworkStats after_execution = network_->stats();
-  outcome.execution_messages =
-      after_execution.messages - after_routing.messages;
-  outcome.execution_bytes = after_execution.bytes - after_routing.bytes;
+  outcome.execution_messages = delta->messages - outcome.routing_messages;
+  outcome.execution_bytes = delta->bytes - outcome.routing_bytes;
   outcome.execution_latency_ms =
-      after_execution.latency_ms - after_routing.latency_ms;
+      delta->latency_ms - outcome.routing_latency_ms;
 
   // Evaluation against the centralized reference.
   std::vector<ScoredDoc> reference = ReferenceResults(query);
@@ -130,6 +167,50 @@ Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
       DuplicateFraction(outcome.execution.per_peer_results);
   outcome.distinct_results = outcome.execution.all_distinct.size();
   return outcome;
+}
+
+Result<std::vector<QueryOutcome>> MinervaEngine::RunQueryBatch(
+    const std::vector<BatchQuery>& batch, const Router& router,
+    size_t max_peers, size_t num_threads) {
+  IQN_RETURN_IF_ERROR(SetNumThreads(num_threads));
+  const size_t n = batch.size();
+  std::vector<QueryOutcome> outcomes(n);
+  std::vector<NetworkStats> deltas(n);
+  std::vector<Status> statuses(n);
+
+  // Slot i is owned by whichever chunk covers index i; chunks never fail
+  // at the ParallelFor level (per-item errors are kept in statuses so
+  // every item runs and error selection stays deterministic).
+  auto run_range = [&](size_t lo, size_t hi) -> Status {
+    for (size_t i = lo; i < hi; ++i) {
+      Result<QueryOutcome> r =
+          RunQueryMetered(batch[i].initiator_index, batch[i].query, router,
+                          max_peers, &deltas[i]);
+      if (r.ok()) {
+        outcomes[i] = std::move(r).value();
+      } else {
+        statuses[i] = r.status();
+      }
+    }
+    return Status::OK();
+  };
+  if (pool_ != nullptr) {
+    IQN_RETURN_IF_ERROR(pool_->ParallelFor(0, n, /*grain=*/1, run_range));
+  } else {
+    IQN_RETURN_IF_ERROR(run_range(0, n));
+  }
+
+  // Everything is joined; fail with the first (lowest-index) error so the
+  // reported Status does not depend on scheduling.
+  for (const Status& st : statuses) {
+    IQN_RETURN_IF_ERROR(st);
+  }
+  // Fold per-query traffic into the global stats in batch order, keeping
+  // totals identical to the serial execution of the same queries.
+  for (const NetworkStats& delta : deltas) {
+    network_->MergeStats(delta);
+  }
+  return outcomes;
 }
 
 }  // namespace iqn

@@ -18,6 +18,7 @@
 #include "minerva/router.h"
 #include "net/network.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace iqn {
 
@@ -97,6 +98,38 @@ class MinervaEngine {
   Result<QueryOutcome> RunQuery(size_t initiator_index, const Query& query,
                                 const Router& router, size_t max_peers);
 
+  /// One item of a query batch.
+  struct BatchQuery {
+    size_t initiator_index = 0;
+    Query query;
+  };
+
+  /// Executes independent queries concurrently with `num_threads` workers
+  /// over a shared immutable snapshot of the system: queries never mutate
+  /// directory, peers, or topology, so the only synchronization needed is
+  /// per-query traffic metering (each query runs under a StatsCapture and
+  /// the deltas fold into the global stats in batch order afterwards).
+  ///
+  /// Outcomes are bit-identical to running the same queries serially
+  /// through RunQuery, for any thread count — the determinism regression
+  /// tests enforce this. num_threads <= 1 runs inline without a pool.
+  ///
+  /// All items run even when some fail; on failure the returned Status is
+  /// the lowest-indexed failing item's error and no traffic is folded
+  /// into the global stats. The worker pool is reused across batches and
+  /// joined by the destructor, batch success or not.
+  ///
+  /// Do not call concurrently with itself or with any other engine
+  /// mutation (PublishAll, AddDocuments, SetNodeUp, ...).
+  Result<std::vector<QueryOutcome>> RunQueryBatch(
+      const std::vector<BatchQuery>& batch, const Router& router,
+      size_t max_peers, size_t num_threads);
+
+  /// Pre-creates (or resizes) the worker pool that RunQueryBatch uses and
+  /// that RoutingInput hands to routers for candidate-parallel scoring.
+  /// num_threads <= 1 drops the pool (fully serial operation).
+  Status SetNumThreads(size_t num_threads);
+
   /// The centralized reference engine's top-k for a query (over the union
   /// of all collections, same scoring model).
   std::vector<ScoredDoc> ReferenceResults(const Query& query) const;
@@ -108,8 +141,21 @@ class MinervaEngine {
   /// recall is measured against the evolved corpus.
   void RebuildReferenceIndex();
 
+  /// Joins the worker pool before any subsystem the in-flight tasks could
+  /// reference is torn down. Runs even after a batch aborted with a
+  /// non-OK Status — no task ever outlives the engine.
+  ~MinervaEngine();
+
  private:
   MinervaEngine(EngineOptions options) : options_(std::move(options)) {}
+
+  /// The full pipeline of RunQuery with all traffic charged to `delta`
+  /// (starts from zero) instead of the global stats. Thread-safe for
+  /// distinct queries over the published snapshot.
+  Result<QueryOutcome> RunQueryMetered(size_t initiator_index,
+                                       const Query& query,
+                                       const Router& router, size_t max_peers,
+                                       NetworkStats* delta);
 
   EngineOptions options_;
   std::unique_ptr<SimulatedNetwork> network_;
@@ -117,6 +163,7 @@ class MinervaEngine {
   std::vector<std::unique_ptr<DhtStore>> stores_;
   std::vector<std::unique_ptr<Peer>> peers_;
   InvertedIndex reference_index_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace iqn

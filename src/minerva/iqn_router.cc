@@ -8,6 +8,7 @@
 #include "synopses/estimators.h"
 #include "synopses/reference_synopsis.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace iqn {
 
@@ -17,11 +18,35 @@ namespace {
 /// estimates a candidate's novelty against the current reference state;
 /// `absorb` folds the chosen candidate in; `covered` reports the current
 /// estimated result cardinality.
+///
+/// Thread-safety contract: `novelty_of` must be safe to call concurrently
+/// for distinct candidates (it is invoked from ParallelFor when the input
+/// carries a pool) — in practice, read-only against the reference state.
+/// `absorb` and `covered` are always called from the loop thread only.
 struct LoopCallbacks {
   std::function<Result<double>(size_t candidate_index)> novelty_of;
   std::function<Status(size_t candidate_index)> absorb;
   std::function<double()> covered;
 };
+
+// Per-candidate work (synopsis decode, novelty estimation) parallelizes
+// over candidates when the candidate set is large enough to amortize the
+// dispatch. Small sets stay serial — same results either way, the
+// thresholds only gate where the crossover pays off.
+constexpr size_t kParallelMinCandidates = 16;
+constexpr size_t kCandidateGrain = 8;
+
+/// Runs body(lo, hi) over [0, count): through the input's pool when one
+/// is set and the range is worth splitting, else inline as one chunk.
+/// Chunk boundaries and per-index work are identical either way, so the
+/// two paths are observably equivalent (the determinism tests pin this).
+Status ForEachCandidate(const RoutingInput& input, size_t count,
+                        const std::function<Status(size_t, size_t)>& body) {
+  if (input.pool != nullptr && count >= kParallelMinCandidates) {
+    return input.pool->ParallelFor(0, count, kCandidateGrain, body);
+  }
+  return body(0, count);
+}
 
 Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
                                    const IqnOptions& options,
@@ -31,42 +56,67 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
   std::vector<bool> taken(candidates.size(), false);
   RoutingDecision decision;
 
+  // Scratch for Select-Best-Peer phase 1; slot i is written only by the
+  // chunk that owns index i.
+  struct CandidateScore {
+    double combined = -1.0;
+    double quality = 0.0;
+    double novelty = 0.0;
+    bool eligible = false;
+  };
+  std::vector<CandidateScore> scores(candidates.size());
+
   while (decision.peers.size() < input.max_peers) {
     if (options.min_estimated_results > 0.0 &&
         callbacks.covered() >= options.min_estimated_results) {
       break;  // enough (estimated) results already covered
     }
 
-    // Select-Best-Peer: argmax of quality * novelty over the remaining
-    // candidates, with novelty re-estimated against the current
-    // reference every iteration.
+    // Select-Best-Peer, phase 1: score every remaining candidate —
+    // quality * novelty, with novelty re-estimated against the current
+    // reference. Read-only against the reference, hence parallel over
+    // candidates when a pool is available.
+    IQN_RETURN_IF_ERROR(ForEachCandidate(
+        input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
+          for (size_t i = lo; i < hi; ++i) {
+            scores[i].eligible = false;
+            if (taken[i]) continue;
+            IQN_ASSIGN_OR_RETURN(double novelty, callbacks.novelty_of(i));
+            // Every novelty estimator clamps at zero; a negative value
+            // here would make argmax prefer peers that shrink coverage.
+            IQN_DCHECK_GE(novelty, 0.0);
+            double effective = std::max(novelty, options.novelty_floor);
+            double quality = 1.0;
+            if (options.use_quality) {
+              auto it = qualities.find(candidates[i].peer_id);
+              quality = it == qualities.end() ? 0.0 : it->second;
+              // CORI beliefs are probabilities (see CoriTermScore).
+              IQN_DCHECK_GE(quality, 0.0);
+              IQN_DCHECK_LE(quality, 1.0);
+            }
+            scores[i] =
+                CandidateScore{quality * effective, quality, novelty, true};
+          }
+          return Status::OK();
+        }));
+
+    // Phase 2: argmax reduction. A single in-order scan with the
+    // (score, peer_id) tie-break — the same comparison the serial loop
+    // always used — so the winner is independent of how phase 1's chunks
+    // were scheduled across threads.
     int best = -1;
     double best_combined = -1.0;
     double best_quality = 0.0;
     double best_novelty = 0.0;
     for (size_t i = 0; i < candidates.size(); ++i) {
-      if (taken[i]) continue;
-      IQN_ASSIGN_OR_RETURN(double novelty, callbacks.novelty_of(i));
-      // Every novelty estimator clamps at zero; a negative value here
-      // would make argmax prefer peers that shrink coverage.
-      IQN_DCHECK_GE(novelty, 0.0);
-      double effective = std::max(novelty, options.novelty_floor);
-      double quality = 1.0;
-      if (options.use_quality) {
-        auto it = qualities.find(candidates[i].peer_id);
-        quality = it == qualities.end() ? 0.0 : it->second;
-        // CORI beliefs are probabilities (see CoriTermScore).
-        IQN_DCHECK_GE(quality, 0.0);
-        IQN_DCHECK_LE(quality, 1.0);
-      }
-      double combined = quality * effective;
-      if (combined > best_combined ||
-          (combined == best_combined && best >= 0 &&
+      if (!scores[i].eligible) continue;
+      if (scores[i].combined > best_combined ||
+          (scores[i].combined == best_combined && best >= 0 &&
            candidates[i].peer_id < candidates[static_cast<size_t>(best)].peer_id)) {
         best = static_cast<int>(i);
-        best_combined = combined;
-        best_quality = quality;
-        best_novelty = novelty;
+        best_combined = scores[i].combined;
+        best_quality = scores[i].quality;
+        best_novelty = scores[i].novelty;
       }
     }
     if (best < 0) break;  // candidates exhausted
@@ -123,37 +173,42 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
                            : std::map<uint64_t, double>{};
 
   // Decode and combine each candidate's per-term synopses once, up front
-  // (Sec. 6.2: one query-specific synopsis per peer).
+  // (Sec. 6.2: one query-specific synopsis per peer). Candidates are
+  // independent, so the decode fans out over the pool.
   std::vector<std::unique_ptr<SetSynopsis>> combined(candidates.size());
   std::vector<double> cardinality(candidates.size(), 0.0);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    std::vector<std::unique_ptr<SetSynopsis>> decoded;
-    std::vector<const SetSynopsis*> views;
-    std::vector<uint64_t> lens;
-    bool missing_term = false;
-    for (const std::string& term : input.query->terms) {
-      auto it = candidates[i].posts.find(term);
-      if (it == candidates[i].posts.end()) {
-        missing_term = true;
-        continue;
-      }
-      IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> syn,
-                           it->second.DecodeSynopsis());
-      decoded.push_back(std::move(syn));
-      views.push_back(decoded.back().get());
-      lens.push_back(it->second.list_length);
-    }
-    if (views.empty() ||
-        (input.query->mode == QueryMode::kConjunctive && missing_term)) {
-      // Cannot contribute (conjunctive queries need every term); keep a
-      // null combined synopsis = zero novelty.
-      continue;
-    }
-    IQN_ASSIGN_OR_RETURN(combined[i],
-                         CombinePerTermSynopses(views, input.query->mode));
-    cardinality[i] =
-        CombinedCardinality(*combined[i], lens, input.query->mode);
-  }
+  IQN_RETURN_IF_ERROR(ForEachCandidate(
+      input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
+        for (size_t i = lo; i < hi; ++i) {
+          std::vector<std::unique_ptr<SetSynopsis>> decoded;
+          std::vector<const SetSynopsis*> views;
+          std::vector<uint64_t> lens;
+          bool missing_term = false;
+          for (const std::string& term : input.query->terms) {
+            auto it = candidates[i].posts.find(term);
+            if (it == candidates[i].posts.end()) {
+              missing_term = true;
+              continue;
+            }
+            IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> syn,
+                                 it->second.DecodeSynopsis());
+            decoded.push_back(std::move(syn));
+            views.push_back(decoded.back().get());
+            lens.push_back(it->second.list_length);
+          }
+          if (views.empty() ||
+              (input.query->mode == QueryMode::kConjunctive && missing_term)) {
+            // Cannot contribute (conjunctive queries need every term);
+            // keep a null combined synopsis = zero novelty.
+            continue;
+          }
+          IQN_ASSIGN_OR_RETURN(
+              combined[i], CombinePerTermSynopses(views, input.query->mode));
+          cardinality[i] =
+              CombinedCardinality(*combined[i], lens, input.query->mode);
+        }
+        return Status::OK();
+      }));
 
   // Seed the reference: either with the initiator's pre-built coverage
   // synopsis (Sec. 5.1's alternative) or with its local result docs.
@@ -197,19 +252,24 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
 
   const auto& terms = input.query->terms;
 
-  // Decode per-candidate, per-term synopses.
+  // Decode per-candidate, per-term synopses (independent per candidate,
+  // hence parallel over the pool).
   std::vector<std::vector<std::unique_ptr<SetSynopsis>>> syn(candidates.size());
   std::vector<std::vector<uint64_t>> lens(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    syn[i].resize(terms.size());
-    lens[i].assign(terms.size(), 0);
-    for (size_t t = 0; t < terms.size(); ++t) {
-      auto it = candidates[i].posts.find(terms[t]);
-      if (it == candidates[i].posts.end()) continue;
-      IQN_ASSIGN_OR_RETURN(syn[i][t], it->second.DecodeSynopsis());
-      lens[i][t] = it->second.list_length;
-    }
-  }
+  IQN_RETURN_IF_ERROR(ForEachCandidate(
+      input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
+        for (size_t i = lo; i < hi; ++i) {
+          syn[i].resize(terms.size());
+          lens[i].assign(terms.size(), 0);
+          for (size_t t = 0; t < terms.size(); ++t) {
+            auto it = candidates[i].posts.find(terms[t]);
+            if (it == candidates[i].posts.end()) continue;
+            IQN_ASSIGN_OR_RETURN(syn[i][t], it->second.DecodeSynopsis());
+            lens[i][t] = it->second.list_length;
+          }
+        }
+        return Status::OK();
+      }));
 
   // Correlation deflation factors (Sec. 6.3 extension): how many distinct
   // documents candidate i's query-term lists really cover, relative to
@@ -218,26 +278,30 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
   // posted synopses.
   std::vector<double> dedup_factor(candidates.size(), 1.0);
   if (options_.correlation_aware && terms.size() > 1) {
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      std::vector<const SetSynopsis*> views;
-      std::vector<uint64_t> present_lens;
-      uint64_t len_sum = 0;
-      for (size_t t = 0; t < terms.size(); ++t) {
-        if (syn[i][t] == nullptr) continue;
-        views.push_back(syn[i][t].get());
-        present_lens.push_back(lens[i][t]);
-        len_sum += lens[i][t];
-      }
-      if (views.size() < 2 || len_sum == 0) continue;
-      Result<std::unique_ptr<SetSynopsis>> combined =
-          CombinePerTermSynopses(views, QueryMode::kDisjunctive);
-      if (!combined.ok()) continue;  // fall back to the plain sum
-      double distinct = CombinedCardinality(*combined.value(), present_lens,
-                                            QueryMode::kDisjunctive);
-      dedup_factor[i] = std::clamp(distinct / static_cast<double>(len_sum),
-                                   1.0 / static_cast<double>(views.size()),
-                                   1.0);
-    }
+    IQN_RETURN_IF_ERROR(ForEachCandidate(
+        input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
+          for (size_t i = lo; i < hi; ++i) {
+            std::vector<const SetSynopsis*> views;
+            std::vector<uint64_t> present_lens;
+            uint64_t len_sum = 0;
+            for (size_t t = 0; t < terms.size(); ++t) {
+              if (syn[i][t] == nullptr) continue;
+              views.push_back(syn[i][t].get());
+              present_lens.push_back(lens[i][t]);
+              len_sum += lens[i][t];
+            }
+            if (views.size() < 2 || len_sum == 0) continue;
+            Result<std::unique_ptr<SetSynopsis>> combined =
+                CombinePerTermSynopses(views, QueryMode::kDisjunctive);
+            if (!combined.ok()) continue;  // fall back to the plain sum
+            double distinct = CombinedCardinality(
+                *combined.value(), present_lens, QueryMode::kDisjunctive);
+            dedup_factor[i] =
+                std::clamp(distinct / static_cast<double>(len_sum),
+                           1.0 / static_cast<double>(views.size()), 1.0);
+          }
+          return Status::OK();
+        }));
   }
 
   // One reference synopsis per query term (Sec. 6.3), each seeded with
@@ -304,24 +368,28 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
 
   const auto& terms = input.query->terms;
 
-  // Decode per-candidate, per-term histograms.
+  // Decode per-candidate, per-term histograms (parallel over candidates).
   std::vector<std::vector<std::optional<ScoreHistogramSynopsis>>> hist(
       candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    hist[i].resize(terms.size());
-    for (size_t t = 0; t < terms.size(); ++t) {
-      auto it = candidates[i].posts.find(terms[t]);
-      if (it == candidates[i].posts.end()) continue;
-      Result<ScoreHistogramSynopsis> h = it->second.DecodeHistogram();
-      if (!h.ok()) {
-        return Status::FailedPrecondition(
-            "IQN histogram mode but post has no histogram (peer " +
-            std::to_string(candidates[i].peer_id) + "): " +
-            h.status().ToString());
-      }
-      hist[i][t].emplace(std::move(h).value());
-    }
-  }
+  IQN_RETURN_IF_ERROR(ForEachCandidate(
+      input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
+        for (size_t i = lo; i < hi; ++i) {
+          hist[i].resize(terms.size());
+          for (size_t t = 0; t < terms.size(); ++t) {
+            auto it = candidates[i].posts.find(terms[t]);
+            if (it == candidates[i].posts.end()) continue;
+            Result<ScoreHistogramSynopsis> h = it->second.DecodeHistogram();
+            if (!h.ok()) {
+              return Status::FailedPrecondition(
+                  "IQN histogram mode but post has no histogram (peer " +
+                  std::to_string(candidates[i].peer_id) + "): " +
+                  h.status().ToString());
+            }
+            hist[i][t].emplace(std::move(h).value());
+          }
+        }
+        return Status::OK();
+      }));
 
   // Per-term histogram references. The initiator's local result enters
   // the top score cell: its documents are certainly covered, and crediting

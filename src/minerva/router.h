@@ -28,6 +28,8 @@
 
 namespace iqn {
 
+class ThreadPool;
+
 /// One prospective peer, assembled from the PeerLists of all query terms.
 struct CandidatePeer {
   uint64_t peer_id = 0;
@@ -56,6 +58,13 @@ struct RoutingInput {
   double seed_cardinality = 0.0;
   /// System synopsis agreement (for building reference synopses).
   const SynopsisConfig* synopsis_config = nullptr;
+  /// Optional worker pool. Routers with data-parallel inner loops (IQN's
+  /// candidate decode and Select-Best-Peer scoring) use it when set; a
+  /// null pool means strictly serial execution. Parallel and serial runs
+  /// produce bit-identical decisions: scoring is read-only against the
+  /// reference and the argmax reduction scans candidates in index order
+  /// with the same (score, peer_id) tie-break either way.
+  ThreadPool* pool = nullptr;
 };
 
 struct SelectedPeer {

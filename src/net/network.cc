@@ -4,6 +4,44 @@
 
 namespace iqn {
 
+namespace {
+
+// Innermost live StatsCapture sink of the current thread (nullptr = none).
+// thread_local rather than a member so captures need no locking on the
+// hot Charge() path; a single process rarely runs several networks, and
+// captures are strictly scoped, so sharing the slot across instances is
+// harmless.
+thread_local NetworkStats* tls_stats_sink = nullptr;
+
+}  // namespace
+
+SimulatedNetwork::StatsCapture::StatsCapture(SimulatedNetwork* network,
+                                             NetworkStats* sink)
+    : previous_(tls_stats_sink) {
+  (void)network;  // captured traffic is identified per-thread, not per-net
+  tls_stats_sink = sink;
+}
+
+SimulatedNetwork::StatsCapture::~StatsCapture() {
+  tls_stats_sink = previous_;
+}
+
+NetworkStats* SimulatedNetwork::ActiveStats() {
+  return tls_stats_sink != nullptr ? tls_stats_sink : &stats_;
+}
+
+void SimulatedNetwork::MergeStats(const NetworkStats& delta) {
+  stats_.messages += delta.messages;
+  stats_.bytes += delta.bytes;
+  stats_.latency_ms += delta.latency_ms;
+  for (const auto& [type, count] : delta.messages_by_type) {
+    stats_.messages_by_type[type] += count;
+  }
+  for (const auto& [type, bytes] : delta.bytes_by_type) {
+    stats_.bytes_by_type[type] += bytes;
+  }
+}
+
 NodeAddress SimulatedNetwork::Register(Handler handler) {
   nodes_.push_back(Node{std::move(handler), true});
   return static_cast<NodeAddress>(nodes_.size() - 1);
@@ -20,12 +58,13 @@ bool SimulatedNetwork::IsNodeUp(NodeAddress addr) const {
 }
 
 void SimulatedNetwork::Charge(const std::string& type, size_t wire_bytes) {
-  ++stats_.messages;
-  stats_.bytes += wire_bytes;
-  stats_.latency_ms += latency_.per_message_ms +
-                       latency_.per_byte_ms * static_cast<double>(wire_bytes);
-  ++stats_.messages_by_type[type];
-  stats_.bytes_by_type[type] += wire_bytes;
+  NetworkStats& stats = *ActiveStats();
+  ++stats.messages;
+  stats.bytes += wire_bytes;
+  stats.latency_ms += latency_.per_message_ms +
+                      latency_.per_byte_ms * static_cast<double>(wire_bytes);
+  ++stats.messages_by_type[type];
+  stats.bytes_by_type[type] += wire_bytes;
 }
 
 Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,

@@ -54,6 +54,31 @@ class SimulatedNetwork {
   SimulatedNetwork(const SimulatedNetwork&) = delete;
   SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
 
+  /// RAII redirection of traffic accounting. While a StatsCapture is alive
+  /// on a thread, every message that thread sends (including nested Rpcs
+  /// issued from handlers it invokes) is charged to `sink` instead of the
+  /// network-wide stats — per-query metering that stays exact when many
+  /// queries run concurrently over the same network. The topology itself
+  /// (Register / SetNodeUp) must not change while captures are live;
+  /// Rpc over a fixed topology is otherwise thread-safe. Scopes nest:
+  /// the innermost capture on the thread wins.
+  class StatsCapture {
+   public:
+    StatsCapture(SimulatedNetwork* network, NetworkStats* sink);
+    ~StatsCapture();
+
+    StatsCapture(const StatsCapture&) = delete;
+    StatsCapture& operator=(const StatsCapture&) = delete;
+
+   private:
+    NetworkStats* previous_;
+  };
+
+  /// Folds a captured per-query delta into the network-wide stats.
+  /// Call from one thread at a time (the batch engine merges deltas in
+  /// query order after joining its workers, keeping totals deterministic).
+  void MergeStats(const NetworkStats& delta);
+
   /// Registers a node; the returned address is stable for the lifetime of
   /// the network.
   NodeAddress Register(Handler handler);
@@ -80,6 +105,10 @@ class SimulatedNetwork {
   };
 
   void Charge(const std::string& type, size_t wire_bytes);
+
+  /// The stats object Charge() writes to on this thread: the innermost
+  /// live StatsCapture's sink, or the global stats_.
+  NetworkStats* ActiveStats();
 
   LatencyModel latency_;
   std::vector<Node> nodes_;

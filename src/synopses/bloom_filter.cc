@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "util/bits.h"
+#include "synopses/kernels.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -70,9 +70,9 @@ bool BloomFilter::MayContain(DocId id) const {
 }
 
 size_t BloomFilter::CountSetBits() const {
-  size_t count = 0;
-  for (uint64_t w : words_) count += PopCount(w);
-  return count;
+  // Counting only the num_bits_ prefix keeps the estimate right even if a
+  // caller ever violates the bits-beyond-num_bits-are-zero invariant.
+  return kernels::PopCountPrefix(words_.data(), num_bits_);
 }
 
 double BloomFilter::CardinalityFromSetBits(size_t set_bits) const {
@@ -120,19 +120,19 @@ Status BloomFilter::MergeUnion(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
   // CheckCompatible guarantees identical geometry, hence equal word counts.
   IQN_DCHECK_EQ(bf->words_.size(), words_.size());
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= bf->words_[i];
+  kernels::OrWords(words_.data(), bf->words_.data(), words_.size());
   return Status::OK();
 }
 
 Status BloomFilter::MergeIntersect(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= bf->words_[i];
+  kernels::AndWords(words_.data(), bf->words_.data(), words_.size());
   return Status::OK();
 }
 
 Status BloomFilter::MergeDifference(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~bf->words_[i];
+  kernels::AndNotWords(words_.data(), bf->words_.data(), words_.size());
   return Status::OK();
 }
 
@@ -140,15 +140,12 @@ Result<double> BloomFilter::EstimateResemblance(
     const SetSynopsis& other) const {
   IQN_ASSIGN_OR_RETURN(const BloomFilter* bf, CheckCompatible(other));
   // Estimate |A∩B| and |A∪B| from the AND and OR of the bit vectors,
-  // then R = |A∩B| / |A∪B|.
-  size_t and_bits = 0, or_bits = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    and_bits += PopCount(words_[i] & bf->words_[i]);
-    or_bits += PopCount(words_[i] | bf->words_[i]);
-  }
-  if (or_bits == 0) return 0.0;  // both empty: resemblance defined as 0
-  double union_card = CardinalityFromSetBits(or_bits);
-  double inter_card = CardinalityFromSetBits(and_bits);
+  // then R = |A∩B| / |A∪B|. The fused kernel walks the vectors once.
+  kernels::AndOrCounts counts =
+      kernels::PopCountAndOr(words_.data(), bf->words_.data(), words_.size());
+  if (counts.or_bits == 0) return 0.0;  // both empty: resemblance is 0
+  double union_card = CardinalityFromSetBits(counts.or_bits);
+  double inter_card = CardinalityFromSetBits(counts.and_bits);
   if (union_card <= 0.0) return 0.0;
   double r = inter_card / union_card;
   return r < 0.0 ? 0.0 : (r > 1.0 ? 1.0 : r);

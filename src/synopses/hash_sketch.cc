@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "synopses/kernels.h"
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/hash.h"
@@ -119,7 +120,7 @@ Result<const HashSketch*> HashSketch::CheckCompatible(
 Status HashSketch::MergeUnion(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const HashSketch* hs, CheckCompatible(other));
   IQN_DCHECK_EQ(hs->bitmaps_.size(), bitmaps_.size());
-  for (size_t j = 0; j < bitmaps_.size(); ++j) bitmaps_[j] |= hs->bitmaps_[j];
+  kernels::OrWords(bitmaps_.data(), hs->bitmaps_.data(), bitmaps_.size());
   return Status::OK();
 }
 

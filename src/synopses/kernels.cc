@@ -1,0 +1,184 @@
+#include "synopses/kernels.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace iqn {
+namespace kernels {
+
+uint64_t TailMask(size_t num_bits) {
+  size_t tail = num_bits % 64;
+  return tail == 0 ? ~uint64_t{0} : (uint64_t{1} << tail) - 1;
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) dst[i] |= src[i];
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) dst[i] &= src[i];
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) dst[i] &= ~src[i];
+}
+
+size_t PopCountWords(const uint64_t* words, size_t num_words) {
+  // Four independent accumulators break the loop-carried dependency so
+  // the popcounts pipeline; the compiler reduces them at the end.
+  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= num_words; i += 4) {
+    c0 += static_cast<size_t>(std::popcount(words[i]));
+    c1 += static_cast<size_t>(std::popcount(words[i + 1]));
+    c2 += static_cast<size_t>(std::popcount(words[i + 2]));
+    c3 += static_cast<size_t>(std::popcount(words[i + 3]));
+  }
+  for (; i < num_words; ++i) {
+    c0 += static_cast<size_t>(std::popcount(words[i]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+size_t PopCountPrefix(const uint64_t* words, size_t num_bits) {
+  size_t full_words = num_bits / 64;
+  size_t count = PopCountWords(words, full_words);
+  if (num_bits % 64 != 0) {
+    count += static_cast<size_t>(
+        std::popcount(words[full_words] & TailMask(num_bits)));
+  }
+  return count;
+}
+
+AndOrCounts PopCountAndOr(const uint64_t* a, const uint64_t* b,
+                          size_t num_words) {
+  size_t and0 = 0, and1 = 0, or0 = 0, or1 = 0;
+  size_t i = 0;
+  for (; i + 2 <= num_words; i += 2) {
+    and0 += static_cast<size_t>(std::popcount(a[i] & b[i]));
+    or0 += static_cast<size_t>(std::popcount(a[i] | b[i]));
+    and1 += static_cast<size_t>(std::popcount(a[i + 1] & b[i + 1]));
+    or1 += static_cast<size_t>(std::popcount(a[i + 1] | b[i + 1]));
+  }
+  for (; i < num_words; ++i) {
+    and0 += static_cast<size_t>(std::popcount(a[i] & b[i]));
+    or0 += static_cast<size_t>(std::popcount(a[i] | b[i]));
+  }
+  return AndOrCounts{and0 + and1, or0 + or1};
+}
+
+void MinWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) {
+    dst[i] = std::min(dst[i], src[i]);
+  }
+}
+
+void MaxWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) {
+    dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+size_t CountEqualNotSentinel(const uint64_t* a, const uint64_t* b,
+                             size_t num_words, uint64_t sentinel) {
+  size_t c0 = 0, c1 = 0;
+  size_t i = 0;
+  for (; i + 2 <= num_words; i += 2) {
+    c0 += static_cast<size_t>(a[i] == b[i] && a[i] != sentinel);
+    c1 += static_cast<size_t>(a[i + 1] == b[i + 1] && a[i + 1] != sentinel);
+  }
+  for (; i < num_words; ++i) {
+    c0 += static_cast<size_t>(a[i] == b[i] && a[i] != sentinel);
+  }
+  return c0 + c1;
+}
+
+namespace scalar {
+
+namespace {
+
+inline bool GetBit(const uint64_t* words, size_t bit) {
+  return ((words[bit / 64] >> (bit % 64)) & 1) != 0;
+}
+
+inline void AssignBit(uint64_t* words, size_t bit, bool value) {
+  uint64_t mask = uint64_t{1} << (bit % 64);
+  if (value) {
+    words[bit / 64] |= mask;
+  } else {
+    words[bit / 64] &= ~mask;
+  }
+}
+
+}  // namespace
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t bit = 0; bit < num_words * 64; ++bit) {
+    AssignBit(dst, bit, GetBit(dst, bit) || GetBit(src, bit));
+  }
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t bit = 0; bit < num_words * 64; ++bit) {
+    AssignBit(dst, bit, GetBit(dst, bit) && GetBit(src, bit));
+  }
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t bit = 0; bit < num_words * 64; ++bit) {
+    AssignBit(dst, bit, GetBit(dst, bit) && !GetBit(src, bit));
+  }
+}
+
+size_t PopCountWords(const uint64_t* words, size_t num_words) {
+  size_t count = 0;
+  for (size_t bit = 0; bit < num_words * 64; ++bit) {
+    if (GetBit(words, bit)) ++count;
+  }
+  return count;
+}
+
+size_t PopCountPrefix(const uint64_t* words, size_t num_bits) {
+  size_t count = 0;
+  for (size_t bit = 0; bit < num_bits; ++bit) {
+    if (GetBit(words, bit)) ++count;
+  }
+  return count;
+}
+
+AndOrCounts PopCountAndOr(const uint64_t* a, const uint64_t* b,
+                          size_t num_words) {
+  AndOrCounts counts;
+  for (size_t bit = 0; bit < num_words * 64; ++bit) {
+    bool in_a = GetBit(a, bit);
+    bool in_b = GetBit(b, bit);
+    if (in_a && in_b) ++counts.and_bits;
+    if (in_a || in_b) ++counts.or_bits;
+  }
+  return counts;
+}
+
+void MinWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) {
+    if (src[i] < dst[i]) dst[i] = src[i];
+  }
+}
+
+void MaxWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+size_t CountEqualNotSentinel(const uint64_t* a, const uint64_t* b,
+                             size_t num_words, uint64_t sentinel) {
+  size_t count = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (a[i] == b[i] && a[i] != sentinel) ++count;
+  }
+  return count;
+}
+
+}  // namespace scalar
+}  // namespace kernels
+}  // namespace iqn

@@ -1,0 +1,90 @@
+// Word-level kernels behind the synopsis hot loops.
+//
+// Aggregate-Synopses dominates IQN's routing cost: every Select-Best-Peer
+// iteration re-estimates novelty against the reference synopsis, and each
+// estimate walks whole bit vectors (Bloom filters, hash sketches) or
+// minima vectors (MIPs). These kernels express those walks over uint64_t
+// words with std::popcount and 4-way unrolled accumulators, which is what
+// lets the compiler keep the counts in registers and vectorize.
+//
+// Every kernel has a deliberately naive bit-at-a-time / element-at-a-time
+// reference implementation in the nested `scalar` namespace. The scalar
+// versions are the semantic oracles: the randomized kernel-equivalence
+// tests assert word kernel == scalar kernel on arbitrary inputs,
+// including bit counts that are not multiples of 64. Do not "optimize"
+// the scalar versions — their value is being obviously correct.
+//
+// All kernels are pure functions of their operands (no global state), so
+// they are safe to call concurrently on disjoint or read-shared data.
+
+#ifndef IQN_SYNOPSES_KERNELS_H_
+#define IQN_SYNOPSES_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iqn {
+namespace kernels {
+
+/// Mask selecting the valid bits of the LAST word of an n-bit vector:
+/// all-ones when num_bits is word-aligned, else the low num_bits % 64 bits.
+uint64_t TailMask(size_t num_bits);
+
+/// dst[i] |= src[i] — Bloom/hash-sketch union.
+void OrWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+
+/// dst[i] &= src[i] — Bloom intersection.
+void AndWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+
+/// dst[i] &= ~src[i] — Bloom set difference (Sec. 5.2 novelty).
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+
+/// Total set bits across the words.
+size_t PopCountWords(const uint64_t* words, size_t num_words);
+
+/// Set bits among the first num_bits bits only (tail bits ignored, so the
+/// count is right even if stray bits sit beyond a non-aligned num_bits).
+size_t PopCountPrefix(const uint64_t* words, size_t num_bits);
+
+/// Fused popcounts of a & b and a | b in one pass — the Bloom resemblance
+/// kernel (one walk instead of two plus a temporary).
+struct AndOrCounts {
+  size_t and_bits = 0;
+  size_t or_bits = 0;
+};
+AndOrCounts PopCountAndOr(const uint64_t* a, const uint64_t* b,
+                          size_t num_words);
+
+/// dst[i] = min(dst[i], src[i]) — MIPs union (position-wise minima).
+void MinWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+
+/// dst[i] = max(dst[i], src[i]) — MIPs conservative intersection.
+void MaxWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+
+/// Positions where a[i] == b[i] != sentinel — the MIPs resemblance
+/// match count (sentinel marks still-empty permutation slots).
+size_t CountEqualNotSentinel(const uint64_t* a, const uint64_t* b,
+                             size_t num_words, uint64_t sentinel);
+
+namespace scalar {
+
+// Reference oracles. Same contracts as above, written one bit / one
+// element at a time.
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+void AndWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+size_t PopCountWords(const uint64_t* words, size_t num_words);
+size_t PopCountPrefix(const uint64_t* words, size_t num_bits);
+AndOrCounts PopCountAndOr(const uint64_t* a, const uint64_t* b,
+                          size_t num_words);
+void MinWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+void MaxWords(uint64_t* dst, const uint64_t* src, size_t num_words);
+size_t CountEqualNotSentinel(const uint64_t* a, const uint64_t* b,
+                             size_t num_words, uint64_t sentinel);
+
+}  // namespace scalar
+}  // namespace kernels
+}  // namespace iqn
+
+#endif  // IQN_SYNOPSES_KERNELS_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "synopses/kernels.h"
 #include "util/check.h"
 
 namespace iqn {
@@ -89,9 +90,7 @@ Result<const MinWiseSynopsis*> MinWiseSynopsis::CheckComparable(
 Status MinWiseSynopsis::MergeUnion(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const MinWiseSynopsis* mw, CheckComparable(other));
   size_t common = std::min(mins_.size(), mw->mins_.size());
-  for (size_t i = 0; i < common; ++i) {
-    mins_[i] = std::min(mins_[i], mw->mins_[i]);
-  }
+  kernels::MinWords(mins_.data(), mw->mins_.data(), common);
   mins_.resize(common);
   return Status::OK();
 }
@@ -99,11 +98,9 @@ Status MinWiseSynopsis::MergeUnion(const SetSynopsis& other) {
 Status MinWiseSynopsis::MergeIntersect(const SetSynopsis& other) {
   IQN_ASSIGN_OR_RETURN(const MinWiseSynopsis* mw, CheckComparable(other));
   size_t common = std::min(mins_.size(), mw->mins_.size());
-  for (size_t i = 0; i < common; ++i) {
-    // The true minimum over A∩B can be no lower than max of the two
-    // per-set minima, hence max is the conservative approximation.
-    mins_[i] = std::max(mins_[i], mw->mins_[i]);
-  }
+  // The true minimum over A∩B can be no lower than max of the two
+  // per-set minima, hence max is the conservative approximation.
+  kernels::MaxWords(mins_.data(), mw->mins_.data(), common);
   mins_.resize(common);
   return Status::OK();
 }
@@ -116,10 +113,8 @@ Result<double> MinWiseSynopsis::EstimateResemblance(
   // the match ratio below never divides by zero.
   IQN_DCHECK_GT(common, size_t{0});
   if (Empty() && mw->Empty()) return 0.0;
-  size_t matches = 0;
-  for (size_t i = 0; i < common; ++i) {
-    if (mins_[i] == mw->mins_[i] && mins_[i] != kEmptyMin) ++matches;
-  }
+  size_t matches = kernels::CountEqualNotSentinel(
+      mins_.data(), mw->mins_.data(), common, kEmptyMin);
   return static_cast<double>(matches) / static_cast<double>(common);
 }
 

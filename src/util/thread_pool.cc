@@ -1,0 +1,168 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <string>
+
+#include "util/check.h"
+
+namespace iqn {
+
+namespace {
+
+// Which pool (if any) owns the current thread. Used to detect nested
+// ParallelFor calls that would deadlock waiting on their own pool.
+thread_local const ThreadPool* tls_owner_pool = nullptr;
+
+}  // namespace
+
+void Latch::CountDown(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IQN_CHECK_GE(count_, n);
+  count_ -= n;
+  if (count_ == 0) cv_.notify_all();
+}
+
+void Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Result<std::unique_ptr<ThreadPool>> ThreadPool::Create(size_t num_threads) {
+  if (num_threads < 1 || num_threads > 512) {
+    return Status::InvalidArgument("thread pool size must be in [1, 512]");
+  }
+  return std::unique_ptr<ThreadPool>(new ThreadPool(num_threads));
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Status ThreadPool::Schedule(std::function<void()> task) {
+  IQN_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::Unavailable("thread pool is shut down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_owner_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: Shutdown() promises queued
+      // tasks run (a ParallelFor in flight counts on its helpers).
+      if (queue_.empty()) break;  // only reachable when stopping_
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  tls_owner_pool = nullptr;
+}
+
+bool ThreadPool::InWorkerThread() const { return tls_owner_pool == this; }
+
+size_t ThreadPool::DefaultConcurrency() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+namespace {
+
+Status RunChunkGuarded(const std::function<Status(size_t, size_t)>& body,
+                       size_t chunk_begin, size_t chunk_end) {
+  try {
+    return body(chunk_begin, chunk_end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<Status(size_t, size_t)>& body) {
+  if (end <= begin) return Status::OK();
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  // Serial path: a single chunk, or a nested call from one of our own
+  // workers (parallelizing would deadlock the worker against itself).
+  if (num_chunks == 1 || InWorkerThread()) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t lo = begin + c * grain;
+      size_t hi = lo + grain < end ? lo + grain : end;
+      IQN_RETURN_IF_ERROR(RunChunkGuarded(body, lo, hi));
+    }
+    return Status::OK();
+  }
+
+  // Shared chunk dispenser. Each chunk writes only chunk_status[c], so
+  // the post-join scan below is race-free and deterministic.
+  std::atomic<size_t> next_chunk{0};
+  std::vector<Status> chunk_status(num_chunks);
+  auto run_chunks = [&] {
+    for (;;) {
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t lo = begin + c * grain;
+      size_t hi = lo + grain < end ? lo + grain : end;
+      chunk_status[c] = RunChunkGuarded(body, lo, hi);
+    }
+  };
+
+  // Caller always participates, so at most num_chunks - 1 helpers are
+  // useful. A failed Schedule (pool concurrently shut down) just means
+  // the caller does that helper's share itself.
+  size_t helpers = threads_.size() < num_chunks - 1 ? threads_.size()
+                                                    : num_chunks - 1;
+  Latch done(helpers);
+  for (size_t i = 0; i < helpers; ++i) {
+    Status scheduled = Schedule([&run_chunks, &done] {
+      run_chunks();
+      done.CountDown();
+    });
+    if (!scheduled.ok()) done.CountDown();
+  }
+  run_chunks();
+  done.Wait();
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    IQN_RETURN_IF_ERROR(chunk_status[c]);
+  }
+  return Status::OK();
+}
+
+}  // namespace iqn

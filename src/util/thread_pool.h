@@ -1,0 +1,113 @@
+// Fixed-size task pool — the single concurrency primitive of the repo.
+//
+// All parallelism goes through this pool (tools/lint.sh forbids raw
+// std::thread / std::async elsewhere), so every thread in the process is
+// owned, named, and joined: no detached threads, ever. The pool is
+// exception-free at its boundary — user callables that throw have the
+// exception converted to Status::Internal instead of terminating.
+//
+// The workhorse is ParallelFor(begin, end, grain, body): the index range
+// is split into fixed chunks of `grain` indices, workers (plus the
+// calling thread, which always participates) grab chunks off an atomic
+// counter, and the call returns the Status of the lowest-numbered failing
+// chunk. Because the chunk boundaries are a pure function of
+// (begin, end, grain) and every chunk writes only its own slots, a
+// ParallelFor whose body is deterministic per index produces results that
+// are bit-identical regardless of thread count or scheduling order —
+// the property the batch query engine's determinism tests pin down.
+//
+// Nested use is safe: a ParallelFor issued from inside one of this pool's
+// own workers runs serially inline (a worker blocking on its own pool
+// would deadlock). ParallelFor issued from a *different* pool's worker
+// parallelizes normally.
+
+#ifndef IQN_UTIL_THREAD_POOL_H_
+#define IQN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+/// Single-use countdown synchronizer (std::latch with a fallible-free,
+/// minimal surface). Wait() returns once the count reaches zero.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown(size_t n = 1);
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+class ThreadPool {
+ public:
+  /// num_threads in [1, 512] worker threads (the creating thread
+  /// additionally lends a hand inside ParallelFor).
+  static Result<std::unique_ptr<ThreadPool>> Create(size_t num_threads);
+
+  /// Joins all workers (equivalent to Shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Stops accepting work, drains the queue, and joins every worker.
+  /// Idempotent; safe to call with tasks still queued (they run first).
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Unavailable after Shutdown(). The task must not
+  /// throw out of its top frame uncaught — use ParallelFor for fallible
+  /// work; Schedule is the low-level escape hatch for tests and plumbing.
+  Status Schedule(std::function<void()> task);
+
+  /// Runs body(chunk_begin, chunk_end) over [begin, end) split into
+  /// chunks of `grain` indices (last chunk may be short; grain 0 = 1).
+  /// Blocks until every chunk has finished — even when some failed, so
+  /// callers can rely on no task touching their buffers afterwards.
+  /// Returns the Status of the lowest-numbered non-OK chunk; whether
+  /// chunks after a failing one run is unspecified (they usually do).
+  /// Exceptions escaping `body` become Status::Internal.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<Status(size_t, size_t)>& body);
+
+  /// True when the calling thread is one of *this* pool's workers.
+  bool InWorkerThread() const;
+
+  /// Worker count to use when the caller just wants "all the hardware":
+  /// std::thread::hardware_concurrency() clamped to >= 1. Lives here so
+  /// bench/example code needs no raw <thread> access (lint rule).
+  static size_t DefaultConcurrency();
+
+ private:
+  explicit ThreadPool(size_t num_threads);
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_THREAD_POOL_H_

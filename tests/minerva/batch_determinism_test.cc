@@ -1,0 +1,274 @@
+// Determinism regression tests for RunQueryBatch: for a fixed seed, the
+// batch path with 1, 2, and 8 threads must produce QueryOutcomes that are
+// bit-identical (every double compared with exact ==) to running the same
+// queries serially through RunQuery — across per-peer, per-term (plain and
+// correlation-aware), and histogram aggregation — and must fold exactly
+// the same traffic into the global network stats. Also covers the abort
+// path: a failing batch item joins all work, reports the lowest-indexed
+// error, leaves global stats untouched, and the engine (pool included)
+// tears down cleanly afterwards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "workload/fragments.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+using BatchQuery = MinervaEngine::BatchQuery;
+
+std::vector<Corpus> SmallCollections(size_t peers = 4, uint64_t seed = 5) {
+  SyntheticCorpusOptions opts;
+  opts.num_documents = 240;
+  opts.vocabulary_size = 400;
+  opts.min_document_length = 15;
+  opts.max_document_length = 40;
+  opts.seed = seed;
+  auto gen = SyntheticCorpusGenerator::Create(opts);
+  EXPECT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, peers * 2);
+  EXPECT_TRUE(frags.ok());
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, peers);
+  EXPECT_TRUE(collections.ok());
+  return std::move(collections).value();
+}
+
+// The most frequent terms of the reference index, most frequent first.
+std::vector<std::string> FrequentTerms(const MinervaEngine& engine,
+                                       size_t count) {
+  std::vector<std::pair<size_t, std::string>> by_df;
+  for (const auto& [term, list] : engine.reference_index().lists()) {
+    by_df.emplace_back(list.size(), term);
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<std::string> terms;
+  for (size_t i = 0; i < by_df.size() && i < count; ++i) {
+    terms.push_back(by_df[i].second);
+  }
+  return terms;
+}
+
+// A mixed workload: single- and two-term queries, rotating initiators and
+// varying k, so the batch exercises several candidate sets and routing
+// iterations per aggregation strategy.
+std::vector<BatchQuery> MakeBatch(const MinervaEngine& engine,
+                                  size_t count) {
+  std::vector<std::string> terms = FrequentTerms(engine, 6);
+  EXPECT_GE(terms.size(), 4u);
+  std::vector<BatchQuery> batch(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].initiator_index = i % engine.num_peers();
+    Query& q = batch[i].query;
+    q.terms = {terms[i % terms.size()]};
+    if (i % 2 == 1) q.terms.push_back(terms[(i + 2) % terms.size()]);
+    q.k = 10 + (i % 3) * 5;
+  }
+  return batch;
+}
+
+void ExpectOutcomeEq(const QueryOutcome& a, const QueryOutcome& b,
+                     size_t item) {
+  SCOPED_TRACE(::testing::Message() << "batch item " << item);
+  // Routing decision, including the score diagnostics recorded at
+  // selection time (doubles compared exactly — bit-identical).
+  ASSERT_EQ(a.decision.peers.size(), b.decision.peers.size());
+  for (size_t i = 0; i < a.decision.peers.size(); ++i) {
+    EXPECT_EQ(a.decision.peers[i].peer_id, b.decision.peers[i].peer_id);
+    EXPECT_EQ(a.decision.peers[i].address, b.decision.peers[i].address);
+    EXPECT_EQ(a.decision.peers[i].quality, b.decision.peers[i].quality);
+    EXPECT_EQ(a.decision.peers[i].novelty, b.decision.peers[i].novelty);
+    EXPECT_EQ(a.decision.peers[i].combined, b.decision.peers[i].combined);
+  }
+  EXPECT_EQ(a.decision.estimated_result_cardinality,
+            b.decision.estimated_result_cardinality);
+  // Execution results: ScoredDoc::operator== compares doc and exact score.
+  EXPECT_EQ(a.execution.local_results, b.execution.local_results);
+  EXPECT_EQ(a.execution.per_peer_results, b.execution.per_peer_results);
+  EXPECT_EQ(a.execution.merged, b.execution.merged);
+  EXPECT_EQ(a.execution.all_distinct, b.execution.all_distinct);
+  EXPECT_EQ(a.execution.failed_peers, b.execution.failed_peers);
+  // Evaluation and traffic metering.
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.recall_remote_only, b.recall_remote_only);
+  EXPECT_EQ(a.duplicate_fraction, b.duplicate_fraction);
+  EXPECT_EQ(a.distinct_results, b.distinct_results);
+  EXPECT_EQ(a.routing_messages, b.routing_messages);
+  EXPECT_EQ(a.routing_bytes, b.routing_bytes);
+  EXPECT_EQ(a.execution_messages, b.execution_messages);
+  EXPECT_EQ(a.execution_bytes, b.execution_bytes);
+  EXPECT_EQ(a.routing_latency_ms, b.routing_latency_ms);
+  EXPECT_EQ(a.execution_latency_ms, b.execution_latency_ms);
+}
+
+void ExpectStatsEq(const NetworkStats& a, const NetworkStats& b) {
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.messages_by_type, b.messages_by_type);
+  EXPECT_EQ(a.bytes_by_type, b.bytes_by_type);
+}
+
+// Serial baseline vs batch at several thread counts, on ONE engine whose
+// snapshot never changes: outcomes are metered from per-query zero deltas,
+// so earlier runs cannot influence later ones. Global stats growth is
+// compared run-over-run instead.
+void CheckDeterminism(EngineOptions options, const IqnOptions& iqn_options,
+                      size_t num_peers) {
+  auto engine = MinervaEngine::Create(options, SmallCollections(num_peers));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  MinervaEngine& e = *engine.value();
+  ASSERT_TRUE(e.PublishAll().ok());
+  IqnRouter router(iqn_options);
+  std::vector<BatchQuery> batch = MakeBatch(e, 10);
+
+  // Serial baseline through the one-query path (no pool exists yet).
+  NetworkStats before = e.network().stats();
+  std::vector<QueryOutcome> serial;
+  for (const BatchQuery& bq : batch) {
+    auto outcome = e.RunQuery(bq.initiator_index, bq.query, router, 2);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    serial.push_back(std::move(outcome).value());
+  }
+  NetworkStats after_serial = e.network().stats();
+  ASSERT_GT(after_serial.messages, before.messages);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    NetworkStats start = e.network().stats();
+    auto outcomes = e.RunQueryBatch(batch, router, 2, threads);
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    ASSERT_EQ(outcomes.value().size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ExpectOutcomeEq(serial[i], outcomes.value()[i], i);
+    }
+    // The batch folds exactly the serial loop's traffic into the globals.
+    NetworkStats end = e.network().stats();
+    EXPECT_EQ(end.messages - start.messages,
+              after_serial.messages - before.messages);
+    EXPECT_EQ(end.bytes - start.bytes, after_serial.bytes - before.bytes);
+  }
+
+  // And a fresh identical engine that only ever ran the batch ends up
+  // with exactly the same global stats — per-type maps included — as the
+  // serial engine had after its serial loop.
+  auto fresh = MinervaEngine::Create(options, SmallCollections(num_peers));
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh.value()->PublishAll().ok());
+  ExpectStatsEq(fresh.value()->network().stats(), before);
+  auto batch_outcomes = fresh.value()->RunQueryBatch(batch, router, 2, 4);
+  ASSERT_TRUE(batch_outcomes.ok());
+  ExpectStatsEq(fresh.value()->network().stats(), after_serial);
+}
+
+TEST(BatchDeterminismTest, PerPeerAggregation) {
+  IqnOptions iqn;
+  iqn.aggregation = AggregationStrategy::kPerPeer;
+  CheckDeterminism(EngineOptions{}, iqn, /*num_peers=*/6);
+}
+
+TEST(BatchDeterminismTest, PerTermAggregation) {
+  IqnOptions iqn;
+  iqn.aggregation = AggregationStrategy::kPerTerm;
+  CheckDeterminism(EngineOptions{}, iqn, /*num_peers=*/6);
+}
+
+TEST(BatchDeterminismTest, PerTermCorrelationAware) {
+  IqnOptions iqn;
+  iqn.aggregation = AggregationStrategy::kPerTerm;
+  iqn.correlation_aware = true;
+  CheckDeterminism(EngineOptions{}, iqn, /*num_peers=*/6);
+}
+
+TEST(BatchDeterminismTest, HistogramAggregation) {
+  EngineOptions options;
+  options.synopsis.histogram_cells = 4;
+  IqnOptions iqn;
+  iqn.use_histograms = true;
+  CheckDeterminism(options, iqn, /*num_peers=*/6);
+}
+
+TEST(BatchDeterminismTest, SynopsisSeededReference) {
+  EngineOptions options;
+  options.seed_reference_from_synopses = true;
+  IqnOptions iqn;
+  CheckDeterminism(options, iqn, /*num_peers=*/6);
+}
+
+TEST(BatchDeterminismTest, ThreadsExceedingBatchSize) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  IqnRouter router;
+  std::vector<BatchQuery> batch = MakeBatch(*engine.value(), 2);
+  auto outcomes = engine.value()->RunQueryBatch(batch, router, 2, 8);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_EQ(outcomes.value().size(), 2u);
+}
+
+TEST(BatchDeterminismTest, EmptyBatch) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  IqnRouter router;
+  auto outcomes = engine.value()->RunQueryBatch({}, router, 2, 4);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_TRUE(outcomes.value().empty());
+}
+
+// The satellite fix: a batch item that fails (out-of-range initiator)
+// aborts the batch with the lowest-indexed item's error, all other items
+// still ran to completion, no traffic leaks into the global stats, the
+// pool stays usable for the next batch, and engine destruction joins the
+// pool cleanly (ThreadSanitizer would flag a leaked worker touching a
+// destroyed engine).
+TEST(BatchDeterminismTest, FailingItemAbortsBatchCleanly) {
+  auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+  IqnRouter router;
+  std::vector<BatchQuery> batch = MakeBatch(*engine.value(), 8);
+  batch[6].initiator_index = 99;  // fails
+  batch[3].initiator_index = 77;  // fails too; lowest index wins
+
+  NetworkStats before = engine.value()->network().stats();
+  auto outcomes = engine.value()->RunQueryBatch(batch, router, 2, 4);
+  ASSERT_FALSE(outcomes.ok());
+  EXPECT_EQ(outcomes.status().code(), StatusCode::kInvalidArgument);
+  // Aborted batches charge nothing to the global accounting.
+  NetworkStats after = engine.value()->network().stats();
+  EXPECT_EQ(after.messages, before.messages);
+  EXPECT_EQ(after.bytes, before.bytes);
+
+  // The pool survives the abort: the same engine immediately runs a clean
+  // batch with identical results to serial.
+  batch[3].initiator_index = 3;
+  batch[6].initiator_index = 2;
+  std::vector<QueryOutcome> serial;
+  for (const BatchQuery& bq : batch) {
+    auto outcome =
+        engine.value()->RunQuery(bq.initiator_index, bq.query, router, 2);
+    ASSERT_TRUE(outcome.ok());
+    serial.push_back(std::move(outcome).value());
+  }
+  auto retry = engine.value()->RunQueryBatch(batch, router, 2, 4);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectOutcomeEq(serial[i], retry.value()[i], i);
+  }
+  // Destructor joins the pool (end of scope) — TSan verifies the teardown.
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,242 @@
+// Kernel-equivalence property tests: the word-level kernels behind the
+// Bloom/MIPs/hash-sketch hot loops must produce exactly the same bits and
+// counts as the naive scalar oracles in kernels::scalar, on arbitrary
+// random inputs — including bit counts that are not multiples of 64 and
+// inputs with stray bits beyond num_bits. On top of the raw kernels, the
+// synopsis classes themselves are cross-checked against set-level
+// reference computations.
+
+#include "synopses/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "synopses/bloom_filter.h"
+#include "synopses/hash_sketch.h"
+#include "synopses/min_wise.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace iqn {
+namespace {
+
+using kernels::AndOrCounts;
+
+std::vector<uint64_t> RandomWords(Rng* rng, size_t n) {
+  std::vector<uint64_t> words(n);
+  for (auto& w : words) w = rng->Next();
+  return words;
+}
+
+// Word counts chosen to hit the unroll boundaries: 0, below the unroll
+// width, exactly at it, one past it, and a large odd count.
+const size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 8, 17, 33, 128};
+
+TEST(KernelsTest, TailMask) {
+  EXPECT_EQ(kernels::TailMask(64), ~uint64_t{0});
+  EXPECT_EQ(kernels::TailMask(128), ~uint64_t{0});
+  EXPECT_EQ(kernels::TailMask(1), uint64_t{1});
+  EXPECT_EQ(kernels::TailMask(65), uint64_t{1});
+  EXPECT_EQ(kernels::TailMask(8), uint64_t{0xff});
+  EXPECT_EQ(kernels::TailMask(100), (uint64_t{1} << 36) - 1);
+}
+
+TEST(KernelsTest, BitwiseMergesMatchScalarOracle) {
+  Rng rng(7);
+  for (size_t n : kWordCounts) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<uint64_t> a = RandomWords(&rng, n);
+      std::vector<uint64_t> b = RandomWords(&rng, n);
+
+      std::vector<uint64_t> got = a, want = a;
+      kernels::OrWords(got.data(), b.data(), n);
+      kernels::scalar::OrWords(want.data(), b.data(), n);
+      EXPECT_EQ(got, want);
+
+      got = a;
+      want = a;
+      kernels::AndWords(got.data(), b.data(), n);
+      kernels::scalar::AndWords(want.data(), b.data(), n);
+      EXPECT_EQ(got, want);
+
+      got = a;
+      want = a;
+      kernels::AndNotWords(got.data(), b.data(), n);
+      kernels::scalar::AndNotWords(want.data(), b.data(), n);
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(KernelsTest, PopCountsMatchScalarOracle) {
+  Rng rng(11);
+  for (size_t n : kWordCounts) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<uint64_t> a = RandomWords(&rng, n);
+      std::vector<uint64_t> b = RandomWords(&rng, n);
+      EXPECT_EQ(kernels::PopCountWords(a.data(), n),
+                kernels::scalar::PopCountWords(a.data(), n));
+      AndOrCounts got = kernels::PopCountAndOr(a.data(), b.data(), n);
+      AndOrCounts want = kernels::scalar::PopCountAndOr(a.data(), b.data(), n);
+      EXPECT_EQ(got.and_bits, want.and_bits);
+      EXPECT_EQ(got.or_bits, want.or_bits);
+    }
+  }
+}
+
+TEST(KernelsTest, PopCountPrefixHandlesNonAlignedBitCounts) {
+  Rng rng(13);
+  // Deliberately includes num_bits whose final word carries stray bits
+  // beyond the prefix — PopCountPrefix must ignore them.
+  const size_t bit_counts[] = {1, 7, 8, 63, 64, 65, 100, 127, 128,
+                               129, 1000, 1024, 4099};
+  for (size_t num_bits : bit_counts) {
+    size_t words = (num_bits + 63) / 64;
+    for (int round = 0; round < 50; ++round) {
+      std::vector<uint64_t> a = RandomWords(&rng, words);
+      EXPECT_EQ(kernels::PopCountPrefix(a.data(), num_bits),
+                kernels::scalar::PopCountPrefix(a.data(), num_bits))
+          << "num_bits=" << num_bits;
+    }
+  }
+}
+
+TEST(KernelsTest, MinMaxAndMatchCountMatchScalarOracle) {
+  Rng rng(17);
+  const uint64_t sentinel = kMersenne61;
+  for (size_t n : kWordCounts) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<uint64_t> a(n), b(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Mix of agreeing values, sentinels, and arbitrary minima so the
+        // match count sees every combination.
+        a[i] = rng.Bernoulli(0.2) ? sentinel : rng.Uniform(1000);
+        b[i] = rng.Bernoulli(0.2) ? sentinel
+                                  : (rng.Bernoulli(0.3) ? a[i]
+                                                        : rng.Uniform(1000));
+      }
+      std::vector<uint64_t> got = a, want = a;
+      kernels::MinWords(got.data(), b.data(), n);
+      kernels::scalar::MinWords(want.data(), b.data(), n);
+      EXPECT_EQ(got, want);
+
+      got = a;
+      want = a;
+      kernels::MaxWords(got.data(), b.data(), n);
+      kernels::scalar::MaxWords(want.data(), b.data(), n);
+      EXPECT_EQ(got, want);
+
+      EXPECT_EQ(
+          kernels::CountEqualNotSentinel(a.data(), b.data(), n, sentinel),
+          kernels::scalar::CountEqualNotSentinel(a.data(), b.data(), n,
+                                                 sentinel));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Synopsis-level equivalence: the refactored classes must behave exactly
+// like per-bit / per-element reference computations on random sets,
+// including non-word-aligned Bloom geometries.
+
+std::vector<DocId> RandomDocs(Rng* rng, size_t count) {
+  std::vector<DocId> docs(count);
+  for (auto& d : docs) d = rng->Next();
+  return docs;
+}
+
+TEST(KernelsTest, BloomFilterOpsMatchBitwiseReference) {
+  Rng rng(23);
+  // 100 and 4099 are deliberately not multiples of 64.
+  for (size_t num_bits : {64u, 100u, 1024u, 4099u}) {
+    for (int round = 0; round < 10; ++round) {
+      auto a = BloomFilter::Create(num_bits, 4, 99);
+      auto b = BloomFilter::Create(num_bits, 4, 99);
+      ASSERT_TRUE(a.ok() && b.ok());
+      for (DocId d : RandomDocs(&rng, 50)) a.value().Add(d);
+      for (DocId d : RandomDocs(&rng, 50)) b.value().Add(d);
+
+      // Union / intersect / difference / counts via the scalar oracle.
+      size_t words = (num_bits + 63) / 64;
+      std::vector<uint64_t> union_ref = a.value().words();
+      kernels::scalar::OrWords(union_ref.data(), b.value().words().data(),
+                               words);
+      std::vector<uint64_t> inter_ref = a.value().words();
+      kernels::scalar::AndWords(inter_ref.data(), b.value().words().data(),
+                                words);
+      std::vector<uint64_t> diff_ref = a.value().words();
+      kernels::scalar::AndNotWords(diff_ref.data(), b.value().words().data(),
+                                   words);
+
+      BloomFilter u = a.value();
+      ASSERT_TRUE(u.MergeUnion(b.value()).ok());
+      EXPECT_EQ(u.words(), union_ref);
+      EXPECT_EQ(u.CountSetBits(),
+                kernels::scalar::PopCountPrefix(union_ref.data(), num_bits));
+
+      BloomFilter inter = a.value();
+      ASSERT_TRUE(inter.MergeIntersect(b.value()).ok());
+      EXPECT_EQ(inter.words(), inter_ref);
+
+      BloomFilter diff = a.value();
+      ASSERT_TRUE(diff.MergeDifference(b.value()).ok());
+      EXPECT_EQ(diff.words(), diff_ref);
+    }
+  }
+}
+
+TEST(KernelsTest, MinWiseOpsMatchElementwiseReference) {
+  Rng rng(29);
+  UniversalHashFamily family(123);
+  for (int round = 0; round < 10; ++round) {
+    auto a = MinWiseSynopsis::Create(64, family);
+    auto b = MinWiseSynopsis::Create(64, family);
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (DocId d : RandomDocs(&rng, 40)) a.value().Add(d);
+    for (DocId d : RandomDocs(&rng, 40)) b.value().Add(d);
+
+    std::vector<uint64_t> min_ref = a.value().mins();
+    kernels::scalar::MinWords(min_ref.data(), b.value().mins().data(),
+                              min_ref.size());
+    MinWiseSynopsis u = a.value();
+    ASSERT_TRUE(u.MergeUnion(b.value()).ok());
+    EXPECT_EQ(u.mins(), min_ref);
+
+    std::vector<uint64_t> max_ref = a.value().mins();
+    kernels::scalar::MaxWords(max_ref.data(), b.value().mins().data(),
+                              max_ref.size());
+    MinWiseSynopsis inter = a.value();
+    ASSERT_TRUE(inter.MergeIntersect(b.value()).ok());
+    EXPECT_EQ(inter.mins(), max_ref);
+
+    size_t matches = kernels::scalar::CountEqualNotSentinel(
+        a.value().mins().data(), b.value().mins().data(), 64,
+        MinWiseSynopsis::kEmptyMin);
+    auto resemblance = a.value().EstimateResemblance(b.value());
+    ASSERT_TRUE(resemblance.ok());
+    EXPECT_DOUBLE_EQ(resemblance.value(),
+                     static_cast<double>(matches) / 64.0);
+  }
+}
+
+TEST(KernelsTest, HashSketchUnionMatchesBitwiseReference) {
+  Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    auto a = HashSketch::Create(16, 64, 7);
+    auto b = HashSketch::Create(16, 64, 7);
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (DocId d : RandomDocs(&rng, 60)) a.value().Add(d);
+    for (DocId d : RandomDocs(&rng, 60)) b.value().Add(d);
+
+    std::vector<uint64_t> union_ref = a.value().bitmaps();
+    kernels::scalar::OrWords(union_ref.data(), b.value().bitmaps().data(),
+                             union_ref.size());
+    HashSketch u = a.value();
+    ASSERT_TRUE(u.MergeUnion(b.value()).ok());
+    EXPECT_EQ(u.bitmaps(), union_ref);
+  }
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,233 @@
+// ThreadPool + Latch tests, including the contended stress cases the
+// ThreadSanitizer CI job exists for: concurrent ParallelFor from several
+// driver pools, Schedule storms, nested ParallelFor, and shutdown while
+// work is queued. None of these tests use raw std::thread — the pool is
+// the repo's only thread source (tools/lint.sh enforces this), so a
+// second pool serves as the "external threads" driver.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace iqn {
+namespace {
+
+TEST(ThreadPoolTest, CreateValidates) {
+  EXPECT_FALSE(ThreadPool::Create(0).ok());
+  EXPECT_FALSE(ThreadPool::Create(513).ok());
+  EXPECT_TRUE(ThreadPool::Create(1).ok());
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ScheduleRunsTasks) {
+  auto pool = ThreadPool::Create(4);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> counter{0};
+  Latch done(100);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.value()
+                    ->Schedule([&counter, &done] {
+                      counter.fetch_add(1, std::memory_order_relaxed);
+                      done.CountDown();
+                    })
+                    .ok());
+  }
+  done.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  auto pool = ThreadPool::Create(4);
+  ASSERT_TRUE(pool.ok());
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t grain : {0u, 1u, 3u, 16u, 2000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      Status st = pool.value()->ParallelFor(
+          0, n, grain, [&hits](size_t lo, size_t hi) -> Status {
+            for (size_t i = lo; i < hi; ++i) {
+              hits[i].fetch_add(1, std::memory_order_relaxed);
+            }
+            return Status::OK();
+          });
+      ASSERT_TRUE(st.ok());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i << " n=" << n
+                                     << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  auto pool = ThreadPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<uint64_t> sum{0};
+  ASSERT_TRUE(pool.value()
+                  ->ParallelFor(10, 20, 4,
+                                [&sum](size_t lo, size_t hi) -> Status {
+                                  for (size_t i = lo; i < hi; ++i) {
+                                    sum.fetch_add(i);
+                                  }
+                                  return Status::OK();
+                                })
+                  .ok());
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, ParallelForReturnsLowestChunkError) {
+  auto pool = ThreadPool::Create(4);
+  ASSERT_TRUE(pool.ok());
+  // Chunks 3 and 7 fail (grain 10 → chunk c covers [10c, 10c+10)); the
+  // reported error must be chunk 3's regardless of scheduling.
+  for (int round = 0; round < 20; ++round) {
+    Status st = pool.value()->ParallelFor(
+        0, 100, 10, [](size_t lo, size_t) -> Status {
+          if (lo == 30) return Status::Internal("chunk 3");
+          if (lo == 70) return Status::Internal("chunk 7");
+          return Status::OK();
+        });
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(), "chunk 3");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForConvertsExceptionsToStatus) {
+  auto pool = ThreadPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  Status st = pool.value()->ParallelFor(
+      0, 8, 1, [](size_t lo, size_t) -> Status {
+        if (lo == 5) throw std::runtime_error("boom");
+        return Status::OK();
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+
+  // The pool survives a throwing body and keeps working.
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.value()
+                  ->ParallelFor(0, 16, 1,
+                                [&counter](size_t, size_t) -> Status {
+                                  counter.fetch_add(1);
+                                  return Status::OK();
+                                })
+                  .ok());
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsSerially) {
+  auto pool = ThreadPool::Create(4);
+  ASSERT_TRUE(pool.ok());
+  ThreadPool* p = pool.value().get();
+  std::atomic<uint64_t> total{0};
+  Status st = p->ParallelFor(0, 8, 1, [&](size_t, size_t) -> Status {
+    EXPECT_TRUE(p->InWorkerThread() || !p->InWorkerThread());  // callable
+    // Inner loop must complete (serial fallback) instead of deadlocking.
+    return p->ParallelFor(0, 100, 7, [&total](size_t lo, size_t hi) -> Status {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(total.load(), 800u);
+}
+
+// The TSan centerpiece: two driver pools hammer one shared target pool
+// with overlapping ParallelFor calls that all mutate shared atomics and
+// disjoint slots of shared vectors.
+TEST(ThreadPoolTest, ContendedParallelForStress) {
+  auto target = ThreadPool::Create(4);
+  auto drivers = ThreadPool::Create(4);
+  ASSERT_TRUE(target.ok());
+  ASSERT_TRUE(drivers.ok());
+  ThreadPool* t = target.value().get();
+
+  constexpr size_t kRounds = 8;
+  constexpr size_t kItems = 257;  // not a multiple of any grain used
+  std::atomic<uint64_t> grand_total{0};
+  Status st = drivers.value()->ParallelFor(
+      0, kRounds, 1, [&](size_t lo, size_t) -> Status {
+        std::vector<uint64_t> slots(kItems, 0);
+        IQN_RETURN_IF_ERROR(t->ParallelFor(
+            0, kItems, 3 + lo % 5, [&slots](size_t b, size_t e) -> Status {
+              for (size_t i = b; i < e; ++i) slots[i] = i + 1;
+              return Status::OK();
+            }));
+        uint64_t sum = std::accumulate(slots.begin(), slots.end(),
+                                       uint64_t{0});
+        grand_total.fetch_add(sum, std::memory_order_relaxed);
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  // Each round contributes 1 + 2 + ... + kItems.
+  EXPECT_EQ(grand_total.load(), kRounds * (kItems * (kItems + 1) / 2));
+}
+
+TEST(ThreadPoolTest, ContendedLatchStress) {
+  auto pool = ThreadPool::Create(8);
+  ASSERT_TRUE(pool.ok());
+  for (int round = 0; round < 50; ++round) {
+    Latch latch(8);
+    std::atomic<int> ready{0};
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(pool.value()
+                      ->Schedule([&latch, &ready] {
+                        ready.fetch_add(1, std::memory_order_relaxed);
+                        latch.CountDown();
+                      })
+                      .ok());
+    }
+    latch.Wait();
+    EXPECT_EQ(ready.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndRefusesNewOnes) {
+  auto pool = ThreadPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        pool.value()->Schedule([&ran] { ran.fetch_add(1); }).ok());
+  }
+  pool.value()->Shutdown();
+  // Shutdown joins only after the queue is drained.
+  EXPECT_EQ(ran.load(), 64);
+  Status st = pool.value()->Schedule([] {});
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // ParallelFor still completes after shutdown — caller does all chunks.
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.value()
+                  ->ParallelFor(0, 10, 1,
+                                [&counter](size_t, size_t) -> Status {
+                                  counter.fetch_add(1);
+                                  return Status::OK();
+                                })
+                  .ok());
+  EXPECT_EQ(counter.load(), 10);
+  pool.value()->Shutdown();  // idempotent
+}
+
+TEST(LatchTest, ZeroCountWaitReturnsImmediately) {
+  Latch latch(0);
+  latch.Wait();  // must not block
+}
+
+TEST(LatchTest, CountDownByN) {
+  Latch latch(5);
+  latch.CountDown(3);
+  latch.CountDown(2);
+  latch.Wait();
+}
+
+}  // namespace
+}  // namespace iqn

@@ -33,6 +33,20 @@ done < <(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
            src fuzz --include='*.cc' --include='*.h' \
          | grep -v NOLINT || true)
 
+# --- Rule: no raw threading primitives outside util/thread_pool.*. All
+# --- concurrency goes through ThreadPool/Latch so shutdown, exception
+# --- conversion, and determinism guarantees hold everywhere (there are no
+# --- detached threads in this codebase by construction). Benches that
+# --- want the core count use ThreadPool::DefaultConcurrency().
+while IFS= read -r hit; do
+  report no-raw-thread "$hit"
+done < <(grep -rnE 'std::(jthread|thread|async)[^_[:alnum:]]' \
+           src tests bench fuzz examples \
+           --include='*.cc' --include='*.cpp' --include='*.h' 2>/dev/null \
+         | grep -v '^src/util/thread_pool\.\(h\|cc\):' \
+         | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
+         | grep -v NOLINT || true)
+
 # --- Rule: no naked new outside factory wrappers. A `new T(...)` must sit
 # --- on, or directly under, a line that hands ownership to a smart
 # --- pointer; anything else leaks on the error path.
