@@ -1,0 +1,332 @@
+// BENCH-CHAOS: recall and traffic overhead vs message drop rate.
+//
+// Sweeps a FaultPlan::MessageDrop rate over a Fig. 3-style workload and
+// runs every query twice per rate: once with a single-attempt policy
+// (no retries) and once with the configured retry budget. For each
+// point it reports mean recall@k, the ratio against the fault-free
+// baseline, query traffic (the retries' extra messages and bytes are
+// the price of the recovered recall), and the degradation totals
+// (faults survived, retries issued, peers failed/replaced, partial
+// queries). Everything is driven by fixed seeds: the sweep is
+// bit-reproducible, and the ISSUE acceptance bound — recall@k with
+// retries within 5% of fault-free at a 10% drop rate — is checked at
+// exit (non-zero status on violation, so CI can gate on it).
+//
+// Usage: recall_under_failure [--docs=2000] [--peers=15] [--queries=32]
+//          [--k=10] [--max_peers=3] [--seed=42] [--fault-seed=7]
+//          [--drop-rates=0,0.02,0.05,0.1,0.15,0.2] [--retries=3]
+//          [--deadline-ms=0] [--out=BENCH_chaos.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "util/flags.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+struct BenchConfig {
+  size_t docs = 2000;
+  size_t peers = 15;
+  size_t queries = 32;
+  size_t k = 10;
+  size_t max_peers = 3;
+  uint64_t seed = 42;
+  uint64_t fault_seed = 7;
+  std::vector<double> drop_rates;
+  int retries = 3;
+  double deadline_ms = 0.0;
+  std::string out = "BENCH_chaos.json";
+};
+
+std::vector<double> ParseRates(const std::string& spec) {
+  std::vector<double> rates;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) {
+      rates.push_back(std::strtod(token.c_str(), nullptr));
+      token.clear();
+    }
+  };
+  for (char c : spec) {
+    if (c == ',') {
+      flush();
+    } else {
+      token.push_back(c);
+    }
+  }
+  flush();
+  if (rates.empty() || rates.front() != 0.0) {
+    rates.insert(rates.begin(), 0.0);  // the fault-free baseline
+  }
+  return rates;
+}
+
+std::vector<Corpus> BuildCollections(const BenchConfig& config,
+                                     std::vector<Query>* queries) {
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = config.docs;
+  corpus_opts.vocabulary_size = config.docs / 8;
+  corpus_opts.min_document_length = 30;
+  corpus_opts.max_document_length = 100;
+  corpus_opts.seed = config.seed;
+  auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", gen.status().ToString().c_str());
+    std::exit(1);
+  }
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, config.peers * 2);
+  if (!frags.ok()) {
+    std::fprintf(stderr, "fragments: %s\n", frags.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, config.peers);
+  if (!collections.ok()) {
+    std::fprintf(stderr, "collections: %s\n",
+                 collections.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  QueryWorkloadOptions q_opts;
+  q_opts.num_queries = config.queries;
+  q_opts.min_terms = 2;
+  q_opts.max_terms = 3;
+  q_opts.band_low = 0.005;
+  q_opts.band_high = 0.10;
+  q_opts.k = config.k;
+  q_opts.seed = config.seed + 1;
+  auto generated = GenerateQueries(gen.value().vocabulary(), q_opts);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "queries: %s\n",
+                 generated.status().ToString().c_str());
+    std::exit(1);
+  }
+  *queries = std::move(generated).value();
+  return std::move(collections).value();
+}
+
+struct SweepPoint {
+  double drop_rate = 0.0;
+  int max_attempts = 1;
+  double mean_recall = 0.0;
+  double recall_ratio = 0.0;  // vs the fault-free baseline
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  double traffic_overhead = 0.0;  // bytes vs the fault-free baseline
+  uint64_t faults_injected = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t peers_failed = 0;
+  uint64_t peers_replaced = 0;
+  uint64_t partial_queries = 0;
+};
+
+/// Runs the whole workload on a FRESH engine under one (rate, policy)
+/// point. A fresh engine per point keeps every point independent and
+/// reproducible in isolation (same numbers if swept alone).
+SweepPoint RunPoint(const BenchConfig& config, double drop_rate,
+                    int max_attempts) {
+  std::vector<Query> queries;
+  std::vector<Corpus> collections = BuildCollections(config, &queries);
+  EngineOptions options;
+  options.retry.max_attempts = max_attempts;
+  options.retry.jitter_seed = config.fault_seed;
+  options.query_deadline_ms = config.deadline_ms;
+  auto engine = MinervaEngine::Create(options, std::move(collections));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  MinervaEngine& e = *engine.value();
+  if (Status published = e.PublishAll(); !published.ok()) {
+    std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
+    std::exit(1);
+  }
+  // Meter only query traffic: publishing ran fault-free and is not part
+  // of the sweep.
+  e.network().ResetStats();
+  if (drop_rate > 0.0) {
+    e.network().InstallFaultPlan(
+        FaultPlan::MessageDrop(config.fault_seed, drop_rate));
+  }
+
+  IqnRouter router;
+  SweepPoint point;
+  point.drop_rate = drop_rate;
+  point.max_attempts = max_attempts;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto outcome =
+        e.RunQuery(i % e.num_peers(), queries[i], router, config.max_peers);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "query %zu (drop=%.2f attempts=%d): %s\n", i,
+                   drop_rate, max_attempts,
+                   outcome.status().ToString().c_str());
+      std::exit(1);
+    }
+    const QueryOutcome& o = outcome.value();
+    point.mean_recall += o.recall;
+    point.faults_injected += o.degradation.faults_survived;
+    point.rpc_retries += o.degradation.rpc_retries;
+    point.peers_failed += o.degradation.peers_failed;
+    point.peers_replaced += o.degradation.peers_replaced;
+    if (o.degradation.partial) ++point.partial_queries;
+  }
+  point.mean_recall /= static_cast<double>(queries.size());
+  point.messages = e.network().stats().messages;
+  point.bytes = e.network().stats().bytes;
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("docs", 2000, "corpus size in documents");
+  flags.DefineInt("peers", 15, "number of peers (sliding-window split)");
+  flags.DefineInt("queries", 32, "number of queries per sweep point");
+  flags.DefineInt("k", 10, "top-k per query (recall@k)");
+  flags.DefineInt("max_peers", 3, "remote peers contacted per query");
+  flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineInt("fault-seed", 7, "FaultPlan seed (fault schedule)");
+  flags.DefineString("drop-rates", "0,0.02,0.05,0.1,0.15,0.2",
+                     "comma-separated message drop rates; 0 is prepended "
+                     "if absent (fault-free baseline)");
+  flags.DefineInt("retries", 3,
+                  "max RPC attempts in the with-retries runs (the sweep "
+                  "always also runs a no-retry pass for comparison)");
+  flags.DefineDouble("deadline-ms", 0.0,
+                     "per-query simulated deadline budget; 0 = unlimited");
+  flags.DefineString("out", "BENCH_chaos.json", "output JSON path");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  BenchConfig config;
+  config.docs = static_cast<size_t>(flags.GetInt("docs"));
+  config.peers = static_cast<size_t>(flags.GetInt("peers"));
+  config.queries = static_cast<size_t>(flags.GetInt("queries"));
+  config.k = static_cast<size_t>(flags.GetInt("k"));
+  config.max_peers = static_cast<size_t>(flags.GetInt("max_peers"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.fault_seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  config.drop_rates = ParseRates(flags.GetString("drop-rates"));
+  config.retries = static_cast<int>(flags.GetInt("retries"));
+  config.deadline_ms = flags.GetDouble("deadline-ms");
+  config.out = flags.GetString("out");
+
+  std::printf("recall_under_failure: %zu queries x %zu peers, k=%zu, "
+              "fault seed %llu, retries=%d\n",
+              config.queries, config.peers, config.k,
+              static_cast<unsigned long long>(config.fault_seed),
+              config.retries);
+
+  std::vector<SweepPoint> points;
+  double baseline_recall = 0.0;
+  uint64_t baseline_bytes = 0;
+  for (double rate : config.drop_rates) {
+    for (int attempts : {1, config.retries}) {
+      if (rate == 0.0 && attempts != 1) continue;  // baseline needs one pass
+      if (rate > 0.0 && attempts == 1 && config.retries == 1 &&
+          !points.empty() && points.back().drop_rate == rate) {
+        continue;  // --retries=1 would duplicate the no-retry pass
+      }
+      SweepPoint point = RunPoint(config, rate, attempts);
+      if (rate == 0.0) {
+        baseline_recall = point.mean_recall;
+        baseline_bytes = point.bytes;
+      }
+      point.recall_ratio =
+          baseline_recall > 0.0 ? point.mean_recall / baseline_recall : 0.0;
+      point.traffic_overhead =
+          baseline_bytes > 0
+              ? static_cast<double>(point.bytes) /
+                    static_cast<double>(baseline_bytes)
+              : 0.0;
+      std::printf("  drop=%.2f attempts=%d  recall@%zu=%.4f (%.1f%% of "
+                  "fault-free)  bytes=%llu (%.2fx)  retries=%llu "
+                  "faults=%llu replaced=%llu/%llu\n",
+                  point.drop_rate, point.max_attempts, config.k,
+                  point.mean_recall, 100.0 * point.recall_ratio,
+                  static_cast<unsigned long long>(point.bytes),
+                  point.traffic_overhead,
+                  static_cast<unsigned long long>(point.rpc_retries),
+                  static_cast<unsigned long long>(point.faults_injected),
+                  static_cast<unsigned long long>(point.peers_replaced),
+                  static_cast<unsigned long long>(point.peers_failed));
+      points.push_back(point);
+    }
+  }
+
+  FILE* out = std::fopen(config.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.out.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"recall_under_failure\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"docs\": %zu, \"peers\": %zu, "
+               "\"queries\": %zu, \"k\": %zu, \"max_peers\": %zu, "
+               "\"seed\": %llu, \"fault_seed\": %llu, \"retries\": %d, "
+               "\"deadline_ms\": %.1f},\n",
+               config.docs, config.peers, config.queries, config.k,
+               config.max_peers, static_cast<unsigned long long>(config.seed),
+               static_cast<unsigned long long>(config.fault_seed),
+               config.retries, config.deadline_ms);
+  std::fprintf(out,
+               "  \"metric_note\": \"each point runs the full workload on a "
+               "fresh engine; recall_ratio and traffic_overhead are against "
+               "the fault-free baseline (drop_rate 0); max_attempts 1 = no "
+               "retries\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"drop_rate\": %.3f, \"max_attempts\": %d, "
+        "\"mean_recall\": %.6f, \"recall_ratio\": %.6f, "
+        "\"messages\": %llu, \"bytes\": %llu, \"traffic_overhead\": %.4f, "
+        "\"faults_injected\": %llu, \"rpc_retries\": %llu, "
+        "\"peers_failed\": %llu, \"peers_replaced\": %llu, "
+        "\"partial_queries\": %llu}%s\n",
+        p.drop_rate, p.max_attempts, p.mean_recall, p.recall_ratio,
+        static_cast<unsigned long long>(p.messages),
+        static_cast<unsigned long long>(p.bytes), p.traffic_overhead,
+        static_cast<unsigned long long>(p.faults_injected),
+        static_cast<unsigned long long>(p.rpc_retries),
+        static_cast<unsigned long long>(p.peers_failed),
+        static_cast<unsigned long long>(p.peers_replaced),
+        static_cast<unsigned long long>(p.partial_queries),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out.c_str());
+
+  // Acceptance gate: with retries, recall at every drop rate <= 10% must
+  // stay within 5% of the fault-free baseline.
+  for (const SweepPoint& p : points) {
+    if (p.max_attempts > 1 && p.drop_rate <= 0.10 + 1e-12 &&
+        p.recall_ratio < 0.95) {
+      std::fprintf(stderr,
+                   "ACCEPTANCE VIOLATION: drop=%.2f with retries recovers "
+                   "only %.1f%% of fault-free recall (bound: 95%%)\n",
+                   p.drop_rate, 100.0 * p.recall_ratio);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

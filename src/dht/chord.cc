@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/rpc_policy.h"
 #include "util/check.h"
 
 namespace iqn {
@@ -121,7 +122,7 @@ Result<Bytes> ChordNode::HandleMessage(const Message& msg) {
 
 Result<ChordPeer> ChordNode::RemoteGetSuccessor(const ChordPeer& peer) const {
   if (peer == self_) return successor_list_.front();
-  IQN_ASSIGN_OR_RETURN(Bytes resp, network_->Rpc(self_.address, peer.address,
+  IQN_ASSIGN_OR_RETURN(Bytes resp, CallRpc(network_, self_.address, peer.address,
                                                  "chord.get_successor", {}));
   ByteReader reader(resp);
   ChordPeer out;
@@ -132,7 +133,7 @@ Result<ChordPeer> ChordNode::RemoteGetSuccessor(const ChordPeer& peer) const {
 Result<std::optional<ChordPeer>> ChordNode::RemoteGetPredecessor(
     const ChordPeer& peer) const {
   if (peer == self_) return predecessor_;
-  IQN_ASSIGN_OR_RETURN(Bytes resp, network_->Rpc(self_.address, peer.address,
+  IQN_ASSIGN_OR_RETURN(Bytes resp, CallRpc(network_, self_.address, peer.address,
                                                  "chord.get_predecessor", {}));
   ByteReader reader(resp);
   uint8_t has;
@@ -149,7 +150,7 @@ Result<ChordPeer> ChordNode::RemoteClosestPreceding(const ChordPeer& peer,
   ByteWriter writer;
   writer.PutU64(key);
   IQN_ASSIGN_OR_RETURN(
-      Bytes resp, network_->Rpc(self_.address, peer.address,
+      Bytes resp, CallRpc(network_, self_.address, peer.address,
                                 "chord.closest_preceding", writer.Take()));
   ByteReader reader(resp);
   ChordPeer out;
@@ -163,14 +164,14 @@ Status ChordNode::RemoteNotify(const ChordPeer& peer,
   ByteWriter writer;
   PutPeer(&writer, candidate);
   Result<Bytes> r =
-      network_->Rpc(self_.address, peer.address, "chord.notify", writer.Take());
+      CallRpc(network_, self_.address, peer.address, "chord.notify", writer.Take());
   return r.ok() ? Status::OK() : r.status();
 }
 
 Result<std::vector<ChordPeer>> ChordNode::RemoteGetSuccessorList(
     const ChordPeer& peer) const {
   if (peer == self_) return successor_list_;
-  IQN_ASSIGN_OR_RETURN(Bytes resp, network_->Rpc(self_.address, peer.address,
+  IQN_ASSIGN_OR_RETURN(Bytes resp, CallRpc(network_, self_.address, peer.address,
                                                  "chord.get_succ_list", {}));
   ByteReader reader(resp);
   uint64_t n;
@@ -185,7 +186,7 @@ Result<std::vector<ChordPeer>> ChordNode::RemoteGetSuccessorList(
 
 bool ChordNode::RemoteIsAlive(const ChordPeer& peer) const {
   if (peer == self_) return true;
-  return network_->Rpc(self_.address, peer.address, "chord.ping", {}).ok();
+  return CallRpc(network_, self_.address, peer.address, "chord.ping", {}).ok();
 }
 
 ChordPeer ChordNode::ClosestPrecedingLocal(RingId key) const {
@@ -333,12 +334,12 @@ Status ChordNode::Leave() {
     ByteWriter set_pred;
     set_pred.PutU8(predecessor_.has_value() ? 1 : 0);
     if (predecessor_) PutPeer(&set_pred, *predecessor_);
-    (void)network_->Rpc(self_.address, succ.address, "chord.set_predecessor",
+    (void)CallRpc(network_, self_.address, succ.address, "chord.set_predecessor",
                         set_pred.Take());
     if (predecessor_ && network_->IsNodeUp(predecessor_->address)) {
       ByteWriter set_succ;
       PutPeer(&set_succ, succ);
-      (void)network_->Rpc(self_.address, predecessor_->address,
+      (void)CallRpc(network_, self_.address, predecessor_->address,
                           "chord.set_successor", set_succ.Take());
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/rpc_policy.h"
 #include "util/check.h"
 
 namespace iqn {
@@ -90,7 +91,7 @@ Result<Bytes> DhtStore::OwnerRpc(const std::string& key,
       if (verb == "kv.fetch_entries") return HandleFetchEntries(self_msg);
       return Status::Internal("OwnerRpc: no local dispatch for " + verb);
     }
-    resp = node_->network()->Rpc(node_->address(), found.owner.address, verb,
+    resp = CallRpc(node_->network(), node_->address(), found.owner.address, verb,
                                  payload);
     if (resp.ok()) break;
   }
@@ -101,7 +102,7 @@ void DhtStore::ForwardToSuccessor(const std::string& verb, Bytes payload) {
   const ChordPeer& succ = node_->successor();
   if (!succ.valid() || succ == node_->self()) return;
   // Best effort: a dead replica target is repaired by the next re-post.
-  (void)node_->network()->Rpc(node_->address(), succ.address, verb,
+  (void)CallRpc(node_->network(), node_->address(), succ.address, verb,
                               std::move(payload));
 }
 
@@ -455,7 +456,7 @@ void DhtStore::HandoffAll(const ChordPeer& successor) {
       writer.PutBytes(value);
     }
   }
-  (void)node_->network()->Rpc(node_->address(), successor.address,
+  (void)CallRpc(node_->network(), node_->address(), successor.address,
                               "kv.handoff", writer.Take());
   data_.clear();
 }
@@ -475,7 +476,7 @@ Status DhtStore::Upsert(const std::string& key, const std::string& subkey,
     return HandleUpsert(self_msg).ok() ? Status::OK()
                                        : Status::Internal("local upsert");
   }
-  Result<Bytes> r = node_->network()->Rpc(node_->address(),
+  Result<Bytes> r = CallRpc(node_->network(), node_->address(),
                                           found.owner.address, "kv.upsert",
                                           std::move(payload));
   return r.ok() ? Status::OK() : r.status();
@@ -506,7 +507,7 @@ Status DhtStore::UpsertBatch(const std::vector<Entry>& entries) {
       Result<Bytes> r = HandleUpsertBatch(self_msg);
       if (!r.ok()) return r.status();
     } else {
-      Result<Bytes> r = node_->network()->Rpc(node_->address(), owner,
+      Result<Bytes> r = CallRpc(node_->network(), node_->address(), owner,
                                               "kv.upsert_batch", writer.Take());
       if (!r.ok()) return r.status();
     }
@@ -530,7 +531,7 @@ Result<std::vector<Bytes>> DhtStore::GetTop(const std::string& key,
                        payload};
       resp = HandleGetTop(self_msg);
     } else {
-      resp = node_->network()->Rpc(node_->address(), found.owner.address,
+      resp = CallRpc(node_->network(), node_->address(), found.owner.address,
                                    "kv.get_top", payload);
     }
     if (resp.ok()) break;
@@ -561,7 +562,7 @@ Result<std::vector<Bytes>> DhtStore::GetAll(const std::string& key) {
       Message self_msg{node_->address(), node_->address(), "kv.get", payload};
       resp = HandleGet(self_msg);
     } else {
-      resp = node_->network()->Rpc(node_->address(), found.owner.address,
+      resp = CallRpc(node_->network(), node_->address(), found.owner.address,
                                    "kv.get", payload);
     }
     if (resp.ok()) break;
@@ -587,7 +588,7 @@ Status DhtStore::Remove(const std::string& key, const std::string& subkey) {
     return HandleRemove(self_msg).ok() ? Status::OK()
                                        : Status::Internal("local remove");
   }
-  Result<Bytes> r = node_->network()->Rpc(node_->address(),
+  Result<Bytes> r = CallRpc(node_->network(), node_->address(),
                                           found.owner.address, "kv.remove",
                                           std::move(payload));
   return r.ok() ? Status::OK() : r.status();

@@ -1,0 +1,46 @@
+// Per-query degradation accounting.
+//
+// Under fault injection a query can lose synopses, peers, and time, yet
+// still answer: corrupted synopses downgrade candidates to CORI-only
+// scoring, failed selected peers are replaced by re-entering
+// Select-Best-Peer over the remaining candidates, retries absorb
+// transient outages. The DegradationReport says how much of that repair
+// machinery a query needed — the "how degraded was this answer" signal
+// the chaos benches and tests assert on. All zeros (partial false) on a
+// fault-free run.
+
+#ifndef IQN_MINERVA_DEGRADATION_H_
+#define IQN_MINERVA_DEGRADATION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iqn {
+
+struct DegradationReport {
+  /// Retry attempts the rpc_policy layer issued for this query.
+  uint64_t rpc_retries = 0;
+  /// Faults the injector fired against this query's traffic (injected
+  /// and survived — the query still produced an answer).
+  uint64_t faults_survived = 0;
+  /// Selected peers whose query execution failed (down, dropped,
+  /// timed out, or returned undecodable results), replacements included.
+  size_t peers_failed = 0;
+  /// Failed peers for which Select-Best-Peer re-entry found a live
+  /// replacement that answered.
+  size_t peers_replaced = 0;
+  /// Candidates downgraded to CORI-only scoring because their posted
+  /// synopses arrived corrupted.
+  size_t candidates_degraded = 0;
+  /// Query terms whose directory PeerList fetch failed outright (the
+  /// candidate set was assembled from the remaining terms).
+  size_t term_fetches_failed = 0;
+  /// True when the answer is known to be missing contributions: fewer
+  /// peers answered than routing selected (even after replacement), or
+  /// some term's candidates never entered routing.
+  bool partial = false;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_DEGRADATION_H_

@@ -1,8 +1,31 @@
 #include "minerva/engine.h"
 
+#include <algorithm>
 #include <limits>
 
+#include "util/hash.h"
+
 namespace iqn {
+
+namespace {
+
+// Salt separating query fault contexts from other Hash64 uses.
+constexpr uint64_t kQueryContextSeed = 0xC0A7E87;
+
+/// Deterministic per-query fault context: a pure function of the query
+/// content and its initiator, so the fault schedule a query experiences
+/// is independent of which thread runs it and of what ran before it.
+uint64_t QueryFaultContext(size_t initiator_index, const Query& query) {
+  uint64_t h = Mix64(kQueryContextSeed ^ initiator_index);
+  h = Mix64(h ^ query.k);
+  h = Mix64(h ^ static_cast<uint64_t>(query.mode));
+  for (const std::string& term : query.terms) {
+    h = Mix64(h ^ HashString(term));
+  }
+  return h;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
     EngineOptions options, std::vector<Corpus> collections) {
@@ -105,6 +128,11 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
   // and forwarding RPCs — lands in `delta`, so per-phase metering is just
   // snapshots of the (initially zero) delta.
   SimulatedNetwork::StatsCapture capture(network_.get(), delta);
+  // Every RPC this query issues runs under the engine's retry policy and
+  // the per-query deadline budget, keyed by a deterministic fault
+  // context (see QueryFaultContext).
+  RpcScope rpc_scope(options_.retry, options_.query_deadline_ms,
+                     QueryFaultContext(initiator_index, query));
 
   // Routing phase: local execution (free), directory lookups (metered),
   // then the routing decision itself (pure computation on fetched data).
@@ -113,15 +141,20 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
   local_docs.reserve(local.size());
   for (const ScoredDoc& sd : local) local_docs.push_back(sd.doc);
 
+  // Term fetch failures are tolerated (the candidate set is assembled
+  // from the terms that answered) and accounted as degradation.
   std::vector<CandidatePeer> candidates;
   if (options_.distributed_topk_candidates > 0) {
-    IQN_ASSIGN_OR_RETURN(candidates,
-                         initiator.FetchCandidatesTopK(
-                             query, options_.distributed_topk_candidates));
+    IQN_ASSIGN_OR_RETURN(
+        candidates,
+        initiator.FetchCandidatesTopK(
+            query, options_.distributed_topk_candidates,
+            &outcome.degradation.term_fetches_failed));
   } else {
     IQN_ASSIGN_OR_RETURN(
         candidates,
-        initiator.FetchCandidates(query, options_.peerlist_limit));
+        initiator.FetchCandidates(query, options_.peerlist_limit,
+                                  &outcome.degradation.term_fetches_failed));
   }
 
   RoutingInput input;
@@ -142,15 +175,41 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
     input.seed_cardinality = seed.cardinality;
   }
   IQN_ASSIGN_OR_RETURN(outcome.decision, router.Route(input));
+  outcome.degradation.candidates_degraded =
+      outcome.decision.candidates_degraded;
+  if (outcome.degradation.term_fetches_failed > 0) {
+    outcome.degradation.partial = true;
+  }
 
   outcome.routing_messages = delta->messages;
   outcome.routing_bytes = delta->bytes;
   outcome.routing_latency_ms = delta->latency_ms;
 
-  // Execution phase: forward to the selected peers and merge.
+  // Execution phase: forward to the selected peers and merge. When a
+  // selected peer fails mid-execution, Select-Best-Peer re-enters over
+  // the candidates not yet tried and picks the next-best replacement
+  // under whatever deadline budget remains.
+  QueryProcessor::PeerReplacer replacer =
+      [&](const std::vector<uint64_t>& known) -> std::optional<SelectedPeer> {
+    std::vector<CandidatePeer> remaining;
+    for (const CandidatePeer& cand : candidates) {
+      if (std::find(known.begin(), known.end(), cand.peer_id) == known.end()) {
+        remaining.push_back(cand);
+      }
+    }
+    if (remaining.empty()) return std::nullopt;
+    RoutingInput reentry = input;
+    reentry.candidates = &remaining;
+    reentry.max_peers = 1;
+    Result<RoutingDecision> repaired = router.Route(reentry);
+    if (!repaired.ok() || repaired.value().peers.empty()) return std::nullopt;
+    return repaired.value().peers.front();
+  };
   QueryProcessor processor(&initiator, options_.merge);
   IQN_ASSIGN_OR_RETURN(outcome.execution,
-                       processor.Execute(query, outcome.decision));
+                       processor.ExecuteWithReplacement(
+                           query, outcome.decision, replacer,
+                           &outcome.degradation));
 
   outcome.execution_messages = delta->messages - outcome.routing_messages;
   outcome.execution_bytes = delta->bytes - outcome.routing_bytes;
@@ -166,6 +225,9 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
   outcome.duplicate_fraction =
       DuplicateFraction(outcome.execution.per_peer_results);
   outcome.distinct_results = outcome.execution.all_distinct.size();
+  // Retry and fault totals for this query fall out of its metered delta.
+  outcome.degradation.rpc_retries = delta->rpc_retries;
+  outcome.degradation.faults_survived = delta->faults_injected;
   return outcome;
 }
 

@@ -13,10 +13,12 @@
 #include "dht/chord.h"
 #include "dht/kv_store.h"
 #include "ir/recall.h"
+#include "minerva/degradation.h"
 #include "minerva/peer.h"
 #include "minerva/query_processor.h"
 #include "minerva/router.h"
 #include "net/network.h"
+#include "net/rpc_policy.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -44,6 +46,16 @@ struct EngineOptions {
   /// initiator holds for the query, not just its top-k result).
   bool seed_reference_from_synopses = false;
   LatencyModel latency;
+  /// Retry policy every remote interaction of a query runs under
+  /// (directory lookups, distributed top-k, query forwarding). The
+  /// default — one attempt, no backoff — is behaviorally identical to
+  /// issuing raw RPCs.
+  RetryPolicy retry;
+  /// Per-query simulated-time deadline budget in milliseconds; <= 0 is
+  /// unlimited. When the budget runs out mid-query, remaining RPCs fail
+  /// fast with DeadlineExceeded and the query returns what it has
+  /// (partial), rather than erroring.
+  double query_deadline_ms = 0.0;
 };
 
 /// Everything measured about one routed query.
@@ -70,6 +82,9 @@ struct QueryOutcome {
   /// applied to every message of the phase).
   double routing_latency_ms = 0.0;
   double execution_latency_ms = 0.0;
+  /// How much repair machinery this query needed (all zeros on a
+  /// fault-free run).
+  DegradationReport degradation;
 };
 
 class MinervaEngine {

@@ -174,15 +174,23 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
 
   // Decode and combine each candidate's per-term synopses once, up front
   // (Sec. 6.2: one query-specific synopsis per peer). Candidates are
-  // independent, so the decode fans out over the pool.
+  // independent, so the decode fans out over the pool. A synopsis that
+  // fails to decode (corrupted in transit) must not fail the query: the
+  // candidate is downgraded to CORI-only quality scoring with a
+  // full-novelty fallback from its claimed list lengths. uint8_t, not
+  // bool: distinct slots are written from different chunks, and
+  // vector<bool> packs bits.
   std::vector<std::unique_ptr<SetSynopsis>> combined(candidates.size());
   std::vector<double> cardinality(candidates.size(), 0.0);
+  std::vector<uint8_t> degraded(candidates.size(), 0);
+  std::vector<double> fallback_novelty(candidates.size(), 0.0);
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
           std::vector<std::unique_ptr<SetSynopsis>> decoded;
           std::vector<const SetSynopsis*> views;
           std::vector<uint64_t> lens;
+          std::vector<uint64_t> claimed;
           bool missing_term = false;
           for (const std::string& term : input.query->terms) {
             auto it = candidates[i].posts.find(term);
@@ -190,11 +198,35 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
               missing_term = true;
               continue;
             }
-            IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> syn,
-                                 it->second.DecodeSynopsis());
-            decoded.push_back(std::move(syn));
+            claimed.push_back(it->second.list_length);
+            Result<std::unique_ptr<SetSynopsis>> syn =
+                it->second.DecodeSynopsis();
+            if (!syn.ok()) {
+              degraded[i] = 1;
+              continue;
+            }
+            decoded.push_back(std::move(syn).value());
             views.push_back(decoded.back().get());
             lens.push_back(it->second.list_length);
+          }
+          if (degraded[i] != 0) {
+            // No usable synopsis: score novelty from the claimed list
+            // lengths alone (conjunctive matches are bounded by the
+            // smallest list).
+            if (claimed.empty() ||
+                (input.query->mode == QueryMode::kConjunctive &&
+                 missing_term)) {
+              continue;
+            }
+            if (input.query->mode == QueryMode::kConjunctive) {
+              fallback_novelty[i] = static_cast<double>(
+                  *std::min_element(claimed.begin(), claimed.end()));
+            } else {
+              uint64_t sum = 0;
+              for (uint64_t len : claimed) sum += len;
+              fallback_novelty[i] = static_cast<double>(sum);
+            }
+            continue;
           }
           if (views.empty() ||
               (input.query->mode == QueryMode::kConjunctive && missing_term)) {
@@ -229,6 +261,9 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
 
   LoopCallbacks callbacks;
   callbacks.novelty_of = [&](size_t i) -> Result<double> {
+    // Degraded candidates keep their static claimed-length novelty: with
+    // no synopsis there is nothing to re-estimate against the reference.
+    if (degraded[i] != 0) return fallback_novelty[i];
     if (combined[i] == nullptr) return 0.0;
     return reference.NoveltyOf(*combined[i], cardinality[i]);
   };
@@ -238,7 +273,10 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
     return credited.ok() ? Status::OK() : credited.status();
   };
   callbacks.covered = [&]() { return reference.estimated_cardinality(); };
-  return RunIqnLoop(input, options_, qualities, callbacks);
+  IQN_ASSIGN_OR_RETURN(RoutingDecision decision,
+                       RunIqnLoop(input, options_, qualities, callbacks));
+  for (uint8_t d : degraded) decision.candidates_degraded += d;
+  return decision;
 }
 
 // ------------------------------------------------------ per-term strategy
@@ -253,9 +291,13 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
   const auto& terms = input.query->terms;
 
   // Decode per-candidate, per-term synopses (independent per candidate,
-  // hence parallel over the pool).
+  // hence parallel over the pool). A term synopsis that fails to decode
+  // (corrupted in transit) degrades to a null synopsis with its claimed
+  // list length kept: novelty_of below then credits the claimed length
+  // as-is (full-novelty fallback) instead of failing the query.
   std::vector<std::vector<std::unique_ptr<SetSynopsis>>> syn(candidates.size());
   std::vector<std::vector<uint64_t>> lens(candidates.size());
+  std::vector<uint8_t> degraded(candidates.size(), 0);
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
@@ -264,7 +306,14 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
           for (size_t t = 0; t < terms.size(); ++t) {
             auto it = candidates[i].posts.find(terms[t]);
             if (it == candidates[i].posts.end()) continue;
-            IQN_ASSIGN_OR_RETURN(syn[i][t], it->second.DecodeSynopsis());
+            Result<std::unique_ptr<SetSynopsis>> decoded =
+                it->second.DecodeSynopsis();
+            if (!decoded.ok()) {
+              degraded[i] = 1;
+              lens[i][t] = it->second.list_length;
+              continue;
+            }
+            syn[i][t] = std::move(decoded).value();
             lens[i][t] = it->second.list_length;
           }
         }
@@ -327,7 +376,12 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
     // deflated by the candidate's own term-list correlation.
     double total = 0.0;
     for (size_t t = 0; t < terms.size(); ++t) {
-      if (syn[i][t] == nullptr) continue;
+      if (syn[i][t] == nullptr) {
+        // Missing term: lens is 0, contributes nothing. Degraded term:
+        // lens holds the claimed list length, credited in full.
+        total += static_cast<double>(lens[i][t]);
+        continue;
+      }
       IQN_ASSIGN_OR_RETURN(
           double nov,
           references[t].NoveltyOf(*syn[i][t],
@@ -354,7 +408,10 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
     }
     return best;
   };
-  return RunIqnLoop(input, options_, qualities, callbacks);
+  IQN_ASSIGN_OR_RETURN(RoutingDecision decision,
+                       RunIqnLoop(input, options_, qualities, callbacks));
+  for (uint8_t d : degraded) decision.candidates_degraded += d;
+  return decision;
 }
 
 // ----------------------------------------------- histogram-based strategy
@@ -369,17 +426,29 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
   const auto& terms = input.query->terms;
 
   // Decode per-candidate, per-term histograms (parallel over candidates).
+  // Corrupted histogram bytes degrade the term to a claimed-length
+  // novelty fallback (lens below); a post with NO histogram stays a
+  // configuration error — that is a local setup bug, not a transit
+  // fault.
   std::vector<std::vector<std::optional<ScoreHistogramSynopsis>>> hist(
       candidates.size());
+  std::vector<std::vector<uint64_t>> lens(candidates.size());
+  std::vector<uint8_t> degraded(candidates.size(), 0);
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
           hist[i].resize(terms.size());
+          lens[i].assign(terms.size(), 0);
           for (size_t t = 0; t < terms.size(); ++t) {
             auto it = candidates[i].posts.find(terms[t]);
             if (it == candidates[i].posts.end()) continue;
             Result<ScoreHistogramSynopsis> h = it->second.DecodeHistogram();
             if (!h.ok()) {
+              if (h.status().code() == StatusCode::kCorruption) {
+                degraded[i] = 1;
+                lens[i][t] = it->second.list_length;
+                continue;
+              }
               return Status::FailedPrecondition(
                   "IQN histogram mode but post has no histogram (peer " +
                   std::to_string(candidates[i].peer_id) + "): " +
@@ -408,7 +477,12 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
   callbacks.novelty_of = [&](size_t i) -> Result<double> {
     double total = 0.0;
     for (size_t t = 0; t < terms.size(); ++t) {
-      if (!hist[i][t].has_value()) continue;
+      if (!hist[i][t].has_value()) {
+        // Degraded term: claimed list length, credited in full (missing
+        // terms carry lens 0).
+        total += static_cast<double>(lens[i][t]);
+        continue;
+      }
       IQN_ASSIGN_OR_RETURN(
           double nov,
           references[t].WeightedNoveltyOf(*hist[i][t],
@@ -429,7 +503,10 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
     for (const auto& ref : references) best = std::max(best, ref.TotalCount());
     return static_cast<double>(best);
   };
-  return RunIqnLoop(input, options_, qualities, callbacks);
+  IQN_ASSIGN_OR_RETURN(RoutingDecision decision,
+                       RunIqnLoop(input, options_, qualities, callbacks));
+  for (uint8_t d : degraded) decision.candidates_degraded += d;
+  return decision;
 }
 
 }  // namespace iqn

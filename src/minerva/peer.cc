@@ -215,15 +215,22 @@ Result<Peer::QueryReference> Peer::BuildQueryReference(
 }
 
 Result<std::vector<CandidatePeer>> Peer::FetchCandidates(
-    const Query& query, size_t peerlist_limit) const {
+    const Query& query, size_t peerlist_limit, size_t* failed_terms) const {
   std::map<uint64_t, CandidatePeer> by_peer;
   for (const std::string& term : query.terms) {
-    IQN_ASSIGN_OR_RETURN(std::vector<Post> peer_list,
-                         peerlist_limit == 0
-                             ? directory_.FetchPeerList(term)
-                             : directory_.FetchTopPeerList(term,
-                                                           peerlist_limit));
-    for (Post& post : peer_list) {
+    Result<std::vector<Post>> peer_list =
+        peerlist_limit == 0
+            ? directory_.FetchPeerList(term)
+            : directory_.FetchTopPeerList(term, peerlist_limit);
+    if (!peer_list.ok()) {
+      if (failed_terms == nullptr) return peer_list.status();
+      // Tolerant mode: assemble the candidate set from the terms that
+      // answered; the caller accounts the loss in its degradation
+      // report.
+      ++*failed_terms;
+      continue;
+    }
+    for (Post& post : peer_list.value()) {
       if (post.peer_id == peer_id_) continue;  // own contribution is local
       CandidatePeer& cand = by_peer[post.peer_id];
       cand.peer_id = post.peer_id;
@@ -238,22 +245,33 @@ Result<std::vector<CandidatePeer>> Peer::FetchCandidates(
 }
 
 Result<std::vector<CandidatePeer>> Peer::FetchCandidatesTopK(
-    const Query& query, size_t top_peers) const {
+    const Query& query, size_t top_peers, size_t* failed_terms) const {
   // +1 slot because the initiator itself may rank among the winners and
   // is excluded from the candidate set.
-  IQN_ASSIGN_OR_RETURN(
-      std::vector<uint64_t> winners,
-      directory_.TopPeersAcrossTerms(query.terms, top_peers + 1));
+  Result<std::vector<uint64_t>> winners_r =
+      directory_.TopPeersAcrossTerms(query.terms, top_peers + 1);
+  if (!winners_r.ok()) {
+    if (failed_terms == nullptr) return winners_r.status();
+    // The distributed top-k phase is an optimization; when it fails
+    // under faults, fall back to plain full-PeerList fetching rather
+    // than failing the query.
+    return FetchCandidates(query, /*peerlist_limit=*/0, failed_terms);
+  }
   std::vector<uint64_t> others;
-  for (uint64_t id : winners) {
+  for (uint64_t id : winners_r.value()) {
     if (id != peer_id_ && others.size() < top_peers) others.push_back(id);
   }
 
   std::map<uint64_t, CandidatePeer> by_peer;
   for (const std::string& term : query.terms) {
-    IQN_ASSIGN_OR_RETURN(std::vector<Post> posts,
-                         directory_.FetchPostsForPeers(term, others));
-    for (Post& post : posts) {
+    Result<std::vector<Post>> posts =
+        directory_.FetchPostsForPeers(term, others);
+    if (!posts.ok()) {
+      if (failed_terms == nullptr) return posts.status();
+      ++*failed_terms;
+      continue;
+    }
+    for (Post& post : posts.value()) {
       CandidatePeer& cand = by_peer[post.peer_id];
       cand.peer_id = post.peer_id;
       cand.address = post.address;

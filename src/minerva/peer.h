@@ -100,16 +100,26 @@ class Peer {
   /// `peerlist_limit` > 0 fetches only the top-so-many posts per term
   /// (server-side truncation, Sec. 4), trading candidate coverage for
   /// directory bandwidth.
+  /// With `failed_terms` set, a term whose directory fetch fails is
+  /// counted there and skipped — the candidate set is assembled from
+  /// the terms that answered; with it null (default) any fetch error
+  /// fails the call, as before.
   Result<std::vector<CandidatePeer>> FetchCandidates(
-      const Query& query, size_t peerlist_limit = 0) const;
+      const Query& query, size_t peerlist_limit = 0,
+      size_t* failed_terms = nullptr) const;
 
   /// Directory phase via the distributed top-k algorithm (Sec. 4):
   /// first determines the `top_peers` peers with the highest aggregate
   /// index-list mass across ALL query terms (TPUT over the directory
   /// nodes, exact), then fetches only those peers' Posts. Cheaper than
   /// full PeerLists when the query terms are popular.
+  /// `failed_terms` enables the same per-term fault tolerance as
+  /// FetchCandidates; additionally, when the top-k phase itself fails it
+  /// degrades to a plain full-PeerList fetch (more traffic, but the
+  /// query survives) instead of erroring out.
   Result<std::vector<CandidatePeer>> FetchCandidatesTopK(
-      const Query& query, size_t top_peers) const;
+      const Query& query, size_t top_peers,
+      size_t* failed_terms = nullptr) const;
 
  private:
   Peer(uint64_t peer_id, ChordNode* node, DhtStore* store,

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "net/rpc_policy.h"
+
 namespace iqn {
 
 namespace {
@@ -25,42 +27,85 @@ double QueryProcessor::CoriMergeWeight(double collection_score,
 
 Result<QueryExecution> QueryProcessor::Execute(
     const Query& query, const RoutingDecision& decision) const {
+  return ExecuteWithReplacement(query, decision, nullptr, nullptr);
+}
+
+Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
+    const Query& query, const RoutingDecision& decision,
+    const PeerReplacer& replacer, DegradationReport* report) const {
   QueryExecution execution;
   execution.local_results = initiator_->ExecuteLocal(query);
 
-  // CORI merge weights from the collection scores the router recorded.
-  std::vector<double> weights(decision.peers.size(), 1.0);
-  if (merge_ == MergeStrategy::kCoriNormalized && !decision.peers.empty()) {
-    double mean = 0.0;
-    for (const SelectedPeer& peer : decision.peers) mean += peer.quality;
-    mean /= static_cast<double>(decision.peers.size());
-    for (size_t i = 0; i < decision.peers.size(); ++i) {
-      weights[i] = CoriMergeWeight(decision.peers[i].quality, mean);
+  // CORI merge weights against the mean collection score of the
+  // ORIGINALLY selected peers. Replacements are weighted against the
+  // same mean: the selection context the weights normalize within is
+  // the routing decision, not the post-failure survivor set.
+  const bool cori =
+      merge_ == MergeStrategy::kCoriNormalized && !decision.peers.empty();
+  double mean_quality = 0.0;
+  if (cori) {
+    for (const SelectedPeer& peer : decision.peers) {
+      mean_quality += peer.quality;
     }
+    mean_quality /= static_cast<double>(decision.peers.size());
   }
 
   Bytes encoded = EncodeQuery(query);
   SimulatedNetwork* network = initiator_->node()->network();
-  for (size_t i = 0; i < decision.peers.size(); ++i) {
-    const SelectedPeer& peer = decision.peers[i];
-    Result<Bytes> response = network->Rpc(initiator_->address(), peer.address,
-                                          "peer.query", encoded);
-    if (!response.ok()) {
-      ++execution.failed_peers;
-      execution.per_peer_results.emplace_back();
+
+  // The worklist starts as the routing decision and grows by one entry
+  // per repaired failure; `known` holds every peer id selected or
+  // appended, so a replacement is always a fresh peer.
+  std::vector<SelectedPeer> worklist = decision.peers;
+  std::vector<uint64_t> known;
+  known.reserve(worklist.size());
+  for (const SelectedPeer& peer : worklist) known.push_back(peer.peer_id);
+
+  size_t successes = 0;
+  size_t replacements_succeeded = 0;
+  for (size_t i = 0; i < worklist.size(); ++i) {
+    // Copy: appending replacements may reallocate the worklist.
+    const SelectedPeer peer = worklist[i];
+    std::vector<ScoredDoc> scored;
+    bool answered = false;
+    Result<Bytes> response = CallRpc(network, initiator_->address(),
+                                     peer.address, "peer.query", encoded);
+    if (response.ok()) {
+      Result<std::vector<ScoredDoc>> results = DecodeResults(response.value());
+      if (results.ok()) {
+        scored = std::move(results).value();
+        answered = true;
+      }
+    }
+    if (answered) {
+      ++successes;
+      if (i >= decision.peers.size()) ++replacements_succeeded;
+      if (cori) {
+        double weight = CoriMergeWeight(peer.quality, mean_quality);
+        if (weight != 1.0) {
+          for (ScoredDoc& sd : scored) sd.score *= weight;
+        }
+      }
+      execution.per_peer_results.push_back(std::move(scored));
       continue;
     }
-    Result<std::vector<ScoredDoc>> results = DecodeResults(response.value());
-    if (!results.ok()) {
-      ++execution.failed_peers;
-      execution.per_peer_results.emplace_back();
-      continue;
+    ++execution.failed_peers;
+    execution.per_peer_results.emplace_back();
+    // Select-Best-Peer re-entry: ask for the next-best live candidate,
+    // but only while the query's deadline budget has room for it.
+    if (replacer != nullptr && !RpcScope::DeadlineExpired()) {
+      std::optional<SelectedPeer> next = replacer(known);
+      if (next.has_value()) {
+        known.push_back(next->peer_id);
+        worklist.push_back(*next);
+      }
     }
-    std::vector<ScoredDoc> scored = std::move(results).value();
-    if (weights[i] != 1.0) {
-      for (ScoredDoc& sd : scored) sd.score *= weights[i];
-    }
-    execution.per_peer_results.push_back(std::move(scored));
+  }
+
+  if (report != nullptr) {
+    report->peers_failed += execution.failed_peers;
+    report->peers_replaced += replacements_succeeded;
+    if (successes < decision.peers.size()) report->partial = true;
   }
 
   std::vector<std::vector<ScoredDoc>> all_lists = execution.per_peer_results;

@@ -13,8 +13,11 @@
 #ifndef IQN_MINERVA_QUERY_PROCESSOR_H_
 #define IQN_MINERVA_QUERY_PROCESSOR_H_
 
+#include <functional>
+#include <optional>
 #include <vector>
 
+#include "minerva/degradation.h"
 #include "minerva/peer.h"
 #include "minerva/router.h"
 #include "util/status.h"
@@ -32,8 +35,9 @@ enum class MergeStrategy {
 struct QueryExecution {
   /// The initiator's own result list.
   std::vector<ScoredDoc> local_results;
-  /// One result list per selected peer (selection order; empty lists for
-  /// peers that were down).
+  /// One result list per attempted peer — the routed peers in selection
+  /// order, then any replacements in replacement order; empty lists for
+  /// peers that failed.
   std::vector<std::vector<ScoredDoc>> per_peer_results;
   /// Global top-k after merging all lists (local included).
   std::vector<ScoredDoc> merged;
@@ -46,6 +50,15 @@ struct QueryExecution {
 
 class QueryProcessor {
  public:
+  /// Supplies the next-best replacement when a selected peer fails mid
+  /// execution: called with every peer id already selected or attempted
+  /// (a replacement must be a fresh peer), returns the peer to try
+  /// instead, or nullopt when no candidate remains. The engine backs
+  /// this with a Select-Best-Peer re-entry over the surviving
+  /// candidates.
+  using PeerReplacer = std::function<std::optional<SelectedPeer>(
+      const std::vector<uint64_t>& attempted_peer_ids)>;
+
   /// `initiator` must outlive the processor.
   explicit QueryProcessor(Peer* initiator,
                           MergeStrategy merge = MergeStrategy::kRawScores)
@@ -55,6 +68,15 @@ class QueryProcessor {
   /// failures are tolerated (counted, not fatal).
   Result<QueryExecution> Execute(const Query& query,
                                  const RoutingDecision& decision) const;
+
+  /// Execute with graceful degradation: each failed peer is replaced
+  /// via `replacer` (when set) while the ambient RpcScope deadline has
+  /// budget left, and repair accounting lands in `report` (when set:
+  /// peers_failed, peers_replaced, partial). With a null replacer and
+  /// no failures this is exactly Execute.
+  Result<QueryExecution> ExecuteWithReplacement(
+      const Query& query, const RoutingDecision& decision,
+      const PeerReplacer& replacer, DegradationReport* report) const;
 
   /// Callan's merge weight for a collection score C_i given the mean
   /// collection score of the selected peers (exposed for tests).

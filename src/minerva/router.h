@@ -81,6 +81,11 @@ struct RoutingDecision {
   /// Estimated size of the combined result space after all selected
   /// peers contribute (IQN only; 0 otherwise).
   double estimated_result_cardinality = 0.0;
+  /// Candidates whose posted synopses failed to decode (corrupted in
+  /// transit) and were downgraded to CORI-only quality scoring with a
+  /// claimed-list-length novelty fallback, instead of failing the query
+  /// (IQN only; 0 otherwise).
+  size_t candidates_degraded = 0;
 };
 
 class Router {

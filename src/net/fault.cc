@@ -1,0 +1,121 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+// Distinct class salts keep the per-class decisions independent: a
+// message that dodges the drop die can still hit the timeout die.
+enum FaultClass : uint64_t {
+  kClassUnavailable = 0xA1,
+  kClassDropRequest = 0xA2,
+  kClassDropResponse = 0xA3,
+  kClassTimeout = 0xA4,
+  kClassSlowLink = 0xA5,
+  kClassCorrupt = 0xA6,
+};
+
+/// Maps a 64-bit hash to [0, 1) with 53 bits of precision (same
+/// construction as Rng::NextDouble, but stateless).
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultSpec::AppliesTo(NodeAddress dst, const std::string& type) const {
+  if (rate <= 0.0) return false;
+  if (!type_prefix.empty() && type.rfind(type_prefix, 0) != 0) return false;
+  if (!nodes.empty() &&
+      std::find(nodes.begin(), nodes.end(), dst) == nodes.end()) {
+    return false;
+  }
+  return true;
+}
+
+bool FaultPlan::active() const {
+  return drop_request.rate > 0.0 || drop_response.rate > 0.0 ||
+         unavailable.rate > 0.0 || slow_link.rate > 0.0 ||
+         corrupt_response.rate > 0.0 || timeout.rate > 0.0;
+}
+
+FaultPlan FaultPlan::MessageDrop(uint64_t seed, double rate) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_request.rate = rate;
+  plan.drop_response.rate = rate;
+  return plan;
+}
+
+bool FaultInjector::Fires(const FaultSpec& spec, uint64_t klass,
+                          NodeAddress dst, const std::string& type,
+                          uint64_t payload_fingerprint, uint64_t context,
+                          uint64_t attempt) const {
+  if (!spec.AppliesTo(dst, type)) return false;
+  // Chain the decision coordinates through the mixer; every argument
+  // contributes, so two messages differing in any coordinate roll
+  // independent dice.
+  uint64_t h = Mix64(plan_.seed ^ (klass * 0x9E3779B97F4A7C15ull));
+  h = Mix64(h ^ dst);
+  if (klass != kClassUnavailable) {
+    // Outage windows are per destination, not per message: within one
+    // (context, attempt) window the node is down for everything.
+    h = Mix64(h ^ HashString(type));
+    h = Mix64(h ^ payload_fingerprint);
+  }
+  h = Mix64(h ^ context);
+  h = Mix64(h ^ attempt);
+  return HashToUnit(h) < spec.rate;
+}
+
+FaultDecision FaultInjector::Decide(NodeAddress dst, const std::string& type,
+                                    uint64_t payload_fingerprint,
+                                    uint64_t context,
+                                    uint64_t attempt) const {
+  FaultDecision d;
+  d.unavailable = Fires(plan_.unavailable, kClassUnavailable, dst, type,
+                        payload_fingerprint, context, attempt);
+  d.drop_request = Fires(plan_.drop_request, kClassDropRequest, dst, type,
+                         payload_fingerprint, context, attempt);
+  d.drop_response = Fires(plan_.drop_response, kClassDropResponse, dst, type,
+                          payload_fingerprint, context, attempt);
+  d.timeout = Fires(plan_.timeout, kClassTimeout, dst, type,
+                    payload_fingerprint, context, attempt);
+  d.slow_link = Fires(plan_.slow_link, kClassSlowLink, dst, type,
+                      payload_fingerprint, context, attempt);
+  d.corrupt_response = Fires(plan_.corrupt_response, kClassCorrupt, dst, type,
+                             payload_fingerprint, context, attempt);
+  return d;
+}
+
+void FaultInjector::CorruptPayload(Bytes* payload, NodeAddress dst,
+                                   const std::string& type,
+                                   uint64_t payload_fingerprint,
+                                   uint64_t context, uint64_t attempt) const {
+  if (payload->empty()) return;
+  uint64_t h = Mix64(plan_.seed ^ (kClassCorrupt * 0x9E3779B97F4A7C15ull));
+  h = Mix64(h ^ dst);
+  h = Mix64(h ^ HashString(type));
+  h = Mix64(h ^ payload_fingerprint);
+  h = Mix64(h ^ context);
+  h = Mix64(h ^ (attempt + 1));  // offset from the decision stream
+  if ((h & 1) != 0) {
+    // Truncation: keep a hash-derived prefix (possibly empty).
+    size_t keep = static_cast<size_t>((h >> 1) % payload->size());
+    payload->resize(keep);
+  } else {
+    // Bit flips: up to 4 hash-derived positions.
+    size_t flips = 1 + static_cast<size_t>((h >> 1) & 3);
+    for (size_t i = 0; i < flips; ++i) {
+      uint64_t g = Mix64(h ^ (i + 1));
+      (*payload)[static_cast<size_t>(g % payload->size())] ^=
+          static_cast<uint8_t>(1u << ((g >> 32) & 7));
+    }
+  }
+}
+
+}  // namespace iqn

@@ -1,0 +1,163 @@
+// Deterministic fault injection for the simulated network.
+//
+// The paper evaluates IQN on a reliable PC cluster (Sec. 8), but the
+// MINERVA setting it targets is a P2P network where peers churn, drop
+// messages, and stall. A FaultInjector installed into SimulatedNetwork
+// perturbs RPCs according to a FaultPlan: per destination node and
+// message type it can drop requests or responses, put a destination
+// into a transient Unavailable window, add slow-link latency, truncate
+// or corrupt response payloads (exercising the hardened deserializers
+// end to end), and fire simulated-time DeadlineExceeded timeouts.
+//
+// Determinism contract: every fault decision is a PURE FUNCTION of
+// (plan seed, fault class, destination, message type, payload
+// fingerprint, ambient fault context, attempt nonce) — no mutable RNG
+// state. The ambient fault context is a per-query id installed by
+// RpcScope (net/rpc_policy.h) and the attempt nonce is the retry
+// ordinal, so a retried message can see a different fate than the
+// original while the whole schedule stays bit-identical across runs
+// and across any thread count. Injected faults are accounted in
+// NetworkStats (the traffic they waste is real); the injector also
+// keeps global per-class counters (atomic, order-independent sums) for
+// chaos benches.
+
+#ifndef IQN_NET_FAULT_H_
+#define IQN_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace iqn {
+
+/// One class of fault: a rate plus an optional scope restriction.
+struct FaultSpec {
+  /// Probability in [0, 1] that the fault fires at its decision point.
+  double rate = 0.0;
+  /// Restrict to message types with this prefix ("kv.", "peer.query",
+  /// ...); empty applies to every type.
+  std::string type_prefix;
+  /// Restrict to these destination nodes; empty applies to every node.
+  std::vector<NodeAddress> nodes;
+
+  bool AppliesTo(NodeAddress dst, const std::string& type) const;
+};
+
+/// A reproducible failure schedule: a seed plus per-fault-class rates.
+/// Two runs with equal plans see bit-identical fault sequences.
+struct FaultPlan {
+  uint64_t seed = 0;
+
+  /// Request never reaches the destination; the caller times out
+  /// (DeadlineExceeded) after timeout_penalty_ms of simulated waiting.
+  /// Request bytes are charged (they were sent).
+  FaultSpec drop_request;
+  /// The handler runs (side effects happen) and the response is sent
+  /// (both legs charged), but the caller never sees it and times out.
+  FaultSpec drop_response;
+  /// Transient per-destination outage: EVERY message to the node fails
+  /// fast with Unavailable within the (context, attempt) window,
+  /// regardless of type or payload — a stalled or restarting peer. A
+  /// retry (next attempt nonce) sees a fresh die roll.
+  FaultSpec unavailable;
+  /// Delivered intact but slowly: slow_link_extra_ms extra simulated
+  /// latency charged to the RPC.
+  FaultSpec slow_link;
+  /// Response payload is truncated or bit-flipped (hash-chosen) before
+  /// delivery; the caller's deserializer must cope. Charged at the
+  /// size actually delivered.
+  FaultSpec corrupt_response;
+  /// The full round trip happens (all traffic charged) but takes too
+  /// long: the caller gets DeadlineExceeded plus timeout_penalty_ms of
+  /// simulated waiting.
+  FaultSpec timeout;
+
+  /// Simulated milliseconds a caller waits before declaring a timeout
+  /// (applied by drop_request, drop_response, and timeout faults).
+  double timeout_penalty_ms = 50.0;
+  /// Extra simulated latency of a slow link.
+  double slow_link_extra_ms = 25.0;
+
+  /// True when any fault class has a nonzero rate.
+  bool active() const;
+
+  /// Convenience: a plan dropping requests and responses each with
+  /// `rate` across all nodes and types (the chaos benches' x-axis).
+  static FaultPlan MessageDrop(uint64_t seed, double rate);
+};
+
+/// Global (plan-lifetime) fault counts, summed across all queries and
+/// threads. Relaxed atomics: totals are deterministic because the set
+/// of injected faults is, regardless of increment order.
+struct FaultCounters {
+  std::atomic<uint64_t> requests_dropped{0};
+  std::atomic<uint64_t> responses_dropped{0};
+  std::atomic<uint64_t> unavailable_injected{0};
+  std::atomic<uint64_t> links_slowed{0};
+  std::atomic<uint64_t> responses_corrupted{0};
+  std::atomic<uint64_t> timeouts_injected{0};
+
+  uint64_t total() const {
+    return requests_dropped.load(std::memory_order_relaxed) +
+           responses_dropped.load(std::memory_order_relaxed) +
+           unavailable_injected.load(std::memory_order_relaxed) +
+           links_slowed.load(std::memory_order_relaxed) +
+           responses_corrupted.load(std::memory_order_relaxed) +
+           timeouts_injected.load(std::memory_order_relaxed);
+  }
+};
+
+/// Everything SimulatedNetwork::Rpc needs to know to perturb one
+/// message, decided up front so the network code stays linear.
+struct FaultDecision {
+  bool unavailable = false;
+  bool drop_request = false;
+  bool drop_response = false;
+  bool timeout = false;
+  bool slow_link = false;
+  bool corrupt_response = false;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// All fault decisions for one message. Pure w.r.t. the arguments:
+  /// safe to call concurrently, identical across runs. `context` is
+  /// the ambient per-query fault context (0 outside any RpcScope),
+  /// `attempt` the retry ordinal.
+  FaultDecision Decide(NodeAddress dst, const std::string& type,
+                       uint64_t payload_fingerprint, uint64_t context,
+                       uint64_t attempt) const;
+
+  /// Deterministically corrupts `payload` in place: truncation at a
+  /// hash-derived offset or bit flips at hash-derived positions,
+  /// selected by the same (dst, type, fingerprint, context, attempt)
+  /// coordinates the decision used.
+  void CorruptPayload(Bytes* payload, NodeAddress dst,
+                      const std::string& type, uint64_t payload_fingerprint,
+                      uint64_t context, uint64_t attempt) const;
+
+ private:
+  /// True with probability `spec.rate` for this decision coordinate.
+  bool Fires(const FaultSpec& spec, uint64_t klass, NodeAddress dst,
+             const std::string& type, uint64_t payload_fingerprint,
+             uint64_t context, uint64_t attempt) const;
+
+  FaultPlan plan_;
+  mutable FaultCounters counters_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_NET_FAULT_H_

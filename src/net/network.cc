@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/hash.h"
+
 namespace iqn {
 
 namespace {
@@ -13,17 +15,33 @@ namespace {
 // harmless.
 thread_local NetworkStats* tls_stats_sink = nullptr;
 
+// Ambient per-query fault context (net/rpc_policy.h installs it). Same
+// thread-local idiom as the stats sink, for the same reason.
+thread_local uint64_t tls_fault_context = 0;
+
+// Seed separating payload fingerprints from other Hash64 uses.
+constexpr uint64_t kFingerprintSeed = 0xFA17;
+
 }  // namespace
 
 SimulatedNetwork::StatsCapture::StatsCapture(SimulatedNetwork* network,
                                              NetworkStats* sink)
-    : previous_(tls_stats_sink) {
-  (void)network;  // captured traffic is identified per-thread, not per-net
+    : network_(network), previous_(tls_stats_sink) {
+  network_->live_captures_.fetch_add(1, std::memory_order_relaxed);
   tls_stats_sink = sink;
 }
 
 SimulatedNetwork::StatsCapture::~StatsCapture() {
   tls_stats_sink = previous_;
+  network_->live_captures_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t SimulatedNetwork::ThreadFaultContext() { return tls_fault_context; }
+
+uint64_t SimulatedNetwork::ExchangeThreadFaultContext(uint64_t context) {
+  uint64_t previous = tls_fault_context;
+  tls_fault_context = context;
+  return previous;
 }
 
 NetworkStats* SimulatedNetwork::ActiveStats() {
@@ -34,6 +52,9 @@ void SimulatedNetwork::MergeStats(const NetworkStats& delta) {
   stats_.messages += delta.messages;
   stats_.bytes += delta.bytes;
   stats_.latency_ms += delta.latency_ms;
+  stats_.faults_injected += delta.faults_injected;
+  stats_.rpc_retries += delta.rpc_retries;
+  stats_.retry_backoff_ms += delta.retry_backoff_ms;
   for (const auto& [type, count] : delta.messages_by_type) {
     stats_.messages_by_type[type] += count;
   }
@@ -43,11 +64,15 @@ void SimulatedNetwork::MergeStats(const NetworkStats& delta) {
 }
 
 NodeAddress SimulatedNetwork::Register(Handler handler) {
+  // Topology must not change during per-query metering (StatsCapture's
+  // documented precondition — enforce it instead of racing).
+  IQN_CHECK_EQ(live_captures_.load(std::memory_order_relaxed), 0);
   nodes_.push_back(Node{std::move(handler), true});
   return static_cast<NodeAddress>(nodes_.size() - 1);
 }
 
 Status SimulatedNetwork::SetNodeUp(NodeAddress addr, bool up) {
+  IQN_CHECK_EQ(live_captures_.load(std::memory_order_relaxed), 0);
   if (addr >= nodes_.size()) return Status::NotFound("no such node");
   nodes_[addr].up = up;
   return Status::OK();
@@ -67,28 +92,109 @@ void SimulatedNetwork::Charge(const std::string& type, size_t wire_bytes) {
   stats.bytes_by_type[type] += wire_bytes;
 }
 
+void SimulatedNetwork::InstallFaultPlan(const FaultPlan& plan) {
+  faults_ = std::make_unique<FaultInjector>(plan);
+}
+
+void SimulatedNetwork::ClearFaults() { faults_.reset(); }
+
+void SimulatedNetwork::ChargeRetryBackoff(double backoff_ms) {
+  NetworkStats& stats = *ActiveStats();
+  stats.latency_ms += backoff_ms;
+  stats.retry_backoff_ms += backoff_ms;
+  ++stats.rpc_retries;
+}
+
+double SimulatedNetwork::CurrentLatencyMs() { return ActiveStats()->latency_ms; }
+
 Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
-                                    const std::string& type, Bytes payload) {
+                                    const std::string& type, Bytes payload,
+                                    uint64_t attempt) {
   if (dst >= nodes_.size()) {
     return Status::NotFound("RPC to unregistered node");
-  }
-  if (!nodes_[dst].up) {
-    return Status::Unavailable("node " + std::to_string(dst) + " is down");
   }
   Message msg;
   msg.src = src;
   msg.dst = dst;
   msg.type = type;
   msg.payload = std::move(payload);
+  // The request leg is charged no matter how the call ends: a message
+  // to a down node, a dropped request, and a timed-out call all consumed
+  // uplink bandwidth.
   Charge(type, msg.WireSize());
+  if (!nodes_[dst].up) {
+    return Status::Unavailable("node " + std::to_string(dst) + " is down");
+  }
+
+  FaultDecision fault;
+  uint64_t fingerprint = 0;
+  const bool faulty = faults_ != nullptr && faults_->plan().active();
+  if (faulty) {
+    // The fingerprint keys the decision to the message content, so two
+    // different messages to the same (dst, type) roll independent dice.
+    fingerprint =
+        HashBytes(msg.payload.data(), msg.payload.size(), kFingerprintSeed);
+    fault = faults_->Decide(dst, type, fingerprint, tls_fault_context, attempt);
+  }
+  NetworkStats& active = *ActiveStats();
+  const FaultPlan* plan = faulty ? &faults_->plan() : nullptr;
+  if (fault.unavailable) {
+    faults_->counters().unavailable_injected.fetch_add(
+        1, std::memory_order_relaxed);
+    ++active.faults_injected;
+    return Status::Unavailable("fault injection: node " + std::to_string(dst) +
+                               " transiently unavailable");
+  }
+  if (fault.drop_request) {
+    faults_->counters().requests_dropped.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    ++active.faults_injected;
+    // The caller waits out its timeout before giving up.
+    active.latency_ms += plan->timeout_penalty_ms;
+    return Status::DeadlineExceeded("fault injection: request to node " +
+                                    std::to_string(dst) + " dropped");
+  }
 
   // Copy the handler: the handler body may Register() new nodes and
   // invalidate references into nodes_.
   Handler handler = nodes_[dst].handler;
   Result<Bytes> response = handler(msg);
-  if (response.ok()) {
-    // Charge the response leg as the same message type.
+  if (!response.ok()) {
+    return response;
+  }
+  if (fault.drop_response || fault.timeout) {
+    // The handler ran (side effects happened) and the response was sent
+    // — both legs cost bandwidth — but the caller never sees it.
     Charge(type, 20 + response.value().size());
+    if (fault.timeout) {
+      faults_->counters().timeouts_injected.fetch_add(
+          1, std::memory_order_relaxed);
+    } else {
+      faults_->counters().responses_dropped.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    ++active.faults_injected;
+    active.latency_ms += plan->timeout_penalty_ms;
+    return Status::DeadlineExceeded(
+        fault.timeout ? "fault injection: response from node " +
+                            std::to_string(dst) + " timed out"
+                      : "fault injection: response from node " +
+                            std::to_string(dst) + " dropped");
+  }
+  if (fault.corrupt_response) {
+    faults_->CorruptPayload(&response.value(), dst, type, fingerprint,
+                            tls_fault_context, attempt);
+    faults_->counters().responses_corrupted.fetch_add(
+        1, std::memory_order_relaxed);
+    ++active.faults_injected;
+  }
+  // Charge the response leg as the same message type, at the size
+  // actually delivered (a truncated corruption shrinks it).
+  Charge(type, 20 + response.value().size());
+  if (fault.slow_link) {
+    faults_->counters().links_slowed.fetch_add(1, std::memory_order_relaxed);
+    ++active.faults_injected;
+    active.latency_ms += plan->slow_link_extra_ms;
   }
   return response;
 }

@@ -15,12 +15,15 @@
 #ifndef IQN_NET_NETWORK_H_
 #define IQN_NET_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/message.h"
 #include "util/status.h"
 
@@ -31,6 +34,12 @@ struct NetworkStats {
   uint64_t bytes = 0;
   /// Simulated transfer cost in milliseconds under the latency model.
   double latency_ms = 0.0;
+  /// Faults the installed FaultInjector fired against this traffic.
+  uint64_t faults_injected = 0;
+  /// Retry attempts issued by the rpc_policy layer (attempt > 0 sends).
+  uint64_t rpc_retries = 0;
+  /// Simulated backoff waiting charged by retries (also in latency_ms).
+  double retry_backoff_ms = 0.0;
   /// Message and byte counts per message type (e.g. "chord.find_succ").
   std::map<std::string, uint64_t> messages_by_type;
   std::map<std::string, uint64_t> bytes_by_type;
@@ -71,6 +80,7 @@ class SimulatedNetwork {
     StatsCapture& operator=(const StatsCapture&) = delete;
 
    private:
+    SimulatedNetwork* network_;
     NetworkStats* previous_;
   };
 
@@ -80,18 +90,48 @@ class SimulatedNetwork {
   void MergeStats(const NetworkStats& delta);
 
   /// Registers a node; the returned address is stable for the lifetime of
-  /// the network.
+  /// the network. Precondition (checked): no StatsCapture is live.
   NodeAddress Register(Handler handler);
 
   /// Marks a node down (messages to it fail with Unavailable) or back up.
+  /// Precondition (checked): no StatsCapture is live — mutating the
+  /// topology while per-query captures run would race with Rpc.
   Status SetNodeUp(NodeAddress addr, bool up);
   bool IsNodeUp(NodeAddress addr) const;
 
-  /// Synchronous request/response. Charges the request and the response
-  /// against the stats. Fails with Unavailable if dst is down, NotFound if
-  /// dst was never registered.
+  /// Synchronous request/response. The request leg is always charged —
+  /// a message to a down node, a dropped request, and a timed-out call
+  /// all consumed uplink bandwidth; the response leg is charged when the
+  /// handler produced one. Fails with Unavailable if dst is down,
+  /// NotFound if dst was never registered. `attempt` is the retry
+  /// ordinal (0 = first try); it feeds the fault injector's decision
+  /// hash so a retry rolls fresh dice. Prefer CallRpc (net/rpc_policy.h)
+  /// outside net/ — it layers retry/deadline policy over this.
   Result<Bytes> Rpc(NodeAddress src, NodeAddress dst, const std::string& type,
-                    Bytes payload);
+                    Bytes payload, uint64_t attempt = 0);
+
+  /// Installs a fault injector driven by `plan`; replaces any previous
+  /// one. Install before issuing traffic (not thread-safe against
+  /// concurrent Rpc).
+  void InstallFaultPlan(const FaultPlan& plan);
+  /// Removes the installed fault injector (same caveat as install).
+  void ClearFaults();
+  /// The installed injector (for its counters), or nullptr.
+  const FaultInjector* fault_injector() const { return faults_.get(); }
+
+  /// Charges `backoff_ms` of simulated retry waiting to the calling
+  /// thread's active stats sink (latency, retry counters; no message).
+  void ChargeRetryBackoff(double backoff_ms);
+  /// Simulated latency accrued so far in the calling thread's active
+  /// stats sink; the rpc_policy layer diffs this around an attempt to
+  /// draw down deadline budgets.
+  double CurrentLatencyMs();
+
+  /// Ambient per-query fault context of the current thread. RpcScope
+  /// installs it; 0 outside any scope.
+  static uint64_t ThreadFaultContext();
+  /// Sets the thread's fault context, returning the previous value.
+  static uint64_t ExchangeThreadFaultContext(uint64_t context);
 
   size_t num_nodes() const { return nodes_.size(); }
 
@@ -113,6 +153,9 @@ class SimulatedNetwork {
   LatencyModel latency_;
   std::vector<Node> nodes_;
   NetworkStats stats_;
+  std::unique_ptr<FaultInjector> faults_;
+  /// Live StatsCapture count; topology mutation is checked against it.
+  std::atomic<int> live_captures_{0};
 };
 
 }  // namespace iqn

@@ -1,0 +1,94 @@
+#include "net/rpc_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+// Innermost RpcScope of the current thread (same idiom as the stats
+// sink in network.cc).
+thread_local RpcScope* tls_rpc_scope = nullptr;
+
+// Salt separating backoff jitter hashes from fault-decision hashes.
+constexpr uint64_t kJitterSalt = 0xB0FF;
+
+}  // namespace
+
+double RetryPolicy::BackoffMs(int attempt, NodeAddress dst,
+                              const std::string& type,
+                              uint64_t context) const {
+  double nominal = initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) nominal *= backoff_multiplier;
+  nominal = std::min(nominal, max_backoff_ms);
+  if (jitter <= 0.0) return nominal;
+  uint64_t h = Mix64(jitter_seed ^ (kJitterSalt * 0x9E3779B97F4A7C15ull));
+  h = Mix64(h ^ dst);
+  h = Mix64(h ^ HashString(type));
+  h = Mix64(h ^ context);
+  h = Mix64(h ^ static_cast<uint64_t>(attempt));
+  // 53-bit hash fraction in [0, 1), mapped to [1 - jitter, 1 + jitter].
+  double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return nominal * (1.0 + jitter * (2.0 * unit - 1.0));
+}
+
+RpcScope::RpcScope(RetryPolicy policy, double deadline_budget_ms,
+                   uint64_t fault_context)
+    : previous_(tls_rpc_scope),
+      previous_context_(
+          SimulatedNetwork::ExchangeThreadFaultContext(fault_context)),
+      policy_(policy),
+      deadline_(deadline_budget_ms) {
+  tls_rpc_scope = this;
+}
+
+RpcScope::~RpcScope() {
+  SimulatedNetwork::ExchangeThreadFaultContext(previous_context_);
+  tls_rpc_scope = previous_;
+}
+
+RpcScope* RpcScope::Current() { return tls_rpc_scope; }
+
+bool RpcScope::DeadlineExpired() {
+  return tls_rpc_scope != nullptr && tls_rpc_scope->deadline_.Expired();
+}
+
+Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
+                      NodeAddress dst, const std::string& type, Bytes payload) {
+  RpcScope* scope = RpcScope::Current();
+  if (scope == nullptr) {
+    return network->Rpc(src, dst, type, std::move(payload));
+  }
+  const RetryPolicy& policy = scope->policy();
+  const int attempts = std::max(1, policy.max_attempts);
+  const uint64_t context = SimulatedNetwork::ThreadFaultContext();
+  Result<Bytes> result = Status::Internal("CallRpc: no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (scope->deadline().Expired()) {
+      return Status::DeadlineExceeded(
+          "query deadline budget exhausted before sending " + type);
+    }
+    const bool last = attempt + 1 == attempts;
+    const double before_ms = network->CurrentLatencyMs();
+    result = network->Rpc(src, dst, type, last ? std::move(payload) : payload,
+                          static_cast<uint64_t>(attempt));
+    // Every simulated millisecond the attempt cost (including nested
+    // cascades and injected penalties) draws down the deadline budget.
+    scope->deadline().Consume(network->CurrentLatencyMs() - before_ms);
+    if (result.ok() || !RetryPolicy::IsRetriable(result.status().code())) {
+      return result;
+    }
+    if (!last) {
+      const double backoff =
+          policy.BackoffMs(attempt + 1, dst, type, context);
+      network->ChargeRetryBackoff(backoff);
+      scope->deadline().Consume(backoff);
+    }
+  }
+  return result;
+}
+
+}  // namespace iqn

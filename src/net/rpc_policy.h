@@ -1,0 +1,120 @@
+// The single policy layer every remote interaction goes through.
+//
+// Raw SimulatedNetwork::Rpc is a one-shot synchronous call; real
+// deployments wrap every RPC in retry and deadline policy. CallRpc is
+// that wrapper, and it is the ONLY sanctioned way to issue an RPC from
+// outside net/ (tools/lint.sh enforces this): dht/ and minerva/ call
+// sites all route through it, so retry semantics, deadline budgets,
+// and fault contexts apply uniformly to Chord maintenance, directory
+// lookups, distributed top-k, and query forwarding alike.
+//
+// Policy is ambient, not threaded through signatures: an RpcScope
+// installs a RetryPolicy, a per-query simulated-time deadline budget,
+// and a fault context id into thread-local state (the same RAII idiom
+// as SimulatedNetwork::StatsCapture), and every CallRpc under it —
+// including nested calls made from handlers the scope's thread invokes
+// — obeys them. With no scope installed, CallRpc degenerates to a
+// single attempt with no deadline: exactly the raw Rpc behavior.
+//
+// Determinism: retry backoff jitter is a pure hash of (policy seed,
+// destination, type, fault context, attempt) — no mutable RNG — and
+// backoff is charged to SIMULATED latency, so outcomes and accounting
+// are bit-identical across runs and thread counts.
+
+#ifndef IQN_NET_RPC_POLICY_H_
+#define IQN_NET_RPC_POLICY_H_
+
+#include <string>
+
+#include "net/network.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct RetryPolicy {
+  /// Total attempts (1 = no retry). Only Unavailable and
+  /// DeadlineExceeded failures are retried; NotFound / Corruption are
+  /// permanent and returned immediately.
+  int max_attempts = 1;
+  /// Backoff before retry k (k >= 1): initial * multiplier^(k-1),
+  /// capped at max_backoff_ms, then jittered by a seeded hash into
+  /// [1 - jitter, 1 + jitter] times the nominal value. The accumulated
+  /// backoff is charged to simulated latency (waiting costs time).
+  double initial_backoff_ms = 5.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 200.0;
+  double jitter = 0.5;
+  uint64_t jitter_seed = 0;
+
+  static bool IsRetriable(StatusCode code) {
+    return code == StatusCode::kUnavailable ||
+           code == StatusCode::kDeadlineExceeded;
+  }
+
+  /// Jittered backoff before retry `attempt` (the attempt about to be
+  /// made, >= 1) of a call to (dst, type) under fault context
+  /// `context`. Pure function of its arguments.
+  double BackoffMs(int attempt, NodeAddress dst, const std::string& type,
+                   uint64_t context) const;
+};
+
+/// A simulated-time budget. Constructed unlimited or with a budget in
+/// milliseconds; Consume() draws it down as RPC latency accrues.
+class Deadline {
+ public:
+  Deadline() = default;  // unlimited
+  explicit Deadline(double budget_ms)
+      : unlimited_(budget_ms <= 0.0), remaining_ms_(budget_ms) {}
+
+  bool unlimited() const { return unlimited_; }
+  bool Expired() const { return !unlimited_ && remaining_ms_ <= 0.0; }
+  double remaining_ms() const { return remaining_ms_; }
+  void Consume(double ms) {
+    if (!unlimited_) remaining_ms_ -= ms;
+  }
+
+ private:
+  bool unlimited_ = true;
+  double remaining_ms_ = 0.0;
+};
+
+/// RAII install of retry/deadline/fault-context policy for the current
+/// thread. Scopes nest; the innermost wins (each query gets exactly
+/// one). The fault context id feeds the FaultInjector's decision hash,
+/// so fault schedules are per-query-deterministic at any thread count.
+class RpcScope {
+ public:
+  RpcScope(RetryPolicy policy, double deadline_budget_ms = 0.0,
+           uint64_t fault_context = 0);
+  ~RpcScope();
+
+  RpcScope(const RpcScope&) = delete;
+  RpcScope& operator=(const RpcScope&) = delete;
+
+  const RetryPolicy& policy() const { return policy_; }
+  Deadline& deadline() { return deadline_; }
+
+  /// The innermost scope on this thread, or nullptr.
+  static RpcScope* Current();
+  /// True when a scope with a finite deadline is installed and its
+  /// budget ran out (graceful-degradation callers stop issuing RPCs).
+  static bool DeadlineExpired();
+
+ private:
+  RpcScope* previous_;
+  uint64_t previous_context_;
+  RetryPolicy policy_;
+  Deadline deadline_;
+};
+
+/// Issues the RPC under the ambient RpcScope: deadline checked before
+/// every attempt, retriable failures retried up to the policy's budget
+/// with seeded-jitter exponential backoff charged to simulated
+/// latency, all attempts and their faults metered to the thread's
+/// active stats sink. Without a scope: one raw attempt.
+Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
+                      NodeAddress dst, const std::string& type, Bytes payload);
+
+}  // namespace iqn
+
+#endif  // IQN_NET_RPC_POLICY_H_

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,      // peer/node down or unreachable
+  kDeadlineExceeded, // simulated-time deadline expired (RPC timeout)
 };
 
 /// Lightweight status object carrying a code and, on error, a message.
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

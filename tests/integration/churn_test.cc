@@ -64,7 +64,13 @@ TEST(ChurnTest, QueriesSurviveSingleDirectoryNodeFailure) {
 }
 
 TEST(ChurnTest, SelectedPeerFailingMidQueryIsTolerated) {
-  auto engine = MinervaEngine::Create(EngineOptions{}, Collections(8));
+  // Replicated directory so the PeerLists survive the peer kills below:
+  // the interesting failure is the EXECUTION peers dying, not the
+  // directory forgetting them (with replication 1 the stale posts die
+  // with their owners and the second routing would select nobody).
+  EngineOptions options;
+  options.directory_replication = 3;
+  auto engine = MinervaEngine::Create(options, Collections(8));
   ASSERT_TRUE(engine.ok());
   ASSERT_TRUE(engine.value()->PublishAll().ok());
   Query q = FrequentTermQuery(*engine.value());
@@ -81,9 +87,22 @@ TEST(ChurnTest, SelectedPeerFailingMidQueryIsTolerated) {
   ASSERT_TRUE(engine.value()->ring().RunMaintenance(12).ok());
   auto second = engine.value()->RunQuery(0, q, router, 3);
   ASSERT_TRUE(second.ok()) << second.status().ToString();
-  // Peer lists may still contain the dead peers (no re-publish);
-  // execution tolerates every failure.
-  EXPECT_LE(second.value().execution.failed_peers, 3u);
+  // Peer lists still contain the dead peers (no re-publish), so routing
+  // re-selects them: EVERY selected peer fails, and Select-Best-Peer
+  // re-entry replaces each one with a live next-best candidate.
+  const QueryOutcome& out = second.value();
+  ASSERT_GT(out.decision.peers.size(), 0u);
+  EXPECT_EQ(out.execution.failed_peers, out.decision.peers.size());
+  EXPECT_EQ(out.degradation.peers_failed, out.execution.failed_peers);
+  EXPECT_EQ(out.degradation.peers_replaced, out.degradation.peers_failed);
+  // One (empty) slot per failed peer plus one per replacement.
+  EXPECT_EQ(out.execution.per_peer_results.size(),
+            out.decision.peers.size() + out.degradation.peers_replaced);
+  // Fully repaired: as many peers answered as the decision asked for,
+  // so the result is not partial and still carries remote documents.
+  EXPECT_FALSE(out.degradation.partial);
+  EXPECT_FALSE(out.execution.all_distinct.empty());
+  EXPECT_GT(out.recall, 0.0);
 }
 
 TEST(ChurnTest, GracefulLeaveKeepsDirectoryServable) {
@@ -132,11 +151,20 @@ TEST(ChurnTest, RepublishAfterChurnRestoresFreshness) {
 // Property test: a random mix of abrupt failures, graceful leaves, and
 // joins, interleaved with maintenance, must always converge back to a
 // ring where every live node agrees with ground-truth key ownership.
+// The whole churn phase additionally runs under an injected FaultPlan
+// (dropped messages on top of the dead nodes) with retries, so ring
+// repair is exercised against a lossy network, not just clean failures.
 TEST(ChurnTest, RandomChurnSequencePreservesLookupCorrectness) {
   SimulatedNetwork net;
   auto ring = ChordRing::Build(&net, 24);
   ASSERT_TRUE(ring.ok());
   Rng rng(2026);
+
+  net.InstallFaultPlan(FaultPlan::MessageDrop(/*seed=*/515, /*rate=*/0.02));
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.jitter = 0.0;
+  auto scope = std::make_unique<RpcScope>(retry);
 
   auto live_nodes = [&]() {
     std::vector<size_t> live;
@@ -175,7 +203,11 @@ TEST(ChurnTest, RandomChurnSequencePreservesLookupCorrectness) {
     }
     ASSERT_TRUE(ring.value()->RunMaintenance(12).ok());
   }
-  // Settle fingers fully, then verify ownership agreement.
+  // End the lossy phase: drop the retry scope and the plan, then settle
+  // fingers fully and verify ownership agreement on a clean network —
+  // transient drops during churn must not leave permanent damage.
+  scope.reset();
+  net.ClearFaults();
   ASSERT_TRUE(ring.value()->RunMaintenance(30).ok());
   ASSERT_TRUE(ring.value()->SettleFingers().ok());
 

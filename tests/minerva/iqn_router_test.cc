@@ -331,5 +331,50 @@ TEST(IqnRouterTest, WorksForAllSynopsisTypes) {
   }
 }
 
+TEST(IqnRouterTest, UndecodableSynopsisDegradesToCoriOnly) {
+  // A candidate whose synopsis no longer decodes (corrupted in transit)
+  // must be kept as a quality-only candidate with its CLAIMED list
+  // length standing in for novelty — not silently discarded and not an
+  // error. With the larger (degraded) peer against a smaller healthy
+  // one, the degraded peer still wins the budget-1 pick.
+  RoutingFixture fx;
+  fx.candidates.push_back(
+      MakeCandidate(0, fx.config, {{"term", Range(0, 100)}}));
+  fx.candidates.push_back(
+      MakeCandidate(1, fx.config, {{"term", Range(1000, 1400)}}));
+  fx.candidates[1].posts.at("term").synopsis = Bytes{0xFF, 0x00, 0x13};
+  IqnRouter router;
+  auto decision = router.Route(fx.Input(1));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  EXPECT_EQ(decision.value().candidates_degraded, 1u);
+  EXPECT_EQ(decision.value().peers[0].peer_id, 1u);
+
+  // Healthy candidates leave the counter at zero.
+  fx.candidates[1] = MakeCandidate(1, fx.config, {{"term", Range(1000, 1400)}});
+  auto healthy = router.Route(fx.Input(1));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.value().candidates_degraded, 0u);
+}
+
+TEST(IqnRouterTest, PerTermAggregationDegradesCorruptSynopsisToo) {
+  RoutingFixture fx;
+  fx.query.terms = {"a", "b"};
+  fx.candidates.push_back(MakeCandidate(
+      0, fx.config, {{"a", Range(0, 100)}, {"b", Range(200, 300)}}));
+  fx.candidates.push_back(MakeCandidate(
+      1, fx.config, {{"a", Range(1000, 1300)}, {"b", Range(2000, 2300)}}));
+  fx.candidates[1].posts.at("b").synopsis = Bytes{0xFF, 0x00, 0x13};
+  IqnOptions options;
+  options.aggregation = AggregationStrategy::kPerTerm;
+  IqnRouter router(options);
+  auto decision = router.Route(fx.Input(2));
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  EXPECT_EQ(decision.value().candidates_degraded, 1u);
+  // The degraded candidate's intact term still contributes real synopsis
+  // novelty; the corrupt term contributes its claimed length. Both peers
+  // stay selectable.
+  EXPECT_EQ(decision.value().peers.size(), 2u);
+}
+
 }  // namespace
 }  // namespace iqn

@@ -47,6 +47,17 @@ done < <(grep -rnE 'std::(jthread|thread|async)[^_[:alnum:]]' \
          | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
          | grep -v NOLINT || true)
 
+# --- Rule: no raw SimulatedNetwork::Rpc call sites outside net/. Every
+# --- remote interaction goes through CallRpc (net/rpc_policy.h) so retry,
+# --- deadline, and fault-context policy apply uniformly (DESIGN.md §9).
+while IFS= read -r hit; do
+  report no-raw-rpc "$hit"
+done < <(grep -rnE '(->|\.)[[:space:]]*Rpc[[:space:]]*\(' \
+           src --include='*.cc' --include='*.h' \
+         | grep -v '^src/net/' \
+         | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
+         | grep -v NOLINT || true)
+
 # --- Rule: no naked new outside factory wrappers. A `new T(...)` must sit
 # --- on, or directly under, a line that hands ownership to a smart
 # --- pointer; anything else leaks on the error path.
