@@ -41,6 +41,8 @@
 #include "minerva/engine.h"
 #include "minerva/iqn_router.h"
 #include "util/flags.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "util/thread_pool.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -61,6 +63,8 @@ struct BenchConfig {
   uint64_t seed = 42;
   std::vector<size_t> threads = {1, 2, 4, 8};
   std::string out = "BENCH_parallel.json";
+  std::string trace_out;    // Chrome trace of the serial baseline batch
+  std::string metrics_out;  // standalone metrics snapshot JSON
 };
 
 /// "1,2,4,8" -> {1,2,4,8}; a missing leading 1 is prepended so the
@@ -200,6 +204,12 @@ int Main(int argc, char** argv) {
                      "if absent (serial baseline)");
   flags.DefineInt("seed", 42, "workload seed");
   flags.DefineString("out", "BENCH_parallel.json", "output JSON path");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome trace_event JSON of the serial "
+                     "baseline batch to this path (enables tracing)");
+  flags.DefineString("metrics_out", "",
+                     "write the metrics registry snapshot JSON to this "
+                     "path (always embedded in --out as well)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -216,10 +226,13 @@ int Main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.threads = ParseThreadSweep(flags.GetString("threads"));
   config.out = flags.GetString("out");
+  config.trace_out = flags.GetString("trace_out");
+  config.metrics_out = flags.GetString("metrics_out");
 
   std::vector<Query> queries;
   std::vector<Corpus> collections = BuildCollections(config, &queries);
   EngineOptions options;
+  options.collect_traces = !config.trace_out.empty();
   auto engine = MinervaEngine::Create(options, std::move(collections));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
@@ -237,6 +250,9 @@ int Main(int argc, char** argv) {
     batch[i].query = queries[i];
   }
   IqnRouter router;
+  // Snapshot only the query phase: setup (publishing) traffic is not
+  // what this bench measures.
+  MetricsRegistry::Default().Reset();
 
   std::printf("parallel_scaling: %zu queries x %zu peers, max_peers=%zu, "
               "host hardware threads=%zu\n",
@@ -330,8 +346,29 @@ int Main(int argc, char** argv) {
                  r.wall_ms, wall_qps, wall_speedup,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  std::string metrics_json = snapshot.ToJson();
+  std::fprintf(out, "  \"metrics\": %s", metrics_json.c_str());
+  std::fprintf(out, "}\n");
   std::fclose(out);
+  if (!config.metrics_out.empty()) {
+    if (Status w = WriteTextFile(config.metrics_out, metrics_json); !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", config.metrics_out.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    std::vector<const QueryTrace*> traces;
+    for (const QueryOutcome& o : baseline) traces.push_back(o.trace.get());
+    if (Status w = WriteChromeTraceFile(config.trace_out, traces); !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu query traces)\n", config.trace_out.c_str(),
+                traces.size());
+  }
   std::printf("wrote %s (p50=%.1f ms, p99=%.1f ms per query)\n",
               config.out.c_str(), p50, p99);
   return 0;

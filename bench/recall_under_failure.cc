@@ -19,12 +19,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "minerva/engine.h"
 #include "minerva/iqn_router.h"
 #include "util/flags.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -44,6 +47,8 @@ struct BenchConfig {
   int retries = 3;
   double deadline_ms = 0.0;
   std::string out = "BENCH_chaos.json";
+  std::string trace_out;    // Chrome trace of the last sweep point
+  std::string metrics_out;  // standalone metrics snapshot JSON
 };
 
 std::vector<double> ParseRates(const std::string& spec) {
@@ -132,14 +137,18 @@ struct SweepPoint {
 /// Runs the whole workload on a FRESH engine under one (rate, policy)
 /// point. A fresh engine per point keeps every point independent and
 /// reproducible in isolation (same numbers if swept alone).
+/// `traces` non-null collects every query's span tree for the Chrome
+/// trace export (and turns tracing on for the point).
 SweepPoint RunPoint(const BenchConfig& config, double drop_rate,
-                    int max_attempts) {
+                    int max_attempts,
+                    std::vector<std::shared_ptr<const QueryTrace>>* traces) {
   std::vector<Query> queries;
   std::vector<Corpus> collections = BuildCollections(config, &queries);
   EngineOptions options;
   options.retry.max_attempts = max_attempts;
   options.retry.jitter_seed = config.fault_seed;
   options.query_deadline_ms = config.deadline_ms;
+  options.collect_traces = traces != nullptr;
   auto engine = MinervaEngine::Create(options, std::move(collections));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
@@ -151,8 +160,11 @@ SweepPoint RunPoint(const BenchConfig& config, double drop_rate,
     std::exit(1);
   }
   // Meter only query traffic: publishing ran fault-free and is not part
-  // of the sweep.
+  // of the sweep. The registry resets alongside, so the embedded metrics
+  // snapshot describes the LAST sweep point's query phase (names and
+  // bucket bounds registered by earlier points persist, zeroed).
   e.network().ResetStats();
+  MetricsRegistry::Default().Reset();
   if (drop_rate > 0.0) {
     e.network().InstallFaultPlan(
         FaultPlan::MessageDrop(config.fault_seed, drop_rate));
@@ -172,6 +184,7 @@ SweepPoint RunPoint(const BenchConfig& config, double drop_rate,
       std::exit(1);
     }
     const QueryOutcome& o = outcome.value();
+    if (traces != nullptr) traces->push_back(o.trace);
     point.mean_recall += o.recall;
     point.faults_injected += o.degradation.faults_survived;
     point.rpc_retries += o.degradation.rpc_retries;
@@ -203,6 +216,12 @@ int Main(int argc, char** argv) {
   flags.DefineDouble("deadline-ms", 0.0,
                      "per-query simulated deadline budget; 0 = unlimited");
   flags.DefineString("out", "BENCH_chaos.json", "output JSON path");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome trace_event JSON of the last sweep "
+                     "point's queries to this path (enables tracing)");
+  flags.DefineString("metrics_out", "",
+                     "write the last sweep point's metrics snapshot JSON "
+                     "to this path (always embedded in --out as well)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -221,6 +240,8 @@ int Main(int argc, char** argv) {
   config.retries = static_cast<int>(flags.GetInt("retries"));
   config.deadline_ms = flags.GetDouble("deadline-ms");
   config.out = flags.GetString("out");
+  config.trace_out = flags.GetString("trace_out");
+  config.metrics_out = flags.GetString("metrics_out");
 
   std::printf("recall_under_failure: %zu queries x %zu peers, k=%zu, "
               "fault seed %llu, retries=%d\n",
@@ -229,6 +250,7 @@ int Main(int argc, char** argv) {
               config.retries);
 
   std::vector<SweepPoint> points;
+  std::vector<std::shared_ptr<const QueryTrace>> last_traces;
   double baseline_recall = 0.0;
   uint64_t baseline_bytes = 0;
   for (double rate : config.drop_rates) {
@@ -238,7 +260,11 @@ int Main(int argc, char** argv) {
           !points.empty() && points.back().drop_rate == rate) {
         continue;  // --retries=1 would duplicate the no-retry pass
       }
-      SweepPoint point = RunPoint(config, rate, attempts);
+      std::vector<std::shared_ptr<const QueryTrace>> traces;
+      SweepPoint point = RunPoint(
+          config, rate, attempts,
+          config.trace_out.empty() ? nullptr : &traces);
+      last_traces = std::move(traces);
       if (rate == 0.0) {
         baseline_recall = point.mean_recall;
         baseline_bytes = point.bytes;
@@ -307,9 +333,35 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(p.partial_queries),
         i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  // Per-fault-class histograms (fault.per_query.*) and the query.*
+  // instruments of the LAST sweep point — the highest-drop retry pass.
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  std::string metrics_json = snapshot.ToJson();
+  std::fprintf(out, "  \"metrics\": %s", metrics_json.c_str());
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", config.out.c_str());
+  if (!config.metrics_out.empty()) {
+    if (Status w = WriteTextFile(config.metrics_out, metrics_json); !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", config.metrics_out.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    std::vector<const QueryTrace*> trace_views;
+    for (const auto& t : last_traces) {
+      if (t != nullptr) trace_views.push_back(t.get());
+    }
+    if (Status w = WriteChromeTraceFile(config.trace_out, trace_views);
+        !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu query traces)\n", config.trace_out.c_str(),
+                trace_views.size());
+  }
 
   // Acceptance gate: with retries, recall at every drop rate <= 10% must
   // stay within 5% of the fault-free baseline.

@@ -8,10 +8,17 @@
 // IQN does not.
 
 #include <cstdio>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "minerva/engine.h"
+#include "minerva/explain.h"
 #include "minerva/iqn_router.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -38,8 +45,25 @@ void Report(const char* label, const iqn::QueryOutcome& outcome) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iqn;
+
+  Flags flags;
+  flags.DefineBool("explain", false,
+                   "print the per-iteration IQN routing explanation "
+                   "(Select-Best-Peer ranking tables) for each query");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome trace_event JSON of all queries to "
+                     "this path (load in chrome://tracing or Perfetto)");
+  flags.DefineString("metrics_out", "",
+                     "write a metrics-registry snapshot JSON to this path");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const bool explain = flags.GetBool("explain");
+  const std::string trace_out = flags.GetString("trace_out");
+  const std::string metrics_out = flags.GetString("metrics_out");
 
   // Corpus and the paper's (6 choose 3) overlapping partitioning.
   SyntheticCorpusOptions corpus_options;
@@ -57,10 +81,17 @@ int main() {
       "P2P WEB SEARCH: 20 peers, each holding 3 of 6 crawl fragments\n"
       "(every document lives at exactly 10 peers -> heavy overlap)\n\n");
 
-  auto engine = MinervaEngine::Create(EngineOptions{},
+  EngineOptions engine_options;
+  // Explanations are reconstructed from the query trace, so either flag
+  // (or --explain) turns tracing on.
+  engine_options.collect_traces =
+      explain || !trace_out.empty() || !metrics_out.empty();
+  auto engine = MinervaEngine::Create(engine_options,
                                       std::move(collections).value());
   if (!engine.ok()) return 1;
   if (!engine.value()->PublishAll().ok()) return 1;
+  // Snapshot only the query phase, not the publish traffic above.
+  MetricsRegistry::Default().Reset();
 
   QueryWorkloadOptions query_options;
   query_options.num_queries = 3;
@@ -75,6 +106,7 @@ int main() {
   CoriRouter cori;
   IqnRouter iqn;
   constexpr size_t kPeerBudget = 3;
+  std::vector<std::shared_ptr<const QueryTrace>> traces;
 
   for (const Query& query : queries.value()) {
     std::printf("query %s, budget %zu peers\n", query.ToString().c_str(),
@@ -84,6 +116,16 @@ int main() {
     if (!cori_outcome.ok() || !iqn_outcome.ok()) return 1;
     Report("CORI", cori_outcome.value());
     Report("IQN ", iqn_outcome.value());
+    traces.push_back(cori_outcome.value().trace);
+    traces.push_back(iqn_outcome.value().trace);
+    if (explain) {
+      auto text = ExplainQuery(iqn_outcome.value());
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s", text.value().c_str());
+    }
 
     // How complementary were the selections? Count distinct fragments
     // covered (peer p holds the p-th 3-subset of {0..5}).
@@ -104,5 +146,26 @@ int main() {
       "IQN covers more distinct crawl fragments with the same number of\n"
       "peers because each Select-Best-Peer step discounts documents the\n"
       "previously chosen peers already contribute (Aggregate-Synopses).\n");
+
+  if (!trace_out.empty()) {
+    std::vector<const QueryTrace*> views;
+    for (const auto& t : traces) {
+      if (t != nullptr) views.push_back(t.get());
+    }
+    if (Status st = WriteChromeTraceFile(trace_out, views); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu query traces)\n", trace_out.c_str(),
+                views.size());
+  }
+  if (!metrics_out.empty()) {
+    std::string json = MetricsRegistry::Default().Snapshot().ToJson();
+    if (Status st = WriteTextFile(metrics_out, json); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/hash.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace iqn {
 
@@ -23,6 +25,44 @@ uint64_t QueryFaultContext(size_t initiator_index, const Query& query) {
     h = Mix64(h ^ HashString(term));
   }
   return h;
+}
+
+/// Order-independent per-query registry observations (all counters and
+/// histograms accumulate in integers), recorded once per query whether
+/// it ran serially or on a batch worker. Lookups go through the
+/// registry map each time — a handful of map probes per query is noise
+/// next to the query itself.
+void RecordQueryMetrics(const QueryOutcome& outcome,
+                        const NetworkStats& delta) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetCounter("query.count")->Increment();
+  if (outcome.degradation.partial) {
+    registry.GetCounter("query.partial")->Increment();
+  }
+  registry.GetCounter("query.peers_failed")
+      ->Increment(outcome.degradation.peers_failed);
+  registry.GetCounter("query.peers_replaced")
+      ->Increment(outcome.degradation.peers_replaced);
+  registry
+      .GetHistogram("query.recall", {0.1, 0.25, 0.5, 0.75, 0.9, 0.99})
+      ->Observe(outcome.recall);
+  registry
+      .GetHistogram("query.sim_latency_ms",
+                    {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000})
+      ->Observe(delta.latency_ms);
+  registry
+      .GetHistogram("query.messages",
+                    {10, 20, 50, 100, 200, 500, 1000, 2000, 5000})
+      ->Observe(static_cast<double>(delta.messages));
+  registry.GetHistogram("query.rpc_retries", {0, 1, 2, 3, 5, 8, 13})
+      ->Observe(static_cast<double>(delta.rpc_retries));
+  // Per-fault-class histograms over the query's own fault exposure: the
+  // chaos bench's "which class hurt how many queries how much" view.
+  for (const auto& [klass, count] : delta.faults_by_class) {
+    registry
+        .GetHistogram("fault.per_query." + klass, {0, 1, 2, 3, 5, 8, 13, 21})
+        ->Observe(static_cast<double>(count));
+  }
 }
 
 }  // namespace
@@ -133,10 +173,32 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
   // context (see QueryFaultContext).
   RpcScope rpc_scope(options_.retry, options_.query_deadline_ms,
                      QueryFaultContext(initiator_index, query));
+  // The trace clock is the query's own metered simulated latency, so
+  // span timestamps are a pure function of the query and the seed —
+  // identical at any thread count. Spans below are all opened on this
+  // thread (never inside a ParallelFor body; see util/trace.h).
+  std::shared_ptr<QueryTrace> trace;
+  std::optional<TraceScope> trace_scope;
+  if (options_.collect_traces) {
+    NetworkStats* clock_source = delta;
+    trace = std::make_shared<QueryTrace>(
+        [clock_source] { return clock_source->latency_ms; });
+    trace_scope.emplace(trace.get());
+  }
+  ScopedSpan query_span("query");
+  if (query_span.active()) {
+    query_span.Attr("query", query.ToString());
+    query_span.AttrUint("initiator", initiator_index);
+  }
 
   // Routing phase: local execution (free), directory lookups (metered),
   // then the routing decision itself (pure computation on fetched data).
-  std::vector<ScoredDoc> local = initiator.ExecuteLocal(query);
+  std::vector<ScoredDoc> local;
+  {
+    ScopedSpan span("local_execution");
+    local = initiator.ExecuteLocal(query);
+    span.AttrUint("results", local.size());
+  }
   std::vector<DocId> local_docs;
   local_docs.reserve(local.size());
   for (const ScoredDoc& sd : local) local_docs.push_back(sd.doc);
@@ -144,17 +206,23 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
   // Term fetch failures are tolerated (the candidate set is assembled
   // from the terms that answered) and accounted as degradation.
   std::vector<CandidatePeer> candidates;
-  if (options_.distributed_topk_candidates > 0) {
-    IQN_ASSIGN_OR_RETURN(
-        candidates,
-        initiator.FetchCandidatesTopK(
-            query, options_.distributed_topk_candidates,
-            &outcome.degradation.term_fetches_failed));
-  } else {
-    IQN_ASSIGN_OR_RETURN(
-        candidates,
-        initiator.FetchCandidates(query, options_.peerlist_limit,
-                                  &outcome.degradation.term_fetches_failed));
+  {
+    ScopedSpan span("fetch_candidates");
+    if (options_.distributed_topk_candidates > 0) {
+      IQN_ASSIGN_OR_RETURN(
+          candidates,
+          initiator.FetchCandidatesTopK(
+              query, options_.distributed_topk_candidates,
+              &outcome.degradation.term_fetches_failed));
+    } else {
+      IQN_ASSIGN_OR_RETURN(
+          candidates,
+          initiator.FetchCandidates(query, options_.peerlist_limit,
+                                    &outcome.degradation.term_fetches_failed));
+    }
+    span.AttrUint("candidates", candidates.size());
+    span.AttrUint("term_fetches_failed",
+                  outcome.degradation.term_fetches_failed);
   }
 
   RoutingInput input;
@@ -174,7 +242,14 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
     input.seed_synopsis = seed.synopsis.get();
     input.seed_cardinality = seed.cardinality;
   }
-  IQN_ASSIGN_OR_RETURN(outcome.decision, router.Route(input));
+  {
+    ScopedSpan span("route");
+    span.Attr("router", router.name());
+    IQN_ASSIGN_OR_RETURN(outcome.decision, router.Route(input));
+    span.AttrUint("selected", outcome.decision.peers.size());
+    span.AttrDouble("estimated_cardinality",
+                    outcome.decision.estimated_result_cardinality);
+  }
   outcome.degradation.candidates_degraded =
       outcome.decision.candidates_degraded;
   if (outcome.degradation.term_fetches_failed > 0) {
@@ -206,10 +281,15 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
     return repaired.value().peers.front();
   };
   QueryProcessor processor(&initiator, options_.merge);
-  IQN_ASSIGN_OR_RETURN(outcome.execution,
-                       processor.ExecuteWithReplacement(
-                           query, outcome.decision, replacer,
-                           &outcome.degradation));
+  {
+    ScopedSpan span("execute");
+    IQN_ASSIGN_OR_RETURN(outcome.execution,
+                         processor.ExecuteWithReplacement(
+                             query, outcome.decision, replacer,
+                             &outcome.degradation));
+    span.AttrUint("peers_failed", outcome.execution.failed_peers);
+    span.AttrUint("peers_replaced", outcome.degradation.peers_replaced);
+  }
 
   outcome.execution_messages = delta->messages - outcome.routing_messages;
   outcome.execution_bytes = delta->bytes - outcome.routing_bytes;
@@ -217,17 +297,32 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
       delta->latency_ms - outcome.routing_latency_ms;
 
   // Evaluation against the centralized reference.
-  std::vector<ScoredDoc> reference = ReferenceResults(query);
-  outcome.recall = RelativeRecall(outcome.execution.all_distinct, reference);
-  std::vector<ScoredDoc> remote_only = MergeResults(
-      outcome.execution.per_peer_results, std::numeric_limits<size_t>::max());
-  outcome.recall_remote_only = RelativeRecall(remote_only, reference);
-  outcome.duplicate_fraction =
-      DuplicateFraction(outcome.execution.per_peer_results);
-  outcome.distinct_results = outcome.execution.all_distinct.size();
+  {
+    ScopedSpan span("evaluate");
+    std::vector<ScoredDoc> reference = ReferenceResults(query);
+    outcome.recall = RelativeRecall(outcome.execution.all_distinct, reference);
+    std::vector<ScoredDoc> remote_only =
+        MergeResults(outcome.execution.per_peer_results,
+                     std::numeric_limits<size_t>::max());
+    outcome.recall_remote_only = RelativeRecall(remote_only, reference);
+    outcome.duplicate_fraction =
+        DuplicateFraction(outcome.execution.per_peer_results);
+    outcome.distinct_results = outcome.execution.all_distinct.size();
+    span.AttrDouble("recall", outcome.recall);
+    span.AttrUint("distinct_results", outcome.distinct_results);
+  }
   // Retry and fault totals for this query fall out of its metered delta.
   outcome.degradation.rpc_retries = delta->rpc_retries;
   outcome.degradation.faults_survived = delta->faults_injected;
+  if (query_span.active()) {
+    query_span.AttrUint("rpc_retries", delta->rpc_retries);
+    query_span.AttrUint("faults_survived", delta->faults_injected);
+    if (outcome.degradation.partial) query_span.Attr("degraded", "partial");
+  }
+  query_span.End();
+  trace_scope.reset();
+  outcome.trace = std::move(trace);
+  RecordQueryMetrics(outcome, *delta);
   return outcome;
 }
 

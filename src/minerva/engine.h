@@ -21,6 +21,7 @@
 #include "net/rpc_policy.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace iqn {
 
@@ -56,6 +57,12 @@ struct EngineOptions {
   /// fast with DeadlineExceeded and the query returns what it has
   /// (partial), rather than erroring.
   double query_deadline_ms = 0.0;
+  /// Attach a hierarchical trace (util/trace.h) to every QueryOutcome:
+  /// IQN iterations with their candidate rankings, synopsis decode,
+  /// every RPC leg with retries and faults, degradation events — all on
+  /// simulated time, so traces are bit-identical across runs and thread
+  /// counts. Off by default (a trace costs allocations per span).
+  bool collect_traces = false;
 };
 
 /// Everything measured about one routed query.
@@ -85,6 +92,10 @@ struct QueryOutcome {
   /// How much repair machinery this query needed (all zeros on a
   /// fault-free run).
   DegradationReport degradation;
+  /// The query's span tree when EngineOptions::collect_traces is set
+  /// (shared_ptr keeps outcomes copyable); nullptr otherwise. Feed to
+  /// ExplainQuery (minerva/explain.h) or the Chrome trace exporter.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 class MinervaEngine {

@@ -1,0 +1,137 @@
+#include "minerva/explain.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace iqn {
+
+namespace {
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  return std::sscanf(s.c_str(), "%" SCNu64, out) == 1;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  return std::sscanf(s.c_str(), "%lf", out) == 1;
+}
+
+/// Parses one "cand" attribute ("peer=3 quality=0.5 novelty=96 ...").
+/// %.17g values round-trip through %lf exactly.
+bool ParseCandidateRow(const std::string& value, ExplainCandidateRow* row) {
+  return std::sscanf(value.c_str(),
+                     "peer=%" SCNu64 " quality=%lf novelty=%lf combined=%lf",
+                     &row->peer_id, &row->quality, &row->novelty,
+                     &row->combined) == 4;
+}
+
+Result<ExplainIteration> ParseIteration(const TraceSpan& span) {
+  ExplainIteration iter;
+  for (const TraceAttr& attr : span.attrs) {
+    bool ok = true;
+    if (attr.key == "iter") {
+      ok = ParseU64(attr.value, &iter.index);
+    } else if (attr.key == "cand") {
+      ExplainCandidateRow row;
+      ok = ParseCandidateRow(attr.value, &row);
+      if (ok) iter.ranking.push_back(row);
+    } else if (attr.key == "winner") {
+      ok = ParseU64(attr.value, &iter.winner_peer);
+      iter.has_winner = ok;
+    } else if (attr.key == "winner_quality") {
+      ok = ParseDouble(attr.value, &iter.winner_quality);
+    } else if (attr.key == "winner_novelty") {
+      ok = ParseDouble(attr.value, &iter.winner_novelty);
+    } else if (attr.key == "winner_combined") {
+      ok = ParseDouble(attr.value, &iter.winner_combined);
+    } else if (attr.key == "covered_before") {
+      ok = ParseDouble(attr.value, &iter.covered_before);
+    } else if (attr.key == "covered_after") {
+      ok = ParseDouble(attr.value, &iter.covered_after);
+    }
+    if (!ok) {
+      return Status::Corruption("unparseable iteration attribute " +
+                                attr.key + "=" + attr.value);
+    }
+  }
+  // Present rows in the argmax order: combined desc, peer id asc — the
+  // same comparison Select-Best-Peer's serial scan applies.
+  std::stable_sort(iter.ranking.begin(), iter.ranking.end(),
+                   [](const ExplainCandidateRow& a,
+                      const ExplainCandidateRow& b) {
+                     if (a.combined != b.combined) {
+                       return a.combined > b.combined;
+                     }
+                     return a.peer_id < b.peer_id;
+                   });
+  if (iter.has_winner) {
+    for (ExplainCandidateRow& row : iter.ranking) {
+      row.selected = row.peer_id == iter.winner_peer;
+    }
+  }
+  return iter;
+}
+
+}  // namespace
+
+Result<QueryExplanation> ExplainFromTrace(const QueryTrace& trace) {
+  // The routing-phase "iqn.route" span is the first one; later route
+  // spans (if any) are Select-Best-Peer re-entries repairing failed
+  // peers during execution.
+  const TraceSpan* route = trace.Find("iqn.route");
+  if (route == nullptr) {
+    return Status::NotFound(
+        "trace has no iqn.route span (query not routed by IQN, or traces "
+        "not collected)");
+  }
+  QueryExplanation explanation;
+  for (const TraceAttr& attr : route->attrs) {
+    if (attr.key == "router") explanation.router = attr.value;
+  }
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name != "iqn.iteration" || span.parent_id != route->id) continue;
+    IQN_ASSIGN_OR_RETURN(ExplainIteration iter, ParseIteration(span));
+    explanation.iterations.push_back(std::move(iter));
+  }
+  return explanation;
+}
+
+std::string RenderExplanation(const QueryExplanation& explanation) {
+  std::string out = "routing explanation";
+  if (!explanation.router.empty()) out += ": " + explanation.router;
+  out += " (" + std::to_string(explanation.iterations.size()) +
+         " iterations)\n";
+  char line[160];
+  for (const ExplainIteration& iter : explanation.iterations) {
+    std::snprintf(line, sizeof(line),
+                  "iteration %llu: covered %.4g -> %.4g\n",
+                  static_cast<unsigned long long>(iter.index + 1),
+                  iter.covered_before, iter.covered_after);
+    out += line;
+    std::snprintf(line, sizeof(line), "  %-3s %-8s %12s %12s %12s\n", "",
+                  "peer", "quality", "novelty", "combined");
+    out += line;
+    for (const ExplainCandidateRow& row : iter.ranking) {
+      std::snprintf(line, sizeof(line), "  %-3s %-8llu %12.6g %12.6g %12.6g\n",
+                    row.selected ? "*" : "",
+                    static_cast<unsigned long long>(row.peer_id), row.quality,
+                    row.novelty, row.combined);
+      out += line;
+    }
+    if (!iter.has_winner) out += "  (no eligible candidate; loop stopped)\n";
+  }
+  return out;
+}
+
+Result<std::string> ExplainQuery(const QueryOutcome& outcome) {
+  if (outcome.trace == nullptr) {
+    return Status::FailedPrecondition(
+        "query carries no trace; run with EngineOptions::collect_traces");
+  }
+  IQN_ASSIGN_OR_RETURN(QueryExplanation explanation,
+                       ExplainFromTrace(*outcome.trace));
+  return RenderExplanation(explanation);
+}
+
+}  // namespace iqn

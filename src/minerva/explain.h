@@ -1,0 +1,73 @@
+// Routing explainability: reconstructs WHY IQN picked each peer from a
+// query's trace (paper Sec. 5's quality x novelty argument, made
+// visible per iteration).
+//
+// The IQN router records, in every "iqn.iteration" span, one "cand"
+// attribute per eligible candidate (peer, quality, novelty, combined
+// score — %.17g, so parsing recovers the exact doubles) plus the winner
+// and the covered-cardinality advance. ExplainFromTrace parses those
+// spans back into a structured report; RenderExplanation turns it into
+// the per-iteration ranking tables the paper's worked examples show —
+// e.g. a peer whose content the reference already covers has its
+// novelty collapse toward zero in later iterations.
+
+#ifndef IQN_MINERVA_EXPLAIN_H_
+#define IQN_MINERVA_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace iqn {
+
+/// One candidate's row in one iteration's Select-Best-Peer ranking.
+struct ExplainCandidateRow {
+  uint64_t peer_id = 0;
+  double quality = 0.0;
+  double novelty = 0.0;
+  double combined = 0.0;
+  bool selected = false;
+};
+
+/// One IQN iteration: the full ranking plus the winner and the
+/// reference-cardinality advance its absorption produced.
+struct ExplainIteration {
+  uint64_t index = 0;
+  bool has_winner = false;
+  uint64_t winner_peer = 0;
+  double winner_quality = 0.0;
+  double winner_novelty = 0.0;
+  double winner_combined = 0.0;
+  double covered_before = 0.0;
+  double covered_after = 0.0;
+  /// Ranked by combined score (desc), peer id tie-break — the argmax
+  /// order Select-Best-Peer used.
+  std::vector<ExplainCandidateRow> ranking;
+};
+
+struct QueryExplanation {
+  /// Router self-description ("IQN(per-peer)" ...), when recorded.
+  std::string router;
+  std::vector<ExplainIteration> iterations;
+};
+
+/// Parses the ROUTING-phase iterations out of a query trace (re-entry
+/// routing during execution repair is excluded: it explains a repair,
+/// not the decision). Fails if the trace holds no "iqn.route" span.
+Result<QueryExplanation> ExplainFromTrace(const QueryTrace& trace);
+
+/// Fixed-width per-iteration ranking tables, one block per iteration,
+/// winner marked with '*'.
+std::string RenderExplanation(const QueryExplanation& explanation);
+
+/// Convenience: ExplainFromTrace + RenderExplanation on an outcome's
+/// attached trace. Fails unless the query ran with
+/// EngineOptions::collect_traces.
+Result<std::string> ExplainQuery(const QueryOutcome& outcome);
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_EXPLAIN_H_

@@ -8,7 +8,9 @@
 #include "synopses/estimators.h"
 #include "synopses/reference_synopsis.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace iqn {
 
@@ -67,9 +69,19 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
   std::vector<CandidateScore> scores(candidates.size());
 
   while (decision.peers.size() < input.max_peers) {
+    double covered_before = callbacks.covered();
     if (options.min_estimated_results > 0.0 &&
-        callbacks.covered() >= options.min_estimated_results) {
+        covered_before >= options.min_estimated_results) {
       break;  // enough (estimated) results already covered
+    }
+
+    // One span per Select-Best-Peer round. Opened and annotated on the
+    // loop thread only — phase 1 below may fan out over the pool, and
+    // pool workers must not touch the trace (ordering nondeterminism).
+    ScopedSpan iter_span("iqn.iteration");
+    if (iter_span.active()) {
+      iter_span.AttrUint("iter", decision.peers.size());
+      iter_span.AttrDouble("covered_before", covered_before);
     }
 
     // Select-Best-Peer, phase 1: score every remaining candidate —
@@ -119,6 +131,19 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
         best_novelty = scores[i].novelty;
       }
     }
+    // Record the full candidate ranking from the serial argmax's input —
+    // the `scores` slots phase 1 filled — in stable index order. This is
+    // what ExplainQuery renders as the per-iteration table.
+    if (iter_span.active()) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (!scores[i].eligible) continue;
+        std::string row = "peer=" + std::to_string(candidates[i].peer_id) +
+                          " quality=" + JsonDouble(scores[i].quality) +
+                          " novelty=" + JsonDouble(scores[i].novelty) +
+                          " combined=" + JsonDouble(scores[i].combined);
+        iter_span.Attr("cand", row);
+      }
+    }
     if (best < 0) break;  // candidates exhausted
 
     // Aggregate-Synopses: fold the chosen peer into the reference.
@@ -130,6 +155,13 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
                                           candidates[idx].address,
                                           best_quality, best_novelty,
                                           best_combined});
+    if (iter_span.active()) {
+      iter_span.AttrUint("winner", candidates[idx].peer_id);
+      iter_span.AttrDouble("winner_quality", best_quality);
+      iter_span.AttrDouble("winner_novelty", best_novelty);
+      iter_span.AttrDouble("winner_combined", best_combined);
+      iter_span.AttrDouble("covered_after", callbacks.covered());
+    }
   }
   // Candidate-set invariants: never select more peers than asked for or
   // than exist, and never the same peer twice (enforced via `taken`).
@@ -156,11 +188,22 @@ Result<RoutingDecision> IqnRouter::Route(const RoutingInput& input) const {
   if (input.synopsis_config == nullptr) {
     return Status::InvalidArgument("IQN needs a synopsis config");
   }
-  if (options_.use_histograms) return RouteHistogram(input);
-  if (options_.aggregation == AggregationStrategy::kPerTerm) {
-    return RoutePerTerm(input);
+  ScopedSpan span("iqn.route");
+  if (span.active()) {
+    span.Attr("router", name());
+    span.AttrUint("candidates", input.candidates->size());
+    span.AttrUint("max_peers", input.max_peers);
   }
-  return RoutePerPeer(input);
+  Result<RoutingDecision> decision =
+      options_.use_histograms ? RouteHistogram(input)
+      : options_.aggregation == AggregationStrategy::kPerTerm
+          ? RoutePerTerm(input)
+          : RoutePerPeer(input);
+  if (decision.ok() && span.active()) {
+    span.AttrUint("selected", decision.value().peers.size());
+    span.AttrUint("degraded", decision.value().candidates_degraded);
+  }
+  return decision;
 }
 
 // ------------------------------------------------------ per-peer strategy
@@ -184,6 +227,8 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
   std::vector<double> cardinality(candidates.size(), 0.0);
   std::vector<uint8_t> degraded(candidates.size(), 0);
   std::vector<double> fallback_novelty(candidates.size(), 0.0);
+  ScopedSpan decode_span("iqn.decode");
+  decode_span.Attr("synopsis", "per-peer");
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
@@ -241,6 +286,13 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
         }
         return Status::OK();
       }));
+  if (decode_span.active()) {
+    size_t degraded_count = 0;
+    for (uint8_t d : degraded) degraded_count += d;
+    decode_span.AttrUint("candidates", candidates.size());
+    decode_span.AttrUint("degraded", degraded_count);
+  }
+  decode_span.End();
 
   // Seed the reference: either with the initiator's pre-built coverage
   // synopsis (Sec. 5.1's alternative) or with its local result docs.
@@ -298,6 +350,8 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
   std::vector<std::vector<std::unique_ptr<SetSynopsis>>> syn(candidates.size());
   std::vector<std::vector<uint64_t>> lens(candidates.size());
   std::vector<uint8_t> degraded(candidates.size(), 0);
+  ScopedSpan decode_span("iqn.decode");
+  decode_span.Attr("synopsis", "per-term");
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
@@ -319,6 +373,13 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
         }
         return Status::OK();
       }));
+  if (decode_span.active()) {
+    size_t degraded_count = 0;
+    for (uint8_t d : degraded) degraded_count += d;
+    decode_span.AttrUint("candidates", candidates.size());
+    decode_span.AttrUint("degraded", degraded_count);
+  }
+  decode_span.End();
 
   // Correlation deflation factors (Sec. 6.3 extension): how many distinct
   // documents candidate i's query-term lists really cover, relative to
@@ -327,6 +388,7 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
   // posted synopses.
   std::vector<double> dedup_factor(candidates.size(), 1.0);
   if (options_.correlation_aware && terms.size() > 1) {
+    ScopedSpan correlate_span("iqn.correlate");
     IQN_RETURN_IF_ERROR(ForEachCandidate(
         input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
           for (size_t i = lo; i < hi; ++i) {
@@ -434,6 +496,8 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
       candidates.size());
   std::vector<std::vector<uint64_t>> lens(candidates.size());
   std::vector<uint8_t> degraded(candidates.size(), 0);
+  ScopedSpan decode_span("iqn.decode");
+  decode_span.Attr("synopsis", "histogram");
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
@@ -459,6 +523,13 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
         }
         return Status::OK();
       }));
+  if (decode_span.active()) {
+    size_t degraded_count = 0;
+    for (uint8_t d : degraded) degraded_count += d;
+    decode_span.AttrUint("candidates", candidates.size());
+    decode_span.AttrUint("degraded", degraded_count);
+  }
+  decode_span.End();
 
   // Per-term histogram references. The initiator's local result enters
   // the top score cell: its documents are certainly covered, and crediting

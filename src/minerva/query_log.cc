@@ -1,0 +1,67 @@
+#include "minerva/query_log.h"
+
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace iqn {
+
+std::string QueryLogJsonLine(const Query& query, const QueryOutcome& outcome) {
+  std::string out = "{\"terms\": [";
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(query.terms[i]) + "\"";
+  }
+  out += "], \"mode\": \"";
+  out += query.mode == QueryMode::kConjunctive ? "and" : "or";
+  out += "\", \"k\": " + std::to_string(query.k);
+  out += ", \"peers\": [";
+  for (size_t i = 0; i < outcome.decision.peers.size(); ++i) {
+    const SelectedPeer& peer = outcome.decision.peers[i];
+    if (i > 0) out += ", ";
+    out += "{\"peer\": " + std::to_string(peer.peer_id) +
+           ", \"quality\": " + JsonDouble(peer.quality) +
+           ", \"novelty\": " + JsonDouble(peer.novelty) +
+           ", \"combined\": " + JsonDouble(peer.combined) + "}";
+  }
+  out += "], \"recall\": " + JsonDouble(outcome.recall);
+  out += ", \"recall_remote_only\": " + JsonDouble(outcome.recall_remote_only);
+  out += ", \"distinct_results\": " + std::to_string(outcome.distinct_results);
+  out += ", \"duplicate_fraction\": " + JsonDouble(outcome.duplicate_fraction);
+  out += ", \"routing_messages\": " + std::to_string(outcome.routing_messages);
+  out += ", \"routing_bytes\": " + std::to_string(outcome.routing_bytes);
+  out +=
+      ", \"execution_messages\": " + std::to_string(outcome.execution_messages);
+  out += ", \"execution_bytes\": " + std::to_string(outcome.execution_bytes);
+  out += ", \"routing_latency_ms\": " + JsonDouble(outcome.routing_latency_ms);
+  out += ", \"execution_latency_ms\": " +
+         JsonDouble(outcome.execution_latency_ms);
+  const DegradationReport& deg = outcome.degradation;
+  out += ", \"degradation\": {\"partial\": ";
+  out += deg.partial ? "true" : "false";
+  out += ", \"peers_failed\": " + std::to_string(deg.peers_failed);
+  out += ", \"peers_replaced\": " + std::to_string(deg.peers_replaced);
+  out +=
+      ", \"term_fetches_failed\": " + std::to_string(deg.term_fetches_failed);
+  out +=
+      ", \"candidates_degraded\": " + std::to_string(deg.candidates_degraded);
+  out += ", \"rpc_retries\": " + std::to_string(deg.rpc_retries);
+  out += ", \"faults_survived\": " + std::to_string(deg.faults_survived);
+  out += "}}";
+  return out;
+}
+
+Status WriteQueryLog(const std::string& path,
+                     const std::vector<Query>& queries,
+                     const std::vector<QueryOutcome>& outcomes) {
+  if (queries.size() != outcomes.size()) {
+    return Status::InvalidArgument("query log: size mismatch");
+  }
+  std::string contents;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    contents += QueryLogJsonLine(queries[i], outcomes[i]);
+    contents += "\n";
+  }
+  return WriteTextFile(path, contents);
+}
+
+}  // namespace iqn

@@ -1,0 +1,28 @@
+// JSON-lines query log exporter: one self-contained JSON object per
+// query (terms, routing decision, traffic split, recall, degradation),
+// the grep/jq-friendly companion to the Chrome trace exporter.
+
+#ifndef IQN_MINERVA_QUERY_LOG_H_
+#define IQN_MINERVA_QUERY_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+#include "minerva/engine.h"
+#include "util/status.h"
+
+namespace iqn {
+
+/// One query's log record as a single JSON line (no trailing newline).
+std::string QueryLogJsonLine(const Query& query, const QueryOutcome& outcome);
+
+/// Writes one line per (query, outcome) pair to `path`. The vectors
+/// must be the same length.
+Status WriteQueryLog(const std::string& path,
+                     const std::vector<Query>& queries,
+                     const std::vector<QueryOutcome>& outcomes);
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_QUERY_LOG_H_

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "net/rpc_policy.h"
+#include "util/trace.h"
 
 namespace iqn {
 
@@ -66,6 +67,11 @@ Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
   for (size_t i = 0; i < worklist.size(); ++i) {
     // Copy: appending replacements may reallocate the worklist.
     const SelectedPeer peer = worklist[i];
+    ScopedSpan span("execute.peer");
+    if (span.active()) {
+      span.AttrUint("peer", peer.peer_id);
+      if (i >= decision.peers.size()) span.Attr("role", "replacement");
+    }
     std::vector<ScoredDoc> scored;
     bool answered = false;
     Result<Bytes> response = CallRpc(network, initiator_->address(),
@@ -75,9 +81,14 @@ Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
       if (results.ok()) {
         scored = std::move(results).value();
         answered = true;
+      } else if (span.active()) {
+        span.Attr("failure", "decode");
       }
+    } else if (span.active()) {
+      span.Attr("failure", StatusCodeName(response.status().code()));
     }
     if (answered) {
+      span.AttrUint("results", scored.size());
       ++successes;
       if (i >= decision.peers.size()) ++replacements_succeeded;
       if (cori) {
@@ -96,6 +107,7 @@ Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
     if (replacer != nullptr && !RpcScope::DeadlineExpired()) {
       std::optional<SelectedPeer> next = replacer(known);
       if (next.has_value()) {
+        if (span.active()) span.AttrUint("replaced_by", next->peer_id);
         known.push_back(next->peer_id);
         worklist.push_back(*next);
       }

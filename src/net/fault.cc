@@ -10,7 +10,7 @@ namespace {
 
 // Distinct class salts keep the per-class decisions independent: a
 // message that dodges the drop die can still hit the timeout die.
-enum FaultClass : uint64_t {
+enum FaultSalt : uint64_t {
   kClassUnavailable = 0xA1,
   kClassDropRequest = 0xA2,
   kClassDropResponse = 0xA3,
@@ -26,6 +26,42 @@ double HashToUnit(uint64_t h) {
 }
 
 }  // namespace
+
+const char* FaultClassName(FaultClass klass) {
+  switch (klass) {
+    case FaultClass::kRequestDropped:
+      return "requests_dropped";
+    case FaultClass::kResponseDropped:
+      return "responses_dropped";
+    case FaultClass::kUnavailable:
+      return "unavailable_injected";
+    case FaultClass::kSlowLink:
+      return "links_slowed";
+    case FaultClass::kCorruptResponse:
+      return "responses_corrupted";
+    case FaultClass::kTimeout:
+      return "timeouts_injected";
+  }
+  return "unknown";
+}
+
+Counter& FaultCounters::ForClass(FaultClass klass) {
+  switch (klass) {
+    case FaultClass::kRequestDropped:
+      return requests_dropped;
+    case FaultClass::kResponseDropped:
+      return responses_dropped;
+    case FaultClass::kUnavailable:
+      return unavailable_injected;
+    case FaultClass::kSlowLink:
+      return links_slowed;
+    case FaultClass::kCorruptResponse:
+      return responses_corrupted;
+    case FaultClass::kTimeout:
+      return timeouts_injected;
+  }
+  return requests_dropped;  // unreachable
+}
 
 bool FaultSpec::AppliesTo(NodeAddress dst, const std::string& type) const {
   if (rate <= 0.0) return false;

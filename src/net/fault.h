@@ -24,12 +24,12 @@
 #ifndef IQN_NET_FAULT_H_
 #define IQN_NET_FAULT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "net/message.h"
+#include "util/metrics.h"
 
 namespace iqn {
 
@@ -89,24 +89,41 @@ struct FaultPlan {
   static FaultPlan MessageDrop(uint64_t seed, double rate);
 };
 
+/// Stable identities for the fault classes, for per-class accounting
+/// (NetworkStats::faults_by_class, registry counters, chaos bench
+/// histograms). Order matches the FaultCounters members.
+enum class FaultClass {
+  kRequestDropped = 0,
+  kResponseDropped,
+  kUnavailable,
+  kSlowLink,
+  kCorruptResponse,
+  kTimeout,
+};
+inline constexpr size_t kNumFaultClasses = 6;
+
+/// Metric-style per-class name ("requests_dropped", ...), matching the
+/// FaultCounters member names.
+const char* FaultClassName(FaultClass klass);
+
 /// Global (plan-lifetime) fault counts, summed across all queries and
-/// threads. Relaxed atomics: totals are deterministic because the set
-/// of injected faults is, regardless of increment order.
+/// threads. Counter (util/metrics.h) instruments: relaxed increments —
+/// totals are deterministic because the set of injected faults is,
+/// regardless of increment order.
 struct FaultCounters {
-  std::atomic<uint64_t> requests_dropped{0};
-  std::atomic<uint64_t> responses_dropped{0};
-  std::atomic<uint64_t> unavailable_injected{0};
-  std::atomic<uint64_t> links_slowed{0};
-  std::atomic<uint64_t> responses_corrupted{0};
-  std::atomic<uint64_t> timeouts_injected{0};
+  Counter requests_dropped;
+  Counter responses_dropped;
+  Counter unavailable_injected;
+  Counter links_slowed;
+  Counter responses_corrupted;
+  Counter timeouts_injected;
+
+  Counter& ForClass(FaultClass klass);
 
   uint64_t total() const {
-    return requests_dropped.load(std::memory_order_relaxed) +
-           responses_dropped.load(std::memory_order_relaxed) +
-           unavailable_injected.load(std::memory_order_relaxed) +
-           links_slowed.load(std::memory_order_relaxed) +
-           responses_corrupted.load(std::memory_order_relaxed) +
-           timeouts_injected.load(std::memory_order_relaxed);
+    return requests_dropped.Value() + responses_dropped.Value() +
+           unavailable_injected.Value() + links_slowed.Value() +
+           responses_corrupted.Value() + timeouts_injected.Value();
   }
 };
 

@@ -1,8 +1,10 @@
 #include "net/network.h"
 
+#include <cmath>
 #include <utility>
 
 #include "util/hash.h"
+#include "util/metrics.h"
 
 namespace iqn {
 
@@ -23,6 +25,23 @@ thread_local uint64_t tls_fault_context = 0;
 constexpr uint64_t kFingerprintSeed = 0xFA17;
 
 }  // namespace
+
+SimulatedNetwork::SimulatedNetwork() : SimulatedNetwork(LatencyModel{}) {}
+
+SimulatedNetwork::SimulatedNetwork(LatencyModel latency) : latency_(latency) {
+  // Registry instruments are resolved once here; the hot paths below
+  // only touch the cached pointers (lock-free relaxed increments).
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  m_messages_ = registry.GetCounter("net.messages");
+  m_bytes_ = registry.GetCounter("net.bytes");
+  m_rpc_retries_ = registry.GetCounter("net.rpc_retries");
+  m_backoff_us_ = registry.GetCounter("net.retry_backoff_us");
+  m_faults_ = registry.GetCounter("net.faults_injected");
+  for (size_t i = 0; i < kNumFaultClasses; ++i) {
+    m_fault_class_[i] = registry.GetCounter(
+        std::string("fault.") + FaultClassName(static_cast<FaultClass>(i)));
+  }
+}
 
 SimulatedNetwork::StatsCapture::StatsCapture(SimulatedNetwork* network,
                                              NetworkStats* sink)
@@ -55,6 +74,9 @@ void SimulatedNetwork::MergeStats(const NetworkStats& delta) {
   stats_.faults_injected += delta.faults_injected;
   stats_.rpc_retries += delta.rpc_retries;
   stats_.retry_backoff_ms += delta.retry_backoff_ms;
+  for (const auto& [klass, count] : delta.faults_by_class) {
+    stats_.faults_by_class[klass] += count;
+  }
   for (const auto& [type, count] : delta.messages_by_type) {
     stats_.messages_by_type[type] += count;
   }
@@ -90,6 +112,16 @@ void SimulatedNetwork::Charge(const std::string& type, size_t wire_bytes) {
                       latency_.per_byte_ms * static_cast<double>(wire_bytes);
   ++stats.messages_by_type[type];
   stats.bytes_by_type[type] += wire_bytes;
+  m_messages_->Increment();
+  m_bytes_->Increment(wire_bytes);
+}
+
+void SimulatedNetwork::CountFault(FaultClass klass, NetworkStats* active) {
+  faults_->counters().ForClass(klass).Increment();
+  ++active->faults_injected;
+  ++active->faults_by_class[FaultClassName(klass)];
+  m_faults_->Increment();
+  m_fault_class_[static_cast<size_t>(klass)]->Increment();
 }
 
 void SimulatedNetwork::InstallFaultPlan(const FaultPlan& plan) {
@@ -103,6 +135,9 @@ void SimulatedNetwork::ChargeRetryBackoff(double backoff_ms) {
   stats.latency_ms += backoff_ms;
   stats.retry_backoff_ms += backoff_ms;
   ++stats.rpc_retries;
+  m_rpc_retries_->Increment();
+  m_backoff_us_->Increment(
+      static_cast<uint64_t>(std::llround(backoff_ms * 1000.0)));
 }
 
 double SimulatedNetwork::CurrentLatencyMs() { return ActiveStats()->latency_ms; }
@@ -139,16 +174,12 @@ Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
   NetworkStats& active = *ActiveStats();
   const FaultPlan* plan = faulty ? &faults_->plan() : nullptr;
   if (fault.unavailable) {
-    faults_->counters().unavailable_injected.fetch_add(
-        1, std::memory_order_relaxed);
-    ++active.faults_injected;
+    CountFault(FaultClass::kUnavailable, &active);
     return Status::Unavailable("fault injection: node " + std::to_string(dst) +
                                " transiently unavailable");
   }
   if (fault.drop_request) {
-    faults_->counters().requests_dropped.fetch_add(1,
-                                                   std::memory_order_relaxed);
-    ++active.faults_injected;
+    CountFault(FaultClass::kRequestDropped, &active);
     // The caller waits out its timeout before giving up.
     active.latency_ms += plan->timeout_penalty_ms;
     return Status::DeadlineExceeded("fault injection: request to node " +
@@ -166,14 +197,9 @@ Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
     // The handler ran (side effects happened) and the response was sent
     // — both legs cost bandwidth — but the caller never sees it.
     Charge(type, 20 + response.value().size());
-    if (fault.timeout) {
-      faults_->counters().timeouts_injected.fetch_add(
-          1, std::memory_order_relaxed);
-    } else {
-      faults_->counters().responses_dropped.fetch_add(
-          1, std::memory_order_relaxed);
-    }
-    ++active.faults_injected;
+    CountFault(fault.timeout ? FaultClass::kTimeout
+                             : FaultClass::kResponseDropped,
+               &active);
     active.latency_ms += plan->timeout_penalty_ms;
     return Status::DeadlineExceeded(
         fault.timeout ? "fault injection: response from node " +
@@ -184,16 +210,13 @@ Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
   if (fault.corrupt_response) {
     faults_->CorruptPayload(&response.value(), dst, type, fingerprint,
                             tls_fault_context, attempt);
-    faults_->counters().responses_corrupted.fetch_add(
-        1, std::memory_order_relaxed);
-    ++active.faults_injected;
+    CountFault(FaultClass::kCorruptResponse, &active);
   }
   // Charge the response leg as the same message type, at the size
   // actually delivered (a truncated corruption shrinks it).
   Charge(type, 20 + response.value().size());
   if (fault.slow_link) {
-    faults_->counters().links_slowed.fetch_add(1, std::memory_order_relaxed);
-    ++active.faults_injected;
+    CountFault(FaultClass::kSlowLink, &active);
     active.latency_ms += plan->slow_link_extra_ms;
   }
   return response;

@@ -40,6 +40,9 @@ struct NetworkStats {
   uint64_t rpc_retries = 0;
   /// Simulated backoff waiting charged by retries (also in latency_ms).
   double retry_backoff_ms = 0.0;
+  /// faults_injected split by fault class (FaultClassName keys); the
+  /// chaos bench turns the per-query deltas into histograms.
+  std::map<std::string, uint64_t> faults_by_class;
   /// Message and byte counts per message type (e.g. "chord.find_succ").
   std::map<std::string, uint64_t> messages_by_type;
   std::map<std::string, uint64_t> bytes_by_type;
@@ -57,8 +60,8 @@ class SimulatedNetwork {
   /// Request handler: receives the message, returns the response payload.
   using Handler = std::function<Result<Bytes>(const Message&)>;
 
-  SimulatedNetwork() = default;
-  explicit SimulatedNetwork(LatencyModel latency) : latency_(latency) {}
+  SimulatedNetwork();
+  explicit SimulatedNetwork(LatencyModel latency);
 
   SimulatedNetwork(const SimulatedNetwork&) = delete;
   SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
@@ -146,6 +149,11 @@ class SimulatedNetwork {
 
   void Charge(const std::string& type, size_t wire_bytes);
 
+  /// The single fault-accounting path: bumps the injector's per-class
+  /// counter, the active sink's totals (faults_injected +
+  /// faults_by_class), and the registry mirror ("fault.<class>").
+  void CountFault(FaultClass klass, NetworkStats* active);
+
   /// The stats object Charge() writes to on this thread: the innermost
   /// live StatsCapture's sink, or the global stats_.
   NetworkStats* ActiveStats();
@@ -155,7 +163,17 @@ class SimulatedNetwork {
   NetworkStats stats_;
   std::unique_ptr<FaultInjector> faults_;
   /// Live StatsCapture count; topology mutation is checked against it.
-  std::atomic<int> live_captures_{0};
+  /// A RAII-guard refcount, not a metric — exempt from the
+  /// metrics-registry rule.
+  std::atomic<int> live_captures_{0};  // NOLINT(iqn-metrics)
+  /// Cached registry instruments (looked up once; incremented lock-free
+  /// on the Charge hot path).
+  Counter* m_messages_;
+  Counter* m_bytes_;
+  Counter* m_rpc_retries_;
+  Counter* m_backoff_us_;
+  Counter* m_faults_;
+  Counter* m_fault_class_[kNumFaultClasses];
 };
 
 }  // namespace iqn

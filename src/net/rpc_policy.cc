@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "util/hash.h"
+#include "util/logging.h"
+#include "util/trace.h"
 
 namespace iqn {
 
@@ -56,8 +58,13 @@ bool RpcScope::DeadlineExpired() {
   return tls_rpc_scope != nullptr && tls_rpc_scope->deadline_.Expired();
 }
 
-Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
-                      NodeAddress dst, const std::string& type, Bytes payload) {
+namespace {
+
+/// The retry/deadline loop proper; CallRpc wraps it in the trace span so
+/// every return path gets its status annotated in one place.
+Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
+                              NodeAddress dst, const std::string& type,
+                              Bytes payload, ScopedSpan* span) {
   RpcScope* scope = RpcScope::Current();
   if (scope == nullptr) {
     return network->Rpc(src, dst, type, std::move(payload));
@@ -68,6 +75,7 @@ Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
   Result<Bytes> result = Status::Internal("CallRpc: no attempt made");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (scope->deadline().Expired()) {
+      span->Attr("deadline", "expired_before_send");
       return Status::DeadlineExceeded(
           "query deadline budget exhausted before sending " + type);
     }
@@ -81,12 +89,40 @@ Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
     if (result.ok() || !RetryPolicy::IsRetriable(result.status().code())) {
       return result;
     }
+    if (span->active()) {
+      span->Attr("attempt" + std::to_string(attempt),
+                 StatusCodeName(result.status().code()));
+    }
     if (!last) {
       const double backoff =
           policy.BackoffMs(attempt + 1, dst, type, context);
       network->ChargeRetryBackoff(backoff);
       scope->deadline().Consume(backoff);
+      span->AttrDouble("backoff_ms", backoff);
+      IQN_VLOG(1) << "rpc retry " << (attempt + 1) << "/" << (attempts - 1)
+                  << " " << type << " -> " << dst << " after "
+                  << result.status().ToString();
     }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
+                      NodeAddress dst, const std::string& type, Bytes payload) {
+  // One span per logical RPC: all attempts, their faults, and the
+  // backoff waits land inside it, so traces show retry storms directly.
+  ScopedSpan span("rpc");
+  if (span.active()) {
+    span.Attr("type", type);
+    span.AttrUint("dst", dst);
+  }
+  Result<Bytes> result =
+      CallRpcAttempts(network, src, dst, type, std::move(payload), &span);
+  if (span.active()) {
+    span.Attr("status",
+              result.ok() ? "OK" : StatusCodeName(result.status().code()));
   }
   return result;
 }

@@ -1,0 +1,59 @@
+// Tiny JSON emission helpers shared by the exporters (metrics snapshot,
+// Chrome trace writer, query log). Emission only — the repo never parses
+// JSON in C++; tools/validate_trace.py does schema checks offline.
+
+#ifndef IQN_UTIL_JSON_H_
+#define IQN_UTIL_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace iqn {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable double formatting: %.17g re-parses to the exact same
+/// bits, so deterministic values survive export/import unchanged.
+inline std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_JSON_H_

@@ -11,6 +11,7 @@ namespace {
 // data published under it, so threads only need atomicity, not ordering.
 // This keeps the logger TSan-clean once parallel engines land.
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<int> g_verbosity{0};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,6 +34,12 @@ void SetLogLevel(LogLevel level) {
 }
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetVerbosity(int verbosity) {
+  g_verbosity.store(verbosity, std::memory_order_relaxed);
+}
+
+int GetVerbosity() { return g_verbosity.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& msg) {
   // Format the whole line first and emit it with a single write: stderr is

@@ -1,11 +1,19 @@
 // Minimal leveled logger for examples and benches.
 //
 // Library code itself never logs on hot paths; logging exists so the
-// runnable binaries can narrate what the engine is doing.
+// runnable binaries can narrate what the engine is doing. The trace
+// layer (util/trace.h) additionally narrates span closes through
+// IQN_VLOG when verbosity is raised.
 //
-// Thread safety: the minimum level is an atomic, each LogLine buffers its
-// own message, and LogMessage emits one pre-formatted write per line, so
-// concurrent loggers cannot interleave characters and TSan sees no races.
+// Thread safety: the minimum level and verbosity are atomics, each
+// LogLine buffers its own message, and LogMessage emits one
+// pre-formatted write per line, so concurrent loggers cannot interleave
+// characters and TSan sees no races.
+//
+// Cost below threshold: LogLine captures the level check ONCE at
+// construction and short-circuits every operator<<, so a suppressed
+// line never formats its message; IQN_VLOG goes further and skips
+// evaluating the streamed expressions entirely.
 
 #ifndef IQN_UTIL_LOGGING_H_
 #define IQN_UTIL_LOGGING_H_
@@ -21,29 +29,39 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Debug-narration verbosity for IQN_VLOG(n): messages emit when
+/// verbosity >= n. Default 0 (all IQN_VLOG suppressed).
+void SetVerbosity(int verbosity);
+int GetVerbosity();
+
 /// Sink for one formatted message (implementation writes to stderr).
 void LogMessage(LogLevel level, const std::string& msg);
 
 namespace internal {
 
-/// Stream-style collector that emits on destruction.
+/// Stream-style collector that emits on destruction. The enabled
+/// decision is taken at construction; a disabled line skips all
+/// formatting work.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level)
+      : LogLine(level, level >= GetLogLevel()) {}
+  LogLine(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
   ~LogLine() {
-    if (level_ >= GetLogLevel()) LogMessage(level_, stream_.str());
+    if (enabled_) LogMessage(level_, stream_.str());
   }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    stream_ << v;
+    if (enabled_) stream_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 
@@ -53,6 +71,14 @@ class LogLine {
 #define IQN_LOG_INFO ::iqn::internal::LogLine(::iqn::LogLevel::kInfo)
 #define IQN_LOG_WARN ::iqn::internal::LogLine(::iqn::LogLevel::kWarn)
 #define IQN_LOG_ERROR ::iqn::internal::LogLine(::iqn::LogLevel::kError)
+
+// Verbose debug narration, gated on SetVerbosity alone (it bypasses the
+// level threshold: raising verbosity is an explicit opt-in). Streamed
+// expressions are NOT evaluated when suppressed — safe on hot paths.
+#define IQN_VLOG(n)                    \
+  if (::iqn::GetVerbosity() < (n)) {   \
+  } else                               \
+    ::iqn::internal::LogLine(::iqn::LogLevel::kDebug, true)
 
 }  // namespace iqn
 

@@ -1,0 +1,156 @@
+#include "util/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace iqn {
+
+namespace {
+
+// Fixed-point scale for histogram sums: integer accumulation keeps the
+// sum independent of the order concurrent observers interleave.
+constexpr double kSumScale = 1024.0;
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  IQN_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    IQN_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double v) {
+  size_t bucket = bounds_.size();  // overflow unless a bound matches
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_fixed_.fetch_add(static_cast<int64_t>(std::llround(v * kSumScale)),
+                       std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_fixed_.load(std::memory_order_relaxed)) /
+         kSumScale;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_fixed_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = hist->bounds();
+    data.counts = hist->BucketCounts();
+    data.count = hist->Count();
+    data.sum = hist->Sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + JsonDouble(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"bounds\": [";
+    for (size_t i = 0; i < data.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonDouble(data.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(data.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(data.count) +
+           ", \"sum\": " + JsonDouble(data.sum) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace iqn

@@ -1,0 +1,156 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms with a lock-free hot path.
+//
+// Two usage modes, one instrument vocabulary:
+//  * standalone members (e.g. FaultCounters in net/fault.h) where a
+//    subsystem wants exact per-instance totals;
+//  * the process-wide MetricsRegistry, where instruments are looked up
+//    by name once (mutex-guarded registration, stable addresses) and
+//    then incremented lock-free from any thread.
+//
+// Determinism: counters and histograms accumulate in integers (sums are
+// fixed-point, 1/1024 ms quantization), so totals are independent of the
+// order concurrent threads interleave their increments — snapshots are
+// bit-identical across runs and thread counts whenever the set of
+// recorded events is. Gauge::Add is the one order-dependent operation
+// (floating-point CAS accumulate); use it for level-style values only.
+//
+// This is the ONLY place in net/ + minerva/-reachable code allowed to
+// own raw std::atomic counters (tools/lint.sh enforces it): ad-hoc
+// atomics are invisible to snapshots and exporters.
+
+#ifndef IQN_UTIL_METRICS_H_
+#define IQN_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace iqn {
+
+/// Monotone event count. Increments are relaxed atomics: totals are
+/// deterministic because the event set is, regardless of order.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-writer-wins level value (thread count, corpus size, ...).
+/// Add() exists for convenience but is order-dependent on doubles;
+/// prefer Counter for anything that must stay bit-deterministic.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (first matching bound); the extra last bucket is the overflow. The
+/// running sum is kept in fixed point (1/1024 units) so concurrent
+/// observers produce a bit-identical sum in any interleaving.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing (checked).
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of observed values, quantized to 1/1024 per observation.
+  double Sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_fixed_{0};  // value * 1024, rounded
+};
+
+/// Point-in-time copy of every registered instrument, safe to read and
+/// export while the hot paths keep incrementing.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Pretty-printed JSON object with "counters", "gauges", "histograms"
+  /// sections, keys sorted (std::map order) for diff-stable output.
+  std::string ToJson() const;
+};
+
+/// Name -> instrument registry. Get* registers on first use (mutex) and
+/// returns a pointer that stays valid for the process lifetime; callers
+/// cache it or re-look it up per event off the hot path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used on first registration only; later lookups of the
+  /// same name return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered instrument (names and bounds persist).
+  /// Benches call this after setup so snapshots cover the query phase.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_METRICS_H_

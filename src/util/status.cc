@@ -2,9 +2,7 @@
 
 namespace iqn {
 
-namespace {
-
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -30,11 +28,9 @@ const char* CodeName(StatusCode code) {
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string s = CodeName(code_);
+  std::string s = StatusCodeName(code_);
   if (!message_.empty()) {
     s += ": ";
     s += message_;

@@ -28,6 +28,10 @@ enum class StatusCode {
   kDeadlineExceeded, // simulated-time deadline expired (RPC timeout)
 };
 
+/// Stable short name of a code ("OK", "Unavailable", ...), for trace
+/// attributes and log lines.
+const char* StatusCodeName(StatusCode code);
+
 /// Lightweight status object carrying a code and, on error, a message.
 class Status {
  public:

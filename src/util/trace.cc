@@ -1,0 +1,166 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace iqn {
+
+namespace {
+
+// Ambient trace of the current thread (same thread-local idiom as the
+// stats sink in net/network.cc and the scope stack in net/rpc_policy.cc).
+thread_local QueryTrace* tls_trace = nullptr;
+
+}  // namespace
+
+QueryTrace::QueryTrace(Clock simulated_clock)
+    : clock_(std::move(simulated_clock)) {
+  IQN_CHECK(clock_ != nullptr);
+}
+
+uint64_t QueryTrace::BeginSpan(std::string name) {
+  TraceSpan span;
+  span.id = static_cast<uint64_t>(spans_.size()) + 1;
+  span.parent_id = open_.empty() ? 0 : open_.back();
+  span.name = std::move(name);
+  span.start_ms = clock_();
+  span.end_ms = span.start_ms;
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(uint64_t id) {
+  // Strict nesting: spans close innermost-first, always on the thread
+  // that opened them.
+  IQN_CHECK(!open_.empty());
+  IQN_CHECK_EQ(open_.back(), id);
+  open_.pop_back();
+  TraceSpan& span = spans_[id - 1];
+  span.end_ms = clock_();
+  IQN_VLOG(2) << "span " << span.name << " [" << span.start_ms << ", "
+              << span.end_ms << "] ms";
+}
+
+void QueryTrace::AddAttr(uint64_t id, std::string key, std::string value) {
+  IQN_CHECK_GE(id, 1u);
+  IQN_CHECK_LE(id, spans_.size());
+  spans_[id - 1].attrs.push_back(TraceAttr{std::move(key), std::move(value)});
+}
+
+const TraceSpan* QueryTrace::Find(const std::string& name) const {
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::string QueryTrace::ToDebugString() const {
+  std::string out;
+  for (const TraceSpan& span : spans_) {
+    char head[128];
+    std::snprintf(head, sizeof(head), "%llu<%llu [%.17g,%.17g] ",
+                  static_cast<unsigned long long>(span.id),
+                  static_cast<unsigned long long>(span.parent_id),
+                  span.start_ms, span.end_ms);
+    out += head;
+    out += span.name;
+    for (const TraceAttr& attr : span.attrs) {
+      out += " ";
+      out += attr.key;
+      out += "=";
+      out += attr.value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TraceScope::TraceScope(QueryTrace* trace) : previous_(tls_trace) {
+  tls_trace = trace;
+}
+
+TraceScope::~TraceScope() { tls_trace = previous_; }
+
+QueryTrace* TraceScope::Current() { return tls_trace; }
+
+ScopedSpan::ScopedSpan(const char* name) : trace_(tls_trace) {
+  if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+}
+
+void ScopedSpan::Attr(const std::string& key, std::string value) {
+  if (trace_ != nullptr) trace_->AddAttr(id_, key, std::move(value));
+}
+
+void ScopedSpan::AttrDouble(const std::string& key, double v) {
+  if (trace_ != nullptr) trace_->AddAttr(id_, key, JsonDouble(v));
+}
+
+void ScopedSpan::AttrUint(const std::string& key, uint64_t v) {
+  if (trace_ != nullptr) trace_->AddAttr(id_, key, std::to_string(v));
+}
+
+void ScopedSpan::End() {
+  if (trace_ != nullptr) {
+    trace_->EndSpan(id_);
+    trace_ = nullptr;
+  }
+}
+
+std::string ChromeTraceJson(const std::vector<const QueryTrace*>& traces) {
+  std::string out = "{\"traceEvents\": [";
+  bool first_event = true;
+  for (size_t t = 0; t < traces.size(); ++t) {
+    if (traces[t] == nullptr) continue;
+    for (const TraceSpan& span : traces[t]->spans()) {
+      out += first_event ? "\n" : ",\n";
+      first_event = false;
+      out += "  {\"name\": \"" + JsonEscape(span.name) + "\", \"ph\": \"X\"";
+      out += ", \"ts\": " + JsonDouble(span.start_ms * 1000.0);
+      out += ", \"dur\": " + JsonDouble((span.end_ms - span.start_ms) * 1000.0);
+      out += ", \"pid\": 1, \"tid\": " + std::to_string(t + 1);
+      out += ", \"args\": {";
+      // Chrome's viewer wants unique arg keys; repeated trace keys
+      // (e.g. one "cand" per ranking row) get a #<n> suffix.
+      std::map<std::string, size_t> seen;
+      bool first_arg = true;
+      for (const TraceAttr& attr : span.attrs) {
+        std::string key = attr.key;
+        size_t n = seen[key]++;
+        if (n > 0) key += "#" + std::to_string(n);
+        if (!first_arg) out += ", ";
+        first_arg = false;
+        out += "\"" + JsonEscape(key) + "\": \"" + JsonEscape(attr.value) +
+               "\"";
+      }
+      out += "}}";
+    }
+  }
+  out += first_event ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<const QueryTrace*>& traces) {
+  return WriteTextFile(path, ChromeTraceJson(traces));
+}
+
+}  // namespace iqn

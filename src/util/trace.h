@@ -1,0 +1,135 @@
+// Per-query hierarchical trace spans on SIMULATED time.
+//
+// A QueryTrace records a tree of named spans with attributes. Spans are
+// stamped with the query's own simulated-latency clock (the metered
+// NetworkStats delta), not wall time, so a trace is a pure function of
+// the query and the seed: bit-identical across runs and across any
+// thread count — the determinism tests diff whole trees as strings.
+//
+// Ambient install follows the repo's RAII idiom (StatsCapture,
+// RpcScope): a TraceScope installs a trace into thread-local state and
+// every ScopedSpan opened on that thread — in the engine, the router,
+// the RPC policy layer — lands in it. With no trace installed,
+// ScopedSpan is a no-op; instrumented code never checks a flag.
+//
+// Contract for instrumented code: spans must be opened and closed on
+// the query's own thread, strictly nested (enforced by IQN_CHECK), and
+// NEVER inside a ParallelFor body — pool workers carry no trace, and
+// emission order there would depend on scheduling. The IQN router
+// records per-candidate data from its serial argmax phase for exactly
+// this reason.
+
+#ifndef IQN_UTIL_TRACE_H_
+#define IQN_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+struct TraceAttr {
+  std::string key;
+  std::string value;  // repeated keys allowed (e.g. one "cand" per row)
+};
+
+struct TraceSpan {
+  uint64_t id = 0;         // 1-based, in span-open order
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  double start_ms = 0.0;  // simulated time
+  double end_ms = 0.0;
+  std::vector<TraceAttr> attrs;
+};
+
+/// One query's span tree. Not thread-safe: a trace belongs to the one
+/// thread its TraceScope is installed on.
+class QueryTrace {
+ public:
+  /// Reads the current simulated time (typically the query's metered
+  /// NetworkStats::latency_ms).
+  using Clock = std::function<double()>;
+
+  explicit QueryTrace(Clock simulated_clock);
+
+  uint64_t BeginSpan(std::string name);
+  /// Must close the innermost open span (checked).
+  void EndSpan(uint64_t id);
+  void AddAttr(uint64_t id, std::string key, std::string value);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// First span with this name, or nullptr.
+  const TraceSpan* Find(const std::string& name) const;
+
+  /// Canonical one-line-per-span rendering (ids, nesting, %.17g
+  /// timestamps, attributes in order). Two traces are equal iff their
+  /// debug strings are — the determinism tests compare these.
+  std::string ToDebugString() const;
+
+ private:
+  Clock clock_;
+  std::vector<TraceSpan> spans_;
+  std::vector<uint64_t> open_;  // stack of open span ids
+};
+
+/// RAII install of a trace as the current thread's ambient trace.
+/// Scopes nest; the innermost wins.
+class TraceScope {
+ public:
+  explicit TraceScope(QueryTrace* trace);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The installed trace of the current thread, or nullptr.
+  static QueryTrace* Current();
+
+ private:
+  QueryTrace* previous_;
+};
+
+/// RAII span against the ambient trace; a no-op (active() == false)
+/// when no TraceScope is installed. Attrs on an inactive span are
+/// discarded, so instrumentation sites need no conditionals — but
+/// should guard loops that FORMAT many attrs with active().
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+  void Attr(const std::string& key, std::string value);
+  /// %.17g: the value re-parses to the exact same double.
+  void AttrDouble(const std::string& key, double v);
+  void AttrUint(const std::string& key, uint64_t v);
+  /// Idempotent; the destructor calls it.
+  void End();
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+/// Chrome trace_event JSON ("traceEvents" array of complete "X" events,
+/// loadable in about:tracing / Perfetto). Each trace becomes one tid;
+/// timestamps are simulated milliseconds exported as microseconds.
+std::string ChromeTraceJson(const std::vector<const QueryTrace*>& traces);
+
+/// Writes ChromeTraceJson(traces) to `path`.
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<const QueryTrace*>& traces);
+
+/// Writes a pre-rendered exporter payload (metrics JSON, query log) to
+/// `path`.
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_TRACE_H_

@@ -15,6 +15,7 @@
 
 #include "minerva/engine.h"
 #include "minerva/iqn_router.h"
+#include "util/metrics.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -276,6 +277,79 @@ TEST(ChaosTest, CorruptionIsSurvivedAndReportedNotErrored) {
   }
   EXPECT_GT(faults_seen, 0u);
   EXPECT_GT(damage_reported, 0u);
+}
+
+// Observability under chaos: a faulted run's trace trees — including the
+// per-attempt RPC annotations the retry layer writes — are bit-identical
+// across repeat runs and across batch thread counts.
+TEST(ChaosTest, FaultedTraceTreesAreBitIdenticalAcrossRuns) {
+  auto run = [](size_t threads) {
+    EngineOptions options = RetryingOptions();
+    options.collect_traces = true;
+    World world(options);
+    world.engine->network().InstallFaultPlan(
+        FaultPlan::MessageDrop(ChaosSeed(), 0.1));
+    IqnRouter router;
+    auto outcomes =
+        world.engine->RunQueryBatch(world.Batch(), router, 3, threads);
+    EXPECT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    std::vector<std::string> trees;
+    for (const QueryOutcome& o : outcomes.value()) {
+      EXPECT_NE(o.trace, nullptr);
+      trees.push_back(o.trace->ToDebugString());
+    }
+    return trees;
+  };
+  std::vector<std::string> serial = run(1);
+  std::vector<std::string> serial_again = run(1);
+  ASSERT_EQ(serial.size(), serial_again.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], serial_again[i]) << "repeat run, item " << i;
+  }
+  for (size_t threads : {2u, 8u}) {
+    std::vector<std::string> parallel = run(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i])
+          << threads << " threads, item " << i;
+    }
+  }
+}
+
+// The per-query fault exposure feeds class-keyed registry histograms
+// (fault.per_query.<class>), and the per-query class map folds into the
+// global stats — without changing what the queries return.
+TEST(ChaosTest, FaultClassBreakdownIsAccountedPerQueryAndGlobally) {
+  World world(RetryingOptions());
+  world.engine->network().InstallFaultPlan(
+      FaultPlan::MessageDrop(ChaosSeed(), 0.15));
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  MetricsSnapshot before = registry.Snapshot();
+  IqnRouter router;
+  uint64_t faults_from_queries = 0;
+  for (const Query& q : world.queries) {
+    auto o = world.engine->RunQuery(0, q, router, 3);
+    ASSERT_TRUE(o.ok()) << o.status().ToString();
+    faults_from_queries += o.value().degradation.faults_survived;
+  }
+  const NetworkStats& stats = world.engine->network().stats();
+  ASSERT_GT(stats.faults_injected, 0u);
+  // The class map partitions the fault total exactly.
+  uint64_t by_class = 0;
+  for (const auto& [klass, count] : stats.faults_by_class) by_class += count;
+  EXPECT_EQ(by_class, stats.faults_injected);
+  EXPECT_EQ(faults_from_queries, stats.faults_injected);
+  // Registry histograms observed one value per query per touched class.
+  MetricsSnapshot after = registry.Snapshot();
+  uint64_t histogram_observations = 0;
+  for (const auto& [name, data] : after.histograms) {
+    if (name.rfind("fault.per_query.", 0) != 0) continue;
+    uint64_t prior = 0;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) prior = it->second.count;
+    histogram_observations += data.count - prior;
+  }
+  EXPECT_GT(histogram_observations, 0u);
 }
 
 }  // namespace

@@ -206,6 +206,75 @@ TEST(BatchDeterminismTest, SynopsisSeededReference) {
   CheckDeterminism(options, iqn, /*num_peers=*/6);
 }
 
+// Observability must not perturb determinism: with collect_traces on,
+// the span trees (names, nesting, attributes, simulated timestamps —
+// compared as canonical debug strings) are bit-identical between repeat
+// runs, and between the serial path and the batch path at 1, 2, and 8
+// threads.
+TEST(BatchDeterminismTest, TraceTreesAreBitIdenticalAcrossThreadCounts) {
+  EngineOptions options;
+  options.collect_traces = true;
+  auto engine = MinervaEngine::Create(options, SmallCollections(6));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  MinervaEngine& e = *engine.value();
+  ASSERT_TRUE(e.PublishAll().ok());
+  IqnRouter router;
+  std::vector<BatchQuery> batch = MakeBatch(e, 10);
+
+  std::vector<std::string> baseline;
+  for (const BatchQuery& bq : batch) {
+    auto outcome = e.RunQuery(bq.initiator_index, bq.query, router, 2);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_NE(outcome.value().trace, nullptr);
+    baseline.push_back(outcome.value().trace->ToDebugString());
+    EXPECT_FALSE(baseline.back().empty());
+  }
+
+  // Repeat serial run: same strings.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto outcome =
+        e.RunQuery(batch[i].initiator_index, batch[i].query, router, 2);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().trace->ToDebugString(), baseline[i])
+        << "repeat run diverged at item " << i;
+  }
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    auto outcomes = e.RunQueryBatch(batch, router, 2, threads);
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_NE(outcomes.value()[i].trace, nullptr);
+      EXPECT_EQ(outcomes.value()[i].trace->ToDebugString(), baseline[i])
+          << "batch item " << i;
+    }
+  }
+}
+
+TEST(BatchDeterminismTest, TracesOffByDefaultAndDoNotChangeOutcomes) {
+  auto plain = MinervaEngine::Create(EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain.value()->PublishAll().ok());
+  EngineOptions traced_options;
+  traced_options.collect_traces = true;
+  auto traced = MinervaEngine::Create(traced_options, SmallCollections());
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(traced.value()->PublishAll().ok());
+
+  IqnRouter router;
+  std::vector<BatchQuery> batch = MakeBatch(*plain.value(), 6);
+  for (const BatchQuery& bq : batch) {
+    auto a = plain.value()->RunQuery(bq.initiator_index, bq.query, router, 2);
+    auto b = traced.value()->RunQuery(bq.initiator_index, bq.query, router, 2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().trace, nullptr);
+    EXPECT_NE(b.value().trace, nullptr);
+    // Tracing is an observer: every measured number stays identical.
+    ExpectOutcomeEq(a.value(), b.value(), 0);
+  }
+}
+
 TEST(BatchDeterminismTest, ThreadsExceedingBatchSize) {
   auto engine = MinervaEngine::Create(EngineOptions{}, SmallCollections());
   ASSERT_TRUE(engine.ok());

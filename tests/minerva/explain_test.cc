@@ -1,0 +1,258 @@
+#include "minerva/explain.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "minerva/engine.h"
+#include "minerva/iqn_router.h"
+#include "synopses/estimators.h"
+#include "synopses/min_wise.h"
+#include "tests/minerva/test_helpers.h"
+#include "util/trace.h"
+#include "workload/fragments.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+// Paper Sec. 5 acceptance fixture: three candidate peers over MIPs
+// synopses. Peers 1 and 2 hold the SAME 100 documents; peer 3 holds a
+// disjoint 100. After IQN absorbs peer 1, peer 2's novelty must collapse
+// to exactly zero (resemblance 1 against the reference) while peer 3
+// keeps near-full novelty — and the iteration table ExplainQuery renders
+// must reproduce the hand-computed resemblance arithmetic.
+struct ThreePeerFixture : test::RoutingFixture {
+  ThreePeerFixture() {
+    candidates.push_back(
+        test::MakeCandidate(1, config, {{"term", test::Range(1, 101)}}));
+    candidates.push_back(
+        test::MakeCandidate(2, config, {{"term", test::Range(1, 101)}}));
+    candidates.push_back(
+        test::MakeCandidate(3, config, {{"term", test::Range(101, 201)}}));
+  }
+
+  /// The candidate's decoded MIPs synopsis, for hand computation.
+  MinWiseSynopsis Mips(size_t candidate_index) const {
+    auto syn = candidates[candidate_index].posts.at("term").DecodeSynopsis();
+    EXPECT_TRUE(syn.ok());
+    return *static_cast<const MinWiseSynopsis*>(syn.value().get());
+  }
+};
+
+Result<QueryExplanation> RouteAndExplain(const ThreePeerFixture& fixture,
+                                         size_t max_peers) {
+  IqnOptions options;
+  options.use_quality = false;  // novelty-only: isolates the MIPs math
+  IqnRouter router(options);
+  double clock = 0.0;
+  QueryTrace trace([&clock] { return clock; });
+  TraceScope scope(&trace);
+  Result<RoutingDecision> decision = router.Route(fixture.Input(max_peers));
+  if (!decision.ok()) return decision.status();
+  return ExplainFromTrace(trace);
+}
+
+const ExplainCandidateRow* FindRow(const ExplainIteration& iter,
+                                   uint64_t peer_id) {
+  for (const ExplainCandidateRow& row : iter.ranking) {
+    if (row.peer_id == peer_id) return &row;
+  }
+  return nullptr;
+}
+
+TEST(ExplainTest, FirstIterationGivesEveryPeerFullNovelty) {
+  ThreePeerFixture fixture;
+  auto explanation = RouteAndExplain(fixture, 3);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_EQ(explanation.value().iterations.size(), 3u);
+
+  // Empty reference: resemblance 0 against anything, so novelty is the
+  // full claimed cardinality 100 for all three candidates.
+  const ExplainIteration& first = explanation.value().iterations[0];
+  ASSERT_EQ(first.ranking.size(), 3u);
+  for (const ExplainCandidateRow& row : first.ranking) {
+    EXPECT_DOUBLE_EQ(row.novelty, 100.0) << "peer " << row.peer_id;
+  }
+  // Three-way tie; Select-Best-Peer's (score, peer id) tie-break picks
+  // the smallest id.
+  ASSERT_TRUE(first.has_winner);
+  EXPECT_EQ(first.winner_peer, 1u);
+  EXPECT_DOUBLE_EQ(first.winner_novelty, 100.0);
+  EXPECT_DOUBLE_EQ(first.covered_before, 0.0);
+  EXPECT_DOUBLE_EQ(first.covered_after, 100.0);
+}
+
+TEST(ExplainTest, CoveredPeerNoveltyCollapsesToZeroHandComputed) {
+  ThreePeerFixture fixture;
+  auto explanation = RouteAndExplain(fixture, 3);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  const ExplainIteration& second = explanation.value().iterations[1];
+
+  // Peer 2 posted the identical document set the reference now covers:
+  // resemblance exactly 1, so overlap = 1 * (100 + 100) / (1 + 1) = 100
+  // and novelty = clamp(100 - 100) = 0. This is the paper's Sec. 5
+  // headline behavior.
+  const ExplainCandidateRow* duplicate = FindRow(second, 2);
+  ASSERT_NE(duplicate, nullptr);
+  EXPECT_DOUBLE_EQ(duplicate->novelty, 0.0);
+
+  // Peer 3's novelty from first principles: count matching min positions
+  // between the reference MIPs (== peer 1's synopsis after absorbing it
+  // into the empty seed) and peer 3's MIPs, then run the paper's
+  // resemblance -> overlap -> novelty arithmetic by hand.
+  MinWiseSynopsis reference = fixture.Mips(0);
+  MinWiseSynopsis disjoint = fixture.Mips(2);
+  ASSERT_EQ(reference.mins().size(), disjoint.mins().size());
+  size_t matches = 0;
+  for (size_t i = 0; i < reference.mins().size(); ++i) {
+    if (reference.mins()[i] == disjoint.mins()[i]) ++matches;
+  }
+  double r = static_cast<double>(matches) /
+             static_cast<double>(reference.mins().size());
+  double overlap = r <= 0.0
+                       ? 0.0
+                       : std::min(r * (100.0 + 100.0) / (r + 1.0), 100.0);
+  double expected = std::clamp(100.0 - overlap, 0.0, 100.0);
+
+  const ExplainCandidateRow* fresh = FindRow(second, 3);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_DOUBLE_EQ(fresh->novelty, expected);
+  // Disjoint sets: the permutations should (almost) never collide, so
+  // novelty stays near-full and peer 3 must win this iteration.
+  EXPECT_GT(fresh->novelty, 90.0);
+  ASSERT_TRUE(second.has_winner);
+  EXPECT_EQ(second.winner_peer, 3u);
+
+  // The rendered row order follows combined score: peer 3 above peer 2.
+  ASSERT_EQ(second.ranking.size(), 2u);
+  EXPECT_EQ(second.ranking[0].peer_id, 3u);
+  EXPECT_TRUE(second.ranking[0].selected);
+  EXPECT_FALSE(second.ranking[1].selected);
+}
+
+TEST(ExplainTest, ThirdIterationMatchesHandComputedUnionReference) {
+  ThreePeerFixture fixture;
+  auto explanation = RouteAndExplain(fixture, 3);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  // Third iteration: only duplicate peer 2 remains, scored against the
+  // reference that now covers peers 1 and 3. Replay the whole estimate
+  // by hand: union = position-wise min, resemblance = match fraction,
+  // overlap and novelty per the paper's formulas — the rendered number
+  // must be bit-identical.
+  const ExplainIteration& third = explanation.value().iterations[2];
+  ASSERT_TRUE(third.has_winner);
+  EXPECT_EQ(third.winner_peer, 2u);
+
+  MinWiseSynopsis a = fixture.Mips(0);
+  MinWiseSynopsis c = fixture.Mips(2);
+  size_t n = a.mins().size();
+  // Iteration 2's credited novelty for peer 3 sets the reference
+  // cardinality the third iteration estimates against.
+  size_t matches_ac = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.mins()[i] == c.mins()[i]) ++matches_ac;
+  }
+  double r_ac = static_cast<double>(matches_ac) / static_cast<double>(n);
+  double overlap_ac =
+      r_ac <= 0.0
+          ? 0.0
+          : std::min(r_ac * (100.0 + 100.0) / (r_ac + 1.0), 100.0);
+  double ref_card = 100.0 + std::clamp(100.0 - overlap_ac, 0.0, 100.0);
+
+  // Reference synopsis after absorbing both: position-wise min of the
+  // two MIPs vectors; peer 2's synopsis is identical to peer 1's.
+  size_t matches_ref_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::min(a.mins()[i], c.mins()[i]) == a.mins()[i]) ++matches_ref_b;
+  }
+  double r = static_cast<double>(matches_ref_b) / static_cast<double>(n);
+  double overlap =
+      r <= 0.0 ? 0.0
+               : std::min(r * (ref_card + 100.0) / (r + 1.0),
+                          std::min(ref_card, 100.0));
+  double expected = std::clamp(100.0 - overlap, 0.0, 100.0);
+
+  EXPECT_DOUBLE_EQ(third.winner_novelty, expected);
+  // The covered-space estimate advances by exactly the credited novelty.
+  EXPECT_DOUBLE_EQ(third.covered_after, third.covered_before + expected);
+  // An (almost) fully covered peer scores a small fraction of its list.
+  EXPECT_LT(third.winner_novelty, 25.0);
+}
+
+TEST(ExplainTest, RenderProducesTableWithWinnerMarkers) {
+  ThreePeerFixture fixture;
+  auto explanation = RouteAndExplain(fixture, 2);
+  ASSERT_TRUE(explanation.ok());
+  std::string text = RenderExplanation(explanation.value());
+  EXPECT_NE(text.find("IQN("), std::string::npos);
+  EXPECT_NE(text.find("2 iterations"), std::string::npos);
+  EXPECT_NE(text.find("iteration 1: covered 0 -> 100"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);
+  EXPECT_NE(text.find("novelty"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplainFromTraceWithoutRouteSpanIsNotFound) {
+  QueryTrace trace([] { return 0.0; });
+  uint64_t id = trace.BeginSpan("something_else");
+  trace.EndSpan(id);
+  EXPECT_EQ(ExplainFromTrace(trace).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExplainTest, ExplainQueryRequiresACollectedTrace) {
+  QueryOutcome outcome;
+  EXPECT_EQ(ExplainQuery(outcome).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExplainTest, EndToEndThroughEngineCollectedTrace) {
+  SyntheticCorpusOptions copts;
+  copts.num_documents = 240;
+  copts.vocabulary_size = 400;
+  copts.min_document_length = 15;
+  copts.max_document_length = 40;
+  copts.seed = 5;
+  auto gen = SyntheticCorpusGenerator::Create(copts);
+  ASSERT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, 8);
+  ASSERT_TRUE(frags.ok());
+  auto collections = SlidingWindowCollections(frags.value(), 3, 2, 4);
+  ASSERT_TRUE(collections.ok());
+
+  EngineOptions options;
+  options.collect_traces = true;
+  auto engine =
+      MinervaEngine::Create(options, std::move(collections).value());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->PublishAll().ok());
+
+  Query query;
+  size_t best_df = 0;
+  for (const auto& [term, list] : engine.value()->reference_index().lists()) {
+    if (list.size() > best_df) {
+      best_df = list.size();
+      query.terms = {term};
+    }
+  }
+  query.k = 20;
+
+  IqnRouter router;
+  auto outcome = engine.value()->RunQuery(0, query, router, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_NE(outcome.value().trace, nullptr);
+
+  auto text = ExplainQuery(outcome.value());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("routing explanation"), std::string::npos);
+  EXPECT_NE(text.value().find("iteration 1"), std::string::npos);
+  // The trace also carries the engine's phase structure.
+  EXPECT_NE(outcome.value().trace->Find("query"), nullptr);
+  EXPECT_NE(outcome.value().trace->Find("route"), nullptr);
+  EXPECT_NE(outcome.value().trace->Find("rpc"), nullptr);
+  // Traces off => no trace attached.
+  options.collect_traces = false;
+}
+
+}  // namespace
+}  // namespace iqn

@@ -140,7 +140,7 @@ TEST(FaultNetworkTest, DropRequestChargesRequestAndTimeoutPenalty) {
   // Latency = request leg + the caller waiting out its timeout.
   double request_ms = 1.0 + 0.001 * (20 + 2 + 10);
   EXPECT_NEAR(net.stats().latency_ms, request_ms + 50.0, 1e-9);
-  EXPECT_EQ(net.fault_injector()->counters().requests_dropped.load(), 1u);
+  EXPECT_EQ(net.fault_injector()->counters().requests_dropped.Value(), 1u);
 }
 
 TEST(FaultNetworkTest, DropResponseChargesBothLegsAndRunsHandler) {
@@ -158,7 +158,7 @@ TEST(FaultNetworkTest, DropResponseChargesBothLegsAndRunsHandler) {
   EXPECT_TRUE(handler_ran);  // side effects happened; only the reply vanished
   EXPECT_EQ(net.stats().messages, 2u);
   EXPECT_EQ(net.stats().faults_injected, 1u);
-  EXPECT_EQ(net.fault_injector()->counters().responses_dropped.load(), 1u);
+  EXPECT_EQ(net.fault_injector()->counters().responses_dropped.Value(), 1u);
 }
 
 TEST(FaultNetworkTest, TimeoutChargesFullRoundTrip) {
@@ -169,7 +169,7 @@ TEST(FaultNetworkTest, TimeoutChargesFullRoundTrip) {
   EXPECT_EQ(net.Rpc(0, node, "op", Bytes(10, 0)).status().code(),
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(net.stats().messages, 2u);
-  EXPECT_EQ(net.fault_injector()->counters().timeouts_injected.load(), 1u);
+  EXPECT_EQ(net.fault_injector()->counters().timeouts_injected.Value(), 1u);
 }
 
 TEST(FaultNetworkTest, InjectedUnavailableFailsFastAfterRequestCharge) {
@@ -209,7 +209,7 @@ TEST(FaultNetworkTest, CorruptResponseDeliversChangedBytes) {
   EXPECT_NE(r.value(), Bytes(64, 0xAB));
   // The response leg is charged at the size actually delivered.
   EXPECT_EQ(net.stats().bytes, (20u + 2u + 64u) + (20u + r.value().size()));
-  EXPECT_EQ(net.fault_injector()->counters().responses_corrupted.load(), 1u);
+  EXPECT_EQ(net.fault_injector()->counters().responses_corrupted.Value(), 1u);
 }
 
 TEST(FaultNetworkTest, ZeroRatePlanIsCompletelyInert) {

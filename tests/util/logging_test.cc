@@ -24,6 +24,70 @@ TEST(LoggingTest, MacrosCompileAndStreamMixedTypes) {
   SetLogLevel(original);
 }
 
+// An operand that counts how often it is actually formatted.
+struct CountingOperand {
+  int* formats;
+};
+std::ostream& operator<<(std::ostream& os, const CountingOperand& c) {
+  ++*c.formats;
+  return os << "counted";
+}
+
+TEST(LoggingTest, SuppressedLineSkipsFormatting) {
+  LogLevel original = GetLogLevel();
+  int formats = 0;
+  // The enabled decision is captured at construction; a suppressed line
+  // must not format its operands (the pre-fix LogLine built the whole
+  // message string before the level check could drop it).
+  SetLogLevel(LogLevel::kError);
+  { internal::LogLine(LogLevel::kDebug) << CountingOperand{&formats}; }
+  EXPECT_EQ(formats, 0) << "suppressed log line formatted its operand";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, VerbosityRoundTrip) {
+  int original = GetVerbosity();
+  SetVerbosity(2);
+  EXPECT_EQ(GetVerbosity(), 2);
+  SetVerbosity(0);
+  EXPECT_EQ(GetVerbosity(), 0);
+  SetVerbosity(original);
+}
+
+TEST(LoggingTest, VlogSkipsEvaluatingOperandsWhenSuppressed) {
+  int original = GetVerbosity();
+  SetVerbosity(0);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("formatted");
+  };
+  IQN_VLOG(1) << expensive();
+  EXPECT_EQ(evaluations, 0) << "IQN_VLOG evaluated its operand while off";
+  SetVerbosity(2);
+  // Enabled VLOG evaluates operands exactly once (bypassing the level
+  // threshold by design: verbosity is an explicit opt-in).
+  LogLevel level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  IQN_VLOG(1) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(level);
+  SetVerbosity(original);
+}
+
+TEST(LoggingTest, VlogComposesWithElse) {
+  // The macro must not swallow a dangling else.
+  int original = GetVerbosity();
+  SetVerbosity(0);
+  bool reached_else = false;
+  if (false)
+    IQN_VLOG(1) << "never";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+  SetVerbosity(original);
+}
+
 TEST(LoggingTest, LevelOrderingIsMonotone) {
   EXPECT_LT(static_cast<int>(LogLevel::kDebug),
             static_cast<int>(LogLevel::kInfo));

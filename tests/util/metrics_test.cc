@@ -1,0 +1,169 @@
+#include "util/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace iqn {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr size_t kThreads = 8;
+  constexpr int kPerThread = 10000;
+  auto pool = ThreadPool::Create(kThreads);
+  ASSERT_TRUE(pool.ok());
+  Status st = pool.value()->ParallelFor(
+      0, kThreads, 1, [&c](size_t, size_t) {
+        for (int i = 0; i < kPerThread; ++i) c.Increment();
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsObservationsByFirstBoundAtLeastValue) {
+  Histogram h({1.0, 5.0, 10.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (boundary inclusive)
+  h.Observe(3.0);   // bucket 1
+  h.Observe(10.0);  // bucket 2
+  h.Observe(11.0);  // overflow
+  std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+}
+
+TEST(HistogramTest, SumIsQuantizedButClose) {
+  Histogram h({100.0});
+  h.Observe(0.25);  // representable in 1/1024 units exactly? 0.25*1024=256
+  h.Observe(1.5);
+  h.Observe(40.125);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.25 + 1.5 + 40.125);
+  EXPECT_EQ(h.Count(), 3u);
+}
+
+TEST(HistogramTest, SumIsOrderIndependentAcrossThreads) {
+  // Fixed-point accumulation: any interleaving of the same observations
+  // produces the bit-identical sum. Run the same observation multiset
+  // through several thread counts and compare.
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(0.001 * i + 0.37);
+  double reference_sum = -1.0;
+  for (int threads : {1, 2, 8}) {
+    Histogram h({0.5, 1.0, 2.0});
+    auto pool = ThreadPool::Create(static_cast<size_t>(threads));
+    ASSERT_TRUE(pool.ok());
+    Status st = pool.value()->ParallelFor(
+        0, values.size(), 1, [&h, &values](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) h.Observe(values[i]);
+          return Status::OK();
+        });
+    ASSERT_TRUE(st.ok());
+    if (reference_sum < 0.0) {
+      reference_sum = h.Sum();
+    } else {
+      EXPECT_EQ(h.Sum(), reference_sum) << "threads=" << threads;
+    }
+    EXPECT_EQ(h.Count(), values.size());
+  }
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Observe(2.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  for (uint64_t c : h.BucketCounts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", {999.0});  // bounds ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotCapturesAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("c1")->Increment(3);
+  registry.GetGauge("g1")->Set(1.5);
+  registry.GetHistogram("h1", {1.0})->Observe(0.5);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c1"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g1"), 1.5);
+  const MetricsSnapshot::HistogramData& h = snap.histograms.at("h1");
+  EXPECT_EQ(h.count, 1u);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h", {1.0, 2.0});
+  c->Increment(5);
+  h->Observe(1.5);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  // The same pointers stay registered (bounds preserved).
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  EXPECT_EQ(registry.GetHistogram("h", {}), h);
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotJsonHasAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.messages")->Increment(7);
+  registry.GetGauge("threads")->Set(4.0);
+  registry.GetHistogram("lat", {1.0})->Observe(2.0);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.messages\": 7"), std::string::npos);
+}
+
+TEST(RegistryTest, DefaultIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace iqn

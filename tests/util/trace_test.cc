@@ -1,0 +1,133 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace iqn {
+namespace {
+
+TEST(QueryTraceTest, RecordsNestedSpansWithSimulatedTimestamps) {
+  double now = 0.0;
+  QueryTrace trace([&now] { return now; });
+  uint64_t outer = trace.BeginSpan("outer");
+  now = 1.5;
+  uint64_t inner = trace.BeginSpan("inner");
+  now = 2.0;
+  trace.EndSpan(inner);
+  now = 3.0;
+  trace.EndSpan(outer);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const TraceSpan& o = trace.spans()[0];
+  const TraceSpan& i = trace.spans()[1];
+  EXPECT_EQ(o.name, "outer");
+  EXPECT_EQ(o.parent_id, 0u);
+  EXPECT_DOUBLE_EQ(o.start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(o.end_ms, 3.0);
+  EXPECT_EQ(i.name, "inner");
+  EXPECT_EQ(i.parent_id, o.id);
+  EXPECT_DOUBLE_EQ(i.start_ms, 1.5);
+  EXPECT_DOUBLE_EQ(i.end_ms, 2.0);
+}
+
+TEST(QueryTraceTest, FindReturnsFirstMatchByName) {
+  QueryTrace trace([] { return 0.0; });
+  uint64_t a = trace.BeginSpan("phase");
+  trace.EndSpan(a);
+  uint64_t b = trace.BeginSpan("phase");
+  trace.EndSpan(b);
+  const TraceSpan* found = trace.Find("phase");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, a);
+  EXPECT_EQ(trace.Find("missing"), nullptr);
+}
+
+TEST(QueryTraceTest, AttrsKeepInsertionOrderAndAllowRepeatedKeys) {
+  QueryTrace trace([] { return 0.0; });
+  uint64_t id = trace.BeginSpan("s");
+  trace.AddAttr(id, "cand", "first");
+  trace.AddAttr(id, "cand", "second");
+  trace.EndSpan(id);
+  const std::vector<TraceAttr>& attrs = trace.spans()[0].attrs;
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].value, "first");
+  EXPECT_EQ(attrs[1].value, "second");
+}
+
+TEST(ScopedSpanTest, NoOpWithoutInstalledTrace) {
+  ScopedSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Attr("k", "v");  // must not crash
+  span.End();
+}
+
+TEST(ScopedSpanTest, LandsInAmbientTraceAndEndIsIdempotent) {
+  QueryTrace trace([] { return 0.0; });
+  {
+    TraceScope scope(&trace);
+    ScopedSpan span("work");
+    EXPECT_TRUE(span.active());
+    span.Attr("key", "value");
+    span.AttrUint("n", 7);
+    span.AttrDouble("x", 0.25);
+    span.End();
+    span.End();  // second End must be a no-op
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  const TraceSpan& s = trace.spans()[0];
+  EXPECT_EQ(s.name, "work");
+  ASSERT_EQ(s.attrs.size(), 3u);
+  EXPECT_EQ(s.attrs[1].key, "n");
+  EXPECT_EQ(s.attrs[1].value, "7");
+  EXPECT_EQ(s.attrs[2].value, "0.25");
+}
+
+TEST(TraceScopeTest, ScopesNestAndRestore) {
+  QueryTrace outer([] { return 0.0; });
+  QueryTrace inner([] { return 0.0; });
+  EXPECT_EQ(TraceScope::Current(), nullptr);
+  {
+    TraceScope a(&outer);
+    EXPECT_EQ(TraceScope::Current(), &outer);
+    {
+      TraceScope b(&inner);
+      EXPECT_EQ(TraceScope::Current(), &inner);
+    }
+    EXPECT_EQ(TraceScope::Current(), &outer);
+  }
+  EXPECT_EQ(TraceScope::Current(), nullptr);
+}
+
+TEST(QueryTraceTest, DebugStringIsStableAndComplete) {
+  double now = 0.0;
+  QueryTrace trace([&now] { return now; });
+  uint64_t id = trace.BeginSpan("query");
+  trace.AddAttr(id, "k", "v");
+  now = 0.5;
+  trace.EndSpan(id);
+  EXPECT_EQ(trace.ToDebugString(), "1<0 [0,0.5] query k=v\n");
+}
+
+TEST(ChromeTraceJsonTest, EmitsCompleteEventsInMicroseconds) {
+  double now = 1.0;
+  QueryTrace trace([&now] { return now; });
+  uint64_t id = trace.BeginSpan("query");
+  trace.AddAttr(id, "cand", "a");
+  trace.AddAttr(id, "cand", "b");
+  now = 2.5;
+  trace.EndSpan(id);
+  std::string json = ChromeTraceJson({&trace});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 1500"), std::string::npos);
+  // Repeated attr keys are deduplicated for Chrome's args object.
+  EXPECT_NE(json.find("\"cand\": \"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"cand#1\": \"b\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptyInputIsValidJson) {
+  EXPECT_EQ(ChromeTraceJson({}), "{\"traceEvents\": []}\n");
+}
+
+}  // namespace
+}  // namespace iqn

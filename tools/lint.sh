@@ -47,6 +47,17 @@ done < <(grep -rnE 'std::(jthread|thread|async)[^_[:alnum:]]' \
          | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
          | grep -v NOLINT || true)
 
+# --- Rule: no raw std::atomic counters in net/ or minerva/. Observable
+# --- state goes through the metrics registry (util/metrics.h) so every
+# --- counter shows up in snapshots/exports and sums stay deterministic;
+# --- the registry itself is the one place allowed to hold atomics.
+while IFS= read -r hit; do
+  report iqn-metrics "$hit"
+done < <(grep -rnE 'std::atomic[<_]' \
+           src/net src/minerva --include='*.cc' --include='*.h' \
+         | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
+         | grep -v NOLINT || true)
+
 # --- Rule: no raw SimulatedNetwork::Rpc call sites outside net/. Every
 # --- remote interaction goes through CallRpc (net/rpc_policy.h) so retry,
 # --- deadline, and fault-context policy apply uniformly (DESIGN.md §9).

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --trace_out.
+
+Checks the subset of the trace_event format this repo emits (complete
+"X" events, JSON-object array under "traceEvents") plus IQN-specific
+invariants: at least one "query" span, at least one "iqn.iteration"
+span, non-negative microsecond timestamps/durations, and child spans
+contained within their trace's "query" root.
+
+Usage: tools/validate_trace.py TRACE.json [TRACE2.json ...]
+Exits nonzero (with a message on stderr) on the first violation.
+Stdlib only; runs anywhere CI has a python3.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"validate_trace: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, 'top level must be an object with a "traceEvents" key')
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, '"traceEvents" must be an array')
+    if not events:
+        fail(path, "trace contains no events (was tracing enabled?)")
+
+    # Per-tid extent of the "query" root; children must nest inside it.
+    query_extent = {}
+    names = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(path, f"event #{i} is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in ev:
+                fail(path, f'event #{i} missing required key "{key}"')
+        if ev["ph"] != "X":
+            fail(path, f'event #{i} has ph "{ev["ph"]}"; only complete '
+                       '"X" events are emitted')
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(path, f"event #{i} has an empty or non-string name")
+        for key in ("ts", "dur"):
+            if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+                fail(path, f'event #{i} has invalid "{key}": {ev[key]!r}')
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(path, f'event #{i} "args" must be an object')
+        names.add(ev["name"])
+        if ev["name"] == "query":
+            query_extent[ev["tid"]] = (ev["ts"], ev["ts"] + ev["dur"])
+
+    for required in ("query", "iqn.iteration"):
+        if required not in names:
+            fail(path, f'no "{required}" event found; the trace must cover '
+                       "at least one routed query")
+
+    for i, ev in enumerate(events):
+        extent = query_extent.get(ev["tid"])
+        if extent is None:
+            fail(path, f'event #{i} ("{ev["name"]}") on tid {ev["tid"]} '
+                       'has no "query" root span')
+        lo, hi = extent
+        # The writer converts simulated ms to us in floating point;
+        # allow the resulting last-ulp noise when checking containment.
+        eps = 1e-6 + 1e-9 * max(abs(lo), abs(hi))
+        if ev["ts"] < lo - eps or ev["ts"] + ev["dur"] > hi + eps:
+            fail(path, f'event #{i} ("{ev["name"]}") '
+                       f'[{ev["ts"]}, {ev["ts"] + ev["dur"]}] escapes its '
+                       f'"query" root [{lo}, {hi}]')
+
+    print(f"validate_trace: {path}: OK "
+          f"({len(events)} events, {len(query_extent)} queries)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
