@@ -19,8 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -92,9 +91,10 @@ int Main(int argc, char** argv) {
       auto collections = SlidingWindowCollections(frags.value(), 6, 2, 20);
       if (!collections.ok()) return 1;
 
-      EngineOptions options;  // MIPs (the only heterogeneous-length type)
+      // MIPs (the only heterogeneous-length type)
+      minerva::EngineOptions options;
       auto engine =
-          MinervaEngine::Create(options, std::move(collections).value());
+          minerva::Engine::Create(options, std::move(collections).value());
       if (!engine.ok()) return 1;
 
       uint64_t bytes_before = engine.value()->TotalBytesSent();
@@ -124,15 +124,18 @@ int Main(int argc, char** argv) {
       }
       uint64_t posted_bytes = engine.value()->TotalBytesSent() - bytes_before;
 
-      IqnRouter router;
+      minerva::RoutingSpec routing;  // kIqn
       double recall = 0.0;
       size_t counted = 0;
       for (size_t qi = 0; qi < queries.value().size(); ++qi) {
-        auto outcome = engine.value()->RunQuery(
-            qi % engine.value()->num_peers(), queries.value()[qi], router,
-            max_peers);
-        if (!outcome.ok()) continue;
-        recall += outcome.value().recall_remote_only;
+        QueryOutcome outcome;
+        if (!engine.value()
+                 ->RunQueryWith(routing, qi % engine.value()->num_peers(),
+                                queries.value()[qi], max_peers, &outcome)
+                 .ok()) {
+          continue;
+        }
+        recall += outcome.recall_remote_only;
         ++counted;
       }
       if (counted > 0) recall /= static_cast<double>(counted);

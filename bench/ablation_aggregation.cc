@@ -15,8 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -30,24 +29,25 @@ struct Cell {
   bool supported = true;
 };
 
-Cell Measure(MinervaEngine* engine, const std::vector<Query>& queries,
+Cell Measure(minerva::Engine* engine, const std::vector<Query>& queries,
              const IqnOptions& options, size_t max_peers) {
-  IqnRouter router(options);
+  minerva::RoutingSpec routing;  // kIqn
+  routing.iqn = options;
   Cell cell;
   size_t counted = 0;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    auto outcome = engine->RunQuery(qi % engine->num_peers(), queries[qi],
-                                    router, max_peers);
-    if (!outcome.ok()) {
-      if (outcome.status().code() == StatusCode::kUnimplemented) {
+    QueryOutcome outcome;
+    Status run = engine->RunQueryWith(routing, qi % engine->num_peers(),
+                                      queries[qi], max_peers, &outcome);
+    if (!run.ok()) {
+      if (run.code() == StatusCode::kUnimplemented) {
         cell.supported = false;
         return cell;
       }
-      std::fprintf(stderr, "query failed: %s\n",
-                   outcome.status().ToString().c_str());
+      std::fprintf(stderr, "query failed: %s\n", run.ToString().c_str());
       continue;
     }
-    cell.recall += outcome.value().recall_remote_only;
+    cell.recall += outcome.recall_remote_only;
     ++counted;
   }
   if (counted > 0) cell.recall /= static_cast<double>(counted);
@@ -98,12 +98,12 @@ int Main(int argc, char** argv) {
       auto collections =
           SlidingWindowCollections(frags.value(), 6, 2, /*num_peers=*/25);
       if (!collections.ok()) return 1;
-      EngineOptions options;
-      options.synopsis.type = type;
+      minerva::EngineOptions options;
+      options.core.synopsis.type = type;
       auto engine =
-          MinervaEngine::Create(options, std::move(collections).value());
+          minerva::Engine::Create(options, std::move(collections).value());
       if (!engine.ok()) return 1;
-      if (!engine.value()->PublishAll().ok()) return 1;
+      if (!engine.value()->Publish().ok()) return 1;
 
       QueryWorkloadOptions q_opts;
       q_opts.num_queries = num_queries;

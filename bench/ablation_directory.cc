@@ -13,8 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -80,13 +79,13 @@ int Main(int argc, char** argv) {
       {"BF, Golomb-Rice [26]", true, SynopsisType::kBloomFilter, true},
   };
   for (const PublishVariant& variant : publish_variants) {
-    EngineOptions options;
-    options.batch_posting = variant.batched;
-    options.synopsis.type = variant.type;
-    options.synopsis.compress_bloom = variant.compress;
-    auto engine = MinervaEngine::Create(options, MakeCollections(corpus));
+    minerva::EngineOptions options;
+    options.core.batch_posting = variant.batched;
+    options.core.synopsis.type = variant.type;
+    options.core.synopsis.compress_bloom = variant.compress;
+    auto engine = minerva::Engine::Create(options, MakeCollections(corpus));
     if (!engine.ok()) return 1;
-    if (!engine.value()->PublishAll().ok()) return 1;
+    if (!engine.value()->Publish().ok()) return 1;
     const NetworkStats& stats = engine.value()->network().stats();
     std::printf("%-26s %14llu %14llu\n", variant.label,
                 static_cast<unsigned long long>(stats.messages),
@@ -117,24 +116,27 @@ int Main(int argc, char** argv) {
                                        // threshold algorithm
   };
   for (const FetchStrategy& strategy : strategies) {
-    EngineOptions options;
-    options.peerlist_limit = strategy.peerlist_limit;
-    options.distributed_topk_candidates = strategy.topk_candidates;
-    auto engine = MinervaEngine::Create(options, MakeCollections(corpus));
+    minerva::EngineOptions options;
+    options.core.peerlist_limit = strategy.peerlist_limit;
+    options.core.distributed_topk_candidates = strategy.topk_candidates;
+    auto engine = minerva::Engine::Create(options, MakeCollections(corpus));
     if (!engine.ok()) return 1;
-    if (!engine.value()->PublishAll().ok()) return 1;
+    if (!engine.value()->Publish().ok()) return 1;
 
-    IqnRouter router;
+    minerva::RoutingSpec routing;  // kIqn
     double recall = 0.0;
     uint64_t routing_bytes = 0;
     size_t counted = 0;
     for (size_t qi = 0; qi < queries.value().size(); ++qi) {
-      auto outcome = engine.value()->RunQuery(
-          qi % engine.value()->num_peers(), queries.value()[qi], router,
-          max_peers);
-      if (!outcome.ok()) continue;
-      recall += outcome.value().recall_remote_only;
-      routing_bytes += outcome.value().routing_bytes;
+      QueryOutcome outcome;
+      if (!engine.value()
+               ->RunQueryWith(routing, qi % engine.value()->num_peers(),
+                              queries.value()[qi], max_peers, &outcome)
+               .ok()) {
+        continue;
+      }
+      recall += outcome.recall_remote_only;
+      routing_bytes += outcome.routing_bytes;
       ++counted;
     }
     if (counted > 0) {

@@ -16,8 +16,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -92,13 +91,13 @@ int Main(int argc, char** argv) {
     if (!frags.ok()) return 1;
     auto collections = SlidingWindowCollections(frags.value(), 6, 2, 20);
     if (!collections.ok()) return 1;
-    auto engine =
-        MinervaEngine::Create(EngineOptions{}, std::move(collections).value());
+    auto engine = minerva::Engine::Create(minerva::EngineOptions{},
+                                          std::move(collections).value());
     if (!engine.ok()) return 1;
-    if (!engine.value()->PublishAll().ok()) return 1;
+    if (!engine.value()->Publish().ok()) return 1;
 
     std::printf("%-30s", PolicyName(policy));
-    IqnRouter router;
+    minerva::RoutingSpec routing;  // kIqn
     DocId next_doc_id = 10 * docs;
     for (int round = 0; round <= rounds; ++round) {
       if (round > 0) {
@@ -131,11 +130,14 @@ int Main(int argc, char** argv) {
       double recall = 0.0;
       size_t counted = 0;
       for (size_t qi = 0; qi < queries.value().size(); ++qi) {
-        auto outcome = engine.value()->RunQuery(
-            qi % engine.value()->num_peers(), queries.value()[qi], router,
-            max_peers);
-        if (!outcome.ok()) continue;
-        recall += outcome.value().recall_remote_only;
+        QueryOutcome outcome;
+        if (!engine.value()
+                 ->RunQueryWith(routing, qi % engine.value()->num_peers(),
+                                queries.value()[qi], max_peers, &outcome)
+                 .ok()) {
+          continue;
+        }
+        recall += outcome.recall_remote_only;
         ++counted;
       }
       if (counted > 0) recall /= static_cast<double>(counted);

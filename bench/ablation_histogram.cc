@@ -21,8 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "util/hash.h"
 
@@ -84,15 +83,15 @@ int Main(int argc, char** argv) {
   for (const char* q : kQueryTerms) query.terms.push_back(q);
   query.k = static_cast<size_t>(flags.GetInt("k"));
 
-  EngineOptions options;
-  options.synopsis.histogram_cells =
+  minerva::EngineOptions options;
+  options.core.synopsis.histogram_cells =
       static_cast<size_t>(flags.GetInt("cells"));
-  auto engine = MinervaEngine::Create(options, std::move(collections));
+  auto engine = minerva::Engine::Create(options, std::move(collections));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  if (!engine.value()->PublishAll().ok()) return 1;
+  if (!engine.value()->Publish().ok()) return 1;
 
   std::printf(
       "\n=== Ablation (Sec. 7.1): score-conscious novelty via histograms "
@@ -117,24 +116,23 @@ int Main(int argc, char** argv) {
       {"histograms, weight exponent 4", true, 4.0},
   };
   for (const Variant& v : variants) {
-    IqnOptions iqn_options;
-    iqn_options.use_histograms = v.use_histograms;
-    iqn_options.histogram_weight_exponent = v.exponent;
-    IqnRouter router(iqn_options);
+    minerva::RoutingSpec routing;  // kIqn
+    routing.iqn.use_histograms = v.use_histograms;
+    routing.iqn.histogram_weight_exponent = v.exponent;
     // Initiate once from each good peer, average.
     double recall = 0.0;
     size_t decoys_picked = 0;
     size_t runs = 0;
     for (size_t initiator = 0; initiator < 10; initiator += 3) {
-      auto outcome =
-          engine.value()->RunQuery(initiator, query, router, max_peers);
-      if (!outcome.ok()) {
-        std::fprintf(stderr, "query failed: %s\n",
-                     outcome.status().ToString().c_str());
+      QueryOutcome outcome;
+      if (Status run = engine.value()->RunQueryWith(routing, initiator, query,
+                                                    max_peers, &outcome);
+          !run.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", run.ToString().c_str());
         continue;
       }
-      recall += outcome.value().recall_remote_only;
-      for (const auto& p : outcome.value().decision.peers) {
+      recall += outcome.recall_remote_only;
+      for (const auto& p : outcome.decision.peers) {
         if (p.peer_id >= 10) ++decoys_picked;
       }
       ++runs;

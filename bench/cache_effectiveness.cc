@@ -1,0 +1,387 @@
+// BENCH-CACHE: directory-cache effectiveness vs query skew and churn.
+//
+// One initiator peer runs a long stream of queries drawn from a fixed
+// pool with Zipf-distributed popularity (s = 0 is uniform; s = 1 is the
+// classic web-query skew). Every (skew, churn) sweep point runs the
+// IDENTICAL stream twice on fresh engines — once with the versioned
+// directory cache disabled and once enabled — and compares:
+//  * routing bytes (the directory-fetch traffic the cache exists to
+//    eliminate; cache hits are charged zero network cost),
+//  * per-query results, which must be BIT-IDENTICAL: the cache serves
+//    the same decoded posts a fresh fetch would, and version stamps
+//    invalidate entries the moment a republish changes them.
+// Churn points republish evolving collections mid-stream
+// (Peer::AddDocuments with incremental refresh), so the publish-version
+// counters must invalidate exactly the touched terms — recall is
+// measured against the evolved corpus either way.
+//
+// Acceptance (checked at exit, non-zero status on violation, so CI can
+// gate on it): at s = 1.0 with zero churn the cached run must cut
+// routing bytes by >= 40%, and EVERY point must be result-identical.
+//
+// Usage: cache_effectiveness [--docs=2000] [--peers=10] [--pool=48]
+//          [--executions=96] [--k=10] [--max_peers=3] [--seed=42]
+//          [--churn-every=16] [--out=BENCH_cache.json]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minerva/api.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+struct BenchConfig {
+  size_t docs = 2000;
+  size_t peers = 10;
+  size_t pool = 48;        // distinct queries in the pool
+  size_t executions = 96;  // stream length drawn from the pool
+  size_t k = 10;
+  size_t max_peers = 3;
+  uint64_t seed = 42;
+  size_t churn_every = 16;  // queries between churn events (churn points)
+  std::string out = "BENCH_cache.json";
+};
+
+struct Workload {
+  std::vector<Corpus> collections;
+  std::vector<Query> pool;
+  SyntheticCorpusOptions corpus_opts;  // for generating churn deltas
+};
+
+Workload BuildWorkload(const BenchConfig& config) {
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = config.docs;
+  corpus_opts.vocabulary_size = config.docs / 8;
+  corpus_opts.min_document_length = 30;
+  corpus_opts.max_document_length = 100;
+  corpus_opts.seed = config.seed;
+  auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", gen.status().ToString().c_str());
+    std::exit(1);
+  }
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, config.peers * 2);
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, config.peers);
+  if (!collections.ok()) {
+    std::fprintf(stderr, "collections: %s\n",
+                 collections.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  QueryWorkloadOptions q_opts;
+  q_opts.num_queries = config.pool;
+  q_opts.min_terms = 2;
+  q_opts.max_terms = 3;
+  q_opts.band_low = 0.005;
+  q_opts.band_high = 0.10;
+  q_opts.k = config.k;
+  q_opts.seed = config.seed + 1;
+  auto queries = GenerateQueries(gen.value().vocabulary(), q_opts);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "queries: %s\n",
+                 queries.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  Workload workload;
+  workload.collections = std::move(collections).value();
+  workload.pool = std::move(queries).value();
+  workload.corpus_opts = corpus_opts;
+  return workload;
+}
+
+/// Zipf-popularity stream over the pool: query i is drawn with
+/// probability proportional to 1/(i+1)^s. s = 0 degenerates to uniform.
+std::vector<size_t> DrawSchedule(size_t pool, size_t executions, double s,
+                                 uint64_t seed) {
+  std::vector<double> cdf(pool);
+  double norm = 0.0;
+  for (size_t i = 0; i < pool; ++i) {
+    norm += std::pow(1.0 / static_cast<double>(i + 1), s);
+    cdf[i] = norm;
+  }
+  std::vector<size_t> schedule;
+  schedule.reserve(executions);
+  Rng rng(seed);
+  for (size_t i = 0; i < executions; ++i) {
+    double u = rng.NextDouble() * norm;
+    schedule.push_back(static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+  }
+  return schedule;
+}
+
+/// Everything about a query result that must not change when the cache
+/// is switched on.
+struct ResultFingerprint {
+  double recall = 0.0;
+  std::vector<uint64_t> peers;
+  std::vector<ScoredDoc> merged;
+
+  bool operator==(const ResultFingerprint& other) const {
+    if (recall != other.recall || peers != other.peers ||
+        merged.size() != other.merged.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i].doc != other.merged[i].doc ||
+          merged[i].score != other.merged[i].score) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct ArmResult {
+  uint64_t routing_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  std::vector<ResultFingerprint> fingerprints;
+};
+
+/// Runs the schedule on a FRESH engine from a single initiator (peer 0:
+/// the repeated-query consumer whose cache is under test). `churn_every`
+/// > 0 injects a churn event before every churn_every-th query: one peer
+/// (round-robin) crawls new documents and incrementally republishes the
+/// touched terms, bumping their publish versions.
+ArmResult RunArm(const BenchConfig& config, const std::vector<size_t>& schedule,
+                 size_t churn_every, bool cache_enabled) {
+  Workload workload = BuildWorkload(config);
+  minerva::EngineOptions options;  // IQN routing by default
+  options.max_peers = config.max_peers;
+  options.core.cache.enabled = cache_enabled;
+  auto engine =
+      minerva::Engine::Create(options, std::move(workload.collections));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  minerva::Engine& e = *engine.value();
+  if (Status published = e.Publish(); !published.ok()) {
+    std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
+    std::exit(1);
+  }
+  MetricsRegistry::Default().Reset();
+
+  ArmResult arm;
+  DocId next_doc_id = 10 * static_cast<DocId>(config.docs);
+  size_t churn_events = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (churn_every > 0 && i > 0 && i % churn_every == 0) {
+      // Identical churn in both arms: the delta depends only on the
+      // event index, so cached and uncached engines evolve in lockstep.
+      size_t p = churn_events % e.num_peers();
+      SyntheticCorpusOptions delta_opts = workload.corpus_opts;
+      delta_opts.num_documents = config.docs / 20;
+      delta_opts.first_doc_id = next_doc_id;
+      delta_opts.vocabulary_seed = workload.corpus_opts.seed;
+      delta_opts.seed = config.seed + 1000 * (churn_events + 1);
+      next_doc_id += static_cast<DocId>(config.docs / 20);
+      ++churn_events;
+      auto delta_gen = SyntheticCorpusGenerator::Create(delta_opts);
+      if (!delta_gen.ok()) std::exit(1);
+      Status added = e.peer(p).AddDocuments(delta_gen.value().Generate(),
+                                            /*republish=*/true);
+      if (!added.ok()) {
+        std::fprintf(stderr, "churn: %s\n", added.ToString().c_str());
+        std::exit(1);
+      }
+      e.RebuildReferenceIndex();
+    }
+    QueryOutcome outcome;
+    if (Status run =
+            e.RunQuery(/*initiator=*/0, workload.pool[schedule[i]], &outcome);
+        !run.ok()) {
+      std::fprintf(stderr, "query %zu: %s\n", i, run.ToString().c_str());
+      std::exit(1);
+    }
+    arm.routing_bytes += outcome.routing_bytes;
+    ResultFingerprint fp;
+    fp.recall = outcome.recall;
+    for (const auto& peer : outcome.decision.peers) {
+      fp.peers.push_back(peer.peer_id);
+    }
+    fp.merged = outcome.execution.merged;
+    arm.fingerprints.push_back(std::move(fp));
+  }
+  arm.cache_hits = MetricsRegistry::Default().GetCounter("cache.hits")->Value();
+  arm.cache_misses =
+      MetricsRegistry::Default().GetCounter("cache.misses")->Value();
+  arm.cache_invalidations =
+      MetricsRegistry::Default().GetCounter("cache.invalidations")->Value();
+  return arm;
+}
+
+struct SweepPoint {
+  double zipf_s = 0.0;
+  size_t churn_every = 0;
+  uint64_t bytes_uncached = 0;
+  uint64_t bytes_cached = 0;
+  double reduction = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  bool identical = false;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("docs", 2000, "corpus size in documents");
+  flags.DefineInt("peers", 10, "number of peers (sliding-window split)");
+  flags.DefineInt("pool", 48, "distinct queries in the pool");
+  flags.DefineInt("executions", 96, "stream length drawn from the pool");
+  flags.DefineInt("k", 10, "top-k per query");
+  flags.DefineInt("max_peers", 3, "remote peers contacted per query");
+  flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineInt("churn-every", 16,
+                  "queries between republish events at churn sweep points");
+  flags.DefineString("out", "BENCH_cache.json", "output JSON path");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  BenchConfig config;
+  config.docs = static_cast<size_t>(flags.GetInt("docs"));
+  config.peers = static_cast<size_t>(flags.GetInt("peers"));
+  config.pool = static_cast<size_t>(flags.GetInt("pool"));
+  config.executions = static_cast<size_t>(flags.GetInt("executions"));
+  config.k = static_cast<size_t>(flags.GetInt("k"));
+  config.max_peers = static_cast<size_t>(flags.GetInt("max_peers"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.churn_every = static_cast<size_t>(flags.GetInt("churn-every"));
+  config.out = flags.GetString("out");
+
+  std::printf("cache_effectiveness: %zu executions over a %zu-query pool, "
+              "%zu peers, initiator 0\n",
+              config.executions, config.pool, config.peers);
+
+  std::vector<SweepPoint> points;
+  std::string metrics_json;  // of the last cached arm
+  for (double s : {0.0, 0.5, 1.0}) {
+    for (size_t churn_every : {size_t{0}, config.churn_every}) {
+      std::vector<size_t> schedule = DrawSchedule(
+          config.pool, config.executions, s, config.seed + 77);
+      ArmResult uncached = RunArm(config, schedule, churn_every, false);
+      ArmResult cached = RunArm(config, schedule, churn_every, true);
+      metrics_json = MetricsRegistry::Default().Snapshot().ToJson();
+
+      SweepPoint point;
+      point.zipf_s = s;
+      point.churn_every = churn_every;
+      point.bytes_uncached = uncached.routing_bytes;
+      point.bytes_cached = cached.routing_bytes;
+      point.reduction =
+          uncached.routing_bytes > 0
+              ? 1.0 - static_cast<double>(cached.routing_bytes) /
+                          static_cast<double>(uncached.routing_bytes)
+              : 0.0;
+      point.cache_hits = cached.cache_hits;
+      point.cache_misses = cached.cache_misses;
+      point.cache_invalidations = cached.cache_invalidations;
+      point.identical = uncached.fingerprints.size() ==
+                        cached.fingerprints.size();
+      for (size_t i = 0; point.identical && i < cached.fingerprints.size();
+           ++i) {
+        point.identical = cached.fingerprints[i] == uncached.fingerprints[i];
+      }
+      std::printf("  s=%.1f churn_every=%-3zu  routing bytes %8llu -> %8llu "
+                  "(-%5.1f%%)  hits=%llu misses=%llu invalidations=%llu  %s\n",
+                  s, churn_every,
+                  static_cast<unsigned long long>(point.bytes_uncached),
+                  static_cast<unsigned long long>(point.bytes_cached),
+                  100.0 * point.reduction,
+                  static_cast<unsigned long long>(point.cache_hits),
+                  static_cast<unsigned long long>(point.cache_misses),
+                  static_cast<unsigned long long>(point.cache_invalidations),
+                  point.identical ? "results identical" : "RESULTS DIFFER");
+      points.push_back(point);
+    }
+  }
+
+  FILE* out = std::fopen(config.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.out.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"cache_effectiveness\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"docs\": %zu, \"peers\": %zu, "
+               "\"pool\": %zu, \"executions\": %zu, \"k\": %zu, "
+               "\"max_peers\": %zu, \"seed\": %llu, \"churn_every\": %zu},\n",
+               config.docs, config.peers, config.pool, config.executions,
+               config.k, config.max_peers,
+               static_cast<unsigned long long>(config.seed),
+               config.churn_every);
+  std::fprintf(out,
+               "  \"metric_note\": \"each point runs the identical "
+               "Zipf-drawn query stream on fresh engines with the directory "
+               "cache off and on; reduction is routing-bytes saved; "
+               "identical asserts bit-equal per-query results; churn_every "
+               "0 means no churn\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"zipf_s\": %.2f, \"churn_every\": %zu, "
+        "\"bytes_uncached\": %llu, \"bytes_cached\": %llu, "
+        "\"reduction\": %.4f, \"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"cache_invalidations\": %llu, \"identical\": %s}%s\n",
+        p.zipf_s, p.churn_every,
+        static_cast<unsigned long long>(p.bytes_uncached),
+        static_cast<unsigned long long>(p.bytes_cached), p.reduction,
+        static_cast<unsigned long long>(p.cache_hits),
+        static_cast<unsigned long long>(p.cache_misses),
+        static_cast<unsigned long long>(p.cache_invalidations),
+        p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"metrics\": %s", metrics_json.c_str());
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out.c_str());
+
+  // Acceptance gates.
+  int violations = 0;
+  for (const SweepPoint& p : points) {
+    if (!p.identical) {
+      std::fprintf(stderr,
+                   "ACCEPTANCE VIOLATION: cached results differ from "
+                   "uncached at s=%.1f churn_every=%zu\n",
+                   p.zipf_s, p.churn_every);
+      ++violations;
+    }
+    if (p.zipf_s == 1.0 && p.churn_every == 0 && p.reduction < 0.40) {
+      std::fprintf(stderr,
+                   "ACCEPTANCE VIOLATION: s=1.0 zero-churn traffic "
+                   "reduction %.1f%% below the 40%% bound\n",
+                   100.0 * p.reduction);
+      ++violations;
+    }
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

@@ -24,8 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -36,8 +35,8 @@ namespace {
 
 struct Series {
   std::string label;
-  SynopsisConfig synopsis;          // system-wide synopsis agreement
-  std::unique_ptr<Router> router;
+  SynopsisConfig synopsis;        // system-wide synopsis agreement
+  minerva::RoutingSpec routing;
 };
 
 std::vector<Series> MakeSeries() {
@@ -54,13 +53,17 @@ std::vector<Series> MakeSeries() {
     c.bits = bits;
     return c;
   };
-  series.push_back({"CORI", mips(2048), std::make_unique<CoriRouter>()});
-  series.push_back(
-      {"SimpleOvl", mips(2048), std::make_unique<SimpleOverlapRouter>()});
-  series.push_back({"MIPs 32", mips(1024), std::make_unique<IqnRouter>()});
-  series.push_back({"BF 1024", bloom(1024), std::make_unique<IqnRouter>()});
-  series.push_back({"MIPs 64", mips(2048), std::make_unique<IqnRouter>()});
-  series.push_back({"BF 2048", bloom(2048), std::make_unique<IqnRouter>()});
+  minerva::RoutingSpec cori;
+  cori.kind = minerva::RouterKind::kCori;
+  minerva::RoutingSpec overlap;
+  overlap.kind = minerva::RouterKind::kSimpleOverlap;
+  minerva::RoutingSpec iqn;  // defaults to kIqn
+  series.push_back({"CORI", mips(2048), cori});
+  series.push_back({"SimpleOvl", mips(2048), overlap});
+  series.push_back({"MIPs 32", mips(1024), iqn});
+  series.push_back({"BF 1024", bloom(1024), iqn});
+  series.push_back({"MIPs 64", mips(2048), iqn});
+  series.push_back({"BF 2048", bloom(2048), iqn});
   return series;
 }
 
@@ -120,19 +123,20 @@ struct Point {
   double duplicates = 0.0;
 };
 
-Point Measure(MinervaEngine* engine, const std::vector<Query>& queries,
-              const Router& router, size_t max_peers) {
+Point Measure(minerva::Engine* engine, const std::vector<Query>& queries,
+              const minerva::RoutingSpec& routing, size_t max_peers) {
   Point point;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     size_t initiator = qi % engine->num_peers();
-    auto outcome = engine->RunQuery(initiator, queries[qi], router, max_peers);
-    if (!outcome.ok()) {
-      std::fprintf(stderr, "query failed: %s\n",
-                   outcome.status().ToString().c_str());
+    QueryOutcome outcome;
+    if (Status run = engine->RunQueryWith(routing, initiator, queries[qi],
+                                          max_peers, &outcome);
+        !run.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", run.ToString().c_str());
       continue;
     }
-    point.recall += outcome.value().recall_remote_only;
-    point.duplicates += outcome.value().duplicate_fraction;
+    point.recall += outcome.recall_remote_only;
+    point.duplicates += outcome.duplicate_fraction;
   }
   point.recall /= static_cast<double>(queries.size());
   point.duplicates /= static_cast<double>(queries.size());
@@ -159,23 +163,23 @@ void RunChart(const char* title, bool sliding, size_t docs, size_t vocab,
 
   // One engine per distinct synopsis configuration (posts differ);
   // series sharing a configuration share the engine.
-  std::map<std::string, std::unique_ptr<MinervaEngine>> engines;
-  auto engine_for = [&](const SynopsisConfig& config) -> MinervaEngine* {
+  std::map<std::string, std::unique_ptr<minerva::Engine>> engines;
+  auto engine_for = [&](const SynopsisConfig& config) -> minerva::Engine* {
     std::string key = std::string(SynopsisTypeName(config.type)) + "/" +
                       std::to_string(config.bits);
     auto it = engines.find(key);
     if (it != engines.end()) return it->second.get();
-    EngineOptions options;
-    options.synopsis = config;
+    minerva::EngineOptions options;
+    options.core.synopsis = config;
     auto engine =
-        MinervaEngine::Create(options, BuildWorkload(sliding, docs, vocab,
-                                                     num_queries, k, seed)
-                                            .collections);
+        minerva::Engine::Create(options, BuildWorkload(sliding, docs, vocab,
+                                                       num_queries, k, seed)
+                                             .collections);
     if (!engine.ok()) {
       std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
       std::exit(1);
     }
-    Status published = engine.value()->PublishAll();
+    Status published = engine.value()->Publish();
     if (!published.ok()) {
       std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
       std::exit(1);
@@ -186,10 +190,10 @@ void RunChart(const char* title, bool sliding, size_t docs, size_t vocab,
 
   std::vector<std::vector<Point>> table(series.size());
   for (size_t si = 0; si < series.size(); ++si) {
-    MinervaEngine* engine = engine_for(series[si].synopsis);
+    minerva::Engine* engine = engine_for(series[si].synopsis);
     for (size_t peers = 1; peers <= max_peers; ++peers) {
       table[si].push_back(
-          Measure(engine, workload.queries, *series[si].router, peers));
+          Measure(engine, workload.queries, series[si].routing, peers));
     }
   }
 

@@ -38,8 +38,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -51,7 +50,7 @@
 namespace iqn {
 namespace {
 
-using BatchQuery = MinervaEngine::BatchQuery;
+using BatchQuery = minerva::Engine::BatchQuery;
 
 struct BenchConfig {
   size_t docs = 3000;
@@ -231,15 +230,16 @@ int Main(int argc, char** argv) {
 
   std::vector<Query> queries;
   std::vector<Corpus> collections = BuildCollections(config, &queries);
-  EngineOptions options;
-  options.collect_traces = !config.trace_out.empty();
-  auto engine = MinervaEngine::Create(options, std::move(collections));
+  minerva::EngineOptions options;  // IQN routing by default
+  options.core.collect_traces = !config.trace_out.empty();
+  options.max_peers = config.max_peers;
+  auto engine = minerva::Engine::Create(options, std::move(collections));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  MinervaEngine& e = *engine.value();
-  if (Status published = e.PublishAll(); !published.ok()) {
+  minerva::Engine& e = *engine.value();
+  if (Status published = e.Publish(); !published.ok()) {
     std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
     return 1;
   }
@@ -249,7 +249,6 @@ int Main(int argc, char** argv) {
     batch[i].initiator_index = i % e.num_peers();
     batch[i].query = queries[i];
   }
-  IqnRouter router;
   // Snapshot only the query phase: setup (publishing) traffic is not
   // what this bench measures.
   MetricsRegistry::Default().Reset();
@@ -267,17 +266,20 @@ int Main(int argc, char** argv) {
     std::vector<QueryOutcome> outcomes;
     for (size_t rep = 0; rep < config.repeats; ++rep) {
       auto start = std::chrono::steady_clock::now();
-      auto run = e.RunQueryBatch(batch, router, config.max_peers, threads);
+      std::vector<QueryOutcome> run_outcomes;
+      Status run = e.RunQueryBatchWith(options.routing, batch,
+                                       config.max_peers, threads,
+                                       &run_outcomes);
       auto stop = std::chrono::steady_clock::now();
       if (!run.ok()) {
         std::fprintf(stderr, "batch(%zu threads): %s\n", threads,
-                     run.status().ToString().c_str());
+                     run.ToString().c_str());
         return 1;
       }
       double ms = std::chrono::duration<double, std::milli>(stop - start)
                       .count();
       if (rep == 0 || ms < best_ms) best_ms = ms;
-      outcomes = std::move(run).value();
+      outcomes = std::move(run_outcomes);
     }
     if (threads == 1) {
       baseline = outcomes;

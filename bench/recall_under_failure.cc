@@ -23,8 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -144,18 +143,19 @@ SweepPoint RunPoint(const BenchConfig& config, double drop_rate,
                     std::vector<std::shared_ptr<const QueryTrace>>* traces) {
   std::vector<Query> queries;
   std::vector<Corpus> collections = BuildCollections(config, &queries);
-  EngineOptions options;
-  options.retry.max_attempts = max_attempts;
-  options.retry.jitter_seed = config.fault_seed;
-  options.query_deadline_ms = config.deadline_ms;
-  options.collect_traces = traces != nullptr;
-  auto engine = MinervaEngine::Create(options, std::move(collections));
+  minerva::EngineOptions options;  // IQN routing by default
+  options.core.retry.max_attempts = max_attempts;
+  options.core.retry.jitter_seed = config.fault_seed;
+  options.core.query_deadline_ms = config.deadline_ms;
+  options.core.collect_traces = traces != nullptr;
+  options.max_peers = config.max_peers;
+  auto engine = minerva::Engine::Create(options, std::move(collections));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     std::exit(1);
   }
-  MinervaEngine& e = *engine.value();
-  if (Status published = e.PublishAll(); !published.ok()) {
+  minerva::Engine& e = *engine.value();
+  if (Status published = e.Publish(); !published.ok()) {
     std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
     std::exit(1);
   }
@@ -170,20 +170,17 @@ SweepPoint RunPoint(const BenchConfig& config, double drop_rate,
         FaultPlan::MessageDrop(config.fault_seed, drop_rate));
   }
 
-  IqnRouter router;
   SweepPoint point;
   point.drop_rate = drop_rate;
   point.max_attempts = max_attempts;
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto outcome =
-        e.RunQuery(i % e.num_peers(), queries[i], router, config.max_peers);
-    if (!outcome.ok()) {
+    QueryOutcome o;
+    if (Status run = e.RunQuery(i % e.num_peers(), queries[i], &o);
+        !run.ok()) {
       std::fprintf(stderr, "query %zu (drop=%.2f attempts=%d): %s\n", i,
-                   drop_rate, max_attempts,
-                   outcome.status().ToString().c_str());
+                   drop_rate, max_attempts, run.ToString().c_str());
       std::exit(1);
     }
-    const QueryOutcome& o = outcome.value();
     if (traces != nullptr) traces->push_back(o.trace);
     point.mean_recall += o.recall;
     point.faults_injected += o.degradation.faults_survived;

@@ -22,8 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/hash.h"
 
 int main() {
@@ -62,9 +61,10 @@ int main() {
     }
   }
 
-  auto engine = MinervaEngine::Create(EngineOptions{}, std::move(collections));
+  auto engine =
+      minerva::Engine::Create(minerva::EngineOptions{}, std::move(collections));
   if (!engine.ok()) return 1;
-  if (!engine.value()->PublishAll().ok()) return 1;
+  if (!engine.value()->Publish().ok()) return 1;
 
   // Conjunctive attribute query: all Theodorakis operas ("top-k" with a
   // large k = give me everything you have).
@@ -83,10 +83,10 @@ int main() {
   std::printf("the whole network holds %zu distinct matching songs\n\n",
               reference.size());
 
-  CoriRouter cori;
-  IqnOptions novelty_only;
-  novelty_only.use_quality = false;  // all matches equally good: DB-style
-  IqnRouter iqn(novelty_only);
+  minerva::RoutingSpec cori;
+  cori.kind = minerva::RouterKind::kCori;
+  minerva::RoutingSpec iqn;  // defaults to kIqn
+  iqn.iqn.use_quality = false;  // all matches equally good: DB-style
 
   auto archives_in = [](const RoutingDecision& decision) {
     size_t archives = 0;
@@ -97,24 +97,28 @@ int main() {
   };
 
   for (size_t budget : {2u, 4u, 6u}) {
-    auto cori_outcome = engine.value()->RunQuery(0, query, cori, budget);
-    auto iqn_outcome = engine.value()->RunQuery(0, query, iqn, budget);
-    if (!cori_outcome.ok() || !iqn_outcome.ok()) {
+    QueryOutcome cori_outcome;
+    QueryOutcome iqn_outcome;
+    if (!engine.value()
+             ->RunQueryWith(cori, 0, query, budget, &cori_outcome)
+             .ok() ||
+        !engine.value()
+             ->RunQueryWith(iqn, 0, query, budget, &iqn_outcome)
+             .ok()) {
       std::fprintf(stderr, "query failed\n");
       return 1;
     }
     std::printf(
         "budget %zu peers:  CORI -> %3zu distinct songs (%zu archives "
         "visited, %4.1f%% dupes)\n",
-        budget, cori_outcome.value().distinct_results,
-        archives_in(cori_outcome.value().decision),
-        cori_outcome.value().duplicate_fraction * 100.0);
+        budget, cori_outcome.distinct_results,
+        archives_in(cori_outcome.decision),
+        cori_outcome.duplicate_fraction * 100.0);
     std::printf(
         "                   IQN  -> %3zu distinct songs (%zu archives "
         "visited, %4.1f%% dupes)\n",
-        iqn_outcome.value().distinct_results,
-        archives_in(iqn_outcome.value().decision),
-        iqn_outcome.value().duplicate_fraction * 100.0);
+        iqn_outcome.distinct_results, archives_in(iqn_outcome.decision),
+        iqn_outcome.duplicate_fraction * 100.0);
   }
 
   std::printf(

@@ -13,8 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -60,9 +59,10 @@ int main() {
     }
   }
 
-  auto engine = MinervaEngine::Create(EngineOptions{}, std::move(collections));
+  auto engine =
+      minerva::Engine::Create(minerva::EngineOptions{}, std::move(collections));
   if (!engine.ok()) return 1;
-  if (!engine.value()->PublishAll().ok()) return 1;
+  if (!engine.value()->Publish().ok()) return 1;
 
   Query query;
   query.terms = {"severity:critical", "type:portscan"};
@@ -76,17 +76,24 @@ int main() {
       "network\n\n",
       kCoreMonitors, kEdgeMonitors, reference.size());
 
-  CoriRouter cori;
-  IqnOptions novelty_only;
-  novelty_only.use_quality = false;
-  IqnRouter iqn(novelty_only);
+  minerva::RoutingSpec cori;
+  cori.kind = minerva::RouterKind::kCori;
+  minerva::RoutingSpec iqn;  // defaults to kIqn
+  iqn.iqn.use_quality = false;
 
   std::printf("%-8s %28s %28s\n", "budget", "CORI (quality-driven)",
               "IQN (novelty-aware)");
   for (size_t budget : {2u, 4u, 8u}) {
-    auto cori_outcome = engine.value()->RunQuery(0, query, cori, budget);
-    auto iqn_outcome = engine.value()->RunQuery(0, query, iqn, budget);
-    if (!cori_outcome.ok() || !iqn_outcome.ok()) return 1;
+    QueryOutcome cori_outcome;
+    QueryOutcome iqn_outcome;
+    if (!engine.value()
+             ->RunQueryWith(cori, 0, query, budget, &cori_outcome)
+             .ok() ||
+        !engine.value()
+             ->RunQueryWith(iqn, 0, query, budget, &iqn_outcome)
+             .ok()) {
+      return 1;
+    }
     auto fmt = [&](const QueryOutcome& outcome) {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%3zu incidents (%4.1f%% cover)",
@@ -96,9 +103,8 @@ int main() {
                         : 100.0 * outcome.recall /* union incl. initiator */);
       return std::string(buf);
     };
-    std::printf("%-8zu %28s %28s\n", budget,
-                fmt(cori_outcome.value()).c_str(),
-                fmt(iqn_outcome.value()).c_str());
+    std::printf("%-8zu %28s %28s\n", budget, fmt(cori_outcome).c_str(),
+                fmt(iqn_outcome).c_str());
   }
   std::printf(
       "\nwith the same polling budget, the novelty-aware plan surfaces the\n"

@@ -6,6 +6,10 @@
 // quality-only CORI router and through IQN, showing selection-by-
 // selection why CORI wastes its peer budget on redundant collections and
 // IQN does not.
+//
+// All engine configuration comes from the standard flag set
+// (minerva::EngineOptions::RegisterFlags / FromFlags); this file only
+// adds --explain.
 
 #include <cstdio>
 #include <memory>
@@ -13,12 +17,8 @@
 #include <string>
 #include <vector>
 
-#include "minerva/engine.h"
-#include "minerva/explain.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "util/flags.h"
-#include "util/metrics.h"
-#include "util/trace.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -49,21 +49,25 @@ int main(int argc, char** argv) {
   using namespace iqn;
 
   Flags flags;
+  minerva::EngineOptions::RegisterFlags(&flags);
   flags.DefineBool("explain", false,
                    "print the per-iteration IQN routing explanation "
                    "(Select-Best-Peer ranking tables) for each query");
-  flags.DefineString("trace_out", "",
-                     "write a Chrome trace_event JSON of all queries to "
-                     "this path (load in chrome://tracing or Perfetto)");
-  flags.DefineString("metrics_out", "",
-                     "write a metrics-registry snapshot JSON to this path");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   const bool explain = flags.GetBool("explain");
-  const std::string trace_out = flags.GetString("trace_out");
-  const std::string metrics_out = flags.GetString("metrics_out");
+
+  auto options_r = minerva::EngineOptions::FromFlags(flags);
+  if (!options_r.ok()) {
+    std::fprintf(stderr, "%s\n", options_r.status().ToString().c_str());
+    return 1;
+  }
+  minerva::EngineOptions options = std::move(options_r).value();
+  // Explanations are reconstructed from the query trace, so either sink
+  // flag or --explain turns tracing on.
+  options.core.collect_traces |= explain || !options.metrics_out.empty();
 
   // Corpus and the paper's (6 choose 3) overlapping partitioning.
   SyntheticCorpusOptions corpus_options;
@@ -81,17 +85,12 @@ int main(int argc, char** argv) {
       "P2P WEB SEARCH: 20 peers, each holding 3 of 6 crawl fragments\n"
       "(every document lives at exactly 10 peers -> heavy overlap)\n\n");
 
-  EngineOptions engine_options;
-  // Explanations are reconstructed from the query trace, so either flag
-  // (or --explain) turns tracing on.
-  engine_options.collect_traces =
-      explain || !trace_out.empty() || !metrics_out.empty();
-  auto engine = MinervaEngine::Create(engine_options,
-                                      std::move(collections).value());
+  auto engine =
+      minerva::Engine::Create(options, std::move(collections).value());
   if (!engine.ok()) return 1;
-  if (!engine.value()->PublishAll().ok()) return 1;
+  if (!engine.value()->Publish().ok()) return 1;
   // Snapshot only the query phase, not the publish traffic above.
-  MetricsRegistry::Default().Reset();
+  engine.value()->ResetMetrics();
 
   QueryWorkloadOptions query_options;
   query_options.num_queries = 3;
@@ -103,28 +102,33 @@ int main(int argc, char** argv) {
       GenerateQueries(generator.value().vocabulary(), query_options);
   if (!queries.ok()) return 1;
 
-  CoriRouter cori;
-  IqnRouter iqn;
+  minerva::RoutingSpec cori;
+  cori.kind = minerva::RouterKind::kCori;
+  minerva::RoutingSpec iqn_spec;  // defaults to kIqn
   constexpr size_t kPeerBudget = 3;
-  std::vector<std::shared_ptr<const QueryTrace>> traces;
 
   for (const Query& query : queries.value()) {
     std::printf("query %s, budget %zu peers\n", query.ToString().c_str(),
                 kPeerBudget);
-    auto cori_outcome = engine.value()->RunQuery(0, query, cori, kPeerBudget);
-    auto iqn_outcome = engine.value()->RunQuery(0, query, iqn, kPeerBudget);
-    if (!cori_outcome.ok() || !iqn_outcome.ok()) return 1;
-    Report("CORI", cori_outcome.value());
-    Report("IQN ", iqn_outcome.value());
-    traces.push_back(cori_outcome.value().trace);
-    traces.push_back(iqn_outcome.value().trace);
+    QueryOutcome cori_outcome;
+    QueryOutcome iqn_outcome;
+    if (!engine.value()
+             ->RunQueryWith(cori, 0, query, kPeerBudget, &cori_outcome)
+             .ok() ||
+        !engine.value()
+             ->RunQueryWith(iqn_spec, 0, query, kPeerBudget, &iqn_outcome)
+             .ok()) {
+      return 1;
+    }
+    Report("CORI", cori_outcome);
+    Report("IQN ", iqn_outcome);
     if (explain) {
-      auto text = ExplainQuery(iqn_outcome.value());
-      if (!text.ok()) {
-        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      std::string text;
+      if (Status st = engine.value()->Explain(iqn_outcome, &text); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
         return 1;
       }
-      std::printf("%s", text.value().c_str());
+      std::printf("%s", text.c_str());
     }
 
     // How complementary were the selections? Count distinct fragments
@@ -138,8 +142,8 @@ int main(int argc, char** argv) {
       return covered.size();
     };
     std::printf("      crawl fragments covered: CORI %zu/6, IQN %zu/6\n\n",
-                fragment_cover(cori_outcome.value().decision),
-                fragment_cover(iqn_outcome.value().decision));
+                fragment_cover(cori_outcome.decision),
+                fragment_cover(iqn_outcome.decision));
   }
 
   std::printf(
@@ -147,25 +151,15 @@ int main(int argc, char** argv) {
       "peers because each Select-Best-Peer step discounts documents the\n"
       "previously chosen peers already contribute (Aggregate-Synopses).\n");
 
-  if (!trace_out.empty()) {
-    std::vector<const QueryTrace*> views;
-    for (const auto& t : traces) {
-      if (t != nullptr) views.push_back(t.get());
-    }
-    if (Status st = WriteChromeTraceFile(trace_out, views); !st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s (%zu query traces)\n", trace_out.c_str(),
-                views.size());
+  if (Status st = engine.value()->WriteSinks(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
   }
-  if (!metrics_out.empty()) {
-    std::string json = MetricsRegistry::Default().Snapshot().ToJson();
-    if (Status st = WriteTextFile(metrics_out, json); !st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", metrics_out.c_str());
+  if (!options.trace_out.empty()) {
+    std::printf("wrote %s\n", options.trace_out.c_str());
+  }
+  if (!options.metrics_out.empty()) {
+    std::printf("wrote %s\n", options.metrics_out.c_str());
   }
   return 0;
 }

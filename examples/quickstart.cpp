@@ -3,11 +3,11 @@
 // Builds a 6-peer MINERVA network over a synthetic corpus with
 // overlapping collections, publishes synopses to the Chord-based
 // directory, routes one query with IQN, and prints what happened.
+// Everything goes through the minerva::Engine facade (minerva/api.h).
 
 #include <cstdio>
 
-#include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/api.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -34,10 +34,12 @@ int main() {
   if (!collections.ok()) return 1;
 
   // 3. Assemble the engine: simulated network, Chord ring, directory,
-  //    one peer per collection. The default synopsis agreement is 64
-  //    min-wise permutations (2048 bits) per term.
-  auto engine = MinervaEngine::Create(EngineOptions{},
-                                      std::move(collections).value());
+  //    one peer per collection. Defaults: IQN routing, 64 min-wise
+  //    permutations (2048 bits) per term.
+  minerva::EngineOptions options;
+  options.max_peers = 3;
+  auto engine = minerva::Engine::Create(options,
+                                        std::move(collections).value());
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
@@ -45,7 +47,7 @@ int main() {
 
   // 4. Every peer posts <term statistics + synopsis> for each of its
   //    terms to the distributed directory.
-  if (Status st = engine.value()->PublishAll(); !st.ok()) {
+  if (Status st = engine.value()->Publish(); !st.ok()) {
     std::fprintf(stderr, "publish: %s\n", st.ToString().c_str());
     return 1;
   }
@@ -64,17 +66,16 @@ int main() {
   if (!queries.ok()) return 1;
   const Query& query = queries.value()[0];
 
-  IqnRouter router;
-  auto outcome = engine.value()->RunQuery(/*initiator_index=*/0, query,
-                                          router, /*max_peers=*/3);
-  if (!outcome.ok()) {
-    std::fprintf(stderr, "query: %s\n", outcome.status().ToString().c_str());
+  QueryOutcome outcome;
+  if (Status st = engine.value()->RunQuery(/*initiator=*/0, query, &outcome);
+      !st.ok()) {
+    std::fprintf(stderr, "query: %s\n", st.ToString().c_str());
     return 1;
   }
 
   std::printf("\nquery %s routed by %s\n", query.ToString().c_str(),
-              router.name().c_str());
-  for (const SelectedPeer& peer : outcome.value().decision.peers) {
+              minerva::RouterKindName(options.routing.kind));
+  for (const SelectedPeer& peer : outcome.decision.peers) {
     std::printf("  -> peer %llu  (CORI quality %.3f, estimated novelty "
                 "%.0f docs)\n",
                 static_cast<unsigned long long>(peer.peer_id), peer.quality,
@@ -82,7 +83,7 @@ int main() {
   }
   std::printf("\ntop results (docId, score):\n");
   size_t shown = 0;
-  for (const ScoredDoc& doc : outcome.value().execution.merged) {
+  for (const ScoredDoc& doc : outcome.execution.merged) {
     std::printf("  #%zu  doc %llu  %.3f\n", ++shown,
                 static_cast<unsigned long long>(doc.doc), doc.score);
     if (shown == 5) break;
@@ -91,8 +92,8 @@ int main() {
       "\nrecall vs a centralized engine over ALL collections: %.0f%%\n"
       "(routing cost: %llu directory messages, query execution: %llu "
       "messages)\n",
-      outcome.value().recall * 100.0,
-      static_cast<unsigned long long>(outcome.value().routing_messages),
-      static_cast<unsigned long long>(outcome.value().execution_messages));
+      outcome.recall * 100.0,
+      static_cast<unsigned long long>(outcome.routing_messages),
+      static_cast<unsigned long long>(outcome.execution_messages));
   return 0;
 }

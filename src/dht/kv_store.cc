@@ -123,6 +123,7 @@ Result<Bytes> DhtStore::HandleUpsert(const Message& msg) {
   }
 
   data_[key][subkey] = value;
+  BumpVersion(key);
   if (replicas_left > 1) {
     ForwardToSuccessor("kv.upsert",
                        EncodeUpsert(key, subkey, value, replicas_left - 1));
@@ -146,6 +147,7 @@ Result<Bytes> DhtStore::HandleUpsertBatch(const Message& msg) {
     IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
     IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
     data_[key][subkey] = std::move(value);
+    BumpVersion(key);
   }
   if (replicas_left > 1) {
     // Re-encode with a decremented replica count for the chain.
@@ -234,9 +236,10 @@ Result<Bytes> DhtStore::HandleRemove(const Message& msg) {
   if (it != data_.end()) {
     if (subkey.empty()) {
       data_.erase(it);
-    } else {
-      it->second.erase(subkey);
+      BumpVersion(key);
+    } else if (it->second.erase(subkey) > 0) {
       if (it->second.empty()) data_.erase(it);
+      BumpVersion(key);
     }
   }
   if (replicas_left > 1) {
@@ -262,6 +265,7 @@ Result<Bytes> DhtStore::HandleHandoff(const Message& msg) {
       IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
       IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
       data_[key][subkey] = std::move(value);
+      BumpVersion(key);
     }
   }
   return Bytes{};

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dht/chord.h"
+#include "dht/kv_version.h"
 #include "util/status.h"
 
 namespace iqn {
@@ -108,6 +109,12 @@ class DhtStore {
   ChordNode* node() const { return node_; }
   size_t replication() const { return replication_; }
 
+  /// Attaches a publish-version map (dht/kv_version.h): every local
+  /// mutation this store applies bumps the touched key's counter, so a
+  /// caching layer can invalidate precisely on publish/churn. Optional;
+  /// nullptr detaches. The map must outlive the store.
+  void set_version_map(KvVersionMap* versions) { versions_ = versions; }
+
  private:
   DhtStore(ChordNode* node, size_t replication)
       : node_(node), replication_(replication) {}
@@ -140,9 +147,15 @@ class DhtStore {
   /// Transfers all local data to the successor on graceful leave.
   void HandoffAll(const ChordPeer& successor);
 
+  /// Bumps `key` in the attached version map (no-op when detached).
+  void BumpVersion(const std::string& key) {
+    if (versions_ != nullptr) versions_->Bump(key);
+  }
+
   ChordNode* node_;
   size_t replication_;
   ValueScorer value_scorer_;
+  KvVersionMap* versions_ = nullptr;
   std::map<std::string, std::map<std::string, Bytes>> data_;
 };
 

@@ -1,0 +1,55 @@
+// Publish-version counters for the replicated KV store.
+//
+// Every mutation a DhtStore applies to a key (upsert, batched upsert,
+// remove, churn handoff) bumps the key's counter in the attached
+// KvVersionMap. A caching layer that stamped its copy with the version
+// at fill time can later tell, without any network traffic, whether the
+// key has changed since: versions only move when stored bytes do, so
+// "same version" means "bit-identical PeerList" — precise invalidation
+// with no TTL guessing (ISSUE 5; the paper's lazy-refresh directory in
+// Sec. 4 makes directory data change only on re-posting).
+//
+// The map is deliberately NOT thread-safe and holds no atomics: all
+// mutations happen in the serial publish/churn phases of the simulator
+// (publishing while per-query StatsCaptures run is already a checked
+// precondition violation in SimulatedNetwork), and concurrent query
+// threads only read. Replication means one logical publish bumps a key
+// once per replica that applies it; cache correctness needs monotonicity,
+// not exact counts. Crucially, a bump happens at APPLY time on the
+// storage node — a replica forward dropped by fault injection does not
+// bump, and the replica's previously stored (still current from its own
+// point of view) value remains correctly cacheable.
+
+#ifndef IQN_DHT_KV_VERSION_H_
+#define IQN_DHT_KV_VERSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iqn {
+
+class KvVersionMap {
+ public:
+  KvVersionMap() = default;
+  KvVersionMap(const KvVersionMap&) = delete;
+  KvVersionMap& operator=(const KvVersionMap&) = delete;
+
+  /// Records a mutation of `key`. Serial phases only (see file comment).
+  void Bump(const std::string& key) { ++versions_[key]; }
+
+  /// Current version of `key`; 0 means "never written".
+  uint64_t Get(const std::string& key) const {
+    auto it = versions_.find(key);
+    return it == versions_.end() ? 0 : it->second;
+  }
+
+  size_t size() const { return versions_.size(); }
+
+ private:
+  std::map<std::string, uint64_t> versions_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_DHT_KV_VERSION_H_

@@ -1,0 +1,272 @@
+// The facade wraps the legacy MinervaEngine surface.
+#define IQN_ALLOW_LEGACY_ENGINE_API
+
+#include "minerva/api.h"
+
+#include <utility>
+
+#include "minerva/explain.h"
+#include "minerva/internal/iqn_router.h"
+#include "minerva/internal/router.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace minerva {
+
+namespace {
+
+using iqn::Result;
+using iqn::Status;
+
+std::unique_ptr<iqn::Router> MakeRouter(const RoutingSpec& spec) {
+  switch (spec.kind) {
+    case RouterKind::kIqn:
+      return std::make_unique<iqn::IqnRouter>(spec.iqn);
+    case RouterKind::kCori:
+      return std::make_unique<iqn::CoriRouter>(spec.iqn.cori);
+    case RouterKind::kRandom:
+      return std::make_unique<iqn::RandomRouter>(spec.random_seed);
+    case RouterKind::kSimpleOverlap:
+      return std::make_unique<iqn::SimpleOverlapRouter>(spec.iqn.cori);
+  }
+  return std::make_unique<iqn::IqnRouter>(spec.iqn);
+}
+
+Result<RouterKind> ParseRouterKind(const std::string& name) {
+  if (name == "iqn") return RouterKind::kIqn;
+  if (name == "cori") return RouterKind::kCori;
+  if (name == "random") return RouterKind::kRandom;
+  if (name == "overlap") return RouterKind::kSimpleOverlap;
+  return Status::InvalidArgument("unknown --router '" + name +
+                                 "' (iqn|cori|random|overlap)");
+}
+
+Result<iqn::SynopsisType> ParseSynopsisType(const std::string& name) {
+  if (name == "minwise") return iqn::SynopsisType::kMinWise;
+  if (name == "bloom") return iqn::SynopsisType::kBloomFilter;
+  if (name == "hashsketch") return iqn::SynopsisType::kHashSketch;
+  if (name == "loglog") return iqn::SynopsisType::kLogLog;
+  return Status::InvalidArgument("unknown --synopsis '" + name +
+                                 "' (minwise|bloom|hashsketch|loglog)");
+}
+
+Result<iqn::AggregationStrategy> ParseAggregation(const std::string& name) {
+  if (name == "per_peer") return iqn::AggregationStrategy::kPerPeer;
+  if (name == "per_term") return iqn::AggregationStrategy::kPerTerm;
+  return Status::InvalidArgument("unknown --aggregation '" + name +
+                                 "' (per_peer|per_term)");
+}
+
+Result<iqn::MergeStrategy> ParseMerge(const std::string& name) {
+  if (name == "raw") return iqn::MergeStrategy::kRawScores;
+  if (name == "cori") return iqn::MergeStrategy::kCoriNormalized;
+  return Status::InvalidArgument("unknown --merge '" + name + "' (raw|cori)");
+}
+
+}  // namespace
+
+const char* RouterKindName(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kIqn:
+      return "iqn";
+    case RouterKind::kCori:
+      return "cori";
+    case RouterKind::kRandom:
+      return "random";
+    case RouterKind::kSimpleOverlap:
+      return "overlap";
+  }
+  return "unknown";
+}
+
+void EngineOptions::RegisterFlags(iqn::Flags* flags) {
+  flags->DefineInt("threads", 1, "worker threads (<=1 serial)");
+  flags->DefineInt("max_peers", 5, "remote peers contacted per query");
+  flags->DefineString("router", "iqn",
+                      "routing method: iqn|cori|random|overlap");
+  flags->DefineString("aggregation", "per_peer",
+                      "IQN multi-term aggregation: per_peer|per_term");
+  flags->DefineBool("histograms", false,
+                    "IQN score-conscious novelty via histogram synopses");
+  flags->DefineBool("novelty_only", false,
+                    "rank by novelty alone (no CORI quality factor)");
+  flags->DefineBool("correlation_aware", false,
+                    "correlation-aware per-term aggregation");
+  flags->DefineInt("router_seed", 1, "seed of the random router");
+  flags->DefineString("synopsis", "minwise",
+                      "synopsis type: minwise|bloom|hashsketch|loglog");
+  flags->DefineInt("synopsis_bits", 2048, "per-term synopsis budget in bits");
+  flags->DefineInt("histogram_cells", 0,
+                   "score-histogram cells per post (0 = no histograms)");
+  flags->DefineInt("replication", 1,
+                   "copies of each directory entry (owner + replicas)");
+  flags->DefineBool("batch_posting", false,
+                    "batch directory posts by directory node");
+  flags->DefineInt("peerlist_limit", 0,
+                   "top-so-many posts fetched per term (0 = full PeerLists)");
+  flags->DefineInt("topk_candidates", 0,
+                   "distributed top-k candidate count (0 = off)");
+  flags->DefineString("merge", "raw", "result merging: raw|cori");
+  flags->DefineBool("seed_from_synopses", false,
+                    "seed the IQN reference from the initiator's synopses");
+  flags->DefineInt("retries", 1, "RPC attempts per call (1 = no retry)");
+  flags->DefineDouble("deadline-ms", 0.0,
+                      "per-query simulated deadline (0 = unlimited)");
+  flags->DefineInt("fault-seed", 0, "FaultPlan seed (fault schedule)");
+  flags->DefineDouble("fault-drop", 0.0,
+                      "request+response drop rate per message");
+  flags->DefineDouble("fault-corrupt", 0.0, "response corruption rate");
+  flags->DefineDouble("fault-timeout", 0.0, "simulated timeout rate");
+  flags->DefineBool("cache", false, "versioned directory PeerList cache");
+  flags->DefineInt("cache_max_terms", 0,
+                   "cached terms per initiator (0 = unbounded)");
+  flags->DefineDouble("cache_ttl_ms", 0.0,
+                      "simulated-time cache TTL (0 = version stamps only)");
+  flags->DefineString("trace_out", "",
+                      "write a Chrome trace_event JSON of all queries to "
+                      "this path (implies tracing)");
+  flags->DefineString("metrics_out", "",
+                      "write a metrics-registry snapshot JSON to this path");
+}
+
+iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
+  EngineOptions options;
+  options.threads = static_cast<size_t>(flags.GetInt("threads"));
+  options.max_peers = static_cast<size_t>(flags.GetInt("max_peers"));
+  IQN_ASSIGN_OR_RETURN(options.routing.kind,
+                       ParseRouterKind(flags.GetString("router")));
+  IQN_ASSIGN_OR_RETURN(options.routing.iqn.aggregation,
+                       ParseAggregation(flags.GetString("aggregation")));
+  options.routing.iqn.use_histograms = flags.GetBool("histograms");
+  options.routing.iqn.use_quality = !flags.GetBool("novelty_only");
+  options.routing.iqn.correlation_aware = flags.GetBool("correlation_aware");
+  options.routing.random_seed =
+      static_cast<uint64_t>(flags.GetInt("router_seed"));
+  IQN_ASSIGN_OR_RETURN(options.core.synopsis.type,
+                       ParseSynopsisType(flags.GetString("synopsis")));
+  options.core.synopsis.bits =
+      static_cast<size_t>(flags.GetInt("synopsis_bits"));
+  options.core.synopsis.histogram_cells =
+      static_cast<size_t>(flags.GetInt("histogram_cells"));
+  options.core.directory_replication =
+      static_cast<size_t>(flags.GetInt("replication"));
+  options.core.batch_posting = flags.GetBool("batch_posting");
+  options.core.peerlist_limit =
+      static_cast<size_t>(flags.GetInt("peerlist_limit"));
+  options.core.distributed_topk_candidates =
+      static_cast<size_t>(flags.GetInt("topk_candidates"));
+  IQN_ASSIGN_OR_RETURN(options.core.merge,
+                       ParseMerge(flags.GetString("merge")));
+  options.core.seed_reference_from_synopses =
+      flags.GetBool("seed_from_synopses");
+  options.core.retry.max_attempts = static_cast<int>(flags.GetInt("retries"));
+  options.core.query_deadline_ms = flags.GetDouble("deadline-ms");
+  options.fault_plan.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  double drop = flags.GetDouble("fault-drop");
+  options.fault_plan.drop_request.rate = drop;
+  options.fault_plan.drop_response.rate = drop;
+  options.fault_plan.corrupt_response.rate = flags.GetDouble("fault-corrupt");
+  options.fault_plan.timeout.rate = flags.GetDouble("fault-timeout");
+  options.core.cache.enabled = flags.GetBool("cache");
+  options.core.cache.max_terms =
+      static_cast<size_t>(flags.GetInt("cache_max_terms"));
+  options.core.cache.ttl_ms = flags.GetDouble("cache_ttl_ms");
+  options.trace_out = flags.GetString("trace_out");
+  options.metrics_out = flags.GetString("metrics_out");
+  if (!options.trace_out.empty()) options.core.collect_traces = true;
+  return options;
+}
+
+iqn::Result<std::unique_ptr<Engine>> Engine::Create(
+    EngineOptions options, std::vector<iqn::Corpus> collections) {
+  if (!options.trace_out.empty()) options.core.collect_traces = true;
+  auto engine = std::unique_ptr<Engine>(new Engine(std::move(options)));
+  IQN_ASSIGN_OR_RETURN(
+      engine->core_,
+      iqn::MinervaEngine::Create(engine->options_.core,
+                                 std::move(collections)));
+  if (engine->options_.fault_plan.active()) {
+    engine->core_->network().InstallFaultPlan(engine->options_.fault_plan);
+  }
+  IQN_RETURN_IF_ERROR(engine->core_->SetNumThreads(engine->options_.threads));
+  engine->router_ = MakeRouter(engine->options_.routing);
+  return engine;
+}
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+Engine::~Engine() = default;
+
+iqn::Status Engine::Publish() { return core_->PublishAll(); }
+
+iqn::Status Engine::RunQuery(size_t initiator, const iqn::Query& query,
+                             iqn::QueryOutcome* outcome) {
+  return RunQueryWith(options_.routing, initiator, query, options_.max_peers,
+                      outcome);
+}
+
+iqn::Status Engine::RunQueryWith(const RoutingSpec& spec, size_t initiator,
+                                 const iqn::Query& query, size_t max_peers,
+                                 iqn::QueryOutcome* outcome) {
+  // The configured router is prebuilt; per-call overrides get a fresh
+  // one (routers are small immutable objects).
+  std::unique_ptr<iqn::Router> override_router;
+  const iqn::Router* router = router_.get();
+  if (&spec != &options_.routing) {
+    override_router = MakeRouter(spec);
+    router = override_router.get();
+  }
+  IQN_ASSIGN_OR_RETURN(*outcome,
+                       core_->RunQuery(initiator, query, *router, max_peers));
+  if (outcome->trace != nullptr) traces_.push_back(outcome->trace);
+  return Status::OK();
+}
+
+iqn::Status Engine::RunQueryBatch(const std::vector<BatchQuery>& batch,
+                                  std::vector<iqn::QueryOutcome>* outcomes) {
+  return RunQueryBatchWith(options_.routing, batch, options_.max_peers,
+                           options_.threads, outcomes);
+}
+
+iqn::Status Engine::RunQueryBatchWith(const RoutingSpec& spec,
+                                      const std::vector<BatchQuery>& batch,
+                                      size_t max_peers, size_t num_threads,
+                                      std::vector<iqn::QueryOutcome>* outcomes) {
+  std::unique_ptr<iqn::Router> override_router;
+  const iqn::Router* router = router_.get();
+  if (&spec != &options_.routing) {
+    override_router = MakeRouter(spec);
+    router = override_router.get();
+  }
+  IQN_ASSIGN_OR_RETURN(
+      *outcomes, core_->RunQueryBatch(batch, *router, max_peers, num_threads));
+  for (const iqn::QueryOutcome& outcome : *outcomes) {
+    if (outcome.trace != nullptr) traces_.push_back(outcome.trace);
+  }
+  return Status::OK();
+}
+
+iqn::Status Engine::Explain(const iqn::QueryOutcome& outcome,
+                            std::string* text) const {
+  IQN_ASSIGN_OR_RETURN(*text, iqn::ExplainQuery(outcome));
+  return Status::OK();
+}
+
+iqn::Status Engine::WriteSinks() const {
+  if (!options_.trace_out.empty()) {
+    std::vector<const iqn::QueryTrace*> views;
+    views.reserve(traces_.size());
+    for (const auto& trace : traces_) views.push_back(trace.get());
+    IQN_RETURN_IF_ERROR(iqn::WriteChromeTraceFile(options_.trace_out, views));
+  }
+  if (!options_.metrics_out.empty()) {
+    IQN_RETURN_IF_ERROR(iqn::WriteTextFile(
+        options_.metrics_out,
+        iqn::MetricsRegistry::Default().Snapshot().ToJson()));
+  }
+  return Status::OK();
+}
+
+void Engine::ResetMetrics() { iqn::MetricsRegistry::Default().Reset(); }
+
+}  // namespace minerva

@@ -1,0 +1,170 @@
+// minerva::Engine — the public facade of the IQN reproduction.
+//
+// One options struct, one engine, Status-returning entry points:
+//
+//   minerva::EngineOptions options;
+//   options.routing.kind = minerva::RouterKind::kIqn;
+//   options.max_peers = 3;
+//   auto engine = minerva::Engine::Create(options, std::move(collections));
+//   engine.value()->Publish();
+//   iqn::QueryOutcome outcome;
+//   engine.value()->RunQuery(0, query, &outcome);
+//
+// Everything examples, benches, and tools need lives here (or in the
+// public data-model headers this pulls in: minerva/routing.h,
+// minerva/execution.h, minerva/engine.h). The router implementations and
+// the query processor are internal (minerva/internal/); select routers
+// declaratively via RoutingSpec instead of constructing them.
+//
+// For flag-driven binaries, EngineOptions::RegisterFlags declares the
+// standard engine flag set on a Flags instance and FromFlags builds the
+// options from the parsed values — no per-binary plumbing.
+
+#ifndef IQN_MINERVA_API_H_
+#define IQN_MINERVA_API_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minerva/engine.h"
+#include "net/fault.h"
+#include "util/flags.h"
+
+namespace minerva {
+
+/// Which routing method drives peer selection.
+enum class RouterKind {
+  kIqn,            // the paper's contribution (quality x novelty, iterative)
+  kCori,           // quality-only CORI baseline
+  kRandom,         // random-selection sanity floor
+  kSimpleOverlap,  // the authors' prior one-shot overlap method
+};
+
+const char* RouterKindName(RouterKind kind);
+
+/// Declarative router selection (replaces constructing Router objects).
+struct RoutingSpec {
+  RouterKind kind = RouterKind::kIqn;
+  /// IQN knobs; its `cori` params also configure kCori / kSimpleOverlap.
+  iqn::IqnOptions iqn;
+  /// Seed of the kRandom router.
+  uint64_t random_seed = 1;
+};
+
+/// Everything configurable about an Engine, in one struct.
+struct EngineOptions {
+  /// System assembly: synopses, scoring, directory replication and
+  /// truncation, merge strategy, retry/deadline policy, tracing, and
+  /// the directory cache (core.cache).
+  iqn::EngineOptions core;
+  /// How queries are routed.
+  RoutingSpec routing;
+  /// Remote peers contacted per query.
+  size_t max_peers = 5;
+  /// Worker threads for query batches and candidate-parallel scoring
+  /// (<= 1 is fully serial).
+  size_t threads = 1;
+  /// Installed into the simulated network at Create when active().
+  iqn::FaultPlan fault_plan;
+  /// Sink paths for WriteSinks(); a nonempty trace_out implies
+  /// core.collect_traces.
+  std::string trace_out;
+  std::string metrics_out;
+
+  /// Declares the standard engine flag set (router, synopsis, cache,
+  /// retry/deadline, faults, sinks, threads, max_peers) on `flags`.
+  static void RegisterFlags(iqn::Flags* flags);
+  /// Builds options from parsed flag values (flags must have been set up
+  /// by RegisterFlags). InvalidArgument on unknown enum spellings.
+  static iqn::Result<EngineOptions> FromFlags(const iqn::Flags& flags);
+};
+
+class Engine {
+ public:
+  using BatchQuery = iqn::MinervaEngine::BatchQuery;
+
+  /// Builds a network of `collections.size()` peers, installs the fault
+  /// plan (when active), and sizes the worker pool. Call Publish()
+  /// before running queries.
+  static iqn::Result<std::unique_ptr<Engine>> Create(
+      EngineOptions options, std::vector<iqn::Corpus> collections);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Every peer posts synopses + statistics for every term it holds.
+  iqn::Status Publish();
+
+  /// Full pipeline for one query under the configured routing and peer
+  /// budget. The outcome's trace (when tracing) is retained for
+  /// WriteSinks.
+  iqn::Status RunQuery(size_t initiator, const iqn::Query& query,
+                       iqn::QueryOutcome* outcome);
+
+  /// Same, overriding routing method and peer budget per call (for
+  /// method-comparison sweeps).
+  iqn::Status RunQueryWith(const RoutingSpec& spec, size_t initiator,
+                           const iqn::Query& query, size_t max_peers,
+                           iqn::QueryOutcome* outcome);
+
+  /// Concurrent batch under the configured routing, peer budget, and
+  /// thread count; outcomes are bit-identical to serial execution.
+  iqn::Status RunQueryBatch(const std::vector<BatchQuery>& batch,
+                            std::vector<iqn::QueryOutcome>* outcomes);
+
+  /// Same, overriding routing, budget, and threads per call.
+  iqn::Status RunQueryBatchWith(const RoutingSpec& spec,
+                                const std::vector<BatchQuery>& batch,
+                                size_t max_peers, size_t num_threads,
+                                std::vector<iqn::QueryOutcome>* outcomes);
+
+  /// Renders the per-iteration routing explanation of an outcome
+  /// (requires core.collect_traces).
+  iqn::Status Explain(const iqn::QueryOutcome& outcome,
+                      std::string* text) const;
+
+  /// Writes the configured sinks: trace_out gets a Chrome trace_event
+  /// JSON of every traced query so far, metrics_out a metrics-registry
+  /// snapshot. Empty paths are skipped.
+  iqn::Status WriteSinks() const;
+
+  /// Zeroes the process-wide metrics registry (e.g. after Publish, to
+  /// snapshot only the query phase).
+  void ResetMetrics();
+
+  // System access (all public types).
+  size_t num_peers() const { return core_->num_peers(); }
+  iqn::Peer& peer(size_t i) { return core_->peer(i); }
+  iqn::SimulatedNetwork& network() { return core_->network(); }
+  const EngineOptions& options() const { return options_; }
+  uint64_t TotalBytesSent() const { return core_->TotalBytesSent(); }
+  std::vector<iqn::ScoredDoc> ReferenceResults(const iqn::Query& query) const {
+    return core_->ReferenceResults(query);
+  }
+  void RebuildReferenceIndex() { core_->RebuildReferenceIndex(); }
+  void AdvanceCacheTime(double delta_ms) { core_->AdvanceCacheTime(delta_ms); }
+  iqn::DirectoryCache* directory_cache(size_t i) {
+    return core_->directory_cache(i);
+  }
+
+  /// The wrapped engine, for call sites the facade does not cover
+  /// (tests, advanced benches). Prefer the facade methods.
+  iqn::MinervaEngine& core() { return *core_; }
+
+  ~Engine();
+
+ private:
+  explicit Engine(EngineOptions options);
+
+  EngineOptions options_;
+  std::unique_ptr<iqn::MinervaEngine> core_;
+  /// The router options_.routing selects, built once at Create.
+  std::unique_ptr<iqn::Router> router_;
+  /// Traces of every traced query, in completion order (WriteSinks).
+  std::vector<std::shared_ptr<const iqn::QueryTrace>> traces_;
+};
+
+}  // namespace minerva
+
+#endif  // IQN_MINERVA_API_H_

@@ -1,0 +1,116 @@
+#include "minerva/directory_cache.h"
+
+#include <utility>
+
+#include "minerva/directory.h"
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace iqn {
+
+DirectoryCache::DirectoryCache(const CacheConfig& config,
+                               const KvVersionMap* versions)
+    : config_(config), versions_(versions) {
+  IQN_CHECK(versions_ != nullptr);
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  m_hits_ = registry.GetCounter("cache.hits");
+  m_misses_ = registry.GetCounter("cache.misses");
+  m_invalidations_ = registry.GetCounter("cache.invalidations");
+  m_evictions_ = registry.GetCounter("cache.evictions");
+  m_hit_ratio_ = registry.GetGauge("cache.hit_ratio");
+}
+
+const std::vector<Post>* DirectoryCache::Session::Lookup(
+    const std::string& term, size_t limit) {
+  const DirectoryCache& cache = *cache_;
+  if (!cache.config_.enabled) return nullptr;
+  auto it = cache.entries_.find(term);
+  bool hit = false;
+  if (it != cache.entries_.end()) {
+    const Entry& entry = it->second;
+    bool version_ok =
+        entry.version == cache.versions_->Get(Directory::KeyForTerm(term));
+    bool ttl_ok = cache.config_.ttl_ms <= 0.0 ||
+                  cache.now_ms_ - entry.filled_at_ms <= cache.config_.ttl_ms;
+    hit = entry.limit == limit && version_ok && ttl_ok;
+  }
+  if (hit) {
+    ++hits_;
+    cache.m_hits_->Increment();
+    return &it->second.posts;
+  }
+  ++misses_;
+  cache.m_misses_->Increment();
+  return nullptr;
+}
+
+const std::vector<Post>* DirectoryCache::Session::Fill(
+    const std::string& term, size_t limit, const std::vector<Post>& posts) {
+  if (!cache_->config_.enabled) return nullptr;
+  PendingFill fill;
+  fill.version = cache_->versions_->Get(Directory::KeyForTerm(term));
+  fill.limit = limit;
+  fill.posts = posts;
+  // Materialize the decode memos now, on the query's own thread: every
+  // later hit hands out copies that SHARE the memo and never write it,
+  // so concurrent batch workers read cached posts without synchronizing.
+  for (Post& post : fill.posts) {
+    (void)post.SharedSynopsis();
+    if (!post.histogram.empty()) (void)post.SharedHistogram();
+  }
+  PendingFill& stored = pending_[term];
+  stored = std::move(fill);
+  return &stored.posts;
+}
+
+void DirectoryCache::Commit(Session* session) {
+  IQN_CHECK(session != nullptr && session->cache_ == this);
+  for (auto& [term, fill] : session->pending_) {
+    auto it = entries_.find(term);
+    if (it != entries_.end()) {
+      const Entry& old = it->second;
+      bool version_stale =
+          old.version != versions_->Get(Directory::KeyForTerm(term));
+      bool ttl_stale = config_.ttl_ms > 0.0 &&
+                       now_ms_ - old.filled_at_ms > config_.ttl_ms;
+      if (version_stale || ttl_stale) m_invalidations_->Increment();
+    }
+    Entry entry;
+    entry.version = fill.version;
+    entry.filled_at_ms = now_ms_;
+    entry.fill_seq = next_fill_seq_++;
+    entry.limit = fill.limit;
+    entry.posts = std::move(fill.posts);
+    entries_[term] = std::move(entry);
+  }
+  session->pending_.clear();
+
+  // Deterministic capacity eviction: drop the oldest fills first
+  // (fill_seq is a strict total order).
+  if (config_.max_terms > 0) {
+    while (entries_.size() > config_.max_terms) {
+      auto victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.fill_seq < victim->second.fill_seq) victim = it;
+      }
+      entries_.erase(victim);
+      m_evictions_->Increment();
+    }
+  }
+
+  uint64_t hits = m_hits_->Value();
+  uint64_t misses = m_misses_->Value();
+  if (hits + misses > 0) {
+    m_hit_ratio_->Set(static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+  }
+}
+
+void DirectoryCache::AdvanceTime(double delta_ms) {
+  IQN_CHECK_GE(delta_ms, 0.0);
+  now_ms_ += delta_ms;
+}
+
+void DirectoryCache::Clear() { entries_.clear(); }
+
+}  // namespace iqn

@@ -1,0 +1,149 @@
+// Versioned per-initiator cache of directory PeerLists (ISSUE 5).
+//
+// Directory contents change only when a peer publishes, re-posts, or
+// churns (the paper's lazy-refresh directory, Sec. 4) — so instead of
+// TTL guessing, every cached PeerList carries the publish-version stamp
+// (dht/kv_version.h) of its term's DHT key at fill time. A lookup
+// serves the copy only while the stamp still matches the live counter;
+// any applied write to the key makes the copy invisible immediately.
+// Cached Posts also carry pre-materialized decoded synopses
+// (Post::SharedSynopsis memos), so a hit skips wire-decode entirely.
+// A simulated-time TTL mode (CacheConfig::ttl_ms) exists on top for
+// staleness experiments; the logical clock advances only through
+// AdvanceTime between query rounds, never during a query.
+//
+// Determinism contract (the cache runs inside the batch engine, which
+// promises bit-identical outcomes across 1/2/8 threads):
+//  * Queries never write the committed state. Each query opens a
+//    Session; fills are buffered in the session and applied by Commit,
+//    which the engine calls at deterministic points only — after a
+//    serial RunQuery, or in batch order after RunQueryBatch joins its
+//    workers. Hit/miss patterns inside a batch therefore depend only on
+//    pre-batch committed state, not on worker scheduling.
+//  * A hit returns bytes bit-identical to what a fresh fetch would
+//    return (same version = same stored value), so query RESULTS are
+//    identical with the cache on or off; only traffic differs.
+//  * Eviction (max_terms) is by deterministic fill order, and the
+//    hit/miss counters are order-independent integer sums.
+
+#ifndef IQN_MINERVA_DIRECTORY_CACHE_H_
+#define IQN_MINERVA_DIRECTORY_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dht/kv_version.h"
+#include "minerva/post.h"
+
+namespace iqn {
+
+struct CacheConfig {
+  /// Master switch; a disabled cache never serves and never fills.
+  bool enabled = false;
+  /// Max cached terms per initiator; 0 = unbounded. Over-full commits
+  /// evict the oldest-filled terms (deterministic order).
+  size_t max_terms = 0;
+  /// Simulated-time TTL for staleness experiments; 0 disables the mode
+  /// (version stamps alone decide validity). The clock only moves via
+  /// DirectoryCache::AdvanceTime.
+  double ttl_ms = 0.0;
+};
+
+/// One peer's cache of fetched PeerLists, keyed by term.
+class DirectoryCache {
+ public:
+  /// `versions` is the engine-wide publish-version map (shared by every
+  /// DhtStore); must outlive the cache.
+  DirectoryCache(const CacheConfig& config, const KvVersionMap* versions);
+
+  DirectoryCache(const DirectoryCache&) = delete;
+  DirectoryCache& operator=(const DirectoryCache&) = delete;
+
+  /// A query's window onto the cache: reads committed entries, buffers
+  /// its own fills. Many sessions may read one cache concurrently; the
+  /// committed state is frozen while any session is open.
+  class Session {
+   public:
+    explicit Session(DirectoryCache* cache) : cache_(cache) {}
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// The cached PeerList for (term, limit), or nullptr on miss
+    /// (absent, fetched under a different truncation limit, stale
+    /// version, or expired TTL). Counts the hit/miss.
+    const std::vector<Post>* Lookup(const std::string& term, size_t limit);
+
+    /// Buffers a freshly fetched PeerList for commit, stamped with the
+    /// term key's current publish version. Pre-materializes the posts'
+    /// synopsis decode memos so later hits share them. Returns the
+    /// buffered (memoized) copy so the caller can group from it without
+    /// decoding again — or nullptr when the cache is disabled (use the
+    /// fetched list directly). The pointer stays valid until Commit.
+    const std::vector<Post>* Fill(const std::string& term, size_t limit,
+                                  const std::vector<Post>& posts);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+   private:
+    friend class DirectoryCache;
+
+    struct PendingFill {
+      uint64_t version = 0;
+      size_t limit = 0;
+      std::vector<Post> posts;
+    };
+
+    DirectoryCache* cache_;
+    std::map<std::string, PendingFill> pending_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+  };
+
+  /// Applies a session's buffered fills to the committed state. Serial
+  /// phases only (after a serial query, or in batch order after the
+  /// batch joins). Counts an invalidation for every replaced entry that
+  /// had gone stale, then refreshes the hit-ratio gauge.
+  void Commit(Session* session);
+
+  /// Advances the simulated TTL clock (no-op relevance when ttl_ms = 0).
+  /// Serial phases only.
+  void AdvanceTime(double delta_ms);
+  double now_ms() const { return now_ms_; }
+
+  /// Drops every committed entry (counts no invalidations).
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    double filled_at_ms = 0.0;
+    uint64_t fill_seq = 0;  // global fill order, drives eviction
+    size_t limit = 0;
+    std::vector<Post> posts;
+  };
+
+  CacheConfig config_;
+  const KvVersionMap* versions_;
+  double now_ms_ = 0.0;
+  uint64_t next_fill_seq_ = 0;
+  std::map<std::string, Entry> entries_;
+
+  // Cached registry instruments (process-wide, shared across caches);
+  // the ratio gauge is recomputed from the global counters at commit.
+  class Counter* m_hits_;
+  class Counter* m_misses_;
+  class Counter* m_invalidations_;
+  class Counter* m_evictions_;
+  class Gauge* m_hit_ratio_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_DIRECTORY_CACHE_H_

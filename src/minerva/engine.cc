@@ -1,8 +1,13 @@
+// This translation unit implements the legacy surface.
+#define IQN_ALLOW_LEGACY_ENGINE_API
+
 #include "minerva/engine.h"
 
 #include <algorithm>
 #include <limits>
 
+#include "minerva/internal/query_processor.h"
+#include "minerva/internal/router.h"
 #include "util/hash.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -74,6 +79,7 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
   }
   auto engine = std::unique_ptr<MinervaEngine>(new MinervaEngine(options));
   engine->network_ = std::make_unique<SimulatedNetwork>(options.latency);
+  engine->versions_ = std::make_unique<KvVersionMap>();
 
   IQN_ASSIGN_OR_RETURN(
       engine->ring_,
@@ -90,6 +96,7 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
     IQN_ASSIGN_OR_RETURN(
         std::unique_ptr<DhtStore> store,
         DhtStore::Attach(node, options.directory_replication));
+    store->set_version_map(engine->versions_.get());
     engine->stores_.push_back(std::move(store));
     IQN_ASSIGN_OR_RETURN(
         std::unique_ptr<Peer> peer,
@@ -97,6 +104,10 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
                      options.scoring));
     IQN_RETURN_IF_ERROR(peer->SetCollection(std::move(collections[i])));
     engine->peers_.push_back(std::move(peer));
+    if (options.cache.enabled) {
+      engine->caches_.push_back(std::make_unique<DirectoryCache>(
+          options.cache, engine->versions_.get()));
+    }
   }
   return engine;
 }
@@ -141,23 +152,35 @@ Status MinervaEngine::SetNumThreads(size_t num_threads) {
   return Status::OK();
 }
 
+void MinervaEngine::AdvanceCacheTime(double delta_ms) {
+  for (auto& cache : caches_) cache->AdvanceTime(delta_ms);
+}
+
 Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
                                              const Query& query,
                                              const Router& router,
                                              size_t max_peers) {
   NetworkStats delta;
+  DirectoryCache* cache = initiator_index < caches_.size()
+                              ? caches_[initiator_index].get()
+                              : nullptr;
+  std::optional<DirectoryCache::Session> session;
+  if (cache != nullptr) session.emplace(cache);
   IQN_ASSIGN_OR_RETURN(
       QueryOutcome outcome,
-      RunQueryMetered(initiator_index, query, router, max_peers, &delta));
+      RunQueryMetered(initiator_index, query, router, max_peers, &delta,
+                      session.has_value() ? &*session : nullptr));
   network_->MergeStats(delta);
+  // Serial queries commit their cache fills immediately: the next query
+  // sees them (a batch, by contrast, commits only after it joins).
+  if (session.has_value()) cache->Commit(&*session);
   return outcome;
 }
 
-Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
-                                                    const Query& query,
-                                                    const Router& router,
-                                                    size_t max_peers,
-                                                    NetworkStats* delta) {
+Result<QueryOutcome> MinervaEngine::RunQueryMetered(
+    size_t initiator_index, const Query& query, const Router& router,
+    size_t max_peers, NetworkStats* delta,
+    DirectoryCache::Session* cache_session) {
   if (initiator_index >= peers_.size()) {
     return Status::InvalidArgument("initiator index out of range");
   }
@@ -218,11 +241,16 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(size_t initiator_index,
       IQN_ASSIGN_OR_RETURN(
           candidates,
           initiator.FetchCandidates(query, options_.peerlist_limit,
-                                    &outcome.degradation.term_fetches_failed));
+                                    &outcome.degradation.term_fetches_failed,
+                                    cache_session));
     }
     span.AttrUint("candidates", candidates.size());
     span.AttrUint("term_fetches_failed",
                   outcome.degradation.term_fetches_failed);
+    if (cache_session != nullptr) {
+      span.AttrUint("cache_hits", cache_session->hits());
+      span.AttrUint("cache_misses", cache_session->misses());
+    }
   }
 
   RoutingInput input;
@@ -334,6 +362,18 @@ Result<std::vector<QueryOutcome>> MinervaEngine::RunQueryBatch(
   std::vector<QueryOutcome> outcomes(n);
   std::vector<NetworkStats> deltas(n);
   std::vector<Status> statuses(n);
+  // One cache session per item (items sharing an initiator get separate
+  // sessions): every session reads the same pre-batch committed state,
+  // so hit patterns cannot depend on worker scheduling.
+  std::vector<std::unique_ptr<DirectoryCache::Session>> sessions(n);
+  if (!caches_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (batch[i].initiator_index < caches_.size()) {
+        sessions[i] = std::make_unique<DirectoryCache::Session>(
+            caches_[batch[i].initiator_index].get());
+      }
+    }
+  }
 
   // Slot i is owned by whichever chunk covers index i; chunks never fail
   // at the ParallelFor level (per-item errors are kept in statuses so
@@ -342,7 +382,7 @@ Result<std::vector<QueryOutcome>> MinervaEngine::RunQueryBatch(
     for (size_t i = lo; i < hi; ++i) {
       Result<QueryOutcome> r =
           RunQueryMetered(batch[i].initiator_index, batch[i].query, router,
-                          max_peers, &deltas[i]);
+                          max_peers, &deltas[i], sessions[i].get());
       if (r.ok()) {
         outcomes[i] = std::move(r).value();
       } else {
@@ -363,9 +403,16 @@ Result<std::vector<QueryOutcome>> MinervaEngine::RunQueryBatch(
     IQN_RETURN_IF_ERROR(st);
   }
   // Fold per-query traffic into the global stats in batch order, keeping
-  // totals identical to the serial execution of the same queries.
+  // totals identical to the serial execution of the same queries. Cache
+  // sessions commit in the same deterministic order (and, like traffic,
+  // only on batch success).
   for (const NetworkStats& delta : deltas) {
     network_->MergeStats(delta);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (sessions[i] != nullptr) {
+      caches_[batch[i].initiator_index]->Commit(sessions[i].get());
+    }
   }
   return outcomes;
 }

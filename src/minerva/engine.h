@@ -1,8 +1,9 @@
 // MinervaEngine: assembles the whole system — simulated network, Chord
 // ring, replicated directory, peers with their collections — and runs the
 // full query pipeline (local execution -> directory lookups -> routing ->
-// forwarding -> merging -> evaluation). This is the top-level entry point
-// used by the examples and by every Fig. 3 bench.
+// forwarding -> merging -> evaluation). Examples, benches, and tools go
+// through the minerva::Engine facade (minerva/api.h), which wraps this
+// class; the Router-taking entry points here are deprecated outside it.
 
 #ifndef IQN_MINERVA_ENGINE_H_
 #define IQN_MINERVA_ENGINE_H_
@@ -12,16 +13,30 @@
 
 #include "dht/chord.h"
 #include "dht/kv_store.h"
+#include "dht/kv_version.h"
 #include "ir/recall.h"
 #include "minerva/degradation.h"
+#include "minerva/directory_cache.h"
+#include "minerva/execution.h"
 #include "minerva/peer.h"
-#include "minerva/query_processor.h"
-#include "minerva/router.h"
+#include "minerva/routing.h"
 #include "net/network.h"
 #include "net/rpc_policy.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+
+// The MinervaEngine entry points below are the LEGACY surface: they take
+// a Router instance, which now lives in an internal header. New code
+// should use the minerva::Engine facade (minerva/api.h), which selects
+// routers declaratively. Wrappers (api.cc) and tests opt out of the
+// deprecation warning by defining IQN_ALLOW_LEGACY_ENGINE_API.
+#if defined(IQN_ALLOW_LEGACY_ENGINE_API)
+#define IQN_LEGACY_ENGINE_DEPRECATED
+#else
+#define IQN_LEGACY_ENGINE_DEPRECATED \
+  [[deprecated("use minerva::Engine (minerva/api.h)")]]
+#endif
 
 namespace iqn {
 
@@ -63,6 +78,12 @@ struct EngineOptions {
   /// simulated time, so traces are bit-identical across runs and thread
   /// counts. Off by default (a trace costs allocations per span).
   bool collect_traces = false;
+  /// Per-initiator versioned caching of directory PeerLists
+  /// (minerva/directory_cache.h): hits skip the directory RPCs AND the
+  /// synopsis wire-decode, at zero network cost; publish-version stamps
+  /// invalidate precisely on republish/churn. Results stay bit-identical
+  /// to uncached runs; only traffic drops.
+  CacheConfig cache;
 };
 
 /// Everything measured about one routed query.
@@ -102,6 +123,7 @@ class MinervaEngine {
  public:
   /// Builds a network of `collections.size()` peers, one collection each.
   /// Call PublishAll() before routing queries.
+  IQN_LEGACY_ENGINE_DEPRECATED
   static Result<std::unique_ptr<MinervaEngine>> Create(
       EngineOptions options, std::vector<Corpus> collections);
 
@@ -121,6 +143,7 @@ class MinervaEngine {
 
   /// Full pipeline for one query from peer `initiator_index`, routed by
   /// `router`, contacting at most `max_peers` remote peers.
+  IQN_LEGACY_ENGINE_DEPRECATED
   Result<QueryOutcome> RunQuery(size_t initiator_index, const Query& query,
                                 const Router& router, size_t max_peers);
 
@@ -147,6 +170,7 @@ class MinervaEngine {
   ///
   /// Do not call concurrently with itself or with any other engine
   /// mutation (PublishAll, AddDocuments, SetNodeUp, ...).
+  IQN_LEGACY_ENGINE_DEPRECATED
   Result<std::vector<QueryOutcome>> RunQueryBatch(
       const std::vector<BatchQuery>& batch, const Router& router,
       size_t max_peers, size_t num_threads);
@@ -167,6 +191,19 @@ class MinervaEngine {
   /// recall is measured against the evolved corpus.
   void RebuildReferenceIndex();
 
+  /// Advances every directory cache's simulated TTL clock (staleness
+  /// experiments; meaningless unless EngineOptions::cache.ttl_ms > 0).
+  /// Call between query rounds only, never during a batch.
+  void AdvanceCacheTime(double delta_ms);
+
+  /// Peer i's directory cache, or nullptr when caching is disabled
+  /// (exposed for tests and benches).
+  DirectoryCache* directory_cache(size_t i) {
+    return caches_.empty() ? nullptr : caches_[i].get();
+  }
+  /// The engine-wide publish-version map every DhtStore bumps.
+  const KvVersionMap& version_map() const { return *versions_; }
+
   /// Joins the worker pool before any subsystem the in-flight tasks could
   /// reference is torn down. Runs even after a batch aborted with a
   /// non-OK Status — no task ever outlives the engine.
@@ -177,17 +214,25 @@ class MinervaEngine {
 
   /// The full pipeline of RunQuery with all traffic charged to `delta`
   /// (starts from zero) instead of the global stats. Thread-safe for
-  /// distinct queries over the published snapshot.
+  /// distinct queries over the published snapshot. `cache_session` (may
+  /// be null) is the query's window onto its initiator's directory
+  /// cache; the caller commits it at a deterministic point afterwards.
   Result<QueryOutcome> RunQueryMetered(size_t initiator_index,
                                        const Query& query,
                                        const Router& router, size_t max_peers,
-                                       NetworkStats* delta);
+                                       NetworkStats* delta,
+                                       DirectoryCache::Session* cache_session);
 
   EngineOptions options_;
   std::unique_ptr<SimulatedNetwork> network_;
   std::unique_ptr<ChordRing> ring_;
+  /// Publish-version counters shared by every store (must outlive them).
+  std::unique_ptr<KvVersionMap> versions_;
   std::vector<std::unique_ptr<DhtStore>> stores_;
   std::vector<std::unique_ptr<Peer>> peers_;
+  /// One directory cache per peer when EngineOptions::cache.enabled;
+  /// empty otherwise.
+  std::vector<std::unique_ptr<DirectoryCache>> caches_;
   InvertedIndex reference_index_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -1,0 +1,42 @@
+// Public execution-phase data model: how per-peer result lists merge and
+// what one executed query delivered. The QueryProcessor that produces a
+// QueryExecution is internal (minerva/internal/query_processor.h);
+// outside code receives these types inside QueryOutcome.
+
+#ifndef IQN_MINERVA_EXECUTION_H_
+#define IQN_MINERVA_EXECUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/top_k.h"
+
+namespace iqn {
+
+enum class MergeStrategy {
+  /// Trust raw peer scores (comparable when peers share statistics).
+  kRawScores,
+  /// Callan's CORI merge normalization (uses the collection scores the
+  /// router recorded per selected peer).
+  kCoriNormalized,
+};
+
+struct QueryExecution {
+  /// The initiator's own result list.
+  std::vector<ScoredDoc> local_results;
+  /// One result list per attempted peer — the routed peers in selection
+  /// order, then any replacements in replacement order; empty lists for
+  /// peers that failed.
+  std::vector<std::vector<ScoredDoc>> per_peer_results;
+  /// Global top-k after merging all lists (local included).
+  std::vector<ScoredDoc> merged;
+  /// Every distinct retrieved document, best score first (recall basis —
+  /// "the results that the P2P search system found").
+  std::vector<ScoredDoc> all_distinct;
+  /// Selected peers that did not answer (down / unreachable).
+  size_t failed_peers = 0;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_EXECUTION_H_

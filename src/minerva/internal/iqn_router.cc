@@ -1,4 +1,4 @@
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 
 #include <algorithm>
 #include <functional>
@@ -232,7 +232,6 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
   IQN_RETURN_IF_ERROR(ForEachCandidate(
       input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
         for (size_t i = lo; i < hi; ++i) {
-          std::vector<std::unique_ptr<SetSynopsis>> decoded;
           std::vector<const SetSynopsis*> views;
           std::vector<uint64_t> lens;
           std::vector<uint64_t> claimed;
@@ -244,14 +243,16 @@ Result<RoutingDecision> IqnRouter::RoutePerPeer(
               continue;
             }
             claimed.push_back(it->second.list_length);
-            Result<std::unique_ptr<SetSynopsis>> syn =
-                it->second.DecodeSynopsis();
+            // Memoized on the Post: a term already decoded — by an
+            // earlier replacement re-entry over copied candidates, or by
+            // the directory cache at fill time — skips wire-decode here.
+            Result<std::shared_ptr<const SetSynopsis>> syn =
+                it->second.SharedSynopsis();
             if (!syn.ok()) {
               degraded[i] = 1;
               continue;
             }
-            decoded.push_back(std::move(syn).value());
-            views.push_back(decoded.back().get());
+            views.push_back(syn.value().get());
             lens.push_back(it->second.list_length);
           }
           if (degraded[i] != 0) {
@@ -347,7 +348,8 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
   // (corrupted in transit) degrades to a null synopsis with its claimed
   // list length kept: novelty_of below then credits the claimed length
   // as-is (full-novelty fallback) instead of failing the query.
-  std::vector<std::vector<std::unique_ptr<SetSynopsis>>> syn(candidates.size());
+  std::vector<std::vector<std::shared_ptr<const SetSynopsis>>> syn(
+      candidates.size());
   std::vector<std::vector<uint64_t>> lens(candidates.size());
   std::vector<uint8_t> degraded(candidates.size(), 0);
   ScopedSpan decode_span("iqn.decode");
@@ -360,8 +362,8 @@ Result<RoutingDecision> IqnRouter::RoutePerTerm(
           for (size_t t = 0; t < terms.size(); ++t) {
             auto it = candidates[i].posts.find(terms[t]);
             if (it == candidates[i].posts.end()) continue;
-            Result<std::unique_ptr<SetSynopsis>> decoded =
-                it->second.DecodeSynopsis();
+            Result<std::shared_ptr<const SetSynopsis>> decoded =
+                it->second.SharedSynopsis();
             if (!decoded.ok()) {
               degraded[i] = 1;
               lens[i][t] = it->second.list_length;
@@ -492,7 +494,7 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
   // novelty fallback (lens below); a post with NO histogram stays a
   // configuration error — that is a local setup bug, not a transit
   // fault.
-  std::vector<std::vector<std::optional<ScoreHistogramSynopsis>>> hist(
+  std::vector<std::vector<std::shared_ptr<const ScoreHistogramSynopsis>>> hist(
       candidates.size());
   std::vector<std::vector<uint64_t>> lens(candidates.size());
   std::vector<uint8_t> degraded(candidates.size(), 0);
@@ -506,7 +508,8 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
           for (size_t t = 0; t < terms.size(); ++t) {
             auto it = candidates[i].posts.find(terms[t]);
             if (it == candidates[i].posts.end()) continue;
-            Result<ScoreHistogramSynopsis> h = it->second.DecodeHistogram();
+            Result<std::shared_ptr<const ScoreHistogramSynopsis>> h =
+                it->second.SharedHistogram();
             if (!h.ok()) {
               if (h.status().code() == StatusCode::kCorruption) {
                 degraded[i] = 1;
@@ -518,7 +521,7 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
                   std::to_string(candidates[i].peer_id) + "): " +
                   h.status().ToString());
             }
-            hist[i][t].emplace(std::move(h).value());
+            hist[i][t] = std::move(h).value();
           }
         }
         return Status::OK();
@@ -548,7 +551,7 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
   callbacks.novelty_of = [&](size_t i) -> Result<double> {
     double total = 0.0;
     for (size_t t = 0; t < terms.size(); ++t) {
-      if (!hist[i][t].has_value()) {
+      if (hist[i][t] == nullptr) {
         // Degraded term: claimed list length, credited in full (missing
         // terms carry lens 0).
         total += static_cast<double>(lens[i][t]);
@@ -564,7 +567,7 @@ Result<RoutingDecision> IqnRouter::RouteHistogram(
   };
   callbacks.absorb = [&](size_t i) -> Status {
     for (size_t t = 0; t < terms.size(); ++t) {
-      if (!hist[i][t].has_value()) continue;
+      if (hist[i][t] == nullptr) continue;
       IQN_RETURN_IF_ERROR(references[t].Absorb(*hist[i][t]));
     }
     return Status::OK();

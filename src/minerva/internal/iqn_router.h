@@ -1,0 +1,53 @@
+// INTERNAL header — not part of the public include set. Outside code
+// configures IQN via minerva::RoutingSpec (minerva/api.h); the IqnOptions
+// knobs themselves are public and live in minerva/routing.h.
+//
+// The IQN (Integrated Quality Novelty) routing method — the paper's core
+// contribution (Sec. 5, Sec. 6, Sec. 7.1).
+//
+// IQN builds the query execution plan iteratively. Starting from a
+// reference synopsis seeded with the initiator's local query result, each
+// iteration performs:
+//   Select-Best-Peer:   rank the remaining candidates by
+//                       quality(CORI) x novelty(synopsis vs reference)
+//                       and pick the best;
+//   Aggregate-Synopses: union the chosen peer's synopsis into the
+//                       reference, so the next iteration measures novelty
+//                       against everything already covered.
+// The loop stops at max_peers, or earlier when the estimated size of the
+// covered result space reaches min_estimated_results (Sec. 5.1's
+// "estimated number of (good) documents" criterion).
+//
+// Multi-keyword queries use either per-peer or per-term aggregation
+// (Sec. 6); with use_histograms the novelty estimate becomes the
+// score-weighted histogram novelty of Sec. 7.1.
+
+#ifndef IQN_MINERVA_INTERNAL_IQN_ROUTER_H_
+#define IQN_MINERVA_INTERNAL_IQN_ROUTER_H_
+
+#include <string>
+
+#include "minerva/internal/router.h"
+
+namespace iqn {
+
+class IqnRouter final : public Router {
+ public:
+  explicit IqnRouter(IqnOptions options = {}) : options_(options) {}
+
+  std::string name() const override;
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+  const IqnOptions& options() const { return options_; }
+
+ private:
+  Result<RoutingDecision> RoutePerPeer(const RoutingInput& input) const;
+  Result<RoutingDecision> RoutePerTerm(const RoutingInput& input) const;
+  Result<RoutingDecision> RouteHistogram(const RoutingInput& input) const;
+
+  IqnOptions options_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_INTERNAL_IQN_ROUTER_H_

@@ -1,4 +1,4 @@
-#include "minerva/query_processor.h"
+#include "minerva/internal/query_processor.h"
 
 #include <limits>
 

@@ -1,3 +1,8 @@
+// INTERNAL header — not part of the public include set. Outside code
+// executes queries through minerva::Engine (minerva/api.h); the public
+// result types (MergeStrategy, QueryExecution) live in
+// minerva/execution.h.
+//
 // Query execution phase: after routing has chosen the peers, forward the
 // query to each of them, collect their top-k lists, and merge.
 //
@@ -10,43 +15,20 @@
 // (Callan's formula up to a uniform scale factor that cannot affect any
 // ranking; this normalization keeps the mean collection neutral).
 
-#ifndef IQN_MINERVA_QUERY_PROCESSOR_H_
-#define IQN_MINERVA_QUERY_PROCESSOR_H_
+#ifndef IQN_MINERVA_INTERNAL_QUERY_PROCESSOR_H_
+#define IQN_MINERVA_INTERNAL_QUERY_PROCESSOR_H_
 
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "minerva/degradation.h"
+#include "minerva/execution.h"
 #include "minerva/peer.h"
-#include "minerva/router.h"
+#include "minerva/routing.h"
 #include "util/status.h"
 
 namespace iqn {
-
-enum class MergeStrategy {
-  /// Trust raw peer scores (comparable when peers share statistics).
-  kRawScores,
-  /// Callan's CORI merge normalization (uses the collection scores the
-  /// router recorded per selected peer).
-  kCoriNormalized,
-};
-
-struct QueryExecution {
-  /// The initiator's own result list.
-  std::vector<ScoredDoc> local_results;
-  /// One result list per attempted peer — the routed peers in selection
-  /// order, then any replacements in replacement order; empty lists for
-  /// peers that failed.
-  std::vector<std::vector<ScoredDoc>> per_peer_results;
-  /// Global top-k after merging all lists (local included).
-  std::vector<ScoredDoc> merged;
-  /// Every distinct retrieved document, best score first (recall basis —
-  /// "the results that the P2P search system found").
-  std::vector<ScoredDoc> all_distinct;
-  /// Selected peers that did not answer (down / unreachable).
-  size_t failed_peers = 0;
-};
 
 class QueryProcessor {
  public:
@@ -89,4 +71,4 @@ class QueryProcessor {
 
 }  // namespace iqn
 
-#endif  // IQN_MINERVA_QUERY_PROCESSOR_H_
+#endif  // IQN_MINERVA_INTERNAL_QUERY_PROCESSOR_H_

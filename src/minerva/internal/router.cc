@@ -1,4 +1,4 @@
-#include "minerva/router.h"
+#include "minerva/internal/router.h"
 
 #include <algorithm>
 
@@ -133,17 +133,17 @@ Result<RoutingDecision> SimpleOverlapRouter::Route(
   };
   std::vector<Ranked> ranked;
   for (const CandidatePeer& cand : *input.candidates) {
-    // Combine the candidate's per-term synopses for the query.
-    std::vector<std::unique_ptr<SetSynopsis>> decoded;
+    // Combine the candidate's per-term synopses for the query (memoized
+    // decode: re-entry routing and cached posts skip the wire bytes).
     std::vector<const SetSynopsis*> views;
     std::vector<uint64_t> lens;
     for (const std::string& term : input.query->terms) {
       auto it = cand.posts.find(term);
       if (it == cand.posts.end()) continue;
-      Result<std::unique_ptr<SetSynopsis>> syn = it->second.DecodeSynopsis();
+      Result<std::shared_ptr<const SetSynopsis>> syn =
+          it->second.SharedSynopsis();
       if (!syn.ok()) continue;
-      decoded.push_back(std::move(syn).value());
-      views.push_back(decoded.back().get());
+      views.push_back(syn.value().get());
       lens.push_back(it->second.list_length);
     }
     double novelty = 0.0;

@@ -1,0 +1,89 @@
+// INTERNAL header — not part of the public include set. Outside code
+// (examples/, bench/, tools/) selects routers through minerva::RoutingSpec
+// in the minerva/api.h facade; the public data model lives in
+// minerva/routing.h.
+//
+// Query routing: choosing which peers to forward a query to.
+//
+// All routers consume the same RoutingInput — the PeerLists fetched from
+// the directory plus the initiator's local context — and produce a ranked
+// RoutingDecision. Implemented here:
+//  * RandomRouter        — the sanity floor;
+//  * CoriRouter          — quality-only CORI ranking, the paper's main
+//                          baseline (Sec. 8);
+//  * SimpleOverlapRouter — the authors' prior SIGIR'05 method: one-shot
+//                          quality x novelty-against-the-initiator, no
+//                          iterative synopsis aggregation;
+// IqnRouter (internal/iqn_router.h) is the paper's contribution.
+
+#ifndef IQN_MINERVA_INTERNAL_ROUTER_H_
+#define IQN_MINERVA_INTERNAL_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minerva/cori.h"
+#include "minerva/routing.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::string name() const = 0;
+  virtual Result<RoutingDecision> Route(const RoutingInput& input) const = 0;
+
+ protected:
+  static Status ValidateInput(const RoutingInput& input);
+};
+
+/// Uniformly random peer choice (deterministic per query content).
+class RandomRouter final : public Router {
+ public:
+  explicit RandomRouter(uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "Random"; }
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Quality-only CORI ranking.
+class CoriRouter final : public Router {
+ public:
+  explicit CoriRouter(CoriParams params = {}) : params_(params) {}
+  std::string name() const override { return "CORI"; }
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+ private:
+  CoriParams params_;
+};
+
+/// The prior overlap-aware method: rank once by quality x novelty where
+/// novelty is measured against the initiator's own collection only — no
+/// Aggregate-Synopses step, so two mutually redundant peers can both be
+/// selected (the failure mode IQN fixes).
+class SimpleOverlapRouter final : public Router {
+ public:
+  explicit SimpleOverlapRouter(CoriParams params = {}) : params_(params) {}
+  std::string name() const override { return "SimpleOverlap"; }
+  Result<RoutingDecision> Route(const RoutingInput& input) const override;
+
+ private:
+  CoriParams params_;
+};
+
+/// Shared helper: CORI quality per candidate, from the candidates' posts.
+std::map<uint64_t, double> ComputeCandidateQualities(
+    const RoutingInput& input, const CoriParams& params);
+
+/// Shared helper: per-term CoriTermStats assembled from the candidates.
+std::map<std::string, CoriTermStats> ComputeQueryTermStats(
+    const RoutingInput& input);
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_INTERNAL_ROUTER_H_

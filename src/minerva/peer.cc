@@ -215,27 +215,41 @@ Result<Peer::QueryReference> Peer::BuildQueryReference(
 }
 
 Result<std::vector<CandidatePeer>> Peer::FetchCandidates(
-    const Query& query, size_t peerlist_limit, size_t* failed_terms) const {
+    const Query& query, size_t peerlist_limit, size_t* failed_terms,
+    DirectoryCache::Session* cache) const {
   std::map<uint64_t, CandidatePeer> by_peer;
   for (const std::string& term : query.terms) {
-    Result<std::vector<Post>> peer_list =
-        peerlist_limit == 0
-            ? directory_.FetchPeerList(term)
-            : directory_.FetchTopPeerList(term, peerlist_limit);
-    if (!peer_list.ok()) {
-      if (failed_terms == nullptr) return peer_list.status();
-      // Tolerant mode: assemble the candidate set from the terms that
-      // answered; the caller accounts the loss in its degradation
-      // report.
-      ++*failed_terms;
-      continue;
+    // The cache stores the RAW PeerList (own posts included) so the same
+    // entry serves any initiator's session shape; the self-filter stays
+    // at grouping time below.
+    const std::vector<Post>* posts =
+        cache == nullptr ? nullptr : cache->Lookup(term, peerlist_limit);
+    std::vector<Post> fetched;
+    if (posts == nullptr) {
+      Result<std::vector<Post>> peer_list =
+          peerlist_limit == 0
+              ? directory_.FetchPeerList(term)
+              : directory_.FetchTopPeerList(term, peerlist_limit);
+      if (!peer_list.ok()) {
+        if (failed_terms == nullptr) return peer_list.status();
+        // Tolerant mode: assemble the candidate set from the terms that
+        // answered; the caller accounts the loss in its degradation
+        // report.
+        ++*failed_terms;
+        continue;
+      }
+      fetched = std::move(peer_list).value();
+      // Buffer for commit; group from the buffered copy so the grouped
+      // posts share its pre-materialized decode memos.
+      if (cache != nullptr) posts = cache->Fill(term, peerlist_limit, fetched);
+      if (posts == nullptr) posts = &fetched;
     }
-    for (Post& post : peer_list.value()) {
+    for (const Post& post : *posts) {
       if (post.peer_id == peer_id_) continue;  // own contribution is local
       CandidatePeer& cand = by_peer[post.peer_id];
       cand.peer_id = post.peer_id;
       cand.address = post.address;
-      cand.posts.emplace(term, std::move(post));
+      cand.posts.emplace(term, post);  // copies share the decode memo
     }
   }
   std::vector<CandidatePeer> candidates;

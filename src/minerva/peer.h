@@ -14,8 +14,9 @@
 #include "ir/query.h"
 #include "ir/top_k.h"
 #include "minerva/directory.h"
+#include "minerva/directory_cache.h"
 #include "minerva/post.h"
-#include "minerva/router.h"
+#include "minerva/routing.h"
 #include "synopses/adaptive.h"
 #include "util/status.h"
 
@@ -104,9 +105,14 @@ class Peer {
   /// counted there and skipped — the candidate set is assembled from
   /// the terms that answered; with it null (default) any fetch error
   /// fails the call, as before.
+  /// With `cache` set, each term's PeerList is looked up in the query's
+  /// DirectoryCache session first: a hit serves the cached (version-
+  /// fresh) copy with zero network traffic and pre-decoded synopses; a
+  /// miss fetches as usual and buffers the result for commit.
   Result<std::vector<CandidatePeer>> FetchCandidates(
       const Query& query, size_t peerlist_limit = 0,
-      size_t* failed_terms = nullptr) const;
+      size_t* failed_terms = nullptr,
+      DirectoryCache::Session* cache = nullptr) const;
 
   /// Directory phase via the distributed top-k algorithm (Sec. 4):
   /// first determines the `top_peers` peers with the highest aggregate
@@ -117,6 +123,9 @@ class Peer {
   /// FetchCandidates; additionally, when the top-k phase itself fails it
   /// degrades to a plain full-PeerList fetch (more traffic, but the
   /// query survives) instead of erroring out.
+  /// Not served from the DirectoryCache: the fetched posts depend on the
+  /// cross-term winner set, not on a single term key, so version stamps
+  /// cannot vouch for them.
   Result<std::vector<CandidatePeer>> FetchCandidatesTopK(
       const Query& query, size_t top_peers,
       size_t* failed_terms = nullptr) const;

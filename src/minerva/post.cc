@@ -113,4 +113,23 @@ Result<ScoreHistogramSynopsis> Post::DecodeHistogram() const {
   return DeserializeHistogram(&reader);
 }
 
+Result<std::shared_ptr<const SetSynopsis>> Post::SharedSynopsis() const {
+  if (synopsis_memo_ == nullptr) {
+    IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> decoded,
+                         DecodeSynopsis());
+    synopsis_memo_ = std::shared_ptr<const SetSynopsis>(std::move(decoded));
+  }
+  return synopsis_memo_;
+}
+
+Result<std::shared_ptr<const ScoreHistogramSynopsis>> Post::SharedHistogram()
+    const {
+  if (histogram_memo_ == nullptr) {
+    IQN_ASSIGN_OR_RETURN(ScoreHistogramSynopsis decoded, DecodeHistogram());
+    histogram_memo_ = std::make_shared<const ScoreHistogramSynopsis>(
+        std::move(decoded));
+  }
+  return histogram_memo_;
+}
+
 }  // namespace iqn

@@ -75,6 +75,29 @@ struct Post {
   Result<std::unique_ptr<SetSynopsis>> DecodeSynopsis() const;
   /// Deserializes the histogram payload (error if absent).
   Result<ScoreHistogramSynopsis> DecodeHistogram() const;
+
+  /// DecodeSynopsis with a memo: the first successful decode is cached
+  /// and shared by every copy of this Post made AFTER it (routing copies
+  /// candidates for replacement re-entry; the directory cache
+  /// pre-materializes decodes at fill time), so the IQN loop never pays
+  /// wire-decode twice for a term it already correlated. Failures are
+  /// not memoized — each call re-reports the original error.
+  ///
+  /// Thread-safety: materializing the memo WRITES the Post; do it from
+  /// the post's owning thread (candidate scoring partitions candidates
+  /// per ParallelFor chunk, and the pool join publishes the memo before
+  /// any other thread reads the copy).
+  Result<std::shared_ptr<const SetSynopsis>> SharedSynopsis() const;
+  /// DecodeHistogram with the same memo contract as SharedSynopsis.
+  Result<std::shared_ptr<const ScoreHistogramSynopsis>> SharedHistogram()
+      const;
+
+ private:
+  /// Success-only decode memos (see SharedSynopsis). Mutable: decoding
+  /// is logically const — the memo holds exactly what DecodeSynopsis
+  /// would return for the immutable wire bytes.
+  mutable std::shared_ptr<const SetSynopsis> synopsis_memo_;
+  mutable std::shared_ptr<const ScoreHistogramSynopsis> histogram_memo_;
 };
 
 }  // namespace iqn

@@ -1,34 +1,31 @@
-// Query routing: choosing which peers to forward a query to.
+// Public routing data model: the inputs a router consumes, the decision
+// it produces, and the IQN tuning knobs.
 //
-// All routers consume the same RoutingInput — the PeerLists fetched from
-// the directory plus the initiator's local context — and produce a ranked
-// RoutingDecision. Implemented here:
-//  * RandomRouter        — the sanity floor;
-//  * CoriRouter          — quality-only CORI ranking, the paper's main
-//                          baseline (Sec. 8);
-//  * SimpleOverlapRouter — the authors' prior SIGIR'05 method: one-shot
-//                          quality x novelty-against-the-initiator, no
-//                          iterative synopsis aggregation;
-// IqnRouter (iqn_router.h) is the paper's contribution.
+// The router IMPLEMENTATIONS (the abstract Router, RandomRouter,
+// CoriRouter, SimpleOverlapRouter, IqnRouter) are internal — see
+// minerva/internal/router.h and minerva/internal/iqn_router.h; outside
+// code selects a router declaratively through minerva::RoutingSpec in
+// the minerva/api.h facade. This header carries only the types those
+// selections and the resulting QueryOutcome are expressed in.
 
-#ifndef IQN_MINERVA_ROUTER_H_
-#define IQN_MINERVA_ROUTER_H_
+#ifndef IQN_MINERVA_ROUTING_H_
+#define IQN_MINERVA_ROUTING_H_
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/query.h"
+#include "minerva/aggregation.h"
 #include "minerva/cori.h"
 #include "minerva/post.h"
 #include "synopses/synopsis.h"
-#include "util/status.h"
 
 namespace iqn {
 
 class ThreadPool;
+class Router;  // internal; see minerva/internal/router.h
 
 /// One prospective peer, assembled from the PeerLists of all query terms.
 struct CandidatePeer {
@@ -88,60 +85,37 @@ struct RoutingDecision {
   size_t candidates_degraded = 0;
 };
 
-class Router {
- public:
-  virtual ~Router() = default;
-  virtual std::string name() const = 0;
-  virtual Result<RoutingDecision> Route(const RoutingInput& input) const = 0;
-
- protected:
-  static Status ValidateInput(const RoutingInput& input);
+/// Tuning knobs of the IQN method (paper Sec. 5-7).
+struct IqnOptions {
+  AggregationStrategy aggregation = AggregationStrategy::kPerPeer;
+  /// false = rank by novelty alone (the DB-style structured-query setting
+  /// where all matches are equally "good").
+  bool use_quality = true;
+  /// Score-conscious novelty via histogram synopses (requires Posts that
+  /// carry histograms, i.e. SynopsisConfig::histogram_cells > 0). Forces
+  /// per-term aggregation.
+  bool use_histograms = false;
+  /// Weight exponent for histogram cells (Sec. 7.1): 0 = flat, 1 = linear
+  /// in the cell's score midpoint.
+  double histogram_weight_exponent = 1.0;
+  /// Correlation-aware per-term aggregation (the extension Sec. 6.3
+  /// suggests): the summed per-term novelty double-counts documents that
+  /// appear in several of the candidate's query-term lists. When enabled,
+  /// the sum is deflated by the candidate's own term-list correlation,
+  /// estimated from its posted synopses as
+  ///   |union of term lists| / sum of term list lengths.
+  /// Only affects the per-term strategy on multi-term queries.
+  bool correlation_aware = false;
+  /// Optional early-stop: end the loop once the reference synopsis
+  /// estimates at least this many covered documents (0 = disabled).
+  double min_estimated_results = 0.0;
+  /// A candidate whose estimated novelty is <= 0 still gets this floor,
+  /// so peer selection degrades to quality ranking (instead of an
+  /// arbitrary choice) once the result space looks exhausted.
+  double novelty_floor = 1e-3;
+  CoriParams cori;
 };
-
-/// Uniformly random peer choice (deterministic per query content).
-class RandomRouter final : public Router {
- public:
-  explicit RandomRouter(uint64_t seed = 1) : seed_(seed) {}
-  std::string name() const override { return "Random"; }
-  Result<RoutingDecision> Route(const RoutingInput& input) const override;
-
- private:
-  uint64_t seed_;
-};
-
-/// Quality-only CORI ranking.
-class CoriRouter final : public Router {
- public:
-  explicit CoriRouter(CoriParams params = {}) : params_(params) {}
-  std::string name() const override { return "CORI"; }
-  Result<RoutingDecision> Route(const RoutingInput& input) const override;
-
- private:
-  CoriParams params_;
-};
-
-/// The prior overlap-aware method: rank once by quality x novelty where
-/// novelty is measured against the initiator's own collection only — no
-/// Aggregate-Synopses step, so two mutually redundant peers can both be
-/// selected (the failure mode IQN fixes).
-class SimpleOverlapRouter final : public Router {
- public:
-  explicit SimpleOverlapRouter(CoriParams params = {}) : params_(params) {}
-  std::string name() const override { return "SimpleOverlap"; }
-  Result<RoutingDecision> Route(const RoutingInput& input) const override;
-
- private:
-  CoriParams params_;
-};
-
-/// Shared helper: CORI quality per candidate, from the candidates' posts.
-std::map<uint64_t, double> ComputeCandidateQualities(
-    const RoutingInput& input, const CoriParams& params);
-
-/// Shared helper: per-term CoriTermStats assembled from the candidates.
-std::map<std::string, CoriTermStats> ComputeQueryTermStats(
-    const RoutingInput& input);
 
 }  // namespace iqn
 
-#endif  // IQN_MINERVA_ROUTER_H_
+#endif  // IQN_MINERVA_ROUTING_H_

@@ -14,7 +14,7 @@
 #include <cstdlib>
 
 #include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "util/metrics.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
@@ -350,6 +350,118 @@ TEST(ChaosTest, FaultClassBreakdownIsAccountedPerQueryAndGlobally) {
     histogram_observations += data.count - prior;
   }
   EXPECT_GT(histogram_observations, 0u);
+}
+
+// Directory cache + faults: the cache's two-phase commit schedule and
+// the fault injector's deterministic draws must compose — a faulted,
+// cache-enabled batch stays bit-identical across thread counts. Runs
+// are compared across fresh worlds per thread count (cold batch fills,
+// warm batch serves hits; both phases must be schedule-independent).
+TEST(ChaosTest, CacheEnabledFaultedBatchBitIdenticalAcrossThreadCounts) {
+  auto run = [](size_t threads) {
+    EngineOptions options = RetryingOptions();
+    options.cache.enabled = true;
+    World world(options);
+    world.engine->network().InstallFaultPlan(
+        FaultPlan::MessageDrop(ChaosSeed(), 0.1));
+    IqnRouter router;
+    auto cold = world.engine->RunQueryBatch(world.Batch(), router, 3, threads);
+    EXPECT_TRUE(cold.ok()) << cold.status().ToString();
+    auto warm = world.engine->RunQueryBatch(world.Batch(), router, 3, threads);
+    EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+    return std::make_pair(std::move(cold).value(), std::move(warm).value());
+  };
+  auto [cold_serial, warm_serial] = run(1);
+  for (size_t threads : {2u, 8u}) {
+    auto [cold, warm] = run(threads);
+    ASSERT_EQ(cold_serial.size(), cold.size()) << threads << " threads";
+    for (size_t i = 0; i < cold_serial.size(); ++i) {
+      ExpectOutcomesIdentical(cold_serial[i], cold[i]);
+      ExpectOutcomesIdentical(warm_serial[i], warm[i]);
+    }
+  }
+}
+
+// Result fields only — a cache hit legitimately changes traffic and
+// latency, never what the query returns.
+void ExpectResultsIdentical(const QueryOutcome& a, const QueryOutcome& b) {
+  EXPECT_DOUBLE_EQ(a.recall, b.recall);
+  EXPECT_DOUBLE_EQ(a.recall_remote_only, b.recall_remote_only);
+  EXPECT_EQ(a.distinct_results, b.distinct_results);
+  ASSERT_EQ(a.decision.peers.size(), b.decision.peers.size());
+  for (size_t i = 0; i < a.decision.peers.size(); ++i) {
+    EXPECT_EQ(a.decision.peers[i].peer_id, b.decision.peers[i].peer_id);
+    EXPECT_EQ(a.decision.peers[i].quality, b.decision.peers[i].quality);
+    EXPECT_EQ(a.decision.peers[i].novelty, b.decision.peers[i].novelty);
+    EXPECT_EQ(a.decision.peers[i].combined, b.decision.peers[i].combined);
+  }
+  EXPECT_EQ(a.execution.merged, b.execution.merged);
+  EXPECT_EQ(a.execution.all_distinct, b.execution.all_distinct);
+}
+
+// The versioned cache must never pin a stale entry when republish
+// traffic is lossy. Cached and uncached worlds built from the same seed
+// see IDENTICAL republish traffic (the cache only affects query-time
+// directory fetches), hence identical fault draws and identical
+// post-churn directory state — whether a given refresh put was applied
+// (version bump -> invalidation -> fresh fetch) or dropped in flight
+// (no bump -> the cached entry still matches what the directory holds).
+// Either way, post-churn results must be bit-identical to uncached.
+TEST(ChaosTest, DroppedRepublishDoesNotPinStaleCacheEntry) {
+  EngineOptions cached_options;
+  cached_options.cache.enabled = true;
+  World cached(cached_options);
+  World uncached;
+  IqnRouter router;
+  // Warm the cache fault-free.
+  for (const Query& q : cached.queries) {
+    EXPECT_TRUE(cached.engine->RunQuery(0, q, router, 3).ok());
+    EXPECT_TRUE(uncached.engine->RunQuery(0, q, router, 3).ok());
+  }
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  uint64_t hits_before = registry.GetCounter("cache.hits")->Value();
+
+  // Churn under message drops: the refresh of some touched terms is
+  // lost in flight, in both worlds alike.
+  FaultPlan drops = FaultPlan::MessageDrop(ChaosSeed(), 0.3);
+  cached.engine->network().InstallFaultPlan(drops);
+  uncached.engine->network().InstallFaultPlan(drops);
+  SyntheticCorpusOptions delta_opts;
+  delta_opts.num_documents = 60;
+  delta_opts.vocabulary_size = 900;
+  delta_opts.min_document_length = 20;
+  delta_opts.max_document_length = 60;
+  delta_opts.first_doc_id = 100000;
+  delta_opts.vocabulary_seed = 21;  // the World vocabulary
+  delta_opts.seed = 22;             // fresh sampling over it
+  auto delta_gen = SyntheticCorpusGenerator::Create(delta_opts);
+  ASSERT_TRUE(delta_gen.ok());
+  Corpus delta = delta_gen.value().Generate();
+  Status a = cached.engine->peer(1).AddDocuments(delta, /*republish=*/true);
+  Status b = uncached.engine->peer(1).AddDocuments(delta, /*republish=*/true);
+  // Identical traffic, identical fault schedule: whatever happened to
+  // the republish happened to both worlds.
+  EXPECT_EQ(a.ToString(), b.ToString());
+  cached.engine->RebuildReferenceIndex();
+  uncached.engine->RebuildReferenceIndex();
+
+  // Queries run fault-free again; only the churn was lossy. Two passes:
+  // the first re-fills whatever the republish invalidated, the second
+  // is served warm — both must match the uncached world exactly.
+  cached.engine->network().InstallFaultPlan(FaultPlan{});
+  uncached.engine->network().InstallFaultPlan(FaultPlan{});
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE(::testing::Message() << "post-churn pass " << pass);
+    for (const Query& q : cached.queries) {
+      auto with_cache = cached.engine->RunQuery(0, q, router, 3);
+      auto without_cache = uncached.engine->RunQuery(0, q, router, 3);
+      ASSERT_TRUE(with_cache.ok()) << with_cache.status().ToString();
+      ASSERT_TRUE(without_cache.ok()) << without_cache.status().ToString();
+      ExpectResultsIdentical(with_cache.value(), without_cache.value());
+    }
+  }
+  // The post-churn passes genuinely exercised the cache.
+  EXPECT_GT(registry.GetCounter("cache.hits")->Value(), hits_before);
 }
 
 }  // namespace

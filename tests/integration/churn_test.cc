@@ -5,7 +5,7 @@
 
 #include "minerva/engine.h"
 #include "util/random.h"
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "workload/fragments.h"
 #include "workload/synthetic_corpus.h"
 

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"

@@ -1,0 +1,273 @@
+#include "minerva/api.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+Result<minerva::EngineOptions> OptionsFromArgs(
+    std::vector<std::string> args) {
+  Flags flags;
+  minerva::EngineOptions::RegisterFlags(&flags);
+  args.insert(args.begin(), "api_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  IQN_RETURN_IF_ERROR(
+      flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  return minerva::EngineOptions::FromFlags(flags);
+}
+
+TEST(EngineOptionsTest, FromFlagsDefaultsMatchStructDefaults) {
+  auto parsed = OptionsFromArgs({});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const minerva::EngineOptions& options = parsed.value();
+  minerva::EngineOptions defaults;
+  EXPECT_EQ(options.threads, defaults.threads);
+  EXPECT_EQ(options.max_peers, defaults.max_peers);
+  EXPECT_EQ(options.routing.kind, defaults.routing.kind);
+  EXPECT_EQ(options.routing.iqn.use_quality, defaults.routing.iqn.use_quality);
+  EXPECT_EQ(options.core.synopsis.type, defaults.core.synopsis.type);
+  EXPECT_EQ(options.core.synopsis.bits, defaults.core.synopsis.bits);
+  EXPECT_EQ(options.core.retry.max_attempts,
+            defaults.core.retry.max_attempts);
+  EXPECT_EQ(options.core.cache.enabled, defaults.core.cache.enabled);
+  EXPECT_FALSE(options.fault_plan.active());
+  EXPECT_FALSE(options.core.collect_traces);
+  EXPECT_TRUE(options.trace_out.empty());
+  EXPECT_TRUE(options.metrics_out.empty());
+}
+
+// Every EngineOptions field FromFlags sets must round-trip from its flag.
+TEST(EngineOptionsTest, FromFlagsRoundTripsEveryField) {
+  auto parsed = OptionsFromArgs({
+      "--threads=4",
+      "--max_peers=2",
+      "--router=cori",
+      "--aggregation=per_term",
+      "--histograms",
+      "--novelty_only",
+      "--correlation_aware",
+      "--router_seed=9",
+      "--synopsis=bloom",
+      "--synopsis_bits=1024",
+      "--histogram_cells=8",
+      "--replication=2",
+      "--batch_posting",
+      "--peerlist_limit=7",
+      "--topk_candidates=4",
+      "--merge=cori",
+      "--seed_from_synopses",
+      "--retries=3",
+      "--deadline-ms=125.5",
+      "--fault-seed=11",
+      "--fault-drop=0.1",
+      "--fault-corrupt=0.05",
+      "--fault-timeout=0.02",
+      "--cache",
+      "--cache_max_terms=32",
+      "--cache_ttl_ms=50.0",
+      "--trace_out=/tmp/api_test_trace.json",
+      "--metrics_out=/tmp/api_test_metrics.json",
+  });
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const minerva::EngineOptions& options = parsed.value();
+  EXPECT_EQ(options.threads, 4u);
+  EXPECT_EQ(options.max_peers, 2u);
+  EXPECT_EQ(options.routing.kind, minerva::RouterKind::kCori);
+  EXPECT_EQ(options.routing.iqn.aggregation, AggregationStrategy::kPerTerm);
+  EXPECT_TRUE(options.routing.iqn.use_histograms);
+  EXPECT_FALSE(options.routing.iqn.use_quality);  // --novelty_only
+  EXPECT_TRUE(options.routing.iqn.correlation_aware);
+  EXPECT_EQ(options.routing.random_seed, 9u);
+  EXPECT_EQ(options.core.synopsis.type, SynopsisType::kBloomFilter);
+  EXPECT_EQ(options.core.synopsis.bits, 1024u);
+  EXPECT_EQ(options.core.synopsis.histogram_cells, 8u);
+  EXPECT_EQ(options.core.directory_replication, 2u);
+  EXPECT_TRUE(options.core.batch_posting);
+  EXPECT_EQ(options.core.peerlist_limit, 7u);
+  EXPECT_EQ(options.core.distributed_topk_candidates, 4u);
+  EXPECT_EQ(options.core.merge, MergeStrategy::kCoriNormalized);
+  EXPECT_TRUE(options.core.seed_reference_from_synopses);
+  EXPECT_EQ(options.core.retry.max_attempts, 3);
+  EXPECT_EQ(options.core.query_deadline_ms, 125.5);
+  EXPECT_EQ(options.fault_plan.seed, 11u);
+  EXPECT_EQ(options.fault_plan.drop_request.rate, 0.1);
+  EXPECT_EQ(options.fault_plan.drop_response.rate, 0.1);
+  EXPECT_EQ(options.fault_plan.corrupt_response.rate, 0.05);
+  EXPECT_EQ(options.fault_plan.timeout.rate, 0.02);
+  EXPECT_TRUE(options.fault_plan.active());
+  EXPECT_TRUE(options.core.cache.enabled);
+  EXPECT_EQ(options.core.cache.max_terms, 32u);
+  EXPECT_EQ(options.core.cache.ttl_ms, 50.0);
+  EXPECT_EQ(options.trace_out, "/tmp/api_test_trace.json");
+  EXPECT_EQ(options.metrics_out, "/tmp/api_test_metrics.json");
+  // A nonempty trace sink implies tracing.
+  EXPECT_TRUE(options.core.collect_traces);
+}
+
+TEST(EngineOptionsTest, FromFlagsRejectsUnknownEnumSpellings) {
+  EXPECT_FALSE(OptionsFromArgs({"--router=bogus"}).ok());
+  EXPECT_FALSE(OptionsFromArgs({"--synopsis=bogus"}).ok());
+  EXPECT_FALSE(OptionsFromArgs({"--aggregation=bogus"}).ok());
+  EXPECT_FALSE(OptionsFromArgs({"--merge=bogus"}).ok());
+}
+
+TEST(ApiTest, RouterKindNamesRoundTrip) {
+  EXPECT_STREQ(minerva::RouterKindName(minerva::RouterKind::kIqn), "iqn");
+  EXPECT_STREQ(minerva::RouterKindName(minerva::RouterKind::kCori), "cori");
+  EXPECT_STREQ(minerva::RouterKindName(minerva::RouterKind::kRandom),
+               "random");
+  EXPECT_STREQ(minerva::RouterKindName(minerva::RouterKind::kSimpleOverlap),
+               "overlap");
+}
+
+struct Fixture {
+  std::unique_ptr<minerva::Engine> engine;
+  std::vector<Query> queries;
+};
+
+Fixture MakeFixture(minerva::EngineOptions options, size_t peers = 4) {
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = 240;
+  corpus_opts.vocabulary_size = 400;
+  corpus_opts.min_document_length = 15;
+  corpus_opts.max_document_length = 40;
+  corpus_opts.seed = 5;
+  auto gen = SyntheticCorpusGenerator::Create(corpus_opts);
+  EXPECT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, peers * 2);
+  EXPECT_TRUE(frags.ok());
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, peers);
+  EXPECT_TRUE(collections.ok());
+
+  Fixture fixture;
+  auto engine =
+      minerva::Engine::Create(std::move(options),
+                              std::move(collections).value());
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  fixture.engine = std::move(engine).value();
+  EXPECT_TRUE(fixture.engine->Publish().ok());
+
+  QueryWorkloadOptions q_opts;
+  q_opts.num_queries = 4;
+  q_opts.min_terms = 1;
+  q_opts.max_terms = 2;
+  q_opts.band_low = 0.01;
+  q_opts.band_high = 0.3;
+  q_opts.k = 10;
+  q_opts.seed = 6;
+  auto queries = GenerateQueries(gen.value().vocabulary(), q_opts);
+  EXPECT_TRUE(queries.ok());
+  fixture.queries = std::move(queries).value();
+  return fixture;
+}
+
+TEST(ApiTest, EveryRouterKindRunsEndToEnd) {
+  minerva::EngineOptions options;
+  options.max_peers = 2;
+  Fixture fixture = MakeFixture(options);
+  for (minerva::RouterKind kind :
+       {minerva::RouterKind::kIqn, minerva::RouterKind::kCori,
+        minerva::RouterKind::kRandom, minerva::RouterKind::kSimpleOverlap}) {
+    minerva::RoutingSpec spec;
+    spec.kind = kind;
+    QueryOutcome outcome;
+    Status run = fixture.engine->RunQueryWith(spec, 0, fixture.queries[0],
+                                              /*max_peers=*/2, &outcome);
+    ASSERT_TRUE(run.ok()) << minerva::RouterKindName(kind) << ": "
+                          << run.ToString();
+    EXPECT_LE(outcome.decision.peers.size(), 2u)
+        << minerva::RouterKindName(kind);
+  }
+}
+
+TEST(ApiTest, ConfiguredRoutingDrivesRunQuery) {
+  minerva::EngineOptions options;
+  options.routing.kind = minerva::RouterKind::kCori;
+  options.max_peers = 2;
+  Fixture fixture = MakeFixture(options);
+  // RunQuery (configured spec) must match an explicit RunQueryWith of an
+  // identical spec.
+  QueryOutcome configured;
+  ASSERT_TRUE(
+      fixture.engine->RunQuery(0, fixture.queries[0], &configured).ok());
+  minerva::RoutingSpec cori;
+  cori.kind = minerva::RouterKind::kCori;
+  QueryOutcome explicit_spec;
+  ASSERT_TRUE(fixture.engine
+                  ->RunQueryWith(cori, 0, fixture.queries[0], 2,
+                                 &explicit_spec)
+                  .ok());
+  ASSERT_EQ(configured.decision.peers.size(),
+            explicit_spec.decision.peers.size());
+  for (size_t i = 0; i < configured.decision.peers.size(); ++i) {
+    EXPECT_EQ(configured.decision.peers[i].peer_id,
+              explicit_spec.decision.peers[i].peer_id);
+  }
+}
+
+TEST(ApiTest, BatchMatchesSerialOnTheFacade) {
+  minerva::EngineOptions options;
+  options.max_peers = 2;
+  Fixture fixture = MakeFixture(options);
+  std::vector<minerva::Engine::BatchQuery> batch(fixture.queries.size());
+  for (size_t i = 0; i < fixture.queries.size(); ++i) {
+    batch[i].initiator_index = i % fixture.engine->num_peers();
+    batch[i].query = fixture.queries[i];
+  }
+  std::vector<QueryOutcome> outcomes;
+  ASSERT_TRUE(fixture.engine->RunQueryBatch(batch, &outcomes).ok());
+  ASSERT_EQ(outcomes.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    QueryOutcome serial;
+    ASSERT_TRUE(fixture.engine
+                    ->RunQuery(batch[i].initiator_index, batch[i].query,
+                               &serial)
+                    .ok());
+    EXPECT_EQ(outcomes[i].recall, serial.recall) << i;
+    ASSERT_EQ(outcomes[i].decision.peers.size(),
+              serial.decision.peers.size())
+        << i;
+    for (size_t p = 0; p < serial.decision.peers.size(); ++p) {
+      EXPECT_EQ(outcomes[i].decision.peers[p].peer_id,
+                serial.decision.peers[p].peer_id)
+          << i;
+    }
+  }
+}
+
+TEST(ApiTest, ExplainRendersTracedQueries) {
+  minerva::EngineOptions options;
+  options.core.collect_traces = true;
+  options.max_peers = 2;
+  Fixture fixture = MakeFixture(options);
+  QueryOutcome outcome;
+  ASSERT_TRUE(fixture.engine->RunQuery(0, fixture.queries[0], &outcome).ok());
+  std::string text;
+  ASSERT_TRUE(fixture.engine->Explain(outcome, &text).ok());
+  EXPECT_FALSE(text.empty());
+}
+
+TEST(ApiTest, ExplainWithoutTracesFails) {
+  minerva::EngineOptions options;
+  options.max_peers = 2;
+  Fixture fixture = MakeFixture(options);
+  QueryOutcome outcome;
+  ASSERT_TRUE(fixture.engine->RunQuery(0, fixture.queries[0], &outcome).ok());
+  std::string text;
+  EXPECT_FALSE(fixture.engine->Explain(outcome, &text).ok());
+}
+
+}  // namespace
+}  // namespace iqn

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "workload/fragments.h"
 #include "workload/synthetic_corpus.h"
 
@@ -337,6 +337,115 @@ TEST(BatchDeterminismTest, FailingItemAbortsBatchCleanly) {
     ExpectOutcomeEq(serial[i], retry.value()[i], i);
   }
   // Destructor joins the pool (end of scope) — TSan verifies the teardown.
+}
+
+// ---------------------------------------------------------------------
+// Directory cache on: the cache's two-phase visibility (sessions read
+// pre-batch committed state, fills commit in batch order after the join)
+// must keep batches bit-identical across thread counts. Runs are
+// compared across FRESH engines per thread count — a serial RunQuery
+// loop commits between queries and legitimately sees more hits than a
+// batch, so the cross-thread-count comparison is the meaningful one.
+
+TEST(BatchDeterminismTest, CacheEnabledBatchBitIdenticalAcrossThreadCounts) {
+  EngineOptions options;
+  options.cache.enabled = true;
+  // runs[t] = {cold outcomes, warm outcomes} of the engine run with
+  // thread count t.
+  std::vector<std::vector<QueryOutcome>> cold_runs;
+  std::vector<std::vector<QueryOutcome>> warm_runs;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    auto engine = MinervaEngine::Create(options, SmallCollections(6));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    MinervaEngine& e = *engine.value();
+    ASSERT_TRUE(e.PublishAll().ok());
+    IqnRouter router;
+    std::vector<BatchQuery> batch = MakeBatch(e, 10);
+    // Cold batch fills the cache (commits at the join), warm batch is
+    // served from it.
+    auto cold = e.RunQueryBatch(batch, router, 2, threads);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    auto warm = e.RunQueryBatch(batch, router, 2, threads);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    cold_runs.push_back(std::move(cold).value());
+    warm_runs.push_back(std::move(warm).value());
+  }
+  for (size_t run = 1; run < cold_runs.size(); ++run) {
+    SCOPED_TRACE(::testing::Message() << "thread-count run " << run);
+    for (size_t i = 0; i < cold_runs[0].size(); ++i) {
+      ExpectOutcomeEq(cold_runs[0][i], cold_runs[run][i], i);
+      ExpectOutcomeEq(warm_runs[0][i], warm_runs[run][i], i);
+    }
+  }
+  // The warm batch actually hit: it fetched less from the directory.
+  uint64_t cold_bytes = 0;
+  uint64_t warm_bytes = 0;
+  for (const QueryOutcome& o : cold_runs[0]) cold_bytes += o.routing_bytes;
+  for (const QueryOutcome& o : warm_runs[0]) warm_bytes += o.routing_bytes;
+  EXPECT_LT(warm_bytes, cold_bytes);
+}
+
+// Result fields only — traffic and latency legitimately differ when
+// hits skip directory RPCs.
+void ExpectResultsEq(const QueryOutcome& a, const QueryOutcome& b,
+                     size_t item) {
+  SCOPED_TRACE(::testing::Message() << "batch item " << item);
+  ASSERT_EQ(a.decision.peers.size(), b.decision.peers.size());
+  for (size_t i = 0; i < a.decision.peers.size(); ++i) {
+    EXPECT_EQ(a.decision.peers[i].peer_id, b.decision.peers[i].peer_id);
+    EXPECT_EQ(a.decision.peers[i].quality, b.decision.peers[i].quality);
+    EXPECT_EQ(a.decision.peers[i].novelty, b.decision.peers[i].novelty);
+    EXPECT_EQ(a.decision.peers[i].combined, b.decision.peers[i].combined);
+  }
+  EXPECT_EQ(a.decision.estimated_result_cardinality,
+            b.decision.estimated_result_cardinality);
+  EXPECT_EQ(a.execution.local_results, b.execution.local_results);
+  EXPECT_EQ(a.execution.per_peer_results, b.execution.per_peer_results);
+  EXPECT_EQ(a.execution.merged, b.execution.merged);
+  EXPECT_EQ(a.execution.all_distinct, b.execution.all_distinct);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.recall_remote_only, b.recall_remote_only);
+  EXPECT_EQ(a.duplicate_fraction, b.duplicate_fraction);
+  EXPECT_EQ(a.distinct_results, b.distinct_results);
+}
+
+// A hit serves the bytes a fresh fetch would return, so query RESULTS
+// are identical with the cache on or off; only traffic drops.
+TEST(BatchDeterminismTest, CachedResultsBitIdenticalToUncached) {
+  EngineOptions cached_options;
+  cached_options.cache.enabled = true;
+  auto cached = MinervaEngine::Create(cached_options, SmallCollections(6));
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(cached.value()->PublishAll().ok());
+  auto uncached = MinervaEngine::Create(EngineOptions{}, SmallCollections(6));
+  ASSERT_TRUE(uncached.ok());
+  ASSERT_TRUE(uncached.value()->PublishAll().ok());
+
+  IqnRouter router;
+  std::vector<BatchQuery> batch = MakeBatch(*cached.value(), 10);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    auto with_cache = cached.value()->RunQueryBatch(batch, router, 2, 2);
+    auto without_cache = uncached.value()->RunQueryBatch(batch, router, 2, 2);
+    ASSERT_TRUE(with_cache.ok());
+    ASSERT_TRUE(without_cache.ok());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ExpectResultsEq(with_cache.value()[i], without_cache.value()[i], i);
+    }
+    if (round > 0) {
+      // Warm rounds are cheaper on the cached engine.
+      uint64_t cached_bytes = 0;
+      uint64_t uncached_bytes = 0;
+      for (const QueryOutcome& o : with_cache.value()) {
+        cached_bytes += o.routing_bytes;
+      }
+      for (const QueryOutcome& o : without_cache.value()) {
+        uncached_bytes += o.routing_bytes;
+      }
+      EXPECT_LT(cached_bytes, uncached_bytes);
+    }
+  }
 }
 
 }  // namespace

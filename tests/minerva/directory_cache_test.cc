@@ -1,0 +1,335 @@
+#include "minerva/directory_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dht/kv_version.h"
+#include "minerva/api.h"
+#include "minerva/directory.h"
+#include "minerva/post.h"
+#include "synopses/serialization.h"
+#include "util/metrics.h"
+#include "workload/fragments.h"
+#include "workload/synthetic_corpus.h"
+
+namespace iqn {
+namespace {
+
+std::vector<Post> MakePosts(const std::string& term, size_t num_posts,
+                            DocId first_doc = 1) {
+  SynopsisConfig config;
+  std::vector<Post> posts;
+  for (size_t p = 0; p < num_posts; ++p) {
+    auto syn = config.MakeEmpty();
+    EXPECT_TRUE(syn.ok());
+    Post post;
+    post.peer_id = 100 + p;
+    post.address = 100 + p;
+    post.term = term;
+    post.list_length = 10;
+    post.term_space_size = 1000;
+    for (DocId id = first_doc; id < first_doc + 10; ++id) {
+      syn.value()->Add(id + static_cast<DocId>(p) * 50);
+    }
+    post.synopsis = SerializeSynopsisToBytes(*syn.value());
+    posts.push_back(std::move(post));
+  }
+  return posts;
+}
+
+CacheConfig EnabledConfig() {
+  CacheConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(DirectoryCacheTest, DisabledCacheNeverServesNorFills) {
+  KvVersionMap versions;
+  DirectoryCache cache(CacheConfig{}, &versions);
+  DirectoryCache::Session session(&cache);
+  EXPECT_EQ(session.Lookup("t", 0), nullptr);
+  EXPECT_EQ(session.Fill("t", 0, MakePosts("t", 2)), nullptr);
+  cache.Commit(&session);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(session.hits(), 0u);
+  EXPECT_EQ(session.misses(), 0u);
+}
+
+TEST(DirectoryCacheTest, FillReturnsMemoizedCopyAndCommitServesHits) {
+  KvVersionMap versions;
+  versions.Bump(Directory::KeyForTerm("t"));
+  DirectoryCache cache(EnabledConfig(), &versions);
+
+  DirectoryCache::Session fill_session(&cache);
+  std::vector<Post> fetched = MakePosts("t", 3);
+  const std::vector<Post>* buffered = fill_session.Fill("t", 0, fetched);
+  ASSERT_NE(buffered, nullptr);
+  ASSERT_EQ(buffered->size(), 3u);
+  // The buffered copy carries pre-materialized decode memos: copies of
+  // these posts share one decoded synopsis object.
+  auto first = (*buffered)[0].SharedSynopsis();
+  ASSERT_TRUE(first.ok());
+  Post copy = (*buffered)[0];
+  auto second = copy.SharedSynopsis();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+  cache.Commit(&fill_session);
+  EXPECT_EQ(cache.size(), 1u);
+
+  DirectoryCache::Session session(&cache);
+  const std::vector<Post>* hit = session.Lookup("t", 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 3u);
+  EXPECT_EQ((*hit)[2].peer_id, 102u);
+  EXPECT_EQ(session.hits(), 1u);
+  EXPECT_EQ(session.misses(), 0u);
+}
+
+TEST(DirectoryCacheTest, PendingFillsInvisibleUntilCommit) {
+  KvVersionMap versions;
+  DirectoryCache cache(EnabledConfig(), &versions);
+
+  DirectoryCache::Session writer(&cache);
+  writer.Fill("t", 0, MakePosts("t", 1));
+  // Another session (and even the writer itself) reads committed state
+  // only — the fill is still buffered.
+  DirectoryCache::Session reader(&cache);
+  EXPECT_EQ(reader.Lookup("t", 0), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Commit(&writer);
+  DirectoryCache::Session after(&cache);
+  EXPECT_NE(after.Lookup("t", 0), nullptr);
+}
+
+TEST(DirectoryCacheTest, VersionBumpInvalidatesExactlyThatTerm) {
+  KvVersionMap versions;
+  DirectoryCache cache(EnabledConfig(), &versions);
+
+  DirectoryCache::Session fill_session(&cache);
+  fill_session.Fill("a", 0, MakePosts("a", 2));
+  fill_session.Fill("b", 0, MakePosts("b", 2));
+  cache.Commit(&fill_session);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // A republish of term "a" bumps its key; "b" is untouched.
+  versions.Bump(Directory::KeyForTerm("a"));
+  DirectoryCache::Session session(&cache);
+  EXPECT_EQ(session.Lookup("a", 0), nullptr);
+  EXPECT_NE(session.Lookup("b", 0), nullptr);
+  EXPECT_EQ(session.hits(), 1u);
+  EXPECT_EQ(session.misses(), 1u);
+
+  // Refilling the stale term counts an invalidation and serves again.
+  uint64_t invalidations_before =
+      MetricsRegistry::Default().GetCounter("cache.invalidations")->Value();
+  session.Fill("a", 0, MakePosts("a", 2, /*first_doc=*/500));
+  cache.Commit(&session);
+  EXPECT_EQ(
+      MetricsRegistry::Default().GetCounter("cache.invalidations")->Value(),
+      invalidations_before + 1);
+  DirectoryCache::Session after(&cache);
+  EXPECT_NE(after.Lookup("a", 0), nullptr);
+}
+
+TEST(DirectoryCacheTest, TruncationLimitIsPartOfTheKey) {
+  KvVersionMap versions;
+  DirectoryCache cache(EnabledConfig(), &versions);
+  DirectoryCache::Session fill_session(&cache);
+  fill_session.Fill("t", /*limit=*/5, MakePosts("t", 5));
+  cache.Commit(&fill_session);
+
+  DirectoryCache::Session session(&cache);
+  EXPECT_NE(session.Lookup("t", 5), nullptr);
+  // A full-list (or differently truncated) fetch must not be served from
+  // the truncated copy.
+  EXPECT_EQ(session.Lookup("t", 0), nullptr);
+  EXPECT_EQ(session.Lookup("t", 10), nullptr);
+}
+
+TEST(DirectoryCacheTest, SimulatedTimeTtlExpiresEntries) {
+  KvVersionMap versions;
+  CacheConfig config = EnabledConfig();
+  config.ttl_ms = 10.0;
+  DirectoryCache cache(config, &versions);
+
+  DirectoryCache::Session fill_session(&cache);
+  fill_session.Fill("t", 0, MakePosts("t", 1));
+  cache.Commit(&fill_session);
+
+  DirectoryCache::Session fresh(&cache);
+  EXPECT_NE(fresh.Lookup("t", 0), nullptr);
+  cache.AdvanceTime(9.0);
+  DirectoryCache::Session still_fresh(&cache);
+  EXPECT_NE(still_fresh.Lookup("t", 0), nullptr);
+  cache.AdvanceTime(2.0);
+  DirectoryCache::Session expired(&cache);
+  EXPECT_EQ(expired.Lookup("t", 0), nullptr);
+}
+
+TEST(DirectoryCacheTest, EvictsOldestFilledBeyondMaxTerms) {
+  KvVersionMap versions;
+  CacheConfig config = EnabledConfig();
+  config.max_terms = 2;
+  DirectoryCache cache(config, &versions);
+
+  DirectoryCache::Session s1(&cache);
+  s1.Fill("a", 0, MakePosts("a", 1));
+  cache.Commit(&s1);
+  DirectoryCache::Session s2(&cache);
+  s2.Fill("b", 0, MakePosts("b", 1));
+  cache.Commit(&s2);
+  DirectoryCache::Session s3(&cache);
+  s3.Fill("c", 0, MakePosts("c", 1));
+  cache.Commit(&s3);
+
+  EXPECT_EQ(cache.size(), 2u);
+  DirectoryCache::Session session(&cache);
+  EXPECT_EQ(session.Lookup("a", 0), nullptr);  // oldest fill evicted
+  EXPECT_NE(session.Lookup("b", 0), nullptr);
+  EXPECT_NE(session.Lookup("c", 0), nullptr);
+}
+
+TEST(DirectoryCacheTest, ClearDropsEverything) {
+  KvVersionMap versions;
+  DirectoryCache cache(EnabledConfig(), &versions);
+  DirectoryCache::Session fill_session(&cache);
+  fill_session.Fill("t", 0, MakePosts("t", 1));
+  cache.Commit(&fill_session);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  DirectoryCache::Session session(&cache);
+  EXPECT_EQ(session.Lookup("t", 0), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level: version bumps come from real publish/churn traffic, and
+// republishing must invalidate cached PeerLists (no stale serving).
+
+std::vector<Corpus> SmallCollections(size_t peers = 4, uint64_t seed = 5) {
+  SyntheticCorpusOptions opts;
+  opts.num_documents = 240;
+  opts.vocabulary_size = 400;
+  opts.min_document_length = 15;
+  opts.max_document_length = 40;
+  opts.seed = seed;
+  auto gen = SyntheticCorpusGenerator::Create(opts);
+  EXPECT_TRUE(gen.ok());
+  Corpus corpus = gen.value().Generate();
+  auto frags = SplitIntoFragments(corpus, peers * 2);
+  EXPECT_TRUE(frags.ok());
+  auto collections = SlidingWindowCollections(frags.value(), /*window=*/3,
+                                              /*offset=*/2, peers);
+  EXPECT_TRUE(collections.ok());
+  return std::move(collections).value();
+}
+
+Query FrequentTermQuery(minerva::Engine& engine) {
+  Query q;
+  size_t best_df = 0;
+  for (const auto& [term, list] :
+       engine.core().reference_index().lists()) {
+    if (list.size() > best_df) {
+      best_df = list.size();
+      q.terms = {term};
+    }
+  }
+  q.k = 20;
+  return q;
+}
+
+TEST(DirectoryCacheEngineTest, PublishBumpsVersions) {
+  minerva::EngineOptions options;
+  auto engine = minerva::Engine::Create(options, SmallCollections());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->core().version_map().size(), 0u);
+  ASSERT_TRUE(engine.value()->Publish().ok());
+  EXPECT_GT(engine.value()->core().version_map().size(), 0u);
+}
+
+TEST(DirectoryCacheEngineTest, RepeatedQueriesHitAndRepublishInvalidates) {
+  minerva::EngineOptions cached_options;
+  cached_options.core.cache.enabled = true;
+  auto cached = minerva::Engine::Create(cached_options, SmallCollections());
+  ASSERT_TRUE(cached.ok());
+  auto uncached =
+      minerva::Engine::Create(minerva::EngineOptions{}, SmallCollections());
+  ASSERT_TRUE(uncached.ok());
+  ASSERT_TRUE(cached.value()->Publish().ok());
+  ASSERT_TRUE(uncached.value()->Publish().ok());
+
+  Query query = FrequentTermQuery(*cached.value());
+  auto same_outcomes = [&](const char* what) {
+    QueryOutcome with_cache;
+    QueryOutcome without_cache;
+    ASSERT_TRUE(cached.value()->RunQuery(0, query, &with_cache).ok()) << what;
+    ASSERT_TRUE(uncached.value()->RunQuery(0, query, &without_cache).ok())
+        << what;
+    EXPECT_EQ(with_cache.recall, without_cache.recall) << what;
+    ASSERT_EQ(with_cache.decision.peers.size(),
+              without_cache.decision.peers.size())
+        << what;
+    for (size_t i = 0; i < with_cache.decision.peers.size(); ++i) {
+      EXPECT_EQ(with_cache.decision.peers[i].peer_id,
+                without_cache.decision.peers[i].peer_id)
+          << what;
+    }
+    ASSERT_EQ(with_cache.execution.merged.size(),
+              without_cache.execution.merged.size())
+        << what;
+    for (size_t i = 0; i < with_cache.execution.merged.size(); ++i) {
+      EXPECT_EQ(with_cache.execution.merged[i].doc,
+                without_cache.execution.merged[i].doc)
+          << what;
+      EXPECT_EQ(with_cache.execution.merged[i].score,
+                without_cache.execution.merged[i].score)
+          << what;
+    }
+  };
+
+  uint64_t hits_before =
+      MetricsRegistry::Default().GetCounter("cache.hits")->Value();
+  same_outcomes("cold");
+  same_outcomes("warm");  // second run is served from cache
+  EXPECT_GT(MetricsRegistry::Default().GetCounter("cache.hits")->Value(),
+            hits_before);
+  // A hit is charged zero network cost: the warm run's routing bytes
+  // shrink vs the uncached engine.
+  QueryOutcome warm_cached;
+  QueryOutcome warm_uncached;
+  ASSERT_TRUE(cached.value()->RunQuery(0, query, &warm_cached).ok());
+  ASSERT_TRUE(uncached.value()->RunQuery(0, query, &warm_uncached).ok());
+  EXPECT_LT(warm_cached.routing_bytes, warm_uncached.routing_bytes);
+
+  // Evolve ONE peer identically in both engines, republishing the
+  // touched terms. The version bump must invalidate the cached copy: the
+  // cached engine may not serve the pre-churn PeerList.
+  SyntheticCorpusOptions delta_opts;
+  delta_opts.num_documents = 60;
+  delta_opts.vocabulary_size = 400;
+  delta_opts.min_document_length = 15;
+  delta_opts.max_document_length = 40;
+  delta_opts.first_doc_id = 10000;
+  delta_opts.vocabulary_seed = 5;
+  delta_opts.seed = 99;
+  auto delta_gen = SyntheticCorpusGenerator::Create(delta_opts);
+  ASSERT_TRUE(delta_gen.ok());
+  ASSERT_TRUE(cached.value()
+                  ->peer(1)
+                  .AddDocuments(delta_gen.value().Generate(),
+                                /*republish=*/true)
+                  .ok());
+  ASSERT_TRUE(uncached.value()
+                  ->peer(1)
+                  .AddDocuments(delta_gen.value().Generate(),
+                                /*republish=*/true)
+                  .ok());
+  cached.value()->RebuildReferenceIndex();
+  uncached.value()->RebuildReferenceIndex();
+  same_outcomes("after republish");
+}
+
+}  // namespace
+}  // namespace iqn

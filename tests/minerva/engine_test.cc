@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "workload/fragments.h"
 #include "workload/synthetic_corpus.h"
 

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "synopses/estimators.h"
 #include "synopses/min_wise.h"
 #include "tests/minerva/test_helpers.h"

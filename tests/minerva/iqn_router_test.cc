@@ -1,4 +1,4 @@
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 
 #include <gtest/gtest.h>
 

@@ -1,9 +1,9 @@
-#include "minerva/query_processor.h"
+#include "minerva/internal/query_processor.h"
 
 #include <gtest/gtest.h>
 
 #include "minerva/engine.h"
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "workload/fragments.h"
 #include "workload/synthetic_corpus.h"
 

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "minerva/iqn_router.h"
+#include "minerva/internal/iqn_router.h"
 #include "tests/minerva/test_helpers.h"
 
 namespace iqn {

@@ -1,4 +1,4 @@
-#include "minerva/router.h"
+#include "minerva/internal/router.h"
 
 #include <gtest/gtest.h>
 

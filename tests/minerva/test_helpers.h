@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "minerva/post.h"
-#include "minerva/router.h"
+#include "minerva/internal/router.h"
 #include "synopses/serialization.h"
 
 namespace iqn {

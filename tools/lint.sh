@@ -69,6 +69,18 @@ done < <(grep -rnE '(->|\.)[[:space:]]*Rpc[[:space:]]*\(' \
          | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
          | grep -v NOLINT || true)
 
+# --- Rule: examples/, bench/, and tools/ build against the public facade
+# --- only (minerva/api.h and the public data-model headers). The router
+# --- implementations and the query processor under minerva/internal/ are
+# --- not API; reaching for them from a consumer-side directory is how
+# --- facade rot starts. Tests may include internal headers.
+while IFS= read -r hit; do
+  report no-internal-include "$hit"
+done < <(grep -rnE '#include[[:space:]]*"minerva/internal/' \
+           examples bench tools \
+           --include='*.cc' --include='*.cpp' --include='*.h' 2>/dev/null \
+         | grep -v NOLINT || true)
+
 # --- Rule: no naked new outside factory wrappers. A `new T(...)` must sit
 # --- on, or directly under, a line that hands ownership to a smart
 # --- pointer; anything else leaks on the error path.
