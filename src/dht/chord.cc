@@ -334,11 +334,14 @@ Status ChordNode::Leave() {
     ByteWriter set_pred;
     set_pred.PutU8(predecessor_.has_value() ? 1 : 0);
     if (predecessor_) PutPeer(&set_pred, *predecessor_);
+    // Best effort: if the successor misses the splice, stabilization
+    // repairs the ring on its next round.
     (void)CallRpc(network_, self_.address, succ.address, "chord.set_predecessor",
                         set_pred.Take());
     if (predecessor_ && network_->IsNodeUp(predecessor_->address)) {
       ByteWriter set_succ;
       PutPeer(&set_succ, succ);
+      // Best effort, same repair path as above.
       (void)CallRpc(network_, self_.address, predecessor_->address,
                           "chord.set_successor", set_succ.Take());
     }

@@ -156,8 +156,9 @@ Result<Bytes> DhtStore::HandleUpsertBatch(const Message& msg) {
     writer.PutVarint(replicas_left - 1);
     ByteReader replay(msg.payload);
     uint64_t c2, r2;
+    // Re-reads of the two counts parsed above; they cannot fail here.
     (void)replay.GetVarint(&c2);
-    (void)replay.GetVarint(&r2);
+    (void)replay.GetVarint(&r2);  // see above
     for (uint64_t i = 0; i < count; ++i) {
       std::string key, subkey;
       Bytes value;
@@ -460,6 +461,7 @@ void DhtStore::HandoffAll(const ChordPeer& successor) {
       writer.PutBytes(value);
     }
   }
+  // Best effort: a lost handoff is repaired by the next re-post.
   (void)CallRpc(node_->network(), node_->address(), successor.address,
                               "kv.handoff", writer.Take());
   data_.clear();

@@ -87,47 +87,47 @@ class Engine {
   /// Builds a network of `collections.size()` peers, installs the fault
   /// plan (when active), and sizes the worker pool. Call Publish()
   /// before running queries.
-  static iqn::Result<std::unique_ptr<Engine>> Create(
+  [[nodiscard]] static iqn::Result<std::unique_ptr<Engine>> Create(
       EngineOptions options, std::vector<iqn::Corpus> collections);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Every peer posts synopses + statistics for every term it holds.
-  iqn::Status Publish();
+  [[nodiscard]] iqn::Status Publish();
 
   /// Full pipeline for one query under the configured routing and peer
   /// budget. The outcome's trace (when tracing) is retained for
   /// WriteSinks.
-  iqn::Status RunQuery(size_t initiator, const iqn::Query& query,
+  [[nodiscard]] iqn::Status RunQuery(size_t initiator, const iqn::Query& query,
                        iqn::QueryOutcome* outcome);
 
   /// Same, overriding routing method and peer budget per call (for
   /// method-comparison sweeps).
-  iqn::Status RunQueryWith(const RoutingSpec& spec, size_t initiator,
+  [[nodiscard]] iqn::Status RunQueryWith(const RoutingSpec& spec, size_t initiator,
                            const iqn::Query& query, size_t max_peers,
                            iqn::QueryOutcome* outcome);
 
   /// Concurrent batch under the configured routing, peer budget, and
   /// thread count; outcomes are bit-identical to serial execution.
-  iqn::Status RunQueryBatch(const std::vector<BatchQuery>& batch,
+  [[nodiscard]] iqn::Status RunQueryBatch(const std::vector<BatchQuery>& batch,
                             std::vector<iqn::QueryOutcome>* outcomes);
 
   /// Same, overriding routing, budget, and threads per call.
-  iqn::Status RunQueryBatchWith(const RoutingSpec& spec,
+  [[nodiscard]] iqn::Status RunQueryBatchWith(const RoutingSpec& spec,
                                 const std::vector<BatchQuery>& batch,
                                 size_t max_peers, size_t num_threads,
                                 std::vector<iqn::QueryOutcome>* outcomes);
 
   /// Renders the per-iteration routing explanation of an outcome
   /// (requires core.collect_traces).
-  iqn::Status Explain(const iqn::QueryOutcome& outcome,
+  [[nodiscard]] iqn::Status Explain(const iqn::QueryOutcome& outcome,
                       std::string* text) const;
 
   /// Writes the configured sinks: trace_out gets a Chrome trace_event
   /// JSON of every traced query so far, metrics_out a metrics-registry
   /// snapshot. Empty paths are skipped.
-  iqn::Status WriteSinks() const;
+  [[nodiscard]] iqn::Status WriteSinks() const;
 
   /// Zeroes the process-wide metrics registry (e.g. after Publish, to
   /// snapshot only the query phase).

@@ -24,6 +24,11 @@ const std::vector<Post>* DirectoryCache::Session::Lookup(
     const std::string& term, size_t limit) {
   const DirectoryCache& cache = *cache_;
   if (!cache.config_.enabled) return nullptr;
+  // Shared visibility capability: concurrent with other sessions'
+  // lookups, mutually exclusive with Commit/AdvanceTime/Clear. The
+  // returned pointer stays valid after release — committed entries are
+  // only replaced/erased in serial phases, when no session is live.
+  ReaderMutexLock lock(&cache.mu_);
   auto it = cache.entries_.find(term);
   bool hit = false;
   if (it != cache.entries_.end()) {
@@ -55,8 +60,8 @@ const std::vector<Post>* DirectoryCache::Session::Fill(
   // later hit hands out copies that SHARE the memo and never write it,
   // so concurrent batch workers read cached posts without synchronizing.
   for (Post& post : fill.posts) {
-    (void)post.SharedSynopsis();
-    if (!post.histogram.empty()) (void)post.SharedHistogram();
+    (void)post.SharedSynopsis();  // populate the memo; value unused here
+    if (!post.histogram.empty()) (void)post.SharedHistogram();  // same
   }
   PendingFill& stored = pending_[term];
   stored = std::move(fill);
@@ -65,6 +70,7 @@ const std::vector<Post>* DirectoryCache::Session::Fill(
 
 void DirectoryCache::Commit(Session* session) {
   IQN_CHECK(session != nullptr && session->cache_ == this);
+  WriterMutexLock lock(&mu_);
   for (auto& [term, fill] : session->pending_) {
     auto it = entries_.find(term);
     if (it != entries_.end()) {
@@ -108,9 +114,13 @@ void DirectoryCache::Commit(Session* session) {
 
 void DirectoryCache::AdvanceTime(double delta_ms) {
   IQN_CHECK_GE(delta_ms, 0.0);
+  WriterMutexLock lock(&mu_);
   now_ms_ += delta_ms;
 }
 
-void DirectoryCache::Clear() { entries_.clear(); }
+void DirectoryCache::Clear() {
+  WriterMutexLock lock(&mu_);
+  entries_.clear();
+}
 
 }  // namespace iqn

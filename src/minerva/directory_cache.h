@@ -36,6 +36,8 @@
 
 #include "dht/kv_version.h"
 #include "minerva/post.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace iqn {
 
@@ -73,8 +75,11 @@ class DirectoryCache {
 
     /// The cached PeerList for (term, limit), or nullptr on miss
     /// (absent, fetched under a different truncation limit, stale
-    /// version, or expired TTL). Counts the hit/miss.
-    const std::vector<Post>* Lookup(const std::string& term, size_t limit);
+    /// version, or expired TTL). Counts the hit/miss. Takes the cache's
+    /// visibility capability shared: many batch workers may look up
+    /// concurrently, none can write committed state.
+    const std::vector<Post>* Lookup(const std::string& term, size_t limit)
+        IQN_EXCLUDES(cache_->mu_);
 
     /// Buffers a freshly fetched PeerList for commit, stamped with the
     /// term key's current publish version. Pre-materializes the posts'
@@ -106,18 +111,26 @@ class DirectoryCache {
   /// Applies a session's buffered fills to the committed state. Serial
   /// phases only (after a serial query, or in batch order after the
   /// batch joins). Counts an invalidation for every replaced entry that
-  /// had gone stale, then refreshes the hit-ratio gauge.
-  void Commit(Session* session);
+  /// had gone stale, then refreshes the hit-ratio gauge. Takes the
+  /// visibility capability exclusively: the analyzer proves no Session
+  /// lookup can observe a half-applied commit.
+  void Commit(Session* session) IQN_EXCLUDES(mu_);
 
   /// Advances the simulated TTL clock (no-op relevance when ttl_ms = 0).
   /// Serial phases only.
-  void AdvanceTime(double delta_ms);
-  double now_ms() const { return now_ms_; }
+  void AdvanceTime(double delta_ms) IQN_EXCLUDES(mu_);
+  double now_ms() const IQN_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return now_ms_;
+  }
 
   /// Drops every committed entry (counts no invalidations).
-  void Clear();
+  void Clear() IQN_EXCLUDES(mu_);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const IQN_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return entries_.size();
+  }
   const CacheConfig& config() const { return config_; }
 
  private:
@@ -131,9 +144,17 @@ class DirectoryCache {
 
   CacheConfig config_;
   const KvVersionMap* versions_;
-  double now_ms_ = 0.0;
-  uint64_t next_fill_seq_ = 0;
-  std::map<std::string, Entry> entries_;
+
+  // The two-phase visibility rule as a capability: committed state is
+  // readable under mu_ shared (Session::Lookup — any number of batch
+  // workers) and writable only under mu_ exclusive (Commit/AdvanceTime/
+  // Clear — the engine's serial phases). The engine's discipline makes
+  // the writer lock uncontended in practice; the annotations make a
+  // query-path write a compile error on Clang rather than a TSan race.
+  mutable SharedMutex mu_;
+  double now_ms_ IQN_GUARDED_BY(mu_) = 0.0;
+  uint64_t next_fill_seq_ IQN_GUARDED_BY(mu_) = 0;
+  std::map<std::string, Entry> entries_ IQN_GUARDED_BY(mu_);
 
   // Cached registry instruments (process-wide, shared across caches);
   // the ratio gauge is recomputed from the global counters at commit.

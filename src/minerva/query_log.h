@@ -1,6 +1,12 @@
 // JSON-lines query log exporter: one self-contained JSON object per
 // query (terms, routing decision, traffic split, recall, degradation),
 // the grep/jq-friendly companion to the Chrome trace exporter.
+//
+// Concurrency: pure functions over already-joined per-query outcomes,
+// called from the engine's serial phases only — no shared state, so no
+// iqn::Mutex and nothing for the thread-safety analysis to guard here
+// (DESIGN.md §12). Writing the log during a live batch would be a bug
+// in the caller, not a race in this file.
 
 #ifndef IQN_MINERVA_QUERY_LOG_H_
 #define IQN_MINERVA_QUERY_LOG_H_

@@ -160,6 +160,10 @@ class SimulatedNetwork {
 
   LatencyModel latency_;
   std::vector<Node> nodes_;
+  /// Thread-confined, not locked (DESIGN.md §12): batch workers never
+  /// write here — each carries its own StatsCapture sink, and Charge()
+  /// routes to the innermost live sink via ActiveStats(). Topology
+  /// writes are fenced by the live_captures_ runtime check below.
   NetworkStats stats_;
   std::unique_ptr<FaultInjector> faults_;
   /// Live StatsCapture count; topology mutation is checked against it.

@@ -40,7 +40,7 @@ Status Flags::Set(const std::string& name, const std::string& value) {
     case Type::kInt: {
       char* end = nullptr;
       errno = 0;
-      (void)std::strtoll(value.c_str(), &end, 10);
+      (void)std::strtoll(value.c_str(), &end, 10);  // validate only
       if (errno != 0 || end == value.c_str() || *end != '\0') {
         return Status::InvalidArgument("flag --" + name +
                                        " expects an integer, got '" + value +
@@ -51,7 +51,7 @@ Status Flags::Set(const std::string& name, const std::string& value) {
     case Type::kDouble: {
       char* end = nullptr;
       errno = 0;
-      (void)std::strtod(value.c_str(), &end);
+      (void)std::strtod(value.c_str(), &end);  // validate only
       if (errno != 0 || end == value.c_str() || *end != '\0') {
         return Status::InvalidArgument("flag --" + name +
                                        " expects a number, got '" + value +

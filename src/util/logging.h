@@ -8,7 +8,10 @@
 // Thread safety: the minimum level and verbosity are atomics, each
 // LogLine buffers its own message, and LogMessage emits one
 // pre-formatted write per line, so concurrent loggers cannot interleave
-// characters and TSan sees no races.
+// characters and TSan sees no races. There is no guarded compound state
+// here, hence no iqn::Mutex — the logger is one of the repo's
+// lock-free-by-design components (DESIGN.md §12); the config atomics
+// live in util/, outside the metrics-registry rule's scope.
 //
 // Cost below threshold: LogLine captures the level check ONCE at
 // construction and short-circuits every operator<<, so a suppressed

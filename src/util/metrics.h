@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace iqn {
 
@@ -132,23 +134,27 @@ class MetricsRegistry {
   /// The process-wide registry every subsystem reports into.
   static MetricsRegistry& Default();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) IQN_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) IQN_EXCLUDES(mu_);
   /// `bounds` is used on first registration only; later lookups of the
   /// same name return the existing histogram unchanged.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds);
+                          std::vector<double> bounds) IQN_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const IQN_EXCLUDES(mu_);
   /// Zeroes every registered instrument (names and bounds persist).
   /// Benches call this after setup so snapshots cover the query phase.
-  void Reset();
+  void Reset() IQN_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps (name -> stable instrument address) are mu_-guarded; the
+  // instruments themselves are lock-free and incremented outside it.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IQN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ IQN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IQN_GUARDED_BY(mu_);
 };
 
 }  // namespace iqn

@@ -1,0 +1,14 @@
+#include "util/mutex.h"
+
+namespace iqn {
+
+void CondVar::Wait(Mutex* mu) {
+  // Adopt the already-held native mutex so std::condition_variable can
+  // release/reacquire it, then release the unique_lock's ownership claim
+  // before it destructs — the caller's MutexLock still owns the lock.
+  std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace iqn

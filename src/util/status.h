@@ -33,7 +33,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Lightweight status object carrying a code and, on error, a message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status return hides failures, so
+/// the compiler flags every discarded call. Deliberate fire-and-forget
+/// sites cast to (void) WITH a reason comment (tools/iqn_lint.py rule
+/// status-discard keeps both the attribute and the comments honest).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -86,9 +90,10 @@ class Status {
 };
 
 /// Value-or-Status. Accessing value() on an error Result aborts in debug
-/// builds; callers must check ok() first.
+/// builds; callers must check ok() first. [[nodiscard]] for the same
+/// reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)

@@ -1,0 +1,101 @@
+// Clang thread-safety-analysis (TSA) annotation macros.
+//
+// These attach lock-discipline facts to declarations — "this field is
+// guarded by that mutex", "this method must be called with the lock
+// held", "this RAII type acquires on construction" — which Clang's
+// -Wthread-safety analysis then proves at compile time. The dev/CI
+// Clang builds promote violations to errors
+// (-Werror=thread-safety-analysis), so an unguarded access or a
+// lock-order mistake fails the build instead of becoming a TSan report
+// (or, once the real-transport daemon lands, a distributed heisenbug).
+//
+// On non-Clang compilers every macro expands to nothing: GCC builds are
+// unaffected and the annotations are pure documentation there. The
+// analysis only understands types that declare the `capability`
+// attribute — use iqn::Mutex / iqn::SharedMutex (util/mutex.h), never
+// raw std::mutex (tools/iqn_lint.py rule no-raw-mutex).
+//
+// Naming follows the Clang documentation's reference macro set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an IQN_
+// prefix.
+
+#ifndef IQN_UTIL_THREAD_ANNOTATIONS_H_
+#define IQN_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define IQN_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define IQN_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+// On a class: instances are capabilities (lockable things) the analysis
+// tracks. The string names the capability kind in diagnostics.
+#define IQN_CAPABILITY(x) IQN_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+// On a class: RAII object that acquires a capability in its constructor
+// and releases it in its destructor (MutexLock and friends).
+#define IQN_SCOPED_CAPABILITY \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// On a data member: reads require the capability held (shared suffices),
+// writes require it held exclusively.
+#define IQN_GUARDED_BY(x) IQN_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+// On a pointer member: the pointed-to data (not the pointer itself) is
+// guarded.
+#define IQN_PT_GUARDED_BY(x) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// On a function: caller must hold the capability exclusively / shared.
+#define IQN_REQUIRES(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define IQN_REQUIRES_SHARED(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires the capability (caller must not already hold
+// it); the shared variants acquire reader access.
+#define IQN_ACQUIRE(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define IQN_ACQUIRE_SHARED(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+// On a function: releases the capability (caller must hold it).
+#define IQN_RELEASE(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define IQN_RELEASE_SHARED(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the capability iff the return
+// value equals the first argument.
+#define IQN_TRY_ACQUIRE(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: must be called WITHOUT the capability held (deadlock
+// prevention for functions that acquire it themselves).
+#define IQN_EXCLUDES(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// On a function: tells the analysis the capability IS held here even
+// though it cannot prove it (e.g. held by an enclosing object whose
+// lifetime guarantees it). Backed by a runtime check where possible.
+#define IQN_ASSERT_CAPABILITY(x) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define IQN_ASSERT_SHARED_CAPABILITY(x) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+// On a function returning a reference to a capability.
+#define IQN_RETURN_CAPABILITY(x) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Lock-ordering declarations (deadlock detection across capabilities).
+#define IQN_ACQUIRED_BEFORE(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define IQN_ACQUIRED_AFTER(...) \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// Escape hatch: disables the analysis for one function. Every use needs
+// a comment explaining which invariant makes the unchecked code safe.
+#define IQN_NO_THREAD_SAFETY_ANALYSIS \
+  IQN_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // IQN_UTIL_THREAD_ANNOTATIONS_H_

@@ -17,15 +17,15 @@ thread_local const ThreadPool* tls_owner_pool = nullptr;
 }  // namespace
 
 void Latch::CountDown(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   IQN_CHECK_GE(count_, n);
   count_ -= n;
-  if (count_ == 0) cv_.notify_all();
+  if (count_ == 0) cv_.NotifyAll();
 }
 
 void Latch::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return count_ == 0; });
+  MutexLock lock(&mu_);
+  while (count_ != 0) cv_.Wait(&mu_);
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -46,11 +46,11 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -59,13 +59,13 @@ void ThreadPool::Shutdown() {
 Status ThreadPool::Schedule(std::function<void()> task) {
   IQN_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       return Status::Unavailable("thread pool is shut down");
     }
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::OK();
 }
 
@@ -74,8 +74,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain the queue even when stopping: Shutdown() promises queued
       // tasks run (a ParallelFor in flight counts on its helpers).
       if (queue_.empty()) break;  // only reachable when stopping_

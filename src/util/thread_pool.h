@@ -24,16 +24,16 @@
 #ifndef IQN_UTIL_THREAD_POOL_H_
 #define IQN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <thread>  // NOLINT(no-raw-thread) the pool IS the thread owner
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace iqn {
 
@@ -46,13 +46,13 @@ class Latch {
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
-  void CountDown(size_t n = 1);
-  void Wait();
+  void CountDown(size_t n = 1) IQN_EXCLUDES(mu_);
+  void Wait() IQN_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t count_ IQN_GUARDED_BY(mu_);
 };
 
 class ThreadPool {
@@ -69,14 +69,14 @@ class ThreadPool {
 
   /// Stops accepting work, drains the queue, and joins every worker.
   /// Idempotent; safe to call with tasks still queued (they run first).
-  void Shutdown();
+  void Shutdown() IQN_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Enqueues a task. Unavailable after Shutdown(). The task must not
   /// throw out of its top frame uncaught — use ParallelFor for fallible
   /// work; Schedule is the low-level escape hatch for tests and plumbing.
-  Status Schedule(std::function<void()> task);
+  Status Schedule(std::function<void()> task) IQN_EXCLUDES(mu_);
 
   /// Runs body(chunk_begin, chunk_end) over [begin, end) split into
   /// chunks of `grain` indices (last chunk may be short; grain 0 = 1).
@@ -99,12 +99,14 @@ class ThreadPool {
  private:
   explicit ThreadPool(size_t num_threads);
 
-  void WorkerLoop();
+  void WorkerLoop() IQN_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ IQN_GUARDED_BY(mu_);
+  bool stopping_ IQN_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, then immutable: joined/read without
+  /// mu_ (workers never touch it).
   std::vector<std::thread> threads_;
 };
 

@@ -45,8 +45,12 @@ struct TraceSpan {
   std::vector<TraceAttr> attrs;
 };
 
-/// One query's span tree. Not thread-safe: a trace belongs to the one
-/// thread its TraceScope is installed on.
+/// One query's span tree. Not thread-safe — safety comes from
+/// thread-confinement, not locking: a trace belongs to the one thread
+/// its TraceScope is installed on (thread_local install, DESIGN.md
+/// §12), so it carries no iqn::Mutex and the analyzer has nothing to
+/// prove here — TSan and the batch determinism tests guard the
+/// confinement instead.
 class QueryTrace {
  public:
   /// Reads the current simulated time (typically the query's metered

@@ -1,0 +1,207 @@
+// Tests for the annotated locking primitives (util/mutex.h).
+//
+// The Clang thread-safety analysis proves the *static* discipline (CI's
+// static-analysis job builds with -Werror=thread-safety-analysis); these
+// tests pin down the *dynamic* behavior — mutual exclusion, reader
+// concurrency, CondVar wakeups — and give ThreadSanitizer contended
+// executions to race-check. All contention is driven through ThreadPool
+// (the repo's only thread source).
+
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace iqn {
+namespace {
+
+std::unique_ptr<ThreadPool> MakePool(size_t n) {
+  auto pool = ThreadPool::Create(n);
+  IQN_CHECK(pool.ok());
+  return std::move(pool).value();
+}
+
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  // A non-atomic counter incremented under the lock from many workers:
+  // any missing exclusion shows up as a lost update (and as a TSan race).
+  Mutex mu;
+  int64_t counter = 0;
+  auto pool = MakePool(8);
+  constexpr size_t kIncrements = 20000;
+  Status status =
+      pool->ParallelFor(0, kIncrements, 1, [&](size_t, size_t) {
+        MutexLock lock(&mu);
+        ++counter;
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, static_cast<int64_t>(kIncrements));
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  // TryLock from another thread must fail while we hold the lock.
+  auto pool = MakePool(1);
+  bool acquired_while_held = true;
+  ASSERT_TRUE(pool
+                  ->ParallelFor(0, 1, 1,
+                                [&](size_t, size_t) {
+                                  acquired_while_held = mu.TryLock();
+                                  if (acquired_while_held) mu.Unlock();
+                                  return Status::OK();
+                                })
+                  .ok());
+  mu.Unlock();
+  EXPECT_FALSE(acquired_while_held);
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, SharedMutexWriterExcludesReaders) {
+  // Writers mutate a two-field invariant (a == b); readers assert it.
+  // Torn reads would break the invariant check, and TSan would flag any
+  // reader/writer overlap as a race if the lock were wrong.
+  SharedMutex mu;
+  int64_t a = 0;
+  int64_t b = 0;
+  auto pool = MakePool(8);
+  constexpr size_t kOps = 10000;
+  Status status = pool->ParallelFor(0, kOps, 1, [&](size_t i, size_t) {
+    if (i % 4 == 0) {
+      WriterMutexLock lock(&mu);
+      ++a;
+      ++b;
+    } else {
+      ReaderMutexLock lock(&mu);
+      if (a != b) return Status::Internal("reader saw torn write");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  WriterMutexLock lock(&mu);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, static_cast<int64_t>(kOps / 4 + (kOps % 4 != 0)));
+}
+
+TEST(MutexTest, CondVarWaitReleasesAndReacquires) {
+  // Producer/consumer handshake across two pools: the consumer waits on
+  // the CondVar (releasing the lock — otherwise the producer could never
+  // set the flag), the producer flips the flag and notifies.
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool consumed = false;
+
+  auto consumer = MakePool(1);
+  auto producer = MakePool(1);
+  Latch done(2);
+
+  ASSERT_TRUE(consumer
+                  ->Schedule([&] {
+                    MutexLock lock(&mu);
+                    while (!ready) cv.Wait(&mu);
+                    consumed = true;
+                    done.CountDown();
+                  })
+                  .ok());
+  ASSERT_TRUE(producer
+                  ->Schedule([&] {
+                    {
+                      MutexLock lock(&mu);
+                      ready = true;
+                    }
+                    cv.NotifyOne();
+                    done.CountDown();
+                  })
+                  .ok());
+  done.Wait();
+  MutexLock lock(&mu);
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(consumed);
+}
+
+TEST(MutexTest, CondVarPredicateOverloadWaits) {
+  // The predicate overload with an unguarded (self-synchronized via mu
+  // at the call sites) flag; guarded predicates belong in explicit
+  // while-loops per the header note.
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+
+  auto pool = MakePool(2);
+  Latch done(1);
+  ASSERT_TRUE(pool
+                  ->Schedule([&] {
+                    MutexLock lock(&mu);
+                    cv.Wait(&mu, [&] { return stage == 2; });
+                    done.CountDown();
+                  })
+                  .ok());
+  for (int s = 1; s <= 2; ++s) {
+    {
+      MutexLock lock(&mu);
+      stage = s;
+    }
+    cv.NotifyAll();
+  }
+  done.Wait();
+  MutexLock lock(&mu);
+  EXPECT_EQ(stage, 2);
+}
+
+TEST(MutexTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int64_t awake = 0;
+
+  constexpr size_t kWaiters = 4;
+  auto pool = MakePool(kWaiters);
+  Latch done(kWaiters);
+  for (size_t i = 0; i < kWaiters; ++i) {
+    ASSERT_TRUE(pool
+                    ->Schedule([&] {
+                      MutexLock lock(&mu);
+                      while (!go) cv.Wait(&mu);
+                      ++awake;
+                      done.CountDown();
+                    })
+                    .ok());
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  done.Wait();
+  MutexLock lock(&mu);
+  EXPECT_EQ(awake, static_cast<int64_t>(kWaiters));
+}
+
+TEST(MutexTest, ManyReadersProceedConcurrently) {
+  // Pure-reader load over a SharedMutex: correctness here is "no
+  // deadlock, no race" (TSan), plus every reader sees the committed
+  // value. Also exercises reader re-entry from many pool workers.
+  SharedMutex mu;
+  int64_t value = 0;
+  {
+    WriterMutexLock lock(&mu);
+    value = 42;
+  }
+  auto pool = MakePool(8);
+  Status status = pool->ParallelFor(0, 5000, 1, [&](size_t, size_t) {
+    ReaderMutexLock lock(&mu);
+    return value == 42 ? Status::OK()
+                       : Status::Internal("reader saw stale value");
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,558 @@
+#!/usr/bin/env python3
+"""iqn_lint: the unified lint rule engine of the IQN repo.
+
+One engine, declarative rules, three suppression mechanisms — replacing
+the accreted grep pipeline that used to live in tools/lint.sh (which is
+now a thin wrapper over this script plus the clang-tidy sweep).
+
+Usage:
+  tools/iqn_lint.py                 lint the whole tree (same as --all)
+  tools/iqn_lint.py --all           lint the whole tree
+  tools/iqn_lint.py --changed-only  lint files changed vs HEAD + untracked
+  tools/iqn_lint.py FILE...         lint specific files
+  tools/iqn_lint.py --format=json   machine-readable findings
+  tools/iqn_lint.py --list-rules    rule inventory with descriptions
+  tools/iqn_lint.py --selftest      run the fixture suite (tools/lint_fixtures)
+
+Exit status: 0 = clean, 1 = findings (or selftest failure), 2 = usage.
+
+Suppressions (every mechanism requires a visible reason):
+  * Line:  append "// NOLINT" or "// NOLINT(rule)" to the offending line
+           (clang-tidy-compatible), or "// iqn-lint: allow=<rule> <reason>".
+  * File:  "// iqn-lint: disable=<rule>[,<rule>...] <reason>" anywhere in
+           the file disables those rules for the whole file. A disable
+           without a reason is itself reported (bad-suppression).
+  * Allowlist: rules carry a per-path allowlist with a reason string,
+           declared in this file next to the rule — the audited escape
+           hatch for whole files that legitimately break a rule (e.g.
+           util/mutex.h wrapping std::mutex).
+
+Fixtures (tools/lint_fixtures/<rule>/): each rule has trigger/clean/
+suppressed fixture files; --selftest asserts triggers fire, cleans do
+not, and suppression syntax is honored. Fixture files declare the path
+the engine should pretend they live at via a first-line marker:
+  // iqn-lint-fixture: path=src/whatever.cc
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(ROOT, "tools", "lint_fixtures")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+LINT_DIRS = ("src", "tests", "bench", "examples", "fuzz", "tools")
+
+# --------------------------------------------------------------------------
+# Findings and suppression plumbing
+
+
+class Finding:
+    def __init__(self, rule, path, line, text, message=""):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based; 0 = whole file
+        self.text = text.strip()
+        self.message = message
+
+    def human(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        tail = f" ({self.message})" if self.message else ""
+        return f"lint: [{self.rule}] {loc}:{self.text}{tail}"
+
+    def as_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "text": self.text,
+            "message": self.message,
+        }
+
+
+_DISABLE_RE = re.compile(r"iqn-lint:\s*disable=([\w,\-]+)(.*)")
+_ALLOW_RE = re.compile(r"iqn-lint:\s*allow=([\w\-]+)")
+_NOLINT_RE = re.compile(r"NOLINT(?:\(([^)]*)\))?")
+
+
+def file_disabled_rules(lines, path):
+    """Rules disabled file-wide, plus bad-suppression findings."""
+    disabled, findings = set(), []
+    for i, line in enumerate(lines, 1):
+        m = _DISABLE_RE.search(line)
+        if not m:
+            continue
+        rules = {r for r in m.group(1).split(",") if r}
+        reason = m.group(2).strip()
+        if not reason:
+            findings.append(
+                Finding("bad-suppression", path, i, line,
+                        "file-scoped disable needs a reason after the rule list"))
+            continue
+        disabled |= rules
+    return disabled, findings
+
+
+def line_suppressed(line, rule):
+    """True when a trailing NOLINT / iqn-lint: allow covers `rule`."""
+    m = _NOLINT_RE.search(line)
+    if m:
+        inside = m.group(1)
+        if inside is None or not inside.strip() or rule in re.split(
+                r"[,\s]+", inside.strip()):
+            return True
+    m = _ALLOW_RE.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+def is_comment_line(line):
+    s = line.lstrip()
+    return s.startswith("//") or s.startswith("*") or s.startswith("/*")
+
+
+def path_in(path, prefixes):
+    return any(path == p or path.startswith(p.rstrip("/") + "/")
+               for p in prefixes)
+
+
+# --------------------------------------------------------------------------
+# Rule machinery
+
+
+class Rule:
+    """Base rule: path scoping, allowlist, suppression handling."""
+
+    name = ""
+    description = ""
+    #: directories (repo-relative) the rule applies to
+    paths = ()
+    #: directories excluded even when under `paths`
+    exclude_paths = ()
+    #: file extensions the rule applies to
+    exts = SOURCE_EXTS
+    #: repo-relative path (or glob) -> reason; whole files exempted
+    allowlist = {}
+    #: skip lines that are comments before matching
+    skip_comments = True
+
+    def applies_to(self, path):
+        if not path.endswith(tuple(self.exts)):
+            return False
+        if not path_in(path, self.paths):
+            return False
+        if self.exclude_paths and path_in(path, self.exclude_paths):
+            return False
+        for pattern in self.allowlist:
+            if path == pattern or fnmatch.fnmatch(path, pattern):
+                return False
+        return True
+
+    def check(self, path, lines):
+        raise NotImplementedError
+
+
+class RegexRule(Rule):
+    """One regex, one finding per matching line."""
+
+    pattern = None  # compiled regex
+    message = ""
+
+    def check(self, path, lines):
+        out = []
+        for i, line in enumerate(lines, 1):
+            if self.skip_comments and is_comment_line(line):
+                continue
+            if self.pattern.search(line):
+                out.append(Finding(self.name, path, i, line, self.message))
+        return out
+
+
+# --------------------------------------------------------------------------
+# The rules — migrated from tools/lint.sh, plus the static-analysis set.
+
+
+class NoRand(RegexRule):
+    name = "no-rand"
+    description = ("no libc rand()/srand(); use util/random.h "
+                   "(seeded, portable)")
+    paths = ("src", "tests", "fuzz")
+    pattern = re.compile(r"(^|[^_\w])s?rand\s*\(")
+    message = "use iqn::Rng (util/random.h)"
+
+
+class NoAssert(RegexRule):
+    name = "no-assert"
+    description = ("no assert(); untrusted input gets a Status, broken "
+                   "invariants get IQN_CHECK/IQN_DCHECK. static_assert ok")
+    paths = ("src", "fuzz")
+    pattern = re.compile(r"(^|[^_\w])assert\s*\(")
+    message = "use IQN_CHECK / IQN_DCHECK (util/check.h)"
+
+
+class NoRawThread(RegexRule):
+    name = "no-raw-thread"
+    description = ("no raw std::thread/jthread/async outside "
+                   "util/thread_pool; all concurrency goes through "
+                   "ThreadPool/Latch so shutdown, exception conversion, "
+                   "and determinism hold everywhere")
+    paths = ("src", "tests", "bench", "examples", "fuzz")
+    pattern = re.compile(r"std::(jthread|thread|async)[^_\w]")
+    allowlist = {
+        "src/util/thread_pool.h": "the pool is the process's thread owner",
+        "src/util/thread_pool.cc": "the pool is the process's thread owner",
+    }
+    message = "use ThreadPool (util/thread_pool.h)"
+
+
+class IqnMetrics(RegexRule):
+    name = "iqn-metrics"
+    description = ("no raw std::atomic in net/ or minerva/; observable "
+                   "state goes through the metrics registry so counters "
+                   "show up in snapshots and sums stay deterministic")
+    paths = ("src/net", "src/minerva")
+    pattern = re.compile(r"std::atomic[<_]")
+    message = "use Counter/Gauge (util/metrics.h)"
+
+
+class NoRawRpc(RegexRule):
+    name = "no-raw-rpc"
+    description = ("no raw SimulatedNetwork::Rpc call sites outside net/; "
+                   "every remote interaction goes through CallRpc so "
+                   "retry/deadline/fault-context policy applies uniformly")
+    paths = ("src",)
+    exclude_paths = ("src/net",)
+    pattern = re.compile(r"(->|\.)\s*Rpc\s*\(")
+    message = "use CallRpc (net/rpc_policy.h)"
+
+
+class NoInternalInclude(RegexRule):
+    name = "no-internal-include"
+    description = ("examples/, bench/, and tools/ build against the public "
+                   "facade only; minerva/internal/ headers are not API")
+    paths = ("examples", "bench", "tools")
+    pattern = re.compile(r'#include\s*"minerva/internal/')
+    skip_comments = False
+    message = "use the minerva::Engine facade (minerva/api.h)"
+
+
+class NoNakedNew(Rule):
+    name = "no-naked-new"
+    description = ("no naked new outside factory wrappers; a `new T(...)` "
+                   "must sit on, or directly under, a line handing "
+                   "ownership to a smart pointer")
+    paths = ("src", "fuzz")
+    _NEW = re.compile(r"(^|[^_\w])new\s+[A-Za-z_][\w:<>]*\s*[({]")
+    _OWNER = re.compile(r"unique_ptr|shared_ptr|make_unique|make_shared")
+
+    def check(self, path, lines):
+        out, prev = [], ""
+        for i, line in enumerate(lines, 1):
+            if is_comment_line(line):
+                prev = line
+                continue
+            if (self._NEW.search(line) and not self._OWNER.search(line)
+                    and not self._OWNER.search(prev)):
+                out.append(Finding(self.name, path, i, line,
+                                   "wrap in a smart pointer"))
+            prev = line
+        return out
+
+
+class IncludeGuard(Rule):
+    name = "include-guard"
+    description = ("include guards must be IQN_<PATH>_H_ derived from the "
+                   "path relative to src/ (or the repo root outside src/)")
+    paths = ("src", "fuzz")
+    exts = (".h",)
+
+    def check(self, path, lines):
+        rel = path[len("src/"):] if path.startswith("src/") else path
+        want = "IQN_" + re.sub(r"[/.]", "_", rel.upper()) + "_"
+        got = None
+        for line in lines:
+            if line.startswith("#ifndef"):
+                parts = line.split()
+                got = parts[1] if len(parts) > 1 else None
+                break
+        if got != want:
+            return [Finding(self.name, path, 0,
+                            f"guard is '{got or '<missing>'}', want '{want}'")]
+        return []
+
+
+class NoRawMutex(RegexRule):
+    name = "no-raw-mutex"
+    description = ("all locks in src/ use the annotated iqn::Mutex/"
+                   "SharedMutex/MutexLock/CondVar (util/mutex.h) so Clang "
+                   "thread-safety analysis can prove the lock discipline; "
+                   "raw std:: primitives are invisible to it")
+    paths = ("src",)
+    pattern = re.compile(
+        r"std::(recursive_mutex|recursive_timed_mutex|timed_mutex"
+        r"|shared_timed_mutex|shared_mutex|mutex"
+        r"|condition_variable_any|condition_variable"
+        r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+    allowlist = {
+        "src/util/mutex.h":
+            "the annotated wrapper itself — the one home of std::mutex",
+        "src/util/mutex.cc":
+            "CondVar::Wait adopts the wrapped native mutex",
+    }
+    message = "use iqn::Mutex / MutexLock (util/mutex.h)"
+
+
+class Determinism(Rule):
+    name = "determinism"
+    description = ("no wall-clock or global RNG in library code "
+                   "(system_clock, time(), rand, random_device, ...), and "
+                   "no unordered-container iteration feeding routing "
+                   "decisions (src/minerva, src/dht): query outcomes must "
+                   "be a pure function of (inputs, seed)")
+    paths = ("src",)
+    _CLOCK = re.compile(
+        r"std::chrono::(system_clock|high_resolution_clock)"
+        r"|std::random_device"
+        r"|(^|[^_\w])(gettimeofday|time|clock)\s*\(\s*(NULL|nullptr|0)?\s*\)"
+        r"|std::time\b|std::rand\b")
+    _UNORDERED = re.compile(r"std::unordered_(map|set|multimap|multiset)")
+    _UNORDERED_PATHS = ("src/minerva", "src/dht")
+    allowlist = {}
+
+    def check(self, path, lines):
+        out = []
+        check_unordered = path_in(path, self._UNORDERED_PATHS)
+        for i, line in enumerate(lines, 1):
+            if is_comment_line(line):
+                continue
+            if self._CLOCK.search(line):
+                out.append(Finding(
+                    self.name, path, i, line,
+                    "wall clock / global RNG: derive from the simulated "
+                    "clock or a seeded iqn::Rng"))
+            if check_unordered and self._UNORDERED.search(line):
+                out.append(Finding(
+                    self.name, path, i, line,
+                    "unordered containers have scheduling-dependent "
+                    "iteration order; routing layers use ordered "
+                    "containers or sort before use"))
+        return out
+
+
+class StatusDiscard(Rule):
+    name = "status-discard"
+    description = ("Status-returning calls must be consumed: util/status.h "
+                   "keeps [[nodiscard]] on Status/Result (the compiler "
+                   "flags silent discards), and every explicit (void) "
+                   "discard of a call carries a reason comment")
+    paths = ("src",)
+    _VOID_CALL = re.compile(r"\(void\)\s*[A-Za-z_][\w:.>\-]*\s*\(")
+    _TRAILING_COMMENT = re.compile(r"//")
+
+    def check(self, path, lines):
+        out = []
+        if path == "src/util/status.h":
+            text = "\n".join(lines)
+            for marker in ("class [[nodiscard]] Status",
+                           "class [[nodiscard]] Result"):
+                if marker not in text:
+                    out.append(Finding(
+                        self.name, path, 0, f"missing '{marker}'",
+                        "the [[nodiscard]] attribute backs this rule; "
+                        "removing it re-legalizes silent discards"))
+        prev = ""
+        for i, line in enumerate(lines, 1):
+            if is_comment_line(line):
+                prev = line
+                continue
+            if self._VOID_CALL.search(line):
+                has_reason = (self._TRAILING_COMMENT.search(line)
+                              or is_comment_line(prev))
+                if not has_reason:
+                    out.append(Finding(
+                        self.name, path, i, line,
+                        "explicit (void) discard of a call needs a reason "
+                        "comment on or directly above the line"))
+            prev = line
+        return out
+
+
+RULES = [
+    NoRand(), NoAssert(), NoRawThread(), IqnMetrics(), NoRawRpc(),
+    NoInternalInclude(), NoNakedNew(), IncludeGuard(), NoRawMutex(),
+    Determinism(), StatusDiscard(),
+]
+
+
+# --------------------------------------------------------------------------
+# Engine
+
+
+def lint_text(path, text, rules=None):
+    """Lint `text` as if it lived at repo-relative `path`."""
+    lines = text.split("\n")
+    disabled, findings = file_disabled_rules(lines, path)
+    for rule in rules or RULES:
+        if rule.name in disabled or not rule.applies_to(path):
+            continue
+        for f in rule.check(path, lines):
+            if f.line and line_suppressed(lines[f.line - 1], rule.name):
+                continue
+            findings.append(f)
+    return findings
+
+
+def lint_file(relpath):
+    try:
+        with open(os.path.join(ROOT, relpath), encoding="utf-8",
+                  errors="replace") as fh:
+            return lint_text(relpath, fh.read())
+    except OSError as e:
+        return [Finding("io-error", relpath, 0, str(e))]
+
+
+def tree_files():
+    out = []
+    for top in LINT_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(ROOT, top)):
+            if "lint_fixtures" in dirpath:
+                continue  # fixtures violate rules on purpose
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    out.append(os.path.relpath(os.path.join(dirpath, name),
+                                               ROOT))
+    return sorted(out)
+
+
+def changed_files():
+    def git(*args):
+        return subprocess.run(["git", *args], cwd=ROOT, check=False,
+                              capture_output=True,
+                              text=True).stdout.splitlines()
+
+    paths = set(git("diff", "--name-only", "HEAD", "--"))
+    paths |= set(git("ls-files", "--others", "--exclude-standard"))
+    return sorted(p for p in paths
+                  if p.endswith(SOURCE_EXTS) and path_in(p, LINT_DIRS)
+                  and "lint_fixtures" not in p
+                  and os.path.exists(os.path.join(ROOT, p)))
+
+
+# --------------------------------------------------------------------------
+# Selftest: fixture-driven, one directory per rule.
+
+_FIXTURE_PATH_RE = re.compile(r"iqn-lint-fixture:\s*path=(\S+)")
+
+
+def run_selftest():
+    failures = []
+    fixture_rules = set()
+    if not os.path.isdir(FIXTURE_DIR):
+        print(f"selftest: fixture dir missing: {FIXTURE_DIR}")
+        return 1
+    for rule_name in sorted(os.listdir(FIXTURE_DIR)):
+        rule_dir = os.path.join(FIXTURE_DIR, rule_name)
+        if not os.path.isdir(rule_dir):
+            continue
+        fixture_rules.add(rule_name)
+        for fname in sorted(os.listdir(rule_dir)):
+            fpath = os.path.join(rule_dir, fname)
+            with open(fpath, encoding="utf-8") as fh:
+                text = fh.read()
+            m = _FIXTURE_PATH_RE.search(text.split("\n", 1)[0])
+            if not m:
+                failures.append(f"{rule_name}/{fname}: missing "
+                                "'// iqn-lint-fixture: path=...' header")
+                continue
+            virtual = m.group(1)
+            hits = [f for f in lint_text(virtual, text)
+                    if f.rule == rule_name]
+            if fname.startswith("trigger") and not hits:
+                failures.append(
+                    f"{rule_name}/{fname}: expected >=1 {rule_name} "
+                    f"finding at path {virtual}, got none")
+            elif fname.startswith(("clean", "suppressed")) and hits:
+                failures.append(
+                    f"{rule_name}/{fname}: expected 0 {rule_name} findings, "
+                    f"got {len(hits)}: {hits[0].human()}")
+    missing = {r.name for r in RULES} - fixture_rules
+    if missing:
+        failures.append("rules without fixtures: " + ", ".join(sorted(missing)))
+    stale = fixture_rules - {r.name for r in RULES}
+    if stale:
+        failures.append("fixtures for unknown rules: " +
+                        ", ".join(sorted(stale)))
+    if failures:
+        for f in failures:
+            print(f"selftest FAIL: {f}")
+        return 1
+    print(f"selftest: OK ({len(fixture_rules)} rules, fixtures all behave)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="iqn_lint.py",
+        description="Unified lint rule engine (see file docstring).")
+    ap.add_argument("files", nargs="*", help="specific files to lint")
+    ap.add_argument("--all", action="store_true",
+                    help="lint the whole tree (default when no files given)")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="lint files changed vs HEAD plus untracked files")
+    ap.add_argument("--format", choices=("human", "json"), default="human")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--selftest", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            scope = ", ".join(rule.paths)
+            print(f"{rule.name:20} [{scope}]")
+            print(f"{'':20}   {rule.description}")
+            for path, reason in sorted(rule.allowlist.items()):
+                print(f"{'':20}   allowlisted: {path} — {reason}")
+        return 0
+
+    if args.selftest:
+        return run_selftest()
+
+    if args.files:
+        targets = [os.path.relpath(os.path.abspath(f), ROOT)
+                   for f in args.files]
+    elif args.changed_only:
+        targets = changed_files()
+    else:
+        targets = tree_files()
+
+    findings = []
+    for path in targets:
+        findings.extend(lint_file(path))
+
+    if args.format == "json":
+        print(json.dumps({"findings": [f.as_dict() for f in findings],
+                          "files_checked": len(targets)}, indent=2))
+    else:
+        for f in findings:
+            print(f.human())
+        status = "FAILED" if findings else "OK"
+        print(f"lint: {status} ({len(targets)} files, "
+              f"{len(findings)} findings)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # e.g. `iqn_lint.py --list-rules | head`: the reader closed the
+        # pipe; exit quietly instead of tracebacking. Route stdout to
+        # devnull so the interpreter's shutdown flush cannot re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)

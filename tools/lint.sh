@@ -1,118 +1,27 @@
 #!/usr/bin/env bash
-# Repo lint pass: fast grep-based rules that encode IQN conventions, plus
-# a clang-tidy sweep when clang-tidy is installed (skipped otherwise so
-# the script works in gcc-only containers).
+# Repo lint pass. The grep-era rules now live in tools/iqn_lint.py (one
+# rule engine, per-rule allowlists, JSON output, --changed-only); this
+# script stays as the entry point CI and muscle memory expect: it runs
+# the rule engine and then a clang-tidy sweep when clang-tidy is
+# installed (skipped otherwise so the script works in gcc-only
+# containers).
 #
-# Usage: tools/lint.sh            run all rules; nonzero exit on violation
+# Usage: tools/lint.sh [iqn_lint args]   nonzero exit on violation
+#   tools/lint.sh                 -> iqn_lint.py --all  + clang-tidy
+#   tools/lint.sh --changed-only  -> only files changed vs HEAD
 #
-# Suppressing a finding: append "// NOLINT" (optionally with a check name
-# and a reason) to the offending line. Every grep rule skips NOLINT lines.
+# Suppressing a finding: append "// NOLINT(<rule>) reason" to the line,
+# or see tools/iqn_lint.py --list-rules for the file-scoped syntax.
 set -u
 cd "$(dirname "$0")/.."
 
 fail=0
-report() {  # report <rule> <file:line:text>
-  echo "lint: [$1] $2"
-  fail=1
-}
 
-src_files() { find src fuzz -name '*.cc' -o -name '*.h'; }
-
-# --- Rule: no libc rand()/srand(); use util/random.h (seeded, portable). ---
-while IFS= read -r hit; do
-  report no-rand "$hit"
-done < <(grep -rnE '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' \
-           src tests fuzz --include='*.cc' --include='*.h' \
-         | grep -v NOLINT || true)
-
-# --- Rule: no assert(); untrusted input gets a Status, broken invariants
-# --- get IQN_CHECK/IQN_DCHECK (util/check.h). static_assert is fine.
-while IFS= read -r hit; do
-  report no-assert "$hit"
-done < <(grep -rnE '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
-           src fuzz --include='*.cc' --include='*.h' \
-         | grep -v NOLINT || true)
-
-# --- Rule: no raw threading primitives outside util/thread_pool.*. All
-# --- concurrency goes through ThreadPool/Latch so shutdown, exception
-# --- conversion, and determinism guarantees hold everywhere (there are no
-# --- detached threads in this codebase by construction). Benches that
-# --- want the core count use ThreadPool::DefaultConcurrency().
-while IFS= read -r hit; do
-  report no-raw-thread "$hit"
-done < <(grep -rnE 'std::(jthread|thread|async)[^_[:alnum:]]' \
-           src tests bench fuzz examples \
-           --include='*.cc' --include='*.cpp' --include='*.h' 2>/dev/null \
-         | grep -v '^src/util/thread_pool\.\(h\|cc\):' \
-         | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
-         | grep -v NOLINT || true)
-
-# --- Rule: no raw std::atomic counters in net/ or minerva/. Observable
-# --- state goes through the metrics registry (util/metrics.h) so every
-# --- counter shows up in snapshots/exports and sums stay deterministic;
-# --- the registry itself is the one place allowed to hold atomics.
-while IFS= read -r hit; do
-  report iqn-metrics "$hit"
-done < <(grep -rnE 'std::atomic[<_]' \
-           src/net src/minerva --include='*.cc' --include='*.h' \
-         | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
-         | grep -v NOLINT || true)
-
-# --- Rule: no raw SimulatedNetwork::Rpc call sites outside net/. Every
-# --- remote interaction goes through CallRpc (net/rpc_policy.h) so retry,
-# --- deadline, and fault-context policy apply uniformly (DESIGN.md §9).
-while IFS= read -r hit; do
-  report no-raw-rpc "$hit"
-done < <(grep -rnE '(->|\.)[[:space:]]*Rpc[[:space:]]*\(' \
-           src --include='*.cc' --include='*.h' \
-         | grep -v '^src/net/' \
-         | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' \
-         | grep -v NOLINT || true)
-
-# --- Rule: examples/, bench/, and tools/ build against the public facade
-# --- only (minerva/api.h and the public data-model headers). The router
-# --- implementations and the query processor under minerva/internal/ are
-# --- not API; reaching for them from a consumer-side directory is how
-# --- facade rot starts. Tests may include internal headers.
-while IFS= read -r hit; do
-  report no-internal-include "$hit"
-done < <(grep -rnE '#include[[:space:]]*"minerva/internal/' \
-           examples bench tools \
-           --include='*.cc' --include='*.cpp' --include='*.h' 2>/dev/null \
-         | grep -v NOLINT || true)
-
-# --- Rule: no naked new outside factory wrappers. A `new T(...)` must sit
-# --- on, or directly under, a line that hands ownership to a smart
-# --- pointer; anything else leaks on the error path.
-naked="$(while IFS= read -r f; do
-  awk -v file="$f" '
-    /NOLINT/ { prev = $0; next }
-    /(^|[^_[:alnum:]])new [A-Za-z_][A-Za-z0-9_:<>]*[({]/ {
-      if ($0 !~ /unique_ptr|shared_ptr|make_unique|make_shared/ &&
-          prev !~ /unique_ptr|shared_ptr|make_unique|make_shared/ &&
-          $0 !~ /^[[:space:]]*(\/\/|\*)/) {
-        printf "%s:%d:%s\n", file, NR, $0
-      }
-    }
-    { prev = $0 }
-  ' "$f"
-done < <(src_files))"
-if [ -n "$naked" ]; then
-  while IFS= read -r hit; do
-    report no-naked-new "$hit"
-  done <<< "$naked"
+if [ "$#" -eq 0 ]; then
+  python3 tools/iqn_lint.py --all || fail=1
+else
+  python3 tools/iqn_lint.py "$@" || fail=1
 fi
-
-# --- Rule: include guards must be IQN_<PATH>_H_ derived from the path
-# --- relative to src/ (or the repo root outside src/).
-while IFS= read -r f; do
-  rel="${f#src/}"
-  want="IQN_$(echo "$rel" | tr '[:lower:]/.' '[:upper:]__')_"
-  got="$(grep -m1 '^#ifndef' "$f" | awk '{print $2}')"
-  if [ "$got" != "$want" ]; then
-    report include-guard "$f: guard is '${got:-<missing>}', want '$want'"
-  fi
-done < <(find src fuzz -name '*.h')
 
 # --- clang-tidy sweep (optional: needs clang-tidy + compile_commands). ---
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -132,11 +41,10 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "lint: clang-tidy not installed; skipping static-analysis sweep" \
-       "(grep rules still enforced)"
+       "(iqn_lint rules still enforced)"
 fi
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED"
   exit 1
 fi
-echo "lint: OK"

@@ -1,0 +1,6 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include <map>
+#include "util/random.h"
+double Now(double simulated_latency_ms) { return simulated_latency_ms; }
+uint64_t Seed(iqn::Rng* rng) { return rng->Next(); }
+std::map<int, double> g_scores;

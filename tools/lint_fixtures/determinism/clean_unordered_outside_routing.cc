@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/ir/fixture.cc
+#include <unordered_map>
+// Unordered containers are fine outside the routing layers as scratch
+// space whose iteration order never reaches a decision.
+std::unordered_map<int, double> g_acc;

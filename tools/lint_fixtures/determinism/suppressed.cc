@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include <chrono>
+// iqn-lint: disable=determinism fixture exercising the file-scoped disable
+double Now() {
+  auto t = std::chrono::system_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,10 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include <chrono>
+#include <random>
+#include <unordered_map>
+double Now() {
+  auto t = std::chrono::system_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+uint64_t Seed() { return std::random_device{}(); }
+std::unordered_map<int, double> g_scores;

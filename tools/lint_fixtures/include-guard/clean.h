@@ -1,0 +1,4 @@
+// iqn-lint-fixture: path=src/dht/fixture.h
+#ifndef IQN_DHT_FIXTURE_H_
+#define IQN_DHT_FIXTURE_H_
+#endif  // IQN_DHT_FIXTURE_H_

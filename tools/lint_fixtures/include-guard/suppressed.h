@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/dht/fixture.h
+// iqn-lint: disable=include-guard fixture exercising the file-scoped disable
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,4 @@
+// iqn-lint-fixture: path=src/dht/fixture.h
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,6 @@
+// iqn-lint-fixture: path=src/net/fixture.h
+#ifndef IQN_NET_FIXTURE_H_
+#define IQN_NET_FIXTURE_H_
+#include <atomic>
+struct Guard { std::atomic<int> refs{0}; };  // NOLINT(iqn-metrics) RAII refcount
+#endif  // IQN_NET_FIXTURE_H_

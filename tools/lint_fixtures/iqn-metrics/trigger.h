@@ -1,0 +1,6 @@
+// iqn-lint-fixture: path=src/net/fixture.h
+#ifndef IQN_NET_FIXTURE_H_
+#define IQN_NET_FIXTURE_H_
+#include <atomic>
+struct Stats { std::atomic<int> hits{0}; };
+#endif  // IQN_NET_FIXTURE_H_

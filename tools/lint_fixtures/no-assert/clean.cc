@@ -1,0 +1,4 @@
+// iqn-lint-fixture: path=src/ir/fixture.cc
+#include "util/check.h"
+static_assert(sizeof(int) >= 4, "fixture");
+void Check(int x) { IQN_CHECK_GT(x, 0); }

@@ -1,0 +1,3 @@
+// iqn-lint-fixture: path=src/ir/fixture.cc
+// iqn-lint: disable=no-assert fixture exercising the file-scoped disable
+void Check(int x) { assert(x > 0); }

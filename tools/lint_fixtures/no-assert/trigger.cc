@@ -1,0 +1,2 @@
+// iqn-lint-fixture: path=src/ir/fixture.cc
+void Check(int x) { assert(x > 0); }

@@ -1,0 +1,2 @@
+// iqn-lint-fixture: path=bench/fixture.cc
+#include "minerva/api.h"

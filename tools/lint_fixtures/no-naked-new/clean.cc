@@ -1,0 +1,8 @@
+// iqn-lint-fixture: path=src/ir/fixture.cc
+#include <memory>
+struct Foo { explicit Foo(int) {} };
+std::unique_ptr<Foo> Make() {
+  auto owned = std::make_unique<Foo>(1);
+  return std::unique_ptr<Foo>(
+      new Foo(2));
+}

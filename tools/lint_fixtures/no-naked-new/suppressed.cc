@@ -1,0 +1,3 @@
+// iqn-lint-fixture: path=src/ir/fixture.cc
+struct Foo { int x; };
+Foo* Make() { return new Foo(); }  // NOLINT(no-naked-new) fixture: arena-owned

@@ -1,0 +1,3 @@
+// iqn-lint-fixture: path=src/workload/fixture.cc
+#include "util/random.h"
+uint64_t Roll(iqn::Rng* rng) { return rng->Next(); }

@@ -1,0 +1,2 @@
+// iqn-lint-fixture: path=src/workload/fixture.cc
+int Roll() { return rand(); }  // NOLINT(no-rand) fixture: suppression syntax

@@ -1,0 +1,10 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "util/mutex.h"
+struct Thing {
+  iqn::Mutex mu;
+  int x IQN_GUARDED_BY(mu) = 0;
+  void Poke() {
+    iqn::MutexLock lock(&mu);
+    ++x;
+  }
+};

@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include <mutex>
+struct Thing {
+  std::mutex mu;  // iqn-lint: allow=no-raw-mutex fixture: inline allow syntax
+};

@@ -1,0 +1,6 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include <mutex>
+struct Thing {
+  std::mutex mu;
+  void Poke() { std::lock_guard<std::mutex> lock(mu); }
+};

@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "net/rpc_policy.h"
+void Send(iqn::SimulatedNetwork* net, iqn::NodeAddress a, iqn::NodeAddress b) {
+  (void)CallRpc(net, a, b, "fixture", {});  // discard reason: fixture
+}

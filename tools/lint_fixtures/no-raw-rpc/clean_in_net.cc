@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/net/fixture.cc
+#include "net/network.h"
+void Send(iqn::SimulatedNetwork* net, iqn::NodeAddress a, iqn::NodeAddress b) {
+  (void)net->Rpc(a, b, "fixture", {});  // discard reason: fixture (net/ owns Rpc)
+}

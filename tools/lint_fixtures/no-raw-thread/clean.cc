@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "util/thread_pool.h"
+void Run(iqn::ThreadPool* pool) {
+  (void)pool->ParallelFor(0, 8, 1, [](size_t, size_t) {  // fixture
+    return iqn::Status::OK();
+  });
+}

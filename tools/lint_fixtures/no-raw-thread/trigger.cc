@@ -1,0 +1,3 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include <thread>
+void Run() { std::thread t([] {}); t.join(); }

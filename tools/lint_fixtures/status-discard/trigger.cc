@@ -1,0 +1,6 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "util/status.h"
+iqn::Status Do();
+void Run() {
+  (void)Do();
+}
