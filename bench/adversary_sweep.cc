@@ -1,0 +1,246 @@
+// BENCH-ADV: recall under claim-inflating adversaries, with and
+// without the reputation defense.
+//
+// Sweeps the adversarial-peer fraction over the Fig. 3-style workload
+// and runs every point twice through the scenario harness
+// (minerva/scenario.h): once unprotected and once with the
+// claim-vs-observed reputation discount enabled. Each point streams the
+// query pool for several rounds on the SAME engine so the defense can
+// learn; per-round recall shows the convergence. Every point is also
+// executed twice end to end and the two runs' result fingerprints must
+// agree — the sweep is bit-reproducible by construction.
+//
+// The ISSUE acceptance bound is checked at exit: at a 20% inflating
+// fraction the defended final-round recall must recover at least half
+// of the recall the unprotected engine lost against the
+// adversary-free baseline (non-zero status on violation, so CI can
+// gate on it).
+//
+// Usage: adversary_sweep [--fractions=0,0.1,0.2,0.3] [--rounds=4]
+//          [--factor=10] [--out=BENCH_adversary.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "minerva/scenario.h"
+#include "util/flags.h"
+
+namespace iqn {
+namespace {
+
+std::vector<double> ParseFractions(const std::string& spec) {
+  std::vector<double> fractions;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) {
+      fractions.push_back(std::strtod(token.c_str(), nullptr));
+      token.clear();
+    }
+  };
+  for (char c : spec) {
+    if (c == ',') {
+      flush();
+    } else {
+      token.push_back(c);
+    }
+  }
+  flush();
+  if (fractions.empty() || fractions.front() != 0.0) {
+    fractions.insert(fractions.begin(), 0.0);  // adversary-free baseline
+  }
+  return fractions;
+}
+
+/// The adversary workload as a scenario spec — the same shape the
+/// checked-in scenarios/adversary_*.json files canonicalize.
+minerva::ScenarioSpec BaseSpec(size_t rounds, double factor) {
+  minerva::ScenarioSpec spec;
+  spec.name = "adversary_sweep";
+  spec.topology.peers = 15;
+  spec.engine.retries = 3;
+  spec.queries.rounds = rounds;
+  spec.adversary.behavior = PeerBehavior::kInflateClaims;
+  spec.adversary.inflate_factor = factor;
+  return spec;
+}
+
+struct SweepPoint {
+  double fraction = 0.0;
+  bool defended = false;
+  size_t adversaries = 0;
+  double mean_recall = 0.0;
+  double final_round_recall = 0.0;
+  std::vector<double> round_recall;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t result_fingerprint = 0;
+};
+
+/// Runs one (fraction, defended) point TWICE on fresh engines and
+/// insists the fingerprints match — a cheap, always-on rerun-identity
+/// check on every sweep point.
+SweepPoint RunPoint(const minerva::ScenarioSpec& base, double fraction,
+                    bool defended) {
+  minerva::ScenarioSpec spec = base;
+  spec.adversary.fraction = fraction;
+  spec.reputation.enabled = defended;
+  minerva::ScenarioResult result;
+  uint64_t rerun_fingerprint = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    auto run = minerva::RunScenario(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "scenario (fraction=%.2f defended=%d): %s\n",
+                   fraction, defended ? 1 : 0,
+                   run.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (pass == 0) {
+      result = std::move(run).value();
+    } else {
+      rerun_fingerprint = run.value().result_fingerprint;
+    }
+  }
+  if (rerun_fingerprint != result.result_fingerprint) {
+    std::fprintf(stderr,
+                 "FAIL: rerun fingerprint mismatch at fraction=%.2f "
+                 "defended=%d (%016llx vs %016llx)\n",
+                 fraction, defended ? 1 : 0,
+                 static_cast<unsigned long long>(result.result_fingerprint),
+                 static_cast<unsigned long long>(rerun_fingerprint));
+    std::exit(1);
+  }
+
+  SweepPoint point;
+  point.fraction = fraction;
+  point.defended = defended;
+  point.adversaries = result.adversaries.size();
+  point.mean_recall = result.mean_recall;
+  point.round_recall = result.round_recall;
+  point.final_round_recall =
+      result.round_recall.empty() ? 0.0 : result.round_recall.back();
+  point.messages = result.messages;
+  point.bytes = result.bytes;
+  point.result_fingerprint = result.result_fingerprint;
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("fractions", "0,0.1,0.2,0.3",
+                     "comma-separated adversarial peer fractions; 0 is "
+                     "prepended if absent (honest baseline)");
+  flags.DefineInt("rounds", 4,
+                  "query-pool repetitions per point (reputation learns "
+                  "across rounds)");
+  flags.DefineDouble("factor", 10.0,
+                     "posted list-length inflation factor of adversaries");
+  flags.DefineString("out", "BENCH_adversary.json", "output JSON path");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  std::vector<double> fractions = ParseFractions(flags.GetString("fractions"));
+  const size_t rounds = static_cast<size_t>(flags.GetInt("rounds"));
+  const double factor = flags.GetDouble("factor");
+  const std::string out_path = flags.GetString("out");
+  const minerva::ScenarioSpec base = BaseSpec(rounds, factor);
+
+  std::printf("adversary_sweep: %zu peers, inflate x%.0f, %zu rounds of "
+              "%zu queries, k=%zu\n",
+              base.topology.peers, factor, rounds, base.queries.pool,
+              base.queries.k);
+
+  std::vector<SweepPoint> points;
+  double baseline_recall = 0.0;
+  for (double fraction : fractions) {
+    for (bool defended : {false, true}) {
+      if (fraction == 0.0 && defended) continue;  // no adversaries to judge
+      SweepPoint point = RunPoint(base, fraction, defended);
+      if (fraction == 0.0) baseline_recall = point.final_round_recall;
+      std::printf("  fraction=%.2f %-11s adversaries=%zu  final recall@%zu="
+                  "%.4f (mean %.4f)  bytes=%llu\n",
+                  point.fraction, defended ? "defended" : "unprotected",
+                  point.adversaries, base.queries.k,
+                  point.final_round_recall, point.mean_recall,
+                  static_cast<unsigned long long>(point.bytes));
+      points.push_back(std::move(point));
+    }
+  }
+
+  // Acceptance: at fraction 0.2 the defense recovers >= half the recall
+  // the unprotected engine lost to the adversaries.
+  double unprotected_02 = -1.0;
+  double defended_02 = -1.0;
+  for (const SweepPoint& p : points) {
+    if (p.fraction != 0.2) continue;
+    (p.defended ? defended_02 : unprotected_02) = p.final_round_recall;
+  }
+  bool gate_ok = true;
+  double recovered_share = 0.0;
+  if (unprotected_02 >= 0.0 && defended_02 >= 0.0) {
+    const double lost = baseline_recall - unprotected_02;
+    recovered_share = lost > 0.0 ? (defended_02 - unprotected_02) / lost : 1.0;
+    gate_ok = recovered_share >= 0.5;
+    std::printf("gate: fraction=0.20 lost=%.4f recovered=%.4f (%.0f%% of "
+                "lost, need >=50%%) -> %s\n",
+                lost, defended_02 - unprotected_02, 100.0 * recovered_share,
+                gate_ok ? "OK" : "FAIL");
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"adversary_sweep\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"peers\": %zu, \"queries\": %zu, "
+               "\"rounds\": %zu, \"k\": %zu, \"max_peers\": %zu, "
+               "\"inflate_factor\": %.1f, \"seed\": %llu},\n",
+               base.topology.peers, base.queries.pool, rounds,
+               base.queries.k, base.engine.max_peers, factor,
+               static_cast<unsigned long long>(base.seed));
+  std::fprintf(out,
+               "  \"metric_note\": \"each point runs the scenario harness "
+               "twice on fresh engines (fingerprints must match); "
+               "round_recall shows the reputation defense converging; the "
+               "gate requires the defense to recover >= half the recall "
+               "lost to a 0.2 inflating fraction\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"fraction\": %.2f, \"defended\": %s, "
+                 "\"adversaries\": %zu, \"mean_recall\": %.6f, "
+                 "\"final_round_recall\": %.6f, \"round_recall\": [",
+                 p.fraction, p.defended ? "true" : "false", p.adversaries,
+                 p.mean_recall, p.final_round_recall);
+    for (size_t r = 0; r < p.round_recall.size(); ++r) {
+      std::fprintf(out, "%s%.6f", r == 0 ? "" : ", ", p.round_recall[r]);
+    }
+    std::fprintf(out,
+                 "], \"messages\": %llu, \"bytes\": %llu, "
+                 "\"result_fingerprint\": \"%016llx\"}%s\n",
+                 static_cast<unsigned long long>(p.messages),
+                 static_cast<unsigned long long>(p.bytes),
+                 static_cast<unsigned long long>(p.result_fingerprint),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"gate\": {\"recovered_share\": %.6f, \"pass\": %s}\n",
+               recovered_share, gate_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return gate_ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

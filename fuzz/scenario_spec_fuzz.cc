@@ -1,0 +1,130 @@
+// Fuzz target for the scenario-spec ingestion path (-DIQN_FUZZ=ON).
+//
+// One input runs the whole untrusted-text pipeline: ParseJson's strict
+// RFC 8259 subset, the spec extraction with its unknown-key rejection,
+// and cross-section validation. Accepted inputs must additionally be a
+// fixed point of the canonical emission (emit -> parse -> emit); any
+// accepted-but-lossy spec is a bug, reported by trapping so the fuzzer
+// minimizes it. Rejected inputs must carry a nonempty diagnosis.
+//
+// Under Clang this links against libFuzzer via -fsanitize=fuzzer. The
+// container toolchain here is gcc-only, so fuzz/CMakeLists.txt falls
+// back to a standalone driver (IQN_FUZZ_STANDALONE) that replays corpus
+// files through the identical TestOneInput. The seeded-mutation ctest
+// (tests/minerva/scenario_mutation_test.cc) enforces the same invariant
+// on every plain test pass.
+//
+// Usage (standalone):
+//   scenario_spec_fuzz --make-corpus <dir>   write seed corpus files
+//   scenario_spec_fuzz <file>...             replay inputs (crashes on bug)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "minerva/scenario.h"
+
+namespace {
+
+void TestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  auto spec = minerva::ParseScenarioSpec(text);
+  if (!spec.ok()) {
+    if (spec.status().message().empty()) __builtin_trap();
+    return;
+  }
+  std::string emitted = minerva::EmitScenarioSpec(spec.value());
+  auto again = minerva::ParseScenarioSpec(emitted);
+  if (!again.ok()) __builtin_trap();
+  if (minerva::EmitScenarioSpec(again.value()) != emitted) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  TestOneInput(data, size);
+  return 0;
+}
+
+#ifdef IQN_FUZZ_STANDALONE
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+namespace {
+
+/// Seed corpus: valid specs of increasing coverage plus near-misses
+/// that exercise each rejection layer.
+const char* kSeeds[] = {
+    // Minimal valid spec (everything defaulted).
+    R"({"name": "seed"})",
+    // Every section present with non-default values.
+    R"({"name": "full", "seed": 7,
+        "corpus": {"documents": 640, "vocabulary": 100},
+        "topology": {"peers": 4, "partition": "choose", "subset": 2,
+                     "fragments": 5},
+        "engine": {"router": "cori", "synopsis": "bloom", "merge": "cori",
+                   "threads": 4, "cache": true},
+        "faults": {"seed": 3, "drop_rate": 0.25},
+        "churn": {"every": 8, "documents": 16},
+        "queries": {"pool": 6, "executions": 12, "zipf_s": 1.0,
+                    "batch_size": 4, "initiator": 3},
+        "adversary": {"fraction": 0.5, "behavior": "poison", "factor": 2},
+        "reputation": {"enabled": true, "prior": 4, "floor": 0.1,
+                       "sharpness": 3}})",
+    // Near-misses, one per rejection layer.
+    R"({"name": "x", "bogus": 1})",
+    R"({"name": "x", "corpus": {"documents": 0}})",
+    R"({"name": "x", "queries": {"band_low": 0.5, "band_high": 0.2}})",
+    R"({"name": "x", "engine": {"router": "astar"}})",
+    "{\"name\": \"x\"",
+    "[1, 2, 3]",
+};
+
+int MakeCorpus(const std::string& dir) {
+  int written = 0;
+  for (const char* seed : kSeeds) {
+    std::string path = dir + "/seed_" + std::to_string(written) + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << seed;
+    ++written;
+  }
+  std::printf("wrote %d corpus files to %s\n", written, dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--make-corpus") {
+    return MakeCorpus(argv[2]);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s --make-corpus DIR | %s FILE...\n"
+                 "(standalone replay driver; build with clang for "
+                 "libFuzzer)\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+    TestOneInput(bytes.data(), bytes.size());
+    std::printf("%s: ok (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+
+#endif  // IQN_FUZZ_STANDALONE

@@ -32,12 +32,14 @@ std::unique_ptr<iqn::Router> MakeRouter(const RoutingSpec& spec) {
   return std::make_unique<iqn::IqnRouter>(spec.iqn);
 }
 
+}  // namespace
+
 Result<RouterKind> ParseRouterKind(const std::string& name) {
   if (name == "iqn") return RouterKind::kIqn;
   if (name == "cori") return RouterKind::kCori;
   if (name == "random") return RouterKind::kRandom;
   if (name == "overlap") return RouterKind::kSimpleOverlap;
-  return Status::InvalidArgument("unknown --router '" + name +
+  return Status::InvalidArgument("unknown router '" + name +
                                  "' (iqn|cori|random|overlap)");
 }
 
@@ -46,24 +48,56 @@ Result<iqn::SynopsisType> ParseSynopsisType(const std::string& name) {
   if (name == "bloom") return iqn::SynopsisType::kBloomFilter;
   if (name == "hashsketch") return iqn::SynopsisType::kHashSketch;
   if (name == "loglog") return iqn::SynopsisType::kLogLog;
-  return Status::InvalidArgument("unknown --synopsis '" + name +
+  return Status::InvalidArgument("unknown synopsis '" + name +
                                  "' (minwise|bloom|hashsketch|loglog)");
 }
 
 Result<iqn::AggregationStrategy> ParseAggregation(const std::string& name) {
   if (name == "per_peer") return iqn::AggregationStrategy::kPerPeer;
   if (name == "per_term") return iqn::AggregationStrategy::kPerTerm;
-  return Status::InvalidArgument("unknown --aggregation '" + name +
+  return Status::InvalidArgument("unknown aggregation '" + name +
                                  "' (per_peer|per_term)");
 }
 
 Result<iqn::MergeStrategy> ParseMerge(const std::string& name) {
   if (name == "raw") return iqn::MergeStrategy::kRawScores;
   if (name == "cori") return iqn::MergeStrategy::kCoriNormalized;
-  return Status::InvalidArgument("unknown --merge '" + name + "' (raw|cori)");
+  return Status::InvalidArgument("unknown merge '" + name + "' (raw|cori)");
 }
 
-}  // namespace
+const char* SynopsisSpelling(iqn::SynopsisType type) {
+  switch (type) {
+    case iqn::SynopsisType::kMinWise:
+      return "minwise";
+    case iqn::SynopsisType::kBloomFilter:
+      return "bloom";
+    case iqn::SynopsisType::kHashSketch:
+      return "hashsketch";
+    case iqn::SynopsisType::kLogLog:
+      return "loglog";
+  }
+  return "unknown";
+}
+
+const char* AggregationSpelling(iqn::AggregationStrategy strategy) {
+  switch (strategy) {
+    case iqn::AggregationStrategy::kPerPeer:
+      return "per_peer";
+    case iqn::AggregationStrategy::kPerTerm:
+      return "per_term";
+  }
+  return "unknown";
+}
+
+const char* MergeSpelling(iqn::MergeStrategy strategy) {
+  switch (strategy) {
+    case iqn::MergeStrategy::kRawScores:
+      return "raw";
+    case iqn::MergeStrategy::kCoriNormalized:
+      return "cori";
+  }
+  return "unknown";
+}
 
 const char* RouterKindName(RouterKind kind) {
   switch (kind) {
@@ -117,6 +151,23 @@ void EngineOptions::RegisterFlags(iqn::Flags* flags) {
                       "request+response drop rate per message");
   flags->DefineDouble("fault-corrupt", 0.0, "response corruption rate");
   flags->DefineDouble("fault-timeout", 0.0, "simulated timeout rate");
+  flags->DefineDouble("adversary-fraction", 0.0,
+                      "fraction of peers turned adversarial at Create");
+  flags->DefineString("adversary-behavior", "inflate",
+                      "adversarial behavior: honest|inflate|poison");
+  flags->DefineDouble("adversary-factor", 10.0,
+                      "claimed-list-length inflation factor");
+  flags->DefineInt("adversary-seed", 0,
+                   "adversary selection / fabrication seed");
+  flags->DefineBool("reputation", false,
+                    "claim-vs-observed reputation discounting in "
+                    "Select-Best-Peer");
+  flags->DefineDouble("reputation-prior", 8.0,
+                      "pseudo-count prior of the reputation discount");
+  flags->DefineDouble("reputation-floor", 0.05,
+                      "minimum reputation discount factor");
+  flags->DefineDouble("reputation-sharpness", 2.0,
+                      "exponent on the claim-vs-delivered ratio");
   flags->DefineBool("cache", false, "versioned directory PeerList cache");
   flags->DefineInt("cache_max_terms", 0,
                    "cached terms per initiator (0 = unbounded)");
@@ -167,6 +218,17 @@ iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
   options.fault_plan.drop_response.rate = drop;
   options.fault_plan.corrupt_response.rate = flags.GetDouble("fault-corrupt");
   options.fault_plan.timeout.rate = flags.GetDouble("fault-timeout");
+  options.core.adversary.fraction = flags.GetDouble("adversary-fraction");
+  IQN_ASSIGN_OR_RETURN(
+      options.core.adversary.behavior,
+      iqn::ParsePeerBehavior(flags.GetString("adversary-behavior")));
+  options.core.adversary.inflate_factor = flags.GetDouble("adversary-factor");
+  options.core.adversary.seed =
+      static_cast<uint64_t>(flags.GetInt("adversary-seed"));
+  options.core.reputation.enabled = flags.GetBool("reputation");
+  options.core.reputation.prior = flags.GetDouble("reputation-prior");
+  options.core.reputation.floor = flags.GetDouble("reputation-floor");
+  options.core.reputation.sharpness = flags.GetDouble("reputation-sharpness");
   options.core.cache.enabled = flags.GetBool("cache");
   options.core.cache.max_terms =
       static_cast<size_t>(flags.GetInt("cache_max_terms"));

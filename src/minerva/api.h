@@ -43,6 +43,17 @@ enum class RouterKind {
 
 const char* RouterKindName(RouterKind kind);
 
+/// Canonical enum spellings, shared by the flag surface (FromFlags) and
+/// the declarative scenario specs (minerva/scenario.h). Parse* returns
+/// InvalidArgument listing the accepted spellings; *Name inverts it.
+iqn::Result<RouterKind> ParseRouterKind(const std::string& name);
+iqn::Result<iqn::SynopsisType> ParseSynopsisType(const std::string& name);
+iqn::Result<iqn::AggregationStrategy> ParseAggregation(const std::string& name);
+iqn::Result<iqn::MergeStrategy> ParseMerge(const std::string& name);
+const char* SynopsisSpelling(iqn::SynopsisType type);
+const char* AggregationSpelling(iqn::AggregationStrategy strategy);
+const char* MergeSpelling(iqn::MergeStrategy strategy);
+
 /// Declarative router selection (replaces constructing Router objects).
 struct RoutingSpec {
   RouterKind kind = RouterKind::kIqn;

@@ -1,0 +1,74 @@
+#include "minerva/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace iqn {
+
+namespace {
+
+// Salts separating the adversary hash streams from other Hash64 uses.
+constexpr uint64_t kAdversarySelectSeed = 0xAD5E1EC7;
+constexpr uint64_t kFabricatedDocSeed = 0xADD0C1D5;
+
+}  // namespace
+
+const char* PeerBehaviorName(PeerBehavior behavior) {
+  switch (behavior) {
+    case PeerBehavior::kHonest:
+      return "honest";
+    case PeerBehavior::kInflateClaims:
+      return "inflate";
+    case PeerBehavior::kPoisonSynopses:
+      return "poison";
+  }
+  return "unknown";
+}
+
+Result<PeerBehavior> ParsePeerBehavior(const std::string& name) {
+  if (name == "honest") return PeerBehavior::kHonest;
+  if (name == "inflate") return PeerBehavior::kInflateClaims;
+  if (name == "poison") return PeerBehavior::kPoisonSynopses;
+  return Status::InvalidArgument("unknown peer behavior '" + name +
+                                 "' (honest|inflate|poison)");
+}
+
+std::vector<size_t> SelectAdversaries(const AdversaryConfig& config,
+                                      size_t num_peers) {
+  std::vector<size_t> chosen;
+  if (!config.active() || num_peers == 0) return chosen;
+  size_t count = static_cast<size_t>(
+      std::llround(config.fraction * static_cast<double>(num_peers)));
+  count = std::min(count, num_peers);
+  if (count == 0) return chosen;
+
+  // Rank every peer by a seeded hash and take the top `count`: the
+  // selection is an exact share of the population, stable under the
+  // seed, and independent of everything else in the run.
+  std::vector<std::pair<uint64_t, size_t>> ranked;
+  ranked.reserve(num_peers);
+  for (size_t i = 0; i < num_peers; ++i) {
+    ranked.emplace_back(Hash64(i, kAdversarySelectSeed ^ config.seed), i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  chosen.reserve(count);
+  for (size_t i = 0; i < count; ++i) chosen.push_back(ranked[i].second);
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+uint64_t FabricatedDocId(uint64_t seed, uint64_t peer_id,
+                         const std::string& term, uint64_t index) {
+  uint64_t h = Mix64(kFabricatedDocSeed ^ seed);
+  h = Mix64(h ^ peer_id);
+  h = Mix64(h ^ HashString(term));
+  h = Mix64(h ^ index);
+  // Keep fabricated ids in the top half of the id space, far above any
+  // DocId a workload generator hands out — they must never collide with
+  // a real document (that would make the poison accidentally truthful).
+  return h | (uint64_t{1} << 63);
+}
+
+}  // namespace iqn

@@ -1,0 +1,81 @@
+// Adversarial peer behaviors (the scenario harness's robustness
+// workload).
+//
+// The paper's evaluation assumes every peer reports its CORI statistics
+// and synopses honestly. A deployed P2P search network cannot: a peer
+// that inflates its claimed list lengths looks both high-quality (the
+// cdf component of CORI grows with claimed size) and high-novelty (the
+// claimed cardinality feeds the novelty estimate), so Select-Best-Peer
+// keeps routing queries to it — displacing peers that would actually
+// deliver. A peer that poisons its synopses with fabricated document
+// ids fakes novelty directly: its synopsis resembles nothing, so it
+// always looks like fresh coverage.
+//
+// This header defines WHAT a peer lies about; Peer::BuildPost applies
+// the lie at post-construction time, so every publish path (full,
+// batched, adaptive, churn republish) misreports consistently. The
+// countermeasure — claim-vs-observed calibration with a per-peer
+// reputation discount — lives in minerva/reputation.h.
+//
+// Everything is deterministic: which peers turn adversarial is a pure
+// function of (seed, fraction, peer population), and the fabricated doc
+// ids are hashes of (seed, peer, term, index).
+
+#ifndef IQN_MINERVA_BEHAVIOR_H_
+#define IQN_MINERVA_BEHAVIOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+enum class PeerBehavior {
+  kHonest,
+  /// Multiplies the claimed list_length of every post by
+  /// AdversaryConfig::inflate_factor. The synopsis stays truthful, so
+  /// the lie is only in the statistics — the subtler attack.
+  kInflateClaims,
+  /// Adds (inflate_factor - 1) x list_length fabricated document ids to
+  /// every posted synopsis AND inflates list_length to match, so the
+  /// claim is self-consistent (synopsis cardinality agrees with the
+  /// claimed length) and cannot be caught by cross-checking the post
+  /// against itself.
+  kPoisonSynopses,
+};
+
+const char* PeerBehaviorName(PeerBehavior behavior);
+Result<PeerBehavior> ParsePeerBehavior(const std::string& name);
+
+/// Engine-level adversary model: a seeded fraction of peers misbehave.
+struct AdversaryConfig {
+  /// Fraction of peers that are adversarial, in [0, 1]. The exact count
+  /// is round(fraction * num_peers), chosen by seeded ranking — never a
+  /// binomial draw, so small networks get exactly the configured share.
+  double fraction = 0.0;
+  PeerBehavior behavior = PeerBehavior::kInflateClaims;
+  /// How big the lie is (claimed size as a multiple of the true size).
+  /// Must be >= 1; 1 makes adversaries behave honestly.
+  double inflate_factor = 10.0;
+  /// Seed of the adversary selection and of fabricated doc ids.
+  uint64_t seed = 0;
+
+  bool active() const { return fraction > 0.0 && inflate_factor > 1.0; }
+};
+
+/// The round(fraction * num_peers) peer indices that misbehave under
+/// `config`, in ascending order. Deterministic: peers are ranked by
+/// Mix64(seed ^ peer index) and the top share is taken.
+std::vector<size_t> SelectAdversaries(const AdversaryConfig& config,
+                                      size_t num_peers);
+
+/// A fabricated document id for poisoned synopses: far outside any real
+/// id range and unique per (seed, peer, term, index).
+uint64_t FabricatedDocId(uint64_t seed, uint64_t peer_id,
+                         const std::string& term, uint64_t index);
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_BEHAVIOR_H_

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 #include "minerva/internal/query_processor.h"
 #include "minerva/internal/router.h"
@@ -109,6 +110,28 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
           options.cache, engine->versions_.get()));
     }
   }
+  // Turn the seeded exact fraction of peers adversarial BEFORE any
+  // publish, so their very first posts already misreport.
+  engine->adversary_indices_ =
+      SelectAdversaries(options.adversary, engine->peers_.size());
+  for (size_t idx : engine->adversary_indices_) {
+    engine->peers_[idx]->SetBehavior(options.adversary.behavior,
+                                     options.adversary.inflate_factor,
+                                     options.adversary.seed);
+  }
+  if (options.reputation.enabled) {
+    if (options.reputation.prior <= 0.0) {
+      return Status::InvalidArgument("reputation.prior must be > 0");
+    }
+    if (options.reputation.floor < 0.0 || options.reputation.floor > 1.0) {
+      return Status::InvalidArgument("reputation.floor must be in [0, 1]");
+    }
+    if (options.reputation.sharpness <= 0.0) {
+      return Status::InvalidArgument("reputation.sharpness must be > 0");
+    }
+    engine->reputation_ =
+        std::make_unique<ReputationBook>(options.reputation);
+  }
   return engine;
 }
 
@@ -172,8 +195,14 @@ Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
                       session.has_value() ? &*session : nullptr));
   network_->MergeStats(delta);
   // Serial queries commit their cache fills immediately: the next query
-  // sees them (a batch, by contrast, commits only after it joins).
+  // sees them (a batch, by contrast, commits only after it joins). The
+  // reputation book commits at the same point, under the same contract.
   if (session.has_value()) cache->Commit(&*session);
+  if (reputation_ != nullptr) {
+    for (const PeerCalibration& cal : outcome.calibrations) {
+      reputation_->Observe(cal.peer_id, cal.claimed, cal.delivered);
+    }
+  }
   return outcome;
 }
 
@@ -260,6 +289,10 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   input.total_peers = peers_.size();
   input.local_result_docs = &local_docs;
   input.synopsis_config = &options_.synopsis;
+  // Select-Best-Peer reads the book as committed BEFORE this query's
+  // batch (or serial call); the engine applies this query's own
+  // observations only at the commit point afterwards.
+  input.reputation = reputation_.get();
   // Routers may parallelize candidate scoring over the engine pool. When
   // this query itself runs on a pool worker (RunQueryBatch), the nested
   // ParallelFor falls back to serial automatically.
@@ -339,6 +372,37 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
     span.AttrDouble("recall", outcome.recall);
     span.AttrUint("distinct_results", outcome.distinct_results);
   }
+  // Claim-vs-observed calibration (minerva/reputation.h): each answering
+  // peer's selection-time novelty claim, capped at k (a top-k answer can
+  // never deliver more), against the genuinely new documents its answer
+  // contributed — counted in attempt order, after the local result, so
+  // "new" means new to this query's accumulating result set. Peers that
+  // did not answer are not judged: a missing answer is the fault layer's
+  // business and carries no claim-vs-delivery evidence.
+  {
+    std::set<DocId> seen;
+    for (const ScoredDoc& sd : outcome.execution.local_results) {
+      seen.insert(sd.doc);
+    }
+    const double cap = static_cast<double>(query.k);
+    const auto& attempted = outcome.execution.attempted;
+    for (size_t i = 0;
+         i < attempted.size() && i < outcome.execution.per_peer_results.size();
+         ++i) {
+      const std::vector<ScoredDoc>& delivered =
+          outcome.execution.per_peer_results[i];
+      if (delivered.empty()) continue;
+      double fresh = 0.0;
+      for (const ScoredDoc& sd : delivered) {
+        if (seen.insert(sd.doc).second) fresh += 1.0;
+      }
+      PeerCalibration cal;
+      cal.peer_id = attempted[i].peer_id;
+      cal.claimed = std::min(attempted[i].novelty, cap);
+      cal.delivered = fresh;
+      outcome.calibrations.push_back(cal);
+    }
+  }
   // Retry and fault totals for this query fall out of its metered delta.
   outcome.degradation.rpc_retries = delta->rpc_retries;
   outcome.degradation.faults_survived = delta->faults_injected;
@@ -412,6 +476,16 @@ Result<std::vector<QueryOutcome>> MinervaEngine::RunQueryBatch(
   for (size_t i = 0; i < n; ++i) {
     if (sessions[i] != nullptr) {
       caches_[batch[i].initiator_index]->Commit(sessions[i].get());
+    }
+  }
+  // Reputation observations land last, also in batch order: every query
+  // of this batch routed against the pre-batch book, and the next batch
+  // sees all of this one's evidence — independent of thread count.
+  if (reputation_ != nullptr) {
+    for (const QueryOutcome& outcome : outcomes) {
+      for (const PeerCalibration& cal : outcome.calibrations) {
+        reputation_->Observe(cal.peer_id, cal.claimed, cal.delivered);
+      }
     }
   }
   return outcomes;

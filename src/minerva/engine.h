@@ -15,10 +15,12 @@
 #include "dht/kv_store.h"
 #include "dht/kv_version.h"
 #include "ir/recall.h"
+#include "minerva/behavior.h"
 #include "minerva/degradation.h"
 #include "minerva/directory_cache.h"
 #include "minerva/execution.h"
 #include "minerva/peer.h"
+#include "minerva/reputation.h"
 #include "minerva/routing.h"
 #include "net/network.h"
 #include "net/rpc_policy.h"
@@ -84,6 +86,16 @@ struct EngineOptions {
   /// invalidate precisely on republish/churn. Results stay bit-identical
   /// to uncached runs; only traffic drops.
   CacheConfig cache;
+  /// Adversarial peers (minerva/behavior.h): a seeded exact fraction of
+  /// peers inflate their claimed statistics and/or poison their posted
+  /// synopses. Applied to the peer set at Create, before any publish.
+  AdversaryConfig adversary;
+  /// Claim-vs-observed reputation calibration (minerva/reputation.h):
+  /// when enabled, the engine keeps a book of what each peer claimed vs
+  /// delivered and Select-Best-Peer discounts quality accordingly — the
+  /// robustness extension the adversary bench measures. Updates happen
+  /// at the same deterministic commit points as the directory cache.
+  ReputationParams reputation;
 };
 
 /// Everything measured about one routed query.
@@ -113,6 +125,11 @@ struct QueryOutcome {
   /// How much repair machinery this query needed (all zeros on a
   /// fault-free run).
   DegradationReport degradation;
+  /// Claim-vs-observed record per attempted peer, in attempt order
+  /// (what the reputation book is fed with; filled whether or not
+  /// EngineOptions::reputation is enabled — it is pure diagnostics
+  /// until the book consumes it).
+  std::vector<PeerCalibration> calibrations;
   /// The query's span tree when EngineOptions::collect_traces is set
   /// (shared_ptr keeps outcomes copyable); nullptr otherwise. Feed to
   /// ExplainQuery (minerva/explain.h) or the Chrome trace exporter.
@@ -201,6 +218,14 @@ class MinervaEngine {
   DirectoryCache* directory_cache(size_t i) {
     return caches_.empty() ? nullptr : caches_[i].get();
   }
+  /// The claim-vs-observed reputation book, or nullptr when
+  /// EngineOptions::reputation is disabled (exposed for tests/benches).
+  const ReputationBook* reputation_book() const { return reputation_.get(); }
+  /// Peer indices turned adversarial at Create (empty when the
+  /// adversary config is inactive).
+  const std::vector<size_t>& adversary_indices() const {
+    return adversary_indices_;
+  }
   /// The engine-wide publish-version map every DhtStore bumps.
   const KvVersionMap& version_map() const { return *versions_; }
 
@@ -233,6 +258,12 @@ class MinervaEngine {
   /// One directory cache per peer when EngineOptions::cache.enabled;
   /// empty otherwise.
   std::vector<std::unique_ptr<DirectoryCache>> caches_;
+  /// Claim-vs-observed book when EngineOptions::reputation.enabled.
+  /// Queries read it (RoutingInput::reputation); only the serial commit
+  /// points after RunQuery / RunQueryBatch write it.
+  std::unique_ptr<ReputationBook> reputation_;
+  /// Peers SelectAdversaries turned adversarial at Create.
+  std::vector<size_t> adversary_indices_;
   InvertedIndex reference_index_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ir/top_k.h"
+#include "minerva/routing.h"
 
 namespace iqn {
 
@@ -28,6 +29,12 @@ struct QueryExecution {
   /// order, then any replacements in replacement order; empty lists for
   /// peers that failed.
   std::vector<std::vector<ScoredDoc>> per_peer_results;
+  /// The attempted peers themselves, aligned index-for-index with
+  /// per_peer_results (selection-order originals, then replacements,
+  /// each carrying its selection-time quality/novelty diagnostics).
+  /// This is what claim-vs-observed calibration (minerva/reputation.h)
+  /// compares deliveries against.
+  std::vector<SelectedPeer> attempted;
   /// Global top-k after merging all lists (local included).
   std::vector<ScoredDoc> merged;
   /// Every distinct retrieved document, best score first (recall basis —

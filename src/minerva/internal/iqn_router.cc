@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "minerva/reputation.h"
 #include "synopses/estimators.h"
 #include "synopses/reference_synopsis.h"
 #include "util/check.h"
@@ -105,6 +106,14 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
               // CORI beliefs are probabilities (see CoriTermScore).
               IQN_DCHECK_GE(quality, 0.0);
               IQN_DCHECK_LE(quality, 1.0);
+            }
+            // Robustness extension: discount the candidate's quality by
+            // its claim-vs-observed reputation (minerva/reputation.h).
+            // A peer whose past claims were not backed by deliveries
+            // loses standing against honest candidates; read-only, so
+            // safe under the parallel phase-1 fan-out.
+            if (input.reputation != nullptr) {
+              quality *= input.reputation->DiscountFor(candidates[i].peer_id);
             }
             scores[i] =
                 CandidateScore{quality * effective, quality, novelty, true};

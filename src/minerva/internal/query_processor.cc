@@ -119,6 +119,9 @@ Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
     report->peers_replaced += replacements_succeeded;
     if (successes < decision.peers.size()) report->partial = true;
   }
+  // The final worklist IS the attempted-peer record; per_peer_results
+  // grew in lockstep with it above.
+  execution.attempted = std::move(worklist);
 
   std::vector<std::vector<ScoredDoc>> all_lists = execution.per_peer_results;
   all_lists.push_back(execution.local_results);

@@ -1,5 +1,6 @@
 #include "minerva/peer.h"
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -86,6 +87,12 @@ Status Peer::SetCollection(Corpus collection) {
   return Status::OK();
 }
 
+void Peer::SetBehavior(PeerBehavior behavior, double factor, uint64_t seed) {
+  behavior_ = behavior;
+  behavior_factor_ = factor < 1.0 ? 1.0 : factor;
+  behavior_seed_ = seed;
+}
+
 Status Peer::AddDocuments(const Corpus& delta, bool republish) {
   // Collect the terms whose lists will change before merging.
   std::set<std::string> touched;
@@ -122,9 +129,27 @@ Result<Post> Peer::BuildPost(const std::string& term,
   post.avg_score = index_.AvgScore(term);
   post.term_space_size = index_.NumTerms();
 
+  // Adversarial misreporting (minerva/behavior.h): the claimed list
+  // length grows by behavior_factor_; kPoisonSynopses additionally backs
+  // the inflated claim with fabricated doc ids below, so the post stays
+  // self-consistent. The index and query answers remain truthful.
+  size_t fabricated = 0;
+  if (behavior_ != PeerBehavior::kHonest && behavior_factor_ > 1.0) {
+    double inflated =
+        std::ceil(static_cast<double>(list->size()) * behavior_factor_);
+    size_t claimed = static_cast<size_t>(inflated);
+    fabricated = claimed - list->size();
+    post.list_length = claimed;
+  }
+
   IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> synopsis,
                        synopsis_config_.MakeEmpty(bits_override));
   for (const Posting& p : *list) synopsis->Add(p.doc);
+  if (behavior_ == PeerBehavior::kPoisonSynopses) {
+    for (size_t j = 0; j < fabricated; ++j) {
+      synopsis->Add(FabricatedDocId(behavior_seed_, peer_id_, term, j));
+    }
+  }
   if (synopsis_config_.compress_bloom &&
       synopsis->type() == SynopsisType::kBloomFilter) {
     post.synopsis = SerializeBloomFilterCompressed(

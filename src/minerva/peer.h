@@ -13,6 +13,7 @@
 #include "ir/inverted_index.h"
 #include "ir/query.h"
 #include "ir/top_k.h"
+#include "minerva/behavior.h"
 #include "minerva/directory.h"
 #include "minerva/directory_cache.h"
 #include "minerva/post.h"
@@ -51,6 +52,16 @@ class Peer {
   /// Installs the peer's crawled collection and (re)builds the local
   /// index. Call PublishPosts afterwards to refresh the directory.
   Status SetCollection(Corpus collection);
+
+  /// Makes the peer misreport its directory posts (minerva/behavior.h).
+  /// Applied inside BuildPost, so EVERY publish path — full, batched,
+  /// adaptive, churn republish — lies consistently. `factor` is the
+  /// claimed-size multiple (>= 1), `seed` derives fabricated doc ids for
+  /// kPoisonSynopses. Query execution is unaffected: an adversarial
+  /// peer still answers with its real documents; the damage is the
+  /// routing capacity it steals from peers that would deliver more.
+  void SetBehavior(PeerBehavior behavior, double factor, uint64_t seed);
+  PeerBehavior behavior() const { return behavior_; }
 
   /// Continues the crawl: merges newly fetched documents into the
   /// collection, rebuilds the index, and (when `republish` is set)
@@ -143,6 +154,10 @@ class Peer {
   ScoringModel scoring_;
   Corpus collection_;
   InvertedIndex index_;
+  /// Adversarial misreporting (SetBehavior); honest by default.
+  PeerBehavior behavior_ = PeerBehavior::kHonest;
+  double behavior_factor_ = 1.0;
+  uint64_t behavior_seed_ = 0;
 };
 
 }  // namespace iqn

@@ -1,0 +1,39 @@
+#include "minerva/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace iqn {
+
+void ReputationBook::Observe(uint64_t peer_id, double claimed,
+                             double delivered) {
+  if (claimed < 0.0) claimed = 0.0;
+  if (delivered < 0.0) delivered = 0.0;
+  Evidence& e = evidence_[peer_id];
+  e.claimed += claimed;
+  e.delivered += delivered;
+}
+
+double ReputationBook::DiscountFor(uint64_t peer_id) const {
+  auto it = evidence_.find(peer_id);
+  if (it == evidence_.end()) return 1.0;
+  const Evidence& e = it->second;
+  double ratio =
+      (e.delivered + params_.prior) / (e.claimed + params_.prior);
+  return std::clamp(std::pow(ratio, params_.sharpness), params_.floor, 1.0);
+}
+
+std::string ReputationBook::DebugString() const {
+  std::ostringstream os;
+  for (const auto& [peer_id, e] : evidence_) {
+    os << "peer " << peer_id << ": claimed=" << JsonDouble(e.claimed)
+       << " delivered=" << JsonDouble(e.delivered)
+       << " discount=" << JsonDouble(DiscountFor(peer_id)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iqn

@@ -1,0 +1,114 @@
+// Claim-vs-observed calibration: the robustness extension of
+// Select-Best-Peer against adversarial peers (minerva/behavior.h).
+//
+// The insight: at selection time IQN records what a peer CLAIMED it
+// would contribute (the novelty estimate, driven by its posted list
+// lengths and synopses), and after execution the engine can see what it
+// actually DELIVERED (result documents that were genuinely new). An
+// honest peer's deliveries track its claims — the novelty estimator is
+// built to predict exactly this. A claim-inflating or synopsis-
+// poisoning peer systematically over-claims: its estimated novelty is a
+// multiple of what its top-k answer can ever contain.
+//
+// The book accumulates, per peer, the claimed-vs-delivered evidence and
+// turns it into a multiplicative quality discount in [floor, 1]:
+//
+//   discount(p) = clamp(((delivered_p + prior) / (claimed_p + prior))
+//                       ^ sharpness)
+//
+// where both sums cap each query's claim at the query's k (a peer
+// cannot deliver more than k results, so claims beyond k carry no
+// evidence either way — this keeps honest peers with huge true coverage
+// at discount ~1). `prior` is pseudo-evidence that keeps fresh peers
+// near 1.0 until real observations accumulate.
+//
+// Determinism contract (the book lives inside the batch engine):
+//  * Queries only READ the book (RoutingInput::reputation is const).
+//  * Observations are applied by the engine at deterministic points:
+//    after each serial RunQuery, or in batch order after RunQueryBatch
+//    joins — the same two-phase discipline the directory cache uses.
+//    Within a batch every query sees the pre-batch book, so outcomes
+//    cannot depend on worker scheduling.
+//
+// Simplification vs a deployed network: the book is engine-global
+// (shared knowledge), not per-initiator — same spirit as the engine-
+// wide publish-version map. DESIGN.md section 13 discusses the gap.
+
+#ifndef IQN_MINERVA_REPUTATION_H_
+#define IQN_MINERVA_REPUTATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iqn {
+
+struct ReputationParams {
+  /// Master switch; a disabled book is never consulted or updated.
+  bool enabled = false;
+  /// Pseudo-evidence added to both sums (in "documents"): larger values
+  /// mean slower, gentler convictions. Must be > 0.
+  double prior = 8.0;
+  /// Lower bound of the discount: even a fully convicted liar keeps
+  /// this much quality, so it can redeem itself if it starts
+  /// delivering (and ranking among liars stays defined). In [0, 1].
+  double floor = 0.05;
+  /// Exponent applied to the calibration ratio. Every peer's novelty
+  /// estimate over-predicts a little (duplicates across answers), so
+  /// raw ratios cluster well below 1 even for honest peers; an exponent
+  /// > 1 spreads that cluster, turning a SYSTEMATIC over-claimer's
+  /// modestly-worse ratio into a decisively smaller discount while
+  /// honest peers keep their relative order. Must be > 0.
+  double sharpness = 2.0;
+};
+
+/// One peer's claimed-vs-delivered evidence and the engine-wide map of
+/// them. Not thread-safe by itself — see the determinism contract above
+/// for when the engine reads and writes it.
+class ReputationBook {
+ public:
+  explicit ReputationBook(const ReputationParams& params) : params_(params) {}
+
+  /// Folds one query's evidence for `peer_id` in: `claimed` is the
+  /// selection-time novelty estimate capped at the query's k, and
+  /// `delivered` the count of genuinely new documents the peer's answer
+  /// contributed (also <= k by construction).
+  void Observe(uint64_t peer_id, double claimed, double delivered);
+
+  /// The multiplicative quality discount for `peer_id`, in
+  /// [params.floor, 1]. Peers never observed score 1.0.
+  double DiscountFor(uint64_t peer_id) const;
+
+  size_t peers_tracked() const { return evidence_.size(); }
+  const ReputationParams& params() const { return params_; }
+
+  /// One line per tracked peer ("peer 3: claimed=41.2 delivered=12.0
+  /// discount=0.41"), for logs and benches.
+  std::string DebugString() const;
+
+ private:
+  struct Evidence {
+    double claimed = 0.0;
+    double delivered = 0.0;
+  };
+
+  ReputationParams params_;
+  /// Ordered map: iteration order (DebugString, determinism) is by peer
+  /// id, never by insertion history.
+  std::map<uint64_t, Evidence> evidence_;
+};
+
+/// One selected peer's claim-vs-observed record for a single query,
+/// computed by the engine after execution (QueryOutcome::calibrations).
+struct PeerCalibration {
+  uint64_t peer_id = 0;
+  /// Selection-time novelty estimate capped at the query's k.
+  double claimed = 0.0;
+  /// Documents in the peer's answer not already delivered by the
+  /// initiator's local result or an earlier-selected peer.
+  double delivered = 0.0;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_MINERVA_REPUTATION_H_

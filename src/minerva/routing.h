@@ -25,7 +25,8 @@
 namespace iqn {
 
 class ThreadPool;
-class Router;  // internal; see minerva/internal/router.h
+class Router;          // internal; see minerva/internal/router.h
+class ReputationBook;  // minerva/reputation.h
 
 /// One prospective peer, assembled from the PeerLists of all query terms.
 struct CandidatePeer {
@@ -62,6 +63,13 @@ struct RoutingInput {
   /// reference and the argmax reduction scans candidates in index order
   /// with the same (score, peer_id) tie-break either way.
   ThreadPool* pool = nullptr;
+  /// Claim-vs-observed reputation state (minerva/reputation.h). When
+  /// set, Select-Best-Peer multiplies each candidate's CORI quality by
+  /// the book's per-peer discount — the robustness extension against
+  /// claim-inflating / synopsis-poisoning peers. Read-only during
+  /// routing; the engine updates the book at deterministic commit
+  /// points only.
+  const ReputationBook* reputation = nullptr;
 };
 
 struct SelectedPeer {

@@ -1,0 +1,902 @@
+#include "minerva/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "minerva/behavior.h"
+#include "util/hash.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "workload/fragments.h"
+#include "workload/queries.h"
+#include "workload/synthetic_corpus.h"
+
+namespace minerva {
+
+namespace {
+
+using iqn::JsonValue;
+using iqn::Result;
+using iqn::Status;
+
+// ---------------------------------------------------------------------
+// Strict extraction helpers. Every error names the spec path it refers
+// to, so a bad spec is diagnosable from the Status alone.
+
+Status WrongKind(const std::string& path, const char* want,
+                 const JsonValue& v) {
+  return Status::InvalidArgument("scenario: " + path + " must be " + want +
+                                 ", got " + JsonValue::KindName(v.kind()));
+}
+
+Result<bool> GetBool(const JsonValue& v, const std::string& path) {
+  if (!v.is_bool()) return WrongKind(path, "a boolean", v);
+  return v.bool_value();
+}
+
+Result<double> GetDouble(const JsonValue& v, const std::string& path) {
+  if (!v.is_number()) return WrongKind(path, "a number", v);
+  return v.number_value();
+}
+
+Result<uint64_t> GetUint(const JsonValue& v, const std::string& path) {
+  if (!v.is_number() || !v.IsExactInt() || v.number_value() < 0.0) {
+    return WrongKind(path, "a nonnegative integer", v);
+  }
+  return static_cast<uint64_t>(v.number_value());
+}
+
+Result<size_t> GetSize(const JsonValue& v, const std::string& path) {
+  IQN_ASSIGN_OR_RETURN(uint64_t u, GetUint(v, path));
+  return static_cast<size_t>(u);
+}
+
+Result<std::string> GetString(const JsonValue& v, const std::string& path) {
+  if (!v.is_string()) return WrongKind(path, "a string", v);
+  return v.string_value();
+}
+
+/// Prefixes a section parser's enum-spelling error with its path.
+Status AtPath(const std::string& path, const Status& status) {
+  if (status.ok()) return status;
+  return Status::InvalidArgument("scenario: " + path + ": " +
+                                 status.message());
+}
+
+Status UnknownKey(const char* section, const std::string& key,
+                  const char* accepted) {
+  return Status::InvalidArgument(std::string("scenario: unknown key '") +
+                                 key + "' in " + section + " (accepted: " +
+                                 accepted + ")");
+}
+
+// ---------------------------------------------------------------------
+// Section parsers. Each iterates the object's members, dispatches every
+// key it knows, and rejects the rest; range validation follows once the
+// whole section is read (so "max < min" errors see both values).
+
+Status ParseCorpus(const JsonValue& v, ScenarioSpec::CorpusSection* out) {
+  if (!v.is_object()) return WrongKind("corpus", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "documents") {
+      IQN_ASSIGN_OR_RETURN(out->documents, GetSize(val, "corpus.documents"));
+    } else if (key == "vocabulary") {
+      IQN_ASSIGN_OR_RETURN(out->vocabulary, GetSize(val, "corpus.vocabulary"));
+    } else if (key == "min_doc_length") {
+      IQN_ASSIGN_OR_RETURN(out->min_doc_length,
+                           GetSize(val, "corpus.min_doc_length"));
+    } else if (key == "max_doc_length") {
+      IQN_ASSIGN_OR_RETURN(out->max_doc_length,
+                           GetSize(val, "corpus.max_doc_length"));
+    } else if (key == "zipf_theta") {
+      IQN_ASSIGN_OR_RETURN(out->zipf_theta,
+                           GetDouble(val, "corpus.zipf_theta"));
+    } else {
+      return UnknownKey("corpus", key,
+                        "documents|vocabulary|min_doc_length|"
+                        "max_doc_length|zipf_theta");
+    }
+  }
+  if (out->documents == 0) {
+    return Status::InvalidArgument(
+        "scenario: corpus.documents must be >= 1");
+  }
+  if (out->min_doc_length == 0) {
+    return Status::InvalidArgument(
+        "scenario: corpus.min_doc_length must be >= 1");
+  }
+  if (out->max_doc_length < out->min_doc_length) {
+    return Status::InvalidArgument(
+        "scenario: corpus.max_doc_length must be >= corpus.min_doc_length");
+  }
+  if (out->zipf_theta < 0.0) {
+    return Status::InvalidArgument(
+        "scenario: corpus.zipf_theta must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ParseTopology(const JsonValue& v, ScenarioSpec::TopologySection* out) {
+  if (!v.is_object()) return WrongKind("topology", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "peers") {
+      IQN_ASSIGN_OR_RETURN(out->peers, GetSize(val, "topology.peers"));
+    } else if (key == "fragments") {
+      IQN_ASSIGN_OR_RETURN(out->fragments,
+                           GetSize(val, "topology.fragments"));
+    } else if (key == "partition") {
+      IQN_ASSIGN_OR_RETURN(std::string name,
+                           GetString(val, "topology.partition"));
+      Result<PartitionKind> kind = ParsePartitionKind(name);
+      if (!kind.ok()) return AtPath("topology.partition", kind.status());
+      out->partition = kind.value();
+    } else if (key == "window") {
+      IQN_ASSIGN_OR_RETURN(out->window, GetSize(val, "topology.window"));
+    } else if (key == "offset") {
+      IQN_ASSIGN_OR_RETURN(out->offset, GetSize(val, "topology.offset"));
+    } else if (key == "subset") {
+      IQN_ASSIGN_OR_RETURN(out->subset, GetSize(val, "topology.subset"));
+    } else {
+      return UnknownKey("topology", key,
+                        "peers|fragments|partition|window|offset|subset");
+    }
+  }
+  if (out->peers < 2) {
+    return Status::InvalidArgument(
+        "scenario: topology.peers must be >= 2 (one initiator plus at "
+        "least one remote peer)");
+  }
+  if (out->window == 0 || out->offset == 0) {
+    return Status::InvalidArgument(
+        "scenario: topology.window and topology.offset must be >= 1");
+  }
+  if (out->subset == 0) {
+    return Status::InvalidArgument(
+        "scenario: topology.subset must be >= 1");
+  }
+  return Status::OK();
+}
+
+Status ParseEngine(const JsonValue& v, ScenarioSpec::EngineSection* out) {
+  if (!v.is_object()) return WrongKind("engine", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "router") {
+      IQN_ASSIGN_OR_RETURN(std::string name, GetString(val, "engine.router"));
+      Result<RouterKind> kind = ParseRouterKind(name);
+      if (!kind.ok()) return AtPath("engine.router", kind.status());
+      out->router = kind.value();
+    } else if (key == "aggregation") {
+      IQN_ASSIGN_OR_RETURN(std::string name,
+                           GetString(val, "engine.aggregation"));
+      Result<iqn::AggregationStrategy> agg = ParseAggregation(name);
+      if (!agg.ok()) return AtPath("engine.aggregation", agg.status());
+      out->aggregation = agg.value();
+    } else if (key == "synopsis") {
+      IQN_ASSIGN_OR_RETURN(std::string name,
+                           GetString(val, "engine.synopsis"));
+      Result<iqn::SynopsisType> type = ParseSynopsisType(name);
+      if (!type.ok()) return AtPath("engine.synopsis", type.status());
+      out->synopsis = type.value();
+    } else if (key == "synopsis_bits") {
+      IQN_ASSIGN_OR_RETURN(out->synopsis_bits,
+                           GetSize(val, "engine.synopsis_bits"));
+    } else if (key == "merge") {
+      IQN_ASSIGN_OR_RETURN(std::string name, GetString(val, "engine.merge"));
+      Result<iqn::MergeStrategy> merge = ParseMerge(name);
+      if (!merge.ok()) return AtPath("engine.merge", merge.status());
+      out->merge = merge.value();
+    } else if (key == "max_peers") {
+      IQN_ASSIGN_OR_RETURN(out->max_peers,
+                           GetSize(val, "engine.max_peers"));
+    } else if (key == "threads") {
+      IQN_ASSIGN_OR_RETURN(out->threads, GetSize(val, "engine.threads"));
+    } else if (key == "retries") {
+      IQN_ASSIGN_OR_RETURN(size_t retries, GetSize(val, "engine.retries"));
+      out->retries = static_cast<int>(retries);
+    } else if (key == "deadline_ms") {
+      IQN_ASSIGN_OR_RETURN(out->deadline_ms,
+                           GetDouble(val, "engine.deadline_ms"));
+    } else if (key == "cache") {
+      IQN_ASSIGN_OR_RETURN(out->cache, GetBool(val, "engine.cache"));
+    } else if (key == "collect_traces") {
+      IQN_ASSIGN_OR_RETURN(out->collect_traces,
+                           GetBool(val, "engine.collect_traces"));
+    } else {
+      return UnknownKey("engine", key,
+                        "router|aggregation|synopsis|synopsis_bits|merge|"
+                        "max_peers|threads|retries|deadline_ms|cache|"
+                        "collect_traces");
+    }
+  }
+  if (out->synopsis_bits == 0) {
+    return Status::InvalidArgument(
+        "scenario: engine.synopsis_bits must be >= 1");
+  }
+  if (out->max_peers == 0) {
+    return Status::InvalidArgument(
+        "scenario: engine.max_peers must be >= 1");
+  }
+  if (out->threads == 0) {
+    return Status::InvalidArgument("scenario: engine.threads must be >= 1");
+  }
+  if (out->retries < 1) {
+    return Status::InvalidArgument("scenario: engine.retries must be >= 1");
+  }
+  if (out->deadline_ms < 0.0) {
+    return Status::InvalidArgument(
+        "scenario: engine.deadline_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ParseFaults(const JsonValue& v, ScenarioSpec::FaultSection* out) {
+  if (!v.is_object()) return WrongKind("faults", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "seed") {
+      IQN_ASSIGN_OR_RETURN(out->seed, GetUint(val, "faults.seed"));
+    } else if (key == "drop_rate") {
+      IQN_ASSIGN_OR_RETURN(out->drop_rate,
+                           GetDouble(val, "faults.drop_rate"));
+    } else {
+      return UnknownKey("faults", key, "seed|drop_rate");
+    }
+  }
+  if (out->drop_rate < 0.0 || out->drop_rate > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: faults.drop_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ParseChurn(const JsonValue& v, ScenarioSpec::ChurnSection* out) {
+  if (!v.is_object()) return WrongKind("churn", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "every") {
+      IQN_ASSIGN_OR_RETURN(out->every, GetSize(val, "churn.every"));
+    } else if (key == "documents") {
+      IQN_ASSIGN_OR_RETURN(out->documents,
+                           GetSize(val, "churn.documents"));
+    } else {
+      return UnknownKey("churn", key, "every|documents");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseQueries(const JsonValue& v, ScenarioSpec::QuerySection* out) {
+  if (!v.is_object()) return WrongKind("queries", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "pool") {
+      IQN_ASSIGN_OR_RETURN(out->pool, GetSize(val, "queries.pool"));
+    } else if (key == "executions") {
+      IQN_ASSIGN_OR_RETURN(out->executions,
+                           GetSize(val, "queries.executions"));
+    } else if (key == "rounds") {
+      IQN_ASSIGN_OR_RETURN(out->rounds, GetSize(val, "queries.rounds"));
+    } else if (key == "min_terms") {
+      IQN_ASSIGN_OR_RETURN(out->min_terms,
+                           GetSize(val, "queries.min_terms"));
+    } else if (key == "max_terms") {
+      IQN_ASSIGN_OR_RETURN(out->max_terms,
+                           GetSize(val, "queries.max_terms"));
+    } else if (key == "band_low") {
+      IQN_ASSIGN_OR_RETURN(out->band_low,
+                           GetDouble(val, "queries.band_low"));
+    } else if (key == "band_high") {
+      IQN_ASSIGN_OR_RETURN(out->band_high,
+                           GetDouble(val, "queries.band_high"));
+    } else if (key == "k") {
+      IQN_ASSIGN_OR_RETURN(out->k, GetSize(val, "queries.k"));
+    } else if (key == "zipf_s") {
+      IQN_ASSIGN_OR_RETURN(out->zipf_s, GetDouble(val, "queries.zipf_s"));
+    } else if (key == "batch_size") {
+      IQN_ASSIGN_OR_RETURN(out->batch_size,
+                           GetSize(val, "queries.batch_size"));
+    } else if (key == "initiator") {
+      if (val.is_string()) {
+        if (val.string_value() != "round_robin") {
+          return Status::InvalidArgument(
+              "scenario: queries.initiator must be \"round_robin\" or a "
+              "peer index, got \"" + val.string_value() + "\"");
+        }
+        out->initiator = -1;
+      } else {
+        IQN_ASSIGN_OR_RETURN(size_t fixed,
+                             GetSize(val, "queries.initiator"));
+        out->initiator = static_cast<int>(fixed);
+      }
+    } else {
+      return UnknownKey("queries", key,
+                        "pool|executions|rounds|min_terms|max_terms|"
+                        "band_low|band_high|k|zipf_s|batch_size|initiator");
+    }
+  }
+  if (out->pool == 0) {
+    return Status::InvalidArgument("scenario: queries.pool must be >= 1");
+  }
+  if (out->rounds == 0) {
+    return Status::InvalidArgument("scenario: queries.rounds must be >= 1");
+  }
+  if (out->min_terms == 0 || out->max_terms < out->min_terms) {
+    return Status::InvalidArgument(
+        "scenario: queries.min_terms must be >= 1 and <= queries.max_terms");
+  }
+  if (out->band_low < 0.0 || out->band_high <= out->band_low ||
+      out->band_high > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: query band must satisfy 0 <= band_low < band_high <= 1");
+  }
+  if (out->k == 0) {
+    return Status::InvalidArgument("scenario: queries.k must be >= 1");
+  }
+  if (out->zipf_s < 0.0) {
+    return Status::InvalidArgument("scenario: queries.zipf_s must be >= 0");
+  }
+  if (out->batch_size == 0) {
+    return Status::InvalidArgument(
+        "scenario: queries.batch_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+Status ParseAdversary(const JsonValue& v, iqn::AdversaryConfig* out) {
+  if (!v.is_object()) return WrongKind("adversary", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "fraction") {
+      IQN_ASSIGN_OR_RETURN(out->fraction,
+                           GetDouble(val, "adversary.fraction"));
+    } else if (key == "behavior") {
+      IQN_ASSIGN_OR_RETURN(std::string name,
+                           GetString(val, "adversary.behavior"));
+      Result<iqn::PeerBehavior> behavior = iqn::ParsePeerBehavior(name);
+      if (!behavior.ok()) return AtPath("adversary.behavior",
+                                        behavior.status());
+      out->behavior = behavior.value();
+    } else if (key == "factor") {
+      IQN_ASSIGN_OR_RETURN(out->inflate_factor,
+                           GetDouble(val, "adversary.factor"));
+    } else if (key == "seed") {
+      IQN_ASSIGN_OR_RETURN(out->seed, GetUint(val, "adversary.seed"));
+    } else {
+      return UnknownKey("adversary", key, "fraction|behavior|factor|seed");
+    }
+  }
+  if (out->fraction < 0.0 || out->fraction > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: adversary.fraction must be in [0, 1]");
+  }
+  if (out->inflate_factor < 1.0) {
+    return Status::InvalidArgument(
+        "scenario: adversary.factor must be >= 1 (1 = no inflation)");
+  }
+  return Status::OK();
+}
+
+Status ParseReputation(const JsonValue& v, iqn::ReputationParams* out) {
+  if (!v.is_object()) return WrongKind("reputation", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "enabled") {
+      IQN_ASSIGN_OR_RETURN(out->enabled,
+                           GetBool(val, "reputation.enabled"));
+    } else if (key == "prior") {
+      IQN_ASSIGN_OR_RETURN(out->prior, GetDouble(val, "reputation.prior"));
+    } else if (key == "floor") {
+      IQN_ASSIGN_OR_RETURN(out->floor, GetDouble(val, "reputation.floor"));
+    } else if (key == "sharpness") {
+      IQN_ASSIGN_OR_RETURN(out->sharpness,
+                           GetDouble(val, "reputation.sharpness"));
+    } else {
+      return UnknownKey("reputation", key, "enabled|prior|floor|sharpness");
+    }
+  }
+  if (out->prior <= 0.0) {
+    return Status::InvalidArgument(
+        "scenario: reputation.prior must be > 0");
+  }
+  if (out->floor < 0.0 || out->floor > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: reputation.floor must be in [0, 1]");
+  }
+  if (out->sharpness <= 0.0) {
+    return Status::InvalidArgument(
+        "scenario: reputation.sharpness must be > 0");
+  }
+  return Status::OK();
+}
+
+/// Cross-section validation that needs more than one section's values.
+Status ValidateSpec(const ScenarioSpec& spec) {
+  size_t fragments = spec.topology.fragments != 0
+                         ? spec.topology.fragments
+                         : spec.topology.peers * 2;
+  if (fragments > spec.corpus.documents) {
+    return Status::InvalidArgument(
+        "scenario: topology.fragments exceeds corpus.documents (every "
+        "fragment needs at least one document)");
+  }
+  if (spec.topology.partition == PartitionKind::kSlidingWindow &&
+      spec.topology.window > fragments) {
+    return Status::InvalidArgument(
+        "scenario: topology.window exceeds the fragment count");
+  }
+  if (spec.topology.partition == PartitionKind::kChooseCombinations &&
+      spec.topology.subset > fragments) {
+    return Status::InvalidArgument(
+        "scenario: topology.subset exceeds the fragment count");
+  }
+  if (spec.churn.every > 0 &&
+      spec.churn.every % spec.queries.batch_size != 0) {
+    return Status::InvalidArgument(
+        "scenario: churn.every must be a multiple of queries.batch_size "
+        "(churn fires only at batch boundaries)");
+  }
+  if (spec.queries.initiator >= 0 &&
+      static_cast<size_t>(spec.queries.initiator) >= spec.topology.peers) {
+    return Status::InvalidArgument(
+        "scenario: queries.initiator is not a valid peer index");
+  }
+  size_t vocabulary = spec.corpus.vocabulary != 0
+                          ? spec.corpus.vocabulary
+                          : spec.corpus.documents / 8;
+  if (vocabulary == 0) {
+    return Status::InvalidArgument(
+        "scenario: derived vocabulary is empty (corpus.documents < 8 and "
+        "no explicit corpus.vocabulary)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Emission: the canonical full form, every field in declaration order.
+
+JsonValue Num(double d) { return JsonValue::Number(d); }
+JsonValue Num(size_t u) {
+  return JsonValue::Number(static_cast<double>(u));
+}
+JsonValue Num(int i) { return JsonValue::Number(static_cast<double>(i)); }
+
+JsonValue SpecToJson(const ScenarioSpec& spec) {
+  std::vector<JsonValue::Member> corpus;
+  corpus.emplace_back("documents", Num(spec.corpus.documents));
+  corpus.emplace_back("vocabulary", Num(spec.corpus.vocabulary));
+  corpus.emplace_back("min_doc_length", Num(spec.corpus.min_doc_length));
+  corpus.emplace_back("max_doc_length", Num(spec.corpus.max_doc_length));
+  corpus.emplace_back("zipf_theta", Num(spec.corpus.zipf_theta));
+
+  std::vector<JsonValue::Member> topology;
+  topology.emplace_back("peers", Num(spec.topology.peers));
+  topology.emplace_back("fragments", Num(spec.topology.fragments));
+  topology.emplace_back(
+      "partition",
+      JsonValue::String(PartitionKindName(spec.topology.partition)));
+  topology.emplace_back("window", Num(spec.topology.window));
+  topology.emplace_back("offset", Num(spec.topology.offset));
+  topology.emplace_back("subset", Num(spec.topology.subset));
+
+  std::vector<JsonValue::Member> engine;
+  engine.emplace_back("router",
+                      JsonValue::String(RouterKindName(spec.engine.router)));
+  engine.emplace_back(
+      "aggregation",
+      JsonValue::String(AggregationSpelling(spec.engine.aggregation)));
+  engine.emplace_back(
+      "synopsis", JsonValue::String(SynopsisSpelling(spec.engine.synopsis)));
+  engine.emplace_back("synopsis_bits", Num(spec.engine.synopsis_bits));
+  engine.emplace_back("merge",
+                      JsonValue::String(MergeSpelling(spec.engine.merge)));
+  engine.emplace_back("max_peers", Num(spec.engine.max_peers));
+  engine.emplace_back("threads", Num(spec.engine.threads));
+  engine.emplace_back("retries", Num(spec.engine.retries));
+  engine.emplace_back("deadline_ms", Num(spec.engine.deadline_ms));
+  engine.emplace_back("cache", JsonValue::Bool(spec.engine.cache));
+  engine.emplace_back("collect_traces",
+                      JsonValue::Bool(spec.engine.collect_traces));
+
+  std::vector<JsonValue::Member> faults;
+  faults.emplace_back("seed", Num(spec.faults.seed));
+  faults.emplace_back("drop_rate", Num(spec.faults.drop_rate));
+
+  std::vector<JsonValue::Member> churn;
+  churn.emplace_back("every", Num(spec.churn.every));
+  churn.emplace_back("documents", Num(spec.churn.documents));
+
+  std::vector<JsonValue::Member> queries;
+  queries.emplace_back("pool", Num(spec.queries.pool));
+  queries.emplace_back("executions", Num(spec.queries.executions));
+  queries.emplace_back("rounds", Num(spec.queries.rounds));
+  queries.emplace_back("min_terms", Num(spec.queries.min_terms));
+  queries.emplace_back("max_terms", Num(spec.queries.max_terms));
+  queries.emplace_back("band_low", Num(spec.queries.band_low));
+  queries.emplace_back("band_high", Num(spec.queries.band_high));
+  queries.emplace_back("k", Num(spec.queries.k));
+  queries.emplace_back("zipf_s", Num(spec.queries.zipf_s));
+  queries.emplace_back("batch_size", Num(spec.queries.batch_size));
+  queries.emplace_back("initiator",
+                       spec.queries.initiator < 0
+                           ? JsonValue::String("round_robin")
+                           : Num(spec.queries.initiator));
+
+  std::vector<JsonValue::Member> adversary;
+  adversary.emplace_back("fraction", Num(spec.adversary.fraction));
+  adversary.emplace_back(
+      "behavior",
+      JsonValue::String(iqn::PeerBehaviorName(spec.adversary.behavior)));
+  adversary.emplace_back("factor", Num(spec.adversary.inflate_factor));
+  adversary.emplace_back("seed", Num(spec.adversary.seed));
+
+  std::vector<JsonValue::Member> reputation;
+  reputation.emplace_back("enabled", JsonValue::Bool(spec.reputation.enabled));
+  reputation.emplace_back("prior", Num(spec.reputation.prior));
+  reputation.emplace_back("floor", Num(spec.reputation.floor));
+  reputation.emplace_back("sharpness", Num(spec.reputation.sharpness));
+
+  std::vector<JsonValue::Member> root;
+  root.emplace_back("name", JsonValue::String(spec.name));
+  root.emplace_back("seed", Num(spec.seed));
+  root.emplace_back("corpus", JsonValue::Object(std::move(corpus)));
+  root.emplace_back("topology", JsonValue::Object(std::move(topology)));
+  root.emplace_back("engine", JsonValue::Object(std::move(engine)));
+  root.emplace_back("faults", JsonValue::Object(std::move(faults)));
+  root.emplace_back("churn", JsonValue::Object(std::move(churn)));
+  root.emplace_back("queries", JsonValue::Object(std::move(queries)));
+  root.emplace_back("adversary", JsonValue::Object(std::move(adversary)));
+  root.emplace_back("reputation", JsonValue::Object(std::move(reputation)));
+  return JsonValue::Object(std::move(root));
+}
+
+// ---------------------------------------------------------------------
+// Execution helpers.
+
+/// Zipf-popularity schedule over the pool, identical to the cache
+/// bench's DrawSchedule: query i drawn proportional to 1/(i+1)^s.
+std::vector<size_t> DrawSchedule(size_t pool, size_t executions, double s,
+                                 uint64_t seed) {
+  std::vector<double> cdf(pool);
+  double norm = 0.0;
+  for (size_t i = 0; i < pool; ++i) {
+    norm += std::pow(1.0 / static_cast<double>(i + 1), s);
+    cdf[i] = norm;
+  }
+  std::vector<size_t> schedule;
+  schedule.reserve(executions);
+  iqn::Rng rng(seed);
+  for (size_t i = 0; i < executions; ++i) {
+    double u = rng.NextDouble() * norm;
+    schedule.push_back(static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+  }
+  return schedule;
+}
+
+uint64_t HashDouble(double d, uint64_t chain) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return iqn::Hash64(bits, chain);
+}
+
+uint64_t CounterValue(const char* name) {
+  return iqn::MetricsRegistry::Default().GetCounter(name)->Value();
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kSlidingWindow:
+      return "sliding_window";
+    case PartitionKind::kChooseCombinations:
+      return "choose";
+  }
+  return "unknown";
+}
+
+Result<PartitionKind> ParsePartitionKind(const std::string& name) {
+  if (name == "sliding_window") return PartitionKind::kSlidingWindow;
+  if (name == "choose") return PartitionKind::kChooseCombinations;
+  return Status::InvalidArgument("unknown partition '" + name +
+                                 "' (sliding_window|choose)");
+}
+
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text) {
+  IQN_ASSIGN_OR_RETURN(JsonValue root, iqn::ParseJson(json_text));
+  if (!root.is_object()) {
+    return WrongKind("the document", "an object", root);
+  }
+  ScenarioSpec spec;
+  bool saw_name = false;
+  for (const auto& [key, val] : root.members()) {
+    if (key == "name") {
+      IQN_ASSIGN_OR_RETURN(spec.name, GetString(val, "name"));
+      saw_name = true;
+    } else if (key == "seed") {
+      IQN_ASSIGN_OR_RETURN(spec.seed, GetUint(val, "seed"));
+    } else if (key == "corpus") {
+      IQN_RETURN_IF_ERROR(ParseCorpus(val, &spec.corpus));
+    } else if (key == "topology") {
+      IQN_RETURN_IF_ERROR(ParseTopology(val, &spec.topology));
+    } else if (key == "engine") {
+      IQN_RETURN_IF_ERROR(ParseEngine(val, &spec.engine));
+    } else if (key == "faults") {
+      IQN_RETURN_IF_ERROR(ParseFaults(val, &spec.faults));
+    } else if (key == "churn") {
+      IQN_RETURN_IF_ERROR(ParseChurn(val, &spec.churn));
+    } else if (key == "queries") {
+      IQN_RETURN_IF_ERROR(ParseQueries(val, &spec.queries));
+    } else if (key == "adversary") {
+      IQN_RETURN_IF_ERROR(ParseAdversary(val, &spec.adversary));
+    } else if (key == "reputation") {
+      IQN_RETURN_IF_ERROR(ParseReputation(val, &spec.reputation));
+    } else {
+      return UnknownKey("the top-level object", key,
+                        "name|seed|corpus|topology|engine|faults|churn|"
+                        "queries|adversary|reputation");
+    }
+  }
+  if (!saw_name || spec.name.empty()) {
+    return Status::InvalidArgument(
+        "scenario: a nonempty \"name\" is required");
+  }
+  IQN_RETURN_IF_ERROR(ValidateSpec(spec));
+  return spec;
+}
+
+std::string EmitScenarioSpec(const ScenarioSpec& spec) {
+  return iqn::EmitJson(SpecToJson(spec));
+}
+
+Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
+  IQN_RETURN_IF_ERROR(ValidateSpec(spec));
+  ScenarioResult result;
+  result.spec = spec;
+
+  // Workload: corpus -> fragments -> overlapping collections, then the
+  // query pool over the generator's vocabulary. Seed derivations match
+  // the original benches (pool: seed + 1; Zipf schedule: seed + 77).
+  iqn::SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_documents = spec.corpus.documents;
+  corpus_opts.vocabulary_size = spec.corpus.vocabulary != 0
+                                    ? spec.corpus.vocabulary
+                                    : spec.corpus.documents / 8;
+  corpus_opts.zipf_theta = spec.corpus.zipf_theta;
+  corpus_opts.min_document_length = spec.corpus.min_doc_length;
+  corpus_opts.max_document_length = spec.corpus.max_doc_length;
+  corpus_opts.seed = spec.seed;
+  IQN_ASSIGN_OR_RETURN(iqn::SyntheticCorpusGenerator gen,
+                       iqn::SyntheticCorpusGenerator::Create(corpus_opts));
+  iqn::Corpus corpus = gen.Generate();
+  size_t num_fragments = spec.topology.fragments != 0
+                             ? spec.topology.fragments
+                             : spec.topology.peers * 2;
+  IQN_ASSIGN_OR_RETURN(std::vector<iqn::Corpus> fragments,
+                       iqn::SplitIntoFragments(corpus, num_fragments));
+  std::vector<iqn::Corpus> collections;
+  if (spec.topology.partition == PartitionKind::kSlidingWindow) {
+    IQN_ASSIGN_OR_RETURN(
+        collections,
+        iqn::SlidingWindowCollections(fragments, spec.topology.window,
+                                      spec.topology.offset,
+                                      spec.topology.peers));
+  } else {
+    IQN_ASSIGN_OR_RETURN(collections, iqn::ChooseCombinationCollections(
+                                          fragments, spec.topology.subset));
+    if (collections.size() != spec.topology.peers) {
+      return Status::InvalidArgument(
+          "scenario: topology.peers (" +
+          std::to_string(spec.topology.peers) +
+          ") does not match C(fragments, subset) = " +
+          std::to_string(collections.size()));
+    }
+  }
+
+  iqn::QueryWorkloadOptions q_opts;
+  q_opts.num_queries = spec.queries.pool;
+  q_opts.min_terms = spec.queries.min_terms;
+  q_opts.max_terms = spec.queries.max_terms;
+  q_opts.band_low = spec.queries.band_low;
+  q_opts.band_high = spec.queries.band_high;
+  q_opts.k = spec.queries.k;
+  q_opts.seed = spec.seed + 1;
+  IQN_ASSIGN_OR_RETURN(std::vector<iqn::Query> pool,
+                       iqn::GenerateQueries(gen.vocabulary(), q_opts));
+
+  size_t stream_len = spec.queries.executions != 0 ? spec.queries.executions
+                                                   : pool.size();
+  std::vector<size_t> schedule;
+  if (spec.queries.executions != 0) {
+    schedule = DrawSchedule(pool.size(), stream_len, spec.queries.zipf_s,
+                            spec.seed + 77);
+  } else {
+    schedule.reserve(stream_len);
+    for (size_t i = 0; i < stream_len; ++i) schedule.push_back(i);
+  }
+
+  EngineOptions options;
+  options.routing.kind = spec.engine.router;
+  options.routing.iqn.aggregation = spec.engine.aggregation;
+  options.core.synopsis.type = spec.engine.synopsis;
+  options.core.synopsis.bits = spec.engine.synopsis_bits;
+  options.core.merge = spec.engine.merge;
+  options.max_peers = spec.engine.max_peers;
+  options.threads = spec.engine.threads;
+  options.core.retry.max_attempts = spec.engine.retries;
+  options.core.retry.jitter_seed = spec.faults.seed;
+  options.core.query_deadline_ms = spec.engine.deadline_ms;
+  options.core.cache.enabled = spec.engine.cache;
+  options.core.collect_traces = spec.engine.collect_traces;
+  options.core.adversary = spec.adversary;
+  options.core.reputation = spec.reputation;
+  IQN_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                       Engine::Create(options, std::move(collections)));
+  Engine& e = *engine;
+  IQN_RETURN_IF_ERROR(e.Publish());
+  // Meter only the query phase: publish runs fault-free (as in the chaos
+  // bench), then the fault plan goes live and all counters restart.
+  e.network().ResetStats();
+  iqn::MetricsRegistry::Default().Reset();
+  if (spec.faults.drop_rate > 0.0) {
+    e.network().InstallFaultPlan(
+        iqn::FaultPlan::MessageDrop(spec.faults.seed, spec.faults.drop_rate));
+  }
+  result.adversaries = e.core().adversary_indices();
+
+  size_t churn_docs = spec.churn.documents != 0
+                          ? spec.churn.documents
+                          : spec.corpus.documents / 20;
+  iqn::DocId next_doc_id =
+      10 * static_cast<iqn::DocId>(spec.corpus.documents);
+  uint64_t result_fp = 0;
+  uint64_t trace_fp = 0;
+  double recall_sum = 0.0;
+  double remote_sum = 0.0;
+  result.round_recall.assign(spec.queries.rounds, 0.0);
+
+  for (size_t round = 0; round < spec.queries.rounds; ++round) {
+    for (size_t start = 0; start < stream_len;
+         start += spec.queries.batch_size) {
+      // Churn fires between batches only (churn.every is validated to be
+      // a multiple of batch_size, so these are exactly the positions the
+      // serial semantics would churn at).
+      if (spec.churn.every > 0 && churn_docs > 0 && start > 0 &&
+          start % spec.churn.every == 0) {
+        size_t p = result.churn_events % e.num_peers();
+        iqn::SyntheticCorpusOptions delta_opts = corpus_opts;
+        delta_opts.num_documents = churn_docs;
+        delta_opts.first_doc_id = next_doc_id;
+        delta_opts.vocabulary_seed = corpus_opts.seed;
+        delta_opts.seed = spec.seed + 1000 * (result.churn_events + 1);
+        next_doc_id += static_cast<iqn::DocId>(churn_docs);
+        ++result.churn_events;
+        IQN_ASSIGN_OR_RETURN(
+            iqn::SyntheticCorpusGenerator delta_gen,
+            iqn::SyntheticCorpusGenerator::Create(delta_opts));
+        // Republish fault-free, like the initial publish: the fault plan
+        // models query-path chaos, and a dropped directory republish
+        // would abort the scenario instead of degrading a query. Traffic
+        // is still metered.
+        if (spec.faults.drop_rate > 0.0) {
+          e.network().InstallFaultPlan(iqn::FaultPlan{});
+        }
+        IQN_RETURN_IF_ERROR(e.peer(p).AddDocuments(delta_gen.Generate(),
+                                                   /*republish=*/true));
+        e.RebuildReferenceIndex();
+        if (spec.faults.drop_rate > 0.0) {
+          e.network().InstallFaultPlan(iqn::FaultPlan::MessageDrop(
+              spec.faults.seed, spec.faults.drop_rate));
+        }
+      }
+
+      size_t count = std::min(spec.queries.batch_size, stream_len - start);
+      std::vector<Engine::BatchQuery> batch;
+      batch.reserve(count);
+      for (size_t j = 0; j < count; ++j) {
+        size_t i = start + j;
+        Engine::BatchQuery item;
+        item.initiator_index =
+            spec.queries.initiator >= 0
+                ? static_cast<size_t>(spec.queries.initiator)
+                : i % e.num_peers();
+        item.query = pool[schedule[i]];
+        batch.push_back(std::move(item));
+      }
+      std::vector<iqn::QueryOutcome> outcomes;
+      IQN_RETURN_IF_ERROR(e.RunQueryBatch(batch, &outcomes));
+      for (const iqn::QueryOutcome& o : outcomes) {
+        recall_sum += o.recall;
+        remote_sum += o.recall_remote_only;
+        result.round_recall[round] += o.recall;
+        result.routing_bytes += o.routing_bytes;
+        result.faults_injected += o.degradation.faults_survived;
+        result.rpc_retries += o.degradation.rpc_retries;
+        result.peers_failed += o.degradation.peers_failed;
+        result.peers_replaced += o.degradation.peers_replaced;
+        if (o.degradation.partial) ++result.partial_queries;
+        for (const iqn::SelectedPeer& peer : o.decision.peers) {
+          result_fp = iqn::Hash64(peer.peer_id, result_fp);
+        }
+        for (const iqn::ScoredDoc& sd : o.execution.merged) {
+          result_fp = iqn::Hash64(sd.doc, result_fp);
+          result_fp = HashDouble(sd.score, result_fp);
+        }
+        result_fp = HashDouble(o.recall, result_fp);
+        if (spec.engine.collect_traces) {
+          std::string text;
+          IQN_RETURN_IF_ERROR(e.Explain(o, &text));
+          trace_fp = iqn::HashString(text, trace_fp);
+        }
+        ++result.queries_run;
+      }
+    }
+  }
+
+  result.mean_recall =
+      result.queries_run > 0
+          ? recall_sum / static_cast<double>(result.queries_run)
+          : 0.0;
+  result.mean_recall_remote =
+      result.queries_run > 0
+          ? remote_sum / static_cast<double>(result.queries_run)
+          : 0.0;
+  for (double& r : result.round_recall) {
+    r /= static_cast<double>(stream_len);
+  }
+  result.messages = e.network().stats().messages;
+  result.bytes = e.network().stats().bytes;
+  result.cache_hits = CounterValue("cache.hits");
+  result.cache_misses = CounterValue("cache.misses");
+  result.cache_invalidations = CounterValue("cache.invalidations");
+  result.result_fingerprint = result_fp;
+  result.trace_fingerprint = trace_fp;
+  return result;
+}
+
+std::string ScenarioResultToJson(const ScenarioResult& result,
+                                 bool include_spec) {
+  std::vector<JsonValue::Member> root;
+  root.emplace_back("scenario", JsonValue::String(result.spec.name));
+  if (include_spec) {
+    root.emplace_back("spec", SpecToJson(result.spec));
+  }
+  root.emplace_back("queries_run", Num(result.queries_run));
+  root.emplace_back("churn_events", Num(result.churn_events));
+  std::vector<JsonValue> adversaries;
+  adversaries.reserve(result.adversaries.size());
+  for (size_t idx : result.adversaries) adversaries.push_back(Num(idx));
+  root.emplace_back("adversaries", JsonValue::Array(std::move(adversaries)));
+  root.emplace_back("mean_recall", Num(result.mean_recall));
+  root.emplace_back("mean_recall_remote", Num(result.mean_recall_remote));
+  std::vector<JsonValue> rounds;
+  rounds.reserve(result.round_recall.size());
+  for (double r : result.round_recall) rounds.push_back(Num(r));
+  root.emplace_back("round_recall", JsonValue::Array(std::move(rounds)));
+  root.emplace_back("messages", Num(result.messages));
+  root.emplace_back("bytes", Num(result.bytes));
+  root.emplace_back("routing_bytes", Num(result.routing_bytes));
+  root.emplace_back("faults_injected", Num(result.faults_injected));
+  root.emplace_back("rpc_retries", Num(result.rpc_retries));
+  root.emplace_back("peers_failed", Num(result.peers_failed));
+  root.emplace_back("peers_replaced", Num(result.peers_replaced));
+  root.emplace_back("partial_queries", Num(result.partial_queries));
+  root.emplace_back("cache_hits", Num(result.cache_hits));
+  root.emplace_back("cache_misses", Num(result.cache_misses));
+  root.emplace_back("cache_invalidations", Num(result.cache_invalidations));
+  // Hex strings: fingerprints use all 64 bits and must survive the
+  // number model's 2^53 exactness bound untouched.
+  root.emplace_back("result_fingerprint",
+                    JsonValue::String(HexU64(result.result_fingerprint)));
+  root.emplace_back("trace_fingerprint",
+                    JsonValue::String(HexU64(result.trace_fingerprint)));
+  return iqn::EmitJson(JsonValue::Object(std::move(root)));
+}
+
+}  // namespace minerva

@@ -1,0 +1,201 @@
+// Declarative scenario harness: one JSON spec describes a whole
+// experiment — corpus, overlapping peer collections, engine and router
+// configuration, fault plan, churn schedule, query stream, adversarial
+// peers, and the reputation defense — and RunScenario executes it into
+// one metrics/recall result.
+//
+// The spec is the single source of truth the benches, the
+// tools/run_scenario binary, the sweep driver (tools/sweep_scenarios.py),
+// and CI smoke jobs all share, so a workload is defined once and every
+// consumer runs the identical experiment. Parsing is STRICT: unknown
+// keys, wrong types, and out-of-range values are descriptive
+// InvalidArgument Statuses (never silently ignored — a typoed key would
+// otherwise fall back to a default and quietly measure the wrong thing).
+//
+// Execution is deterministic by construction: everything derives from
+// the spec's seeds, queries run through the engine's batch path with a
+// fixed batch size (batch outcomes are bit-identical to serial execution
+// at any thread count — the engine's contract), and churn fires only at
+// batch boundaries. The same spec therefore produces byte-identical
+// result JSON across reruns and across `engine.threads` values; the
+// determinism regression tests pin this.
+
+#ifndef IQN_MINERVA_SCENARIO_H_
+#define IQN_MINERVA_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minerva/api.h"
+#include "util/json_value.h"
+#include "util/status.h"
+
+namespace minerva {
+
+/// How peer collections are carved out of the corpus (workload/fragments.h).
+enum class PartitionKind {
+  kSlidingWindow,        // "sliding_window": window/offset fragment runs
+  kChooseCombinations,   // "choose": all (fragments choose subset) subsets
+};
+
+const char* PartitionKindName(PartitionKind kind);
+iqn::Result<PartitionKind> ParsePartitionKind(const std::string& name);
+
+/// Everything a scenario configures. Field defaults are the values a
+/// minimal spec gets; EmitScenarioSpec always writes the FULL form, so
+/// canonical spec files read back exactly (the golden-spec tests pin
+/// parse -> emit as the identity on scenarios/*.json).
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Master workload seed: the corpus draws from it directly, the query
+  /// pool from seed + 1 and the Zipf schedule from seed + 77 (the same
+  /// derivations the original benches used, so thin specs reproduce
+  /// their numbers exactly).
+  uint64_t seed = 42;
+
+  struct CorpusSection {
+    size_t documents = 2000;
+    /// 0 derives documents / 8 (the benches' ratio).
+    size_t vocabulary = 0;
+    size_t min_doc_length = 30;
+    size_t max_doc_length = 100;
+    double zipf_theta = 1.0;
+  } corpus;
+
+  struct TopologySection {
+    size_t peers = 10;
+    /// Disjoint fragments the corpus splits into; 0 derives peers * 2.
+    size_t fragments = 0;
+    PartitionKind partition = PartitionKind::kSlidingWindow;
+    /// Sliding-window parameters (kSlidingWindow only).
+    size_t window = 3;
+    size_t offset = 2;
+    /// Subset size s of the (f choose s) strategy (kChooseCombinations
+    /// only); peers must equal C(fragments, subset).
+    size_t subset = 3;
+  } topology;
+
+  struct EngineSection {
+    RouterKind router = RouterKind::kIqn;
+    iqn::AggregationStrategy aggregation =
+        iqn::AggregationStrategy::kPerPeer;
+    iqn::SynopsisType synopsis = iqn::SynopsisType::kMinWise;
+    size_t synopsis_bits = 2048;
+    iqn::MergeStrategy merge = iqn::MergeStrategy::kRawScores;
+    size_t max_peers = 3;
+    /// Worker threads for query batches; result-invariant (the
+    /// determinism tests run the same spec at 1/2/8).
+    size_t threads = 1;
+    int retries = 1;
+    double deadline_ms = 0.0;
+    bool cache = false;
+    bool collect_traces = false;
+  } engine;
+
+  struct FaultSection {
+    uint64_t seed = 7;
+    /// FaultPlan::MessageDrop rate, installed AFTER the (fault-free)
+    /// publish phase — matching the chaos bench's metering.
+    double drop_rate = 0.0;
+  } faults;
+
+  struct ChurnSection {
+    /// Queries between churn events (0 = no churn). Each event has one
+    /// peer (round-robin) crawl a fresh document delta and incrementally
+    /// republish; the reference index is rebuilt so recall tracks the
+    /// evolved corpus. Must be a multiple of queries.batch_size so churn
+    /// always lands on a batch boundary.
+    size_t every = 0;
+    /// Documents per delta; 0 derives corpus.documents / 20.
+    size_t documents = 0;
+  } churn;
+
+  struct QuerySection {
+    /// Distinct queries generated into the pool.
+    size_t pool = 32;
+    /// Stream length drawn from the pool with Zipf(zipf_s) popularity;
+    /// 0 runs the pool once each, in order (the chaos bench's shape).
+    size_t executions = 0;
+    /// Whole-stream repetitions on the SAME engine (reputation and cache
+    /// state persist across rounds — how the adversary bench lets the
+    /// defense learn). Per-round mean recall is reported separately.
+    size_t rounds = 1;
+    size_t min_terms = 2;
+    size_t max_terms = 3;
+    double band_low = 0.005;
+    double band_high = 0.10;
+    size_t k = 10;
+    /// Zipf skew of the executions>0 schedule (0 = uniform).
+    double zipf_s = 0.0;
+    /// Queries per engine batch. 1 is serial-equivalent semantics;
+    /// larger batches still produce bit-identical outcomes but commit
+    /// cache/reputation state only between batches.
+    size_t batch_size = 1;
+    /// Fixed initiator peer index, or -1 for round-robin over the stream
+    /// position (spelled "round_robin" in the JSON).
+    int initiator = -1;
+  } queries;
+
+  iqn::AdversaryConfig adversary;
+  iqn::ReputationParams reputation;
+};
+
+/// Parses and validates a scenario spec from JSON text. Strict: every
+/// section and key is checked, unknown keys anywhere are rejected, and
+/// errors name the offending path ("scenario: queries.band_low ...").
+iqn::Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text);
+
+/// The canonical full-form JSON of a spec (every field, fixed order,
+/// util/json_value.h formatting). ParseScenarioSpec(EmitScenarioSpec(s))
+/// reproduces s, and canonical files round-trip byte-identically.
+std::string EmitScenarioSpec(const ScenarioSpec& spec);
+
+/// Everything one scenario run measured.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  size_t queries_run = 0;
+  size_t churn_events = 0;
+  /// Peer indices turned adversarial (empty when inactive).
+  std::vector<size_t> adversaries;
+  /// Over the whole stream (all rounds).
+  double mean_recall = 0.0;
+  double mean_recall_remote = 0.0;
+  /// Per-round mean recall (size queries.rounds) — shows a learning
+  /// defense converging.
+  std::vector<double> round_recall;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t routing_bytes = 0;
+  uint64_t faults_injected = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t peers_failed = 0;
+  uint64_t peers_replaced = 0;
+  uint64_t partial_queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  /// Order-sensitive hash over every query's selected peers and merged
+  /// (doc, score-bits) list — two runs agree iff their result streams
+  /// are bit-identical.
+  uint64_t result_fingerprint = 0;
+  /// Same, over the rendered ExplainQuery text of every query (0 unless
+  /// engine.collect_traces).
+  uint64_t trace_fingerprint = 0;
+};
+
+/// Executes the spec end to end on a fresh engine: build workload ->
+/// create (adversaries applied) -> publish fault-free -> reset meters ->
+/// install fault plan -> stream query batches with churn at batch
+/// boundaries -> aggregate.
+iqn::Result<ScenarioResult> RunScenario(const ScenarioSpec& spec);
+
+/// Result JSON. include_spec embeds the canonical spec for provenance;
+/// the thread-invariance tests compare with include_spec=false (the spec
+/// echo differs in engine.threads by design).
+std::string ScenarioResultToJson(const ScenarioResult& result,
+                                 bool include_spec);
+
+}  // namespace minerva
+
+#endif  // IQN_MINERVA_SCENARIO_H_

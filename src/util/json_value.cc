@@ -1,0 +1,472 @@
+#include "util/json_value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace iqn {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::bool_value() const {
+  IQN_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  IQN_CHECK(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  IQN_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  IQN_CHECK(kind_ == Kind::kArray);
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  IQN_CHECK(kind_ == Kind::kObject);
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  IQN_CHECK(kind_ == Kind::kObject);
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+bool JsonValue::IsExactInt() const {
+  if (kind_ != Kind::kNumber) return false;
+  if (!std::isfinite(number_)) return false;
+  if (number_ != std::floor(number_)) return false;
+  return std::abs(number_) <= 9007199254740992.0;  // 2^53
+}
+
+const char* JsonValue::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Recursive-descent parser over a borrowed buffer. All errors funnel
+/// through Fail() so every message carries the byte offset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    IQN_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: offset " + std::to_string(pos_) +
+                                   ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > kJsonMaxDepth) {
+      return Fail("nesting deeper than " + std::to_string(kJsonMaxDepth));
+    }
+    if (AtEnd()) return Fail("expected a value, got end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        IQN_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        IQN_RETURN_IF_ERROR(ExpectLiteral("true"));
+        return JsonValue::Bool(true);
+      case 'f':
+        IQN_RETURN_IF_ERROR(ExpectLiteral("false"));
+        return JsonValue::Bool(false);
+      case 'n':
+        IQN_RETURN_IF_ERROR(ExpectLiteral("null"));
+        return JsonValue::Null();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Status ExpectLiteral(const char* word) {
+    size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) {
+      return Fail(std::string("expected '") + word + "'");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<JsonValue> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    std::vector<JsonValue::Member> members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return JsonValue::Object(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Fail("expected a quoted object key");
+      }
+      IQN_ASSIGN_OR_RETURN(std::string key, ParseString());
+      for (const auto& m : members) {
+        if (m.first == key) return Fail("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') {
+        return Fail("expected ':' after object key '" + key + "'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      IQN_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::Object(std::move(members));
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return JsonValue::Array(std::move(items));
+    }
+    while (true) {
+      SkipWhitespace();
+      IQN_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::Array(std::move(items));
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (AtEnd()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          IQN_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the low half must follow immediately.
+            if (text_.compare(pos_, 2, "\\u") != 0) {
+              return Fail("unpaired surrogate escape");
+            }
+            pos_ += 2;
+            IQN_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate escape");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("non-hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    // Integer part: a lone 0, or [1-9][0-9]*.
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      pos_ = start;
+      return Fail("expected a value");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      return Fail("number out of double range: " + token);
+    }
+    return JsonValue::Number(v);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void EmitValue(const JsonValue& v, size_t indent, std::string* out) {
+  const std::string pad(indent * 2, ' ');
+  const std::string pad_in((indent + 1) * 2, ' ');
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.bool_value() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      if (v.IsExactInt()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v.number_value());
+        *out += buf;
+      } else {
+        // Shortest precision that still re-parses to the exact same
+        // double: hand-written 0.1 stays "0.1" instead of ballooning to
+        // its 17-digit expansion, while bit round-tripping is preserved.
+        char buf[32];
+        for (int precision = 15; precision <= 17; ++precision) {
+          std::snprintf(buf, sizeof(buf), "%.*g", precision,
+                        v.number_value());
+          if (std::strtod(buf, nullptr) == v.number_value()) break;
+        }
+        *out += buf;
+      }
+      return;
+    case JsonValue::Kind::kString:
+      *out += '"' + JsonEscape(v.string_value()) + '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < items.size(); ++i) {
+        *out += pad_in;
+        EmitValue(items[i], indent + 1, out);
+        if (i + 1 < items.size()) *out += ',';
+        *out += '\n';
+      }
+      *out += pad + "]";
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < members.size(); ++i) {
+        *out += pad_in + '"' + JsonEscape(members[i].first) + "\": ";
+        EmitValue(members[i].second, indent + 1, out);
+        if (i + 1 < members.size()) *out += ',';
+        *out += '\n';
+      }
+      *out += pad + "}";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::string EmitJson(const JsonValue& value) {
+  std::string out;
+  EmitValue(value, 0, &out);
+  out += '\n';
+  return out;
+}
+
+}  // namespace iqn

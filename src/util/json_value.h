@@ -1,0 +1,104 @@
+// A strict, Status-returning JSON parser and its document model.
+//
+// The repo's exporters emit JSON through util/json.h; this header adds
+// the INGESTION side, built for the declarative scenario specs
+// (minerva/scenario.h). Design goals, in order:
+//  * Strict: RFC 8259 subset, no comments, no trailing commas, no
+//    unquoted keys, full-input consumption. Anything else is a
+//    descriptive InvalidArgument (syntax) or Corruption (impossible
+//    encodings such as unpaired surrogates).
+//  * Hostile-input safe: recursion depth is capped (kMaxDepth), string
+//    and number handling never read past the buffer, and the parser is
+//    the subject of fuzz/scenario_spec_fuzz.cc plus a mutation ctest.
+//  * Deterministic: object members keep their source order (a sorted
+//    re-emit would still be deterministic, but preserving order keeps
+//    round-tripped specs diffable against their source files).
+//
+// Numbers are held as double plus an integer-exactness flag; the
+// scenario layer needs "is this really a nonnegative integer" checks
+// with good error messages.
+
+#ifndef IQN_UTIL_JSON_VALUE_H_
+#define IQN_UTIL_JSON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iqn {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Members in source order; keys are unique (duplicates are a parse
+  /// error — silently keeping either copy would mask spec typos).
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<Member> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (IQN_CHECK), not a Status — callers test kind() first.
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<Member>& members() const;
+
+  /// The member with `key`, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// True when the number is integral and representable losslessly
+  /// (|v| <= 2^53, no fractional part).
+  bool IsExactInt() const;
+
+  /// Human-readable kind name for error messages ("object", "number"...).
+  static const char* KindName(Kind kind);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Nesting depth beyond which ParseJson refuses (stack safety under
+/// adversarial input; generous for hand-written specs).
+inline constexpr size_t kJsonMaxDepth = 64;
+
+/// Parses exactly one JSON document covering the whole input (leading /
+/// trailing whitespace allowed). Errors carry a byte offset and what was
+/// expected, e.g. `json: offset 17: expected ':' after object key`.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Canonical re-emission: 2-space indent, members in stored order,
+/// doubles at the shortest precision that re-parses to the same bits,
+/// integers without a trailing ".0". Parse(Emit(v)) == v for every
+/// parsed v, and
+/// Emit(Parse(Emit(v))) == Emit(v) (idempotent — the golden-spec tests
+/// pin this).
+std::string EmitJson(const JsonValue& value);
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_JSON_VALUE_H_

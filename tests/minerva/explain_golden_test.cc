@@ -1,0 +1,83 @@
+// Golden-file pin of the rendered ExplainQuery iteration tables on the
+// canonical 3-peer fixture (peers 1 and 2 identical, peer 3 disjoint —
+// the Paper Sec. 5 acceptance workload of explain_test.cc). The
+// structured assertions live there; THIS test freezes the rendered text
+// itself, so an accidental change to the explain format (column order,
+// number formatting, absorption lines) fails visibly instead of
+// silently drifting under every downstream consumer of --explain
+// output.
+//
+// Regenerate after an INTENTIONAL format change:
+//   IQN_REGEN_GOLDEN=1 ./iqn_scenario_test \
+//       --gtest_filter=ExplainGoldenTest.* && git diff tests/minerva/testdata
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "minerva/explain.h"
+#include "minerva/internal/iqn_router.h"
+#include "tests/minerva/test_helpers.h"
+#include "util/trace.h"
+
+#ifndef IQN_SOURCE_DIR
+#error "tests/CMakeLists.txt must define IQN_SOURCE_DIR for this test"
+#endif
+
+namespace iqn {
+namespace {
+
+const char kGoldenPath[] =
+    IQN_SOURCE_DIR "/tests/minerva/testdata/explain_three_peer.golden";
+
+struct ThreePeerFixture : test::RoutingFixture {
+  ThreePeerFixture() {
+    candidates.push_back(
+        test::MakeCandidate(1, config, {{"term", test::Range(1, 101)}}));
+    candidates.push_back(
+        test::MakeCandidate(2, config, {{"term", test::Range(1, 101)}}));
+    candidates.push_back(
+        test::MakeCandidate(3, config, {{"term", test::Range(101, 201)}}));
+  }
+};
+
+TEST(ExplainGoldenTest, ThreePeerIterationTablesMatchGolden) {
+  ThreePeerFixture fixture;
+  IqnOptions options;
+  options.use_quality = false;  // novelty-only, as in explain_test.cc
+  IqnRouter router(options);
+  double clock = 0.0;
+  QueryTrace trace([&clock] { return clock; });
+  {
+    TraceScope scope(&trace);
+    auto decision = router.Route(fixture.Input(3));
+    ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  }
+  auto explanation = ExplainFromTrace(trace);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  std::string rendered = RenderExplanation(explanation.value());
+  ASSERT_FALSE(rendered.empty());
+
+  if (std::getenv("IQN_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << kGoldenPath
+      << " — regenerate with IQN_REGEN_GOLDEN=1";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(rendered, buffer.str())
+      << "rendered explanation drifted from the golden; if the format "
+         "change is intentional, regenerate with IQN_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,117 @@
+// 500-mutation robustness sweep over the scenario-spec parser: take the
+// canonical chaos spec, mangle it with seeded random edits (byte flips,
+// splices, truncations, duplications), and require ParseScenarioSpec to
+// either fail with a Status or succeed AND round-trip — never crash,
+// hang, or accept something it cannot re-emit. This is the in-tree
+// ctest companion of fuzz/scenario_spec_fuzz.cc (same invariant, fixed
+// seed, runs on every plain test pass without a fuzzing toolchain).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "minerva/scenario.h"
+#include "util/random.h"
+
+#ifndef IQN_SOURCE_DIR
+#error "tests/CMakeLists.txt must define IQN_SOURCE_DIR for this test"
+#endif
+
+namespace minerva {
+namespace {
+
+constexpr int kMutations = 500;
+
+std::string LoadSeedSpec() {
+  std::ifstream in(
+      std::string(IQN_SOURCE_DIR) + "/scenarios/chaos_baseline.json",
+      std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Bytes likely to build interesting almost-JSON when spliced in.
+const char kAlphabet[] = "{}[]\",:0123456789eE.-+ truefalsenl\\x7f\x01\xff";
+
+std::string Mutate(const std::string& seed, iqn::Rng* rng) {
+  std::string text = seed;
+  size_t edits = 1 + rng->Next() % 4;
+  for (size_t e = 0; e < edits && !text.empty(); ++e) {
+    switch (rng->Next() % 5) {
+      case 0: {  // flip one byte
+        size_t pos = rng->Next() % text.size();
+        text[pos] = kAlphabet[rng->Next() % (sizeof(kAlphabet) - 1)];
+        break;
+      }
+      case 1: {  // delete a short span
+        size_t pos = rng->Next() % text.size();
+        size_t len = 1 + rng->Next() % 8;
+        text.erase(pos, len);
+        break;
+      }
+      case 2: {  // insert noise
+        size_t pos = rng->Next() % (text.size() + 1);
+        size_t len = 1 + rng->Next() % 8;
+        std::string noise;
+        for (size_t i = 0; i < len; ++i) {
+          noise.push_back(
+              kAlphabet[rng->Next() % (sizeof(kAlphabet) - 1)]);
+        }
+        text.insert(pos, noise);
+        break;
+      }
+      case 3: {  // duplicate a span elsewhere
+        size_t pos = rng->Next() % text.size();
+        size_t len = 1 + rng->Next() % 16;
+        std::string span = text.substr(pos, len);
+        text.insert(rng->Next() % (text.size() + 1), span);
+        break;
+      }
+      case 4: {  // truncate
+        text.resize(rng->Next() % (text.size() + 1));
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+TEST(ScenarioMutationTest, FiveHundredMutationsNeverBreakTheParser) {
+  const std::string seed = LoadSeedSpec();
+  ASSERT_FALSE(seed.empty());
+  iqn::Rng rng(2026);
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < kMutations; ++i) {
+    std::string mutated = Mutate(seed, &rng);
+    auto spec = ParseScenarioSpec(mutated);
+    if (!spec.ok()) {
+      // Every rejection must carry a message — a blank Status means an
+      // error path forgot its diagnosis.
+      EXPECT_FALSE(spec.status().message().empty()) << "mutation " << i;
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    // Anything accepted must round-trip: emit -> parse -> emit fixed
+    // point, or the canonical form is lossy for this input.
+    std::string emitted = EmitScenarioSpec(spec.value());
+    auto again = ParseScenarioSpec(emitted);
+    ASSERT_TRUE(again.ok())
+        << "mutation " << i << " parsed but its emission did not: "
+        << again.status().ToString();
+    EXPECT_EQ(EmitScenarioSpec(again.value()), emitted) << "mutation " << i;
+  }
+  // The mix should contain both outcomes: all-rejected would mean the
+  // mutator only produces garbage (weak coverage), all-accepted that it
+  // never actually mutates.
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(accepted + rejected, kMutations);
+}
+
+}  // namespace
+}  // namespace minerva

@@ -1,0 +1,293 @@
+// Scenario-spec contract tests: the checked-in scenarios/*.json are
+// canonical (parse -> emit reproduces the file bytes, emission is
+// idempotent), and the strict parser rejects every malformed spec with
+// a descriptive Status — unknown keys at every nesting level included.
+
+#include "minerva/scenario.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef IQN_SOURCE_DIR
+#error "tests/CMakeLists.txt must define IQN_SOURCE_DIR for this test"
+#endif
+
+namespace minerva {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string ScenarioPath(const std::string& name) {
+  return std::string(IQN_SOURCE_DIR) + "/scenarios/" + name + ".json";
+}
+
+const char* kGoldenSpecs[] = {
+    "chaos_baseline",
+    "cache_zipf",
+    "adversary_inflate",
+    "adversary_defended",
+};
+
+// ----------------------------------------------------------------------
+// Goldenness: every checked-in spec is in canonical form already, so
+// parse -> emit is the identity on its bytes and a second round trip
+// changes nothing.
+
+TEST(ScenarioGoldenTest, CheckedInSpecsAreCanonical) {
+  for (const char* name : kGoldenSpecs) {
+    SCOPED_TRACE(name);
+    std::string text = ReadFile(ScenarioPath(name));
+    auto spec = ParseScenarioSpec(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(EmitScenarioSpec(spec.value()), text)
+        << "spec file is not canonical; regenerate with "
+           "run_scenario " << name << ".json --canonicalize";
+  }
+}
+
+TEST(ScenarioGoldenTest, EmissionIsIdempotent) {
+  for (const char* name : kGoldenSpecs) {
+    SCOPED_TRACE(name);
+    std::string text = ReadFile(ScenarioPath(name));
+    auto first = ParseScenarioSpec(text);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    std::string emitted = EmitScenarioSpec(first.value());
+    auto second = ParseScenarioSpec(emitted);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_EQ(EmitScenarioSpec(second.value()), emitted);
+  }
+}
+
+TEST(ScenarioGoldenTest, MinimalSpecGetsAllDefaults) {
+  auto spec = ParseScenarioSpec(R"({"name": "minimal"})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ScenarioSpec defaults;
+  defaults.name = "minimal";
+  EXPECT_EQ(EmitScenarioSpec(spec.value()), EmitScenarioSpec(defaults));
+}
+
+// ----------------------------------------------------------------------
+// Strictness: every malformed spec is a descriptive InvalidArgument.
+
+struct InvalidCase {
+  const char* label;
+  const char* json;
+  const char* expected_substring;
+};
+
+class ScenarioInvalidTest : public testing::TestWithParam<InvalidCase> {};
+
+TEST_P(ScenarioInvalidTest, RejectsWithDescriptiveStatus) {
+  const InvalidCase& c = GetParam();
+  auto spec = ParseScenarioSpec(c.json);
+  ASSERT_FALSE(spec.ok()) << c.label << ": parsed but should not";
+  EXPECT_NE(spec.status().ToString().find(c.expected_substring),
+            std::string::npos)
+      << c.label << ": status was: " << spec.status().ToString();
+}
+
+const InvalidCase kInvalidCases[] = {
+    // Syntax and document shape.
+    {"truncated", "{", "json: offset"},
+    {"trailing_garbage", R"({"name": "x"} tail)", "json: offset"},
+    {"not_an_object", "[1, 2]", "the document must be an object"},
+    {"duplicate_key", R"({"name": "x", "name": "y"})", "duplicate"},
+    // Required fields.
+    {"missing_name", R"({"seed": 1})", "\"name\" is required"},
+    {"empty_name", R"({"name": ""})", "\"name\" is required"},
+    {"name_not_string", R"({"name": 3})", "name must be a string"},
+    // Unknown keys, one per nesting level.
+    {"unknown_top_level", R"({"name": "x", "bogus": 1})",
+     "unknown key 'bogus' in the top-level object"},
+    {"unknown_in_corpus", R"({"name": "x", "corpus": {"bogus": 1}})",
+     "unknown key 'bogus' in corpus"},
+    {"unknown_in_topology", R"({"name": "x", "topology": {"bogus": 1}})",
+     "unknown key 'bogus' in topology"},
+    {"unknown_in_engine", R"({"name": "x", "engine": {"bogus": 1}})",
+     "unknown key 'bogus' in engine"},
+    {"unknown_in_faults", R"({"name": "x", "faults": {"bogus": 1}})",
+     "unknown key 'bogus' in faults"},
+    {"unknown_in_churn", R"({"name": "x", "churn": {"bogus": 1}})",
+     "unknown key 'bogus' in churn"},
+    {"unknown_in_queries", R"({"name": "x", "queries": {"bogus": 1}})",
+     "unknown key 'bogus' in queries"},
+    {"unknown_in_adversary", R"({"name": "x", "adversary": {"bogus": 1}})",
+     "unknown key 'bogus' in adversary"},
+    {"unknown_in_reputation", R"({"name": "x", "reputation": {"bogus": 1}})",
+     "unknown key 'bogus' in reputation"},
+    // Type errors.
+    {"section_not_object", R"({"name": "x", "corpus": 3})",
+     "corpus must be an object"},
+    {"seed_negative", R"({"name": "x", "seed": -1})",
+     "seed must be a nonnegative integer"},
+    {"seed_fractional", R"({"name": "x", "seed": 1.5})",
+     "seed must be a nonnegative integer"},
+    {"documents_string", R"({"name": "x", "corpus": {"documents": "many"}})",
+     "corpus.documents must be a nonnegative integer"},
+    {"cache_not_bool", R"({"name": "x", "engine": {"cache": 1}})",
+     "engine.cache must be a boolean"},
+    {"drop_rate_string", R"({"name": "x", "faults": {"drop_rate": "no"}})",
+     "faults.drop_rate must be a number"},
+    // Range violations, corpus.
+    {"documents_zero", R"({"name": "x", "corpus": {"documents": 0}})",
+     "corpus.documents must be >= 1"},
+    {"min_doc_length_zero",
+     R"({"name": "x", "corpus": {"min_doc_length": 0}})",
+     "corpus.min_doc_length must be >= 1"},
+    {"doc_length_inverted",
+     R"({"name": "x", "corpus": {"min_doc_length": 50, "max_doc_length": 10}})",
+     "corpus.max_doc_length must be >= corpus.min_doc_length"},
+    {"zipf_theta_negative", R"({"name": "x", "corpus": {"zipf_theta": -1}})",
+     "corpus.zipf_theta must be >= 0"},
+    // Range violations, topology.
+    {"one_peer", R"({"name": "x", "topology": {"peers": 1}})",
+     "topology.peers must be >= 2"},
+    {"window_zero", R"({"name": "x", "topology": {"window": 0}})",
+     "topology.window and topology.offset must be >= 1"},
+    {"subset_zero", R"({"name": "x", "topology": {"subset": 0}})",
+     "topology.subset must be >= 1"},
+    {"bad_partition", R"({"name": "x", "topology": {"partition": "mod"}})",
+     "topology.partition: unknown partition 'mod'"},
+    // Range violations, engine.
+    {"bad_router", R"({"name": "x", "engine": {"router": "astar"}})",
+     "engine.router: unknown router"},
+    {"bad_aggregation", R"({"name": "x", "engine": {"aggregation": "avg"}})",
+     "engine.aggregation: unknown aggregation"},
+    {"bad_synopsis", R"({"name": "x", "engine": {"synopsis": "magic"}})",
+     "engine.synopsis: unknown synopsis"},
+    {"bad_merge", R"({"name": "x", "engine": {"merge": "zip"}})",
+     "engine.merge: unknown merge"},
+    {"synopsis_bits_zero", R"({"name": "x", "engine": {"synopsis_bits": 0}})",
+     "engine.synopsis_bits must be >= 1"},
+    {"max_peers_zero", R"({"name": "x", "engine": {"max_peers": 0}})",
+     "engine.max_peers must be >= 1"},
+    {"threads_zero", R"({"name": "x", "engine": {"threads": 0}})",
+     "engine.threads must be >= 1"},
+    {"retries_zero", R"({"name": "x", "engine": {"retries": 0}})",
+     "engine.retries must be >= 1"},
+    {"deadline_negative", R"({"name": "x", "engine": {"deadline_ms": -5}})",
+     "engine.deadline_ms must be >= 0"},
+    // Range violations, faults / queries.
+    {"drop_rate_above_one", R"({"name": "x", "faults": {"drop_rate": 1.5}})",
+     "faults.drop_rate must be in [0, 1]"},
+    {"pool_zero", R"({"name": "x", "queries": {"pool": 0}})",
+     "queries.pool must be >= 1"},
+    {"rounds_zero", R"({"name": "x", "queries": {"rounds": 0}})",
+     "queries.rounds must be >= 1"},
+    {"terms_inverted",
+     R"({"name": "x", "queries": {"min_terms": 4, "max_terms": 2}})",
+     "queries.min_terms must be >= 1 and <= queries.max_terms"},
+    {"band_inverted",
+     R"({"name": "x", "queries": {"band_low": 0.5, "band_high": 0.2}})",
+     "0 <= band_low < band_high <= 1"},
+    {"k_zero", R"({"name": "x", "queries": {"k": 0}})",
+     "queries.k must be >= 1"},
+    {"zipf_s_negative", R"({"name": "x", "queries": {"zipf_s": -0.5}})",
+     "queries.zipf_s must be >= 0"},
+    {"batch_size_zero", R"({"name": "x", "queries": {"batch_size": 0}})",
+     "queries.batch_size must be >= 1"},
+    {"bad_initiator_string",
+     R"({"name": "x", "queries": {"initiator": "everyone"}})",
+     "queries.initiator must be \"round_robin\" or a peer index"},
+    // Range violations, adversary / reputation.
+    {"fraction_above_one",
+     R"({"name": "x", "adversary": {"fraction": 1.5}})",
+     "adversary.fraction must be in [0, 1]"},
+    {"deflating_factor", R"({"name": "x", "adversary": {"factor": 0.5}})",
+     "adversary.factor must be >= 1"},
+    {"bad_behavior", R"({"name": "x", "adversary": {"behavior": "sneaky"}})",
+     "adversary.behavior: unknown peer behavior"},
+    {"prior_zero", R"({"name": "x", "reputation": {"prior": 0}})",
+     "reputation.prior must be > 0"},
+    {"floor_above_one", R"({"name": "x", "reputation": {"floor": 1.5}})",
+     "reputation.floor must be in [0, 1]"},
+    {"sharpness_zero", R"({"name": "x", "reputation": {"sharpness": 0}})",
+     "reputation.sharpness must be > 0"},
+    // Cross-section validation.
+    {"more_fragments_than_documents",
+     R"({"name": "x", "corpus": {"documents": 100, "vocabulary": 20},
+         "topology": {"peers": 80}})",
+     "topology.fragments exceeds corpus.documents"},
+    {"window_exceeds_fragments",
+     R"({"name": "x", "topology": {"peers": 2, "window": 9}})",
+     "topology.window exceeds the fragment count"},
+    {"subset_exceeds_fragments",
+     R"({"name": "x",
+         "topology": {"peers": 4, "partition": "choose", "subset": 9}})",
+     "topology.subset exceeds the fragment count"},
+    {"churn_off_batch_boundary",
+     R"({"name": "x", "churn": {"every": 10},
+         "queries": {"batch_size": 4}})",
+     "churn.every must be a multiple of queries.batch_size"},
+    {"initiator_out_of_range",
+     R"({"name": "x", "topology": {"peers": 10},
+         "queries": {"initiator": 10}})",
+     "queries.initiator is not a valid peer index"},
+    {"derived_vocabulary_empty",
+     R"({"name": "x", "corpus": {"documents": 4},
+         "topology": {"peers": 2}})",
+     "derived vocabulary is empty"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, ScenarioInvalidTest, testing::ValuesIn(kInvalidCases),
+    [](const testing::TestParamInfo<InvalidCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// ----------------------------------------------------------------------
+// Parse fidelity: non-default values survive the round trip typed.
+
+TEST(ScenarioParseTest, NonDefaultValuesRoundTrip) {
+  const char* json = R"({
+    "name": "fidelity",
+    "seed": 9,
+    "corpus": {"documents": 640, "vocabulary": 100},
+    "topology": {"peers": 4, "partition": "choose", "subset": 2,
+                 "fragments": 5},
+    "engine": {"router": "cori", "synopsis": "bloom", "merge": "cori",
+               "threads": 4, "cache": true},
+    "faults": {"drop_rate": 0.25},
+    "churn": {"every": 8, "documents": 16},
+    "queries": {"pool": 6, "executions": 12, "zipf_s": 1.0,
+                "batch_size": 4, "initiator": 3},
+    "adversary": {"fraction": 0.5, "behavior": "poison", "factor": 2},
+    "reputation": {"enabled": true, "prior": 4, "floor": 0.1,
+                   "sharpness": 3}
+  })";
+  auto spec = ParseScenarioSpec(json);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const ScenarioSpec& s = spec.value();
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.corpus.documents, 640u);
+  EXPECT_EQ(s.topology.partition, PartitionKind::kChooseCombinations);
+  EXPECT_EQ(s.engine.router, RouterKind::kCori);
+  EXPECT_EQ(s.engine.synopsis, iqn::SynopsisType::kBloomFilter);
+  EXPECT_EQ(s.engine.merge, iqn::MergeStrategy::kCoriNormalized);
+  EXPECT_EQ(s.engine.threads, 4u);
+  EXPECT_TRUE(s.engine.cache);
+  EXPECT_DOUBLE_EQ(s.faults.drop_rate, 0.25);
+  EXPECT_EQ(s.churn.every, 8u);
+  EXPECT_EQ(s.queries.initiator, 3);
+  EXPECT_EQ(s.adversary.behavior, iqn::PeerBehavior::kPoisonSynopses);
+  EXPECT_DOUBLE_EQ(s.adversary.fraction, 0.5);
+  EXPECT_TRUE(s.reputation.enabled);
+  EXPECT_DOUBLE_EQ(s.reputation.sharpness, 3.0);
+
+  auto again = ParseScenarioSpec(EmitScenarioSpec(s));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(EmitScenarioSpec(again.value()), EmitScenarioSpec(s));
+}
+
+}  // namespace
+}  // namespace minerva

@@ -380,10 +380,62 @@ class StatusDiscard(Rule):
         return out
 
 
+class ScenarioHarness(Rule):
+    name = "scenario-harness"
+    description = ("new benches define their workload as a scenario spec: "
+                   "a bench/ file with its own main() must include "
+                   "minerva/scenario.h and drive RunScenario instead of "
+                   "hand-rolling corpus/topology/query plumbing (one "
+                   "workload definition, shared with tools/run_scenario "
+                   "and CI)")
+    paths = ("bench",)
+    exts = (".cc", ".cpp")
+    # Benches that pre-date the scenario harness (PR 7). Migrate when a
+    # bench is next reworked; do NOT add new entries for new benches.
+    allowlist = {
+        "bench/ablation_adaptive.cc": "pre-harness bench",
+        "bench/ablation_aggregation.cc": "pre-harness bench",
+        "bench/ablation_directory.cc": "pre-harness bench",
+        "bench/ablation_freshness.cc": "pre-harness bench",
+        "bench/ablation_heterogeneous.cc": "pre-harness bench",
+        "bench/ablation_histogram.cc": "pre-harness bench",
+        "bench/cache_effectiveness.cc": "pre-harness bench "
+                                        "(scenarios/cache_zipf.json is the "
+                                        "spec form)",
+        "bench/dht_scaling.cc": "pre-harness bench",
+        "bench/fig2_resemblance_error.cc": "pre-harness bench",
+        "bench/fig3_recall.cc": "pre-harness bench",
+        "bench/parallel_scaling.cc": "pre-harness bench",
+        "bench/recall_under_failure.cc": "pre-harness bench "
+                                         "(scenarios/chaos_baseline.json is "
+                                         "the spec form)",
+        "bench/synopsis_ops.cc": "google-benchmark microbench; no workload",
+    }
+    _MAIN = re.compile(r"^\s*int\s+main\s*\(")
+    _INCLUDE = re.compile(r'#include\s+"minerva/scenario\.h"')
+
+    def check(self, path, lines):
+        main_line = None
+        for i, line in enumerate(lines, 1):
+            if is_comment_line(line):
+                continue
+            if self._INCLUDE.search(line):
+                return []
+            if main_line is None and self._MAIN.search(line):
+                main_line = (i, line)
+        if main_line is None:
+            return []
+        return [Finding(
+            self.name, path, main_line[0], main_line[1],
+            "bench binaries build their workload from a ScenarioSpec "
+            "(minerva/scenario.h) so tools/run_scenario and CI can run "
+            "the identical experiment")]
+
+
 RULES = [
     NoRand(), NoAssert(), NoRawThread(), IqnMetrics(), NoRawRpc(),
     NoInternalInclude(), NoNakedNew(), IncludeGuard(), NoRawMutex(),
-    Determinism(), StatusDiscard(),
+    Determinism(), StatusDiscard(), ScenarioHarness(),
 ]
 
 

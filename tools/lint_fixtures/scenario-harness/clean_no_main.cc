@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=bench/bench_helpers.cc
+// A bench/ helper translation unit without its own main() is not a
+// bench binary and needs no scenario spec.
+#include <cstddef>
+size_t Twice(size_t n) { return 2 * n; }

@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=bench/new_bench.cc
+// iqn-lint: disable=scenario-harness fixture exercising the file-scoped disable
+#include <cstdio>
+int main(int argc, char** argv) {
+  std::printf("suppressed\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=bench/new_bench.cc
+#include <cstdio>
+#include "minerva/api.h"
+int main(int argc, char** argv) {
+  std::printf("hand-rolled workload, no scenario spec\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// run_scenario: execute one declarative scenario spec (minerva/scenario.h)
+// and emit its result JSON.
+//
+// Usage: run_scenario SPEC.json [--out=RESULT.json] [--no-spec]
+//          [--threads=N] [--canonicalize]
+//
+//   --out           write the result JSON here (default: stdout)
+//   --no-spec       omit the canonical spec echo from the result
+//   --threads       override engine.threads (0 = use the spec's value);
+//                   results are bit-identical either way — this exists so
+//                   CI can run the same specs under TSan with real
+//                   concurrency without editing them
+//   --canonicalize  print the spec's canonical full form and exit without
+//                   running (how the checked-in scenarios/*.json were
+//                   produced; the golden tests pin parse -> emit on them)
+//
+// The exit status is 0 on success, 1 on any parse/validation/run error —
+// errors are descriptive Statuses on stderr, so a typoed spec names the
+// offending key.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minerva/scenario.h"
+#include "util/flags.h"
+#include "util/trace.h"
+
+namespace iqn {
+namespace {
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal("error reading " + path);
+  }
+  return contents;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("out", "", "result JSON path (empty = stdout)");
+  flags.DefineBool("no-spec", false,
+                   "omit the canonical spec echo from the result JSON");
+  flags.DefineInt("threads", 0,
+                  "override engine.threads (0 = use the spec's value)");
+  flags.DefineBool("canonicalize", false,
+                   "print the canonical spec form and exit without running");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: %s SPEC.json [--out=RESULT.json] "
+                 "[--no-spec] [--threads=N] [--canonicalize]\n", argv[0]);
+    return 1;
+  }
+  const std::string& spec_path = flags.positional()[0];
+
+  Result<std::string> text = ReadTextFile(spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<minerva::ScenarioSpec> spec =
+      minerva::ParseScenarioSpec(text.value());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("canonicalize")) {
+    std::fputs(minerva::EmitScenarioSpec(spec.value()).c_str(), stdout);
+    return 0;
+  }
+  if (flags.GetInt("threads") > 0) {
+    spec.value().engine.threads =
+        static_cast<size_t>(flags.GetInt("threads"));
+  }
+
+  Result<minerva::ScenarioResult> result =
+      minerva::RunScenario(spec.value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::string json = minerva::ScenarioResultToJson(
+      result.value(), /*include_spec=*/!flags.GetBool("no-spec"));
+  const std::string& out = flags.GetString("out");
+  if (out.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    if (Status w = WriteTextFile(out, json); !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: recall=%.4f over %zu queries -> %s\n",
+                result.value().spec.name.c_str(), result.value().mean_recall,
+                result.value().queries_run, out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""sweep_scenarios: fan a scenario-spec grid out and aggregate results.
+
+Takes one base spec (a scenarios/*.json file), a set of axes — dotted
+spec paths with comma-separated values — and runs the cartesian product
+through tools/run_scenario, one derived spec and one result JSON per
+grid point, then writes a single aggregate JSON with every point's
+overrides and headline metrics side by side.
+
+Usage:
+  tools/sweep_scenarios.py scenarios/adversary_inflate.json \
+      --set adversary.fraction=0,0.1,0.2,0.3 \
+      --set reputation.enabled=false,true \
+      --run-scenario build/tools/run_scenario \
+      --outdir /tmp/sweep --aggregate /tmp/sweep/aggregate.json
+
+Axis values are parsed as JSON fragments (so `true`, `0.2`, `"cori"`
+and `7` all type correctly); a value that does not parse as JSON is
+kept as a string. The dotted path must already exist in the base spec —
+the strict parser in run_scenario rejects unknown keys, so a typoed
+axis fails loudly instead of sweeping a default.
+
+Exit status: 0 = all points ran, 1 = any point failed (its stderr is
+reported and it appears in the aggregate with "ok": false).
+"""
+
+import argparse
+import itertools
+import json
+import os
+import subprocess
+import sys
+
+
+def parse_axis(arg):
+    """"a.b.c=v1,v2" -> (["a","b","c"], [typed v1, typed v2])."""
+    if "=" not in arg:
+        raise SystemExit(f"--set needs PATH=V1[,V2...], got: {arg}")
+    path, _, raw = arg.partition("=")
+    path = path.strip()
+    if not path:
+        raise SystemExit(f"--set has an empty path: {arg}")
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            values.append(json.loads(token))
+        except json.JSONDecodeError:
+            values.append(token)  # bare string, e.g. --set engine.router=cori
+    if not values:
+        raise SystemExit(f"--set has no values: {arg}")
+    return path.split("."), values
+
+
+def apply_override(spec, path, value):
+    """Sets spec[path[0]]...[path[-1]] = value; the path must exist."""
+    node = spec
+    for key in path[:-1]:
+        if not isinstance(node, dict) or key not in node:
+            raise SystemExit(f"axis path not in base spec: {'.'.join(path)}")
+        node = node[key]
+    if not isinstance(node, dict) or path[-1] not in node:
+        raise SystemExit(f"axis path not in base spec: {'.'.join(path)}")
+    node[path[-1]] = value
+
+
+def point_name(base_name, assignment):
+    parts = [base_name]
+    for path, value in assignment:
+        parts.append(f"{path[-1]}={json.dumps(value)}".replace('"', ""))
+    return "__".join(parts).replace("/", "_").replace(" ", "")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="run a grid of scenario specs and aggregate results")
+    ap.add_argument("base_spec", help="base scenario spec JSON file")
+    ap.add_argument("--set", dest="axes", action="append", default=[],
+                    metavar="PATH=V1,V2", help="sweep axis (repeatable)")
+    ap.add_argument("--run-scenario", default="build/tools/run_scenario",
+                    help="path to the run_scenario binary")
+    ap.add_argument("--outdir", default="sweep_out",
+                    help="directory for derived specs and per-point results")
+    ap.add_argument("--aggregate", default=None,
+                    help="aggregate JSON path (default OUTDIR/aggregate.json)")
+    args = ap.parse_args(argv)
+
+    with open(args.base_spec, encoding="utf-8") as fh:
+        base = json.load(fh)
+    base_name = base.get("name", os.path.basename(args.base_spec))
+
+    axes = [parse_axis(a) for a in args.axes]
+    os.makedirs(args.outdir, exist_ok=True)
+    aggregate_path = args.aggregate or os.path.join(args.outdir,
+                                                    "aggregate.json")
+
+    grids = itertools.product(*[[(path, v) for v in values]
+                                for path, values in axes]) if axes else [()]
+    points = []
+    failed = 0
+    for assignment in grids:
+        spec = json.loads(json.dumps(base))  # deep copy
+        for path, value in assignment:
+            apply_override(spec, path, value)
+        name = point_name(base_name, assignment)
+        spec["name"] = name
+        spec_path = os.path.join(args.outdir, f"{name}.spec.json")
+        result_path = os.path.join(args.outdir, f"{name}.result.json")
+        with open(spec_path, "w", encoding="utf-8") as fh:
+            json.dump(spec, fh, indent=2)
+            fh.write("\n")
+        proc = subprocess.run(
+            [args.run_scenario, spec_path, "--out", result_path],
+            capture_output=True, text=True)
+        point = {
+            "name": name,
+            "overrides": {".".join(p): v for p, v in assignment},
+            "spec": os.path.basename(spec_path),
+            "ok": proc.returncode == 0,
+        }
+        if proc.returncode != 0:
+            failed += 1
+            point["error"] = proc.stderr.strip()
+            print(f"FAIL {name}: {proc.stderr.strip()}", file=sys.stderr)
+        else:
+            with open(result_path, encoding="utf-8") as fh:
+                result = json.load(fh)
+            point["result"] = os.path.basename(result_path)
+            for key in ("queries_run", "mean_recall", "mean_recall_remote",
+                        "round_recall", "messages", "bytes",
+                        "result_fingerprint"):
+                if key in result:
+                    point[key] = result[key]
+            print(f"ok   {name}: recall={point.get('mean_recall'):.4f} "
+                  f"bytes={point.get('bytes')}")
+        points.append(point)
+
+    aggregate = {
+        "base_spec": args.base_spec,
+        "axes": [{"path": ".".join(p), "values": v} for p, v in axes],
+        "points": points,
+        "failed": failed,
+    }
+    with open(aggregate_path, "w", encoding="utf-8") as fh:
+        json.dump(aggregate, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {aggregate_path} ({len(points)} points, {failed} failed)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
