@@ -1,0 +1,301 @@
+// BENCH-OVR: goodput under overloaded peers, with and without the
+// resilience defenses (circuit breakers, hedged RPCs, brownout).
+//
+// Sweeps the overloaded-peer fraction over the overload_brownout
+// workload and runs every point twice through the scenario harness
+// (minerva/scenario.h): once with the defenses off and once with the
+// full stack on (per-peer health tracking + open-circuit routing
+// skips, hedged backup requests, deadline-pressure brownout). The
+// headline metric is GOODPUT — recall-within-deadline: a query only
+// pays out its recall when its simulated latency met the engine
+// deadline, so a slow answer is as worthless as a wrong one.
+//
+// Determinism is checked harder than in the other sweeps: every point
+// is executed twice end to end on fresh engines AND re-executed at 1,
+// 2, and 8 worker threads; all fingerprints must agree bit-for-bit
+// (the circuit breaker, hedge decisions, and the simulated commit-point
+// clock are pure functions of seed + commit order, never wall-clock).
+//
+// The ISSUE acceptance bound is checked at exit: at a 20% overloaded
+// fraction the defended engine must recover at least half of the
+// goodput the undefended engine lost against the overload-free
+// baseline (non-zero status on violation, so CI can gate on it).
+//
+// Usage: overload_sweep [--fractions=0,0.1,0.2,0.3]
+//          [--utilization=0.9] [--shed_rate=0.2] [--deadline_ms=90]
+//          [--out=BENCH_overload.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "minerva/scenario.h"
+#include "util/flags.h"
+
+namespace iqn {
+namespace {
+
+std::vector<double> ParseFractions(const std::string& spec) {
+  std::vector<double> fractions;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) {
+      fractions.push_back(std::strtod(token.c_str(), nullptr));
+      token.clear();
+    }
+  };
+  for (char c : spec) {
+    if (c == ',') {
+      flush();
+    } else {
+      token.push_back(c);
+    }
+  }
+  flush();
+  if (fractions.empty() || fractions.front() != 0.0) {
+    fractions.insert(fractions.begin(), 0.0);  // overload-free baseline
+  }
+  return fractions;
+}
+
+/// The overload workload as a scenario spec — the same shape the
+/// checked-in scenarios/overload_brownout.json canonicalizes, minus the
+/// point-dependent knobs (fraction, defenses) RunPoint sets.
+minerva::ScenarioSpec BaseSpec(double utilization, double shed_rate,
+                               double deadline_ms) {
+  minerva::ScenarioSpec spec;
+  spec.name = "overload_sweep";
+  spec.topology.peers = 15;
+  spec.engine.retries = 3;
+  spec.engine.deadline_ms = deadline_ms;
+  spec.queries.batch_size = 8;
+  spec.faults.overload.utilization = utilization;
+  spec.faults.overload.service_ms = 5.0;
+  spec.faults.overload.shed_rate = shed_rate;
+  return spec;
+}
+
+void ApplyDefenses(minerva::ScenarioSpec* spec, bool defended) {
+  spec->health.enabled = defended;
+  spec->health.error_threshold = 0.4;
+  spec->health.latency_threshold_ms = 60.0;
+  spec->health.cooldown_ms = 2500.0;
+  spec->health.brownout_threshold = defended ? 0.25 : 0.0;
+  spec->hedging.enabled = defended;
+  spec->hedging.threshold_ms = 25.0;
+}
+
+struct SweepPoint {
+  double fraction = 0.0;
+  bool defended = false;
+  size_t overloaded = 0;
+  double mean_recall = 0.0;
+  double mean_goodput = 0.0;
+  uint64_t deadline_misses = 0;
+  uint64_t hedges = 0;
+  uint64_t hedges_won = 0;
+  uint64_t circuit_open_skips = 0;
+  double sim_time_ms = 0.0;
+  uint64_t bytes = 0;
+  uint64_t result_fingerprint = 0;
+};
+
+/// Runs one (fraction, defended) point on fresh engines: twice at the
+/// spec's thread count (rerun identity), then once each at 1, 2, and 8
+/// worker threads (thread-count identity). Any fingerprint disagreement
+/// aborts the sweep — the whole resilience layer must stay a pure
+/// function of (seed, simulated time, commit order).
+SweepPoint RunPoint(const minerva::ScenarioSpec& base, double fraction,
+                    bool defended) {
+  minerva::ScenarioSpec spec = base;
+  spec.faults.overload.fraction = fraction;
+  ApplyDefenses(&spec, defended);
+
+  minerva::ScenarioResult result;
+  for (int pass = 0; pass < 2; ++pass) {
+    auto run = minerva::RunScenario(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "scenario (fraction=%.2f defended=%d): %s\n",
+                   fraction, defended ? 1 : 0,
+                   run.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (pass == 0) {
+      result = std::move(run).value();
+    } else if (run.value().result_fingerprint != result.result_fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: rerun fingerprint mismatch at fraction=%.2f "
+                   "defended=%d (%016llx vs %016llx)\n",
+                   fraction, defended ? 1 : 0,
+                   static_cast<unsigned long long>(result.result_fingerprint),
+                   static_cast<unsigned long long>(
+                       run.value().result_fingerprint));
+      std::exit(1);
+    }
+  }
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    minerva::ScenarioSpec threaded = spec;
+    threaded.engine.threads = threads;
+    auto run = minerva::RunScenario(threaded);
+    if (!run.ok()) {
+      std::fprintf(stderr, "scenario (%zu threads): %s\n", threads,
+                   run.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (run.value().result_fingerprint != result.result_fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-thread fingerprint mismatch at fraction=%.2f "
+                   "defended=%d (%016llx vs %016llx)\n",
+                   threads, fraction, defended ? 1 : 0,
+                   static_cast<unsigned long long>(result.result_fingerprint),
+                   static_cast<unsigned long long>(
+                       run.value().result_fingerprint));
+      std::exit(1);
+    }
+  }
+
+  SweepPoint point;
+  point.fraction = fraction;
+  point.defended = defended;
+  point.overloaded = result.overloaded_peers.size();
+  point.mean_recall = result.mean_recall;
+  point.mean_goodput = result.mean_goodput;
+  point.deadline_misses = result.deadline_misses;
+  point.hedges = result.hedges;
+  point.hedges_won = result.hedges_won;
+  point.circuit_open_skips = result.circuit_open_skips;
+  point.sim_time_ms = result.sim_time_ms;
+  point.bytes = result.bytes;
+  point.result_fingerprint = result.result_fingerprint;
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("fractions", "0,0.1,0.2,0.3",
+                     "comma-separated overloaded peer fractions; 0 is "
+                     "prepended if absent (healthy baseline)");
+  flags.DefineDouble("utilization", 0.9,
+                     "M/M/1 utilization of overloaded peers, in [0, 1)");
+  flags.DefineDouble("shed_rate", 0.2,
+                     "request share overloaded peers shed outright");
+  flags.DefineDouble("deadline_ms", 90.0,
+                     "per-query simulated deadline goodput is scored "
+                     "against");
+  flags.DefineString("out", "BENCH_overload.json", "output JSON path");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  std::vector<double> fractions = ParseFractions(flags.GetString("fractions"));
+  const double utilization = flags.GetDouble("utilization");
+  const double shed_rate = flags.GetDouble("shed_rate");
+  const double deadline_ms = flags.GetDouble("deadline_ms");
+  const std::string out_path = flags.GetString("out");
+  const minerva::ScenarioSpec base =
+      BaseSpec(utilization, shed_rate, deadline_ms);
+
+  std::printf("overload_sweep: %zu peers, rho=%.2f shed=%.2f, deadline=%.0f "
+              "ms, %zu queries\n",
+              base.topology.peers, utilization, shed_rate, deadline_ms,
+              base.queries.pool);
+
+  std::vector<SweepPoint> points;
+  double baseline_goodput = 0.0;
+  for (double fraction : fractions) {
+    for (bool defended : {false, true}) {
+      if (fraction == 0.0 && defended) continue;  // nothing to defend
+      SweepPoint point = RunPoint(base, fraction, defended);
+      if (fraction == 0.0) baseline_goodput = point.mean_goodput;
+      std::printf("  fraction=%.2f %-10s overloaded=%zu  goodput=%.4f "
+                  "(recall %.4f)  misses=%llu hedges=%llu/%llu skips=%llu\n",
+                  point.fraction, defended ? "defended" : "undefended",
+                  point.overloaded, point.mean_goodput, point.mean_recall,
+                  static_cast<unsigned long long>(point.deadline_misses),
+                  static_cast<unsigned long long>(point.hedges_won),
+                  static_cast<unsigned long long>(point.hedges),
+                  static_cast<unsigned long long>(point.circuit_open_skips));
+      points.push_back(point);
+    }
+  }
+
+  // Acceptance: at fraction 0.2 the defenses recover >= half the
+  // goodput the undefended engine lost to the overload.
+  double undefended_02 = -1.0;
+  double defended_02 = -1.0;
+  for (const SweepPoint& p : points) {
+    if (p.fraction != 0.2) continue;
+    (p.defended ? defended_02 : undefended_02) = p.mean_goodput;
+  }
+  bool gate_ok = true;
+  double recovered_share = 0.0;
+  if (undefended_02 >= 0.0 && defended_02 >= 0.0) {
+    const double lost = baseline_goodput - undefended_02;
+    recovered_share =
+        lost > 0.0 ? (defended_02 - undefended_02) / lost : 1.0;
+    gate_ok = recovered_share >= 0.5;
+    std::printf("gate: fraction=0.20 lost=%.4f recovered=%.4f (%.0f%% of "
+                "lost, need >=50%%) -> %s\n",
+                lost, defended_02 - undefended_02, 100.0 * recovered_share,
+                gate_ok ? "OK" : "FAIL");
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"overload_sweep\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"peers\": %zu, \"queries\": %zu, "
+               "\"k\": %zu, \"max_peers\": %zu, \"deadline_ms\": %.1f, "
+               "\"utilization\": %.2f, \"shed_rate\": %.2f, "
+               "\"seed\": %llu},\n",
+               base.topology.peers, base.queries.pool, base.queries.k,
+               base.engine.max_peers, deadline_ms, utilization, shed_rate,
+               static_cast<unsigned long long>(base.seed));
+  std::fprintf(out,
+               "  \"metric_note\": \"goodput = recall-within-deadline (a "
+               "late answer scores 0); each point runs twice on fresh "
+               "engines and again at 1/2/8 worker threads, and all "
+               "fingerprints must match; the gate requires the defenses "
+               "(circuit breaker + hedging + brownout) to recover >= half "
+               "the goodput lost to a 0.2 overloaded fraction\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"fraction\": %.2f, \"defended\": %s, "
+                 "\"overloaded_peers\": %zu, \"mean_recall\": %.6f, "
+                 "\"mean_goodput\": %.6f, \"deadline_misses\": %llu, "
+                 "\"hedges\": %llu, \"hedges_won\": %llu, "
+                 "\"circuit_open_skips\": %llu, \"sim_time_ms\": %.3f, "
+                 "\"bytes\": %llu, \"result_fingerprint\": \"%016llx\"}%s\n",
+                 p.fraction, p.defended ? "true" : "false", p.overloaded,
+                 p.mean_recall, p.mean_goodput,
+                 static_cast<unsigned long long>(p.deadline_misses),
+                 static_cast<unsigned long long>(p.hedges),
+                 static_cast<unsigned long long>(p.hedges_won),
+                 static_cast<unsigned long long>(p.circuit_open_skips),
+                 p.sim_time_ms,
+                 static_cast<unsigned long long>(p.bytes),
+                 static_cast<unsigned long long>(p.result_fingerprint),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"gate\": {\"recovered_share\": %.6f, \"pass\": %s}\n",
+               recovered_share, gate_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return gate_ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

@@ -168,6 +168,21 @@ void EngineOptions::RegisterFlags(iqn::Flags* flags) {
                       "minimum reputation discount factor");
   flags->DefineDouble("reputation-sharpness", 2.0,
                       "exponent on the claim-vs-delivered ratio");
+  flags->DefineBool("health", false,
+                    "per-peer failure detector + circuit breaker");
+  flags->DefineDouble("health-error-threshold", 0.5,
+                      "error-rate EWMA that opens a peer's circuit");
+  flags->DefineDouble("health-latency-threshold-ms", 0.0,
+                      "latency EWMA that opens a peer's circuit (0 = off)");
+  flags->DefineDouble("health-cooldown-ms", 250.0,
+                      "simulated-time cooldown before a half-open probe");
+  flags->DefineDouble("brownout-threshold", 0.0,
+                      "remaining-deadline fraction below which max_peers "
+                      "browns out (0 = off)");
+  flags->DefineBool("hedge", false,
+                    "hedged backup requests on slow retriable failures");
+  flags->DefineDouble("hedge-threshold-ms", 30.0,
+                      "attempt cost that triggers a hedged backup");
   flags->DefineBool("cache", false, "versioned directory PeerList cache");
   flags->DefineInt("cache_max_terms", 0,
                    "cached terms per initiator (0 = unbounded)");
@@ -229,6 +244,16 @@ iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
   options.core.reputation.prior = flags.GetDouble("reputation-prior");
   options.core.reputation.floor = flags.GetDouble("reputation-floor");
   options.core.reputation.sharpness = flags.GetDouble("reputation-sharpness");
+  options.core.health.enabled = flags.GetBool("health");
+  options.core.health.error_threshold =
+      flags.GetDouble("health-error-threshold");
+  options.core.health.latency_threshold_ms =
+      flags.GetDouble("health-latency-threshold-ms");
+  options.core.health.cooldown_ms = flags.GetDouble("health-cooldown-ms");
+  options.core.health.brownout_threshold =
+      flags.GetDouble("brownout-threshold");
+  options.core.hedge.enabled = flags.GetBool("hedge");
+  options.core.hedge.threshold_ms = flags.GetDouble("hedge-threshold-ms");
   options.core.cache.enabled = flags.GetBool("cache");
   options.core.cache.max_terms =
       static_cast<size_t>(flags.GetInt("cache_max_terms"));

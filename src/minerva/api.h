@@ -66,8 +66,9 @@ struct RoutingSpec {
 /// Everything configurable about an Engine, in one struct.
 struct EngineOptions {
   /// System assembly: synopses, scoring, directory replication and
-  /// truncation, merge strategy, retry/deadline policy, tracing, and
-  /// the directory cache (core.cache).
+  /// truncation, merge strategy, retry/deadline policy, tracing, the
+  /// directory cache (core.cache), and the resilience layer
+  /// (core.health, core.hedge).
   iqn::EngineOptions core;
   /// How queries are routed.
   RoutingSpec routing;
@@ -84,7 +85,8 @@ struct EngineOptions {
   std::string metrics_out;
 
   /// Declares the standard engine flag set (router, synopsis, cache,
-  /// retry/deadline, faults, sinks, threads, max_peers) on `flags`.
+  /// retry/deadline, faults, health/hedging, sinks, threads,
+  /// max_peers) on `flags`.
   static void RegisterFlags(iqn::Flags* flags);
   /// Builds options from parsed flag values (flags must have been set up
   /// by RegisterFlags). InvalidArgument on unknown enum spellings.

@@ -35,12 +35,12 @@ Result<PeerBehavior> ParsePeerBehavior(const std::string& name) {
                                  "' (honest|inflate|poison)");
 }
 
-std::vector<size_t> SelectAdversaries(const AdversaryConfig& config,
-                                      size_t num_peers) {
+std::vector<size_t> SelectPeerFraction(uint64_t seed, double fraction,
+                                       size_t num_peers) {
   std::vector<size_t> chosen;
-  if (!config.active() || num_peers == 0) return chosen;
+  if (fraction <= 0.0 || num_peers == 0) return chosen;
   size_t count = static_cast<size_t>(
-      std::llround(config.fraction * static_cast<double>(num_peers)));
+      std::llround(fraction * static_cast<double>(num_peers)));
   count = std::min(count, num_peers);
   if (count == 0) return chosen;
 
@@ -50,13 +50,20 @@ std::vector<size_t> SelectAdversaries(const AdversaryConfig& config,
   std::vector<std::pair<uint64_t, size_t>> ranked;
   ranked.reserve(num_peers);
   for (size_t i = 0; i < num_peers; ++i) {
-    ranked.emplace_back(Hash64(i, kAdversarySelectSeed ^ config.seed), i);
+    ranked.emplace_back(Hash64(i, seed), i);
   }
   std::sort(ranked.begin(), ranked.end());
   chosen.reserve(count);
   for (size_t i = 0; i < count; ++i) chosen.push_back(ranked[i].second);
   std::sort(chosen.begin(), chosen.end());
   return chosen;
+}
+
+std::vector<size_t> SelectAdversaries(const AdversaryConfig& config,
+                                      size_t num_peers) {
+  if (!config.active()) return {};
+  return SelectPeerFraction(kAdversarySelectSeed ^ config.seed,
+                            config.fraction, num_peers);
 }
 
 uint64_t FabricatedDocId(uint64_t seed, uint64_t peer_id,

@@ -65,6 +65,15 @@ struct AdversaryConfig {
   bool active() const { return fraction > 0.0 && inflate_factor > 1.0; }
 };
 
+/// The round(fraction * num_peers) peer indices ranked highest by
+/// Hash64(index, seed), in ascending index order — the seeded
+/// exact-share selection SelectAdversaries uses, reusable for any
+/// other "mark this fraction of the population" need (the scenario
+/// harness picks overloaded peers with it). Empty when fraction <= 0
+/// or the rounded count is 0.
+std::vector<size_t> SelectPeerFraction(uint64_t seed, double fraction,
+                                       size_t num_peers);
+
 /// The round(fraction * num_peers) peer indices that misbehave under
 /// `config`, in ascending order. Deterministic: peers are ranked by
 /// Mix64(seed ^ peer index) and the top share is taken.

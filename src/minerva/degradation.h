@@ -35,6 +35,15 @@ struct DegradationReport {
   /// Query terms whose directory PeerList fetch failed outright (the
   /// candidate set was assembled from the remaining terms).
   size_t term_fetches_failed = 0;
+  /// Candidates Select-Best-Peer refused to consider because their
+  /// circuit breaker (net/health.h) was open.
+  size_t open_circuit_skips = 0;
+  /// RPCs the policy layer refused to send (fail-fast, no traffic)
+  /// because the destination's circuit was open.
+  uint64_t circuit_blocked_rpcs = 0;
+  /// Peers shaved off max_peers by the deadline-pressure brownout
+  /// (0 = the query ran at full fan-out).
+  size_t brownout_peers_shed = 0;
   /// True when the answer is known to be missing contributions: fewer
   /// peers answered than routing selected (even after replacement), or
   /// some term's candidates never entered routing.

@@ -4,6 +4,7 @@
 #include "minerva/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
 
@@ -62,6 +63,11 @@ void RecordQueryMetrics(const QueryOutcome& outcome,
       ->Observe(static_cast<double>(delta.messages));
   registry.GetHistogram("query.rpc_retries", {0, 1, 2, 3, 5, 8, 13})
       ->Observe(static_cast<double>(delta.rpc_retries));
+  if (outcome.degradation.brownout_peers_shed > 0) {
+    registry.GetCounter("query.brownouts")->Increment();
+  }
+  registry.GetCounter("query.circuit_skips")
+      ->Increment(outcome.degradation.open_circuit_skips);
   // Per-fault-class histograms over the query's own fault exposure: the
   // chaos bench's "which class hurt how many queries how much" view.
   for (const auto& [klass, count] : delta.faults_by_class) {
@@ -131,6 +137,27 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
     }
     engine->reputation_ =
         std::make_unique<ReputationBook>(options.reputation);
+  }
+  if (options.health.enabled) {
+    if (options.health.error_alpha <= 0.0 || options.health.error_alpha > 1.0 ||
+        options.health.latency_alpha <= 0.0 ||
+        options.health.latency_alpha > 1.0) {
+      return Status::InvalidArgument("health EWMA alphas must be in (0, 1]");
+    }
+    if (options.health.error_threshold <= 0.0 ||
+        options.health.error_threshold > 1.0) {
+      return Status::InvalidArgument(
+          "health.error_threshold must be in (0, 1]");
+    }
+    if (options.health.cooldown_ms <= 0.0) {
+      return Status::InvalidArgument("health.cooldown_ms must be > 0");
+    }
+    engine->health_ = std::make_unique<HealthTracker>(options.health);
+  }
+  if (options.health.brownout_threshold < 0.0 ||
+      options.health.brownout_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "health.brownout_threshold must be in [0, 1]");
   }
   return engine;
 }
@@ -203,6 +230,17 @@ Result<QueryOutcome> MinervaEngine::RunQuery(size_t initiator_index,
       reputation_->Observe(cal.peer_id, cal.claimed, cal.delivered);
     }
   }
+  // Health evidence commits under the same contract, stamped with the
+  // pre-advance clock the query itself routed against; then the clock
+  // moves by the simulated time the query cost (circuit cooldowns and
+  // partition windows progress between queries, never within one).
+  if (health_ != nullptr) {
+    const double now_ms = network_->now_ms();
+    for (const HealthObservation& obs : outcome.health_observations) {
+      health_->Observe(obs.dst, obs.ok, obs.latency_ms, now_ms);
+    }
+  }
+  network_->AdvanceSimTime(delta.latency_ms);
   return outcome;
 }
 
@@ -225,6 +263,14 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   // context (see QueryFaultContext).
   RpcScope rpc_scope(options_.retry, options_.query_deadline_ms,
                      QueryFaultContext(initiator_index, query));
+  rpc_scope.set_hedge(options_.hedge);
+  if (health_ != nullptr) {
+    // The tracker and the clock are frozen for the whole batch (writes
+    // happen only at commit points), so every query of a batch sees the
+    // same circuit states regardless of scheduling.
+    rpc_scope.set_health(health_.get(), network_->now_ms());
+    rpc_scope.set_observations(&outcome.health_observations);
+  }
   // The trace clock is the query's own metered simulated latency, so
   // span timestamps are a pure function of the query and the seed —
   // identical at any thread count. Spans below are all opened on this
@@ -282,10 +328,32 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
     }
   }
 
+  // Brownout: when directory lookups already burned most of the
+  // deadline budget, shed fan-out instead of missing the deadline.
+  // Below the threshold fraction, max_peers scales down linearly with
+  // the remaining budget (never under 1 — the best peer is always
+  // worth asking). Every input is simulated time, so the decision is
+  // deterministic.
+  size_t effective_max_peers = max_peers;
+  if (options_.health.brownout_threshold > 0.0 &&
+      options_.query_deadline_ms > 0.0 && max_peers > 1) {
+    const double remaining_fraction =
+        std::max(0.0, rpc_scope.deadline().remaining_ms()) /
+        options_.query_deadline_ms;
+    if (remaining_fraction < options_.health.brownout_threshold) {
+      effective_max_peers = std::max<size_t>(
+          1, static_cast<size_t>(std::floor(
+                 static_cast<double>(max_peers) * remaining_fraction /
+                 options_.health.brownout_threshold)));
+      outcome.degradation.brownout_peers_shed =
+          max_peers - effective_max_peers;
+    }
+  }
+
   RoutingInput input;
   input.query = &query;
   input.candidates = &candidates;
-  input.max_peers = max_peers;
+  input.max_peers = effective_max_peers;
   input.total_peers = peers_.size();
   input.local_result_docs = &local_docs;
   input.synopsis_config = &options_.synopsis;
@@ -293,6 +361,10 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   // batch (or serial call); the engine applies this query's own
   // observations only at the commit point afterwards.
   input.reputation = reputation_.get();
+  // Same read-only contract for the circuit breakers: open circuits
+  // are skipped at selection time (load-shed-aware routing).
+  input.health = health_.get();
+  input.now_ms = network_->now_ms();
   // Routers may parallelize candidate scoring over the engine pool. When
   // this query itself runs on a pool worker (RunQueryBatch), the nested
   // ParallelFor falls back to serial automatically.
@@ -306,6 +378,10 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   {
     ScopedSpan span("route");
     span.Attr("router", router.name());
+    if (span.active() && outcome.degradation.brownout_peers_shed > 0) {
+      span.AttrUint("brownout_peers_shed",
+                    outcome.degradation.brownout_peers_shed);
+    }
     IQN_ASSIGN_OR_RETURN(outcome.decision, router.Route(input));
     span.AttrUint("selected", outcome.decision.peers.size());
     span.AttrDouble("estimated_cardinality",
@@ -313,6 +389,8 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   }
   outcome.degradation.candidates_degraded =
       outcome.decision.candidates_degraded;
+  outcome.degradation.open_circuit_skips =
+      outcome.decision.open_circuit_skips;
   if (outcome.degradation.term_fetches_failed > 0) {
     outcome.degradation.partial = true;
   }
@@ -406,6 +484,7 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   // Retry and fault totals for this query fall out of its metered delta.
   outcome.degradation.rpc_retries = delta->rpc_retries;
   outcome.degradation.faults_survived = delta->faults_injected;
+  outcome.degradation.circuit_blocked_rpcs = delta->circuit_blocked;
   if (query_span.active()) {
     query_span.AttrUint("rpc_retries", delta->rpc_retries);
     query_span.AttrUint("faults_survived", delta->faults_injected);
@@ -488,6 +567,21 @@ Result<std::vector<QueryOutcome>> MinervaEngine::RunQueryBatch(
       }
     }
   }
+  // Health evidence commits in the same batch order, stamped with the
+  // clock every query of this batch routed against; then the clock
+  // advances by the batch's total simulated cost. Thread-invariant by
+  // the same argument as the reputation book.
+  double batch_latency_ms = 0.0;
+  for (const NetworkStats& delta : deltas) batch_latency_ms += delta.latency_ms;
+  if (health_ != nullptr) {
+    const double now_ms = network_->now_ms();
+    for (const QueryOutcome& outcome : outcomes) {
+      for (const HealthObservation& obs : outcome.health_observations) {
+        health_->Observe(obs.dst, obs.ok, obs.latency_ms, now_ms);
+      }
+    }
+  }
+  network_->AdvanceSimTime(batch_latency_ms);
   return outcomes;
 }
 

@@ -96,6 +96,17 @@ struct EngineOptions {
   /// robustness extension the adversary bench measures. Updates happen
   /// at the same deterministic commit points as the directory cache.
   ReputationParams reputation;
+  /// Per-peer failure detection + circuit breaking (net/health.h): when
+  /// enabled, every query's RPC outcomes feed per-peer EWMAs at the
+  /// engine's commit points; open circuits make CallRpc fail fast and
+  /// Select-Best-Peer skip the peer. health.brownout_threshold > 0
+  /// additionally enables the deadline-pressure brownout (reduced
+  /// max_peers) even when the tracker itself is off.
+  HealthParams health;
+  /// Hedged backup requests (net/rpc_policy.h): a slow failed attempt
+  /// deterministically charges one backup send and takes the first
+  /// success, with the overlapped waiting credited back.
+  HedgePolicy hedge;
 };
 
 /// Everything measured about one routed query.
@@ -130,6 +141,11 @@ struct QueryOutcome {
   /// EngineOptions::reputation is enabled — it is pure diagnostics
   /// until the book consumes it).
   std::vector<PeerCalibration> calibrations;
+  /// Observed per-destination RPC outcomes (net/health.h), in issue
+  /// order — collected during the query, committed into the engine's
+  /// HealthTracker at the same deterministic points as the reputation
+  /// book. Empty unless EngineOptions::health.enabled.
+  std::vector<HealthObservation> health_observations;
   /// The query's span tree when EngineOptions::collect_traces is set
   /// (shared_ptr keeps outcomes copyable); nullptr otherwise. Feed to
   /// ExplainQuery (minerva/explain.h) or the Chrome trace exporter.
@@ -221,6 +237,9 @@ class MinervaEngine {
   /// The claim-vs-observed reputation book, or nullptr when
   /// EngineOptions::reputation is disabled (exposed for tests/benches).
   const ReputationBook* reputation_book() const { return reputation_.get(); }
+  /// The per-peer circuit-breaker tracker, or nullptr when
+  /// EngineOptions::health is disabled (exposed for tests/benches).
+  const HealthTracker* health_tracker() const { return health_.get(); }
   /// Peer indices turned adversarial at Create (empty when the
   /// adversary config is inactive).
   const std::vector<size_t>& adversary_indices() const {
@@ -262,6 +281,11 @@ class MinervaEngine {
   /// Queries read it (RoutingInput::reputation); only the serial commit
   /// points after RunQuery / RunQueryBatch write it.
   std::unique_ptr<ReputationBook> reputation_;
+  /// Per-peer failure detector / circuit breakers when
+  /// EngineOptions::health.enabled. Same read/commit discipline as the
+  /// reputation book; transitions are stamped with the network's
+  /// simulated clock, which advances at the same commit points.
+  std::unique_ptr<HealthTracker> health_;
   /// Peers SelectAdversaries turned adversarial at Create.
   std::vector<size_t> adversary_indices_;
   InvertedIndex reference_index_;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "net/health.h"
 #include "minerva/reputation.h"
 #include "synopses/estimators.h"
 #include "synopses/reference_synopsis.h"
@@ -59,6 +60,22 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
   std::vector<bool> taken(candidates.size(), false);
   RoutingDecision decision;
 
+  // Load-shed-aware routing: candidates behind an open circuit breaker
+  // are excluded up front instead of wasting the query's deadline
+  // budget on fail-fast sends. Circuit state is frozen for the whole
+  // batch (the engine commits health writes between batches), so this
+  // serial precompute is thread-invariant; the skips land in the
+  // per-query DegradationReport.
+  std::vector<bool> circuit_open(candidates.size(), false);
+  if (input.health != nullptr) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!input.health->AllowRequest(candidates[i].address, input.now_ms)) {
+        circuit_open[i] = true;
+        ++decision.open_circuit_skips;
+      }
+    }
+  }
+
   // Scratch for Select-Best-Peer phase 1; slot i is written only by the
   // chunk that owns index i.
   struct CandidateScore {
@@ -93,7 +110,7 @@ Result<RoutingDecision> RunIqnLoop(const RoutingInput& input,
         input, candidates.size(), [&](size_t lo, size_t hi) -> Status {
           for (size_t i = lo; i < hi; ++i) {
             scores[i].eligible = false;
-            if (taken[i]) continue;
+            if (taken[i] || circuit_open[i]) continue;
             IQN_ASSIGN_OR_RETURN(double novelty, callbacks.novelty_of(i));
             // Every novelty estimator clamps at zero; a negative value
             // here would make argmax prefer peers that shrink coverage.
@@ -211,6 +228,7 @@ Result<RoutingDecision> IqnRouter::Route(const RoutingInput& input) const {
   if (decision.ok() && span.active()) {
     span.AttrUint("selected", decision.value().peers.size());
     span.AttrUint("degraded", decision.value().candidates_degraded);
+    span.AttrUint("circuit_skips", decision.value().open_circuit_skips);
   }
   return decision;
 }

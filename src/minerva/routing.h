@@ -27,6 +27,7 @@ namespace iqn {
 class ThreadPool;
 class Router;          // internal; see minerva/internal/router.h
 class ReputationBook;  // minerva/reputation.h
+class HealthTracker;   // net/health.h
 
 /// One prospective peer, assembled from the PeerLists of all query terms.
 struct CandidatePeer {
@@ -70,6 +71,15 @@ struct RoutingInput {
   /// routing; the engine updates the book at deterministic commit
   /// points only.
   const ReputationBook* reputation = nullptr;
+  /// Per-peer circuit breakers (net/health.h). When set, Select-Best-
+  /// Peer skips candidates whose circuit is open at simulated time
+  /// `now_ms` (counted in RoutingDecision::open_circuit_skips). Same
+  /// read-only contract as `reputation`: the engine owns all writes,
+  /// at its commit points.
+  const HealthTracker* health = nullptr;
+  /// The network's simulated clock at query start; constant for the
+  /// whole batch, so circuit lookups are thread-invariant.
+  double now_ms = 0.0;
 };
 
 struct SelectedPeer {
@@ -91,6 +101,9 @@ struct RoutingDecision {
   /// claimed-list-length novelty fallback, instead of failing the query
   /// (IQN only; 0 otherwise).
   size_t candidates_degraded = 0;
+  /// Candidates excluded up front because their circuit breaker was
+  /// open (load-shed-aware routing; IQN only, 0 otherwise).
+  size_t open_circuit_skips = 0;
 };
 
 /// Tuning knobs of the IQN method (paper Sec. 5-7).

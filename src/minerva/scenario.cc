@@ -23,6 +23,11 @@ using iqn::JsonValue;
 using iqn::Result;
 using iqn::Status;
 
+// Salt separating overloaded-peer selection from the adversary stream
+// (both rank peers by seeded hash, and the same seed value must not
+// pick the same peers for both roles).
+constexpr uint64_t kOverloadSelectSeed = 0x0BE710AD;
+
 // ---------------------------------------------------------------------
 // Strict extraction helpers. Every error names the spec path it refers
 // to, so a bad spec is diagnosable from the Status alone.
@@ -233,6 +238,104 @@ Status ParseEngine(const JsonValue& v, ScenarioSpec::EngineSection* out) {
   return Status::OK();
 }
 
+Status ParseOverload(const JsonValue& v,
+                     ScenarioSpec::FaultSection::OverloadSubsection* out) {
+  if (!v.is_object()) return WrongKind("faults.overload", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "fraction") {
+      IQN_ASSIGN_OR_RETURN(out->fraction,
+                           GetDouble(val, "faults.overload.fraction"));
+    } else if (key == "utilization") {
+      IQN_ASSIGN_OR_RETURN(out->utilization,
+                           GetDouble(val, "faults.overload.utilization"));
+    } else if (key == "service_ms") {
+      IQN_ASSIGN_OR_RETURN(out->service_ms,
+                           GetDouble(val, "faults.overload.service_ms"));
+    } else if (key == "shed_rate") {
+      IQN_ASSIGN_OR_RETURN(out->shed_rate,
+                           GetDouble(val, "faults.overload.shed_rate"));
+    } else {
+      return UnknownKey("faults.overload", key,
+                        "fraction|utilization|service_ms|shed_rate");
+    }
+  }
+  if (out->fraction < 0.0 || out->fraction > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: faults.overload.fraction must be in [0, 1]");
+  }
+  if (out->utilization < 0.0 || out->utilization >= 1.0) {
+    return Status::InvalidArgument(
+        "scenario: faults.overload.utilization must be in [0, 1) (the "
+        "M/M/1 wait diverges at 1)");
+  }
+  if (out->service_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "scenario: faults.overload.service_ms must be > 0");
+  }
+  if (out->shed_rate < 0.0 || out->shed_rate > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: faults.overload.shed_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ParsePartitionEntry(const JsonValue& v, const std::string& path,
+                           ScenarioSpec::FaultSection::PartitionEntry* out) {
+  if (!v.is_object()) return WrongKind(path, "an object", v);
+  bool saw_groups = false;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "name") {
+      IQN_ASSIGN_OR_RETURN(out->name, GetString(val, path + ".name"));
+    } else if (key == "groups") {
+      saw_groups = true;
+      if (!val.is_array()) return WrongKind(path + ".groups", "an array", val);
+      for (size_t g = 0; g < val.items().size(); ++g) {
+        const JsonValue& group = val.items()[g];
+        const std::string group_path =
+            path + ".groups[" + std::to_string(g) + "]";
+        if (!group.is_array()) {
+          return WrongKind(group_path, "an array of peer indices", group);
+        }
+        std::vector<size_t> indices;
+        for (size_t m = 0; m < group.items().size(); ++m) {
+          IQN_ASSIGN_OR_RETURN(
+              size_t idx,
+              GetSize(group.items()[m],
+                      group_path + "[" + std::to_string(m) + "]"));
+          indices.push_back(idx);
+        }
+        if (indices.empty()) {
+          return Status::InvalidArgument("scenario: " + group_path +
+                                         " must list at least one peer");
+        }
+        out->groups.push_back(std::move(indices));
+      }
+    } else if (key == "start_ms") {
+      IQN_ASSIGN_OR_RETURN(out->start_ms, GetDouble(val, path + ".start_ms"));
+    } else if (key == "end_ms") {
+      IQN_ASSIGN_OR_RETURN(out->end_ms, GetDouble(val, path + ".end_ms"));
+    } else {
+      return UnknownKey(path.c_str(), key, "name|groups|start_ms|end_ms");
+    }
+  }
+  if (out->name.empty()) {
+    return Status::InvalidArgument("scenario: " + path +
+                                   ".name must be nonempty");
+  }
+  if (!saw_groups || out->groups.size() < 2) {
+    return Status::InvalidArgument(
+        "scenario: " + path +
+        ".groups must list at least two groups (one group partitions "
+        "nothing)");
+  }
+  if (out->start_ms < 0.0 || out->end_ms <= out->start_ms) {
+    return Status::InvalidArgument(
+        "scenario: " + path +
+        " window must satisfy 0 <= start_ms < end_ms");
+  }
+  return Status::OK();
+}
+
 Status ParseFaults(const JsonValue& v, ScenarioSpec::FaultSection* out) {
   if (!v.is_object()) return WrongKind("faults", "an object", v);
   for (const auto& [key, val] : v.members()) {
@@ -241,13 +344,100 @@ Status ParseFaults(const JsonValue& v, ScenarioSpec::FaultSection* out) {
     } else if (key == "drop_rate") {
       IQN_ASSIGN_OR_RETURN(out->drop_rate,
                            GetDouble(val, "faults.drop_rate"));
+    } else if (key == "overload") {
+      IQN_RETURN_IF_ERROR(ParseOverload(val, &out->overload));
+    } else if (key == "partitions") {
+      if (!val.is_array()) {
+        return WrongKind("faults.partitions", "an array", val);
+      }
+      for (size_t i = 0; i < val.items().size(); ++i) {
+        ScenarioSpec::FaultSection::PartitionEntry entry;
+        IQN_RETURN_IF_ERROR(ParsePartitionEntry(
+            val.items()[i],
+            "faults.partitions[" + std::to_string(i) + "]", &entry));
+        out->partitions.push_back(std::move(entry));
+      }
     } else {
-      return UnknownKey("faults", key, "seed|drop_rate");
+      return UnknownKey("faults", key,
+                        "seed|drop_rate|overload|partitions");
     }
   }
   if (out->drop_rate < 0.0 || out->drop_rate > 1.0) {
     return Status::InvalidArgument(
         "scenario: faults.drop_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ParseHealth(const JsonValue& v, iqn::HealthParams* out) {
+  if (!v.is_object()) return WrongKind("health", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "enabled") {
+      IQN_ASSIGN_OR_RETURN(out->enabled, GetBool(val, "health.enabled"));
+    } else if (key == "error_alpha") {
+      IQN_ASSIGN_OR_RETURN(out->error_alpha,
+                           GetDouble(val, "health.error_alpha"));
+    } else if (key == "latency_alpha") {
+      IQN_ASSIGN_OR_RETURN(out->latency_alpha,
+                           GetDouble(val, "health.latency_alpha"));
+    } else if (key == "error_threshold") {
+      IQN_ASSIGN_OR_RETURN(out->error_threshold,
+                           GetDouble(val, "health.error_threshold"));
+    } else if (key == "latency_threshold_ms") {
+      IQN_ASSIGN_OR_RETURN(out->latency_threshold_ms,
+                           GetDouble(val, "health.latency_threshold_ms"));
+    } else if (key == "cooldown_ms") {
+      IQN_ASSIGN_OR_RETURN(out->cooldown_ms,
+                           GetDouble(val, "health.cooldown_ms"));
+    } else if (key == "brownout_threshold") {
+      IQN_ASSIGN_OR_RETURN(out->brownout_threshold,
+                           GetDouble(val, "health.brownout_threshold"));
+    } else {
+      return UnknownKey("health", key,
+                        "enabled|error_alpha|latency_alpha|error_threshold|"
+                        "latency_threshold_ms|cooldown_ms|"
+                        "brownout_threshold");
+    }
+  }
+  if (out->error_alpha <= 0.0 || out->error_alpha > 1.0 ||
+      out->latency_alpha <= 0.0 || out->latency_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: health EWMA alphas must be in (0, 1]");
+  }
+  if (out->error_threshold <= 0.0 || out->error_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: health.error_threshold must be in (0, 1]");
+  }
+  if (out->latency_threshold_ms < 0.0) {
+    return Status::InvalidArgument(
+        "scenario: health.latency_threshold_ms must be >= 0");
+  }
+  if (out->cooldown_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "scenario: health.cooldown_ms must be > 0");
+  }
+  if (out->brownout_threshold < 0.0 || out->brownout_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "scenario: health.brownout_threshold must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ParseHedging(const JsonValue& v, iqn::HedgePolicy* out) {
+  if (!v.is_object()) return WrongKind("hedging", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "enabled") {
+      IQN_ASSIGN_OR_RETURN(out->enabled, GetBool(val, "hedging.enabled"));
+    } else if (key == "threshold_ms") {
+      IQN_ASSIGN_OR_RETURN(out->threshold_ms,
+                           GetDouble(val, "hedging.threshold_ms"));
+    } else {
+      return UnknownKey("hedging", key, "enabled|threshold_ms");
+    }
+  }
+  if (out->threshold_ms < 0.0) {
+    return Status::InvalidArgument(
+        "scenario: hedging.threshold_ms must be >= 0");
   }
   return Status::OK();
 }
@@ -447,6 +637,30 @@ Status ValidateSpec(const ScenarioSpec& spec) {
         "scenario: derived vocabulary is empty (corpus.documents < 8 and "
         "no explicit corpus.vocabulary)");
   }
+  for (size_t p = 0; p < spec.faults.partitions.size(); ++p) {
+    const auto& entry = spec.faults.partitions[p];
+    const std::string path =
+        "faults.partitions[" + std::to_string(p) + "]";
+    std::vector<bool> seen(spec.topology.peers, false);
+    for (const std::vector<size_t>& group : entry.groups) {
+      for (size_t idx : group) {
+        if (idx >= spec.topology.peers) {
+          return Status::InvalidArgument(
+              "scenario: " + path + " lists peer index " +
+              std::to_string(idx) + ", but topology.peers is " +
+              std::to_string(spec.topology.peers));
+        }
+        if (seen[idx]) {
+          return Status::InvalidArgument(
+              "scenario: " + path + " lists peer index " +
+              std::to_string(idx) +
+              " more than once (a peer sits on exactly one side of a "
+              "partition)");
+        }
+        seen[idx] = true;
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -496,9 +710,51 @@ JsonValue SpecToJson(const ScenarioSpec& spec) {
   engine.emplace_back("collect_traces",
                       JsonValue::Bool(spec.engine.collect_traces));
 
+  std::vector<JsonValue::Member> overload;
+  overload.emplace_back("fraction", Num(spec.faults.overload.fraction));
+  overload.emplace_back("utilization", Num(spec.faults.overload.utilization));
+  overload.emplace_back("service_ms", Num(spec.faults.overload.service_ms));
+  overload.emplace_back("shed_rate", Num(spec.faults.overload.shed_rate));
+
+  std::vector<JsonValue> partitions;
+  partitions.reserve(spec.faults.partitions.size());
+  for (const auto& entry : spec.faults.partitions) {
+    std::vector<JsonValue> groups;
+    groups.reserve(entry.groups.size());
+    for (const std::vector<size_t>& group : entry.groups) {
+      std::vector<JsonValue> members;
+      members.reserve(group.size());
+      for (size_t idx : group) members.push_back(Num(idx));
+      groups.push_back(JsonValue::Array(std::move(members)));
+    }
+    std::vector<JsonValue::Member> part;
+    part.emplace_back("name", JsonValue::String(entry.name));
+    part.emplace_back("groups", JsonValue::Array(std::move(groups)));
+    part.emplace_back("start_ms", Num(entry.start_ms));
+    part.emplace_back("end_ms", Num(entry.end_ms));
+    partitions.push_back(JsonValue::Object(std::move(part)));
+  }
+
   std::vector<JsonValue::Member> faults;
   faults.emplace_back("seed", Num(spec.faults.seed));
   faults.emplace_back("drop_rate", Num(spec.faults.drop_rate));
+  faults.emplace_back("overload", JsonValue::Object(std::move(overload)));
+  faults.emplace_back("partitions", JsonValue::Array(std::move(partitions)));
+
+  std::vector<JsonValue::Member> health;
+  health.emplace_back("enabled", JsonValue::Bool(spec.health.enabled));
+  health.emplace_back("error_alpha", Num(spec.health.error_alpha));
+  health.emplace_back("latency_alpha", Num(spec.health.latency_alpha));
+  health.emplace_back("error_threshold", Num(spec.health.error_threshold));
+  health.emplace_back("latency_threshold_ms",
+                      Num(spec.health.latency_threshold_ms));
+  health.emplace_back("cooldown_ms", Num(spec.health.cooldown_ms));
+  health.emplace_back("brownout_threshold",
+                      Num(spec.health.brownout_threshold));
+
+  std::vector<JsonValue::Member> hedging;
+  hedging.emplace_back("enabled", JsonValue::Bool(spec.hedging.enabled));
+  hedging.emplace_back("threshold_ms", Num(spec.hedging.threshold_ms));
 
   std::vector<JsonValue::Member> churn;
   churn.emplace_back("every", Num(spec.churn.every));
@@ -541,6 +797,8 @@ JsonValue SpecToJson(const ScenarioSpec& spec) {
   root.emplace_back("topology", JsonValue::Object(std::move(topology)));
   root.emplace_back("engine", JsonValue::Object(std::move(engine)));
   root.emplace_back("faults", JsonValue::Object(std::move(faults)));
+  root.emplace_back("health", JsonValue::Object(std::move(health)));
+  root.emplace_back("hedging", JsonValue::Object(std::move(hedging)));
   root.emplace_back("churn", JsonValue::Object(std::move(churn)));
   root.emplace_back("queries", JsonValue::Object(std::move(queries)));
   root.emplace_back("adversary", JsonValue::Object(std::move(adversary)));
@@ -629,6 +887,10 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text) {
       IQN_RETURN_IF_ERROR(ParseEngine(val, &spec.engine));
     } else if (key == "faults") {
       IQN_RETURN_IF_ERROR(ParseFaults(val, &spec.faults));
+    } else if (key == "health") {
+      IQN_RETURN_IF_ERROR(ParseHealth(val, &spec.health));
+    } else if (key == "hedging") {
+      IQN_RETURN_IF_ERROR(ParseHedging(val, &spec.hedging));
     } else if (key == "churn") {
       IQN_RETURN_IF_ERROR(ParseChurn(val, &spec.churn));
     } else if (key == "queries") {
@@ -639,8 +901,8 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text) {
       IQN_RETURN_IF_ERROR(ParseReputation(val, &spec.reputation));
     } else {
       return UnknownKey("the top-level object", key,
-                        "name|seed|corpus|topology|engine|faults|churn|"
-                        "queries|adversary|reputation");
+                        "name|seed|corpus|topology|engine|faults|health|"
+                        "hedging|churn|queries|adversary|reputation");
     }
   }
   if (!saw_name || spec.name.empty()) {
@@ -736,6 +998,8 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
   options.core.collect_traces = spec.engine.collect_traces;
   options.core.adversary = spec.adversary;
   options.core.reputation = spec.reputation;
+  options.core.health = spec.health;
+  options.core.hedge = spec.hedging;
   IQN_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
                        Engine::Create(options, std::move(collections)));
   Engine& e = *engine;
@@ -744,10 +1008,44 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
   // bench), then the fault plan goes live and all counters restart.
   e.network().ResetStats();
   iqn::MetricsRegistry::Default().Reset();
+
+  // Assemble the query-phase fault plan: message drops plus the
+  // overload and partition models, with spec peer indices resolved to
+  // network addresses. Installed only when it does anything, so
+  // fault-free specs keep the fault-free fast path.
+  iqn::FaultPlan plan;
+  plan.seed = spec.faults.seed;
   if (spec.faults.drop_rate > 0.0) {
-    e.network().InstallFaultPlan(
-        iqn::FaultPlan::MessageDrop(spec.faults.seed, spec.faults.drop_rate));
+    plan = iqn::FaultPlan::MessageDrop(spec.faults.seed,
+                                       spec.faults.drop_rate);
   }
+  if (spec.faults.overload.fraction > 0.0 &&
+      (spec.faults.overload.utilization > 0.0 ||
+       spec.faults.overload.shed_rate > 0.0)) {
+    result.overloaded_peers = iqn::SelectPeerFraction(
+        kOverloadSelectSeed ^ spec.faults.seed,
+        spec.faults.overload.fraction, e.num_peers());
+    for (size_t idx : result.overloaded_peers) {
+      plan.overload.nodes.push_back(e.peer(idx).address());
+    }
+    plan.overload.utilization = spec.faults.overload.utilization;
+    plan.overload.service_ms = spec.faults.overload.service_ms;
+    plan.overload.shed_rate = spec.faults.overload.shed_rate;
+  }
+  for (const auto& entry : spec.faults.partitions) {
+    iqn::PartitionSpec part;
+    part.name = entry.name;
+    part.start_ms = entry.start_ms;
+    part.end_ms = entry.end_ms;
+    for (const std::vector<size_t>& group : entry.groups) {
+      std::vector<iqn::NodeAddress> nodes;
+      nodes.reserve(group.size());
+      for (size_t idx : group) nodes.push_back(e.peer(idx).address());
+      part.groups.push_back(std::move(nodes));
+    }
+    plan.partitions.push_back(std::move(part));
+  }
+  if (plan.active()) e.network().InstallFaultPlan(plan);
   result.adversaries = e.core().adversary_indices();
 
   size_t churn_docs = spec.churn.documents != 0
@@ -759,6 +1057,7 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
   uint64_t trace_fp = 0;
   double recall_sum = 0.0;
   double remote_sum = 0.0;
+  double goodput_sum = 0.0;
   result.round_recall.assign(spec.queries.rounds, 0.0);
 
   for (size_t round = 0; round < spec.queries.rounds; ++round) {
@@ -784,15 +1083,14 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
         // models query-path chaos, and a dropped directory republish
         // would abort the scenario instead of degrading a query. Traffic
         // is still metered.
-        if (spec.faults.drop_rate > 0.0) {
+        if (plan.active()) {
           e.network().InstallFaultPlan(iqn::FaultPlan{});
         }
         IQN_RETURN_IF_ERROR(e.peer(p).AddDocuments(delta_gen.Generate(),
                                                    /*republish=*/true));
         e.RebuildReferenceIndex();
-        if (spec.faults.drop_rate > 0.0) {
-          e.network().InstallFaultPlan(iqn::FaultPlan::MessageDrop(
-              spec.faults.seed, spec.faults.drop_rate));
+        if (plan.active()) {
+          e.network().InstallFaultPlan(plan);
         }
       }
 
@@ -814,12 +1112,23 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
       for (const iqn::QueryOutcome& o : outcomes) {
         recall_sum += o.recall;
         remote_sum += o.recall_remote_only;
+        // Goodput pays recall only for queries that met the deadline;
+        // with no deadline every query is on time by definition.
+        const double query_latency_ms =
+            o.routing_latency_ms + o.execution_latency_ms;
+        if (spec.engine.deadline_ms > 0.0 &&
+            query_latency_ms > spec.engine.deadline_ms) {
+          ++result.deadline_misses;
+        } else {
+          goodput_sum += o.recall;
+        }
         result.round_recall[round] += o.recall;
         result.routing_bytes += o.routing_bytes;
         result.faults_injected += o.degradation.faults_survived;
         result.rpc_retries += o.degradation.rpc_retries;
         result.peers_failed += o.degradation.peers_failed;
         result.peers_replaced += o.degradation.peers_replaced;
+        result.circuit_open_skips += o.degradation.open_circuit_skips;
         if (o.degradation.partial) ++result.partial_queries;
         for (const iqn::SelectedPeer& peer : o.decision.peers) {
           result_fp = iqn::Hash64(peer.peer_id, result_fp);
@@ -847,11 +1156,18 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
       result.queries_run > 0
           ? remote_sum / static_cast<double>(result.queries_run)
           : 0.0;
+  result.mean_goodput =
+      result.queries_run > 0
+          ? goodput_sum / static_cast<double>(result.queries_run)
+          : 0.0;
   for (double& r : result.round_recall) {
     r /= static_cast<double>(stream_len);
   }
   result.messages = e.network().stats().messages;
   result.bytes = e.network().stats().bytes;
+  result.hedges = e.network().stats().hedges;
+  result.hedges_won = e.network().stats().hedges_won;
+  result.sim_time_ms = e.network().now_ms();
   result.cache_hits = CounterValue("cache.hits");
   result.cache_misses = CounterValue("cache.misses");
   result.cache_invalidations = CounterValue("cache.invalidations");
@@ -873,8 +1189,15 @@ std::string ScenarioResultToJson(const ScenarioResult& result,
   adversaries.reserve(result.adversaries.size());
   for (size_t idx : result.adversaries) adversaries.push_back(Num(idx));
   root.emplace_back("adversaries", JsonValue::Array(std::move(adversaries)));
+  std::vector<JsonValue> overloaded;
+  overloaded.reserve(result.overloaded_peers.size());
+  for (size_t idx : result.overloaded_peers) overloaded.push_back(Num(idx));
+  root.emplace_back("overloaded_peers",
+                    JsonValue::Array(std::move(overloaded)));
   root.emplace_back("mean_recall", Num(result.mean_recall));
   root.emplace_back("mean_recall_remote", Num(result.mean_recall_remote));
+  root.emplace_back("mean_goodput", Num(result.mean_goodput));
+  root.emplace_back("deadline_misses", Num(result.deadline_misses));
   std::vector<JsonValue> rounds;
   rounds.reserve(result.round_recall.size());
   for (double r : result.round_recall) rounds.push_back(Num(r));
@@ -890,6 +1213,10 @@ std::string ScenarioResultToJson(const ScenarioResult& result,
   root.emplace_back("cache_hits", Num(result.cache_hits));
   root.emplace_back("cache_misses", Num(result.cache_misses));
   root.emplace_back("cache_invalidations", Num(result.cache_invalidations));
+  root.emplace_back("hedges", Num(result.hedges));
+  root.emplace_back("hedges_won", Num(result.hedges_won));
+  root.emplace_back("circuit_open_skips", Num(result.circuit_open_skips));
+  root.emplace_back("sim_time_ms", Num(result.sim_time_ms));
   // Hex strings: fingerprints use all 64 bits and must survive the
   // number model's 2^53 exactness bound untouched.
   root.emplace_back("result_fingerprint",

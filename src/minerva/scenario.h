@@ -1,8 +1,9 @@
 // Declarative scenario harness: one JSON spec describes a whole
 // experiment — corpus, overlapping peer collections, engine and router
-// configuration, fault plan, churn schedule, query stream, adversarial
-// peers, and the reputation defense — and RunScenario executes it into
-// one metrics/recall result.
+// configuration, fault plan (drops, overloaded peers, scheduled
+// partitions), churn schedule, query stream, adversarial peers, and the
+// defenses (reputation, circuit breakers, hedging, brownout) — and
+// RunScenario executes it into one metrics/recall result.
 //
 // The spec is the single source of truth the benches, the
 // tools/run_scenario binary, the sweep driver (tools/sweep_scenarios.py),
@@ -98,7 +99,39 @@ struct ScenarioSpec {
     /// FaultPlan::MessageDrop rate, installed AFTER the (fault-free)
     /// publish phase — matching the chaos bench's metering.
     double drop_rate = 0.0;
+
+    /// Overloaded-peer model (FaultPlan::overload): a seeded exact
+    /// fraction of peers answers with M/M/1 queueing delay at the given
+    /// utilization and sheds a share of requests outright. Peer choice
+    /// uses the same hash-ranked selection as adversary picking, keyed
+    /// off faults.seed, and is reported in the result's
+    /// overloaded_peers.
+    struct OverloadSubsection {
+      double fraction = 0.0;      // share of peers overloaded, [0, 1]
+      double utilization = 0.0;   // rho, [0, 1)
+      double service_ms = 5.0;    // mean service time, > 0
+      double shed_rate = 0.0;     // load-shed probability, [0, 1]
+    } overload;
+
+    /// Scheduled network partitions (FaultPlan::partitions): each entry
+    /// names >= 2 disjoint groups of peer indices that cannot reach
+    /// each other while simulated time is inside [start_ms, end_ms) —
+    /// the partition heals when the engine's commit-point clock passes
+    /// end_ms. Peers listed in no group route normally throughout.
+    struct PartitionEntry {
+      std::string name = "partition";
+      std::vector<std::vector<size_t>> groups;
+      double start_ms = 0.0;
+      double end_ms = 0.0;
+    };
+    std::vector<PartitionEntry> partitions;
   } faults;
+
+  /// Per-peer failure detector / circuit breaker (EngineOptions::health)
+  /// plus the deadline-pressure brownout threshold.
+  iqn::HealthParams health;
+  /// Hedged backup requests (EngineOptions::hedge).
+  iqn::HedgePolicy hedging;
 
   struct ChurnSection {
     /// Queries between churn events (0 = no churn). Each event has one
@@ -158,9 +191,20 @@ struct ScenarioResult {
   size_t churn_events = 0;
   /// Peer indices turned adversarial (empty when inactive).
   std::vector<size_t> adversaries;
+  /// Peer indices the faults.overload model slowed down (empty when
+  /// inactive).
+  std::vector<size_t> overloaded_peers;
   /// Over the whole stream (all rounds).
   double mean_recall = 0.0;
   double mean_recall_remote = 0.0;
+  /// Recall-within-deadline: a query contributes its recall only when
+  /// its simulated latency (routing + execution) met engine.deadline_ms;
+  /// late queries contribute 0. Equals mean_recall when deadline_ms is 0
+  /// (nothing can be late). The overload bench's recovery gate is
+  /// defined over this.
+  double mean_goodput = 0.0;
+  /// Queries whose simulated latency exceeded engine.deadline_ms.
+  uint64_t deadline_misses = 0;
   /// Per-round mean recall (size queries.rounds) — shows a learning
   /// defense converging.
   std::vector<double> round_recall;
@@ -175,6 +219,14 @@ struct ScenarioResult {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
+  /// Hedged backup RPCs issued / won (network stats).
+  uint64_t hedges = 0;
+  uint64_t hedges_won = 0;
+  /// Candidates Select-Best-Peer skipped because their circuit was open.
+  uint64_t circuit_open_skips = 0;
+  /// The simulated commit-point clock when the stream finished — the
+  /// time base partition windows are scheduled against.
+  double sim_time_ms = 0.0;
   /// Order-sensitive hash over every query's selected peers and merged
   /// (doc, score-bits) list — two runs agree iff their result streams
   /// are bit-identical.

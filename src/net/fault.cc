@@ -1,6 +1,7 @@
 #include "net/fault.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/hash.h"
 
@@ -17,12 +18,31 @@ enum FaultSalt : uint64_t {
   kClassTimeout = 0xA4,
   kClassSlowLink = 0xA5,
   kClassCorrupt = 0xA6,
+  kClassOverload = 0xA7,
+  kClassLoadShed = 0xA8,
 };
 
 /// Maps a 64-bit hash to [0, 1) with 53 bits of precision (same
 /// construction as Rng::NextDouble, but stateless).
 double HashToUnit(uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Chains the standard decision coordinates through the mixer.
+uint64_t DecisionHash(uint64_t seed, uint64_t klass, NodeAddress dst,
+                      const std::string& type, uint64_t payload_fingerprint,
+                      uint64_t context, uint64_t attempt) {
+  uint64_t h = Mix64(seed ^ (klass * 0x9E3779B97F4A7C15ull));
+  h = Mix64(h ^ dst);
+  h = Mix64(h ^ HashString(type));
+  h = Mix64(h ^ payload_fingerprint);
+  h = Mix64(h ^ context);
+  h = Mix64(h ^ attempt);
+  return h;
+}
+
+bool ContainsNode(const std::vector<NodeAddress>& nodes, NodeAddress node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
 }
 
 }  // namespace
@@ -41,6 +61,12 @@ const char* FaultClassName(FaultClass klass) {
       return "responses_corrupted";
     case FaultClass::kTimeout:
       return "timeouts_injected";
+    case FaultClass::kOverloaded:
+      return "overload_delays";
+    case FaultClass::kLoadShed:
+      return "loads_shed";
+    case FaultClass::kPartitioned:
+      return "partition_blocked";
   }
   return "unknown";
 }
@@ -59,6 +85,12 @@ Counter& FaultCounters::ForClass(FaultClass klass) {
       return responses_corrupted;
     case FaultClass::kTimeout:
       return timeouts_injected;
+    case FaultClass::kOverloaded:
+      return overload_delays;
+    case FaultClass::kLoadShed:
+      return loads_shed;
+    case FaultClass::kPartitioned:
+      return partition_blocked;
   }
   return requests_dropped;  // unreachable
 }
@@ -76,7 +108,8 @@ bool FaultSpec::AppliesTo(NodeAddress dst, const std::string& type) const {
 bool FaultPlan::active() const {
   return drop_request.rate > 0.0 || drop_response.rate > 0.0 ||
          unavailable.rate > 0.0 || slow_link.rate > 0.0 ||
-         corrupt_response.rate > 0.0 || timeout.rate > 0.0;
+         corrupt_response.rate > 0.0 || timeout.rate > 0.0 ||
+         overload.active() || !partitions.empty();
 }
 
 FaultPlan FaultPlan::MessageDrop(uint64_t seed, double rate) {
@@ -152,6 +185,59 @@ void FaultInjector::CorruptPayload(Bytes* payload, NodeAddress dst,
           static_cast<uint8_t>(1u << ((g >> 32) & 7));
     }
   }
+}
+
+double FaultInjector::OverloadDelayMs(NodeAddress dst, const std::string& type,
+                                      uint64_t payload_fingerprint,
+                                      uint64_t context,
+                                      uint64_t attempt) const {
+  const OverloadSpec& spec = plan_.overload;
+  if (spec.utilization <= 0.0 || !ContainsNode(spec.nodes, dst)) return 0.0;
+  // Inverse-CDF exponential draw with the M/M/1 mean waiting time
+  // service_ms * rho / (1 - rho): the fate of one message at a queue
+  // whose depth grows with utilization. HashToUnit < 1, so the log
+  // argument stays positive.
+  const double mean_wait_ms =
+      spec.service_ms * spec.utilization / (1.0 - spec.utilization);
+  const double u = HashToUnit(DecisionHash(plan_.seed, kClassOverload, dst,
+                                           type, payload_fingerprint, context,
+                                           attempt));
+  return -mean_wait_ms * std::log(1.0 - u);
+}
+
+bool FaultInjector::ShedsLoad(NodeAddress dst, const std::string& type,
+                              uint64_t payload_fingerprint, uint64_t context,
+                              uint64_t attempt) const {
+  const OverloadSpec& spec = plan_.overload;
+  if (spec.shed_rate <= 0.0 || !ContainsNode(spec.nodes, dst)) return false;
+  return HashToUnit(DecisionHash(plan_.seed, kClassLoadShed, dst, type,
+                                 payload_fingerprint, context, attempt)) <
+         spec.shed_rate;
+}
+
+bool FaultInjector::Partitioned(NodeAddress src, NodeAddress dst,
+                                double now_ms,
+                                const std::string** name) const {
+  for (const PartitionSpec& partition : plan_.partitions) {
+    if (now_ms < partition.start_ms || now_ms >= partition.end_ms) continue;
+    // src and dst are separated when they sit in different listed
+    // groups; unlisted nodes keep full connectivity.
+    int src_group = -1;
+    int dst_group = -1;
+    for (size_t g = 0; g < partition.groups.size(); ++g) {
+      if (ContainsNode(partition.groups[g], src)) {
+        src_group = static_cast<int>(g);
+      }
+      if (ContainsNode(partition.groups[g], dst)) {
+        dst_group = static_cast<int>(g);
+      }
+    }
+    if (src_group >= 0 && dst_group >= 0 && src_group != dst_group) {
+      if (name != nullptr) *name = &partition.name;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace iqn

@@ -8,6 +8,10 @@
 // into a transient Unavailable window, add slow-link latency, truncate
 // or corrupt response payloads (exercising the hardened deserializers
 // end to end), and fire simulated-time DeadlineExceeded timeouts.
+// Beyond the per-message rate classes it models two capacity failures:
+// overloaded peers (seeded queueing-delay model with optional load
+// shedding, OverloadSpec) and scheduled network partitions that heal
+// on the simulated clock (PartitionSpec).
 //
 // Determinism contract: every fault decision is a PURE FUNCTION of
 // (plan seed, fault class, destination, message type, payload
@@ -24,6 +28,7 @@
 #ifndef IQN_NET_FAULT_H_
 #define IQN_NET_FAULT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,6 +49,48 @@ struct FaultSpec {
   std::vector<NodeAddress> nodes;
 
   bool AppliesTo(NodeAddress dst, const std::string& type) const;
+};
+
+/// A set of overloaded destinations modeled as seeded M/M/1-style
+/// queues: each message to an overloaded node is charged a
+/// deterministic queueing delay drawn (by pure hash, like every other
+/// fault decision) from an exponential distribution whose mean is
+/// service_ms * utilization / (1 - utilization) — the textbook mean
+/// waiting time at the given utilization, so simulated service latency
+/// grows without bound as the node saturates. Independently, a
+/// saturated node may shed load: with probability shed_rate it
+/// fast-fails the request with Unavailable before doing any work
+/// (request bytes are still charged — they were sent).
+struct OverloadSpec {
+  /// The overloaded destinations; empty disables the model.
+  std::vector<NodeAddress> nodes;
+  /// Queue utilization rho in [0, 1). 0 disables queueing delay.
+  double utilization = 0.0;
+  /// Base service time of one request at the overloaded node.
+  double service_ms = 5.0;
+  /// Probability in [0, 1] that the node sheds (fast-fails) a request.
+  double shed_rate = 0.0;
+
+  bool active() const {
+    return !nodes.empty() && (utilization > 0.0 || shed_rate > 0.0);
+  }
+};
+
+/// A scheduled network partition: over the simulated-time window
+/// [start_ms, end_ms) the named groups cannot reach each other — any
+/// message whose source and destination sit in different groups fails
+/// fast with Unavailable (request bytes charged). Nodes not listed in
+/// any group are unaffected. The window is evaluated against
+/// SimulatedNetwork's coarse simulated clock, so the partition heals
+/// deterministically when the clock passes end_ms.
+struct PartitionSpec {
+  /// Diagnostic label, surfaced in error messages.
+  std::string name = "partition";
+  /// Disjoint node groups that lose mutual connectivity.
+  std::vector<std::vector<NodeAddress>> groups;
+  /// Simulated-time window; end_ms must exceed start_ms.
+  double start_ms = 0.0;
+  double end_ms = 0.0;
 };
 
 /// A reproducible failure schedule: a seed plus per-fault-class rates.
@@ -75,13 +122,19 @@ struct FaultPlan {
   /// simulated waiting.
   FaultSpec timeout;
 
+  /// Overloaded destinations (queueing delay + load shedding).
+  OverloadSpec overload;
+  /// Scheduled partition windows, evaluated against simulated time.
+  std::vector<PartitionSpec> partitions;
+
   /// Simulated milliseconds a caller waits before declaring a timeout
   /// (applied by drop_request, drop_response, and timeout faults).
   double timeout_penalty_ms = 50.0;
   /// Extra simulated latency of a slow link.
   double slow_link_extra_ms = 25.0;
 
-  /// True when any fault class has a nonzero rate.
+  /// True when any fault class has a nonzero rate, the overload model
+  /// is active, or a partition window is scheduled.
   bool active() const;
 
   /// Convenience: a plan dropping requests and responses each with
@@ -99,8 +152,11 @@ enum class FaultClass {
   kSlowLink,
   kCorruptResponse,
   kTimeout,
+  kOverloaded,
+  kLoadShed,
+  kPartitioned,
 };
-inline constexpr size_t kNumFaultClasses = 6;
+inline constexpr size_t kNumFaultClasses = 9;
 
 /// Metric-style per-class name ("requests_dropped", ...), matching the
 /// FaultCounters member names.
@@ -117,13 +173,18 @@ struct FaultCounters {
   Counter links_slowed;
   Counter responses_corrupted;
   Counter timeouts_injected;
+  Counter overload_delays;
+  Counter loads_shed;
+  Counter partition_blocked;
 
   Counter& ForClass(FaultClass klass);
 
   uint64_t total() const {
     return requests_dropped.Value() + responses_dropped.Value() +
            unavailable_injected.Value() + links_slowed.Value() +
-           responses_corrupted.Value() + timeouts_injected.Value();
+           responses_corrupted.Value() + timeouts_injected.Value() +
+           overload_delays.Value() + loads_shed.Value() +
+           partition_blocked.Value();
   }
 };
 
@@ -164,6 +225,27 @@ class FaultInjector {
   void CorruptPayload(Bytes* payload, NodeAddress dst,
                       const std::string& type, uint64_t payload_fingerprint,
                       uint64_t context, uint64_t attempt) const;
+
+  /// Deterministic queueing delay (simulated ms) charged to one message
+  /// bound for `dst`; 0 when dst is not overloaded or utilization is 0.
+  /// Pure w.r.t. the arguments, like Decide.
+  double OverloadDelayMs(NodeAddress dst, const std::string& type,
+                         uint64_t payload_fingerprint, uint64_t context,
+                         uint64_t attempt) const;
+
+  /// True when the overloaded `dst` sheds this request (fast-fail
+  /// Unavailable before any handler work). A retry (next attempt
+  /// nonce) rolls a fresh die.
+  bool ShedsLoad(NodeAddress dst, const std::string& type,
+                 uint64_t payload_fingerprint, uint64_t context,
+                 uint64_t attempt) const;
+
+  /// True when an active partition window at simulated time `now_ms`
+  /// separates src from dst. When it returns true, `*name` (if
+  /// non-null) receives the partition's label. Pure window lookup — no
+  /// hashing, so every cross-group message inside the window fails.
+  bool Partitioned(NodeAddress src, NodeAddress dst, double now_ms,
+                   const std::string** name) const;
 
  private:
   /// True with probability `spec.rate` for this decision coordinate.

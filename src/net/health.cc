@@ -1,0 +1,85 @@
+#include "net/health.h"
+
+#include <cstdio>
+
+namespace iqn {
+
+namespace {
+
+const char* StateName(HealthTracker::CircuitState state) {
+  switch (state) {
+    case HealthTracker::CircuitState::kClosed:
+      return "closed";
+    case HealthTracker::CircuitState::kOpen:
+      return "open";
+    case HealthTracker::CircuitState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+bool HealthTracker::AllowRequest(NodeAddress dst, double now_ms) const {
+  return StateOf(dst, now_ms) != CircuitState::kOpen;
+}
+
+HealthTracker::CircuitState HealthTracker::StateOf(NodeAddress dst,
+                                                   double now_ms) const {
+  auto it = peers_.find(dst);
+  if (it == peers_.end() || !it->second.open) return CircuitState::kClosed;
+  if (now_ms - it->second.opened_at_ms >= params_.cooldown_ms) {
+    return CircuitState::kHalfOpen;
+  }
+  return CircuitState::kOpen;
+}
+
+void HealthTracker::Observe(NodeAddress dst, bool ok, double latency_ms,
+                            double now_ms) {
+  PeerHealth& peer = peers_[dst];
+  peer.error_ewma = (1.0 - params_.error_alpha) * peer.error_ewma +
+                    params_.error_alpha * (ok ? 0.0 : 1.0);
+  peer.latency_ewma = (1.0 - params_.latency_alpha) * peer.latency_ewma +
+                      params_.latency_alpha * latency_ms;
+  if (peer.open) {
+    if (now_ms - peer.opened_at_ms < params_.cooldown_ms) {
+      // Still cooling down: the observation came from traffic sent
+      // before the circuit opened (a batch commits all its outcomes at
+      // one clock value); fold the EWMAs but hold the state.
+      return;
+    }
+    // Half-open: this observation is the probe's outcome.
+    if (ok) {
+      peer.open = false;
+    } else {
+      peer.opened_at_ms = now_ms;  // re-open for a fresh cooldown
+    }
+    return;
+  }
+  const bool errors_trip = peer.error_ewma >= params_.error_threshold;
+  const bool latency_trips = params_.latency_threshold_ms > 0.0 &&
+                             peer.latency_ewma >= params_.latency_threshold_ms;
+  if (errors_trip || latency_trips) {
+    peer.open = true;
+    peer.opened_at_ms = now_ms;
+  }
+}
+
+std::string HealthTracker::DebugString() const {
+  std::string out = "HealthTracker{";
+  bool first = true;
+  for (const auto& [dst, peer] : peers_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s%llu: err=%.3f lat=%.2f %s",
+                  first ? "" : ", ",
+                  static_cast<unsigned long long>(dst), peer.error_ewma,
+                  peer.latency_ewma,
+                  peer.open ? StateName(CircuitState::kOpen) : "closed");
+    out += buf;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace iqn

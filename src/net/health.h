@@ -1,0 +1,115 @@
+// Per-peer failure detection and circuit breaking for the simulated
+// network.
+//
+// HealthTracker maintains, per destination node, an EWMA of observed
+// RPC error outcomes and simulated latencies, and a circuit-breaker
+// state machine (closed -> open -> half-open -> closed). When a peer's
+// error EWMA crosses error_threshold (or its latency EWMA crosses
+// latency_threshold_ms) the circuit opens: AllowRequest refuses
+// traffic to the peer until cooldown_ms of *simulated* time has
+// elapsed, after which the circuit is half-open — one probe is allowed
+// through and its outcome closes or re-opens the circuit.
+//
+// Determinism contract (same discipline as minerva's ReputationBook):
+// queries only READ the tracker (AllowRequest / StateOf are const and
+// touch no mutable state); the engine folds each query's observed RPC
+// outcomes back via Observe AFTER a serial query completes, or in
+// batch order after a parallel batch joins, always stamped with the
+// network's commit-point simulated clock. State transitions are
+// therefore pure functions of (observation sequence in commit order,
+// simulated time) — no wall-clock, no RNG, no atomics — and identical
+// across runs and thread counts.
+
+#ifndef IQN_NET_HEALTH_H_
+#define IQN_NET_HEALTH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace iqn {
+
+/// Tuning knobs for the failure detector, the circuit breaker, and the
+/// engine's deadline-pressure brownout (which lives in minerva but is
+/// configured alongside the other overload defenses).
+struct HealthParams {
+  /// Master switch: when false the engine creates no tracker.
+  bool enabled = false;
+  /// EWMA smoothing factors in (0, 1]; higher reacts faster.
+  double error_alpha = 0.4;
+  double latency_alpha = 0.4;
+  /// Open the circuit when the error EWMA reaches this.
+  double error_threshold = 0.5;
+  /// Also open when the latency EWMA reaches this (0 disables the
+  /// latency trip wire).
+  double latency_threshold_ms = 0.0;
+  /// Simulated milliseconds an open circuit waits before half-open.
+  double cooldown_ms = 250.0;
+  /// Engine brownout: when a query's remaining deadline fraction falls
+  /// below this threshold, max_peers is scaled down proportionally
+  /// (see MinervaEngine::RunQueryMetered). 0 disables brownout.
+  double brownout_threshold = 0.0;
+};
+
+/// One observed RPC outcome, buffered during a query and committed to
+/// the tracker at the query's commit point.
+struct HealthObservation {
+  NodeAddress dst = 0;
+  bool ok = true;
+  /// Total simulated latency the logical RPC cost the caller
+  /// (including retries, backoff, and fault penalties).
+  double latency_ms = 0.0;
+};
+
+class HealthTracker {
+ public:
+  enum class CircuitState { kClosed, kOpen, kHalfOpen };
+
+  explicit HealthTracker(const HealthParams& params) : params_(params) {}
+
+  HealthTracker(const HealthTracker&) = delete;
+  HealthTracker& operator=(const HealthTracker&) = delete;
+
+  const HealthParams& params() const { return params_; }
+
+  /// True when traffic to `dst` is allowed at simulated time `now_ms`:
+  /// the circuit is closed, or it is open but the cooldown has elapsed
+  /// (half-open — the caller's request doubles as the probe).
+  /// Read-only; safe to call concurrently with other readers.
+  bool AllowRequest(NodeAddress dst, double now_ms) const;
+
+  /// The circuit state of `dst` at simulated time `now_ms`.
+  CircuitState StateOf(NodeAddress dst, double now_ms) const;
+
+  /// Folds one observed outcome into `dst`'s EWMAs and steps the
+  /// circuit state machine. ENGINE COMMIT POINTS ONLY — never during
+  /// a query (see the determinism contract above). `now_ms` is the
+  /// network's simulated clock at the commit point.
+  void Observe(NodeAddress dst, bool ok, double latency_ms, double now_ms);
+
+  /// Number of peers with at least one observation.
+  size_t peers_tracked() const { return peers_.size(); }
+
+  /// Human-readable per-peer state, for tests and debugging.
+  std::string DebugString() const;
+
+ private:
+  struct PeerHealth {
+    double error_ewma = 0.0;
+    double latency_ewma = 0.0;
+    bool open = false;
+    double opened_at_ms = 0.0;
+  };
+
+  HealthParams params_;
+  // Ordered map: iteration order (DebugString, future export) must not
+  // depend on hash seeds.
+  std::map<NodeAddress, PeerHealth> peers_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_NET_HEALTH_H_

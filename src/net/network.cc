@@ -36,6 +36,9 @@ SimulatedNetwork::SimulatedNetwork(LatencyModel latency) : latency_(latency) {
   m_bytes_ = registry.GetCounter("net.bytes");
   m_rpc_retries_ = registry.GetCounter("net.rpc_retries");
   m_backoff_us_ = registry.GetCounter("net.retry_backoff_us");
+  m_hedges_ = registry.GetCounter("rpc.hedges");
+  m_hedges_won_ = registry.GetCounter("rpc.hedges_won");
+  m_circuit_blocked_ = registry.GetCounter("rpc.circuit_open_blocked");
   m_faults_ = registry.GetCounter("net.faults_injected");
   for (size_t i = 0; i < kNumFaultClasses; ++i) {
     m_fault_class_[i] = registry.GetCounter(
@@ -74,6 +77,9 @@ void SimulatedNetwork::MergeStats(const NetworkStats& delta) {
   stats_.faults_injected += delta.faults_injected;
   stats_.rpc_retries += delta.rpc_retries;
   stats_.retry_backoff_ms += delta.retry_backoff_ms;
+  stats_.hedges += delta.hedges;
+  stats_.hedges_won += delta.hedges_won;
+  stats_.circuit_blocked += delta.circuit_blocked;
   for (const auto& [klass, count] : delta.faults_by_class) {
     stats_.faults_by_class[klass] += count;
   }
@@ -140,6 +146,28 @@ void SimulatedNetwork::ChargeRetryBackoff(double backoff_ms) {
       static_cast<uint64_t>(std::llround(backoff_ms * 1000.0)));
 }
 
+void SimulatedNetwork::RecordHedge(bool won, double overlap_ms) {
+  NetworkStats& stats = *ActiveStats();
+  ++stats.hedges;
+  if (won) ++stats.hedges_won;
+  // The overlap credit models the hedge running concurrently with the
+  // primary attempt's tail; both attempts' traffic was already charged
+  // in full, only the waiting collapses.
+  stats.latency_ms -= overlap_ms;
+  m_hedges_->Increment();
+  if (won) m_hedges_won_->Increment();
+}
+
+void SimulatedNetwork::CountCircuitBlocked() {
+  ++ActiveStats()->circuit_blocked;
+  m_circuit_blocked_->Increment();
+}
+
+void SimulatedNetwork::AdvanceSimTime(double delta_ms) {
+  IQN_CHECK_EQ(live_captures_.load(std::memory_order_relaxed), 0);
+  now_ms_ += delta_ms;
+}
+
 double SimulatedNetwork::CurrentLatencyMs() { return ActiveStats()->latency_ms; }
 
 Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
@@ -173,6 +201,23 @@ Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
   }
   NetworkStats& active = *ActiveStats();
   const FaultPlan* plan = faulty ? &faults_->plan() : nullptr;
+  if (faulty) {
+    const std::string* partition_name = nullptr;
+    if (faults_->Partitioned(src, dst, now_ms_, &partition_name)) {
+      CountFault(FaultClass::kPartitioned, &active);
+      return Status::Unavailable("fault injection: partition '" +
+                                 *partition_name + "' separates node " +
+                                 std::to_string(src) + " from node " +
+                                 std::to_string(dst));
+    }
+    if (faults_->ShedsLoad(dst, type, fingerprint, tls_fault_context,
+                           attempt)) {
+      CountFault(FaultClass::kLoadShed, &active);
+      return Status::Unavailable("fault injection: node " +
+                                 std::to_string(dst) +
+                                 " shed the request under overload");
+    }
+  }
   if (fault.unavailable) {
     CountFault(FaultClass::kUnavailable, &active);
     return Status::Unavailable("fault injection: node " + std::to_string(dst) +
@@ -186,6 +231,16 @@ Result<Bytes> SimulatedNetwork::Rpc(NodeAddress src, NodeAddress dst,
                                     std::to_string(dst) + " dropped");
   }
 
+  if (faulty) {
+    // The request reached an overloaded destination: it waits in the
+    // queue before being serviced, whatever happens to the response.
+    const double overload_delay_ms = faults_->OverloadDelayMs(
+        dst, type, fingerprint, tls_fault_context, attempt);
+    if (overload_delay_ms > 0.0) {
+      CountFault(FaultClass::kOverloaded, &active);
+      active.latency_ms += overload_delay_ms;
+    }
+  }
   // Copy the handler: the handler body may Register() new nodes and
   // invalidate references into nodes_.
   Handler handler = nodes_[dst].handler;

@@ -40,6 +40,13 @@ struct NetworkStats {
   uint64_t rpc_retries = 0;
   /// Simulated backoff waiting charged by retries (also in latency_ms).
   double retry_backoff_ms = 0.0;
+  /// Hedged backup requests issued by the rpc_policy layer, and the
+  /// subset whose response beat (or outlived) the primary attempt.
+  uint64_t hedges = 0;
+  uint64_t hedges_won = 0;
+  /// RPCs refused locally — no traffic sent — because the destination's
+  /// circuit breaker (net/health.h) was open.
+  uint64_t circuit_blocked = 0;
   /// faults_injected split by fault class (FaultClassName keys); the
   /// chaos bench turns the per-query deltas into histograms.
   std::map<std::string, uint64_t> faults_by_class;
@@ -125,6 +132,14 @@ class SimulatedNetwork {
   /// Charges `backoff_ms` of simulated retry waiting to the calling
   /// thread's active stats sink (latency, retry counters; no message).
   void ChargeRetryBackoff(double backoff_ms);
+  /// Records one hedged backup request in the calling thread's active
+  /// sink and credits back `overlap_ms` of simulated latency: the hedge
+  /// conceptually ran concurrently with the tail of the primary
+  /// attempt, so the caller must not pay for both serially.
+  void RecordHedge(bool won, double overlap_ms);
+  /// Records an RPC refused locally (no traffic) because the
+  /// destination's circuit breaker was open.
+  void CountCircuitBlocked();
   /// Simulated latency accrued so far in the calling thread's active
   /// stats sink; the rpc_policy layer diffs this around an attempt to
   /// draw down deadline budgets.
@@ -135,6 +150,17 @@ class SimulatedNetwork {
   static uint64_t ThreadFaultContext();
   /// Sets the thread's fault context, returning the previous value.
   static uint64_t ExchangeThreadFaultContext(uint64_t context);
+
+  /// Coarse simulated clock: milliseconds of committed simulated work.
+  /// The engine advances it at its commit points (after a serial query,
+  /// after a joined batch) by the latency the committed work cost.
+  /// Partition windows (FaultPlan::partitions) and circuit-breaker
+  /// cooldowns (net/health.h) are evaluated against it, so it is
+  /// constant — and safe to read concurrently — while a batch runs.
+  double now_ms() const { return now_ms_; }
+  /// Advances the simulated clock. Precondition (checked): no
+  /// StatsCapture is live — the clock only moves between batches.
+  void AdvanceSimTime(double delta_ms);
 
   size_t num_nodes() const { return nodes_.size(); }
 
@@ -160,6 +186,9 @@ class SimulatedNetwork {
 
   LatencyModel latency_;
   std::vector<Node> nodes_;
+  /// Simulated clock (see now_ms()); written only between batches,
+  /// fenced by the live_captures_ runtime check like the topology.
+  double now_ms_ = 0.0;
   /// Thread-confined, not locked (DESIGN.md §12): batch workers never
   /// write here — each carries its own StatsCapture sink, and Charge()
   /// routes to the innermost live sink via ActiveStats(). Topology
@@ -176,6 +205,9 @@ class SimulatedNetwork {
   Counter* m_bytes_;
   Counter* m_rpc_retries_;
   Counter* m_backoff_us_;
+  Counter* m_hedges_;
+  Counter* m_hedges_won_;
+  Counter* m_circuit_blocked_;
   Counter* m_faults_;
   Counter* m_fault_class_[kNumFaultClasses];
 };

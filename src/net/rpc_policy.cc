@@ -33,8 +33,12 @@ double RetryPolicy::BackoffMs(int attempt, NodeAddress dst,
   h = Mix64(h ^ context);
   h = Mix64(h ^ static_cast<uint64_t>(attempt));
   // 53-bit hash fraction in [0, 1), mapped to [1 - jitter, 1 + jitter].
+  // The cap applies to the CHARGED value: clamping after the jitter
+  // multiply keeps the wait within max_backoff_ms even when the
+  // nominal value already sits at the cap.
   double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
-  return nominal * (1.0 + jitter * (2.0 * unit - 1.0));
+  return std::min(nominal * (1.0 + jitter * (2.0 * unit - 1.0)),
+                  max_backoff_ms);
 }
 
 RpcScope::RpcScope(RetryPolicy policy, double deadline_budget_ms,
@@ -60,8 +64,13 @@ bool RpcScope::DeadlineExpired() {
 
 namespace {
 
-/// The retry/deadline loop proper; CallRpc wraps it in the trace span so
-/// every return path gets its status annotated in one place.
+// Attempt-nonce offset separating hedge dice from ordinary retry dice:
+// the hedge to attempt k rolls nonce kHedgeNonceBase + k, a stream no
+// plain retry schedule reaches.
+constexpr uint64_t kHedgeNonceBase = 0x100;
+
+/// The retry/deadline/hedge loop proper; CallRpc wraps it in the trace
+/// span so every return path gets its status annotated in one place.
 Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
                               NodeAddress dst, const std::string& type,
                               Bytes payload, ScopedSpan* span) {
@@ -69,33 +78,118 @@ Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
   if (scope == nullptr) {
     return network->Rpc(src, dst, type, std::move(payload));
   }
+  // Circuit breaker: an open circuit fails fast with no traffic. The
+  // tracker only changes at engine commit points, so one consult per
+  // logical RPC suffices.
+  if (scope->health() != nullptr &&
+      !scope->health()->AllowRequest(dst, scope->now_ms())) {
+    network->CountCircuitBlocked();
+    span->Attr("circuit", "open");
+    return Status::Unavailable("circuit open to node " + std::to_string(dst));
+  }
   const RetryPolicy& policy = scope->policy();
+  const HedgePolicy& hedge = scope->hedge();
   const int attempts = std::max(1, policy.max_attempts);
   const uint64_t context = SimulatedNetwork::ThreadFaultContext();
+  const double call_start_ms = network->CurrentLatencyMs();
+  // One observation per logical RPC, recorded on every return path
+  // below (the circuit-refused return above records none: no traffic,
+  // no evidence).
+  auto finish = [&](Result<Bytes> r) {
+    if (scope->observations() != nullptr) {
+      scope->observations()->push_back(HealthObservation{
+          dst, r.ok(), network->CurrentLatencyMs() - call_start_ms});
+    }
+    return r;
+  };
+  bool hedged = false;
   Result<Bytes> result = Status::Internal("CallRpc: no attempt made");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (scope->deadline().Expired()) {
       span->Attr("deadline", "expired_before_send");
-      return Status::DeadlineExceeded(
+      Status expired = Status::DeadlineExceeded(
           "query deadline budget exhausted before sending " + type);
+      // Only attempts actually sent leave health evidence: a budget
+      // that ran out before the first send says nothing about dst.
+      return attempt == 0 ? Result<Bytes>(std::move(expired))
+                          : finish(std::move(expired));
     }
     const bool last = attempt + 1 == attempts;
+    // Hedging may need the payload again after the last attempt fails.
+    const bool may_hedge = hedge.enabled && !hedged;
     const double before_ms = network->CurrentLatencyMs();
-    result = network->Rpc(src, dst, type, last ? std::move(payload) : payload,
+    result = network->Rpc(src, dst, type,
+                          last && !may_hedge ? std::move(payload) : payload,
                           static_cast<uint64_t>(attempt));
     // Every simulated millisecond the attempt cost (including nested
     // cascades and injected penalties) draws down the deadline budget.
-    scope->deadline().Consume(network->CurrentLatencyMs() - before_ms);
-    if (result.ok() || !RetryPolicy::IsRetriable(result.status().code())) {
-      return result;
+    const double attempt_cost_ms = network->CurrentLatencyMs() - before_ms;
+    scope->deadline().Consume(attempt_cost_ms);
+    if (!result.ok() && !RetryPolicy::IsRetriable(result.status().code())) {
+      // Non-retriable errors are deterministic — a backup would hit the
+      // same one, so neither hedging nor retrying applies.
+      return finish(std::move(result));
     }
-    if (span->active()) {
+    if (!result.ok() && span->active()) {
       span->Attr("attempt" + std::to_string(attempt),
                  StatusCodeName(result.status().code()));
     }
+    if (may_hedge && attempt_cost_ms > hedge.threshold_ms &&
+        !scope->deadline().Expired()) {
+      // The attempt ran slow — past the policy's healthy-latency
+      // estimate — whether it eventually succeeded or failed. A real
+      // client would have launched a backup request threshold_ms in;
+      // charge that hedge now, on a fresh nonce stream, and credit back
+      // the stretch where primary and hedge overlapped: the caller's
+      // wait is max(primary, threshold + hedge), not the serial sum.
+      hedged = true;
+      ScopedSpan hedge_span("rpc.hedge");
+      const double hedge_before_ms = network->CurrentLatencyMs();
+      Result<Bytes> hedge_result =
+          network->Rpc(src, dst, type, payload,
+                       kHedgeNonceBase + static_cast<uint64_t>(attempt));
+      const double hedge_cost_ms =
+          network->CurrentLatencyMs() - hedge_before_ms;
+      const double overlapped_ms =
+          std::max(attempt_cost_ms, hedge.threshold_ms + hedge_cost_ms);
+      const double credit_ms =
+          std::max(0.0, attempt_cost_ms + hedge_cost_ms - overlapped_ms);
+      // The hedge wins when it is the answer the caller would have used:
+      // the primary failed and the backup delivered, or both delivered
+      // and the backup (launched threshold_ms in) finished first.
+      const bool won =
+          hedge_result.ok() &&
+          (!result.ok() ||
+           hedge.threshold_ms + hedge_cost_ms < attempt_cost_ms);
+      network->RecordHedge(won, credit_ms);
+      scope->deadline().Consume(hedge_cost_ms - credit_ms);
+      if (hedge_span.active()) {
+        hedge_span.Attr("outcome", won ? "won" : "lost");
+        hedge_span.AttrDouble("hedge_ms", hedge_cost_ms);
+        hedge_span.AttrDouble("overlap_credit_ms", credit_ms);
+      }
+      if (won && !result.ok()) {
+        return finish(std::move(hedge_result));
+      }
+      // A hedge racing a slow SUCCESS keeps the primary's bytes either
+      // way (the peer's answer is deterministic); the win it buys is
+      // the overlap credit already applied above.
+      if (!result.ok()) {
+        IQN_VLOG(1) << "rpc hedge lost " << type << " -> " << dst
+                    << " after " << hedge_result.status().ToString();
+      }
+    }
+    if (result.ok()) {
+      return finish(std::move(result));
+    }
     if (!last) {
-      const double backoff =
-          policy.BackoffMs(attempt + 1, dst, type, context);
+      // The charged wait is clamped to the remaining budget: a backoff
+      // cannot cost simulated time the deadline no longer has.
+      double backoff = policy.BackoffMs(attempt + 1, dst, type, context);
+      if (!scope->deadline().unlimited()) {
+        backoff = std::min(backoff,
+                           std::max(0.0, scope->deadline().remaining_ms()));
+      }
       network->ChargeRetryBackoff(backoff);
       scope->deadline().Consume(backoff);
       span->AttrDouble("backoff_ms", backoff);
@@ -104,7 +198,7 @@ Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
                   << result.status().ToString();
     }
   }
-  return result;
+  return finish(std::move(result));
 }
 
 }  // namespace

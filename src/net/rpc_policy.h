@@ -25,7 +25,9 @@
 #define IQN_NET_RPC_POLICY_H_
 
 #include <string>
+#include <vector>
 
+#include "net/health.h"
 #include "net/network.h"
 #include "util/status.h"
 
@@ -37,9 +39,11 @@ struct RetryPolicy {
   /// permanent and returned immediately.
   int max_attempts = 1;
   /// Backoff before retry k (k >= 1): initial * multiplier^(k-1),
-  /// capped at max_backoff_ms, then jittered by a seeded hash into
-  /// [1 - jitter, 1 + jitter] times the nominal value. The accumulated
-  /// backoff is charged to simulated latency (waiting costs time).
+  /// jittered by a seeded hash into [1 - jitter, 1 + jitter] times the
+  /// nominal value, then clamped so the CHARGED wait never exceeds
+  /// max_backoff_ms (the cap bounds what the caller pays, jitter
+  /// included). The accumulated backoff is charged to simulated
+  /// latency (waiting costs time).
   double initial_backoff_ms = 5.0;
   double backoff_multiplier = 2.0;
   double max_backoff_ms = 200.0;
@@ -53,9 +57,28 @@ struct RetryPolicy {
 
   /// Jittered backoff before retry `attempt` (the attempt about to be
   /// made, >= 1) of a call to (dst, type) under fault context
-  /// `context`. Pure function of its arguments.
+  /// `context`. Pure function of its arguments; never exceeds
+  /// max_backoff_ms.
   double BackoffMs(int attempt, NodeAddress dst, const std::string& type,
                    uint64_t context) const;
+};
+
+/// Hedged backup requests (the "tail at scale" defense): when an
+/// attempt fails after costing more simulated latency than
+/// threshold_ms — the policy's estimate of a healthy RPC's high
+/// percentile — CallRpc deterministically charges ONE backup request
+/// and takes the first success. The backup goes to the same overlay
+/// destination on a fresh attempt nonce (fresh fault/queueing dice —
+/// the simulator's stand-in for a replica), and the latency it would
+/// have overlapped with the primary's tail is credited back
+/// (SimulatedNetwork::RecordHedge). Decisions are pure functions of
+/// simulated latency and the fault hash stream: no wall-clock, no RNG.
+struct HedgePolicy {
+  bool enabled = false;
+  /// Fire the hedge when an attempt — successful or retriably failed —
+  /// cost more than this (simulated ms). Tune to a high percentile of
+  /// healthy RPC latency.
+  double threshold_ms = 30.0;
 };
 
 /// A simulated-time budget. Constructed unlimited or with a budget in
@@ -94,6 +117,33 @@ class RpcScope {
   const RetryPolicy& policy() const { return policy_; }
   Deadline& deadline() { return deadline_; }
 
+  /// Optional hedging policy (off by default).
+  void set_hedge(const HedgePolicy& hedge) { hedge_ = hedge; }
+  const HedgePolicy& hedge() const { return hedge_; }
+
+  /// Optional circuit-breaker consult: when set, CallRpc refuses to
+  /// send to a destination whose circuit is open at simulated time
+  /// `now_ms` (failing fast with Unavailable, no traffic). The tracker
+  /// is READ-ONLY here; the engine owns writes at its commit points.
+  void set_health(const HealthTracker* health, double now_ms) {
+    health_ = health;
+    now_ms_ = now_ms;
+  }
+  const HealthTracker* health() const { return health_; }
+  double now_ms() const { return now_ms_; }
+
+  /// Optional outcome buffer: when set, CallRpc appends one
+  /// HealthObservation per logical RPC (final status + total simulated
+  /// latency including retries, hedges, and backoff) for the engine to
+  /// commit into its HealthTracker later. Circuit-refused sends record
+  /// nothing — no traffic, no evidence.
+  void set_observations(std::vector<HealthObservation>* observations) {
+    observations_ = observations;
+  }
+  std::vector<HealthObservation>* observations() const {
+    return observations_;
+  }
+
   /// The innermost scope on this thread, or nullptr.
   static RpcScope* Current();
   /// True when a scope with a finite deadline is installed and its
@@ -105,13 +155,20 @@ class RpcScope {
   uint64_t previous_context_;
   RetryPolicy policy_;
   Deadline deadline_;
+  HedgePolicy hedge_;
+  const HealthTracker* health_ = nullptr;
+  double now_ms_ = 0.0;
+  std::vector<HealthObservation>* observations_ = nullptr;
 };
 
-/// Issues the RPC under the ambient RpcScope: deadline checked before
-/// every attempt, retriable failures retried up to the policy's budget
-/// with seeded-jitter exponential backoff charged to simulated
-/// latency, all attempts and their faults metered to the thread's
-/// active stats sink. Without a scope: one raw attempt.
+/// Issues the RPC under the ambient RpcScope: circuit breaker
+/// consulted first (open = fail fast, no traffic), deadline checked
+/// before every attempt, retriable failures retried up to the policy's
+/// budget with seeded-jitter exponential backoff charged to simulated
+/// latency (clamped to the remaining deadline budget — waiting cannot
+/// be charged past the deadline), slow failures hedged when the scope
+/// carries a HedgePolicy, and the final outcome appended to the
+/// scope's observation buffer. Without a scope: one raw attempt.
 Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
                       NodeAddress dst, const std::string& type, Bytes payload);
 

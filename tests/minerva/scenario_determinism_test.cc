@@ -79,6 +79,85 @@ TEST(ScenarioDeterminismTest, ThreadCountDoesNotChangeResults) {
   }
 }
 
+/// The resilience stack on top: overloaded peers, a healing partition,
+/// circuit breakers, hedged backups, a deadline with brownout. Circuit
+/// and hedge decisions must be pure functions of (seed, simulated time,
+/// commit order), so this spec pins them the same way SmallSpec pins
+/// the fault/churn/adversary stack.
+ScenarioSpec ResilienceSpec() {
+  ScenarioSpec spec;
+  spec.name = "determinism_resilience";
+  spec.corpus.documents = 400;
+  spec.topology.peers = 8;
+  spec.engine.retries = 2;
+  spec.engine.deadline_ms = 90.0;
+  spec.engine.collect_traces = true;
+  spec.faults.overload.fraction = 0.25;
+  spec.faults.overload.utilization = 0.9;
+  spec.faults.overload.shed_rate = 0.2;
+  ScenarioSpec::FaultSection::PartitionEntry partition;
+  partition.name = "east_west";
+  partition.groups = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  partition.start_ms = 0.0;
+  // Short window and cooldown relative to the run's ~2 s of simulated
+  // time: the partition heals and opened circuits get probed again, so
+  // hedges, circuit skips, and deadline misses all actually occur.
+  partition.end_ms = 60.0;
+  spec.faults.partitions.push_back(partition);
+  spec.health.enabled = true;
+  spec.health.error_threshold = 0.4;
+  spec.health.latency_threshold_ms = 60.0;
+  spec.health.cooldown_ms = 200.0;
+  spec.health.brownout_threshold = 0.25;
+  spec.hedging.enabled = true;
+  spec.hedging.threshold_ms = 10.0;
+  spec.queries.pool = 12;
+  spec.queries.rounds = 2;
+  spec.queries.batch_size = 4;
+  return spec;
+}
+
+TEST(ScenarioDeterminismTest, ResilienceRerunIsBitIdentical) {
+  ScenarioSpec spec = ResilienceSpec();
+  auto first = RunScenario(spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunScenario(spec);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(first.value().result_fingerprint, 0u);
+  EXPECT_EQ(first.value().result_fingerprint,
+            second.value().result_fingerprint);
+  EXPECT_EQ(first.value().trace_fingerprint,
+            second.value().trace_fingerprint);
+  EXPECT_EQ(ScenarioResultToJson(first.value(), /*include_spec=*/true),
+            ScenarioResultToJson(second.value(), /*include_spec=*/true));
+  // The defenses actually engaged — a spec where nothing fires would
+  // pin nothing.
+  EXPECT_GT(first.value().hedges, 0u);
+  EXPECT_GT(first.value().circuit_open_skips, 0u);
+}
+
+TEST(ScenarioDeterminismTest, ResilienceThreadCountDoesNotChangeResults) {
+  ScenarioSpec spec = ResilienceSpec();
+  std::string reference;
+  uint64_t reference_fp = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    spec.engine.threads = threads;
+    auto run = RunScenario(spec);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    std::string json = ScenarioResultToJson(run.value(),
+                                            /*include_spec=*/false);
+    if (reference.empty()) {
+      reference = json;
+      reference_fp = run.value().result_fingerprint;
+      EXPECT_NE(reference_fp, 0u);
+    } else {
+      EXPECT_EQ(json, reference);
+      EXPECT_EQ(run.value().result_fingerprint, reference_fp);
+    }
+  }
+}
+
 TEST(ScenarioDeterminismTest, SeedChangesResults) {
   ScenarioSpec spec = SmallSpec();
   auto base = RunScenario(spec);

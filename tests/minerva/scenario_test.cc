@@ -36,6 +36,9 @@ const char* kGoldenSpecs[] = {
     "cache_zipf",
     "adversary_inflate",
     "adversary_defended",
+    "parallel_zipf",
+    "overload_brownout",
+    "partition_heal",
 };
 
 // ----------------------------------------------------------------------
@@ -199,6 +202,83 @@ const InvalidCase kInvalidCases[] = {
     {"bad_initiator_string",
      R"({"name": "x", "queries": {"initiator": "everyone"}})",
      "queries.initiator must be \"round_robin\" or a peer index"},
+    // Unknown keys, resilience sections.
+    {"unknown_in_overload",
+     R"({"name": "x", "faults": {"overload": {"bogus": 1}}})",
+     "unknown key 'bogus' in faults.overload"},
+    {"unknown_in_partition_entry",
+     R"({"name": "x", "faults": {"partitions": [{"bogus": 1}]}})",
+     "unknown key 'bogus' in faults.partitions[0]"},
+    {"unknown_in_health", R"({"name": "x", "health": {"bogus": 1}})",
+     "unknown key 'bogus' in health"},
+    {"unknown_in_hedging", R"({"name": "x", "hedging": {"bogus": 1}})",
+     "unknown key 'bogus' in hedging"},
+    // Range violations, faults.overload.
+    {"overload_not_object", R"({"name": "x", "faults": {"overload": 3}})",
+     "faults.overload must be an object"},
+    {"overload_fraction_above_one",
+     R"({"name": "x", "faults": {"overload": {"fraction": 1.5}}})",
+     "faults.overload.fraction must be in [0, 1]"},
+    {"overload_utilization_one",
+     R"({"name": "x", "faults": {"overload": {"utilization": 1.0}}})",
+     "faults.overload.utilization must be in [0, 1)"},
+    {"overload_service_zero",
+     R"({"name": "x", "faults": {"overload": {"service_ms": 0}}})",
+     "faults.overload.service_ms must be > 0"},
+    {"overload_shed_negative",
+     R"({"name": "x", "faults": {"overload": {"shed_rate": -0.1}}})",
+     "faults.overload.shed_rate must be in [0, 1]"},
+    // Range violations, faults.partitions.
+    {"partitions_not_array",
+     R"({"name": "x", "faults": {"partitions": {"groups": []}}})",
+     "faults.partitions must be an array"},
+    {"partition_single_group",
+     R"({"name": "x", "faults": {"partitions": [
+         {"groups": [[0, 1]], "end_ms": 100}]}})",
+     "must list at least two groups"},
+    {"partition_empty_group",
+     R"({"name": "x", "faults": {"partitions": [
+         {"groups": [[0], []], "end_ms": 100}]}})",
+     "faults.partitions[0].groups[1] must list at least one peer"},
+    {"partition_window_inverted",
+     R"({"name": "x", "faults": {"partitions": [
+         {"groups": [[0], [1]], "start_ms": 100, "end_ms": 100}]}})",
+     "window must satisfy 0 <= start_ms < end_ms"},
+    {"partition_empty_name",
+     R"({"name": "x", "faults": {"partitions": [
+         {"name": "", "groups": [[0], [1]], "end_ms": 100}]}})",
+     "faults.partitions[0].name must be nonempty"},
+    {"partition_peer_out_of_range",
+     R"({"name": "x", "topology": {"peers": 4},
+         "faults": {"partitions": [
+           {"groups": [[0, 1], [4]], "end_ms": 100}]}})",
+     "lists peer index 4, but topology.peers is 4"},
+    {"partition_peer_on_both_sides",
+     R"({"name": "x", "faults": {"partitions": [
+         {"groups": [[0, 1], [1, 2]], "end_ms": 100}]}})",
+     "lists peer index 1 more than once"},
+    // Range violations, health / hedging.
+    {"health_alpha_zero", R"({"name": "x", "health": {"error_alpha": 0}})",
+     "health EWMA alphas must be in (0, 1]"},
+    {"health_latency_alpha_above_one",
+     R"({"name": "x", "health": {"latency_alpha": 1.5}})",
+     "health EWMA alphas must be in (0, 1]"},
+    {"health_error_threshold_zero",
+     R"({"name": "x", "health": {"error_threshold": 0}})",
+     "health.error_threshold must be in (0, 1]"},
+    {"health_latency_threshold_negative",
+     R"({"name": "x", "health": {"latency_threshold_ms": -1}})",
+     "health.latency_threshold_ms must be >= 0"},
+    {"health_cooldown_zero", R"({"name": "x", "health": {"cooldown_ms": 0}})",
+     "health.cooldown_ms must be > 0"},
+    {"health_brownout_above_one",
+     R"({"name": "x", "health": {"brownout_threshold": 1.5}})",
+     "health.brownout_threshold must be in [0, 1]"},
+    {"health_enabled_not_bool", R"({"name": "x", "health": {"enabled": 1}})",
+     "health.enabled must be a boolean"},
+    {"hedging_threshold_negative",
+     R"({"name": "x", "hedging": {"threshold_ms": -1}})",
+     "hedging.threshold_ms must be >= 0"},
     // Range violations, adversary / reputation.
     {"fraction_above_one",
      R"({"name": "x", "adversary": {"fraction": 1.5}})",
@@ -257,7 +337,15 @@ TEST(ScenarioParseTest, NonDefaultValuesRoundTrip) {
                  "fragments": 5},
     "engine": {"router": "cori", "synopsis": "bloom", "merge": "cori",
                "threads": 4, "cache": true},
-    "faults": {"drop_rate": 0.25},
+    "faults": {"drop_rate": 0.25,
+               "overload": {"fraction": 0.5, "utilization": 0.8,
+                            "service_ms": 4, "shed_rate": 0.3},
+               "partitions": [{"name": "split", "groups": [[0, 1], [2, 3]],
+                               "start_ms": 10, "end_ms": 90}]},
+    "health": {"enabled": true, "error_alpha": 0.3, "latency_alpha": 0.6,
+               "error_threshold": 0.7, "latency_threshold_ms": 55,
+               "cooldown_ms": 400, "brownout_threshold": 0.2},
+    "hedging": {"enabled": true, "threshold_ms": 22},
     "churn": {"every": 8, "documents": 16},
     "queries": {"pool": 6, "executions": 12, "zipf_s": 1.0,
                 "batch_size": 4, "initiator": 3},
@@ -277,6 +365,25 @@ TEST(ScenarioParseTest, NonDefaultValuesRoundTrip) {
   EXPECT_EQ(s.engine.threads, 4u);
   EXPECT_TRUE(s.engine.cache);
   EXPECT_DOUBLE_EQ(s.faults.drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(s.faults.overload.fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.faults.overload.utilization, 0.8);
+  EXPECT_DOUBLE_EQ(s.faults.overload.service_ms, 4.0);
+  EXPECT_DOUBLE_EQ(s.faults.overload.shed_rate, 0.3);
+  ASSERT_EQ(s.faults.partitions.size(), 1u);
+  EXPECT_EQ(s.faults.partitions[0].name, "split");
+  ASSERT_EQ(s.faults.partitions[0].groups.size(), 2u);
+  EXPECT_EQ(s.faults.partitions[0].groups[1], (std::vector<size_t>{2, 3}));
+  EXPECT_DOUBLE_EQ(s.faults.partitions[0].start_ms, 10.0);
+  EXPECT_DOUBLE_EQ(s.faults.partitions[0].end_ms, 90.0);
+  EXPECT_TRUE(s.health.enabled);
+  EXPECT_DOUBLE_EQ(s.health.error_alpha, 0.3);
+  EXPECT_DOUBLE_EQ(s.health.latency_alpha, 0.6);
+  EXPECT_DOUBLE_EQ(s.health.error_threshold, 0.7);
+  EXPECT_DOUBLE_EQ(s.health.latency_threshold_ms, 55.0);
+  EXPECT_DOUBLE_EQ(s.health.cooldown_ms, 400.0);
+  EXPECT_DOUBLE_EQ(s.health.brownout_threshold, 0.2);
+  EXPECT_TRUE(s.hedging.enabled);
+  EXPECT_DOUBLE_EQ(s.hedging.threshold_ms, 22.0);
   EXPECT_EQ(s.churn.every, 8u);
   EXPECT_EQ(s.queries.initiator, 3);
   EXPECT_EQ(s.adversary.behavior, iqn::PeerBehavior::kPoisonSynopses);

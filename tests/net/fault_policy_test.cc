@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "net/fault.h"
+#include "net/health.h"
 #include "net/network.h"
 #include "net/rpc_policy.h"
 
@@ -95,6 +99,88 @@ TEST(FaultInjectorTest, SpecScopingByTypePrefixAndNode) {
   EXPECT_TRUE(injector.Decide(4, "kv.get", 0, 0, 0).drop_request);
   EXPECT_FALSE(injector.Decide(4, "chord.ping", 0, 0, 0).drop_request);
   EXPECT_FALSE(injector.Decide(5, "kv.get", 0, 0, 0).drop_request);
+}
+
+TEST(FaultInjectorTest, OverloadDelayIsDeterministicAndScoped) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.overload.nodes = {2};
+  plan.overload.utilization = 0.9;
+  plan.overload.service_ms = 5.0;
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  double sum = 0.0;
+  for (uint64_t m = 0; m < 200; ++m) {
+    double d = a.OverloadDelayMs(2, "op", m, m * 3, 0);
+    EXPECT_GT(d, 0.0);
+    EXPECT_DOUBLE_EQ(d, b.OverloadDelayMs(2, "op", m, m * 3, 0));
+    // A node outside the overloaded set is never delayed.
+    EXPECT_DOUBLE_EQ(a.OverloadDelayMs(3, "op", m, m * 3, 0), 0.0);
+    sum += d;
+  }
+  // Exponential with mean service * rho / (1 - rho) = 45 ms; the sample
+  // mean of 200 seeded draws must sit near it.
+  EXPECT_GT(sum / 200.0, 30.0);
+  EXPECT_LT(sum / 200.0, 60.0);
+}
+
+TEST(FaultInjectorTest, ZeroUtilizationMeansNoQueueingDelay) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.overload.nodes = {2};
+  plan.overload.shed_rate = 0.5;  // shedding only, no queueing
+  FaultInjector injector{plan};
+  for (uint64_t m = 0; m < 50; ++m) {
+    EXPECT_DOUBLE_EQ(injector.OverloadDelayMs(2, "op", m, m, 0), 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, LoadShedIsPureAndAttemptNonceRollsFreshDice) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.overload.nodes = {1};
+  plan.overload.shed_rate = 0.5;
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  size_t shed = 0;
+  size_t rescued = 0;
+  for (uint64_t ctx = 0; ctx < 100; ++ctx) {
+    bool first = a.ShedsLoad(1, "op", 42, ctx, 0);
+    EXPECT_EQ(first, b.ShedsLoad(1, "op", 42, ctx, 0));
+    EXPECT_FALSE(a.ShedsLoad(2, "op", 42, ctx, 0));  // not overloaded
+    if (first) {
+      ++shed;
+      if (!a.ShedsLoad(1, "op", 42, ctx, 1)) ++rescued;
+    }
+  }
+  EXPECT_GT(shed, 20u);
+  EXPECT_LT(shed, 80u);
+  // A retry must be able to get through, like every other fault class.
+  EXPECT_GT(rescued, 0u);
+}
+
+TEST(FaultInjectorTest, PartitionIsAPureWindowLookup) {
+  FaultPlan plan;
+  plan.seed = 5;
+  PartitionSpec partition;
+  partition.name = "east_west";
+  partition.groups = {{0, 1}, {2, 3}};
+  partition.start_ms = 100.0;
+  partition.end_ms = 200.0;
+  plan.partitions.push_back(partition);
+  FaultInjector injector{plan};
+  const std::string* name = nullptr;
+  // Outside the window nothing is blocked.
+  EXPECT_FALSE(injector.Partitioned(0, 2, 50.0, nullptr));
+  EXPECT_FALSE(injector.Partitioned(0, 2, 200.0, nullptr));  // healed
+  // Inside it, every cross-group pair fails, both directions.
+  EXPECT_TRUE(injector.Partitioned(0, 2, 100.0, &name));
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(*name, "east_west");
+  EXPECT_TRUE(injector.Partitioned(3, 1, 199.9, nullptr));
+  // Same-group and unlisted nodes are unaffected.
+  EXPECT_FALSE(injector.Partitioned(0, 1, 150.0, nullptr));
+  EXPECT_FALSE(injector.Partitioned(0, 7, 150.0, nullptr));
 }
 
 TEST(FaultInjectorTest, CorruptPayloadIsDeterministicAndChangesBytes) {
@@ -286,6 +372,63 @@ TEST(StatsCaptureDeathTest, TopologyMutationFineOnceCaptureEnds) {
   EXPECT_EQ(net.num_nodes(), 2u);
 }
 
+TEST(FaultNetworkTest, LoadShedFailsFastButChargesTheRequestLeg) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register(Echo());
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.overload.nodes = {node};
+  plan.overload.shed_rate = 1.0;
+  net.InstallFaultPlan(plan);
+  net.ResetStats();
+  EXPECT_EQ(net.Rpc(0, node, "op", Bytes(10, 1)).status().code(),
+            StatusCode::kUnavailable);
+  // The request was sent; the node refused before doing any work.
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().bytes, 20u + 2u + 10u);
+  EXPECT_EQ(net.fault_injector()->counters().loads_shed.Value(), 1u);
+}
+
+TEST(FaultNetworkTest, OverloadDelayIsChargedOnTopOfASuccessfulCall) {
+  auto run = [](double utilization) {
+    SimulatedNetwork net;
+    NodeAddress node = net.Register(Echo());
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.overload.nodes = {node};
+    plan.overload.utilization = utilization;
+    if (plan.active()) net.InstallFaultPlan(plan);
+    net.ResetStats();
+    EXPECT_TRUE(net.Rpc(0, node, "op", Bytes(10, 1)).ok());
+    return net.stats().latency_ms;
+  };
+  // The queue wait lands in simulated latency; the answer still arrives.
+  EXPECT_GT(run(0.9), run(0.0));
+}
+
+TEST(FaultNetworkTest, PartitionBlocksCrossGroupTrafficUntilTheClockHeals) {
+  SimulatedNetwork net;
+  NodeAddress a = net.Register(Echo());
+  NodeAddress b = net.Register(Echo());
+  NodeAddress c = net.Register(Echo());  // bystander, in no group
+  FaultPlan plan;
+  plan.seed = 3;
+  PartitionSpec partition;
+  partition.groups = {{a}, {b}};
+  partition.start_ms = 0.0;
+  partition.end_ms = 100.0;
+  plan.partitions.push_back(partition);
+  net.InstallFaultPlan(plan);
+  net.ResetStats();
+  EXPECT_EQ(net.Rpc(a, b, "op", {}).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(net.Rpc(a, c, "op", {}).ok());  // unlisted node reachable
+  EXPECT_EQ(net.fault_injector()->counters().partition_blocked.Value(), 1u);
+  // Advance the simulated clock past the window: the partition heals.
+  net.AdvanceSimTime(150.0);
+  EXPECT_TRUE(net.Rpc(a, b, "op", {}).ok());
+  EXPECT_EQ(net.fault_injector()->counters().partition_blocked.Value(), 1u);
+}
+
 // --------------------------------------- RetryPolicy / Deadline / CallRpc
 
 TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
@@ -313,6 +456,235 @@ TEST(RetryPolicyTest, JitterIsBoundedAndDeterministic) {
     if (b != 10.0) saw_off_nominal = true;
   }
   EXPECT_TRUE(saw_off_nominal);
+}
+
+TEST(RetryPolicyTest, JitteredBackoffNeverExceedsTheCap) {
+  // Regression: the cap bounds the CHARGED wait, so it must be applied
+  // after the jitter multiply — a nominal value already at the cap with
+  // an upward jitter draw used to escape it.
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 9;
+  bool saw_below = false;
+  bool saw_clamped = false;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    for (uint64_t ctx = 0; ctx < 50; ++ctx) {
+      double b = policy.BackoffMs(attempt, 6, "peer.query", ctx);
+      EXPECT_LE(b, 100.0);
+      EXPECT_GE(b, 50.0);
+      if (b < 100.0) saw_below = true;
+      if (b == 100.0) saw_clamped = true;
+    }
+  }
+  EXPECT_TRUE(saw_below);    // downward jitter still applies
+  EXPECT_TRUE(saw_clamped);  // upward draws land exactly on the cap
+}
+
+TEST(CallRpcTest, ZeroDeadlineBudgetMeansUnlimited) {
+  Deadline zero(0.0);
+  EXPECT_TRUE(zero.unlimited());
+  EXPECT_FALSE(zero.Expired());
+  zero.Consume(1e9);
+  EXPECT_FALSE(zero.Expired());
+  Deadline negative(-5.0);
+  EXPECT_TRUE(negative.unlimited());
+
+  SimulatedNetwork net;
+  NodeAddress node = net.Register(Echo());
+  RetryPolicy policy;
+  RpcScope scope(policy, /*deadline_budget_ms=*/0.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(CallRpc(&net, 0, node, "op", Bytes(100, 7)).ok());
+  }
+  EXPECT_FALSE(RpcScope::DeadlineExpired());
+}
+
+TEST(CallRpcTest, BackoffExpiringMidWaitIsClampedToTheRemainingBudget) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register(Echo());
+  ASSERT_TRUE(net.SetNodeUp(node, false).ok());
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 60.0;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  RpcScope scope(policy, /*deadline_budget_ms=*/100.0);
+  auto r = CallRpc(&net, 0, node, "op", {});
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // The second backoff (nominal 120 ms) expires mid-wait: the charged
+  // wait is clamped to what was left of the 100 ms budget, so total
+  // backoff stays under the budget and the third send never happens.
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_GT(net.stats().retry_backoff_ms, 60.0);
+  EXPECT_LT(net.stats().retry_backoff_ms, 100.0);
+  // Attempts + clamped waits consume the budget exactly, no more.
+  EXPECT_NEAR(net.stats().latency_ms, 100.0, 1e-9);
+}
+
+// ------------------------------------------------ hedged backup requests
+
+TEST(CallRpcTest, SlowSuccessHedgeChargesOnlyTheOverlapWindow) {
+  // Every message crosses a slow link, so the primary succeeds past the
+  // hedge threshold; the hedge fires, loses the race (the backup can't
+  // beat a same-cost primary with a head start), and the caller pays
+  // max(primary, threshold + hedge) instead of the serial sum.
+  auto run = [](bool hedging) {
+    SimulatedNetwork net;
+    NodeAddress node = net.Register(Echo());
+    net.InstallFaultPlan(PlanWith(&FaultPlan::slow_link, 1.0));
+    RetryPolicy policy;
+    RpcScope scope(policy);
+    HedgePolicy hedge;
+    hedge.enabled = hedging;
+    hedge.threshold_ms = 5.0;
+    scope.set_hedge(hedge);
+    EXPECT_TRUE(CallRpc(&net, 0, node, "op", {}).ok());
+    return net.stats();
+  };
+  NetworkStats plain = run(false);
+  NetworkStats hedged = run(true);
+  EXPECT_EQ(plain.hedges, 0u);
+  EXPECT_EQ(hedged.hedges, 1u);
+  EXPECT_EQ(hedged.hedges_won, 0u);
+  EXPECT_EQ(hedged.messages, 2u * plain.messages);  // backup traffic is real
+  // Both attempts cost the same, so the hedged wait collapses to the
+  // primary's latency plus the threshold head start.
+  EXPECT_NEAR(hedged.latency_ms, plain.latency_ms + 5.0, 1e-9);
+}
+
+TEST(CallRpcTest, HedgesRescueSlowFailuresDeterministically) {
+  // Injected timeouts are slow failures (the caller waits out the
+  // penalty); a hedge on a fresh nonce can win where a no-retry call
+  // would have failed.
+  auto run = [](bool hedging) {
+    SimulatedNetwork net;
+    NodeAddress node = net.Register(Echo());
+    net.InstallFaultPlan(PlanWith(&FaultPlan::timeout, 0.5, /*seed=*/42));
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    size_t ok_count = 0;
+    for (uint64_t ctx = 1; ctx <= 100; ++ctx) {
+      RpcScope scope(policy, 0.0, ctx);
+      HedgePolicy hedge;
+      hedge.enabled = hedging;
+      hedge.threshold_ms = 5.0;
+      scope.set_hedge(hedge);
+      if (CallRpc(&net, 0, node, "op", {}).ok()) ++ok_count;
+    }
+    return std::make_pair(ok_count, net.stats());
+  };
+  auto [plain_ok, plain] = run(false);
+  auto [hedged_ok, hedged] = run(true);
+  EXPECT_GT(hedged_ok, plain_ok);
+  EXPECT_GT(hedged.hedges, 0u);
+  EXPECT_GT(hedged.hedges_won, 0u);
+  EXPECT_LE(hedged.hedges_won, hedged.hedges);
+  // Deterministic: the same sweep yields the same counts.
+  auto [again_ok, again] = run(true);
+  EXPECT_EQ(again_ok, hedged_ok);
+  EXPECT_EQ(again.hedges, hedged.hedges);
+  EXPECT_EQ(again.hedges_won, hedged.hedges_won);
+}
+
+TEST(CallRpcTest, AtMostOneHedgePerLogicalCall) {
+  // Every attempt times out slowly, so every attempt is hedge-eligible;
+  // the policy still charges exactly one backup per logical RPC.
+  SimulatedNetwork net;
+  NodeAddress node = net.Register(Echo());
+  net.InstallFaultPlan(PlanWith(&FaultPlan::timeout, 1.0));
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  RpcScope scope(policy);
+  HedgePolicy hedge;
+  hedge.enabled = true;
+  hedge.threshold_ms = 5.0;
+  scope.set_hedge(hedge);
+  EXPECT_FALSE(CallRpc(&net, 0, node, "op", {}).ok());
+  EXPECT_EQ(net.stats().hedges, 1u);
+  EXPECT_EQ(net.stats().hedges_won, 0u);
+}
+
+// ------------------------------------- circuit breaker / health consult
+
+TEST(CallRpcTest, OpenCircuitFailsFastWithNoTrafficAndNoEvidence) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register(Echo());
+  HealthParams params;
+  params.enabled = true;
+  params.error_alpha = 1.0;
+  params.error_threshold = 0.5;
+  params.cooldown_ms = 250.0;
+  HealthTracker tracker(params);
+  tracker.Observe(node, /*ok=*/false, 10.0, /*now_ms=*/0.0);
+  ASSERT_EQ(tracker.StateOf(node, 10.0), HealthTracker::CircuitState::kOpen);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  std::vector<HealthObservation> observations;
+  RpcScope scope(policy);
+  scope.set_health(&tracker, /*now_ms=*/10.0);
+  scope.set_observations(&observations);
+  EXPECT_EQ(CallRpc(&net, 0, node, "op", {}).status().code(),
+            StatusCode::kUnavailable);
+  // Refused locally: nothing on the wire, no retries burned, and no
+  // health observation — a refused send says nothing about the peer.
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.stats().circuit_blocked, 1u);
+  EXPECT_TRUE(observations.empty());
+}
+
+TEST(CallRpcTest, HalfOpenCircuitLetsTheProbeThrough) {
+  SimulatedNetwork net;
+  NodeAddress node = net.Register(Echo());
+  HealthParams params;
+  params.enabled = true;
+  params.error_alpha = 1.0;
+  params.error_threshold = 0.5;
+  params.cooldown_ms = 250.0;
+  HealthTracker tracker(params);
+  tracker.Observe(node, /*ok=*/false, 10.0, /*now_ms=*/0.0);
+
+  RetryPolicy policy;
+  std::vector<HealthObservation> observations;
+  RpcScope scope(policy);
+  scope.set_health(&tracker, /*now_ms=*/300.0);  // past the cooldown
+  scope.set_observations(&observations);
+  EXPECT_TRUE(CallRpc(&net, 0, node, "op", {}).ok());
+  EXPECT_EQ(net.stats().messages, 2u);  // request + response
+  EXPECT_EQ(net.stats().circuit_blocked, 0u);
+  ASSERT_EQ(observations.size(), 1u);
+  EXPECT_EQ(observations[0].dst, node);
+  EXPECT_TRUE(observations[0].ok);
+  EXPECT_GT(observations[0].latency_ms, 0.0);
+}
+
+TEST(CallRpcTest, ObservationsRecordTheFinalOutcomePerLogicalCall) {
+  SimulatedNetwork net;
+  NodeAddress good = net.Register(Echo());
+  NodeAddress bad = net.Register(Echo());
+  ASSERT_TRUE(net.SetNodeUp(bad, false).ok());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  policy.initial_backoff_ms = 5.0;
+  std::vector<HealthObservation> observations;
+  RpcScope scope(policy);
+  scope.set_observations(&observations);
+  EXPECT_TRUE(CallRpc(&net, 0, good, "op", {}).ok());
+  EXPECT_FALSE(CallRpc(&net, 0, bad, "op", {}).ok());
+  // One observation per LOGICAL call: the bad node's three attempts and
+  // their backoff collapse into a single failed observation whose
+  // latency includes the waiting.
+  ASSERT_EQ(observations.size(), 2u);
+  EXPECT_EQ(observations[0].dst, good);
+  EXPECT_TRUE(observations[0].ok);
+  EXPECT_EQ(observations[1].dst, bad);
+  EXPECT_FALSE(observations[1].ok);
+  EXPECT_GT(observations[1].latency_ms, net.stats().retry_backoff_ms);
 }
 
 TEST(CallRpcTest, NoScopeMeansOneRawAttempt) {

@@ -1,0 +1,141 @@
+// HealthTracker: EWMA failure detection, the circuit-breaker state
+// machine (closed -> open -> half-open -> closed / re-open), the
+// in-cooldown observation-folding rule, and determinism across
+// identically-fed instances.
+
+#include <gtest/gtest.h>
+
+#include "net/health.h"
+
+namespace iqn {
+namespace {
+
+using CircuitState = HealthTracker::CircuitState;
+
+HealthParams Params() {
+  HealthParams params;
+  params.enabled = true;
+  params.error_alpha = 0.5;
+  params.latency_alpha = 0.5;
+  params.error_threshold = 0.5;
+  params.cooldown_ms = 250.0;
+  return params;
+}
+
+TEST(HealthTrackerTest, UnknownPeersAreClosed) {
+  HealthTracker tracker(Params());
+  EXPECT_EQ(tracker.StateOf(7, 0.0), CircuitState::kClosed);
+  EXPECT_TRUE(tracker.AllowRequest(7, 0.0));
+  EXPECT_EQ(tracker.peers_tracked(), 0u);
+}
+
+TEST(HealthTrackerTest, ErrorEwmaConvergesGraduallyToTheTrip) {
+  HealthParams params = Params();
+  params.error_alpha = 0.25;
+  HealthTracker tracker(params);
+  // EWMA after k straight failures: 1 - 0.75^k -> 0.25, 0.4375, 0.578.
+  tracker.Observe(3, false, 10.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kClosed);
+  tracker.Observe(3, false, 10.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kClosed);
+  tracker.Observe(3, false, 10.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(3, 0.0));
+  EXPECT_EQ(tracker.peers_tracked(), 1u);
+}
+
+TEST(HealthTrackerTest, SuccessesKeepTheCircuitClosed) {
+  HealthTracker tracker(Params());
+  for (int i = 0; i < 20; ++i) tracker.Observe(3, true, 5.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kClosed);
+  // A single failure after a healthy history is not enough at alpha 0.5.
+  tracker.Observe(3, false, 5.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kOpen);  // 0.5 >= 0.5
+}
+
+TEST(HealthTrackerTest, LatencyTripWireOpensOnSlowSuccesses) {
+  HealthParams params = Params();
+  params.latency_threshold_ms = 40.0;
+  HealthTracker tracker(params);
+  // Error-free but slow: 0.5-alpha EWMA over 80 ms -> 40, 60, ...
+  tracker.Observe(3, true, 80.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kOpen);
+}
+
+TEST(HealthTrackerTest, ZeroLatencyThresholdDisablesTheTripWire) {
+  HealthTracker tracker(Params());  // latency_threshold_ms = 0
+  for (int i = 0; i < 10; ++i) tracker.Observe(3, true, 1e6, 0.0);
+  EXPECT_EQ(tracker.StateOf(3, 0.0), CircuitState::kClosed);
+}
+
+TEST(HealthTrackerTest, CooldownThenHalfOpenThenProbeCloses) {
+  HealthParams params = Params();
+  params.error_alpha = 1.0;
+  HealthTracker tracker(params);
+  tracker.Observe(3, false, 10.0, 100.0);  // opens at t=100
+  EXPECT_EQ(tracker.StateOf(3, 100.0), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(3, 349.9), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(3, 350.0), CircuitState::kHalfOpen);
+  EXPECT_TRUE(tracker.AllowRequest(3, 350.0));  // the probe goes through
+  tracker.Observe(3, true, 10.0, 350.0);        // probe succeeded
+  EXPECT_EQ(tracker.StateOf(3, 350.0), CircuitState::kClosed);
+}
+
+TEST(HealthTrackerTest, FailedProbeReopensForAFreshCooldown) {
+  HealthParams params = Params();
+  params.error_alpha = 1.0;
+  HealthTracker tracker(params);
+  tracker.Observe(3, false, 10.0, 0.0);    // opens at t=0
+  tracker.Observe(3, false, 10.0, 250.0);  // half-open probe fails
+  EXPECT_EQ(tracker.StateOf(3, 250.0), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(3, 499.9), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(3, 500.0), CircuitState::kHalfOpen);
+}
+
+TEST(HealthTrackerTest, InCooldownObservationsFoldEwmasButHoldTheState) {
+  // A batch commits all its outcomes at one clock value; successes that
+  // were in flight when the circuit opened must not close it early.
+  HealthParams params = Params();
+  params.error_alpha = 1.0;
+  HealthTracker tracker(params);
+  tracker.Observe(3, false, 10.0, 100.0);  // opens at t=100
+  for (int i = 0; i < 5; ++i) tracker.Observe(3, true, 5.0, 100.0);
+  // The error EWMA decayed to 0 but the circuit still cools down.
+  EXPECT_EQ(tracker.StateOf(3, 100.0), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(3, 349.9), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(3, 350.0), CircuitState::kHalfOpen);
+}
+
+TEST(HealthTrackerTest, PeersAreTrackedIndependently) {
+  HealthParams params = Params();
+  params.error_alpha = 1.0;
+  HealthTracker tracker(params);
+  tracker.Observe(1, false, 10.0, 0.0);
+  tracker.Observe(2, true, 10.0, 0.0);
+  EXPECT_EQ(tracker.StateOf(1, 0.0), CircuitState::kOpen);
+  EXPECT_EQ(tracker.StateOf(2, 0.0), CircuitState::kClosed);
+  EXPECT_EQ(tracker.peers_tracked(), 2u);
+}
+
+TEST(HealthTrackerTest, IdenticalObservationSequencesYieldIdenticalState) {
+  // The determinism contract: state is a pure function of the
+  // observation sequence in commit order plus the simulated clock.
+  HealthTracker a(Params());
+  HealthTracker b(Params());
+  double now = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    NodeAddress dst = static_cast<NodeAddress>(i % 5);
+    bool ok = (i % 3) != 0;
+    double latency = 5.0 + static_cast<double>(i % 7) * 11.0;
+    a.Observe(dst, ok, latency, now);
+    b.Observe(dst, ok, latency, now);
+    now += 40.0;
+  }
+  EXPECT_EQ(a.DebugString(), b.DebugString());
+  for (NodeAddress dst = 0; dst < 5; ++dst) {
+    EXPECT_EQ(a.StateOf(dst, now), b.StateOf(dst, now));
+  }
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ctest smoke for tools/sweep_scenarios.py.
+
+Runs a tiny two-point grid (engine.max_peers = 2, 3) over
+scenarios/chaos_baseline.json through the real run_scenario binary and
+asserts the contract the benches rely on: exit status 0, an aggregate
+JSON with the documented shape, one entry per grid point carrying the
+override and the headline metrics, and per-point spec/result files on
+disk next to the aggregate.
+
+Usage: sweep_smoke_test.py SOURCE_DIR RUN_SCENARIO_BINARY
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 3:
+        fail(f"usage: {argv[0]} SOURCE_DIR RUN_SCENARIO_BINARY")
+    source_dir, run_scenario = argv[1], argv[2]
+    sweep = os.path.join(source_dir, "tools", "sweep_scenarios.py")
+    base_spec = os.path.join(source_dir, "scenarios", "chaos_baseline.json")
+    for path in (sweep, base_spec, run_scenario):
+        if not os.path.exists(path):
+            fail(f"missing input: {path}")
+
+    with tempfile.TemporaryDirectory(prefix="iqn_sweep_smoke_") as outdir:
+        aggregate_path = os.path.join(outdir, "aggregate.json")
+        proc = subprocess.run(
+            [sys.executable, sweep, base_spec,
+             "--set", "engine.max_peers=2,3",
+             "--run-scenario", run_scenario,
+             "--outdir", outdir, "--aggregate", aggregate_path],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail(f"sweep exited {proc.returncode}\nstdout: {proc.stdout}\n"
+                 f"stderr: {proc.stderr}")
+
+        with open(aggregate_path, encoding="utf-8") as fh:
+            aggregate = json.load(fh)
+        for key in ("base_spec", "axes", "points", "failed"):
+            if key not in aggregate:
+                fail(f"aggregate is missing key '{key}'")
+        if aggregate["failed"] != 0:
+            fail(f"aggregate reports {aggregate['failed']} failed points")
+        if aggregate["axes"] != [{"path": "engine.max_peers",
+                                  "values": [2, 3]}]:
+            fail(f"unexpected axes: {aggregate['axes']}")
+        points = aggregate["points"]
+        if len(points) != 2:
+            fail(f"expected 2 grid points, got {len(points)}")
+        for point, expected in zip(points, (2, 3)):
+            if not point["ok"]:
+                fail(f"point {point['name']} not ok: {point.get('error')}")
+            if point["overrides"] != {"engine.max_peers": expected}:
+                fail(f"unexpected overrides: {point['overrides']}")
+            for key in ("queries_run", "mean_recall", "messages", "bytes",
+                        "result_fingerprint"):
+                if key not in point:
+                    fail(f"point {point['name']} is missing metric '{key}'")
+            for artifact in (point["spec"], point["result"]):
+                if not os.path.exists(os.path.join(outdir, artifact)):
+                    fail(f"missing per-point artifact: {artifact}")
+        # Querying more peers must not reduce recall — sanity that the
+        # overrides actually reached the engine.
+        if points[1]["mean_recall"] < points[0]["mean_recall"]:
+            fail("max_peers=3 recall below max_peers=2; override not applied?")
+
+    print("sweep smoke OK: 2 points, aggregate shape verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
