@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -40,6 +42,8 @@ int Main(int argc, char** argv) {
   flags.DefineInt("queries", 6, "number of queries");
   flags.DefineInt("peers", 4, "routed peers per query");
   flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineString("out", "BENCH_ablation_adaptive.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -83,6 +87,7 @@ int Main(int argc, char** argv) {
       {"benefit: 90% score mass", false, BenefitPolicy::kScoreMassQuantile},
   };
 
+  std::vector<JsonValue> rows;
   for (uint64_t budget_kbits : {16u, 48u, 128u}) {
     uint64_t budget_bits = budget_kbits * 1024;
     for (const Variant& variant : variants) {
@@ -143,6 +148,13 @@ int Main(int argc, char** argv) {
                   static_cast<unsigned long>(budget_kbits),
                   variant.label.c_str(),
                   static_cast<unsigned long>(posted_bytes), recall * 100.0);
+      rows.push_back(JsonValue::Object(
+          {{"budget_kbits",
+            JsonValue::Number(static_cast<double>(budget_kbits))},
+           {"allocation", JsonValue::String(variant.label)},
+           {"posted_bytes",
+            JsonValue::Number(static_cast<double>(posted_bytes))},
+           {"recall", JsonValue::Number(recall)}}));
     }
     std::printf("\n");
   }
@@ -150,6 +162,22 @@ int Main(int argc, char** argv) {
       "(benefit-proportional allocation spends long synopses on long index "
       "lists — where estimation error actually costs recall — and shortens "
       "or drops negligible terms)\n");
+
+  BenchReport report(
+      "ablation_adaptive",
+      JsonValue::Object(
+          {{"docs", JsonValue::Number(static_cast<double>(docs))},
+           {"queries",
+            JsonValue::Number(static_cast<double>(num_queries))},
+           {"peers", JsonValue::Number(static_cast<double>(max_peers))},
+           {"seed", JsonValue::Number(static_cast<double>(seed))}}));
+  report.AddSection("results", JsonValue::Array(std::move(rows)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -34,6 +36,8 @@ int Main(int argc, char** argv) {
   flags.DefineInt("queries", 8, "number of queries");
   flags.DefineInt("peers", 4, "routed peers per query");
   flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineString("out", "BENCH_ablation_directory.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -78,6 +82,7 @@ int Main(int argc, char** argv) {
       {"BF, raw wire image", true, SynopsisType::kBloomFilter, false},
       {"BF, Golomb-Rice [26]", true, SynopsisType::kBloomFilter, true},
   };
+  std::vector<JsonValue> publish_rows;
   for (const PublishVariant& variant : publish_variants) {
     minerva::EngineOptions options;
     options.core.batch_posting = variant.batched;
@@ -90,6 +95,11 @@ int Main(int argc, char** argv) {
     std::printf("%-26s %14llu %14llu\n", variant.label,
                 static_cast<unsigned long long>(stats.messages),
                 static_cast<unsigned long long>(stats.bytes));
+    publish_rows.push_back(JsonValue::Object(
+        {{"publishing", JsonValue::String(variant.label)},
+         {"messages",
+          JsonValue::Number(static_cast<double>(stats.messages))},
+         {"bytes", JsonValue::Number(static_cast<double>(stats.bytes))}}));
   }
 
   // ---------------- Part 2: truncated PeerLists ---------------------
@@ -115,6 +125,7 @@ int Main(int argc, char** argv) {
                                        // lists" via the distributed
                                        // threshold algorithm
   };
+  std::vector<JsonValue> fetch_rows;
   for (const FetchStrategy& strategy : strategies) {
     minerva::EngineOptions options;
     options.core.peerlist_limit = strategy.peerlist_limit;
@@ -146,6 +157,11 @@ int Main(int argc, char** argv) {
     std::printf("%-20s %14llu %9.1f%%\n", strategy.label.c_str(),
                 static_cast<unsigned long long>(routing_bytes),
                 recall * 100.0);
+    fetch_rows.push_back(JsonValue::Object(
+        {{"candidate_fetch", JsonValue::String(strategy.label)},
+         {"routing_bytes",
+          JsonValue::Number(static_cast<double>(routing_bytes))},
+         {"recall", JsonValue::Number(recall)}}));
   }
   std::printf(
       "\n(truncation cuts routing bandwidth several-fold; because the "
@@ -153,6 +169,26 @@ int Main(int argc, char** argv) {
       "as a quality prefilter and costs little or no recall — only "
       "overly aggressive limits would remove the complementary small "
       "peers IQN needs)\n");
+
+  BenchReport report(
+      "ablation_directory",
+      JsonValue::Object(
+          {{"docs", JsonValue::Number(static_cast<double>(docs))},
+           {"queries",
+            JsonValue::Number(static_cast<double>(num_queries))},
+           {"peers", JsonValue::Number(static_cast<double>(max_peers))},
+           {"seed", JsonValue::Number(static_cast<double>(seed))}}));
+  report.AddSection(
+      "results",
+      JsonValue::Object(
+          {{"publishing", JsonValue::Array(std::move(publish_rows))},
+           {"peerlist_truncation", JsonValue::Array(std::move(fetch_rows))}}));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -46,6 +48,8 @@ int Main(int argc, char** argv) {
   flags.DefineInt("queries", 6, "number of queries");
   flags.DefineInt("peers", 4, "routed peers per query");
   flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineString("out", "BENCH_ablation_freshness.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -84,6 +88,7 @@ int Main(int argc, char** argv) {
   for (int r = 0; r <= rounds; ++r) std::printf("   round %d", r);
   std::printf("\n");
 
+  std::vector<JsonValue> rows;
   for (RefreshPolicy policy :
        {RefreshPolicy::kNever, RefreshPolicy::kIncremental,
         RefreshPolicy::kFullRepublish}) {
@@ -97,6 +102,7 @@ int Main(int argc, char** argv) {
     if (!engine.value()->Publish().ok()) return 1;
 
     std::printf("%-30s", PolicyName(policy));
+    std::vector<JsonValue> recalls;
     minerva::RoutingSpec routing;  // kIqn
     DocId next_doc_id = 10 * docs;
     for (int round = 0; round <= rounds; ++round) {
@@ -142,13 +148,34 @@ int Main(int argc, char** argv) {
       }
       if (counted > 0) recall /= static_cast<double>(counted);
       std::printf("%9.1f%%", recall * 100.0);
+      recalls.push_back(JsonValue::Number(recall));
     }
     std::printf("\n");
+    rows.push_back(JsonValue::Object(
+        {{"refresh_policy", JsonValue::String(PolicyName(policy))},
+         {"recall_by_round", JsonValue::Array(std::move(recalls))}}));
   }
   std::printf(
       "\n(stale synopses make the router blind to freshly crawled "
       "documents; incremental refresh of only the touched terms keeps "
       "recall at the full-republish level)\n");
+
+  BenchReport report(
+      "ablation_freshness",
+      JsonValue::Object(
+          {{"docs", JsonValue::Number(static_cast<double>(docs))},
+           {"rounds", JsonValue::Number(static_cast<double>(rounds))},
+           {"queries",
+            JsonValue::Number(static_cast<double>(num_queries))},
+           {"peers", JsonValue::Number(static_cast<double>(max_peers))},
+           {"seed", JsonValue::Number(static_cast<double>(seed))}}));
+  report.AddSection("results", JsonValue::Array(std::move(rows)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 

@@ -11,11 +11,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "synopses/estimators.h"
 #include "synopses/min_wise.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 #include "util/random.h"
 #include "workload/overlap_sets.h"
 
@@ -27,6 +30,8 @@ int Main(int argc, char** argv) {
   flags.DefineInt("runs", 30, "set pairs per cell");
   flags.DefineInt("size", 5000, "collection size");
   flags.DefineDouble("resemblance", 1.0 / 3.0, "target resemblance");
+  flags.DefineString("out", "BENCH_ablation_heterogeneous.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -50,8 +55,11 @@ int Main(int argc, char** argv) {
   for (size_t n2 : lengths) std::printf("%10zu", n2);
   std::printf("\n");
 
+  std::vector<JsonValue> rows;
   for (size_t n1 : lengths) {
     std::printf("%-8zu", n1);
+    std::vector<JsonValue::Member> row;
+    row.emplace_back("n1", JsonValue::Number(static_cast<double>(n1)));
     for (size_t n2 : lengths) {
       Rng rng(n1 * 1000 + n2);
       double total_error = 0.0;
@@ -71,13 +79,31 @@ int Main(int argc, char** argv) {
         total_error += std::abs(est.value() - truth) / truth;
         ++counted;
       }
-      std::printf("%10.3f", counted > 0 ? total_error / counted : -1.0);
+      double mean_error = counted > 0 ? total_error / counted : -1.0;
+      std::printf("%10.3f", mean_error);
+      row.emplace_back("n2_" + std::to_string(n2),
+                       JsonValue::Number(mean_error));
     }
     std::printf("\n");
+    rows.push_back(JsonValue::Object(std::move(row)));
   }
   std::printf(
       "\n(error along a row stops improving once N2 exceeds N1: accuracy "
       "is set by the common prefix min(N1, N2))\n");
+
+  BenchReport report(
+      "ablation_heterogeneous",
+      JsonValue::Object(
+          {{"runs", JsonValue::Number(static_cast<double>(runs))},
+           {"size", JsonValue::Number(static_cast<double>(size))},
+           {"resemblance", JsonValue::Number(target)}}));
+  report.AddSection("results", JsonValue::Array(std::move(rows)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 

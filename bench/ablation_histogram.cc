@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
 #include "util/hash.h"
+#include "util/json_value.h"
 
 namespace iqn {
 namespace {
@@ -47,6 +49,8 @@ int Main(int argc, char** argv) {
   flags.DefineInt("peers", 4, "routed peers per query");
   flags.DefineInt("cells", 8, "histogram cells");
   flags.DefineInt("k", 100, "reference top-k");
+  flags.DefineString("out", "BENCH_ablation_histogram.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -115,6 +119,7 @@ int Main(int argc, char** argv) {
       {"histograms, weight exponent 2", true, 2.0},
       {"histograms, weight exponent 4", true, 4.0},
   };
+  std::vector<JsonValue> rows;
   for (const Variant& v : variants) {
     minerva::RoutingSpec routing;  // kIqn
     routing.iqn.use_histograms = v.use_histograms;
@@ -140,11 +145,34 @@ int Main(int argc, char** argv) {
     if (runs > 0) recall /= static_cast<double>(runs);
     std::printf("%-36s %9.1f%% %10zu/%zu\n", v.label.c_str(), recall * 100.0,
                 decoys_picked, runs * max_peers);
+    rows.push_back(JsonValue::Object(
+        {{"estimator", JsonValue::String(v.label)},
+         {"recall", JsonValue::Number(recall)},
+         {"decoys_picked",
+          JsonValue::Number(static_cast<double>(decoys_picked))},
+         {"routed_slots",
+          JsonValue::Number(static_cast<double>(runs * max_peers))}}));
   }
   std::printf(
       "\n(flat novelty chases the decoys' bulk; score-weighted novelty "
       "with a sharp enough exponent routes to the peers holding the "
       "actually-relevant documents)\n");
+
+  BenchReport report(
+      "ablation_histogram",
+      JsonValue::Object(
+          {{"peers", JsonValue::Number(static_cast<double>(max_peers))},
+           {"cells",
+            JsonValue::Number(
+                static_cast<double>(flags.GetInt("cells")))},
+           {"k", JsonValue::Number(static_cast<double>(query.k))}}));
+  report.AddSection("results", JsonValue::Array(std::move(rows)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 

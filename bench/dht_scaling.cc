@@ -8,9 +8,13 @@
 #include <cstdio>
 #include <string>
 
+#include <vector>
+
 #include "dht/chord.h"
 #include "dht/kv_store.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 
 namespace iqn {
 namespace {
@@ -19,6 +23,8 @@ int Main(int argc, char** argv) {
   Flags flags;
   flags.DefineInt("lookups", 200, "lookups per ring size");
   flags.DefineInt("max_nodes", 4096, "largest ring size");
+  flags.DefineString("out", "BENCH_dht_scaling.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -32,6 +38,7 @@ int Main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %14s %16s\n", "nodes", "avg hops", "max hops",
               "0.5*log2(n)", "msgs/post");
 
+  std::vector<JsonValue> rows;
   for (size_t n = 16; n <= max_nodes; n *= 4) {
     SimulatedNetwork net;
     auto ring = ChordRing::Build(&net, n);
@@ -65,10 +72,29 @@ int Main(int argc, char** argv) {
     std::printf("%-10zu %12.2f %12d %14.2f %16.2f\n", n,
                 total_hops / lookups, max_hops,
                 0.5 * std::log2(static_cast<double>(n)), msgs_per_post);
+    rows.push_back(JsonValue::Object(
+        {{"nodes", JsonValue::Number(static_cast<double>(n))},
+         {"avg_hops", JsonValue::Number(total_hops / lookups)},
+         {"max_hops", JsonValue::Number(static_cast<double>(max_hops))},
+         {"msgs_per_post", JsonValue::Number(msgs_per_post)}}));
   }
   std::printf(
       "\n(expected: avg hops tracks ~0.5*log2(n) — Chord's O(log n) "
       "routing — and posting cost grows only logarithmically)\n");
+
+  BenchReport report(
+      "dht_scaling",
+      JsonValue::Object(
+          {{"lookups", JsonValue::Number(static_cast<double>(lookups))},
+           {"max_nodes",
+            JsonValue::Number(static_cast<double>(max_nodes))}}));
+  report.AddSection("results", JsonValue::Array(std::move(rows)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 

@@ -27,7 +27,9 @@
 #include "synopses/hash_sketch.h"
 #include "synopses/loglog.h"
 #include "synopses/min_wise.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 #include "util/stats.h"
 #include "util/random.h"
 #include "workload/overlap_sets.h"
@@ -99,8 +101,8 @@ RunningStats RelativeErrorStats(const Technique& technique, size_t size,
   return stats;
 }
 
-void RunSizeSweep(const std::vector<Technique>& techniques, int runs,
-                  double resemblance) {
+JsonValue RunSizeSweep(const std::vector<Technique>& techniques, int runs,
+                       double resemblance) {
   std::printf(
       "\n=== Figure 2 (left): relative error vs collection size "
       "(expected %.0f%% mutual overlap, %d runs) ===\n",
@@ -108,19 +110,31 @@ void RunSizeSweep(const std::vector<Technique>& techniques, int runs,
   std::printf("%-10s", "docs");
   for (const auto& t : techniques) std::printf("%17s", t.label.c_str());
   std::printf("   (mean +- stddev)\n");
+  std::vector<JsonValue> rows;
   for (size_t size : {1000u, 2000u, 5000u, 10000u, 20000u, 40000u, 60000u}) {
     std::printf("%-10zu", size);
+    std::vector<JsonValue::Member> row;
+    row.emplace_back("docs", JsonValue::Number(static_cast<double>(size)));
     for (const auto& t : techniques) {
       Rng rng(size * 1315423911ULL + 1);  // same pairs for every technique
       RunningStats stats = RelativeErrorStats(t, size, resemblance, runs, &rng);
       std::printf("  %7.3f+-%6.3f", stats.Mean(), stats.StdDev());
+      row.emplace_back(t.label,
+                       JsonValue::Object(
+                           {{"mean", JsonValue::Number(stats.Mean())},
+                            {"stddev", JsonValue::Number(stats.StdDev())}}));
     }
     std::printf("\n");
+    rows.push_back(JsonValue::Object(std::move(row)));
   }
+  return JsonValue::Object(
+      {{"chart", JsonValue::String("size_sweep")},
+       {"resemblance", JsonValue::Number(resemblance)},
+       {"rows", JsonValue::Array(std::move(rows))}});
 }
 
-void RunOverlapSweep(const std::vector<Technique>& techniques, int runs,
-                     size_t fixed_size) {
+JsonValue RunOverlapSweep(const std::vector<Technique>& techniques, int runs,
+                          size_t fixed_size) {
   std::printf(
       "\n=== Figure 2 (right): relative error vs mutual overlap "
       "(fixed collection size %zu, %d runs) ===\n",
@@ -130,17 +144,29 @@ void RunOverlapSweep(const std::vector<Technique>& techniques, int runs,
   std::printf("   (mean +- stddev)\n");
   // The paper's x-axis: 50 %, 33 %, 25 %, 20 %, 17 %, 14 %, 13 %, 11 %
   // = 1/k for k = 2..9.
+  std::vector<JsonValue> rows;
   for (int k = 2; k <= 9; ++k) {
     double resemblance = 1.0 / k;
     std::printf("%9.0f%%", resemblance * 100);
+    std::vector<JsonValue::Member> row;
+    row.emplace_back("overlap", JsonValue::Number(resemblance));
     for (const auto& t : techniques) {
       Rng rng(k * 2654435761ULL + 7);
       RunningStats stats =
           RelativeErrorStats(t, fixed_size, resemblance, runs, &rng);
       std::printf("  %7.3f+-%6.3f", stats.Mean(), stats.StdDev());
+      row.emplace_back(t.label,
+                       JsonValue::Object(
+                           {{"mean", JsonValue::Number(stats.Mean())},
+                            {"stddev", JsonValue::Number(stats.StdDev())}}));
     }
     std::printf("\n");
+    rows.push_back(JsonValue::Object(std::move(row)));
   }
+  return JsonValue::Object(
+      {{"chart", JsonValue::String("overlap_sweep")},
+       {"fixed_size", JsonValue::Number(static_cast<double>(fixed_size))},
+       {"rows", JsonValue::Array(std::move(rows))}});
 }
 
 int Main(int argc, char** argv) {
@@ -152,6 +178,8 @@ int Main(int argc, char** argv) {
                   "collection size for the overlap sweep");
   flags.DefineDouble("resemblance", 1.0 / 3.0,
                      "target resemblance for the size sweep");
+  flags.DefineString("out", "BENCH_fig2_resemblance_error.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -163,13 +191,35 @@ int Main(int argc, char** argv) {
                                    /*seed=*/0x4649473243414c42ULL);
   int runs = static_cast<int>(flags.GetInt("runs"));
   std::string mode = flags.GetString("mode");
+  std::vector<JsonValue> charts;
   if (mode == "size" || mode == "all") {
-    RunSizeSweep(techniques, runs, flags.GetDouble("resemblance"));
+    charts.push_back(
+        RunSizeSweep(techniques, runs, flags.GetDouble("resemblance")));
   }
   if (mode == "overlap" || mode == "all") {
-    RunOverlapSweep(techniques, runs,
-                    static_cast<size_t>(flags.GetInt("fixed_size")));
+    charts.push_back(RunOverlapSweep(
+        techniques, runs, static_cast<size_t>(flags.GetInt("fixed_size"))));
   }
+
+  BenchReport report(
+      "fig2_resemblance_error",
+      JsonValue::Object(
+          {{"mode", JsonValue::String(mode)},
+           {"runs", JsonValue::Number(static_cast<double>(runs))},
+           {"bits",
+            JsonValue::Number(static_cast<double>(flags.GetInt("bits")))},
+           {"fixed_size",
+            JsonValue::Number(
+                static_cast<double>(flags.GetInt("fixed_size")))},
+           {"resemblance",
+            JsonValue::Number(flags.GetDouble("resemblance"))}}));
+  report.AddSection("results", JsonValue::Array(std::move(charts)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }
 

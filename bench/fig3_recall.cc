@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
 #include "workload/fragments.h"
 #include "workload/queries.h"
 #include "workload/synthetic_corpus.h"
@@ -143,8 +145,9 @@ Point Measure(minerva::Engine* engine, const std::vector<Query>& queries,
   return point;
 }
 
-void RunChart(const char* title, bool sliding, size_t docs, size_t vocab,
-              size_t num_queries, size_t k, size_t max_peers, uint64_t seed) {
+JsonValue RunChart(const char* title, bool sliding, size_t docs, size_t vocab,
+                   size_t num_queries, size_t k, size_t max_peers,
+                   uint64_t seed) {
   std::printf("\n=== Figure 3 (%s): relative recall vs #queried peers ===\n",
               title);
   std::printf(
@@ -217,6 +220,26 @@ void RunChart(const char* title, bool sliding, size_t docs, size_t vocab,
     }
     std::printf("\n");
   }
+
+  // The same table, structured for the bench report.
+  std::vector<JsonValue> series_out;
+  for (size_t si = 0; si < series.size(); ++si) {
+    std::vector<JsonValue> recalls;
+    std::vector<JsonValue> duplicates;
+    for (size_t peers = 1; peers <= max_peers; ++peers) {
+      recalls.push_back(JsonValue::Number(table[si][peers - 1].recall));
+      duplicates.push_back(
+          JsonValue::Number(table[si][peers - 1].duplicates));
+    }
+    series_out.push_back(JsonValue::Object(
+        {{"series", JsonValue::String(series[si].label)},
+         {"recall", JsonValue::Array(std::move(recalls))},
+         {"duplicates", JsonValue::Array(std::move(duplicates))}}));
+  }
+  return JsonValue::Object(
+      {{"chart", JsonValue::String(title)},
+       {"max_peers", JsonValue::Number(static_cast<double>(max_peers))},
+       {"series", JsonValue::Array(std::move(series_out))}});
 }
 
 int Main(int argc, char** argv) {
@@ -232,6 +255,8 @@ int Main(int argc, char** argv) {
                   "peer budget sweep upper bound (0 = paper defaults: "
                   "7 for choose, 10 for sliding)");
   flags.DefineInt("seed", 42, "workload seed");
+  flags.DefineString("out", "BENCH_fig3_recall.json",
+                     "bench report JSON path");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -247,14 +272,34 @@ int Main(int argc, char** argv) {
   size_t max_peers = static_cast<size_t>(flags.GetInt("max_peers"));
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
+  std::vector<JsonValue> charts;
   if (mode == "choose" || mode == "all") {
-    RunChart("left: (6 choose 3), 20 peers", /*sliding=*/false, docs, vocab,
-             queries, k, max_peers == 0 ? 7 : max_peers, seed);
+    charts.push_back(RunChart("left: (6 choose 3), 20 peers",
+                              /*sliding=*/false, docs, vocab, queries, k,
+                              max_peers == 0 ? 7 : max_peers, seed));
   }
   if (mode == "sliding" || mode == "all") {
-    RunChart("right: sliding window, 50 peers", /*sliding=*/true, docs, vocab,
-             queries, k, max_peers == 0 ? 10 : max_peers, seed);
+    charts.push_back(RunChart("right: sliding window, 50 peers",
+                              /*sliding=*/true, docs, vocab, queries, k,
+                              max_peers == 0 ? 10 : max_peers, seed));
   }
+
+  BenchReport report(
+      "fig3_recall",
+      JsonValue::Object(
+          {{"mode", JsonValue::String(mode)},
+           {"docs", JsonValue::Number(static_cast<double>(docs))},
+           {"vocab", JsonValue::Number(static_cast<double>(vocab))},
+           {"queries", JsonValue::Number(static_cast<double>(queries))},
+           {"k", JsonValue::Number(static_cast<double>(k))},
+           {"seed", JsonValue::Number(static_cast<double>(seed))}}));
+  report.AddSection("results", JsonValue::Array(std::move(charts)));
+  const std::string& out = flags.GetString("out");
+  if (Status w = report.WriteFile(out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }
 

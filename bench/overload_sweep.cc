@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "minerva/scenario.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
 
 namespace iqn {
@@ -243,9 +244,10 @@ int Main(int argc, char** argv) {
                 gate_ok ? "OK" : "FAIL");
   }
 
-  FILE* out = std::fopen(out_path.c_str(), "w");
+  LegacyReportWriter writer;
+  FILE* out = writer.stream();
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    std::fprintf(stderr, "cannot buffer bench JSON\n");
     return 1;
   }
   std::fprintf(out, "{\n");
@@ -290,7 +292,10 @@ int Main(int argc, char** argv) {
   std::fprintf(out, "  \"gate\": {\"recovered_share\": %.6f, \"pass\": %s}\n",
                recovered_share, gate_ok ? "true" : "false");
   std::fprintf(out, "}\n");
-  std::fclose(out);
+  if (Status w = writer.Finish(out_path); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", out_path.c_str());
   return gate_ok ? 0 : 2;
 }

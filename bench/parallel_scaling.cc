@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -309,9 +310,10 @@ int Main(int argc, char** argv) {
   double p99 = Percentile(sorted_service, 0.99);
   double n = static_cast<double>(batch.size());
 
-  FILE* out = std::fopen(config.out.c_str(), "w");
+  LegacyReportWriter writer;
+  FILE* out = writer.stream();
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", config.out.c_str());
+    std::fprintf(stderr, "cannot buffer bench JSON\n");
     return 1;
   }
   std::fprintf(out, "{\n");
@@ -353,7 +355,10 @@ int Main(int argc, char** argv) {
   std::string metrics_json = snapshot.ToJson();
   std::fprintf(out, "  \"metrics\": %s", metrics_json.c_str());
   std::fprintf(out, "}\n");
-  std::fclose(out);
+  if (Status w = writer.Finish(config.out); !w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
   if (!config.metrics_out.empty()) {
     if (Status w = WriteTextFile(config.metrics_out, metrics_json); !w.ok()) {
       std::fprintf(stderr, "%s\n", w.ToString().c_str());

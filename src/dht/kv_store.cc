@@ -32,6 +32,49 @@ Bytes EncodeRemove(const std::string& key, const std::string& subkey,
 
 }  // namespace
 
+DhtStore::~DhtStore() {
+  // Whatever this store still holds leaves the process with it.
+  Account(-accounted_bytes_);
+}
+
+void DhtStore::PutLocal(const std::string& key, const std::string& subkey,
+                        Bytes value) {
+  auto [kit, new_key] = data_.try_emplace(key);
+  if (new_key) Account(static_cast<int64_t>(key.size()));
+  auto sit = kit->second.find(subkey);
+  if (sit == kit->second.end()) {
+    Account(static_cast<int64_t>(subkey.size() + value.size()));
+    kit->second.emplace(subkey, std::move(value));
+  } else {
+    Account(static_cast<int64_t>(value.size()) -
+            static_cast<int64_t>(sit->second.size()));
+    sit->second = std::move(value);
+  }
+}
+
+bool DhtStore::EraseLocal(const std::string& key, const std::string& subkey) {
+  auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  if (subkey.empty()) {
+    int64_t bytes = static_cast<int64_t>(key.size());
+    for (const auto& [sub, value] : it->second) {
+      bytes += static_cast<int64_t>(sub.size() + value.size());
+    }
+    Account(-bytes);
+    data_.erase(it);
+    return true;
+  }
+  auto sit = it->second.find(subkey);
+  if (sit == it->second.end()) return false;
+  Account(-static_cast<int64_t>(subkey.size() + sit->second.size()));
+  it->second.erase(sit);
+  if (it->second.empty()) {
+    Account(-static_cast<int64_t>(key.size()));
+    data_.erase(it);
+  }
+  return true;
+}
+
 Result<std::unique_ptr<DhtStore>> DhtStore::Attach(ChordNode* node,
                                                    size_t replication) {
   if (node == nullptr) return Status::InvalidArgument("null node");
@@ -122,7 +165,7 @@ Result<Bytes> DhtStore::HandleUpsert(const Message& msg) {
     return Status::Corruption("upsert replica count out of range");
   }
 
-  data_[key][subkey] = value;
+  PutLocal(key, subkey, value);
   BumpVersion(key);
   if (replicas_left > 1) {
     ForwardToSuccessor("kv.upsert",
@@ -146,7 +189,7 @@ Result<Bytes> DhtStore::HandleUpsertBatch(const Message& msg) {
     IQN_RETURN_IF_ERROR(reader.GetString(&key));
     IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
     IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
-    data_[key][subkey] = std::move(value);
+    PutLocal(key, subkey, std::move(value));
     BumpVersion(key);
   }
   if (replicas_left > 1) {
@@ -233,16 +276,7 @@ Result<Bytes> DhtStore::HandleRemove(const Message& msg) {
     return Status::Corruption("remove replica count out of range");
   }
 
-  auto it = data_.find(key);
-  if (it != data_.end()) {
-    if (subkey.empty()) {
-      data_.erase(it);
-      BumpVersion(key);
-    } else if (it->second.erase(subkey) > 0) {
-      if (it->second.empty()) data_.erase(it);
-      BumpVersion(key);
-    }
-  }
+  if (EraseLocal(key, subkey)) BumpVersion(key);
   if (replicas_left > 1) {
     ForwardToSuccessor("kv.remove", EncodeRemove(key, subkey, replicas_left - 1));
   }
@@ -265,7 +299,7 @@ Result<Bytes> DhtStore::HandleHandoff(const Message& msg) {
       Bytes value;
       IQN_RETURN_IF_ERROR(reader.GetString(&subkey));
       IQN_RETURN_IF_ERROR(reader.GetBytes(&value));
-      data_[key][subkey] = std::move(value);
+      PutLocal(key, subkey, std::move(value));
       BumpVersion(key);
     }
   }
@@ -464,6 +498,7 @@ void DhtStore::HandoffAll(const ChordPeer& successor) {
   // Best effort: a lost handoff is repaired by the next re-post.
   (void)CallRpc(node_->network(), node_->address(), successor.address,
                               "kv.handoff", writer.Take());
+  Account(-accounted_bytes_);
   data_.clear();
 }
 

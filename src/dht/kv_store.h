@@ -24,6 +24,7 @@
 
 #include "dht/chord.h"
 #include "dht/kv_version.h"
+#include "util/mem_stats.h"
 #include "util/status.h"
 
 namespace iqn {
@@ -37,6 +38,7 @@ class DhtStore {
 
   DhtStore(const DhtStore&) = delete;
   DhtStore& operator=(const DhtStore&) = delete;
+  ~DhtStore();
 
   /// Inserts or replaces the entry `subkey` under `key`, on the key's
   /// owner and its replicas.
@@ -103,6 +105,9 @@ class DhtStore {
 
   /// Local inspection (tests, replication checks).
   size_t LocalKeyCount() const { return data_.size(); }
+  /// Payload bytes (keys + subkeys + values) this store currently holds
+  /// and has charged to the mem.dht.kv_store tracker.
+  int64_t LocalAccountedBytes() const { return accounted_bytes_; }
   bool LocalHasKey(const std::string& key) const { return data_.count(key) > 0; }
   size_t LocalEntryCount(const std::string& key) const;
 
@@ -117,7 +122,9 @@ class DhtStore {
 
  private:
   DhtStore(ChordNode* node, size_t replication)
-      : node_(node), replication_(replication) {}
+      : node_(node),
+        replication_(replication),
+        mem_(MemStats::Default().GetTracker(kMemDhtKvStore)) {}
 
   Status InstallVerbs();
 
@@ -152,10 +159,25 @@ class DhtStore {
     if (versions_ != nullptr) versions_->Bump(key);
   }
 
+  // Every local mutation flows through these three so the byte
+  // accounting (util/mem_stats.h, kMemDhtKvStore) stays balanced:
+  // payload bytes only — key once per key, subkey + value per entry.
+  void PutLocal(const std::string& key, const std::string& subkey,
+                Bytes value);
+  /// Removes `subkey` (or the whole key when empty); true if anything
+  /// was actually removed.
+  bool EraseLocal(const std::string& key, const std::string& subkey);
+  void Account(int64_t delta) {
+    accounted_bytes_ += delta;
+    mem_->Charge(delta);
+  }
+
   ChordNode* node_;
   size_t replication_;
   ValueScorer value_scorer_;
   KvVersionMap* versions_ = nullptr;
+  MemTracker* mem_;  // process-wide; this store's share is accounted_bytes_
+  int64_t accounted_bytes_ = 0;
   std::map<std::string, std::map<std::string, Bytes>> data_;
 };
 

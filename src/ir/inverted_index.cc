@@ -78,6 +78,15 @@ std::vector<DocId> InvertedIndex::DocIdsFor(const std::string& term) const {
   return ids;
 }
 
+int64_t InvertedIndex::ApproxMemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [term, list] : lists_) {
+    bytes += static_cast<int64_t>(term.size() +
+                                  list.size() * sizeof(Posting));
+  }
+  return bytes;
+}
+
 std::vector<double> InvertedIndex::NormalizedScoresFor(
     const std::string& term) const {
   std::vector<double> scores;

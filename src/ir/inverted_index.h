@@ -52,6 +52,11 @@ class InvertedIndex {
   /// DocIdsFor order.
   std::vector<double> NormalizedScoresFor(const std::string& term) const;
 
+  /// Approximate bytes held by the index payload (term strings plus
+  /// posting arrays) — the number a peer charges to the ir.postings
+  /// memory tracker. Deterministic for a given corpus.
+  int64_t ApproxMemoryBytes() const;
+
   /// Number of distinct terms (|V_i| in CORI's T component).
   size_t NumTerms() const { return lists_.size(); }
   uint64_t NumDocuments() const { return num_documents_; }

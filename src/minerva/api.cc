@@ -8,6 +8,7 @@
 #include "minerva/explain.h"
 #include "minerva/internal/iqn_router.h"
 #include "minerva/internal/router.h"
+#include "util/mem_stats.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -193,6 +194,10 @@ void EngineOptions::RegisterFlags(iqn::Flags* flags) {
                       "this path (implies tracing)");
   flags->DefineString("metrics_out", "",
                       "write a metrics-registry snapshot JSON to this path");
+  flags->DefineString("profile_out", "",
+                      "write flamegraph folded stacks of all queries to "
+                      "this path (implies tracing; enables the wall-clock "
+                      "profiler leg)");
 }
 
 iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
@@ -260,13 +265,22 @@ iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
   options.core.cache.ttl_ms = flags.GetDouble("cache_ttl_ms");
   options.trace_out = flags.GetString("trace_out");
   options.metrics_out = flags.GetString("metrics_out");
-  if (!options.trace_out.empty()) options.core.collect_traces = true;
+  options.profile_out = flags.GetString("profile_out");
+  if (!options.trace_out.empty() || !options.profile_out.empty()) {
+    options.core.collect_traces = true;
+  }
   return options;
 }
 
 iqn::Result<std::unique_ptr<Engine>> Engine::Create(
     EngineOptions options, std::vector<iqn::Corpus> collections) {
-  if (!options.trace_out.empty()) options.core.collect_traces = true;
+  if (!options.trace_out.empty() || !options.profile_out.empty()) {
+    options.core.collect_traces = true;
+  }
+  // Wall-clock leg: process-wide and opt-in; the folded sink itself is
+  // built from simulated time only, so enabling it costs determinism
+  // nothing.
+  if (!options.profile_out.empty()) iqn::CpuProfiler::Enable();
   auto engine = std::unique_ptr<Engine>(new Engine(std::move(options)));
   IQN_ASSIGN_OR_RETURN(
       engine->core_,
@@ -340,18 +354,34 @@ iqn::Status Engine::Explain(const iqn::QueryOutcome& outcome,
 }
 
 iqn::Status Engine::WriteSinks() const {
+  std::vector<const iqn::QueryTrace*> views;
+  views.reserve(traces_.size());
+  for (const auto& trace : traces_) views.push_back(trace.get());
   if (!options_.trace_out.empty()) {
-    std::vector<const iqn::QueryTrace*> views;
-    views.reserve(traces_.size());
-    for (const auto& trace : traces_) views.push_back(trace.get());
     IQN_RETURN_IF_ERROR(iqn::WriteChromeTraceFile(options_.trace_out, views));
   }
   if (!options_.metrics_out.empty()) {
+    // Mirror the component memory balances (and peak RSS) into the
+    // registry so the exported snapshot carries the mem.* gauges.
+    iqn::MemStats::Default().PublishGauges(&iqn::MetricsRegistry::Default());
     IQN_RETURN_IF_ERROR(iqn::WriteTextFile(
         options_.metrics_out,
         iqn::MetricsRegistry::Default().Snapshot().ToJson()));
   }
+  if (!options_.profile_out.empty()) {
+    IQN_RETURN_IF_ERROR(
+        iqn::WriteFoldedFile(options_.profile_out, iqn::BuildProfile(views)));
+  }
   return Status::OK();
+}
+
+iqn::ProfileReport Engine::Profile() const {
+  std::vector<const iqn::QueryTrace*> views;
+  views.reserve(traces_.size());
+  for (const auto& trace : traces_) views.push_back(trace.get());
+  iqn::ProfileReport report = iqn::BuildProfile(views);
+  iqn::AttachWallTotals(&report);
+  return report;
 }
 
 void Engine::ResetMetrics() { iqn::MetricsRegistry::Default().Reset(); }

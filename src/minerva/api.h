@@ -30,6 +30,7 @@
 #include "minerva/engine.h"
 #include "net/fault.h"
 #include "util/flags.h"
+#include "util/profiler.h"
 
 namespace minerva {
 
@@ -79,10 +80,14 @@ struct EngineOptions {
   size_t threads = 1;
   /// Installed into the simulated network at Create when active().
   iqn::FaultPlan fault_plan;
-  /// Sink paths for WriteSinks(); a nonempty trace_out implies
-  /// core.collect_traces.
+  /// Sink paths for WriteSinks(); a nonempty trace_out or profile_out
+  /// implies core.collect_traces. profile_out gets the folded stacks
+  /// (exclusive simulated microseconds) of every traced query, and
+  /// additionally turns on the wall-clock CpuProfiler leg (wall numbers
+  /// never reach the folded file — it stays deterministic).
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
 
   /// Declares the standard engine flag set (router, synopsis, cache,
   /// retry/deadline, faults, health/hedging, sinks, threads,
@@ -139,8 +144,13 @@ class Engine {
 
   /// Writes the configured sinks: trace_out gets a Chrome trace_event
   /// JSON of every traced query so far, metrics_out a metrics-registry
-  /// snapshot. Empty paths are skipped.
+  /// snapshot, profile_out the folded stacks of those same traces.
+  /// Empty paths are skipped.
   [[nodiscard]] iqn::Status WriteSinks() const;
+
+  /// The aggregated per-phase profile of every traced query so far
+  /// (simulated time, plus wall totals when the CpuProfiler ran).
+  iqn::ProfileReport Profile() const;
 
   /// Zeroes the process-wide metrics registry (e.g. after Publish, to
   /// snapshot only the query phase).

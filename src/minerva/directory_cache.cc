@@ -10,7 +10,9 @@ namespace iqn {
 
 DirectoryCache::DirectoryCache(const CacheConfig& config,
                                const KvVersionMap* versions)
-    : config_(config), versions_(versions) {
+    : config_(config),
+      versions_(versions),
+      mem_(MemStats::Default().GetTracker(kMemDirectoryCache)) {
   IQN_CHECK(versions_ != nullptr);
   MetricsRegistry& registry = MetricsRegistry::Default();
   m_hits_ = registry.GetCounter("cache.hits");
@@ -18,6 +20,22 @@ DirectoryCache::DirectoryCache(const CacheConfig& config,
   m_invalidations_ = registry.GetCounter("cache.invalidations");
   m_evictions_ = registry.GetCounter("cache.evictions");
   m_hit_ratio_ = registry.GetGauge("cache.hit_ratio");
+}
+
+DirectoryCache::~DirectoryCache() {
+  WriterMutexLock lock(&mu_);
+  AccountLocked(-accounted_bytes_);
+}
+
+int64_t DirectoryCache::EntryBytes(const std::string& term,
+                                   const Entry& entry) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Entry) + term.size());
+  for (const Post& post : entry.posts) {
+    bytes += static_cast<int64_t>(sizeof(Post) + post.term.size() +
+                                  post.synopsis.size() +
+                                  post.histogram.size());
+  }
+  return bytes;
 }
 
 const std::vector<Post>* DirectoryCache::Session::Lookup(
@@ -87,6 +105,8 @@ void DirectoryCache::Commit(Session* session) {
     entry.fill_seq = next_fill_seq_++;
     entry.limit = fill.limit;
     entry.posts = std::move(fill.posts);
+    if (it != entries_.end()) AccountLocked(-EntryBytes(term, it->second));
+    AccountLocked(EntryBytes(term, entry));
     entries_[term] = std::move(entry);
   }
   session->pending_.clear();
@@ -99,6 +119,7 @@ void DirectoryCache::Commit(Session* session) {
       for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if (it->second.fill_seq < victim->second.fill_seq) victim = it;
       }
+      AccountLocked(-EntryBytes(victim->first, victim->second));
       entries_.erase(victim);
       m_evictions_->Increment();
     }
@@ -120,6 +141,7 @@ void DirectoryCache::AdvanceTime(double delta_ms) {
 
 void DirectoryCache::Clear() {
   WriterMutexLock lock(&mu_);
+  AccountLocked(-accounted_bytes_);
   entries_.clear();
 }
 

@@ -36,6 +36,7 @@
 
 #include "dht/kv_version.h"
 #include "minerva/post.h"
+#include "util/mem_stats.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -62,6 +63,7 @@ class DirectoryCache {
 
   DirectoryCache(const DirectoryCache&) = delete;
   DirectoryCache& operator=(const DirectoryCache&) = delete;
+  ~DirectoryCache();
 
   /// A query's window onto the cache: reads committed entries, buffers
   /// its own fills. Many sessions may read one cache concurrently; the
@@ -133,6 +135,13 @@ class DirectoryCache {
   }
   const CacheConfig& config() const { return config_; }
 
+  /// Bytes of committed entries this cache has charged to the
+  /// mem.minerva.directory_cache tracker (terms, post payloads).
+  int64_t AccountedBytes() const IQN_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return accounted_bytes_;
+  }
+
  private:
   struct Entry {
     uint64_t version = 0;
@@ -142,8 +151,21 @@ class DirectoryCache {
     std::vector<Post> posts;
   };
 
+  /// Approximate held bytes for one committed entry: struct payloads
+  /// plus every post's term/synopsis/histogram bytes (decoded synopsis
+  /// memos are accounted separately, under synopses.decoded).
+  static int64_t EntryBytes(const std::string& term, const Entry& entry);
+  /// Adjusts both the local balance and the process-wide tracker; every
+  /// committed-state mutation pairs with exactly one call.
+  void AccountLocked(int64_t delta) IQN_REQUIRES(mu_) {
+    accounted_bytes_ += delta;
+    mem_->Charge(delta);
+  }
+
   CacheConfig config_;
   const KvVersionMap* versions_;
+  MemTracker* mem_;
+  int64_t accounted_bytes_ IQN_GUARDED_BY(mu_) = 0;
 
   // The two-phase visibility rule as a capability: committed state is
   // readable under mu_ shared (Session::Lookup — any number of batch

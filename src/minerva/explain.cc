@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/profiler.h"
+
 namespace iqn {
 
 namespace {
@@ -131,7 +133,15 @@ Result<std::string> ExplainQuery(const QueryOutcome& outcome) {
   }
   IQN_ASSIGN_OR_RETURN(QueryExplanation explanation,
                        ExplainFromTrace(*outcome.trace));
-  return RenderExplanation(explanation);
+  std::string out = RenderExplanation(explanation);
+  // Per-phase timing from the same span tree the explanation parsed:
+  // route / iqn.decode / iqn.correlate / merge and the rest, inclusive
+  // and exclusive simulated time. Pure function of the trace, so the
+  // golden tests pin it like everything else here.
+  ProfileReport profile = BuildProfile({outcome.trace.get()});
+  out += "phase profile (simulated time)\n";
+  out += profile.ToTableString();
+  return out;
 }
 
 }  // namespace iqn

@@ -125,10 +125,15 @@ Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
 
   std::vector<std::vector<ScoredDoc>> all_lists = execution.per_peer_results;
   all_lists.push_back(execution.local_results);
-  execution.merged = MergeResults(all_lists, query.k);
-  // The untruncated distinct-result list, for recall measurement.
-  execution.all_distinct =
-      MergeResults(all_lists, std::numeric_limits<size_t>::max());
+  {
+    ScopedSpan merge_span("merge");
+    execution.merged = MergeResults(all_lists, query.k);
+    // The untruncated distinct-result list, for recall measurement.
+    execution.all_distinct =
+        MergeResults(all_lists, std::numeric_limits<size_t>::max());
+    merge_span.AttrUint("lists", all_lists.size());
+    merge_span.AttrUint("distinct", execution.all_distinct.size());
+  }
   return execution;
 }
 

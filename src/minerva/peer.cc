@@ -62,7 +62,16 @@ Peer::Peer(uint64_t peer_id, ChordNode* node, DhtStore* store,
       node_(node),
       directory_(store),
       synopsis_config_(synopsis_config),
-      scoring_(scoring) {}
+      scoring_(scoring),
+      mem_postings_(MemStats::Default().GetTracker(kMemPostings)) {}
+
+Peer::~Peer() { mem_postings_->Release(accounted_index_bytes_); }
+
+void Peer::ReaccountIndex() {
+  int64_t bytes = index_.ApproxMemoryBytes();
+  mem_postings_->Charge(bytes - accounted_index_bytes_);
+  accounted_index_bytes_ = bytes;
+}
 
 Result<std::unique_ptr<Peer>> Peer::Create(uint64_t peer_id, ChordNode* node,
                                            DhtStore* store,
@@ -84,6 +93,7 @@ Result<std::unique_ptr<Peer>> Peer::Create(uint64_t peer_id, ChordNode* node,
 Status Peer::SetCollection(Corpus collection) {
   collection_ = std::move(collection);
   index_ = InvertedIndex::Build(collection_, scoring_);
+  ReaccountIndex();
   return Status::OK();
 }
 
@@ -102,6 +112,7 @@ Status Peer::AddDocuments(const Corpus& delta, bool republish) {
   }
   collection_.Merge(delta);
   index_ = InvertedIndex::Build(collection_, scoring_);
+  ReaccountIndex();
   if (!republish || touched.empty()) return Status::OK();
 
   std::vector<Post> refreshed;

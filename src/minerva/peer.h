@@ -40,6 +40,7 @@ class Peer {
 
   Peer(const Peer&) = delete;
   Peer& operator=(const Peer&) = delete;
+  ~Peer();
 
   uint64_t peer_id() const { return peer_id_; }
   NodeAddress address() const { return node_->address(); }
@@ -147,6 +148,11 @@ class Peer {
 
   Result<Bytes> HandleQuery(const Message& msg) const;
 
+  /// Re-charges the ir.postings tracker after an index rebuild (the
+  /// index is replaced wholesale, so accounting is a delta against the
+  /// previous rebuild's total).
+  void ReaccountIndex();
+
   uint64_t peer_id_;
   ChordNode* node_;
   Directory directory_;
@@ -154,6 +160,8 @@ class Peer {
   ScoringModel scoring_;
   Corpus collection_;
   InvertedIndex index_;
+  MemTracker* mem_postings_;
+  int64_t accounted_index_bytes_ = 0;
   /// Adversarial misreporting (SetBehavior); honest by default.
   PeerBehavior behavior_ = PeerBehavior::kHonest;
   double behavior_factor_ = 1.0;

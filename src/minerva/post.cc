@@ -6,6 +6,7 @@
 #include "synopses/min_wise.h"
 #include "synopses/serialization.h"
 #include "util/bits.h"
+#include "util/mem_stats.h"
 
 namespace iqn {
 
@@ -113,11 +114,32 @@ Result<ScoreHistogramSynopsis> Post::DecodeHistogram() const {
   return DeserializeHistogram(&reader);
 }
 
+namespace {
+
+// Decoded-synopsis memos live exactly as long as their shared_ptr
+// control blocks, across arbitrarily many Post copies — so the
+// synopses.decoded balance is tied to the deleter: charged when the
+// memo materializes, released when the LAST sharer drops it.
+template <typename T>
+std::shared_ptr<const T> ChargeDecoded(std::unique_ptr<T> decoded,
+                                       size_t size_bits) {
+  MemTracker* mem = MemStats::Default().GetTracker(kMemDecodedSynopses);
+  const int64_t bytes = static_cast<int64_t>(size_bits / 8);
+  mem->Charge(bytes);
+  return std::shared_ptr<const T>(decoded.release(), [mem, bytes](const T* p) {
+    mem->Release(bytes);
+    delete p;
+  });
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const SetSynopsis>> Post::SharedSynopsis() const {
   if (synopsis_memo_ == nullptr) {
     IQN_ASSIGN_OR_RETURN(std::unique_ptr<SetSynopsis> decoded,
                          DecodeSynopsis());
-    synopsis_memo_ = std::shared_ptr<const SetSynopsis>(std::move(decoded));
+    const size_t bits = decoded->SizeBits();
+    synopsis_memo_ = ChargeDecoded(std::move(decoded), bits);
   }
   return synopsis_memo_;
 }
@@ -126,8 +148,10 @@ Result<std::shared_ptr<const ScoreHistogramSynopsis>> Post::SharedHistogram()
     const {
   if (histogram_memo_ == nullptr) {
     IQN_ASSIGN_OR_RETURN(ScoreHistogramSynopsis decoded, DecodeHistogram());
-    histogram_memo_ = std::make_shared<const ScoreHistogramSynopsis>(
-        std::move(decoded));
+    auto owned =
+        std::make_unique<ScoreHistogramSynopsis>(std::move(decoded));
+    const size_t bits = owned->SizeBits();
+    histogram_memo_ = ChargeDecoded(std::move(owned), bits);
   }
   return histogram_memo_;
 }

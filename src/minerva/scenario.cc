@@ -1142,6 +1142,7 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
           std::string text;
           IQN_RETURN_IF_ERROR(e.Explain(o, &text));
           trace_fp = iqn::HashString(text, trace_fp);
+          result.traces.push_back(o.trace);
         }
         ++result.queries_run;
       }

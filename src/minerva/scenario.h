@@ -25,6 +25,7 @@
 #define IQN_MINERVA_SCENARIO_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -234,6 +235,12 @@ struct ScenarioResult {
   /// Same, over the rendered ExplainQuery text of every query (0 unless
   /// engine.collect_traces).
   uint64_t trace_fingerprint = 0;
+  /// Every query's trace, in stream order (empty unless
+  /// engine.collect_traces). Outlives the scenario's engine so callers
+  /// (tools/run_scenario sinks, profile aggregation) can export them.
+  /// NOT part of ScenarioResultToJson — the result JSON stays
+  /// byte-identical with and without tracing-dependent consumers.
+  std::vector<std::shared_ptr<const iqn::QueryTrace>> traces;
 };
 
 /// Executes the spec end to end on a fresh engine: build workload ->

@@ -1,0 +1,124 @@
+#include "util/bench_report.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/mem_stats.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+// Provenance stamps injected by src/CMakeLists.txt onto this one TU.
+#ifndef IQN_GIT_SHA
+#define IQN_GIT_SHA "unknown"
+#endif
+#ifndef IQN_BUILD_FLAGS
+#define IQN_BUILD_FLAGS "unknown"
+#endif
+
+namespace iqn {
+
+BenchReport::BenchReport(std::string bench, JsonValue workload)
+    : bench_(std::move(bench)), workload_(std::move(workload)) {
+  IQN_CHECK(!bench_.empty());
+}
+
+void BenchReport::AddSection(std::string key, JsonValue value) {
+  IQN_CHECK(key != "schema" && key != "bench" && key != "git_sha" &&
+            key != "build_flags" && key != "workload" && key != "resources");
+  sections_.emplace_back(std::move(key), std::move(value));
+}
+
+JsonValue BenchReport::Build() const {
+  std::vector<JsonValue::Member> members;
+  members.emplace_back("schema", JsonValue::String(kSchema));
+  members.emplace_back("bench", JsonValue::String(bench_));
+  members.emplace_back("git_sha", JsonValue::String(GitSha()));
+  members.emplace_back("build_flags", JsonValue::String(BuildFlags()));
+  members.emplace_back("workload", workload_);
+
+  bool has_metrics = false;
+  for (const JsonValue::Member& section : sections_) {
+    if (section.first == "metrics") has_metrics = true;
+    members.push_back(section);
+  }
+  if (!has_metrics) {
+    members.emplace_back("metrics",
+                         MetricsRegistry::Default().Snapshot().ToJsonValue());
+  }
+
+  std::vector<JsonValue::Member> mem_members;
+  for (const auto& [name, bytes] : MemStats::Default().Snapshot()) {
+    mem_members.emplace_back(name,
+                             JsonValue::Number(static_cast<double>(bytes)));
+  }
+  members.emplace_back(
+      "resources",
+      JsonValue::Object(
+          {{"peak_rss_bytes",
+            JsonValue::Number(static_cast<double>(ReadPeakRssBytes()))},
+           {"mem", JsonValue::Object(std::move(mem_members))}}));
+  return JsonValue::Object(std::move(members));
+}
+
+std::string BenchReport::ToJsonString() const { return EmitJson(Build()); }
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  return WriteTextFile(path, ToJsonString());
+}
+
+Result<BenchReport> BenchReport::FromLegacyJson(
+    const std::string& legacy_text) {
+  Result<JsonValue> parsed = ParseJson(legacy_text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("legacy bench JSON is not an object");
+  }
+  if (doc.Find("schema") != nullptr) {
+    return Status::InvalidArgument(
+        "document is already a BenchReport (has \"schema\")");
+  }
+  const JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    return Status::InvalidArgument(
+        "legacy bench JSON has no string \"bench\" member");
+  }
+  const JsonValue* workload = doc.Find("workload");
+  BenchReport report(bench->string_value(), workload != nullptr
+                                                ? *workload
+                                                : JsonValue::Object({}));
+  for (const JsonValue::Member& member : doc.members()) {
+    if (member.first == "bench" || member.first == "workload") continue;
+    report.AddSection(member.first, member.second);
+  }
+  return report;
+}
+
+std::string BenchReport::GitSha() { return IQN_GIT_SHA; }
+
+std::string BenchReport::BuildFlags() { return IQN_BUILD_FLAGS; }
+
+LegacyReportWriter::LegacyReportWriter() {
+  stream_ = open_memstream(&buf_, &size_);
+}
+
+LegacyReportWriter::~LegacyReportWriter() {
+  if (stream_ != nullptr) std::fclose(stream_);
+  std::free(buf_);
+}
+
+Status LegacyReportWriter::Finish(const std::string& path) {
+  if (stream_ == nullptr) {
+    return Status::Internal("open_memstream failed");
+  }
+  if (std::fclose(stream_) != 0) {
+    stream_ = nullptr;
+    return Status::Internal("error flushing in-memory bench JSON");
+  }
+  stream_ = nullptr;
+  std::string text(buf_, size_);
+  IQN_ASSIGN_OR_RETURN(BenchReport report, BenchReport::FromLegacyJson(text));
+  return report.WriteFile(path);
+}
+
+}  // namespace iqn

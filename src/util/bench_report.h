@@ -1,0 +1,107 @@
+// The unified bench report: one JSON schema every bench (and the
+// scenario runner) emits, so tools/bench_diff.py can compare any two
+// runs — same bench across PRs, same PR across seeds — key by key.
+//
+// Shape (sections in this order):
+//   {
+//     "schema":      "iqn.bench_report.v1",
+//     "bench":       "<name>",
+//     "git_sha":     "<configure-time HEAD, or 'unknown'>",
+//     "build_flags": "<build type + compiler flags>",
+//     "workload":    { ...bench parameters... },
+//     ...bench-specific sections in insertion order ("results",
+//        "sinks", "pass", "metrics", ...)...,
+//     "resources":   {"peak_rss_bytes": N, "mem": {component: bytes}}
+//   }
+// If the bench did not supply a "metrics" section, Build() appends a
+// fresh MetricsRegistry::Default() snapshot under that key.
+//
+// Determinism contract: everything except "git_sha", "build_flags",
+// "resources.peak_rss_bytes", and any sink PATHS is a pure function of
+// the bench's seeds — two same-seed runs must produce byte-identical
+// values there, and the CI perf-telemetry job diffs exactly that.
+// Provenance stamps come from compile definitions on bench_report.cc
+// (configure-time git sha: stale until re-configure, by design — it
+// identifies the build, not the working tree).
+//
+// Emission goes through util/json_value's canonical writer, so report
+// files are stable under parse/re-emit and diff cleanly.
+
+#ifndef IQN_UTIL_BENCH_REPORT_H_
+#define IQN_UTIL_BENCH_REPORT_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json_value.h"
+#include "util/status.h"
+
+namespace iqn {
+
+class BenchReport {
+ public:
+  /// `workload` should be an object describing the bench parameters
+  /// (corpus size, seeds, sweep axes); pass an empty Object otherwise.
+  BenchReport(std::string bench, JsonValue workload);
+
+  /// Appends a bench-specific section; insertion order is preserved in
+  /// the output. Keys must not collide with the schema's fixed keys.
+  void AddSection(std::string key, JsonValue value);
+
+  /// Assembles the full report, sampling resources (and metrics, if no
+  /// "metrics" section was added) at call time.
+  JsonValue Build() const;
+  /// EmitJson(Build()).
+  std::string ToJsonString() const;
+  Status WriteFile(const std::string& path) const;
+
+  /// Adopts a legacy bench JSON document (an object with a "bench"
+  /// string member, as the pre-schema benches wrote): "bench" becomes
+  /// the report name, a "workload" member (if any) the workload, and
+  /// every other member a section in source order. Errors on anything
+  /// that is not an object with a string "bench".
+  static Result<BenchReport> FromLegacyJson(const std::string& legacy_text);
+
+  static std::string GitSha();
+  static std::string BuildFlags();
+
+  static constexpr char kSchema[] = "iqn.bench_report.v1";
+
+ private:
+  std::string bench_;
+  JsonValue workload_;
+  std::vector<JsonValue::Member> sections_;
+};
+
+/// Migration shim for benches that emit their JSON with fprintf: the
+/// same FILE* emission goes to an in-memory stream instead of the
+/// output file, and Finish() parses it, wraps it via FromLegacyJson,
+/// and writes the unified report. The bench keeps its exact section
+/// content and order; the shim adds schema/provenance/resources.
+class LegacyReportWriter {
+ public:
+  LegacyReportWriter();
+  ~LegacyReportWriter();
+  LegacyReportWriter(const LegacyReportWriter&) = delete;
+  LegacyReportWriter& operator=(const LegacyReportWriter&) = delete;
+
+  /// The stream to fprintf the legacy JSON document into; nullptr if
+  /// the memstream could not be created (Finish reports the error).
+  FILE* stream() { return stream_; }
+
+  /// Closes the stream, wraps the captured document, writes `path`.
+  /// Call exactly once.
+  Status Finish(const std::string& path);
+
+ private:
+  FILE* stream_ = nullptr;
+  char* buf_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_BENCH_REPORT_H_

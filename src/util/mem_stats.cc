@@ -1,0 +1,67 @@
+#include "util/mem_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace iqn {
+
+void MemTracker::Charge(int64_t delta) {
+  int64_t prev = bytes_.fetch_add(delta, std::memory_order_relaxed);
+  // A negative balance means some owner released bytes it never charged
+  // (or double-released): the accounting is lying, which poisons every
+  // report downstream — fail fast.
+  IQN_CHECK_GE(prev + delta, 0);
+}
+
+MemStats& MemStats::Default() {
+  static MemStats stats;
+  return stats;
+}
+
+MemTracker* MemStats::GetTracker(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = trackers_[name];
+  if (slot == nullptr) slot = std::make_unique<MemTracker>(name);
+  return slot.get();
+}
+
+std::map<std::string, int64_t> MemStats::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, tracker] : trackers_) {
+    out[name] = tracker->bytes();
+  }
+  return out;
+}
+
+void MemStats::PublishGauges(MetricsRegistry* registry) const {
+  IQN_CHECK(registry != nullptr);
+  for (const auto& [name, bytes] : Snapshot()) {
+    registry->GetGauge("mem." + name + ".bytes")
+        ->Set(static_cast<double>(bytes));
+  }
+  registry->GetGauge("mem.peak_rss_bytes")
+      ->Set(static_cast<double>(ReadPeakRssBytes()));
+}
+
+int64_t ReadPeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:    123456 kB" — peak resident set since process start.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + 6, "%lld", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace iqn

@@ -1,0 +1,103 @@
+// Per-component memory accounting WITHOUT allocator interposition.
+//
+// The ROADMAP's scale-up item (1k-10k peers, 1M+ docs) needs to know
+// where the bytes live before arenas/SIMD land. A global allocator hook
+// would see everything but attribute nothing; instead, each container
+// OWNER (the DHT kv-store, the directory cache, a peer's inverted
+// index, the decoded-synopsis memos) charges a registered MemTracker
+// with the bytes it holds and releases them when it lets go. Accounting
+// is therefore approximate (payload bytes, not malloc overhead) but
+// attributable, cheap, and exact enough to rank components.
+//
+// Determinism: balances are sums of charges whose SET is deterministic,
+// so snapshots are bit-identical across runs and thread counts — they
+// are safe to embed in BenchReports and diff with tools/bench_diff.py.
+// Peak RSS (ReadPeakRssBytes) is the one OS-dependent number; reports
+// keep it under a key bench_diff ignores by default.
+//
+// Trackers live in a process-wide registry (MemStats::Default()) with
+// the same stable-address contract as MetricsRegistry: owners look one
+// up once and charge lock-free from then on. PublishGauges mirrors the
+// balances into `mem.*` gauges so metrics snapshots carry them.
+
+#ifndef IQN_UTIL_MEM_STATS_H_
+#define IQN_UTIL_MEM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace iqn {
+
+class MetricsRegistry;
+
+/// Signed byte balance for one component. Charge/Release are relaxed
+/// atomics (the total is order-independent); a balance going negative
+/// means an owner released bytes it never charged — a bug, checked.
+class MemTracker {
+ public:
+  explicit MemTracker(std::string name) : name_(std::move(name)) {}
+  MemTracker(const MemTracker&) = delete;
+  MemTracker& operator=(const MemTracker&) = delete;
+
+  /// Adds `delta` bytes (negative to shrink). The post-charge balance
+  /// must stay >= 0 (IQN_CHECK).
+  void Charge(int64_t delta);
+  /// Convenience for the common "drop what I charged" direction.
+  void Release(int64_t bytes) { Charge(-bytes); }
+
+  int64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> bytes_{0};
+};
+
+/// Name -> tracker registry, mirroring MetricsRegistry: registration is
+/// mutex-guarded, addresses are stable for the process lifetime, and
+/// the hot path (Charge/Release on a cached pointer) takes no lock.
+class MemStats {
+ public:
+  MemStats() = default;
+  MemStats(const MemStats&) = delete;
+  MemStats& operator=(const MemStats&) = delete;
+
+  /// The process-wide registry every owner reports into.
+  static MemStats& Default();
+
+  /// Registers on first use; later calls return the same tracker.
+  MemTracker* GetTracker(const std::string& name) IQN_EXCLUDES(mu_);
+
+  /// Point-in-time copy of every balance, keys sorted (std::map order).
+  std::map<std::string, int64_t> Snapshot() const IQN_EXCLUDES(mu_);
+
+  /// Mirrors every balance into `registry` as a `mem.<name>.bytes`
+  /// gauge, plus `mem.peak_rss_bytes` from /proc/self/status.
+  void PublishGauges(MetricsRegistry* registry) const IQN_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<MemTracker>> trackers_
+      IQN_GUARDED_BY(mu_);
+};
+
+/// Peak resident set size (VmHWM) in bytes from /proc/self/status, or 0
+/// where the proc interface is unavailable. OS-dependent — never feed
+/// this into anything that must be deterministic.
+int64_t ReadPeakRssBytes();
+
+// Canonical tracker names, so owners and reports agree on spelling.
+inline constexpr char kMemDhtKvStore[] = "dht.kv_store";
+inline constexpr char kMemDirectoryCache[] = "minerva.directory_cache";
+inline constexpr char kMemPostings[] = "ir.postings";
+inline constexpr char kMemDecodedSynopses[] = "synopses.decoded";
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_MEM_STATS_H_

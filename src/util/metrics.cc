@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
-#include "util/json.h"
+#include "util/json_value.h"
 
 namespace iqn {
 
@@ -113,44 +113,51 @@ void MetricsRegistry::Reset() {
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 
-std::string MetricsSnapshot::ToJson() const {
-  std::string out = "{\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, value] : counters) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"gauges\": {";
-  first = true;
-  for (const auto& [name, value] : gauges) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    \"" + JsonEscape(name) + "\": " + JsonDouble(value);
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"histograms\": {";
-  first = true;
-  for (const auto& [name, data] : histograms) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    \"" + JsonEscape(name) + "\": {\"bounds\": [";
-    for (size_t i = 0; i < data.bounds.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += JsonDouble(data.bounds[i]);
-    }
-    out += "], \"counts\": [";
-    for (size_t i = 0; i < data.counts.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += std::to_string(data.counts[i]);
-    }
-    out += "], \"count\": " + std::to_string(data.count) +
-           ", \"sum\": " + JsonDouble(data.sum) + "}";
-  }
-  out += first ? "}\n" : "\n  }\n";
-  out += "}\n";
-  return out;
+namespace {
+
+// Gauges are the one instrument that can hold a non-finite double
+// (e.g. a ratio before its denominator ever updated): JSON has no
+// encoding for those, so they export as null rather than as the
+// unparsable "nan" the old %.17g path produced.
+JsonValue FiniteNumberOrNull(double v) {
+  if (!std::isfinite(v)) return JsonValue::Null();
+  return JsonValue::Number(v);
 }
+
+}  // namespace
+
+JsonValue MetricsSnapshot::ToJsonValue() const {
+  std::vector<JsonValue::Member> counter_members;
+  for (const auto& [name, value] : counters) {
+    counter_members.emplace_back(
+        name, JsonValue::Number(static_cast<double>(value)));
+  }
+  std::vector<JsonValue::Member> gauge_members;
+  for (const auto& [name, value] : gauges) {
+    gauge_members.emplace_back(name, FiniteNumberOrNull(value));
+  }
+  std::vector<JsonValue::Member> histogram_members;
+  for (const auto& [name, data] : histograms) {
+    std::vector<JsonValue> bounds;
+    for (double b : data.bounds) bounds.push_back(JsonValue::Number(b));
+    std::vector<JsonValue> bucket_counts;
+    for (uint64_t c : data.counts) {
+      bucket_counts.push_back(JsonValue::Number(static_cast<double>(c)));
+    }
+    histogram_members.emplace_back(
+        name,
+        JsonValue::Object(
+            {{"bounds", JsonValue::Array(std::move(bounds))},
+             {"counts", JsonValue::Array(std::move(bucket_counts))},
+             {"count", JsonValue::Number(static_cast<double>(data.count))},
+             {"sum", FiniteNumberOrNull(data.sum)}}));
+  }
+  return JsonValue::Object(
+      {{"counters", JsonValue::Object(std::move(counter_members))},
+       {"gauges", JsonValue::Object(std::move(gauge_members))},
+       {"histograms", JsonValue::Object(std::move(histogram_members))}});
+}
+
+std::string MetricsSnapshot::ToJson() const { return EmitJson(ToJsonValue()); }
 
 }  // namespace iqn

@@ -117,8 +117,14 @@ struct MetricsSnapshot {
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
 
-  /// Pretty-printed JSON object with "counters", "gauges", "histograms"
-  /// sections, keys sorted (std::map order) for diff-stable output.
+  /// The snapshot as a util/json_value document: {"counters", "gauges",
+  /// "histograms"} sections, keys sorted (std::map order). Non-finite
+  /// gauge values (a 0/0 ratio before first update) become null —
+  /// NaN/Inf have no JSON encoding and would poison every consumer.
+  class JsonValue ToJsonValue() const;
+
+  /// ToJsonValue() through the canonical emitter: 2-space indent,
+  /// shortest-round-trip doubles (0.1 stays "0.1"), diff-stable.
   std::string ToJson() const;
 };
 

@@ -1,0 +1,208 @@
+#include "util/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace iqn {
+
+namespace {
+
+// Rounds a nonnegative-by-construction microsecond total to an integer
+// the same way tools/validate_trace.py does (floor(x + 0.5) after
+// clamping float noise at zero) — the two sides must agree bit-exactly.
+uint64_t RoundFoldedUs(double us) {
+  if (us < 0.0) us = 0.0;
+  return static_cast<uint64_t>(std::floor(us + 0.5));
+}
+
+struct WallState {
+  Mutex mu;
+  std::map<std::string, CpuProfiler::WallTotal> totals IQN_GUARDED_BY(mu);
+};
+
+WallState& GlobalWallState() {
+  static WallState state;
+  return state;
+}
+
+}  // namespace
+
+std::atomic<bool> CpuProfiler::enabled_{false};
+
+int64_t CpuProfiler::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CpuProfiler::RecordWall(const char* label, int64_t wall_ns) {
+  WallState& state = GlobalWallState();
+  MutexLock lock(&state.mu);
+  WallTotal& total = state.totals[label];
+  total.count += 1;
+  total.total_ns += wall_ns;
+}
+
+std::map<std::string, CpuProfiler::WallTotal> CpuProfiler::WallSnapshot() {
+  WallState& state = GlobalWallState();
+  MutexLock lock(&state.mu);
+  return state.totals;
+}
+
+void CpuProfiler::ResetWall() {
+  WallState& state = GlobalWallState();
+  MutexLock lock(&state.mu);
+  state.totals.clear();
+}
+
+ProfileReport BuildProfile(const std::vector<const QueryTrace*>& traces) {
+  // Per-label accumulators, in first-encounter order so float sums have
+  // a fixed order; sorted into the report at the end.
+  std::map<std::string, ProfileEntry> by_label;
+  // Folded paths accumulate exclusive microseconds in encounter order.
+  std::map<std::string, double> folded_us;
+  std::vector<std::string> folded_order;
+
+  for (const QueryTrace* trace : traces) {
+    if (trace == nullptr) continue;
+    const std::vector<TraceSpan>& spans = trace->spans();
+    // Exclusive time starts as the span's own duration; every child
+    // subtracts its duration from its parent, in span-id order. All
+    // arithmetic happens on the microsecond values the Chrome exporter
+    // emits, so offline validators can replay it exactly.
+    std::vector<double> exclusive_us(spans.size(), 0.0);
+    std::vector<std::string> path(spans.size());
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const TraceSpan& span = spans[i];
+      const double dur_us = (span.end_ms - span.start_ms) * 1000.0;
+      exclusive_us[i] = dur_us;
+      if (span.parent_id != 0) {
+        exclusive_us[span.parent_id - 1] -= dur_us;
+        path[i] = path[span.parent_id - 1] + ";" + span.name;
+      } else {
+        path[i] = span.name;
+      }
+      ProfileEntry& entry = by_label[span.name];
+      entry.count += 1;
+      entry.inclusive_us += dur_us;
+    }
+    for (size_t i = 0; i < spans.size(); ++i) {
+      by_label[spans[i].name].exclusive_us += exclusive_us[i];
+      auto [it, inserted] = folded_us.emplace(path[i], 0.0);
+      if (inserted) folded_order.push_back(path[i]);
+      it->second += exclusive_us[i];
+    }
+  }
+
+  ProfileReport report;
+  for (auto& [label, entry] : by_label) {
+    entry.label = label;
+    report.entries.push_back(entry);
+  }
+  // folded_us is a std::map, so this emits sorted by path; the
+  // accumulation order above (encounter order) is what determinism
+  // depends on, not the output order.
+  for (const auto& [folded_path, us] : folded_us) {
+    report.folded.emplace_back(folded_path, RoundFoldedUs(us));
+  }
+  return report;
+}
+
+void AttachWallTotals(ProfileReport* report) {
+  IQN_CHECK(report != nullptr);
+  std::map<std::string, CpuProfiler::WallTotal> wall =
+      CpuProfiler::WallSnapshot();
+  for (ProfileEntry& entry : report->entries) {
+    auto it = wall.find(entry.label);
+    if (it == wall.end()) continue;
+    entry.wall_ns = static_cast<double>(it->second.total_ns);
+    wall.erase(it);
+  }
+  // Wall-only labels (spans that ran with no trace installed) still
+  // belong in the table; they carry zero simulated time.
+  for (const auto& [label, total] : wall) {
+    ProfileEntry entry;
+    entry.label = label;
+    entry.count = total.count;
+    entry.wall_ns = static_cast<double>(total.total_ns);
+    report->entries.push_back(entry);
+  }
+  std::sort(report->entries.begin(), report->entries.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.label < b.label;
+            });
+}
+
+std::string ProfileReport::ToFoldedString() const {
+  std::string out;
+  for (const auto& [path, count] : folded) {
+    out += path;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProfileReport::ToTableString() const {
+  bool any_wall = false;
+  for (const ProfileEntry& entry : entries) {
+    if (entry.wall_ns > 0.0) any_wall = true;
+  }
+  std::string out = any_wall
+                        ? "span                     count   incl_ms   excl_ms"
+                          "   wall_ms\n"
+                        : "span                     count   incl_ms   excl_ms\n";
+  for (const ProfileEntry& entry : entries) {
+    char line[160];
+    if (any_wall) {
+      std::snprintf(line, sizeof(line), "%-22s %7llu %9.3f %9.3f %9.3f\n",
+                    entry.label.c_str(),
+                    static_cast<unsigned long long>(entry.count),
+                    entry.inclusive_us / 1000.0, entry.exclusive_us / 1000.0,
+                    entry.wall_ns / 1e6);
+    } else {
+      std::snprintf(line, sizeof(line), "%-22s %7llu %9.3f %9.3f\n",
+                    entry.label.c_str(),
+                    static_cast<unsigned long long>(entry.count),
+                    entry.inclusive_us / 1000.0, entry.exclusive_us / 1000.0);
+    }
+    out += line;
+  }
+  return out;
+}
+
+JsonValue ProfileReport::ToJsonValue() const {
+  std::vector<JsonValue::Member> spans;
+  for (const ProfileEntry& entry : entries) {
+    std::vector<JsonValue::Member> fields;
+    fields.emplace_back("count",
+                        JsonValue::Number(static_cast<double>(entry.count)));
+    fields.emplace_back("inclusive_us", JsonValue::Number(entry.inclusive_us));
+    fields.emplace_back("exclusive_us", JsonValue::Number(entry.exclusive_us));
+    if (entry.wall_ns > 0.0) {
+      fields.emplace_back("wall_ns", JsonValue::Number(entry.wall_ns));
+    }
+    spans.emplace_back(entry.label, JsonValue::Object(std::move(fields)));
+  }
+  std::vector<JsonValue::Member> folded_members;
+  for (const auto& [path, count] : folded) {
+    folded_members.emplace_back(path,
+                                JsonValue::Number(static_cast<double>(count)));
+  }
+  return JsonValue::Object(
+      {{"spans", JsonValue::Object(std::move(spans))},
+       {"folded", JsonValue::Object(std::move(folded_members))}});
+}
+
+Status WriteFoldedFile(const std::string& path, const ProfileReport& report) {
+  return WriteTextFile(path, report.ToFoldedString());
+}
+
+}  // namespace iqn

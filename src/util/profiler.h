@@ -1,0 +1,109 @@
+// Scoped CPU profiler layered on the trace spans: simulated-time
+// aggregation from QueryTrace trees, plus an opt-in wall-clock leg.
+//
+// Two time domains, two determinism contracts:
+//  * SIMULATED time (BuildProfile): a pure function of the recorded
+//    span trees. Inclusive/exclusive totals per label and the folded
+//    stacks are computed in the same microsecond domain as the Chrome
+//    trace exporter — literally the expressions `start_ms * 1000.0`
+//    and `(end_ms - start_ms) * 1000.0`, accumulated in span order —
+//    so tools/validate_trace.py can recompute them bit-identically
+//    from the exported trace, and outputs are identical across reruns
+//    and thread counts.
+//  * WALL time (CpuProfiler): real nanoseconds per span label,
+//    aggregated process-wide when enabled. Inherently nondeterministic;
+//    reports keep wall numbers in sections tools/bench_diff.py ignores
+//    by default, and nothing deterministic may ever read them.
+//
+// The wall leg hooks ScopedSpan directly (see trace.cc): when
+// CpuProfiler::Enable() has been called, every span — traced or not —
+// records its wall duration under its label. Disabled (the default),
+// the hook is one relaxed atomic load.
+//
+// Folded stacks ("a;b;c 123" lines, root-to-leaf path and EXCLUSIVE
+// integer microseconds) load directly into flamegraph.pl / speedscope.
+
+#ifndef IQN_UTIL_PROFILER_H_
+#define IQN_UTIL_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json_value.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace iqn {
+
+/// Aggregated times for one span label across every profiled span.
+struct ProfileEntry {
+  std::string label;
+  uint64_t count = 0;
+  double inclusive_us = 0.0;  // simulated; sum of span durations
+  double exclusive_us = 0.0;  // simulated; minus time in child spans
+  double wall_ns = 0.0;       // wall clock; 0 unless CpuProfiler ran
+};
+
+struct ProfileReport {
+  /// Sorted by label.
+  std::vector<ProfileEntry> entries;
+  /// Folded stacks: "root;child;leaf" -> rounded exclusive simulated
+  /// microseconds, sorted by path. Zero-count paths are kept — a path
+  /// that exists with no exclusive time is still shape information.
+  std::vector<std::pair<std::string, uint64_t>> folded;
+
+  /// One "path count\n" line per folded entry (flamegraph input).
+  std::string ToFoldedString() const;
+  /// Aligned text table (label, count, inclusive/exclusive ms, wall ms
+  /// when any wall time was recorded).
+  std::string ToTableString() const;
+  /// {"spans": {label: {...}}, "folded": {path: count}}; wall_ns is
+  /// included per span only when nonzero (nondeterministic — see top).
+  JsonValue ToJsonValue() const;
+};
+
+/// Aggregates the span trees into per-label totals and folded stacks.
+/// Traces are visited in vector order, spans in id order, so float
+/// accumulation order — and thus every bit of the result — is fixed.
+ProfileReport BuildProfile(const std::vector<const QueryTrace*>& traces);
+
+/// Copies CpuProfiler's wall totals into matching labels of `report`
+/// (labels with no simulated spans are appended with zero sim time).
+void AttachWallTotals(ProfileReport* report);
+
+/// Writes ToFoldedString() to `path`.
+Status WriteFoldedFile(const std::string& path, const ProfileReport& report);
+
+/// Process-wide wall-clock span aggregation. All static: the hook in
+/// ScopedSpan must be reachable without any plumbing, exactly like the
+/// ambient trace itself.
+class CpuProfiler {
+ public:
+  struct WallTotal {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+  };
+
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic wall clock in nanoseconds.
+  static int64_t NowNs();
+  /// Adds one span's wall duration under `label` (mutex-guarded map;
+  /// the cost is accepted — the wall leg is opt-in).
+  static void RecordWall(const char* label, int64_t wall_ns);
+  static std::map<std::string, WallTotal> WallSnapshot();
+  static void ResetWall();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_UTIL_PROFILER_H_

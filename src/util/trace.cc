@@ -7,6 +7,7 @@
 #include "util/check.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/profiler.h"
 
 namespace iqn {
 
@@ -89,8 +90,9 @@ TraceScope::~TraceScope() { tls_trace = previous_; }
 
 QueryTrace* TraceScope::Current() { return tls_trace; }
 
-ScopedSpan::ScopedSpan(const char* name) : trace_(tls_trace) {
+ScopedSpan::ScopedSpan(const char* name) : trace_(tls_trace), name_(name) {
   if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+  if (CpuProfiler::enabled()) wall_start_ns_ = CpuProfiler::NowNs();
 }
 
 void ScopedSpan::Attr(const std::string& key, std::string value) {
@@ -110,6 +112,10 @@ void ScopedSpan::End() {
     trace_->EndSpan(id_);
     trace_ = nullptr;
   }
+  if (wall_start_ns_ != 0) {
+    CpuProfiler::RecordWall(name_, CpuProfiler::NowNs() - wall_start_ns_);
+    wall_start_ns_ = 0;
+  }
 }
 
 std::string ChromeTraceJson(const std::vector<const QueryTrace*>& traces) {
@@ -124,6 +130,12 @@ std::string ChromeTraceJson(const std::vector<const QueryTrace*>& traces) {
       out += ", \"ts\": " + JsonDouble(span.start_ms * 1000.0);
       out += ", \"dur\": " + JsonDouble((span.end_ms - span.start_ms) * 1000.0);
       out += ", \"pid\": 1, \"tid\": " + std::to_string(t + 1);
+      // Span/parent ids (extension keys): timestamp containment alone
+      // cannot reconstruct the tree — simulated time makes many spans
+      // zero-duration — and the folded-stack validator needs the exact
+      // parent edges the profiler used.
+      out += ", \"sid\": " + std::to_string(span.id);
+      out += ", \"spid\": " + std::to_string(span.parent_id);
       out += ", \"args\": {";
       // Chrome's viewer wants unique arg keys; repeated trace keys
       // (e.g. one "cand" per ranking row) get a #<n> suffix.

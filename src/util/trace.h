@@ -100,6 +100,11 @@ class TraceScope {
 /// when no TraceScope is installed. Attrs on an inactive span are
 /// discarded, so instrumentation sites need no conditionals — but
 /// should guard loops that FORMAT many attrs with active().
+///
+/// When CpuProfiler::Enable() has been called (util/profiler.h), every
+/// span additionally records its wall-clock duration under its label —
+/// with or without an ambient trace. Wall time never feeds anything
+/// deterministic; disabled, the hook costs one relaxed load.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -119,6 +124,8 @@ class ScopedSpan {
  private:
   QueryTrace* trace_ = nullptr;
   uint64_t id_ = 0;
+  const char* name_ = nullptr;
+  int64_t wall_start_ns_ = 0;  // 0 = wall profiling off at span open
 };
 
 /// Chrome trace_event JSON ("traceEvents" array of complete "X" events,

@@ -246,6 +246,11 @@ TEST(ExplainTest, EndToEndThroughEngineCollectedTrace) {
   ASSERT_TRUE(text.ok()) << text.status().ToString();
   EXPECT_NE(text.value().find("routing explanation"), std::string::npos);
   EXPECT_NE(text.value().find("iteration 1"), std::string::npos);
+  // The per-phase profile table rides along, built from the same trace.
+  EXPECT_NE(text.value().find("phase profile (simulated time)"),
+            std::string::npos);
+  EXPECT_NE(text.value().find("route"), std::string::npos);
+  EXPECT_NE(text.value().find("merge"), std::string::npos);
   // The trace also carries the engine's phase structure.
   EXPECT_NE(outcome.value().trace->Find("query"), nullptr);
   EXPECT_NE(outcome.value().trace->Find("route"), nullptr);

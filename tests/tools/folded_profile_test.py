@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""ctest driver for the profiling/diff telemetry pipeline.
+
+Runs scenarios/chaos_baseline.json through the real run_scenario binary
+twice with every sink enabled and asserts the contracts the telemetry
+tooling relies on:
+  * the Chrome trace validates (tools/validate_trace.py);
+  * the folded-stack profile validates structurally AND matches an
+    exact replay of the profiler's exclusive-time computation from the
+    trace's sid/spid tree (--folded FOLDED TRACE);
+  * folded output is bit-identical across same-seed reruns;
+  * the result file is an iqn.bench_report.v1 document whose "sinks"
+    section names the files actually written;
+  * tools/bench_diff.py reports zero drift between the two runs.
+
+Usage: folded_profile_test.py SOURCE_DIR RUN_SCENARIO_BINARY
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}\n"
+             f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+    return proc.stdout
+
+
+def main(argv):
+    if len(argv) != 3:
+        fail(f"usage: {argv[0]} SOURCE_DIR RUN_SCENARIO_BINARY")
+    source_dir, run_scenario = argv[1], argv[2]
+    validate = os.path.join(source_dir, "tools", "validate_trace.py")
+    bench_diff = os.path.join(source_dir, "tools", "bench_diff.py")
+    spec = os.path.join(source_dir, "scenarios", "chaos_baseline.json")
+    for path in (validate, bench_diff, spec, run_scenario):
+        if not os.path.exists(path):
+            fail(f"missing input: {path}")
+
+    with tempfile.TemporaryDirectory(prefix="iqn_folded_profile_") as outdir:
+        results = []
+        for tag in ("a", "b"):
+            trace = os.path.join(outdir, f"{tag}.trace.json")
+            folded = os.path.join(outdir, f"{tag}.folded")
+            metrics = os.path.join(outdir, f"{tag}.metrics.json")
+            result = os.path.join(outdir, f"{tag}.result.json")
+            run([run_scenario, spec, f"--trace_out={trace}",
+                 f"--profile_out={folded}", f"--metrics_out={metrics}",
+                 f"--out={result}"])
+            for artifact in (trace, folded, metrics, result):
+                if not os.path.exists(artifact):
+                    fail(f"sink not written: {artifact}")
+            run([sys.executable, validate, trace])
+            run([sys.executable, validate, "--folded", folded, trace])
+            results.append(result)
+
+        with open(os.path.join(outdir, "a.folded"), encoding="utf-8") as fh:
+            folded_a = fh.read()
+        with open(os.path.join(outdir, "b.folded"), encoding="utf-8") as fh:
+            folded_b = fh.read()
+        if folded_a != folded_b:
+            fail("folded profiles differ between same-seed reruns")
+
+        with open(results[0], encoding="utf-8") as fh:
+            report = json.load(fh)
+        if report.get("schema") != "iqn.bench_report.v1":
+            fail(f"result is not a bench report: {report.get('schema')!r}")
+        sinks = report.get("sinks")
+        if not isinstance(sinks, dict):
+            fail('result lacks a "sinks" section')
+        for key in ("trace_out", "profile_out", "metrics_out"):
+            if key not in sinks or not os.path.exists(sinks[key]):
+                fail(f'sinks["{key}"] missing or names an absent file')
+
+        run([sys.executable, bench_diff, "--selftest"])
+        run([sys.executable, bench_diff, results[0], results[1]])
+
+    print("folded profile pipeline OK: sinks, exact refold, zero drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

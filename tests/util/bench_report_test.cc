@@ -1,0 +1,134 @@
+#include "util/bench_report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json_value.h"
+
+namespace iqn {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(BenchReportTest, BuildEmitsFixedHeaderThenSectionsThenResources) {
+  BenchReport report("unit_bench",
+                     JsonValue::Object({{"seed", JsonValue::Number(42)}}));
+  report.AddSection("results", JsonValue::Array({JsonValue::Number(1)}));
+  report.AddSection("pass", JsonValue::Bool(true));
+  JsonValue doc = report.Build();
+  ASSERT_TRUE(doc.is_object());
+
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 9u);
+  EXPECT_EQ(members[0].first, "schema");
+  EXPECT_EQ(members[0].second.string_value(), "iqn.bench_report.v1");
+  EXPECT_EQ(members[1].first, "bench");
+  EXPECT_EQ(members[1].second.string_value(), "unit_bench");
+  EXPECT_EQ(members[2].first, "git_sha");
+  EXPECT_EQ(members[3].first, "build_flags");
+  EXPECT_EQ(members[4].first, "workload");
+  EXPECT_DOUBLE_EQ(members[4].second.Find("seed")->number_value(), 42.0);
+  // Bench sections keep insertion order; a metrics snapshot is appended
+  // because none was supplied; resources always comes last.
+  EXPECT_EQ(members[5].first, "results");
+  EXPECT_EQ(members[6].first, "pass");
+  EXPECT_EQ(members[7].first, "metrics");
+  EXPECT_EQ(members[8].first, "resources");
+  const JsonValue& resources = members[8].second;
+  EXPECT_NE(resources.Find("peak_rss_bytes"), nullptr);
+  ASSERT_NE(resources.Find("mem"), nullptr);
+  EXPECT_TRUE(resources.Find("mem")->is_object());
+}
+
+TEST(BenchReportTest, SuppliedMetricsSectionIsNotDuplicated) {
+  BenchReport report("unit_bench", JsonValue::Object({}));
+  report.AddSection("metrics",
+                    JsonValue::Object({{"sentinel", JsonValue::Number(7)}}));
+  JsonValue doc = report.Build();
+  size_t metrics_sections = 0;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "metrics") {
+      ++metrics_sections;
+      EXPECT_NE(value.Find("sentinel"), nullptr);
+    }
+  }
+  EXPECT_EQ(metrics_sections, 1u);
+}
+
+TEST(BenchReportTest, ReservedSectionKeysDie) {
+  BenchReport report("unit_bench", JsonValue::Object({}));
+  EXPECT_DEATH(report.AddSection("schema", JsonValue::Bool(true)),
+               "CHECK failed");
+  EXPECT_DEATH(report.AddSection("resources", JsonValue::Bool(true)),
+               "CHECK failed");
+}
+
+TEST(BenchReportTest, FromLegacyJsonPreservesSectionsInSourceOrder) {
+  Result<BenchReport> report = BenchReport::FromLegacyJson(
+      R"({"bench": "legacy", "workload": {"docs": 10},)"
+      R"( "rows": [1, 2], "pass": true})");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  JsonValue doc = report.value().Build();
+  EXPECT_EQ(doc.Find("bench")->string_value(), "legacy");
+  EXPECT_DOUBLE_EQ(doc.Find("workload")->Find("docs")->number_value(), 10.0);
+  const auto& members = doc.members();
+  EXPECT_EQ(members[5].first, "rows");
+  EXPECT_EQ(members[6].first, "pass");
+}
+
+TEST(BenchReportTest, FromLegacyJsonRejectsBadDocuments) {
+  EXPECT_FALSE(BenchReport::FromLegacyJson("[1, 2]").ok());
+  EXPECT_FALSE(BenchReport::FromLegacyJson("not json").ok());
+  EXPECT_FALSE(BenchReport::FromLegacyJson(R"({"no_bench": 1})").ok());
+  // Already-wrapped reports must not wrap twice.
+  EXPECT_FALSE(BenchReport::FromLegacyJson(
+                   R"({"schema": "iqn.bench_report.v1", "bench": "x"})")
+                   .ok());
+}
+
+TEST(LegacyReportWriterTest, WrapsFprintfEmittedJson) {
+  std::string path = testing::TempDir() + "/legacy_report_test.json";
+  LegacyReportWriter writer;
+  ASSERT_NE(writer.stream(), nullptr);
+  std::fprintf(writer.stream(),
+               "{\"bench\": \"shimmed\", \"workload\": {\"seed\": 1},\n"
+               " \"series\": [{\"recall\": 0.5}]}\n");
+  Status finished = writer.Finish(path);
+  ASSERT_TRUE(finished.ok()) << finished.ToString();
+
+  Result<JsonValue> doc = ParseJson(ReadFileOrDie(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().Find("schema")->string_value(),
+            "iqn.bench_report.v1");
+  EXPECT_EQ(doc.value().Find("bench")->string_value(), "shimmed");
+  ASSERT_NE(doc.value().Find("series"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.value()
+                       .Find("series")
+                       ->items()[0]
+                       .Find("recall")
+                       ->number_value(),
+                   0.5);
+  ASSERT_NE(doc.value().Find("resources"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(LegacyReportWriterTest, FinishFailsOnMalformedLegacyJson) {
+  std::string path = testing::TempDir() + "/legacy_report_bad.json";
+  LegacyReportWriter writer;
+  ASSERT_NE(writer.stream(), nullptr);
+  std::fprintf(writer.stream(), "{\"bench\": truncated");
+  EXPECT_FALSE(writer.Finish(path).ok());
+}
+
+}  // namespace
+}  // namespace iqn

@@ -1,0 +1,100 @@
+#include "util/mem_stats.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace iqn {
+namespace {
+
+TEST(MemTrackerTest, ChargeAndReleaseBalance) {
+  MemTracker tracker("unit.balance");
+  EXPECT_EQ(tracker.bytes(), 0);
+  tracker.Charge(100);
+  EXPECT_EQ(tracker.bytes(), 100);
+  tracker.Release(40);
+  EXPECT_EQ(tracker.bytes(), 60);
+  tracker.Charge(-60);  // Release is Charge(-n); both directions work.
+  EXPECT_EQ(tracker.bytes(), 0);
+  EXPECT_EQ(tracker.name(), "unit.balance");
+}
+
+TEST(MemTrackerTest, ReleasingMoreThanChargedDies) {
+  MemTracker tracker("unit.negative");
+  tracker.Charge(8);
+  EXPECT_DEATH(tracker.Release(9), "CHECK failed");
+}
+
+TEST(MemStatsTest, GetTrackerRegistersOnceWithStableAddress) {
+  MemStats stats;
+  MemTracker* a = stats.GetTracker("component.a");
+  MemTracker* again = stats.GetTracker("component.a");
+  MemTracker* b = stats.GetTracker("component.b");
+  EXPECT_EQ(a, again);
+  EXPECT_NE(a, b);
+  a->Charge(10);
+  EXPECT_EQ(again->bytes(), 10);
+}
+
+TEST(MemStatsTest, SnapshotCopiesEveryBalanceSorted) {
+  MemStats stats;
+  stats.GetTracker("z.last")->Charge(3);
+  stats.GetTracker("a.first")->Charge(1);
+  std::map<std::string, int64_t> snapshot = stats.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.begin()->first, "a.first");
+  EXPECT_EQ(snapshot.at("a.first"), 1);
+  EXPECT_EQ(snapshot.at("z.last"), 3);
+}
+
+TEST(MemStatsTest, ConcurrentChargeReleasePairsBalanceToZero) {
+  MemStats stats;
+  MemTracker* tracker = stats.GetTracker("concurrent");
+  // Seed balance so no interleaving of the paired charge/release below
+  // can transiently drive the balance negative.
+  tracker->Charge(1 << 20);
+  auto pool = ThreadPool::Create(8);
+  ASSERT_TRUE(pool.ok());
+  Status st = pool.value()->ParallelFor(
+      0, 10000, 1, [tracker](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          tracker->Charge(64);
+          tracker->Release(64);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(tracker->bytes(), 1 << 20);
+}
+
+TEST(MemStatsTest, PublishGaugesMirrorsBalancesAndPeakRss) {
+  MemStats stats;
+  stats.GetTracker("unit.publish")->Charge(123);
+  MetricsRegistry registry;
+  stats.PublishGauges(&registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.gauges.count("mem.unit.publish.bytes"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("mem.unit.publish.bytes"), 123.0);
+  ASSERT_EQ(snapshot.gauges.count("mem.peak_rss_bytes"), 1u);
+  // OS-dependent in magnitude, but on Linux /proc/self/status exists
+  // and a running process has a nonzero high-water mark.
+  EXPECT_GT(snapshot.gauges.at("mem.peak_rss_bytes"), 0.0);
+}
+
+TEST(MemStatsTest, DefaultIsAProcessSingletonWithCanonicalNames) {
+  EXPECT_EQ(&MemStats::Default(), &MemStats::Default());
+  // The canonical component trackers share one spelling between owners
+  // and reports; looking them up must never create duplicates.
+  EXPECT_EQ(MemStats::Default().GetTracker(kMemPostings),
+            MemStats::Default().GetTracker("ir.postings"));
+}
+
+TEST(ReadPeakRssBytesTest, PositiveWhereProcExists) {
+  EXPECT_GT(ReadPeakRssBytes(), 0);
+}
+
+}  // namespace
+}  // namespace iqn

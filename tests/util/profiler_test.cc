@@ -1,0 +1,162 @@
+#include "util/profiler.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/trace.h"
+
+namespace iqn {
+namespace {
+
+// query [0, 4.0) ms
+//   route [1.0, 3.5)
+//   merge [3.5, 4.0)
+QueryTrace MakeTrace() {
+  static double now;  // captured by reference; reset per call
+  now = 0.0;
+  QueryTrace trace([] { return now; });
+  uint64_t query = trace.BeginSpan("query");
+  now = 1.0;
+  uint64_t route = trace.BeginSpan("route");
+  now = 3.5;
+  trace.EndSpan(route);
+  uint64_t merge = trace.BeginSpan("merge");
+  now = 4.0;
+  trace.EndSpan(merge);
+  trace.EndSpan(query);
+  return trace;
+}
+
+TEST(BuildProfileTest, InclusiveExclusiveAndFoldedTotals) {
+  QueryTrace trace = MakeTrace();
+  ProfileReport report = BuildProfile({&trace});
+
+  ASSERT_EQ(report.entries.size(), 3u);  // std::map order: merge, query, route
+  const ProfileEntry& merge = report.entries[0];
+  const ProfileEntry& query = report.entries[1];
+  const ProfileEntry& route = report.entries[2];
+  EXPECT_EQ(merge.label, "merge");
+  EXPECT_EQ(query.label, "query");
+  EXPECT_EQ(route.label, "route");
+  EXPECT_EQ(query.count, 1u);
+  EXPECT_DOUBLE_EQ(query.inclusive_us, 4000.0);
+  // Exclusive = own duration minus the two children.
+  EXPECT_DOUBLE_EQ(query.exclusive_us, 4000.0 - 2500.0 - 500.0);
+  EXPECT_DOUBLE_EQ(route.inclusive_us, 2500.0);
+  EXPECT_DOUBLE_EQ(route.exclusive_us, 2500.0);
+  EXPECT_DOUBLE_EQ(merge.inclusive_us, 500.0);
+
+  ASSERT_EQ(report.folded.size(), 3u);  // sorted by path
+  EXPECT_EQ(report.folded[0].first, "query");
+  EXPECT_EQ(report.folded[0].second, 1000u);
+  EXPECT_EQ(report.folded[1].first, "query;merge");
+  EXPECT_EQ(report.folded[1].second, 500u);
+  EXPECT_EQ(report.folded[2].first, "query;route");
+  EXPECT_EQ(report.folded[2].second, 2500u);
+}
+
+TEST(BuildProfileTest, MultipleTracesAggregateAndRerunsAreBitIdentical) {
+  QueryTrace a = MakeTrace();
+  QueryTrace b = MakeTrace();
+  ProfileReport both = BuildProfile({&a, &b});
+  EXPECT_EQ(both.entries[1].count, 2u);  // "query"
+  EXPECT_DOUBLE_EQ(both.entries[1].inclusive_us, 8000.0);
+
+  ProfileReport again = BuildProfile({&a, &b});
+  EXPECT_EQ(both.ToFoldedString(), again.ToFoldedString());
+  EXPECT_EQ(both.ToTableString(), again.ToTableString());
+}
+
+TEST(BuildProfileTest, ZeroDurationPathsAreKept) {
+  static double now;
+  now = 0.0;
+  QueryTrace trace([] { return now; });
+  uint64_t query = trace.BeginSpan("query");
+  uint64_t decode = trace.BeginSpan("decode");  // zero simulated time
+  trace.EndSpan(decode);
+  trace.EndSpan(query);
+  ProfileReport report = BuildProfile({&trace});
+  ASSERT_EQ(report.folded.size(), 2u);
+  EXPECT_EQ(report.folded[1].first, "query;decode");
+  EXPECT_EQ(report.folded[1].second, 0u);
+}
+
+TEST(BuildProfileTest, FoldedStringIsFlamegraphInput) {
+  QueryTrace trace = MakeTrace();
+  std::string folded = BuildProfile({&trace}).ToFoldedString();
+  EXPECT_EQ(folded, "query 1000\nquery;merge 500\nquery;route 2500\n");
+}
+
+TEST(CpuProfilerTest, WallLegIsOptIn) {
+  CpuProfiler::ResetWall();
+  {
+    ScopedSpan off("profiler_test.off");
+  }
+  EXPECT_EQ(CpuProfiler::WallSnapshot().count("profiler_test.off"), 0u);
+
+  CpuProfiler::Enable();
+  {
+    ScopedSpan on("profiler_test.on");
+  }
+  CpuProfiler::Disable();
+  std::map<std::string, CpuProfiler::WallTotal> wall =
+      CpuProfiler::WallSnapshot();
+  ASSERT_EQ(wall.count("profiler_test.on"), 1u);
+  EXPECT_EQ(wall["profiler_test.on"].count, 1u);
+  EXPECT_GE(wall["profiler_test.on"].total_ns, 0);
+  CpuProfiler::ResetWall();
+}
+
+TEST(AttachWallTotalsTest, MergesMatchingLabelsAndAppendsWallOnly) {
+  CpuProfiler::ResetWall();
+  CpuProfiler::RecordWall("query", 5000);
+  CpuProfiler::RecordWall("profiler_test.wall_only", 7000);
+
+  QueryTrace trace = MakeTrace();
+  ProfileReport report = BuildProfile({&trace});
+  AttachWallTotals(&report);
+  CpuProfiler::ResetWall();
+
+  ASSERT_EQ(report.entries.size(), 4u);  // + the wall-only label
+  bool saw_query = false;
+  bool saw_wall_only = false;
+  for (const ProfileEntry& entry : report.entries) {
+    if (entry.label == "query") {
+      saw_query = true;
+      EXPECT_DOUBLE_EQ(entry.wall_ns, 5000.0);
+      EXPECT_DOUBLE_EQ(entry.inclusive_us, 4000.0);
+    }
+    if (entry.label == "profiler_test.wall_only") {
+      saw_wall_only = true;
+      EXPECT_DOUBLE_EQ(entry.wall_ns, 7000.0);
+      EXPECT_DOUBLE_EQ(entry.inclusive_us, 0.0);
+      EXPECT_EQ(entry.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_wall_only);
+  // The table grows its wall column only when wall time exists.
+  EXPECT_NE(report.ToTableString().find("wall_ms"), std::string::npos);
+  EXPECT_EQ(BuildProfile({&trace}).ToTableString().find("wall_ms"),
+            std::string::npos);
+}
+
+TEST(ProfileReportTest, JsonValueCarriesSpansAndFolded) {
+  QueryTrace trace = MakeTrace();
+  JsonValue doc = BuildProfile({&trace}).ToJsonValue();
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* spans = doc.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  const JsonValue* query = spans->Find("query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_DOUBLE_EQ(query->Find("inclusive_us")->number_value(), 4000.0);
+  // wall_ns is omitted when no wall time was recorded.
+  EXPECT_EQ(query->Find("wall_ns"), nullptr);
+  const JsonValue* folded = doc.Find("folded");
+  ASSERT_NE(folded, nullptr);
+  EXPECT_DOUBLE_EQ(folded->Find("query;route")->number_value(), 2500.0);
+}
+
+}  // namespace
+}  // namespace iqn

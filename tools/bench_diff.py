@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Compare two BenchReport JSON files and flag metric drift.
+
+Both inputs must be iqn.bench_report.v1 documents (any BENCH_*.json, or
+a run_scenario --out file). Each document is flattened into dotted key
+paths (arrays index as "results[3].recall") and compared key-by-key.
+The comparison is EXACT by default: this repo's benches are
+deterministic functions of their seeds, so two same-seed runs must
+agree bit-for-bit on every deterministic key. Drift therefore means a
+real behaviour change, not noise.
+
+Keys that legitimately differ between runs are ignored by default:
+  * git_sha, build_flags       (provenance, not behaviour)
+  * sinks.*                    (output paths)
+  * anything containing "wall" (wall-clock legs of the profiler)
+  * anything containing "peak_rss" or "rss" (OS-dependent memory)
+
+Usage:
+  tools/bench_diff.py A.json B.json [--tolerance KEY=REL ...]
+                      [--ignore KEY ...] [--selftest]
+
+--tolerance results.recall=0.05 allows 5% relative drift on every key
+whose dotted path equals or starts with "results.recall". --ignore adds
+extra ignore prefixes. Exits 1 (listing each drifting key) on drift,
+0 on a clean diff. Stdlib only; runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_IGNORE_PREFIXES = ("git_sha", "build_flags", "sinks")
+DEFAULT_IGNORE_SUBSTRINGS = ("wall", "peak_rss", "rss_")
+
+
+def flatten(value, prefix="", out=None):
+    """Flatten nested dicts/lists into {dotted_path: scalar}."""
+    if out is None:
+        out = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flatten(child, path, out)
+    elif isinstance(value, list):
+        out[f"{prefix}.length" if prefix else "length"] = len(value)
+        for i, child in enumerate(value):
+            flatten(child, f"{prefix}[{i}]", out)
+    else:
+        out[prefix] = value
+    return out
+
+
+def is_ignored(path, extra_prefixes):
+    for prefix in DEFAULT_IGNORE_PREFIXES + tuple(extra_prefixes):
+        if path == prefix or path.startswith(prefix + ".") or \
+                path.startswith(prefix + "["):
+            return True
+    return any(s in path for s in DEFAULT_IGNORE_SUBSTRINGS)
+
+
+def tolerance_for(path, tolerances):
+    """Longest matching tolerance prefix wins; None if no match."""
+    best = None
+    best_len = -1
+    for key, rel in tolerances.items():
+        if (path == key or path.startswith(key + ".") or
+                path.startswith(key + "[")) and len(key) > best_len:
+            best, best_len = rel, len(key)
+    return best
+
+
+def values_match(a, b, rel):
+    if rel is not None and isinstance(a, (int, float)) and \
+            isinstance(b, (int, float)) and not isinstance(a, bool) and \
+            not isinstance(b, bool):
+        return abs(a - b) <= rel * max(abs(a), abs(b), 1e-12)
+    return a == b
+
+
+def diff_reports(doc_a, doc_b, tolerances, extra_ignores):
+    """Returns (drift_lines, compared_count, ignored_count)."""
+    flat_a = flatten(doc_a)
+    flat_b = flatten(doc_b)
+    drift = []
+    compared = 0
+    ignored = 0
+    for path in sorted(set(flat_a) | set(flat_b)):
+        if is_ignored(path, extra_ignores):
+            ignored += 1
+            continue
+        compared += 1
+        if path not in flat_a:
+            drift.append(f"{path}: only in B (= {flat_b[path]!r})")
+        elif path not in flat_b:
+            drift.append(f"{path}: only in A (= {flat_a[path]!r})")
+        elif not values_match(flat_a[path], flat_b[path],
+                              tolerance_for(path, tolerances)):
+            drift.append(f"{path}: A={flat_a[path]!r} B={flat_b[path]!r}")
+    return drift, compared, ignored
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {path}: not readable JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or doc.get("schema") != "iqn.bench_report.v1":
+        print(f"bench_diff: {path}: not an iqn.bench_report.v1 document",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def selftest():
+    base = {
+        "schema": "iqn.bench_report.v1",
+        "bench": "demo",
+        "git_sha": "aaa",
+        "build_flags": "-O2",
+        "workload": {"seed": 42},
+        "results": [{"recall": 0.5, "bytes": 1024}],
+        "resources": {"peak_rss_bytes": 1000, "mem": {"ir.postings": 64}},
+    }
+    # Identical documents diff clean.
+    drift, compared, _ = diff_reports(base, base, {}, [])
+    assert not drift and compared > 0, drift
+    # Provenance and RSS drift is ignored...
+    other = json.loads(json.dumps(base))
+    other["git_sha"] = "bbb"
+    other["resources"]["peak_rss_bytes"] = 2000
+    drift, _, ignored = diff_reports(base, other, {}, [])
+    assert not drift and ignored >= 3, (drift, ignored)
+    # ...but deterministic drift is not.
+    other["results"][0]["bytes"] = 1025
+    drift, _, _ = diff_reports(base, other, {}, [])
+    assert drift == ["results[0].bytes: A=1024 B=1025"], drift
+    # A tolerance on the right prefix accepts it; on the wrong one, not.
+    drift, _, _ = diff_reports(base, other, {"results": 0.01}, [])
+    assert not drift, drift
+    drift, _, _ = diff_reports(base, other, {"workload": 0.01}, [])
+    assert len(drift) == 1, drift
+    # Missing keys are drift (array length changes show up too).
+    other = json.loads(json.dumps(base))
+    del other["results"][0]["recall"]
+    drift, _, _ = diff_reports(base, other, {}, [])
+    assert drift == ["results[0].recall: only in A (= 0.5)"], drift
+    # Deterministic mem accounting is compared, not ignored.
+    other = json.loads(json.dumps(base))
+    other["resources"]["mem"]["ir.postings"] = 65
+    drift, _, _ = diff_reports(base, other, {}, [])
+    assert drift == ["resources.mem.ir.postings: A=64 B=65"], drift
+    print("bench_diff: selftest OK")
+    return 0
+
+
+def parse_tolerance(spec):
+    key, sep, rel = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--tolerance must be KEY=REL, got {spec!r}")
+    try:
+        value = float(rel)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad tolerance value in {spec!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"tolerance must be >= 0: {spec!r}")
+    return key, value
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description="Compare two BenchReport JSON files for metric drift.")
+    parser.add_argument("reports", nargs="*", metavar="REPORT.json")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        type=parse_tolerance, metavar="KEY=REL",
+                        help="allow REL relative drift on keys under KEY")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="KEY", help="extra key prefix to ignore")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in self test and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.selftest:
+        return selftest()
+    if len(args.reports) != 2:
+        parser.error("expected exactly two report files")
+    doc_a = load_report(args.reports[0])
+    doc_b = load_report(args.reports[1])
+    if doc_a.get("bench") != doc_b.get("bench"):
+        print(f"bench_diff: comparing different benches: "
+              f'{doc_a.get("bench")!r} vs {doc_b.get("bench")!r}',
+              file=sys.stderr)
+        return 2
+    drift, compared, ignored = diff_reports(
+        doc_a, doc_b, dict(args.tolerance), args.ignore)
+    if drift:
+        print(f"bench_diff: {args.reports[0]} vs {args.reports[1]}: "
+              f"{len(drift)} drifting key(s):", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: OK ({compared} keys compared, {ignored} ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -432,10 +432,41 @@ class ScenarioHarness(Rule):
             "the identical experiment")]
 
 
+class BenchReportRule(Rule):
+    name = "bench-report"
+    description = ("every bench binary emits its measurements through the "
+                   "unified BenchReport schema: a bench/ file with its own "
+                   "main() must include util/bench_report.h so its output "
+                   "is an iqn.bench_report.v1 document tools/bench_diff.py "
+                   "can gate on (no allowlist — all benches are migrated; "
+                   "google-benchmark microbenches have no own main() and "
+                   "are naturally out of scope)")
+    paths = ("bench",)
+    exts = (".cc", ".cpp")
+    _MAIN = re.compile(r"^\s*int\s+main\s*\(")
+    _INCLUDE = re.compile(r'#include\s+"util/bench_report\.h"')
+
+    def check(self, path, lines):
+        main_line = None
+        for i, line in enumerate(lines, 1):
+            if is_comment_line(line):
+                continue
+            if self._INCLUDE.search(line):
+                return []
+            if main_line is None and self._MAIN.search(line):
+                main_line = (i, line)
+        if main_line is None:
+            return []
+        return [Finding(
+            self.name, path, main_line[0], main_line[1],
+            "write results with BenchReport (util/bench_report.h) so "
+            "bench_diff.py and the CI perf gate can consume them")]
+
+
 RULES = [
     NoRand(), NoAssert(), NoRawThread(), IqnMetrics(), NoRawRpc(),
     NoInternalInclude(), NoNakedNew(), IncludeGuard(), NoRawMutex(),
-    Determinism(), StatusDiscard(), ScenarioHarness(),
+    Determinism(), StatusDiscard(), ScenarioHarness(), BenchReportRule(),
 ]
 
 

@@ -1,0 +1,8 @@
+// iqn-lint-fixture: path=bench/new_bench.cc
+#include <cstdio>
+#include "minerva/scenario.h"
+#include "util/bench_report.h"
+int main(int argc, char** argv) {
+  std::printf("emits an iqn.bench_report.v1 document\n");
+  return 0;
+}

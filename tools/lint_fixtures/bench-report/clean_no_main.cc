@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=bench/bench_helpers.cc
+// A bench/ helper translation unit without its own main() is not a
+// bench binary and emits no report. Covers google-benchmark
+// microbenches too: BENCHMARK_MAIN() expands without a literal
+// "int main(" line.
+#include <cstddef>
+size_t Twice(size_t n) { return 2 * n; }

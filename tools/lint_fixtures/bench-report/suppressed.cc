@@ -1,0 +1,8 @@
+// iqn-lint-fixture: path=bench/new_bench.cc
+// iqn-lint: disable=bench-report fixture exercising the file-scoped disable
+#include <cstdio>
+#include "minerva/scenario.h"
+int main(int argc, char** argv) {
+  std::printf("suppressed\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=bench/new_bench.cc
+#include <cstdio>
+#include "minerva/scenario.h"
+int main(int argc, char** argv) {
+  std::printf("prints tables but never writes a BenchReport\n");
+  return 0;
+}

@@ -1,10 +1,11 @@
 // run_scenario: execute one declarative scenario spec (minerva/scenario.h)
-// and emit its result JSON.
+// and emit its result as a unified bench report (util/bench_report.h).
 //
-// Usage: run_scenario SPEC.json [--out=RESULT.json] [--no-spec]
-//          [--threads=N] [--canonicalize]
+// Usage: run_scenario SPEC.json [--out=REPORT.json] [--no-spec]
+//          [--threads=N] [--canonicalize] [--metrics_out=PATH]
+//          [--trace_out=PATH] [--profile_out=PATH]
 //
-//   --out           write the result JSON here (default: stdout)
+//   --out           write the report JSON here (default: stdout)
 //   --no-spec       omit the canonical spec echo from the result
 //   --threads       override engine.threads (0 = use the spec's value);
 //                   results are bit-identical either way — this exists so
@@ -13,6 +14,15 @@
 //   --canonicalize  print the spec's canonical full form and exit without
 //                   running (how the checked-in scenarios/*.json were
 //                   produced; the golden tests pin parse -> emit on them)
+//   --metrics_out   write a metrics-registry snapshot JSON to this path
+//   --trace_out     write a Chrome trace_event JSON of every query to
+//                   this path (forces engine.collect_traces)
+//   --profile_out   write flamegraph folded stacks of every query to
+//                   this path (forces engine.collect_traces)
+//
+// The report wraps the scenario result under its "results" section; the
+// sink paths that were actually written are recorded under "sinks".
+// tools/bench_diff.py compares two reports key by key.
 //
 // The exit status is 0 on success, 1 on any parse/validation/run error —
 // errors are descriptive Statuses on stderr, so a typoed spec names the
@@ -23,7 +33,12 @@
 #include <vector>
 
 #include "minerva/scenario.h"
+#include "util/bench_report.h"
 #include "util/flags.h"
+#include "util/json_value.h"
+#include "util/mem_stats.h"
+#include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/trace.h"
 
 namespace iqn {
@@ -50,13 +65,21 @@ Result<std::string> ReadTextFile(const std::string& path) {
 
 int Main(int argc, char** argv) {
   Flags flags;
-  flags.DefineString("out", "", "result JSON path (empty = stdout)");
+  flags.DefineString("out", "", "report JSON path (empty = stdout)");
   flags.DefineBool("no-spec", false,
                    "omit the canonical spec echo from the result JSON");
   flags.DefineInt("threads", 0,
                   "override engine.threads (0 = use the spec's value)");
   flags.DefineBool("canonicalize", false,
                    "print the canonical spec form and exit without running");
+  flags.DefineString("metrics_out", "",
+                     "write a metrics-registry snapshot JSON to this path");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome trace_event JSON of all queries to "
+                     "this path (forces tracing)");
+  flags.DefineString("profile_out", "",
+                     "write flamegraph folded stacks of all queries to "
+                     "this path (forces tracing)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -64,8 +87,10 @@ int Main(int argc, char** argv) {
     return 1;
   }
   if (flags.positional().size() != 1) {
-    std::fprintf(stderr, "usage: %s SPEC.json [--out=RESULT.json] "
-                 "[--no-spec] [--threads=N] [--canonicalize]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s SPEC.json [--out=REPORT.json] "
+                 "[--no-spec] [--threads=N] [--canonicalize] "
+                 "[--metrics_out=PATH] [--trace_out=PATH] "
+                 "[--profile_out=PATH]\n", argv[0]);
     return 1;
   }
   const std::string& spec_path = flags.positional()[0];
@@ -90,6 +115,16 @@ int Main(int argc, char** argv) {
     spec.value().engine.threads =
         static_cast<size_t>(flags.GetInt("threads"));
   }
+  const std::string& metrics_out = flags.GetString("metrics_out");
+  const std::string& trace_out = flags.GetString("trace_out");
+  const std::string& profile_out = flags.GetString("profile_out");
+  // Trace-derived sinks need traces regardless of what the spec says;
+  // collect_traces is result-invariant, so forcing it cannot change the
+  // measured numbers (the determinism tests pin outcomes, and the spec
+  // echo still shows the spec's own value).
+  if (!trace_out.empty() || !profile_out.empty()) {
+    spec.value().engine.collect_traces = true;
+  }
 
   Result<minerva::ScenarioResult> result =
       minerva::RunScenario(spec.value());
@@ -98,13 +133,68 @@ int Main(int argc, char** argv) {
                  result.status().ToString().c_str());
     return 1;
   }
+
+  // Sinks first, so their paths land in the report only if they were
+  // actually written.
+  std::vector<JsonValue::Member> sinks;
+  if (!trace_out.empty() || !profile_out.empty()) {
+    std::vector<const QueryTrace*> views;
+    views.reserve(result.value().traces.size());
+    for (const auto& trace : result.value().traces) {
+      views.push_back(trace.get());
+    }
+    if (!trace_out.empty()) {
+      if (Status w = WriteChromeTraceFile(trace_out, views); !w.ok()) {
+        std::fprintf(stderr, "%s\n", w.ToString().c_str());
+        return 1;
+      }
+      sinks.emplace_back("trace_out", JsonValue::String(trace_out));
+    }
+    if (!profile_out.empty()) {
+      if (Status w = WriteFoldedFile(profile_out, BuildProfile(views));
+          !w.ok()) {
+        std::fprintf(stderr, "%s\n", w.ToString().c_str());
+        return 1;
+      }
+      sinks.emplace_back("profile_out", JsonValue::String(profile_out));
+    }
+  }
+  if (!metrics_out.empty()) {
+    // Mirror the component memory balances (and peak RSS) into the
+    // registry so the exported snapshot carries the mem.* gauges.
+    MemStats::Default().PublishGauges(&MetricsRegistry::Default());
+    if (Status w = WriteTextFile(
+            metrics_out, MetricsRegistry::Default().Snapshot().ToJson());
+        !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    sinks.emplace_back("metrics_out", JsonValue::String(metrics_out));
+  }
+
   std::string json = minerva::ScenarioResultToJson(
       result.value(), /*include_spec=*/!flags.GetBool("no-spec"));
+  Result<JsonValue> result_doc = ParseJson(json);
+  if (!result_doc.ok()) {
+    std::fprintf(stderr, "internal: result JSON does not re-parse: %s\n",
+                 result_doc.status().ToString().c_str());
+    return 1;
+  }
+  BenchReport report(
+      "run_scenario",
+      JsonValue::Object({{"spec", JsonValue::String(spec_path)},
+                         {"scenario",
+                          JsonValue::String(result.value().spec.name)}}));
+  report.AddSection("results", std::move(result_doc).value());
+  if (!sinks.empty()) {
+    report.AddSection("sinks", JsonValue::Object(std::move(sinks)));
+  }
+
   const std::string& out = flags.GetString("out");
   if (out.empty()) {
-    std::fputs(json.c_str(), stdout);
+    std::fputs(report.ToJsonString().c_str(), stdout);
   } else {
-    if (Status w = WriteTextFile(out, json); !w.ok()) {
+    if (Status w = report.WriteFile(out); !w.ok()) {
       std::fprintf(stderr, "%s\n", w.ToString().c_str());
       return 1;
     }

@@ -125,6 +125,12 @@ def main(argv):
         else:
             with open(result_path, encoding="utf-8") as fh:
                 result = json.load(fh)
+            # run_scenario wraps the scenario result in a bench report
+            # (schema iqn.bench_report.v1) with the measurements under
+            # "results"; unwrap it, but keep reading bare result files
+            # from older binaries.
+            if "schema" in result and "results" in result:
+                result = result["results"]
             point["result"] = os.path.basename(result_path)
             for key in ("queries_run", "mean_recall", "mean_recall_remote",
                         "round_recall", "messages", "bytes",

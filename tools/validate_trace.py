@@ -7,12 +7,24 @@ invariants: at least one "query" span, at least one "iqn.iteration"
 span, non-negative microsecond timestamps/durations, and child spans
 contained within their trace's "query" root.
 
+With --folded, also validates a folded-stack file produced by
+--profile_out: structural checks (one "frame;frame;... count" line per
+path, integer counts, a "query" root), and — when a trace file is given
+alongside — an exact replay of the profiler's exclusive-time
+computation from the trace's sid/spid span tree. The replay uses the
+same double arithmetic as src/util/profiler.cc (durations in the
+microsecond domain, children subtracted in span-id order, paths
+accumulated in encounter order, rounded floor(x + 0.5) after clamping
+at zero), so the comparison is bit-exact, not approximate.
+
 Usage: tools/validate_trace.py TRACE.json [TRACE2.json ...]
+       tools/validate_trace.py --folded FOLDED.txt [TRACE.json]
 Exits nonzero (with a message on stderr) on the first violation.
 Stdlib only; runs anywhere CI has a python3.
 """
 
 import json
+import math
 import sys
 
 
@@ -24,7 +36,7 @@ def fail(path, message):
 REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
 
 
-def validate(path):
+def load_events(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -38,6 +50,11 @@ def validate(path):
         fail(path, '"traceEvents" must be an array')
     if not events:
         fail(path, "trace contains no events (was tracing enabled?)")
+    return events
+
+
+def validate(path):
+    events = load_events(path)
 
     # Per-tid extent of the "query" root; children must nest inside it.
     query_extent = {}
@@ -85,11 +102,104 @@ def validate(path):
           f"({len(events)} events, {len(query_extent)} queries)")
 
 
+def parse_folded(path):
+    """Returns {stack_path: count} after structural validation."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(path, f"not readable: {e}")
+    if not lines:
+        fail(path, "folded file is empty (was profiling enabled?)")
+    folded = {}
+    for i, line in enumerate(lines):
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not stack:
+            fail(path, f'line {i + 1} is not "stack count": {line!r}')
+        if not count.isdigit():
+            fail(path, f"line {i + 1} has a non-integer count: {count!r}")
+        frames = stack.split(";")
+        if any(not frame for frame in frames):
+            fail(path, f"line {i + 1} has an empty frame: {stack!r}")
+        if stack in folded:
+            fail(path, f"line {i + 1} repeats stack {stack!r}")
+        folded[stack] = int(count)
+    if not any(s == "query" or s.startswith("query;") for s in folded):
+        fail(path, 'no stack rooted at "query" found')
+    return folded
+
+
+def refold_from_trace(trace_path):
+    """Replays src/util/profiler.cc BuildProfile from a Chrome trace.
+
+    Uses the sid/spid extension keys for the exact parent edges and the
+    emitted "dur" doubles (shortest-round-trip, so json.load returns
+    the identical double) to reproduce the folded counts bit-exactly.
+    """
+    events = load_events(trace_path)
+    per_trace = {}   # tid -> [(sid, spid, name, dur)]
+    tid_order = []
+    for i, ev in enumerate(events):
+        if "sid" not in ev or "spid" not in ev:
+            fail(trace_path, f"event #{i} lacks sid/spid keys; trace is too "
+                             "old for folded validation")
+        if ev["tid"] not in per_trace:
+            per_trace[ev["tid"]] = []
+            tid_order.append(ev["tid"])
+        per_trace[ev["tid"]].append(
+            (ev["sid"], ev["spid"], ev["name"], float(ev["dur"])))
+
+    folded = {}
+    for tid in tid_order:
+        spans = per_trace[tid]
+        spans.sort(key=lambda s: s[0])
+        exclusive = {}
+        paths = {}
+        for sid, spid, name, dur in spans:
+            exclusive[sid] = dur
+            if spid != 0:
+                if spid not in exclusive:
+                    fail(trace_path, f"span {sid} (tid {tid}) references "
+                                     f"unknown parent {spid}")
+                exclusive[spid] -= dur
+                paths[sid] = paths[spid] + ";" + name
+            else:
+                paths[sid] = name
+        for sid, _, _, _ in spans:
+            folded[paths[sid]] = folded.get(paths[sid], 0.0) + exclusive[sid]
+    return {path: math.floor(max(0.0, us) + 0.5)
+            for path, us in folded.items()}
+
+
+def validate_folded(folded_path, trace_path):
+    folded = parse_folded(folded_path)
+    if trace_path is None:
+        print(f"validate_trace: {folded_path}: OK ({len(folded)} stacks)")
+        return
+    expected = refold_from_trace(trace_path)
+    if folded != expected:
+        for stack in sorted(set(folded) | set(expected)):
+            got, want = folded.get(stack), expected.get(stack)
+            if got != want:
+                print(f"  {stack}: folded={got} trace={want}",
+                      file=sys.stderr)
+        fail(folded_path, f"folded counts disagree with {trace_path}")
+    print(f"validate_trace: {folded_path}: OK ({len(folded)} stacks, "
+          f"exact match with {trace_path})")
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    if args and args[0] == "--folded":
+        if len(args) not in (2, 3):
+            print(__doc__, file=sys.stderr)
+            return 2
+        validate_folded(args[1], args[2] if len(args) == 3 else None)
+        return 0
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
+    for path in args:
         validate(path)
     return 0
 
