@@ -1,0 +1,283 @@
+// BENCH-DAEMON: sustained query throughput of the socket transport
+// (writes BENCH_daemon.json).
+//
+// Boots the p2p_web_search topology as a multi-rank cluster INSIDE one
+// process: R TcpTransport-backed engines on ephemeral loopback ports,
+// exchanging the same length-prefixed frames separate minervad
+// processes would — every remote synopsis fetch and directory post
+// crosses a real socket. The query stream then runs for --rounds
+// rounds, and the bench reports wall-clock QPS per round plus the
+// sustained rate over all rounds.
+//
+// Two gates ride along (exit non-zero on failure):
+//   * the cluster's result fingerprint must equal the simulated
+//     transport's on the identical stream (transport cannot change
+//     results — the multiprocess CI job checks the same property
+//     across real process boundaries);
+//   * sustained QPS must be positive (the stream actually ran).
+//
+// Determinism contract: every wall-clock key contains "wall", so
+// tools/bench_diff.py ignores it across runs; everything else in the
+// report is a pure function of the seeds.
+//
+// Usage: daemon_qps [--ranks=N] [--rounds=N] [--out=PATH]
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minerva/scenario.h"
+#include "net/tcp_transport.h"
+#include "util/bench_report.h"
+#include "util/flags.h"
+#include "util/json_value.h"
+#include "util/metrics.h"
+
+namespace iqn {
+namespace {
+
+minerva::ScenarioSpec GateSpec() {
+  minerva::ScenarioSpec spec;
+  spec.name = "p2p_web_search";
+  spec.seed = 11;
+  spec.corpus.documents = 3000;
+  spec.corpus.vocabulary = 500;
+  spec.topology.peers = 10;  // (5 choose 2) fragment combinations
+  spec.topology.fragments = 5;
+  spec.topology.partition = minerva::PartitionKind::kChooseCombinations;
+  spec.topology.subset = 2;
+  spec.engine.max_peers = 3;
+  spec.engine.cache = false;
+  spec.queries.pool = 40;
+  spec.queries.executions = 80;
+  spec.queries.zipf_s = 1.0;
+  return spec;
+}
+
+struct LegResult {
+  minerva::ScenarioCursor cursor{1};
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  std::vector<double> round_wall_ms;
+  double total_wall_ms = 0.0;
+};
+
+// Runs `rounds` repetitions of the stream over `engines` (one per rank;
+// a single engine == the simulated-transport leg) and times each round.
+Status RunLeg(const minerva::ScenarioSpec& spec,
+              const std::vector<std::unique_ptr<minerva::Engine>>& engines,
+              const minerva::ScenarioWorkload& workload, size_t rounds,
+              LegResult* out) {
+  const size_t num_peers = workload.collections.size();
+  out->cursor = minerva::ScenarioCursor(rounds);
+  for (size_t r = 0; r < engines.size(); ++r) {
+    IQN_RETURN_IF_ERROR(engines[r]->Publish());
+  }
+  for (const auto& engine : engines) {
+    engine->network().ResetStats();
+  }
+  MetricsRegistry::Default().Reset();
+
+  for (size_t round = 0; round < rounds; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    for (size_t pos = 0; pos < workload.schedule.size(); ++pos) {
+      size_t initiator = pos % num_peers;
+      size_t owner = initiator % engines.size();
+      QueryOutcome outcome;
+      IQN_RETURN_IF_ERROR(engines[owner]->RunQuery(
+          initiator, workload.pool[workload.schedule[pos]], &outcome));
+      out->cursor.Apply(spec, round,
+                        minerva::ScenarioOutcomeWire::FromOutcome(outcome));
+    }
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    out->round_wall_ms.push_back(wall_ms);
+    out->total_wall_ms += wall_ms;
+  }
+  for (const auto& engine : engines) {
+    out->messages += engine->network().stats().messages;
+    out->bytes += engine->network().stats().bytes;
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("ranks", 5, "transport ranks (engines) in the cluster");
+  flags.DefineInt("rounds", 3, "whole-stream repetitions to time");
+  flags.DefineString("out", "BENCH_daemon.json", "report path");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  const size_t ranks = static_cast<size_t>(flags.GetInt("ranks"));
+  const size_t rounds = static_cast<size_t>(flags.GetInt("rounds"));
+
+  minerva::ScenarioSpec spec = GateSpec();
+  spec.queries.rounds = rounds;
+  Result<minerva::ScenarioWorkload> workload =
+      minerva::BuildScenarioWorkload(spec);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  if (ranks == 0 || ranks > workload.value().collections.size()) {
+    std::fprintf(stderr, "--ranks must be in [1, %zu]\n",
+                 workload.value().collections.size());
+    return 1;
+  }
+
+  // Cluster leg: R engines on ephemeral loopback ports; ranks learn
+  // each other's actual ports via SetPeerEndpoint before any traffic.
+  spec.transport.kind = TransportKind::kTcp;
+  spec.transport.endpoints.assign(ranks, "127.0.0.1:0");
+  LegResult cluster;
+  {
+    std::vector<std::unique_ptr<minerva::Engine>> engines;
+    std::vector<TcpTransport*> transports;
+    for (size_t r = 0; r < ranks; ++r) {
+      Result<minerva::ScenarioWorkload> copy =
+          minerva::BuildScenarioWorkload(spec);
+      if (!copy.ok()) {
+        std::fprintf(stderr, "%s\n", copy.status().ToString().c_str());
+        return 1;
+      }
+      Result<std::unique_ptr<minerva::Engine>> engine =
+          minerva::Engine::Create(
+              minerva::EngineOptionsFromSpec(spec, static_cast<uint32_t>(r)),
+              std::move(copy.value().collections));
+      if (!engine.ok()) {
+        std::fprintf(stderr, "rank %zu: %s\n", r,
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      engines.push_back(std::move(engine).value());
+      transports.push_back(
+          static_cast<TcpTransport*>(&engines.back()->network()));
+    }
+    for (size_t a = 0; a < ranks; ++a) {
+      for (size_t b = 0; b < ranks; ++b) {
+        if (a == b) continue;
+        if (Status st = transports[a]->SetPeerEndpoint(
+                static_cast<uint32_t>(b), transports[b]->listen_endpoint());
+            !st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    if (Status st = RunLeg(spec, engines, workload.value(), rounds, &cluster);
+        !st.ok()) {
+      std::fprintf(stderr, "cluster leg: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Reference leg: the same stream on the simulated transport.
+  spec.transport.kind = TransportKind::kSimulated;
+  spec.transport.endpoints.clear();
+  LegResult sim;
+  {
+    std::vector<std::unique_ptr<minerva::Engine>> engines;
+    Result<std::unique_ptr<minerva::Engine>> engine = minerva::Engine::Create(
+        minerva::EngineOptionsFromSpec(spec, 0),
+        std::move(workload.value().collections));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    engines.push_back(std::move(engine).value());
+    Result<minerva::ScenarioWorkload> copy =
+        minerva::BuildScenarioWorkload(spec);
+    if (!copy.ok()) {
+      std::fprintf(stderr, "%s\n", copy.status().ToString().c_str());
+      return 1;
+    }
+    if (Status st = RunLeg(spec, engines, copy.value(), rounds, &sim);
+        !st.ok()) {
+      std::fprintf(stderr, "simulator leg: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const uint64_t total_queries = cluster.cursor.queries_run;
+  const double sustained_wall_qps =
+      cluster.total_wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(total_queries) / cluster.total_wall_ms
+          : 0.0;
+  const bool results_match =
+      cluster.cursor.result_fingerprint == sim.cursor.result_fingerprint &&
+      cluster.cursor.recall_sum == sim.cursor.recall_sum &&
+      cluster.messages == sim.messages && cluster.bytes == sim.bytes;
+  const bool pass = results_match && sustained_wall_qps > 0.0;
+
+  BenchReport report(
+      "daemon_qps",
+      JsonValue::Object(
+          {{"scenario", JsonValue::String(spec.name)},
+           {"ranks", JsonValue::Number(static_cast<double>(ranks))},
+           {"peers", JsonValue::Number(
+                         static_cast<double>(spec.topology.peers))},
+           {"rounds", JsonValue::Number(static_cast<double>(rounds))},
+           {"queries_per_round",
+            JsonValue::Number(
+                static_cast<double>(workload.value().schedule.size()))}}));
+  std::vector<JsonValue> round_qps;
+  for (double wall_ms : cluster.round_wall_ms) {
+    round_qps.push_back(JsonValue::Number(
+        wall_ms > 0.0 ? 1000.0 *
+                            static_cast<double>(
+                                workload.value().schedule.size()) /
+                            wall_ms
+                      : 0.0));
+  }
+  report.AddSection(
+      "results",
+      JsonValue::Object(
+          {{"queries_run",
+            JsonValue::Number(static_cast<double>(total_queries))},
+           {"mean_recall",
+            JsonValue::Number(cluster.cursor.recall_sum /
+                              static_cast<double>(total_queries))},
+           {"result_fingerprint",
+            JsonValue::String(std::to_string(
+                cluster.cursor.result_fingerprint))},
+           {"messages",
+            JsonValue::Number(static_cast<double>(cluster.messages))},
+           {"bytes", JsonValue::Number(static_cast<double>(cluster.bytes))}}));
+  report.AddSection(
+      "wall",
+      JsonValue::Object(
+          {{"sustained_wall_qps", JsonValue::Number(sustained_wall_qps)},
+           {"round_wall_qps", JsonValue::Array(std::move(round_qps))},
+           {"total_wall_ms", JsonValue::Number(cluster.total_wall_ms)},
+           {"simulator_total_wall_ms",
+            JsonValue::Number(sim.total_wall_ms)}}));
+  report.AddSection(
+      "pass",
+      JsonValue::Object({{"cluster_matches_simulator",
+                          JsonValue::Bool(results_match)},
+                         {"pass", JsonValue::Bool(pass)}}));
+
+  const std::string& out = flags.GetString("out");
+  if (Status st = report.WriteFile(out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "daemon_qps: %zu ranks, %llu queries, %.1f wall QPS sustained, "
+      "match=%s -> %s\n",
+      ranks, static_cast<unsigned long long>(total_queries),
+      sustained_wall_qps, results_match ? "yes" : "NO", out.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

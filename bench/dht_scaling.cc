@@ -12,6 +12,7 @@
 
 #include "dht/chord.h"
 #include "dht/kv_store.h"
+#include "net/transport.h"
 #include "util/bench_report.h"
 #include "util/flags.h"
 #include "util/json_value.h"
@@ -40,8 +41,12 @@ int Main(int argc, char** argv) {
 
   std::vector<JsonValue> rows;
   for (size_t n = 16; n <= max_nodes; n *= 4) {
-    SimulatedNetwork net;
-    auto ring = ChordRing::Build(&net, n);
+    auto net = CreateTransport(TransportOptions{});
+    if (!net.ok()) {
+      std::fprintf(stderr, "net: %s\n", net.status().ToString().c_str());
+      return 1;
+    }
+    auto ring = ChordRing::Build(net.value().get(), n);
     if (!ring.ok()) {
       std::fprintf(stderr, "ring: %s\n", ring.status().ToString().c_str());
       return 1;
@@ -60,14 +65,14 @@ int Main(int argc, char** argv) {
     // Directory posting cost: messages per Upsert from a random node.
     auto store = DhtStore::Attach(&ring.value()->node(0), 1);
     if (!store.ok()) return 1;
-    net.ResetStats();
+    net.value()->ResetStats();
     constexpr int kPosts = 50;
     for (int i = 0; i < kPosts; ++i) {
       (void)store.value()->Upsert("term" + std::to_string(i), "p",
                                   Bytes(256, 0));
     }
     double msgs_per_post =
-        static_cast<double>(net.stats().messages) / kPosts;
+        static_cast<double>(net.value()->stats().messages) / kPosts;
 
     std::printf("%-10zu %12.2f %12d %14.2f %16.2f\n", n,
                 total_hops / lookups, max_hops,

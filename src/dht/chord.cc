@@ -24,7 +24,7 @@ Status GetPeer(ByteReader* reader, ChordPeer* peer) {
 
 }  // namespace
 
-ChordNode::ChordNode(SimulatedNetwork* network) : network_(network) {
+ChordNode::ChordNode(Transport* network) : network_(network) {
   self_.address =
       network_->Register([this](const Message& msg) { return HandleMessage(msg); });
   self_.id = RingIdForNode(self_.address);
@@ -358,7 +358,7 @@ Status ChordNode::Leave() {
 
 // ---------------------------------------------------------------- ChordRing
 
-Result<std::unique_ptr<ChordRing>> ChordRing::Build(SimulatedNetwork* network,
+Result<std::unique_ptr<ChordRing>> ChordRing::Build(Transport* network,
                                                     size_t num_nodes) {
   if (num_nodes == 0) {
     return Status::InvalidArgument("ring needs at least one node");

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "dht/node_id.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "util/status.h"
 
 namespace iqn {
@@ -45,7 +45,7 @@ class ChordNode {
 
   /// Registers the node on the network. The node starts outside any ring;
   /// call CreateRing() or Join() next.
-  explicit ChordNode(SimulatedNetwork* network);
+  explicit ChordNode(Transport* network);
 
   ChordNode(const ChordNode&) = delete;
   ChordNode& operator=(const ChordNode&) = delete;
@@ -101,7 +101,7 @@ class ChordNode {
   using LeaveHook = std::function<void(const ChordPeer& successor)>;
   void set_on_leave(LeaveHook hook) { on_leave_ = std::move(hook); }
 
-  SimulatedNetwork* network() const { return network_; }
+  Transport* network() const { return network_; }
 
  private:
   /// Built-in protocol handler (dispatches chord.* and registered verbs).
@@ -125,7 +125,7 @@ class ChordNode {
   /// first live successor (self if the list drained).
   ChordPeer FirstLiveSuccessor();
 
-  SimulatedNetwork* network_;
+  Transport* network_;
   ChordPeer self_;
   bool in_ring_ = false;
 
@@ -150,7 +150,7 @@ class ChordNode {
 class ChordRing {
  public:
   /// Builds a converged ring of `num_nodes` nodes on `network`.
-  static Result<std::unique_ptr<ChordRing>> Build(SimulatedNetwork* network,
+  static Result<std::unique_ptr<ChordRing>> Build(Transport* network,
                                                   size_t num_nodes);
 
   size_t size() const { return nodes_.size(); }
@@ -167,9 +167,9 @@ class ChordRing {
   Result<LookupResult> Lookup(size_t origin_index, RingId key) const;
 
  private:
-  explicit ChordRing(SimulatedNetwork* network) : network_(network) {}
+  explicit ChordRing(Transport* network) : network_(network) {}
 
-  SimulatedNetwork* network_;
+  Transport* network_;
   std::vector<std::unique_ptr<ChordNode>> nodes_;
 };
 

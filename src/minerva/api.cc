@@ -198,6 +198,20 @@ void EngineOptions::RegisterFlags(iqn::Flags* flags) {
                       "write flamegraph folded stacks of all queries to "
                       "this path (implies tracing; enables the wall-clock "
                       "profiler leg)");
+  flags->DefineString("transport", "simulated",
+                      std::string("transport backend: ") +
+                          iqn::TransportKindSpellings());
+  flags->DefineString("cluster", "",
+                      "comma-separated host:port listen endpoints, one per "
+                      "rank in rank order (tcp transport only)");
+  flags->DefineInt("rank", 0,
+                   "this process's index into --cluster (tcp transport "
+                   "only)");
+  flags->DefineInt("io-timeout-ms", 30000,
+                   "socket send/receive timeout per RPC exchange (tcp)");
+  flags->DefineInt("connect-wait-ms", 30000,
+                   "how long to retry connecting to a peer that has not "
+                   "bound its listen socket yet (tcp)");
 }
 
 iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
@@ -269,6 +283,32 @@ iqn::Result<EngineOptions> EngineOptions::FromFlags(const iqn::Flags& flags) {
   if (!options.trace_out.empty() || !options.profile_out.empty()) {
     options.core.collect_traces = true;
   }
+  IQN_ASSIGN_OR_RETURN(
+      options.core.transport.kind,
+      iqn::ParseTransportKind(flags.GetString("transport")));
+  const std::string& cluster = flags.GetString("cluster");
+  if (!cluster.empty()) {
+    size_t start = 0;
+    while (start <= cluster.size()) {
+      const size_t comma = cluster.find(',', start);
+      const size_t end = comma == std::string::npos ? cluster.size() : comma;
+      if (end > start) {
+        options.core.transport.endpoints.push_back(
+            cluster.substr(start, end - start));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  const long long rank = flags.GetInt("rank");
+  if (rank < 0) {
+    return iqn::Status::InvalidArgument("--rank must be >= 0");
+  }
+  options.core.transport.rank = static_cast<uint32_t>(rank);
+  options.core.transport.io_timeout_ms =
+      static_cast<int>(flags.GetInt("io-timeout-ms"));
+  options.core.transport.connect_wait_ms =
+      static_cast<int>(flags.GetInt("connect-wait-ms"));
   return options;
 }
 
@@ -287,6 +327,15 @@ iqn::Result<std::unique_ptr<Engine>> Engine::Create(
       iqn::MinervaEngine::Create(engine->options_.core,
                                  std::move(collections)));
   if (engine->options_.fault_plan.active()) {
+    // Each process would install its own injector, but partition windows
+    // read the per-rank simulated clock (which only advances for locally
+    // initiated queries) and fault counters live per process — the
+    // schedule would silently diverge from the simulator's.
+    if (engine->options_.core.transport.kind == iqn::TransportKind::kTcp &&
+        engine->options_.core.transport.endpoints.size() > 1) {
+      return iqn::Status::InvalidArgument(
+          "multi-rank tcp transport does not support fault plans");
+    }
     engine->core_->network().InstallFaultPlan(engine->options_.fault_plan);
   }
   IQN_RETURN_IF_ERROR(engine->core_->SetNumThreads(engine->options_.threads));

@@ -111,8 +111,16 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Every peer posts synopses + statistics for every term it holds.
+  /// Every locally-owned peer posts synopses + statistics for every term
+  /// it holds (every peer on the simulated transport; only this rank's
+  /// peers on a multi-rank tcp transport — see MinervaEngine::PublishAll).
   [[nodiscard]] iqn::Status Publish();
+
+  /// Publishes one peer's posts — the granule minervad's control
+  /// protocol drives rank by rank.
+  [[nodiscard]] iqn::Status PublishPeer(size_t peer_index) {
+    return core_->PublishPeer(peer_index);
+  }
 
   /// Full pipeline for one query under the configured routing and peer
   /// budget. The outcome's trace (when tracing) is retained for
@@ -159,7 +167,7 @@ class Engine {
   // System access (all public types).
   size_t num_peers() const { return core_->num_peers(); }
   iqn::Peer& peer(size_t i) { return core_->peer(i); }
-  iqn::SimulatedNetwork& network() { return core_->network(); }
+  iqn::Transport& network() { return core_->network(); }
   const EngineOptions& options() const { return options_; }
   uint64_t TotalBytesSent() const { return core_->TotalBytesSent(); }
   std::vector<iqn::ScoredDoc> ReferenceResults(const iqn::Query& query) const {

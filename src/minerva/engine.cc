@@ -84,8 +84,33 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
   if (collections.empty()) {
     return Status::InvalidArgument("engine needs at least one collection");
   }
+  // A multi-rank tcp transport restricts the feature set: nested
+  // replica-write RPCs issued from a remote handler would be charged at
+  // the serving rank (breaking per-query metering identity with the
+  // simulator) and could cycle two blocked event loops; the reputation
+  // book and health tracker keep engine-global mutable state that each
+  // rank would evolve from only its own queries, silently diverging.
+  if (options.transport.kind == TransportKind::kTcp &&
+      options.transport.endpoints.size() > 1) {
+    if (options.directory_replication > 1) {
+      return Status::InvalidArgument(
+          "multi-rank tcp transport requires directory_replication == 1");
+    }
+    if (options.reputation.enabled) {
+      return Status::InvalidArgument(
+          "multi-rank tcp transport does not support reputation (per-rank "
+          "books would diverge)");
+    }
+    if (options.health.enabled) {
+      return Status::InvalidArgument(
+          "multi-rank tcp transport does not support health tracking "
+          "(per-rank trackers would diverge)");
+    }
+  }
   auto engine = std::unique_ptr<MinervaEngine>(new MinervaEngine(options));
-  engine->network_ = std::make_unique<SimulatedNetwork>(options.latency);
+  IQN_ASSIGN_OR_RETURN(
+      engine->network_,
+      CreateTransport(options.transport, options.latency));
   engine->versions_ = std::make_unique<KvVersionMap>();
 
   IQN_ASSIGN_OR_RETURN(
@@ -163,11 +188,22 @@ Result<std::unique_ptr<MinervaEngine>> MinervaEngine::Create(
 }
 
 Status MinervaEngine::PublishAll() {
-  for (auto& peer : peers_) {
-    IQN_RETURN_IF_ERROR(options_.batch_posting ? peer->PublishPostsBatched()
-                                               : peer->PublishPosts());
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    // Remotely-owned peers are published by their own rank; publishing
+    // them here too would double-post every directory entry.
+    if (!network_->IsLocal(peers_[i]->node()->address())) continue;
+    IQN_RETURN_IF_ERROR(PublishPeer(i));
   }
   return Status::OK();
+}
+
+Status MinervaEngine::PublishPeer(size_t peer_index) {
+  if (peer_index >= peers_.size()) {
+    return Status::InvalidArgument("peer index out of range");
+  }
+  Peer& peer = *peers_[peer_index];
+  return options_.batch_posting ? peer.PublishPostsBatched()
+                                : peer.PublishPosts();
 }
 
 void MinervaEngine::RebuildReferenceIndex() {
@@ -257,7 +293,7 @@ Result<QueryOutcome> MinervaEngine::RunQueryMetered(
   // All traffic this thread generates below — including nested directory
   // and forwarding RPCs — lands in `delta`, so per-phase metering is just
   // snapshots of the (initially zero) delta.
-  SimulatedNetwork::StatsCapture capture(network_.get(), delta);
+  Transport::StatsCapture capture(network_.get(), delta);
   // Every RPC this query issues runs under the engine's retry policy and
   // the per-query deadline budget, keyed by a deterministic fault
   // context (see QueryFaultContext).

@@ -22,8 +22,8 @@
 #include "minerva/peer.h"
 #include "minerva/reputation.h"
 #include "minerva/routing.h"
-#include "net/network.h"
 #include "net/rpc_policy.h"
+#include "net/transport.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -64,6 +64,13 @@ struct EngineOptions {
   /// initiator holds for the query, not just its top-k result).
   bool seed_reference_from_synopses = false;
   LatencyModel latency;
+  /// Which Transport backend carries the RPCs (net/transport.h). The
+  /// default simulated transport supports every feature; a multi-rank
+  /// tcp transport restricts the configuration (directory_replication
+  /// must be 1, reputation/health must be off — those subsystems keep
+  /// global state that would silently diverge per process) and Create
+  /// rejects violations with InvalidArgument.
+  TransportOptions transport;
   /// Retry policy every remote interaction of a query runs under
   /// (directory lookups, distributed top-k, query forwarding). The
   /// default — one attempt, no backoff — is behaviorally identical to
@@ -163,12 +170,22 @@ class MinervaEngine {
   size_t num_peers() const { return peers_.size(); }
   Peer& peer(size_t i) { return *peers_[i]; }
   const Peer& peer(size_t i) const { return *peers_[i]; }
-  SimulatedNetwork& network() { return *network_; }
+  Transport& network() { return *network_; }
   ChordRing& ring() { return *ring_; }
   const EngineOptions& options() const { return options_; }
 
-  /// Every peer posts synopses + statistics for every term it holds.
+  /// Every locally-owned peer posts synopses + statistics for every term
+  /// it holds. On the simulated transport that is every peer; on a
+  /// multi-rank tcp transport each rank publishes only the peers it owns
+  /// (posts to remotely-owned directory nodes travel over the wire), and
+  /// the cluster driver publishes rank by rank. Directory content is
+  /// insert-order independent (sorted maps), so the union is identical
+  /// to the single-process publish.
   Status PublishAll();
+
+  /// Publishes one peer's posts (honoring batch_posting) — the
+  /// per-peer granule the daemon control protocol exposes.
+  Status PublishPeer(size_t peer_index);
 
   /// Total directory traffic incurred so far (the synopsis posting cost
   /// the paper's Sec. 7.2 worries about).
@@ -268,7 +285,7 @@ class MinervaEngine {
                                        DirectoryCache::Session* cache_session);
 
   EngineOptions options_;
-  std::unique_ptr<SimulatedNetwork> network_;
+  std::unique_ptr<Transport> network_;
   std::unique_ptr<ChordRing> ring_;
   /// Publish-version counters shared by every store (must outlive them).
   std::unique_ptr<KvVersionMap> versions_;

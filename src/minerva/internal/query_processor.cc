@@ -52,7 +52,7 @@ Result<QueryExecution> QueryProcessor::ExecuteWithReplacement(
   }
 
   Bytes encoded = EncodeQuery(query);
-  SimulatedNetwork* network = initiator_->node()->network();
+  Transport* network = initiator_->node()->network();
 
   // The worklist starts as the routing decision and grows by one entry
   // per repaired failure; `known` holds every peer id selected or

@@ -238,6 +238,44 @@ Status ParseEngine(const JsonValue& v, ScenarioSpec::EngineSection* out) {
   return Status::OK();
 }
 
+Status ParseTransport(const JsonValue& v,
+                      ScenarioSpec::TransportSection* out) {
+  if (!v.is_object()) return WrongKind("transport", "an object", v);
+  for (const auto& [key, val] : v.members()) {
+    if (key == "kind") {
+      IQN_ASSIGN_OR_RETURN(std::string name, GetString(val, "transport.kind"));
+      Result<iqn::TransportKind> kind = iqn::ParseTransportKind(name);
+      if (!kind.ok()) return AtPath("transport.kind", kind.status());
+      out->kind = kind.value();
+    } else if (key == "endpoints") {
+      if (!val.is_array()) {
+        return WrongKind("transport.endpoints", "an array", val);
+      }
+      for (size_t i = 0; i < val.items().size(); ++i) {
+        IQN_ASSIGN_OR_RETURN(
+            std::string endpoint,
+            GetString(val.items()[i],
+                      "transport.endpoints[" + std::to_string(i) + "]"));
+        if (endpoint.empty()) {
+          return Status::InvalidArgument(
+              "scenario: transport.endpoints[" + std::to_string(i) +
+              "] must be a nonempty \"host:port\"");
+        }
+        out->endpoints.push_back(std::move(endpoint));
+      }
+    } else {
+      return UnknownKey("transport", key, "kind|endpoints");
+    }
+  }
+  if (out->kind == iqn::TransportKind::kSimulated &&
+      !out->endpoints.empty()) {
+    return Status::InvalidArgument(
+        "scenario: transport.endpoints requires transport.kind \"tcp\" "
+        "(the simulated transport has no sockets)");
+  }
+  return Status::OK();
+}
+
 Status ParseOverload(const JsonValue& v,
                      ScenarioSpec::FaultSection::OverloadSubsection* out) {
   if (!v.is_object()) return WrongKind("faults.overload", "an object", v);
@@ -637,6 +675,53 @@ Status ValidateSpec(const ScenarioSpec& spec) {
         "scenario: derived vocabulary is empty (corpus.documents < 8 and "
         "no explicit corpus.vocabulary)");
   }
+  if (spec.transport.kind == iqn::TransportKind::kTcp &&
+      spec.transport.endpoints.size() > 1) {
+    // A multi-rank cluster splits the engine across processes; features
+    // whose state or scheduling lives in one process cannot keep the
+    // simulator's bit-identical semantics and are rejected up front.
+    if (spec.churn.every > 0) {
+      return Status::InvalidArgument(
+          "scenario: churn requires the single-process transport (a "
+          "republish would have to mutate every rank's collections in "
+          "lockstep)");
+    }
+    if (spec.faults.drop_rate > 0.0 ||
+        spec.faults.overload.fraction > 0.0 ||
+        !spec.faults.partitions.empty()) {
+      return Status::InvalidArgument(
+          "scenario: fault injection requires the single-process "
+          "transport (fault state and partition clocks are per-process "
+          "and would diverge across ranks)");
+    }
+    if (spec.health.enabled) {
+      return Status::InvalidArgument(
+          "scenario: health tracking requires the single-process "
+          "transport (per-peer circuit state would diverge across "
+          "ranks)");
+    }
+    if (spec.reputation.enabled) {
+      return Status::InvalidArgument(
+          "scenario: reputation requires the single-process transport "
+          "(the claim-vs-observed book would diverge across ranks)");
+    }
+    if (spec.queries.batch_size != 1) {
+      return Status::InvalidArgument(
+          "scenario: a multi-rank cluster requires queries.batch_size 1 "
+          "(the driver streams queries serially rank by rank; larger "
+          "batches would move the simulator's commit boundaries)");
+    }
+    if (spec.engine.collect_traces) {
+      return Status::InvalidArgument(
+          "scenario: collect_traces requires the single-process "
+          "transport (traces live in the daemon that ran the query)");
+    }
+    if (spec.transport.endpoints.size() > spec.topology.peers) {
+      return Status::InvalidArgument(
+          "scenario: transport.endpoints declares more ranks than "
+          "topology.peers (a rank must own at least one peer)");
+    }
+  }
   for (size_t p = 0; p < spec.faults.partitions.size(); ++p) {
     const auto& entry = spec.faults.partitions[p];
     const std::string path =
@@ -709,6 +794,16 @@ JsonValue SpecToJson(const ScenarioSpec& spec) {
   engine.emplace_back("cache", JsonValue::Bool(spec.engine.cache));
   engine.emplace_back("collect_traces",
                       JsonValue::Bool(spec.engine.collect_traces));
+
+  std::vector<JsonValue::Member> transport;
+  transport.emplace_back(
+      "kind", JsonValue::String(iqn::TransportKindName(spec.transport.kind)));
+  std::vector<JsonValue> endpoints;
+  endpoints.reserve(spec.transport.endpoints.size());
+  for (const std::string& endpoint : spec.transport.endpoints) {
+    endpoints.push_back(JsonValue::String(endpoint));
+  }
+  transport.emplace_back("endpoints", JsonValue::Array(std::move(endpoints)));
 
   std::vector<JsonValue::Member> overload;
   overload.emplace_back("fraction", Num(spec.faults.overload.fraction));
@@ -796,6 +891,7 @@ JsonValue SpecToJson(const ScenarioSpec& spec) {
   root.emplace_back("corpus", JsonValue::Object(std::move(corpus)));
   root.emplace_back("topology", JsonValue::Object(std::move(topology)));
   root.emplace_back("engine", JsonValue::Object(std::move(engine)));
+  root.emplace_back("transport", JsonValue::Object(std::move(transport)));
   root.emplace_back("faults", JsonValue::Object(std::move(faults)));
   root.emplace_back("health", JsonValue::Object(std::move(health)));
   root.emplace_back("hedging", JsonValue::Object(std::move(hedging)));
@@ -885,6 +981,8 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text) {
       IQN_RETURN_IF_ERROR(ParseTopology(val, &spec.topology));
     } else if (key == "engine") {
       IQN_RETURN_IF_ERROR(ParseEngine(val, &spec.engine));
+    } else if (key == "transport") {
+      IQN_RETURN_IF_ERROR(ParseTransport(val, &spec.transport));
     } else if (key == "faults") {
       IQN_RETURN_IF_ERROR(ParseFaults(val, &spec.faults));
     } else if (key == "health") {
@@ -901,8 +999,8 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text) {
       IQN_RETURN_IF_ERROR(ParseReputation(val, &spec.reputation));
     } else {
       return UnknownKey("the top-level object", key,
-                        "name|seed|corpus|topology|engine|faults|health|"
-                        "hedging|churn|queries|adversary|reputation");
+                        "name|seed|corpus|topology|engine|transport|faults|"
+                        "health|hedging|churn|queries|adversary|reputation");
     }
   }
   if (!saw_name || spec.name.empty()) {
@@ -917,47 +1015,44 @@ std::string EmitScenarioSpec(const ScenarioSpec& spec) {
   return iqn::EmitJson(SpecToJson(spec));
 }
 
-Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
-  IQN_RETURN_IF_ERROR(ValidateSpec(spec));
-  ScenarioResult result;
-  result.spec = spec;
-
+Result<ScenarioWorkload> BuildScenarioWorkload(const ScenarioSpec& spec) {
+  ScenarioWorkload workload;
   // Workload: corpus -> fragments -> overlapping collections, then the
   // query pool over the generator's vocabulary. Seed derivations match
   // the original benches (pool: seed + 1; Zipf schedule: seed + 77).
-  iqn::SyntheticCorpusOptions corpus_opts;
-  corpus_opts.num_documents = spec.corpus.documents;
-  corpus_opts.vocabulary_size = spec.corpus.vocabulary != 0
-                                    ? spec.corpus.vocabulary
-                                    : spec.corpus.documents / 8;
-  corpus_opts.zipf_theta = spec.corpus.zipf_theta;
-  corpus_opts.min_document_length = spec.corpus.min_doc_length;
-  corpus_opts.max_document_length = spec.corpus.max_doc_length;
-  corpus_opts.seed = spec.seed;
-  IQN_ASSIGN_OR_RETURN(iqn::SyntheticCorpusGenerator gen,
-                       iqn::SyntheticCorpusGenerator::Create(corpus_opts));
+  workload.corpus_opts.num_documents = spec.corpus.documents;
+  workload.corpus_opts.vocabulary_size = spec.corpus.vocabulary != 0
+                                             ? spec.corpus.vocabulary
+                                             : spec.corpus.documents / 8;
+  workload.corpus_opts.zipf_theta = spec.corpus.zipf_theta;
+  workload.corpus_opts.min_document_length = spec.corpus.min_doc_length;
+  workload.corpus_opts.max_document_length = spec.corpus.max_doc_length;
+  workload.corpus_opts.seed = spec.seed;
+  IQN_ASSIGN_OR_RETURN(
+      iqn::SyntheticCorpusGenerator gen,
+      iqn::SyntheticCorpusGenerator::Create(workload.corpus_opts));
   iqn::Corpus corpus = gen.Generate();
   size_t num_fragments = spec.topology.fragments != 0
                              ? spec.topology.fragments
                              : spec.topology.peers * 2;
   IQN_ASSIGN_OR_RETURN(std::vector<iqn::Corpus> fragments,
                        iqn::SplitIntoFragments(corpus, num_fragments));
-  std::vector<iqn::Corpus> collections;
   if (spec.topology.partition == PartitionKind::kSlidingWindow) {
     IQN_ASSIGN_OR_RETURN(
-        collections,
+        workload.collections,
         iqn::SlidingWindowCollections(fragments, spec.topology.window,
                                       spec.topology.offset,
                                       spec.topology.peers));
   } else {
-    IQN_ASSIGN_OR_RETURN(collections, iqn::ChooseCombinationCollections(
-                                          fragments, spec.topology.subset));
-    if (collections.size() != spec.topology.peers) {
+    IQN_ASSIGN_OR_RETURN(workload.collections,
+                         iqn::ChooseCombinationCollections(
+                             fragments, spec.topology.subset));
+    if (workload.collections.size() != spec.topology.peers) {
       return Status::InvalidArgument(
           "scenario: topology.peers (" +
           std::to_string(spec.topology.peers) +
           ") does not match C(fragments, subset) = " +
-          std::to_string(collections.size()));
+          std::to_string(workload.collections.size()));
     }
   }
 
@@ -969,20 +1064,27 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
   q_opts.band_high = spec.queries.band_high;
   q_opts.k = spec.queries.k;
   q_opts.seed = spec.seed + 1;
-  IQN_ASSIGN_OR_RETURN(std::vector<iqn::Query> pool,
+  IQN_ASSIGN_OR_RETURN(workload.pool,
                        iqn::GenerateQueries(gen.vocabulary(), q_opts));
 
-  size_t stream_len = spec.queries.executions != 0 ? spec.queries.executions
-                                                   : pool.size();
-  std::vector<size_t> schedule;
+  size_t stream_len = spec.queries.executions != 0
+                          ? spec.queries.executions
+                          : workload.pool.size();
   if (spec.queries.executions != 0) {
-    schedule = DrawSchedule(pool.size(), stream_len, spec.queries.zipf_s,
-                            spec.seed + 77);
+    workload.schedule =
+        DrawSchedule(workload.pool.size(), stream_len, spec.queries.zipf_s,
+                     spec.seed + 77);
   } else {
-    schedule.reserve(stream_len);
-    for (size_t i = 0; i < stream_len; ++i) schedule.push_back(i);
+    workload.schedule.reserve(stream_len);
+    for (size_t i = 0; i < stream_len; ++i) workload.schedule.push_back(i);
   }
+  workload.churn_docs = spec.churn.documents != 0
+                            ? spec.churn.documents
+                            : spec.corpus.documents / 20;
+  return workload;
+}
 
+EngineOptions EngineOptionsFromSpec(const ScenarioSpec& spec, uint32_t rank) {
   EngineOptions options;
   options.routing.kind = spec.engine.router;
   options.routing.iqn.aggregation = spec.engine.aggregation;
@@ -1000,8 +1102,183 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
   options.core.reputation = spec.reputation;
   options.core.health = spec.health;
   options.core.hedge = spec.hedging;
-  IQN_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
-                       Engine::Create(options, std::move(collections)));
+  options.core.transport.kind = spec.transport.kind;
+  options.core.transport.endpoints = spec.transport.endpoints;
+  options.core.transport.rank = rank;
+  return options;
+}
+
+ScenarioOutcomeWire ScenarioOutcomeWire::FromOutcome(
+    const iqn::QueryOutcome& outcome) {
+  ScenarioOutcomeWire wire;
+  wire.recall = outcome.recall;
+  wire.recall_remote_only = outcome.recall_remote_only;
+  wire.routing_latency_ms = outcome.routing_latency_ms;
+  wire.execution_latency_ms = outcome.execution_latency_ms;
+  wire.routing_bytes = outcome.routing_bytes;
+  wire.faults_survived = outcome.degradation.faults_survived;
+  wire.rpc_retries = outcome.degradation.rpc_retries;
+  wire.peers_failed = outcome.degradation.peers_failed;
+  wire.peers_replaced = outcome.degradation.peers_replaced;
+  wire.open_circuit_skips = outcome.degradation.open_circuit_skips;
+  wire.partial = outcome.degradation.partial;
+  wire.selected_peer_ids.reserve(outcome.decision.peers.size());
+  for (const iqn::SelectedPeer& peer : outcome.decision.peers) {
+    wire.selected_peer_ids.push_back(peer.peer_id);
+  }
+  wire.merged = outcome.execution.merged;
+  return wire;
+}
+
+iqn::Bytes ScenarioOutcomeWire::Encode() const {
+  iqn::ByteWriter writer;
+  writer.PutDouble(recall);
+  writer.PutDouble(recall_remote_only);
+  writer.PutDouble(routing_latency_ms);
+  writer.PutDouble(execution_latency_ms);
+  writer.PutVarint(routing_bytes);
+  writer.PutVarint(faults_survived);
+  writer.PutVarint(rpc_retries);
+  writer.PutVarint(peers_failed);
+  writer.PutVarint(peers_replaced);
+  writer.PutVarint(open_circuit_skips);
+  writer.PutU8(partial ? 1 : 0);
+  writer.PutVarint(selected_peer_ids.size());
+  for (uint64_t id : selected_peer_ids) writer.PutU64(id);
+  writer.PutVarint(merged.size());
+  for (const iqn::ScoredDoc& sd : merged) {
+    writer.PutU64(sd.doc);
+    writer.PutDouble(sd.score);
+  }
+  return std::move(writer).Take();
+}
+
+Result<ScenarioOutcomeWire> ScenarioOutcomeWire::Decode(
+    const iqn::Bytes& bytes) {
+  iqn::ByteReader reader(bytes);
+  ScenarioOutcomeWire wire;
+  IQN_RETURN_IF_ERROR(reader.GetDouble(&wire.recall));
+  IQN_RETURN_IF_ERROR(reader.GetDouble(&wire.recall_remote_only));
+  IQN_RETURN_IF_ERROR(reader.GetDouble(&wire.routing_latency_ms));
+  IQN_RETURN_IF_ERROR(reader.GetDouble(&wire.execution_latency_ms));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&wire.routing_bytes));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&wire.faults_survived));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&wire.rpc_retries));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&wire.peers_failed));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&wire.peers_replaced));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&wire.open_circuit_skips));
+  uint8_t partial = 0;
+  IQN_RETURN_IF_ERROR(reader.GetU8(&partial));
+  wire.partial = partial != 0;
+  uint64_t num_peers = 0;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&num_peers));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(num_peers, sizeof(uint64_t), "selected peers"));
+  wire.selected_peer_ids.reserve(num_peers);
+  for (uint64_t i = 0; i < num_peers; ++i) {
+    uint64_t id = 0;
+    IQN_RETURN_IF_ERROR(reader.GetU64(&id));
+    wire.selected_peer_ids.push_back(id);
+  }
+  uint64_t num_merged = 0;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&num_merged));
+  IQN_RETURN_IF_ERROR(
+      reader.CheckCountFits(num_merged, sizeof(uint64_t) + sizeof(double),
+                            "merged docs"));
+  wire.merged.reserve(num_merged);
+  for (uint64_t i = 0; i < num_merged; ++i) {
+    iqn::ScoredDoc sd;
+    IQN_RETURN_IF_ERROR(reader.GetU64(&sd.doc));
+    IQN_RETURN_IF_ERROR(reader.GetDouble(&sd.score));
+    wire.merged.push_back(sd);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "scenario outcome: trailing bytes after decode");
+  }
+  return wire;
+}
+
+void ScenarioCursor::Apply(const ScenarioSpec& spec, size_t round,
+                           const ScenarioOutcomeWire& o) {
+  recall_sum += o.recall;
+  remote_sum += o.recall_remote_only;
+  // Goodput pays recall only for queries that met the deadline; with no
+  // deadline every query is on time by definition.
+  const double query_latency_ms =
+      o.routing_latency_ms + o.execution_latency_ms;
+  if (spec.engine.deadline_ms > 0.0 &&
+      query_latency_ms > spec.engine.deadline_ms) {
+    ++deadline_misses;
+  } else {
+    goodput_sum += o.recall;
+  }
+  round_recall[round] += o.recall;
+  routing_bytes += o.routing_bytes;
+  faults_injected += o.faults_survived;
+  rpc_retries += o.rpc_retries;
+  peers_failed += o.peers_failed;
+  peers_replaced += o.peers_replaced;
+  circuit_open_skips += o.open_circuit_skips;
+  if (o.partial) ++partial_queries;
+  for (uint64_t peer_id : o.selected_peer_ids) {
+    result_fingerprint = iqn::Hash64(peer_id, result_fingerprint);
+  }
+  for (const iqn::ScoredDoc& sd : o.merged) {
+    result_fingerprint = iqn::Hash64(sd.doc, result_fingerprint);
+    result_fingerprint = HashDouble(sd.score, result_fingerprint);
+  }
+  result_fingerprint = HashDouble(o.recall, result_fingerprint);
+  sim_time_ms += query_latency_ms;
+  ++queries_run;
+}
+
+void ScenarioCursor::FinalizeInto(ScenarioResult* result,
+                                  size_t stream_len) const {
+  result->queries_run = queries_run;
+  result->deadline_misses = deadline_misses;
+  result->partial_queries = partial_queries;
+  result->mean_recall =
+      queries_run > 0 ? recall_sum / static_cast<double>(queries_run) : 0.0;
+  result->mean_recall_remote =
+      queries_run > 0 ? remote_sum / static_cast<double>(queries_run) : 0.0;
+  result->mean_goodput =
+      queries_run > 0 ? goodput_sum / static_cast<double>(queries_run) : 0.0;
+  result->round_recall = round_recall;
+  for (double& r : result->round_recall) {
+    r /= static_cast<double>(stream_len);
+  }
+  result->routing_bytes = routing_bytes;
+  result->faults_injected = faults_injected;
+  result->rpc_retries = rpc_retries;
+  result->peers_failed = peers_failed;
+  result->peers_replaced = peers_replaced;
+  result->circuit_open_skips = circuit_open_skips;
+  result->sim_time_ms = sim_time_ms;
+  result->result_fingerprint = result_fingerprint;
+}
+
+Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
+  IQN_RETURN_IF_ERROR(ValidateSpec(spec));
+  if (spec.transport.endpoints.size() > 1) {
+    return Status::InvalidArgument(
+        "scenario: multi-rank tcp scenarios run under the minervad "
+        "cluster driver (tools/run_cluster.py), not in-process "
+        "RunScenario");
+  }
+  ScenarioResult result;
+  result.spec = spec;
+
+  IQN_ASSIGN_OR_RETURN(ScenarioWorkload workload,
+                       BuildScenarioWorkload(spec));
+  iqn::SyntheticCorpusOptions corpus_opts = workload.corpus_opts;
+  std::vector<iqn::Query> pool = std::move(workload.pool);
+  std::vector<size_t> schedule = std::move(workload.schedule);
+  size_t stream_len = schedule.size();
+
+  EngineOptions options = EngineOptionsFromSpec(spec, /*rank=*/0);
+  IQN_ASSIGN_OR_RETURN(
+      std::unique_ptr<Engine> engine,
+      Engine::Create(options, std::move(workload.collections)));
   Engine& e = *engine;
   IQN_RETURN_IF_ERROR(e.Publish());
   // Meter only the query phase: publish runs fault-free (as in the chaos
@@ -1048,17 +1325,11 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
   if (plan.active()) e.network().InstallFaultPlan(plan);
   result.adversaries = e.core().adversary_indices();
 
-  size_t churn_docs = spec.churn.documents != 0
-                          ? spec.churn.documents
-                          : spec.corpus.documents / 20;
+  size_t churn_docs = workload.churn_docs;
   iqn::DocId next_doc_id =
       10 * static_cast<iqn::DocId>(spec.corpus.documents);
-  uint64_t result_fp = 0;
   uint64_t trace_fp = 0;
-  double recall_sum = 0.0;
-  double remote_sum = 0.0;
-  double goodput_sum = 0.0;
-  result.round_recall.assign(spec.queries.rounds, 0.0);
+  ScenarioCursor cursor(spec.queries.rounds);
 
   for (size_t round = 0; round < spec.queries.rounds; ++round) {
     for (size_t start = 0; start < stream_len;
@@ -1110,69 +1381,25 @@ Result<ScenarioResult> RunScenario(const ScenarioSpec& spec) {
       std::vector<iqn::QueryOutcome> outcomes;
       IQN_RETURN_IF_ERROR(e.RunQueryBatch(batch, &outcomes));
       for (const iqn::QueryOutcome& o : outcomes) {
-        recall_sum += o.recall;
-        remote_sum += o.recall_remote_only;
-        // Goodput pays recall only for queries that met the deadline;
-        // with no deadline every query is on time by definition.
-        const double query_latency_ms =
-            o.routing_latency_ms + o.execution_latency_ms;
-        if (spec.engine.deadline_ms > 0.0 &&
-            query_latency_ms > spec.engine.deadline_ms) {
-          ++result.deadline_misses;
-        } else {
-          goodput_sum += o.recall;
-        }
-        result.round_recall[round] += o.recall;
-        result.routing_bytes += o.routing_bytes;
-        result.faults_injected += o.degradation.faults_survived;
-        result.rpc_retries += o.degradation.rpc_retries;
-        result.peers_failed += o.degradation.peers_failed;
-        result.peers_replaced += o.degradation.peers_replaced;
-        result.circuit_open_skips += o.degradation.open_circuit_skips;
-        if (o.degradation.partial) ++result.partial_queries;
-        for (const iqn::SelectedPeer& peer : o.decision.peers) {
-          result_fp = iqn::Hash64(peer.peer_id, result_fp);
-        }
-        for (const iqn::ScoredDoc& sd : o.execution.merged) {
-          result_fp = iqn::Hash64(sd.doc, result_fp);
-          result_fp = HashDouble(sd.score, result_fp);
-        }
-        result_fp = HashDouble(o.recall, result_fp);
+        cursor.Apply(spec, round, ScenarioOutcomeWire::FromOutcome(o));
         if (spec.engine.collect_traces) {
           std::string text;
           IQN_RETURN_IF_ERROR(e.Explain(o, &text));
           trace_fp = iqn::HashString(text, trace_fp);
           result.traces.push_back(o.trace);
         }
-        ++result.queries_run;
       }
     }
   }
 
-  result.mean_recall =
-      result.queries_run > 0
-          ? recall_sum / static_cast<double>(result.queries_run)
-          : 0.0;
-  result.mean_recall_remote =
-      result.queries_run > 0
-          ? remote_sum / static_cast<double>(result.queries_run)
-          : 0.0;
-  result.mean_goodput =
-      result.queries_run > 0
-          ? goodput_sum / static_cast<double>(result.queries_run)
-          : 0.0;
-  for (double& r : result.round_recall) {
-    r /= static_cast<double>(stream_len);
-  }
+  cursor.FinalizeInto(&result, stream_len);
   result.messages = e.network().stats().messages;
   result.bytes = e.network().stats().bytes;
   result.hedges = e.network().stats().hedges;
   result.hedges_won = e.network().stats().hedges_won;
-  result.sim_time_ms = e.network().now_ms();
   result.cache_hits = CounterValue("cache.hits");
   result.cache_misses = CounterValue("cache.misses");
   result.cache_invalidations = CounterValue("cache.invalidations");
-  result.result_fingerprint = result_fp;
   result.trace_fingerprint = trace_fp;
   return result;
 }

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "minerva/api.h"
+#include "util/bytes.h"
 #include "util/json_value.h"
 #include "util/status.h"
+#include "workload/synthetic_corpus.h"
 
 namespace minerva {
 
@@ -94,6 +96,20 @@ struct ScenarioSpec {
     bool cache = false;
     bool collect_traces = false;
   } engine;
+
+  /// Which Transport backend carries the spec's RPCs (net/transport.h).
+  /// The default simulated transport supports every feature. kTcp with
+  /// one endpoint (or none) runs single-process over loopback sockets;
+  /// multiple endpoints declare a daemon cluster — peer i is owned by
+  /// rank i % endpoints.size() — and restrict the spec (no churn, no
+  /// faults, no health/reputation, batch_size 1, no traces; see
+  /// ValidateSpec's messages for why). Multi-rank specs are executed by
+  /// the minervad cluster driver, not RunScenario.
+  struct TransportSection {
+    iqn::TransportKind kind = iqn::TransportKind::kSimulated;
+    /// One "host:port" listen endpoint per daemon rank (kTcp only).
+    std::vector<std::string> endpoints;
+  } transport;
 
   struct FaultSection {
     uint64_t seed = 7;
@@ -184,6 +200,92 @@ iqn::Result<ScenarioSpec> ParseScenarioSpec(const std::string& json_text);
 /// util/json_value.h formatting). ParseScenarioSpec(EmitScenarioSpec(s))
 /// reproduces s, and canonical files round-trip byte-identically.
 std::string EmitScenarioSpec(const ScenarioSpec& spec);
+
+/// The deterministic inputs a spec expands into, shared by RunScenario
+/// and the minervad cluster (every rank builds the identical workload
+/// from the same spec, so peer collections and the query stream agree
+/// across processes by construction).
+struct ScenarioWorkload {
+  /// The main corpus generator's options — churn deltas derive theirs
+  /// from these (same vocabulary, fresh seeds).
+  iqn::SyntheticCorpusOptions corpus_opts;
+  /// One collection per peer, in peer-index order.
+  std::vector<iqn::Corpus> collections;
+  /// The distinct query pool.
+  std::vector<iqn::Query> pool;
+  /// Pool indices in stream order (executions + Zipf schedule applied;
+  /// one round — the stream repeats queries.rounds times).
+  std::vector<size_t> schedule;
+  /// Documents per churn delta (derivation applied).
+  size_t churn_docs = 0;
+};
+
+iqn::Result<ScenarioWorkload> BuildScenarioWorkload(const ScenarioSpec& spec);
+
+/// The EngineOptions a spec configures, with the transport section
+/// applied for daemon rank `rank` (0 for single-process runs).
+EngineOptions EngineOptionsFromSpec(const ScenarioSpec& spec, uint32_t rank);
+
+/// The per-query outcome fields scenario aggregation consumes, in a
+/// form minervad can ship over a control frame. Doubles travel as raw
+/// bits, so a decoded wire outcome aggregates bit-identically to the
+/// in-process original.
+struct ScenarioOutcomeWire {
+  double recall = 0.0;
+  double recall_remote_only = 0.0;
+  double routing_latency_ms = 0.0;
+  double execution_latency_ms = 0.0;
+  uint64_t routing_bytes = 0;
+  uint64_t faults_survived = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t peers_failed = 0;
+  uint64_t peers_replaced = 0;
+  uint64_t open_circuit_skips = 0;
+  bool partial = false;
+  /// decision.peers in selection order (fingerprint input).
+  std::vector<uint64_t> selected_peer_ids;
+  /// execution.merged in rank order (fingerprint input).
+  std::vector<iqn::ScoredDoc> merged;
+
+  static ScenarioOutcomeWire FromOutcome(const iqn::QueryOutcome& outcome);
+  iqn::Bytes Encode() const;
+  static iqn::Result<ScenarioOutcomeWire> Decode(const iqn::Bytes& bytes);
+};
+
+struct ScenarioResult;
+
+/// Accumulates per-query outcomes into the scenario-level measures.
+/// RunScenario and the cluster driver run the SAME Apply arithmetic in
+/// the same stream order, so a cluster run's result JSON is
+/// byte-identical to the simulator's whenever the outcomes are.
+struct ScenarioCursor {
+  explicit ScenarioCursor(size_t rounds) : round_recall(rounds, 0.0) {}
+
+  uint64_t queries_run = 0;
+  double recall_sum = 0.0;
+  double remote_sum = 0.0;
+  double goodput_sum = 0.0;
+  uint64_t deadline_misses = 0;
+  std::vector<double> round_recall;
+  uint64_t routing_bytes = 0;
+  uint64_t faults_injected = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t peers_failed = 0;
+  uint64_t peers_replaced = 0;
+  uint64_t circuit_open_skips = 0;
+  uint64_t partial_queries = 0;
+  /// Sum of per-query simulated latency in stream order — the commit
+  /// clock both backends agree on (per-rank transport clocks only see
+  /// locally initiated queries).
+  double sim_time_ms = 0.0;
+  uint64_t result_fingerprint = 0;
+
+  void Apply(const ScenarioSpec& spec, size_t round,
+             const ScenarioOutcomeWire& outcome);
+  /// Copies the accumulated measures (means applied) into `result`.
+  /// stream_len normalizes round_recall.
+  void FinalizeInto(ScenarioResult* result, size_t stream_len) const;
+};
 
 /// Everything one scenario run measured.
 struct ScenarioResult {

@@ -1,0 +1,171 @@
+#include "net/frame.h"
+
+#include <cstring>
+#include <utility>
+
+namespace iqn {
+
+namespace {
+
+// Highest StatusCode value on the wire; decode rejects anything above
+// so a corrupted code cannot alias into kOk.
+constexpr uint64_t kMaxStatusCode =
+    static_cast<uint64_t>(StatusCode::kDeadlineExceeded);
+
+Status StatusFromWire(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+  }
+  return Status::Internal("unmapped status code");
+}
+
+}  // namespace
+
+Bytes EncodeFrame(const Frame& frame) {
+  ByteWriter body;
+  body.PutU8(frame.version);
+  body.PutU8(static_cast<uint8_t>(frame.type));
+  body.PutU64(frame.request_id);
+  if (frame.type == FrameType::kResponse) {
+    body.PutVarint(static_cast<uint64_t>(frame.status_code));
+    body.PutString(frame.status_message);
+    body.PutBytes(frame.payload);
+  } else {
+    body.PutU64(frame.src);
+    body.PutU64(frame.dst);
+    body.PutU64(frame.attempt);
+    body.PutString(frame.verb);
+    body.PutBytes(frame.payload);
+  }
+  ByteWriter out;
+  out.PutU32(static_cast<uint32_t>(body.size()));
+  out.PutRaw(body.data().data(), body.size());
+  return out.Take();
+}
+
+Result<Frame> DecodeFrameBody(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  Frame frame;
+  IQN_RETURN_IF_ERROR(reader.GetU8(&frame.version));
+  if (frame.version != kFrameVersion) {
+    return Status::Corruption("unsupported frame version " +
+                              std::to_string(frame.version));
+  }
+  uint8_t raw_type = 0;
+  IQN_RETURN_IF_ERROR(reader.GetU8(&raw_type));
+  if (raw_type != static_cast<uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<uint8_t>(FrameType::kResponse) &&
+      raw_type != static_cast<uint8_t>(FrameType::kControl)) {
+    return Status::Corruption("unknown frame type " + std::to_string(raw_type));
+  }
+  frame.type = static_cast<FrameType>(raw_type);
+  IQN_RETURN_IF_ERROR(reader.GetU64(&frame.request_id));
+  if (frame.type == FrameType::kResponse) {
+    uint64_t code = 0;
+    IQN_RETURN_IF_ERROR(reader.GetVarint(&code));
+    if (code > kMaxStatusCode) {
+      return Status::Corruption("status code " + std::to_string(code) +
+                                " out of range");
+    }
+    frame.status_code = static_cast<StatusCode>(code);
+    IQN_RETURN_IF_ERROR(reader.GetString(&frame.status_message));
+    IQN_RETURN_IF_ERROR(reader.GetBytes(&frame.payload));
+  } else {
+    IQN_RETURN_IF_ERROR(reader.GetU64(&frame.src));
+    IQN_RETURN_IF_ERROR(reader.GetU64(&frame.dst));
+    IQN_RETURN_IF_ERROR(reader.GetU64(&frame.attempt));
+    IQN_RETURN_IF_ERROR(reader.GetString(&frame.verb));
+    IQN_RETURN_IF_ERROR(reader.GetBytes(&frame.payload));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after frame body");
+  }
+  return frame;
+}
+
+Frame MakeResponseFrame(uint64_t request_id, const Status& status,
+                        Bytes payload) {
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.request_id = request_id;
+  frame.status_code = status.code();
+  frame.status_message = status.message();
+  frame.payload = status.ok() ? std::move(payload) : Bytes{};
+  return frame;
+}
+
+Status FrameStatus(const Frame& response) {
+  return StatusFromWire(response.status_code, response.status_message);
+}
+
+Status FrameAssembler::Feed(const uint8_t* data, size_t size) {
+  IQN_RETURN_IF_ERROR(poisoned_);
+  buffer_.insert(buffer_.end(), data, data + size);
+  // Reject an oversized length claim as soon as the prefix is readable,
+  // before any attempt to buffer the announced body.
+  if (buffer_.size() >= kFrameLengthPrefixBytes) {
+    uint32_t body_len = 0;
+    ByteReader prefix(buffer_.data(), kFrameLengthPrefixBytes);
+    IQN_RETURN_IF_ERROR(prefix.GetU32(&body_len));
+    if (body_len > max_frame_bytes_) {
+      poisoned_ = Status::InvalidArgument(
+          "frame of " + std::to_string(body_len) + " bytes exceeds limit of " +
+          std::to_string(max_frame_bytes_));
+      return poisoned_;
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> FrameAssembler::Next(Frame* frame) {
+  IQN_RETURN_IF_ERROR(poisoned_);
+  if (buffer_.size() < kFrameLengthPrefixBytes) return false;
+  uint32_t body_len = 0;
+  ByteReader prefix(buffer_.data(), kFrameLengthPrefixBytes);
+  IQN_RETURN_IF_ERROR(prefix.GetU32(&body_len));
+  if (buffer_.size() < kFrameLengthPrefixBytes + body_len) return false;
+  Result<Frame> decoded =
+      DecodeFrameBody(buffer_.data() + kFrameLengthPrefixBytes, body_len);
+  if (!decoded.ok()) {
+    poisoned_ = decoded.status();
+    return poisoned_;
+  }
+  *frame = std::move(decoded).value();
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + kFrameLengthPrefixBytes + body_len);
+  // The next frame's prefix may already be buffered; re-run the Feed()
+  // oversize check so a poisonous boundary is caught without new bytes.
+  if (buffer_.size() >= kFrameLengthPrefixBytes) {
+    uint32_t next_len = 0;
+    ByteReader next_prefix(buffer_.data(), kFrameLengthPrefixBytes);
+    IQN_RETURN_IF_ERROR(next_prefix.GetU32(&next_len));
+    if (next_len > max_frame_bytes_) {
+      poisoned_ = Status::InvalidArgument(
+          "frame of " + std::to_string(next_len) + " bytes exceeds limit of " +
+          std::to_string(max_frame_bytes_));
+      return poisoned_;
+    }
+  }
+  return true;
+}
+
+}  // namespace iqn

@@ -1,0 +1,119 @@
+// Length-prefixed, versioned wire framing for the TCP transport.
+//
+// A frame on the wire is
+//
+//   u32 (LE)   body length N (bytes after this prefix; bounded)
+//   N bytes    body
+//
+// and the body is (util/bytes.h encodings — LE fixed-width + LEB128
+// varints, the same primitives every message.h payload already uses):
+//
+//   u8         version        (kFrameVersion = 1; other values rejected)
+//   u8         frame type     (FrameType below)
+//   u64        request id     (echoed verbatim in the response)
+//   request / control request body:
+//     u64      src address
+//     u64      dst address    (ignored for control frames)
+//     u64      attempt        (retry ordinal, observability only)
+//     string   verb           (message type, e.g. "peer.query" / "ctl.ping")
+//     bytes    payload
+//   response body:
+//     varint   status code    (StatusCode numeric value; 0 = OK)
+//     string   status message (empty when OK)
+//     bytes    payload        (empty on error)
+//
+// The codec is socket-free (fuzzable in isolation: fuzz/frame_decode_fuzz)
+// and hardened: every length is bounds-checked via ByteReader, payload
+// counts go through CheckCountFits before any allocation, and the u32
+// prefix is capped by the assembler's max_frame_bytes so a hostile
+// 4 GiB length claim is rejected without buffering.
+
+#ifndef IQN_NET_FRAME_H_
+#define IQN_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace iqn {
+
+inline constexpr uint8_t kFrameVersion = 1;
+/// Wire size of the u32 length prefix.
+inline constexpr size_t kFrameLengthPrefixBytes = 4;
+
+enum class FrameType : uint8_t {
+  /// Addressed RPC request, dispatched to the dst node's handler.
+  kRequest = 1,
+  /// Reply to a request or control frame.
+  kResponse = 2,
+  /// Daemon control request ("ctl.*" verbs), dispatched to the
+  /// transport's control handler instead of a node address.
+  kControl = 3,
+};
+
+struct Frame {
+  uint8_t version = kFrameVersion;
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  // Request / control fields.
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  uint64_t attempt = 0;
+  std::string verb;
+  // Response fields.
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  // Request and OK-response payload.
+  Bytes payload;
+};
+
+/// Encodes `frame` including the u32 length prefix, ready to write to a
+/// socket.
+Bytes EncodeFrame(const Frame& frame);
+
+/// Decodes one frame BODY (the bytes after the length prefix). Returns
+/// Corruption on malformed input; never reads past `size`.
+Result<Frame> DecodeFrameBody(const uint8_t* data, size_t size);
+
+/// Convenience for a response frame carrying `status` / `payload`.
+Frame MakeResponseFrame(uint64_t request_id, const Status& status,
+                        Bytes payload);
+/// Re-materializes the Status a response frame carries (OK if kOk).
+Status FrameStatus(const Frame& response);
+
+/// Incremental reassembly of frames from a TCP byte stream. Feed()
+/// appends whatever arrived; Next() extracts the earliest complete
+/// frame, if any. A length prefix exceeding max_frame_bytes poisons the
+/// stream (InvalidArgument) — the connection cannot be resynchronized
+/// and must be dropped.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw stream bytes. Fails (and stays failed) if a frame
+  /// boundary ever announces a body longer than max_frame_bytes.
+  Status Feed(const uint8_t* data, size_t size);
+
+  /// Extracts the next complete frame into *frame. Returns true when
+  /// one was produced, false when more bytes are needed; Corruption if
+  /// a complete body failed to decode (also poisons the stream — a
+  /// framing bug upstream means the boundaries can no longer be
+  /// trusted).
+  Result<bool> Next(Frame* frame);
+
+  /// Bytes buffered awaiting a complete frame.
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  Bytes buffer_;
+  Status poisoned_ = Status::OK();
+};
+
+}  // namespace iqn
+
+#endif  // IQN_NET_FRAME_H_

@@ -1,4 +1,4 @@
-// Simulated message-passing network.
+// Simulated message-passing network — the in-process Transport backend.
 //
 // Substitution for the paper's PC-cluster deployment (DESIGN.md): nodes
 // register a handler, and Rpc() delivers a message synchronously to the
@@ -11,205 +11,31 @@
 // replica write); accounting covers the whole cascade. A latency model
 // (per-message plus per-byte) accumulates a simulated-time cost for
 // reporting; it does not reorder delivery.
+//
+// All the accounting, fault-injection, clock, and metering machinery
+// lives in the Transport base (net/transport.h); this class is the
+// trivial backend whose Deliver() is a direct handler call. Construct it
+// through CreateTransport / EngineOptions outside net/ and tests — the
+// no-direct-simnet lint rule keeps call sites backend-agnostic.
 
 #ifndef IQN_NET_NETWORK_H_
 #define IQN_NET_NETWORK_H_
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "net/fault.h"
-#include "net/message.h"
-#include "util/status.h"
+#include "net/transport.h"
 
 namespace iqn {
 
-struct NetworkStats {
-  uint64_t messages = 0;
-  uint64_t bytes = 0;
-  /// Simulated transfer cost in milliseconds under the latency model.
-  double latency_ms = 0.0;
-  /// Faults the installed FaultInjector fired against this traffic.
-  uint64_t faults_injected = 0;
-  /// Retry attempts issued by the rpc_policy layer (attempt > 0 sends).
-  uint64_t rpc_retries = 0;
-  /// Simulated backoff waiting charged by retries (also in latency_ms).
-  double retry_backoff_ms = 0.0;
-  /// Hedged backup requests issued by the rpc_policy layer, and the
-  /// subset whose response beat (or outlived) the primary attempt.
-  uint64_t hedges = 0;
-  uint64_t hedges_won = 0;
-  /// RPCs refused locally — no traffic sent — because the destination's
-  /// circuit breaker (net/health.h) was open.
-  uint64_t circuit_blocked = 0;
-  /// faults_injected split by fault class (FaultClassName keys); the
-  /// chaos bench turns the per-query deltas into histograms.
-  std::map<std::string, uint64_t> faults_by_class;
-  /// Message and byte counts per message type (e.g. "chord.find_succ").
-  std::map<std::string, uint64_t> messages_by_type;
-  std::map<std::string, uint64_t> bytes_by_type;
-};
-
-struct LatencyModel {
-  /// Fixed per-message cost (network round trip).
-  double per_message_ms = 1.0;
-  /// Transfer cost per payload byte (e.g. ~0.001 ms/byte ~ 8 Mbit/s).
-  double per_byte_ms = 0.001;
-};
-
-class SimulatedNetwork {
+class SimulatedNetwork : public Transport {
  public:
-  /// Request handler: receives the message, returns the response payload.
-  using Handler = std::function<Result<Bytes>(const Message&)>;
-
   SimulatedNetwork();
   explicit SimulatedNetwork(LatencyModel latency);
 
-  SimulatedNetwork(const SimulatedNetwork&) = delete;
-  SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
+  const char* kind_name() const override { return "simulated"; }
 
-  /// RAII redirection of traffic accounting. While a StatsCapture is alive
-  /// on a thread, every message that thread sends (including nested Rpcs
-  /// issued from handlers it invokes) is charged to `sink` instead of the
-  /// network-wide stats — per-query metering that stays exact when many
-  /// queries run concurrently over the same network. The topology itself
-  /// (Register / SetNodeUp) must not change while captures are live;
-  /// Rpc over a fixed topology is otherwise thread-safe. Scopes nest:
-  /// the innermost capture on the thread wins.
-  class StatsCapture {
-   public:
-    StatsCapture(SimulatedNetwork* network, NetworkStats* sink);
-    ~StatsCapture();
-
-    StatsCapture(const StatsCapture&) = delete;
-    StatsCapture& operator=(const StatsCapture&) = delete;
-
-   private:
-    SimulatedNetwork* network_;
-    NetworkStats* previous_;
-  };
-
-  /// Folds a captured per-query delta into the network-wide stats.
-  /// Call from one thread at a time (the batch engine merges deltas in
-  /// query order after joining its workers, keeping totals deterministic).
-  void MergeStats(const NetworkStats& delta);
-
-  /// Registers a node; the returned address is stable for the lifetime of
-  /// the network. Precondition (checked): no StatsCapture is live.
-  NodeAddress Register(Handler handler);
-
-  /// Marks a node down (messages to it fail with Unavailable) or back up.
-  /// Precondition (checked): no StatsCapture is live — mutating the
-  /// topology while per-query captures run would race with Rpc.
-  Status SetNodeUp(NodeAddress addr, bool up);
-  bool IsNodeUp(NodeAddress addr) const;
-
-  /// Synchronous request/response. The request leg is always charged —
-  /// a message to a down node, a dropped request, and a timed-out call
-  /// all consumed uplink bandwidth; the response leg is charged when the
-  /// handler produced one. Fails with Unavailable if dst is down,
-  /// NotFound if dst was never registered. `attempt` is the retry
-  /// ordinal (0 = first try); it feeds the fault injector's decision
-  /// hash so a retry rolls fresh dice. Prefer CallRpc (net/rpc_policy.h)
-  /// outside net/ — it layers retry/deadline policy over this.
-  Result<Bytes> Rpc(NodeAddress src, NodeAddress dst, const std::string& type,
-                    Bytes payload, uint64_t attempt = 0);
-
-  /// Installs a fault injector driven by `plan`; replaces any previous
-  /// one. Install before issuing traffic (not thread-safe against
-  /// concurrent Rpc).
-  void InstallFaultPlan(const FaultPlan& plan);
-  /// Removes the installed fault injector (same caveat as install).
-  void ClearFaults();
-  /// The installed injector (for its counters), or nullptr.
-  const FaultInjector* fault_injector() const { return faults_.get(); }
-
-  /// Charges `backoff_ms` of simulated retry waiting to the calling
-  /// thread's active stats sink (latency, retry counters; no message).
-  void ChargeRetryBackoff(double backoff_ms);
-  /// Records one hedged backup request in the calling thread's active
-  /// sink and credits back `overlap_ms` of simulated latency: the hedge
-  /// conceptually ran concurrently with the tail of the primary
-  /// attempt, so the caller must not pay for both serially.
-  void RecordHedge(bool won, double overlap_ms);
-  /// Records an RPC refused locally (no traffic) because the
-  /// destination's circuit breaker was open.
-  void CountCircuitBlocked();
-  /// Simulated latency accrued so far in the calling thread's active
-  /// stats sink; the rpc_policy layer diffs this around an attempt to
-  /// draw down deadline budgets.
-  double CurrentLatencyMs();
-
-  /// Ambient per-query fault context of the current thread. RpcScope
-  /// installs it; 0 outside any scope.
-  static uint64_t ThreadFaultContext();
-  /// Sets the thread's fault context, returning the previous value.
-  static uint64_t ExchangeThreadFaultContext(uint64_t context);
-
-  /// Coarse simulated clock: milliseconds of committed simulated work.
-  /// The engine advances it at its commit points (after a serial query,
-  /// after a joined batch) by the latency the committed work cost.
-  /// Partition windows (FaultPlan::partitions) and circuit-breaker
-  /// cooldowns (net/health.h) are evaluated against it, so it is
-  /// constant — and safe to read concurrently — while a batch runs.
-  double now_ms() const { return now_ms_; }
-  /// Advances the simulated clock. Precondition (checked): no
-  /// StatsCapture is live — the clock only moves between batches.
-  void AdvanceSimTime(double delta_ms);
-
-  size_t num_nodes() const { return nodes_.size(); }
-
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats(); }
-
- private:
-  struct Node {
-    Handler handler;
-    bool up = true;
-  };
-
-  void Charge(const std::string& type, size_t wire_bytes);
-
-  /// The single fault-accounting path: bumps the injector's per-class
-  /// counter, the active sink's totals (faults_injected +
-  /// faults_by_class), and the registry mirror ("fault.<class>").
-  void CountFault(FaultClass klass, NetworkStats* active);
-
-  /// The stats object Charge() writes to on this thread: the innermost
-  /// live StatsCapture's sink, or the global stats_.
-  NetworkStats* ActiveStats();
-
-  LatencyModel latency_;
-  std::vector<Node> nodes_;
-  /// Simulated clock (see now_ms()); written only between batches,
-  /// fenced by the live_captures_ runtime check like the topology.
-  double now_ms_ = 0.0;
-  /// Thread-confined, not locked (DESIGN.md §12): batch workers never
-  /// write here — each carries its own StatsCapture sink, and Charge()
-  /// routes to the innermost live sink via ActiveStats(). Topology
-  /// writes are fenced by the live_captures_ runtime check below.
-  NetworkStats stats_;
-  std::unique_ptr<FaultInjector> faults_;
-  /// Live StatsCapture count; topology mutation is checked against it.
-  /// A RAII-guard refcount, not a metric — exempt from the
-  /// metrics-registry rule.
-  std::atomic<int> live_captures_{0};  // NOLINT(iqn-metrics)
-  /// Cached registry instruments (looked up once; incremented lock-free
-  /// on the Charge hot path).
-  Counter* m_messages_;
-  Counter* m_bytes_;
-  Counter* m_rpc_retries_;
-  Counter* m_backoff_us_;
-  Counter* m_hedges_;
-  Counter* m_hedges_won_;
-  Counter* m_circuit_blocked_;
-  Counter* m_faults_;
-  Counter* m_fault_class_[kNumFaultClasses];
+ protected:
+  /// Direct synchronous dispatch to the registered handler; `attempt`
+  /// is unused here (it already fed the caller-side fault pipeline).
+  Result<Bytes> Deliver(const Message& msg, uint64_t attempt) override;
 };
 
 }  // namespace iqn

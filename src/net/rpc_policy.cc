@@ -45,14 +45,14 @@ RpcScope::RpcScope(RetryPolicy policy, double deadline_budget_ms,
                    uint64_t fault_context)
     : previous_(tls_rpc_scope),
       previous_context_(
-          SimulatedNetwork::ExchangeThreadFaultContext(fault_context)),
+          Transport::ExchangeThreadFaultContext(fault_context)),
       policy_(policy),
       deadline_(deadline_budget_ms) {
   tls_rpc_scope = this;
 }
 
 RpcScope::~RpcScope() {
-  SimulatedNetwork::ExchangeThreadFaultContext(previous_context_);
+  Transport::ExchangeThreadFaultContext(previous_context_);
   tls_rpc_scope = previous_;
 }
 
@@ -71,7 +71,7 @@ constexpr uint64_t kHedgeNonceBase = 0x100;
 
 /// The retry/deadline/hedge loop proper; CallRpc wraps it in the trace
 /// span so every return path gets its status annotated in one place.
-Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
+Result<Bytes> CallRpcAttempts(Transport* network, NodeAddress src,
                               NodeAddress dst, const std::string& type,
                               Bytes payload, ScopedSpan* span) {
   RpcScope* scope = RpcScope::Current();
@@ -90,7 +90,7 @@ Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
   const RetryPolicy& policy = scope->policy();
   const HedgePolicy& hedge = scope->hedge();
   const int attempts = std::max(1, policy.max_attempts);
-  const uint64_t context = SimulatedNetwork::ThreadFaultContext();
+  const uint64_t context = Transport::ThreadFaultContext();
   const double call_start_ms = network->CurrentLatencyMs();
   // One observation per logical RPC, recorded on every return path
   // below (the circuit-refused return above records none: no traffic,
@@ -203,7 +203,7 @@ Result<Bytes> CallRpcAttempts(SimulatedNetwork* network, NodeAddress src,
 
 }  // namespace
 
-Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
+Result<Bytes> CallRpc(Transport* network, NodeAddress src,
                       NodeAddress dst, const std::string& type, Bytes payload) {
   // One span per logical RPC: all attempts, their faults, and the
   // backoff waits land inside it, so traces show retry storms directly.

@@ -1,6 +1,6 @@
 // The single policy layer every remote interaction goes through.
 //
-// Raw SimulatedNetwork::Rpc is a one-shot synchronous call; real
+// Raw Transport::Rpc is a one-shot synchronous call; real
 // deployments wrap every RPC in retry and deadline policy. CallRpc is
 // that wrapper, and it is the ONLY sanctioned way to issue an RPC from
 // outside net/ (tools/lint.sh enforces this): dht/ and minerva/ call
@@ -11,7 +11,7 @@
 // Policy is ambient, not threaded through signatures: an RpcScope
 // installs a RetryPolicy, a per-query simulated-time deadline budget,
 // and a fault context id into thread-local state (the same RAII idiom
-// as SimulatedNetwork::StatsCapture), and every CallRpc under it —
+// as Transport::StatsCapture), and every CallRpc under it —
 // including nested calls made from handlers the scope's thread invokes
 // — obeys them. With no scope installed, CallRpc degenerates to a
 // single attempt with no deadline: exactly the raw Rpc behavior.
@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "net/health.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "util/status.h"
 
 namespace iqn {
@@ -71,7 +71,7 @@ struct RetryPolicy {
 /// destination on a fresh attempt nonce (fresh fault/queueing dice —
 /// the simulator's stand-in for a replica), and the latency it would
 /// have overlapped with the primary's tail is credited back
-/// (SimulatedNetwork::RecordHedge). Decisions are pure functions of
+/// (Transport::RecordHedge). Decisions are pure functions of
 /// simulated latency and the fault hash stream: no wall-clock, no RNG.
 struct HedgePolicy {
   bool enabled = false;
@@ -169,7 +169,7 @@ class RpcScope {
 /// be charged past the deadline), slow failures hedged when the scope
 /// carries a HedgePolicy, and the final outcome appended to the
 /// scope's observation buffer. Without a scope: one raw attempt.
-Result<Bytes> CallRpc(SimulatedNetwork* network, NodeAddress src,
+Result<Bytes> CallRpc(Transport* network, NodeAddress src,
                       NodeAddress dst, const std::string& type, Bytes payload);
 
 }  // namespace iqn

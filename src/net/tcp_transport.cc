@@ -1,0 +1,594 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include "net/network.h"
+
+namespace iqn {
+
+namespace {
+
+int64_t MonotonicMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+// "host:port" with a numeric IPv4 host ("localhost" and "" mean
+// 127.0.0.1). Port 0 is allowed for listen sockets (ephemeral).
+Status ParseEndpoint(const std::string& endpoint, sockaddr_in* out) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' is not host:port");
+  }
+  std::string host = endpoint.substr(0, colon);
+  const std::string port_str = endpoint.substr(colon + 1);
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' has an invalid port");
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' has an invalid IPv4 host");
+  }
+  return Status::OK();
+}
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// One blocking connect attempt (SO_SNDTIMEO bounds it).
+Result<int> TryConnect(const sockaddr_in& addr, int io_timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  SetSocketTimeouts(fd, io_timeout_ms);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    close(fd);
+    return Status::Unavailable(std::string("connect: ") + std::strerror(err));
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+// Connect, retrying while the peer's listen socket may not exist yet
+// (cluster startup races). Gives up after connect_wait_ms.
+Result<int> ConnectWithRetry(const std::string& endpoint, int io_timeout_ms,
+                             int connect_wait_ms) {
+  sockaddr_in addr{};
+  IQN_RETURN_IF_ERROR(ParseEndpoint(endpoint, &addr));
+  const int64_t deadline = MonotonicMs() + connect_wait_ms;
+  for (;;) {
+    Result<int> fd = TryConnect(addr, io_timeout_ms);
+    if (fd.ok()) return fd;
+    if (MonotonicMs() >= deadline) {
+      return Status::Unavailable("peer at " + endpoint +
+                                 " unreachable: " + fd.status().message());
+    }
+    poll(nullptr, 0, 20);  // retry backoff; no fd to wait on yet
+  }
+}
+
+// Writes the whole buffer; handles EINTR and, for non-blocking server
+// sockets, waits for writability on EAGAIN (bounded by timeout_ms).
+Status WriteAll(int fd, const uint8_t* data, size_t size, int timeout_ms) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) {
+        return Status::DeadlineExceeded("timed out writing frame");
+      }
+      continue;
+    }
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+// Blocking read of exactly one frame (SO_RCVTIMEO bounds each recv).
+Result<Frame> ReadFrameBlocking(int fd, size_t max_frame_bytes,
+                                bool* reusable) {
+  *reusable = false;
+  FrameAssembler assembler(max_frame_bytes);
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      IQN_RETURN_IF_ERROR(assembler.Feed(buf, static_cast<size_t>(n)));
+      Frame frame;
+      IQN_ASSIGN_OR_RETURN(const bool complete, assembler.Next(&frame));
+      if (complete) {
+        // Pool the socket again only if the peer sent exactly the one
+        // response we waited for; stray bytes mean protocol confusion.
+        *reusable = assembler.buffered() == 0;
+        return frame;
+      }
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed while awaiting response");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("timed out awaiting response frame");
+    }
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+
+TcpTransport::TcpTransport(const TransportOptions& options,
+                           const LatencyModel& latency)
+    : Transport(latency), options_(options), rank_(options.rank) {
+  peers_.reserve(options.endpoints.size());
+  for (const std::string& endpoint : options.endpoints) {
+    peers_.push_back(PeerInfo{endpoint});
+  }
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Create(
+    const TransportOptions& options, const LatencyModel& latency) {
+  if (options.kind != TransportKind::kTcp) {
+    return Status::InvalidArgument("TcpTransport requires kind == tcp");
+  }
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument(
+        "tcp transport requires at least one endpoint (one per rank)");
+  }
+  if (options.rank >= options.endpoints.size()) {
+    return Status::InvalidArgument(
+        "tcp transport rank " + std::to_string(options.rank) +
+        " out of range for " + std::to_string(options.endpoints.size()) +
+        " endpoints");
+  }
+  if (options.max_frame_bytes == 0) {
+    return Status::InvalidArgument("max_frame_bytes must be positive");
+  }
+  std::unique_ptr<TcpTransport> transport(
+      new TcpTransport(options, latency));
+  IQN_RETURN_IF_ERROR(transport->Start());
+  return transport;
+}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+bool TcpTransport::IsLocal(NodeAddress addr) const {
+  return addr < num_nodes() && OwnerRank(addr) == rank_;
+}
+
+Status TcpTransport::SetPeerEndpoint(uint32_t rank,
+                                     const std::string& endpoint) {
+  if (rank >= peers_.size()) {
+    return Status::InvalidArgument("no such rank " + std::to_string(rank));
+  }
+  sockaddr_in parsed{};
+  IQN_RETURN_IF_ERROR(ParseEndpoint(endpoint, &parsed));
+  peers_[rank].endpoint = endpoint;
+  std::vector<int> stale;
+  {
+    MutexLock lock(&conn_mu_);
+    stale.swap(idle_conns_[rank]);
+  }
+  for (const int fd : stale) close(fd);
+  return Status::OK();
+}
+
+void TcpTransport::SetControlHandler(ControlHandler handler) {
+  control_handler_ = std::move(handler);
+}
+
+Status TcpTransport::Start() {
+  {
+    MutexLock lock(&conn_mu_);
+    idle_conns_.resize(peers_.size());
+  }
+  sockaddr_in addr{};
+  IQN_RETURN_IF_ERROR(ParseEndpoint(peers_[rank_].endpoint, &addr));
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::Unavailable("bind " + peers_[rank_].endpoint + ": " +
+                               std::strerror(errno));
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  // Resolve the actual port (the configured one may have been 0).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  char host[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+  listen_endpoint_ =
+      std::string(host) + ":" + std::to_string(ntohs(bound.sin_port));
+  peers_[rank_].endpoint = listen_endpoint_;
+
+  if (pipe2(wake_fds_, O_NONBLOCK) != 0) {
+    return Status::Internal(std::string("pipe2: ") + std::strerror(errno));
+  }
+  epoll_fd_ = epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl: ") +
+                            std::strerror(errno));
+  }
+  ev.data.fd = wake_fds_[0];
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl: ") +
+                            std::strerror(errno));
+  }
+
+  IQN_ASSIGN_OR_RETURN(loop_pool_, ThreadPool::Create(1));
+  {
+    MutexLock lock(&loop_mu_);
+    loop_running_ = true;
+  }
+  Status scheduled = loop_pool_->Schedule([this] { ServeLoop(); });
+  if (!scheduled.ok()) {
+    MutexLock lock(&loop_mu_);
+    loop_running_ = false;
+    return scheduled;
+  }
+  return Status::OK();
+}
+
+void TcpTransport::ServeLoop() {
+  epoll_event events[64];
+  for (;;) {
+    {
+      MutexLock lock(&loop_mu_);
+      if (stopping_) break;
+    }
+    const int n = epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fds_[0]) {
+        uint8_t drain[16];
+        while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;  // the top of the loop re-checks stopping_
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int conn = accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK);
+          if (conn < 0) break;
+          const int one = 1;
+          setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          epoll_event cev{};
+          cev.events = EPOLLIN;
+          cev.data.fd = conn;
+          if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn, &cev) == 0) {
+            accepted_[conn] =
+                std::make_unique<FrameAssembler>(options_.max_frame_bytes);
+          } else {
+            close(conn);
+          }
+        }
+        continue;
+      }
+      if (!HandleReadable(fd)) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        accepted_.erase(fd);
+        close(fd);
+      }
+    }
+  }
+  for (const auto& [fd, assembler] : accepted_) close(fd);
+  accepted_.clear();
+  MutexLock lock(&loop_mu_);
+  loop_running_ = false;
+  loop_cv_.NotifyAll();
+}
+
+bool TcpTransport::HandleReadable(int fd) {
+  const auto it = accepted_.find(fd);
+  if (it == accepted_.end()) return false;
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!it->second->Feed(buf, static_cast<size_t>(n)).ok()) {
+        return false;  // oversized frame announced: drop the connection
+      }
+      for (;;) {
+        Frame frame;
+        Result<bool> got = it->second->Next(&frame);
+        if (!got.ok()) return false;  // undecodable body: drop
+        if (!got.value()) break;
+        DispatchFrame(fd, frame);
+      }
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EINTR) continue;
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+void TcpTransport::DispatchFrame(int fd, const Frame& frame) {
+  Result<Bytes> outcome = [&]() -> Result<Bytes> {
+    if (frame.type == FrameType::kControl) {
+      if (!control_handler_) {
+        return Status::Unimplemented("no control handler installed");
+      }
+      return control_handler_(frame.verb, frame.payload);
+    }
+    if (frame.type != FrameType::kRequest) {
+      return Status::InvalidArgument(
+          "unexpected response frame on a server connection");
+    }
+    if (frame.dst >= num_nodes()) {
+      return Status::NotFound("RPC to unregistered node");
+    }
+    if (!IsLocal(frame.dst)) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(frame.dst) + " is owned by rank " +
+          std::to_string(OwnerRank(frame.dst)) + ", not rank " +
+          std::to_string(rank_));
+    }
+    if (!IsNodeUp(frame.dst)) {
+      return Status::Unavailable("node " + std::to_string(frame.dst) +
+                                 " is down");
+    }
+    Message msg;
+    msg.src = frame.src;
+    msg.dst = frame.dst;
+    msg.type = frame.verb;
+    msg.payload = frame.payload;
+    return InvokeLocalHandler(msg);
+  }();
+
+  Frame response =
+      outcome.ok()
+          ? MakeResponseFrame(frame.request_id, Status::OK(),
+                              std::move(outcome).value())
+          : MakeResponseFrame(frame.request_id, outcome.status(), Bytes{});
+  Bytes wire = EncodeFrame(response);
+  if (wire.size() - kFrameLengthPrefixBytes > options_.max_frame_bytes) {
+    response = MakeResponseFrame(
+        frame.request_id,
+        Status::InvalidArgument("response exceeds max_frame_bytes"), Bytes{});
+    wire = EncodeFrame(response);
+  }
+  // Best effort: if the caller vanished mid-exchange it learns from its
+  // own socket error; nothing to do with a failed write here.
+  (void)WriteAll(fd, wire.data(), wire.size(), options_.io_timeout_ms);
+}
+
+Result<int> TcpTransport::LeaseConnection(uint32_t rank) {
+  {
+    MutexLock lock(&conn_mu_);
+    if (!idle_conns_[rank].empty()) {
+      const int fd = idle_conns_[rank].back();
+      idle_conns_[rank].pop_back();
+      return fd;
+    }
+  }
+  return ConnectWithRetry(peers_[rank].endpoint, options_.io_timeout_ms,
+                          options_.connect_wait_ms);
+}
+
+void TcpTransport::ReturnConnection(uint32_t rank, int fd) {
+  MutexLock lock(&conn_mu_);
+  idle_conns_[rank].push_back(fd);
+}
+
+Result<Bytes> TcpTransport::RemoteCall(uint32_t rank, const Message& msg,
+                                       uint64_t attempt) {
+  Frame request;
+  request.type = FrameType::kRequest;
+  {
+    MutexLock lock(&conn_mu_);
+    request.request_id = next_request_id_++;
+  }
+  request.src = msg.src;
+  request.dst = msg.dst;
+  request.attempt = attempt;
+  request.verb = msg.type;
+  request.payload = msg.payload;
+  const Bytes wire = EncodeFrame(request);
+  if (wire.size() - kFrameLengthPrefixBytes > options_.max_frame_bytes) {
+    return Status::InvalidArgument(
+        "request frame of " +
+        std::to_string(wire.size() - kFrameLengthPrefixBytes) +
+        " bytes exceeds limit of " + std::to_string(options_.max_frame_bytes));
+  }
+  IQN_ASSIGN_OR_RETURN(const int fd, LeaseConnection(rank));
+  Status sent = WriteAll(fd, wire.data(), wire.size(), options_.io_timeout_ms);
+  if (!sent.ok()) {
+    close(fd);
+    return sent;
+  }
+  bool reusable = false;
+  Result<Frame> response =
+      ReadFrameBlocking(fd, options_.max_frame_bytes, &reusable);
+  if (!response.ok()) {
+    close(fd);
+    return response.status();
+  }
+  if (response.value().type != FrameType::kResponse ||
+      response.value().request_id != request.request_id) {
+    close(fd);
+    return Status::Internal("response frame does not match request");
+  }
+  if (reusable) {
+    ReturnConnection(rank, fd);
+  } else {
+    close(fd);
+  }
+  IQN_RETURN_IF_ERROR(FrameStatus(response.value()));
+  return std::move(response.value().payload);
+}
+
+Result<Bytes> TcpTransport::Deliver(const Message& msg, uint64_t attempt) {
+  if (IsLocal(msg.dst)) {
+    return InvokeLocalHandler(msg);
+  }
+  return RemoteCall(OwnerRank(msg.dst), msg, attempt);
+}
+
+void TcpTransport::Shutdown() {
+  {
+    MutexLock lock(&loop_mu_);
+    if (stopping_) {
+      while (loop_running_) loop_cv_.Wait(&loop_mu_);
+      return;
+    }
+    stopping_ = true;
+  }
+  if (wake_fds_[1] >= 0) {
+    const uint8_t byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    (void)!write(wake_fds_[1], &byte, 1);
+  }
+  {
+    MutexLock lock(&loop_mu_);
+    while (loop_running_) loop_cv_.Wait(&loop_mu_);
+  }
+  if (loop_pool_ != nullptr) loop_pool_->Shutdown();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+  listen_fd_ = epoll_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+  std::vector<int> stale;
+  {
+    MutexLock lock(&conn_mu_);
+    for (std::vector<int>& pool : idle_conns_) {
+      stale.insert(stale.end(), pool.begin(), pool.end());
+      pool.clear();
+    }
+  }
+  for (const int fd : stale) close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// FrameClient
+
+FrameClient::FrameClient(int fd, size_t max_frame_bytes)
+    : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+FrameClient::~FrameClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::unique_ptr<FrameClient>> FrameClient::Connect(
+    const std::string& endpoint, int io_timeout_ms, int connect_wait_ms,
+    size_t max_frame_bytes) {
+  IQN_ASSIGN_OR_RETURN(
+      const int fd, ConnectWithRetry(endpoint, io_timeout_ms,
+                                     connect_wait_ms));
+  return std::unique_ptr<FrameClient>(new FrameClient(fd, max_frame_bytes));
+}
+
+Result<Bytes> FrameClient::Call(const std::string& verb, Bytes payload) {
+  Frame request;
+  request.type = FrameType::kControl;
+  request.request_id = next_request_id_++;
+  request.verb = verb;
+  request.payload = std::move(payload);
+  const Bytes wire = EncodeFrame(request);
+  if (wire.size() - kFrameLengthPrefixBytes > max_frame_bytes_) {
+    return Status::InvalidArgument("control frame exceeds max_frame_bytes");
+  }
+  IQN_RETURN_IF_ERROR(WriteAll(fd_, wire.data(), wire.size(),
+                               /*timeout_ms=*/60000));
+  bool reusable = false;
+  IQN_ASSIGN_OR_RETURN(
+      const Frame response,
+      ReadFrameBlocking(fd_, max_frame_bytes_, &reusable));
+  if (response.type != FrameType::kResponse ||
+      response.request_id != request.request_id) {
+    return Status::Internal("response frame does not match request");
+  }
+  IQN_RETURN_IF_ERROR(FrameStatus(response));
+  return response.payload;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+
+Result<std::unique_ptr<Transport>> CreateTransport(
+    const TransportOptions& options, const LatencyModel& latency) {
+  switch (options.kind) {
+    case TransportKind::kSimulated: {
+      if (!options.endpoints.empty()) {
+        return Status::InvalidArgument(
+            "simulated transport takes no endpoints");
+      }
+      std::unique_ptr<Transport> transport =
+          std::make_unique<SimulatedNetwork>(latency);
+      return transport;
+    }
+    case TransportKind::kTcp: {
+      IQN_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> transport,
+                           TcpTransport::Create(options, latency));
+      std::unique_ptr<Transport> as_base = std::move(transport);
+      return as_base;
+    }
+  }
+  return Status::InvalidArgument("unknown transport kind");
+}
+
+}  // namespace iqn

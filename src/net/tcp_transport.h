@@ -1,0 +1,185 @@
+// TCP Transport backend: real sockets between cooperating processes.
+//
+// Deployment model (DESIGN.md §16): every process ("rank") builds the
+// SAME engine — registers the same handlers in the same order, so all
+// ranks agree on the dense NodeAddress space — and node address `a` is
+// OWNED by rank (a % nranks). An Rpc whose destination is owned locally
+// is a direct handler call (exactly SimulatedNetwork); otherwise the
+// message is framed (net/frame.h) and sent over a pooled TCP connection
+// to the owning rank, whose event loop dispatches it to its local
+// handler and streams the response back.
+//
+// Server side: a non-blocking listen socket plus all accepted
+// connections are driven by one epoll event loop running on an internal
+// single-thread pool (util/thread_pool.h — the repo's only sanctioned
+// thread owner). Complete request frames are dispatched inline on the
+// loop thread, which serializes all inbound handler invocations — the
+// concurrency story the engine already assumes of a node. Control
+// frames ("ctl.*", FrameType::kControl) bypass node addressing and go
+// to the installed control handler; tools/minervad.cc builds its whole
+// daemon protocol out of them.
+//
+// Client side: per-destination-rank pools of blocking sockets
+// (SO_RCVTIMEO/SO_SNDTIMEO bound the exchange); one socket carries one
+// RPC at a time, extra in-flight calls connect extra sockets on demand.
+//
+// Error mapping, pinned by tests/net/transport_conformance_test.cc:
+//   connect refused/timeout  -> Unavailable
+//   response wait timeout    -> DeadlineExceeded
+//   connection reset mid-RPC -> Unavailable
+//   malformed/oversized frame-> Corruption / InvalidArgument
+//
+// Accounting stays modeled (see net/transport.h): the base class
+// charges WireSize-based costs identically to the simulator, so cost
+// metrics are bit-identical across backends; only wall-clock changes.
+
+#ifndef IQN_NET_TCP_TRANSPORT_H_
+#define IQN_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace iqn {
+
+class TcpTransport : public Transport {
+ public:
+  /// Validates options (kind == kTcp, rank < endpoints.size()), binds
+  /// and listens on this rank's endpoint (port 0 = ephemeral; see
+  /// listen_endpoint()), and starts the event loop. Peers need not be
+  /// up yet — outbound connects retry for options.connect_wait_ms.
+  static Result<std::unique_ptr<TcpTransport>> Create(
+      const TransportOptions& options, const LatencyModel& latency);
+
+  /// Stops the loop and closes every socket (== Shutdown()).
+  ~TcpTransport() override;
+
+  const char* kind_name() const override { return "tcp"; }
+
+  /// True when this rank owns `addr` (addr % nranks == rank): delivery
+  /// is a direct in-process call, no wire involved.
+  bool IsLocal(NodeAddress addr) const override;
+
+  uint32_t rank() const { return rank_; }
+  uint32_t num_ranks() const { return static_cast<uint32_t>(peers_.size()); }
+  /// Rank owning a node address.
+  uint32_t OwnerRank(NodeAddress addr) const {
+    return static_cast<uint32_t>(addr % peers_.size());
+  }
+
+  /// The bound listen endpoint "host:port" — with the actual port when
+  /// the configured one was 0 (tests bind ephemeral ports and exchange
+  /// them via SetPeerEndpoint before issuing traffic).
+  const std::string& listen_endpoint() const { return listen_endpoint_; }
+
+  /// Replaces the endpoint used for future connects to `rank`. Call
+  /// before issuing traffic to that rank (not thread-safe against
+  /// concurrent Rpc to it); existing pooled connections are dropped.
+  Status SetPeerEndpoint(uint32_t rank, const std::string& endpoint);
+
+  /// Handler for control frames ("ctl.*"): verb + request payload ->
+  /// response payload. Install before peers start calling; replaces any
+  /// previous handler. Runs on the event-loop thread, serialized with
+  /// all other inbound dispatch.
+  using ControlHandler =
+      std::function<Result<Bytes>(const std::string& verb, const Bytes&)>;
+  void SetControlHandler(ControlHandler handler);
+
+  /// Stops accepting work, wakes and joins the event loop, closes all
+  /// sockets. In-flight outbound calls fail with Unavailable when their
+  /// peer shuts down first; calls arriving after shutdown are refused
+  /// by the closed listen socket. Idempotent.
+  void Shutdown();
+
+ protected:
+  /// Local dispatch for owned addresses; frame + socket exchange with
+  /// the owning rank otherwise.
+  Result<Bytes> Deliver(const Message& msg, uint64_t attempt) override;
+
+ private:
+  TcpTransport(const TransportOptions& options, const LatencyModel& latency);
+
+  Status Start();
+  void ServeLoop();
+  /// Handles readable bytes on an accepted connection; false = close it.
+  bool HandleReadable(int fd);
+  /// Dispatches one complete inbound frame and writes the response.
+  void DispatchFrame(int fd, const Frame& frame);
+  /// One remote request/response exchange with `rank`.
+  Result<Bytes> RemoteCall(uint32_t rank, const Message& msg,
+                           uint64_t attempt);
+  /// Leases a pooled (or freshly connected) socket to `rank`.
+  Result<int> LeaseConnection(uint32_t rank) IQN_EXCLUDES(conn_mu_);
+  void ReturnConnection(uint32_t rank, int fd) IQN_EXCLUDES(conn_mu_);
+
+  struct PeerInfo {
+    std::string endpoint;
+  };
+
+  const TransportOptions options_;
+  const uint32_t rank_;
+  std::vector<PeerInfo> peers_;
+  std::string listen_endpoint_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  /// Self-pipe: Shutdown() writes a byte to wake the epoll loop.
+  int wake_fds_[2] = {-1, -1};
+
+  /// Per accepted connection: reassembly state.
+  std::map<int, std::unique_ptr<FrameAssembler>> accepted_;
+
+  ControlHandler control_handler_;
+
+  std::unique_ptr<ThreadPool> loop_pool_;
+  Mutex loop_mu_;
+  CondVar loop_cv_;
+  bool loop_running_ IQN_GUARDED_BY(loop_mu_) = false;
+  bool stopping_ IQN_GUARDED_BY(loop_mu_) = false;
+
+  Mutex conn_mu_;
+  /// Idle pooled client sockets, per destination rank.
+  std::vector<std::vector<int>> idle_conns_ IQN_GUARDED_BY(conn_mu_);
+  uint64_t next_request_id_ IQN_GUARDED_BY(conn_mu_) = 1;
+};
+
+/// Minimal blocking client for one daemon's control plane: connects to
+/// an endpoint and exchanges control frames. This is all
+/// tools/minerva_client.cc and the cluster launcher need — no Transport,
+/// no engine.
+class FrameClient {
+ public:
+  /// Connects (retrying up to connect_wait_ms for a daemon still
+  /// starting); io_timeout_ms bounds each subsequent Call exchange.
+  static Result<std::unique_ptr<FrameClient>> Connect(
+      const std::string& endpoint, int io_timeout_ms, int connect_wait_ms,
+      size_t max_frame_bytes = 16 * 1024 * 1024);
+
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  /// One control round trip: sends `verb` + payload, returns the
+  /// response payload or the daemon's error status.
+  Result<Bytes> Call(const std::string& verb, Bytes payload);
+
+ private:
+  FrameClient(int fd, size_t max_frame_bytes);
+
+  int fd_;
+  size_t max_frame_bytes_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace iqn
+
+#endif  // IQN_NET_TCP_TRANSPORT_H_

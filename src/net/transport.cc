@@ -1,0 +1,310 @@
+#include "net/transport.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/metrics.h"
+
+namespace iqn {
+
+namespace {
+
+// Innermost live StatsCapture sink of the current thread (nullptr = none).
+// thread_local rather than a member so captures need no locking on the
+// hot Charge() path; a single process rarely runs several transports, and
+// captures are strictly scoped, so sharing the slot across instances is
+// harmless.
+thread_local NetworkStats* tls_stats_sink = nullptr;
+
+// Ambient per-query fault context (net/rpc_policy.h installs it). Same
+// thread-local idiom as the stats sink, for the same reason.
+thread_local uint64_t tls_fault_context = 0;
+
+// Seed separating payload fingerprints from other Hash64 uses.
+constexpr uint64_t kFingerprintSeed = 0xFA17;
+
+}  // namespace
+
+Transport::Transport() : Transport(LatencyModel{}) {}
+
+Transport::Transport(LatencyModel latency) : latency_(latency) {
+  // Registry instruments are resolved once here; the hot paths below
+  // only touch the cached pointers (lock-free relaxed increments).
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  m_messages_ = registry.GetCounter("net.messages");
+  m_bytes_ = registry.GetCounter("net.bytes");
+  m_rpc_retries_ = registry.GetCounter("net.rpc_retries");
+  m_backoff_us_ = registry.GetCounter("net.retry_backoff_us");
+  m_hedges_ = registry.GetCounter("rpc.hedges");
+  m_hedges_won_ = registry.GetCounter("rpc.hedges_won");
+  m_circuit_blocked_ = registry.GetCounter("rpc.circuit_open_blocked");
+  m_faults_ = registry.GetCounter("net.faults_injected");
+  for (size_t i = 0; i < kNumFaultClasses; ++i) {
+    m_fault_class_[i] = registry.GetCounter(
+        std::string("fault.") + FaultClassName(static_cast<FaultClass>(i)));
+  }
+}
+
+Transport::~Transport() = default;
+
+Transport::StatsCapture::StatsCapture(Transport* transport, NetworkStats* sink)
+    : transport_(transport), previous_(tls_stats_sink) {
+  transport_->live_captures_.fetch_add(1, std::memory_order_relaxed);
+  tls_stats_sink = sink;
+}
+
+Transport::StatsCapture::~StatsCapture() {
+  tls_stats_sink = previous_;
+  transport_->live_captures_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t Transport::ThreadFaultContext() { return tls_fault_context; }
+
+uint64_t Transport::ExchangeThreadFaultContext(uint64_t context) {
+  uint64_t previous = tls_fault_context;
+  tls_fault_context = context;
+  return previous;
+}
+
+NetworkStats* Transport::ActiveStats() {
+  return tls_stats_sink != nullptr ? tls_stats_sink : &stats_;
+}
+
+void Transport::MergeStats(const NetworkStats& delta) {
+  stats_.messages += delta.messages;
+  stats_.bytes += delta.bytes;
+  stats_.latency_ms += delta.latency_ms;
+  stats_.faults_injected += delta.faults_injected;
+  stats_.rpc_retries += delta.rpc_retries;
+  stats_.retry_backoff_ms += delta.retry_backoff_ms;
+  stats_.hedges += delta.hedges;
+  stats_.hedges_won += delta.hedges_won;
+  stats_.circuit_blocked += delta.circuit_blocked;
+  for (const auto& [klass, count] : delta.faults_by_class) {
+    stats_.faults_by_class[klass] += count;
+  }
+  for (const auto& [type, count] : delta.messages_by_type) {
+    stats_.messages_by_type[type] += count;
+  }
+  for (const auto& [type, bytes] : delta.bytes_by_type) {
+    stats_.bytes_by_type[type] += bytes;
+  }
+}
+
+NodeAddress Transport::Register(Handler handler) {
+  // Topology must not change during per-query metering (StatsCapture's
+  // documented precondition — enforce it instead of racing).
+  IQN_CHECK_EQ(live_captures_.load(std::memory_order_relaxed), 0);
+  nodes_.push_back(Node{std::move(handler), true});
+  return static_cast<NodeAddress>(nodes_.size() - 1);
+}
+
+Status Transport::SetNodeUp(NodeAddress addr, bool up) {
+  IQN_CHECK_EQ(live_captures_.load(std::memory_order_relaxed), 0);
+  if (addr >= nodes_.size()) return Status::NotFound("no such node");
+  nodes_[addr].up = up;
+  return Status::OK();
+}
+
+bool Transport::IsNodeUp(NodeAddress addr) const {
+  return addr < nodes_.size() && nodes_[addr].up;
+}
+
+bool Transport::IsLocal(NodeAddress addr) const {
+  return addr < nodes_.size();
+}
+
+void Transport::Charge(const std::string& type, size_t wire_bytes) {
+  NetworkStats& stats = *ActiveStats();
+  ++stats.messages;
+  stats.bytes += wire_bytes;
+  stats.latency_ms += latency_.per_message_ms +
+                      latency_.per_byte_ms * static_cast<double>(wire_bytes);
+  ++stats.messages_by_type[type];
+  stats.bytes_by_type[type] += wire_bytes;
+  m_messages_->Increment();
+  m_bytes_->Increment(wire_bytes);
+}
+
+void Transport::CountFault(FaultClass klass, NetworkStats* active) {
+  faults_->counters().ForClass(klass).Increment();
+  ++active->faults_injected;
+  ++active->faults_by_class[FaultClassName(klass)];
+  m_faults_->Increment();
+  m_fault_class_[static_cast<size_t>(klass)]->Increment();
+}
+
+void Transport::InstallFaultPlan(const FaultPlan& plan) {
+  faults_ = std::make_unique<FaultInjector>(plan);
+}
+
+void Transport::ClearFaults() { faults_.reset(); }
+
+void Transport::ChargeRetryBackoff(double backoff_ms) {
+  NetworkStats& stats = *ActiveStats();
+  stats.latency_ms += backoff_ms;
+  stats.retry_backoff_ms += backoff_ms;
+  ++stats.rpc_retries;
+  m_rpc_retries_->Increment();
+  m_backoff_us_->Increment(
+      static_cast<uint64_t>(std::llround(backoff_ms * 1000.0)));
+}
+
+void Transport::RecordHedge(bool won, double overlap_ms) {
+  NetworkStats& stats = *ActiveStats();
+  ++stats.hedges;
+  if (won) ++stats.hedges_won;
+  // The overlap credit models the hedge running concurrently with the
+  // primary attempt's tail; both attempts' traffic was already charged
+  // in full, only the waiting collapses.
+  stats.latency_ms -= overlap_ms;
+  m_hedges_->Increment();
+  if (won) m_hedges_won_->Increment();
+}
+
+void Transport::CountCircuitBlocked() {
+  ++ActiveStats()->circuit_blocked;
+  m_circuit_blocked_->Increment();
+}
+
+void Transport::AdvanceSimTime(double delta_ms) {
+  IQN_CHECK_EQ(live_captures_.load(std::memory_order_relaxed), 0);
+  now_ms_ += delta_ms;
+}
+
+double Transport::CurrentLatencyMs() { return ActiveStats()->latency_ms; }
+
+Result<Bytes> Transport::InvokeLocalHandler(const Message& msg) {
+  IQN_CHECK(msg.dst < nodes_.size());
+  // Copy the handler: the handler body may Register() new nodes and
+  // invalidate references into nodes_.
+  Handler handler = nodes_[msg.dst].handler;
+  return handler(msg);
+}
+
+Result<Bytes> Transport::Rpc(NodeAddress src, NodeAddress dst,
+                             const std::string& type, Bytes payload,
+                             uint64_t attempt) {
+  if (dst >= nodes_.size()) {
+    return Status::NotFound("RPC to unregistered node");
+  }
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  // The request leg is charged no matter how the call ends: a message
+  // to a down node, a dropped request, and a timed-out call all consumed
+  // uplink bandwidth.
+  Charge(type, msg.WireSize());
+  if (!nodes_[dst].up) {
+    return Status::Unavailable("node " + std::to_string(dst) + " is down");
+  }
+
+  FaultDecision fault;
+  uint64_t fingerprint = 0;
+  const bool faulty = faults_ != nullptr && faults_->plan().active();
+  if (faulty) {
+    // The fingerprint keys the decision to the message content, so two
+    // different messages to the same (dst, type) roll independent dice.
+    fingerprint =
+        HashBytes(msg.payload.data(), msg.payload.size(), kFingerprintSeed);
+    fault = faults_->Decide(dst, type, fingerprint, tls_fault_context, attempt);
+  }
+  NetworkStats& active = *ActiveStats();
+  const FaultPlan* plan = faulty ? &faults_->plan() : nullptr;
+  if (faulty) {
+    const std::string* partition_name = nullptr;
+    if (faults_->Partitioned(src, dst, now_ms_, &partition_name)) {
+      CountFault(FaultClass::kPartitioned, &active);
+      return Status::Unavailable("fault injection: partition '" +
+                                 *partition_name + "' separates node " +
+                                 std::to_string(src) + " from node " +
+                                 std::to_string(dst));
+    }
+    if (faults_->ShedsLoad(dst, type, fingerprint, tls_fault_context,
+                           attempt)) {
+      CountFault(FaultClass::kLoadShed, &active);
+      return Status::Unavailable("fault injection: node " +
+                                 std::to_string(dst) +
+                                 " shed the request under overload");
+    }
+  }
+  if (fault.unavailable) {
+    CountFault(FaultClass::kUnavailable, &active);
+    return Status::Unavailable("fault injection: node " + std::to_string(dst) +
+                               " transiently unavailable");
+  }
+  if (fault.drop_request) {
+    CountFault(FaultClass::kRequestDropped, &active);
+    // The caller waits out its timeout before giving up.
+    active.latency_ms += plan->timeout_penalty_ms;
+    return Status::DeadlineExceeded("fault injection: request to node " +
+                                    std::to_string(dst) + " dropped");
+  }
+
+  if (faulty) {
+    // The request reached an overloaded destination: it waits in the
+    // queue before being serviced, whatever happens to the response.
+    const double overload_delay_ms = faults_->OverloadDelayMs(
+        dst, type, fingerprint, tls_fault_context, attempt);
+    if (overload_delay_ms > 0.0) {
+      CountFault(FaultClass::kOverloaded, &active);
+      active.latency_ms += overload_delay_ms;
+    }
+  }
+  Result<Bytes> response = Deliver(msg, attempt);
+  if (!response.ok()) {
+    return response;
+  }
+  if (fault.drop_response || fault.timeout) {
+    // The handler ran (side effects happened) and the response was sent
+    // — both legs cost bandwidth — but the caller never sees it.
+    Charge(type, 20 + response.value().size());
+    CountFault(fault.timeout ? FaultClass::kTimeout
+                             : FaultClass::kResponseDropped,
+               &active);
+    active.latency_ms += plan->timeout_penalty_ms;
+    return Status::DeadlineExceeded(
+        fault.timeout ? "fault injection: response from node " +
+                            std::to_string(dst) + " timed out"
+                      : "fault injection: response from node " +
+                            std::to_string(dst) + " dropped");
+  }
+  if (fault.corrupt_response) {
+    faults_->CorruptPayload(&response.value(), dst, type, fingerprint,
+                            tls_fault_context, attempt);
+    CountFault(FaultClass::kCorruptResponse, &active);
+  }
+  // Charge the response leg as the same message type, at the size
+  // actually delivered (a truncated corruption shrinks it).
+  Charge(type, 20 + response.value().size());
+  if (fault.slow_link) {
+    CountFault(FaultClass::kSlowLink, &active);
+    active.latency_ms += plan->slow_link_extra_ms;
+  }
+  return response;
+}
+
+Result<TransportKind> ParseTransportKind(const std::string& name) {
+  if (name == "simulated") return TransportKind::kSimulated;
+  if (name == "tcp") return TransportKind::kTcp;
+  return Status::InvalidArgument("unknown transport kind '" + name +
+                                 "' (expected " + TransportKindSpellings() +
+                                 ")");
+}
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSimulated:
+      return "simulated";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "simulated";
+}
+
+const char* TransportKindSpellings() { return "simulated|tcp"; }
+
+}  // namespace iqn

@@ -1,0 +1,307 @@
+// Transport: the RPC surface every layer above net/ programs against.
+//
+// The repo grew up on net/network.h's SimulatedNetwork; this interface
+// extracts the contract that the DHT, the query engine, rpc_policy
+// (retry/hedge/deadline), the fault injector, and the health stack
+// actually assume, so a second backend can slot in underneath them:
+//
+//   - Register(handler) -> dense NodeAddress (0, 1, 2, ... in call order)
+//   - Rpc(src, dst, type, payload, attempt) -> synchronous Result<Bytes>
+//   - per-thread StatsCapture metering with MergeStats commit
+//   - a coarse simulated clock (now_ms / AdvanceSimTime)
+//   - fault-plan installation and the retry/hedge/circuit accounting hooks
+//
+// Transport keeps all of that machinery concrete — accounting, the fault
+// pipeline, the clock — and narrows the backend's job to one virtual:
+// Deliver(msg, attempt), "get this request to dst's handler and return
+// the response". SimulatedNetwork (net/network.h) delivers by direct
+// in-process call; TcpTransport (net/tcp_transport.h) frames the message
+// over a socket to the process that owns dst and delivers locally for
+// addresses it owns itself.
+//
+// Accounting is MODELED, not measured, on every backend: the request and
+// response legs are charged from Message::WireSize() and the payload
+// size under the LatencyModel, never from socket byte counts. That keeps
+// per-query cost metrics bit-identical across backends — the property
+// the multi-process gate pins — while wall-clock timing (bench/daemon_qps)
+// is what the real wire actually changes.
+
+#ifndef IQN_NET_TRANSPORT_H_
+#define IQN_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/message.h"
+#include "util/status.h"
+
+namespace iqn {
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  /// Simulated transfer cost in milliseconds under the latency model.
+  double latency_ms = 0.0;
+  /// Faults the installed FaultInjector fired against this traffic.
+  uint64_t faults_injected = 0;
+  /// Retry attempts issued by the rpc_policy layer (attempt > 0 sends).
+  uint64_t rpc_retries = 0;
+  /// Simulated backoff waiting charged by retries (also in latency_ms).
+  double retry_backoff_ms = 0.0;
+  /// Hedged backup requests issued by the rpc_policy layer, and the
+  /// subset whose response beat (or outlived) the primary attempt.
+  uint64_t hedges = 0;
+  uint64_t hedges_won = 0;
+  /// RPCs refused locally — no traffic sent — because the destination's
+  /// circuit breaker (net/health.h) was open.
+  uint64_t circuit_blocked = 0;
+  /// faults_injected split by fault class (FaultClassName keys); the
+  /// chaos bench turns the per-query deltas into histograms.
+  std::map<std::string, uint64_t> faults_by_class;
+  /// Message and byte counts per message type (e.g. "chord.find_succ").
+  std::map<std::string, uint64_t> messages_by_type;
+  std::map<std::string, uint64_t> bytes_by_type;
+};
+
+struct LatencyModel {
+  /// Fixed per-message cost (network round trip).
+  double per_message_ms = 1.0;
+  /// Transfer cost per payload byte (e.g. ~0.001 ms/byte ~ 8 Mbit/s).
+  double per_byte_ms = 0.001;
+};
+
+class Transport {
+ public:
+  /// Request handler: receives the message, returns the response payload.
+  using Handler = std::function<Result<Bytes>(const Message&)>;
+
+  Transport();
+  explicit Transport(LatencyModel latency);
+  virtual ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Stable lowercase backend name ("simulated", "tcp") for logs and
+  /// reports; matches TransportKindName of the kind that built it.
+  virtual const char* kind_name() const = 0;
+
+  /// RAII redirection of traffic accounting. While a StatsCapture is alive
+  /// on a thread, every message that thread sends (including nested Rpcs
+  /// issued from handlers it invokes) is charged to `sink` instead of the
+  /// transport-wide stats — per-query metering that stays exact when many
+  /// queries run concurrently over the same transport. The topology itself
+  /// (Register / SetNodeUp) must not change while captures are live;
+  /// Rpc over a fixed topology is otherwise thread-safe. Scopes nest:
+  /// the innermost capture on the thread wins.
+  class StatsCapture {
+   public:
+    StatsCapture(Transport* transport, NetworkStats* sink);
+    ~StatsCapture();
+
+    StatsCapture(const StatsCapture&) = delete;
+    StatsCapture& operator=(const StatsCapture&) = delete;
+
+   private:
+    Transport* transport_;
+    NetworkStats* previous_;
+  };
+
+  /// Folds a captured per-query delta into the transport-wide stats.
+  /// Call from one thread at a time (the batch engine merges deltas in
+  /// query order after joining its workers, keeping totals deterministic).
+  void MergeStats(const NetworkStats& delta);
+
+  /// Registers a node; the returned address is stable for the lifetime of
+  /// the transport and dense in registration order — every backend
+  /// assigns 0, 1, 2, ... so a cluster whose processes register the same
+  /// handlers in the same order agrees on the address space without any
+  /// name service. Precondition (checked): no StatsCapture is live.
+  NodeAddress Register(Handler handler);
+
+  /// Marks a node down (messages to it fail with Unavailable) or back up.
+  /// A caller-side view: on a multi-process backend this marks the local
+  /// process's opinion of addr, it does not reach across the wire.
+  /// Precondition (checked): no StatsCapture is live — mutating the
+  /// topology while per-query captures run would race with Rpc.
+  Status SetNodeUp(NodeAddress addr, bool up);
+  bool IsNodeUp(NodeAddress addr) const;
+
+  /// True when messages to `addr` are delivered by direct in-process
+  /// call rather than over a wire. Always true on SimulatedNetwork; on
+  /// TcpTransport true only for addresses this process owns. The engine
+  /// uses this to skip work (e.g. corpus publication) that another
+  /// process is responsible for.
+  virtual bool IsLocal(NodeAddress addr) const;
+
+  /// Synchronous request/response. The request leg is always charged —
+  /// a message to a down node, a dropped request, and a timed-out call
+  /// all consumed uplink bandwidth; the response leg is charged when the
+  /// handler produced one. Fails with Unavailable if dst is down,
+  /// NotFound if dst was never registered. `attempt` is the retry
+  /// ordinal (0 = first try); it feeds the fault injector's decision
+  /// hash so a retry rolls fresh dice. Prefer CallRpc (net/rpc_policy.h)
+  /// outside net/ — it layers retry/deadline policy over this.
+  Result<Bytes> Rpc(NodeAddress src, NodeAddress dst, const std::string& type,
+                    Bytes payload, uint64_t attempt = 0);
+
+  /// Installs a fault injector driven by `plan`; replaces any previous
+  /// one. Install before issuing traffic (not thread-safe against
+  /// concurrent Rpc).
+  void InstallFaultPlan(const FaultPlan& plan);
+  /// Removes the installed fault injector (same caveat as install).
+  void ClearFaults();
+  /// The installed injector (for its counters), or nullptr.
+  const FaultInjector* fault_injector() const { return faults_.get(); }
+
+  /// Charges `backoff_ms` of simulated retry waiting to the calling
+  /// thread's active stats sink (latency, retry counters; no message).
+  void ChargeRetryBackoff(double backoff_ms);
+  /// Records one hedged backup request in the calling thread's active
+  /// sink and credits back `overlap_ms` of simulated latency: the hedge
+  /// conceptually ran concurrently with the tail of the primary
+  /// attempt, so the caller must not pay for both serially.
+  void RecordHedge(bool won, double overlap_ms);
+  /// Records an RPC refused locally (no traffic) because the
+  /// destination's circuit breaker was open.
+  void CountCircuitBlocked();
+  /// Simulated latency accrued so far in the calling thread's active
+  /// stats sink; the rpc_policy layer diffs this around an attempt to
+  /// draw down deadline budgets.
+  double CurrentLatencyMs();
+
+  /// Ambient per-query fault context of the current thread. RpcScope
+  /// installs it; 0 outside any scope.
+  static uint64_t ThreadFaultContext();
+  /// Sets the thread's fault context, returning the previous value.
+  static uint64_t ExchangeThreadFaultContext(uint64_t context);
+
+  /// Coarse simulated clock: milliseconds of committed simulated work.
+  /// The engine advances it at its commit points (after a serial query,
+  /// after a joined batch) by the latency the committed work cost.
+  /// Partition windows (FaultPlan::partitions) and circuit-breaker
+  /// cooldowns (net/health.h) are evaluated against it, so it is
+  /// constant — and safe to read concurrently — while a batch runs.
+  double now_ms() const { return now_ms_; }
+  /// Advances the simulated clock. Precondition (checked): no
+  /// StatsCapture is live — the clock only moves between batches.
+  void AdvanceSimTime(double delta_ms);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats(); }
+
+ protected:
+  /// Backend hook: get `msg` to dst's handler and return the response
+  /// (or the handler's error). Called by Rpc() after the request leg was
+  /// charged, liveness checked, and the caller-side fault pipeline ran;
+  /// the base then charges the response leg. `attempt` rides along for
+  /// wire framing (retry observability); it must not change the result.
+  virtual Result<Bytes> Deliver(const Message& msg, uint64_t attempt) = 0;
+
+  /// Invokes the locally registered handler for msg.dst (copying the
+  /// handler first: a handler body may Register() new nodes and
+  /// invalidate references into the node table). For backends' Deliver
+  /// implementations and server-side dispatch.
+  Result<Bytes> InvokeLocalHandler(const Message& msg);
+
+ private:
+  struct Node {
+    Handler handler;
+    bool up = true;
+  };
+
+  void Charge(const std::string& type, size_t wire_bytes);
+
+  /// The single fault-accounting path: bumps the injector's per-class
+  /// counter, the active sink's totals (faults_injected +
+  /// faults_by_class), and the registry mirror ("fault.<class>").
+  void CountFault(FaultClass klass, NetworkStats* active);
+
+  /// The stats object Charge() writes to on this thread: the innermost
+  /// live StatsCapture's sink, or the global stats_.
+  NetworkStats* ActiveStats();
+
+  LatencyModel latency_;
+  std::vector<Node> nodes_;
+  /// Simulated clock (see now_ms()); written only between batches,
+  /// fenced by the live_captures_ runtime check like the topology.
+  double now_ms_ = 0.0;
+  /// Thread-confined, not locked (DESIGN.md §12): batch workers never
+  /// write here — each carries its own StatsCapture sink, and Charge()
+  /// routes to the innermost live sink via ActiveStats(). Topology
+  /// writes are fenced by the live_captures_ runtime check below.
+  NetworkStats stats_;
+  std::unique_ptr<FaultInjector> faults_;
+  /// Live StatsCapture count; topology mutation is checked against it.
+  /// A RAII-guard refcount, not a metric — exempt from the
+  /// metrics-registry rule.
+  std::atomic<int> live_captures_{0};  // NOLINT(iqn-metrics)
+  /// Cached registry instruments (looked up once; incremented lock-free
+  /// on the Charge hot path).
+  Counter* m_messages_;
+  Counter* m_bytes_;
+  Counter* m_rpc_retries_;
+  Counter* m_backoff_us_;
+  Counter* m_hedges_;
+  Counter* m_hedges_won_;
+  Counter* m_circuit_blocked_;
+  Counter* m_faults_;
+  Counter* m_fault_class_[kNumFaultClasses];
+};
+
+/// Which Transport backend an engine runs on. Parsed/printed by the
+/// spellings below; EngineOptions and the scenario spec's `transport`
+/// section carry it declaratively (mirroring RouterKind).
+enum class TransportKind {
+  /// In-process synchronous simulator (net/network.h). The default:
+  /// deterministic, supports faults/health/churn, zero configuration.
+  kSimulated,
+  /// Real sockets (net/tcp_transport.h): length-prefixed frames over
+  /// TCP between the processes listed in TransportOptions::endpoints.
+  kTcp,
+};
+
+/// "simulated" | "tcp" (InvalidArgument otherwise, naming the input).
+Result<TransportKind> ParseTransportKind(const std::string& name);
+const char* TransportKindName(TransportKind kind);
+/// Accepted ParseTransportKind spellings, for flag help text.
+const char* TransportKindSpellings();
+
+/// Declarative transport selection (EngineOptions::transport, scenario
+/// `transport` section, minervad flags).
+struct TransportOptions {
+  TransportKind kind = TransportKind::kSimulated;
+  /// One "host:port" listen endpoint per process rank, in rank order.
+  /// Required (non-empty) for kTcp; must stay empty for kSimulated.
+  /// Node address a is owned by rank (a % endpoints.size()).
+  std::vector<std::string> endpoints;
+  /// This process's index into `endpoints` (kTcp only).
+  uint32_t rank = 0;
+  /// Upper bound on one frame's encoded size; oversized frames are
+  /// rejected on both send and receive (decoder hardening).
+  size_t max_frame_bytes = 16 * 1024 * 1024;
+  /// Socket receive/send timeout for one blocking RPC exchange.
+  int io_timeout_ms = 30000;
+  /// How long to keep retrying the initial connect to a peer that has
+  /// not bound its listen socket yet (cluster startup races).
+  int connect_wait_ms = 30000;
+};
+
+/// Builds the transport `options` describes. kSimulated ignores
+/// everything but `latency`; kTcp validates endpoints/rank and binds its
+/// listen socket (port 0 picks an ephemeral port) before returning, so a
+/// returned transport is ready to accept peers.
+Result<std::unique_ptr<Transport>> CreateTransport(
+    const TransportOptions& options, const LatencyModel& latency = {});
+
+}  // namespace iqn
+
+#endif  // IQN_NET_TRANSPORT_H_

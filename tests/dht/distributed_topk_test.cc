@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network.h"
+
 #include <map>
 
 #include "util/random.h"

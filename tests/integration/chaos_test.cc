@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network.h"
+
 #include <cstdlib>
 
 #include "minerva/engine.h"
@@ -203,7 +205,7 @@ TEST(ChaosTest, QueriesDegradeGracefullyUnderModerateDrops) {
   EXPECT_GT(recall_sum / world.queries.size(), 0.0);
   // Per-query fault accounting sums to the injector's global counters
   // and to the network-wide total.
-  const SimulatedNetwork& net = world.engine->network();
+  const Transport& net = world.engine->network();
   EXPECT_EQ(net.stats().faults_injected, faults_seen);
   EXPECT_EQ(net.fault_injector()->counters().total(), faults_seen);
 }

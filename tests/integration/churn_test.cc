@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network.h"
+
 #include "minerva/engine.h"
 #include "util/random.h"
 #include "minerva/internal/iqn_router.h"

@@ -118,6 +118,8 @@ const InvalidCase kInvalidCases[] = {
      "unknown key 'bogus' in topology"},
     {"unknown_in_engine", R"({"name": "x", "engine": {"bogus": 1}})",
      "unknown key 'bogus' in engine"},
+    {"unknown_in_transport", R"({"name": "x", "transport": {"bogus": 1}})",
+     "unknown key 'bogus' in transport"},
     {"unknown_in_faults", R"({"name": "x", "faults": {"bogus": 1}})",
      "unknown key 'bogus' in faults"},
     {"unknown_in_churn", R"({"name": "x", "churn": {"bogus": 1}})",
@@ -293,6 +295,57 @@ const InvalidCase kInvalidCases[] = {
      "reputation.floor must be in [0, 1]"},
     {"sharpness_zero", R"({"name": "x", "reputation": {"sharpness": 0}})",
      "reputation.sharpness must be > 0"},
+    // Transport section.
+    {"transport_not_object", R"({"name": "x", "transport": 3})",
+     "transport must be an object"},
+    {"bad_transport_kind",
+     R"({"name": "x", "transport": {"kind": "udp"}})",
+     "transport.kind: unknown transport kind 'udp'"},
+    {"endpoints_on_simulated",
+     R"({"name": "x",
+         "transport": {"kind": "simulated", "endpoints": ["h:1"]}})",
+     "transport.endpoints requires transport.kind \"tcp\""},
+    {"endpoint_not_string",
+     R"({"name": "x", "transport": {"kind": "tcp", "endpoints": [3]}})",
+     "transport.endpoints[0] must be a string"},
+    {"endpoint_empty",
+     R"({"name": "x", "transport": {"kind": "tcp", "endpoints": [""]}})",
+     "transport.endpoints[0] must be a nonempty"},
+    {"cluster_with_churn",
+     R"({"name": "x",
+         "transport": {"kind": "tcp", "endpoints": ["h:1", "h:2"]},
+         "churn": {"every": 4}})",
+     "churn requires the single-process transport"},
+    {"cluster_with_drops",
+     R"({"name": "x",
+         "transport": {"kind": "tcp", "endpoints": ["h:1", "h:2"]},
+         "faults": {"drop_rate": 0.1}})",
+     "fault injection requires the single-process transport"},
+    {"cluster_with_health",
+     R"({"name": "x",
+         "transport": {"kind": "tcp", "endpoints": ["h:1", "h:2"]},
+         "health": {"enabled": true}})",
+     "health tracking requires the single-process transport"},
+    {"cluster_with_reputation",
+     R"({"name": "x",
+         "transport": {"kind": "tcp", "endpoints": ["h:1", "h:2"]},
+         "reputation": {"enabled": true}})",
+     "reputation requires the single-process transport"},
+    {"cluster_with_batching",
+     R"({"name": "x",
+         "transport": {"kind": "tcp", "endpoints": ["h:1", "h:2"]},
+         "queries": {"batch_size": 4}})",
+     "multi-rank cluster requires queries.batch_size 1"},
+    {"cluster_with_traces",
+     R"({"name": "x",
+         "transport": {"kind": "tcp", "endpoints": ["h:1", "h:2"]},
+         "engine": {"collect_traces": true}})",
+     "collect_traces requires the single-process transport"},
+    {"more_ranks_than_peers",
+     R"({"name": "x", "topology": {"peers": 2},
+         "transport": {"kind": "tcp",
+                       "endpoints": ["h:1", "h:2", "h:3"]}})",
+     "more ranks than topology.peers"},
     // Cross-section validation.
     {"more_fragments_than_documents",
      R"({"name": "x", "corpus": {"documents": 100, "vocabulary": 20},
@@ -337,6 +390,7 @@ TEST(ScenarioParseTest, NonDefaultValuesRoundTrip) {
                  "fragments": 5},
     "engine": {"router": "cori", "synopsis": "bloom", "merge": "cori",
                "threads": 4, "cache": true},
+    "transport": {"kind": "tcp", "endpoints": ["127.0.0.1:7001"]},
     "faults": {"drop_rate": 0.25,
                "overload": {"fraction": 0.5, "utilization": 0.8,
                             "service_ms": 4, "shed_rate": 0.3},
@@ -364,6 +418,9 @@ TEST(ScenarioParseTest, NonDefaultValuesRoundTrip) {
   EXPECT_EQ(s.engine.merge, iqn::MergeStrategy::kCoriNormalized);
   EXPECT_EQ(s.engine.threads, 4u);
   EXPECT_TRUE(s.engine.cache);
+  EXPECT_EQ(s.transport.kind, iqn::TransportKind::kTcp);
+  EXPECT_EQ(s.transport.endpoints,
+            (std::vector<std::string>{"127.0.0.1:7001"}));
   EXPECT_DOUBLE_EQ(s.faults.drop_rate, 0.25);
   EXPECT_DOUBLE_EQ(s.faults.overload.fraction, 0.5);
   EXPECT_DOUBLE_EQ(s.faults.overload.utilization, 0.8);

@@ -1,0 +1,444 @@
+// Conformance suite for the net::Transport contract, run against every
+// backend (simulated and tcp). The contract under test:
+//
+//   * Rpc round-trips payloads through the destination handler, local
+//     or remote alike;
+//   * error mapping is identical across backends: unknown address ->
+//     NotFound, down node -> Unavailable (caller-side view);
+//   * modeled accounting (messages / bytes / latency) is bit-identical
+//     across backends for identical traffic — the invariant the
+//     multi-process gate builds on;
+//   * concurrent in-flight RPCs each see their own response;
+//   * a transport shuts down cleanly with calls still pending.
+//
+// The tcp worlds run real loopback sockets: two TcpTransport ranks in
+// this process, ephemeral ports exchanged via SetPeerEndpoint, every
+// address registered on both ranks in the same order (the address-space
+// agreement engines rely on). Frame-codec hardening tests live at the
+// bottom — they are backend code, but this is where the wire format's
+// contract is pinned.
+
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/network.h"
+#include "net/tcp_transport.h"
+#include "util/thread_pool.h"
+
+namespace iqn {
+namespace {
+
+Bytes Payload(std::initializer_list<uint8_t> bytes) { return Bytes(bytes); }
+
+// One backend under test: a set of transports forming a cluster (one
+// element for simulated, one per rank for tcp) whose address spaces
+// agree because every handler registers on every transport.
+struct World {
+  std::vector<std::unique_ptr<Transport>> transports;
+
+  NodeAddress RegisterAll(const Transport::Handler& handler) {
+    NodeAddress addr = kInvalidAddress;
+    for (auto& transport : transports) {
+      addr = transport->Register(handler);
+    }
+    return addr;
+  }
+  /// The transport RPCs are issued from (rank 0).
+  Transport& front() { return *transports.front(); }
+};
+
+World MakeSimulatedWorld() {
+  World world;
+  TransportOptions options;
+  auto transport = CreateTransport(options);
+  EXPECT_TRUE(transport.ok()) << transport.status().ToString();
+  world.transports.push_back(std::move(transport).value());
+  return world;
+}
+
+World MakeTcpWorld(size_t ranks, size_t max_frame_bytes = 1 << 20) {
+  World world;
+  std::vector<TcpTransport*> raw;
+  for (size_t r = 0; r < ranks; ++r) {
+    TransportOptions options;
+    options.kind = TransportKind::kTcp;
+    options.endpoints.assign(ranks, "127.0.0.1:0");
+    options.rank = static_cast<uint32_t>(r);
+    options.max_frame_bytes = max_frame_bytes;
+    options.io_timeout_ms = 5000;
+    options.connect_wait_ms = 5000;
+    auto transport = CreateTransport(options);
+    EXPECT_TRUE(transport.ok()) << transport.status().ToString();
+    raw.push_back(static_cast<TcpTransport*>(transport.value().get()));
+    world.transports.push_back(std::move(transport).value());
+  }
+  for (size_t a = 0; a < ranks; ++a) {
+    for (size_t b = 0; b < ranks; ++b) {
+      if (a == b) continue;
+      EXPECT_TRUE(raw[a]
+                      ->SetPeerEndpoint(static_cast<uint32_t>(b),
+                                        raw[b]->listen_endpoint())
+                      .ok());
+    }
+  }
+  return world;
+}
+
+World MakeWorld(const std::string& backend) {
+  return backend == "tcp" ? MakeTcpWorld(2) : MakeSimulatedWorld();
+}
+
+class TransportConformanceTest : public ::testing::TestWithParam<std::string> {
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,
+                         ::testing::Values("simulated", "tcp"),
+                         [](const auto& info) { return info.param; });
+
+Transport::Handler Echo(uint8_t suffix) {
+  return [suffix](const Message& msg) -> Result<Bytes> {
+    Bytes reply = msg.payload;
+    reply.push_back(suffix);
+    return reply;
+  };
+}
+
+TEST_P(TransportConformanceTest, RoundTripsLocalAndRemote) {
+  World world = MakeWorld(GetParam());
+  // Address 0 is local to rank 0; address 1 is owned by rank 1 on the
+  // tcp world (addr % nranks), so it crosses the wire there.
+  NodeAddress local = world.RegisterAll(Echo(0xaa));
+  NodeAddress remote = world.RegisterAll(Echo(0xbb));
+  ASSERT_EQ(local, 0u);
+  ASSERT_EQ(remote, 1u);
+
+  auto r_local = world.front().Rpc(remote, local, "echo", Payload({1, 2}));
+  ASSERT_TRUE(r_local.ok()) << r_local.status().ToString();
+  EXPECT_EQ(r_local.value(), Payload({1, 2, 0xaa}));
+
+  auto r_remote = world.front().Rpc(local, remote, "echo", Payload({3}));
+  ASSERT_TRUE(r_remote.ok()) << r_remote.status().ToString();
+  EXPECT_EQ(r_remote.value(), Payload({3, 0xbb}));
+}
+
+TEST_P(TransportConformanceTest, HandlerSeesAddressesTypeAndPayload) {
+  World world = MakeWorld(GetParam());
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress probe =
+      world.RegisterAll([](const Message& msg) -> Result<Bytes> {
+        EXPECT_EQ(msg.type, "probe");
+        EXPECT_EQ(msg.src, 0u);
+        EXPECT_EQ(msg.dst, 1u);
+        EXPECT_EQ(msg.payload, Payload({9, 8, 7}));
+        return Payload({1});
+      });
+  auto r = world.front().Rpc(0, probe, "probe", Payload({9, 8, 7}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_P(TransportConformanceTest, UnknownAddressIsNotFound) {
+  World world = MakeWorld(GetParam());
+  (void)world.RegisterAll(Echo(0));
+  EXPECT_EQ(world.front().Rpc(0, 99, "x", {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(TransportConformanceTest, DownNodeIsUnavailable) {
+  World world = MakeWorld(GetParam());
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress node = world.RegisterAll(Echo(1));
+  ASSERT_TRUE(world.front().SetNodeUp(node, false).ok());
+  EXPECT_EQ(world.front().Rpc(0, node, "x", {}).status().code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(world.front().SetNodeUp(node, true).ok());
+  EXPECT_TRUE(world.front().Rpc(0, node, "x", {}).ok());
+}
+
+TEST_P(TransportConformanceTest, HandlerErrorsPropagateToCaller) {
+  World world = MakeWorld(GetParam());
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress failing =
+      world.RegisterAll([](const Message&) -> Result<Bytes> {
+        return Status::FailedPrecondition("handler says no");
+      });
+  Status st = world.front().Rpc(0, failing, "x", {}).status();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.ToString().find("handler says no"), std::string::npos);
+}
+
+TEST_P(TransportConformanceTest, ConcurrentInFlightRpcsEachGetTheirReply) {
+  World world = MakeWorld(GetParam());
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress target =
+      world.RegisterAll([](const Message& msg) -> Result<Bytes> {
+        // Stagger responses so calls genuinely overlap in flight.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(msg.payload[0] % 3));
+        Bytes reply = msg.payload;
+        reply.push_back(0xcc);
+        return reply;
+      });
+
+  constexpr size_t kCalls = 24;
+  auto pool = ThreadPool::Create(8);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool.value()
+                  ->ParallelFor(0, kCalls, 1,
+                                [&](size_t begin, size_t end) -> Status {
+                                  for (size_t i = begin; i < end; ++i) {
+                                    uint8_t tag = static_cast<uint8_t>(i);
+                                    // Each worker meters into its own sink
+                                    // (the transport-wide stats object is
+                                    // not a concurrent structure).
+                                    NetworkStats sink;
+                                    Transport::StatsCapture capture(
+                                        &world.front(), &sink);
+                                    auto r = world.front().Rpc(
+                                        0, target, "echo", Payload({tag}));
+                                    if (!r.ok()) return r.status();
+                                    if (r.value() != Payload({tag, 0xcc})) {
+                                      return Status::Internal(
+                                          "cross-wired response");
+                                    }
+                                  }
+                                  return Status::OK();
+                                })
+                  .ok());
+}
+
+TEST_P(TransportConformanceTest, ChargesRequestLegToUnreachablePeers) {
+  World world = MakeWorld(GetParam());
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress node = world.RegisterAll(Echo(1));
+  ASSERT_TRUE(world.front().SetNodeUp(node, false).ok());
+  world.front().ResetStats();
+  (void)world.front().Rpc(0, node, "x", Payload({1, 2, 3})).status();
+  // The request leg consumed uplink bandwidth even though delivery
+  // failed; no response leg was charged.
+  EXPECT_EQ(world.front().stats().messages, 1u);
+  EXPECT_GT(world.front().stats().bytes, 0u);
+}
+
+// The load-bearing cross-backend invariant: identical traffic charges
+// identical modeled cost on every backend — byte counts come from
+// Message::WireSize under the LatencyModel, never from the socket.
+TEST(TransportConformance, ModeledAccountingIsBitIdenticalAcrossBackends) {
+  NetworkStats per_backend[2];
+  const std::string backends[2] = {"simulated", "tcp"};
+  for (int i = 0; i < 2; ++i) {
+    World world = MakeWorld(backends[i]);
+    NodeAddress a = world.RegisterAll(Echo(1));
+    NodeAddress b = world.RegisterAll(Echo(2));
+    world.front().ResetStats();
+    ASSERT_TRUE(world.front().Rpc(a, b, "small", Payload({1})).ok());
+    ASSERT_TRUE(
+        world.front().Rpc(b, a, "large", Bytes(1000, 0x5a)).ok());
+    per_backend[i] = world.front().stats();
+  }
+  EXPECT_EQ(per_backend[0].messages, per_backend[1].messages);
+  EXPECT_EQ(per_backend[0].bytes, per_backend[1].bytes);
+  EXPECT_EQ(per_backend[0].latency_ms, per_backend[1].latency_ms);
+  EXPECT_EQ(per_backend[0].bytes_by_type, per_backend[1].bytes_by_type);
+}
+
+TEST(TcpTransportTest, OversizedPayloadIsRejectedWithoutTraffic) {
+  // 4 KiB frame cap; the encoded frame for a 16 KiB payload exceeds it.
+  World world = MakeTcpWorld(2, /*max_frame_bytes=*/4096);
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress remote = world.RegisterAll(Echo(1));
+  auto r = world.front().Rpc(0, remote, "big", Bytes(16 * 1024, 0xee));
+  EXPECT_FALSE(r.ok());
+  // A small frame still fits: the cap poisons nothing.
+  EXPECT_TRUE(world.front().Rpc(0, remote, "small", Payload({1})).ok());
+}
+
+TEST(TcpTransportTest, RemoteRankDownMapsToUnavailable) {
+  World world = MakeTcpWorld(2);
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress remote = world.RegisterAll(Echo(1));
+  ASSERT_TRUE(world.front().Rpc(0, remote, "x", {}).ok());
+  // Kill rank 1's process stand-in; its listen socket closes and pooled
+  // connections die. The caller must see Unavailable, not a hang.
+  static_cast<TcpTransport*>(world.transports[1].get())->Shutdown();
+  EXPECT_EQ(world.front().Rpc(0, remote, "x", {}).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(TcpTransportTest, CleanShutdownWithPendingCalls) {
+  World world = MakeTcpWorld(2);
+  (void)world.RegisterAll(Echo(0));
+  NodeAddress slow =
+      world.RegisterAll([](const Message& msg) -> Result<Bytes> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return msg.payload;
+      });
+
+  std::vector<Status> pending(4, Status::OK());
+  auto pool = ThreadPool::Create(pending.size());
+  ASSERT_TRUE(pool.ok());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ASSERT_TRUE(pool.value()
+                    ->Schedule([&world, &pending, slow, i] {
+                      NetworkStats sink;
+                      Transport::StatsCapture capture(&world.front(), &sink);
+                      pending[i] = world.front()
+                                       .Rpc(0, slow, "slow",
+                                            Payload({uint8_t(i)}))
+                                       .status();
+                    })
+                    .ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Tear both ends down with calls still in flight: every caller must
+  // return (completed or Unavailable) — no hang, no crash.
+  static_cast<TcpTransport*>(world.transports[1].get())->Shutdown();
+  static_cast<TcpTransport*>(world.transports[0].get())->Shutdown();
+  pool.value()->Shutdown();
+  for (const Status& st : pending) {
+    EXPECT_TRUE(st.ok() || st.code() == StatusCode::kUnavailable ||
+                st.code() == StatusCode::kDeadlineExceeded)
+        << st.ToString();
+  }
+}
+
+TEST(TcpTransportTest, ControlChannelRoundTripsThroughFrameClient) {
+  World world = MakeTcpWorld(2);
+  auto* rank1 = static_cast<TcpTransport*>(world.transports[1].get());
+  rank1->SetControlHandler(
+      [](const std::string& verb, const Bytes& payload) -> Result<Bytes> {
+        if (verb == "ctl.echo") {
+          Bytes reply = payload;
+          reply.push_back(0x42);
+          return reply;
+        }
+        return Status::InvalidArgument("unknown verb '" + verb + "'");
+      });
+  auto client = FrameClient::Connect(rank1->listen_endpoint(),
+                                     /*io_timeout_ms=*/5000,
+                                     /*connect_wait_ms=*/5000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto r = client.value()->Call("ctl.echo", Payload({7}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), Payload({7, 0x42}));
+  Status unknown = client.value()->Call("ctl.nope", {}).status();
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Frame codec hardening -------------------------------------------
+
+Frame SampleRequest() {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = 77;
+  frame.src = 3;
+  frame.dst = 9;
+  frame.attempt = 2;
+  frame.verb = "peer.query";
+  frame.payload = Payload({1, 2, 3, 4});
+  return frame;
+}
+
+TEST(FrameCodecTest, RequestRoundTrips) {
+  Bytes wire = EncodeFrame(SampleRequest());
+  auto decoded = DecodeFrameBody(wire.data() + kFrameLengthPrefixBytes,
+                                 wire.size() - kFrameLengthPrefixBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, FrameType::kRequest);
+  EXPECT_EQ(decoded.value().request_id, 77u);
+  EXPECT_EQ(decoded.value().src, 3u);
+  EXPECT_EQ(decoded.value().dst, 9u);
+  EXPECT_EQ(decoded.value().attempt, 2u);
+  EXPECT_EQ(decoded.value().verb, "peer.query");
+  EXPECT_EQ(decoded.value().payload, Payload({1, 2, 3, 4}));
+}
+
+TEST(FrameCodecTest, ErrorResponseRoundTripsStatus) {
+  Frame response = MakeResponseFrame(
+      123, Status::Unavailable("peer melted"), Payload({}));
+  Bytes wire = EncodeFrame(response);
+  auto decoded = DecodeFrameBody(wire.data() + kFrameLengthPrefixBytes,
+                                 wire.size() - kFrameLengthPrefixBytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id, 123u);
+  Status st = FrameStatus(decoded.value());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.ToString().find("peer melted"), std::string::npos);
+}
+
+TEST(FrameCodecTest, UnknownVersionIsRejected) {
+  Frame frame = SampleRequest();
+  frame.version = 9;
+  Bytes wire = EncodeFrame(frame);
+  auto decoded = DecodeFrameBody(wire.data() + kFrameLengthPrefixBytes,
+                                 wire.size() - kFrameLengthPrefixBytes);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameCodecTest, EveryTruncationFailsCleanly) {
+  Bytes wire = EncodeFrame(SampleRequest());
+  for (size_t len = 0; len + 1 < wire.size() - kFrameLengthPrefixBytes;
+       ++len) {
+    auto decoded =
+        DecodeFrameBody(wire.data() + kFrameLengthPrefixBytes, len);
+    EXPECT_FALSE(decoded.ok()) << "decoded a " << len << "-byte prefix";
+  }
+}
+
+TEST(FrameAssemblerTest, ReassemblesByteByByte) {
+  Bytes wire = EncodeFrame(SampleRequest());
+  FrameAssembler assembler(1 << 20);
+  Frame out;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(assembler.Feed(&wire[i], 1).ok());
+    auto produced = assembler.Next(&out);
+    ASSERT_TRUE(produced.ok());
+    EXPECT_FALSE(produced.value()) << "frame produced at byte " << i;
+  }
+  ASSERT_TRUE(assembler.Feed(&wire[wire.size() - 1], 1).ok());
+  auto produced = assembler.Next(&out);
+  ASSERT_TRUE(produced.ok());
+  ASSERT_TRUE(produced.value());
+  EXPECT_EQ(out.verb, "peer.query");
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameAssemblerTest, ExtractsBackToBackFramesFromOneFeed) {
+  Frame a = SampleRequest();
+  Frame b = MakeResponseFrame(a.request_id, Status::OK(), Payload({9}));
+  Bytes wire = EncodeFrame(a);
+  Bytes wire_b = EncodeFrame(b);
+  wire.insert(wire.end(), wire_b.begin(), wire_b.end());
+  FrameAssembler assembler(1 << 20);
+  ASSERT_TRUE(assembler.Feed(wire.data(), wire.size()).ok());
+  Frame out;
+  auto first = assembler.Next(&out);
+  ASSERT_TRUE(first.ok() && first.value());
+  EXPECT_EQ(out.type, FrameType::kRequest);
+  auto second = assembler.Next(&out);
+  ASSERT_TRUE(second.ok() && second.value());
+  EXPECT_EQ(out.type, FrameType::kResponse);
+  EXPECT_EQ(out.payload, Payload({9}));
+}
+
+TEST(FrameAssemblerTest, HostileLengthPrefixPoisonsTheStream) {
+  FrameAssembler assembler(/*max_frame_bytes=*/1024);
+  // A 4 GiB body claim must be rejected from the prefix alone, without
+  // ever buffering toward it.
+  const uint8_t hostile[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(assembler.Feed(hostile, sizeof(hostile)).ok());
+  // ...and the stream stays dead: framing can't be resynchronized.
+  const uint8_t more = 0;
+  EXPECT_FALSE(assembler.Feed(&more, 1).ok());
+}
+
+}  // namespace
+}  // namespace iqn

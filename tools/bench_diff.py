@@ -179,6 +179,10 @@ def main(argv):
                         help="allow REL relative drift on keys under KEY")
     parser.add_argument("--ignore", action="append", default=[],
                         metavar="KEY", help="extra key prefix to ignore")
+    parser.add_argument("--allow-bench-mismatch", action="store_true",
+                        help="compare reports from different benches "
+                             "(e.g. run_scenario vs minerva_client; the "
+                             "'bench' key still diffs unless ignored)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in self test and exit")
     args = parser.parse_args(argv[1:])
@@ -189,7 +193,8 @@ def main(argv):
         parser.error("expected exactly two report files")
     doc_a = load_report(args.reports[0])
     doc_b = load_report(args.reports[1])
-    if doc_a.get("bench") != doc_b.get("bench"):
+    if doc_a.get("bench") != doc_b.get("bench") and \
+            not args.allow_bench_mismatch:
         print(f"bench_diff: comparing different benches: "
               f'{doc_a.get("bench")!r} vs {doc_b.get("bench")!r}',
               file=sys.stderr)

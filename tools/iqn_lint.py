@@ -229,6 +229,23 @@ class NoRawRpc(RegexRule):
     message = "use CallRpc (net/rpc_policy.h)"
 
 
+class NoDirectSimnet(RegexRule):
+    name = "no-direct-simnet"
+    description = ("no direct SimulatedNetwork construction outside net/ "
+                   "and tests/; build transports declaratively via "
+                   "CreateTransport(TransportOptions) so call sites stay "
+                   "backend-agnostic (simulated today, tcp tomorrow)")
+    paths = ("src", "bench", "tools", "examples")
+    exclude_paths = ("src/net",)
+    # Construction only: stack declarations, naked new, make_unique/shared.
+    # Passing a SimulatedNetwork* / & someone else built is fine.
+    pattern = re.compile(
+        r"(new\s+SimulatedNetwork\b"
+        r"|make_(?:unique|shared)\s*<\s*SimulatedNetwork\b"
+        r"|\bSimulatedNetwork\s+[A-Za-z_])")
+    message = "use CreateTransport (net/transport.h)"
+
+
 class NoInternalInclude(RegexRule):
     name = "no-internal-include"
     description = ("examples/, bench/, and tools/ build against the public "
@@ -465,8 +482,9 @@ class BenchReportRule(Rule):
 
 RULES = [
     NoRand(), NoAssert(), NoRawThread(), IqnMetrics(), NoRawRpc(),
-    NoInternalInclude(), NoNakedNew(), IncludeGuard(), NoRawMutex(),
-    Determinism(), StatusDiscard(), ScenarioHarness(), BenchReportRule(),
+    NoDirectSimnet(), NoInternalInclude(), NoNakedNew(), IncludeGuard(),
+    NoRawMutex(), Determinism(), StatusDiscard(), ScenarioHarness(),
+    BenchReportRule(),
 ]
 
 

@@ -1,0 +1,7 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "net/transport.h"
+void Run(iqn::SimulatedNetwork* borrowed, const iqn::SimulatedNetwork& view) {
+  auto net = iqn::CreateTransport(iqn::TransportOptions{});
+  (void)borrowed;
+  (void)view;
+}

@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/net/fixture.cc
+#include "net/network.h"
+void Run() {
+  iqn::SimulatedNetwork net;  // net/ owns the backend; construction is fine here
+}

@@ -1,0 +1,5 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "net/network.h"
+void Run() {
+  iqn::SimulatedNetwork net;  // iqn-lint: allow=no-direct-simnet fixture: inline allow syntax
+}

@@ -1,0 +1,8 @@
+// iqn-lint-fixture: path=src/minerva/fixture.cc
+#include "net/network.h"
+void Run() {
+  iqn::SimulatedNetwork net;
+  auto owned = std::make_unique<iqn::SimulatedNetwork>();
+  auto* leaked = new iqn::SimulatedNetwork();
+  (void)leaked;
+}

@@ -1,0 +1,340 @@
+// minerva_client: drive a minervad cluster through one scenario and
+// emit the same bench report run_scenario produces on the simulator.
+//
+// Usage: minerva_client SPEC.json [--out=REPORT.json] [--no-spec]
+//          [--io-timeout-ms=MS] [--connect-wait-ms=MS]
+//
+// The spec must declare a tcp transport; every endpoint must have a
+// minervad rank serving it (tools/run_cluster.py boots them). The client
+// runs the scenario's control plane over FrameClient connections:
+//
+//   1. ctl.ping + ctl.status on every rank (topology sanity: each rank
+//      must report its expected rank, the same nranks/num_peers, and
+//      the same adversary indices).
+//   2. ctl.publish rank by rank — serial, so one rank's remote
+//      directory posts never contend with another rank's publish.
+//   3. ctl.reset_meters on every rank, mirroring RunScenario's
+//      meter-only-the-query-phase discipline.
+//   4. The query stream: for every round and stream position, send
+//      ctl.run_query(pos) to the rank owning the initiator peer
+//      (initiator % nranks) and fold the returned ScenarioOutcomeWire
+//      through the same ScenarioCursor RunScenario uses.
+//   5. ctl.stats on every rank; integer sums across ranks equal the
+//      simulator's process-wide totals (charges are sender-side).
+//   6. ctl.shutdown on every rank.
+//
+// Because the cursor arithmetic, outcome bits, and stream order are
+// identical to RunScenario's, the "results" section is byte-identical
+// to the simulator's run of the same spec with a simulated transport —
+// that is the multiprocess CI gate (tools/bench_diff.py).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "minerva/scenario.h"
+#include "net/tcp_transport.h"
+#include "util/bench_report.h"
+#include "util/bytes.h"
+#include "util/flags.h"
+#include "util/json_value.h"
+
+namespace iqn {
+namespace {
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal("error reading " + path);
+  }
+  return contents;
+}
+
+struct RankStatus {
+  uint64_t rank = 0;
+  uint64_t nranks = 0;
+  uint64_t num_peers = 0;
+  bool published = false;
+  std::vector<size_t> adversaries;
+};
+
+Result<RankStatus> DecodeStatus(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  RankStatus status;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&status.rank));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&status.nranks));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&status.num_peers));
+  uint8_t published = 0;
+  IQN_RETURN_IF_ERROR(reader.GetU8(&published));
+  status.published = published != 0;
+  uint64_t count = 0;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&count));
+  IQN_RETURN_IF_ERROR(reader.CheckCountFits(count, 1, "adversary indices"));
+  status.adversaries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t idx = 0;
+    IQN_RETURN_IF_ERROR(reader.GetVarint(&idx));
+    status.adversaries.push_back(static_cast<size_t>(idx));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in ctl.status response");
+  }
+  return status;
+}
+
+struct RankStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t hedges = 0;
+  uint64_t hedges_won = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+};
+
+Result<RankStats> DecodeStats(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  RankStats stats;
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.messages));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.bytes));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.hedges));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.hedges_won));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.cache_hits));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.cache_misses));
+  IQN_RETURN_IF_ERROR(reader.GetVarint(&stats.cache_invalidations));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in ctl.stats response");
+  }
+  return stats;
+}
+
+// A daemon binds its listen socket inside Engine::Create (so peer
+// daemons can publish to it) but installs the control handler only
+// once the engine is up — until then control calls fail Unimplemented.
+// Treat that window (and a torn connection from a daemon that bound
+// after our connect attempt raced it) as "still booting" and retry.
+Status PingUntilReady(FrameClient* rank_client, int wait_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(wait_ms);
+  while (true) {
+    Status ping = rank_client->Call("ctl.ping", {}).status();
+    if (ping.ok() || (ping.code() != StatusCode::kUnimplemented &&
+                      ping.code() != StatusCode::kUnavailable)) {
+      return ping;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return ping;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Result<minerva::ScenarioResult> RunCluster(
+    const minerva::ScenarioSpec& spec,
+    const std::vector<std::unique_ptr<FrameClient>>& ranks,
+    int connect_wait_ms) {
+  IQN_ASSIGN_OR_RETURN(minerva::ScenarioWorkload workload,
+                       minerva::BuildScenarioWorkload(spec));
+  const size_t num_peers = workload.collections.size();
+  const size_t stream_len = workload.schedule.size();
+  const size_t nranks = ranks.size();
+
+  minerva::ScenarioResult result;
+  result.spec = spec;
+
+  for (size_t r = 0; r < nranks; ++r) {
+    IQN_RETURN_IF_ERROR(PingUntilReady(ranks[r].get(), connect_wait_ms));
+    IQN_ASSIGN_OR_RETURN(Bytes status_bytes,
+                         ranks[r]->Call("ctl.status", {}));
+    IQN_ASSIGN_OR_RETURN(RankStatus status, DecodeStatus(status_bytes));
+    if (status.rank != r || status.nranks != nranks ||
+        status.num_peers != num_peers) {
+      return Status::FailedPrecondition(
+          "endpoint " + std::to_string(r) + " reports rank " +
+          std::to_string(status.rank) + "/" + std::to_string(status.nranks) +
+          " with " + std::to_string(status.num_peers) +
+          " peers; expected rank " + std::to_string(r) + "/" +
+          std::to_string(nranks) + " with " + std::to_string(num_peers));
+    }
+    if (r == 0) {
+      result.adversaries = status.adversaries;
+    } else if (status.adversaries != result.adversaries) {
+      return Status::FailedPrecondition(
+          "rank " + std::to_string(r) +
+          " derived different adversary indices than rank 0 — the ranks "
+          "are not running the same spec");
+    }
+  }
+
+  // Publish serially: rank r's publish sends remote directory posts,
+  // and its peers' loop threads must be free to serve other ranks'
+  // posts later — one publish in flight at a time keeps that trivially
+  // deadlock-free.
+  for (size_t r = 0; r < nranks; ++r) {
+    IQN_RETURN_IF_ERROR(ranks[r]->Call("ctl.publish", {}).status());
+  }
+  for (size_t r = 0; r < nranks; ++r) {
+    IQN_RETURN_IF_ERROR(ranks[r]->Call("ctl.reset_meters", {}).status());
+  }
+
+  minerva::ScenarioCursor cursor(spec.queries.rounds);
+  for (size_t round = 0; round < spec.queries.rounds; ++round) {
+    for (size_t pos = 0; pos < stream_len; ++pos) {
+      size_t initiator = spec.queries.initiator >= 0
+                             ? static_cast<size_t>(spec.queries.initiator)
+                             : pos % num_peers;
+      size_t owner = initiator % nranks;
+      ByteWriter writer;
+      writer.PutVarint(pos);
+      IQN_ASSIGN_OR_RETURN(
+          Bytes wire_bytes,
+          ranks[owner]->Call("ctl.run_query", std::move(writer).Take()));
+      IQN_ASSIGN_OR_RETURN(minerva::ScenarioOutcomeWire wire,
+                           minerva::ScenarioOutcomeWire::Decode(wire_bytes));
+      cursor.Apply(spec, round, wire);
+    }
+  }
+  cursor.FinalizeInto(&result, stream_len);
+
+  for (size_t r = 0; r < nranks; ++r) {
+    IQN_ASSIGN_OR_RETURN(Bytes stats_bytes, ranks[r]->Call("ctl.stats", {}));
+    IQN_ASSIGN_OR_RETURN(RankStats stats, DecodeStats(stats_bytes));
+    result.messages += stats.messages;
+    result.bytes += stats.bytes;
+    result.hedges += stats.hedges;
+    result.hedges_won += stats.hedges_won;
+    result.cache_hits += stats.cache_hits;
+    result.cache_misses += stats.cache_misses;
+    result.cache_invalidations += stats.cache_invalidations;
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("out", "", "report JSON path (empty = stdout)");
+  flags.DefineBool("no-spec", false,
+                   "omit the canonical spec echo from the result JSON");
+  flags.DefineInt("io-timeout-ms", 120000,
+                  "socket timeout per control exchange (a ctl.run_query "
+                  "spans the whole query)");
+  flags.DefineInt("connect-wait-ms", 30000,
+                  "how long to retry connecting to daemons still booting");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: %s SPEC.json [--out=REPORT.json] [--no-spec] "
+                 "[--io-timeout-ms=MS] [--connect-wait-ms=MS]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string& spec_path = flags.positional()[0];
+
+  Result<std::string> text = ReadTextFile(spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<minerva::ScenarioSpec> spec_or =
+      minerva::ParseScenarioSpec(text.value());
+  if (!spec_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                 spec_or.status().ToString().c_str());
+    return 1;
+  }
+  const minerva::ScenarioSpec& spec = spec_or.value();
+  if (spec.transport.kind != TransportKind::kTcp ||
+      spec.transport.endpoints.empty()) {
+    std::fprintf(stderr,
+                 "%s: minerva_client needs a tcp transport with endpoints\n",
+                 spec_path.c_str());
+    return 1;
+  }
+
+  const int io_timeout_ms = static_cast<int>(flags.GetInt("io-timeout-ms"));
+  const int connect_wait_ms =
+      static_cast<int>(flags.GetInt("connect-wait-ms"));
+  std::vector<std::unique_ptr<FrameClient>> ranks;
+  ranks.reserve(spec.transport.endpoints.size());
+  for (const std::string& endpoint : spec.transport.endpoints) {
+    Result<std::unique_ptr<FrameClient>> client =
+        FrameClient::Connect(endpoint, io_timeout_ms, connect_wait_ms);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect %s: %s\n", endpoint.c_str(),
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    ranks.push_back(std::move(client).value());
+  }
+
+  Result<minerva::ScenarioResult> result =
+      RunCluster(spec, ranks, connect_wait_ms);
+  // Always try to shut the daemons down, even after a failed run, so the
+  // launcher does not have to reap hung processes.
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    if (Status down = ranks[r]->Call("ctl.shutdown", {}).status();
+        !down.ok()) {
+      std::fprintf(stderr, "ctl.shutdown rank %zu: %s\n", r,
+                   down.ToString().c_str());
+    }
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string json = minerva::ScenarioResultToJson(
+      result.value(), /*include_spec=*/!flags.GetBool("no-spec"));
+  Result<JsonValue> result_doc = ParseJson(json);
+  if (!result_doc.ok()) {
+    std::fprintf(stderr, "internal: result JSON does not re-parse: %s\n",
+                 result_doc.status().ToString().c_str());
+    return 1;
+  }
+  BenchReport report(
+      "minerva_client",
+      JsonValue::Object({{"spec", JsonValue::String(spec_path)},
+                         {"scenario",
+                          JsonValue::String(result.value().spec.name)}}));
+  report.AddSection("results", std::move(result_doc).value());
+
+  const std::string& out = flags.GetString("out");
+  if (out.empty()) {
+    std::fputs(report.ToJsonString().c_str(), stdout);
+  } else {
+    if (Status w = report.WriteFile(out); !w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: recall=%.4f over %zu queries across %zu ranks -> %s\n",
+                result.value().spec.name.c_str(), result.value().mean_recall,
+                result.value().queries_run, ranks.size(), out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

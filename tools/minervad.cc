@@ -1,0 +1,255 @@
+// minervad: one rank of a multi-process MINERVA cluster.
+//
+// Usage: minervad SPEC.json --rank=N [--io-timeout-ms=MS]
+//          [--connect-wait-ms=MS]
+//
+// The spec must declare a tcp transport with one endpoint per rank
+// (see DESIGN.md §16). Every rank builds the IDENTICAL engine from the
+// same spec — same workload seeds, same peers, same addresses — and the
+// transport routes each peer's traffic to the rank that owns it
+// (address % nranks). The daemon then serves the control protocol on
+// its listen socket until a client sends ctl.shutdown:
+//
+//   ctl.ping         -> liveness probe (empty payload both ways)
+//   ctl.status       -> rank, nranks, num_peers, published flag, and
+//                       the engine's adversary indices
+//   ctl.publish      -> publish every locally-owned peer's posts
+//                       (the client drives this rank by rank; remote
+//                       directory posts travel over the wire)
+//   ctl.reset_meters -> zero the transport stats and metrics registry
+//                       (the client calls it on every rank once ALL
+//                       ranks published, mirroring RunScenario's
+//                       meter-only-the-query-phase discipline)
+//   ctl.run_query    -> run stream position N (varint payload) on its
+//                       initiator peer, which this rank must own;
+//                       responds with the encoded ScenarioOutcomeWire
+//   ctl.stats        -> this rank's transport stats + cache counters
+//   ctl.shutdown     -> acknowledge and exit
+//
+// The client (tools/minerva_client.cc) issues control calls serially,
+// so a daemon never blocks on a peer that is itself mid-control-call —
+// the no-deadlock argument the inline event-loop dispatch relies on.
+//
+// Exit status 0 after a clean ctl.shutdown, 1 on any startup error.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minerva/scenario.h"
+#include "net/tcp_transport.h"
+#include "util/bytes.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+
+namespace iqn {
+namespace {
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal("error reading " + path);
+  }
+  return contents;
+}
+
+struct DaemonState {
+  Mutex mu;
+  CondVar cv;
+  bool shutdown IQN_GUARDED_BY(mu) = false;
+  bool published IQN_GUARDED_BY(mu) = false;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("rank", -1, "this daemon's rank (required)");
+  flags.DefineInt("io-timeout-ms", 30000,
+                  "socket send/receive timeout per exchange");
+  flags.DefineInt("connect-wait-ms", 30000,
+                  "how long outbound connects retry while peer daemons "
+                  "start up");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.positional().size() != 1 || flags.GetInt("rank") < 0) {
+    std::fprintf(stderr,
+                 "usage: %s SPEC.json --rank=N [--io-timeout-ms=MS] "
+                 "[--connect-wait-ms=MS]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string& spec_path = flags.positional()[0];
+  const uint32_t rank = static_cast<uint32_t>(flags.GetInt("rank"));
+
+  Result<std::string> text = ReadTextFile(spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<minerva::ScenarioSpec> spec_or =
+      minerva::ParseScenarioSpec(text.value());
+  if (!spec_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                 spec_or.status().ToString().c_str());
+    return 1;
+  }
+  const minerva::ScenarioSpec& spec = spec_or.value();
+  if (spec.transport.kind != TransportKind::kTcp ||
+      spec.transport.endpoints.empty()) {
+    std::fprintf(stderr,
+                 "%s: minervad needs a tcp transport with endpoints "
+                 "(transport.kind \"tcp\")\n",
+                 spec_path.c_str());
+    return 1;
+  }
+  if (rank >= spec.transport.endpoints.size()) {
+    std::fprintf(stderr, "--rank=%u out of range (spec declares %zu ranks)\n",
+                 rank, spec.transport.endpoints.size());
+    return 1;
+  }
+
+  Result<minerva::ScenarioWorkload> workload =
+      minerva::BuildScenarioWorkload(spec);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Query> pool = std::move(workload.value().pool);
+  const std::vector<size_t> schedule = std::move(workload.value().schedule);
+
+  minerva::EngineOptions options = minerva::EngineOptionsFromSpec(spec, rank);
+  options.core.transport.io_timeout_ms =
+      static_cast<int>(flags.GetInt("io-timeout-ms"));
+  options.core.transport.connect_wait_ms =
+      static_cast<int>(flags.GetInt("connect-wait-ms"));
+  Result<std::unique_ptr<minerva::Engine>> engine_or =
+      minerva::Engine::Create(std::move(options),
+                              std::move(workload.value().collections));
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "%s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  minerva::Engine& engine = *engine_or.value();
+  if (std::string(engine.network().kind_name()) != "tcp") {
+    std::fprintf(stderr, "internal: engine transport is not tcp\n");
+    return 1;
+  }
+  auto* tcp = static_cast<TcpTransport*>(&engine.network());
+
+  DaemonState state;
+  const size_t num_peers = engine.num_peers();
+  tcp->SetControlHandler([&](const std::string& verb,
+                             const Bytes& payload) -> Result<Bytes> {
+    if (verb == "ctl.ping") {
+      return Bytes{};
+    }
+    if (verb == "ctl.status") {
+      ByteWriter writer;
+      writer.PutVarint(rank);
+      writer.PutVarint(tcp->num_ranks());
+      writer.PutVarint(num_peers);
+      bool published;
+      {
+        MutexLock lock(&state.mu);
+        published = state.published;
+      }
+      writer.PutU8(published ? 1 : 0);
+      const std::vector<size_t>& adversaries =
+          engine.core().adversary_indices();
+      writer.PutVarint(adversaries.size());
+      for (size_t idx : adversaries) writer.PutVarint(idx);
+      return std::move(writer).Take();
+    }
+    if (verb == "ctl.publish") {
+      IQN_RETURN_IF_ERROR(engine.Publish());
+      MutexLock lock(&state.mu);
+      state.published = true;
+      return Bytes{};
+    }
+    if (verb == "ctl.reset_meters") {
+      engine.network().ResetStats();
+      MetricsRegistry::Default().Reset();
+      return Bytes{};
+    }
+    if (verb == "ctl.run_query") {
+      {
+        MutexLock lock(&state.mu);
+        if (!state.published) {
+          return Status::InvalidArgument(
+              "ctl.run_query before ctl.publish completed");
+        }
+      }
+      ByteReader reader(payload);
+      uint64_t pos = 0;
+      IQN_RETURN_IF_ERROR(reader.GetVarint(&pos));
+      if (!reader.AtEnd() || pos >= schedule.size()) {
+        return Status::InvalidArgument("bad ctl.run_query position");
+      }
+      size_t initiator = spec.queries.initiator >= 0
+                             ? static_cast<size_t>(spec.queries.initiator)
+                             : pos % num_peers;
+      if (!tcp->IsLocal(engine.peer(initiator).address())) {
+        return Status::InvalidArgument(
+            "stream position " + std::to_string(pos) + " (initiator " +
+            std::to_string(initiator) + ") is not owned by rank " +
+            std::to_string(rank));
+      }
+      QueryOutcome outcome;
+      IQN_RETURN_IF_ERROR(
+          engine.RunQuery(initiator, pool[schedule[pos]], &outcome));
+      return minerva::ScenarioOutcomeWire::FromOutcome(outcome).Encode();
+    }
+    if (verb == "ctl.stats") {
+      const NetworkStats& stats = engine.network().stats();
+      ByteWriter writer;
+      writer.PutVarint(stats.messages);
+      writer.PutVarint(stats.bytes);
+      writer.PutVarint(stats.hedges);
+      writer.PutVarint(stats.hedges_won);
+      MetricsRegistry& metrics = MetricsRegistry::Default();
+      writer.PutVarint(metrics.GetCounter("cache.hits")->Value());
+      writer.PutVarint(metrics.GetCounter("cache.misses")->Value());
+      writer.PutVarint(metrics.GetCounter("cache.invalidations")->Value());
+      return std::move(writer).Take();
+    }
+    if (verb == "ctl.shutdown") {
+      MutexLock lock(&state.mu);
+      state.shutdown = true;
+      state.cv.NotifyAll();
+      return Bytes{};
+    }
+    return Status::InvalidArgument("unknown control verb '" + verb + "'");
+  });
+
+  std::fprintf(stderr, "minervad: rank %u/%u serving %s on %s\n", rank,
+               tcp->num_ranks(), spec.name.c_str(),
+               tcp->listen_endpoint().c_str());
+  {
+    MutexLock lock(&state.mu);
+    while (!state.shutdown) state.cv.Wait(&state.mu);
+  }
+  // Engine teardown shuts the transport (and its event loop) down.
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqn
+
+int main(int argc, char** argv) { return iqn::Main(argc, argv); }

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Boot a multi-process minervad cluster and run one scenario through it.
+
+Usage:
+  tools/run_cluster.py SPEC.json --build-dir build [--out REPORT.json]
+      [--diff-simulator] [--port-base N] [--log-dir DIR]
+      [--io-timeout-ms MS] [--connect-wait-ms MS]
+
+The spec must declare a tcp transport with one endpoint per rank (see
+scenarios/p2p_web_search.json). The launcher spawns one minervad per
+endpoint, runs minerva_client against the cluster, and tears the
+daemons down (the client sends ctl.shutdown; anything still alive gets
+killed). Exit status is the client's, or 1 on launcher-level failure.
+
+--diff-simulator additionally runs the SAME spec in-process on the
+simulated transport (run_scenario, transport rewritten to "simulated")
+and bench_diffs the two reports. The scenario results must be
+bit-identical — that is the multiprocess CI gate. Process-local keys
+(bench name, spec paths, metrics snapshots, memory accounting) are
+ignored; every scenario measure, byte count, and the result
+fingerprint are compared exactly.
+
+--port-base rewrites every endpoint's port to base, base+1, ... in a
+temporary spec so parallel CI jobs cannot collide on the checked-in
+ports. Stdlib only; runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+DIFF_IGNORES = ["bench", "workload.spec", "metrics", "resources.mem"]
+
+
+def fail(msg):
+    print(f"run_cluster: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="run_cluster.py",
+        description="Boot a minervad cluster and run one scenario.")
+    parser.add_argument("spec", metavar="SPEC.json")
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding tools/minervad etc.")
+    parser.add_argument("--out", default="",
+                        help="cluster report path (default: temp file)")
+    parser.add_argument("--diff-simulator", action="store_true",
+                        help="also run the simulator leg and bench_diff "
+                             "the two reports (bit-identity gate)")
+    parser.add_argument("--port-base", type=int, default=0,
+                        help="rewrite endpoint ports to N, N+1, ... "
+                             "(0 = use the spec's ports)")
+    parser.add_argument("--log-dir", default="",
+                        help="keep daemon stderr logs here "
+                             "(default: temp dir, deleted on success)")
+    parser.add_argument("--io-timeout-ms", type=int, default=120000)
+    parser.add_argument("--connect-wait-ms", type=int, default=30000)
+    args = parser.parse_args(argv[1:])
+
+    minervad = os.path.join(args.build_dir, "tools", "minervad")
+    client = os.path.join(args.build_dir, "tools", "minerva_client")
+    run_scenario = os.path.join(args.build_dir, "tools", "run_scenario")
+    for binary in (minervad, client):
+        if not os.access(binary, os.X_OK):
+            fail(f"{binary} not built (--build-dir?)")
+
+    try:
+        with open(args.spec, "r", encoding="utf-8") as f:
+            spec = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.spec}: {e}")
+    transport = spec.get("transport", {})
+    endpoints = transport.get("endpoints", [])
+    if transport.get("kind") != "tcp" or not endpoints:
+        fail(f"{args.spec}: needs transport.kind \"tcp\" with endpoints")
+
+    tmp = tempfile.mkdtemp(prefix="iqn_cluster_")
+    log_dir = args.log_dir or tmp
+    os.makedirs(log_dir, exist_ok=True)
+    ok = False
+    try:
+        spec_path = args.spec
+        if args.port_base:
+            endpoints = [
+                f"{ep.rsplit(':', 1)[0]}:{args.port_base + i}"
+                for i, ep in enumerate(endpoints)
+            ]
+            spec["transport"]["endpoints"] = endpoints
+            spec_path = os.path.join(tmp, "spec_tcp.json")
+            with open(spec_path, "w", encoding="utf-8") as f:
+                json.dump(spec, f, indent=2)
+
+        out = args.out or os.path.join(tmp, "cluster.json")
+        daemons = []
+        logs = []
+        try:
+            for rank in range(len(endpoints)):
+                log = open(os.path.join(log_dir, f"minervad.{rank}.log"),
+                           "w", encoding="utf-8")
+                logs.append(log)
+                daemons.append(subprocess.Popen(
+                    [minervad, spec_path, f"--rank={rank}",
+                     f"--io-timeout-ms={args.io_timeout_ms}",
+                     f"--connect-wait-ms={args.connect_wait_ms}"],
+                    stdout=log, stderr=log))
+            print(f"run_cluster: {len(daemons)} daemons up, running client",
+                  flush=True)
+            rc = subprocess.call(
+                [client, spec_path, "--no-spec", f"--out={out}",
+                 f"--io-timeout-ms={args.io_timeout_ms}",
+                 f"--connect-wait-ms={args.connect_wait_ms}"])
+            for rank, proc in enumerate(daemons):
+                try:
+                    drc = proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    drc = proc.wait()
+                    print(f"run_cluster: killed hung minervad rank {rank}",
+                          file=sys.stderr)
+                    rc = rc or 1
+                if drc != 0:
+                    print(f"run_cluster: minervad rank {rank} exited {drc} "
+                          f"(see {log_dir}/minervad.{rank}.log)",
+                          file=sys.stderr)
+                    rc = rc or 1
+        finally:
+            for proc in daemons:
+                if proc.poll() is None:
+                    proc.kill()
+            for log in logs:
+                log.close()
+        if rc != 0:
+            sys.exit(rc)
+
+        if args.diff_simulator:
+            if not os.access(run_scenario, os.X_OK):
+                fail(f"{run_scenario} not built (--build-dir?)")
+            sim_spec = dict(spec)
+            sim_spec["transport"] = {"kind": "simulated", "endpoints": []}
+            sim_spec_path = os.path.join(tmp, "spec_sim.json")
+            with open(sim_spec_path, "w", encoding="utf-8") as f:
+                json.dump(sim_spec, f, indent=2)
+            sim_out = os.path.join(tmp, "simulator.json")
+            if subprocess.call([run_scenario, sim_spec_path, "--no-spec",
+                                f"--out={sim_out}"]) != 0:
+                fail("simulator leg failed")
+            bench_diff = os.path.join(os.path.dirname(
+                os.path.abspath(__file__)), "bench_diff.py")
+            cmd = [sys.executable, bench_diff, sim_out, out,
+                   "--allow-bench-mismatch"]
+            for key in DIFF_IGNORES:
+                cmd += ["--ignore", key]
+            if subprocess.call(cmd) != 0:
+                fail("cluster results drifted from the simulator")
+            print("run_cluster: cluster == simulator (bit-identical)")
+        ok = True
+    finally:
+        if ok and not args.log_dir:
+            shutil.rmtree(tmp, ignore_errors=True)
+        elif not ok:
+            print(f"run_cluster: artifacts kept in {tmp}", file=sys.stderr)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
